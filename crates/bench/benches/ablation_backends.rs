@@ -1,0 +1,134 @@
+//! Ablation: the SDSKV backend's locking discipline vs write concurrency.
+//!
+//! The paper's Figure 10 pathology stems from the `map` backend being
+//! incapable of parallel insertions. This ablation isolates that design
+//! choice: identical concurrent write workloads run directly against
+//! each backend (`map`: one mutex; `bdb`: readers-writer lock — writes
+//! still serial; `ldb`: sharded memtables — writes parallel across
+//! shards), with the storage cost slept while holding the backend's
+//! lock. The sharded backend is the only one whose makespan drops as
+//! writers are added.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use symbi_bench::banner;
+use symbi_core::analysis::report::Table;
+use symbi_services::kv::{BackendKind, KvBackend, StorageCost};
+
+const OPS_PER_WRITER: usize = 24;
+const COST: StorageCost = StorageCost {
+    per_op: Duration::from_micros(800),
+    per_key: Duration::ZERO,
+};
+
+/// Run `writers` concurrent threads, each performing single-key puts.
+/// Returns the wall time.
+fn run_writers(backend: Arc<dyn KvBackend>, writers: usize) -> Duration {
+    let barrier = Arc::new(std::sync::Barrier::new(writers + 1));
+    let handles: Vec<_> = (0..writers)
+        .map(|w| {
+            let backend = backend.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..OPS_PER_WRITER {
+                    // Spread keys so the sharded backend can parallelize.
+                    let key = format!("w{w}-k{i}").into_bytes();
+                    backend.put(key, vec![w as u8; 32]);
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for h in handles {
+        h.join().expect("writer panicked");
+    }
+    start.elapsed()
+}
+
+fn main() {
+    banner("Ablation: backend locking discipline vs write concurrency");
+
+    println!(
+        "{} puts per writer, {}\u{b5}s lock-held cost per put\n",
+        OPS_PER_WRITER,
+        COST.per_op.as_micros()
+    );
+
+    let writer_counts = [1usize, 2, 4, 8];
+    let mut t = Table::new([
+        "backend",
+        "concurrent writes",
+        "1 writer",
+        "2 writers",
+        "4 writers",
+        "8 writers",
+        "8-writer speedup",
+    ]);
+
+    let mut ldb_speedup = 0.0;
+    let mut map_speedup = 0.0;
+    let mut walls_8: std::collections::HashMap<&'static str, f64> =
+        std::collections::HashMap::new();
+    let mut ldb_ratio_1_to_8 = 0.0;
+    for kind in [BackendKind::Map, BackendKind::Bdb, BackendKind::Ldb] {
+        let mut cells = vec![
+            format!("{kind:?}"),
+            kind.build(COST).supports_concurrent_writes().to_string(),
+        ];
+        let mut times = Vec::new();
+        for &w in &writer_counts {
+            // Fresh store per measurement so size effects don't leak.
+            let backend = kind.build(COST);
+            let wall = run_writers(backend, w);
+            times.push(wall);
+            cells.push(format!("{:.1} ms", wall.as_secs_f64() * 1e3));
+        }
+        // Ideal serial time for 8 writers is 8x the 1-writer time; the
+        // speedup is how much of that the backend recovers.
+        let serial_8 = times[0].as_secs_f64() * 8.0;
+        let speedup = serial_8 / times[3].as_secs_f64();
+        cells.push(format!("{speedup:.1}x"));
+        if kind == BackendKind::Ldb {
+            ldb_speedup = speedup;
+            ldb_ratio_1_to_8 = times[3].as_secs_f64() / times[0].as_secs_f64();
+        }
+        if kind == BackendKind::Map {
+            map_speedup = speedup;
+        }
+        walls_8.insert(
+            match kind {
+                BackendKind::Map => "map",
+                BackendKind::Bdb => "bdb",
+                BackendKind::Ldb => "ldb",
+            },
+            times[3].as_secs_f64(),
+        );
+        t.row(cells);
+    }
+    println!("{}", t.render());
+
+    println!(
+        "map backend 8-writer speedup {map_speedup:.1}x vs ldb {ldb_speedup:.1}x — \
+         only the sharded backend converts added writers into throughput,\n\
+         which is why the paper's C2/C3 remedy is fewer map databases rather than \
+         more execution streams."
+    );
+    // Assertions on the noise-robust direct comparison: at 8 writers the
+    // serial map backend must take several times longer than the sharded
+    // ldb backend, and ldb's 8-writer wall must stay close to its
+    // 1-writer wall (its sleeps overlap).
+    let map_8 = walls_8["map"];
+    let ldb_8 = walls_8["ldb"];
+    assert!(
+        map_8 > ldb_8 * 2.0,
+        "serial map backend must be far slower than sharded ldb at 8 writers \
+         (map {map_8:.3}s, ldb {ldb_8:.3}s)"
+    );
+    assert!(
+        ldb_ratio_1_to_8 < 4.0,
+        "ldb's 8-writer wall must stay near its 1-writer wall \
+         (ratio {ldb_ratio_1_to_8:.1})"
+    );
+}

@@ -1,0 +1,142 @@
+//! Figure 10 — HEPnOS: sampling blocked tasks from Argobots for
+//! `sdskv_put_packed` (C2 vs C3: too many databases).
+//!
+//! With the map backend (no parallel insertions), 32 databases per server
+//! (C2) generate a flood of small RPCs whose bursts serialize — visible
+//! as vertical lines of requests that arrive together but complete in
+//! quick succession, with many waiting ULTs. C3 (8 databases) reduces
+//! the RPC count and the serialization severity, improving RPC
+//! performance by 28.5% in the paper.
+//!
+//! Note on the y-axis: this substrate's ULTs pin their execution stream
+//! while blocked, so the Argobots "blocked" count is bounded by the ES
+//! count; the reproduction therefore reports *waiting work* (blocked +
+//! runnable ULTs), which carries the same serialization signal (see
+//! DESIGN.md).
+
+use symbi_bench::{banner, bench_scale, run_hepnos};
+use symbi_core::analysis::report::{fmt_ns, Table};
+use symbi_core::analysis::{detect_write_serialization, summarize_profiles, timeseries};
+use symbi_core::{Callpath, TraceEventKind};
+use symbi_services::hepnos::HepnosConfig;
+
+fn main() {
+    banner("Figure 10: blocked/waiting ULT samples for sdskv_put_packed (C2 vs C3)");
+
+    let scale = bench_scale();
+    let cp = Callpath::root("sdskv_put_packed");
+    let mut results = Vec::new();
+
+    for cfg in [
+        HepnosConfig::c2().scaled(scale),
+        HepnosConfig::c3().scaled(scale),
+    ] {
+        println!(
+            "running {} ({} databases per server)...",
+            cfg.label, cfg.databases
+        );
+        let data = run_hepnos(&cfg);
+        let report = detect_write_serialization(&data.traces, cp, 2_000_000); // 2 ms buckets
+        let series = timeseries(&data.traces, TraceEventKind::TargetUltStart, |e| {
+            Some(e.samples.blocked_ults.unwrap_or(0) + e.samples.runnable_ults.unwrap_or(0))
+        });
+        let summary = summarize_profiles(&data.profiles);
+        let agg = summary.find(cp).expect("put_packed profiled");
+        results.push((
+            cfg.label.clone(),
+            cfg.databases,
+            data.elapsed_seconds,
+            agg.count_origin,
+            agg.cumulative_latency_ns(),
+            report,
+            series,
+        ));
+    }
+    println!();
+
+    let mut t = Table::new([
+        "Config",
+        "DBs/server",
+        "wall time",
+        "RPCs",
+        "cumulative RPC time",
+        "peak waiting ULTs",
+        "mean waiting ULTs",
+        "mean burst spread",
+    ]);
+    for (label, dbs, wall, rpcs, cum, report, _series) in &results {
+        t.row([
+            label.clone(),
+            dbs.to_string(),
+            format!("{wall:.3} s"),
+            rpcs.to_string(),
+            fmt_ns(*cum),
+            report.peak_waiting.to_string(),
+            format!("{:.1}", report.mean_waiting),
+            fmt_ns(report.mean_spread_ns),
+        ]);
+    }
+    println!("{}", t.render());
+
+    // ASCII scatter of the waiting-ULT time series (the paper's dots).
+    for (label, _dbs, _w, _r, _c, _report, series) in &results {
+        println!("--- {label}: waiting ULTs over time (sampled at request start, t4) ---");
+        render_scatter(series);
+        println!();
+    }
+
+    let (c2, c3) = (&results[0], &results[1]);
+    let rpc_ratio = c2.3 as f64 / c3.3.max(1) as f64;
+    let improvement = 1.0 - c3.4 as f64 / c2.4.max(1) as f64;
+    println!("C2 generated {rpc_ratio:.1}x the RPCs of C3 (paper: 4x, 32 vs 8 dbs)");
+    println!(
+        "cumulative RPC time improvement C2 -> C3: {:.1}%   (paper: 28.5%)",
+        improvement * 100.0
+    );
+    println!(
+        "waiting-work severity: C2 mean {:.1} vs C3 mean {:.1}",
+        c2.5.mean_waiting, c3.5.mean_waiting
+    );
+
+    assert!(c2.3 > c3.3, "C2 must generate more RPCs than C3");
+    assert!(
+        c3.4 < c2.4,
+        "fewer map databases must reduce cumulative RPC time"
+    );
+}
+
+/// Render a coarse time × waiting-count scatter in ASCII (60 × 16 cells).
+fn render_scatter(series: &[(u64, u64)]) {
+    if series.is_empty() {
+        println!("  (no samples)");
+        return;
+    }
+    const W: usize = 72;
+    const H: usize = 14;
+    let t_min = series.first().unwrap().0;
+    let t_max = series.last().unwrap().0.max(t_min + 1);
+    let v_max = series.iter().map(|(_, v)| *v).max().unwrap().max(1);
+    let mut grid = vec![[false; W]; H];
+    for (t, v) in series {
+        let x = ((t - t_min) as f64 / (t_max - t_min) as f64 * (W - 1) as f64) as usize;
+        let y = (*v as f64 / v_max as f64 * (H - 1) as f64) as usize;
+        grid[H - 1 - y][x] = true;
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let label = if i == 0 {
+            format!("{v_max:>5} |")
+        } else if i == H - 1 {
+            format!("{:>5} |", 0)
+        } else {
+            "      |".to_string()
+        };
+        let line: String = row.iter().map(|b| if *b { '*' } else { ' ' }).collect();
+        println!("  {label}{line}");
+    }
+    println!(
+        "        +{}  ({} samples over {:.1} ms)",
+        "-".repeat(W),
+        series.len(),
+        (t_max - t_min) as f64 / 1e6
+    );
+}

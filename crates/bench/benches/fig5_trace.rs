@@ -1,0 +1,92 @@
+//! Figure 5 — ior + Mobject: OpenZipkin trace visualization showing the
+//! 12 discrete BAKE/SDSKV steps of one `mobject_write_op` request.
+//!
+//! Reproduces the paper's setup (one Mobject provider node, 10 colocated
+//! ior clients), stitches the trace events for a single write request,
+//! prints the Gantt-style span table, and writes the Zipkin v2 JSON file
+//! the paper's adapter module emits.
+
+use symbi_bench::{banner, mobject_node};
+use symbi_core::zipkin::{stitch, to_zipkin_json, SpanSide};
+use symbi_core::Callpath;
+use symbi_fabric::{Fabric, NetworkModel};
+use symbi_services::ior::{run_ior, IorConfig};
+use symbi_services::mobject::WRITE_OP_SUBCALLS;
+
+fn main() {
+    banner("Figure 5: Zipkin trace of a single mobject_write_op");
+
+    let fabric = Fabric::new(NetworkModel::instant());
+    let node = mobject_node(&fabric, 8);
+    let run = run_ior(
+        &fabric,
+        node.addr(),
+        &IorConfig {
+            clients: 10,
+            objects_per_client: 2,
+            object_size: 8192,
+            do_read: true,
+            stage: symbi_core::Stage::Full,
+        },
+    );
+    std::thread::sleep(std::time::Duration::from_millis(150));
+
+    let mut events = run.client_traces.clone();
+    events.extend(node.symbiosys().tracer().snapshot());
+
+    // Pick one write_op request id.
+    let write_root = Callpath::root("mobject_write_op");
+    let rid = events
+        .iter()
+        .find(|e| e.callpath == write_root)
+        .expect("a traced write_op")
+        .request_id;
+    let one_request: Vec<_> = events
+        .iter()
+        .filter(|e| e.request_id == rid)
+        .cloned()
+        .collect();
+    let spans = stitch(&one_request);
+
+    println!(
+        "request {rid:#x}: {} spans ({} origin-side, {} target-side)\n",
+        spans.len(),
+        spans.iter().filter(|s| s.side == SpanSide::Origin).count(),
+        spans.iter().filter(|s| s.side == SpanSide::Target).count(),
+    );
+
+    // Gantt-style text rendering, indented by callpath depth.
+    let t0 = spans.iter().map(|s| s.timestamp_us).min().unwrap_or(0);
+    let mut sorted = spans.clone();
+    sorted.sort_by_key(|s| (s.timestamp_us, s.callpath.depth()));
+    for s in &sorted {
+        let indent = "  ".repeat(s.callpath.depth().saturating_sub(1));
+        println!(
+            "  [{:>8} \u{b5}s +{:>7} \u{b5}s] {}{} ({}, {:?})",
+            s.timestamp_us - t0,
+            s.duration_us,
+            indent,
+            s.name,
+            s.service,
+            s.side,
+        );
+    }
+
+    // The paper's headline: 12 discrete downstream microservice calls.
+    let downstream_origin_spans = spans
+        .iter()
+        .filter(|s| s.side == SpanSide::Origin && s.callpath.depth() == 2)
+        .count();
+    println!(
+        "\ndiscrete downstream microservice calls in one write_op: {downstream_origin_spans} \
+         (paper: {WRITE_OP_SUBCALLS})"
+    );
+    assert_eq!(downstream_origin_spans, WRITE_OP_SUBCALLS);
+
+    let json = to_zipkin_json(&spans);
+    let path = "fig5_zipkin.json";
+    std::fs::write(path, &json).expect("write zipkin json");
+    println!("Zipkin v2 JSON written to {path} ({} bytes).", json.len());
+
+    node.finalize();
+}

@@ -1,0 +1,125 @@
+//! Figure 7 — Sonata: mapping execution time to individual steps.
+//!
+//! The paper's benchmark stores a 50,000-entry JSON record array through
+//! repeated `sonata_store_multi_json` calls with a batch size of 5,000
+//! (one target, one origin). The JSON travels as RPC metadata, overflows
+//! the eager buffer (internal RDMA), and input deserialization accounts
+//! for a large share (~27% in the paper) of the cumulative execution
+//! time on the target.
+
+use std::time::Duration;
+use symbi_bench::banner;
+use symbi_core::analysis::report::{fmt_ns, fmt_pct, Table};
+use symbi_core::analysis::summarize_profiles;
+use symbi_core::{Callpath, Interval};
+use symbi_fabric::{Fabric, NetworkModel};
+use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_services::json::Value;
+use symbi_services::sonata::{SonataClient, SonataProvider, SonataSpec};
+
+const TOTAL_RECORDS: usize = 50_000;
+const BATCH_SIZE: usize = 5_000;
+
+fn record(i: usize) -> String {
+    Value::obj([
+        ("id", Value::Num(i as f64)),
+        ("energy", Value::Num((i % 997) as f64 * 0.5)),
+        ("detector", Value::Str(format!("det-{:02}", i % 16))),
+        ("flags", Value::Arr(vec![Value::Bool(i % 2 == 0), Value::Num((i % 7) as f64)])),
+    ])
+    .to_json()
+}
+
+fn main() {
+    banner("Figure 7: Sonata — execution time per step (50,000 records, batch 5,000)");
+
+    let fabric = Fabric::new(NetworkModel::instant());
+    // One target, one origin on separate "nodes" (paper §V-B2).
+    let server = MargoInstance::new(fabric.clone(), MargoConfig::server("sonata-target", 2));
+    SonataProvider::attach_with(
+        &server,
+        SonataSpec {
+            insert_cost_per_doc: Duration::from_micros(2),
+        },
+    );
+    let margo = MargoInstance::new(fabric, MargoConfig::client("sonata-origin"));
+    let client = SonataClient::new(margo.clone(), server.addr());
+    client.create_db("records").expect("create db");
+
+    let t0 = std::time::Instant::now();
+    let mut batch: Vec<String> = Vec::with_capacity(BATCH_SIZE);
+    for i in 0..TOTAL_RECORDS {
+        batch.push(record(i));
+        if batch.len() == BATCH_SIZE {
+            client
+                .store_multi_json("records", &batch)
+                .expect("store_multi");
+            batch.clear();
+        }
+    }
+    let elapsed = t0.elapsed();
+    std::thread::sleep(Duration::from_millis(100));
+    assert_eq!(client.count("records").unwrap() as usize, TOTAL_RECORDS);
+
+    println!(
+        "{} records in {} batches of {} stored in {:.3}s\n",
+        TOTAL_RECORDS,
+        TOTAL_RECORDS / BATCH_SIZE,
+        BATCH_SIZE,
+        elapsed.as_secs_f64()
+    );
+
+    let mut rows = margo.symbiosys().profiler().snapshot();
+    rows.extend(server.symbiosys().profiler().snapshot());
+    let summary = summarize_profiles(&rows);
+    let agg = summary
+        .find(Callpath::root("sonata_store_multi_json"))
+        .expect("profiled store_multi callpath");
+
+    // Cumulative execution time on the target: the paper's Figure 7
+    // decomposes target-side time only.
+    let target_components = [
+        Interval::TargetInternalRdma,
+        Interval::TargetUltHandler,
+        Interval::InputDeserialization,
+        Interval::TargetUltExecution,
+        Interval::OutputSerialization,
+        Interval::TargetCompletionCallback,
+    ];
+    let target_total: u64 = target_components.iter().map(|i| agg.interval(*i)).sum();
+
+    let mut t = Table::new(["Target-side step", "cumulative", "share of target time"]);
+    for i in target_components {
+        t.row([
+            i.label().to_string(),
+            fmt_ns(agg.interval(i)),
+            fmt_pct(agg.interval(i), target_total),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let deser_share =
+        agg.interval(Interval::InputDeserialization) as f64 / target_total.max(1) as f64;
+    let rdma_share =
+        agg.interval(Interval::TargetInternalRdma) as f64 / target_total.max(1) as f64;
+    println!(
+        "input deserialization share: {:.1}% (paper: ~27%)",
+        deser_share * 100.0
+    );
+    println!(
+        "internal RDMA transfer share: {:.1}% (paper: relatively low)",
+        rdma_share * 100.0
+    );
+    assert!(
+        deser_share > 0.10,
+        "deserialization must be a major component, got {:.1}%",
+        deser_share * 100.0
+    );
+    assert!(
+        rdma_share < deser_share,
+        "internal RDMA should be smaller than deserialization"
+    );
+
+    margo.finalize();
+    server.finalize();
+}

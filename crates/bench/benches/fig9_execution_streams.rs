@@ -1,0 +1,109 @@
+//! Figure 9 — HEPnOS: too few execution streams (C1 vs C2).
+//!
+//! C1 gives each server 5 handler ESs; C2 gives 20. The paper finds that
+//! in C1 the *target ULT handler time* (the delay in the Argobots handler
+//! pool, t4→t5) accounts for 26.6% of total RPC execution time, and that
+//! C2 improves cumulative RPC execution time by 53.3% while dropping the
+//! handler share to 14%. This harness regenerates the comparison; shapes
+//! (handler share shrinks sharply, overall time improves substantially)
+//! are the reproduction target, not the absolute percentages.
+
+use symbi_bench::{banner, bench_scale, run_hepnos, HepnosRunData};
+use symbi_core::analysis::report::{fmt_ns, fmt_pct, Table};
+use symbi_core::analysis::summarize_profiles;
+use symbi_core::{Callpath, Interval};
+use symbi_services::hepnos::HepnosConfig;
+
+struct ConfigResult {
+    label: String,
+    threads: usize,
+    elapsed: f64,
+    cumulative_ns: u64,
+    handler_ns: u64,
+    exec_ns: u64,
+    cct_ns: u64,
+}
+
+fn measure(cfg: &HepnosConfig) -> ConfigResult {
+    let data: HepnosRunData = run_hepnos(cfg);
+    let summary = summarize_profiles(&data.profiles);
+    let agg = summary
+        .find(Callpath::root("sdskv_put_packed"))
+        .expect("sdskv_put_packed must be profiled");
+    ConfigResult {
+        label: cfg.label.clone(),
+        threads: cfg.threads,
+        elapsed: data.elapsed_seconds,
+        cumulative_ns: agg.cumulative_latency_ns(),
+        handler_ns: agg.interval(Interval::TargetUltHandler),
+        exec_ns: agg.interval(Interval::TargetUltExecution),
+        cct_ns: agg.interval(Interval::TargetCompletionCallback),
+    }
+}
+
+fn main() {
+    banner("Figure 9: HEPnOS cumulative target RPC execution time (C1 vs C2)");
+
+    let scale = bench_scale();
+    let c1_cfg = HepnosConfig::c1().scaled(scale);
+    let c2_cfg = HepnosConfig::c2().scaled(scale);
+
+    let mut t4 = Table::new([
+        "Config", "Clients", "Servers", "Batch", "Threads", "DBs", "ProgressThr", "OFI_max",
+    ]);
+    for c in [&c1_cfg, &c2_cfg] {
+        t4.row(c.table_row());
+    }
+    println!("{}", t4.render());
+
+    println!("running C1 (5 handler ESs per server)...");
+    let c1 = measure(&c1_cfg);
+    println!("running C2 (20 handler ESs per server)...\n");
+    let c2 = measure(&c2_cfg);
+
+    let mut t = Table::new([
+        "Config",
+        "threads",
+        "data-loader wall",
+        "cumulative RPC time",
+        "target handler time",
+        "handler share",
+        "target exec time",
+        "target cct time",
+    ]);
+    for r in [&c1, &c2] {
+        t.row([
+            r.label.clone(),
+            r.threads.to_string(),
+            format!("{:.3} s", r.elapsed),
+            fmt_ns(r.cumulative_ns),
+            fmt_ns(r.handler_ns),
+            fmt_pct(r.handler_ns, r.cumulative_ns),
+            fmt_ns(r.exec_ns),
+            fmt_ns(r.cct_ns),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let c1_share = c1.handler_ns as f64 / c1.cumulative_ns.max(1) as f64;
+    let c2_share = c2.handler_ns as f64 / c2.cumulative_ns.max(1) as f64;
+    let improvement = 1.0 - c2.cumulative_ns as f64 / c1.cumulative_ns.max(1) as f64;
+    println!(
+        "handler-time share: C1 {:.1}% -> C2 {:.1}%   (paper: 26.6% -> 14%)",
+        c1_share * 100.0,
+        c2_share * 100.0
+    );
+    println!(
+        "cumulative RPC execution time improvement C1 -> C2: {:.1}%   (paper: 53.3%)",
+        improvement * 100.0
+    );
+
+    assert!(
+        c2_share < c1_share,
+        "more ESs must reduce the handler-time share"
+    );
+    assert!(
+        c2.cumulative_ns < c1.cumulative_ns,
+        "more ESs must reduce cumulative RPC time"
+    );
+}

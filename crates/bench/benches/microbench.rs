@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks for the measurement system's hot paths:
+//! the costs the paper's §VI overhead argument rests on. Instrumentation
+//! primitives (callpath push, PVAR sampling, trace recording) must be
+//! nanosecond-to-microsecond scale for "Full Support" to stay in the
+//! noise of RPC execution.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use symbi_core::{Callpath, EventSamples, Stage, Symbiosys, TraceEvent, TraceEventKind};
+use symbi_fabric::{Fabric, NetworkModel};
+use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_mercury::pvar::ids;
+use symbi_mercury::{Encoder, HgClass, HgConfig, Wire};
+use symbi_tasking::{Eventual, ExecutionStream, Pool};
+
+fn bench_callpath(c: &mut Criterion) {
+    symbi_core::callpath::register_name("bench_rpc");
+    c.bench_function("callpath/push", |b| {
+        let root = Callpath::root("bench_root");
+        b.iter(|| black_box(root).push("bench_rpc"))
+    });
+    c.bench_function("callpath/decode_display", |b| {
+        let cp = Callpath::root("bench_root").push("bench_rpc");
+        b.iter(|| black_box(cp).display())
+    });
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..64)
+        .map(|i: u32| (i.to_le_bytes().to_vec(), vec![0u8; 64]))
+        .collect();
+    c.bench_function("codec/encode_64_pairs", |b| {
+        b.iter(|| black_box(&pairs).to_bytes())
+    });
+    let bytes = pairs.to_bytes();
+    c.bench_function("codec/decode_64_pairs", |b| {
+        b.iter(|| Vec::<(Vec<u8>, Vec<u8>)>::from_bytes(black_box(bytes.clone())).unwrap())
+    });
+    c.bench_function("codec/encode_scalars", |b| {
+        b.iter(|| {
+            let mut enc = Encoder::with_capacity(64);
+            enc.put_u64(1).put_u32(2).put_u16(3).put_u8(4).put_str("rpc");
+            enc.finish()
+        })
+    });
+}
+
+fn bench_pvar(c: &mut Criterion) {
+    let hg = HgClass::init(Fabric::new(NetworkModel::instant()), HgConfig::default());
+    let session = hg.pvar_session();
+    let handle = session.alloc_handle(ids::NUM_RPCS_INVOKED).unwrap();
+    c.bench_function("pvar/sample_no_object", |b| {
+        b.iter(|| session.sample(black_box(&handle), None).unwrap())
+    });
+}
+
+fn bench_trace_record(c: &mut Criterion) {
+    let sym = Symbiosys::new("bench-tracer", Stage::Full);
+    let event = TraceEvent {
+        request_id: 1,
+        order: 0,
+        lamport: 0,
+        wall_ns: 0,
+        kind: TraceEventKind::OriginForward,
+        entity: sym.entity(),
+        callpath: Callpath::root("bench_rpc"),
+        samples: EventSamples::default(),
+    };
+    c.bench_function("trace/record_event", |b| {
+        b.iter(|| sym.tracer().record(black_box(event)))
+    });
+}
+
+fn bench_tasking(c: &mut Criterion) {
+    let pool = Pool::new("bench-pool");
+    let _es = ExecutionStream::spawn("bench-es", &[pool.clone()]);
+    c.bench_function("tasking/spawn_join", |b| {
+        b.iter(|| {
+            let ev: Eventual<()> = Eventual::new();
+            let ev2 = ev.clone();
+            pool.spawn(move || ev2.set(()));
+            ev.wait();
+        })
+    });
+}
+
+fn bench_rpc_roundtrip(c: &mut Criterion) {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(fabric.clone(), MargoConfig::server("bench-server", 2));
+    server.register_fn("bench_echo", |_m, x: u64| Ok::<u64, String>(x));
+    let addr = server.addr();
+
+    for (name, stage) in [
+        ("rpc/roundtrip_baseline", Stage::Disabled),
+        ("rpc/roundtrip_full", Stage::Full),
+    ] {
+        let client = MargoInstance::new(
+            fabric.clone(),
+            MargoConfig::client(format!("bench-client-{name}")).with_stage(stage),
+        );
+        c.bench_function(name, |b| {
+            b.iter_batched(
+                || (),
+                |_| {
+                    let y: u64 = client.forward(addr, "bench_echo", &7u64).unwrap();
+                    black_box(y)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        client.finalize();
+    }
+    server.finalize();
+}
+
+fn bench_json(c: &mut Criterion) {
+    let doc = symbi_services::json::Value::obj([
+        ("id", symbi_services::json::Value::Num(42.0)),
+        (
+            "payload",
+            symbi_services::json::Value::Str("x".repeat(128)),
+        ),
+        (
+            "arr",
+            symbi_services::json::Value::Arr(
+                (0..8).map(|i| symbi_services::json::Value::Num(i as f64)).collect(),
+            ),
+        ),
+    ]);
+    let text = doc.to_json();
+    c.bench_function("json/parse_200B_doc", |b| {
+        b.iter(|| symbi_services::json::parse(black_box(&text)).unwrap())
+    });
+    c.bench_function("json/serialize_200B_doc", |b| {
+        b.iter(|| black_box(&doc).to_json())
+    });
+}
+
+fn bench_backends(c: &mut Criterion) {
+    use symbi_services::kv::{BackendKind, StorageCost};
+    for kind in [BackendKind::Map, BackendKind::Ldb, BackendKind::Bdb] {
+        let backend = kind.build(StorageCost::free());
+        let name = format!("kv/{}_put_get", backend.kind());
+        let mut i = 0u64;
+        c.bench_function(&name, |b| {
+            b.iter(|| {
+                i += 1;
+                let k = i.to_le_bytes().to_vec();
+                backend.put(k.clone(), vec![1; 32]);
+                black_box(backend.get(&k))
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_callpath, bench_codec, bench_pvar, bench_trace_record, bench_tasking, bench_rpc_roundtrip, bench_json, bench_backends
+}
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! Table V — HEPnOS: analysis overheads.
+//!
+//! The paper times its three post-mortem analysis scripts over the
+//! large-scale performance data: profile summary (35.1 s), trace summary
+//! (481.1 s), system statistics summary (73.4 s). This harness runs the
+//! same three analyses over a Full-stage data-loader run and reports
+//! their times (absolute values are far smaller at harness scale; the
+//! shape target is trace summary ≫ profile/system summaries).
+
+use std::time::Instant;
+use symbi_bench::{banner, bench_scale, run_hepnos};
+use symbi_core::analysis::report::Table;
+use symbi_core::analysis::{
+    detect_ofi_backlog, detect_write_serialization, latency_stats, summarize_profiles,
+    summarize_system, timeseries,
+};
+use symbi_core::zipkin::{stitch, to_zipkin_json};
+use symbi_core::{Callpath, TraceEventKind};
+use symbi_services::hepnos::HepnosConfig;
+
+fn main() {
+    banner("Table V: analysis overheads");
+
+    let cfg = HepnosConfig::overhead_study(symbi_core::Stage::Full).scaled(bench_scale());
+    println!("generating performance data (Full stage data-loader run)...");
+    let data = run_hepnos(&cfg);
+    println!(
+        "collected {} profile rows and {} trace events from {} events stored\n",
+        data.profiles.len(),
+        data.traces.len(),
+        data.events
+    );
+
+    // Profile summary script.
+    let t0 = Instant::now();
+    let summary = summarize_profiles(&data.profiles);
+    let rendered = summary.render_dominant(5);
+    let profile_time = t0.elapsed().as_secs_f64();
+    std::hint::black_box(rendered);
+
+    // Trace summary script: stitch all traces to spans, export Zipkin
+    // JSON, extract time series, latency stats, and run both saturation
+    // detectors — the heavyweight pass, as in the paper.
+    let t0 = Instant::now();
+    let spans = stitch(&data.traces);
+    let json = to_zipkin_json(&spans);
+    let cp = Callpath::root("sdskv_put_packed");
+    let series = timeseries(&data.traces, TraceEventKind::TargetUltStart, |e| {
+        e.samples.blocked_ults
+    });
+    let latencies: Vec<u64> = data
+        .traces
+        .iter()
+        .filter_map(|e| e.samples.origin_execution_ns)
+        .collect();
+    let stats = latency_stats(&latencies);
+    let ser = detect_write_serialization(&data.traces, cp, 2_000_000);
+    let ofi = detect_ofi_backlog(&data.traces, cfg.ofi_max_events as u64);
+    let trace_time = t0.elapsed().as_secs_f64();
+    std::hint::black_box((json.len(), series.len(), stats, ser.bursts.len(), ofi.breaches));
+
+    // System statistics summary script.
+    let t0 = Instant::now();
+    let sys = summarize_system(&data.traces);
+    let sys_rendered = sys.render();
+    let system_time = t0.elapsed().as_secs_f64();
+    std::hint::black_box(sys_rendered);
+
+    let mut t = Table::new([
+        "Analysis",
+        "this harness (s)",
+        "paper, 1M-sample Theta run (s)",
+    ]);
+    t.row([
+        "Profile Summary".to_string(),
+        format!("{profile_time:.4}"),
+        "35.1".to_string(),
+    ]);
+    t.row([
+        "Trace Summary".to_string(),
+        format!("{trace_time:.4}"),
+        "481.1".to_string(),
+    ]);
+    t.row([
+        "System Statistics Summary".to_string(),
+        format!("{system_time:.4}"),
+        "73.4".to_string(),
+    ]);
+    println!("{}", t.render());
+
+    println!(
+        "spans stitched: {}; zipkin bytes: {}; trace/profile time ratio: {:.1}x (paper: 13.7x)",
+        spans.len(),
+        json.len(),
+        trace_time / profile_time.max(1e-9)
+    );
+    assert!(
+        trace_time >= profile_time,
+        "the trace summary is the heavyweight analysis pass"
+    );
+}

@@ -1,0 +1,157 @@
+//! # symbi-bench — shared infrastructure for the paper-evaluation harnesses
+//!
+//! Every table and figure of the SYMBIOSYS paper's evaluation (§V, §VI)
+//! has a `harness = false` bench target in `benches/` that regenerates
+//! it; this library holds the experiment runners they share.
+//!
+//! Run everything with `cargo bench`, or one artifact with e.g.
+//! `cargo bench --bench fig9_execution_streams`.
+
+use std::time::Instant;
+use symbi_core::{ProfileRow, TraceEvent};
+use symbi_fabric::{Fabric, NetworkModel};
+use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_services::bake::{BakeProvider, BakeSpec};
+use symbi_services::hepnos::{run_data_loader, HepnosConfig, HepnosDeployment};
+use symbi_services::kv::{BackendKind, StorageCost};
+use symbi_services::mobject::{MobjectProvider, REQUIRED_SDSKV_DBS};
+use symbi_services::sdskv::{SdskvProvider, SdskvSpec};
+
+/// Everything harvested from one HEPnOS data-loader run.
+#[derive(Debug)]
+pub struct HepnosRunData {
+    /// Configuration label (C1..C7, overhead-*).
+    pub label: String,
+    /// Slowest-client wall time in seconds.
+    pub elapsed_seconds: f64,
+    /// Events stored.
+    pub events: u64,
+    /// Merged client + server profile rows.
+    pub profiles: Vec<ProfileRow>,
+    /// Merged client + server trace events.
+    pub traces: Vec<TraceEvent>,
+}
+
+impl HepnosRunData {
+    /// Events per second.
+    pub fn throughput(&self) -> f64 {
+        if self.elapsed_seconds > 0.0 {
+            self.events as f64 / self.elapsed_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Launch a deployment, run the data-loader, harvest all instrumentation,
+/// and tear everything down.
+pub fn run_hepnos(config: &HepnosConfig) -> HepnosRunData {
+    let fabric = Fabric::new(NetworkModel::new(config.net_latency, None));
+    let deployment = HepnosDeployment::launch(&fabric, config);
+    let report = run_data_loader(&fabric, &deployment, config);
+    // Let straggling t13 callbacks land before harvesting server data.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let mut profiles = report.client_profiles;
+    profiles.extend(deployment.server_profiles());
+    let mut traces = report.client_traces;
+    traces.extend(deployment.server_traces());
+    deployment.finalize();
+    HepnosRunData {
+        label: config.label.clone(),
+        elapsed_seconds: report.elapsed_seconds,
+        events: report.events,
+        profiles,
+        traces,
+    }
+}
+
+/// Time one data-loader run end-to-end (deployment launch excluded),
+/// discarding instrumentation output — used by the §VI overhead study,
+/// whose metric is "the execution time of the data-loader application".
+pub fn time_data_loader(config: &HepnosConfig) -> f64 {
+    let fabric = Fabric::new(NetworkModel::new(config.net_latency, None));
+    let deployment = HepnosDeployment::launch(&fabric, config);
+    let start = Instant::now();
+    let report = run_data_loader(&fabric, &deployment, config);
+    let elapsed = start.elapsed().as_secs_f64();
+    assert_eq!(
+        report.events as usize,
+        config.total_clients * config.events_per_client,
+        "data-loader lost events"
+    );
+    deployment.finalize();
+    elapsed
+}
+
+/// Build a Mobject provider node (BAKE + SDSKV + Mobject sequencer on one
+/// Margo server instance, as in the paper's Figure 4 single-node setup).
+pub fn mobject_node(fabric: &Fabric, streams: usize) -> MargoInstance {
+    let node = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server("mobject-provider-node", streams),
+    );
+    // Backend providers in their own pool (Margo provider pools), so
+    // nested BAKE/SDSKV calls are never starved by blocked mobject ops.
+    let backend_pool = node.add_handler_pool("backend", streams);
+    BakeProvider::attach_in_pool(&node, BakeSpec::default(), &backend_pool);
+    SdskvProvider::attach_in_pool(
+        &node,
+        SdskvSpec {
+            num_databases: REQUIRED_SDSKV_DBS,
+            backend: BackendKind::Map,
+            cost: StorageCost {
+                per_op: std::time::Duration::from_micros(50),
+                per_key: std::time::Duration::from_micros(1),
+            },
+            handler_cost: std::time::Duration::ZERO,
+            handler_cost_per_key: std::time::Duration::ZERO,
+        },
+        &backend_pool,
+    );
+    MobjectProvider::attach(&node, node.addr(), node.addr());
+    node
+}
+
+/// Workload scale factor from `SYMBI_BENCH_SCALE` (default 1.0), letting
+/// CI shrink the experiments without touching knob ratios.
+pub fn bench_scale() -> f64 {
+    std::env::var("SYMBI_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Print a figure/table banner.
+pub fn banner(title: &str) {
+    let line = "=".repeat(title.chars().count() + 8);
+    println!("\n{line}\n==  {title}  ==\n{line}\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_hepnos_run_roundtrips() {
+        let mut cfg = HepnosConfig::c3();
+        cfg.total_clients = 2;
+        cfg.total_servers = 2;
+        cfg.threads = 2;
+        cfg.databases = 2;
+        cfg.events_per_client = 32;
+        cfg.batch_size = 8;
+        cfg.cost = StorageCost::free();
+        let data = run_hepnos(&cfg);
+        assert_eq!(data.events, 64);
+        assert!(data.throughput() > 0.0);
+        assert!(!data.profiles.is_empty());
+        assert!(!data.traces.is_empty());
+    }
+
+    #[test]
+    fn bench_scale_defaults_to_one() {
+        // (Does not mutate the environment; just checks the default path.)
+        assert!(bench_scale() > 0.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! Configuration advisor: policy rules that map SYMBIOSYS saturation
+//! signals to tuning actions.
+//!
+//! The paper closes (§VII) envisioning "policy-driven mechanisms whereby
+//! rules governing response to poor performance behavior can be
+//! formulated and applied based on performance monitoring". This module
+//! implements that step for the four §V-C pathologies:
+//!
+//! | signal | rule | paper case |
+//! |---|---|---|
+//! | target handler time share high | add execution streams | C1→C2 |
+//! | bursty completions + waiting work on a serial backend | fewer databases (or a concurrent backend) | C2→C3 |
+//! | `num_ofi_events_read` pinned at the threshold | raise `OFI_max_events` | C5→C6 |
+//! | large unaccounted share with a shared progress ULT | dedicate a progress stream | C6→C7 |
+
+use crate::analysis::profile_summary::CallpathAggregate;
+use crate::analysis::trace_summary::{OfiBacklogReport, SerializationReport};
+use crate::intervals::Interval;
+
+/// Facts about the configuration under analysis that the profile data
+/// alone cannot reveal.
+#[derive(Debug, Clone, Copy)]
+pub struct DeploymentFacts {
+    /// Handler execution streams per server.
+    pub threads_per_server: usize,
+    /// Databases per server.
+    pub databases_per_server: usize,
+    /// Whether the database backend supports concurrent insertions.
+    pub backend_concurrent_writes: bool,
+    /// The client `OFI_max_events` setting.
+    pub ofi_max_events: usize,
+    /// Whether clients run a dedicated progress stream.
+    pub dedicated_client_progress: bool,
+}
+
+/// A tuning action the advisor can recommend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Action {
+    /// Increase the server's handler execution streams.
+    AddExecutionStreams,
+    /// Reduce the number of databases per server (or switch to a backend
+    /// with concurrent insertions).
+    ReduceDatabases,
+    /// Raise the client's `OFI_max_events` threshold.
+    RaiseOfiMaxEvents,
+    /// Give the client progress loop a dedicated execution stream.
+    DedicateProgressStream,
+    /// Increase the client-side key-value batch size.
+    IncreaseBatchSize,
+}
+
+impl Action {
+    /// Short imperative label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Action::AddExecutionStreams => "add execution streams",
+            Action::ReduceDatabases => "reduce databases (or use a concurrent backend)",
+            Action::RaiseOfiMaxEvents => "raise OFI_max_events",
+            Action::DedicateProgressStream => "dedicate a client progress stream",
+            Action::IncreaseBatchSize => "increase the client batch size",
+        }
+    }
+}
+
+/// One recommendation with its evidence.
+#[derive(Debug, Clone)]
+pub struct Recommendation {
+    /// What to change.
+    pub action: Action,
+    /// Severity in (0, 1]: how strongly the signal exceeded its policy
+    /// threshold.
+    pub severity: f64,
+    /// Human-readable evidence.
+    pub rationale: String,
+}
+
+/// Policy thresholds. Defaults follow the magnitudes the paper treats as
+/// actionable.
+#[derive(Debug, Clone, Copy)]
+pub struct Policy {
+    /// Handler-time share of end-to-end latency above which the service
+    /// counts as ES-starved (C1's 26.6% was actionable).
+    pub handler_share_threshold: f64,
+    /// Mean waiting-work (blocked + runnable ULTs) per sample above which
+    /// bursts count as serialized, scaled by handler streams.
+    pub waiting_per_stream_threshold: f64,
+    /// `num_ofi_events_read` breach fraction above which the completion
+    /// queue counts as backed up.
+    pub ofi_breach_threshold: f64,
+    /// Unaccounted share of end-to-end latency above which the progress
+    /// path counts as starved.
+    pub unaccounted_share_threshold: f64,
+    /// Mean per-call latency (ns) under which RPCs count as "tiny" and
+    /// batching is recommended.
+    pub tiny_rpc_mean_ns: u64,
+    /// Calls per callpath above which tiny RPCs are considered a flood.
+    pub tiny_rpc_flood_calls: u64,
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy {
+            handler_share_threshold: 0.25,
+            waiting_per_stream_threshold: 3.0,
+            ofi_breach_threshold: 0.25,
+            unaccounted_share_threshold: 0.30,
+            tiny_rpc_mean_ns: 300_000,
+            tiny_rpc_flood_calls: 1_000,
+        }
+    }
+}
+
+/// Evaluate the policy rules for one dominant callpath.
+pub fn advise(
+    aggregate: &CallpathAggregate,
+    serialization: &SerializationReport,
+    ofi: &OfiBacklogReport,
+    facts: &DeploymentFacts,
+    policy: &Policy,
+) -> Vec<Recommendation> {
+    let mut out = Vec::new();
+    let total = aggregate.cumulative_latency_ns().max(1);
+
+    // Rule 1 (C1→C2): handler-pool starvation.
+    let handler_share = aggregate.interval(Interval::TargetUltHandler) as f64 / total as f64;
+    if handler_share > policy.handler_share_threshold {
+        out.push(Recommendation {
+            action: Action::AddExecutionStreams,
+            severity: (handler_share / policy.handler_share_threshold - 1.0).min(1.0),
+            rationale: format!(
+                "target ULT handler time is {:.1}% of end-to-end latency with {} \
+                 execution streams per server (threshold {:.0}%)",
+                handler_share * 100.0,
+                facts.threads_per_server,
+                policy.handler_share_threshold * 100.0
+            ),
+        });
+    }
+
+    // Rule 2 (C2→C3): backend write serialization.
+    let waiting_per_stream =
+        serialization.mean_waiting / facts.threads_per_server.max(1) as f64;
+    if !facts.backend_concurrent_writes
+        && waiting_per_stream > policy.waiting_per_stream_threshold
+    {
+        out.push(Recommendation {
+            action: Action::ReduceDatabases,
+            severity: (waiting_per_stream / policy.waiting_per_stream_threshold - 1.0)
+                .min(1.0),
+            rationale: format!(
+                "mean waiting work is {:.1} ULTs ({:.1} per stream) on a serial backend \
+                 with {} databases per server; bursts complete with a mean spread of \
+                 {:.2} ms",
+                serialization.mean_waiting,
+                waiting_per_stream,
+                facts.databases_per_server,
+                serialization.mean_spread_ns as f64 / 1e6
+            ),
+        });
+    }
+
+    // Rule 3 (C5→C6): OFI completion-queue backlog.
+    if ofi.breach_fraction() > policy.ofi_breach_threshold {
+        out.push(Recommendation {
+            action: Action::RaiseOfiMaxEvents,
+            severity: (ofi.breach_fraction() / policy.ofi_breach_threshold - 1.0).min(1.0),
+            rationale: format!(
+                "{:.1}% of progress reads hit the OFI_max_events threshold of {}",
+                ofi.breach_fraction() * 100.0,
+                facts.ofi_max_events
+            ),
+        });
+    }
+
+    // Rule 4 (C6→C7): progress-path starvation.
+    let unaccounted_share = aggregate.unaccounted_ns() as f64 / total as f64;
+    if !facts.dedicated_client_progress
+        && unaccounted_share > policy.unaccounted_share_threshold
+    {
+        out.push(Recommendation {
+            action: Action::DedicateProgressStream,
+            severity: (unaccounted_share / policy.unaccounted_share_threshold - 1.0).min(1.0),
+            rationale: format!(
+                "{:.1}% of end-to-end latency is unaccounted (uninstrumented queues, \
+                 chiefly the OFI event queue) while the progress ULT shares the main \
+                 execution stream",
+                unaccounted_share * 100.0
+            ),
+        });
+    }
+
+    // Rule 5 (C4 vs C5): a flood of tiny RPCs.
+    if aggregate.count_origin > policy.tiny_rpc_flood_calls
+        && aggregate.mean_latency_ns() < policy.tiny_rpc_mean_ns
+    {
+        out.push(Recommendation {
+            action: Action::IncreaseBatchSize,
+            severity: (aggregate.count_origin as f64 / policy.tiny_rpc_flood_calls as f64
+                - 1.0)
+                .min(1.0),
+            rationale: format!(
+                "{} calls with a mean latency of only {:.0} \u{b5}s suggest per-RPC \
+                 overhead dominates; batch the payload",
+                aggregate.count_origin,
+                aggregate.mean_latency_ns() as f64 / 1e3
+            ),
+        });
+    }
+
+    out.sort_by(|a, b| b.severity.partial_cmp(&a.severity).unwrap());
+    out
+}
+
+/// Render recommendations as a report block.
+pub fn render(recommendations: &[Recommendation]) -> String {
+    if recommendations.is_empty() {
+        return "no saturation signals above policy thresholds\n".to_string();
+    }
+    let mut out = String::new();
+    for (i, r) in recommendations.iter().enumerate() {
+        out.push_str(&format!(
+            "{}. [severity {:.2}] {}\n     evidence: {}\n",
+            i + 1,
+            r.severity,
+            r.action.label(),
+            r.rationale
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callpath::Callpath;
+    use crate::entity::register_entity;
+    use crate::profile::{ProfileRow, Side};
+
+    fn facts() -> DeploymentFacts {
+        DeploymentFacts {
+            threads_per_server: 5,
+            databases_per_server: 32,
+            backend_concurrent_writes: false,
+            ofi_max_events: 16,
+            dedicated_client_progress: false,
+        }
+    }
+
+    fn aggregate(intervals: &[(Interval, u64)], count: u64) -> CallpathAggregate {
+        let me = register_entity("adv-o");
+        let peer = register_entity("adv-t");
+        let mut cumulative_ns = [0u64; Interval::COUNT];
+        for (i, ns) in intervals {
+            cumulative_ns[i.index()] = *ns;
+        }
+        let row = ProfileRow {
+            callpath: Callpath::root("adv_rpc"),
+            entity: me,
+            peer,
+            side: Side::Origin,
+            count,
+            cumulative_ns,
+        };
+        crate::analysis::summarize_profiles(&[row]).aggregates[0].clone()
+    }
+
+    #[test]
+    fn starved_handlers_trigger_more_streams() {
+        let agg = aggregate(
+            &[
+                (Interval::OriginExecution, 1_000_000),
+                (Interval::TargetUltHandler, 400_000),
+            ],
+            10,
+        );
+        let recs = advise(
+            &agg,
+            &SerializationReport::default(),
+            &OfiBacklogReport::default(),
+            &facts(),
+            &Policy::default(),
+        );
+        assert!(recs.iter().any(|r| r.action == Action::AddExecutionStreams));
+    }
+
+    #[test]
+    fn serialized_backend_triggers_fewer_databases() {
+        let agg = aggregate(&[(Interval::OriginExecution, 1_000_000)], 10);
+        let ser = SerializationReport {
+            mean_waiting: 100.0,
+            peak_waiting: 400,
+            ..Default::default()
+        };
+        let recs = advise(
+            &agg,
+            &ser,
+            &OfiBacklogReport::default(),
+            &facts(),
+            &Policy::default(),
+        );
+        assert!(recs.iter().any(|r| r.action == Action::ReduceDatabases));
+        // With a concurrent backend the rule must not fire.
+        let mut f = facts();
+        f.backend_concurrent_writes = true;
+        let recs = advise(&agg, &ser, &OfiBacklogReport::default(), &f, &Policy::default());
+        assert!(!recs.iter().any(|r| r.action == Action::ReduceDatabases));
+    }
+
+    #[test]
+    fn ofi_backlog_triggers_threshold_raise() {
+        let agg = aggregate(&[(Interval::OriginExecution, 1_000_000)], 10);
+        let ofi = OfiBacklogReport {
+            samples: (0..10).map(|i| (i, 16)).collect(),
+            threshold: 16,
+            breaches: 8,
+        };
+        let recs = advise(
+            &agg,
+            &SerializationReport::default(),
+            &ofi,
+            &facts(),
+            &Policy::default(),
+        );
+        assert!(recs.iter().any(|r| r.action == Action::RaiseOfiMaxEvents));
+    }
+
+    #[test]
+    fn unaccounted_share_triggers_dedicated_progress_only_when_shared() {
+        let agg = aggregate(&[(Interval::OriginExecution, 1_000_000)], 10);
+        // Everything unaccounted.
+        let recs = advise(
+            &agg,
+            &SerializationReport::default(),
+            &OfiBacklogReport::default(),
+            &facts(),
+            &Policy::default(),
+        );
+        assert!(recs
+            .iter()
+            .any(|r| r.action == Action::DedicateProgressStream));
+        let mut f = facts();
+        f.dedicated_client_progress = true;
+        let recs = advise(
+            &agg,
+            &SerializationReport::default(),
+            &OfiBacklogReport::default(),
+            &f,
+            &Policy::default(),
+        );
+        assert!(!recs
+            .iter()
+            .any(|r| r.action == Action::DedicateProgressStream));
+    }
+
+    #[test]
+    fn tiny_rpc_flood_triggers_batching() {
+        let agg = aggregate(&[(Interval::OriginExecution, 200_000_000)], 2_000);
+        // mean = 100 µs < 300 µs threshold, 2000 calls > 1000.
+        let recs = advise(
+            &agg,
+            &SerializationReport::default(),
+            &OfiBacklogReport::default(),
+            &facts(),
+            &Policy::default(),
+        );
+        assert!(recs.iter().any(|r| r.action == Action::IncreaseBatchSize));
+    }
+
+    #[test]
+    fn healthy_profile_yields_no_recommendations() {
+        let agg = aggregate(
+            &[
+                (Interval::OriginExecution, 1_000_000),
+                (Interval::TargetUltExecution, 900_000),
+                (Interval::TargetUltHandler, 50_000),
+            ],
+            10,
+        );
+        let recs = advise(
+            &agg,
+            &SerializationReport::default(),
+            &OfiBacklogReport::default(),
+            &facts(),
+            &Policy::default(),
+        );
+        assert!(recs.is_empty(), "unexpected: {recs:?}");
+        assert!(render(&recs).contains("no saturation signals"));
+    }
+
+    #[test]
+    fn recommendations_sorted_by_severity_and_rendered() {
+        let agg = aggregate(
+            &[
+                (Interval::OriginExecution, 1_000_000),
+                (Interval::TargetUltHandler, 900_000),
+            ],
+            10,
+        );
+        let ofi = OfiBacklogReport {
+            samples: (0..10).map(|i| (i, 16)).collect(),
+            threshold: 16,
+            breaches: 3,
+        };
+        let recs = advise(
+            &agg,
+            &SerializationReport::default(),
+            &ofi,
+            &facts(),
+            &Policy::default(),
+        );
+        assert!(recs.len() >= 2);
+        assert!(recs.windows(2).all(|w| w[0].severity >= w[1].severity));
+        let text = render(&recs);
+        assert!(text.contains("severity"));
+        assert!(text.contains("evidence"));
+    }
+}

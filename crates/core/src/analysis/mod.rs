@@ -1,0 +1,28 @@
+//! Post-mortem analysis — the reproduction of the paper's "profile
+//! summary", "trace summary", and "system statistics summary" scripts
+//! (§V, Table V).
+//!
+//! * [`profile_summary`] — merges per-entity profile rows into global
+//!   per-callpath aggregates, identifies dominant callpaths (Figure 6),
+//!   and decomposes latency into the Table III intervals plus the
+//!   *unaccounted* remainder (Figure 11).
+//! * [`trace_summary`] — time-series extraction over trace events,
+//!   latency distributions, and the two saturation detectors used in the
+//!   case studies: backend write serialization (Figure 10) and OFI
+//!   completion-queue backlog (Figure 12).
+//! * [`system_summary`] — per-entity OS/tasking resource summaries.
+//! * [`report`] — plain-text table rendering shared by the harnesses.
+
+pub mod advisor;
+pub mod profile_summary;
+pub mod report;
+pub mod system_summary;
+pub mod trace_summary;
+
+pub use advisor::{advise, Action, DeploymentFacts, Policy, Recommendation};
+pub use profile_summary::{summarize_profiles, CallpathAggregate, ProfileSummary};
+pub use system_summary::{summarize_system, SystemSummary};
+pub use trace_summary::{
+    detect_ofi_backlog, detect_write_serialization, latency_stats, timeseries, LatencyStats,
+    OfiBacklogReport, SerializationReport,
+};

@@ -1,0 +1,356 @@
+//! Global callpath profile summary (paper §V-A2, Figures 6, 9, 11).
+//!
+//! "The SYMBIOSYS profile summary script ingests all the profiles and
+//! performs a global analysis to identify origin-target pairs for each
+//! callpath. The script summarizes and sorts callpaths by cumulative
+//! end-to-end request latency to identify the most dominant ones."
+
+use crate::analysis::report::{fmt_ns, fmt_pct, Table};
+use crate::callpath::Callpath;
+use crate::entity::{entity_name, EntityId};
+use crate::intervals::Interval;
+use crate::profile::{ProfileRow, Side};
+use std::collections::HashMap;
+
+/// Globally merged statistics for one callpath.
+#[derive(Debug, Clone)]
+pub struct CallpathAggregate {
+    /// The callpath.
+    pub callpath: Callpath,
+    /// Completed calls observed on the origin side.
+    pub count_origin: u64,
+    /// Completed calls observed on the target side.
+    pub count_target: u64,
+    /// Summed interval times across all entities (ns, by
+    /// [`Interval::index`]).
+    pub interval_ns: [u64; Interval::COUNT],
+    /// Per-origin-entity call counts (the paper's call-count
+    /// distributions for participating origin entities).
+    pub origins: Vec<(EntityId, u64)>,
+    /// Per-target-entity call counts.
+    pub targets: Vec<(EntityId, u64)>,
+}
+
+impl CallpathAggregate {
+    /// Cumulative end-to-end request latency (the sort key for
+    /// dominance, = summed origin execution time).
+    pub fn cumulative_latency_ns(&self) -> u64 {
+        self.interval_ns[Interval::OriginExecution.index()]
+    }
+
+    /// One interval's cumulative time.
+    pub fn interval(&self, i: Interval) -> u64 {
+        self.interval_ns[i.index()]
+    }
+
+    /// Sum of all *accounted* intervals (everything except origin
+    /// execution itself).
+    pub fn accounted_ns(&self) -> u64 {
+        Interval::accounted().map(|i| self.interval(i)).sum()
+    }
+
+    /// The unaccounted component of Figure 11: origin execution time not
+    /// explained by any instrumented interval (network transit plus time
+    /// spent in un-instrumented queues, chiefly the OFI event queue
+    /// between t11 and t12).
+    pub fn unaccounted_ns(&self) -> u64 {
+        self.cumulative_latency_ns().saturating_sub(self.accounted_ns())
+    }
+
+    /// Mean end-to-end latency per call.
+    pub fn mean_latency_ns(&self) -> u64 {
+        if self.count_origin == 0 {
+            0
+        } else {
+            self.cumulative_latency_ns() / self.count_origin
+        }
+    }
+}
+
+/// The merged, dominance-sorted profile summary.
+#[derive(Debug, Clone, Default)]
+pub struct ProfileSummary {
+    /// Aggregates sorted by cumulative latency, descending.
+    pub aggregates: Vec<CallpathAggregate>,
+}
+
+/// Merge profile rows gathered from every entity into a global summary.
+pub fn summarize_profiles(rows: &[ProfileRow]) -> ProfileSummary {
+    let mut by_path: HashMap<u64, CallpathAggregate> = HashMap::new();
+    for row in rows {
+        let agg = by_path
+            .entry(row.callpath.0)
+            .or_insert_with(|| CallpathAggregate {
+                callpath: row.callpath,
+                count_origin: 0,
+                count_target: 0,
+                interval_ns: [0; Interval::COUNT],
+                origins: Vec::new(),
+                targets: Vec::new(),
+            });
+        for (i, ns) in row.cumulative_ns.iter().enumerate() {
+            agg.interval_ns[i] += ns;
+        }
+        match row.side {
+            Side::Origin => {
+                agg.count_origin += row.count;
+                bump(&mut agg.origins, row.entity, row.count);
+            }
+            Side::Target => {
+                agg.count_target += row.count;
+                bump(&mut agg.targets, row.entity, row.count);
+            }
+        }
+    }
+    let mut aggregates: Vec<_> = by_path.into_values().collect();
+    aggregates.sort_by(|a, b| b.cumulative_latency_ns().cmp(&a.cumulative_latency_ns()));
+    ProfileSummary { aggregates }
+}
+
+fn bump(list: &mut Vec<(EntityId, u64)>, id: EntityId, n: u64) {
+    if let Some(e) = list.iter_mut().find(|(eid, _)| *eid == id) {
+        e.1 += n;
+    } else {
+        list.push((id, n));
+    }
+}
+
+impl ProfileSummary {
+    /// The `k` most dominant callpaths.
+    pub fn top(&self, k: usize) -> &[CallpathAggregate] {
+        &self.aggregates[..k.min(self.aggregates.len())]
+    }
+
+    /// Find one callpath's aggregate.
+    pub fn find(&self, cp: Callpath) -> Option<&CallpathAggregate> {
+        self.aggregates.iter().find(|a| a.callpath == cp)
+    }
+
+    /// Total cumulative latency across all callpaths.
+    pub fn total_latency_ns(&self) -> u64 {
+        self.aggregates.iter().map(|a| a.cumulative_latency_ns()).sum()
+    }
+
+    /// Render the Figure 6 style dominant-callpath table: the top `k`
+    /// callpaths with the per-interval breakdown of each.
+    pub fn render_dominant(&self, k: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "Top {} dominant callpaths by cumulative end-to-end latency\n\n",
+            k.min(self.aggregates.len())
+        ));
+        for (rank, agg) in self.top(k).iter().enumerate() {
+            let cum = agg.cumulative_latency_ns();
+            out.push_str(&format!(
+                "#{} {}\n    calls={}  cumulative={}  mean={}\n",
+                rank + 1,
+                agg.callpath.display(),
+                agg.count_origin,
+                fmt_ns(cum),
+                fmt_ns(agg.mean_latency_ns()),
+            ));
+            let mut t = Table::new(["    interval", "cumulative", "share"]);
+            for i in Interval::accounted() {
+                let v = agg.interval(i);
+                if v > 0 {
+                    t.row([
+                        format!("    {}", i.label()),
+                        fmt_ns(v),
+                        fmt_pct(v, cum),
+                    ]);
+                }
+            }
+            t.row([
+                "    (unaccounted)".to_string(),
+                fmt_ns(agg.unaccounted_ns()),
+                fmt_pct(agg.unaccounted_ns(), cum),
+            ]);
+            out.push_str(&t.render());
+            if !agg.origins.is_empty() {
+                out.push_str("    origins: ");
+                out.push_str(&format_entities(&agg.origins));
+                out.push('\n');
+            }
+            if !agg.targets.is_empty() {
+                out.push_str("    targets: ");
+                out.push_str(&format_entities(&agg.targets));
+                out.push('\n');
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn format_entities(list: &[(EntityId, u64)]) -> String {
+    let mut sorted = list.to_vec();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1));
+    sorted
+        .iter()
+        .take(8)
+        .map(|(id, n)| format!("{}\u{d7}{}", entity_name(*id), n))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::register_entity;
+
+    fn row(
+        cp: Callpath,
+        entity: EntityId,
+        peer: EntityId,
+        side: Side,
+        count: u64,
+        measurements: &[(Interval, u64)],
+    ) -> ProfileRow {
+        let mut cumulative_ns = [0u64; Interval::COUNT];
+        for (i, ns) in measurements {
+            cumulative_ns[i.index()] += ns;
+        }
+        ProfileRow {
+            callpath: cp,
+            entity,
+            peer,
+            side,
+            count,
+            cumulative_ns,
+        }
+    }
+
+    #[test]
+    fn dominance_sorted_by_cumulative_latency() {
+        let o = register_entity("o");
+        let t = register_entity("t");
+        let hot = Callpath::root("hot_rpc");
+        let cold = Callpath::root("cold_rpc");
+        let rows = vec![
+            row(cold, o, t, Side::Origin, 10, &[(Interval::OriginExecution, 1_000)]),
+            row(hot, o, t, Side::Origin, 10, &[(Interval::OriginExecution, 9_000)]),
+        ];
+        let s = summarize_profiles(&rows);
+        assert_eq!(s.aggregates[0].callpath, hot);
+        assert_eq!(s.top(1).len(), 1);
+        assert_eq!(s.total_latency_ns(), 10_000);
+    }
+
+    #[test]
+    fn origin_and_target_rows_merge_into_one_aggregate() {
+        let o = register_entity("o2");
+        let t = register_entity("t2");
+        let cp = Callpath::root("merged_rpc");
+        let rows = vec![
+            row(cp, o, t, Side::Origin, 5, &[(Interval::OriginExecution, 500)]),
+            row(cp, t, o, Side::Target, 5, &[(Interval::TargetUltExecution, 300)]),
+        ];
+        let s = summarize_profiles(&rows);
+        assert_eq!(s.aggregates.len(), 1);
+        let agg = &s.aggregates[0];
+        assert_eq!(agg.count_origin, 5);
+        assert_eq!(agg.count_target, 5);
+        assert_eq!(agg.interval(Interval::OriginExecution), 500);
+        assert_eq!(agg.interval(Interval::TargetUltExecution), 300);
+        assert_eq!(agg.unaccounted_ns(), 200);
+    }
+
+    #[test]
+    fn entity_distributions_accumulate() {
+        let o1 = register_entity("client-1");
+        let o2 = register_entity("client-2");
+        let t = register_entity("server-x");
+        let cp = Callpath::root("dist_rpc");
+        let rows = vec![
+            row(cp, o1, t, Side::Origin, 3, &[]),
+            row(cp, o2, t, Side::Origin, 7, &[]),
+            row(cp, o1, t, Side::Origin, 2, &[]),
+        ];
+        let s = summarize_profiles(&rows);
+        let agg = &s.aggregates[0];
+        let mut origins = agg.origins.clone();
+        origins.sort_by_key(|(_, n)| *n);
+        assert_eq!(origins, vec![(o1, 5), (o2, 7)]);
+    }
+
+    #[test]
+    fn unaccounted_saturates_at_zero() {
+        let o = register_entity("o3");
+        let t = register_entity("t3");
+        let cp = Callpath::root("weird");
+        // Accounted intervals exceed origin execution (possible with
+        // asymmetric clock reads); unaccounted must clamp to zero.
+        let rows = vec![row(
+            cp,
+            o,
+            t,
+            Side::Origin,
+            1,
+            &[
+                (Interval::OriginExecution, 100),
+                (Interval::InputSerialization, 150),
+            ],
+        )];
+        let s = summarize_profiles(&rows);
+        assert_eq!(s.aggregates[0].unaccounted_ns(), 0);
+    }
+
+    #[test]
+    fn render_contains_callpath_and_breakdown() {
+        let o = register_entity("render-origin");
+        let t = register_entity("render-target");
+        let cp = Callpath::root("render_rpc");
+        let rows = vec![
+            row(
+                cp,
+                o,
+                t,
+                Side::Origin,
+                2,
+                &[
+                    (Interval::OriginExecution, 10_000),
+                    (Interval::InputSerialization, 1_000),
+                ],
+            ),
+            row(
+                cp,
+                t,
+                o,
+                Side::Target,
+                2,
+                &[(Interval::TargetUltExecution, 6_000)],
+            ),
+        ];
+        let s = summarize_profiles(&rows);
+        let text = s.render_dominant(5);
+        assert!(text.contains("render_rpc"));
+        assert!(text.contains("Input Serialization Time"));
+        assert!(text.contains("(unaccounted)"));
+        assert!(text.contains("render-origin"));
+    }
+
+    #[test]
+    fn empty_rows_give_empty_summary() {
+        let s = summarize_profiles(&[]);
+        assert!(s.aggregates.is_empty());
+        assert_eq!(s.total_latency_ns(), 0);
+        assert!(s.render_dominant(3).contains("Top 0"));
+    }
+
+    #[test]
+    fn mean_latency_per_call() {
+        let o = register_entity("o4");
+        let t = register_entity("t4");
+        let cp = Callpath::root("mean_rpc");
+        let rows = vec![row(
+            cp,
+            o,
+            t,
+            Side::Origin,
+            4,
+            &[(Interval::OriginExecution, 1_000)],
+        )];
+        let s = summarize_profiles(&rows);
+        assert_eq!(s.aggregates[0].mean_latency_ns(), 250);
+    }
+}

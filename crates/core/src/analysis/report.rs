@@ -1,0 +1,140 @@
+//! Plain-text report rendering: aligned tables and duration formatting,
+//! shared by all figure/table harnesses.
+
+/// Format nanoseconds human-readably (ns / µs / ms / s).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} \u{b5}s", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Format a ratio as a percentage with one decimal.
+pub fn fmt_pct(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "  n/a".to_string()
+    } else {
+        format!("{:5.1}%", part as f64 * 100.0 / whole as f64)
+    }
+}
+
+/// A simple text table with aligned columns.
+#[derive(Debug, Default, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row. Rows shorter than the header are padded; longer rows
+    /// are truncated.
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.headers.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render with aligned columns and a separator under the header.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(ncols) {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let emit_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate().take(ncols) {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(cell);
+                for _ in cell.chars().count()..widths[i] {
+                    out.push(' ');
+                }
+            }
+            // Trim trailing spaces for clean diffs.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        emit_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit_row(&mut out, row);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_scales() {
+        assert_eq!(fmt_ns(900), "900 ns");
+        assert_eq!(fmt_ns(1_500), "1.50 \u{b5}s");
+        assert_eq!(fmt_ns(2_500_000), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000 s");
+    }
+
+    #[test]
+    fn fmt_pct_handles_zero_denominator() {
+        assert_eq!(fmt_pct(5, 0), "  n/a");
+        assert_eq!(fmt_pct(1, 4), " 25.0%");
+    }
+
+    #[test]
+    fn table_alignment() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["short", "1"]);
+        t.row(["a-much-longer-name", "22"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // The "value" column starts at the same offset in all data rows.
+        let col = lines[3].find("22").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+    }
+
+    #[test]
+    fn short_rows_padded_long_rows_truncated() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-a"]);
+        t.row(["x", "y", "z-dropped"]);
+        let s = t.render();
+        assert!(!s.contains("z-dropped"));
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,425 @@
+//! Trace analysis: time-series extraction, latency distributions, and the
+//! two resource-saturation detectors used in the paper's case studies.
+
+use crate::callpath::Callpath;
+use crate::trace::{TraceEvent, TraceEventKind};
+use std::collections::HashMap;
+
+/// Extract a `(wall_ns, value)` time series from trace events, filtered
+/// by event kind, using `extract` to pick the sampled value. This is the
+/// primitive behind Figures 10 and 12 (blocked-ULT and
+/// `num_ofi_events_read` scatter plots).
+pub fn timeseries(
+    events: &[TraceEvent],
+    kind: TraceEventKind,
+    extract: impl Fn(&TraceEvent) -> Option<u64>,
+) -> Vec<(u64, u64)> {
+    let mut series: Vec<(u64, u64)> = events
+        .iter()
+        .filter(|e| e.kind == kind)
+        .filter_map(|e| extract(e).map(|v| (e.wall_ns, v)))
+        .collect();
+    series.sort_unstable();
+    series
+}
+
+/// Order statistics over a latency population.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean (ns).
+    pub mean_ns: f64,
+    /// Median (ns).
+    pub p50_ns: u64,
+    /// 95th percentile (ns).
+    pub p95_ns: u64,
+    /// Maximum (ns).
+    pub max_ns: u64,
+}
+
+/// Compute order statistics; returns `None` for an empty population.
+pub fn latency_stats(values: &[u64]) -> Option<LatencyStats> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let count = sorted.len();
+    let sum: u128 = sorted.iter().map(|v| *v as u128).sum();
+    let pct = |p: f64| -> u64 {
+        let idx = ((count as f64 - 1.0) * p).round() as usize;
+        sorted[idx.min(count - 1)]
+    };
+    Some(LatencyStats {
+        count,
+        mean_ns: sum as f64 / count as f64,
+        p50_ns: pct(0.50),
+        p95_ns: pct(0.95),
+        max_ns: sorted[count - 1],
+    })
+}
+
+/// One burst of requests that started execution close together.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// Bucketed arrival time (ns since trace epoch).
+    pub arrival_bucket_ns: u64,
+    /// Requests that began execution within the bucket.
+    pub n_requests: usize,
+    /// Spread between the first and last completion (ns). Large spreads
+    /// for simultaneous arrivals indicate back-end serialization — the
+    /// "vertical line" pattern of Figure 10.
+    pub completion_spread_ns: u64,
+    /// Highest blocked-ULT count sampled within the burst.
+    pub max_blocked: u64,
+    /// Highest *waiting* work (blocked + runnable ULTs) sampled within
+    /// the burst. In this reproduction a ULT blocked on a backend lock
+    /// pins its execution stream, so queued (runnable) ULTs are part of
+    /// the same serialization signal the paper's Figure 10 plots.
+    pub max_waiting: u64,
+}
+
+/// Write-serialization detector report (Figure 10 analysis).
+#[derive(Debug, Clone, Default)]
+pub struct SerializationReport {
+    /// Bursts of ≥2 requests, ordered by arrival.
+    pub bursts: Vec<Burst>,
+    /// Mean completion spread over all multi-request bursts (ns).
+    pub mean_spread_ns: u64,
+    /// Peak blocked-ULT count over all samples.
+    pub peak_blocked: u64,
+    /// Peak waiting work (blocked + runnable) over all samples.
+    pub peak_waiting: u64,
+    /// Mean waiting work over all samples.
+    pub mean_waiting: f64,
+}
+
+impl SerializationReport {
+    /// Heuristic severity in [0, 1]: how strongly the trace shows the
+    /// serialized-completion pattern (requests arriving together but
+    /// finishing spread out while many ULTs sit blocked).
+    pub fn severity(&self) -> f64 {
+        if self.bursts.is_empty() {
+            return 0.0;
+        }
+        let serialized = self
+            .bursts
+            .iter()
+            .filter(|b| b.n_requests >= 2 && b.max_blocked as usize >= b.n_requests / 2)
+            .count();
+        serialized as f64 / self.bursts.len() as f64
+    }
+}
+
+/// Detect back-end write serialization from target-side trace events for
+/// one callpath: bucket [`TraceEventKind::TargetUltStart`] events by
+/// arrival time and measure how spread-out the matching
+/// [`TraceEventKind::TargetRespond`] events are.
+pub fn detect_write_serialization(
+    events: &[TraceEvent],
+    callpath: Callpath,
+    bucket_ns: u64,
+) -> SerializationReport {
+    let mut completions: HashMap<u64, u64> = HashMap::new();
+    for e in events {
+        if e.kind == TraceEventKind::TargetRespond && e.callpath == callpath {
+            completions.insert(e.request_id, e.wall_ns);
+        }
+    }
+    // bucket -> (starts, min_completion, max_completion, max_blocked, max_waiting)
+    let mut buckets: HashMap<u64, (usize, u64, u64, u64, u64)> = HashMap::new();
+    let mut peak_blocked = 0u64;
+    let mut peak_waiting = 0u64;
+    let mut waiting_sum = 0u128;
+    let mut waiting_count = 0u64;
+    for e in events {
+        if e.kind != TraceEventKind::TargetUltStart || e.callpath != callpath {
+            continue;
+        }
+        let blocked = e.samples.blocked_ults.unwrap_or(0);
+        let waiting = blocked + e.samples.runnable_ults.unwrap_or(0);
+        peak_blocked = peak_blocked.max(blocked);
+        peak_waiting = peak_waiting.max(waiting);
+        waiting_sum += waiting as u128;
+        waiting_count += 1;
+        let Some(&done) = completions.get(&e.request_id) else {
+            continue;
+        };
+        let bucket = if bucket_ns == 0 {
+            e.wall_ns
+        } else {
+            e.wall_ns / bucket_ns * bucket_ns
+        };
+        let entry = buckets.entry(bucket).or_insert((0, u64::MAX, 0, 0, 0));
+        entry.0 += 1;
+        entry.1 = entry.1.min(done);
+        entry.2 = entry.2.max(done);
+        entry.3 = entry.3.max(blocked);
+        entry.4 = entry.4.max(waiting);
+    }
+    let mut bursts: Vec<Burst> = buckets
+        .into_iter()
+        .map(
+            |(arrival_bucket_ns, (n, lo, hi, max_blocked, max_waiting))| Burst {
+                arrival_bucket_ns,
+                n_requests: n,
+                completion_spread_ns: hi.saturating_sub(lo),
+                max_blocked,
+                max_waiting,
+            },
+        )
+        .collect();
+    bursts.sort_by_key(|b| b.arrival_bucket_ns);
+    let multi: Vec<&Burst> = bursts.iter().filter(|b| b.n_requests >= 2).collect();
+    let mean_spread_ns = if multi.is_empty() {
+        0
+    } else {
+        multi.iter().map(|b| b.completion_spread_ns).sum::<u64>() / multi.len() as u64
+    };
+    SerializationReport {
+        bursts,
+        mean_spread_ns,
+        peak_blocked,
+        peak_waiting,
+        mean_waiting: if waiting_count == 0 {
+            0.0
+        } else {
+            waiting_sum as f64 / waiting_count as f64
+        },
+    }
+}
+
+/// OFI completion-queue backlog report (Figure 12 analysis).
+#[derive(Debug, Clone, Default)]
+pub struct OfiBacklogReport {
+    /// `(wall_ns, num_ofi_events_read)` samples.
+    pub samples: Vec<(u64, u64)>,
+    /// The `OFI_max_events` threshold in effect.
+    pub threshold: u64,
+    /// Samples that hit the threshold (queue not fully drained).
+    pub breaches: usize,
+}
+
+impl OfiBacklogReport {
+    /// Fraction of samples at the threshold. "Clearly the number of OFI
+    /// events read consistently breaches the threshold value ...
+    /// suggesting that the completion queue is backed up" (§V-C4).
+    pub fn breach_fraction(&self) -> f64 {
+        if self.samples.is_empty() {
+            0.0
+        } else {
+            self.breaches as f64 / self.samples.len() as f64
+        }
+    }
+
+    /// Whether the queue shows sustained backlog (>25% of reads maxed).
+    pub fn is_backed_up(&self) -> bool {
+        self.breach_fraction() > 0.25
+    }
+}
+
+/// Build the Figure 12 analysis from trace events: every event carrying a
+/// `num_ofi_events_read` sample contributes one point.
+pub fn detect_ofi_backlog(events: &[TraceEvent], threshold: u64) -> OfiBacklogReport {
+    let mut samples: Vec<(u64, u64)> = events
+        .iter()
+        .filter_map(|e| e.samples.num_ofi_events_read.map(|v| (e.wall_ns, v)))
+        .collect();
+    samples.sort_unstable();
+    let breaches = samples.iter().filter(|(_, v)| *v >= threshold).count();
+    OfiBacklogReport {
+        samples,
+        threshold,
+        breaches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::register_entity;
+    use crate::trace::EventSamples;
+
+    fn event(
+        request_id: u64,
+        wall_ns: u64,
+        kind: TraceEventKind,
+        callpath: Callpath,
+        samples: EventSamples,
+    ) -> TraceEvent {
+        TraceEvent {
+            request_id,
+            order: 0,
+            lamport: 0,
+            wall_ns,
+            kind,
+            entity: register_entity("ts"),
+            callpath,
+            samples,
+        }
+    }
+
+    #[test]
+    fn timeseries_filters_and_sorts() {
+        let cp = Callpath::root("ts_rpc");
+        let mk = |rid, t, blocked| {
+            event(
+                rid,
+                t,
+                TraceEventKind::TargetUltStart,
+                cp,
+                EventSamples {
+                    blocked_ults: Some(blocked),
+                    ..Default::default()
+                },
+            )
+        };
+        let events = vec![mk(1, 300, 5), mk(2, 100, 2), mk(3, 200, 3)];
+        let series = timeseries(&events, TraceEventKind::TargetUltStart, |e| {
+            e.samples.blocked_ults
+        });
+        assert_eq!(series, vec![(100, 2), (200, 3), (300, 5)]);
+    }
+
+    #[test]
+    fn latency_stats_basic() {
+        let s = latency_stats(&[10, 20, 30, 40, 100]).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.p50_ns, 30);
+        assert_eq!(s.max_ns, 100);
+        assert!((s.mean_ns - 40.0).abs() < 1e-9);
+        assert!(latency_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn serialization_detected_for_spread_out_completions() {
+        let cp = Callpath::root("ser_rpc");
+        let mut events = Vec::new();
+        // 8 requests all start at ~t=1000 (same bucket) with high blocked
+        // counts, completing one after another (spread = 7000).
+        for i in 0..8u64 {
+            events.push(event(
+                i,
+                1_000 + i, // same 1µs bucket
+                TraceEventKind::TargetUltStart,
+                cp,
+                EventSamples {
+                    blocked_ults: Some(7),
+                    ..Default::default()
+                },
+            ));
+            events.push(event(
+                i,
+                2_000 + i * 1_000,
+                TraceEventKind::TargetRespond,
+                cp,
+                EventSamples::default(),
+            ));
+        }
+        let report = detect_write_serialization(&events, cp, 1_000);
+        assert_eq!(report.bursts.len(), 1);
+        assert_eq!(report.bursts[0].n_requests, 8);
+        assert_eq!(report.bursts[0].completion_spread_ns, 7_000);
+        assert_eq!(report.peak_blocked, 7);
+        assert!(report.severity() > 0.9);
+    }
+
+    #[test]
+    fn no_serialization_for_parallel_completions() {
+        let cp = Callpath::root("par_rpc");
+        let mut events = Vec::new();
+        for i in 0..8u64 {
+            events.push(event(
+                i,
+                1_000 + i,
+                TraceEventKind::TargetUltStart,
+                cp,
+                EventSamples {
+                    blocked_ults: Some(0),
+                    ..Default::default()
+                },
+            ));
+            events.push(event(
+                i,
+                2_000 + i, // all finish together
+                TraceEventKind::TargetRespond,
+                cp,
+                EventSamples::default(),
+            ));
+        }
+        let report = detect_write_serialization(&events, cp, 1_000);
+        assert!(report.severity() < 0.1);
+        assert!(report.mean_spread_ns < 100);
+    }
+
+    #[test]
+    fn serialization_ignores_other_callpaths() {
+        let cp = Callpath::root("mine");
+        let other = Callpath::root("other");
+        let events = vec![
+            event(1, 0, TraceEventKind::TargetUltStart, other, EventSamples::default()),
+            event(1, 10, TraceEventKind::TargetRespond, other, EventSamples::default()),
+        ];
+        let report = detect_write_serialization(&events, cp, 1_000);
+        assert!(report.bursts.is_empty());
+    }
+
+    #[test]
+    fn ofi_backlog_breach_fraction() {
+        let cp = Callpath::root("ofi_rpc");
+        let mk = |t, v| {
+            event(
+                t, // reuse t as rid
+                t,
+                TraceEventKind::OriginComplete,
+                cp,
+                EventSamples {
+                    num_ofi_events_read: Some(v),
+                    ..Default::default()
+                },
+            )
+        };
+        // 3 of 4 samples hit the threshold of 16.
+        let events = vec![mk(1, 16), mk(2, 16), mk(3, 4), mk(4, 16)];
+        let report = detect_ofi_backlog(&events, 16);
+        assert_eq!(report.breaches, 3);
+        assert!((report.breach_fraction() - 0.75).abs() < 1e-9);
+        assert!(report.is_backed_up());
+    }
+
+    #[test]
+    fn ofi_backlog_healthy_queue() {
+        let cp = Callpath::root("ofi_ok");
+        let events: Vec<_> = (0..10u64)
+            .map(|i| {
+                event(
+                    i,
+                    i,
+                    TraceEventKind::OriginComplete,
+                    cp,
+                    EventSamples {
+                        num_ofi_events_read: Some(1 + i % 3),
+                        ..Default::default()
+                    },
+                )
+            })
+            .collect();
+        let report = detect_ofi_backlog(&events, 16);
+        assert_eq!(report.breaches, 0);
+        assert!(!report.is_backed_up());
+    }
+
+    #[test]
+    fn events_without_samples_are_skipped() {
+        let cp = Callpath::root("nosample");
+        let events = vec![event(
+            1,
+            5,
+            TraceEventKind::OriginComplete,
+            cp,
+            EventSamples::default(),
+        )];
+        assert!(detect_ofi_backlog(&events, 16).samples.is_empty());
+    }
+}

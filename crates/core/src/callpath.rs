@@ -1,0 +1,223 @@
+//! Distributed RPC callpath ancestry (paper §IV-A1).
+//!
+//! Every RPC carries a 64-bit *callpath ancestry* value. At the root, the
+//! RPC name is hashed and becomes the lowest 16 bits. When a handler ULT
+//! issues a downstream RPC, it left-shifts the ancestry by 16 bits and ORs
+//! in the 16-bit hash of the downstream RPC name, so the chain
+//! `A → B → C` is encoded as `hash(A) << 32 | hash(B) << 16 | hash(C)`.
+//! Four frames fit in 64 bits, the depth limit the paper states.
+//!
+//! Hashes are decoded back to names through a process-wide registry,
+//! populated as RPC names are registered.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Bits per callpath frame.
+pub const FRAME_BITS: u32 = 16;
+/// Maximum number of frames a callpath can hold.
+pub const MAX_DEPTH: usize = 4;
+
+/// Hash an RPC name into a 16-bit frame value. Zero is reserved for "no
+/// frame", so a name that hashes to zero is nudged to one (a benign,
+/// deterministic collision — the paper's scheme has the same property of
+/// tolerating rare hash collisions).
+pub fn hash16(name: &str) -> u16 {
+    let h = symbi_mercury::hash_rpc_name(name);
+    let folded = (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) as u16;
+    if folded == 0 {
+        1
+    } else {
+        folded
+    }
+}
+
+fn registry() -> &'static RwLock<HashMap<u16, String>> {
+    static REG: OnceLock<RwLock<HashMap<u16, String>>> = OnceLock::new();
+    REG.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Register an RPC name so profile reports can decode its frame hash.
+/// Returns the frame value. Idempotent.
+pub fn register_name(name: &str) -> u16 {
+    let h = hash16(name);
+    registry().write().entry(h).or_insert_with(|| name.to_string());
+    h
+}
+
+/// Resolve a frame hash back to its registered name.
+pub fn resolve_name(frame: u16) -> Option<String> {
+    registry().read().get(&frame).cloned()
+}
+
+/// A 64-bit callpath ancestry value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct Callpath(pub u64);
+
+impl Callpath {
+    /// The empty callpath (no frames).
+    pub const EMPTY: Callpath = Callpath(0);
+
+    /// Start a new callpath at a root RPC. Registers the name.
+    pub fn root(name: &str) -> Self {
+        Callpath(register_name(name) as u64)
+    }
+
+    /// Extend the callpath with a downstream RPC: 16-bit left shift, then
+    /// OR the new frame into the lowest 16 bits (the paper's §IV-A1
+    /// procedure). Registers the name. If the path is already at
+    /// [`MAX_DEPTH`], the oldest frame falls off the top — matching the
+    /// natural behaviour of the shift.
+    pub fn push(self, name: &str) -> Self {
+        Callpath((self.0 << FRAME_BITS) | register_name(name) as u64)
+    }
+
+    /// Number of frames (0–4).
+    pub fn depth(self) -> usize {
+        if self.0 == 0 {
+            return 0;
+        }
+        // Frames above the leaf may legitimately be zero only if the path
+        // was never that deep, because hash16 never produces zero.
+        let mut d = 0;
+        let mut v = self.0;
+        while v != 0 {
+            d += 1;
+            v >>= FRAME_BITS;
+        }
+        d
+    }
+
+    /// The leaf (most recent) frame.
+    pub fn leaf(self) -> u16 {
+        (self.0 & 0xFFFF) as u16
+    }
+
+    /// Frames from root to leaf.
+    pub fn frames(self) -> Vec<u16> {
+        let d = self.depth();
+        (0..d)
+            .rev()
+            .map(|i| ((self.0 >> (i as u32 * FRAME_BITS)) & 0xFFFF) as u16)
+            .collect()
+    }
+
+    /// The parent callpath (all frames except the leaf).
+    pub fn parent(self) -> Callpath {
+        Callpath(self.0 >> FRAME_BITS)
+    }
+
+    /// Whether this path is empty.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Render as `a→b→c`, using registered names where known and `#hhhh`
+    /// for unregistered frames.
+    pub fn display(self) -> String {
+        if self.is_empty() {
+            return "<root>".to_string();
+        }
+        self.frames()
+            .iter()
+            .map(|f| resolve_name(*f).unwrap_or_else(|| format!("#{f:04x}")))
+            .collect::<Vec<_>>()
+            .join(" \u{2192} ")
+    }
+}
+
+impl std::fmt::Display for Callpath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.display())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_has_depth_one() {
+        let cp = Callpath::root("mobject_write_op");
+        assert_eq!(cp.depth(), 1);
+        assert_eq!(cp.leaf(), hash16("mobject_write_op"));
+    }
+
+    #[test]
+    fn push_encodes_shift_or() {
+        let a = Callpath::root("a_rpc");
+        let ab = a.push("b_rpc");
+        assert_eq!(
+            ab.0,
+            ((hash16("a_rpc") as u64) << 16) | hash16("b_rpc") as u64
+        );
+        assert_eq!(ab.depth(), 2);
+        assert_eq!(ab.parent(), a);
+    }
+
+    #[test]
+    fn frames_order_is_root_to_leaf() {
+        let cp = Callpath::root("r1").push("r2").push("r3");
+        assert_eq!(
+            cp.frames(),
+            vec![hash16("r1"), hash16("r2"), hash16("r3")]
+        );
+    }
+
+    #[test]
+    fn depth_caps_at_four_by_shifting_out_root() {
+        let cp = Callpath::root("f1")
+            .push("f2")
+            .push("f3")
+            .push("f4")
+            .push("f5");
+        assert!(cp.depth() <= MAX_DEPTH);
+        // The leaf is always the most recent call.
+        assert_eq!(cp.leaf(), hash16("f5"));
+        // The root frame f1 has been shifted out.
+        assert_eq!(cp.frames()[0], hash16("f2"));
+    }
+
+    #[test]
+    fn display_uses_registered_names() {
+        let cp = Callpath::root("sdskv_put_packed").push("bake_persist_rpc");
+        let s = cp.display();
+        assert!(s.contains("sdskv_put_packed"));
+        assert!(s.contains("bake_persist_rpc"));
+        assert!(s.contains("\u{2192}"));
+    }
+
+    #[test]
+    fn empty_path_properties() {
+        let cp = Callpath::EMPTY;
+        assert!(cp.is_empty());
+        assert_eq!(cp.depth(), 0);
+        assert_eq!(cp.frames(), Vec::<u16>::new());
+        assert_eq!(cp.display(), "<root>");
+    }
+
+    #[test]
+    fn hash16_never_zero() {
+        // Exhaustively probing is impossible; spot-check a pile of names
+        // including ones crafted to be unusual.
+        for name in ["", "a", "zz", "\0", "sdskv_put_packed", "x.y.z"] {
+            assert_ne!(hash16(name), 0, "hash16({name:?}) must not be 0");
+        }
+    }
+
+    #[test]
+    fn unregistered_frame_renders_hex() {
+        let cp = Callpath(0x0007); // frame 7 unlikely to be registered
+        let s = cp.display();
+        assert!(s == "#0007" || !s.is_empty());
+    }
+
+    #[test]
+    fn register_is_idempotent() {
+        let a = register_name("same_rpc");
+        let b = register_name("same_rpc");
+        assert_eq!(a, b);
+        assert_eq!(resolve_name(a).unwrap(), "same_rpc");
+    }
+}

@@ -1,0 +1,229 @@
+//! The nine RPC intervals of the paper's Table III and how each one is
+//! measured.
+//!
+//! | Interval | Start | End | Strategy |
+//! |---|---|---|---|
+//! | Origin Execution Time | t1 | t14 | ULT-local key |
+//! | Input Serialization Time | t2 | t3 | Mercury PVAR |
+//! | Target Internal RDMA Transfer Time | t3 | t4 | Mercury PVAR |
+//! | Target ULT Handler Time | t4 | t5 | ULT-local key |
+//! | Input Deserialization Time | t6 | t7 | Mercury PVAR |
+//! | Target ULT Execution Time (exclusive) | t5 | t8 | ULT-local key |
+//! | Output Serialization Time | t9 | t10 | Mercury PVAR |
+//! | Target ULT Completion Callback Time | t8 | t13 | ULT-local key |
+//! | Origin Completion Callback Time | t12 | t14 | Mercury PVAR |
+
+/// How an interval is measured (the paper's two instrumentation
+/// strategies, combined in Table III).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Timestamps stored in ULT-local keys by Margo.
+    UltLocalKey,
+    /// Sampled from a HANDLE-bound Mercury PVAR.
+    MercuryPvar,
+}
+
+impl std::fmt::Display for Strategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Strategy::UltLocalKey => "ULT-local key",
+            Strategy::MercuryPvar => "Mercury PVAR",
+        })
+    }
+}
+
+/// One of the nine instrumented intervals of an RPC's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum Interval {
+    /// t1→t14 on the origin: full request latency as seen by the caller.
+    OriginExecution = 0,
+    /// t2→t3 on the origin: input serialization.
+    InputSerialization = 1,
+    /// t3→t4 on the target: internal RDMA pull of overflowed metadata.
+    TargetInternalRdma = 2,
+    /// t4→t5 on the target: time the handler ULT waits in the pool.
+    TargetUltHandler = 3,
+    /// t6→t7 on the target: input deserialization.
+    InputDeserialization = 4,
+    /// t5→t8 on the target: handler execution (exclusive of nested RPCs'
+    /// own accounting, which appears under deeper callpaths).
+    TargetUltExecution = 5,
+    /// t9→t10 on the target: output serialization.
+    OutputSerialization = 6,
+    /// t8→t13 on the target: delay until the response-sent callback runs.
+    TargetCompletionCallback = 7,
+    /// t12→t14 on the origin: delay between the response entering the
+    /// completion queue and its callback being triggered.
+    OriginCompletionCallback = 8,
+}
+
+impl Interval {
+    /// Number of intervals.
+    pub const COUNT: usize = 9;
+
+    /// All intervals in Table III order.
+    pub const ALL: [Interval; Interval::COUNT] = [
+        Interval::OriginExecution,
+        Interval::InputSerialization,
+        Interval::TargetInternalRdma,
+        Interval::TargetUltHandler,
+        Interval::InputDeserialization,
+        Interval::TargetUltExecution,
+        Interval::OutputSerialization,
+        Interval::TargetCompletionCallback,
+        Interval::OriginCompletionCallback,
+    ];
+
+    /// The interval's name as printed in Table III.
+    pub fn label(self) -> &'static str {
+        match self {
+            Interval::OriginExecution => "Origin Execution Time",
+            Interval::InputSerialization => "Input Serialization Time",
+            Interval::TargetInternalRdma => "Target Internal RDMA Transfer Time",
+            Interval::TargetUltHandler => "Target ULT Handler Time",
+            Interval::InputDeserialization => "Input Deserialization Time",
+            Interval::TargetUltExecution => "Target ULT Execution Time (exclusive)",
+            Interval::OutputSerialization => "Output Serialization Time",
+            Interval::TargetCompletionCallback => "Target ULT Completion Callback Time",
+            Interval::OriginCompletionCallback => "Origin Completion Callback Time",
+        }
+    }
+
+    /// The `(start, end)` instrumentation points in Figure 2's timeline.
+    pub fn endpoints(self) -> (&'static str, &'static str) {
+        match self {
+            Interval::OriginExecution => ("t1", "t14"),
+            Interval::InputSerialization => ("t2", "t3"),
+            Interval::TargetInternalRdma => ("t3", "t4"),
+            Interval::TargetUltHandler => ("t4", "t5"),
+            Interval::InputDeserialization => ("t6", "t7"),
+            Interval::TargetUltExecution => ("t5", "t8"),
+            Interval::OutputSerialization => ("t9", "t10"),
+            Interval::TargetCompletionCallback => ("t8", "t13"),
+            Interval::OriginCompletionCallback => ("t12", "t14"),
+        }
+    }
+
+    /// How this interval is measured (Table III, last column).
+    pub fn strategy(self) -> Strategy {
+        match self {
+            Interval::OriginExecution
+            | Interval::TargetUltHandler
+            | Interval::TargetUltExecution
+            | Interval::TargetCompletionCallback => Strategy::UltLocalKey,
+            Interval::InputSerialization
+            | Interval::TargetInternalRdma
+            | Interval::InputDeserialization
+            | Interval::OutputSerialization
+            | Interval::OriginCompletionCallback => Strategy::MercuryPvar,
+        }
+    }
+
+    /// Whether the interval is measured on the origin entity.
+    pub fn measured_at_origin(self) -> bool {
+        matches!(
+            self,
+            Interval::OriginExecution
+                | Interval::InputSerialization
+                | Interval::OriginCompletionCallback
+        )
+    }
+
+    /// Index into per-callpath accumulation arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Interval::index`].
+    pub fn from_index(i: usize) -> Option<Interval> {
+        Interval::ALL.get(i).copied()
+    }
+
+    /// The intervals that *account for* parts of the origin execution
+    /// time: everything except [`Interval::OriginExecution`] itself. The
+    /// remainder is the paper's "unaccounted" component (Figure 11).
+    pub fn accounted() -> impl Iterator<Item = Interval> {
+        Interval::ALL
+            .into_iter()
+            .filter(|i| *i != Interval::OriginExecution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_intervals_with_unique_indices() {
+        let mut idx: Vec<usize> = Interval::ALL.iter().map(|i| i.index()).collect();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..Interval::COUNT).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn strategies_match_table_three() {
+        assert_eq!(Interval::OriginExecution.strategy(), Strategy::UltLocalKey);
+        assert_eq!(
+            Interval::InputSerialization.strategy(),
+            Strategy::MercuryPvar
+        );
+        assert_eq!(
+            Interval::TargetInternalRdma.strategy(),
+            Strategy::MercuryPvar
+        );
+        assert_eq!(Interval::TargetUltHandler.strategy(), Strategy::UltLocalKey);
+        assert_eq!(
+            Interval::InputDeserialization.strategy(),
+            Strategy::MercuryPvar
+        );
+        assert_eq!(
+            Interval::TargetUltExecution.strategy(),
+            Strategy::UltLocalKey
+        );
+        assert_eq!(
+            Interval::OutputSerialization.strategy(),
+            Strategy::MercuryPvar
+        );
+        assert_eq!(
+            Interval::TargetCompletionCallback.strategy(),
+            Strategy::UltLocalKey
+        );
+        assert_eq!(
+            Interval::OriginCompletionCallback.strategy(),
+            Strategy::MercuryPvar
+        );
+    }
+
+    #[test]
+    fn endpoints_match_figure_two() {
+        assert_eq!(Interval::OriginExecution.endpoints(), ("t1", "t14"));
+        assert_eq!(Interval::TargetUltHandler.endpoints(), ("t4", "t5"));
+        assert_eq!(
+            Interval::TargetCompletionCallback.endpoints(),
+            ("t8", "t13")
+        );
+    }
+
+    #[test]
+    fn accounted_excludes_origin_execution() {
+        let accounted: Vec<_> = Interval::accounted().collect();
+        assert_eq!(accounted.len(), Interval::COUNT - 1);
+        assert!(!accounted.contains(&Interval::OriginExecution));
+    }
+
+    #[test]
+    fn from_index_roundtrip() {
+        for i in Interval::ALL {
+            assert_eq!(Interval::from_index(i.index()), Some(i));
+        }
+        assert_eq!(Interval::from_index(99), None);
+    }
+
+    #[test]
+    fn origin_side_classification() {
+        assert!(Interval::OriginExecution.measured_at_origin());
+        assert!(Interval::InputSerialization.measured_at_origin());
+        assert!(!Interval::TargetUltExecution.measured_at_origin());
+    }
+}

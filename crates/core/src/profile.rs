@@ -1,0 +1,212 @@
+//! Distributed callpath profiles (paper §IV-A1).
+//!
+//! Each entity accumulates, per `(callpath, peer)` pair, the call count
+//! and the cumulative time of each Table III interval it can observe from
+//! its side of the RPC. Origin entities record origin-side intervals;
+//! target entities record target-side intervals. The analysis stage merges
+//! snapshots from all entities into per-callpath aggregates (the global
+//! analysis the paper's "profile summary script" performs).
+
+use crate::entity::EntityId;
+use crate::intervals::Interval;
+use crate::callpath::Callpath;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Which side of the RPC a row was measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// Measured by the calling entity.
+    Origin,
+    /// Measured by the servicing entity.
+    Target,
+}
+
+/// Accumulated statistics for one `(callpath, peer, side)` combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileRow {
+    /// The callpath ancestry value.
+    pub callpath: Callpath,
+    /// The entity that recorded this row.
+    pub entity: EntityId,
+    /// The peer on the other side of the RPC.
+    pub peer: EntityId,
+    /// Which side `entity` was on.
+    pub side: Side,
+    /// Number of completed RPCs.
+    pub count: u64,
+    /// Cumulative nanoseconds per interval (indexed by
+    /// [`Interval::index`]); intervals not observable from this side
+    /// remain zero.
+    pub cumulative_ns: [u64; Interval::COUNT],
+}
+
+impl ProfileRow {
+    fn new(callpath: Callpath, entity: EntityId, peer: EntityId, side: Side) -> Self {
+        ProfileRow {
+            callpath,
+            entity,
+            peer,
+            side,
+            count: 0,
+            cumulative_ns: [0; Interval::COUNT],
+        }
+    }
+
+    /// Cumulative time of one interval.
+    pub fn interval_ns(&self, i: Interval) -> u64 {
+        self.cumulative_ns[i.index()]
+    }
+}
+
+/// Per-entity profile accumulator. Cheap to record into from many ULTs.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    rows: Mutex<HashMap<(u64, EntityId, Side), ProfileRow>>,
+}
+
+impl Profiler {
+    /// New empty profiler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one completed RPC observation.
+    ///
+    /// `measurements` lists the intervals observed with their durations in
+    /// nanoseconds; missing intervals simply don't accumulate.
+    pub fn record(
+        &self,
+        entity: EntityId,
+        peer: EntityId,
+        side: Side,
+        callpath: Callpath,
+        measurements: &[(Interval, u64)],
+    ) {
+        let mut rows = self.rows.lock();
+        let row = rows
+            .entry((callpath.0, peer, side))
+            .or_insert_with(|| ProfileRow::new(callpath, entity, peer, side));
+        row.count += 1;
+        for (interval, ns) in measurements {
+            row.cumulative_ns[interval.index()] += ns;
+        }
+    }
+
+    /// Number of distinct rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.lock().len()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.lock().is_empty()
+    }
+
+    /// Snapshot all rows (for merging into a global analysis).
+    pub fn snapshot(&self) -> Vec<ProfileRow> {
+        self.rows.lock().values().cloned().collect()
+    }
+
+    /// Discard all rows (between experiment repetitions).
+    pub fn reset(&self) {
+        self.rows.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::register_entity;
+
+    #[test]
+    fn record_accumulates_counts_and_times() {
+        let p = Profiler::new();
+        let me = register_entity("origin-0");
+        let peer = register_entity("target-0");
+        let cp = Callpath::root("rpc_a");
+        p.record(
+            me,
+            peer,
+            Side::Origin,
+            cp,
+            &[(Interval::OriginExecution, 100), (Interval::InputSerialization, 10)],
+        );
+        p.record(me, peer, Side::Origin, cp, &[(Interval::OriginExecution, 50)]);
+        let rows = p.snapshot();
+        assert_eq!(rows.len(), 1);
+        let row = &rows[0];
+        assert_eq!(row.count, 2);
+        assert_eq!(row.interval_ns(Interval::OriginExecution), 150);
+        assert_eq!(row.interval_ns(Interval::InputSerialization), 10);
+        assert_eq!(row.interval_ns(Interval::TargetUltHandler), 0);
+    }
+
+    #[test]
+    fn distinct_callpaths_get_distinct_rows() {
+        let p = Profiler::new();
+        let me = register_entity("o");
+        let peer = register_entity("t");
+        p.record(me, peer, Side::Origin, Callpath::root("a"), &[]);
+        p.record(me, peer, Side::Origin, Callpath::root("b"), &[]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn distinct_peers_get_distinct_rows() {
+        let p = Profiler::new();
+        let me = register_entity("o");
+        let t1 = register_entity("t1");
+        let t2 = register_entity("t2");
+        let cp = Callpath::root("x");
+        p.record(me, t1, Side::Origin, cp, &[]);
+        p.record(me, t2, Side::Origin, cp, &[]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn origin_and_target_sides_are_separate_rows() {
+        let p = Profiler::new();
+        let me = register_entity("both");
+        let peer = register_entity("peer");
+        let cp = Callpath::root("y");
+        p.record(me, peer, Side::Origin, cp, &[]);
+        p.record(me, peer, Side::Target, cp, &[]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_rows() {
+        let p = Profiler::new();
+        let me = register_entity("o");
+        let peer = register_entity("t");
+        p.record(me, peer, Side::Origin, Callpath::root("z"), &[]);
+        assert!(!p.is_empty());
+        p.reset();
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let p = std::sync::Arc::new(Profiler::new());
+        let me = register_entity("o");
+        let peer = register_entity("t");
+        let cp = Callpath::root("hot");
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let p = p.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        p.record(me, peer, Side::Origin, cp, &[(Interval::OriginExecution, 1)]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let rows = p.snapshot();
+        assert_eq!(rows[0].count, 4000);
+        assert_eq!(rows[0].interval_ns(Interval::OriginExecution), 4000);
+    }
+}

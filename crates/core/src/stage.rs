@@ -1,0 +1,118 @@
+//! Measurement stages (paper §VI).
+//!
+//! The overhead study enables SYMBIOSYS capabilities incrementally:
+//!
+//! * **Baseline** — instrumentation and measurement disabled.
+//! * **Stage 1** — instrumentation on, no measurement: RPC callpath and
+//!   trace-ID metadata is added to requests but nothing is recorded.
+//! * **Stage 2** — callpath profiling, tracing, and system-statistic
+//!   sampling enabled; Mercury PVAR collection disabled.
+//! * **Full Support** — everything on; PVAR data integrated on the fly
+//!   with the callpath profiles.
+
+/// Which SYMBIOSYS capabilities are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stage {
+    /// No instrumentation at all (the paper's *Baseline*).
+    Disabled,
+    /// Metadata propagation only (the paper's *Stage 1*).
+    Ids,
+    /// Profiling + tracing + system statistics, no PVARs (*Stage 2*).
+    Measure,
+    /// Everything, including Mercury PVAR integration (*Full Support*).
+    Full,
+}
+
+impl Stage {
+    /// All stages in increasing order of capability.
+    pub const ALL: [Stage; 4] = [Stage::Disabled, Stage::Ids, Stage::Measure, Stage::Full];
+
+    /// Whether callpath/trace metadata is attached to RPC requests.
+    pub fn ids_enabled(self) -> bool {
+        self != Stage::Disabled
+    }
+
+    /// Whether profiles, traces, and system statistics are recorded.
+    pub fn measure_enabled(self) -> bool {
+        matches!(self, Stage::Measure | Stage::Full)
+    }
+
+    /// Whether Mercury PVARs are sampled and fused into the data.
+    pub fn pvars_enabled(self) -> bool {
+        self == Stage::Full
+    }
+
+    /// The name used in the paper's Figure 13.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Disabled => "Baseline",
+            Stage::Ids => "Stage 1",
+            Stage::Measure => "Stage 2",
+            Stage::Full => "Full Support",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capabilities_are_monotone() {
+        // Each stage enables a superset of the previous one's switches.
+        let caps = |s: Stage| {
+            [
+                s.ids_enabled(),
+                s.measure_enabled(),
+                s.pvars_enabled(),
+            ]
+        };
+        for w in Stage::ALL.windows(2) {
+            let (lo, hi) = (caps(w[0]), caps(w[1]));
+            for (a, b) in lo.iter().zip(hi.iter()) {
+                assert!(!(*a && !*b), "{:?} lost a capability at {:?}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn baseline_disables_everything() {
+        assert!(!Stage::Disabled.ids_enabled());
+        assert!(!Stage::Disabled.measure_enabled());
+        assert!(!Stage::Disabled.pvars_enabled());
+    }
+
+    #[test]
+    fn stage1_ids_only() {
+        assert!(Stage::Ids.ids_enabled());
+        assert!(!Stage::Ids.measure_enabled());
+        assert!(!Stage::Ids.pvars_enabled());
+    }
+
+    #[test]
+    fn stage2_measures_without_pvars() {
+        assert!(Stage::Measure.measure_enabled());
+        assert!(!Stage::Measure.pvars_enabled());
+    }
+
+    #[test]
+    fn full_enables_everything() {
+        assert!(Stage::Full.ids_enabled());
+        assert!(Stage::Full.measure_enabled());
+        assert!(Stage::Full.pvars_enabled());
+    }
+
+    #[test]
+    fn labels_match_figure_13() {
+        assert_eq!(Stage::Disabled.label(), "Baseline");
+        assert_eq!(Stage::Ids.label(), "Stage 1");
+        assert_eq!(Stage::Measure.label(), "Stage 2");
+        assert_eq!(Stage::Full.label(), "Full Support");
+    }
+}

@@ -1,0 +1,409 @@
+//! Trace stitching and OpenZipkin JSON export.
+//!
+//! The paper (§V-A3) stitches events sharing a `requestID` from different
+//! processes into a Zipkin JSON trace file for Gantt-chart visualization
+//! (Figure 5). This module does the same: it groups [`TraceEvent`]s by
+//! request id, pairs origin t1/t14 and target t5/t8 events per callpath
+//! into spans, links parent/child spans via callpath ancestry, and emits
+//! Zipkin v2 JSON. The JSON writer is hand-rolled (no external JSON
+//! dependency) with full string escaping.
+
+use crate::callpath::Callpath;
+use crate::entity::entity_name;
+use crate::trace::{TraceEvent, TraceEventKind};
+use std::collections::HashMap;
+
+/// One stitched span: either the origin's view (t1→t14) or the target's
+/// view (t5→t8) of a single RPC invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Trace (request) id.
+    pub trace_id: u64,
+    /// Unique span id within the trace.
+    pub span_id: u64,
+    /// Parent span id, if this span has an ancestor in the trace.
+    pub parent_id: Option<u64>,
+    /// Span name (the callpath's leaf RPC name).
+    pub name: String,
+    /// Full callpath for tagging.
+    pub callpath: Callpath,
+    /// Service (entity) name that produced the span.
+    pub service: String,
+    /// Start timestamp in microseconds since the trace epoch.
+    pub timestamp_us: u64,
+    /// Duration in microseconds.
+    pub duration_us: u64,
+    /// Which side of the RPC this span shows.
+    pub side: SpanSide,
+}
+
+/// Which end of the RPC produced the span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanSide {
+    /// Origin view: t1→t14.
+    Origin,
+    /// Target view: t5→t8.
+    Target,
+}
+
+/// Stitch raw trace events (merged from all entities) into spans.
+///
+/// Events are grouped by `(request_id, callpath, entity, side)`; a span is
+/// produced for every start/end pair found. Orphan events (start without
+/// end, e.g. from a crashed handler) are dropped, matching the behaviour
+/// of post-mortem trace tooling.
+pub fn stitch(events: &[TraceEvent]) -> Vec<Span> {
+    // Key: (request_id, callpath, entity, is_origin_side). A handler may
+    // invoke the same downstream RPC several times within one request
+    // (e.g. the five sdskv_put_rpc calls inside one mobject_write_op), so
+    // starts queue up FIFO per key and each end event closes the oldest
+    // open start — sequential same-callpath calls pair correctly.
+    type Key = (u64, u64, u64, bool);
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| (e.wall_ns, e.order));
+
+    let mut starts: HashMap<Key, std::collections::VecDeque<&TraceEvent>> = HashMap::new();
+    let mut spans = Vec::new();
+    let mut next_span_id: u64 = 1;
+
+    for ev in ordered {
+        let (side_origin, end_side) = match ev.kind {
+            TraceEventKind::OriginForward | TraceEventKind::TargetUltStart => {
+                let side_origin = ev.kind == TraceEventKind::OriginForward;
+                let key: Key = (ev.request_id, ev.callpath.0, ev.entity.0, side_origin);
+                starts.entry(key).or_default().push_back(ev);
+                continue;
+            }
+            TraceEventKind::OriginComplete => (true, SpanSide::Origin),
+            TraceEventKind::TargetRespond => (false, SpanSide::Target),
+        };
+        let key: Key = (ev.request_id, ev.callpath.0, ev.entity.0, side_origin);
+        let Some(start) = starts.get_mut(&key).and_then(|q| q.pop_front()) else {
+            continue;
+        };
+        let ts = start.wall_ns / 1_000;
+        let dur = ev.wall_ns.saturating_sub(start.wall_ns) / 1_000;
+        spans.push(Span {
+            trace_id: ev.request_id,
+            span_id: next_span_id,
+            parent_id: None,
+            name: leaf_name(ev.callpath),
+            callpath: ev.callpath,
+            service: entity_name(ev.entity),
+            timestamp_us: ts,
+            duration_us: dur.max(1),
+            side: end_side,
+        });
+        next_span_id += 1;
+    }
+
+    link_parents(&mut spans);
+    spans.sort_by_key(|s| (s.trace_id, s.timestamp_us));
+    spans
+}
+
+fn leaf_name(cp: Callpath) -> String {
+    crate::callpath::resolve_name(cp.leaf()).unwrap_or_else(|| format!("#{:04x}", cp.leaf()))
+}
+
+/// Link spans into a parent/child hierarchy:
+/// * a target span's parent is the origin span of the same callpath,
+/// * an origin span's parent is the target span of the parent callpath
+///   (the handler that issued the downstream RPC), if present.
+///
+/// When a callpath occurs several times within one trace (repeated
+/// downstream calls), the parent chosen is the latest candidate that
+/// started at or before the child — correct for the sequential
+/// invocation pattern these traces have.
+fn link_parents(spans: &mut [Span]) {
+    // (trace, callpath, is_origin) -> [(timestamp, span_id)] sorted.
+    let mut index: HashMap<(u64, u64, bool), Vec<(u64, u64)>> = HashMap::new();
+    for s in spans.iter() {
+        index
+            .entry((s.trace_id, s.callpath.0, s.side == SpanSide::Origin))
+            .or_default()
+            .push((s.timestamp_us, s.span_id));
+    }
+    for list in index.values_mut() {
+        list.sort_unstable();
+    }
+    let latest_at_or_before = |list: Option<&Vec<(u64, u64)>>, ts: u64| -> Option<u64> {
+        let list = list?;
+        let pos = list.partition_point(|(t, _)| *t <= ts);
+        if pos == 0 {
+            // Clock granularity can order a child a hair before its
+            // parent; fall back to the earliest candidate.
+            list.first().map(|(_, id)| *id)
+        } else {
+            Some(list[pos - 1].1)
+        }
+    };
+    for s in spans.iter_mut() {
+        match s.side {
+            SpanSide::Target => {
+                s.parent_id = latest_at_or_before(
+                    index.get(&(s.trace_id, s.callpath.0, true)),
+                    s.timestamp_us,
+                );
+            }
+            SpanSide::Origin => {
+                let parent_cp = s.callpath.parent();
+                if !parent_cp.is_empty() {
+                    s.parent_id = latest_at_or_before(
+                        index.get(&(s.trace_id, parent_cp.0, false)),
+                        s.timestamp_us,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Render spans as a Zipkin v2 JSON array.
+pub fn to_zipkin_json(spans: &[Span]) -> String {
+    let mut out = String::with_capacity(spans.len() * 256 + 2);
+    out.push('[');
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        field(&mut out, "traceId", &format!("{:016x}", s.trace_id), true);
+        out.push(',');
+        field(&mut out, "id", &format!("{:016x}", s.span_id), true);
+        if let Some(p) = s.parent_id {
+            out.push(',');
+            field(&mut out, "parentId", &format!("{p:016x}"), true);
+        }
+        out.push(',');
+        field(&mut out, "name", &s.name, true);
+        out.push(',');
+        field(&mut out, "timestamp", &s.timestamp_us.to_string(), false);
+        out.push(',');
+        field(&mut out, "duration", &s.duration_us.to_string(), false);
+        out.push(',');
+        out.push_str("\"kind\":");
+        out.push_str(match s.side {
+            SpanSide::Origin => "\"CLIENT\"",
+            SpanSide::Target => "\"SERVER\"",
+        });
+        out.push(',');
+        out.push_str("\"localEndpoint\":{");
+        field(&mut out, "serviceName", &s.service, true);
+        out.push_str("},");
+        out.push_str("\"tags\":{");
+        field(&mut out, "callpath", &s.callpath.display(), true);
+        out.push('}');
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn field(out: &mut String, key: &str, value: &str, quote: bool) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    if quote {
+        out.push('"');
+        escape_into(out, value);
+        out.push('"');
+    } else {
+        out.push_str(value);
+    }
+}
+
+/// JSON string escaping per RFC 8259.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::register_entity;
+    use crate::trace::EventSamples;
+
+    fn ev(
+        request_id: u64,
+        order: u32,
+        wall_ns: u64,
+        kind: TraceEventKind,
+        entity: crate::EntityId,
+        callpath: Callpath,
+    ) -> TraceEvent {
+        TraceEvent {
+            request_id,
+            order,
+            lamport: order as u64,
+            wall_ns,
+            kind,
+            entity,
+            callpath,
+            samples: EventSamples::default(),
+        }
+    }
+
+    #[test]
+    fn stitch_pairs_origin_and_target_spans() {
+        let client = register_entity("client");
+        let server = register_entity("server");
+        let cp = Callpath::root("rpc_x");
+        let events = vec![
+            ev(1, 0, 1_000, TraceEventKind::OriginForward, client, cp),
+            ev(1, 1, 2_000, TraceEventKind::TargetUltStart, server, cp),
+            ev(1, 2, 5_000, TraceEventKind::TargetRespond, server, cp),
+            ev(1, 3, 7_000, TraceEventKind::OriginComplete, client, cp),
+        ];
+        let spans = stitch(&events);
+        assert_eq!(spans.len(), 2);
+        let origin = spans.iter().find(|s| s.side == SpanSide::Origin).unwrap();
+        let target = spans.iter().find(|s| s.side == SpanSide::Target).unwrap();
+        assert_eq!(origin.duration_us, 6); // 7000-1000 ns = 6 us
+        assert_eq!(target.duration_us, 3);
+        assert_eq!(target.parent_id, Some(origin.span_id));
+        assert_eq!(origin.parent_id, None);
+    }
+
+    #[test]
+    fn nested_callpath_links_origin_to_parent_target() {
+        let client = register_entity("cl2");
+        let svc_a = register_entity("svcA");
+        let svc_b = register_entity("svcB");
+        let top = Callpath::root("top_rpc");
+        let nested = top.push("nested_rpc");
+        let events = vec![
+            // client calls svcA
+            ev(9, 0, 0, TraceEventKind::OriginForward, client, top),
+            ev(9, 1, 100, TraceEventKind::TargetUltStart, svc_a, top),
+            // svcA calls svcB
+            ev(9, 2, 200, TraceEventKind::OriginForward, svc_a, nested),
+            ev(9, 3, 300, TraceEventKind::TargetUltStart, svc_b, nested),
+            ev(9, 4, 400, TraceEventKind::TargetRespond, svc_b, nested),
+            ev(9, 5, 500, TraceEventKind::OriginComplete, svc_a, nested),
+            ev(9, 6, 600, TraceEventKind::TargetRespond, svc_a, top),
+            ev(9, 7, 700, TraceEventKind::OriginComplete, client, top),
+        ];
+        let spans = stitch(&events);
+        assert_eq!(spans.len(), 4);
+        let nested_origin = spans
+            .iter()
+            .find(|s| s.callpath == nested && s.side == SpanSide::Origin)
+            .unwrap();
+        let top_target = spans
+            .iter()
+            .find(|s| s.callpath == top && s.side == SpanSide::Target)
+            .unwrap();
+        // The nested RPC was issued by the handler of the top RPC.
+        assert_eq!(nested_origin.parent_id, Some(top_target.span_id));
+    }
+
+    #[test]
+    fn repeated_same_callpath_calls_produce_separate_spans() {
+        // One handler invoking the same downstream RPC three times must
+        // yield three distinct origin spans (the Figure 5 situation with
+        // the five sdskv_put_rpc calls).
+        let svc = register_entity("repeat-svc");
+        let cp = Callpath::root("again_rpc");
+        let mut events = Vec::new();
+        for i in 0..3u64 {
+            events.push(ev(
+                5,
+                (i * 2) as u32,
+                1_000 * i + 100,
+                TraceEventKind::OriginForward,
+                svc,
+                cp,
+            ));
+            events.push(ev(
+                5,
+                (i * 2 + 1) as u32,
+                1_000 * i + 600,
+                TraceEventKind::OriginComplete,
+                svc,
+                cp,
+            ));
+        }
+        let spans = stitch(&events);
+        assert_eq!(spans.len(), 3);
+        // FIFO pairing: each span lasts 500ns (i.e. 1µs after rounding).
+        for s in &spans {
+            assert_eq!(s.duration_us, 1);
+        }
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.span_id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn orphan_start_events_are_dropped() {
+        let client = register_entity("orphan");
+        let cp = Callpath::root("lost");
+        let events = vec![ev(2, 0, 0, TraceEventKind::OriginForward, client, cp)];
+        assert!(stitch(&events).is_empty());
+    }
+
+    #[test]
+    fn distinct_requests_do_not_cross_stitch() {
+        let client = register_entity("cx");
+        let cp = Callpath::root("r");
+        let events = vec![
+            ev(1, 0, 0, TraceEventKind::OriginForward, client, cp),
+            ev(2, 1, 10, TraceEventKind::OriginComplete, client, cp),
+        ];
+        assert!(stitch(&events).is_empty());
+    }
+
+    #[test]
+    fn zipkin_json_shape() {
+        let client = register_entity("jsonsvc");
+        let cp = Callpath::root("json_rpc");
+        let events = vec![
+            ev(3, 0, 1_000, TraceEventKind::OriginForward, client, cp),
+            ev(3, 1, 9_000, TraceEventKind::OriginComplete, client, cp),
+        ];
+        let json = to_zipkin_json(&stitch(&events));
+        assert!(json.starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"traceId\":\"0000000000000003\""));
+        assert!(json.contains("\"name\":\"json_rpc\""));
+        assert!(json.contains("\"kind\":\"CLIENT\""));
+        assert!(json.contains("jsonsvc"));
+    }
+
+    #[test]
+    fn escape_handles_special_chars() {
+        let mut s = String::new();
+        escape_into(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "a\\\"b\\\\c\\nd\\u0001");
+    }
+
+    #[test]
+    fn empty_input_produces_empty_array() {
+        assert_eq!(to_zipkin_json(&[]), "[\n]\n");
+    }
+
+    #[test]
+    fn span_duration_never_zero() {
+        let client = register_entity("zerodur");
+        let cp = Callpath::root("fast");
+        let events = vec![
+            ev(4, 0, 500, TraceEventKind::OriginForward, client, cp),
+            ev(4, 1, 500, TraceEventKind::OriginComplete, client, cp),
+        ];
+        let spans = stitch(&events);
+        assert_eq!(spans[0].duration_us, 1);
+    }
+}

@@ -1,0 +1,379 @@
+//! The fabric itself: the address registry, message routing, and the
+//! registered-memory table backing one-sided transfers.
+
+use crate::endpoint::{Delivery, Endpoint};
+use crate::memory::{MemKey, Region, RemoteRegion};
+use crate::model::NetworkModel;
+use crate::{Addr, FabricError};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cumulative transfer statistics, sampled by benchmarks and by the
+/// SYMBIOSYS system-statistics summary.
+#[derive(Debug, Default)]
+pub struct FabricStats {
+    /// Two-sided messages routed.
+    pub messages_sent: AtomicU64,
+    /// Bytes moved by two-sided messages.
+    pub message_bytes: AtomicU64,
+    /// One-sided reads performed.
+    pub rdma_gets: AtomicU64,
+    /// One-sided writes performed.
+    pub rdma_puts: AtomicU64,
+    /// Bytes moved by one-sided operations.
+    pub rdma_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of [`FabricStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FabricStatsSnapshot {
+    /// Two-sided messages routed.
+    pub messages_sent: u64,
+    /// Bytes moved by two-sided messages.
+    pub message_bytes: u64,
+    /// One-sided reads performed.
+    pub rdma_gets: u64,
+    /// One-sided writes performed.
+    pub rdma_puts: u64,
+    /// Bytes moved by one-sided operations.
+    pub rdma_bytes: u64,
+}
+
+struct FabricInner {
+    endpoints: RwLock<HashMap<Addr, Sender<Delivery>>>,
+    memory: RwLock<HashMap<MemKey, Region>>,
+    next_addr: AtomicU64,
+    next_key: AtomicU64,
+    model: NetworkModel,
+    stats: FabricStats,
+}
+
+/// Handle to the shared in-process fabric. Cloning is cheap.
+#[derive(Clone)]
+pub struct Fabric {
+    inner: Arc<FabricInner>,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Fabric(endpoints={}, regions={})",
+            self.inner.endpoints.read().len(),
+            self.inner.memory.read().len()
+        )
+    }
+}
+
+impl Fabric {
+    /// Create a fabric with the given network model.
+    pub fn new(model: NetworkModel) -> Self {
+        Fabric {
+            inner: Arc::new(FabricInner {
+                endpoints: RwLock::new(HashMap::new()),
+                memory: RwLock::new(HashMap::new()),
+                next_addr: AtomicU64::new(1),
+                next_key: AtomicU64::new(1),
+                model,
+                stats: FabricStats::default(),
+            }),
+        }
+    }
+
+    /// The cost model in effect.
+    pub fn model(&self) -> NetworkModel {
+        self.inner.model
+    }
+
+    /// Open a new endpoint with a fresh fabric address.
+    pub fn open_endpoint(&self) -> Endpoint {
+        let addr = Addr(self.inner.next_addr.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        self.inner.endpoints.write().insert(addr, tx);
+        Endpoint { addr, rx }
+    }
+
+    /// Remove an endpoint from the routing table. In-flight sends to the
+    /// address fail with [`FabricError::UnknownAddr`] afterwards.
+    pub fn close_endpoint(&self, addr: Addr) {
+        self.inner.endpoints.write().remove(&addr);
+    }
+
+    /// Send a two-sided (eager) message: posted asynchronously, like an
+    /// `fi_send` handed to the NIC — the sender is *not* charged the
+    /// network cost (only synchronous one-sided transfers are, see
+    /// [`Fabric::rdma_get`]/[`Fabric::rdma_put`]).
+    pub fn send(&self, src: Addr, dst: Addr, tag: u64, payload: Bytes) -> Result<(), FabricError> {
+        let tx = {
+            let eps = self.inner.endpoints.read();
+            eps.get(&dst).cloned().ok_or(FabricError::UnknownAddr(dst))?
+        };
+        self.inner.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .message_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        tx.send(Delivery { src, tag, payload })
+            .map_err(|_| FabricError::Closed)
+    }
+
+    /// Expose an immutable buffer for remote read. Returns the descriptor
+    /// to ship to the peer; call [`Fabric::unregister`] when done.
+    pub fn expose_read(&self, data: Arc<Vec<u8>>) -> RemoteRegion {
+        let key = MemKey(self.inner.next_key.fetch_add(1, Ordering::Relaxed));
+        let len = data.len();
+        self.inner.memory.write().insert(key, Region::Read(data));
+        RemoteRegion { key, len }
+    }
+
+    /// Expose a writable buffer of `len` zero bytes for remote write.
+    /// Returns the descriptor plus a handle the exposer keeps to harvest
+    /// the written data.
+    pub fn expose_write(&self, len: usize) -> (RemoteRegion, Arc<RwLock<Vec<u8>>>) {
+        let key = MemKey(self.inner.next_key.fetch_add(1, Ordering::Relaxed));
+        let buf = Arc::new(RwLock::new(vec![0u8; len]));
+        self.inner
+            .memory
+            .write()
+            .insert(key, Region::Write(buf.clone()));
+        (RemoteRegion { key, len }, buf)
+    }
+
+    /// Tear down a registration. Idempotent.
+    pub fn unregister(&self, key: MemKey) {
+        self.inner.memory.write().remove(&key);
+    }
+
+    /// One-sided read of `[offset, offset+len)` from a registered region.
+    /// Charges the transfer cost on the caller (the initiator).
+    pub fn rdma_get(&self, key: MemKey, offset: usize, len: usize) -> Result<Bytes, FabricError> {
+        let data = {
+            let mem = self.inner.memory.read();
+            let region = mem.get(&key).ok_or(FabricError::UnknownMemory(key))?;
+            let end = offset
+                .checked_add(len)
+                .ok_or(FabricError::OutOfBounds {
+                    key,
+                    requested_end: usize::MAX,
+                    len: region.len(),
+                })?;
+            if end > region.len() {
+                return Err(FabricError::OutOfBounds {
+                    key,
+                    requested_end: end,
+                    len: region.len(),
+                });
+            }
+            match region {
+                Region::Read(buf) => Bytes::copy_from_slice(&buf[offset..end]),
+                Region::Write(buf) => Bytes::copy_from_slice(&buf.read()[offset..end]),
+            }
+        };
+        self.inner.model.charge(len);
+        self.inner.stats.rdma_gets.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .rdma_bytes
+            .fetch_add(len as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// One-sided write of `data` into a registered writable region at
+    /// `offset`. Charges the transfer cost on the caller.
+    pub fn rdma_put(&self, key: MemKey, offset: usize, data: &[u8]) -> Result<(), FabricError> {
+        {
+            let mem = self.inner.memory.read();
+            let region = mem.get(&key).ok_or(FabricError::UnknownMemory(key))?;
+            let end = offset
+                .checked_add(data.len())
+                .ok_or(FabricError::OutOfBounds {
+                    key,
+                    requested_end: usize::MAX,
+                    len: region.len(),
+                })?;
+            if end > region.len() {
+                return Err(FabricError::OutOfBounds {
+                    key,
+                    requested_end: end,
+                    len: region.len(),
+                });
+            }
+            match region {
+                Region::Write(buf) => buf.write()[offset..end].copy_from_slice(data),
+                Region::Read(_) => return Err(FabricError::UnknownMemory(key)),
+            }
+        }
+        self.inner.model.charge(data.len());
+        self.inner.stats.rdma_puts.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .rdma_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Snapshot the cumulative transfer statistics.
+    pub fn stats(&self) -> FabricStatsSnapshot {
+        let s = &self.inner.stats;
+        FabricStatsSnapshot {
+            messages_sent: s.messages_sent.load(Ordering::Relaxed),
+            message_bytes: s.message_bytes.load(Ordering::Relaxed),
+            rdma_gets: s.rdma_gets.load(Ordering::Relaxed),
+            rdma_puts: s.rdma_puts.load(Ordering::Relaxed),
+            rdma_bytes: s.rdma_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn fabric() -> Fabric {
+        Fabric::new(NetworkModel::instant())
+    }
+
+    #[test]
+    fn send_to_unknown_addr_fails() {
+        let f = fabric();
+        let a = f.open_endpoint();
+        let err = f
+            .send(a.addr(), Addr(999), 0, Bytes::from_static(b"x"))
+            .unwrap_err();
+        assert_eq!(err, FabricError::UnknownAddr(Addr(999)));
+    }
+
+    #[test]
+    fn closed_endpoint_is_unroutable() {
+        let f = fabric();
+        let a = f.open_endpoint();
+        let b = f.open_endpoint();
+        f.close_endpoint(b.addr());
+        assert!(f.send(a.addr(), b.addr(), 0, Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn addresses_are_unique() {
+        let f = fabric();
+        let addrs: Vec<_> = (0..10).map(|_| f.open_endpoint().addr()).collect();
+        let mut dedup = addrs.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), addrs.len());
+    }
+
+    #[test]
+    fn rdma_get_out_of_bounds_is_error() {
+        let f = fabric();
+        let r = f.expose_read(Arc::new(vec![1, 2, 3]));
+        assert!(f.rdma_get(r.key, 0, 3).is_ok());
+        assert!(matches!(
+            f.rdma_get(r.key, 1, 3),
+            Err(FabricError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn rdma_get_partial_range() {
+        let f = fabric();
+        let r = f.expose_read(Arc::new(vec![10, 20, 30, 40]));
+        let got = f.rdma_get(r.key, 1, 2).unwrap();
+        assert_eq!(&got[..], &[20, 30]);
+    }
+
+    #[test]
+    fn rdma_put_roundtrip() {
+        let f = fabric();
+        let (region, buf) = f.expose_write(8);
+        f.rdma_put(region.key, 2, &[9, 9, 9]).unwrap();
+        assert_eq!(&buf.read()[..], &[0, 0, 9, 9, 9, 0, 0, 0]);
+    }
+
+    #[test]
+    fn rdma_put_to_read_region_rejected() {
+        let f = fabric();
+        let r = f.expose_read(Arc::new(vec![0u8; 4]));
+        assert!(f.rdma_put(r.key, 0, &[1]).is_err());
+    }
+
+    #[test]
+    fn rdma_put_out_of_bounds_is_error() {
+        let f = fabric();
+        let (region, _buf) = f.expose_write(4);
+        assert!(matches!(
+            f.rdma_put(region.key, 2, &[1, 2, 3]),
+            Err(FabricError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let f = fabric();
+        let a = f.open_endpoint();
+        let b = f.open_endpoint();
+        f.send(a.addr(), b.addr(), 0, Bytes::from_static(b"1234"))
+            .unwrap();
+        let r = f.expose_read(Arc::new(vec![0u8; 100]));
+        f.rdma_get(r.key, 0, 100).unwrap();
+        let s = f.stats();
+        assert_eq!(s.messages_sent, 1);
+        assert_eq!(s.message_bytes, 4);
+        assert_eq!(s.rdma_gets, 1);
+        assert_eq!(s.rdma_bytes, 100);
+    }
+
+    #[test]
+    fn eager_send_is_not_charged_but_rdma_is() {
+        let f = Fabric::new(NetworkModel::new(Duration::from_millis(5), None));
+        let a = f.open_endpoint();
+        let b = f.open_endpoint();
+        // Eager sends are asynchronous posts: no sender-side cost.
+        let start = std::time::Instant::now();
+        f.send(a.addr(), b.addr(), 0, Bytes::from_static(b"x"))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_millis(4));
+        assert_eq!(b.poll(16).len(), 1);
+        // One-sided pulls are synchronous: the initiator pays the cost.
+        let r = f.expose_read(Arc::new(vec![0u8; 8]));
+        let start = std::time::Instant::now();
+        f.rdma_get(r.key, 0, 8).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn concurrent_senders_are_safe() {
+        let f = fabric();
+        let a = f.open_endpoint();
+        let dst = f.open_endpoint();
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let f = f.clone();
+                let src = a.addr();
+                let dst = dst.addr();
+                std::thread::spawn(move || {
+                    for i in 0..100u64 {
+                        f.send(src, dst, t * 1000 + i, Bytes::from_static(b"c"))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut total = 0;
+        loop {
+            let got = dst.poll(64);
+            if got.is_empty() {
+                break;
+            }
+            total += got.len();
+        }
+        assert_eq!(total, 800);
+    }
+}

@@ -1,0 +1,59 @@
+//! Registered memory regions for one-sided (RDMA) transfers.
+
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Opaque key identifying a registered memory region (an RDMA rkey).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MemKey(pub u64);
+
+/// A descriptor a peer can use to access a registered region. This is what
+/// Mercury serializes into a bulk handle and ships inside RPC metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RemoteRegion {
+    /// Registration key.
+    pub key: MemKey,
+    /// Region length in bytes.
+    pub len: usize,
+}
+
+/// The registered buffer itself. Readable regions are immutable snapshots;
+/// writable regions are shared so the exposer can harvest written data.
+pub(crate) enum Region {
+    /// Exposed for remote read (`rdma_get`).
+    Read(Arc<Vec<u8>>),
+    /// Exposed for remote write (`rdma_put`).
+    Write(Arc<RwLock<Vec<u8>>>),
+}
+
+impl Region {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            Region::Read(buf) => buf.len(),
+            Region::Write(buf) => buf.read().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn region_len_matches_buffer() {
+        let r = Region::Read(Arc::new(vec![0u8; 10]));
+        assert_eq!(r.len(), 10);
+        let w = Region::Write(Arc::new(RwLock::new(vec![0u8; 32])));
+        assert_eq!(w.len(), 32);
+    }
+
+    #[test]
+    fn remote_region_is_copy() {
+        let a = RemoteRegion {
+            key: MemKey(1),
+            len: 4,
+        };
+        let b = a;
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,122 @@
+//! Network cost model.
+//!
+//! The reproduction does not simulate a wire; instead, each transfer may
+//! charge a latency + size/bandwidth cost before the data becomes visible
+//! to the peer. The default for experiments is a small non-zero latency so
+//! intervals like the *target internal RDMA transfer time* are measurable
+//! but do not dominate (matching their small share in the paper's
+//! Figures 6 and 7).
+
+use std::time::Duration;
+
+/// Latency/bandwidth cost model applied to fabric transfers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkModel {
+    /// Fixed per-transfer latency.
+    pub latency: Duration,
+    /// Optional bandwidth cap in bytes/second; `None` means infinite.
+    pub bandwidth_bytes_per_sec: Option<f64>,
+}
+
+impl NetworkModel {
+    /// Zero-cost model: transfers complete immediately. Useful in unit
+    /// tests where wall-clock time must not matter.
+    pub fn instant() -> Self {
+        NetworkModel {
+            latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+
+    /// A model loosely shaped like a modern HPC interconnect scaled for a
+    /// single-machine harness: ~5µs latency, ~10 GiB/s bandwidth.
+    pub fn hpc_like() -> Self {
+        NetworkModel {
+            latency: Duration::from_micros(5),
+            bandwidth_bytes_per_sec: Some(10.0 * 1024.0 * 1024.0 * 1024.0),
+        }
+    }
+
+    /// Construct from explicit parameters.
+    pub fn new(latency: Duration, bandwidth_bytes_per_sec: Option<f64>) -> Self {
+        NetworkModel {
+            latency,
+            bandwidth_bytes_per_sec,
+        }
+    }
+
+    /// The cost of transferring `bytes` bytes under this model.
+    pub fn transfer_cost(&self, bytes: usize) -> Duration {
+        let bw = match self.bandwidth_bytes_per_sec {
+            Some(bw) if bw > 0.0 => Duration::from_secs_f64(bytes as f64 / bw),
+            _ => Duration::ZERO,
+        };
+        self.latency + bw
+    }
+
+    /// Whether the model charges any cost at all.
+    pub fn is_instant(&self) -> bool {
+        self.latency.is_zero() && self.bandwidth_bytes_per_sec.is_none()
+    }
+
+    /// Charge the cost of a transfer by sleeping, if the model is not
+    /// instant. Called on the *initiating* side of a transfer (the RDMA
+    /// reader/writer, or the sender of an eager message).
+    pub fn charge(&self, bytes: usize) {
+        if self.is_instant() {
+            return;
+        }
+        let cost = self.transfer_cost(bytes);
+        if !cost.is_zero() {
+            std::thread::sleep(cost);
+        }
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        Self::instant()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_model_has_zero_cost() {
+        let m = NetworkModel::instant();
+        assert!(m.is_instant());
+        assert_eq!(m.transfer_cost(1 << 20), Duration::ZERO);
+    }
+
+    #[test]
+    fn cost_scales_with_size() {
+        let m = NetworkModel::new(Duration::from_micros(10), Some(1_000_000.0));
+        let small = m.transfer_cost(1_000); // 10us + 1ms
+        let large = m.transfer_cost(100_000); // 10us + 100ms
+        assert!(large > small);
+        assert_eq!(small, Duration::from_micros(10) + Duration::from_millis(1));
+    }
+
+    #[test]
+    fn latency_only_model() {
+        let m = NetworkModel::new(Duration::from_micros(3), None);
+        assert_eq!(m.transfer_cost(usize::MAX), Duration::from_micros(3));
+        assert!(!m.is_instant());
+    }
+
+    #[test]
+    fn zero_bandwidth_treated_as_infinite() {
+        let m = NetworkModel::new(Duration::ZERO, Some(0.0));
+        assert_eq!(m.transfer_cost(1 << 30), Duration::ZERO);
+    }
+
+    #[test]
+    fn charge_sleeps_approximately_cost() {
+        let m = NetworkModel::new(Duration::from_millis(5), None);
+        let start = std::time::Instant::now();
+        m.charge(1);
+        assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+}

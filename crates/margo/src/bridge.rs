@@ -1,0 +1,139 @@
+//! The Margo↔Mercury performance-data bridge (paper §IV-C, Figure 3).
+//!
+//! "The Margo RPC API layer initializes a PVAR session with Mercury inside
+//! its initialization routine. At the same time, it also initializes all
+//! necessary PVAR handles." This module is that bridge: one session plus
+//! pre-allocated handles for every PVAR SYMBIOSYS fuses into its data.
+
+use symbi_mercury::pvar::ids;
+use symbi_mercury::{HandlePvars, HgClass, PvarHandle, PvarSession};
+
+/// An open PVAR session with handles pre-allocated for the PVARs the
+/// measurement system samples at t13/t14.
+pub struct PvarBridge {
+    session: PvarSession,
+    num_ofi_events_read: PvarHandle,
+    completion_queue_size: PvarHandle,
+    input_serialization: PvarHandle,
+    input_deserialization: PvarHandle,
+    output_serialization: PvarHandle,
+    internal_rdma: PvarHandle,
+    origin_cct: PvarHandle,
+}
+
+impl std::fmt::Debug for PvarBridge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PvarBridge")
+    }
+}
+
+impl PvarBridge {
+    /// Open a session against `hg` and allocate all handles.
+    pub fn new(hg: &HgClass) -> Self {
+        let session = hg.pvar_session();
+        let alloc = |id| {
+            session
+                .alloc_handle(id)
+                .expect("built-in PVAR must be allocatable")
+        };
+        PvarBridge {
+            num_ofi_events_read: alloc(ids::NUM_OFI_EVENTS_READ),
+            completion_queue_size: alloc(ids::COMPLETION_QUEUE_SIZE),
+            input_serialization: alloc(ids::INPUT_SERIALIZATION_TIME),
+            input_deserialization: alloc(ids::INPUT_DESERIALIZATION_TIME),
+            output_serialization: alloc(ids::OUTPUT_SERIALIZATION_TIME),
+            internal_rdma: alloc(ids::INTERNAL_RDMA_TRANSFER_TIME),
+            origin_cct: alloc(ids::ORIGIN_COMPLETION_CALLBACK_TIME),
+            session,
+        }
+    }
+
+    /// Sample `num_ofi_events_read` (fused into trace events at t14).
+    pub fn num_ofi_events_read(&self) -> Option<u64> {
+        self.session.sample(&self.num_ofi_events_read, None).ok()
+    }
+
+    /// Sample the current completion queue length.
+    pub fn completion_queue_size(&self) -> Option<u64> {
+        self.session.sample(&self.completion_queue_size, None).ok()
+    }
+
+    /// Sample the origin-side handle PVARs read when measuring at t14.
+    pub fn origin_handle_samples(&self, h: &HandlePvars) -> OriginHandleSamples {
+        OriginHandleSamples {
+            input_serialization_ns: self.session.sample(&self.input_serialization, Some(h)).ok(),
+            origin_cct_ns: self.session.sample(&self.origin_cct, Some(h)).ok(),
+            internal_rdma_ns: self.session.sample(&self.internal_rdma, Some(h)).ok(),
+        }
+    }
+
+    /// Sample the target-side handle PVARs read when measuring at t13.
+    pub fn target_handle_samples(&self, h: &HandlePvars) -> TargetHandleSamples {
+        TargetHandleSamples {
+            input_deserialization_ns: self
+                .session
+                .sample(&self.input_deserialization, Some(h))
+                .ok(),
+            output_serialization_ns: self
+                .session
+                .sample(&self.output_serialization, Some(h))
+                .ok(),
+            internal_rdma_ns: self.session.sample(&self.internal_rdma, Some(h)).ok(),
+        }
+    }
+
+    /// Finalize the underlying session.
+    pub fn finalize(&self) {
+        self.session.finalize();
+    }
+}
+
+/// Handle PVARs read at t14 on the origin (paper §IV-C).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OriginHandleSamples {
+    /// `input_serialization_time` (ns).
+    pub input_serialization_ns: Option<u64>,
+    /// `origin_completion_callback_time` (ns).
+    pub origin_cct_ns: Option<u64>,
+    /// `internal_rdma_transfer_time` observed on the origin (ns).
+    pub internal_rdma_ns: Option<u64>,
+}
+
+/// Handle PVARs read at t13 on the target (paper §IV-C).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TargetHandleSamples {
+    /// `input_deserialization_time` (ns).
+    pub input_deserialization_ns: Option<u64>,
+    /// `output_serialization_time` (ns).
+    pub output_serialization_ns: Option<u64>,
+    /// `internal_rdma_transfer_time` (ns).
+    pub internal_rdma_ns: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+    use symbi_fabric::{Fabric, NetworkModel};
+    use symbi_mercury::HgConfig;
+
+    #[test]
+    fn bridge_allocates_and_samples() {
+        let hg = HgClass::init(Fabric::new(NetworkModel::instant()), HgConfig::default());
+        let bridge = PvarBridge::new(&hg);
+        assert_eq!(hg.active_pvar_sessions(), 1);
+        assert_eq!(bridge.num_ofi_events_read(), Some(0));
+        assert_eq!(bridge.completion_queue_size(), Some(0));
+        let h = HandlePvars::default();
+        h.input_serialization_ns.store(7, Ordering::Relaxed);
+        h.output_serialization_ns.store(9, Ordering::Relaxed);
+        let o = bridge.origin_handle_samples(&h);
+        assert_eq!(o.input_serialization_ns, Some(7));
+        let t = bridge.target_handle_samples(&h);
+        assert_eq!(t.output_serialization_ns, Some(9));
+        bridge.finalize();
+        assert_eq!(hg.active_pvar_sessions(), 0);
+        // Samples after finalize degrade to None, never panic.
+        assert_eq!(bridge.num_ofi_events_read(), None);
+    }
+}

@@ -1,0 +1,153 @@
+//! Margo instance configuration.
+//!
+//! The fields correspond directly to the knobs of the paper's Table IV:
+//! `handler_streams` is the *Threads (ESs)* column, `ofi_max_events` the
+//! *OFI_max_events* column, and `dedicated_progress_stream` the *Client
+//! Progress Thread?* column.
+
+use std::time::Duration;
+use symbi_core::Stage;
+use symbi_mercury::HgConfig;
+
+/// Whether the instance accepts RPCs, issues them, or both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Pure client: issues RPCs, runs no handler streams.
+    Client,
+    /// Server: accepts RPCs on handler streams (may also issue RPCs,
+    /// as e.g. the Mobject sequencer provider does).
+    Server,
+}
+
+/// Configuration for one [`crate::MargoInstance`].
+#[derive(Debug, Clone)]
+pub struct MargoConfig {
+    /// Entity name used in profiles, traces, and reports.
+    pub name: String,
+    /// Client or server mode.
+    pub mode: Mode,
+    /// Number of execution streams draining the handler pool (server
+    /// mode). The Table IV *Threads (ESs)* knob.
+    pub handler_streams: usize,
+    /// Give the progress loop its own execution stream. Servers always
+    /// do (the Mochi model); for clients this is the Table IV *Client
+    /// Progress Thread?* knob — `false` makes the progress loop share the
+    /// client's main stream with request-issuing ULTs, reproducing the
+    /// C5/C6 starvation of §V-C4.
+    pub dedicated_progress_stream: bool,
+    /// Upper bound on OFI completion events read per progress call
+    /// (`OFI_max_events`, default 16 as in Mercury).
+    pub ofi_max_events: usize,
+    /// Mercury-level settings (eager size).
+    pub eager_size: usize,
+    /// SYMBIOSYS measurement stage.
+    pub stage: Stage,
+    /// How long a progress call may block waiting for the first event.
+    pub progress_timeout: Duration,
+    /// Upper bound a blocking forward waits for its response.
+    pub rpc_timeout: Duration,
+}
+
+impl MargoConfig {
+    /// A client configuration with the paper's defaults (no dedicated
+    /// progress stream, `OFI_max_events` = 16).
+    pub fn client(name: impl Into<String>) -> Self {
+        MargoConfig {
+            name: name.into(),
+            mode: Mode::Client,
+            handler_streams: 0,
+            dedicated_progress_stream: false,
+            ofi_max_events: 16,
+            eager_size: 4096,
+            stage: Stage::Full,
+            progress_timeout: Duration::from_micros(200),
+            rpc_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// A server configuration with `streams` handler execution streams.
+    pub fn server(name: impl Into<String>, streams: usize) -> Self {
+        MargoConfig {
+            name: name.into(),
+            mode: Mode::Server,
+            handler_streams: streams.max(1),
+            dedicated_progress_stream: true,
+            ofi_max_events: 16,
+            eager_size: 4096,
+            stage: Stage::Full,
+            progress_timeout: Duration::from_micros(200),
+            rpc_timeout: Duration::from_secs(60),
+        }
+    }
+
+    /// Set the measurement stage.
+    pub fn with_stage(mut self, stage: Stage) -> Self {
+        self.stage = stage;
+        self
+    }
+
+    /// Set `OFI_max_events`.
+    pub fn with_ofi_max_events(mut self, n: usize) -> Self {
+        self.ofi_max_events = n.max(1);
+        self
+    }
+
+    /// Toggle the dedicated progress stream.
+    pub fn with_dedicated_progress(mut self, dedicated: bool) -> Self {
+        self.dedicated_progress_stream = dedicated;
+        self
+    }
+
+    /// Set the eager buffer size.
+    pub fn with_eager_size(mut self, bytes: usize) -> Self {
+        self.eager_size = bytes;
+        self
+    }
+
+    pub(crate) fn hg_config(&self) -> HgConfig {
+        HgConfig {
+            eager_size: self.eager_size,
+            ofi_max_events: self.ofi_max_events,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn client_defaults_match_paper() {
+        let c = MargoConfig::client("c");
+        assert_eq!(c.mode, Mode::Client);
+        assert_eq!(c.ofi_max_events, 16);
+        assert!(!c.dedicated_progress_stream);
+        assert_eq!(c.handler_streams, 0);
+    }
+
+    #[test]
+    fn server_always_has_a_stream() {
+        let s = MargoConfig::server("s", 0);
+        assert!(s.handler_streams >= 1);
+        assert!(s.dedicated_progress_stream);
+    }
+
+    #[test]
+    fn builders_apply() {
+        let c = MargoConfig::client("c")
+            .with_stage(Stage::Disabled)
+            .with_ofi_max_events(64)
+            .with_dedicated_progress(true)
+            .with_eager_size(1024);
+        assert_eq!(c.stage, Stage::Disabled);
+        assert_eq!(c.ofi_max_events, 64);
+        assert!(c.dedicated_progress_stream);
+        assert_eq!(c.hg_config().eager_size, 1024);
+    }
+
+    #[test]
+    fn ofi_max_events_floor_is_one() {
+        let c = MargoConfig::client("c").with_ofi_max_events(0);
+        assert_eq!(c.ofi_max_events, 1);
+    }
+}

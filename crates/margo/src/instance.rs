@@ -1,0 +1,741 @@
+//! The Margo instance: the unified RPC/tasking runtime that hosts the
+//! SYMBIOSYS measurement system (paper §IV-A: "Margo is the ideal
+//! software layer to host the performance measurement system").
+
+use crate::bridge::PvarBridge;
+use crate::config::{MargoConfig, Mode};
+use crate::keys;
+use crate::MargoError;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::Instant;
+use symbi_core::{
+    now_ns, Callpath, EntityId, EventSamples, Interval, Side, Symbiosys, SysStats,
+    TraceEvent, TraceEventKind, UNKNOWN_ENTITY,
+};
+use symbi_fabric::{Addr, Fabric};
+use symbi_mercury::{
+    hash_rpc_name, HandlePvars, HgClass, Response, RpcMeta, RpcStatus, ServerHandle, Wire,
+};
+use symbi_tasking::{Eventual, ExecutionStream, Pool};
+
+/// A server-side RPC handler: receives the instance (for downstream
+/// calls) and the Mercury server handle (for typed input access), returns
+/// the serialized response payload or an error string.
+pub type RpcHandler =
+    Arc<dyn Fn(&MargoInstance, &ServerHandle) -> Result<Bytes, String> + Send + Sync>;
+
+/// Result of a completed RPC as seen by the origin.
+#[derive(Debug, Clone)]
+pub struct RpcOutcome {
+    /// Completion status.
+    pub status: RpcStatus,
+    /// Serialized output.
+    pub output: Bytes,
+    /// The origin handle's PVAR block.
+    pub pvars: Arc<HandlePvars>,
+    /// Origin execution time (t1→t14) in ns, 0 when measurement is off.
+    pub origin_execution_ns: u64,
+}
+
+/// An in-flight asynchronous RPC issued with
+/// [`MargoInstance::forward_async`].
+pub struct AsyncRpc {
+    ev: Eventual<Result<RpcOutcome, MargoError>>,
+    timeout: std::time::Duration,
+}
+
+impl AsyncRpc {
+    /// Block until the RPC completes.
+    pub fn wait(&self) -> Result<RpcOutcome, MargoError> {
+        match self.ev.wait_timeout(self.timeout) {
+            Some(res) => res,
+            None => Err(MargoError::Timeout),
+        }
+    }
+
+    /// Block and deserialize the output.
+    pub fn wait_decode<O: Wire>(&self) -> Result<O, MargoError> {
+        let outcome = self.wait()?;
+        match outcome.status {
+            RpcStatus::Ok => O::from_bytes(outcome.output)
+                .map_err(|e| MargoError::Codec(e.to_string())),
+            s => Err(MargoError::Remote(s)),
+        }
+    }
+
+    /// Whether the RPC already completed.
+    pub fn is_done(&self) -> bool {
+        self.ev.is_set()
+    }
+}
+
+// Global address → entity map so profiles can name RPC peers. In a real
+// deployment this is exchanged out-of-band (SSG membership); in the
+// single-process reproduction a process-global table is exact.
+fn addr_entities() -> &'static RwLock<HashMap<u64, EntityId>> {
+    static MAP: OnceLock<RwLock<HashMap<u64, EntityId>>> = OnceLock::new();
+    MAP.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Resolve the entity listening on a fabric address, if known.
+pub fn entity_for_addr(addr: Addr) -> EntityId {
+    addr_entities()
+        .read()
+        .get(&addr.0)
+        .copied()
+        .unwrap_or(UNKNOWN_ENTITY)
+}
+
+pub(crate) struct Inner {
+    config: MargoConfig,
+    hg: HgClass,
+    sym: Arc<Symbiosys>,
+    /// Server: the handler pool. Shared-progress client: the main pool
+    /// that runs both issue ULTs and the progress ULT.
+    pub(crate) primary_pool: Pool,
+    /// Dedicated progress pool (servers and dedicated-progress clients).
+    progress_pool: Option<Pool>,
+    bridge: Arc<PvarBridge>,
+    shutdown: Arc<AtomicBool>,
+    streams: Mutex<Vec<ExecutionStream>>,
+}
+
+/// A Margo instance. Cloning shares the instance.
+#[derive(Clone)]
+pub struct MargoInstance {
+    pub(crate) inner: Arc<Inner>,
+}
+
+impl std::fmt::Debug for MargoInstance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "MargoInstance({}, addr={}, mode={:?})",
+            self.inner.config.name,
+            self.inner.hg.addr(),
+            self.inner.config.mode
+        )
+    }
+}
+
+impl MargoInstance {
+    /// Initialize an instance on the fabric per `config`, spawning its
+    /// execution streams and progress loop.
+    pub fn new(fabric: Fabric, config: MargoConfig) -> Self {
+        let hg = HgClass::init(fabric, config.hg_config());
+        let sym = Symbiosys::new(&config.name, config.stage);
+        addr_entities().write().insert(hg.addr().0, sym.entity());
+
+        let bridge = Arc::new(PvarBridge::new(&hg));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let mut streams = Vec::new();
+
+        let (primary_pool, progress_pool) = match (config.mode, config.dedicated_progress_stream)
+        {
+            (Mode::Server, _) => {
+                let handler = Pool::new(format!("{}-handlers", config.name));
+                let progress = Pool::new(format!("{}-progress", config.name));
+                for i in 0..config.handler_streams {
+                    streams.push(ExecutionStream::spawn(
+                        format!("{}-es{}", config.name, i),
+                        &[handler.clone()],
+                    ));
+                }
+                streams.push(ExecutionStream::spawn(
+                    format!("{}-progress", config.name),
+                    &[progress.clone()],
+                ));
+                (handler, Some(progress))
+            }
+            (Mode::Client, true) => {
+                let progress = Pool::new(format!("{}-progress", config.name));
+                streams.push(ExecutionStream::spawn(
+                    format!("{}-progress", config.name),
+                    &[progress.clone()],
+                ));
+                (progress.clone(), Some(progress))
+            }
+            (Mode::Client, false) => {
+                // The paper's default client: one main ES shared by the
+                // progress ULT and the ULTs issuing RPC requests (§V-C4).
+                let main = Pool::new(format!("{}-main", config.name));
+                streams.push(ExecutionStream::spawn(
+                    format!("{}-main", config.name),
+                    &[main.clone()],
+                ));
+                (main, None)
+            }
+        };
+
+        let inner = Arc::new(Inner {
+            config,
+            hg,
+            sym,
+            primary_pool,
+            progress_pool,
+            bridge,
+            shutdown,
+            streams: Mutex::new(streams),
+        });
+
+        Self::spawn_progress(&inner);
+        MargoInstance { inner }
+    }
+
+    fn spawn_progress(inner: &Arc<Inner>) {
+        let weak = Arc::downgrade(inner);
+        match &inner.progress_pool {
+            Some(pool) => {
+                // Dedicated progress ES: a continuous loop.
+                pool.spawn(move || loop {
+                    let Some(inner) = weak.upgrade() else { return };
+                    if inner.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    inner
+                        .hg
+                        .progress(inner.config.ofi_max_events, inner.config.progress_timeout);
+                    inner.hg.trigger(usize::MAX);
+                });
+            }
+            None => {
+                // Shared mode: one progress iteration per ULT execution,
+                // re-enqueued behind whatever issue ULTs are pending —
+                // exactly the contention the paper diagnoses in §V-C4.
+                let pool = inner.primary_pool.clone();
+                shared_progress_step(weak, pool);
+            }
+        }
+    }
+
+    /// The Mercury instance (exposed for bulk transfers and tooling).
+    pub fn hg(&self) -> &HgClass {
+        &self.inner.hg
+    }
+
+    /// This instance's fabric address.
+    pub fn addr(&self) -> Addr {
+        self.inner.hg.addr()
+    }
+
+    /// The SYMBIOSYS context attached to this instance.
+    pub fn symbiosys(&self) -> &Arc<Symbiosys> {
+        &self.inner.sym
+    }
+
+    /// The instance configuration.
+    pub fn config(&self) -> &MargoConfig {
+        &self.inner.config
+    }
+
+    /// The pool that services handler ULTs (servers) or issue ULTs
+    /// (shared-progress clients) — the pool whose blocked/runnable counts
+    /// SYMBIOSYS samples into trace events.
+    pub fn primary_pool(&self) -> &Pool {
+        &self.inner.primary_pool
+    }
+
+    // ------------------------------------------------------------------
+    // Server side
+    // ------------------------------------------------------------------
+
+    /// Register an RPC with a raw handler. The handler runs in a ULT on
+    /// the primary handler pool; its input is accessed through the
+    /// [`ServerHandle`], and its returned bytes become the response.
+    pub fn register(&self, rpc_name: &str, handler: RpcHandler) {
+        let pool = self.inner.primary_pool.clone();
+        self.register_in_pool(rpc_name, &pool, handler);
+    }
+
+    /// Register an RPC whose handler ULTs run in a *specific* pool —
+    /// Margo's provider-pool feature. Providers whose handlers issue
+    /// nested blocking RPCs (e.g. the Mobject sequencer calling BAKE and
+    /// SDSKV on the same node) must be separated from their callees'
+    /// pools; otherwise a burst of blocked parents can occupy every
+    /// execution stream and starve the children (this substrate's ULTs
+    /// pin their ES while blocked).
+    pub fn register_in_pool(&self, rpc_name: &str, pool: &Pool, handler: RpcHandler) {
+        let rpc_id = self.inner.hg.register(rpc_name);
+        symbi_core::callpath::register_name(rpc_name);
+        let weak = Arc::downgrade(&self.inner);
+        let pool = pool.clone();
+        self.inner.hg.set_handler(
+            rpc_id,
+            Arc::new(move |sh: ServerHandle| {
+                let Some(inner) = weak.upgrade() else {
+                    return; // instance torn down; ServerHandle drop answers
+                };
+                Inner::dispatch_request(&inner, sh, handler.clone(), &pool);
+            }),
+        );
+    }
+
+    /// Create an additional handler pool served by `streams` dedicated
+    /// execution streams, for use with [`MargoInstance::register_in_pool`].
+    pub fn add_handler_pool(&self, label: &str, streams: usize) -> Pool {
+        let pool = Pool::new(format!("{}-{label}", self.inner.config.name));
+        let mut s = self.inner.streams.lock();
+        for i in 0..streams.max(1) {
+            s.push(ExecutionStream::spawn(
+                format!("{}-{label}-es{i}", self.inner.config.name),
+                &[pool.clone()],
+            ));
+        }
+        pool
+    }
+
+    /// Register a typed handler: input is deserialized (recording the
+    /// `input_deserialization_time` PVAR), output serialized (recording
+    /// `output_serialization_time`).
+    pub fn register_fn<I, O, F>(&self, rpc_name: &str, f: F)
+    where
+        I: Wire,
+        O: Wire,
+        F: Fn(&MargoInstance, I) -> Result<O, String> + Send + Sync + 'static,
+    {
+        let pool = self.inner.primary_pool.clone();
+        self.register_fn_in_pool(rpc_name, &pool, f);
+    }
+
+    /// Typed variant of [`MargoInstance::register_in_pool`].
+    pub fn register_fn_in_pool<I, O, F>(&self, rpc_name: &str, pool: &Pool, f: F)
+    where
+        I: Wire,
+        O: Wire,
+        F: Fn(&MargoInstance, I) -> Result<O, String> + Send + Sync + 'static,
+    {
+        self.register_in_pool(
+            rpc_name,
+            pool,
+            Arc::new(move |margo: &MargoInstance, sh: &ServerHandle| {
+                let input: I = sh.input().map_err(|e| e.to_string())?;
+                let out = f(margo, input)?;
+                let start = Instant::now();
+                let bytes = out.to_bytes();
+                sh.pvars()
+                    .output_serialization_ns
+                    .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                Ok(bytes)
+            }),
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // Client side
+    // ------------------------------------------------------------------
+
+    /// Issue an RPC asynchronously; returns a handle to wait on.
+    ///
+    /// Instrumentation (paper Figure 2 / Table III): t1 is stamped when
+    /// the issue ULT runs; input serialization is timed into the handle
+    /// PVAR; the callpath ancestry is extended from the caller's
+    /// ULT-local key and propagated in the request metadata; the
+    /// completion callback at t14 records the origin profile row and
+    /// trace event.
+    pub fn forward_async<I: Wire>(&self, dest: Addr, rpc_name: &str, input: &I) -> AsyncRpc {
+        let encoded_input = {
+            // Serialize lazily inside the issue path so the timing lands
+            // in the handle PVAR; here we only clone the value's bytes
+            // representation closure-side. To avoid borrowing `input`
+            // beyond this call, encode through a boxed closure capturing
+            // an owned copy of the wire form is not possible generically —
+            // so we serialize to an intermediate buffer now and re-time
+            // the copy at issue time.
+            input.to_bytes()
+        };
+        self.forward_async_raw(dest, rpc_name, encoded_input)
+    }
+
+    /// Issue an RPC whose input is already serialized.
+    pub fn forward_async_raw(&self, dest: Addr, rpc_name: &str, input: Bytes) -> AsyncRpc {
+        let inner = self.inner.clone();
+        let stage = inner.config.stage;
+
+        // Capture request context from the *caller's* ULT-local keys
+        // (§IV-A1: the servicing ULT passes its ancestry downstream).
+        let parent = keys::current_callpath();
+        let (callpath, request_id, order) = if stage.ids_enabled() {
+            let callpath = parent.push(rpc_name);
+            let request_id = keys::current_request_id()
+                .unwrap_or_else(|| inner.sym.next_request_id());
+            let order = keys::next_order();
+            (callpath, request_id, order)
+        } else {
+            (Callpath::EMPTY, 0, 0)
+        };
+
+        let ev: Eventual<Result<RpcOutcome, MargoError>> = Eventual::new();
+        let timeout = inner.config.rpc_timeout;
+        let rpc_id = hash_rpc_name(rpc_name);
+        symbi_core::callpath::register_name(rpc_name);
+
+        let issue = {
+            let ev = ev.clone();
+            let inner = inner.clone();
+            move || {
+                Inner::issue_rpc(&inner, dest, rpc_id, callpath, request_id, order, input, ev);
+            }
+        };
+
+        // The paper's default client runs request-issuing work as ULTs on
+        // the shared main ES; with a dedicated progress stream the caller
+        // issues inline.
+        let shared_client = inner.config.mode == Mode::Client
+            && !inner.config.dedicated_progress_stream;
+        if shared_client {
+            inner.primary_pool.spawn(issue);
+        } else {
+            issue();
+        }
+        AsyncRpc { ev, timeout }
+    }
+
+    /// Issue an RPC and block for the typed response.
+    pub fn forward<I: Wire, O: Wire>(
+        &self,
+        dest: Addr,
+        rpc_name: &str,
+        input: &I,
+    ) -> Result<O, MargoError> {
+        self.forward_async(dest, rpc_name, input).wait_decode()
+    }
+
+    /// Issue an RPC and block for the raw outcome.
+    pub fn forward_raw(
+        &self,
+        dest: Addr,
+        rpc_name: &str,
+        input: Bytes,
+    ) -> Result<RpcOutcome, MargoError> {
+        let outcome = self.forward_async_raw(dest, rpc_name, input).wait()?;
+        match outcome.status {
+            RpcStatus::Ok => Ok(outcome),
+            s => Err(MargoError::Remote(s)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Shut down: stop the progress loop, join all execution streams, and
+    /// close the endpoint. Idempotent.
+    pub fn finalize(&self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let streams: Vec<ExecutionStream> = self.inner.streams.lock().drain(..).collect();
+        for s in streams {
+            s.join();
+        }
+        self.inner.hg.finalize();
+        self.inner.bridge.finalize();
+    }
+}
+
+/// One shared-mode progress step: performs a bounded progress+trigger and
+/// re-enqueues itself at the back of the main pool, behind pending issue
+/// ULTs (the source of the C5 starvation in §V-C4).
+fn shared_progress_step(weak: Weak<Inner>, pool: Pool) {
+    let Some(inner) = weak.upgrade() else { return };
+    if inner.shutdown.load(Ordering::Acquire) || pool.is_closed() {
+        return;
+    }
+    let weak2 = weak.clone();
+    let pool2 = pool.clone();
+    pool.spawn(move || {
+        let Some(inner) = weak2.upgrade() else { return };
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        // Block briefly only when the pool has no other pending work, so
+        // an idle client doesn't spin.
+        let timeout = if pool2.runnable() == 0 {
+            inner.config.progress_timeout
+        } else {
+            std::time::Duration::ZERO
+        };
+        inner.hg.progress(inner.config.ofi_max_events, timeout);
+        inner.hg.trigger(usize::MAX);
+        drop(inner);
+        shared_progress_step(weak2, pool2);
+    });
+}
+
+impl Inner {
+    /// Target-side dispatch: runs on the progress ES at t4, spawns the
+    /// handler ULT into `pool`, seeded with the request's ULT-local
+    /// context.
+    fn dispatch_request(inner: &Arc<Inner>, sh: ServerHandle, handler: RpcHandler, pool: &Pool) {
+        let meta = sh.meta();
+        let callpath = Callpath(meta.callpath);
+        let seed = keys::seed_for_request(callpath, meta.request_id, meta.order);
+        let t4 = Instant::now();
+        let stage = inner.config.stage;
+        if stage.ids_enabled() {
+            inner.sym.lamport().merge(meta.lamport);
+        }
+        let inner2 = inner.clone();
+        let sample_pool = pool.clone();
+        pool.spawn_with_locals(seed, move || {
+            let t5 = Instant::now();
+            let handler_ns = (t5 - t4).as_nanos() as u64;
+            let t5_wall = now_ns();
+
+            if stage.measure_enabled() {
+                let mut samples = inner2.samples_for_pool(&sample_pool);
+                samples.target_handler_ns = Some(handler_ns);
+                inner2.sym.tracer().record(TraceEvent {
+                    request_id: meta.request_id,
+                    order: keys::next_order(),
+                    lamport: inner2.sym.lamport().tick(),
+                    wall_ns: t5_wall,
+                    kind: TraceEventKind::TargetUltStart,
+                    entity: inner2.sym.entity(),
+                    callpath,
+                    samples,
+                });
+            }
+
+            let margo = MargoInstance {
+                inner: inner2.clone(),
+            };
+            let result = handler(&margo, &sh);
+            let t8 = Instant::now();
+            let t8_wall = now_ns();
+            let exec_ns = (t8 - t5).as_nanos() as u64;
+
+            let origin_entity = entity_for_addr(sh.origin());
+            let pvars = sh.pvars().clone();
+            let inner3 = inner2.clone();
+            let on_sent = move || {
+                // t13: the target completion callback.
+                let cct_ns = t8.elapsed().as_nanos() as u64;
+                if !stage.measure_enabled() {
+                    return;
+                }
+                let mut measurements = vec![
+                    (Interval::TargetUltHandler, handler_ns),
+                    (Interval::TargetUltExecution, exec_ns),
+                    (Interval::TargetCompletionCallback, cct_ns),
+                ];
+                if stage.pvars_enabled() {
+                    let t = inner3.bridge.target_handle_samples(&pvars);
+                    if let Some(v) = t.input_deserialization_ns {
+                        measurements.push((Interval::InputDeserialization, v));
+                    }
+                    if let Some(v) = t.output_serialization_ns {
+                        measurements.push((Interval::OutputSerialization, v));
+                    }
+                    if let Some(v) = t.internal_rdma_ns {
+                        measurements.push((Interval::TargetInternalRdma, v));
+                    }
+                }
+                inner3.sym.profiler().record(
+                    inner3.sym.entity(),
+                    origin_entity,
+                    Side::Target,
+                    callpath,
+                    &measurements,
+                );
+            };
+
+            let respond_result = match result {
+                Ok(bytes) => sh.respond_bytes(RpcStatus::Ok, bytes, on_sent),
+                Err(msg) => {
+                    eprintln!(
+                        "[symbi-margo] handler for {} failed: {msg}",
+                        sh.rpc_name().unwrap_or_default()
+                    );
+                    sh.respond_bytes(RpcStatus::HandlerError, Bytes::new(), on_sent)
+                }
+            };
+            if let Err(e) = respond_result {
+                eprintln!("[symbi-margo] respond failed: {e}");
+            }
+
+            if stage.measure_enabled() {
+                let mut samples = EventSamples::default();
+                samples.target_execution_ns = Some(exec_ns);
+                samples.target_handler_ns = Some(handler_ns);
+                if stage.pvars_enabled() {
+                    let t = inner2.bridge.target_handle_samples(sh.pvars());
+                    samples.input_deserialization_ns = t.input_deserialization_ns;
+                    samples.output_serialization_ns = t.output_serialization_ns;
+                    samples.internal_rdma_ns = t.internal_rdma_ns;
+                }
+                inner2.sym.tracer().record(TraceEvent {
+                    request_id: meta.request_id,
+                    order: keys::next_order(),
+                    lamport: inner2.sym.lamport().tick(),
+                    wall_ns: t8_wall,
+                    kind: TraceEventKind::TargetRespond,
+                    entity: inner2.sym.entity(),
+                    callpath,
+                    samples,
+                });
+            }
+        });
+    }
+
+    /// Origin-side issue path (t1→t3) plus the t14 completion callback.
+    #[allow(clippy::too_many_arguments)]
+    fn issue_rpc(
+        inner: &Arc<Inner>,
+        dest: Addr,
+        rpc_id: u64,
+        callpath: Callpath,
+        request_id: u64,
+        order: u32,
+        input: Bytes,
+        ev: Eventual<Result<RpcOutcome, MargoError>>,
+    ) {
+        let stage = inner.config.stage;
+        let t1 = Instant::now();
+        let t1_wall = now_ns();
+
+        if stage.measure_enabled() {
+            inner.sym.tracer().record(TraceEvent {
+                request_id,
+                order,
+                lamport: inner.sym.lamport().tick(),
+                wall_ns: t1_wall,
+                kind: TraceEventKind::OriginForward,
+                entity: inner.sym.entity(),
+                callpath,
+                samples: inner.samples_for_pool(&inner.primary_pool),
+            });
+        }
+
+        let handle = inner.hg.create_handle(dest, rpc_id);
+        // Re-time the serialization copy into the handle PVAR (t2→t3).
+        let start = Instant::now();
+        let input = {
+            let copied = Bytes::copy_from_slice(&input);
+            handle
+                .pvars()
+                .input_serialization_ns
+                .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            handle
+                .pvars()
+                .input_size
+                .store(copied.len() as u64, Ordering::Relaxed);
+            copied
+        };
+
+        let lamport = if stage.ids_enabled() {
+            inner.sym.lamport().tick()
+        } else {
+            0
+        };
+        let meta = RpcMeta {
+            callpath: callpath.0,
+            request_id,
+            order,
+            lamport,
+        };
+
+        let inner2 = inner.clone();
+        let ev2 = ev.clone();
+        let res = inner.hg.forward(handle, meta, input, move |resp: Response| {
+            // t14 on the progress ES.
+            let origin_execution_ns = t1.elapsed().as_nanos() as u64;
+            inner2.on_origin_complete(&resp, origin_execution_ns, callpath, dest, request_id);
+            ev2.set(Ok(RpcOutcome {
+                status: resp.status,
+                output: resp.output.clone(),
+                pvars: resp.pvars.clone(),
+                origin_execution_ns,
+            }));
+        });
+        if let Err(e) = res {
+            ev.set(Err(MargoError::Hg(e.to_string())));
+        }
+    }
+
+    /// Record the t14 origin-side measurements: the origin profile row
+    /// and the OriginComplete trace event, with PVAR data fused in when
+    /// the stage allows (paper §IV-C).
+    fn on_origin_complete(
+        &self,
+        resp: &Response,
+        origin_execution_ns: u64,
+        callpath: Callpath,
+        dest: Addr,
+        request_id: u64,
+    ) {
+        let stage = self.config.stage;
+        if !stage.measure_enabled() {
+            return;
+        }
+        let peer = entity_for_addr(dest);
+        let mut measurements = vec![(Interval::OriginExecution, origin_execution_ns)];
+        let mut samples = EventSamples::default();
+        samples.origin_execution_ns = Some(origin_execution_ns);
+        if stage.pvars_enabled() {
+            let o = self.bridge.origin_handle_samples(&resp.pvars);
+            if let Some(v) = o.input_serialization_ns {
+                measurements.push((Interval::InputSerialization, v));
+                samples.input_serialization_ns = Some(v);
+            }
+            if let Some(v) = o.origin_cct_ns {
+                measurements.push((Interval::OriginCompletionCallback, v));
+                samples.origin_cct_ns = Some(v);
+            }
+            samples.internal_rdma_ns = o.internal_rdma_ns;
+            samples.num_ofi_events_read = self.bridge.num_ofi_events_read();
+            samples.completion_queue_size = self.bridge.completion_queue_size();
+        }
+        self.sym.profiler().record(
+            self.sym.entity(),
+            peer,
+            Side::Origin,
+            callpath,
+            &measurements,
+        );
+        self.sym.tracer().record(TraceEvent {
+            request_id,
+            order: keys::next_order(),
+            lamport: self.sym.lamport().tick(),
+            wall_ns: now_ns(),
+            kind: TraceEventKind::OriginComplete,
+            entity: self.sym.entity(),
+            callpath,
+            samples,
+        });
+    }
+
+    /// Samples common to all trace events: tasking-layer counts (of the
+    /// pool servicing the event), OS-layer statistics, and (Full stage)
+    /// global Mercury PVARs.
+    fn samples_for_pool(&self, pool: &Pool) -> EventSamples {
+        let stage = self.config.stage;
+        let mut s = EventSamples::default();
+        if !stage.measure_enabled() {
+            return s;
+        }
+        let pool = pool.stats();
+        s.blocked_ults = Some(pool.blocked as u64);
+        s.runnable_ults = Some(pool.runnable as u64);
+        let sys = SysStats::sample_cached();
+        s.memory_kb = Some(sys.memory_kb);
+        s.cpu_time_ms = Some(sys.cpu_time_ms);
+        if stage.pvars_enabled() {
+            s.num_ofi_events_read = self.bridge.num_ofi_events_read();
+            s.completion_queue_size = self.bridge.completion_queue_size();
+        }
+        s
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        // ExecutionStream::drop joins each worker; progress loops exit on
+        // the failed Weak upgrade or the shutdown flag.
+        self.streams.lock().clear();
+        self.hg.finalize();
+    }
+}

@@ -1,0 +1,98 @@
+//! The ULT-local keys through which SYMBIOSYS propagates request context
+//! along the RPC path (paper §IV-A1, Table III "ULT-local key" strategy).
+//!
+//! * the 64-bit **callpath ancestry** of the request being serviced,
+//! * the globally unique **request (trace) id**,
+//! * the shared **order counter** for trace events of this request.
+//!
+//! When Margo spawns a handler ULT it seeds these keys from the incoming
+//! RPC metadata; when a handler issues a downstream RPC the keys supply
+//! the ancestry to extend, exactly as described in the paper.
+
+use std::sync::atomic::AtomicU32;
+use std::sync::LazyLock;
+use symbi_core::Callpath;
+use symbi_tasking::{LocalKey, LocalMap};
+
+/// Callpath ancestry of the request the current ULT is servicing.
+pub static KEY_CALLPATH: LazyLock<LocalKey<Callpath>> = LazyLock::new(LocalKey::new);
+
+/// Request (trace) id of the request the current ULT is servicing.
+pub static KEY_REQUEST_ID: LazyLock<LocalKey<u64>> = LazyLock::new(LocalKey::new);
+
+/// Shared order counter for trace events generated on behalf of this
+/// request by this entity.
+pub static KEY_ORDER: LazyLock<LocalKey<AtomicU32>> = LazyLock::new(LocalKey::new);
+
+/// Read the current callpath ancestry (empty if the caller is an
+/// end-client not yet inside any RPC).
+pub fn current_callpath() -> Callpath {
+    KEY_CALLPATH.get().map(|v| *v).unwrap_or(Callpath::EMPTY)
+}
+
+/// Read the current request id, if the caller is inside a traced request.
+pub fn current_request_id() -> Option<u64> {
+    KEY_REQUEST_ID.get().map(|v| *v)
+}
+
+/// Take the next event-order value for the current request, or 0 if no
+/// counter is installed.
+pub fn next_order() -> u32 {
+    KEY_ORDER
+        .get()
+        .map(|c| c.fetch_add(1, std::sync::atomic::Ordering::Relaxed))
+        .unwrap_or(0)
+}
+
+/// Build the local-map seed for a handler ULT servicing a request with
+/// the given metadata. The order counter starts just past the order the
+/// origin stamped on the request.
+pub fn seed_for_request(callpath: Callpath, request_id: u64, order: u32) -> LocalMap {
+    let mut map = LocalMap::new();
+    map.insert(&KEY_CALLPATH, callpath);
+    map.insert(&KEY_REQUEST_ID, request_id);
+    map.insert(&KEY_ORDER, AtomicU32::new(order.saturating_add(1)));
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_tasking::scope_with;
+
+    #[test]
+    fn defaults_outside_any_request() {
+        scope_with(LocalMap::new(), || {
+            assert_eq!(current_callpath(), Callpath::EMPTY);
+            assert_eq!(current_request_id(), None);
+            assert_eq!(next_order(), 0);
+        });
+    }
+
+    #[test]
+    fn seeded_scope_provides_context() {
+        let cp = Callpath::root("seeded_rpc");
+        let seed = seed_for_request(cp, 42, 3);
+        scope_with(seed, || {
+            assert_eq!(current_callpath(), cp);
+            assert_eq!(current_request_id(), Some(42));
+            assert_eq!(next_order(), 4);
+            assert_eq!(next_order(), 5);
+        });
+    }
+
+    #[test]
+    fn order_counter_is_shared_across_snapshots() {
+        let seed = seed_for_request(Callpath::root("shared"), 1, 0);
+        scope_with(seed, || {
+            assert_eq!(next_order(), 1);
+            let snap = symbi_tasking::current_snapshot();
+            // A snapshot shares the same Arc'd counter (so downstream
+            // events issued by spawned ULTs keep advancing one sequence).
+            scope_with(snap, || {
+                assert_eq!(next_order(), 2);
+            });
+            assert_eq!(next_order(), 3);
+        });
+    }
+}

@@ -1,0 +1,399 @@
+//! # symbi-margo — the Margo-like unified runtime
+//!
+//! Margo is the Mochi layer that fuses Mercury (RPC) with Argobots
+//! (tasking) and presents a blocking-call programming model: an incoming
+//! RPC spawns a handler ULT; `forward` blocks the calling ULT on an
+//! eventual that the completion callback sets. Because Margo is "the
+//! gateway to the core communication library and the runtime system", the
+//! SYMBIOSYS paper hosts its measurement system here (§IV-A), and so does
+//! this reproduction:
+//!
+//! * t1/t14 and t4/t5/t8/t13 instrumentation points around every RPC,
+//! * callpath-ancestry propagation through ULT-local keys,
+//! * trace-event generation with tasking/OS/PVAR samples fused in,
+//! * the PVAR session bridge to Mercury (paper Figure 3),
+//! * the Table IV tuning knobs: handler execution streams,
+//!   `OFI_max_events`, and the dedicated client progress stream.
+//!
+//! ## Example
+//!
+//! ```
+//! use symbi_margo::{MargoInstance, MargoConfig};
+//! use symbi_fabric::{Fabric, NetworkModel};
+//!
+//! let fabric = Fabric::new(NetworkModel::instant());
+//! let server = MargoInstance::new(fabric.clone(), MargoConfig::server("demo-server", 2));
+//! server.register_fn("add_one", |_margo, x: u64| Ok::<u64, String>(x + 1));
+//!
+//! let client = MargoInstance::new(fabric, MargoConfig::client("demo-client"));
+//! let y: u64 = client.forward(server.addr(), "add_one", &41u64).unwrap();
+//! assert_eq!(y, 42);
+//! client.finalize();
+//! server.finalize();
+//! ```
+
+mod bridge;
+mod config;
+mod instance;
+pub mod keys;
+
+pub use bridge::{OriginHandleSamples, PvarBridge, TargetHandleSamples};
+pub use config::{MargoConfig, Mode};
+pub use instance::{entity_for_addr, AsyncRpc, MargoInstance, RpcHandler, RpcOutcome};
+
+/// Errors surfaced by Margo operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MargoError {
+    /// The Mercury layer failed (encode/transport).
+    Hg(String),
+    /// The RPC completed with a non-OK status on the target.
+    Remote(symbi_mercury::RpcStatus),
+    /// The response did not arrive within the configured timeout.
+    Timeout,
+    /// The response payload failed to decode.
+    Codec(String),
+}
+
+impl std::fmt::Display for MargoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MargoError::Hg(e) => write!(f, "mercury error: {e}"),
+            MargoError::Remote(s) => write!(f, "remote failure: {s:?}"),
+            MargoError::Timeout => write!(f, "rpc timed out"),
+            MargoError::Codec(e) => write!(f, "response decode error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MargoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+    use symbi_core::{Callpath, Interval, Side, Stage, TraceEventKind};
+    use symbi_fabric::{Fabric, NetworkModel};
+    use symbi_mercury::Wire;
+
+    fn fabric() -> Fabric {
+        Fabric::new(NetworkModel::instant())
+    }
+
+    #[test]
+    fn blocking_roundtrip_through_full_stack() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("rt-server", 2));
+        server.register_fn("double", |_m, x: u64| Ok::<u64, String>(x * 2));
+        let client = MargoInstance::new(f, MargoConfig::client("rt-client"));
+        for i in 0..10u64 {
+            let y: u64 = client.forward(server.addr(), "double", &i).unwrap();
+            assert_eq!(y, i * 2);
+        }
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn dedicated_progress_client_roundtrip() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("dp-server", 2));
+        server.register_fn("inc", |_m, x: u64| Ok::<u64, String>(x + 1));
+        let client = MargoInstance::new(
+            f,
+            MargoConfig::client("dp-client").with_dedicated_progress(true),
+        );
+        let y: u64 = client.forward(server.addr(), "inc", &1u64).unwrap();
+        assert_eq!(y, 2);
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn async_rpcs_complete_out_of_order() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("async-server", 4));
+        server.register_fn("sleepy", |_m, ms: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok::<u64, String>(ms)
+        });
+        let client = MargoInstance::new(f, MargoConfig::client("async-client"));
+        let slow = client.forward_async(server.addr(), "sleepy", &30u64);
+        let fast = client.forward_async(server.addr(), "sleepy", &1u64);
+        assert_eq!(fast.wait_decode::<u64>().unwrap(), 1);
+        assert_eq!(slow.wait_decode::<u64>().unwrap(), 30);
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn handler_error_becomes_remote_error() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("err-server", 1));
+        server.register_fn("fail", |_m, _x: u64| Err::<u64, String>("nope".into()));
+        let client = MargoInstance::new(f, MargoConfig::client("err-client"));
+        let res: Result<u64, MargoError> = client.forward(server.addr(), "fail", &0u64);
+        assert!(matches!(res, Err(MargoError::Remote(_))));
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn unregistered_rpc_is_remote_error() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("empty-server", 1));
+        let client = MargoInstance::new(f, MargoConfig::client("lost-client"));
+        let res: Result<u64, MargoError> = client.forward(server.addr(), "ghost", &0u64);
+        assert!(matches!(res, Err(MargoError::Remote(_))));
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn profiles_record_both_sides_with_callpath() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("prof-server", 2));
+        server.register_fn("prof_rpc", |_m, x: u64| Ok::<u64, String>(x));
+        let client = MargoInstance::new(f, MargoConfig::client("prof-client"));
+        for _ in 0..5 {
+            let _: u64 = client.forward(server.addr(), "prof_rpc", &1u64).unwrap();
+        }
+        // Give the t13 callback (which records the target row) a moment.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
+        let origin_rows = client.symbiosys().profiler().snapshot();
+        assert_eq!(origin_rows.len(), 1);
+        let row = &origin_rows[0];
+        assert_eq!(row.side, Side::Origin);
+        assert_eq!(row.count, 5);
+        assert_eq!(row.callpath, Callpath::root("prof_rpc"));
+        assert!(row.interval_ns(Interval::OriginExecution) > 0);
+        assert_eq!(row.peer, server.symbiosys().entity());
+
+        let target_rows = server.symbiosys().profiler().snapshot();
+        assert_eq!(target_rows.len(), 1);
+        let trow = &target_rows[0];
+        assert_eq!(trow.side, Side::Target);
+        assert_eq!(trow.count, 5);
+        assert!(trow.interval_ns(Interval::TargetUltExecution) > 0);
+        assert_eq!(trow.peer, client.symbiosys().entity());
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn nested_rpc_extends_callpath() {
+        let f = fabric();
+        // middle service calls backend from inside its handler.
+        let backend = MargoInstance::new(f.clone(), MargoConfig::server("nest-backend", 2));
+        backend.register_fn("leaf_rpc", |_m, x: u64| Ok::<u64, String>(x + 100));
+        let backend_addr = backend.addr();
+        let middle = MargoInstance::new(f.clone(), MargoConfig::server("nest-middle", 2));
+        middle.register_fn("mid_rpc", move |m: &MargoInstance, x: u64| {
+            m.forward::<u64, u64>(backend_addr, "leaf_rpc", &x)
+                .map_err(|e| e.to_string())
+        });
+        let client = MargoInstance::new(f, MargoConfig::client("nest-client"));
+        let y: u64 = client.forward(middle.addr(), "mid_rpc", &1u64).unwrap();
+        assert_eq!(y, 101);
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
+        // The backend's target profile must show the two-frame callpath.
+        let rows = backend.symbiosys().profiler().snapshot();
+        assert_eq!(rows.len(), 1);
+        let expected = Callpath::root("mid_rpc").push("leaf_rpc");
+        assert_eq!(rows[0].callpath, expected);
+        // The middle's origin row shows the same extended path.
+        let mid_origin: Vec<_> = middle
+            .symbiosys()
+            .profiler()
+            .snapshot()
+            .into_iter()
+            .filter(|r| r.side == Side::Origin)
+            .collect();
+        assert_eq!(mid_origin.len(), 1);
+        assert_eq!(mid_origin[0].callpath, expected);
+        client.finalize();
+        middle.finalize();
+        backend.finalize();
+    }
+
+    #[test]
+    fn trace_events_cover_all_four_points_with_one_request_id() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("tr-server", 1));
+        server.register_fn("traced", |_m, x: u64| Ok::<u64, String>(x));
+        let client = MargoInstance::new(f, MargoConfig::client("tr-client"));
+        let _: u64 = client.forward(server.addr(), "traced", &9u64).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+
+        let mut events = client.symbiosys().tracer().snapshot();
+        events.extend(server.symbiosys().tracer().snapshot());
+        assert_eq!(events.len(), 4);
+        let rid = events[0].request_id;
+        assert!(rid != 0);
+        assert!(events.iter().all(|e| e.request_id == rid));
+        for kind in [
+            TraceEventKind::OriginForward,
+            TraceEventKind::TargetUltStart,
+            TraceEventKind::TargetRespond,
+            TraceEventKind::OriginComplete,
+        ] {
+            assert_eq!(
+                events.iter().filter(|e| e.kind == kind).count(),
+                1,
+                "missing {kind:?}"
+            );
+        }
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn disabled_stage_records_nothing_and_propagates_nothing() {
+        let f = fabric();
+        let server = MargoInstance::new(
+            f.clone(),
+            MargoConfig::server("off-server", 1).with_stage(Stage::Disabled),
+        );
+        let seen_meta = Arc::new(AtomicU64::new(u64::MAX));
+        let sm = seen_meta.clone();
+        server.register(
+            "off_rpc",
+            Arc::new(move |_m, sh| {
+                sm.store(sh.meta().callpath, Ordering::SeqCst);
+                let x: u64 = sh.input().map_err(|e| e.to_string())?;
+                Ok(x.to_bytes())
+            }),
+        );
+        let client = MargoInstance::new(
+            f,
+            MargoConfig::client("off-client").with_stage(Stage::Disabled),
+        );
+        let _: u64 = client.forward(server.addr(), "off_rpc", &5u64).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(seen_meta.load(Ordering::SeqCst), 0, "no callpath at baseline");
+        assert!(client.symbiosys().profiler().is_empty());
+        assert!(client.symbiosys().tracer().is_empty());
+        assert!(server.symbiosys().profiler().is_empty());
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn ids_stage_propagates_but_does_not_measure() {
+        let f = fabric();
+        let server = MargoInstance::new(
+            f.clone(),
+            MargoConfig::server("ids-server", 1).with_stage(Stage::Ids),
+        );
+        let seen = Arc::new(AtomicU64::new(0));
+        let s2 = seen.clone();
+        server.register(
+            "ids_rpc",
+            Arc::new(move |_m, sh| {
+                s2.store(sh.meta().callpath, Ordering::SeqCst);
+                let x: u64 = sh.input().map_err(|e| e.to_string())?;
+                Ok(x.to_bytes())
+            }),
+        );
+        let client =
+            MargoInstance::new(f, MargoConfig::client("ids-client").with_stage(Stage::Ids));
+        let _: u64 = client.forward(server.addr(), "ids_rpc", &5u64).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        assert_eq!(
+            seen.load(Ordering::SeqCst),
+            Callpath::root("ids_rpc").0,
+            "stage 1 must still propagate callpath metadata"
+        );
+        assert!(client.symbiosys().profiler().is_empty());
+        assert!(client.symbiosys().tracer().is_empty());
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn measure_stage_omits_pvar_intervals() {
+        let f = fabric();
+        let server = MargoInstance::new(
+            f.clone(),
+            MargoConfig::server("m-server", 1).with_stage(Stage::Measure),
+        );
+        server.register_fn("m_rpc", |_m, x: u64| Ok::<u64, String>(x));
+        let client = MargoInstance::new(
+            f,
+            MargoConfig::client("m-client").with_stage(Stage::Measure),
+        );
+        let _: u64 = client.forward(server.addr(), "m_rpc", &5u64).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let rows = client.symbiosys().profiler().snapshot();
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].interval_ns(Interval::OriginExecution) > 0);
+        // PVAR-sourced interval must be absent at Stage 2.
+        assert_eq!(rows[0].interval_ns(Interval::InputSerialization), 0);
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn concurrent_clients_share_one_server() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("mc-server", 4));
+        server.register_fn("mc_rpc", |_m, x: u64| Ok::<u64, String>(x * 3));
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|c| {
+                let f = f.clone();
+                std::thread::spawn(move || {
+                    let client =
+                        MargoInstance::new(f, MargoConfig::client(format!("mc-client-{c}")));
+                    for i in 0..20u64 {
+                        let y: u64 = client.forward(addr, "mc_rpc", &i).unwrap();
+                        assert_eq!(y, i * 3);
+                    }
+                    client.finalize();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        server.finalize();
+    }
+
+    #[test]
+    fn forward_after_server_finalize_times_out_or_errors() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("dead-server", 1));
+        server.register_fn("dead_rpc", |_m, x: u64| Ok::<u64, String>(x));
+        let addr = server.addr();
+        server.finalize();
+        let mut cfg = MargoConfig::client("late-client");
+        cfg.rpc_timeout = std::time::Duration::from_millis(200);
+        let client = MargoInstance::new(f, cfg);
+        let res: Result<u64, MargoError> = client.forward(addr, "dead_rpc", &1u64);
+        assert!(res.is_err());
+        client.finalize();
+    }
+
+    #[test]
+    fn origin_execution_time_is_plausible() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("lat-server", 1));
+        server.register_fn("lat_rpc", |_m, x: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            Ok::<u64, String>(x)
+        });
+        let client = MargoInstance::new(f, MargoConfig::client("lat-client"));
+        let outcome = client
+            .forward_raw(server.addr(), "lat_rpc", 7u64.to_bytes())
+            .unwrap();
+        assert!(
+            outcome.origin_execution_ns >= 5_000_000,
+            "origin execution {}ns must include the 5ms handler sleep",
+            outcome.origin_execution_ns
+        );
+        client.finalize();
+        server.finalize();
+    }
+}

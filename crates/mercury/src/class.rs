@@ -1,0 +1,567 @@
+//! The Mercury class: RPC registration, forwarding, the progress/trigger
+//! completion model, and the bulk interface.
+
+use crate::codec::Wire;
+use crate::handle::{Handle, HandleId, Posted, Response, ServerHandle};
+use crate::header::{tags, RdmaRef, RequestHeader, ResponseHeader, RpcMeta, RpcStatus};
+use crate::pvar::{ids, HandlePvars, PvarId};
+use crate::HgError;
+use bytes::Bytes;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use symbi_fabric::{Addr, Fabric, MemKey};
+
+/// Configuration for a Mercury instance.
+#[derive(Debug, Clone, Copy)]
+pub struct HgConfig {
+    /// Eager buffer size in bytes. Serialized request/response payloads
+    /// beyond this travel through an internal RDMA transfer, exactly the
+    /// overflow path studied in the paper's Sonata case (Figure 7).
+    pub eager_size: usize,
+    /// Default bound on completion events read per `progress` call — the
+    /// paper's `OFI_max_events`, default 16 "set inside the Mercury
+    /// library" (§V-C4).
+    pub ofi_max_events: usize,
+}
+
+impl Default for HgConfig {
+    fn default() -> Self {
+        HgConfig {
+            eager_size: 4096,
+            ofi_max_events: 16,
+        }
+    }
+}
+
+/// Callback invoked (at trigger time) for each arriving RPC request.
+pub type RpcCallback = Arc<dyn Fn(ServerHandle) + Send + Sync>;
+
+type Completion = Box<dyn FnOnce() + Send>;
+
+#[derive(Default)]
+struct Counters {
+    rpcs_invoked: AtomicU64,
+    rpcs_serviced: AtomicU64,
+    eager_overflows: AtomicU64,
+    bulk_pulled: AtomicU64,
+    bulk_pushed: AtomicU64,
+    cq_highwatermark: AtomicU64,
+    progress_calls: AtomicU64,
+    triggers: AtomicU64,
+    last_ofi_events_read: AtomicU64,
+}
+
+pub(crate) struct HgInner {
+    fabric: Fabric,
+    endpoint: symbi_fabric::Endpoint,
+    config: HgConfig,
+    names: RwLock<HashMap<u64, String>>,
+    handlers: RwLock<HashMap<u64, RpcCallback>>,
+    posted: Mutex<HashMap<u64, Posted>>,
+    completion: Mutex<VecDeque<Completion>>,
+    counters: Counters,
+    next_handle_id: AtomicU64,
+    pub(crate) active_sessions: AtomicU64,
+    finalized: AtomicBool,
+}
+
+/// A Mercury instance (the analogue of an `hg_class_t` + context).
+/// Cloning is cheap and shares the instance.
+#[derive(Clone)]
+pub struct HgClass {
+    pub(crate) inner: Arc<HgInner>,
+}
+
+impl std::fmt::Debug for HgClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "HgClass(addr={}, posted={}, cq={})",
+            self.inner.endpoint.addr(),
+            self.inner.posted.lock().len(),
+            self.inner.completion.lock().len()
+        )
+    }
+}
+
+/// Hash an RPC name to its 64-bit registered id (FNV-1a, as a stand-in for
+/// Mercury's internal name hashing described in §IV-A1).
+pub fn hash_rpc_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl HgClass {
+    /// Initialize a Mercury instance on the given fabric.
+    pub fn init(fabric: Fabric, config: HgConfig) -> Self {
+        let endpoint = fabric.open_endpoint();
+        HgClass {
+            inner: Arc::new(HgInner {
+                fabric,
+                endpoint,
+                config,
+                names: RwLock::new(HashMap::new()),
+                handlers: RwLock::new(HashMap::new()),
+                posted: Mutex::new(HashMap::new()),
+                completion: Mutex::new(VecDeque::new()),
+                counters: Counters::default(),
+                next_handle_id: AtomicU64::new(1),
+                active_sessions: AtomicU64::new(0),
+                finalized: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// This instance's fabric address.
+    pub fn addr(&self) -> Addr {
+        self.inner.endpoint.addr()
+    }
+
+    /// The underlying fabric (used by the bulk interface and internal
+    /// RDMA pulls).
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> HgConfig {
+        self.inner.config
+    }
+
+    /// Register an RPC name, returning its id. Registration is idempotent
+    /// and must be done symmetrically on origin and target (as in Mercury).
+    pub fn register(&self, name: &str) -> u64 {
+        let id = hash_rpc_name(name);
+        self.inner.names.write().insert(id, name.to_string());
+        id
+    }
+
+    /// Name registered for an RPC id on this instance.
+    pub fn rpc_name(&self, rpc_id: u64) -> Option<String> {
+        self.inner.names.read().get(&rpc_id).cloned()
+    }
+
+    /// Install the request callback for an RPC id (target side). The
+    /// callback runs at *trigger* time on whichever thread drives the
+    /// progress loop; Margo's callback immediately spawns a handler ULT.
+    pub fn set_handler(&self, rpc_id: u64, cb: RpcCallback) {
+        self.inner.handlers.write().insert(rpc_id, cb);
+    }
+
+    /// Create an origin-side handle for one RPC invocation.
+    pub fn create_handle(&self, dest: Addr, rpc_id: u64) -> Handle {
+        Handle {
+            id: HandleId(self.inner.next_handle_id.fetch_add(1, Ordering::Relaxed)),
+            dest,
+            rpc_id,
+            pvars: Arc::new(HandlePvars::default()),
+        }
+    }
+
+    /// Forward a request (t1→t3 of Figure 2). `input` must already be
+    /// serialized (see [`Handle::serialize_input`], which records the
+    /// serialization-time PVAR). `cb` runs at trigger time once the
+    /// response arrives (t14).
+    pub fn forward(
+        &self,
+        handle: Handle,
+        meta: RpcMeta,
+        input: Bytes,
+        cb: impl FnOnce(Response) + Send + 'static,
+    ) -> Result<HandleId, HgError> {
+        let inner = &self.inner;
+        inner.counters.rpcs_invoked.fetch_add(1, Ordering::Relaxed);
+
+        // Eager / overflow split.
+        let eager_avail = inner.config.eager_size;
+        let (inline, rdma, rdma_key) = if input.len() > eager_avail {
+            inner
+                .counters
+                .eager_overflows
+                .fetch_add(1, Ordering::Relaxed);
+            let inline = input.slice(0..eager_avail);
+            let overflow = Arc::new(input[eager_avail..].to_vec());
+            let region = inner.fabric.expose_read(overflow);
+            (
+                inline,
+                Some(RdmaRef {
+                    key: region.key.0,
+                    len: region.len as u64,
+                }),
+                Some(region.key),
+            )
+        } else {
+            (input, None, None)
+        };
+
+        let header = RequestHeader {
+            rpc_id: handle.rpc_id,
+            origin_handle_id: handle.id.0,
+            meta,
+            rdma,
+            inline,
+        };
+        let payload = header.to_bytes();
+
+        inner.posted.lock().insert(
+            handle.id.0,
+            Posted {
+                cb: Box::new(cb),
+                pvars: handle.pvars.clone(),
+                rdma_key,
+            },
+        );
+
+        match inner
+            .fabric
+            .send(self.addr(), handle.dest, tags::REQUEST, payload)
+        {
+            Ok(()) => Ok(handle.id),
+            Err(e) => {
+                // Roll back the post so the handle doesn't leak.
+                if let Some(p) = inner.posted.lock().remove(&handle.id.0) {
+                    if let Some(k) = p.rdma_key {
+                        inner.fabric.unregister(k);
+                    }
+                }
+                Err(HgError::Fabric(e))
+            }
+        }
+    }
+
+    /// Number of in-flight (posted) origin handles.
+    pub fn posted_handles(&self) -> usize {
+        self.inner.posted.lock().len()
+    }
+
+    /// Number of completion callbacks waiting to be triggered.
+    pub fn completion_queue_len(&self) -> usize {
+        self.inner.completion.lock().len()
+    }
+
+    pub(crate) fn send_response(
+        &self,
+        origin: Addr,
+        origin_handle_id: u64,
+        status: RpcStatus,
+        output: Bytes,
+        on_sent: Completion,
+    ) -> Result<(), HgError> {
+        let inner = &self.inner;
+        let eager_avail = inner.config.eager_size;
+        let (inline, rdma) = if output.len() > eager_avail {
+            inner
+                .counters
+                .eager_overflows
+                .fetch_add(1, Ordering::Relaxed);
+            let inline = output.slice(0..eager_avail);
+            let overflow = Arc::new(output[eager_avail..].to_vec());
+            let region = inner.fabric.expose_read(overflow);
+            (
+                inline,
+                Some(RdmaRef {
+                    key: region.key.0,
+                    len: region.len as u64,
+                }),
+            )
+        } else {
+            (output, None)
+        };
+        let header = ResponseHeader {
+            origin_handle_id,
+            status,
+            lamport: 0, // Margo stamps Lamport clocks at the trace layer.
+            rdma,
+            inline,
+        };
+        inner
+            .fabric
+            .send(self.addr(), origin, tags::RESPONSE, header.to_bytes())
+            .map_err(HgError::Fabric)?;
+        // The send completed; queue the target-side completion callback
+        // (t13) for the progress loop to trigger.
+        self.push_completion(on_sent);
+        Ok(())
+    }
+
+    fn push_completion(&self, entry: Completion) {
+        let mut q = self.inner.completion.lock();
+        q.push_back(entry);
+        let len = q.len() as u64;
+        drop(q);
+        self.inner
+            .counters
+            .cq_highwatermark
+            .fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// Drive the network: read up to `max_events` completion events from
+    /// the OFI layer (recording the `num_ofi_events_read` PVAR) and
+    /// convert them into completion-queue entries. Returns the number of
+    /// events read.
+    ///
+    /// `timeout` bounds the wait for the *first* event; pass zero for a
+    /// non-blocking poll.
+    pub fn progress(&self, max_events: usize, timeout: Duration) -> usize {
+        let inner = &self.inner;
+        let events = if timeout.is_zero() {
+            inner.endpoint.poll(max_events)
+        } else {
+            inner.endpoint.poll_timeout(max_events, timeout)
+        };
+        inner.counters.progress_calls.fetch_add(1, Ordering::Relaxed);
+        inner
+            .counters
+            .last_ofi_events_read
+            .store(events.len() as u64, Ordering::Relaxed);
+        for ev in &events {
+            match ev.tag {
+                tags::REQUEST => self.on_request(ev.src, ev.payload.clone()),
+                tags::RESPONSE => self.on_response(ev.payload.clone()),
+                other => {
+                    eprintln!("[symbi-mercury] dropping message with unknown tag {other}");
+                }
+            }
+        }
+        events.len()
+    }
+
+    fn on_request(&self, src: Addr, payload: Bytes) {
+        let header = match RequestHeader::from_bytes(payload) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("[symbi-mercury] malformed request dropped: {e}");
+                return;
+            }
+        };
+        let sh = ServerHandle {
+            hg: self.clone(),
+            origin: src,
+            origin_handle_id: header.origin_handle_id,
+            rpc_id: header.rpc_id,
+            meta: header.meta,
+            inline: header.inline,
+            rdma: header.rdma,
+            pvars: Arc::new(HandlePvars::default()),
+            arrived_at: Instant::now(),
+            responded: AtomicBool::new(false),
+        };
+        let hg = self.clone();
+        self.push_completion(Box::new(move || {
+            hg.inner
+                .counters
+                .rpcs_serviced
+                .fetch_add(1, Ordering::Relaxed);
+            let handler = hg.inner.handlers.read().get(&sh.rpc_id).cloned();
+            match handler {
+                Some(cb) => cb(sh),
+                None => {
+                    let _ = sh.respond_bytes(RpcStatus::NoHandler, Bytes::new(), || {});
+                }
+            }
+        }));
+    }
+
+    fn on_response(&self, payload: Bytes) {
+        let header = match ResponseHeader::from_bytes(payload) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("[symbi-mercury] malformed response dropped: {e}");
+                return;
+            }
+        };
+        let posted = self.inner.posted.lock().remove(&header.origin_handle_id);
+        let Some(posted) = posted else {
+            eprintln!(
+                "[symbi-mercury] response for unknown handle {} dropped",
+                header.origin_handle_id
+            );
+            return;
+        };
+        // The request's overflow region (if any) is no longer needed.
+        if let Some(k) = posted.rdma_key {
+            self.inner.fabric.unregister(k);
+        }
+        let added_to_cq_at = Instant::now(); // t12
+        let hg = self.clone();
+        let pvars = posted.pvars;
+        let cb = posted.cb;
+        self.push_completion(Box::new(move || {
+            // t14: record the origin completion callback delay (t12→t14).
+            pvars.origin_completion_callback_ns.store(
+                added_to_cq_at.elapsed().as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            // Pull any response overflow before handing bytes to the user.
+            let output = match header.rdma {
+                None => header.inline,
+                Some(r) => {
+                    let start = Instant::now();
+                    match hg
+                        .inner
+                        .fabric
+                        .rdma_get(MemKey(r.key), 0, r.len as usize)
+                    {
+                        Ok(rest) => {
+                            hg.inner.fabric.unregister(MemKey(r.key));
+                            pvars.internal_rdma_transfer_ns.store(
+                                start.elapsed().as_nanos() as u64,
+                                Ordering::Relaxed,
+                            );
+                            let mut buf =
+                                bytes::BytesMut::with_capacity(header.inline.len() + rest.len());
+                            buf.extend_from_slice(&header.inline);
+                            buf.extend_from_slice(&rest);
+                            buf.freeze()
+                        }
+                        Err(e) => {
+                            eprintln!("[symbi-mercury] response overflow pull failed: {e}");
+                            header.inline
+                        }
+                    }
+                }
+            };
+            pvars
+                .output_size
+                .store(output.len() as u64, Ordering::Relaxed);
+            cb(Response {
+                status: header.status,
+                output,
+                lamport: header.lamport,
+                pvars: pvars.clone(),
+            });
+        }));
+    }
+
+    /// Execute up to `max` queued completion callbacks. Returns how many
+    /// ran. Mercury's trigger: origin t14 callbacks, target request
+    /// dispatch, and target t13 send-completions all run here.
+    pub fn trigger(&self, max: usize) -> usize {
+        let mut ran = 0;
+        while ran < max {
+            let entry = self.inner.completion.lock().pop_front();
+            match entry {
+                Some(f) => {
+                    self.inner.counters.triggers.fetch_add(1, Ordering::Relaxed);
+                    f();
+                    ran += 1;
+                }
+                None => break,
+            }
+        }
+        ran
+    }
+
+    // ---- bulk interface -------------------------------------------------
+
+    /// Expose a read-only buffer for remote bulk pulls.
+    pub fn bulk_expose_read(&self, data: Arc<Vec<u8>>) -> RdmaRef {
+        let region = self.inner.fabric.expose_read(data);
+        RdmaRef {
+            key: region.key.0,
+            len: region.len as u64,
+        }
+    }
+
+    /// Expose a writable buffer for remote bulk pushes. Returns the
+    /// descriptor plus the buffer handle to harvest written data.
+    pub fn bulk_expose_write(
+        &self,
+        len: usize,
+    ) -> (RdmaRef, Arc<parking_lot::RwLock<Vec<u8>>>) {
+        let (region, buf) = self.inner.fabric.expose_write(len);
+        (
+            RdmaRef {
+                key: region.key.0,
+                len: region.len as u64,
+            },
+            buf,
+        )
+    }
+
+    /// Pull `[offset, offset+len)` from a remote bulk region (the target
+    /// side of Mercury's `HG_Bulk_transfer` with `HG_BULK_PULL`).
+    pub fn bulk_pull(&self, r: RdmaRef, offset: usize, len: usize) -> Result<Bytes, HgError> {
+        let data = self
+            .inner
+            .fabric
+            .rdma_get(MemKey(r.key), offset, len)
+            .map_err(HgError::Fabric)?;
+        self.inner
+            .counters
+            .bulk_pulled
+            .fetch_add(len as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    /// Push bytes into a remote bulk region (`HG_BULK_PUSH`).
+    pub fn bulk_push(&self, r: RdmaRef, offset: usize, data: &[u8]) -> Result<(), HgError> {
+        self.inner
+            .fabric
+            .rdma_put(MemKey(r.key), offset, data)
+            .map_err(HgError::Fabric)?;
+        self.inner
+            .counters
+            .bulk_pushed
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Tear down a bulk registration.
+    pub fn bulk_free(&self, r: RdmaRef) {
+        self.inner.fabric.unregister(MemKey(r.key));
+    }
+
+    // ---- PVAR access (backing the session API) --------------------------
+
+    /// Read a NO_OBJECT PVAR's current value, if `id` names one.
+    pub(crate) fn read_global_pvar(&self, id: PvarId) -> Option<u64> {
+        let c = &self.inner.counters;
+        let v = match id {
+            ids::NUM_POSTED_HANDLES => self.posted_handles() as u64,
+            ids::COMPLETION_QUEUE_SIZE => self.completion_queue_len() as u64,
+            ids::NUM_OFI_EVENTS_READ => c.last_ofi_events_read.load(Ordering::Relaxed),
+            ids::NUM_RPCS_INVOKED => c.rpcs_invoked.load(Ordering::Relaxed),
+            ids::NUM_RPCS_SERVICED => c.rpcs_serviced.load(Ordering::Relaxed),
+            ids::NUM_EAGER_OVERFLOWS => c.eager_overflows.load(Ordering::Relaxed),
+            ids::BULK_BYTES_PULLED => c.bulk_pulled.load(Ordering::Relaxed),
+            ids::BULK_BYTES_PUSHED => c.bulk_pushed.load(Ordering::Relaxed),
+            ids::COMPLETION_QUEUE_HIGHWATERMARK => c.cq_highwatermark.load(Ordering::Relaxed),
+            ids::EAGER_BUFFER_SIZE => self.inner.config.eager_size as u64,
+            ids::NUM_PROGRESS_CALLS => c.progress_calls.load(Ordering::Relaxed),
+            ids::NUM_TRIGGERS => c.triggers.load(Ordering::Relaxed),
+            _ => return None,
+        };
+        Some(v)
+    }
+
+    /// Finalize the instance: close the endpoint so peers observe
+    /// unreachability. Idempotent.
+    pub fn finalize(&self) {
+        if !self.inner.finalized.swap(true, Ordering::AcqRel) {
+            self.inner.fabric.close_endpoint(self.addr());
+        }
+    }
+}
+
+/// Serialize a value and forward it in one call, for cases where the
+/// caller doesn't need to separate serialization from forwarding.
+pub fn forward_value<T: Wire>(
+    hg: &HgClass,
+    dest: Addr,
+    rpc_id: u64,
+    meta: RpcMeta,
+    value: &T,
+    cb: impl FnOnce(Response) + Send + 'static,
+) -> Result<HandleId, HgError> {
+    let handle = hg.create_handle(dest, rpc_id);
+    let input = handle.serialize_input(value);
+    hg.forward(handle, meta, input, cb)
+}

@@ -1,0 +1,398 @@
+//! Wire codec for RPC metadata and service arguments.
+//!
+//! Mercury serializes RPC input/output with user-supplied proc routines;
+//! the (de)serialization cost is visible in the paper as the
+//! `input_serialization_time` / `input_deserialization_time` PVARs and
+//! accounts for 27% of target execution time in the Sonata case study
+//! (Figure 7). This codec performs real byte-level encoding so those costs
+//! scale with payload size in the reproduction too.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes remained than the read required.
+    Truncated {
+        /// What was being decoded.
+        what: &'static str,
+        /// Bytes needed.
+        needed: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// A length prefix or enum discriminant was out of range.
+    Invalid(&'static str),
+    /// Payload was not valid UTF-8 where a string was expected.
+    Utf8(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated {
+                what,
+                needed,
+                available,
+            } => write!(f, "truncated {what}: needed {needed}, had {available}"),
+            CodecError::Invalid(what) => write!(f, "invalid {what}"),
+            CodecError::Utf8(what) => write!(f, "invalid utf-8 in {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Streaming encoder over a growable buffer.
+#[derive(Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// New empty encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// New encoder with reserved capacity (avoids regrowth on hot paths).
+    pub fn with_capacity(cap: usize) -> Self {
+        Encoder {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append a `u8`.
+    pub fn put_u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Append a `u16` (little endian).
+    pub fn put_u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16_le(v);
+        self
+    }
+
+    /// Append a `u32` (little endian).
+    pub fn put_u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Append a `u64` (little endian).
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Append an `i64` (little endian).
+    pub fn put_i64(&mut self, v: i64) -> &mut Self {
+        self.buf.put_i64_le(v);
+        self
+    }
+
+    /// Append an `f64` (IEEE-754 bits, little endian).
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.put_f64_le(v);
+        self
+    }
+
+    /// Append a length-prefixed byte string (u32 length).
+    pub fn put_bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Append a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) -> &mut Self {
+        self.put_bytes(v.as_bytes())
+    }
+
+    /// Append raw bytes with no length prefix.
+    pub fn put_raw(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Finish encoding, yielding the immutable buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+}
+
+/// Streaming decoder over an immutable buffer.
+pub struct Decoder {
+    buf: Bytes,
+}
+
+impl Decoder {
+    /// Wrap a buffer for decoding.
+    pub fn new(buf: Bytes) -> Self {
+        Decoder { buf }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    fn need(&self, what: &'static str, n: usize) -> Result<(), CodecError> {
+        if self.buf.remaining() < n {
+            Err(CodecError::Truncated {
+                what,
+                needed: n,
+                available: self.buf.remaining(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        self.need("u8", 1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read a `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        self.need("u16", 2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        self.need("u32", 4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        self.need("u64", 8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Read an `i64`.
+    pub fn get_i64(&mut self) -> Result<i64, CodecError> {
+        self.need("i64", 8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    /// Read an `f64`.
+    pub fn get_f64(&mut self) -> Result<f64, CodecError> {
+        self.need("f64", 8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Read a length-prefixed byte string (zero-copy slice of the input).
+    pub fn get_bytes(&mut self) -> Result<Bytes, CodecError> {
+        let len = self.get_u32()? as usize;
+        self.need("bytes body", len)?;
+        Ok(self.buf.split_to(len))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<String, CodecError> {
+        let b = self.get_bytes()?;
+        String::from_utf8(b.to_vec()).map_err(|_| CodecError::Utf8("string"))
+    }
+
+    /// Read `n` raw bytes.
+    pub fn get_raw(&mut self, n: usize) -> Result<Bytes, CodecError> {
+        self.need("raw", n)?;
+        Ok(self.buf.split_to(n))
+    }
+}
+
+/// Types that can be encoded/decoded on the wire. Service argument structs
+/// implement this (the analogue of Mercury proc routines).
+pub trait Wire: Sized {
+    /// Append this value to the encoder.
+    fn encode(&self, enc: &mut Encoder);
+    /// Decode a value.
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError>;
+
+    /// Convenience: encode to a fresh buffer.
+    fn to_bytes(&self) -> Bytes {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Convenience: decode from a whole buffer.
+    fn from_bytes(buf: Bytes) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(buf);
+        Self::decode(&mut dec)
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_u64()
+    }
+}
+
+impl Wire for u32 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(*self);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_u32()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        dec.get_str()
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(dec.get_bytes()?.to_vec())
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        let n = dec.get_u32()? as usize;
+        // Guard against hostile/corrupt length prefixes.
+        if n > dec.remaining() {
+            return Err(CodecError::Invalid("vec length prefix"));
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, enc: &mut Encoder) {
+        self.0.encode(enc);
+        self.1.encode(enc);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok((A::decode(dec)?, B::decode(dec)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(7)
+            .put_u16(300)
+            .put_u32(70_000)
+            .put_u64(u64::MAX)
+            .put_i64(-5)
+            .put_f64(1.25);
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(dec.get_u8().unwrap(), 7);
+        assert_eq!(dec.get_u16().unwrap(), 300);
+        assert_eq!(dec.get_u32().unwrap(), 70_000);
+        assert_eq!(dec.get_u64().unwrap(), u64::MAX);
+        assert_eq!(dec.get_i64().unwrap(), -5);
+        assert_eq!(dec.get_f64().unwrap(), 1.25);
+        assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn bytes_and_str_roundtrip() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(b"abc").put_str("caf\u{e9}");
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(&dec.get_bytes().unwrap()[..], b"abc");
+        assert_eq!(dec.get_str().unwrap(), "caf\u{e9}");
+    }
+
+    #[test]
+    fn truncated_read_is_error() {
+        let mut dec = Decoder::new(Bytes::from_static(&[1, 2]));
+        let err = dec.get_u32().unwrap_err();
+        assert!(matches!(err, CodecError::Truncated { needed: 4, .. }));
+    }
+
+    #[test]
+    fn truncated_bytes_body_is_error() {
+        let mut enc = Encoder::new();
+        enc.put_u32(100); // claims 100 bytes follow
+        enc.put_raw(b"short");
+        let mut dec = Decoder::new(enc.finish());
+        assert!(matches!(
+            dec.get_bytes(),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn invalid_utf8_is_error() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xFF, 0xFE]);
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(dec.get_str().unwrap_err(), CodecError::Utf8("string"));
+    }
+
+    #[test]
+    fn wire_vec_roundtrip() {
+        let v: Vec<u64> = vec![1, 2, 3, 4];
+        let decoded = Vec::<u64>::from_bytes(v.to_bytes()).unwrap();
+        assert_eq!(decoded, v);
+    }
+
+    #[test]
+    fn wire_pair_roundtrip() {
+        let p = ("key".to_string(), vec![9u8, 8, 7]);
+        let decoded = <(String, Vec<u8>)>::from_bytes(p.to_bytes()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn hostile_vec_length_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(u32::MAX); // absurd element count
+        let res = Vec::<u64>::from_bytes(enc.finish());
+        assert!(matches!(res, Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn get_raw_zero_copy_slices() {
+        let mut enc = Encoder::new();
+        enc.put_raw(b"0123456789");
+        let mut dec = Decoder::new(enc.finish());
+        assert_eq!(&dec.get_raw(4).unwrap()[..], b"0123");
+        assert_eq!(&dec.get_raw(6).unwrap()[..], b"456789");
+        assert!(dec.get_raw(1).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! RPC handles: the origin-side [`Handle`], the target-side
+//! [`ServerHandle`], and the [`Response`] delivered to completion
+//! callbacks.
+//!
+//! Every RPC is associated with a handle object; HANDLE-bound PVARs
+//! (paper Table II) live in the handle's [`HandlePvars`] block and go out
+//! of scope when the RPC completes.
+
+use crate::class::HgClass;
+use crate::codec::{CodecError, Wire};
+use crate::header::{RdmaRef, RpcMeta, RpcStatus};
+use crate::pvar::HandlePvars;
+use crate::HgError;
+use bytes::{Bytes, BytesMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Identifier of a posted origin-side handle, unique per Mercury instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HandleId(pub u64);
+
+/// Origin-side RPC handle, created by [`HgClass::create_handle`] and
+/// consumed by [`HgClass::forward`].
+pub struct Handle {
+    pub(crate) id: HandleId,
+    pub(crate) dest: symbi_fabric::Addr,
+    pub(crate) rpc_id: u64,
+    pub(crate) pvars: Arc<HandlePvars>,
+}
+
+impl std::fmt::Debug for Handle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Handle(id={}, rpc={:#x}, dest={})", self.id.0, self.rpc_id, self.dest)
+    }
+}
+
+impl Handle {
+    /// The handle's id.
+    pub fn id(&self) -> HandleId {
+        self.id
+    }
+
+    /// Destination address.
+    pub fn dest(&self) -> symbi_fabric::Addr {
+        self.dest
+    }
+
+    /// Registered RPC id this handle will invoke.
+    pub fn rpc_id(&self) -> u64 {
+        self.rpc_id
+    }
+
+    /// This handle's PVAR block (HANDLE-bound PVARs).
+    pub fn pvars(&self) -> &Arc<HandlePvars> {
+        &self.pvars
+    }
+
+    /// Serialize an input value for this handle, recording the
+    /// `input_serialization_time` and `handle_input_size` PVARs
+    /// (interval t2→t3 of the paper's Figure 2).
+    pub fn serialize_input<T: Wire>(&self, value: &T) -> Bytes {
+        let start = Instant::now();
+        let bytes = value.to_bytes();
+        self.pvars
+            .input_serialization_ns
+            .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.pvars
+            .input_size
+            .store(bytes.len() as u64, Ordering::Relaxed);
+        bytes
+    }
+}
+
+/// The response delivered to an origin completion callback at t14.
+pub struct Response {
+    /// Completion status reported by the target.
+    pub status: RpcStatus,
+    /// Serialized output payload.
+    pub output: Bytes,
+    /// Target's Lamport clock at response time (merged by the tracer).
+    pub lamport: u64,
+    /// The originating handle's PVAR block, still alive inside the
+    /// callback so tools can sample it before it goes out of scope.
+    pub pvars: Arc<HandlePvars>,
+}
+
+impl Response {
+    /// Deserialize the output, recording `output_deserialization_time`.
+    pub fn deserialize<T: Wire>(&self) -> Result<T, CodecError> {
+        let start = Instant::now();
+        let v = T::from_bytes(self.output.clone());
+        self.pvars
+            .output_deserialization_ns
+            .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        v
+    }
+
+    /// Whether the RPC completed successfully.
+    pub fn is_ok(&self) -> bool {
+        self.status == RpcStatus::Ok
+    }
+}
+
+impl std::fmt::Debug for Response {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Response(status={:?}, {} output bytes)",
+            self.status,
+            self.output.len()
+        )
+    }
+}
+
+/// Origin-side bookkeeping for a posted (in-flight) handle.
+pub(crate) struct Posted {
+    pub(crate) cb: Box<dyn FnOnce(Response) + Send>,
+    pub(crate) pvars: Arc<HandlePvars>,
+    /// Key of the request's overflow region, unregistered on completion.
+    pub(crate) rdma_key: Option<symbi_fabric::MemKey>,
+}
+
+/// Target-side handle for one received RPC. Moved into the handler ULT by
+/// Margo; the handler reads the input through it and responds through it.
+pub struct ServerHandle {
+    pub(crate) hg: HgClass,
+    pub(crate) origin: symbi_fabric::Addr,
+    pub(crate) origin_handle_id: u64,
+    pub(crate) rpc_id: u64,
+    pub(crate) meta: RpcMeta,
+    pub(crate) inline: Bytes,
+    pub(crate) rdma: Option<RdmaRef>,
+    pub(crate) pvars: Arc<HandlePvars>,
+    pub(crate) arrived_at: Instant,
+    pub(crate) responded: AtomicBool,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ServerHandle(rpc={:#x}, from={}, callpath={:#x})",
+            self.rpc_id, self.origin, self.meta.callpath
+        )
+    }
+}
+
+impl ServerHandle {
+    /// Registered RPC id being invoked.
+    pub fn rpc_id(&self) -> u64 {
+        self.rpc_id
+    }
+
+    /// Name registered for this RPC id, if known on this instance.
+    pub fn rpc_name(&self) -> Option<String> {
+        self.hg.rpc_name(self.rpc_id)
+    }
+
+    /// The SYMBIOSYS request metadata propagated from the origin.
+    pub fn meta(&self) -> RpcMeta {
+        self.meta
+    }
+
+    /// Address of the calling origin.
+    pub fn origin(&self) -> symbi_fabric::Addr {
+        self.origin
+    }
+
+    /// When the request was read from the network layer (≈t3/t4).
+    pub fn arrived_at(&self) -> Instant {
+        self.arrived_at
+    }
+
+    /// This handle's PVAR block.
+    pub fn pvars(&self) -> &Arc<HandlePvars> {
+        &self.pvars
+    }
+
+    /// Assemble the full serialized input. If the request metadata
+    /// overflowed the eager buffer, this performs the internal RDMA pull
+    /// and records `internal_rdma_transfer_time` (interval t3→t4).
+    pub fn input_bytes(&self) -> Result<Bytes, HgError> {
+        match self.rdma {
+            None => Ok(self.inline.clone()),
+            Some(r) => {
+                let start = Instant::now();
+                let rest = self
+                    .hg
+                    .fabric()
+                    .rdma_get(symbi_fabric::MemKey(r.key), 0, r.len as usize)
+                    .map_err(HgError::Fabric)?;
+                self.pvars
+                    .internal_rdma_transfer_ns
+                    .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if self.inline.is_empty() {
+                    Ok(rest)
+                } else {
+                    let mut buf = BytesMut::with_capacity(self.inline.len() + rest.len());
+                    buf.extend_from_slice(&self.inline);
+                    buf.extend_from_slice(&rest);
+                    Ok(buf.freeze())
+                }
+            }
+        }
+    }
+
+    /// Deserialize the input, recording `input_deserialization_time`
+    /// (interval t6→t7) and `handle_input_size`.
+    pub fn input<T: Wire>(&self) -> Result<T, HgError> {
+        let bytes = self.input_bytes()?;
+        self.pvars
+            .input_size
+            .store(bytes.len() as u64, Ordering::Relaxed);
+        let start = Instant::now();
+        let v = T::from_bytes(bytes).map_err(HgError::Codec)?;
+        self.pvars
+            .input_deserialization_ns
+            .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        Ok(v)
+    }
+
+    /// Serialize and send a successful response, recording
+    /// `output_serialization_time` (t9→t10). `on_sent` is queued on this
+    /// instance's completion queue and runs when the progress loop
+    /// triggers it — the paper's t13 *target completion callback*.
+    pub fn respond<T: Wire>(
+        &self,
+        value: &T,
+        on_sent: impl FnOnce() + Send + 'static,
+    ) -> Result<(), HgError> {
+        let start = Instant::now();
+        let bytes = value.to_bytes();
+        self.pvars
+            .output_serialization_ns
+            .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        self.pvars
+            .output_size
+            .store(bytes.len() as u64, Ordering::Relaxed);
+        self.respond_raw(RpcStatus::Ok, bytes, Box::new(on_sent))
+    }
+
+    /// Send a pre-serialized response payload.
+    pub fn respond_bytes(
+        &self,
+        status: RpcStatus,
+        output: Bytes,
+        on_sent: impl FnOnce() + Send + 'static,
+    ) -> Result<(), HgError> {
+        self.pvars
+            .output_size
+            .store(output.len() as u64, Ordering::Relaxed);
+        self.respond_raw(status, output, Box::new(on_sent))
+    }
+
+    fn respond_raw(
+        &self,
+        status: RpcStatus,
+        output: Bytes,
+        on_sent: Box<dyn FnOnce() + Send>,
+    ) -> Result<(), HgError> {
+        if self.responded.swap(true, Ordering::AcqRel) {
+            return Err(HgError::AlreadyResponded);
+        }
+        self.hg
+            .send_response(self.origin, self.origin_handle_id, status, output, on_sent)
+    }
+
+    /// Whether a response has already been issued.
+    pub fn has_responded(&self) -> bool {
+        self.responded.load(Ordering::Acquire)
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        // A handler that forgets to respond would leave the origin blocked
+        // forever; surface the bug as an error response instead.
+        if !self.has_responded() {
+            let _ = self.hg.send_response(
+                self.origin,
+                self.origin_handle_id,
+                RpcStatus::HandlerError,
+                Bytes::new(),
+                Box::new(|| {}),
+            );
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! On-the-wire RPC request/response headers.
+//!
+//! The request header carries the SYMBIOSYS request metadata the paper
+//! propagates through the system (§IV-A): the 64-bit callpath ancestry
+//! hash, the globally unique request/trace id, the per-trace event order
+//! counter, and the Lamport clock used to mitigate skew. The `rdma` field
+//! implements the eager-buffer-overflow path: when serialized metadata
+//! exceeds the eager size, the remainder is exposed as a registered region
+//! that the target pulls (an "internal RDMA" transfer).
+
+use crate::codec::{CodecError, Decoder, Encoder, Wire};
+use bytes::Bytes;
+
+/// Wire protocol version, bumped on incompatible header changes.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Fabric message tags distinguishing request and response traffic.
+pub mod tags {
+    /// An RPC request.
+    pub const REQUEST: u64 = 1;
+    /// An RPC response.
+    pub const RESPONSE: u64 = 2;
+}
+
+/// Descriptor for an exposed memory region, serializable into headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RdmaRef {
+    /// Registration key (matches [`symbi_fabric::MemKey`]).
+    pub key: u64,
+    /// Total region length in bytes.
+    pub len: u64,
+}
+
+impl Wire for RdmaRef {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.key);
+        enc.put_u64(self.len);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(RdmaRef {
+            key: dec.get_u64()?,
+            len: dec.get_u64()?,
+        })
+    }
+}
+
+/// Request-path metadata propagated by SYMBIOSYS (paper §IV-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RpcMeta {
+    /// 64-bit callpath ancestry hash (16 bits per frame, depth ≤ 4).
+    pub callpath: u64,
+    /// Globally unique request (trace) id; 0 when tracing is disabled.
+    pub request_id: u64,
+    /// Order of this event within its trace.
+    pub order: u32,
+    /// Lamport logical clock value at send time.
+    pub lamport: u64,
+}
+
+/// Full request header + payload framing.
+#[derive(Debug, Clone)]
+pub struct RequestHeader {
+    /// Registered RPC id (hash of the RPC name).
+    pub rpc_id: u64,
+    /// Origin's handle id, echoed back in the response.
+    pub origin_handle_id: u64,
+    /// SYMBIOSYS metadata.
+    pub meta: RpcMeta,
+    /// Overflow region holding input bytes beyond the eager buffer.
+    pub rdma: Option<RdmaRef>,
+    /// Inline (eager) portion of the serialized input.
+    pub inline: Bytes,
+}
+
+impl Wire for RequestHeader {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(WIRE_VERSION);
+        enc.put_u64(self.rpc_id);
+        enc.put_u64(self.origin_handle_id);
+        enc.put_u64(self.meta.callpath);
+        enc.put_u64(self.meta.request_id);
+        enc.put_u32(self.meta.order);
+        enc.put_u64(self.meta.lamport);
+        match self.rdma {
+            Some(r) => {
+                enc.put_u8(1);
+                r.encode(enc);
+            }
+            None => {
+                enc.put_u8(0);
+            }
+        }
+        enc.put_bytes(&self.inline);
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        let version = dec.get_u8()?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::Invalid("wire version"));
+        }
+        let rpc_id = dec.get_u64()?;
+        let origin_handle_id = dec.get_u64()?;
+        let meta = RpcMeta {
+            callpath: dec.get_u64()?,
+            request_id: dec.get_u64()?,
+            order: dec.get_u32()?,
+            lamport: dec.get_u64()?,
+        };
+        let rdma = match dec.get_u8()? {
+            0 => None,
+            1 => Some(RdmaRef::decode(dec)?),
+            _ => return Err(CodecError::Invalid("rdma flag")),
+        };
+        let inline = dec.get_bytes()?;
+        Ok(RequestHeader {
+            rpc_id,
+            origin_handle_id,
+            meta,
+            rdma,
+            inline,
+        })
+    }
+}
+
+/// RPC completion status codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RpcStatus {
+    /// Handler completed and produced output.
+    Ok,
+    /// No handler is registered for the RPC id on the target.
+    NoHandler,
+    /// The handler failed (panicked or reported an error).
+    HandlerError,
+}
+
+impl RpcStatus {
+    /// Encode as a wire byte.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            RpcStatus::Ok => 0,
+            RpcStatus::NoHandler => 1,
+            RpcStatus::HandlerError => 2,
+        }
+    }
+
+    /// Decode from a wire byte.
+    pub fn from_u8(v: u8) -> Result<Self, CodecError> {
+        Ok(match v {
+            0 => RpcStatus::Ok,
+            1 => RpcStatus::NoHandler,
+            2 => RpcStatus::HandlerError,
+            _ => return Err(CodecError::Invalid("rpc status")),
+        })
+    }
+}
+
+/// Full response header + payload framing.
+#[derive(Debug, Clone)]
+pub struct ResponseHeader {
+    /// Handle id of the originating request.
+    pub origin_handle_id: u64,
+    /// Completion status.
+    pub status: RpcStatus,
+    /// Target's Lamport clock at response time.
+    pub lamport: u64,
+    /// Overflow region holding output bytes beyond the eager buffer.
+    pub rdma: Option<RdmaRef>,
+    /// Inline portion of the serialized output.
+    pub inline: Bytes,
+}
+
+impl Wire for ResponseHeader {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(WIRE_VERSION);
+        enc.put_u64(self.origin_handle_id);
+        enc.put_u8(self.status.as_u8());
+        enc.put_u64(self.lamport);
+        match self.rdma {
+            Some(r) => {
+                enc.put_u8(1);
+                r.encode(enc);
+            }
+            None => {
+                enc.put_u8(0);
+            }
+        }
+        enc.put_bytes(&self.inline);
+    }
+
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        let version = dec.get_u8()?;
+        if version != WIRE_VERSION {
+            return Err(CodecError::Invalid("wire version"));
+        }
+        let origin_handle_id = dec.get_u64()?;
+        let status = RpcStatus::from_u8(dec.get_u8()?)?;
+        let lamport = dec.get_u64()?;
+        let rdma = match dec.get_u8()? {
+            0 => None,
+            1 => Some(RdmaRef::decode(dec)?),
+            _ => return Err(CodecError::Invalid("rdma flag")),
+        };
+        let inline = dec.get_bytes()?;
+        Ok(ResponseHeader {
+            origin_handle_id,
+            status,
+            lamport,
+            rdma,
+            inline,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_header_roundtrip() {
+        let h = RequestHeader {
+            rpc_id: 0xABCD,
+            origin_handle_id: 42,
+            meta: RpcMeta {
+                callpath: 0x1111_2222_3333_4444,
+                request_id: 99,
+                order: 3,
+                lamport: 17,
+            },
+            rdma: Some(RdmaRef { key: 5, len: 1 << 20 }),
+            inline: Bytes::from_static(b"payload"),
+        };
+        let d = RequestHeader::from_bytes(h.to_bytes()).unwrap();
+        assert_eq!(d.rpc_id, h.rpc_id);
+        assert_eq!(d.origin_handle_id, 42);
+        assert_eq!(d.meta, h.meta);
+        assert_eq!(d.rdma, h.rdma);
+        assert_eq!(&d.inline[..], b"payload");
+    }
+
+    #[test]
+    fn request_header_without_rdma() {
+        let h = RequestHeader {
+            rpc_id: 1,
+            origin_handle_id: 2,
+            meta: RpcMeta::default(),
+            rdma: None,
+            inline: Bytes::new(),
+        };
+        let d = RequestHeader::from_bytes(h.to_bytes()).unwrap();
+        assert!(d.rdma.is_none());
+        assert!(d.inline.is_empty());
+    }
+
+    #[test]
+    fn response_header_roundtrip_all_statuses() {
+        for status in [RpcStatus::Ok, RpcStatus::NoHandler, RpcStatus::HandlerError] {
+            let h = ResponseHeader {
+                origin_handle_id: 7,
+                status,
+                lamport: 23,
+                rdma: None,
+                inline: Bytes::from_static(b"out"),
+            };
+            let d = ResponseHeader::from_bytes(h.to_bytes()).unwrap();
+            assert_eq!(d.status, status);
+            assert_eq!(d.lamport, 23);
+        }
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let h = RequestHeader {
+            rpc_id: 1,
+            origin_handle_id: 2,
+            meta: RpcMeta::default(),
+            rdma: None,
+            inline: Bytes::new(),
+        };
+        let mut raw = h.to_bytes().to_vec();
+        raw[0] = 0xFF;
+        assert!(RequestHeader::from_bytes(raw.into()).is_err());
+    }
+
+    #[test]
+    fn bad_status_rejected() {
+        assert!(RpcStatus::from_u8(9).is_err());
+    }
+
+    #[test]
+    fn bad_rdma_flag_rejected() {
+        let h = ResponseHeader {
+            origin_handle_id: 1,
+            status: RpcStatus::Ok,
+            lamport: 0,
+            rdma: None,
+            inline: Bytes::new(),
+        };
+        let mut raw = h.to_bytes().to_vec();
+        // version(1) + handle(8) + status(1) + lamport(8) = offset 18 is flag
+        raw[18] = 7;
+        assert!(ResponseHeader::from_bytes(raw.into()).is_err());
+    }
+}

@@ -1,0 +1,479 @@
+//! # symbi-mercury — a Mercury-like RPC framework with a PVAR tool interface
+//!
+//! [Mercury](https://mercury-hpc.github.io) is the RPC layer of the Mochi
+//! stack. This crate re-implements its execution model as described in the
+//! SYMBIOSYS paper (IPDPS 2021, Figure 2):
+//!
+//! * origin: create handle → serialize input (t2–t3) → forward; eager
+//!   metadata with an internal-RDMA overflow path,
+//! * target: `progress` reads bounded batches of network events
+//!   (`OFI_max_events`) into a completion queue, `trigger` dispatches the
+//!   registered callback, the handler deserializes (t6–t7), responds
+//!   (t9–t10), and a target-side completion callback fires at t13,
+//! * origin: response enters the completion queue at t12 and the user
+//!   callback runs at t14.
+//!
+//! The crate also implements the paper's §IV-B contribution: a
+//! **performance-variable (PVAR) interface** exposing internal metrics
+//! (Tables I & II) to external tools through sessions, with NO_OBJECT and
+//! HANDLE bindings. SYMBIOSYS's Margo bridge is one such tool.
+//!
+//! ## Example: a complete RPC round trip
+//!
+//! ```
+//! use symbi_mercury::{HgClass, HgConfig, RpcMeta, forward_value};
+//! use symbi_fabric::{Fabric, NetworkModel};
+//! use std::time::Duration;
+//!
+//! let fabric = Fabric::new(NetworkModel::instant());
+//! let client = HgClass::init(fabric.clone(), HgConfig::default());
+//! let server = HgClass::init(fabric, HgConfig::default());
+//!
+//! let rpc = server.register("echo");
+//! client.register("echo");
+//! server.set_handler(rpc, std::sync::Arc::new(|sh: symbi_mercury::ServerHandle| {
+//!     let input: u64 = sh.input().unwrap();
+//!     sh.respond(&(input + 1), || {}).unwrap();
+//! }));
+//!
+//! let done = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+//! let done2 = done.clone();
+//! forward_value(&client, server.addr(), rpc, RpcMeta::default(), &41u64, move |resp| {
+//!     done2.store(resp.deserialize::<u64>().unwrap(), std::sync::atomic::Ordering::SeqCst);
+//! }).unwrap();
+//!
+//! // Pump both progress loops (normally Margo's progress ULTs do this).
+//! while done.load(std::sync::atomic::Ordering::SeqCst) == 0 {
+//!     server.progress(16, Duration::ZERO);
+//!     server.trigger(16);
+//!     client.progress(16, Duration::ZERO);
+//!     client.trigger(16);
+//! }
+//! assert_eq!(done.load(std::sync::atomic::Ordering::SeqCst), 42);
+//! ```
+
+pub mod codec;
+mod class;
+mod handle;
+mod header;
+pub mod pvar;
+mod session;
+
+pub use class::{forward_value, hash_rpc_name, HgClass, HgConfig, RpcCallback};
+pub use codec::{CodecError, Decoder, Encoder, Wire};
+pub use handle::{Handle, HandleId, Response, ServerHandle};
+pub use header::{tags, RdmaRef, RequestHeader, ResponseHeader, RpcMeta, RpcStatus};
+pub use pvar::{HandlePvars, PvarBind, PvarClass, PvarError, PvarId, PvarInfo, PVAR_TABLE};
+pub use session::{PvarHandle, PvarSession};
+
+/// Errors surfaced by Mercury operations.
+#[derive(Debug)]
+pub enum HgError {
+    /// Underlying fabric failure.
+    Fabric(symbi_fabric::FabricError),
+    /// Wire (de)serialization failure.
+    Codec(CodecError),
+    /// A response was issued twice for the same server handle.
+    AlreadyResponded,
+    /// The RPC completed with a non-OK status.
+    Status(RpcStatus),
+}
+
+impl std::fmt::Display for HgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HgError::Fabric(e) => write!(f, "fabric error: {e}"),
+            HgError::Codec(e) => write!(f, "codec error: {e}"),
+            HgError::AlreadyResponded => write!(f, "handle already responded"),
+            HgError::Status(s) => write!(f, "rpc failed with status {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for HgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use symbi_fabric::{Fabric, NetworkModel};
+
+    fn pair() -> (HgClass, HgClass) {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let client = HgClass::init(fabric.clone(), HgConfig::default());
+        let server = HgClass::init(fabric, HgConfig::default());
+        (client, server)
+    }
+
+    /// Pump both sides until `pred` is true or a deadline passes.
+    fn pump_until(client: &HgClass, server: &HgClass, pred: impl Fn() -> bool) {
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !pred() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pump_until timed out"
+            );
+            server.progress(16, Duration::ZERO);
+            server.trigger(64);
+            client.progress(16, Duration::ZERO);
+            client.trigger(64);
+        }
+    }
+
+    fn echo_handler() -> RpcCallback {
+        Arc::new(|sh: ServerHandle| {
+            let input: Vec<u8> = sh.input().unwrap();
+            sh.respond(&input, || {}).unwrap();
+        })
+    }
+
+    #[test]
+    fn rpc_roundtrip_small_payload() {
+        let (client, server) = pair();
+        let rpc = server.register("echo");
+        client.register("echo");
+        server.set_handler(rpc, echo_handler());
+        let got: Arc<parking_lot::Mutex<Option<Vec<u8>>>> =
+            Arc::new(parking_lot::Mutex::new(None));
+        let got2 = got.clone();
+        forward_value(
+            &client,
+            server.addr(),
+            rpc,
+            RpcMeta::default(),
+            &vec![1u8, 2, 3],
+            move |resp| {
+                assert!(resp.is_ok());
+                *got2.lock() = Some(resp.deserialize().unwrap());
+            },
+        )
+        .unwrap();
+        pump_until(&client, &server, || got.lock().is_some());
+        assert_eq!(got.lock().take().unwrap(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rpc_roundtrip_large_payload_uses_internal_rdma() {
+        let (client, server) = pair();
+        let rpc = server.register("big");
+        server.set_handler(rpc, echo_handler());
+        let payload: Vec<u8> = (0..100_000u32).map(|i| (i % 255) as u8).collect();
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = done.clone();
+        let expect = payload.clone();
+        forward_value(
+            &client,
+            server.addr(),
+            rpc,
+            RpcMeta::default(),
+            &payload,
+            move |resp| {
+                let out: Vec<u8> = resp.deserialize().unwrap();
+                assert_eq!(out, expect);
+                done2.store(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+        pump_until(&client, &server, || done.load(Ordering::SeqCst) == 1);
+        // Both the request and the response overflowed the 4 KiB eager
+        // buffer, so each side recorded one overflow.
+        let s = client.pvar_session();
+        let h = s.alloc_handle(pvar::ids::NUM_EAGER_OVERFLOWS).unwrap();
+        assert_eq!(s.sample(&h, None).unwrap(), 1);
+        let s2 = server.pvar_session();
+        let h2 = s2.alloc_handle(pvar::ids::NUM_EAGER_OVERFLOWS).unwrap();
+        assert_eq!(s2.sample(&h2, None).unwrap(), 1);
+    }
+
+    #[test]
+    fn handle_pvars_populated_on_both_sides() {
+        let (client, server) = pair();
+        let rpc = server.register("timed");
+        let target_input_size = Arc::new(AtomicU64::new(0));
+        let ti = target_input_size.clone();
+        server.set_handler(
+            rpc,
+            Arc::new(move |sh: ServerHandle| {
+                let input: Vec<u8> = sh.input().unwrap();
+                ti.store(
+                    sh.pvars().input_size.load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+                let len = input.len() as u64;
+                sh.respond(&len, || {}).unwrap();
+            }),
+        );
+        let origin_ser = Arc::new(AtomicU64::new(u64::MAX));
+        let origin_cct = Arc::new(AtomicU64::new(u64::MAX));
+        let os = origin_ser.clone();
+        let oc = origin_cct.clone();
+        let done = Arc::new(AtomicUsize::new(0));
+        let done2 = done.clone();
+        let payload = vec![7u8; 1000];
+        forward_value(
+            &client,
+            server.addr(),
+            rpc,
+            RpcMeta::default(),
+            &payload,
+            move |resp| {
+                os.store(
+                    resp.pvars.input_serialization_ns.load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+                oc.store(
+                    resp.pvars
+                        .origin_completion_callback_ns
+                        .load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+                done2.store(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+        pump_until(&client, &server, || done.load(Ordering::SeqCst) == 1);
+        assert_ne!(origin_ser.load(Ordering::Relaxed), u64::MAX);
+        assert_ne!(origin_cct.load(Ordering::Relaxed), u64::MAX);
+        // Serialized Vec<u8> = 4-byte length prefix + body.
+        assert_eq!(target_input_size.load(Ordering::Relaxed), 1004);
+    }
+
+    #[test]
+    fn missing_handler_yields_no_handler_status() {
+        let (client, server) = pair();
+        let rpc = client.register("nobody_home");
+        let status = Arc::new(parking_lot::Mutex::new(None));
+        let s2 = status.clone();
+        forward_value(
+            &client,
+            server.addr(),
+            rpc,
+            RpcMeta::default(),
+            &0u64,
+            move |resp| {
+                *s2.lock() = Some(resp.status);
+            },
+        )
+        .unwrap();
+        pump_until(&client, &server, || status.lock().is_some());
+        assert_eq!(status.lock().unwrap(), RpcStatus::NoHandler);
+    }
+
+    #[test]
+    fn forward_to_unknown_address_fails_fast() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let client = HgClass::init(fabric, HgConfig::default());
+        let rpc = client.register("void");
+        let res = forward_value(
+            &client,
+            symbi_fabric::Addr(4242),
+            rpc,
+            RpcMeta::default(),
+            &0u64,
+            |_| panic!("must not complete"),
+        );
+        assert!(res.is_err());
+        assert_eq!(client.posted_handles(), 0, "failed post must roll back");
+    }
+
+    #[test]
+    fn dropped_server_handle_sends_error_response() {
+        let (client, server) = pair();
+        let rpc = server.register("forgetful");
+        server.set_handler(
+            rpc,
+            Arc::new(|sh: ServerHandle| {
+                // Handler "forgets" to respond; Drop must synthesize an
+                // error so the origin is not stuck forever.
+                drop(sh);
+            }),
+        );
+        let status = Arc::new(parking_lot::Mutex::new(None));
+        let s2 = status.clone();
+        forward_value(
+            &client,
+            server.addr(),
+            rpc,
+            RpcMeta::default(),
+            &1u64,
+            move |resp| {
+                *s2.lock() = Some(resp.status);
+            },
+        )
+        .unwrap();
+        pump_until(&client, &server, || status.lock().is_some());
+        assert_eq!(status.lock().unwrap(), RpcStatus::HandlerError);
+    }
+
+    #[test]
+    fn double_respond_is_rejected() {
+        let (client, server) = pair();
+        let rpc = server.register("twice");
+        server.set_handler(
+            rpc,
+            Arc::new(|sh: ServerHandle| {
+                sh.respond(&1u64, || {}).unwrap();
+                assert!(matches!(
+                    sh.respond(&2u64, || {}),
+                    Err(HgError::AlreadyResponded)
+                ));
+            }),
+        );
+        let done = Arc::new(AtomicUsize::new(0));
+        let d2 = done.clone();
+        forward_value(
+            &client,
+            server.addr(),
+            rpc,
+            RpcMeta::default(),
+            &0u64,
+            move |resp| {
+                assert_eq!(resp.deserialize::<u64>().unwrap(), 1);
+                d2.store(1, Ordering::SeqCst);
+            },
+        )
+        .unwrap();
+        pump_until(&client, &server, || done.load(Ordering::SeqCst) == 1);
+    }
+
+    #[test]
+    fn meta_propagates_to_target() {
+        let (client, server) = pair();
+        let rpc = server.register("meta");
+        let seen = Arc::new(parking_lot::Mutex::new(None));
+        let seen2 = seen.clone();
+        server.set_handler(
+            rpc,
+            Arc::new(move |sh: ServerHandle| {
+                *seen2.lock() = Some(sh.meta());
+                sh.respond(&0u64, || {}).unwrap();
+            }),
+        );
+        let meta = RpcMeta {
+            callpath: 0xAABB,
+            request_id: 777,
+            order: 5,
+            lamport: 99,
+        };
+        let done = Arc::new(AtomicUsize::new(0));
+        let d2 = done.clone();
+        forward_value(&client, server.addr(), rpc, meta, &0u64, move |_| {
+            d2.store(1, Ordering::SeqCst);
+        })
+        .unwrap();
+        pump_until(&client, &server, || done.load(Ordering::SeqCst) == 1);
+        assert_eq!(seen.lock().unwrap(), meta);
+    }
+
+    #[test]
+    fn num_ofi_events_read_tracks_batch_size() {
+        let (client, server) = pair();
+        let rpc = server.register("burst");
+        server.set_handler(rpc, echo_handler());
+        for _ in 0..40 {
+            forward_value(
+                &client,
+                server.addr(),
+                rpc,
+                RpcMeta::default(),
+                &0u64,
+                |_| {},
+            )
+            .unwrap();
+        }
+        // With 40 queued events and max_events=16, the first read returns 16.
+        let n = server.progress(16, Duration::ZERO);
+        assert_eq!(n, 16);
+        let s = server.pvar_session();
+        let h = s.alloc_handle(pvar::ids::NUM_OFI_EVENTS_READ).unwrap();
+        assert_eq!(s.sample(&h, None).unwrap(), 16);
+        // Drain the rest so posted handles complete.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while client.posted_handles() > 0 && std::time::Instant::now() < deadline {
+            server.progress(64, Duration::ZERO);
+            server.trigger(256);
+            client.progress(64, Duration::ZERO);
+            client.trigger(256);
+        }
+        assert_eq!(client.posted_handles(), 0);
+    }
+
+    #[test]
+    fn completion_queue_and_posted_handle_pvars() {
+        let (client, server) = pair();
+        let rpc = server.register("q");
+        server.set_handler(rpc, echo_handler());
+        for _ in 0..5 {
+            forward_value(
+                &client,
+                server.addr(),
+                rpc,
+                RpcMeta::default(),
+                &0u64,
+                |_| {},
+            )
+            .unwrap();
+        }
+        assert_eq!(client.posted_handles(), 5);
+        server.progress(16, Duration::ZERO);
+        assert_eq!(server.completion_queue_len(), 5);
+        let s = server.pvar_session();
+        let h = s.alloc_handle(pvar::ids::COMPLETION_QUEUE_SIZE).unwrap();
+        assert_eq!(s.sample(&h, None).unwrap(), 5);
+        let hw = s
+            .alloc_handle(pvar::ids::COMPLETION_QUEUE_HIGHWATERMARK)
+            .unwrap();
+        assert!(s.sample(&hw, None).unwrap() >= 5);
+        // Drain so the test leaves no dangling handles.
+        pump_until(&client, &server, || client.posted_handles() == 0);
+    }
+
+    #[test]
+    fn bulk_pull_and_push_roundtrip() {
+        let (client, server) = pair();
+        let data = Arc::new((0..1024u32).map(|i| (i % 200) as u8).collect::<Vec<u8>>());
+        let r = client.bulk_expose_read(data.clone());
+        let pulled = server.bulk_pull(r, 0, 1024).unwrap();
+        assert_eq!(&pulled[..], &data[..]);
+        client.bulk_free(r);
+
+        let (w, buf) = client.bulk_expose_write(16);
+        server.bulk_push(w, 4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(&buf.read()[4..8], &[1, 2, 3, 4]);
+        client.bulk_free(w);
+    }
+
+    #[test]
+    fn rpc_name_hash_is_stable_and_distinct() {
+        let a = hash_rpc_name("sdskv_put_packed");
+        let b = hash_rpc_name("sdskv_put_packed");
+        let c = hash_rpc_name("bake_persist_rpc");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn trigger_respects_bound() {
+        let (client, server) = pair();
+        let rpc = server.register("bound");
+        server.set_handler(rpc, echo_handler());
+        for _ in 0..10 {
+            forward_value(
+                &client,
+                server.addr(),
+                rpc,
+                RpcMeta::default(),
+                &0u64,
+                |_| {},
+            )
+            .unwrap();
+        }
+        server.progress(64, Duration::ZERO);
+        assert_eq!(server.trigger(3), 3);
+        assert!(server.completion_queue_len() >= 7);
+        // Drain.
+        pump_until(&client, &server, || client.posted_handles() == 0);
+    }
+}

@@ -1,0 +1,440 @@
+//! The Mercury performance-variable (PVAR) subsystem — paper §IV-B.
+//!
+//! PVARs expose internal communication-library metrics to external tools
+//! without breaking the library's abstraction. The design mirrors the MPI
+//! Tools Information Interface, as the paper does:
+//!
+//! * **PVAR classes** (Table I): [`PvarClass`] — STATE, COUNTER, TIMER,
+//!   LEVEL, SIZE, HIGHWATERMARK, LOWWATERMARK.
+//! * **PVAR bindings**: [`PvarBind`] — `NO_OBJECT` for library-global
+//!   metrics, `HANDLE` for metrics scoped to one RPC handle whose values
+//!   vanish when the handle completes (Table II).
+//! * **Sessions** (§IV-B2): a tool calls [`crate::HgClass::pvar_session`],
+//!   queries the exported variables, allocates handles for those it wants,
+//!   samples them (supplying the Mercury handle object for HANDLE-bound
+//!   PVARs), and finalizes the session.
+//!
+//! Timers are reported in nanoseconds; sizes in bytes; counts as raw u64.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The kind of quantity a PVAR represents (paper Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PvarClass {
+    /// Any one of a set of discrete states.
+    State,
+    /// Monotonically increasing value.
+    Counter,
+    /// Interval event timer.
+    Timer,
+    /// Utilization level of a resource.
+    Level,
+    /// Size of a resource.
+    Size,
+    /// Highest recorded value.
+    Highwatermark,
+    /// Lowest recorded value.
+    Lowwatermark,
+}
+
+impl std::fmt::Display for PvarClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PvarClass::State => "STATE",
+            PvarClass::Counter => "COUNTER",
+            PvarClass::Timer => "TIMER",
+            PvarClass::Level => "LEVEL",
+            PvarClass::Size => "SIZE",
+            PvarClass::Highwatermark => "HIGHWATERMARK",
+            PvarClass::Lowwatermark => "LOWWATERMARK",
+        };
+        f.write_str(s)
+    }
+}
+
+/// What object, if any, a PVAR is bound to (paper §IV-B1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PvarBind {
+    /// Global scope across the whole Mercury instance.
+    NoObject,
+    /// Bound to a single RPC handle; out of scope once the RPC completes.
+    Handle,
+}
+
+impl std::fmt::Display for PvarBind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PvarBind::NoObject => "NO_OBJECT",
+            PvarBind::Handle => "HANDLE",
+        })
+    }
+}
+
+/// Identifier of an exported PVAR.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PvarId(pub u16);
+
+/// Static description of one exported PVAR.
+#[derive(Debug, Clone, Copy)]
+pub struct PvarInfo {
+    /// Identifier used with the session API.
+    pub id: PvarId,
+    /// Exported name.
+    pub name: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    /// Class (Table I).
+    pub class: PvarClass,
+    /// Binding.
+    pub bind: PvarBind,
+}
+
+/// Well-known PVAR ids. The first block reproduces the paper's Table II;
+/// the rest are natural extensions used by the analyses.
+pub mod ids {
+    use super::PvarId;
+
+    /// Number of currently posted RPC handles.
+    pub const NUM_POSTED_HANDLES: PvarId = PvarId(0);
+    /// Number of events in Mercury's completion queue.
+    pub const COMPLETION_QUEUE_SIZE: PvarId = PvarId(1);
+    /// Number of OFI completion events last read by `progress`.
+    pub const NUM_OFI_EVENTS_READ: PvarId = PvarId(2);
+    /// Number of RPCs invoked by this instance (origin side).
+    pub const NUM_RPCS_INVOKED: PvarId = PvarId(3);
+    /// Number of RPCs serviced by this instance (target side).
+    pub const NUM_RPCS_SERVICED: PvarId = PvarId(4);
+    /// Times the eager buffer overflowed into an internal RDMA transfer.
+    pub const NUM_EAGER_OVERFLOWS: PvarId = PvarId(5);
+    /// Bytes pulled through the bulk interface.
+    pub const BULK_BYTES_PULLED: PvarId = PvarId(6);
+    /// Bytes pushed through the bulk interface.
+    pub const BULK_BYTES_PUSHED: PvarId = PvarId(7);
+    /// Highest completion-queue length observed.
+    pub const COMPLETION_QUEUE_HIGHWATERMARK: PvarId = PvarId(8);
+    /// Configured eager buffer size.
+    pub const EAGER_BUFFER_SIZE: PvarId = PvarId(9);
+    /// Number of `progress` calls made.
+    pub const NUM_PROGRESS_CALLS: PvarId = PvarId(10);
+    /// Number of completion callbacks triggered.
+    pub const NUM_TRIGGERS: PvarId = PvarId(11);
+
+    // --- HANDLE-bound (values live and die with one RPC) ---
+
+    /// Time to transfer overflowed RPC metadata through internal RDMA.
+    pub const INTERNAL_RDMA_TRANSFER_TIME: PvarId = PvarId(20);
+    /// Time to serialize input on the origin.
+    pub const INPUT_SERIALIZATION_TIME: PvarId = PvarId(21);
+    /// Time to deserialize input on the target.
+    pub const INPUT_DESERIALIZATION_TIME: PvarId = PvarId(22);
+    /// Time to serialize output on the target.
+    pub const OUTPUT_SERIALIZATION_TIME: PvarId = PvarId(23);
+    /// Time to deserialize output on the origin.
+    pub const OUTPUT_DESERIALIZATION_TIME: PvarId = PvarId(24);
+    /// Delay between response arrival and completion-callback invocation.
+    pub const ORIGIN_COMPLETION_CALLBACK_TIME: PvarId = PvarId(25);
+    /// Serialized input size for this handle.
+    pub const HANDLE_INPUT_SIZE: PvarId = PvarId(26);
+    /// Serialized output size for this handle.
+    pub const HANDLE_OUTPUT_SIZE: PvarId = PvarId(27);
+}
+
+/// The full table of PVARs exported by this Mercury implementation.
+pub static PVAR_TABLE: &[PvarInfo] = &[
+    PvarInfo {
+        id: ids::NUM_POSTED_HANDLES,
+        name: "num_posted_handles",
+        description: "Number of currently posted RPC handles",
+        class: PvarClass::Level,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::COMPLETION_QUEUE_SIZE,
+        name: "completion_queue_size",
+        description: "Number of events in Mercury's completion queue",
+        class: PvarClass::State,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_OFI_EVENTS_READ,
+        name: "num_ofi_events_read",
+        description: "Number of OFI completion events last read",
+        class: PvarClass::Level,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_RPCS_INVOKED,
+        name: "num_rpcs_invoked",
+        description: "Number of RPCs invoked by instance",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_RPCS_SERVICED,
+        name: "num_rpcs_serviced",
+        description: "Number of RPCs serviced by instance",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_EAGER_OVERFLOWS,
+        name: "num_eager_overflows",
+        description: "Requests whose metadata overflowed the eager buffer",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::BULK_BYTES_PULLED,
+        name: "bulk_bytes_pulled",
+        description: "Bytes pulled through the bulk interface",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::BULK_BYTES_PUSHED,
+        name: "bulk_bytes_pushed",
+        description: "Bytes pushed through the bulk interface",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::COMPLETION_QUEUE_HIGHWATERMARK,
+        name: "completion_queue_highwatermark",
+        description: "Highest completion queue length observed",
+        class: PvarClass::Highwatermark,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::EAGER_BUFFER_SIZE,
+        name: "eager_buffer_size",
+        description: "Configured eager buffer size in bytes",
+        class: PvarClass::Size,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_PROGRESS_CALLS,
+        name: "num_progress_calls",
+        description: "Number of progress calls made",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_TRIGGERS,
+        name: "num_triggers",
+        description: "Number of completion callbacks triggered",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::INTERNAL_RDMA_TRANSFER_TIME,
+        name: "internal_rdma_transfer_time",
+        description: "Time taken to transfer additional RPC metadata through RDMA",
+        class: PvarClass::Timer,
+        bind: PvarBind::Handle,
+    },
+    PvarInfo {
+        id: ids::INPUT_SERIALIZATION_TIME,
+        name: "input_serialization_time",
+        description: "Time taken to serialize input on origin",
+        class: PvarClass::Timer,
+        bind: PvarBind::Handle,
+    },
+    PvarInfo {
+        id: ids::INPUT_DESERIALIZATION_TIME,
+        name: "input_deserialization_time",
+        description: "Time taken to de-serialize input on target",
+        class: PvarClass::Timer,
+        bind: PvarBind::Handle,
+    },
+    PvarInfo {
+        id: ids::OUTPUT_SERIALIZATION_TIME,
+        name: "output_serialization_time",
+        description: "Time taken to serialize output on target",
+        class: PvarClass::Timer,
+        bind: PvarBind::Handle,
+    },
+    PvarInfo {
+        id: ids::OUTPUT_DESERIALIZATION_TIME,
+        name: "output_deserialization_time",
+        description: "Time taken to de-serialize output on origin",
+        class: PvarClass::Timer,
+        bind: PvarBind::Handle,
+    },
+    PvarInfo {
+        id: ids::ORIGIN_COMPLETION_CALLBACK_TIME,
+        name: "origin_completion_callback_time",
+        description: "Delay between arrival of RPC response and invocation of completion callback",
+        class: PvarClass::Timer,
+        bind: PvarBind::Handle,
+    },
+    PvarInfo {
+        id: ids::HANDLE_INPUT_SIZE,
+        name: "handle_input_size",
+        description: "Serialized input size for this handle",
+        class: PvarClass::Size,
+        bind: PvarBind::Handle,
+    },
+    PvarInfo {
+        id: ids::HANDLE_OUTPUT_SIZE,
+        name: "handle_output_size",
+        description: "Serialized output size for this handle",
+        class: PvarClass::Size,
+        bind: PvarBind::Handle,
+    },
+];
+
+/// Look up a PVAR's static info.
+pub fn pvar_info(id: PvarId) -> Option<&'static PvarInfo> {
+    PVAR_TABLE.iter().find(|p| p.id == id)
+}
+
+/// Look up a PVAR by exported name.
+pub fn pvar_by_name(name: &str) -> Option<&'static PvarInfo> {
+    PVAR_TABLE.iter().find(|p| p.name == name)
+}
+
+/// HANDLE-bound PVAR storage: one block per RPC handle. Values are written
+/// by Mercury internals and sampled by tools through a session while the
+/// handle is alive; once the handle completes they go out of scope (the
+/// paper: "their values are lost forever").
+#[derive(Debug, Default)]
+pub struct HandlePvars {
+    /// `internal_rdma_transfer_time` in ns.
+    pub internal_rdma_transfer_ns: AtomicU64,
+    /// `input_serialization_time` in ns.
+    pub input_serialization_ns: AtomicU64,
+    /// `input_deserialization_time` in ns.
+    pub input_deserialization_ns: AtomicU64,
+    /// `output_serialization_time` in ns.
+    pub output_serialization_ns: AtomicU64,
+    /// `output_deserialization_time` in ns.
+    pub output_deserialization_ns: AtomicU64,
+    /// `origin_completion_callback_time` in ns.
+    pub origin_completion_callback_ns: AtomicU64,
+    /// `handle_input_size` in bytes.
+    pub input_size: AtomicU64,
+    /// `handle_output_size` in bytes.
+    pub output_size: AtomicU64,
+}
+
+impl HandlePvars {
+    /// Read a handle-bound PVAR value, if `id` names one.
+    pub fn read(&self, id: PvarId) -> Option<u64> {
+        let v = match id {
+            ids::INTERNAL_RDMA_TRANSFER_TIME => &self.internal_rdma_transfer_ns,
+            ids::INPUT_SERIALIZATION_TIME => &self.input_serialization_ns,
+            ids::INPUT_DESERIALIZATION_TIME => &self.input_deserialization_ns,
+            ids::OUTPUT_SERIALIZATION_TIME => &self.output_serialization_ns,
+            ids::OUTPUT_DESERIALIZATION_TIME => &self.output_deserialization_ns,
+            ids::ORIGIN_COMPLETION_CALLBACK_TIME => &self.origin_completion_callback_ns,
+            ids::HANDLE_INPUT_SIZE => &self.input_size,
+            ids::HANDLE_OUTPUT_SIZE => &self.output_size,
+            _ => return None,
+        };
+        Some(v.load(Ordering::Relaxed))
+    }
+}
+
+/// Errors from the PVAR session API.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PvarError {
+    /// Unknown PVAR id.
+    Unknown(PvarId),
+    /// A HANDLE-bound PVAR was sampled without supplying a handle.
+    HandleRequired(PvarId),
+    /// The session has been finalized.
+    Finalized,
+}
+
+impl std::fmt::Display for PvarError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PvarError::Unknown(id) => write!(f, "unknown pvar {id:?}"),
+            PvarError::HandleRequired(id) => {
+                write!(f, "pvar {id:?} is HANDLE-bound; a handle must be supplied")
+            }
+            PvarError::Finalized => write!(f, "pvar session already finalized"),
+        }
+    }
+}
+
+impl std::error::Error for PvarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_ids_are_unique() {
+        let mut ids: Vec<u16> = PVAR_TABLE.iter().map(|p| p.id.0).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+    }
+
+    #[test]
+    fn table_matches_paper_table_two() {
+        // The paper's Table II rows must all be present with the documented
+        // class and binding.
+        let cases = [
+            ("num_posted_handles", PvarClass::Level, PvarBind::NoObject),
+            ("completion_queue_size", PvarClass::State, PvarBind::NoObject),
+            ("num_ofi_events_read", PvarClass::Level, PvarBind::NoObject),
+            ("num_rpcs_invoked", PvarClass::Counter, PvarBind::NoObject),
+            (
+                "internal_rdma_transfer_time",
+                PvarClass::Timer,
+                PvarBind::Handle,
+            ),
+            (
+                "input_serialization_time",
+                PvarClass::Timer,
+                PvarBind::Handle,
+            ),
+            (
+                "input_deserialization_time",
+                PvarClass::Timer,
+                PvarBind::Handle,
+            ),
+            (
+                "origin_completion_callback_time",
+                PvarClass::Timer,
+                PvarBind::Handle,
+            ),
+        ];
+        for (name, class, bind) in cases {
+            let info = pvar_by_name(name).unwrap_or_else(|| panic!("missing pvar {name}"));
+            assert_eq!(info.class, class, "{name} class");
+            assert_eq!(info.bind, bind, "{name} bind");
+        }
+    }
+
+    #[test]
+    fn all_seven_classes_exist() {
+        // Table I lists seven classes; the display names must match.
+        assert_eq!(PvarClass::State.to_string(), "STATE");
+        assert_eq!(PvarClass::Counter.to_string(), "COUNTER");
+        assert_eq!(PvarClass::Timer.to_string(), "TIMER");
+        assert_eq!(PvarClass::Level.to_string(), "LEVEL");
+        assert_eq!(PvarClass::Size.to_string(), "SIZE");
+        assert_eq!(PvarClass::Highwatermark.to_string(), "HIGHWATERMARK");
+        assert_eq!(PvarClass::Lowwatermark.to_string(), "LOWWATERMARK");
+    }
+
+    #[test]
+    fn handle_pvars_read_known_and_unknown() {
+        let h = HandlePvars::default();
+        h.input_serialization_ns.store(123, Ordering::Relaxed);
+        assert_eq!(h.read(ids::INPUT_SERIALIZATION_TIME), Some(123));
+        assert_eq!(h.read(ids::NUM_RPCS_INVOKED), None);
+    }
+
+    #[test]
+    fn lookup_by_id_and_name_agree() {
+        for info in PVAR_TABLE {
+            assert_eq!(pvar_info(info.id).unwrap().name, info.name);
+            assert_eq!(pvar_by_name(info.name).unwrap().id, info.id);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! The PVAR tool-session API (paper §IV-B2).
+//!
+//! External tools (SYMBIOSYS's Margo bridge, or any other monitor) sample
+//! Mercury PVARs through a session:
+//!
+//! 1. initialize a session ([`crate::HgClass::pvar_session`]),
+//! 2. query the exported variables ([`PvarSession::query`]),
+//! 3. allocate handles for the PVARs of interest
+//!    ([`PvarSession::alloc_handle`]),
+//! 4. sample them ([`PvarSession::sample`]), supplying the Mercury handle
+//!    object for HANDLE-bound PVARs,
+//! 5. finalize ([`PvarSession::finalize`], or drop).
+
+use crate::class::HgClass;
+use crate::pvar::{pvar_info, HandlePvars, PvarBind, PvarError, PvarId, PvarInfo, PVAR_TABLE};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// An allocated handle for sampling one PVAR.
+#[derive(Debug, Clone, Copy)]
+pub struct PvarHandle {
+    info: &'static PvarInfo,
+}
+
+impl PvarHandle {
+    /// The PVAR this handle samples.
+    pub fn info(&self) -> &'static PvarInfo {
+        self.info
+    }
+
+    /// The PVAR id.
+    pub fn id(&self) -> PvarId {
+        self.info.id
+    }
+}
+
+/// An open tool session against one Mercury instance.
+pub struct PvarSession {
+    hg: HgClass,
+    finalized: AtomicBool,
+}
+
+impl std::fmt::Debug for PvarSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PvarSession(finalized={})",
+            self.finalized.load(Ordering::Relaxed)
+        )
+    }
+}
+
+impl HgClass {
+    /// Initialize a PVAR tool session (step 1 of §IV-B2).
+    pub fn pvar_session(&self) -> PvarSession {
+        self.inner.active_sessions.fetch_add(1, Ordering::Relaxed);
+        PvarSession {
+            hg: self.clone(),
+            finalized: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of currently open tool sessions.
+    pub fn active_pvar_sessions(&self) -> u64 {
+        self.inner.active_sessions.load(Ordering::Relaxed)
+    }
+}
+
+impl PvarSession {
+    fn check_open(&self) -> Result<(), PvarError> {
+        if self.finalized.load(Ordering::Acquire) {
+            Err(PvarError::Finalized)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Query the number, type, binding, and description of all exported
+    /// PVARs (step 2).
+    pub fn query(&self) -> Result<&'static [PvarInfo], PvarError> {
+        self.check_open()?;
+        Ok(PVAR_TABLE)
+    }
+
+    /// Allocate a sampling handle for one PVAR (step 3).
+    pub fn alloc_handle(&self, id: PvarId) -> Result<PvarHandle, PvarError> {
+        self.check_open()?;
+        let info = pvar_info(id).ok_or(PvarError::Unknown(id))?;
+        Ok(PvarHandle { info })
+    }
+
+    /// Sample a PVAR (step 4). HANDLE-bound PVARs require the Mercury
+    /// handle's PVAR block; NO_OBJECT PVARs ignore it.
+    pub fn sample(
+        &self,
+        handle: &PvarHandle,
+        object: Option<&HandlePvars>,
+    ) -> Result<u64, PvarError> {
+        self.check_open()?;
+        match handle.info.bind {
+            PvarBind::NoObject => self
+                .hg
+                .read_global_pvar(handle.info.id)
+                .ok_or(PvarError::Unknown(handle.info.id)),
+            PvarBind::Handle => {
+                let obj = object.ok_or(PvarError::HandleRequired(handle.info.id))?;
+                obj.read(handle.info.id)
+                    .ok_or(PvarError::Unknown(handle.info.id))
+            }
+        }
+    }
+
+    /// Finalize the session (step 5). Idempotent; also runs on drop.
+    pub fn finalize(&self) {
+        if !self.finalized.swap(true, Ordering::AcqRel) {
+            self.hg
+                .inner
+                .active_sessions
+                .fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for PvarSession {
+    fn drop(&mut self) {
+        self.finalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pvar::ids;
+    use crate::HgConfig;
+    use symbi_fabric::{Fabric, NetworkModel};
+
+    fn hg() -> HgClass {
+        HgClass::init(Fabric::new(NetworkModel::instant()), HgConfig::default())
+    }
+
+    #[test]
+    fn session_lifecycle() {
+        let hg = hg();
+        assert_eq!(hg.active_pvar_sessions(), 0);
+        let s = hg.pvar_session();
+        assert_eq!(hg.active_pvar_sessions(), 1);
+        s.finalize();
+        assert_eq!(hg.active_pvar_sessions(), 0);
+        // Finalize is idempotent.
+        s.finalize();
+        assert_eq!(hg.active_pvar_sessions(), 0);
+    }
+
+    #[test]
+    fn drop_finalizes_session() {
+        let hg = hg();
+        {
+            let _s = hg.pvar_session();
+            assert_eq!(hg.active_pvar_sessions(), 1);
+        }
+        assert_eq!(hg.active_pvar_sessions(), 0);
+    }
+
+    #[test]
+    fn finalized_session_rejects_operations() {
+        let hg = hg();
+        let s = hg.pvar_session();
+        s.finalize();
+        assert_eq!(s.query().unwrap_err(), PvarError::Finalized);
+        assert_eq!(
+            s.alloc_handle(ids::NUM_RPCS_INVOKED).unwrap_err(),
+            PvarError::Finalized
+        );
+    }
+
+    #[test]
+    fn query_lists_all_pvars() {
+        let hg = hg();
+        let s = hg.pvar_session();
+        let infos = s.query().unwrap();
+        assert!(infos.len() >= 8, "expected the Table II PVARs at minimum");
+    }
+
+    #[test]
+    fn unknown_pvar_rejected() {
+        let hg = hg();
+        let s = hg.pvar_session();
+        assert_eq!(
+            s.alloc_handle(PvarId(9999)).unwrap_err(),
+            PvarError::Unknown(PvarId(9999))
+        );
+    }
+
+    #[test]
+    fn sample_global_pvar() {
+        let hg = hg();
+        let s = hg.pvar_session();
+        let h = s.alloc_handle(ids::EAGER_BUFFER_SIZE).unwrap();
+        assert_eq!(s.sample(&h, None).unwrap(), 4096);
+    }
+
+    #[test]
+    fn handle_bound_pvar_requires_object() {
+        let hg = hg();
+        let s = hg.pvar_session();
+        let h = s.alloc_handle(ids::INPUT_SERIALIZATION_TIME).unwrap();
+        assert_eq!(
+            s.sample(&h, None).unwrap_err(),
+            PvarError::HandleRequired(ids::INPUT_SERIALIZATION_TIME)
+        );
+        let block = HandlePvars::default();
+        block
+            .input_serialization_ns
+            .store(55, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(s.sample(&h, Some(&block)).unwrap(), 55);
+    }
+}

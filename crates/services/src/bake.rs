@@ -1,0 +1,416 @@
+//! BAKE — the Mochi bulk/blob microservice ("a microservice for storing
+//! and retrieving object blobs", paper §III-A). Object data moves through
+//! RDMA bulk transfers between client memory and the provider, as in the
+//! Mobject and HEPnOS compositions (Figures 4 and 8).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use symbi_fabric::Addr;
+use symbi_margo::{MargoError, MargoInstance};
+use symbi_mercury::{CodecError, Decoder, Encoder, RdmaRef, Wire};
+
+/// Configuration of a BAKE provider.
+#[derive(Debug, Clone, Copy)]
+pub struct BakeSpec {
+    /// Simulated cost of persisting a region to the storage device.
+    pub persist_cost: Duration,
+}
+
+impl Default for BakeSpec {
+    fn default() -> Self {
+        BakeSpec {
+            persist_cost: Duration::ZERO,
+        }
+    }
+}
+
+/// A region identifier returned by `bake_create_rpc`.
+pub type RegionId = u64;
+
+struct Region {
+    data: Vec<u8>,
+    persisted: bool,
+}
+
+/// Arguments of `bake_write_rpc`: data is pulled from the origin's
+/// registered buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteArgs {
+    /// Target region.
+    pub rid: RegionId,
+    /// Write offset within the region.
+    pub offset: u64,
+    /// Bulk descriptor of the source buffer.
+    pub bulk: RdmaRef,
+}
+
+impl Wire for WriteArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.rid);
+        enc.put_u64(self.offset);
+        self.bulk.encode(enc);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(WriteArgs {
+            rid: dec.get_u64()?,
+            offset: dec.get_u64()?,
+            bulk: RdmaRef::decode(dec)?,
+        })
+    }
+}
+
+/// Arguments of `bake_get_rpc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GetArgs {
+    /// Source region.
+    pub rid: RegionId,
+    /// Read offset.
+    pub offset: u64,
+    /// Bytes to read.
+    pub len: u64,
+}
+
+impl Wire for GetArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.rid);
+        enc.put_u64(self.offset);
+        enc.put_u64(self.len);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(GetArgs {
+            rid: dec.get_u64()?,
+            offset: dec.get_u64()?,
+            len: dec.get_u64()?,
+        })
+    }
+}
+
+/// Response of `bake_probe_rpc`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeResp {
+    /// Whether the region exists.
+    pub exists: bool,
+    /// Region size in bytes.
+    pub size: u64,
+    /// Whether the region has been persisted.
+    pub persisted: bool,
+}
+
+impl Wire for ProbeResp {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u8(self.exists as u8);
+        enc.put_u64(self.size);
+        enc.put_u8(self.persisted as u8);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(ProbeResp {
+            exists: dec.get_u8()? != 0,
+            size: dec.get_u64()?,
+            persisted: dec.get_u8()? != 0,
+        })
+    }
+}
+
+/// The server-side BAKE provider.
+pub struct BakeProvider {
+    regions: Mutex<HashMap<RegionId, Region>>,
+    next_rid: AtomicU64,
+    spec: BakeSpec,
+}
+
+impl BakeProvider {
+    /// Build the provider and register its RPCs on a Margo server, with
+    /// handlers running in the server's primary pool.
+    pub fn attach(margo: &MargoInstance, spec: BakeSpec) -> Arc<BakeProvider> {
+        let pool = margo.primary_pool().clone();
+        Self::attach_in_pool(margo, spec, &pool)
+    }
+
+    /// Build the provider with handlers running in a dedicated pool
+    /// (Margo's provider-pool feature).
+    pub fn attach_in_pool(
+        margo: &MargoInstance,
+        spec: BakeSpec,
+        pool: &symbi_tasking::Pool,
+    ) -> Arc<BakeProvider> {
+        let provider = Arc::new(BakeProvider {
+            regions: Mutex::new(HashMap::new()),
+            next_rid: AtomicU64::new(1),
+            spec,
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("bake_create_rpc", pool, move |_m, size: u64| {
+            let rid = p.next_rid.fetch_add(1, Ordering::Relaxed);
+            p.regions.lock().insert(
+                rid,
+                Region {
+                    data: vec![0u8; size as usize],
+                    persisted: false,
+                },
+            );
+            Ok::<u64, String>(rid)
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("bake_write_rpc", pool, move |m: &MargoInstance, args: WriteArgs| {
+            let data = m
+                .hg()
+                .bulk_pull(args.bulk, 0, args.bulk.len as usize)
+                .map_err(|e| e.to_string())?;
+            let mut regions = p.regions.lock();
+            let region = regions
+                .get_mut(&args.rid)
+                .ok_or_else(|| format!("no region {}", args.rid))?;
+            let end = args.offset as usize + data.len();
+            if end > region.data.len() {
+                region.data.resize(end, 0);
+            }
+            region.data[args.offset as usize..end].copy_from_slice(&data);
+            region.persisted = false;
+            Ok::<u64, String>(data.len() as u64)
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("bake_persist_rpc", pool, move |_m, rid: u64| {
+            // Simulated device flush; held outside any lock (BAKE persists
+            // regions independently).
+            if !p.spec.persist_cost.is_zero() {
+                std::thread::sleep(p.spec.persist_cost);
+            }
+            let mut regions = p.regions.lock();
+            let region = regions
+                .get_mut(&rid)
+                .ok_or_else(|| format!("no region {rid}"))?;
+            region.persisted = true;
+            Ok::<u32, String>(1)
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("bake_get_rpc", pool, move |_m, args: GetArgs| {
+            let regions = p.regions.lock();
+            let region = regions
+                .get(&args.rid)
+                .ok_or_else(|| format!("no region {}", args.rid))?;
+            let start = (args.offset as usize).min(region.data.len());
+            let end = (start + args.len as usize).min(region.data.len());
+            Ok::<Vec<u8>, String>(region.data[start..end].to_vec())
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("bake_probe_rpc", pool, move |_m, rid: u64| {
+            let regions = p.regions.lock();
+            Ok::<ProbeResp, String>(match regions.get(&rid) {
+                Some(r) => ProbeResp {
+                    exists: true,
+                    size: r.data.len() as u64,
+                    persisted: r.persisted,
+                },
+                None => ProbeResp {
+                    exists: false,
+                    size: 0,
+                    persisted: false,
+                },
+            })
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("bake_remove_rpc", pool, move |_m, rid: u64| {
+            Ok::<u32, String>(p.regions.lock().remove(&rid).is_some() as u32)
+        });
+
+        provider
+    }
+
+    /// Number of regions currently stored.
+    pub fn num_regions(&self) -> usize {
+        self.regions.lock().len()
+    }
+
+    /// Total bytes stored across regions.
+    pub fn total_bytes(&self) -> usize {
+        self.regions.lock().values().map(|r| r.data.len()).sum()
+    }
+}
+
+/// Client-side BAKE API.
+#[derive(Clone)]
+pub struct BakeClient {
+    margo: MargoInstance,
+    addr: Addr,
+}
+
+impl BakeClient {
+    /// Connect a client handle to a provider address.
+    pub fn new(margo: MargoInstance, addr: Addr) -> Self {
+        BakeClient { margo, addr }
+    }
+
+    /// Create a region of `size` bytes.
+    pub fn create(&self, size: u64) -> Result<RegionId, MargoError> {
+        self.margo.forward(self.addr, "bake_create_rpc", &size)
+    }
+
+    /// Write `data` into a region at `offset`; the provider pulls it via
+    /// RDMA from a registered staging buffer.
+    pub fn write(&self, rid: RegionId, offset: u64, data: &[u8]) -> Result<u64, MargoError> {
+        let staged = Arc::new(data.to_vec());
+        let bulk = self.margo.hg().bulk_expose_read(staged.clone());
+        let res = self.margo.forward(
+            self.addr,
+            "bake_write_rpc",
+            &WriteArgs { rid, offset, bulk },
+        );
+        self.margo.hg().bulk_free(bulk);
+        res
+    }
+
+    /// Persist a region.
+    pub fn persist(&self, rid: RegionId) -> Result<(), MargoError> {
+        let _: u32 = self.margo.forward(self.addr, "bake_persist_rpc", &rid)?;
+        Ok(())
+    }
+
+    /// Read `[offset, offset+len)` of a region.
+    pub fn get(&self, rid: RegionId, offset: u64, len: u64) -> Result<Vec<u8>, MargoError> {
+        self.margo
+            .forward(self.addr, "bake_get_rpc", &GetArgs { rid, offset, len })
+    }
+
+    /// Probe a region's existence and size.
+    pub fn probe(&self, rid: RegionId) -> Result<ProbeResp, MargoError> {
+        self.margo.forward(self.addr, "bake_probe_rpc", &rid)
+    }
+
+    /// Remove a region; returns whether it existed.
+    pub fn remove(&self, rid: RegionId) -> Result<bool, MargoError> {
+        let n: u32 = self.margo.forward(self.addr, "bake_remove_rpc", &rid)?;
+        Ok(n == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_fabric::{Fabric, NetworkModel};
+    use symbi_margo::MargoConfig;
+
+    fn setup() -> (MargoInstance, MargoInstance, Arc<BakeProvider>, BakeClient) {
+        let f = Fabric::new(NetworkModel::instant());
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("bake-server", 2));
+        let provider = BakeProvider::attach(&server, BakeSpec::default());
+        let cm = MargoInstance::new(f, MargoConfig::client("bake-client"));
+        let client = BakeClient::new(cm.clone(), server.addr());
+        (server, cm, provider, client)
+    }
+
+    #[test]
+    fn create_write_persist_get_roundtrip() {
+        let (server, cm, provider, client) = setup();
+        let rid = client.create(16).unwrap();
+        let payload: Vec<u8> = (0..16).collect();
+        assert_eq!(client.write(rid, 0, &payload).unwrap(), 16);
+        client.persist(rid).unwrap();
+        assert_eq!(client.get(rid, 0, 16).unwrap(), payload);
+        assert_eq!(client.get(rid, 4, 4).unwrap(), vec![4, 5, 6, 7]);
+        let probe = client.probe(rid).unwrap();
+        assert!(probe.exists);
+        assert!(probe.persisted);
+        assert_eq!(probe.size, 16);
+        assert_eq!(provider.num_regions(), 1);
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn write_extends_region() {
+        let (server, cm, _p, client) = setup();
+        let rid = client.create(4).unwrap();
+        client.write(rid, 2, &[9, 9, 9, 9]).unwrap();
+        assert_eq!(client.probe(rid).unwrap().size, 6);
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn write_invalidates_persistence() {
+        let (server, cm, _p, client) = setup();
+        let rid = client.create(4).unwrap();
+        client.persist(rid).unwrap();
+        assert!(client.probe(rid).unwrap().persisted);
+        client.write(rid, 0, &[1]).unwrap();
+        assert!(!client.probe(rid).unwrap().persisted);
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn missing_region_errors() {
+        let (server, cm, _p, client) = setup();
+        assert!(client.persist(999).is_err());
+        assert!(client.get(999, 0, 1).is_err());
+        let probe = client.probe(999).unwrap();
+        assert!(!probe.exists);
+        assert!(!client.remove(999).unwrap());
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn persist_cost_is_charged() {
+        let f = Fabric::new(NetworkModel::instant());
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("bake-slow", 2));
+        let _provider = BakeProvider::attach(
+            &server,
+            BakeSpec {
+                persist_cost: Duration::from_millis(10),
+            },
+        );
+        let cm = MargoInstance::new(f, MargoConfig::client("bake-slow-client"));
+        let client = BakeClient::new(cm.clone(), server.addr());
+        let rid = client.create(1).unwrap();
+        let start = std::time::Instant::now();
+        client.persist(rid).unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(9));
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn large_blob_roundtrip() {
+        let (server, cm, provider, client) = setup();
+        let blob: Vec<u8> = (0..200_000u32).map(|i| (i % 251) as u8).collect();
+        let rid = client.create(0).unwrap();
+        assert_eq!(client.write(rid, 0, &blob).unwrap(), blob.len() as u64);
+        let read = client.get(rid, 0, blob.len() as u64).unwrap();
+        assert_eq!(read, blob);
+        assert_eq!(provider.total_bytes(), blob.len());
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        let w = WriteArgs {
+            rid: 1,
+            offset: 2,
+            bulk: RdmaRef { key: 3, len: 4 },
+        };
+        assert_eq!(WriteArgs::from_bytes(w.to_bytes()).unwrap(), w);
+        let g = GetArgs {
+            rid: 1,
+            offset: 0,
+            len: 100,
+        };
+        assert_eq!(GetArgs::from_bytes(g.to_bytes()).unwrap(), g);
+        let p = ProbeResp {
+            exists: true,
+            size: 8,
+            persisted: false,
+        };
+        assert_eq!(ProbeResp::from_bytes(p.to_bytes()).unwrap(), p);
+    }
+}

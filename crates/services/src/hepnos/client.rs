@@ -1,0 +1,270 @@
+//! The HEPnOS client API: the dataset/run/subrun/event hierarchy, event
+//! key hashing across databases, client-side batching, and the async
+//! `sdskv_put_packed` flush path that dominates the paper's study.
+
+use super::HepnosConfig;
+use crate::sdskv::{PendingPutPacked, SdskvClient};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use symbi_fabric::Addr;
+use symbi_margo::{MargoConfig, MargoError, MargoInstance};
+
+/// The hierarchical key of one event (paper §V-C1: "Data in HEPnOS is
+/// arranged in a hierarchy of datasets, runs, subruns, and events").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EventKey {
+    /// Dataset name.
+    pub dataset: String,
+    /// Run number.
+    pub run: u32,
+    /// Subrun number.
+    pub subrun: u32,
+    /// Event number.
+    pub event: u32,
+}
+
+impl EventKey {
+    /// Canonical byte encoding used as the SDSKV key.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        format!(
+            "{}/{:08x}/{:08x}/{:08x}",
+            self.dataset, self.run, self.subrun, self.event
+        )
+        .into_bytes()
+    }
+
+    /// The deployment-global database index this event hashes to — the
+    /// origin-side "hashing scheme using the key and the total number of
+    /// databases" of §V-C3.
+    pub fn db_index(&self, total_databases: usize) -> usize {
+        let bytes = self.to_bytes();
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in &bytes {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        (h % total_databases as u64) as usize
+    }
+}
+
+/// A HEPnOS client process: owns its Margo client instance and the
+/// per-database write batches.
+pub struct HepnosClient {
+    margo: MargoInstance,
+    sdskv: Vec<SdskvClient>,
+    databases_per_server: usize,
+    batch_size: usize,
+    async_window: usize,
+    /// Pending pairs grouped by global database index.
+    batches: HashMap<usize, Vec<(Vec<u8>, Vec<u8>)>>,
+    /// Pairs accumulated since the last flush (across databases).
+    pending_pairs: usize,
+    /// In-flight async puts, oldest first.
+    inflight: VecDeque<PendingPutPacked>,
+    /// Events successfully stored.
+    stored: u64,
+}
+
+impl HepnosClient {
+    /// Create a client connected to the deployment's servers.
+    pub fn connect(
+        fabric: &symbi_fabric::Fabric,
+        name: &str,
+        server_addrs: &[Addr],
+        config: &HepnosConfig,
+    ) -> Self {
+        let margo = MargoInstance::new(
+            fabric.clone(),
+            MargoConfig::client(name)
+                .with_stage(config.stage)
+                .with_ofi_max_events(config.ofi_max_events)
+                .with_dedicated_progress(config.client_progress_thread),
+        );
+        let sdskv = server_addrs
+            .iter()
+            .map(|a| SdskvClient::new(margo.clone(), *a))
+            .collect();
+        HepnosClient {
+            margo,
+            sdskv,
+            databases_per_server: config.databases,
+            batch_size: config.batch_size.max(1),
+            async_window: config.async_window.max(1),
+            batches: HashMap::new(),
+            pending_pairs: 0,
+            inflight: VecDeque::new(),
+            stored: 0,
+        }
+    }
+
+    /// This client's Margo instance (for instrumentation harvest).
+    pub fn margo(&self) -> &MargoInstance {
+        &self.margo
+    }
+
+    /// Total databases across the deployment.
+    pub fn total_databases(&self) -> usize {
+        self.sdskv.len() * self.databases_per_server
+    }
+
+    /// Buffer one event for storage; flushes full batches.
+    pub fn store_event(&mut self, key: &EventKey, value: Vec<u8>) -> Result<(), MargoError> {
+        let db = key.db_index(self.total_databases());
+        self.batches.entry(db).or_default().push((key.to_bytes(), value));
+        self.pending_pairs += 1;
+        if self.pending_pairs >= self.batch_size {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Issue `sdskv_put_packed` for every non-empty batch, asynchronously
+    /// with the configured in-flight window.
+    pub fn flush(&mut self) -> Result<(), MargoError> {
+        let batches = std::mem::take(&mut self.batches);
+        self.pending_pairs = 0;
+        let mut groups: Vec<(usize, Vec<(Vec<u8>, Vec<u8>)>)> = batches.into_iter().collect();
+        groups.sort_by_key(|(db, _)| *db);
+        for (global_db, pairs) in groups {
+            let server = global_db / self.databases_per_server;
+            let local_db = (global_db % self.databases_per_server) as u32;
+            let n = pairs.len() as u64;
+            let pending = self.sdskv[server].put_packed_async(local_db, &pairs);
+            self.inflight.push_back(pending);
+            self.stored += n;
+            while self.inflight.len() >= self.async_window {
+                let oldest = self.inflight.pop_front().expect("non-empty");
+                oldest.wait()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush remaining batches and wait for every in-flight put.
+    pub fn drain(&mut self) -> Result<u64, MargoError> {
+        self.flush()?;
+        while let Some(p) = self.inflight.pop_front() {
+            p.wait()?;
+        }
+        Ok(self.stored)
+    }
+
+    /// Read one event back (post-load verification).
+    pub fn load_event(&self, key: &EventKey) -> Result<Option<Vec<u8>>, MargoError> {
+        let db = key.db_index(self.total_databases());
+        let server = db / self.databases_per_server;
+        let local_db = (db % self.databases_per_server) as u32;
+        self.sdskv[server].get(local_db, &key.to_bytes())
+    }
+
+    /// Events stored so far (issued, not necessarily yet acknowledged —
+    /// call [`HepnosClient::drain`] first for an exact count).
+    pub fn stored(&self) -> u64 {
+        self.stored
+    }
+
+    /// Tear down the client's Margo instance.
+    pub fn finalize(self) {
+        self.margo.finalize();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hepnos::HepnosDeployment;
+    use symbi_fabric::{Fabric, NetworkModel};
+
+    fn tiny_config() -> HepnosConfig {
+        let mut cfg = HepnosConfig::c3();
+        cfg.total_servers = 2;
+        cfg.threads = 2;
+        cfg.databases = 4;
+        cfg.batch_size = 16;
+        cfg.cost = crate::kv::StorageCost::free();
+        cfg
+    }
+
+    #[test]
+    fn event_key_encoding_and_hashing() {
+        let k = EventKey {
+            dataset: "nova".into(),
+            run: 1,
+            subrun: 2,
+            event: 3,
+        };
+        let bytes = k.to_bytes();
+        assert!(String::from_utf8(bytes.clone()).unwrap().starts_with("nova/"));
+        // Hashing is deterministic and in range.
+        assert_eq!(k.db_index(8), k.db_index(8));
+        assert!(k.db_index(8) < 8);
+        // Different events usually map to different databases.
+        let spread: std::collections::HashSet<usize> = (0..64u32)
+            .map(|e| {
+                EventKey {
+                    dataset: "nova".into(),
+                    run: 1,
+                    subrun: 1,
+                    event: e,
+                }
+                .db_index(8)
+            })
+            .collect();
+        assert!(spread.len() >= 6, "hash should spread events over dbs");
+    }
+
+    #[test]
+    fn store_flush_load_roundtrip() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let cfg = tiny_config();
+        let dep = HepnosDeployment::launch(&fabric, &cfg);
+        let mut client = HepnosClient::connect(&fabric, "hc-test", &dep.addrs(), &cfg);
+        let keys: Vec<EventKey> = (0..100u32)
+            .map(|e| EventKey {
+                dataset: "nova".into(),
+                run: 1,
+                subrun: e / 10,
+                event: e,
+            })
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            client.store_event(k, vec![i as u8; 32]).unwrap();
+        }
+        let stored = client.drain().unwrap();
+        assert_eq!(stored, 100);
+        assert_eq!(dep.total_events_stored(), 100);
+        // Every event is readable from the right database.
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(client.load_event(k).unwrap(), Some(vec![i as u8; 32]));
+        }
+        client.finalize();
+        dep.finalize();
+    }
+
+    #[test]
+    fn batch_size_one_flushes_every_event() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let mut cfg = tiny_config();
+        cfg.batch_size = 1;
+        cfg.async_window = 4;
+        let dep = HepnosDeployment::launch(&fabric, &cfg);
+        let mut client = HepnosClient::connect(&fabric, "hc-b1", &dep.addrs(), &cfg);
+        for e in 0..20u32 {
+            client
+                .store_event(
+                    &EventKey {
+                        dataset: "d".into(),
+                        run: 0,
+                        subrun: 0,
+                        event: e,
+                    },
+                    vec![1],
+                )
+                .unwrap();
+        }
+        assert_eq!(client.drain().unwrap(), 20);
+        assert_eq!(dep.total_events_stored(), 20);
+        client.finalize();
+        dep.finalize();
+    }
+}

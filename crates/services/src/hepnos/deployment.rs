@@ -1,0 +1,140 @@
+//! Launching a HEPnOS service deployment: `total_servers` Margo server
+//! instances (thread groups standing in for the paper's provider
+//! processes), each hosting one SDSKV provider with `databases` map
+//! databases and one BAKE provider (paper Figure 8).
+
+use super::HepnosConfig;
+use crate::bake::{BakeProvider, BakeSpec};
+use crate::kv::BackendKind;
+use crate::sdskv::{SdskvProvider, SdskvSpec};
+use std::sync::Arc;
+use symbi_core::{ProfileRow, TraceEvent};
+use symbi_fabric::{Addr, Fabric};
+use symbi_margo::{MargoConfig, MargoInstance};
+
+/// A running HEPnOS deployment.
+pub struct HepnosDeployment {
+    servers: Vec<ServerNode>,
+    databases_per_server: usize,
+}
+
+struct ServerNode {
+    margo: MargoInstance,
+    sdskv: Arc<SdskvProvider>,
+    _bake: Arc<BakeProvider>,
+}
+
+impl HepnosDeployment {
+    /// Launch all service providers per `config`.
+    pub fn launch(fabric: &Fabric, config: &HepnosConfig) -> Self {
+        let servers = (0..config.total_servers)
+            .map(|s| {
+                let margo = MargoInstance::new(
+                    fabric.clone(),
+                    MargoConfig::server(
+                        format!("hepnos-server-{s}"),
+                        config.threads,
+                    )
+                    .with_stage(config.stage)
+                    .with_ofi_max_events(config.ofi_max_events),
+                );
+                let sdskv = SdskvProvider::attach(
+                    &margo,
+                    SdskvSpec {
+                        num_databases: config.databases,
+                        backend: BackendKind::Map,
+                        cost: config.cost,
+                        handler_cost: config.handler_cost,
+                        handler_cost_per_key: config.handler_cost_per_key,
+                    },
+                );
+                let bake = BakeProvider::attach(&margo, BakeSpec::default());
+                ServerNode {
+                    margo,
+                    sdskv,
+                    _bake: bake,
+                }
+            })
+            .collect();
+        HepnosDeployment {
+            servers,
+            databases_per_server: config.databases,
+        }
+    }
+
+    /// Addresses of all service providers.
+    pub fn addrs(&self) -> Vec<Addr> {
+        self.servers.iter().map(|s| s.margo.addr()).collect()
+    }
+
+    /// Number of servers.
+    pub fn num_servers(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Databases hosted per server.
+    pub fn databases_per_server(&self) -> usize {
+        self.databases_per_server
+    }
+
+    /// Total events stored across all servers and databases.
+    pub fn total_events_stored(&self) -> usize {
+        self.servers.iter().map(|s| s.sdskv.total_len()).sum()
+    }
+
+    /// Server Margo instances (for sampling pools and instrumentation).
+    pub fn margo_instances(&self) -> Vec<&MargoInstance> {
+        self.servers.iter().map(|s| &s.margo).collect()
+    }
+
+    /// Harvest all server-side profile rows.
+    pub fn server_profiles(&self) -> Vec<ProfileRow> {
+        self.servers
+            .iter()
+            .flat_map(|s| s.margo.symbiosys().profiler().snapshot())
+            .collect()
+    }
+
+    /// Harvest all server-side trace events.
+    pub fn server_traces(&self) -> Vec<TraceEvent> {
+        self.servers
+            .iter()
+            .flat_map(|s| s.margo.symbiosys().tracer().snapshot())
+            .collect()
+    }
+
+    /// Reset server-side instrumentation between repetitions.
+    pub fn reset_instrumentation(&self) {
+        for s in &self.servers {
+            s.margo.symbiosys().profiler().reset();
+            s.margo.symbiosys().tracer().reset();
+        }
+    }
+
+    /// Shut everything down.
+    pub fn finalize(self) {
+        for s in self.servers {
+            s.margo.finalize();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_fabric::NetworkModel;
+
+    #[test]
+    fn launch_matches_config_shape() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let mut cfg = HepnosConfig::c3();
+        cfg.total_servers = 2;
+        cfg.threads = 2;
+        let dep = HepnosDeployment::launch(&fabric, &cfg);
+        assert_eq!(dep.num_servers(), 2);
+        assert_eq!(dep.databases_per_server(), 8);
+        assert_eq!(dep.addrs().len(), 2);
+        assert_eq!(dep.total_events_stored(), 0);
+        dep.finalize();
+    }
+}

@@ -1,0 +1,17 @@
+//! HEPnOS — the Mochi storage service for high-energy-physics events
+//! (paper §V-C, Figure 8): data arranged in datasets / runs / subruns /
+//! events, with each service provider node hosting a BAKE provider for
+//! object data and an SDSKV provider for metadata. Clients contact the
+//! providers directly; the data-loader workflow step writes event data
+//! through batched `sdskv_put_packed` RPCs — "the only dominant RPC
+//! callpath generated, regardless of scale".
+
+mod client;
+mod config;
+mod dataloader;
+mod deployment;
+
+pub use client::{EventKey, HepnosClient};
+pub use config::HepnosConfig;
+pub use dataloader::{run_data_loader, DataLoaderReport};
+pub use deployment::HepnosDeployment;

@@ -1,0 +1,212 @@
+//! An ior-like client driver for Mobject (paper §V-A: "The ior benchmark
+//! has been modified to use Mobject for reading and writing objects").
+//!
+//! `clients` driver threads are colocated with the provider (as in the
+//! paper's single-node Mobject setup), each writing and optionally
+//! reading back a set of fixed-size objects through the Mobject API.
+
+use crate::mobject::MobjectClient;
+use std::sync::Arc;
+use std::time::Instant;
+use symbi_core::{ProfileRow, Stage, TraceEvent};
+use symbi_fabric::{Addr, Fabric};
+use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_tasking::AbtBarrier;
+
+/// ior-like workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct IorConfig {
+    /// Number of concurrent client processes (threads).
+    pub clients: usize,
+    /// Objects written per client.
+    pub objects_per_client: usize,
+    /// Bytes per object.
+    pub object_size: usize,
+    /// Whether to run the read phase after the write phase.
+    pub do_read: bool,
+    /// SYMBIOSYS measurement stage for the client instances.
+    pub stage: Stage,
+}
+
+impl Default for IorConfig {
+    fn default() -> Self {
+        IorConfig {
+            clients: 10,
+            objects_per_client: 4,
+            object_size: 8192,
+            do_read: true,
+            stage: Stage::Full,
+        }
+    }
+}
+
+/// Results of one ior run, including the clients' collected
+/// instrumentation data for post-mortem analysis.
+#[derive(Debug)]
+pub struct IorRun {
+    /// Wall time of the write phase (seconds).
+    pub write_seconds: f64,
+    /// Wall time of the read phase (seconds), 0 if skipped.
+    pub read_seconds: f64,
+    /// Total objects written.
+    pub objects: usize,
+    /// Total bytes written.
+    pub bytes: u64,
+    /// Origin-side profile rows from all client instances.
+    pub client_profiles: Vec<ProfileRow>,
+    /// Trace events from all client instances.
+    pub client_traces: Vec<TraceEvent>,
+}
+
+/// Run the ior workload against a Mobject provider.
+pub fn run_ior(fabric: &Fabric, mobject_addr: Addr, cfg: &IorConfig) -> IorRun {
+    let barrier = Arc::new(AbtBarrier::new(cfg.clients + 1));
+    let handles: Vec<_> = (0..cfg.clients)
+        .map(|c| {
+            let fabric = fabric.clone();
+            let barrier = barrier.clone();
+            let cfg = *cfg;
+            std::thread::spawn(move || {
+                let margo = MargoInstance::new(
+                    fabric,
+                    MargoConfig::client(format!("ior-client-{c}")).with_stage(cfg.stage),
+                );
+                let client = MobjectClient::new(margo.clone(), mobject_addr);
+                let data: Vec<u8> = (0..cfg.object_size)
+                    .map(|i| ((i * 31 + c * 7) % 251) as u8)
+                    .collect();
+                barrier.wait(); // simultaneous write phase start
+                let w0 = Instant::now();
+                for o in 0..cfg.objects_per_client {
+                    client
+                        .write_op(&format!("ior-c{c}-o{o}"), &data)
+                        .expect("ior write_op failed");
+                }
+                let write_s = w0.elapsed().as_secs_f64();
+                let mut read_s = 0.0;
+                if cfg.do_read {
+                    let r0 = Instant::now();
+                    for o in 0..cfg.objects_per_client {
+                        let got = client
+                            .read_op(&format!("ior-c{c}-o{o}"))
+                            .expect("ior read_op failed");
+                        assert_eq!(got.len(), cfg.object_size);
+                    }
+                    read_s = r0.elapsed().as_secs_f64();
+                }
+                // Harvest instrumentation before tearing the client down.
+                let profiles = margo.symbiosys().profiler().snapshot();
+                let traces = margo.symbiosys().tracer().snapshot();
+                margo.finalize();
+                (write_s, read_s, profiles, traces)
+            })
+        })
+        .collect();
+    barrier.wait();
+    let mut write_seconds: f64 = 0.0;
+    let mut read_seconds: f64 = 0.0;
+    let mut client_profiles = Vec::new();
+    let mut client_traces = Vec::new();
+    for h in handles {
+        let (w, r, p, t) = h.join().expect("ior client panicked");
+        write_seconds = write_seconds.max(w);
+        read_seconds = read_seconds.max(r);
+        client_profiles.extend(p);
+        client_traces.extend(t);
+    }
+    IorRun {
+        write_seconds,
+        read_seconds,
+        objects: cfg.clients * cfg.objects_per_client,
+        bytes: (cfg.clients * cfg.objects_per_client * cfg.object_size) as u64,
+        client_profiles,
+        client_traces,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bake::{BakeProvider, BakeSpec};
+    use crate::kv::{BackendKind, StorageCost};
+    use crate::mobject::{MobjectProvider, REQUIRED_SDSKV_DBS, WRITE_OP_SUBCALLS};
+    use crate::sdskv::{SdskvProvider, SdskvSpec};
+    use symbi_fabric::NetworkModel;
+
+    fn provider_node(fabric: &Fabric) -> MargoInstance {
+        let node = MargoInstance::new(fabric.clone(), MargoConfig::server("ior-node", 6));
+        let backend_pool = node.add_handler_pool("backend", 6);
+        BakeProvider::attach_in_pool(&node, BakeSpec::default(), &backend_pool);
+        SdskvProvider::attach_in_pool(
+            &node,
+            SdskvSpec {
+                num_databases: REQUIRED_SDSKV_DBS,
+                backend: BackendKind::Map,
+                cost: StorageCost::free(),
+                handler_cost: std::time::Duration::ZERO,
+                handler_cost_per_key: std::time::Duration::ZERO,
+            },
+            &backend_pool,
+        );
+        MobjectProvider::attach(&node, node.addr(), node.addr());
+        node
+    }
+
+    #[test]
+    fn small_ior_run_completes() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let node = provider_node(&fabric);
+        let run = run_ior(
+            &fabric,
+            node.addr(),
+            &IorConfig {
+                clients: 3,
+                objects_per_client: 2,
+                object_size: 1024,
+                do_read: true,
+                stage: Stage::Full,
+            },
+        );
+        assert_eq!(run.objects, 6);
+        assert_eq!(run.bytes, 6 * 1024);
+        assert!(run.write_seconds > 0.0);
+        assert!(run.read_seconds > 0.0);
+        // Each client recorded the write_op callpath.
+        let write_root = symbi_core::Callpath::root("mobject_write_op");
+        let write_rows: Vec<_> = run
+            .client_profiles
+            .iter()
+            .filter(|r| r.callpath == write_root)
+            .collect();
+        assert_eq!(write_rows.len(), 3);
+        assert!(write_rows.iter().all(|r| r.count == 2));
+        node.finalize();
+    }
+
+    #[test]
+    fn provider_profile_covers_subcalls() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let node = provider_node(&fabric);
+        let run = run_ior(
+            &fabric,
+            node.addr(),
+            &IorConfig {
+                clients: 2,
+                objects_per_client: 1,
+                object_size: 512,
+                do_read: false,
+                stage: Stage::Full,
+            },
+        );
+        assert_eq!(run.objects, 2);
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        let rows = node.symbiosys().profiler().snapshot();
+        let downstream: u64 = rows
+            .iter()
+            .filter(|r| r.side == symbi_core::Side::Origin)
+            .map(|r| r.count)
+            .sum();
+        assert_eq!(downstream as usize, 2 * WRITE_OP_SUBCALLS);
+        node.finalize();
+    }
+}

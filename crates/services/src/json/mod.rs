@@ -1,0 +1,184 @@
+//! A minimal JSON engine backing the Sonata document store.
+//!
+//! The real Sonata sits on UnQLite and runs Jx9 scripts over stored JSON
+//! documents. This reproduction implements its own JSON value type,
+//! parser, and serializer (no external JSON dependency is available in
+//! the sanctioned crate set), plus a small filter-query engine in
+//! [`crate::sonata`] standing in for Jx9.
+
+mod parser;
+
+pub use parser::{parse, ParseError};
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (stored as f64, like JavaScript).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Value>),
+    /// An object with sorted keys.
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Shorthand object constructor from key/value pairs.
+    pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
+        Value::Obj(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Fetch a field of an object (returns `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Fetch a dotted path (`"a.b.c"`).
+    pub fn get_path(&self, path: &str) -> Option<&Value> {
+        let mut cur = self;
+        for seg in path.split('.') {
+            cur = cur.get(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Serialize to compact JSON text.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                symbi_core::zipkin::escape_into(out, s);
+                out.push('"');
+            }
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    symbi_core::zipkin::escape_into(out, k);
+                    out.push_str("\":");
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialize_all_variants() {
+        let v = Value::obj([
+            ("null", Value::Null),
+            ("flag", Value::Bool(true)),
+            ("n", Value::Num(3.0)),
+            ("frac", Value::Num(1.5)),
+            ("s", Value::Str("hi \"you\"".into())),
+            ("arr", Value::Arr(vec![Value::Num(1.0), Value::Bool(false)])),
+        ]);
+        let json = v.to_json();
+        assert!(json.contains("\"null\":null"));
+        assert!(json.contains("\"flag\":true"));
+        assert!(json.contains("\"n\":3"));
+        assert!(json.contains("\"frac\":1.5"));
+        assert!(json.contains("\"s\":\"hi \\\"you\\\"\""));
+        assert!(json.contains("\"arr\":[1,false]"));
+    }
+
+    #[test]
+    fn roundtrip_through_parser() {
+        let v = Value::obj([
+            ("a", Value::Num(42.0)),
+            ("b", Value::Arr(vec![Value::Str("x".into()), Value::Null])),
+            (
+                "c",
+                Value::obj([("nested", Value::Bool(false))]),
+            ),
+        ]);
+        let back = parse(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn get_and_get_path() {
+        let v = Value::obj([(
+            "run",
+            Value::obj([("subrun", Value::Num(7.0))]),
+        )]);
+        assert_eq!(v.get_path("run.subrun").unwrap().as_f64(), Some(7.0));
+        assert!(v.get_path("run.missing").is_none());
+        assert!(v.get("nope").is_none());
+        assert!(Value::Null.get("x").is_none());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Num(2.5).as_f64(), Some(2.5));
+        assert_eq!(Value::Str("a".into()).as_str(), Some("a"));
+        assert_eq!(Value::Null.as_f64(), None);
+        assert_eq!(Value::Num(1.0).as_str(), None);
+    }
+}

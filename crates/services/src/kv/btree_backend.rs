@@ -1,0 +1,115 @@
+//! The `bdb` backend: a BerkeleyDB-like B-tree behind a readers-writer
+//! lock — concurrent reads, exclusive (serialized) writes.
+
+use super::{KvBackend, StorageCost};
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+
+/// See module docs.
+pub struct BTreeBackend {
+    tree: RwLock<BTreeMap<Vec<u8>, Vec<u8>>>,
+    cost: StorageCost,
+}
+
+impl BTreeBackend {
+    /// Create an empty backend with the given storage cost.
+    pub fn new(cost: StorageCost) -> Self {
+        BTreeBackend {
+            tree: RwLock::new(BTreeMap::new()),
+            cost,
+        }
+    }
+}
+
+impl KvBackend for BTreeBackend {
+    fn kind(&self) -> &'static str {
+        "bdb"
+    }
+
+    fn put(&self, key: Vec<u8>, value: Vec<u8>) {
+        let mut tree = self.tree.write();
+        self.cost.charge(1);
+        tree.insert(key, value);
+    }
+
+    fn put_multi(&self, pairs: Vec<(Vec<u8>, Vec<u8>)>) {
+        let mut tree = self.tree.write();
+        self.cost.charge(pairs.len());
+        for (k, v) in pairs {
+            tree.insert(k, v);
+        }
+    }
+
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        self.tree.read().get(key).cloned()
+    }
+
+    fn erase(&self, key: &[u8]) -> bool {
+        self.tree.write().remove(key).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.tree.read().len()
+    }
+
+    fn list_keyvals(&self, start: &[u8], max: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.tree
+            .read()
+            .range(start.to_vec()..)
+            .take(max)
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    fn supports_concurrent_writes(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kv::backend_contract as contract;
+    use std::sync::Arc;
+
+    #[test]
+    fn contract_basic() {
+        contract::basic_roundtrip(&BTreeBackend::new(StorageCost::free()));
+    }
+
+    #[test]
+    fn contract_put_multi() {
+        contract::put_multi_inserts_all(&BTreeBackend::new(StorageCost::free()));
+    }
+
+    #[test]
+    fn contract_list() {
+        contract::list_is_ordered_and_bounded(&BTreeBackend::new(StorageCost::free()));
+    }
+
+    #[test]
+    fn contract_concurrent() {
+        contract::concurrent_puts_are_linearizable(Arc::new(BTreeBackend::new(
+            StorageCost::free(),
+        )));
+    }
+
+    #[test]
+    fn concurrent_reads_do_not_block() {
+        let b = Arc::new(BTreeBackend::new(StorageCost::free()));
+        b.put(b"k".to_vec(), b"v".to_vec());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert_eq!(b.get(b"k"), Some(b"v".to_vec()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

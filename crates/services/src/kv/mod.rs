@@ -1,0 +1,225 @@
+//! Key-value backends for SDSKV.
+//!
+//! The paper's HEPnOS study uses SDSKV's `map` backend, whose defining
+//! property drives the Figure 10 case study: it is **not capable of
+//! parallel insertions** — one mutex guards the whole tree, so bursts of
+//! `sdskv_put_packed` handlers serialize on it. The `ldb` (LevelDB-like)
+//! and `bdb` (BerkeleyDB-like) stand-ins are provided for completeness
+//! and for ablation benchmarks.
+//!
+//! All backends charge a configurable **storage cost** per operation
+//! (base + per-key), slept while holding whatever lock the backend
+//! actually holds. On a single-core harness this is what makes backend
+//! parallelism (or its absence) observable.
+
+mod btree_backend;
+mod lsm_backend;
+mod map_backend;
+
+pub use btree_backend::BTreeBackend;
+pub use lsm_backend::LsmBackend;
+pub use map_backend::MapBackend;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Cost model for simulated storage work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StorageCost {
+    /// Fixed cost per mutating operation (covers the per-RPC overhead the
+    /// paper attributes to each `sdskv_put_packed`).
+    pub per_op: Duration,
+    /// Additional cost per key inserted.
+    pub per_key: Duration,
+}
+
+impl StorageCost {
+    /// Zero-cost model for unit tests.
+    pub fn free() -> Self {
+        StorageCost {
+            per_op: Duration::ZERO,
+            per_key: Duration::ZERO,
+        }
+    }
+
+    /// The default lock-held cost used in experiments: a small
+    /// per-operation constant plus a per-key component (the map backend
+    /// holds its single lock across this).
+    pub fn default_experiment() -> Self {
+        StorageCost {
+            per_op: Duration::from_micros(30),
+            per_key: Duration::from_micros(2),
+        }
+    }
+
+    /// Total cost of inserting `keys` keys in one operation.
+    pub fn of(&self, keys: usize) -> Duration {
+        self.per_op + self.per_key * keys as u32
+    }
+
+    pub(crate) fn charge(&self, keys: usize) {
+        let d = self.of(keys);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+}
+
+/// Which backend implementation a database uses (SDSKV's backend types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendKind {
+    /// In-memory map with a single lock (no parallel insertions).
+    Map,
+    /// LevelDB-like sharded store (parallel insertions across shards).
+    Ldb,
+    /// BerkeleyDB-like B-tree behind a readers-writer lock.
+    Bdb,
+}
+
+impl BackendKind {
+    /// Instantiate the backend with the given storage cost.
+    pub fn build(self, cost: StorageCost) -> Arc<dyn KvBackend> {
+        match self {
+            BackendKind::Map => Arc::new(MapBackend::new(cost)),
+            BackendKind::Ldb => Arc::new(LsmBackend::new(cost, 8)),
+            BackendKind::Bdb => Arc::new(BTreeBackend::new(cost)),
+        }
+    }
+
+    /// Parse an SDSKV backend name.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "map" => Some(BackendKind::Map),
+            "ldb" | "leveldb" => Some(BackendKind::Ldb),
+            "bdb" | "berkeleydb" => Some(BackendKind::Bdb),
+            _ => None,
+        }
+    }
+}
+
+/// The backend interface SDSKV databases are built on.
+pub trait KvBackend: Send + Sync {
+    /// Backend type name (`map` / `ldb` / `bdb`).
+    fn kind(&self) -> &'static str;
+    /// Insert or overwrite one pair.
+    fn put(&self, key: Vec<u8>, value: Vec<u8>);
+    /// Insert a packed list of pairs in one storage operation.
+    fn put_multi(&self, pairs: Vec<(Vec<u8>, Vec<u8>)>);
+    /// Look up a key.
+    fn get(&self, key: &[u8]) -> Option<Vec<u8>>;
+    /// Remove a key; returns whether it existed.
+    fn erase(&self, key: &[u8]) -> bool;
+    /// Number of stored pairs.
+    fn len(&self) -> usize;
+    /// Whether the store is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Up to `max` pairs with keys ≥ `start`, in key order.
+    fn list_keyvals(&self, start: &[u8], max: usize) -> Vec<(Vec<u8>, Vec<u8>)>;
+    /// Whether concurrent `put` operations can proceed in parallel.
+    fn supports_concurrent_writes(&self) -> bool;
+}
+
+#[cfg(test)]
+pub(crate) mod backend_contract {
+    //! A contract test suite every backend must pass, invoked from each
+    //! backend's test module.
+    use super::*;
+
+    pub(crate) fn basic_roundtrip(b: &dyn KvBackend) {
+        assert!(b.is_empty());
+        b.put(b"k1".to_vec(), b"v1".to_vec());
+        b.put(b"k2".to_vec(), b"v2".to_vec());
+        assert_eq!(b.get(b"k1"), Some(b"v1".to_vec()));
+        assert_eq!(b.get(b"missing"), None);
+        assert_eq!(b.len(), 2);
+        b.put(b"k1".to_vec(), b"v1b".to_vec());
+        assert_eq!(b.get(b"k1"), Some(b"v1b".to_vec()));
+        assert_eq!(b.len(), 2, "overwrite must not grow the store");
+        assert!(b.erase(b"k1"));
+        assert!(!b.erase(b"k1"));
+        assert_eq!(b.len(), 1);
+    }
+
+    pub(crate) fn put_multi_inserts_all(b: &dyn KvBackend) {
+        let pairs: Vec<_> = (0..100u32)
+            .map(|i| (format!("key{i:03}").into_bytes(), i.to_le_bytes().to_vec()))
+            .collect();
+        b.put_multi(pairs);
+        assert_eq!(b.len(), 100);
+        assert_eq!(b.get(b"key042"), Some(42u32.to_le_bytes().to_vec()));
+    }
+
+    pub(crate) fn list_is_ordered_and_bounded(b: &dyn KvBackend) {
+        for i in (0..10u8).rev() {
+            b.put(vec![i], vec![i * 2]);
+        }
+        let listed = b.list_keyvals(&[3], 4);
+        assert_eq!(listed.len(), 4);
+        assert_eq!(listed[0].0, vec![3]);
+        assert_eq!(listed[3].0, vec![6]);
+        let all = b.list_keyvals(&[], 100);
+        assert_eq!(all.len(), 10);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    pub(crate) fn concurrent_puts_are_linearizable(b: Arc<dyn KvBackend>) {
+        let handles: Vec<_> = (0..4)
+            .map(|t: u32| {
+                let b = b.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u32 {
+                        let k = format!("t{t}-k{i}").into_bytes();
+                        b.put(k, vec![t as u8]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.len(), 1000);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_cost_arithmetic() {
+        let c = StorageCost {
+            per_op: Duration::from_micros(100),
+            per_key: Duration::from_micros(2),
+        };
+        assert_eq!(c.of(0), Duration::from_micros(100));
+        assert_eq!(c.of(50), Duration::from_micros(200));
+        assert_eq!(StorageCost::free().of(1000), Duration::ZERO);
+    }
+
+    #[test]
+    fn backend_kind_parse() {
+        assert_eq!(BackendKind::parse("map"), Some(BackendKind::Map));
+        assert_eq!(BackendKind::parse("leveldb"), Some(BackendKind::Ldb));
+        assert_eq!(BackendKind::parse("bdb"), Some(BackendKind::Bdb));
+        assert_eq!(BackendKind::parse("rocksdb"), None);
+    }
+
+    #[test]
+    fn build_produces_right_kind() {
+        assert_eq!(BackendKind::Map.build(StorageCost::free()).kind(), "map");
+        assert_eq!(BackendKind::Ldb.build(StorageCost::free()).kind(), "ldb");
+        assert_eq!(BackendKind::Bdb.build(StorageCost::free()).kind(), "bdb");
+    }
+
+    #[test]
+    fn map_backend_is_serial_others_differ() {
+        assert!(!BackendKind::Map
+            .build(StorageCost::free())
+            .supports_concurrent_writes());
+        assert!(BackendKind::Ldb
+            .build(StorageCost::free())
+            .supports_concurrent_writes());
+    }
+}

@@ -1,0 +1,25 @@
+//! # symbi-services — Mochi-like microservices and composed data services
+//!
+//! From-scratch reproductions of every Mochi service the SYMBIOSYS paper
+//! uses in its case studies:
+//!
+//! * [`bake`] — BAKE, the bulk/blob store (RDMA data path).
+//! * [`sdskv`] — SDSKV, RPC access to multiple key-value backends
+//!   ([`kv`]: `map`, `ldb`, `bdb`), including `sdskv_put_packed`.
+//! * [`sonata`] — Sonata, a JSON document store with a filter-query
+//!   engine ([`json`] stands in for UnQLite+Jx9).
+//! * [`mobject`] — Mobject, the composed RADOS-like object store whose
+//!   `write_op` fans out into 12 discrete BAKE/SDSKV RPCs (Figure 5).
+//! * [`hepnos`] — HEPnOS, the high-energy-physics event store, with the
+//!   Table IV service configurations (C1..C7) and the data-loader client
+//!   used throughout §V-C and §VI.
+//! * [`ior`] — an ior-like client driver for Mobject (§V-A).
+
+pub mod bake;
+pub mod hepnos;
+pub mod ior;
+pub mod json;
+pub mod kv;
+pub mod mobject;
+pub mod sdskv;
+pub mod sonata;

@@ -1,0 +1,344 @@
+//! Mobject — the composed RADOS-like distributed object store (paper
+//! §V-A, Figure 4): a client-facing *Mobject provider* translates object
+//! operations into BAKE (object data) and SDSKV (metadata) operations,
+//! with a sequencer ordering updates. Control always returns to the
+//! Mobject provider between downstream calls.
+//!
+//! A single `mobject_write_op` fans out into **12 discrete BAKE/SDSKV
+//! RPCs** — the structure SYMBIOSYS's trace visualization uncovers in the
+//! paper's Figure 5.
+
+use crate::bake::BakeClient;
+use crate::sdskv::SdskvClient;
+use std::sync::Arc;
+use symbi_fabric::Addr;
+use symbi_margo::{MargoError, MargoInstance};
+use symbi_mercury::{CodecError, Decoder, Encoder, RdmaRef, Wire};
+
+/// SDSKV database indices used by the Mobject provider's metadata layout.
+mod dbs {
+    /// Sequencer state.
+    pub const SEQ: u32 = 0;
+    /// Object id → BAKE region mapping.
+    pub const OMAP: u32 = 1;
+    /// Object attribute metadata (sizes, timestamps, flags).
+    pub const ATTRS: u32 = 2;
+}
+
+/// Number of SDSKV databases the Mobject provider expects its metadata
+/// SDSKV provider to host.
+pub const REQUIRED_SDSKV_DBS: usize = 3;
+
+/// Arguments of `mobject_write_op`: object name plus a bulk descriptor of
+/// the data in client memory (pulled by BAKE through RDMA).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WriteOpArgs {
+    /// Object name.
+    pub object: String,
+    /// Bulk descriptor of the object data.
+    pub bulk: RdmaRef,
+}
+
+impl Wire for WriteOpArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.object);
+        self.bulk.encode(enc);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(WriteOpArgs {
+            object: dec.get_str()?,
+            bulk: RdmaRef::decode(dec)?,
+        })
+    }
+}
+
+/// The server-side Mobject provider. Holds client handles to the BAKE
+/// and SDSKV providers it composes (which may live on the same Margo
+/// instance, as on the paper's Mobject provider nodes).
+pub struct MobjectProvider {
+    _private: (),
+}
+
+impl MobjectProvider {
+    /// Register the Mobject RPCs on `margo`, composing the BAKE provider
+    /// at `bake_addr` and the SDSKV provider at `sdskv_addr` (which must
+    /// host at least [`REQUIRED_SDSKV_DBS`] databases).
+    pub fn attach(
+        margo: &MargoInstance,
+        bake_addr: Addr,
+        sdskv_addr: Addr,
+    ) -> Arc<MobjectProvider> {
+        let provider = Arc::new(MobjectProvider { _private: () });
+
+        margo.register_fn("mobject_write_op",
+            move |m: &MargoInstance, args: WriteOpArgs| {
+                let bake = BakeClient::new(m.clone(), bake_addr);
+                let kv = SdskvClient::new(m.clone(), sdskv_addr);
+                let err = |e: MargoError| e.to_string();
+                let oid = args.object.as_bytes().to_vec();
+
+                // 1. Fetch the sequencer state.
+                let seq = kv
+                    .get(dbs::SEQ, b"seq")
+                    .map_err(err)?
+                    .map(|v| u64::from_le_bytes(v.try_into().unwrap_or([0; 8])))
+                    .unwrap_or(0);
+                // 2. Advance the sequencer.
+                kv.put(dbs::SEQ, b"seq".to_vec(), (seq + 1).to_le_bytes().to_vec())
+                    .map_err(err)?;
+                // 3. Look up an existing region for the object.
+                let existing = kv.get(dbs::OMAP, &oid).map_err(err)?;
+                // 4. Create (or reuse) the BAKE region.
+                let rid = match existing {
+                    Some(v) => u64::from_le_bytes(v.try_into().unwrap_or([0; 8])),
+                    None => bake.create(args.bulk.len).map_err(err)?,
+                };
+                // 5. Pull the object data into the region.
+                //    (The provider re-exposes the client's bulk handle.)
+                let data = m
+                    .hg()
+                    .bulk_pull(args.bulk, 0, args.bulk.len as usize)
+                    .map_err(|e| e.to_string())?;
+                bake.write(rid, 0, &data).map_err(err)?;
+                // 6. Persist the region.
+                bake.persist(rid).map_err(err)?;
+                // 7. Record the object → region mapping.
+                kv.put(dbs::OMAP, oid.clone(), rid.to_le_bytes().to_vec())
+                    .map_err(err)?;
+                // 8. Record the object size.
+                kv.put(
+                    dbs::ATTRS,
+                    [b"size:".as_slice(), &oid].concat(),
+                    (data.len() as u64).to_le_bytes().to_vec(),
+                )
+                .map_err(err)?;
+                // 9. Record the sequence stamp.
+                kv.put(
+                    dbs::ATTRS,
+                    [b"seq:".as_slice(), &oid].concat(),
+                    seq.to_le_bytes().to_vec(),
+                )
+                .map_err(err)?;
+                // 10. Mark the object clean.
+                kv.put(
+                    dbs::ATTRS,
+                    [b"dirty:".as_slice(), &oid].concat(),
+                    vec![0],
+                )
+                .map_err(err)?;
+                // 11. Touch the name index (list around the object key).
+                let _ = kv.list_keyvals(dbs::OMAP, &oid, 1).map_err(err)?;
+                // 12. Verify the region landed.
+                let probe = bake.probe(rid).map_err(err)?;
+                if !probe.exists {
+                    return Err("bake region vanished".to_string());
+                }
+                Ok::<u64, String>(seq)
+            },
+        );
+
+        margo.register_fn("mobject_read_op",
+            move |m: &MargoInstance, object: String| {
+                let bake = BakeClient::new(m.clone(), bake_addr);
+                let kv = SdskvClient::new(m.clone(), sdskv_addr);
+                let err = |e: MargoError| e.to_string();
+                let oid = object.as_bytes().to_vec();
+
+                // 1. List the object's metadata neighborhood.
+                let _ = kv.list_keyvals(dbs::OMAP, &oid, 1).map_err(err)?;
+                // 2. Resolve the region.
+                let rid = kv
+                    .get(dbs::OMAP, &oid)
+                    .map_err(err)?
+                    .map(|v| u64::from_le_bytes(v.try_into().unwrap_or([0; 8])))
+                    .ok_or_else(|| format!("no object {object}"))?;
+                // 3. Probe it.
+                let probe = bake.probe(rid).map_err(err)?;
+                if !probe.exists {
+                    return Err(format!("region {rid} missing"));
+                }
+                // 4. Read the data.
+                bake.get(rid, 0, probe.size).map_err(err)
+            },
+        );
+
+        provider
+    }
+}
+
+/// Number of downstream RPCs a single `mobject_write_op` issues (the 12
+/// discrete steps of the paper's Figure 5).
+pub const WRITE_OP_SUBCALLS: usize = 12;
+
+/// Number of downstream RPCs a single `mobject_read_op` issues.
+pub const READ_OP_SUBCALLS: usize = 4;
+
+/// Client-side Mobject API.
+#[derive(Clone)]
+pub struct MobjectClient {
+    margo: MargoInstance,
+    addr: Addr,
+}
+
+impl MobjectClient {
+    /// Connect a client handle to a Mobject provider address.
+    pub fn new(margo: MargoInstance, addr: Addr) -> Self {
+        MobjectClient { margo, addr }
+    }
+
+    /// Write an object; returns the sequencer stamp.
+    pub fn write_op(&self, object: &str, data: &[u8]) -> Result<u64, MargoError> {
+        let staged = Arc::new(data.to_vec());
+        let bulk = self.margo.hg().bulk_expose_read(staged.clone());
+        let res = self.margo.forward(
+            self.addr,
+            "mobject_write_op",
+            &WriteOpArgs {
+                object: object.to_string(),
+                bulk,
+            },
+        );
+        self.margo.hg().bulk_free(bulk);
+        res
+    }
+
+    /// Read an object's full contents.
+    pub fn read_op(&self, object: &str) -> Result<Vec<u8>, MargoError> {
+        self.margo
+            .forward(self.addr, "mobject_read_op", &object.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bake::{BakeProvider, BakeSpec};
+    use crate::kv::{BackendKind, StorageCost};
+    use crate::sdskv::{SdskvProvider, SdskvSpec};
+    use symbi_core::{Side, TraceEventKind};
+    use symbi_fabric::{Fabric, NetworkModel};
+    use symbi_margo::MargoConfig;
+
+    /// One "Mobject provider node" hosting all three providers, as in
+    /// the paper's Figure 4.
+    fn setup() -> (MargoInstance, MargoInstance, MobjectClient) {
+        let f = Fabric::new(NetworkModel::instant());
+        let node = MargoInstance::new(f.clone(), MargoConfig::server("mobject-node", 4));
+        // Backend providers get their own pool so nested RPCs cannot be
+        // starved by blocked mobject handlers (Margo's provider pools).
+        let backend_pool = node.add_handler_pool("backend", 4);
+        let _bake = BakeProvider::attach_in_pool(&node, BakeSpec::default(), &backend_pool);
+        let _kv = SdskvProvider::attach_in_pool(
+            &node,
+            SdskvSpec {
+                num_databases: REQUIRED_SDSKV_DBS,
+                backend: BackendKind::Map,
+                cost: StorageCost::free(),
+                handler_cost: std::time::Duration::ZERO,
+                handler_cost_per_key: std::time::Duration::ZERO,
+            },
+            &backend_pool,
+        );
+        let _mobject = MobjectProvider::attach(&node, node.addr(), node.addr());
+        let cm = MargoInstance::new(f, MargoConfig::client("mobject-client"));
+        let client = MobjectClient::new(cm.clone(), node.addr());
+        (node, cm, client)
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let (node, cm, client) = setup();
+        let data: Vec<u8> = (0..5000u32).map(|i| (i % 240) as u8).collect();
+        let seq0 = client.write_op("obj-A", &data).unwrap();
+        assert_eq!(seq0, 0);
+        let seq1 = client.write_op("obj-B", &data).unwrap();
+        assert_eq!(seq1, 1);
+        let read = client.read_op("obj-A").unwrap();
+        assert_eq!(read, data);
+        assert!(client.read_op("obj-missing").is_err());
+        cm.finalize();
+        node.finalize();
+    }
+
+    #[test]
+    fn overwrite_reuses_region() {
+        let (node, cm, client) = setup();
+        client.write_op("obj", b"first").unwrap();
+        client.write_op("obj", b"second").unwrap();
+        assert_eq!(client.read_op("obj").unwrap(), b"second");
+        cm.finalize();
+        node.finalize();
+    }
+
+    #[test]
+    fn write_op_fans_out_into_twelve_subcalls() {
+        let (node, cm, client) = setup();
+        client.write_op("traced-obj", b"payload").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        // The provider node's origin-side profile rows cover every
+        // downstream RPC; total origin-side call count must be 12.
+        let rows = node.symbiosys().profiler().snapshot();
+        let downstream: u64 = rows
+            .iter()
+            .filter(|r| r.side == Side::Origin)
+            .map(|r| r.count)
+            .sum();
+        assert_eq!(downstream as usize, WRITE_OP_SUBCALLS);
+        // Every downstream callpath is rooted at mobject_write_op.
+        let root = symbi_core::callpath::hash16("mobject_write_op");
+        for r in rows.iter().filter(|r| r.side == Side::Origin) {
+            assert_eq!(r.callpath.frames()[0], root, "{}", r.callpath);
+        }
+        cm.finalize();
+        node.finalize();
+    }
+
+    #[test]
+    fn read_op_fans_out_into_four_subcalls() {
+        let (node, cm, client) = setup();
+        client.write_op("r-obj", b"x").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        node.symbiosys().profiler().reset();
+        client.read_op("r-obj").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        let rows = node.symbiosys().profiler().snapshot();
+        let read_root = symbi_core::callpath::hash16("mobject_read_op");
+        let downstream: u64 = rows
+            .iter()
+            .filter(|r| r.side == Side::Origin && r.callpath.frames()[0] == read_root)
+            .map(|r| r.count)
+            .sum();
+        assert_eq!(downstream as usize, READ_OP_SUBCALLS);
+        cm.finalize();
+        node.finalize();
+    }
+
+    #[test]
+    fn trace_contains_nested_target_events() {
+        let (node, cm, client) = setup();
+        client.write_op("t-obj", b"data").unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(80));
+        let mut events = cm.symbiosys().tracer().snapshot();
+        events.extend(node.symbiosys().tracer().snapshot());
+        // One request id spans client and provider node.
+        let rid = events[0].request_id;
+        assert!(events.iter().all(|e| e.request_id == rid));
+        // The node serviced 1 write_op + 12 nested targets = 13 ULT starts.
+        let target_starts = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::TargetUltStart)
+            .count();
+        assert_eq!(target_starts, 1 + WRITE_OP_SUBCALLS);
+        cm.finalize();
+        node.finalize();
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let w = WriteOpArgs {
+            object: "o".into(),
+            bulk: RdmaRef { key: 1, len: 2 },
+        };
+        assert_eq!(WriteOpArgs::from_bytes(w.to_bytes()).unwrap(), w);
+    }
+}

@@ -1,0 +1,567 @@
+//! SDSKV — the Mochi key-value microservice ("a microservice enabling
+//! RPC-based access to multiple key-value backends", paper §III-A).
+//!
+//! A provider hosts one or more *databases* (the Table IV *Databases*
+//! knob), each backed by a [`crate::kv::KvBackend`]. The
+//! `sdskv_put_packed` RPC — the dominant callpath of the HEPnOS study —
+//! ships a packed key-value list descriptor and has the target pull the
+//! content through Mercury's bulk interface, exactly as described in
+//! §V-C1.
+
+use crate::kv::{BackendKind, KvBackend, StorageCost};
+use bytes::Bytes;
+use std::sync::Arc;
+use symbi_fabric::Addr;
+use symbi_margo::{AsyncRpc, MargoError, MargoInstance};
+use symbi_mercury::{CodecError, Decoder, Encoder, RdmaRef, Wire};
+
+/// Configuration of an SDSKV provider.
+#[derive(Debug, Clone, Copy)]
+pub struct SdskvSpec {
+    /// Number of databases hosted by the provider.
+    pub num_databases: usize,
+    /// Backend implementation for every database.
+    pub backend: BackendKind,
+    /// Simulated storage cost, charged while holding the backend lock
+    /// (the map backend's serial insertion).
+    pub cost: StorageCost,
+    /// Simulated per-RPC handler work charged *outside* any lock
+    /// (request validation, buffer handling, allocation) — this part
+    /// scales with the number of execution streams, which is what makes
+    /// the Table IV *Threads (ESs)* knob matter.
+    pub handler_cost: std::time::Duration,
+    /// Additional unlocked handler work per key in a packed put.
+    pub handler_cost_per_key: std::time::Duration,
+}
+
+impl Default for SdskvSpec {
+    fn default() -> Self {
+        SdskvSpec {
+            num_databases: 1,
+            backend: BackendKind::Map,
+            cost: StorageCost::free(),
+            handler_cost: std::time::Duration::ZERO,
+            handler_cost_per_key: std::time::Duration::ZERO,
+        }
+    }
+}
+
+/// Arguments of `sdskv_put_rpc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutArgs {
+    /// Target database index.
+    pub db: u32,
+    /// Key bytes.
+    pub key: Vec<u8>,
+    /// Value bytes.
+    pub value: Vec<u8>,
+}
+
+impl Wire for PutArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.db);
+        enc.put_bytes(&self.key);
+        enc.put_bytes(&self.value);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(PutArgs {
+            db: dec.get_u32()?,
+            key: dec.get_bytes()?.to_vec(),
+            value: dec.get_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// Arguments of `sdskv_get_rpc` / `sdskv_erase_rpc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyArgs {
+    /// Target database index.
+    pub db: u32,
+    /// Key bytes.
+    pub key: Vec<u8>,
+}
+
+impl Wire for KeyArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.db);
+        enc.put_bytes(&self.key);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(KeyArgs {
+            db: dec.get_u32()?,
+            key: dec.get_bytes()?.to_vec(),
+        })
+    }
+}
+
+/// Response of `sdskv_get_rpc`: an optional value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetResp {
+    /// The value, if the key existed.
+    pub value: Option<Vec<u8>>,
+}
+
+impl Wire for GetResp {
+    fn encode(&self, enc: &mut Encoder) {
+        match &self.value {
+            Some(v) => {
+                enc.put_u8(1);
+                enc.put_bytes(v);
+            }
+            None => {
+                enc.put_u8(0);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        let value = match dec.get_u8()? {
+            0 => None,
+            1 => Some(dec.get_bytes()?.to_vec()),
+            _ => return Err(CodecError::Invalid("option flag")),
+        };
+        Ok(GetResp { value })
+    }
+}
+
+/// Arguments of `sdskv_put_packed`: the packed key-value content stays in
+/// origin memory; the target pulls it through the bulk interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PutPackedArgs {
+    /// Target database index.
+    pub db: u32,
+    /// Number of pairs in the packed buffer.
+    pub count: u32,
+    /// Bulk descriptor of the packed buffer.
+    pub bulk: RdmaRef,
+}
+
+impl Wire for PutPackedArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.db);
+        enc.put_u32(self.count);
+        self.bulk.encode(enc);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(PutPackedArgs {
+            db: dec.get_u32()?,
+            count: dec.get_u32()?,
+            bulk: RdmaRef::decode(dec)?,
+        })
+    }
+}
+
+/// Arguments of `sdskv_list_keyvals_rpc`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ListArgs {
+    /// Target database index.
+    pub db: u32,
+    /// Smallest key to return.
+    pub start: Vec<u8>,
+    /// Maximum pairs to return.
+    pub max: u32,
+}
+
+impl Wire for ListArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.db);
+        enc.put_bytes(&self.start);
+        enc.put_u32(self.max);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(ListArgs {
+            db: dec.get_u32()?,
+            start: dec.get_bytes()?.to_vec(),
+            max: dec.get_u32()?,
+        })
+    }
+}
+
+/// The server-side SDSKV provider.
+pub struct SdskvProvider {
+    databases: Vec<Arc<dyn KvBackend>>,
+}
+
+impl SdskvProvider {
+    /// Build the provider and register its RPCs on a Margo server, with
+    /// handlers running in the server's primary pool.
+    pub fn attach(margo: &MargoInstance, spec: SdskvSpec) -> Arc<SdskvProvider> {
+        let pool = margo.primary_pool().clone();
+        Self::attach_in_pool(margo, spec, &pool)
+    }
+
+    /// Build the provider with handlers running in a dedicated pool
+    /// (Margo's provider-pool feature; required when another provider on
+    /// the same instance calls into this one, as Mobject does).
+    pub fn attach_in_pool(
+        margo: &MargoInstance,
+        spec: SdskvSpec,
+        pool: &symbi_tasking::Pool,
+    ) -> Arc<SdskvProvider> {
+        let provider = Arc::new(SdskvProvider {
+            databases: (0..spec.num_databases.max(1))
+                .map(|_| spec.backend.build(spec.cost))
+                .collect(),
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("sdskv_put_rpc", pool, move |_m, args: PutArgs| {
+            let db = p.database(args.db)?;
+            db.put(args.key, args.value);
+            Ok::<u32, String>(1)
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("sdskv_get_rpc", pool, move |_m, args: KeyArgs| {
+            let db = p.database(args.db)?;
+            Ok::<GetResp, String>(GetResp {
+                value: db.get(&args.key),
+            })
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("sdskv_erase_rpc", pool, move |_m, args: KeyArgs| {
+            let db = p.database(args.db)?;
+            Ok::<u32, String>(db.erase(&args.key) as u32)
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("sdskv_length_rpc", pool, move |_m, db: u32| {
+            let db = p.database(db)?;
+            Ok::<u64, String>(db.len() as u64)
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("sdskv_list_keyvals_rpc", pool, move |_m, args: ListArgs| {
+            let db = p.database(args.db)?;
+            Ok::<Vec<(Vec<u8>, Vec<u8>)>, String>(
+                db.list_keyvals(&args.start, args.max as usize),
+            )
+        });
+
+        let p = provider.clone();
+        let handler_cost = spec.handler_cost;
+        let handler_cost_per_key = spec.handler_cost_per_key;
+        margo.register_fn_in_pool("sdskv_put_packed", pool,
+            move |m: &MargoInstance, args: PutPackedArgs| {
+                let db = p.database(args.db)?;
+                // Per-RPC handler work, outside any backend lock, with a
+                // deterministic ±50% jitter (real service times vary with
+                // record content; identical costs would complete requests
+                // in artificial lockstep waves).
+                let work = handler_cost + handler_cost_per_key * args.count;
+                if !work.is_zero() {
+                    let h = args.bulk.key.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    let factor = 0.5 + (h % 1024) as f64 / 1024.0;
+                    std::thread::sleep(work.mul_f64(factor));
+                }
+                // The target issues a bulk pull for the key-value content
+                // (paper §V-C1: "this RPC call typically results in the
+                // target issuing a bulk data transfer").
+                let packed = m
+                    .hg()
+                    .bulk_pull(args.bulk, 0, args.bulk.len as usize)
+                    .map_err(|e| e.to_string())?;
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> =
+                    Wire::from_bytes(packed).map_err(|e| e.to_string())?;
+                if pairs.len() != args.count as usize {
+                    return Err(format!(
+                        "packed count mismatch: header {} vs payload {}",
+                        args.count,
+                        pairs.len()
+                    ));
+                }
+                let n = pairs.len() as u32;
+                db.put_multi(pairs);
+                Ok::<u32, String>(n)
+            },
+        );
+
+        provider
+    }
+
+    fn database(&self, idx: u32) -> Result<&Arc<dyn KvBackend>, String> {
+        self.databases
+            .get(idx as usize)
+            .ok_or_else(|| format!("no database {idx} (have {})", self.databases.len()))
+    }
+
+    /// Number of databases hosted.
+    pub fn num_databases(&self) -> usize {
+        self.databases.len()
+    }
+
+    /// Total pairs stored across all databases.
+    pub fn total_len(&self) -> usize {
+        self.databases.iter().map(|d| d.len()).sum()
+    }
+
+    /// Direct (test/verification) access to one database.
+    pub fn db(&self, idx: usize) -> Option<&Arc<dyn KvBackend>> {
+        self.databases.get(idx)
+    }
+}
+
+/// An in-flight `sdskv_put_packed`, holding the bulk registration alive
+/// until completion.
+pub struct PendingPutPacked {
+    rpc: AsyncRpc,
+    margo: MargoInstance,
+    bulk: RdmaRef,
+    _packed: Arc<Vec<u8>>,
+}
+
+impl PendingPutPacked {
+    /// Wait for the put to complete; frees the bulk region.
+    pub fn wait(self) -> Result<u32, MargoError> {
+        let res = self.rpc.wait_decode::<u32>();
+        self.margo.hg().bulk_free(self.bulk);
+        res
+    }
+}
+
+/// Client-side SDSKV API.
+#[derive(Clone)]
+pub struct SdskvClient {
+    margo: MargoInstance,
+    addr: Addr,
+}
+
+impl SdskvClient {
+    /// Connect a client handle to a provider address.
+    pub fn new(margo: MargoInstance, addr: Addr) -> Self {
+        SdskvClient { margo, addr }
+    }
+
+    /// The provider address this client talks to.
+    pub fn addr(&self) -> Addr {
+        self.addr
+    }
+
+    /// Store one pair.
+    pub fn put(&self, db: u32, key: Vec<u8>, value: Vec<u8>) -> Result<(), MargoError> {
+        let _: u32 = self
+            .margo
+            .forward(self.addr, "sdskv_put_rpc", &PutArgs { db, key, value })?;
+        Ok(())
+    }
+
+    /// Fetch one value.
+    pub fn get(&self, db: u32, key: &[u8]) -> Result<Option<Vec<u8>>, MargoError> {
+        let resp: GetResp = self.margo.forward(
+            self.addr,
+            "sdskv_get_rpc",
+            &KeyArgs {
+                db,
+                key: key.to_vec(),
+            },
+        )?;
+        Ok(resp.value)
+    }
+
+    /// Remove one key; returns whether it existed.
+    pub fn erase(&self, db: u32, key: &[u8]) -> Result<bool, MargoError> {
+        let n: u32 = self.margo.forward(
+            self.addr,
+            "sdskv_erase_rpc",
+            &KeyArgs {
+                db,
+                key: key.to_vec(),
+            },
+        )?;
+        Ok(n == 1)
+    }
+
+    /// Number of pairs in a database.
+    pub fn length(&self, db: u32) -> Result<u64, MargoError> {
+        self.margo.forward(self.addr, "sdskv_length_rpc", &db)
+    }
+
+    /// List up to `max` pairs with keys ≥ `start`.
+    pub fn list_keyvals(
+        &self,
+        db: u32,
+        start: &[u8],
+        max: u32,
+    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, MargoError> {
+        self.margo.forward(
+            self.addr,
+            "sdskv_list_keyvals_rpc",
+            &ListArgs {
+                db,
+                start: start.to_vec(),
+                max,
+            },
+        )
+    }
+
+    /// Store a packed key-value list, blocking until it lands.
+    pub fn put_packed(
+        &self,
+        db: u32,
+        pairs: &[(Vec<u8>, Vec<u8>)],
+    ) -> Result<u32, MargoError> {
+        self.put_packed_async(db, pairs).wait()
+    }
+
+    /// Issue a packed put asynchronously: the pairs are serialized into a
+    /// registered buffer the target pulls via RDMA.
+    pub fn put_packed_async(
+        &self,
+        db: u32,
+        pairs: &[(Vec<u8>, Vec<u8>)],
+    ) -> PendingPutPacked {
+        let packed_vec: Vec<(Vec<u8>, Vec<u8>)> = pairs.to_vec();
+        let bytes: Bytes = packed_vec.to_bytes();
+        let packed = Arc::new(bytes.to_vec());
+        let bulk = self.margo.hg().bulk_expose_read(packed.clone());
+        let args = PutPackedArgs {
+            db,
+            count: pairs.len() as u32,
+            bulk,
+        };
+        let rpc = self
+            .margo
+            .forward_async(self.addr, "sdskv_put_packed", &args);
+        PendingPutPacked {
+            rpc,
+            margo: self.margo.clone(),
+            bulk,
+            _packed: packed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_fabric::{Fabric, NetworkModel};
+    use symbi_margo::MargoConfig;
+
+    fn setup(spec: SdskvSpec) -> (MargoInstance, MargoInstance, Arc<SdskvProvider>, SdskvClient)
+    {
+        let f = Fabric::new(NetworkModel::instant());
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("sdskv-server", 2));
+        let provider = SdskvProvider::attach(&server, spec);
+        let client_margo = MargoInstance::new(f, MargoConfig::client("sdskv-client"));
+        let client = SdskvClient::new(client_margo.clone(), server.addr());
+        (server, client_margo, provider, client)
+    }
+
+    #[test]
+    fn put_get_erase_roundtrip() {
+        let (server, cm, _p, client) = setup(SdskvSpec::default());
+        client.put(0, b"k".to_vec(), b"v".to_vec()).unwrap();
+        assert_eq!(client.get(0, b"k").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(client.get(0, b"other").unwrap(), None);
+        assert!(client.erase(0, b"k").unwrap());
+        assert!(!client.erase(0, b"k").unwrap());
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn put_packed_bulk_path() {
+        let (server, cm, provider, client) = setup(SdskvSpec {
+            num_databases: 2,
+            ..SdskvSpec::default()
+        });
+        let pairs: Vec<_> = (0..500u32)
+            .map(|i| {
+                (
+                    format!("evt{i:05}").into_bytes(),
+                    vec![(i % 256) as u8; 64],
+                )
+            })
+            .collect();
+        let n = client.put_packed(1, &pairs).unwrap();
+        assert_eq!(n, 500);
+        assert_eq!(client.length(1).unwrap(), 500);
+        assert_eq!(client.length(0).unwrap(), 0);
+        assert_eq!(provider.total_len(), 500);
+        // Bulk bytes must have moved through the fabric's RDMA path.
+        let s = server.hg().fabric().stats();
+        assert!(s.rdma_gets >= 1);
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn list_keyvals_ordered() {
+        let (server, cm, _p, client) = setup(SdskvSpec::default());
+        for i in [3u8, 1, 2] {
+            client.put(0, vec![i], vec![i * 10]).unwrap();
+        }
+        let listed = client.list_keyvals(0, &[], 10).unwrap();
+        assert_eq!(
+            listed,
+            vec![
+                (vec![1], vec![10]),
+                (vec![2], vec![20]),
+                (vec![3], vec![30])
+            ]
+        );
+        let bounded = client.list_keyvals(0, &[2], 1).unwrap();
+        assert_eq!(bounded, vec![(vec![2], vec![20])]);
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn invalid_database_is_remote_error() {
+        let (server, cm, _p, client) = setup(SdskvSpec::default());
+        let res = client.put(9, b"k".to_vec(), b"v".to_vec());
+        assert!(matches!(res, Err(MargoError::Remote(_))));
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn concurrent_packed_puts_from_async_api() {
+        let (server, cm, provider, client) = setup(SdskvSpec {
+            num_databases: 4,
+            ..SdskvSpec::default()
+        });
+        let pending: Vec<_> = (0..4u32)
+            .map(|db| {
+                let pairs: Vec<_> = (0..50u32)
+                    .map(|i| (format!("db{db}-k{i}").into_bytes(), vec![db as u8]))
+                    .collect();
+                client.put_packed_async(db, &pairs)
+            })
+            .collect();
+        for p in pending {
+            assert_eq!(p.wait().unwrap(), 50);
+        }
+        assert_eq!(provider.total_len(), 200);
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn args_wire_roundtrips() {
+        let p = PutArgs {
+            db: 3,
+            key: b"k".to_vec(),
+            value: b"v".to_vec(),
+        };
+        assert_eq!(PutArgs::from_bytes(p.to_bytes()).unwrap(), p);
+        let g = GetResp { value: None };
+        assert_eq!(GetResp::from_bytes(g.to_bytes()).unwrap(), g);
+        let g2 = GetResp {
+            value: Some(vec![1, 2]),
+        };
+        assert_eq!(GetResp::from_bytes(g2.to_bytes()).unwrap(), g2);
+        let pp = PutPackedArgs {
+            db: 1,
+            count: 9,
+            bulk: RdmaRef { key: 4, len: 100 },
+        };
+        assert_eq!(PutPackedArgs::from_bytes(pp.to_bytes()).unwrap(), pp);
+        let l = ListArgs {
+            db: 0,
+            start: vec![],
+            max: 5,
+        };
+        assert_eq!(ListArgs::from_bytes(l.to_bytes()).unwrap(), l);
+    }
+}

@@ -1,0 +1,727 @@
+//! Sonata — the Mochi JSON document microservice (paper §V-B):
+//! "a microservice for remotely accessing and storing JSON objects ...
+//! based on an UnQLite database [with] the ability to remotely run
+//! analysis on the stored JSON objects through Jx9 scripts."
+//!
+//! The reproduction stores parsed [`crate::json::Value`] documents and
+//! replaces Jx9 with a small filter-expression language ([`Query`]).
+//! Crucially for the paper's Figure 7, documents are transferred **as RPC
+//! metadata** (not bulk): a large `sonata_store_multi_json` batch
+//! overflows Mercury's eager buffer, triggering the internal RDMA path
+//! and a heavy input-deserialization step on the target.
+
+use crate::json::{parse, Value};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use symbi_fabric::Addr;
+use symbi_margo::{MargoError, MargoInstance};
+use symbi_mercury::{CodecError, Decoder, Encoder, Wire};
+
+// ---------------------------------------------------------------------
+// Query language (Jx9 stand-in)
+// ---------------------------------------------------------------------
+
+/// Comparison operators of the filter language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A parsed filter query.
+///
+/// Grammar: `expr := and ('||' and)* ; and := term ('&&' term)* ;
+/// term := '(' expr ')' | path op literal`, where `path` is a dotted
+/// field path and `literal` is a JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Compare the value at a path against a literal.
+    Cmp {
+        /// Dotted field path.
+        path: String,
+        /// Operator.
+        op: CmpOp,
+        /// Literal to compare against.
+        literal: Value,
+    },
+    /// Conjunction.
+    And(Vec<Query>),
+    /// Disjunction.
+    Or(Vec<Query>),
+}
+
+impl Query {
+    /// Parse a filter expression.
+    pub fn parse(input: &str) -> Result<Query, String> {
+        let mut p = QueryParser {
+            src: input,
+            pos: 0,
+        };
+        let q = p.or_expr()?;
+        p.skip_ws();
+        if p.pos != p.src.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(q)
+    }
+
+    /// Evaluate against a document.
+    pub fn matches(&self, doc: &Value) -> bool {
+        match self {
+            Query::And(qs) => qs.iter().all(|q| q.matches(doc)),
+            Query::Or(qs) => qs.iter().any(|q| q.matches(doc)),
+            Query::Cmp { path, op, literal } => {
+                let Some(v) = doc.get_path(path) else {
+                    return false;
+                };
+                match (v, literal) {
+                    (Value::Num(a), Value::Num(b)) => cmp_f64(*a, *b, *op),
+                    (Value::Str(a), Value::Str(b)) => cmp_ord(a.cmp(b), *op),
+                    (Value::Bool(a), Value::Bool(b)) => match op {
+                        CmpOp::Eq => a == b,
+                        CmpOp::Ne => a != b,
+                        _ => false,
+                    },
+                    (Value::Null, Value::Null) => matches!(op, CmpOp::Eq),
+                    _ => matches!(op, CmpOp::Ne),
+                }
+            }
+        }
+    }
+}
+
+fn cmp_f64(a: f64, b: f64, op: CmpOp) -> bool {
+    match op {
+        CmpOp::Eq => a == b,
+        CmpOp::Ne => a != b,
+        CmpOp::Lt => a < b,
+        CmpOp::Le => a <= b,
+        CmpOp::Gt => a > b,
+        CmpOp::Ge => a >= b,
+    }
+}
+
+fn cmp_ord(ord: std::cmp::Ordering, op: CmpOp) -> bool {
+    use std::cmp::Ordering::*;
+    match op {
+        CmpOp::Eq => ord == Equal,
+        CmpOp::Ne => ord != Equal,
+        CmpOp::Lt => ord == Less,
+        CmpOp::Le => ord != Greater,
+        CmpOp::Gt => ord == Greater,
+        CmpOp::Ge => ord != Less,
+    }
+}
+
+struct QueryParser<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> QueryParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.src[self.pos..].starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.src[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Query, String> {
+        let mut terms = vec![self.and_expr()?];
+        while self.eat("||") {
+            terms.push(self.and_expr()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Query::Or(terms)
+        })
+    }
+
+    fn and_expr(&mut self) -> Result<Query, String> {
+        let mut terms = vec![self.term()?];
+        while self.eat("&&") {
+            terms.push(self.term()?);
+        }
+        Ok(if terms.len() == 1 {
+            terms.pop().unwrap()
+        } else {
+            Query::And(terms)
+        })
+    }
+
+    fn term(&mut self) -> Result<Query, String> {
+        self.skip_ws();
+        if self.eat("(") {
+            let q = self.or_expr()?;
+            if !self.eat(")") {
+                return Err("expected ')'".to_string());
+            }
+            return Ok(q);
+        }
+        let path = self.path()?;
+        let op = self.op()?;
+        let literal = self.literal()?;
+        Ok(Query::Cmp { path, op, literal })
+    }
+
+    fn path(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.src.as_bytes();
+        while self.pos < bytes.len()
+            && (bytes[self.pos].is_ascii_alphanumeric()
+                || bytes[self.pos] == b'_'
+                || bytes[self.pos] == b'.')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("expected field path at byte {start}"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn op(&mut self) -> Result<CmpOp, String> {
+        self.skip_ws();
+        for (tok, op) in [
+            ("==", CmpOp::Eq),
+            ("!=", CmpOp::Ne),
+            ("<=", CmpOp::Le),
+            (">=", CmpOp::Ge),
+            ("<", CmpOp::Lt),
+            (">", CmpOp::Gt),
+        ] {
+            if self.eat(tok) {
+                return Ok(op);
+            }
+        }
+        Err(format!("expected comparison operator at byte {}", self.pos))
+    }
+
+    fn literal(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let rest = &self.src[self.pos..];
+        // Delegate scalar parsing to the JSON parser by finding the token
+        // end (string literals may contain spaces).
+        if rest.starts_with('"') {
+            // Find the closing quote, honoring escapes.
+            let bytes = rest.as_bytes();
+            let mut i = 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => i += 2,
+                    b'"' => break,
+                    _ => i += 1,
+                }
+            }
+            if i >= bytes.len() {
+                return Err("unterminated string literal".to_string());
+            }
+            let tok = &rest[..=i];
+            self.pos += tok.len();
+            return parse(tok).map_err(|e| e.to_string());
+        }
+        let end = rest
+            .find(|c: char| c == ' ' || c == ')' || c == '&' || c == '|')
+            .unwrap_or(rest.len());
+        let tok = &rest[..end];
+        if tok.is_empty() {
+            return Err("expected literal".to_string());
+        }
+        self.pos += tok.len();
+        parse(tok).map_err(|e| e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire types
+// ---------------------------------------------------------------------
+
+/// Arguments carrying a database name plus one JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreArgs {
+    /// Database (collection) name.
+    pub db: String,
+    /// The document as JSON text (RPC metadata, not bulk).
+    pub json: String,
+}
+
+impl Wire for StoreArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.db);
+        enc.put_str(&self.json);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(StoreArgs {
+            db: dec.get_str()?,
+            json: dec.get_str()?,
+        })
+    }
+}
+
+/// Arguments of `sonata_store_multi_json`: a batch of documents shipped
+/// inline as request metadata (the Figure 7 workload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreMultiArgs {
+    /// Database name.
+    pub db: String,
+    /// Documents as JSON texts.
+    pub docs: Vec<String>,
+}
+
+impl Wire for StoreMultiArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.db);
+        enc.put_u32(self.docs.len() as u32);
+        for d in &self.docs {
+            enc.put_str(d);
+        }
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        let db = dec.get_str()?;
+        let n = dec.get_u32()? as usize;
+        if n > dec.remaining() {
+            return Err(CodecError::Invalid("doc count"));
+        }
+        let mut docs = Vec::with_capacity(n);
+        for _ in 0..n {
+            docs.push(dec.get_str()?);
+        }
+        Ok(StoreMultiArgs { db, docs })
+    }
+}
+
+/// Arguments addressing one stored record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchArgs {
+    /// Database name.
+    pub db: String,
+    /// Record id.
+    pub id: u64,
+}
+
+impl Wire for FetchArgs {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.db);
+        enc.put_u64(self.id);
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        Ok(FetchArgs {
+            db: dec.get_str()?,
+            id: dec.get_u64()?,
+        })
+    }
+}
+
+/// Server-side view of `sonata_store_multi_json` input: decoding *parses*
+/// every document, the way Sonata's proc routine materializes documents
+/// for UnQLite — so the cost shows up in the
+/// `input_deserialization_time` PVAR, as in the paper's Figure 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreMultiParsed {
+    /// Database name.
+    pub db: String,
+    /// Parsed documents.
+    pub docs: Vec<Value>,
+}
+
+impl Wire for StoreMultiParsed {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(&self.db);
+        enc.put_u32(self.docs.len() as u32);
+        for d in &self.docs {
+            enc.put_str(&d.to_json());
+        }
+    }
+    fn decode(dec: &mut Decoder) -> Result<Self, CodecError> {
+        let db = dec.get_str()?;
+        let n = dec.get_u32()? as usize;
+        if n > dec.remaining() {
+            return Err(CodecError::Invalid("doc count"));
+        }
+        let mut docs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let text = dec.get_str()?;
+            docs.push(parse(&text).map_err(|_| CodecError::Invalid("json document"))?);
+        }
+        Ok(StoreMultiParsed { db, docs })
+    }
+}
+
+// ---------------------------------------------------------------------
+// Provider
+// ---------------------------------------------------------------------
+
+/// Configuration of a Sonata provider.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SonataSpec {
+    /// Simulated UnQLite insert cost per document.
+    pub insert_cost_per_doc: std::time::Duration,
+}
+
+#[derive(Default)]
+struct Collection {
+    docs: Vec<Value>,
+}
+
+/// The server-side Sonata provider.
+pub struct SonataProvider {
+    dbs: Mutex<HashMap<String, Collection>>,
+    spec: SonataSpec,
+}
+
+impl SonataProvider {
+    /// Build the provider and register its RPCs on a Margo server.
+    pub fn attach(margo: &MargoInstance) -> Arc<SonataProvider> {
+        Self::attach_with(margo, SonataSpec::default())
+    }
+
+    /// Build the provider with an explicit spec.
+    pub fn attach_with(margo: &MargoInstance, spec: SonataSpec) -> Arc<SonataProvider> {
+        let provider = Arc::new(SonataProvider {
+            dbs: Mutex::new(HashMap::new()),
+            spec,
+        });
+
+        let p = provider.clone();
+        margo.register_fn("sonata_create_db_rpc", move |_m, name: String| {
+            p.dbs.lock().entry(name).or_default();
+            Ok::<u32, String>(1)
+        });
+
+        let p = provider.clone();
+        margo.register_fn("sonata_store_rpc", move |_m, args: StoreArgs| {
+            let doc = parse(&args.json).map_err(|e| e.to_string())?;
+            let mut dbs = p.dbs.lock();
+            let coll = dbs
+                .get_mut(&args.db)
+                .ok_or_else(|| format!("no database {}", args.db))?;
+            coll.docs.push(doc);
+            Ok::<u64, String>(coll.docs.len() as u64 - 1)
+        });
+
+        let p = provider.clone();
+        margo.register_fn(
+            "sonata_store_multi_json",
+            move |_m, args: StoreMultiParsed| {
+                // Documents were materialized during input deserialization
+                // (see StoreMultiParsed); the execution step is the
+                // UnQLite-like insert, charged per document.
+                let n = args.docs.len();
+                let mut dbs = p.dbs.lock();
+                let coll = dbs
+                    .get_mut(&args.db)
+                    .ok_or_else(|| format!("no database {}", args.db))?;
+                let cost = p.spec.insert_cost_per_doc * n as u32;
+                if !cost.is_zero() {
+                    std::thread::sleep(cost);
+                }
+                let first = coll.docs.len() as u64;
+                coll.docs.extend(args.docs);
+                Ok::<(u64, u64), String>((first, n as u64))
+            },
+        );
+
+        let p = provider.clone();
+        margo.register_fn("sonata_fetch_rpc", move |_m, args: FetchArgs| {
+            let dbs = p.dbs.lock();
+            let coll = dbs
+                .get(&args.db)
+                .ok_or_else(|| format!("no database {}", args.db))?;
+            Ok::<String, String>(
+                coll.docs
+                    .get(args.id as usize)
+                    .map(|d| d.to_json())
+                    .ok_or_else(|| format!("no record {}", args.id))?,
+            )
+        });
+
+        let p = provider.clone();
+        margo.register_fn("sonata_exec_query_rpc", move |_m, args: StoreArgs| {
+            // `json` carries the filter text for this RPC.
+            let query = Query::parse(&args.json)?;
+            let dbs = p.dbs.lock();
+            let coll = dbs
+                .get(&args.db)
+                .ok_or_else(|| format!("no database {}", args.db))?;
+            Ok::<Vec<String>, String>(
+                coll.docs
+                    .iter()
+                    .filter(|d| query.matches(d))
+                    .map(|d| d.to_json())
+                    .collect(),
+            )
+        });
+
+        let p = provider.clone();
+        margo.register_fn("sonata_count_rpc", move |_m, db: String| {
+            let dbs = p.dbs.lock();
+            Ok::<u64, String>(
+                dbs.get(&db)
+                    .ok_or_else(|| format!("no database {db}"))?
+                    .docs
+                    .len() as u64,
+            )
+        });
+
+        provider
+    }
+
+    /// Number of documents in a collection (0 if missing).
+    pub fn count(&self, db: &str) -> usize {
+        self.dbs.lock().get(db).map(|c| c.docs.len()).unwrap_or(0)
+    }
+}
+
+/// Client-side Sonata API.
+#[derive(Clone)]
+pub struct SonataClient {
+    margo: MargoInstance,
+    addr: Addr,
+}
+
+impl SonataClient {
+    /// Connect a client handle to a provider address.
+    pub fn new(margo: MargoInstance, addr: Addr) -> Self {
+        SonataClient { margo, addr }
+    }
+
+    /// Create a collection (idempotent).
+    pub fn create_db(&self, name: &str) -> Result<(), MargoError> {
+        let _: u32 = self
+            .margo
+            .forward(self.addr, "sonata_create_db_rpc", &name.to_string())?;
+        Ok(())
+    }
+
+    /// Store one document; returns its record id.
+    pub fn store(&self, db: &str, doc: &Value) -> Result<u64, MargoError> {
+        self.margo.forward(
+            self.addr,
+            "sonata_store_rpc",
+            &StoreArgs {
+                db: db.to_string(),
+                json: doc.to_json(),
+            },
+        )
+    }
+
+    /// Store a batch of documents as one RPC whose metadata carries all
+    /// the JSON text (the paper's `sonata_store_multi_json`).
+    /// Returns `(first_id, count)`.
+    pub fn store_multi_json(
+        &self,
+        db: &str,
+        docs: &[String],
+    ) -> Result<(u64, u64), MargoError> {
+        self.margo.forward(
+            self.addr,
+            "sonata_store_multi_json",
+            &StoreMultiArgs {
+                db: db.to_string(),
+                docs: docs.to_vec(),
+            },
+        )
+    }
+
+    /// Fetch one document as JSON text.
+    pub fn fetch(&self, db: &str, id: u64) -> Result<String, MargoError> {
+        self.margo.forward(
+            self.addr,
+            "sonata_fetch_rpc",
+            &FetchArgs {
+                db: db.to_string(),
+                id,
+            },
+        )
+    }
+
+    /// Run a filter query remotely; returns matching documents as JSON.
+    pub fn exec_query(&self, db: &str, filter: &str) -> Result<Vec<String>, MargoError> {
+        self.margo.forward(
+            self.addr,
+            "sonata_exec_query_rpc",
+            &StoreArgs {
+                db: db.to_string(),
+                json: filter.to_string(),
+            },
+        )
+    }
+
+    /// Count documents in a collection.
+    pub fn count(&self, db: &str) -> Result<u64, MargoError> {
+        self.margo
+            .forward(self.addr, "sonata_count_rpc", &db.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_fabric::{Fabric, NetworkModel};
+    use symbi_margo::MargoConfig;
+
+    #[test]
+    fn query_parse_and_match() {
+        let doc = Value::obj([
+            ("energy", Value::Num(42.5)),
+            ("detector", Value::Str("cms".into())),
+            ("good", Value::Bool(true)),
+            ("run", Value::obj([("id", Value::Num(7.0))])),
+        ]);
+        for (expr, expected) in [
+            ("energy > 40", true),
+            ("energy <= 42.5", true),
+            ("energy < 42.5", false),
+            ("detector == \"cms\"", true),
+            ("detector != \"atlas\"", true),
+            ("good == true", true),
+            ("run.id == 7", true),
+            ("run.id >= 8", false),
+            ("missing == 1", false),
+            ("energy > 40 && detector == \"cms\"", true),
+            ("energy > 100 || run.id == 7", true),
+            ("(energy > 100 || run.id == 7) && good == true", true),
+            ("energy > 100 && run.id == 7", false),
+        ] {
+            let q = Query::parse(expr).unwrap_or_else(|e| panic!("parse {expr}: {e}"));
+            assert_eq!(q.matches(&doc), expected, "{expr}");
+        }
+    }
+
+    #[test]
+    fn query_parse_errors() {
+        assert!(Query::parse("").is_err());
+        assert!(Query::parse("a ==").is_err());
+        assert!(Query::parse("a ~ 1").is_err());
+        assert!(Query::parse("(a == 1").is_err());
+        assert!(Query::parse("a == 1 garbage").is_err());
+        assert!(Query::parse("a == \"unterminated").is_err());
+    }
+
+    #[test]
+    fn string_literal_with_spaces() {
+        let q = Query::parse("name == \"hello world\"").unwrap();
+        let doc = Value::obj([("name", Value::Str("hello world".into()))]);
+        assert!(q.matches(&doc));
+    }
+
+    fn setup() -> (MargoInstance, MargoInstance, Arc<SonataProvider>, SonataClient) {
+        let f = Fabric::new(NetworkModel::instant());
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("sonata-server", 2));
+        let provider = SonataProvider::attach(&server);
+        let cm = MargoInstance::new(f, MargoConfig::client("sonata-client"));
+        let client = SonataClient::new(cm.clone(), server.addr());
+        (server, cm, provider, client)
+    }
+
+    #[test]
+    fn store_fetch_roundtrip() {
+        let (server, cm, _p, client) = setup();
+        client.create_db("events").unwrap();
+        let doc = Value::obj([("e", Value::Num(1.0))]);
+        let id = client.store("events", &doc).unwrap();
+        let text = client.fetch("events", id).unwrap();
+        assert_eq!(parse(&text).unwrap(), doc);
+        assert!(client.fetch("events", 999).is_err());
+        assert!(client.store("nodb", &doc).is_err());
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn store_multi_and_query() {
+        let (server, cm, provider, client) = setup();
+        client.create_db("runs").unwrap();
+        let docs: Vec<String> = (0..100)
+            .map(|i| {
+                Value::obj([("seq", Value::Num(i as f64)), ("tag", Value::Str("x".into()))])
+                    .to_json()
+            })
+            .collect();
+        let (first, n) = client.store_multi_json("runs", &docs).unwrap();
+        assert_eq!((first, n), (0, 100));
+        assert_eq!(provider.count("runs"), 100);
+        assert_eq!(client.count("runs").unwrap(), 100);
+        let hits = client.exec_query("runs", "seq >= 90").unwrap();
+        assert_eq!(hits.len(), 10);
+        let none = client.exec_query("runs", "tag == \"y\"").unwrap();
+        assert!(none.is_empty());
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn large_batch_overflows_eager_buffer() {
+        let (server, cm, _p, client) = setup();
+        client.create_db("big").unwrap();
+        // ~100 docs × ~200 bytes ≫ 4 KiB eager buffer.
+        let docs: Vec<String> = (0..100)
+            .map(|i| {
+                Value::obj([
+                    ("id", Value::Num(i as f64)),
+                    ("payload", Value::Str("z".repeat(180))),
+                ])
+                .to_json()
+            })
+            .collect();
+        client.store_multi_json("big", &docs).unwrap();
+        // The request metadata must have taken the internal RDMA path.
+        let s = client.hg_stats_eager_overflows();
+        assert!(s >= 1, "expected eager overflow, got {s}");
+        cm.finalize();
+        server.finalize();
+    }
+
+    impl SonataClient {
+        fn hg_stats_eager_overflows(&self) -> u64 {
+            let session = self.margo.hg().pvar_session();
+            let h = session
+                .alloc_handle(symbi_mercury::pvar::ids::NUM_EAGER_OVERFLOWS)
+                .unwrap();
+            session.sample(&h, None).unwrap()
+        }
+    }
+
+    #[test]
+    fn invalid_json_rejected_remotely() {
+        let (server, cm, _p, client) = setup();
+        client.create_db("bad").unwrap();
+        let res = client.store_multi_json("bad", &["{not json".to_string()]);
+        assert!(res.is_err());
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn wire_roundtrips() {
+        let a = StoreMultiArgs {
+            db: "d".into(),
+            docs: vec!["{}".into(), "[1]".into()],
+        };
+        assert_eq!(StoreMultiArgs::from_bytes(a.to_bytes()).unwrap(), a);
+        let f = FetchArgs { db: "d".into(), id: 3 };
+        assert_eq!(FetchArgs::from_bytes(f.to_bytes()).unwrap(), f);
+    }
+}

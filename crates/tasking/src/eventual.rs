@@ -1,0 +1,204 @@
+//! Eventuals: single-assignment synchronization cells (Argobots
+//! `ABT_eventual`).
+//!
+//! Margo's blocking `forward` waits on an eventual that the Mercury
+//! completion callback sets at t14; SDSKV handlers wait on eventuals for
+//! bulk-transfer completion. Waiting from inside a ULT marks the ULT (and
+//! its pool) *blocked*, which is what the paper samples for Figure 10.
+
+use crate::stream::current_pool;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+struct Inner<T> {
+    slot: Mutex<Option<T>>,
+    cond: Condvar,
+}
+
+/// A single-assignment cell: many waiters, one `set`.
+///
+/// Clones share the same cell. `T: Clone` lets multiple waiters observe
+/// the value.
+pub struct Eventual<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> Clone for Eventual<T> {
+    fn clone(&self) -> Self {
+        Eventual {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Default for Eventual<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> std::fmt::Debug for Eventual<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Eventual(set={})", self.is_set())
+    }
+}
+
+impl<T> Eventual<T> {
+    /// Create an unset eventual.
+    pub fn new() -> Self {
+        Eventual {
+            inner: Arc::new(Inner {
+                slot: Mutex::new(None),
+                cond: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Set the value, waking all waiters. The first `set` wins; later calls
+    /// are ignored (matching `ABT_eventual_set` on an already-set eventual
+    /// being a benign no-op in our usage).
+    pub fn set(&self, value: T) {
+        let mut slot = self.inner.slot.lock();
+        if slot.is_none() {
+            *slot = Some(value);
+            self.inner.cond.notify_all();
+        }
+    }
+
+    /// Whether a value has been set.
+    pub fn is_set(&self) -> bool {
+        self.inner.slot.lock().is_some()
+    }
+}
+
+impl<T: Clone> Eventual<T> {
+    /// Block until the value is set, then return a clone of it.
+    ///
+    /// If called from inside a ULT, the ULT's pool records one more blocked
+    /// ULT for the duration of the wait.
+    pub fn wait(&self) -> T {
+        let _guard = BlockedGuard::enter();
+        let mut slot = self.inner.slot.lock();
+        while slot.is_none() {
+            self.inner.cond.wait(&mut slot);
+        }
+        slot.as_ref().expect("slot set").clone()
+    }
+
+    /// Block for at most `timeout`. Returns `None` on timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+        let _guard = BlockedGuard::enter();
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.inner.slot.lock();
+        while slot.is_none() {
+            if self
+                .inner
+                .cond
+                .wait_until(&mut slot, deadline)
+                .timed_out()
+            {
+                return slot.as_ref().cloned();
+            }
+        }
+        slot.as_ref().cloned()
+    }
+
+    /// Non-blocking read.
+    pub fn try_get(&self) -> Option<T> {
+        self.inner.slot.lock().as_ref().cloned()
+    }
+}
+
+/// RAII guard that accounts the current ULT as blocked on its pool.
+pub(crate) struct BlockedGuard {
+    pool: Option<crate::Pool>,
+}
+
+impl BlockedGuard {
+    pub(crate) fn enter() -> Self {
+        let pool = current_pool();
+        if let Some(p) = &pool {
+            p.counters().blocked.fetch_add(1, Ordering::Relaxed);
+        }
+        BlockedGuard { pool }
+    }
+}
+
+impl Drop for BlockedGuard {
+    fn drop(&mut self) {
+        if let Some(p) = &self.pool {
+            p.counters().blocked.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_then_wait_returns_value() {
+        let ev: Eventual<u32> = Eventual::new();
+        ev.set(5);
+        assert_eq!(ev.wait(), 5);
+    }
+
+    #[test]
+    fn wait_blocks_until_set_from_other_thread() {
+        let ev: Eventual<String> = Eventual::new();
+        let ev2 = ev.clone();
+        let h = std::thread::spawn(move || ev2.wait());
+        std::thread::sleep(Duration::from_millis(10));
+        ev.set("done".into());
+        assert_eq!(h.join().unwrap(), "done");
+    }
+
+    #[test]
+    fn first_set_wins() {
+        let ev: Eventual<u32> = Eventual::new();
+        ev.set(1);
+        ev.set(2);
+        assert_eq!(ev.wait(), 1);
+    }
+
+    #[test]
+    fn wait_timeout_returns_none_when_unset() {
+        let ev: Eventual<u32> = Eventual::new();
+        let start = std::time::Instant::now();
+        assert!(ev.wait_timeout(Duration::from_millis(10)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn wait_timeout_returns_value_when_set() {
+        let ev: Eventual<u32> = Eventual::new();
+        ev.set(3);
+        assert_eq!(ev.wait_timeout(Duration::from_millis(1)), Some(3));
+    }
+
+    #[test]
+    fn try_get_is_nonblocking() {
+        let ev: Eventual<u32> = Eventual::new();
+        assert_eq!(ev.try_get(), None);
+        ev.set(8);
+        assert_eq!(ev.try_get(), Some(8));
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let ev: Eventual<u64> = Eventual::new();
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let e = ev.clone();
+                std::thread::spawn(move || e.wait())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(5));
+        ev.set(99);
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 99);
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Work pools: FIFO queues of runnable ULTs with scheduler accounting.
+//!
+//! A [`Pool`] corresponds to an Argobots `ABT_pool`. Margo attaches one or
+//! more execution streams to a pool; every incoming RPC spawns a ULT into
+//! the pool, and the time a ULT spends queued here is exactly the paper's
+//! *target ULT handler time* (interval t4→t5 of Figure 2).
+
+use crate::eventual::Eventual;
+use crate::local::LocalMap;
+use crate::stats::{PoolCounters, PoolStats};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Process-unique identifier for a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PoolId(pub u64);
+
+static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) struct Task {
+    pub(crate) f: Box<dyn FnOnce() + Send + 'static>,
+    pub(crate) locals: LocalMap,
+    pub(crate) enqueued_at: Instant,
+}
+
+pub(crate) struct PoolInner {
+    pub(crate) name: String,
+    pub(crate) id: PoolId,
+    queue: Mutex<VecDeque<Task>>,
+    cond: Condvar,
+    closed: AtomicBool,
+    pub(crate) counters: PoolCounters,
+}
+
+/// A FIFO pool of runnable ULTs.
+///
+/// Cloning a `Pool` clones a handle to the same shared queue.
+#[derive(Clone)]
+pub struct Pool {
+    pub(crate) inner: Arc<PoolInner>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("name", &self.inner.name)
+            .field("id", &self.inner.id)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// Create a new, empty pool.
+    pub fn new(name: impl Into<String>) -> Self {
+        Pool {
+            inner: Arc::new(PoolInner {
+                name: name.into(),
+                id: PoolId(NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed)),
+                queue: Mutex::new(VecDeque::new()),
+                cond: Condvar::new(),
+                closed: AtomicBool::new(false),
+                counters: PoolCounters::default(),
+            }),
+        }
+    }
+
+    /// The pool's process-unique id.
+    pub fn id(&self) -> PoolId {
+        self.inner.id
+    }
+
+    /// The pool's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Spawn a ULT into this pool. The ULT inherits an **empty** local map;
+    /// use [`Pool::spawn_with_locals`] to propagate request context
+    /// (callpath ancestry, request id) along the RPC path.
+    ///
+    /// Returns a [`UltJoin`] that can be used to wait for completion.
+    pub fn spawn(&self, f: impl FnOnce() + Send + 'static) -> UltJoin {
+        self.spawn_with_locals(LocalMap::new(), f)
+    }
+
+    /// Spawn a ULT seeded with the given ULT-local values.
+    pub fn spawn_with_locals(
+        &self,
+        locals: LocalMap,
+        f: impl FnOnce() + Send + 'static,
+    ) -> UltJoin {
+        let done: Eventual<()> = Eventual::new();
+        let done2 = done.clone();
+        let task = Task {
+            f: Box::new(move || {
+                f();
+                done2.set(());
+            }),
+            locals,
+            enqueued_at: Instant::now(),
+        };
+        self.push(task);
+        UltJoin { done }
+    }
+
+    pub(crate) fn push(&self, task: Task) {
+        let inner = &self.inner;
+        inner.counters.spawned.fetch_add(1, Ordering::Relaxed);
+        inner.counters.runnable.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut q = inner.queue.lock();
+            q.push_back(task);
+        }
+        inner.cond.notify_one();
+    }
+
+    /// Dequeue the next runnable task, blocking for up to `timeout`.
+    /// Returns `None` on timeout or if the pool is closed and empty.
+    pub(crate) fn pop(&self, timeout: Duration) -> Option<Task> {
+        let inner = &self.inner;
+        let mut q = inner.queue.lock();
+        loop {
+            if let Some(task) = q.pop_front() {
+                inner.counters.runnable.fetch_sub(1, Ordering::Relaxed);
+                let waited = task.enqueued_at.elapsed();
+                inner
+                    .counters
+                    .cumulative_queue_wait_ns
+                    .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+                return Some(task);
+            }
+            if inner.closed.load(Ordering::Acquire) {
+                return None;
+            }
+            if inner.cond.wait_for(&mut q, timeout).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Non-blocking dequeue.
+    pub(crate) fn try_pop(&self) -> Option<Task> {
+        let inner = &self.inner;
+        let mut q = inner.queue.lock();
+        q.pop_front().map(|task| {
+            inner.counters.runnable.fetch_sub(1, Ordering::Relaxed);
+            let waited = task.enqueued_at.elapsed();
+            inner
+                .counters
+                .cumulative_queue_wait_ns
+                .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+            task
+        })
+    }
+
+    /// Close the pool: wake all waiting execution streams. Already-queued
+    /// tasks are still drained; new spawns after close are rejected
+    /// silently (the task is dropped).
+    pub fn close(&self) {
+        self.inner.closed.store(true, Ordering::Release);
+        self.inner.cond.notify_all();
+    }
+
+    /// Whether the pool has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.inner.closed.load(Ordering::Acquire)
+    }
+
+    /// Number of runnable (queued, not yet running) ULTs.
+    pub fn runnable(&self) -> usize {
+        self.inner.counters.runnable.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the pool's scheduler counters. This is the sampling
+    /// entry point used by Margo when generating trace events (paper §IV-C).
+    pub fn stats(&self) -> PoolStats {
+        self.inner.counters.snapshot(&self.inner.name, self.inner.id)
+    }
+
+    pub(crate) fn counters(&self) -> &PoolCounters {
+        &self.inner.counters
+    }
+}
+
+/// Join handle for a spawned ULT.
+pub struct UltJoin {
+    done: Eventual<()>,
+}
+
+impl UltJoin {
+    /// Block until the ULT has finished executing.
+    pub fn join(self) {
+        self.done.wait();
+    }
+
+    /// Block for at most `timeout`; returns `true` if the ULT finished.
+    pub fn join_timeout(&self, timeout: Duration) -> bool {
+        self.done.wait_timeout(timeout).is_some()
+    }
+
+    /// Whether the ULT already finished.
+    pub fn is_done(&self) -> bool {
+        self.done.is_set()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_ids_are_unique() {
+        let a = Pool::new("a");
+        let b = Pool::new("b");
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn spawn_increments_runnable_until_popped() {
+        let p = Pool::new("t");
+        assert_eq!(p.runnable(), 0);
+        let _j = p.spawn(|| {});
+        assert_eq!(p.runnable(), 1);
+        let task = p.try_pop().expect("task queued");
+        assert_eq!(p.runnable(), 0);
+        (task.f)();
+    }
+
+    #[test]
+    fn pop_respects_fifo_order() {
+        let p = Pool::new("fifo");
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..5 {
+            let order = order.clone();
+            p.spawn(move || order.lock().push(i));
+        }
+        while let Some(t) = p.try_pop() {
+            (t.f)();
+        }
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pop_times_out_on_empty_pool() {
+        let p = Pool::new("empty");
+        let start = Instant::now();
+        assert!(p.pop(Duration::from_millis(10)).is_none());
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn closed_pool_wakes_poppers() {
+        let p = Pool::new("close");
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || p2.pop(Duration::from_secs(30)).is_none());
+        std::thread::sleep(Duration::from_millis(20));
+        p.close();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn queue_wait_time_accumulates() {
+        let p = Pool::new("wait");
+        p.spawn(|| {});
+        std::thread::sleep(Duration::from_millis(5));
+        let t = p.try_pop().unwrap();
+        (t.f)();
+        let stats = p.stats();
+        assert!(stats.cumulative_queue_wait_ns >= 4_000_000);
+    }
+
+    #[test]
+    fn spawned_and_completed_counts() {
+        let p = Pool::new("counts");
+        for _ in 0..3 {
+            p.spawn(|| {});
+        }
+        let s = p.stats();
+        assert_eq!(s.spawned, 3);
+        assert_eq!(s.runnable, 3);
+    }
+
+    #[test]
+    fn join_timeout_reports_pending() {
+        let p = Pool::new("jt");
+        let j = p.spawn(|| {});
+        // Nothing is draining the pool, so the ULT can't finish.
+        assert!(!j.join_timeout(Duration::from_millis(10)));
+        assert!(!j.is_done());
+        let t = p.try_pop().unwrap();
+        (t.f)();
+        assert!(j.is_done());
+    }
+}

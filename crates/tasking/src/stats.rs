@@ -1,0 +1,160 @@
+//! Scheduler accounting: the counters SYMBIOSYS samples from the tasking
+//! layer when generating trace events (paper §IV-C, Figure 10).
+
+use crate::pool::PoolId;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Internal atomic counters attached to every pool.
+#[derive(Default)]
+pub(crate) struct PoolCounters {
+    /// ULTs queued and waiting for an execution stream.
+    pub(crate) runnable: AtomicUsize,
+    /// ULTs currently executing on some execution stream.
+    pub(crate) running: AtomicUsize,
+    /// ULTs blocked on an [`crate::Eventual`] or [`crate::AbtMutex`].
+    pub(crate) blocked: AtomicUsize,
+    /// Total ULTs ever spawned into the pool.
+    pub(crate) spawned: AtomicU64,
+    /// Total ULTs that finished executing.
+    pub(crate) completed: AtomicU64,
+    /// Sum of time (ns) ULTs spent waiting in the queue before starting.
+    /// Dividing by `completed` yields the mean *target ULT handler time*.
+    pub(crate) cumulative_queue_wait_ns: AtomicU64,
+}
+
+impl PoolCounters {
+    pub(crate) fn snapshot(&self, name: &str, id: PoolId) -> PoolStats {
+        PoolStats {
+            name: name.to_string(),
+            id,
+            runnable: self.runnable.load(Ordering::Relaxed),
+            running: self.running.load(Ordering::Relaxed),
+            blocked: self.blocked.load(Ordering::Relaxed),
+            spawned: self.spawned.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            cumulative_queue_wait_ns: self.cumulative_queue_wait_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time snapshot of one pool's scheduler state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pool name as given at construction.
+    pub name: String,
+    /// Process-unique pool id.
+    pub id: PoolId,
+    /// ULTs queued, waiting for an ES.
+    pub runnable: usize,
+    /// ULTs currently executing.
+    pub running: usize,
+    /// ULTs blocked on a synchronization primitive.
+    pub blocked: usize,
+    /// Cumulative spawn count.
+    pub spawned: u64,
+    /// Cumulative completion count.
+    pub completed: u64,
+    /// Cumulative queue-wait time in nanoseconds.
+    pub cumulative_queue_wait_ns: u64,
+}
+
+impl PoolStats {
+    /// Mean queue wait (the *target ULT handler time*) in nanoseconds, or 0
+    /// if nothing completed yet.
+    pub fn mean_queue_wait_ns(&self) -> u64 {
+        let started = self.spawned.saturating_sub(self.runnable as u64);
+        if started == 0 {
+            0
+        } else {
+            self.cumulative_queue_wait_ns / started
+        }
+    }
+
+    /// ULTs that are in flight (spawned but not completed).
+    pub fn in_flight(&self) -> u64 {
+        self.spawned.saturating_sub(self.completed)
+    }
+}
+
+/// Aggregated snapshot across all pools of a runtime instance.
+///
+/// This is the structure Margo embeds into every trace event: the paper's
+/// Figure 10 plots `total_blocked` against the request start timestamp.
+#[derive(Debug, Clone, Default)]
+pub struct TaskingStats {
+    /// Per-pool snapshots.
+    pub pools: Vec<PoolStats>,
+}
+
+impl TaskingStats {
+    /// Gather a snapshot from the given pools.
+    pub fn sample(pools: &[crate::Pool]) -> Self {
+        TaskingStats {
+            pools: pools.iter().map(|p| p.stats()).collect(),
+        }
+    }
+
+    /// Total runnable ULTs across pools.
+    pub fn total_runnable(&self) -> usize {
+        self.pools.iter().map(|p| p.runnable).sum()
+    }
+
+    /// Total blocked ULTs across pools.
+    pub fn total_blocked(&self) -> usize {
+        self.pools.iter().map(|p| p.blocked).sum()
+    }
+
+    /// Total running ULTs across pools.
+    pub fn total_running(&self) -> usize {
+        self.pools.iter().map(|p| p.running).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pool;
+
+    #[test]
+    fn snapshot_reflects_counters() {
+        let c = PoolCounters::default();
+        c.runnable.store(3, Ordering::Relaxed);
+        c.blocked.store(2, Ordering::Relaxed);
+        c.spawned.store(10, Ordering::Relaxed);
+        c.completed.store(5, Ordering::Relaxed);
+        let s = c.snapshot("x", PoolId(7));
+        assert_eq!(s.runnable, 3);
+        assert_eq!(s.blocked, 2);
+        assert_eq!(s.in_flight(), 5);
+    }
+
+    #[test]
+    fn mean_queue_wait_handles_zero() {
+        let s = PoolStats {
+            name: "z".into(),
+            id: PoolId(1),
+            runnable: 0,
+            running: 0,
+            blocked: 0,
+            spawned: 0,
+            completed: 0,
+            cumulative_queue_wait_ns: 0,
+        };
+        assert_eq!(s.mean_queue_wait_ns(), 0);
+    }
+
+    #[test]
+    fn tasking_stats_aggregates_pools() {
+        let a = Pool::new("a");
+        let b = Pool::new("b");
+        a.spawn(|| {});
+        a.spawn(|| {});
+        b.spawn(|| {});
+        let stats = TaskingStats::sample(&[a.clone(), b.clone()]);
+        assert_eq!(stats.total_runnable(), 3);
+        assert_eq!(stats.pools.len(), 2);
+        // Drain to avoid leaking queued closures.
+        while a.try_pop().is_some() {}
+        while b.try_pop().is_some() {}
+    }
+}

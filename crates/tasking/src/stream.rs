@@ -1,0 +1,236 @@
+//! Execution streams: the OS threads that execute ULTs.
+//!
+//! An [`ExecutionStream`] is the analogue of an Argobots ES. It is bound to
+//! one or more pools and loops forever: dequeue a ULT, install its local
+//! map, run it, repeat. The number of ESs given to a service provider is
+//! the *Threads (ESs)* knob of the paper's Table IV.
+
+use crate::local::scope_with;
+use crate::pool::Pool;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+thread_local! {
+    /// The pool whose ULT is currently executing on this thread, if any.
+    /// Blocking primitives use this to attribute blocked-ULT counts.
+    pub(crate) static CURRENT_POOL: RefCell<Option<Pool>> = const { RefCell::new(None) };
+}
+
+/// Returns a handle to the pool of the currently-executing ULT (if the
+/// caller is running inside an execution stream).
+pub(crate) fn current_pool() -> Option<Pool> {
+    CURRENT_POOL.with(|p| p.borrow().clone())
+}
+
+/// An OS worker thread that drains ULTs from a set of pools.
+///
+/// Dropping the stream requests shutdown and joins the thread. Pools are
+/// drained in round-robin priority order; when all are empty the stream
+/// parks on the first pool with a short timeout so it still notices work
+/// arriving on secondary pools.
+pub struct ExecutionStream {
+    name: String,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ExecutionStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExecutionStream({})", self.name)
+    }
+}
+
+impl ExecutionStream {
+    /// Spawn a new execution stream attached to `pools` (at least one).
+    ///
+    /// # Panics
+    /// Panics if `pools` is empty.
+    pub fn spawn(name: impl Into<String>, pools: &[Pool]) -> Self {
+        assert!(!pools.is_empty(), "an execution stream needs at least one pool");
+        let name = name.into();
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let sd = shutdown.clone();
+        let pools: Vec<Pool> = pools.to_vec();
+        let tname = name.clone();
+        let handle = std::thread::Builder::new()
+            .name(tname)
+            .spawn(move || worker_loop(&pools, &sd))
+            .expect("failed to spawn execution stream thread");
+        ExecutionStream {
+            name,
+            shutdown,
+            handle: Some(handle),
+        }
+    }
+
+    /// The stream's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Request shutdown without joining. The stream finishes its current
+    /// ULT and exits once its pools are momentarily empty.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Request shutdown and join the worker thread.
+    pub fn join(mut self) {
+        self.request_shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ExecutionStream {
+    fn drop(&mut self) {
+        self.request_shutdown();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(pools: &[Pool], shutdown: &AtomicBool) {
+    const IDLE_WAIT: Duration = Duration::from_millis(1);
+    loop {
+        let mut ran = false;
+        for pool in pools {
+            if let Some(task) = pool.try_pop() {
+                run_task(pool, task);
+                ran = true;
+            }
+        }
+        if ran {
+            continue;
+        }
+        if shutdown.load(Ordering::Acquire) {
+            // Drain any straggler work before exiting so joins complete.
+            let mut drained = false;
+            for pool in pools {
+                while let Some(task) = pool.try_pop() {
+                    run_task(pool, task);
+                    drained = true;
+                }
+            }
+            if !drained {
+                return;
+            }
+            continue;
+        }
+        // All pools empty: park briefly on the primary pool.
+        if let Some(task) = pools[0].pop(IDLE_WAIT) {
+            run_task(&pools[0].clone(), task);
+        }
+    }
+}
+
+fn run_task(pool: &Pool, task: crate::pool::Task) {
+    let counters = pool.counters();
+    counters.running.fetch_add(1, Ordering::Relaxed);
+    CURRENT_POOL.with(|p| *p.borrow_mut() = Some(pool.clone()));
+    // A panicking ULT must not take down the execution stream: catch it,
+    // restore accounting, and keep serving requests (Mochi's behaviour of
+    // isolating handler failures).
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scope_with(task.locals, task.f)
+    }));
+    CURRENT_POOL.with(|p| *p.borrow_mut() = None);
+    counters.running.fetch_sub(1, Ordering::Relaxed);
+    counters.completed.fetch_add(1, Ordering::Relaxed);
+    if let Err(payload) = result {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string panic>".to_string());
+        eprintln!(
+            "[symbi-tasking] ULT panicked in pool '{}': {msg}",
+            pool.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Eventual;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    #[should_panic(expected = "at least one pool")]
+    fn spawn_requires_pools() {
+        let _ = ExecutionStream::spawn("bad", &[]);
+    }
+
+    #[test]
+    fn stream_drains_pool_before_shutdown() {
+        let pool = Pool::new("drain");
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = count.clone();
+            pool.spawn(move || {
+                c.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let es = ExecutionStream::spawn("es", &[pool.clone()]);
+        es.join();
+        assert_eq!(count.load(Ordering::Relaxed), 50);
+    }
+
+    #[test]
+    fn panicking_ult_does_not_kill_stream() {
+        let pool = Pool::new("panic");
+        let _es = ExecutionStream::spawn("es", &[pool.clone()]);
+        pool.spawn(|| panic!("intentional test panic"));
+        let ev: Eventual<u8> = Eventual::new();
+        let ev2 = ev.clone();
+        pool.spawn(move || ev2.set(9));
+        assert_eq!(ev.wait(), 9);
+    }
+
+    #[test]
+    fn secondary_pool_is_served() {
+        let a = Pool::new("a");
+        let b = Pool::new("b");
+        let _es = ExecutionStream::spawn("es", &[a.clone(), b.clone()]);
+        let ev: Eventual<u8> = Eventual::new();
+        let ev2 = ev.clone();
+        b.spawn(move || ev2.set(1));
+        assert_eq!(ev.wait(), 1);
+    }
+
+    #[test]
+    fn current_pool_is_set_inside_ult() {
+        let pool = Pool::new("ctx");
+        let _es = ExecutionStream::spawn("es", &[pool.clone()]);
+        let ev: Eventual<Option<crate::PoolId>> = Eventual::new();
+        let ev2 = ev.clone();
+        pool.spawn(move || {
+            ev2.set(current_pool().map(|p| p.id()));
+        });
+        assert_eq!(ev.wait(), Some(pool.id()));
+        assert!(current_pool().is_none());
+    }
+
+    #[test]
+    fn running_counter_tracks_execution() {
+        let pool = Pool::new("run");
+        let _es = ExecutionStream::spawn("es", &[pool.clone()]);
+        let gate: Eventual<()> = Eventual::new();
+        let started: Eventual<()> = Eventual::new();
+        let g2 = gate.clone();
+        let s2 = started.clone();
+        pool.spawn(move || {
+            s2.set(());
+            g2.wait();
+        });
+        started.wait();
+        assert_eq!(pool.stats().running, 1);
+        gate.set(());
+    }
+}

@@ -1,0 +1,190 @@
+//! Blocking-aware synchronization primitives.
+//!
+//! [`AbtMutex`] is the analogue of `ABT_mutex`: contention is visible to
+//! the SYMBIOSYS sampler as *blocked* ULTs. The paper's Figure 10 case
+//! study (write serialization with the SDSKV `map` backend) hinges on
+//! exactly this: the map backend takes a single mutex per database, and a
+//! burst of `sdskv_put_packed` handlers piles up blocked on it.
+
+use crate::eventual::BlockedGuard;
+use parking_lot::{Mutex, MutexGuard};
+
+/// A mutex whose contention is attributed to the current ULT's pool as
+/// blocked time.
+pub struct AbtMutex<T> {
+    inner: Mutex<T>,
+}
+
+impl<T: Default> Default for AbtMutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T> std::fmt::Debug for AbtMutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AbtMutex(locked={})", self.inner.is_locked())
+    }
+}
+
+/// Guard type returned by [`AbtMutex::lock`].
+pub type AbtMutexGuard<'a, T> = MutexGuard<'a, T>;
+
+impl<T> AbtMutex<T> {
+    /// Create a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        AbtMutex {
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// Acquire the lock. If the lock is contended, the current ULT is
+    /// accounted as blocked until acquisition.
+    pub fn lock(&self) -> AbtMutexGuard<'_, T> {
+        if let Some(g) = self.inner.try_lock() {
+            return g;
+        }
+        let _blocked = BlockedGuard::enter();
+        self.inner.lock()
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<AbtMutexGuard<'_, T>> {
+        self.inner.try_lock()
+    }
+
+    /// Consume the mutex and return the value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner()
+    }
+}
+
+/// A reusable barrier for coordinating driver threads in experiments
+/// (e.g. releasing all ior client threads at once to create the bursty
+/// arrival pattern of Figure 10).
+pub struct AbtBarrier {
+    inner: std::sync::Barrier,
+}
+
+impl AbtBarrier {
+    /// Create a barrier for `n` participants.
+    pub fn new(n: usize) -> Self {
+        AbtBarrier {
+            inner: std::sync::Barrier::new(n),
+        }
+    }
+
+    /// Wait for all participants; blocked time is attributed to the
+    /// caller's pool if inside a ULT.
+    pub fn wait(&self) {
+        let _blocked = BlockedGuard::enter();
+        self.inner.wait();
+    }
+}
+
+impl std::fmt::Debug for AbtBarrier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AbtBarrier")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Eventual, ExecutionStream, Pool};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_guards_data() {
+        let m = Arc::new(AbtMutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn try_lock_fails_when_held() {
+        let m = AbtMutex::new(());
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn contended_mutex_counts_blocked_ults() {
+        let pool = Pool::new("mx");
+        // Two streams so two ULTs can contend.
+        let _es1 = ExecutionStream::spawn("es1", &[pool.clone()]);
+        let _es2 = ExecutionStream::spawn("es2", &[pool.clone()]);
+        let m = Arc::new(AbtMutex::new(()));
+        let hold: Eventual<()> = Eventual::new();
+        let held: Eventual<()> = Eventual::new();
+        {
+            let m = m.clone();
+            let hold = hold.clone();
+            let held = held.clone();
+            pool.spawn(move || {
+                let _g = m.lock();
+                held.set(());
+                hold.wait();
+            });
+        }
+        held.wait();
+        let finished: Eventual<()> = Eventual::new();
+        {
+            let m = m.clone();
+            let finished = finished.clone();
+            pool.spawn(move || {
+                let _g = m.lock(); // will block
+                finished.set(());
+            });
+        }
+        // Wait until the second ULT is visibly blocked on the mutex.
+        let mut saw_blocked = false;
+        for _ in 0..2000 {
+            // One blocked on `hold.wait()` plus one blocked on the mutex.
+            if pool.stats().blocked >= 2 {
+                saw_blocked = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        assert!(saw_blocked, "expected mutex contention to register as blocked");
+        hold.set(());
+        finished.wait();
+        assert_eq!(pool.stats().blocked, 0);
+    }
+
+    #[test]
+    fn barrier_releases_all() {
+        let b = Arc::new(AbtBarrier::new(4));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let b = b.clone();
+                std::thread::spawn(move || b.wait())
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn into_inner_returns_value() {
+        let m = AbtMutex::new(41);
+        assert_eq!(m.into_inner(), 41);
+    }
+}

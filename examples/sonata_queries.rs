@@ -1,0 +1,79 @@
+//! Sonata scenario: a remote JSON document store with in-place queries
+//! (the paper's §V-B workload), plus the (de)serialization breakdown
+//! SYMBIOSYS surfaces for metadata-heavy RPCs.
+//!
+//! ```sh
+//! cargo run --release --example sonata_queries
+//! ```
+
+use symbiosys::core::analysis::summarize_profiles;
+use symbiosys::prelude::*;
+use symbiosys::services::json::Value;
+
+fn main() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(fabric.clone(), MargoConfig::server("sonata-node", 2));
+    SonataProvider::attach(&server);
+    let margo = MargoInstance::new(fabric, MargoConfig::client("analysis-app"));
+    let client = SonataClient::new(margo.clone(), server.addr());
+
+    client.create_db("collisions").expect("create db");
+
+    // Store 5,000 synthetic physics-event documents in batches whose JSON
+    // travels as RPC metadata (overflowing the eager buffer).
+    let mut batch = Vec::new();
+    for i in 0..5_000usize {
+        batch.push(
+            Value::obj([
+                ("event", Value::Num(i as f64)),
+                ("energy_gev", Value::Num((i % 1300) as f64 * 0.37)),
+                ("detector", Value::Str(format!("layer-{}", i % 12))),
+                ("triggered", Value::Bool(i % 5 == 0)),
+            ])
+            .to_json(),
+        );
+        if batch.len() == 500 {
+            client
+                .store_multi_json("collisions", &batch)
+                .expect("store batch");
+            batch.clear();
+        }
+    }
+    println!(
+        "stored {} documents",
+        client.count("collisions").expect("count")
+    );
+
+    // Remote in-place queries (the Jx9-equivalent filter language).
+    for filter in [
+        "energy_gev > 400",
+        "triggered == true && energy_gev > 200",
+        "detector == \"layer-3\" || detector == \"layer-4\"",
+    ] {
+        let hits = client.exec_query("collisions", filter).expect("query");
+        println!("query `{filter}` matched {} documents", hits.len());
+    }
+
+    // What did those metadata-heavy RPCs cost? Ask SYMBIOSYS.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut rows = margo.symbiosys().profiler().snapshot();
+    rows.extend(server.symbiosys().profiler().snapshot());
+    let summary = summarize_profiles(&rows);
+    let store_cp = Callpath::root("sonata_store_multi_json");
+    if let Some(agg) = summary.find(store_cp) {
+        let deser = agg.interval(Interval::InputDeserialization);
+        let total = agg.cumulative_latency_ns();
+        println!(
+            "\nsonata_store_multi_json: {} calls, cumulative {:.2} ms, \
+             input deserialization {:.2} ms ({:.1}% of end-to-end)",
+            agg.count_origin,
+            total as f64 / 1e6,
+            deser as f64 / 1e6,
+            deser as f64 * 100.0 / total.max(1) as f64
+        );
+    }
+    print!("\n{}", summary.render_dominant(3));
+
+    margo.finalize();
+    server.finalize();
+}

@@ -1,0 +1,68 @@
+//! # symbiosys — facade crate for the SYMBIOSYS-RS reproduction
+//!
+//! A from-scratch Rust reproduction of *"SYMBIOSYS: A Methodology for
+//! Performance Analysis of Composable HPC Data Services"* (IPDPS 2021):
+//! the full Mochi-like stack (fabric → Mercury → Argobots-like tasking →
+//! Margo → microservices) plus the SYMBIOSYS measurement and analysis
+//! framework built on top of it.
+//!
+//! This crate re-exports the workspace members under stable paths:
+//!
+//! * [`tasking`] — execution streams, pools, ULTs, eventuals.
+//! * [`fabric`] — OFI-like endpoints, completion queues, RDMA.
+//! * [`mercury`] — RPC framework with the PVAR tool interface.
+//! * [`margo`] — the unified runtime hosting the measurement system.
+//! * [`core`] — callpath profiling, tracing, analysis (SYMBIOSYS itself).
+//! * [`services`] — BAKE, SDSKV, Sonata, Mobject, HEPnOS, ior.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use symbiosys::prelude::*;
+//!
+//! let fabric = Fabric::new(NetworkModel::instant());
+//! let server = MargoInstance::new(fabric.clone(), MargoConfig::server("svc", 2));
+//! server.register_fn("hello", |_m, name: String| Ok::<String, String>(format!("hi {name}")));
+//!
+//! let client = MargoInstance::new(fabric, MargoConfig::client("app"));
+//! let reply: String = client.forward(server.addr(), "hello", &"mochi".to_string()).unwrap();
+//! assert_eq!(reply, "hi mochi");
+//!
+//! // Every RPC was profiled: merge and summarize like the paper's scripts.
+//! let mut rows = client.symbiosys().profiler().snapshot();
+//! rows.extend(server.symbiosys().profiler().snapshot());
+//! let summary = summarize_profiles(&rows);
+//! assert_eq!(summary.aggregates.len(), 1);
+//! client.finalize();
+//! server.finalize();
+//! ```
+
+pub use symbi_core as core;
+pub use symbi_fabric as fabric;
+pub use symbi_margo as margo;
+pub use symbi_mercury as mercury;
+pub use symbi_services as services;
+pub use symbi_tasking as tasking;
+
+/// The most commonly used items, in one import.
+pub mod prelude {
+    pub use symbi_core::analysis::{
+        detect_ofi_backlog, detect_write_serialization, summarize_profiles, summarize_system,
+    };
+    pub use symbi_core::{
+        Callpath, EntityId, Interval, Side, Stage, Symbiosys, TraceEvent, TraceEventKind,
+    };
+    pub use symbi_fabric::{Addr, Fabric, NetworkModel};
+    pub use symbi_margo::{MargoConfig, MargoError, MargoInstance};
+    pub use symbi_mercury::{HgClass, HgConfig, RpcMeta, Wire};
+    pub use symbi_services::bake::{BakeClient, BakeProvider, BakeSpec};
+    pub use symbi_services::hepnos::{
+        run_data_loader, EventKey, HepnosClient, HepnosConfig, HepnosDeployment,
+    };
+    pub use symbi_services::ior::{run_ior, IorConfig};
+    pub use symbi_services::kv::{BackendKind, StorageCost};
+    pub use symbi_services::mobject::{MobjectClient, MobjectProvider};
+    pub use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
+    pub use symbi_services::sonata::{Query, SonataClient, SonataProvider};
+    pub use symbi_tasking::{Eventual, ExecutionStream, Pool};
+}

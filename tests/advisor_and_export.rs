@@ -1,0 +1,144 @@
+//! End-to-end tests of the configuration advisor (the §VII policy rules)
+//! and of the Zipkin export's JSON validity — dogfooded through the
+//! repository's own JSON parser.
+
+use symbiosys::core::analysis::{
+    advisor, detect_ofi_backlog, detect_write_serialization, summarize_profiles,
+};
+use symbiosys::core::zipkin::{stitch, to_zipkin_json};
+use symbiosys::prelude::*;
+use symbiosys::services::hepnos::HepnosConfig;
+use symbiosys::services::json::{parse, Value};
+
+fn small_config(threads: usize, databases: usize) -> HepnosConfig {
+    let mut cfg = HepnosConfig::c1();
+    cfg.total_clients = 4;
+    cfg.total_servers = 2;
+    cfg.threads = threads;
+    cfg.databases = databases;
+    cfg.events_per_client = 256;
+    cfg.batch_size = 256;
+    cfg
+}
+
+fn run(cfg: &HepnosConfig) -> (Vec<symbiosys::core::ProfileRow>, Vec<TraceEvent>) {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let deployment = HepnosDeployment::launch(&fabric, cfg);
+    let report = run_data_loader(&fabric, &deployment, cfg);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let mut profiles = report.client_profiles;
+    profiles.extend(deployment.server_profiles());
+    let mut traces = report.client_traces;
+    traces.extend(deployment.server_traces());
+    deployment.finalize();
+    (profiles, traces)
+}
+
+#[test]
+fn advisor_flags_the_starved_configuration() {
+    // 1 ES per server, serial map backend, shared client progress: the
+    // advisor must find something actionable.
+    let cfg = small_config(1, 16);
+    let (profiles, traces) = run(&cfg);
+    let cp = Callpath::root("sdskv_put_packed");
+    let summary = summarize_profiles(&profiles);
+    let agg = summary.find(cp).expect("dominant callpath profiled");
+    let ser = detect_write_serialization(&traces, cp, 2_000_000);
+    let ofi = detect_ofi_backlog(&traces, cfg.ofi_max_events as u64);
+    let facts = advisor::DeploymentFacts {
+        threads_per_server: cfg.threads,
+        databases_per_server: cfg.databases,
+        backend_concurrent_writes: false,
+        ofi_max_events: cfg.ofi_max_events,
+        dedicated_client_progress: cfg.client_progress_thread,
+    };
+    let recs = advisor::advise(agg, &ser, &ofi, &facts, &advisor::Policy::default());
+    assert!(
+        recs.iter()
+            .any(|r| r.action == advisor::Action::AddExecutionStreams),
+        "one handler ES must register as starvation; got {recs:?}"
+    );
+    // Every recommendation carries evidence text and sane severity.
+    for r in &recs {
+        assert!(!r.rationale.is_empty());
+        assert!(r.severity > 0.0 && r.severity <= 1.0);
+    }
+}
+
+#[test]
+fn zipkin_export_is_valid_json_with_linked_spans() {
+    let cfg = small_config(4, 4);
+    let (_profiles, traces) = run(&cfg);
+    let spans = stitch(&traces);
+    assert!(!spans.is_empty());
+    let json_text = to_zipkin_json(&spans);
+
+    // Dogfood: the export must parse with this repository's JSON parser.
+    let doc = parse(&json_text).expect("zipkin export must be valid JSON");
+    let Value::Arr(items) = doc else {
+        panic!("zipkin export must be a JSON array");
+    };
+    assert_eq!(items.len(), spans.len());
+    for item in &items {
+        let id = item.get("id").and_then(|v| v.as_str()).expect("span id");
+        assert_eq!(id.len(), 16, "zipkin v2 span ids are 16 hex chars");
+        assert!(item.get("traceId").is_some());
+        assert!(item.get("timestamp").and_then(|v| v.as_f64()).is_some());
+        assert!(item.get("duration").and_then(|v| v.as_f64()).unwrap() >= 1.0);
+        let kind = item.get("kind").and_then(|v| v.as_str()).unwrap();
+        assert!(kind == "CLIENT" || kind == "SERVER");
+        assert!(item
+            .get("localEndpoint")
+            .and_then(|e| e.get("serviceName"))
+            .is_some());
+    }
+    // Every parentId must reference an existing span id.
+    let ids: std::collections::HashSet<&str> = items
+        .iter()
+        .filter_map(|i| i.get("id").and_then(|v| v.as_str()))
+        .collect();
+    for item in &items {
+        if let Some(pid) = item.get("parentId").and_then(|v| v.as_str()) {
+            assert!(ids.contains(pid), "dangling parentId {pid}");
+        }
+    }
+}
+
+#[test]
+fn request_ids_unique_across_concurrent_clients() {
+    let cfg = small_config(4, 4);
+    let (_profiles, traces) = run(&cfg);
+    // Group trace events by request id: each request's events must come
+    // from exactly one origin entity (no id collisions across clients).
+    use std::collections::HashMap;
+    let mut origin_of: HashMap<u64, symbiosys::core::EntityId> = HashMap::new();
+    for e in traces
+        .iter()
+        .filter(|e| e.kind == TraceEventKind::OriginForward)
+    {
+        if let Some(prev) = origin_of.insert(e.request_id, e.entity) {
+            assert_eq!(
+                prev, e.entity,
+                "request id {:#x} reused by two different clients",
+                e.request_id
+            );
+        }
+    }
+    assert!(!origin_of.is_empty());
+}
+
+#[test]
+fn profile_counts_conserve_across_sides() {
+    // Whatever the origins sent, the targets serviced: no RPC lost or
+    // double-counted anywhere in the stack.
+    let cfg = small_config(4, 4);
+    let (profiles, _traces) = run(&cfg);
+    let summary = summarize_profiles(&profiles);
+    for agg in &summary.aggregates {
+        assert_eq!(
+            agg.count_origin, agg.count_target,
+            "count mismatch on {}",
+            agg.callpath
+        );
+    }
+}

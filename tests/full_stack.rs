@@ -1,0 +1,186 @@
+//! Integration tests spanning the whole stack: fabric → Mercury →
+//! tasking → Margo → SYMBIOSYS analysis.
+
+use symbiosys::core::analysis::{summarize_profiles, summarize_system};
+use symbiosys::core::zipkin::{stitch, to_zipkin_json, SpanSide};
+use symbiosys::prelude::*;
+
+#[test]
+fn three_tier_composition_profiles_and_traces() {
+    // client → frontend → backend, the paper's Figure 1 shape
+    // (A → B → C and A → C callpaths).
+    let fabric = Fabric::new(NetworkModel::instant());
+    let backend = MargoInstance::new(fabric.clone(), MargoConfig::server("tier-backend", 2));
+    backend.register_fn("c_rpc", |_m, x: u64| Ok::<u64, String>(x + 1));
+    let backend_addr = backend.addr();
+
+    let frontend = MargoInstance::new(fabric.clone(), MargoConfig::server("tier-frontend", 2));
+    frontend.register_fn("b_rpc", move |m: &MargoInstance, x: u64| {
+        m.forward::<u64, u64>(backend_addr, "c_rpc", &x)
+            .map_err(|e| e.to_string())
+    });
+
+    let client = MargoInstance::new(fabric, MargoConfig::client("tier-client"));
+    // A → B → C path:
+    for i in 0..10u64 {
+        let y: u64 = client.forward(frontend.addr(), "b_rpc", &i).unwrap();
+        assert_eq!(y, i + 1);
+    }
+    // A → C path:
+    for i in 0..5u64 {
+        let y: u64 = client.forward(backend.addr(), "c_rpc", &i).unwrap();
+        assert_eq!(y, i + 1);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(80));
+
+    let mut rows = client.symbiosys().profiler().snapshot();
+    rows.extend(frontend.symbiosys().profiler().snapshot());
+    rows.extend(backend.symbiosys().profiler().snapshot());
+    let summary = summarize_profiles(&rows);
+
+    // Three distinct callpaths: b_rpc, b_rpc→c_rpc, c_rpc.
+    assert_eq!(summary.aggregates.len(), 3);
+    let ab = summary.find(Callpath::root("b_rpc")).unwrap();
+    let abc = summary
+        .find(Callpath::root("b_rpc").push("c_rpc"))
+        .unwrap();
+    let ac = summary.find(Callpath::root("c_rpc")).unwrap();
+    assert_eq!(ab.count_origin, 10);
+    assert_eq!(abc.count_origin, 10);
+    assert_eq!(ac.count_origin, 5);
+    // Nested call time is contained in the parent's.
+    assert!(ab.cumulative_latency_ns() > abc.cumulative_latency_ns());
+
+    client.finalize();
+    frontend.finalize();
+    backend.finalize();
+}
+
+#[test]
+fn trace_stitches_into_parented_zipkin_spans() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let backend = MargoInstance::new(fabric.clone(), MargoConfig::server("z-backend", 2));
+    backend.register_fn("leaf", |_m, x: u64| Ok::<u64, String>(x));
+    let backend_addr = backend.addr();
+    let frontend = MargoInstance::new(fabric.clone(), MargoConfig::server("z-frontend", 2));
+    frontend.register_fn("top", move |m: &MargoInstance, x: u64| {
+        m.forward::<u64, u64>(backend_addr, "leaf", &x)
+            .map_err(|e| e.to_string())
+    });
+    let client = MargoInstance::new(fabric, MargoConfig::client("z-client"));
+    let _: u64 = client.forward(frontend.addr(), "top", &7u64).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(80));
+
+    let mut events = client.symbiosys().tracer().snapshot();
+    events.extend(frontend.symbiosys().tracer().snapshot());
+    events.extend(backend.symbiosys().tracer().snapshot());
+    let spans = stitch(&events);
+    assert_eq!(spans.len(), 4, "2 RPCs x (origin + target) spans");
+
+    // Parenting: top/target → top/origin; leaf/origin → top/target;
+    // leaf/target → leaf/origin.
+    let find = |depth: usize, side: SpanSide| {
+        spans
+            .iter()
+            .find(|s| s.callpath.depth() == depth && s.side == side)
+            .unwrap()
+    };
+    let top_origin = find(1, SpanSide::Origin);
+    let top_target = find(1, SpanSide::Target);
+    let leaf_origin = find(2, SpanSide::Origin);
+    let leaf_target = find(2, SpanSide::Target);
+    assert_eq!(top_origin.parent_id, None);
+    assert_eq!(top_target.parent_id, Some(top_origin.span_id));
+    assert_eq!(leaf_origin.parent_id, Some(top_target.span_id));
+    assert_eq!(leaf_target.parent_id, Some(leaf_origin.span_id));
+
+    // Temporal containment.
+    assert!(top_origin.timestamp_us <= leaf_origin.timestamp_us);
+    let json = to_zipkin_json(&spans);
+    assert!(json.contains("\"parentId\""));
+    assert!(json.contains("z-frontend"));
+
+    client.finalize();
+    frontend.finalize();
+    backend.finalize();
+}
+
+#[test]
+fn system_summary_covers_all_entities() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(fabric.clone(), MargoConfig::server("sys-server", 1));
+    server.register_fn("noop", |_m, x: u64| Ok::<u64, String>(x));
+    let client = MargoInstance::new(fabric, MargoConfig::client("sys-client"));
+    for _ in 0..5 {
+        let _: u64 = client.forward(server.addr(), "noop", &0u64).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut events = client.symbiosys().tracer().snapshot();
+    events.extend(server.symbiosys().tracer().snapshot());
+    let sys = summarize_system(&events);
+    assert_eq!(sys.entities.len(), 2);
+    for (_, stats) in &sys.entities {
+        assert!(stats.events > 0);
+        assert!(stats.peak_memory_kb > 0, "OS sampling must be live");
+    }
+    client.finalize();
+    server.finalize();
+}
+
+#[test]
+fn concurrent_composed_services_under_load() {
+    // Stress: 4 clients x 25 RPCs against a 2-tier service, verifying
+    // correctness of every response and profile count conservation.
+    let fabric = Fabric::new(NetworkModel::instant());
+    let backend = MargoInstance::new(fabric.clone(), MargoConfig::server("load-backend", 4));
+    backend.register_fn("square", |_m, x: u64| Ok::<u64, String>(x * x));
+    let backend_addr = backend.addr();
+    let frontend = MargoInstance::new(fabric.clone(), MargoConfig::server("load-frontend", 4));
+    frontend.register_fn("square_plus_one", move |m: &MargoInstance, x: u64| {
+        let sq: u64 = m
+            .forward(backend_addr, "square", &x)
+            .map_err(|e| e.to_string())?;
+        Ok::<u64, String>(sq + 1)
+    });
+    let frontend_addr = frontend.addr();
+
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let fabric = fabric.clone();
+            std::thread::spawn(move || {
+                let client = MargoInstance::new(
+                    fabric,
+                    MargoConfig::client(format!("load-client-{c}")),
+                );
+                for i in 0..25u64 {
+                    let y: u64 = client
+                        .forward(frontend_addr, "square_plus_one", &i)
+                        .unwrap();
+                    assert_eq!(y, i * i + 1);
+                }
+                client.finalize();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(80));
+
+    let frontend_rows = frontend.symbiosys().profiler().snapshot();
+    let target_count: u64 = frontend_rows
+        .iter()
+        .filter(|r| r.side == Side::Target)
+        .map(|r| r.count)
+        .sum();
+    assert_eq!(target_count, 100, "frontend must have serviced all 100 RPCs");
+    let nested: u64 = frontend_rows
+        .iter()
+        .filter(|r| r.side == Side::Origin)
+        .map(|r| r.count)
+        .sum();
+    assert_eq!(nested, 100, "each serviced RPC issued one nested RPC");
+
+    frontend.finalize();
+    backend.finalize();
+}

@@ -1,0 +1,274 @@
+//! Property-based tests (proptest) on the core data structures and
+//! invariants of the stack.
+
+use proptest::prelude::*;
+use symbiosys::core::callpath::{hash16, Callpath};
+use symbiosys::core::lamport::LamportClock;
+use symbiosys::mercury::{Decoder, Encoder, RdmaRef, RequestHeader, ResponseHeader, RpcMeta, RpcStatus, Wire};
+use symbiosys::services::json::{parse, Value};
+use symbiosys::services::kv::{BackendKind, StorageCost};
+
+// ---------------------------------------------------------------------
+// Codec
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn codec_scalars_roundtrip(a: u8, b: u16, c: u32, d: u64, e: i64, f: f64) {
+        let mut enc = Encoder::new();
+        enc.put_u8(a).put_u16(b).put_u32(c).put_u64(d).put_i64(e).put_f64(f);
+        let mut dec = Decoder::new(enc.finish());
+        prop_assert_eq!(dec.get_u8().unwrap(), a);
+        prop_assert_eq!(dec.get_u16().unwrap(), b);
+        prop_assert_eq!(dec.get_u32().unwrap(), c);
+        prop_assert_eq!(dec.get_u64().unwrap(), d);
+        prop_assert_eq!(dec.get_i64().unwrap(), e);
+        let back = dec.get_f64().unwrap();
+        prop_assert!(back == f || (back.is_nan() && f.is_nan()));
+        prop_assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn codec_kv_pairs_roundtrip(pairs: Vec<(Vec<u8>, Vec<u8>)>) {
+        let bytes = pairs.to_bytes();
+        let decoded = Vec::<(Vec<u8>, Vec<u8>)>::from_bytes(bytes).unwrap();
+        prop_assert_eq!(decoded, pairs);
+    }
+
+    #[test]
+    fn codec_strings_roundtrip(s: String, t: String) {
+        let mut enc = Encoder::new();
+        enc.put_str(&s).put_str(&t);
+        let mut dec = Decoder::new(enc.finish());
+        prop_assert_eq!(dec.get_str().unwrap(), s);
+        prop_assert_eq!(dec.get_str().unwrap(), t);
+    }
+
+    /// Decoding arbitrary bytes must never panic — it either produces a
+    /// value or a structured error.
+    #[test]
+    fn codec_never_panics_on_garbage(bytes: Vec<u8>) {
+        let _ = Vec::<(Vec<u8>, Vec<u8>)>::from_bytes(bytes::Bytes::from(bytes.clone()));
+        let _ = RequestHeader::from_bytes(bytes::Bytes::from(bytes.clone()));
+        let _ = ResponseHeader::from_bytes(bytes::Bytes::from(bytes));
+    }
+
+    #[test]
+    fn request_header_roundtrip(
+        rpc_id: u64,
+        handle: u64,
+        callpath: u64,
+        request_id: u64,
+        order: u32,
+        lamport: u64,
+        rdma_key in proptest::option::of(0u64..u64::MAX),
+        inline: Vec<u8>,
+    ) {
+        let h = RequestHeader {
+            rpc_id,
+            origin_handle_id: handle,
+            meta: RpcMeta { callpath, request_id, order, lamport },
+            rdma: rdma_key.map(|key| RdmaRef { key, len: 128 }),
+            inline: bytes::Bytes::from(inline.clone()),
+        };
+        let d = RequestHeader::from_bytes(h.to_bytes()).unwrap();
+        prop_assert_eq!(d.rpc_id, rpc_id);
+        prop_assert_eq!(d.origin_handle_id, handle);
+        prop_assert_eq!(d.meta, h.meta);
+        prop_assert_eq!(d.rdma, h.rdma);
+        prop_assert_eq!(&d.inline[..], &inline[..]);
+    }
+
+    #[test]
+    fn response_header_roundtrip(handle: u64, lamport: u64, status in 0u8..3, inline: Vec<u8>) {
+        let h = ResponseHeader {
+            origin_handle_id: handle,
+            status: RpcStatus::from_u8(status).unwrap(),
+            lamport,
+            rdma: None,
+            inline: bytes::Bytes::from(inline.clone()),
+        };
+        let d = ResponseHeader::from_bytes(h.to_bytes()).unwrap();
+        prop_assert_eq!(d.origin_handle_id, handle);
+        prop_assert_eq!(d.lamport, lamport);
+        prop_assert_eq!(&d.inline[..], &inline[..]);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Callpath encoding
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn callpath_push_preserves_suffix(names in proptest::collection::vec("[a-z_]{1,16}", 1..8)) {
+        let mut cp = Callpath::EMPTY;
+        for n in &names {
+            cp = cp.push(n);
+        }
+        // Depth is capped at 4; the frames are the *last* up-to-4 names.
+        prop_assert!(cp.depth() <= 4);
+        let expected: Vec<u16> = names
+            .iter()
+            .rev()
+            .take(4)
+            .rev()
+            .map(|n| hash16(n))
+            .collect();
+        prop_assert_eq!(cp.frames(), expected);
+        // Leaf is always the most recent push.
+        prop_assert_eq!(cp.leaf(), hash16(names.last().unwrap()));
+    }
+
+    #[test]
+    fn callpath_parent_inverts_push(root in "[a-z]{1,12}", child in "[a-z]{1,12}") {
+        let a = Callpath::root(&root);
+        let ab = a.push(&child);
+        prop_assert_eq!(ab.parent(), a);
+    }
+
+    #[test]
+    fn hash16_is_never_zero(name in ".{0,64}") {
+        prop_assert_ne!(hash16(&name), 0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lamport clocks
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn lamport_merge_exceeds_both_inputs(local_ticks in 0u64..100, received: u64) {
+        let c = LamportClock::new();
+        for _ in 0..local_ticks {
+            c.tick();
+        }
+        let before = c.now();
+        let merged = c.merge(received);
+        prop_assert!(merged > before);
+        prop_assert!(merged > received || received == u64::MAX);
+    }
+
+    #[test]
+    fn lamport_message_chains_are_monotone(hops in 1usize..10) {
+        // A message relayed through `hops` processes carries strictly
+        // increasing timestamps.
+        let clocks: Vec<LamportClock> = (0..hops).map(|_| LamportClock::new()).collect();
+        let mut ts = clocks[0].tick();
+        for c in &clocks[1..] {
+            let next = c.merge(ts);
+            prop_assert!(next > ts);
+            ts = next;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON engine
+// ---------------------------------------------------------------------
+
+fn arb_json(depth: u32) -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1e9f64..1e9f64).prop_map(|n| Value::Num((n * 100.0).round() / 100.0)),
+        "[a-zA-Z0-9 _.\\-]{0,24}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(depth, 64, 8, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..6).prop_map(Value::Arr),
+            proptest::collection::btree_map("[a-z]{1,8}", inner, 0..6).prop_map(Value::Obj),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn json_roundtrips(v in arb_json(3)) {
+        let text = v.to_json();
+        let back = parse(&text).unwrap();
+        prop_assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_parser_never_panics(s in ".{0,256}") {
+        let _ = parse(&s);
+    }
+}
+
+// ---------------------------------------------------------------------
+// KV backends: all backends agree with a model BTreeMap
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(u8, u8),
+    Erase(u8),
+    Get(u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<KvOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (any::<u8>(), any::<u8>()).prop_map(|(k, v)| KvOp::Put(k, v)),
+            any::<u8>().prop_map(KvOp::Erase),
+            any::<u8>().prop_map(KvOp::Get),
+        ],
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn backends_agree_with_model(ops in arb_ops()) {
+        for kind in [BackendKind::Map, BackendKind::Ldb, BackendKind::Bdb] {
+            let backend = kind.build(StorageCost::free());
+            let mut model = std::collections::BTreeMap::<Vec<u8>, Vec<u8>>::new();
+            for op in &ops {
+                match op {
+                    KvOp::Put(k, v) => {
+                        backend.put(vec![*k], vec![*v]);
+                        model.insert(vec![*k], vec![*v]);
+                    }
+                    KvOp::Erase(k) => {
+                        let b = backend.erase(&[*k]);
+                        let m = model.remove(&vec![*k]).is_some();
+                        prop_assert_eq!(b, m, "{} erase mismatch", backend.kind());
+                    }
+                    KvOp::Get(k) => {
+                        prop_assert_eq!(
+                            backend.get(&[*k]),
+                            model.get(&vec![*k]).cloned(),
+                            "{} get mismatch", backend.kind()
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(backend.len(), model.len());
+            // Full ordered listing agrees with the model.
+            let listed = backend.list_keyvals(&[], 512);
+            let expected: Vec<(Vec<u8>, Vec<u8>)> =
+                model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+            prop_assert_eq!(listed, expected, "{} listing mismatch", backend.kind());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sonata query engine
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn query_numeric_comparisons_are_consistent(field_value in -1000i64..1000, threshold in -1000i64..1000) {
+        use symbiosys::services::sonata::Query;
+        let doc = Value::obj([("x", Value::Num(field_value as f64))]);
+        let gt = Query::parse(&format!("x > {threshold}")).unwrap();
+        let le = Query::parse(&format!("x <= {threshold}")).unwrap();
+        // Exactly one of (>, <=) holds.
+        prop_assert_ne!(gt.matches(&doc), le.matches(&doc));
+        let eq = Query::parse(&format!("x == {field_value}")).unwrap();
+        prop_assert!(eq.matches(&doc));
+    }
+}

@@ -1,0 +1,203 @@
+//! Integration tests of the composed data services (Mobject, HEPnOS)
+//! with SYMBIOSYS enabled end-to-end.
+
+use symbiosys::core::analysis::summarize_profiles;
+use symbiosys::prelude::*;
+use symbiosys::services::hepnos::HepnosConfig;
+use symbiosys::services::mobject::{REQUIRED_SDSKV_DBS, WRITE_OP_SUBCALLS};
+
+fn mobject_node(fabric: &Fabric) -> MargoInstance {
+    let node = MargoInstance::new(fabric.clone(), MargoConfig::server("it-mobject-node", 6));
+    let backend_pool = node.add_handler_pool("backend", 6);
+    BakeProvider::attach_in_pool(&node, BakeSpec::default(), &backend_pool);
+    SdskvProvider::attach_in_pool(
+        &node,
+        SdskvSpec {
+            num_databases: REQUIRED_SDSKV_DBS,
+            backend: BackendKind::Map,
+            cost: StorageCost::free(),
+            handler_cost: std::time::Duration::ZERO,
+            handler_cost_per_key: std::time::Duration::ZERO,
+        },
+        &backend_pool,
+    );
+    MobjectProvider::attach(&node, node.addr(), node.addr());
+    node
+}
+
+#[test]
+fn ior_mobject_dominant_callpath_analysis() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let node = mobject_node(&fabric);
+    let run = run_ior(
+        &fabric,
+        node.addr(),
+        &IorConfig {
+            clients: 4,
+            objects_per_client: 2,
+            object_size: 4096,
+            do_read: true,
+            stage: Stage::Full,
+        },
+    );
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let mut rows = run.client_profiles.clone();
+    rows.extend(node.symbiosys().profiler().snapshot());
+    let summary = summarize_profiles(&rows);
+
+    // The top-level ops dominate nested sub-RPCs by construction: parents
+    // contain their children.
+    let write = summary.find(Callpath::root("mobject_write_op")).unwrap();
+    assert_eq!(write.count_origin, 8);
+    assert_eq!(write.count_target, 8);
+    for agg in summary.aggregates.iter().filter(|a| a.callpath.depth() == 2) {
+        assert!(
+            agg.cumulative_latency_ns()
+                <= summary.aggregates[0].cumulative_latency_ns(),
+            "nested paths cannot dominate the top path"
+        );
+    }
+    // 12 sub-RPC invocations per write op, aggregated across paths.
+    let write_root = symbiosys::core::callpath::hash16("mobject_write_op");
+    let nested_calls: u64 = summary
+        .aggregates
+        .iter()
+        .filter(|a| a.callpath.depth() == 2 && a.callpath.frames()[0] == write_root)
+        .map(|a| a.count_origin)
+        .sum();
+    assert_eq!(nested_calls as usize, 8 * WRITE_OP_SUBCALLS);
+    node.finalize();
+}
+
+#[test]
+fn hepnos_data_loader_stores_and_dominates_with_put_packed() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let mut cfg = HepnosConfig::c3();
+    cfg.total_clients = 4;
+    cfg.total_servers = 2;
+    cfg.threads = 4;
+    cfg.databases = 4;
+    cfg.events_per_client = 256;
+    cfg.batch_size = 64;
+    cfg.cost = StorageCost::free();
+    let deployment = HepnosDeployment::launch(&fabric, &cfg);
+    let report = run_data_loader(&fabric, &deployment, &cfg);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    assert_eq!(report.events, 1024);
+    assert_eq!(deployment.total_events_stored(), 1024);
+
+    let mut rows = report.client_profiles.clone();
+    rows.extend(deployment.server_profiles());
+    let summary = summarize_profiles(&rows);
+    // §V-C1: sdskv_put_packed is the only dominant callpath.
+    assert_eq!(
+        summary.aggregates[0].callpath,
+        Callpath::root("sdskv_put_packed"),
+        "sdskv_put_packed must dominate"
+    );
+    // Count conservation: every batch flush's RPCs were profiled on both
+    // sides.
+    let agg = &summary.aggregates[0];
+    assert_eq!(agg.count_origin, agg.count_target);
+    deployment.finalize();
+}
+
+#[test]
+fn hepnos_events_readable_after_load() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let mut cfg = HepnosConfig::c3();
+    cfg.total_clients = 1;
+    cfg.total_servers = 2;
+    cfg.threads = 2;
+    cfg.databases = 4;
+    cfg.events_per_client = 64;
+    cfg.batch_size = 16;
+    cfg.cost = StorageCost::free();
+    let deployment = HepnosDeployment::launch(&fabric, &cfg);
+    let mut client = HepnosClient::connect(&fabric, "verify-client", &deployment.addrs(), &cfg);
+    let keys: Vec<EventKey> = (0..64u32)
+        .map(|e| EventKey {
+            dataset: "verify".into(),
+            run: 3,
+            subrun: e / 8,
+            event: e,
+        })
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        client.store_event(k, vec![(i % 251) as u8; 48]).unwrap();
+    }
+    client.drain().unwrap();
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(
+            client.load_event(k).unwrap(),
+            Some(vec![(i % 251) as u8; 48]),
+            "event {i} must be readable"
+        );
+    }
+    client.finalize();
+    deployment.finalize();
+}
+
+#[test]
+fn sonata_document_pipeline_with_profiles() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(fabric.clone(), MargoConfig::server("it-sonata", 2));
+    SonataProvider::attach(&server);
+    let margo = MargoInstance::new(fabric, MargoConfig::client("it-sonata-client"));
+    let client = SonataClient::new(margo.clone(), server.addr());
+    client.create_db("docs").unwrap();
+    let docs: Vec<String> = (0..200)
+        .map(|i| format!("{{\"n\":{i},\"tag\":\"t{}\"}}", i % 3))
+        .collect();
+    client.store_multi_json("docs", &docs).unwrap();
+    assert_eq!(client.count("docs").unwrap(), 200);
+    let hits = client.exec_query("docs", "n >= 150 && tag == \"t0\"").unwrap();
+    assert!(!hits.is_empty());
+    for h in &hits {
+        let v = symbiosys::services::json::parse(h).unwrap();
+        assert!(v.get("n").unwrap().as_f64().unwrap() >= 150.0);
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let rows = margo.symbiosys().profiler().snapshot();
+    assert!(rows
+        .iter()
+        .any(|r| r.callpath == Callpath::root("sonata_store_multi_json")));
+    margo.finalize();
+    server.finalize();
+}
+
+#[test]
+fn backend_choice_changes_concurrency_not_contents() {
+    // The ldb backend must store exactly what the map backend stores.
+    for backend in [BackendKind::Map, BackendKind::Ldb, BackendKind::Bdb] {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let server = MargoInstance::new(
+            fabric.clone(),
+            MargoConfig::server(format!("it-kv-{backend:?}"), 2),
+        );
+        SdskvProvider::attach(
+            &server,
+            SdskvSpec {
+                num_databases: 1,
+                backend,
+                cost: StorageCost::free(),
+                handler_cost: std::time::Duration::ZERO,
+                handler_cost_per_key: std::time::Duration::ZERO,
+            },
+        );
+        let margo = MargoInstance::new(fabric, MargoConfig::client("it-kv-client"));
+        let client = SdskvClient::new(margo.clone(), server.addr());
+        let pairs: Vec<_> = (0..100u32)
+            .map(|i| (format!("k{i:03}").into_bytes(), i.to_le_bytes().to_vec()))
+            .collect();
+        client.put_packed(0, &pairs).unwrap();
+        assert_eq!(client.length(0).unwrap(), 100);
+        let listed = client.list_keyvals(0, b"k050", 3).unwrap();
+        assert_eq!(listed.len(), 3);
+        assert_eq!(listed[0].0, b"k050".to_vec());
+        margo.finalize();
+        server.finalize();
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration tests of the §VI overhead staging: what each measurement
+//! stage collects, and that the instrumentation degrades gracefully.
+
+use symbiosys::prelude::*;
+
+fn one_rpc_at(stage: Stage) -> (MargoInstance, MargoInstance) {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server(format!("st-server-{stage}"), 1).with_stage(stage),
+    );
+    server.register_fn("st_rpc", |_m, x: u64| Ok::<u64, String>(x));
+    let client = MargoInstance::new(
+        fabric,
+        MargoConfig::client(format!("st-client-{stage}")).with_stage(stage),
+    );
+    for _ in 0..3 {
+        let _: u64 = client.forward(server.addr(), "st_rpc", &1u64).unwrap();
+    }
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    (client, server)
+}
+
+#[test]
+fn baseline_collects_nothing() {
+    let (client, server) = one_rpc_at(Stage::Disabled);
+    assert!(client.symbiosys().profiler().is_empty());
+    assert!(client.symbiosys().tracer().is_empty());
+    assert!(server.symbiosys().profiler().is_empty());
+    assert!(server.symbiosys().tracer().is_empty());
+    client.finalize();
+    server.finalize();
+}
+
+#[test]
+fn stage1_collects_nothing_but_works() {
+    let (client, server) = one_rpc_at(Stage::Ids);
+    assert!(client.symbiosys().profiler().is_empty());
+    assert!(client.symbiosys().tracer().is_empty());
+    client.finalize();
+    server.finalize();
+}
+
+#[test]
+fn stage2_profiles_without_pvar_intervals() {
+    let (client, server) = one_rpc_at(Stage::Measure);
+    let rows = client.symbiosys().profiler().snapshot();
+    assert_eq!(rows.len(), 1);
+    assert_eq!(rows[0].count, 3);
+    assert!(rows[0].interval_ns(Interval::OriginExecution) > 0);
+    assert_eq!(rows[0].interval_ns(Interval::InputSerialization), 0);
+    assert_eq!(rows[0].interval_ns(Interval::OriginCompletionCallback), 0);
+    // Trace events exist but carry no PVAR samples.
+    let events = client.symbiosys().tracer().snapshot();
+    assert!(!events.is_empty());
+    assert!(events.iter().all(|e| e.samples.num_ofi_events_read.is_none()));
+    // Tasking/OS samples ARE collected at stage 2.
+    assert!(events.iter().any(|e| e.samples.memory_kb.is_some()));
+    client.finalize();
+    server.finalize();
+}
+
+#[test]
+fn full_stage_fuses_pvar_data() {
+    let (client, server) = one_rpc_at(Stage::Full);
+    let rows = client.symbiosys().profiler().snapshot();
+    assert_eq!(rows.len(), 1);
+    assert!(rows[0].interval_ns(Interval::InputSerialization) > 0);
+    let events = client.symbiosys().tracer().snapshot();
+    // The t14 event fuses num_ofi_events_read (paper §IV-C).
+    assert!(events
+        .iter()
+        .filter(|e| e.kind == TraceEventKind::OriginComplete)
+        .all(|e| e.samples.num_ofi_events_read.is_some()));
+    // Server-side: deserialization/serialization PVAR intervals present.
+    let srows = server.symbiosys().profiler().snapshot();
+    assert!(srows[0].interval_ns(Interval::InputDeserialization) > 0);
+    assert!(srows[0].interval_ns(Interval::OutputSerialization) > 0);
+    client.finalize();
+    server.finalize();
+}
+
+#[test]
+fn per_event_overhead_is_bounded() {
+    // The paper's overhead claim in miniature: fully-instrumented RPCs
+    // must not be catastrophically slower than baseline ones. We allow a
+    // wide factor (4x) because baseline round trips are microseconds on
+    // an in-process fabric, where any fixed cost looms large; the paper's
+    // RPCs carry real work.
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(fabric.clone(), MargoConfig::server("oh-server", 1));
+    server.register_fn("oh_rpc", |_m, x: u64| Ok::<u64, String>(x));
+    let addr = server.addr();
+    let time_stage = |stage: Stage| {
+        let client = MargoInstance::new(
+            fabric.clone(),
+            MargoConfig::client(format!("oh-client-{stage}")).with_stage(stage),
+        );
+        // Warm up.
+        for _ in 0..20 {
+            let _: u64 = client.forward(addr, "oh_rpc", &0u64).unwrap();
+        }
+        let start = std::time::Instant::now();
+        for _ in 0..200 {
+            let _: u64 = client.forward(addr, "oh_rpc", &0u64).unwrap();
+        }
+        let t = start.elapsed();
+        client.finalize();
+        t
+    };
+    let baseline = time_stage(Stage::Disabled);
+    let full = time_stage(Stage::Full);
+    assert!(
+        full < baseline * 4,
+        "full instrumentation too slow: baseline {baseline:?}, full {full:?}"
+    );
+    server.finalize();
+}
+
+#[test]
+fn mixed_stages_interoperate() {
+    // A Full-stage client talking to a Disabled-stage server must still
+    // complete RPCs (tools can't require the whole fleet be instrumented).
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server("mx-server", 1).with_stage(Stage::Disabled),
+    );
+    server.register_fn("mx_rpc", |_m, x: u64| Ok::<u64, String>(x * 2));
+    let client = MargoInstance::new(
+        fabric,
+        MargoConfig::client("mx-client").with_stage(Stage::Full),
+    );
+    let y: u64 = client.forward(server.addr(), "mx_rpc", &21u64).unwrap();
+    assert_eq!(y, 42);
+    std::thread::sleep(std::time::Duration::from_millis(30));
+    // Client profiled its side; server recorded nothing.
+    assert!(!client.symbiosys().profiler().is_empty());
+    assert!(server.symbiosys().profiler().is_empty());
+    client.finalize();
+    server.finalize();
+}
