@@ -34,7 +34,11 @@ fn measure(cfg: &HepnosConfig) -> Row {
     // least-disturbed run is the one closest to the modelled behaviour.
     let a = run_hepnos(cfg);
     let b = run_hepnos(cfg);
-    let data = if a.throughput() >= b.throughput() { a } else { b };
+    let data = if a.throughput() >= b.throughput() {
+        a
+    } else {
+        b
+    };
     let summary = summarize_profiles(&data.profiles);
     let agg = summary
         .find(Callpath::root("sdskv_put_packed"))
@@ -144,9 +148,7 @@ fn main() {
         );
     }
     if c7.mean_rpc_ns >= 2 * c5.mean_rpc_ns {
-        println!(
-            "warning: C7 latency inflated by single-core contention this run."
-        );
+        println!("warning: C7 latency inflated by single-core contention this run.");
     }
     println!(
         "note: C7's paper gain (+75%) needs a spare core for the dedicated \

@@ -114,7 +114,11 @@ fn render_histogram(samples: &[(u64, u64)], threshold: u64) {
     for (i, c) in counts.iter().enumerate() {
         let v = i as u64 * max_v / (buckets - 1).max(1);
         let bar_len = c * 50 / peak;
-        let marker = if v >= threshold { " <= AT/ABOVE THRESHOLD" } else { "" };
+        let marker = if v >= threshold {
+            " <= AT/ABOVE THRESHOLD"
+        } else {
+            ""
+        };
         if *c > 0 {
             println!("  {v:>4} events | {:<50} {c}{marker}", "#".repeat(bar_len));
         }

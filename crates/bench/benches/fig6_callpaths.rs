@@ -46,11 +46,11 @@ fn main() {
     let has_top_level = names
         .iter()
         .any(|n| n.starts_with("mobject_read_op") || n.starts_with("mobject_write_op"));
-    assert!(has_top_level, "a top-level mobject op must dominate: {names:?}");
-    let has_nested = summary
-        .aggregates
-        .iter()
-        .any(|a| a.callpath.depth() == 2);
+    assert!(
+        has_top_level,
+        "a top-level mobject op must dominate: {names:?}"
+    );
+    let has_nested = summary.aggregates.iter().any(|a| a.callpath.depth() == 2);
     assert!(has_nested, "nested microservice callpaths must appear");
     println!(
         "distinct callpaths observed: {} (top-level + nested)",

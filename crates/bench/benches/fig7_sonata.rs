@@ -25,7 +25,10 @@ fn record(i: usize) -> String {
         ("id", Value::Num(i as f64)),
         ("energy", Value::Num((i % 997) as f64 * 0.5)),
         ("detector", Value::Str(format!("det-{:02}", i % 16))),
-        ("flags", Value::Arr(vec![Value::Bool(i % 2 == 0), Value::Num((i % 7) as f64)])),
+        (
+            "flags",
+            Value::Arr(vec![Value::Bool(i % 2 == 0), Value::Num((i % 7) as f64)]),
+        ),
     ])
     .to_json()
 }
@@ -100,8 +103,7 @@ fn main() {
 
     let deser_share =
         agg.interval(Interval::InputDeserialization) as f64 / target_total.max(1) as f64;
-    let rdma_share =
-        agg.interval(Interval::TargetInternalRdma) as f64 / target_total.max(1) as f64;
+    let rdma_share = agg.interval(Interval::TargetInternalRdma) as f64 / target_total.max(1) as f64;
     println!(
         "input deserialization share: {:.1}% (paper: ~27%)",
         deser_share * 100.0

@@ -49,7 +49,14 @@ fn main() {
     let c2_cfg = HepnosConfig::c2().scaled(scale);
 
     let mut t4 = Table::new([
-        "Config", "Clients", "Servers", "Batch", "Threads", "DBs", "ProgressThr", "OFI_max",
+        "Config",
+        "Clients",
+        "Servers",
+        "Batch",
+        "Threads",
+        "DBs",
+        "ProgressThr",
+        "OFI_max",
     ]);
     for c in [&c1_cfg, &c2_cfg] {
         t4.row(c.table_row());

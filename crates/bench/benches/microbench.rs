@@ -39,7 +39,11 @@ fn bench_codec(c: &mut Criterion) {
     c.bench_function("codec/encode_scalars", |b| {
         b.iter(|| {
             let mut enc = Encoder::with_capacity(64);
-            enc.put_u64(1).put_u32(2).put_u16(3).put_u8(4).put_str("rpc");
+            enc.put_u64(1)
+                .put_u32(2)
+                .put_u16(3)
+                .put_u8(4)
+                .put_str("rpc");
             enc.finish()
         })
     });
@@ -116,14 +120,13 @@ fn bench_rpc_roundtrip(c: &mut Criterion) {
 fn bench_json(c: &mut Criterion) {
     let doc = symbi_services::json::Value::obj([
         ("id", symbi_services::json::Value::Num(42.0)),
-        (
-            "payload",
-            symbi_services::json::Value::Str("x".repeat(128)),
-        ),
+        ("payload", symbi_services::json::Value::Str("x".repeat(128))),
         (
             "arr",
             symbi_services::json::Value::Arr(
-                (0..8).map(|i| symbi_services::json::Value::Num(i as f64)).collect(),
+                (0..8)
+                    .map(|i| symbi_services::json::Value::Num(i as f64))
+                    .collect(),
             ),
         ),
     ]);

@@ -57,7 +57,13 @@ fn main() {
     let ser = detect_write_serialization(&data.traces, cp, 2_000_000);
     let ofi = detect_ofi_backlog(&data.traces, cfg.ofi_max_events as u64);
     let trace_time = t0.elapsed().as_secs_f64();
-    std::hint::black_box((json.len(), series.len(), stats, ser.bursts.len(), ofi.breaches));
+    std::hint::black_box((
+        json.len(),
+        series.len(),
+        stats,
+        ser.bursts.len(),
+        ofi.breaches,
+    ));
 
     // System statistics summary script.
     let t0 = Instant::now();

@@ -138,15 +138,12 @@ pub fn advise(
     }
 
     // Rule 2 (C2→C3): backend write serialization.
-    let waiting_per_stream =
-        serialization.mean_waiting / facts.threads_per_server.max(1) as f64;
-    if !facts.backend_concurrent_writes
-        && waiting_per_stream > policy.waiting_per_stream_threshold
+    let waiting_per_stream = serialization.mean_waiting / facts.threads_per_server.max(1) as f64;
+    if !facts.backend_concurrent_writes && waiting_per_stream > policy.waiting_per_stream_threshold
     {
         out.push(Recommendation {
             action: Action::ReduceDatabases,
-            severity: (waiting_per_stream / policy.waiting_per_stream_threshold - 1.0)
-                .min(1.0),
+            severity: (waiting_per_stream / policy.waiting_per_stream_threshold - 1.0).min(1.0),
             rationale: format!(
                 "mean waiting work is {:.1} ULTs ({:.1} per stream) on a serial backend \
                  with {} databases per server; bursts complete with a mean spread of \
@@ -174,9 +171,7 @@ pub fn advise(
 
     // Rule 4 (C6→C7): progress-path starvation.
     let unaccounted_share = aggregate.unaccounted_ns() as f64 / total as f64;
-    if !facts.dedicated_client_progress
-        && unaccounted_share > policy.unaccounted_share_threshold
-    {
+    if !facts.dedicated_client_progress && unaccounted_share > policy.unaccounted_share_threshold {
         out.push(Recommendation {
             action: Action::DedicateProgressStream,
             severity: (unaccounted_share / policy.unaccounted_share_threshold - 1.0).min(1.0),
@@ -195,8 +190,7 @@ pub fn advise(
     {
         out.push(Recommendation {
             action: Action::IncreaseBatchSize,
-            severity: (aggregate.count_origin as f64 / policy.tiny_rpc_flood_calls as f64
-                - 1.0)
+            severity: (aggregate.count_origin as f64 / policy.tiny_rpc_flood_calls as f64 - 1.0)
                 .min(1.0),
             rationale: format!(
                 "{} calls with a mean latency of only {:.0} \u{b5}s suggest per-RPC \
@@ -302,7 +296,13 @@ mod tests {
         // With a concurrent backend the rule must not fire.
         let mut f = facts();
         f.backend_concurrent_writes = true;
-        let recs = advise(&agg, &ser, &OfiBacklogReport::default(), &f, &Policy::default());
+        let recs = advise(
+            &agg,
+            &ser,
+            &OfiBacklogReport::default(),
+            &f,
+            &Policy::default(),
+        );
         assert!(!recs.iter().any(|r| r.action == Action::ReduceDatabases));
     }
 

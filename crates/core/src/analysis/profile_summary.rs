@@ -54,16 +54,15 @@ impl CallpathAggregate {
     /// spent in un-instrumented queues, chiefly the OFI event queue
     /// between t11 and t12).
     pub fn unaccounted_ns(&self) -> u64 {
-        self.cumulative_latency_ns().saturating_sub(self.accounted_ns())
+        self.cumulative_latency_ns()
+            .saturating_sub(self.accounted_ns())
     }
 
     /// Mean end-to-end latency per call.
     pub fn mean_latency_ns(&self) -> u64 {
-        if self.count_origin == 0 {
-            0
-        } else {
-            self.cumulative_latency_ns() / self.count_origin
-        }
+        self.cumulative_latency_ns()
+            .checked_div(self.count_origin)
+            .unwrap_or(0)
     }
 }
 
@@ -103,7 +102,7 @@ pub fn summarize_profiles(rows: &[ProfileRow]) -> ProfileSummary {
         }
     }
     let mut aggregates: Vec<_> = by_path.into_values().collect();
-    aggregates.sort_by(|a, b| b.cumulative_latency_ns().cmp(&a.cumulative_latency_ns()));
+    aggregates.sort_by_key(|a| std::cmp::Reverse(a.cumulative_latency_ns()));
     ProfileSummary { aggregates }
 }
 
@@ -128,7 +127,10 @@ impl ProfileSummary {
 
     /// Total cumulative latency across all callpaths.
     pub fn total_latency_ns(&self) -> u64 {
-        self.aggregates.iter().map(|a| a.cumulative_latency_ns()).sum()
+        self.aggregates
+            .iter()
+            .map(|a| a.cumulative_latency_ns())
+            .sum()
     }
 
     /// Render the Figure 6 style dominant-callpath table: the top `k`
@@ -153,11 +155,7 @@ impl ProfileSummary {
             for i in Interval::accounted() {
                 let v = agg.interval(i);
                 if v > 0 {
-                    t.row([
-                        format!("    {}", i.label()),
-                        fmt_ns(v),
-                        fmt_pct(v, cum),
-                    ]);
+                    t.row([format!("    {}", i.label()), fmt_ns(v), fmt_pct(v, cum)]);
                 }
             }
             t.row([
@@ -184,7 +182,7 @@ impl ProfileSummary {
 
 fn format_entities(list: &[(EntityId, u64)]) -> String {
     let mut sorted = list.to_vec();
-    sorted.sort_by(|a, b| b.1.cmp(&a.1));
+    sorted.sort_by_key(|e| std::cmp::Reverse(e.1));
     sorted
         .iter()
         .take(8)
@@ -227,8 +225,22 @@ mod tests {
         let hot = Callpath::root("hot_rpc");
         let cold = Callpath::root("cold_rpc");
         let rows = vec![
-            row(cold, o, t, Side::Origin, 10, &[(Interval::OriginExecution, 1_000)]),
-            row(hot, o, t, Side::Origin, 10, &[(Interval::OriginExecution, 9_000)]),
+            row(
+                cold,
+                o,
+                t,
+                Side::Origin,
+                10,
+                &[(Interval::OriginExecution, 1_000)],
+            ),
+            row(
+                hot,
+                o,
+                t,
+                Side::Origin,
+                10,
+                &[(Interval::OriginExecution, 9_000)],
+            ),
         ];
         let s = summarize_profiles(&rows);
         assert_eq!(s.aggregates[0].callpath, hot);
@@ -242,8 +254,22 @@ mod tests {
         let t = register_entity("t2");
         let cp = Callpath::root("merged_rpc");
         let rows = vec![
-            row(cp, o, t, Side::Origin, 5, &[(Interval::OriginExecution, 500)]),
-            row(cp, t, o, Side::Target, 5, &[(Interval::TargetUltExecution, 300)]),
+            row(
+                cp,
+                o,
+                t,
+                Side::Origin,
+                5,
+                &[(Interval::OriginExecution, 500)],
+            ),
+            row(
+                cp,
+                t,
+                o,
+                Side::Target,
+                5,
+                &[(Interval::TargetUltExecution, 300)],
+            ),
         ];
         let s = summarize_profiles(&rows);
         assert_eq!(s.aggregates.len(), 1);

@@ -146,10 +146,9 @@ pub fn detect_write_serialization(
         let Some(&done) = completions.get(&e.request_id) else {
             continue;
         };
-        let bucket = if bucket_ns == 0 {
-            e.wall_ns
-        } else {
-            e.wall_ns / bucket_ns * bucket_ns
+        let bucket = match e.wall_ns.checked_div(bucket_ns) {
+            Some(b) => b * bucket_ns,
+            None => e.wall_ns,
         };
         let entry = buckets.entry(bucket).or_insert((0, u64::MAX, 0, 0, 0));
         entry.0 += 1;
@@ -358,8 +357,20 @@ mod tests {
         let cp = Callpath::root("mine");
         let other = Callpath::root("other");
         let events = vec![
-            event(1, 0, TraceEventKind::TargetUltStart, other, EventSamples::default()),
-            event(1, 10, TraceEventKind::TargetRespond, other, EventSamples::default()),
+            event(
+                1,
+                0,
+                TraceEventKind::TargetUltStart,
+                other,
+                EventSamples::default(),
+            ),
+            event(
+                1,
+                10,
+                TraceEventKind::TargetRespond,
+                other,
+                EventSamples::default(),
+            ),
         ];
         let report = detect_write_serialization(&events, cp, 1_000);
         assert!(report.bursts.is_empty());

@@ -11,20 +11,20 @@
 //! populated as RPC names are registered.
 
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Bits per callpath frame.
 pub const FRAME_BITS: u32 = 16;
 /// Maximum number of frames a callpath can hold.
 pub const MAX_DEPTH: usize = 4;
 
-/// Hash an RPC name into a 16-bit frame value. Zero is reserved for "no
-/// frame", so a name that hashes to zero is nudged to one (a benign,
+/// Fold a 64-bit name hash into a 16-bit frame value. Zero is reserved for
+/// "no frame", so a hash that folds to zero is nudged to one (a benign,
 /// deterministic collision — the paper's scheme has the same property of
 /// tolerating rare hash collisions).
-pub fn hash16(name: &str) -> u16 {
-    let h = symbi_mercury::hash_rpc_name(name);
+fn fold16(h: u64) -> u16 {
     let folded = (h ^ (h >> 16) ^ (h >> 32) ^ (h >> 48)) as u16;
     if folded == 0 {
         1
@@ -33,22 +33,63 @@ pub fn hash16(name: &str) -> u16 {
     }
 }
 
-fn registry() -> &'static RwLock<HashMap<u16, String>> {
-    static REG: OnceLock<RwLock<HashMap<u16, String>>> = OnceLock::new();
+/// Hash an RPC name into a 16-bit frame value (see [`fold16`] for the
+/// zero-reservation rule).
+pub fn hash16(name: &str) -> u16 {
+    fold16(symbi_mercury::hash_rpc_name(name))
+}
+
+/// The process-wide frame → name registry.
+///
+/// This is on the translate path of every event (`Callpath::root`/`push`
+/// register the name; reports resolve it back), so lookups are
+/// **read-mostly**: registration takes the write lock only the first time
+/// a name is seen, and both directions are fronted by thread-local
+/// interned caches — registry entries are immutable once inserted
+/// (`entry().or_insert`), so the caches never need invalidation.
+fn registry() -> &'static RwLock<HashMap<u16, Arc<str>>> {
+    static REG: OnceLock<RwLock<HashMap<u16, Arc<str>>>> = OnceLock::new();
     REG.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
-/// Register an RPC name so profile reports can decode its frame hash.
-/// Returns the frame value. Idempotent.
-pub fn register_name(name: &str) -> u16 {
-    let h = hash16(name);
-    registry().write().entry(h).or_insert_with(|| name.to_string());
-    h
+thread_local! {
+    /// name-hash → frame: hit means this name was already registered, so
+    /// `register_name` can skip the registry locks entirely.
+    static REGISTERED: RefCell<HashMap<u64, u16>> = RefCell::new(HashMap::new());
+    /// frame → interned name for lock-free repeat resolution.
+    static RESOLVED: RefCell<HashMap<u16, Arc<str>>> = RefCell::new(HashMap::new());
 }
 
-/// Resolve a frame hash back to its registered name.
+/// Register an RPC name so profile reports can decode its frame hash.
+/// Returns the frame value. Idempotent; lock-free on repeat names.
+pub fn register_name(name: &str) -> u16 {
+    let h = symbi_mercury::hash_rpc_name(name);
+    if let Some(frame) = REGISTERED.with(|c| c.borrow().get(&h).copied()) {
+        return frame;
+    }
+    let frame = fold16(h);
+    // Read-mostly slow path: a read lock suffices unless the frame is new.
+    let present = registry().read().contains_key(&frame);
+    if !present {
+        registry()
+            .write()
+            .entry(frame)
+            .or_insert_with(|| Arc::from(name));
+    }
+    REGISTERED.with(|c| c.borrow_mut().insert(h, frame));
+    frame
+}
+
+/// Resolve a frame hash back to its registered name. Lock-free on repeat
+/// frames (entries are immutable once registered, so the thread-local
+/// cache is always valid).
 pub fn resolve_name(frame: u16) -> Option<String> {
-    registry().read().get(&frame).cloned()
+    if let Some(name) = RESOLVED.with(|c| c.borrow().get(&frame).cloned()) {
+        return Some(name.to_string());
+    }
+    let name = registry().read().get(&frame).cloned()?;
+    RESOLVED.with(|c| c.borrow_mut().insert(frame, name.clone()));
+    Some(name.to_string())
 }
 
 /// A 64-bit callpath ancestry value.
@@ -159,10 +200,7 @@ mod tests {
     #[test]
     fn frames_order_is_root_to_leaf() {
         let cp = Callpath::root("r1").push("r2").push("r3");
-        assert_eq!(
-            cp.frames(),
-            vec![hash16("r1"), hash16("r2"), hash16("r3")]
-        );
+        assert_eq!(cp.frames(), vec![hash16("r1"), hash16("r2"), hash16("r3")]);
     }
 
     #[test]

@@ -4,9 +4,10 @@
 //! in the profile", §IV-A1).
 
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Unique identifier of a Margo instance (a "process" in the experiments;
 /// the reproduction runs processes as thread groups in one OS process).
@@ -16,17 +17,34 @@ pub struct EntityId(pub u64);
 /// Sentinel for "peer unknown" (e.g. target not yet resolved).
 pub const UNKNOWN_ENTITY: EntityId = EntityId(0);
 
-fn registry() -> &'static RwLock<HashMap<u64, String>> {
-    static REG: OnceLock<RwLock<HashMap<u64, String>>> = OnceLock::new();
+/// The process-wide id → name registry. Lookups (`entity_name`) are the
+/// common case — every report row and trace decode goes through them — so
+/// they run against a **read-mostly** table fronted by a thread-local
+/// interned cache. Unlike the callpath registry, entries here can mutate
+/// (`alias_entity` rewrites a name), so the cache is versioned: any
+/// registration or aliasing bumps [`REG_VERSION`] and caches rebuild
+/// lazily on the next lookup.
+fn registry() -> &'static RwLock<HashMap<u64, Arc<str>>> {
+    static REG: OnceLock<RwLock<HashMap<u64, Arc<str>>>> = OnceLock::new();
     REG.get_or_init(|| RwLock::new(HashMap::new()))
 }
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+/// Bumped on every mutation of the registry; thread-local name caches are
+/// valid only while their recorded version matches.
+static REG_VERSION: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// (version stamp, id → interned name).
+    static NAME_CACHE: RefCell<(u64, HashMap<u64, Arc<str>>)> =
+        RefCell::new((0, HashMap::new()));
+}
 
 /// Register a new entity with a human-readable name, returning its id.
 pub fn register_entity(name: &str) -> EntityId {
     let id = EntityId(NEXT_ID.fetch_add(1, Ordering::Relaxed));
-    registry().write().insert(id.0, name.to_string());
+    registry().write().insert(id.0, Arc::from(name));
+    REG_VERSION.fetch_add(1, Ordering::Release);
     id
 }
 
@@ -35,20 +53,45 @@ pub fn register_entity(name: &str) -> EntityId {
 pub fn alias_entity(id: EntityId, extra: &str) {
     let mut reg = registry().write();
     if let Some(name) = reg.get(&id.0).cloned() {
-        reg.insert(id.0, format!("{name} ({extra})"));
+        reg.insert(id.0, Arc::from(format!("{name} ({extra})").as_str()));
     }
+    drop(reg);
+    REG_VERSION.fetch_add(1, Ordering::Release);
 }
 
-/// Resolve an entity's registered name.
+/// Resolve an entity's registered name. Repeat lookups on a quiescent
+/// registry are lock-free (served from the thread-local cache).
 pub fn entity_name(id: EntityId) -> String {
     if id == UNKNOWN_ENTITY {
         return "<unknown>".to_string();
     }
-    registry()
-        .read()
-        .get(&id.0)
-        .cloned()
-        .unwrap_or_else(|| format!("entity#{}", id.0))
+    let version = REG_VERSION.load(Ordering::Acquire);
+    let cached = NAME_CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if c.0 != version {
+            c.0 = version;
+            c.1.clear();
+            None
+        } else {
+            c.1.get(&id.0).cloned()
+        }
+    });
+    if let Some(name) = cached {
+        return name.to_string();
+    }
+    match registry().read().get(&id.0).cloned() {
+        Some(name) => {
+            NAME_CACHE.with(|c| {
+                let mut c = c.borrow_mut();
+                if c.0 == version {
+                    c.1.insert(id.0, name.clone());
+                }
+            });
+            name.to_string()
+        }
+        // Unknown ids are not negatively cached: they may register later.
+        None => format!("entity#{}", id.0),
+    }
 }
 
 #[cfg(test)]
@@ -71,7 +114,10 @@ mod tests {
     #[test]
     fn unknown_entity_has_placeholder() {
         assert_eq!(entity_name(UNKNOWN_ENTITY), "<unknown>");
-        assert_eq!(entity_name(EntityId(u64::MAX)), format!("entity#{}", u64::MAX));
+        assert_eq!(
+            entity_name(EntityId(u64::MAX)),
+            format!("entity#{}", u64::MAX)
+        );
     }
 
     #[test]

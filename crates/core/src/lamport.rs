@@ -32,12 +32,10 @@ impl LamportClock {
         let mut cur = self.counter.load(Ordering::Acquire);
         loop {
             let next = cur.max(received) + 1;
-            match self.counter.compare_exchange_weak(
-                cur,
-                next,
-                Ordering::AcqRel,
-                Ordering::Acquire,
-            ) {
+            match self
+                .counter
+                .compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Acquire)
+            {
                 Ok(_) => return next,
                 Err(actual) => cur = actual,
             }

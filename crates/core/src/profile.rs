@@ -6,10 +6,20 @@
 //! target entities record target-side intervals. The analysis stage merges
 //! snapshots from all entities into per-callpath aggregates (the global
 //! analysis the paper's "profile summary script" performs).
+//!
+//! ## Concurrency
+//!
+//! `record()` sits on the RPC completion path of every handler ULT, so the
+//! accumulator is **striped**: rows are spread over N (power-of-two,
+//! CPU-count-derived) independently-locked shards keyed by a mix of the
+//! callpath hash, peer, and side. Concurrent recorders touching different
+//! callpaths land on different stripes and never contend; recorders of the
+//! *same* row share one stripe lock, which is the minimum serialization the
+//! `count`/`cumulative_ns` accumulation semantics require.
 
+use crate::callpath::Callpath;
 use crate::entity::EntityId;
 use crate::intervals::Interval;
-use crate::callpath::Callpath;
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
@@ -59,16 +69,71 @@ impl ProfileRow {
     }
 }
 
-/// Per-entity profile accumulator. Cheap to record into from many ULTs.
-#[derive(Debug, Default)]
+/// Number of profiler stripes: the CPU count rounded up to a power of two,
+/// floored at 8 so the striped path is exercised (and collision-resistant)
+/// even on small hosts, capped at 64 to bound snapshot/reset fan-out.
+pub(crate) fn stripe_count() -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cpus.next_power_of_two().clamp(8, 64)
+}
+
+/// Finalization step of splitmix64: a cheap, high-quality 64-bit mixer.
+#[inline]
+fn mix64(mut h: u64) -> u64 {
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+type RowMap = HashMap<(u64, EntityId, Side), ProfileRow>;
+
+/// Per-entity profile accumulator. Cheap to record into from many ULTs:
+/// see the module docs for the striping scheme.
+#[derive(Debug)]
 pub struct Profiler {
-    rows: Mutex<HashMap<(u64, EntityId, Side), ProfileRow>>,
+    stripes: Box<[Mutex<RowMap>]>,
+    mask: u64,
+}
+
+impl Default for Profiler {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Profiler {
-    /// New empty profiler.
+    /// New empty profiler with a CPU-count-derived stripe count.
     pub fn new() -> Self {
-        Self::default()
+        Self::with_stripes(stripe_count())
+    }
+
+    /// New empty profiler with an explicit stripe count (rounded up to a
+    /// power of two; benchmarks use this to pin the shape).
+    pub fn with_stripes(stripes: usize) -> Self {
+        let n = stripes.max(1).next_power_of_two();
+        Profiler {
+            stripes: (0..n).map(|_| Mutex::new(HashMap::new())).collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// The number of stripes (power of two).
+    pub fn stripes(&self) -> usize {
+        self.stripes.len()
+    }
+
+    #[inline]
+    fn stripe_for(&self, callpath: u64, peer: EntityId, side: Side) -> &Mutex<RowMap> {
+        let side_bit = match side {
+            Side::Origin => 0u64,
+            Side::Target => 1u64,
+        };
+        let h = mix64(callpath ^ peer.0.rotate_left(17) ^ (side_bit << 63));
+        &self.stripes[(h & self.mask) as usize]
     }
 
     /// Record one completed RPC observation.
@@ -83,7 +148,7 @@ impl Profiler {
         callpath: Callpath,
         measurements: &[(Interval, u64)],
     ) {
-        let mut rows = self.rows.lock();
+        let mut rows = self.stripe_for(callpath.0, peer, side).lock();
         let row = rows
             .entry((callpath.0, peer, side))
             .or_insert_with(|| ProfileRow::new(callpath, entity, peer, side));
@@ -95,22 +160,32 @@ impl Profiler {
 
     /// Number of distinct rows recorded.
     pub fn len(&self) -> usize {
-        self.rows.lock().len()
+        self.stripes.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Whether nothing was recorded.
     pub fn is_empty(&self) -> bool {
-        self.rows.lock().is_empty()
+        self.stripes.iter().all(|s| s.lock().is_empty())
     }
 
-    /// Snapshot all rows (for merging into a global analysis).
+    /// Snapshot all rows (for merging into a global analysis). Stripes are
+    /// locked one at a time, so rows recorded concurrently with the
+    /// snapshot may or may not be included — same per-row atomicity as the
+    /// seed's single-lock design, which also never froze the whole table
+    /// relative to in-flight recorders on other rows.
     pub fn snapshot(&self) -> Vec<ProfileRow> {
-        self.rows.lock().values().cloned().collect()
+        let mut out = Vec::new();
+        for stripe in self.stripes.iter() {
+            out.extend(stripe.lock().values().cloned());
+        }
+        out
     }
 
     /// Discard all rows (between experiment repetitions).
     pub fn reset(&self) {
-        self.rows.lock().clear();
+        for stripe in self.stripes.iter() {
+            stripe.lock().clear();
+        }
     }
 }
 
@@ -130,9 +205,18 @@ mod tests {
             peer,
             Side::Origin,
             cp,
-            &[(Interval::OriginExecution, 100), (Interval::InputSerialization, 10)],
+            &[
+                (Interval::OriginExecution, 100),
+                (Interval::InputSerialization, 10),
+            ],
         );
-        p.record(me, peer, Side::Origin, cp, &[(Interval::OriginExecution, 50)]);
+        p.record(
+            me,
+            peer,
+            Side::Origin,
+            cp,
+            &[(Interval::OriginExecution, 50)],
+        );
         let rows = p.snapshot();
         assert_eq!(rows.len(), 1);
         let row = &rows[0];
@@ -187,6 +271,45 @@ mod tests {
     }
 
     #[test]
+    fn stripe_count_is_power_of_two() {
+        let p = Profiler::new();
+        assert!(p.stripes().is_power_of_two());
+        let p2 = Profiler::with_stripes(5);
+        assert_eq!(p2.stripes(), 8);
+    }
+
+    #[test]
+    fn single_stripe_profiler_still_correct() {
+        let p = Profiler::with_stripes(1);
+        let me = register_entity("one");
+        let peer = register_entity("two");
+        p.record(me, peer, Side::Origin, Callpath::root("a1"), &[]);
+        p.record(me, peer, Side::Origin, Callpath::root("b1"), &[]);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn rows_spread_across_stripes() {
+        // With many distinct callpaths, at least two stripes must be
+        // populated (probabilistically certain with 64 paths ≥ 8 stripes).
+        let p = Profiler::new();
+        let me = register_entity("spread-o");
+        let peer = register_entity("spread-t");
+        for i in 0..64 {
+            p.record(
+                me,
+                peer,
+                Side::Origin,
+                Callpath::root(&format!("spread_{i}")),
+                &[],
+            );
+        }
+        let populated = p.stripes.iter().filter(|s| !s.lock().is_empty()).count();
+        assert!(populated >= 2, "rows all landed on one stripe");
+        assert_eq!(p.len(), 64);
+    }
+
+    #[test]
     fn concurrent_recording_is_consistent() {
         let p = std::sync::Arc::new(Profiler::new());
         let me = register_entity("o");
@@ -197,7 +320,13 @@ mod tests {
                 let p = p.clone();
                 std::thread::spawn(move || {
                     for _ in 0..1000 {
-                        p.record(me, peer, Side::Origin, cp, &[(Interval::OriginExecution, 1)]);
+                        p.record(
+                            me,
+                            peer,
+                            Side::Origin,
+                            cp,
+                            &[(Interval::OriginExecution, 1)],
+                        );
                     }
                 })
             })

@@ -66,13 +66,7 @@ mod tests {
     #[test]
     fn capabilities_are_monotone() {
         // Each stage enables a superset of the previous one's switches.
-        let caps = |s: Stage| {
-            [
-                s.ids_enabled(),
-                s.measure_enabled(),
-                s.pvars_enabled(),
-            ]
-        };
+        let caps = |s: Stage| [s.ids_enabled(), s.measure_enabled(), s.pvars_enabled()];
         for w in Stage::ALL.windows(2) {
             let (lo, hi) = (caps(w[0]), caps(w[1]));
             for (a, b) in lo.iter().zip(hi.iter()) {

@@ -1,0 +1,146 @@
+//! Concurrency stress test for the measurement hot path: 8 threads hammer
+//! one `Profiler` and one `Tracer` with overlapping callpaths, and the
+//! accumulated profile must match a single-threaded replay of the exact
+//! same workload bit-for-bit. This is the correctness contract the striped
+//! profiler and the per-thread trace segments must uphold: striping may
+//! change *where* rows live, never *what* they accumulate.
+
+use symbi_core::{
+    register_entity, Callpath, EntityId, EventSamples, Interval, ProfileRow, Profiler, Side,
+    TraceEvent, TraceEventKind, Tracer,
+};
+
+const THREADS: u64 = 8;
+const OPS_PER_THREAD: u64 = 2000;
+
+/// Deterministic op `i` of thread `t`: every thread cycles through the
+/// same small set of callpaths and peers, so stripes see heavy overlap
+/// (the contended case the striped design must keep exact).
+fn op(t: u64, i: u64, paths: &[Callpath], peers: &[EntityId]) -> (Callpath, EntityId, Side, u64) {
+    let cp = paths[((t + i) % paths.len() as u64) as usize];
+    let peer = peers[((t * 3 + i) % peers.len() as u64) as usize];
+    let side = if (t + i) % 2 == 0 {
+        Side::Origin
+    } else {
+        Side::Target
+    };
+    let ns = (t + 1) * 10 + (i % 7);
+    (cp, peer, side, ns)
+}
+
+fn apply(p: &Profiler, me: EntityId, t: u64, i: u64, paths: &[Callpath], peers: &[EntityId]) {
+    let (cp, peer, side, ns) = op(t, i, paths, peers);
+    p.record(
+        me,
+        peer,
+        side,
+        cp,
+        &[
+            (Interval::OriginExecution, ns),
+            (Interval::TargetUltHandler, ns / 2),
+        ],
+    );
+}
+
+/// Key rows for order-insensitive comparison.
+fn sorted_rows(p: &Profiler) -> Vec<ProfileRow> {
+    let mut rows = p.snapshot();
+    rows.sort_by_key(|r| {
+        (
+            r.callpath.0,
+            r.peer.0,
+            match r.side {
+                Side::Origin => 0u8,
+                Side::Target => 1u8,
+            },
+        )
+    });
+    rows
+}
+
+#[test]
+fn concurrent_record_matches_serial_replay_exactly() {
+    let me = register_entity("stress-entity");
+    let peers: Vec<EntityId> = (0..5)
+        .map(|i| register_entity(&format!("stress-peer-{i}")))
+        .collect();
+    let paths: Vec<Callpath> = (0..16)
+        .map(|i| Callpath::root(&format!("stress_rpc_{i}")).push("stress_leaf"))
+        .collect();
+
+    // Concurrent run: 8 threads over one striped profiler + one tracer.
+    let profiler = std::sync::Arc::new(Profiler::new());
+    let tracer = std::sync::Arc::new(Tracer::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let profiler = profiler.clone();
+            let tracer = tracer.clone();
+            let paths = paths.clone();
+            let peers = peers.clone();
+            std::thread::spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    apply(&profiler, me, t, i, &paths, &peers);
+                    let (cp, peer, _side, ns) = op(t, i, &paths, &peers);
+                    tracer.record(TraceEvent {
+                        request_id: t * OPS_PER_THREAD + i,
+                        order: 0,
+                        lamport: ns,
+                        wall_ns: symbi_core::now_ns(),
+                        kind: TraceEventKind::TargetUltStart,
+                        entity: peer,
+                        callpath: cp,
+                        samples: EventSamples::default(),
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    // Serial replay of the identical workload into a fresh profiler.
+    let replay = Profiler::new();
+    for t in 0..THREADS {
+        for i in 0..OPS_PER_THREAD {
+            apply(&replay, me, t, i, &paths, &peers);
+        }
+    }
+
+    let concurrent = sorted_rows(&profiler);
+    let serial = sorted_rows(&replay);
+    assert_eq!(concurrent.len(), serial.len(), "row sets differ");
+    for (c, s) in concurrent.iter().zip(serial.iter()) {
+        assert_eq!(
+            (c.callpath, c.peer, c.side),
+            (s.callpath, s.peer, s.side),
+            "row keys diverged"
+        );
+        assert_eq!(c.count, s.count, "count mismatch on {:?}", c.callpath);
+        assert_eq!(
+            c.cumulative_ns, s.cumulative_ns,
+            "cumulative ns mismatch on {:?}",
+            c.callpath
+        );
+    }
+
+    // Tracer: every event recorded by every thread must survive the merge,
+    // once, and drain in (wall_ns, order) order.
+    let events = tracer.drain();
+    assert_eq!(events.len(), (THREADS * OPS_PER_THREAD) as usize);
+    let mut ids: Vec<u64> = events.iter().map(|e| e.request_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(
+        ids.len(),
+        (THREADS * OPS_PER_THREAD) as usize,
+        "trace merge lost or duplicated events"
+    );
+    assert!(
+        events
+            .windows(2)
+            .all(|w| (w[0].wall_ns, w[0].order) <= (w[1].wall_ns, w[1].order)),
+        "drained events out of order"
+    );
+    assert!(tracer.is_empty());
+}

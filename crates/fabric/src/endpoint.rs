@@ -107,7 +107,8 @@ mod tests {
         let (a_addr, b_addr) = (a.addr(), b.addr());
         let h = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(10));
-            f2.send(a_addr, b_addr, 1, Bytes::from_static(b"late")).unwrap();
+            f2.send(a_addr, b_addr, 1, Bytes::from_static(b"late"))
+                .unwrap();
         });
         let got = b.poll_timeout(4, Duration::from_secs(2));
         h.join().unwrap();

@@ -8,9 +8,26 @@ use crate::{Addr, FabricError};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::RwLock;
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+static NEXT_FABRIC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Bound on the per-thread sender cache; crossing it flushes the whole map
+/// (entries are one clone away from recovery, so eviction is harmless).
+const SENDER_CACHE_CAP: usize = 1024;
+
+/// Cache slot: (fabric id, destination) → (routing generation, sender).
+type SenderCacheMap = HashMap<(u64, Addr), (u64, Sender<Delivery>)>;
+
+thread_local! {
+    /// `Fabric::send` resolves repeat destinations from here without
+    /// touching the routing-table `RwLock`; entries whose generation lags
+    /// the fabric's [`FabricInner::route_gen`] are refreshed on use.
+    static SENDER_CACHE: RefCell<SenderCacheMap> = RefCell::new(HashMap::new());
+}
 
 /// Cumulative transfer statistics, sampled by benchmarks and by the
 /// SYMBIOSYS system-statistics summary.
@@ -44,7 +61,14 @@ pub struct FabricStatsSnapshot {
 }
 
 struct FabricInner {
+    /// Process-unique id, namespacing this fabric's [`SENDER_CACHE`] slots.
+    id: u64,
     endpoints: RwLock<HashMap<Addr, Sender<Delivery>>>,
+    /// Routing-table generation: bumped by [`Fabric::close_endpoint`] so
+    /// thread-local sender caches notice the route went away. Opening an
+    /// endpoint never bumps it — addresses are never reused, so a fresh
+    /// address can't be shadowed by a stale cache entry.
+    route_gen: AtomicU64,
     memory: RwLock<HashMap<MemKey, Region>>,
     next_addr: AtomicU64,
     next_key: AtomicU64,
@@ -74,7 +98,9 @@ impl Fabric {
     pub fn new(model: NetworkModel) -> Self {
         Fabric {
             inner: Arc::new(FabricInner {
+                id: NEXT_FABRIC_ID.fetch_add(1, Ordering::Relaxed),
                 endpoints: RwLock::new(HashMap::new()),
+                route_gen: AtomicU64::new(0),
                 memory: RwLock::new(HashMap::new()),
                 next_addr: AtomicU64::new(1),
                 next_key: AtomicU64::new(1),
@@ -98,9 +124,43 @@ impl Fabric {
     }
 
     /// Remove an endpoint from the routing table. In-flight sends to the
-    /// address fail with [`FabricError::UnknownAddr`] afterwards.
+    /// address fail with [`FabricError::UnknownAddr`] afterwards; cached
+    /// senders for the address are invalidated via the routing generation.
     pub fn close_endpoint(&self, addr: Addr) {
         self.inner.endpoints.write().remove(&addr);
+        self.inner.route_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Look up the delivery channel for `dst`, consulting the calling
+    /// thread's sender cache first so steady-state sends skip the
+    /// routing-table lock entirely.
+    fn sender_for(&self, dst: Addr) -> Result<Sender<Delivery>, FabricError> {
+        let inner = &self.inner;
+        let gen = inner.route_gen.load(Ordering::Acquire);
+        let slot = (inner.id, dst);
+        let cached = SENDER_CACHE.with(|c| match c.borrow().get(&slot) {
+            Some((g, tx)) if *g == gen => Some(tx.clone()),
+            _ => None,
+        });
+        if let Some(tx) = cached {
+            return Ok(tx);
+        }
+        let fresh = inner.endpoints.read().get(&dst).cloned();
+        SENDER_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            match &fresh {
+                Some(tx) => {
+                    if c.len() >= SENDER_CACHE_CAP {
+                        c.clear();
+                    }
+                    c.insert(slot, (gen, tx.clone()));
+                }
+                None => {
+                    c.remove(&slot);
+                }
+            }
+        });
+        fresh.ok_or(FabricError::UnknownAddr(dst))
     }
 
     /// Send a two-sided (eager) message: posted asynchronously, like an
@@ -108,11 +168,41 @@ impl Fabric {
     /// network cost (only synchronous one-sided transfers are, see
     /// [`Fabric::rdma_get`]/[`Fabric::rdma_put`]).
     pub fn send(&self, src: Addr, dst: Addr, tag: u64, payload: Bytes) -> Result<(), FabricError> {
+        let tx = self.sender_for(dst)?;
+        self.post(&tx, src, tag, payload)
+    }
+
+    /// Like [`Fabric::send`] but resolving the route from the routing
+    /// table on every message — the pre-cache behaviour. Kept as the
+    /// baseline side of the hot-path scaling benchmark so the cached and
+    /// uncached lookups are compared on otherwise identical code.
+    pub fn send_uncached(
+        &self,
+        src: Addr,
+        dst: Addr,
+        tag: u64,
+        payload: Bytes,
+    ) -> Result<(), FabricError> {
         let tx = {
             let eps = self.inner.endpoints.read();
-            eps.get(&dst).cloned().ok_or(FabricError::UnknownAddr(dst))?
+            eps.get(&dst)
+                .cloned()
+                .ok_or(FabricError::UnknownAddr(dst))?
         };
-        self.inner.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.post(&tx, src, tag, payload)
+    }
+
+    fn post(
+        &self,
+        tx: &Sender<Delivery>,
+        src: Addr,
+        tag: u64,
+        payload: Bytes,
+    ) -> Result<(), FabricError> {
+        self.inner
+            .stats
+            .messages_sent
+            .fetch_add(1, Ordering::Relaxed);
         self.inner
             .stats
             .message_bytes
@@ -154,13 +244,11 @@ impl Fabric {
         let data = {
             let mem = self.inner.memory.read();
             let region = mem.get(&key).ok_or(FabricError::UnknownMemory(key))?;
-            let end = offset
-                .checked_add(len)
-                .ok_or(FabricError::OutOfBounds {
-                    key,
-                    requested_end: usize::MAX,
-                    len: region.len(),
-                })?;
+            let end = offset.checked_add(len).ok_or(FabricError::OutOfBounds {
+                key,
+                requested_end: usize::MAX,
+                len: region.len(),
+            })?;
             if end > region.len() {
                 return Err(FabricError::OutOfBounds {
                     key,
@@ -204,7 +292,7 @@ impl Fabric {
             }
             match region {
                 Region::Write(buf) => buf.write()[offset..end].copy_from_slice(data),
-                Region::Read(_) => return Err(FabricError::UnknownMemory(key)),
+                Region::Read(_) => return Err(FabricError::ReadOnlyRegion(key)),
             }
         }
         self.inner.model.charge(data.len());
@@ -298,7 +386,76 @@ mod tests {
     fn rdma_put_to_read_region_rejected() {
         let f = fabric();
         let r = f.expose_read(Arc::new(vec![0u8; 4]));
-        assert!(f.rdma_put(r.key, 0, &[1]).is_err());
+        let err = f.rdma_put(r.key, 0, &[1]).unwrap_err();
+        // Distinct from the missing-key case: the region exists but is
+        // exposed read-only.
+        assert_eq!(err, FabricError::ReadOnlyRegion(r.key));
+        assert_ne!(err, FabricError::UnknownMemory(r.key));
+    }
+
+    #[test]
+    fn repeated_sends_use_cached_route() {
+        let f = fabric();
+        let a = f.open_endpoint();
+        let b = f.open_endpoint();
+        for i in 0..100 {
+            f.send(a.addr(), b.addr(), i, Bytes::from_static(b"x"))
+                .unwrap();
+        }
+        let mut total = 0;
+        loop {
+            let got = b.poll(64);
+            if got.is_empty() {
+                break;
+            }
+            total += got.len();
+        }
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn close_endpoint_invalidates_cached_sender() {
+        let f = fabric();
+        let a = f.open_endpoint();
+        let b = f.open_endpoint();
+        // Prime this thread's sender cache for b.
+        f.send(a.addr(), b.addr(), 0, Bytes::from_static(b"warm"))
+            .unwrap();
+        f.close_endpoint(b.addr());
+        // The cached sender must not resurrect the closed route.
+        assert_eq!(
+            f.send(a.addr(), b.addr(), 1, Bytes::from_static(b"stale"))
+                .unwrap_err(),
+            FabricError::UnknownAddr(b.addr())
+        );
+        // Unrelated routes keep working after the generation bump.
+        let c = f.open_endpoint();
+        f.send(a.addr(), c.addr(), 2, Bytes::from_static(b"ok"))
+            .unwrap();
+        assert_eq!(c.poll(4).len(), 1);
+    }
+
+    #[test]
+    fn sender_cache_is_per_fabric() {
+        // Two fabrics can hand out the same numeric address; the cache
+        // must not cross-deliver between them.
+        let f1 = fabric();
+        let f2 = fabric();
+        let a1 = f1.open_endpoint();
+        let b1 = f1.open_endpoint();
+        let a2 = f2.open_endpoint();
+        let b2 = f2.open_endpoint();
+        assert_eq!(b1.addr(), b2.addr());
+        f1.send(a1.addr(), b1.addr(), 1, Bytes::from_static(b"f1"))
+            .unwrap();
+        f2.send(a2.addr(), b2.addr(), 2, Bytes::from_static(b"f2"))
+            .unwrap();
+        let got1 = b1.poll(4);
+        let got2 = b2.poll(4);
+        assert_eq!(got1.len(), 1);
+        assert_eq!(&got1[0].payload[..], b"f1");
+        assert_eq!(got2.len(), 1);
+        assert_eq!(&got2[0].payload[..], b"f2");
     }
 
     #[test]

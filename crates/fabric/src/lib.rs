@@ -51,6 +51,8 @@ pub enum FabricError {
     UnknownAddr(Addr),
     /// RDMA key is not (or no longer) registered.
     UnknownMemory(MemKey),
+    /// RDMA write attempted on a region exposed read-only.
+    ReadOnlyRegion(MemKey),
     /// RDMA access outside the bounds of the registered region.
     OutOfBounds {
         /// Key of the region accessed.
@@ -69,6 +71,9 @@ impl std::fmt::Display for FabricError {
         match self {
             FabricError::UnknownAddr(a) => write!(f, "unknown fabric address {a}"),
             FabricError::UnknownMemory(k) => write!(f, "unknown registered memory key {k:?}"),
+            FabricError::ReadOnlyRegion(k) => {
+                write!(f, "rdma write to read-only registered memory {k:?}")
+            }
             FabricError::OutOfBounds {
                 key,
                 requested_end,

@@ -13,8 +13,8 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::Instant;
 use symbi_core::{
-    now_ns, Callpath, EntityId, EventSamples, Interval, Side, Symbiosys, SysStats,
-    TraceEvent, TraceEventKind, UNKNOWN_ENTITY,
+    now_ns, Callpath, EntityId, EventSamples, Interval, Side, Symbiosys, SysStats, TraceEvent,
+    TraceEventKind, UNKNOWN_ENTITY,
 };
 use symbi_fabric::{Addr, Fabric};
 use symbi_mercury::{
@@ -61,8 +61,9 @@ impl AsyncRpc {
     pub fn wait_decode<O: Wire>(&self) -> Result<O, MargoError> {
         let outcome = self.wait()?;
         match outcome.status {
-            RpcStatus::Ok => O::from_bytes(outcome.output)
-                .map_err(|e| MargoError::Codec(e.to_string())),
+            RpcStatus::Ok => {
+                O::from_bytes(outcome.output).map_err(|e| MargoError::Codec(e.to_string()))
+            }
             s => Err(MargoError::Remote(s)),
         }
     }
@@ -134,20 +135,19 @@ impl MargoInstance {
         let shutdown = Arc::new(AtomicBool::new(false));
         let mut streams = Vec::new();
 
-        let (primary_pool, progress_pool) = match (config.mode, config.dedicated_progress_stream)
-        {
+        let (primary_pool, progress_pool) = match (config.mode, config.dedicated_progress_stream) {
             (Mode::Server, _) => {
                 let handler = Pool::new(format!("{}-handlers", config.name));
                 let progress = Pool::new(format!("{}-progress", config.name));
                 for i in 0..config.handler_streams {
                     streams.push(ExecutionStream::spawn(
                         format!("{}-es{}", config.name, i),
-                        &[handler.clone()],
+                        std::slice::from_ref(&handler),
                     ));
                 }
                 streams.push(ExecutionStream::spawn(
                     format!("{}-progress", config.name),
-                    &[progress.clone()],
+                    std::slice::from_ref(&progress),
                 ));
                 (handler, Some(progress))
             }
@@ -155,7 +155,7 @@ impl MargoInstance {
                 let progress = Pool::new(format!("{}-progress", config.name));
                 streams.push(ExecutionStream::spawn(
                     format!("{}-progress", config.name),
-                    &[progress.clone()],
+                    std::slice::from_ref(&progress),
                 ));
                 (progress.clone(), Some(progress))
             }
@@ -165,7 +165,7 @@ impl MargoInstance {
                 let main = Pool::new(format!("{}-main", config.name));
                 streams.push(ExecutionStream::spawn(
                     format!("{}-main", config.name),
-                    &[main.clone()],
+                    std::slice::from_ref(&main),
                 ));
                 (main, None)
             }
@@ -282,7 +282,7 @@ impl MargoInstance {
         for i in 0..streams.max(1) {
             s.push(ExecutionStream::spawn(
                 format!("{}-{label}-es{i}", self.inner.config.name),
-                &[pool.clone()],
+                std::slice::from_ref(&pool),
             ));
         }
         pool
@@ -360,8 +360,8 @@ impl MargoInstance {
         let parent = keys::current_callpath();
         let (callpath, request_id, order) = if stage.ids_enabled() {
             let callpath = parent.push(rpc_name);
-            let request_id = keys::current_request_id()
-                .unwrap_or_else(|| inner.sym.next_request_id());
+            let request_id =
+                keys::current_request_id().unwrap_or_else(|| inner.sym.next_request_id());
             let order = keys::next_order();
             (callpath, request_id, order)
         } else {
@@ -384,8 +384,8 @@ impl MargoInstance {
         // The paper's default client runs request-issuing work as ULTs on
         // the shared main ES; with a dedicated progress stream the caller
         // issues inline.
-        let shared_client = inner.config.mode == Mode::Client
-            && !inner.config.dedicated_progress_stream;
+        let shared_client =
+            inner.config.mode == Mode::Client && !inner.config.dedicated_progress_stream;
         if shared_client {
             inner.primary_pool.spawn(issue);
         } else {
@@ -557,9 +557,11 @@ impl Inner {
             }
 
             if stage.measure_enabled() {
-                let mut samples = EventSamples::default();
-                samples.target_execution_ns = Some(exec_ns);
-                samples.target_handler_ns = Some(handler_ns);
+                let mut samples = EventSamples {
+                    target_execution_ns: Some(exec_ns),
+                    target_handler_ns: Some(handler_ns),
+                    ..Default::default()
+                };
                 if stage.pvars_enabled() {
                     let t = inner2.bridge.target_handle_samples(sh.pvars());
                     samples.input_deserialization_ns = t.input_deserialization_ns;
@@ -639,17 +641,19 @@ impl Inner {
 
         let inner2 = inner.clone();
         let ev2 = ev.clone();
-        let res = inner.hg.forward(handle, meta, input, move |resp: Response| {
-            // t14 on the progress ES.
-            let origin_execution_ns = t1.elapsed().as_nanos() as u64;
-            inner2.on_origin_complete(&resp, origin_execution_ns, callpath, dest, request_id);
-            ev2.set(Ok(RpcOutcome {
-                status: resp.status,
-                output: resp.output.clone(),
-                pvars: resp.pvars.clone(),
-                origin_execution_ns,
-            }));
-        });
+        let res = inner
+            .hg
+            .forward(handle, meta, input, move |resp: Response| {
+                // t14 on the progress ES.
+                let origin_execution_ns = t1.elapsed().as_nanos() as u64;
+                inner2.on_origin_complete(&resp, origin_execution_ns, callpath, dest, request_id);
+                ev2.set(Ok(RpcOutcome {
+                    status: resp.status,
+                    output: resp.output.clone(),
+                    pvars: resp.pvars.clone(),
+                    origin_execution_ns,
+                }));
+            });
         if let Err(e) = res {
             ev.set(Err(MargoError::Hg(e.to_string())));
         }
@@ -672,8 +676,10 @@ impl Inner {
         }
         let peer = entity_for_addr(dest);
         let mut measurements = vec![(Interval::OriginExecution, origin_execution_ns)];
-        let mut samples = EventSamples::default();
-        samples.origin_execution_ns = Some(origin_execution_ns);
+        let mut samples = EventSamples {
+            origin_execution_ns: Some(origin_execution_ns),
+            ..Default::default()
+        };
         if stage.pvars_enabled() {
             let o = self.bridge.origin_handle_samples(&resp.pvars);
             if let Some(v) = o.input_serialization_ns {

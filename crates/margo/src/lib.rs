@@ -272,7 +272,11 @@ mod tests {
         );
         let _: u64 = client.forward(server.addr(), "off_rpc", &5u64).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(30));
-        assert_eq!(seen_meta.load(Ordering::SeqCst), 0, "no callpath at baseline");
+        assert_eq!(
+            seen_meta.load(Ordering::SeqCst),
+            0,
+            "no callpath at baseline"
+        );
         assert!(client.symbiosys().profiler().is_empty());
         assert!(client.symbiosys().tracer().is_empty());
         assert!(server.symbiosys().profiler().is_empty());

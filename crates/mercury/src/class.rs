@@ -316,7 +316,10 @@ impl HgClass {
         } else {
             inner.endpoint.poll_timeout(max_events, timeout)
         };
-        inner.counters.progress_calls.fetch_add(1, Ordering::Relaxed);
+        inner
+            .counters
+            .progress_calls
+            .fetch_add(1, Ordering::Relaxed);
         inner
             .counters
             .last_ofi_events_read
@@ -404,17 +407,12 @@ impl HgClass {
                 None => header.inline,
                 Some(r) => {
                     let start = Instant::now();
-                    match hg
-                        .inner
-                        .fabric
-                        .rdma_get(MemKey(r.key), 0, r.len as usize)
-                    {
+                    match hg.inner.fabric.rdma_get(MemKey(r.key), 0, r.len as usize) {
                         Ok(rest) => {
                             hg.inner.fabric.unregister(MemKey(r.key));
-                            pvars.internal_rdma_transfer_ns.store(
-                                start.elapsed().as_nanos() as u64,
-                                Ordering::Relaxed,
-                            );
+                            pvars
+                                .internal_rdma_transfer_ns
+                                .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
                             let mut buf =
                                 bytes::BytesMut::with_capacity(header.inline.len() + rest.len());
                             buf.extend_from_slice(&header.inline);
@@ -472,10 +470,7 @@ impl HgClass {
 
     /// Expose a writable buffer for remote bulk pushes. Returns the
     /// descriptor plus the buffer handle to harvest written data.
-    pub fn bulk_expose_write(
-        &self,
-        len: usize,
-    ) -> (RdmaRef, Arc<parking_lot::RwLock<Vec<u8>>>) {
+    pub fn bulk_expose_write(&self, len: usize) -> (RdmaRef, Arc<parking_lot::RwLock<Vec<u8>>>) {
         let (region, buf) = self.inner.fabric.expose_write(len);
         (
             RdmaRef {

@@ -350,10 +350,7 @@ mod tests {
         enc.put_u32(100); // claims 100 bytes follow
         enc.put_raw(b"short");
         let mut dec = Decoder::new(enc.finish());
-        assert!(matches!(
-            dec.get_bytes(),
-            Err(CodecError::Truncated { .. })
-        ));
+        assert!(matches!(dec.get_bytes(), Err(CodecError::Truncated { .. })));
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct Handle {
 
 impl std::fmt::Debug for Handle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Handle(id={}, rpc={:#x}, dest={})", self.id.0, self.rpc_id, self.dest)
+        write!(
+            f,
+            "Handle(id={}, rpc={:#x}, dest={})",
+            self.id.0, self.rpc_id, self.dest
+        )
     }
 }
 

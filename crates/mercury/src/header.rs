@@ -226,7 +226,10 @@ mod tests {
                 order: 3,
                 lamport: 17,
             },
-            rdma: Some(RdmaRef { key: 5, len: 1 << 20 }),
+            rdma: Some(RdmaRef {
+                key: 5,
+                len: 1 << 20,
+            }),
             inline: Bytes::from_static(b"payload"),
         };
         let d = RequestHeader::from_bytes(h.to_bytes()).unwrap();

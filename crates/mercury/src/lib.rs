@@ -52,8 +52,8 @@
 //! assert_eq!(done.load(std::sync::atomic::Ordering::SeqCst), 42);
 //! ```
 
-pub mod codec;
 mod class;
+pub mod codec;
 mod handle;
 mod header;
 pub mod pvar;
@@ -111,10 +111,7 @@ mod tests {
     fn pump_until(client: &HgClass, server: &HgClass, pred: impl Fn() -> bool) {
         let deadline = std::time::Instant::now() + Duration::from_secs(5);
         while !pred() {
-            assert!(
-                std::time::Instant::now() < deadline,
-                "pump_until timed out"
-            );
+            assert!(std::time::Instant::now() < deadline, "pump_until timed out");
             server.progress(16, Duration::ZERO);
             server.trigger(64);
             client.progress(16, Duration::ZERO);
@@ -135,8 +132,7 @@ mod tests {
         let rpc = server.register("echo");
         client.register("echo");
         server.set_handler(rpc, echo_handler());
-        let got: Arc<parking_lot::Mutex<Option<Vec<u8>>>> =
-            Arc::new(parking_lot::Mutex::new(None));
+        let got: Arc<parking_lot::Mutex<Option<Vec<u8>>>> = Arc::new(parking_lot::Mutex::new(None));
         let got2 = got.clone();
         forward_value(
             &client,

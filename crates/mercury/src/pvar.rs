@@ -379,7 +379,11 @@ mod tests {
         // class and binding.
         let cases = [
             ("num_posted_handles", PvarClass::Level, PvarBind::NoObject),
-            ("completion_queue_size", PvarClass::State, PvarBind::NoObject),
+            (
+                "completion_queue_size",
+                PvarClass::State,
+                PvarBind::NoObject,
+            ),
             ("num_ofi_events_read", PvarClass::Level, PvarBind::NoObject),
             ("num_rpcs_invoked", PvarClass::Counter, PvarBind::NoObject),
             (

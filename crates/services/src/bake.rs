@@ -156,23 +156,27 @@ impl BakeProvider {
         });
 
         let p = provider.clone();
-        margo.register_fn_in_pool("bake_write_rpc", pool, move |m: &MargoInstance, args: WriteArgs| {
-            let data = m
-                .hg()
-                .bulk_pull(args.bulk, 0, args.bulk.len as usize)
-                .map_err(|e| e.to_string())?;
-            let mut regions = p.regions.lock();
-            let region = regions
-                .get_mut(&args.rid)
-                .ok_or_else(|| format!("no region {}", args.rid))?;
-            let end = args.offset as usize + data.len();
-            if end > region.data.len() {
-                region.data.resize(end, 0);
-            }
-            region.data[args.offset as usize..end].copy_from_slice(&data);
-            region.persisted = false;
-            Ok::<u64, String>(data.len() as u64)
-        });
+        margo.register_fn_in_pool(
+            "bake_write_rpc",
+            pool,
+            move |m: &MargoInstance, args: WriteArgs| {
+                let data = m
+                    .hg()
+                    .bulk_pull(args.bulk, 0, args.bulk.len as usize)
+                    .map_err(|e| e.to_string())?;
+                let mut regions = p.regions.lock();
+                let region = regions
+                    .get_mut(&args.rid)
+                    .ok_or_else(|| format!("no region {}", args.rid))?;
+                let end = args.offset as usize + data.len();
+                if end > region.data.len() {
+                    region.data.resize(end, 0);
+                }
+                region.data[args.offset as usize..end].copy_from_slice(&data);
+                region.persisted = false;
+                Ok::<u64, String>(data.len() as u64)
+            },
+        );
 
         let p = provider.clone();
         margo.register_fn_in_pool("bake_persist_rpc", pool, move |_m, rid: u64| {

@@ -3,7 +3,7 @@
 //! `sdskv_put_packed` flush path that dominates the paper's study.
 
 use super::HepnosConfig;
-use crate::sdskv::{PendingPutPacked, SdskvClient};
+use crate::sdskv::{KvPairs, PendingPutPacked, SdskvClient};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 use symbi_fabric::Addr;
@@ -56,7 +56,7 @@ pub struct HepnosClient {
     batch_size: usize,
     async_window: usize,
     /// Pending pairs grouped by global database index.
-    batches: HashMap<usize, Vec<(Vec<u8>, Vec<u8>)>>,
+    batches: HashMap<usize, KvPairs>,
     /// Pairs accumulated since the last flush (across databases).
     pending_pairs: usize,
     /// In-flight async puts, oldest first.
@@ -110,7 +110,10 @@ impl HepnosClient {
     /// Buffer one event for storage; flushes full batches.
     pub fn store_event(&mut self, key: &EventKey, value: Vec<u8>) -> Result<(), MargoError> {
         let db = key.db_index(self.total_databases());
-        self.batches.entry(db).or_default().push((key.to_bytes(), value));
+        self.batches
+            .entry(db)
+            .or_default()
+            .push((key.to_bytes(), value));
         self.pending_pairs += 1;
         if self.pending_pairs >= self.batch_size {
             self.flush()?;
@@ -123,7 +126,7 @@ impl HepnosClient {
     pub fn flush(&mut self) -> Result<(), MargoError> {
         let batches = std::mem::take(&mut self.batches);
         self.pending_pairs = 0;
-        let mut groups: Vec<(usize, Vec<(Vec<u8>, Vec<u8>)>)> = batches.into_iter().collect();
+        let mut groups: Vec<(usize, KvPairs)> = batches.into_iter().collect();
         groups.sort_by_key(|(db, _)| *db);
         for (global_db, pairs) in groups {
             let server = global_db / self.databases_per_server;
@@ -194,7 +197,9 @@ mod tests {
             event: 3,
         };
         let bytes = k.to_bytes();
-        assert!(String::from_utf8(bytes.clone()).unwrap().starts_with("nova/"));
+        assert!(String::from_utf8(bytes.clone())
+            .unwrap()
+            .starts_with("nova/"));
         // Hashing is deterministic and in range.
         assert_eq!(k.db_index(8), k.db_index(8));
         assert!(k.db_index(8) < 8);

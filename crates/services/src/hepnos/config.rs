@@ -200,8 +200,7 @@ impl HepnosConfig {
     /// Scale the workload volume (events per client) by `factor`, for
     /// quick smoke runs.
     pub fn scaled(mut self, factor: f64) -> Self {
-        self.events_per_client =
-            ((self.events_per_client as f64 * factor).round() as usize).max(1);
+        self.events_per_client = ((self.events_per_client as f64 * factor).round() as usize).max(1);
         self
     }
 
@@ -214,7 +213,12 @@ impl HepnosConfig {
             self.batch_size.to_string(),
             self.threads.to_string(),
             self.databases.to_string(),
-            if self.client_progress_thread { "yes" } else { "no" }.to_string(),
+            if self.client_progress_thread {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             self.ofi_max_events.to_string(),
         ]
     }
@@ -228,7 +232,13 @@ mod tests {
     fn presets_match_table_four() {
         let c1 = HepnosConfig::c1();
         assert_eq!(
-            (c1.total_clients, c1.total_servers, c1.batch_size, c1.threads, c1.databases),
+            (
+                c1.total_clients,
+                c1.total_servers,
+                c1.batch_size,
+                c1.threads,
+                c1.databases
+            ),
             (32, 4, 1024, 5, 32)
         );
         assert!(!c1.client_progress_thread);

@@ -71,12 +71,8 @@ pub fn run_data_loader(
             let config = config.clone();
             let barrier = barrier.clone();
             std::thread::spawn(move || {
-                let mut client = HepnosClient::connect(
-                    &fabric,
-                    &format!("dataloader-{c}"),
-                    &addrs,
-                    &config,
-                );
+                let mut client =
+                    HepnosClient::connect(&fabric, &format!("dataloader-{c}"), &addrs, &config);
                 barrier.wait();
                 let start = Instant::now();
                 for e in 0..config.events_per_client as u32 {

@@ -31,12 +31,9 @@ impl HepnosDeployment {
             .map(|s| {
                 let margo = MargoInstance::new(
                     fabric.clone(),
-                    MargoConfig::server(
-                        format!("hepnos-server-{s}"),
-                        config.threads,
-                    )
-                    .with_stage(config.stage)
-                    .with_ofi_max_events(config.ofi_max_events),
+                    MargoConfig::server(format!("hepnos-server-{s}"), config.threads)
+                        .with_stage(config.stage)
+                        .with_ofi_max_events(config.ofi_max_events),
                 );
                 let sdskv = SdskvProvider::attach(
                     &margo,

@@ -33,12 +33,7 @@ pub enum Value {
 impl Value {
     /// Shorthand object constructor from key/value pairs.
     pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Value)>) -> Value {
-        Value::Obj(
-            pairs
-                .into_iter()
-                .map(|(k, v)| (k.to_string(), v))
-                .collect(),
-        )
+        Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     }
 
     /// Fetch a field of an object (returns `None` on non-objects).
@@ -153,10 +148,7 @@ mod tests {
         let v = Value::obj([
             ("a", Value::Num(42.0)),
             ("b", Value::Arr(vec![Value::Str("x".into()), Value::Null])),
-            (
-                "c",
-                Value::obj([("nested", Value::Bool(false))]),
-            ),
+            ("c", Value::obj([("nested", Value::Bool(false))])),
         ]);
         let back = parse(&v.to_json()).unwrap();
         assert_eq!(back, v);
@@ -164,10 +156,7 @@ mod tests {
 
     #[test]
     fn get_and_get_path() {
-        let v = Value::obj([(
-            "run",
-            Value::obj([("subrun", Value::Num(7.0))]),
-        )]);
+        let v = Value::obj([("run", Value::obj([("subrun", Value::Num(7.0))]))]);
         assert_eq!(v.get_path("run.subrun").unwrap().as_f64(), Some(7.0));
         assert!(v.get_path("run.missing").is_none());
         assert!(v.get("nope").is_none());

@@ -15,7 +15,11 @@ pub struct ParseError {
 
 impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "json parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "json parse error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -169,8 +173,7 @@ impl<'a> Parser<'a> {
                             if !(0xDC00..0xE000).contains(&lo) {
                                 return Err(self.err("invalid low surrogate"));
                             }
-                            let combined =
-                                0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                            let combined = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
                             char::from_u32(combined)
                                 .ok_or_else(|| self.err("invalid surrogate pair"))?
                         } else {
@@ -205,7 +208,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, ParseError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("truncated \\u escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("invalid hex digit"))?;

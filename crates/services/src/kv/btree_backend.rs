@@ -89,9 +89,9 @@ mod tests {
 
     #[test]
     fn contract_concurrent() {
-        contract::concurrent_puts_are_linearizable(Arc::new(BTreeBackend::new(
-            StorageCost::free(),
-        )));
+        contract::concurrent_puts_are_linearizable(Arc::new(
+            BTreeBackend::new(StorageCost::free()),
+        ));
     }
 
     #[test]

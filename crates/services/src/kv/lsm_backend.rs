@@ -18,7 +18,9 @@ impl LsmBackend {
     pub fn new(cost: StorageCost, shards: usize) -> Self {
         let shards = shards.max(1);
         LsmBackend {
-            shards: (0..shards).map(|_| AbtMutex::new(BTreeMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| AbtMutex::new(BTreeMap::new()))
+                .collect(),
             cost,
         }
     }
@@ -72,10 +74,7 @@ impl KvBackend for LsmBackend {
     }
 
     fn erase(&self, key: &[u8]) -> bool {
-        self.shards[self.shard_of(key)]
-            .lock()
-            .remove(key)
-            .is_some()
+        self.shards[self.shard_of(key)].lock().remove(key).is_some()
     }
 
     fn len(&self) -> usize {

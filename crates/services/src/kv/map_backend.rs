@@ -97,9 +97,7 @@ mod tests {
 
     #[test]
     fn contract_concurrent() {
-        contract::concurrent_puts_are_linearizable(Arc::new(MapBackend::new(
-            StorageCost::free(),
-        )));
+        contract::concurrent_puts_are_linearizable(Arc::new(MapBackend::new(StorageCost::free())));
     }
 
     #[test]

@@ -70,7 +70,8 @@ impl MobjectProvider {
     ) -> Arc<MobjectProvider> {
         let provider = Arc::new(MobjectProvider { _private: () });
 
-        margo.register_fn("mobject_write_op",
+        margo.register_fn(
+            "mobject_write_op",
             move |m: &MargoInstance, args: WriteOpArgs| {
                 let bake = BakeClient::new(m.clone(), bake_addr);
                 let kv = SdskvClient::new(m.clone(), sdskv_addr);
@@ -120,12 +121,8 @@ impl MobjectProvider {
                 )
                 .map_err(err)?;
                 // 10. Mark the object clean.
-                kv.put(
-                    dbs::ATTRS,
-                    [b"dirty:".as_slice(), &oid].concat(),
-                    vec![0],
-                )
-                .map_err(err)?;
+                kv.put(dbs::ATTRS, [b"dirty:".as_slice(), &oid].concat(), vec![0])
+                    .map_err(err)?;
                 // 11. Touch the name index (list around the object key).
                 let _ = kv.list_keyvals(dbs::OMAP, &oid, 1).map_err(err)?;
                 // 12. Verify the region landed.
@@ -137,7 +134,8 @@ impl MobjectProvider {
             },
         );
 
-        margo.register_fn("mobject_read_op",
+        margo.register_fn(
+            "mobject_read_op",
             move |m: &MargoInstance, object: String| {
                 let bake = BakeClient::new(m.clone(), bake_addr);
                 let kv = SdskvClient::new(m.clone(), sdskv_addr);

@@ -15,6 +15,9 @@ use symbi_fabric::Addr;
 use symbi_margo::{AsyncRpc, MargoError, MargoInstance};
 use symbi_mercury::{CodecError, Decoder, Encoder, RdmaRef, Wire};
 
+/// Key/value pairs as moved by packed puts and range listings.
+pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
+
 /// Configuration of an SDSKV provider.
 #[derive(Debug, Clone, Copy)]
 pub struct SdskvSpec {
@@ -233,15 +236,15 @@ impl SdskvProvider {
         let p = provider.clone();
         margo.register_fn_in_pool("sdskv_list_keyvals_rpc", pool, move |_m, args: ListArgs| {
             let db = p.database(args.db)?;
-            Ok::<Vec<(Vec<u8>, Vec<u8>)>, String>(
-                db.list_keyvals(&args.start, args.max as usize),
-            )
+            Ok::<Vec<(Vec<u8>, Vec<u8>)>, String>(db.list_keyvals(&args.start, args.max as usize))
         });
 
         let p = provider.clone();
         let handler_cost = spec.handler_cost;
         let handler_cost_per_key = spec.handler_cost_per_key;
-        margo.register_fn_in_pool("sdskv_put_packed", pool,
+        margo.register_fn_in_pool(
+            "sdskv_put_packed",
+            pool,
             move |m: &MargoInstance, args: PutPackedArgs| {
                 let db = p.database(args.db)?;
                 // Per-RPC handler work, outside any backend lock, with a
@@ -377,12 +380,7 @@ impl SdskvClient {
     }
 
     /// List up to `max` pairs with keys ≥ `start`.
-    pub fn list_keyvals(
-        &self,
-        db: u32,
-        start: &[u8],
-        max: u32,
-    ) -> Result<Vec<(Vec<u8>, Vec<u8>)>, MargoError> {
+    pub fn list_keyvals(&self, db: u32, start: &[u8], max: u32) -> Result<KvPairs, MargoError> {
         self.margo.forward(
             self.addr,
             "sdskv_list_keyvals_rpc",
@@ -395,21 +393,13 @@ impl SdskvClient {
     }
 
     /// Store a packed key-value list, blocking until it lands.
-    pub fn put_packed(
-        &self,
-        db: u32,
-        pairs: &[(Vec<u8>, Vec<u8>)],
-    ) -> Result<u32, MargoError> {
+    pub fn put_packed(&self, db: u32, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<u32, MargoError> {
         self.put_packed_async(db, pairs).wait()
     }
 
     /// Issue a packed put asynchronously: the pairs are serialized into a
     /// registered buffer the target pulls via RDMA.
-    pub fn put_packed_async(
-        &self,
-        db: u32,
-        pairs: &[(Vec<u8>, Vec<u8>)],
-    ) -> PendingPutPacked {
+    pub fn put_packed_async(&self, db: u32, pairs: &[(Vec<u8>, Vec<u8>)]) -> PendingPutPacked {
         let packed_vec: Vec<(Vec<u8>, Vec<u8>)> = pairs.to_vec();
         let bytes: Bytes = packed_vec.to_bytes();
         let packed = Arc::new(bytes.to_vec());
@@ -437,8 +427,14 @@ mod tests {
     use symbi_fabric::{Fabric, NetworkModel};
     use symbi_margo::MargoConfig;
 
-    fn setup(spec: SdskvSpec) -> (MargoInstance, MargoInstance, Arc<SdskvProvider>, SdskvClient)
-    {
+    fn setup(
+        spec: SdskvSpec,
+    ) -> (
+        MargoInstance,
+        MargoInstance,
+        Arc<SdskvProvider>,
+        SdskvClient,
+    ) {
         let f = Fabric::new(NetworkModel::instant());
         let server = MargoInstance::new(f.clone(), MargoConfig::server("sdskv-server", 2));
         let provider = SdskvProvider::attach(&server, spec);
@@ -466,12 +462,7 @@ mod tests {
             ..SdskvSpec::default()
         });
         let pairs: Vec<_> = (0..500u32)
-            .map(|i| {
-                (
-                    format!("evt{i:05}").into_bytes(),
-                    vec![(i % 256) as u8; 64],
-                )
-            })
+            .map(|i| (format!("evt{i:05}").into_bytes(), vec![(i % 256) as u8; 64]))
             .collect();
         let n = client.put_packed(1, &pairs).unwrap();
         assert_eq!(n, 500);

@@ -64,10 +64,7 @@ pub enum Query {
 impl Query {
     /// Parse a filter expression.
     pub fn parse(input: &str) -> Result<Query, String> {
-        let mut p = QueryParser {
-            src: input,
-            pos: 0,
-        };
+        let mut p = QueryParser { src: input, pos: 0 };
         let q = p.or_expr()?;
         p.skip_ws();
         if p.pos != p.src.len() {
@@ -242,9 +239,7 @@ impl<'a> QueryParser<'a> {
             self.pos += tok.len();
             return parse(tok).map_err(|e| e.to_string());
         }
-        let end = rest
-            .find(|c: char| c == ' ' || c == ')' || c == '&' || c == '|')
-            .unwrap_or(rest.len());
+        let end = rest.find([' ', ')', '&', '|']).unwrap_or(rest.len());
         let tok = &rest[..end];
         if tok.is_empty() {
             return Err("expected literal".to_string());
@@ -449,12 +444,10 @@ impl SonataProvider {
             let coll = dbs
                 .get(&args.db)
                 .ok_or_else(|| format!("no database {}", args.db))?;
-            Ok::<String, String>(
-                coll.docs
-                    .get(args.id as usize)
-                    .map(|d| d.to_json())
-                    .ok_or_else(|| format!("no record {}", args.id))?,
-            )
+            coll.docs
+                .get(args.id as usize)
+                .map(|d| d.to_json())
+                .ok_or_else(|| format!("no record {}", args.id))
         });
 
         let p = provider.clone();
@@ -530,11 +523,7 @@ impl SonataClient {
     /// Store a batch of documents as one RPC whose metadata carries all
     /// the JSON text (the paper's `sonata_store_multi_json`).
     /// Returns `(first_id, count)`.
-    pub fn store_multi_json(
-        &self,
-        db: &str,
-        docs: &[String],
-    ) -> Result<(u64, u64), MargoError> {
+    pub fn store_multi_json(&self, db: &str, docs: &[String]) -> Result<(u64, u64), MargoError> {
         self.margo.forward(
             self.addr,
             "sonata_store_multi_json",
@@ -627,7 +616,12 @@ mod tests {
         assert!(q.matches(&doc));
     }
 
-    fn setup() -> (MargoInstance, MargoInstance, Arc<SonataProvider>, SonataClient) {
+    fn setup() -> (
+        MargoInstance,
+        MargoInstance,
+        Arc<SonataProvider>,
+        SonataClient,
+    ) {
         let f = Fabric::new(NetworkModel::instant());
         let server = MargoInstance::new(f.clone(), MargoConfig::server("sonata-server", 2));
         let provider = SonataProvider::attach(&server);
@@ -656,8 +650,11 @@ mod tests {
         client.create_db("runs").unwrap();
         let docs: Vec<String> = (0..100)
             .map(|i| {
-                Value::obj([("seq", Value::Num(i as f64)), ("tag", Value::Str("x".into()))])
-                    .to_json()
+                Value::obj([
+                    ("seq", Value::Num(i as f64)),
+                    ("tag", Value::Str("x".into())),
+                ])
+                .to_json()
             })
             .collect();
         let (first, n) = client.store_multi_json("runs", &docs).unwrap();
@@ -721,7 +718,10 @@ mod tests {
             docs: vec!["{}".into(), "[1]".into()],
         };
         assert_eq!(StoreMultiArgs::from_bytes(a.to_bytes()).unwrap(), a);
-        let f = FetchArgs { db: "d".into(), id: 3 };
+        let f = FetchArgs {
+            db: "d".into(),
+            id: 3,
+        };
         assert_eq!(FetchArgs::from_bytes(f.to_bytes()).unwrap(), f);
     }
 }

@@ -93,12 +93,7 @@ impl<T: Clone> Eventual<T> {
         let deadline = std::time::Instant::now() + timeout;
         let mut slot = self.inner.slot.lock();
         while slot.is_none() {
-            if self
-                .inner
-                .cond
-                .wait_until(&mut slot, deadline)
-                .timed_out()
-            {
+            if self.inner.cond.wait_until(&mut slot, deadline).timed_out() {
                 return slot.as_ref().cloned();
             }
         }

@@ -221,9 +221,7 @@ mod tests {
         key.set(0xDEADBEEF);
         let snap = current_snapshot();
         key.clear();
-        let h = std::thread::spawn(move || {
-            scope_with(snap, || key.get().map(|v| *v))
-        });
+        let h = std::thread::spawn(move || scope_with(snap, || key.get().map(|v| *v)));
         // key is a local borrow; use the returned value instead.
         let got = h.join().unwrap();
         assert_eq!(got, Some(0xDEADBEEF));

@@ -4,13 +4,37 @@
 //! more execution streams to a pool; every incoming RPC spawns a ULT into
 //! the pool, and the time a ULT spends queued here is exactly the paper's
 //! *target ULT handler time* (interval t4→t5 of Figure 2).
+//!
+//! ## Concurrency
+//!
+//! The queue is **striped** into N (power-of-two) lanes, each its own
+//! `Mutex<VecDeque>`. Every OS thread holds a process-wide round-robin
+//! token that picks its *preferred lane*: a thread's pushes always land on
+//! the same lane (so each producer's tasks stay FIFO relative to each
+//! other). Pops scan the lanes round-robin from a per-thread cursor seeded
+//! by the same token, **front-stealing** from whatever lane has work:
+//! taking from the front of the victim lane preserves per-lane FIFO order
+//! no matter which stream drains a task, and advancing the cursor past
+//! each served lane keeps consumption fair across lanes (a ULT that
+//! re-enqueues itself can never monopolize its consumer).
+//!
+//! Blocking pops use a Dekker-style sleeper protocol: a would-be sleeper
+//! bumps the `sleepers` counter (SeqCst), re-checks every lane *under the
+//! sleep lock*, and only then waits on the condvar; a pusher enqueues
+//! first and only then reads `sleepers` (SeqCst) — at least one side
+//! always observes the other, so no wakeup is lost while pushes of
+//! already-queued work never touch the sleep lock at all.
+//!
+//! Accounting is exact regardless of lanes: each task carries its enqueue
+//! timestamp, and whichever thread dequeues it accumulates the true
+//! queue-wait interval into [`PoolCounters`].
 
 use crate::eventual::Eventual;
 use crate::local::LocalMap;
 use crate::stats::{PoolCounters, PoolStats};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -19,6 +43,43 @@ use std::time::{Duration, Instant};
 pub struct PoolId(pub u64);
 
 static NEXT_POOL_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Number of queue lanes per pool: CPU count rounded up to a power of two,
+/// floored at 4 so striping is exercised even on small hosts, capped at 16
+/// to bound the steal-scan length.
+fn lane_count() -> usize {
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    cpus.next_power_of_two().clamp(4, 16)
+}
+
+static NEXT_LANE_TOKEN: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Round-robin token assigned once per OS thread; `token & lane_mask`
+    /// is the thread's preferred lane in every pool.
+    static LANE_TOKEN: u64 = NEXT_LANE_TOKEN.fetch_add(1, Ordering::Relaxed);
+    /// Per-thread dequeue cursor: advanced past each lane a task was taken
+    /// from, so consumption round-robins over non-empty lanes. Without
+    /// this, a task that re-enqueues itself onto the consumer's own lane
+    /// (e.g. Margo's shared-mode progress ULT) would starve every other
+    /// lane forever.
+    static POP_CURSOR: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+}
+
+fn my_token() -> usize {
+    LANE_TOKEN.with(|t| *t) as usize
+}
+
+fn pop_cursor() -> usize {
+    POP_CURSOR.with(|c| {
+        if c.get() == usize::MAX {
+            c.set(my_token());
+        }
+        c.get()
+    })
+}
 
 pub(crate) struct Task {
     pub(crate) f: Box<dyn FnOnce() + Send + 'static>,
@@ -29,7 +90,13 @@ pub(crate) struct Task {
 pub(crate) struct PoolInner {
     pub(crate) name: String,
     pub(crate) id: PoolId,
-    queue: Mutex<VecDeque<Task>>,
+    lanes: Box<[Mutex<VecDeque<Task>>]>,
+    lane_mask: usize,
+    /// Threads currently inside the sleep protocol of [`Pool::pop`].
+    sleepers: AtomicUsize,
+    /// Lock the condvar waits on; deliberately separate from the lanes so
+    /// pushes to a non-empty pool never serialize on it.
+    sleep_lock: Mutex<()>,
     cond: Condvar,
     closed: AtomicBool,
     pub(crate) counters: PoolCounters,
@@ -56,11 +123,21 @@ impl std::fmt::Debug for Pool {
 impl Pool {
     /// Create a new, empty pool.
     pub fn new(name: impl Into<String>) -> Self {
+        Self::with_lanes(name, lane_count())
+    }
+
+    /// Create a pool with an explicit lane count (rounded up to a power of
+    /// two; tests and benchmarks use this to pin the shape).
+    pub fn with_lanes(name: impl Into<String>, lanes: usize) -> Self {
+        let n = lanes.max(1).next_power_of_two();
         Pool {
             inner: Arc::new(PoolInner {
                 name: name.into(),
                 id: PoolId(NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed)),
-                queue: Mutex::new(VecDeque::new()),
+                lanes: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+                lane_mask: n - 1,
+                sleepers: AtomicUsize::new(0),
+                sleep_lock: Mutex::new(()),
                 cond: Condvar::new(),
                 closed: AtomicBool::new(false),
                 counters: PoolCounters::default(),
@@ -78,6 +155,11 @@ impl Pool {
         &self.inner.name
     }
 
+    /// The number of queue lanes (power of two).
+    pub fn lanes(&self) -> usize {
+        self.inner.lanes.len()
+    }
+
     /// Spawn a ULT into this pool. The ULT inherits an **empty** local map;
     /// use [`Pool::spawn_with_locals`] to propagate request context
     /// (callpath ancestry, request id) along the RPC path.
@@ -88,6 +170,10 @@ impl Pool {
     }
 
     /// Spawn a ULT seeded with the given ULT-local values.
+    ///
+    /// If the pool is already closed the ULT is rejected: it will never
+    /// run, the `spawned_after_close` counter is incremented, and the
+    /// returned join handle completes immediately so `join()` cannot hang.
     pub fn spawn_with_locals(
         &self,
         locals: LocalMap,
@@ -103,40 +189,104 @@ impl Pool {
             locals,
             enqueued_at: Instant::now(),
         };
-        self.push(task);
+        if !self.push(task) {
+            done.set(());
+        }
         UltJoin { done }
     }
 
-    pub(crate) fn push(&self, task: Task) {
+    /// Enqueue a task onto the calling thread's preferred lane. Returns
+    /// `false` (dropping the task) if the pool is closed.
+    pub(crate) fn push(&self, task: Task) -> bool {
         let inner = &self.inner;
+        if inner.closed.load(Ordering::Acquire) {
+            inner
+                .counters
+                .spawned_after_close
+                .fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
         inner.counters.spawned.fetch_add(1, Ordering::Relaxed);
         inner.counters.runnable.fetch_add(1, Ordering::Relaxed);
-        {
-            let mut q = inner.queue.lock();
-            q.push_back(task);
+        let lane = my_token() & inner.lane_mask;
+        inner.lanes[lane].lock().push_back(task);
+        // Dekker pairing with pop(): enqueue first, then read `sleepers`.
+        if inner.sleepers.load(Ordering::SeqCst) > 0 {
+            // Touch the sleep lock so the notify cannot slip between a
+            // sleeper's re-check and its wait.
+            drop(inner.sleep_lock.lock());
+            inner.cond.notify_one();
         }
-        inner.cond.notify_one();
+        true
+    }
+
+    /// Dequeue with exact queue-wait accounting (the paper's t4→t5
+    /// interval runs from task enqueue to this moment).
+    fn account(&self, task: Task) -> Task {
+        let c = &self.inner.counters;
+        c.runnable.fetch_sub(1, Ordering::Relaxed);
+        c.cumulative_queue_wait_ns.fetch_add(
+            task.enqueued_at.elapsed().as_nanos() as u64,
+            Ordering::Relaxed,
+        );
+        task
+    }
+
+    /// Pop the front of the first non-empty lane, scanning from the
+    /// calling thread's dequeue cursor (front-stealing keeps per-lane FIFO
+    /// order intact). The cursor is advanced past the lane a task came
+    /// from, so successive pops round-robin across non-empty lanes — the
+    /// fairness the seed's single FIFO provided, which self-re-enqueueing
+    /// ULTs (Margo's shared progress loop) rely on to not starve peers.
+    fn scan_lanes(&self) -> Option<Task> {
+        let inner = &self.inner;
+        let start = pop_cursor();
+        for i in 0..inner.lanes.len() {
+            let lane = (start + i) & inner.lane_mask;
+            if let Some(task) = inner.lanes[lane].lock().pop_front() {
+                POP_CURSOR.with(|c| c.set(lane.wrapping_add(1)));
+                return Some(self.account(task));
+            }
+        }
+        None
     }
 
     /// Dequeue the next runnable task, blocking for up to `timeout`.
     /// Returns `None` on timeout or if the pool is closed and empty.
     pub(crate) fn pop(&self, timeout: Duration) -> Option<Task> {
         let inner = &self.inner;
-        let mut q = inner.queue.lock();
+        let deadline = Instant::now() + timeout;
         loop {
-            if let Some(task) = q.pop_front() {
-                inner.counters.runnable.fetch_sub(1, Ordering::Relaxed);
-                let waited = task.enqueued_at.elapsed();
-                inner
-                    .counters
-                    .cumulative_queue_wait_ns
-                    .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
+            if let Some(task) = self.scan_lanes() {
                 return Some(task);
             }
             if inner.closed.load(Ordering::Acquire) {
                 return None;
             }
-            if inner.cond.wait_for(&mut q, timeout).timed_out() {
+            // Sleep protocol: advertise, then re-check under the sleep
+            // lock before waiting (see module docs).
+            inner.sleepers.fetch_add(1, Ordering::SeqCst);
+            let mut guard = inner.sleep_lock.lock();
+            if let Some(task) = self.scan_lanes() {
+                drop(guard);
+                inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return Some(task);
+            }
+            if inner.closed.load(Ordering::Acquire) {
+                drop(guard);
+                inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                drop(guard);
+                inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+                return None;
+            }
+            let timed_out = inner.cond.wait_for(&mut guard, deadline - now).timed_out();
+            drop(guard);
+            inner.sleepers.fetch_sub(1, Ordering::SeqCst);
+            if timed_out {
                 return None;
             }
         }
@@ -144,24 +294,16 @@ impl Pool {
 
     /// Non-blocking dequeue.
     pub(crate) fn try_pop(&self) -> Option<Task> {
-        let inner = &self.inner;
-        let mut q = inner.queue.lock();
-        q.pop_front().map(|task| {
-            inner.counters.runnable.fetch_sub(1, Ordering::Relaxed);
-            let waited = task.enqueued_at.elapsed();
-            inner
-                .counters
-                .cumulative_queue_wait_ns
-                .fetch_add(waited.as_nanos() as u64, Ordering::Relaxed);
-            task
-        })
+        self.scan_lanes()
     }
 
     /// Close the pool: wake all waiting execution streams. Already-queued
-    /// tasks are still drained; new spawns after close are rejected
-    /// silently (the task is dropped).
+    /// tasks are still drained; spawns after close are rejected — the task
+    /// never runs, `spawned_after_close` is incremented, and the rejected
+    /// ULT's join handle completes immediately.
     pub fn close(&self) {
         self.inner.closed.store(true, Ordering::Release);
+        drop(self.inner.sleep_lock.lock());
         self.inner.cond.notify_all();
     }
 
@@ -178,7 +320,9 @@ impl Pool {
     /// Snapshot of the pool's scheduler counters. This is the sampling
     /// entry point used by Margo when generating trace events (paper §IV-C).
     pub fn stats(&self) -> PoolStats {
-        self.inner.counters.snapshot(&self.inner.name, self.inner.id)
+        self.inner
+            .counters
+            .snapshot(&self.inner.name, self.inner.id)
     }
 
     pub(crate) fn counters(&self) -> &PoolCounters {
@@ -192,7 +336,8 @@ pub struct UltJoin {
 }
 
 impl UltJoin {
-    /// Block until the ULT has finished executing.
+    /// Block until the ULT has finished executing (or was rejected by a
+    /// closed pool, in which case this returns immediately).
     pub fn join(self) {
         self.done.wait();
     }
@@ -217,6 +362,16 @@ mod tests {
         let a = Pool::new("a");
         let b = Pool::new("b");
         assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn lane_count_is_power_of_two() {
+        let p = Pool::new("lanes");
+        assert!(p.lanes().is_power_of_two());
+        let p2 = Pool::with_lanes("five", 5);
+        assert_eq!(p2.lanes(), 8);
+        let p1 = Pool::with_lanes("one", 1);
+        assert_eq!(p1.lanes(), 1);
     }
 
     #[test]
@@ -245,11 +400,84 @@ mod tests {
     }
 
     #[test]
+    fn per_producer_fifo_survives_cross_thread_draining() {
+        // Each producer's tasks land on its own preferred lane and must be
+        // executed in spawn order relative to each other, no matter which
+        // thread drains them (front-stealing preserves per-lane FIFO).
+        let p = Pool::new("fifo-mt");
+        let seen: Arc<Mutex<Vec<(usize, usize)>>> = Arc::new(Mutex::new(Vec::new()));
+        let producers: Vec<_> = (0..4)
+            .map(|t| {
+                let p = p.clone();
+                let seen = seen.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        let seen = seen.clone();
+                        p.spawn(move || seen.lock().push((t, i)));
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        // Drain from a single consumer thread (steals across all lanes).
+        while let Some(task) = p.try_pop() {
+            (task.f)();
+        }
+        let seen = seen.lock();
+        assert_eq!(seen.len(), 200);
+        for t in 0..4 {
+            let order: Vec<usize> = seen
+                .iter()
+                .filter(|(p, _)| *p == t)
+                .map(|(_, i)| *i)
+                .collect();
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(order, sorted, "producer {t} tasks ran out of order");
+        }
+    }
+
+    #[test]
+    fn pop_steals_from_other_lanes() {
+        // A consumer whose preferred lane is empty must still find tasks
+        // pushed by threads with different tokens.
+        let p = Pool::with_lanes("steal", 8);
+        let pusher = {
+            let p = p.clone();
+            std::thread::spawn(move || {
+                for _ in 0..16 {
+                    p.spawn(|| {});
+                }
+            })
+        };
+        pusher.join().unwrap();
+        let mut drained = 0;
+        while let Some(t) = p.try_pop() {
+            (t.f)();
+            drained += 1;
+        }
+        assert_eq!(drained, 16);
+        assert_eq!(p.runnable(), 0);
+    }
+
+    #[test]
     fn pop_times_out_on_empty_pool() {
         let p = Pool::new("empty");
         let start = Instant::now();
         assert!(p.pop(Duration::from_millis(10)).is_none());
         assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn blocking_pop_wakes_on_push() {
+        let p = Pool::new("wake");
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || p2.pop(Duration::from_secs(30)).is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        p.spawn(|| {});
+        assert!(h.join().unwrap(), "sleeping popper missed the push wakeup");
     }
 
     #[test]
@@ -260,6 +488,21 @@ mod tests {
         std::thread::sleep(Duration::from_millis(20));
         p.close();
         assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn spawn_after_close_completes_join_immediately() {
+        let p = Pool::new("late");
+        p.close();
+        let j = p.spawn(|| panic!("rejected ULT must never run"));
+        // join() must not hang even though nothing drains the pool.
+        assert!(j.join_timeout(Duration::from_secs(5)));
+        j.join();
+        let s = p.stats();
+        assert_eq!(s.spawned_after_close, 1);
+        assert_eq!(s.spawned, 0, "rejected spawns must not count as spawned");
+        assert_eq!(p.runnable(), 0);
+        assert!(p.try_pop().is_none());
     }
 
     #[test]

@@ -20,6 +20,9 @@ pub(crate) struct PoolCounters {
     /// Sum of time (ns) ULTs spent waiting in the queue before starting.
     /// Dividing by `completed` yields the mean *target ULT handler time*.
     pub(crate) cumulative_queue_wait_ns: AtomicU64,
+    /// Spawns rejected because the pool was already closed (the ULT never
+    /// ran; its join handle was completed immediately).
+    pub(crate) spawned_after_close: AtomicU64,
 }
 
 impl PoolCounters {
@@ -33,6 +36,7 @@ impl PoolCounters {
             spawned: self.spawned.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             cumulative_queue_wait_ns: self.cumulative_queue_wait_ns.load(Ordering::Relaxed),
+            spawned_after_close: self.spawned_after_close.load(Ordering::Relaxed),
         }
     }
 }
@@ -56,6 +60,8 @@ pub struct PoolStats {
     pub completed: u64,
     /// Cumulative queue-wait time in nanoseconds.
     pub cumulative_queue_wait_ns: u64,
+    /// Spawns rejected because they arrived after [`crate::Pool::close`].
+    pub spawned_after_close: u64,
 }
 
 impl PoolStats {
@@ -63,11 +69,9 @@ impl PoolStats {
     /// if nothing completed yet.
     pub fn mean_queue_wait_ns(&self) -> u64 {
         let started = self.spawned.saturating_sub(self.runnable as u64);
-        if started == 0 {
-            0
-        } else {
-            self.cumulative_queue_wait_ns / started
-        }
+        self.cumulative_queue_wait_ns
+            .checked_div(started)
+            .unwrap_or(0)
     }
 
     /// ULTs that are in flight (spawned but not completed).
@@ -139,6 +143,7 @@ mod tests {
             spawned: 0,
             completed: 0,
             cumulative_queue_wait_ns: 0,
+            spawned_after_close: 0,
         };
         assert_eq!(s.mean_queue_wait_ns(), 0);
     }

@@ -49,7 +49,10 @@ impl ExecutionStream {
     /// # Panics
     /// Panics if `pools` is empty.
     pub fn spawn(name: impl Into<String>, pools: &[Pool]) -> Self {
-        assert!(!pools.is_empty(), "an execution stream needs at least one pool");
+        assert!(
+            !pools.is_empty(),
+            "an execution stream needs at least one pool"
+        );
         let name = name.into();
         let shutdown = Arc::new(AtomicBool::new(false));
         let sd = shutdown.clone();

@@ -162,7 +162,10 @@ mod tests {
             }
             std::thread::sleep(Duration::from_micros(50));
         }
-        assert!(saw_blocked, "expected mutex contention to register as blocked");
+        assert!(
+            saw_blocked,
+            "expected mutex contention to register as blocked"
+        );
         hold.set(());
         finished.wait();
         assert_eq!(pool.stats().blocked, 0);

@@ -28,7 +28,13 @@ fn run(cfg: &HepnosConfig) -> (f64, Vec<symbiosys::core::ProfileRow>, Vec<TraceE
     (report.elapsed_seconds, profiles, traces)
 }
 
-fn diagnose(label: &str, elapsed: f64, profiles: &[symbiosys::core::ProfileRow], traces: &[TraceEvent], ofi_max: u64) {
+fn diagnose(
+    label: &str,
+    elapsed: f64,
+    profiles: &[symbiosys::core::ProfileRow],
+    traces: &[TraceEvent],
+    ofi_max: u64,
+) {
     let cp = Callpath::root("sdskv_put_packed");
     let summary = summarize_profiles(profiles);
     let agg = summary.find(cp).expect("put_packed profiled");
@@ -90,7 +96,13 @@ fn main() {
     bad.total_clients = 8;
     bad.events_per_client = 1024;
     let (t_bad, p_bad, tr_bad) = run(&bad);
-    diagnose("starved (5 ESs, 32 dbs)", t_bad, &p_bad, &tr_bad, bad.ofi_max_events as u64);
+    diagnose(
+        "starved (5 ESs, 32 dbs)",
+        t_bad,
+        &p_bad,
+        &tr_bad,
+        bad.ofi_max_events as u64,
+    );
     recommend(&bad, &p_bad, &tr_bad);
 
     // The tuned configuration the paper's analysis leads to: more ESs,
@@ -100,7 +112,13 @@ fn main() {
     good.total_clients = 8;
     good.events_per_client = 1024;
     let (t_good, p_good, tr_good) = run(&good);
-    diagnose("tuned (20 ESs, 8 dbs)", t_good, &p_good, &tr_good, good.ofi_max_events as u64);
+    diagnose(
+        "tuned (20 ESs, 8 dbs)",
+        t_good,
+        &p_good,
+        &tr_good,
+        good.ofi_max_events as u64,
+    );
     recommend(&good, &p_good, &tr_good);
 
     println!(

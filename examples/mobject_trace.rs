@@ -82,8 +82,7 @@ fn main() {
         spans.len(),
         spans.iter().filter(|s| s.callpath.depth() == 2).count() / 2
     );
-    std::fs::write("mobject_trace_zipkin.json", to_zipkin_json(&spans))
-        .expect("write trace file");
+    std::fs::write("mobject_trace_zipkin.json", to_zipkin_json(&spans)).expect("write trace file");
     println!("Zipkin trace written to mobject_trace_zipkin.json (import it at zipkin.io)");
 
     node.finalize();

@@ -14,9 +14,10 @@ fn main() {
     // 2. A Margo server with 2 handler execution streams, exposing one
     //    RPC. Every instance carries a SYMBIOSYS context.
     let server = MargoInstance::new(fabric.clone(), MargoConfig::server("kv-service", 2));
-    let store = std::sync::Arc::new(std::sync::Mutex::new(
-        std::collections::HashMap::<String, String>::new(),
-    ));
+    let store = std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashMap::<
+        String,
+        String,
+    >::new()));
     {
         let store = store.clone();
         server.register_fn("kv_put", move |_m, kv: (String, String)| {

@@ -41,9 +41,7 @@ fn three_tier_composition_profiles_and_traces() {
     // Three distinct callpaths: b_rpc, b_rpc→c_rpc, c_rpc.
     assert_eq!(summary.aggregates.len(), 3);
     let ab = summary.find(Callpath::root("b_rpc")).unwrap();
-    let abc = summary
-        .find(Callpath::root("b_rpc").push("c_rpc"))
-        .unwrap();
+    let abc = summary.find(Callpath::root("b_rpc").push("c_rpc")).unwrap();
     let ac = summary.find(Callpath::root("c_rpc")).unwrap();
     assert_eq!(ab.count_origin, 10);
     assert_eq!(abc.count_origin, 10);
@@ -148,10 +146,8 @@ fn concurrent_composed_services_under_load() {
         .map(|c| {
             let fabric = fabric.clone();
             std::thread::spawn(move || {
-                let client = MargoInstance::new(
-                    fabric,
-                    MargoConfig::client(format!("load-client-{c}")),
-                );
+                let client =
+                    MargoInstance::new(fabric, MargoConfig::client(format!("load-client-{c}")));
                 for i in 0..25u64 {
                     let y: u64 = client
                         .forward(frontend_addr, "square_plus_one", &i)
@@ -173,7 +169,10 @@ fn concurrent_composed_services_under_load() {
         .filter(|r| r.side == Side::Target)
         .map(|r| r.count)
         .sum();
-    assert_eq!(target_count, 100, "frontend must have serviced all 100 RPCs");
+    assert_eq!(
+        target_count, 100,
+        "frontend must have serviced all 100 RPCs"
+    );
     let nested: u64 = frontend_rows
         .iter()
         .filter(|r| r.side == Side::Origin)

@@ -1,10 +1,15 @@
 //! Property-based tests (proptest) on the core data structures and
 //! invariants of the stack.
+// Minimal proptest implementations may compile out strategy-based cases,
+// leaving their imports and strategy helpers unused.
+#![allow(unused_imports, dead_code)]
 
 use proptest::prelude::*;
 use symbiosys::core::callpath::{hash16, Callpath};
 use symbiosys::core::lamport::LamportClock;
-use symbiosys::mercury::{Decoder, Encoder, RdmaRef, RequestHeader, ResponseHeader, RpcMeta, RpcStatus, Wire};
+use symbiosys::mercury::{
+    Decoder, Encoder, RdmaRef, RequestHeader, ResponseHeader, RpcMeta, RpcStatus, Wire,
+};
 use symbiosys::services::json::{parse, Value};
 use symbiosys::services::kv::{BackendKind, StorageCost};
 

@@ -51,10 +51,13 @@ fn ior_mobject_dominant_callpath_analysis() {
     let write = summary.find(Callpath::root("mobject_write_op")).unwrap();
     assert_eq!(write.count_origin, 8);
     assert_eq!(write.count_target, 8);
-    for agg in summary.aggregates.iter().filter(|a| a.callpath.depth() == 2) {
+    for agg in summary
+        .aggregates
+        .iter()
+        .filter(|a| a.callpath.depth() == 2)
+    {
         assert!(
-            agg.cumulative_latency_ns()
-                <= summary.aggregates[0].cumulative_latency_ns(),
+            agg.cumulative_latency_ns() <= summary.aggregates[0].cumulative_latency_ns(),
             "nested paths cannot dominate the top path"
         );
     }
@@ -153,7 +156,9 @@ fn sonata_document_pipeline_with_profiles() {
         .collect();
     client.store_multi_json("docs", &docs).unwrap();
     assert_eq!(client.count("docs").unwrap(), 200);
-    let hits = client.exec_query("docs", "n >= 150 && tag == \"t0\"").unwrap();
+    let hits = client
+        .exec_query("docs", "n >= 150 && tag == \"t0\"")
+        .unwrap();
     assert!(!hits.is_empty());
     for h in &hits {
         let v = symbiosys::services::json::parse(h).unwrap();

@@ -53,7 +53,9 @@ fn stage2_profiles_without_pvar_intervals() {
     // Trace events exist but carry no PVAR samples.
     let events = client.symbiosys().tracer().snapshot();
     assert!(!events.is_empty());
-    assert!(events.iter().all(|e| e.samples.num_ofi_events_read.is_none()));
+    assert!(events
+        .iter()
+        .all(|e| e.samples.num_ofi_events_read.is_none()));
     // Tasking/OS samples ARE collected at stage 2.
     assert!(events.iter().any(|e| e.samples.memory_kb.is_some()));
     client.finalize();
