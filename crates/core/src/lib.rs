@@ -33,6 +33,7 @@ pub mod lamport;
 pub mod profile;
 pub mod sampling;
 pub mod stage;
+pub mod telemetry;
 pub mod trace;
 pub mod zipkin;
 
@@ -43,6 +44,7 @@ pub use lamport::LamportClock;
 pub use profile::{ProfileRow, Profiler, Side};
 pub use sampling::{Stopwatch, SysStats};
 pub use stage::Stage;
+pub use telemetry::{MetricPoint, MetricSnapshot, MetricValue, SnapshotPoint, TelemetryRegistry};
 pub use trace::{now_ns, EventSamples, TraceEvent, TraceEventKind, Tracer};
 
 use std::sync::atomic::{AtomicU64, Ordering};

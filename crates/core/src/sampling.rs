@@ -30,13 +30,21 @@ impl SysStats {
     /// microseconds apart; caching keeps the §VI overhead claim honest
     /// without losing signal (standard practice in monitoring tools).
     pub fn sample_cached() -> SysStats {
+        Self::sample_cached_with_ttl(std::time::Duration::from_millis(1))
+    }
+
+    /// Take a sample, reusing the last one if it is younger than `ttl`.
+    /// The cache is process-global (there is one `/proc/self`), so callers
+    /// with different TTLs share it: a sample is refreshed whenever it is
+    /// older than the *calling* site's TTL, and a longer-TTL caller may be
+    /// served a fresher value than it asked for — never a staler one.
+    pub fn sample_cached_with_ttl(ttl: std::time::Duration) -> SysStats {
         use parking_lot::Mutex;
         use std::sync::OnceLock;
         static CACHE: OnceLock<Mutex<(Instant, SysStats)>> = OnceLock::new();
-        const TTL: std::time::Duration = std::time::Duration::from_millis(1);
         let cache = CACHE.get_or_init(|| Mutex::new((Instant::now(), SysStats::sample())));
         let mut guard = cache.lock();
-        if guard.0.elapsed() > TTL {
+        if guard.0.elapsed() > ttl {
             *guard = (Instant::now(), SysStats::sample());
         }
         guard.1
@@ -117,6 +125,29 @@ mod tests {
         std::hint::black_box(x);
         let b = SysStats::sample().cpu_time_ms;
         assert!(b >= a);
+    }
+
+    #[test]
+    fn cached_cpu_time_is_monotone_non_decreasing() {
+        // Whatever mix of cache hits and refreshes the TTL produces, the
+        // cumulative CPU-time series a caller observes must never go
+        // backwards.
+        let mut last = SysStats::sample_cached_with_ttl(std::time::Duration::from_micros(200));
+        let mut x = 0u64;
+        for i in 0..50u64 {
+            for j in 0..200_000u64 {
+                x = x.wrapping_add(i * j);
+            }
+            std::hint::black_box(x);
+            let s = SysStats::sample_cached_with_ttl(std::time::Duration::from_micros(200));
+            assert!(
+                s.cpu_time_ms >= last.cpu_time_ms,
+                "cpu time went backwards: {} -> {}",
+                last.cpu_time_ms,
+                s.cpu_time_ms
+            );
+            last = s;
+        }
     }
 
     #[test]

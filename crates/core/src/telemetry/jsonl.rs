@@ -1,0 +1,611 @@
+//! Zero-dependency JSONL encoding of metric snapshots, plus the minimal
+//! JSON parser the flight-recorder replay path needs.
+//!
+//! One snapshot is one line. Counters round-trip exactly (u64 is emitted
+//! as an integer token and parsed back without a float detour); gauge and
+//! histogram floats use Rust's shortest-roundtrip `Display`.
+
+use super::{HistogramValue, MetricPoint, MetricSnapshot, MetricValue, SnapshotPoint};
+use crate::zipkin::escape_into;
+
+// ----------------------------------------------------------------------
+// Serializer
+// ----------------------------------------------------------------------
+
+fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    escape_into(out, s);
+    out.push('"');
+}
+
+fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&v.to_string());
+    } else {
+        // JSON has no NaN/Inf; clamp to null (never produced by our
+        // sources, but the format must stay parseable regardless).
+        out.push_str("null");
+    }
+}
+
+fn push_point(out: &mut String, sp: &SnapshotPoint) {
+    let p = &sp.point;
+    out.push_str("{\"name\":");
+    push_str(out, &p.name);
+    if !p.labels.is_empty() {
+        out.push_str(",\"labels\":{");
+        for (i, (k, v)) in p.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            push_str(out, k);
+            out.push(':');
+            push_str(out, v);
+        }
+        out.push('}');
+    }
+    match &p.value {
+        MetricValue::Gauge(v) => {
+            out.push_str(",\"kind\":\"gauge\",\"value\":");
+            push_f64(out, *v);
+        }
+        MetricValue::Counter(v) => {
+            out.push_str(",\"kind\":\"counter\",\"value\":");
+            out.push_str(&v.to_string());
+            if let Some(d) = sp.delta {
+                out.push_str(",\"delta\":");
+                out.push_str(&d.to_string());
+            }
+        }
+        MetricValue::Histogram(h) => {
+            out.push_str(",\"kind\":\"histogram\",\"bounds\":[");
+            for (i, b) in h.bounds.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_f64(out, *b);
+            }
+            out.push_str("],\"counts\":[");
+            for (i, c) in h.counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("],\"sum\":");
+            push_f64(out, h.sum);
+            out.push_str(",\"count\":");
+            out.push_str(&h.count.to_string());
+        }
+    }
+    out.push('}');
+}
+
+/// Encode one snapshot as a single JSON line (no trailing newline).
+pub fn snapshot_to_json(snap: &MetricSnapshot) -> String {
+    let mut out = String::with_capacity(256 + snap.points.len() * 96);
+    out.push_str("{\"seq\":");
+    out.push_str(&snap.seq.to_string());
+    out.push_str(",\"wall_ns\":");
+    out.push_str(&snap.wall_ns.to_string());
+    if let Some(entity) = &snap.entity {
+        out.push_str(",\"entity\":");
+        push_str(&mut out, entity);
+    }
+    out.push_str(",\"points\":[");
+    for (i, sp) in snap.points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_point(&mut out, sp);
+    }
+    out.push_str("]}");
+    out
+}
+
+// ----------------------------------------------------------------------
+// Parser
+// ----------------------------------------------------------------------
+
+/// A parsed JSON value. Integer tokens that fit a `u64` are kept exact in
+/// [`JsonValue::Int`]; everything else numeric becomes [`JsonValue::Float`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer token within `u64` range.
+    Int(u64),
+    /// Any other number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, preserving member order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is an exact integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(v) => Some(*v as f64),
+            JsonValue::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json parse error at byte {}: {msg}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(&format!("unexpected '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let token = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        if !float {
+            if let Ok(v) = token.parse::<u64>() {
+                return Ok(JsonValue::Int(v));
+            }
+        }
+        token
+            .parse::<f64>()
+            .map(JsonValue::Float)
+            .map_err(|_| self.err(&format!("bad number '{token}'")))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            if (0xD800..0xDC00).contains(&cp) {
+                                // High surrogate: a low surrogate must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')?;
+                                    let lo = self.hex4()?;
+                                    let c = 0x10000
+                                        + ((cp - 0xD800) << 10)
+                                        + (lo.wrapping_sub(0xDC00) & 0x3FF);
+                                    out.push(
+                                        char::from_u32(c)
+                                            .ok_or_else(|| self.err("bad surrogate pair"))?,
+                                    );
+                                } else {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                            } else {
+                                out.push(
+                                    char::from_u32(cp).ok_or_else(|| self.err("bad \\u escape"))?,
+                                );
+                            }
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-scan the full UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    if end > self.bytes.len() {
+                        return Err(self.err("truncated utf-8"));
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Parse one JSON document; trailing whitespace is allowed, trailing
+/// content is an error.
+pub fn parse_json(input: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(v)
+}
+
+// ----------------------------------------------------------------------
+// Snapshot decoding
+// ----------------------------------------------------------------------
+
+fn point_from_json(v: &JsonValue) -> Result<SnapshotPoint, String> {
+    let name = v
+        .get("name")
+        .and_then(JsonValue::as_str)
+        .ok_or("point missing name")?
+        .to_string();
+    let mut labels = Vec::new();
+    if let Some(JsonValue::Obj(members)) = v.get("labels") {
+        for (k, lv) in members {
+            labels.push((
+                k.clone(),
+                lv.as_str()
+                    .ok_or("label value must be a string")?
+                    .to_string(),
+            ));
+        }
+    }
+    let kind = v
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("point missing kind")?;
+    let value = match kind {
+        "gauge" => MetricValue::Gauge(
+            v.get("value")
+                .and_then(JsonValue::as_f64)
+                .ok_or("gauge missing value")?,
+        ),
+        "counter" => MetricValue::Counter(
+            v.get("value")
+                .and_then(JsonValue::as_u64)
+                .ok_or("counter missing integer value")?,
+        ),
+        "histogram" => {
+            let bounds = v
+                .get("bounds")
+                .and_then(JsonValue::as_arr)
+                .ok_or("histogram missing bounds")?
+                .iter()
+                .map(|b| b.as_f64().ok_or("bad bound"))
+                .collect::<Result<Vec<_>, _>>()?;
+            let counts = v
+                .get("counts")
+                .and_then(JsonValue::as_arr)
+                .ok_or("histogram missing counts")?
+                .iter()
+                .map(|c| c.as_u64().ok_or("bad count"))
+                .collect::<Result<Vec<_>, _>>()?;
+            MetricValue::Histogram(HistogramValue {
+                bounds,
+                counts,
+                sum: v
+                    .get("sum")
+                    .and_then(JsonValue::as_f64)
+                    .ok_or("histogram missing sum")?,
+                count: v
+                    .get("count")
+                    .and_then(JsonValue::as_u64)
+                    .ok_or("histogram missing count")?,
+            })
+        }
+        other => return Err(format!("unknown point kind '{other}'")),
+    };
+    let delta = v.get("delta").and_then(JsonValue::as_u64);
+    Ok(SnapshotPoint {
+        point: MetricPoint {
+            name,
+            labels,
+            value,
+        },
+        delta,
+    })
+}
+
+/// Decode one snapshot from its JSON line.
+pub fn snapshot_from_json(line: &str) -> Result<MetricSnapshot, String> {
+    let v = parse_json(line)?;
+    let seq = v
+        .get("seq")
+        .and_then(JsonValue::as_u64)
+        .ok_or("snapshot missing seq")?;
+    let wall_ns = v
+        .get("wall_ns")
+        .and_then(JsonValue::as_u64)
+        .ok_or("snapshot missing wall_ns")?;
+    let entity = match v.get("entity") {
+        Some(e) => Some(e.as_str().ok_or("entity must be a string")?.to_string()),
+        None => None,
+    };
+    let points = v
+        .get("points")
+        .and_then(JsonValue::as_arr)
+        .ok_or("snapshot missing points")?
+        .iter()
+        .map(point_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(MetricSnapshot {
+        seq,
+        wall_ns,
+        entity,
+        points,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> MetricSnapshot {
+        let mut hist = HistogramValue::new(&[1.5, 10.0]);
+        hist.observe(0.5);
+        hist.observe(99.0);
+        MetricSnapshot {
+            seq: 42,
+            wall_ns: 123_456_789_012,
+            entity: Some("svc-β \"quoted\"\n".to_string()),
+            points: vec![
+                SnapshotPoint {
+                    point: MetricPoint::gauge("symbi_g", 2.75),
+                    delta: None,
+                },
+                SnapshotPoint {
+                    point: MetricPoint::counter("symbi_c_total", u64::MAX)
+                        .with_label("pool", "svc-handlers")
+                        .with_label("lane", "3"),
+                    delta: Some(17),
+                },
+                SnapshotPoint {
+                    point: MetricPoint::histogram("symbi_h", hist),
+                    delta: None,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_jsonl() {
+        let snap = sample_snapshot();
+        let line = snapshot_to_json(&snap);
+        assert!(!line.contains('\n'), "one snapshot must be one line");
+        let back = snapshot_from_json(&line).expect("parse");
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn u64_max_counter_is_exact() {
+        let snap = sample_snapshot();
+        let back = snapshot_from_json(&snapshot_to_json(&snap)).unwrap();
+        assert_eq!(
+            back.points[1].point.value,
+            MetricValue::Counter(u64::MAX),
+            "counters must not round-trip through f64"
+        );
+    }
+
+    #[test]
+    fn parser_handles_nested_structures() {
+        let v = parse_json(r#"{"a":[1,2.5,{"b":"x"},null,true,false],"c":{}}"#).unwrap();
+        let arr = v.get("a").and_then(JsonValue::as_arr).unwrap();
+        assert_eq!(arr[0], JsonValue::Int(1));
+        assert_eq!(arr[1], JsonValue::Float(2.5));
+        assert_eq!(arr[2].get("b").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(arr[3], JsonValue::Null);
+        assert_eq!(v.get("c"), Some(&JsonValue::Obj(Vec::new())));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse_json("").is_err());
+        assert!(parse_json("{").is_err());
+        assert!(parse_json(r#"{"a":}"#).is_err());
+        assert!(parse_json("[1,2] tail").is_err());
+        assert!(parse_json(r#""unterminated"#).is_err());
+    }
+
+    #[test]
+    fn parser_decodes_unicode_escapes() {
+        // \u escapes, including a surrogate pair, decode to the real chars.
+        let v = parse_json(r#""\u00e9\u0001\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("é\u{1}😀"));
+        // Raw multi-byte UTF-8 passes through untouched.
+        assert_eq!(parse_json("\"é😀\"").unwrap().as_str(), Some("é😀"));
+    }
+
+    #[test]
+    fn negative_numbers_parse_as_floats() {
+        let v = parse_json("[-3, -2.5]").unwrap();
+        let arr = v.as_arr().unwrap();
+        assert_eq!(arr[0], JsonValue::Float(-3.0));
+        assert_eq!(arr[1], JsonValue::Float(-2.5));
+    }
+}

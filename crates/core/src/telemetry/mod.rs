@@ -1,0 +1,707 @@
+//! The live telemetry plane: continuous sampling of every measurement
+//! layer into unified metric snapshots.
+//!
+//! The paper's PVAR interface (§IV-B) and performance-data exchange
+//! (§IV-C) are pull-on-demand APIs consumed by offline analysis. This
+//! module adds the *online* counterpart — the continuous monitoring that
+//! production operation of a composable data service demands:
+//!
+//! * named **sources** register closures contributing gauge / counter /
+//!   histogram [`MetricPoint`]s ([`TelemetryRegistry::register_source`]);
+//! * a **snapshot engine** ([`TelemetryRegistry::sample`]) collects all
+//!   sources, computes per-interval deltas for counters against the
+//!   previous snapshot, and retains a bounded ring of recent
+//!   [`MetricSnapshot`]s;
+//! * two zero-dependency exporters: a Prometheus text-exposition endpoint
+//!   ([`prometheus`]) and an on-disk JSONL flight recorder ([`recorder`]).
+//!
+//! The Margo layer (`symbi-margo`) owns the sampling cadence: it registers
+//! sources for the profiler, tracer, pools, fabric, and Mercury PVAR
+//! sessions of each instance and drives `sample()` from a background
+//! monitoring ULT.
+
+pub mod jsonl;
+pub mod prometheus;
+pub mod recorder;
+
+use crate::profile::{Profiler, Side};
+use crate::sampling::{Stopwatch, SysStats};
+use crate::trace::{now_ns, Tracer};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use symbi_mercury::{HgClass, PvarBind, PvarClass, PvarSession, PVAR_TABLE};
+use symbi_tasking::PoolStats;
+
+/// A cumulative histogram with explicit upper bounds.
+///
+/// `counts[i]` is the number of observations `<= bounds[i]`; the final
+/// element of `counts` is the implicit `+Inf` bucket. Counts are
+/// *cumulative* (each bucket includes all smaller ones), matching the
+/// Prometheus exposition semantics so rendering is a straight copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramValue {
+    /// Ascending bucket upper bounds (`+Inf` is implicit).
+    pub bounds: Vec<f64>,
+    /// Cumulative observation counts, `bounds.len() + 1` entries.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramValue {
+    /// New empty histogram over the given ascending bucket bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        HistogramValue {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: f64) {
+        for (i, b) in self.bounds.iter().enumerate() {
+            if v <= *b {
+                self.counts[i] += 1;
+            }
+        }
+        *self.counts.last_mut().expect("+Inf bucket") += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+}
+
+/// The value of one metric point.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// An instantaneous level (may go up or down).
+    Gauge(f64),
+    /// A monotonically non-decreasing cumulative count.
+    Counter(u64),
+    /// A bucketed distribution.
+    Histogram(HistogramValue),
+}
+
+/// One named, labelled sample contributed by a source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricPoint {
+    /// Metric family name (`symbi_*` by convention).
+    pub name: String,
+    /// Label key/value pairs distinguishing series within the family.
+    pub labels: Vec<(String, String)>,
+    /// The sampled value.
+    pub value: MetricValue,
+}
+
+impl MetricPoint {
+    /// A gauge point with no labels.
+    pub fn gauge(name: impl Into<String>, value: f64) -> Self {
+        MetricPoint {
+            name: name.into(),
+            labels: Vec::new(),
+            value: MetricValue::Gauge(value),
+        }
+    }
+
+    /// A counter point with no labels.
+    pub fn counter(name: impl Into<String>, value: u64) -> Self {
+        MetricPoint {
+            name: name.into(),
+            labels: Vec::new(),
+            value: MetricValue::Counter(value),
+        }
+    }
+
+    /// A histogram point with no labels.
+    pub fn histogram(name: impl Into<String>, value: HistogramValue) -> Self {
+        MetricPoint {
+            name: name.into(),
+            labels: Vec::new(),
+            value: MetricValue::Histogram(value),
+        }
+    }
+
+    /// Attach a label.
+    pub fn with_label(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.labels.push((key.into(), value.into()));
+        self
+    }
+}
+
+/// A [`MetricPoint`] as it appears in a snapshot, with the per-interval
+/// delta the snapshot engine computed for counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotPoint {
+    /// The sampled point.
+    pub point: MetricPoint,
+    /// For counters: the increase since the previous snapshot of the same
+    /// `(name, labels)` series, saturating at zero if the counter reset.
+    /// `None` for the first observation of a series and for non-counters.
+    pub delta: Option<u64>,
+}
+
+/// One complete sampling pass over all registered sources.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSnapshot {
+    /// Monotonic snapshot sequence number (1-based).
+    pub seq: u64,
+    /// Wall time of the sample in nanoseconds since the process trace
+    /// epoch (see [`crate::now_ns`]).
+    pub wall_ns: u64,
+    /// Entity name of the instance that produced the snapshot, if set.
+    pub entity: Option<String>,
+    /// All points contributed by all sources, in registration order.
+    pub points: Vec<SnapshotPoint>,
+}
+
+impl MetricSnapshot {
+    /// Find a point by family name and label set.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SnapshotPoint> {
+        self.points.iter().find(|sp| {
+            sp.point.name == name
+                && sp.point.labels.len() == labels.len()
+                && labels
+                    .iter()
+                    .all(|(k, v)| sp.point.labels.iter().any(|(pk, pv)| pk == k && pv == v))
+        })
+    }
+}
+
+type SourceFn = Box<dyn Fn(&mut Vec<MetricPoint>) + Send + Sync>;
+
+struct Source {
+    name: String,
+    collect: SourceFn,
+}
+
+/// Bucket bounds (ns) for the sampler's self-timing histogram.
+const SAMPLE_DURATION_BOUNDS_NS: [f64; 6] = [
+    10_000.0,
+    100_000.0,
+    1_000_000.0,
+    10_000_000.0,
+    100_000_000.0,
+    1_000_000_000.0,
+];
+
+/// Default number of retained snapshots.
+pub const DEFAULT_RING_CAPACITY: usize = 128;
+
+/// The unified metric registry and snapshot engine.
+///
+/// Thread-safe: sources may be registered while sampling is in progress,
+/// and multiple samplers (e.g. the monitoring ULT and a Prometheus scrape)
+/// may race — each produces its own consistent snapshot.
+pub struct TelemetryRegistry {
+    entity: Mutex<Option<String>>,
+    sources: RwLock<Vec<Source>>,
+    ring: Mutex<VecDeque<Arc<MetricSnapshot>>>,
+    capacity: usize,
+    seq: AtomicU64,
+    sample_duration: Mutex<HistogramValue>,
+}
+
+impl std::fmt::Debug for TelemetryRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TelemetryRegistry(sources={}, snapshots={}/{})",
+            self.sources.read().len(),
+            self.ring.lock().len(),
+            self.capacity
+        )
+    }
+}
+
+impl Default for TelemetryRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryRegistry {
+    /// New registry retaining [`DEFAULT_RING_CAPACITY`] snapshots.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_RING_CAPACITY)
+    }
+
+    /// New registry retaining at most `capacity` recent snapshots.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TelemetryRegistry {
+            entity: Mutex::new(None),
+            sources: RwLock::new(Vec::new()),
+            ring: Mutex::new(VecDeque::new()),
+            capacity: capacity.max(2),
+            seq: AtomicU64::new(0),
+            sample_duration: Mutex::new(HistogramValue::new(&SAMPLE_DURATION_BOUNDS_NS)),
+        }
+    }
+
+    /// Tag snapshots with the producing instance's entity name.
+    pub fn set_entity(&self, name: impl Into<String>) {
+        *self.entity.lock() = Some(name.into());
+    }
+
+    /// The entity tag, if set.
+    pub fn entity(&self) -> Option<String> {
+        self.entity.lock().clone()
+    }
+
+    /// Register a named source. The closure is invoked on every sampling
+    /// pass and appends its points to the supplied buffer.
+    pub fn register_source(
+        &self,
+        name: impl Into<String>,
+        collect: impl Fn(&mut Vec<MetricPoint>) + Send + Sync + 'static,
+    ) {
+        self.sources.write().push(Source {
+            name: name.into(),
+            collect: Box::new(collect),
+        });
+    }
+
+    /// Names of all registered sources, in registration order.
+    pub fn source_names(&self) -> Vec<String> {
+        self.sources.read().iter().map(|s| s.name.clone()).collect()
+    }
+
+    /// Maximum number of retained snapshots.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Run one sampling pass: collect every source, compute counter deltas
+    /// against the previous snapshot, and push the result into the ring
+    /// (evicting the oldest snapshot when full).
+    pub fn sample(&self) -> Arc<MetricSnapshot> {
+        let sw = Stopwatch::start();
+        let mut points = Vec::new();
+        {
+            let sources = self.sources.read();
+            for s in sources.iter() {
+                (s.collect)(&mut points);
+            }
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+
+        // Self-telemetry: the sampler observes its own cost so the
+        // overhead claim is continuously verifiable.
+        points.push(MetricPoint::counter("symbi_telemetry_snapshots_total", seq));
+        let elapsed_ns = sw.elapsed_ns();
+        let hist = {
+            let mut h = self.sample_duration.lock();
+            h.observe(elapsed_ns as f64);
+            h.clone()
+        };
+        points.push(MetricPoint::histogram(
+            "symbi_telemetry_sample_duration_ns",
+            hist,
+        ));
+
+        // Counter series keyed by (family name, label set).
+        type SeriesKey<'a> = (&'a str, &'a [(String, String)]);
+        let prev = self.latest();
+        let prev_counters: HashMap<SeriesKey, u64> = prev
+            .as_deref()
+            .map(|snap| {
+                snap.points
+                    .iter()
+                    .filter_map(|sp| match sp.point.value {
+                        MetricValue::Counter(v) => {
+                            Some(((sp.point.name.as_str(), sp.point.labels.as_slice()), v))
+                        }
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let points = points
+            .into_iter()
+            .map(|point| {
+                let delta = match point.value {
+                    MetricValue::Counter(v) => prev_counters
+                        .get(&(point.name.as_str(), point.labels.as_slice()))
+                        .map(|prev| v.saturating_sub(*prev)),
+                    _ => None,
+                };
+                SnapshotPoint { point, delta }
+            })
+            .collect();
+
+        let snap = Arc::new(MetricSnapshot {
+            seq,
+            wall_ns: now_ns(),
+            entity: self.entity(),
+            points,
+        });
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(snap.clone());
+        snap
+    }
+
+    /// The most recent snapshot, if any.
+    pub fn latest(&self) -> Option<Arc<MetricSnapshot>> {
+        self.ring.lock().back().cloned()
+    }
+
+    /// All retained snapshots, oldest first.
+    pub fn recent(&self) -> Vec<Arc<MetricSnapshot>> {
+        self.ring.lock().iter().cloned().collect()
+    }
+}
+
+// ----------------------------------------------------------------------
+// Source collectors for the measurement layers
+// ----------------------------------------------------------------------
+
+/// Contribute profiler metrics: the row count plus, per `(callpath, side)`
+/// row, the completed-RPC count and cumulative per-interval times.
+pub fn collect_profiler(p: &Profiler, out: &mut Vec<MetricPoint>) {
+    let rows = p.snapshot();
+    out.push(MetricPoint::gauge("symbi_profile_rows", rows.len() as f64));
+    for row in rows {
+        let callpath = row.callpath.display();
+        let side = match row.side {
+            Side::Origin => "origin",
+            Side::Target => "target",
+        };
+        out.push(
+            MetricPoint::counter("symbi_rpc_count_total", row.count)
+                .with_label("callpath", callpath.clone())
+                .with_label("side", side)
+                .with_label("peer", crate::entity::entity_name(row.peer)),
+        );
+        for interval in crate::intervals::Interval::ALL {
+            let ns = row.interval_ns(interval);
+            if ns > 0 {
+                out.push(
+                    MetricPoint::counter("symbi_rpc_interval_ns_total", ns)
+                        .with_label("callpath", callpath.clone())
+                        .with_label("side", side)
+                        .with_label("interval", format!("{interval:?}")),
+                );
+            }
+        }
+    }
+}
+
+/// Contribute tracer metrics: buffered event count and per-thread segment
+/// registration/depth gauges.
+pub fn collect_tracer(t: &Tracer, out: &mut Vec<MetricPoint>) {
+    let depths = t.segment_depths();
+    out.push(MetricPoint::gauge(
+        "symbi_trace_events_buffered",
+        depths.iter().sum::<usize>() as f64,
+    ));
+    out.push(MetricPoint::gauge(
+        "symbi_trace_segments",
+        depths.len() as f64,
+    ));
+    out.push(MetricPoint::gauge(
+        "symbi_trace_segment_depth_max",
+        depths.iter().copied().max().unwrap_or(0) as f64,
+    ));
+}
+
+/// Contribute one pool's scheduler metrics, including the per-lane
+/// queue-depth highwatermark and steal counters.
+pub fn collect_pool(stats: &PoolStats, out: &mut Vec<MetricPoint>) {
+    let pool = stats.name.clone();
+    let labelled_gauge =
+        |name: &str, v: f64| MetricPoint::gauge(name, v).with_label("pool", pool.clone());
+    let labelled_counter =
+        |name: &str, v: u64| MetricPoint::counter(name, v).with_label("pool", pool.clone());
+    out.push(labelled_gauge(
+        "symbi_pool_runnable_ults",
+        stats.runnable as f64,
+    ));
+    out.push(labelled_gauge(
+        "symbi_pool_running_ults",
+        stats.running as f64,
+    ));
+    out.push(labelled_gauge(
+        "symbi_pool_blocked_ults",
+        stats.blocked as f64,
+    ));
+    out.push(labelled_counter("symbi_pool_spawned_total", stats.spawned));
+    out.push(labelled_counter(
+        "symbi_pool_completed_total",
+        stats.completed,
+    ));
+    out.push(labelled_counter(
+        "symbi_pool_queue_wait_ns_total",
+        stats.cumulative_queue_wait_ns,
+    ));
+    out.push(labelled_counter(
+        "symbi_pool_spawned_after_close_total",
+        stats.spawned_after_close,
+    ));
+    for (i, lane) in stats.lanes.iter().enumerate() {
+        out.push(
+            MetricPoint::gauge(
+                "symbi_pool_lane_depth_highwatermark",
+                lane.depth_highwatermark as f64,
+            )
+            .with_label("pool", pool.clone())
+            .with_label("lane", i.to_string()),
+        );
+        out.push(
+            MetricPoint::counter("symbi_pool_lane_steals_total", lane.steals)
+                .with_label("pool", pool.clone())
+                .with_label("lane", i.to_string()),
+        );
+    }
+}
+
+/// Contribute OS-layer metrics (resident memory, cumulative CPU time).
+/// Uses the cached sampler with a 1 ms TTL — a monitoring period is always
+/// far coarser, so the cache never hides signal here.
+pub fn collect_os(out: &mut Vec<MetricPoint>) {
+    let sys = SysStats::sample_cached();
+    out.push(MetricPoint::gauge(
+        "symbi_os_memory_kb",
+        sys.memory_kb as f64,
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_os_cpu_time_ms_total",
+        sys.cpu_time_ms,
+    ));
+}
+
+/// Contribute Mercury PVAR metrics through a tool session (§IV-B2):
+///
+/// * every `NO_OBJECT` PVAR in the export table becomes one family named
+///   `symbi_hg_<pvar_name>` (counters get a `_total` suffix);
+/// * live `HANDLE`-bound PVARs are sampled by enumerating the PVAR blocks
+///   of all currently posted handles ([`HgClass::posted_handle_pvars`])
+///   and aggregating each variable across them — the only way to observe
+///   values that vanish when their handle completes;
+/// * `symbi_hg_live_handles` gauges how many in-flight handles the
+///   aggregates cover.
+pub fn collect_hg(hg: &HgClass, session: &PvarSession, out: &mut Vec<MetricPoint>) {
+    let live = hg.posted_handle_pvars();
+    out.push(MetricPoint::gauge(
+        "symbi_hg_live_handles",
+        live.len() as f64,
+    ));
+    for info in PVAR_TABLE {
+        let Ok(handle) = session.alloc_handle(info.id) else {
+            continue;
+        };
+        match info.bind {
+            PvarBind::NoObject => {
+                let Ok(v) = session.sample(&handle, None) else {
+                    continue;
+                };
+                let point = match info.class {
+                    PvarClass::Counter => {
+                        MetricPoint::counter(format!("symbi_hg_{}_total", info.name), v)
+                    }
+                    _ => MetricPoint::gauge(format!("symbi_hg_{}", info.name), v as f64),
+                };
+                out.push(point);
+            }
+            PvarBind::Handle => {
+                let mut sum = 0u64;
+                for block in &live {
+                    if let Ok(v) = session.sample(&handle, Some(block)) {
+                        sum += v;
+                    }
+                }
+                out.push(MetricPoint::gauge(
+                    format!("symbi_hg_live_{}_sum", info.name),
+                    sum as f64,
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Stage;
+    use crate::Symbiosys;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let mut h = HistogramValue::new(&[1.0, 10.0, 100.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(50.0);
+        h.observe(500.0);
+        assert_eq!(h.counts, vec![1, 2, 3, 4]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 555.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_collects_registered_sources_in_order() {
+        let reg = TelemetryRegistry::new();
+        reg.register_source("a", |out| out.push(MetricPoint::gauge("symbi_a", 1.0)));
+        reg.register_source("b", |out| out.push(MetricPoint::gauge("symbi_b", 2.0)));
+        assert_eq!(reg.source_names(), vec!["a", "b"]);
+        let snap = reg.sample();
+        assert_eq!(snap.seq, 1);
+        assert_eq!(snap.points[0].point.name, "symbi_a");
+        assert_eq!(snap.points[1].point.name, "symbi_b");
+        // Self-telemetry rides along.
+        assert!(snap.find("symbi_telemetry_snapshots_total", &[]).is_some());
+        assert!(snap
+            .points
+            .iter()
+            .any(|p| p.point.name == "symbi_telemetry_sample_duration_ns"));
+    }
+
+    #[test]
+    fn counter_deltas_computed_between_snapshots() {
+        let reg = TelemetryRegistry::new();
+        let v = Arc::new(AtomicU64::new(10));
+        let v2 = v.clone();
+        reg.register_source("ctr", move |out| {
+            out.push(MetricPoint::counter(
+                "symbi_test_total",
+                v2.load(Ordering::Relaxed),
+            ))
+        });
+        let first = reg.sample();
+        assert_eq!(
+            first.find("symbi_test_total", &[]).unwrap().delta,
+            None,
+            "no delta on first observation"
+        );
+        v.store(17, Ordering::Relaxed);
+        let second = reg.sample();
+        assert_eq!(second.find("symbi_test_total", &[]).unwrap().delta, Some(7));
+        // A counter reset saturates to zero rather than wrapping.
+        v.store(3, Ordering::Relaxed);
+        let third = reg.sample();
+        assert_eq!(third.find("symbi_test_total", &[]).unwrap().delta, Some(0));
+    }
+
+    #[test]
+    fn deltas_are_per_series_not_per_family() {
+        let reg = TelemetryRegistry::new();
+        let tick = Arc::new(AtomicU64::new(0));
+        let t2 = tick.clone();
+        reg.register_source("multi", move |out| {
+            let t = t2.load(Ordering::Relaxed);
+            out.push(MetricPoint::counter("symbi_multi_total", 10 * t).with_label("k", "a"));
+            out.push(MetricPoint::counter("symbi_multi_total", 100 * t).with_label("k", "b"));
+        });
+        tick.store(1, Ordering::Relaxed);
+        reg.sample();
+        tick.store(2, Ordering::Relaxed);
+        let snap = reg.sample();
+        assert_eq!(
+            snap.find("symbi_multi_total", &[("k", "a")]).unwrap().delta,
+            Some(10)
+        );
+        assert_eq!(
+            snap.find("symbi_multi_total", &[("k", "b")]).unwrap().delta,
+            Some(100)
+        );
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let reg = TelemetryRegistry::with_capacity(3);
+        for _ in 0..10 {
+            reg.sample();
+        }
+        let recent = reg.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].seq, 8);
+        assert_eq!(recent[2].seq, 10);
+        assert_eq!(reg.latest().unwrap().seq, 10);
+    }
+
+    #[test]
+    fn entity_tag_propagates_to_snapshots() {
+        let reg = TelemetryRegistry::new();
+        assert_eq!(reg.sample().entity, None);
+        reg.set_entity("svc-0");
+        assert_eq!(reg.sample().entity.as_deref(), Some("svc-0"));
+    }
+
+    #[test]
+    fn profiler_collector_emits_rows() {
+        let sym = Symbiosys::new("telemetry-prof", Stage::Full);
+        let peer = crate::entity::register_entity("telemetry-peer");
+        sym.profiler().record(
+            sym.entity(),
+            peer,
+            Side::Origin,
+            crate::Callpath::root("rpc_t"),
+            &[(crate::Interval::OriginExecution, 1000)],
+        );
+        let mut out = Vec::new();
+        collect_profiler(sym.profiler(), &mut out);
+        assert!(out.iter().any(|p| p.name == "symbi_profile_rows"));
+        let count = out
+            .iter()
+            .find(|p| p.name == "symbi_rpc_count_total")
+            .expect("rpc count family");
+        assert_eq!(count.value, MetricValue::Counter(1));
+        assert!(count
+            .labels
+            .iter()
+            .any(|(k, v)| k == "callpath" && v.contains("rpc_t")));
+        assert!(out.iter().any(|p| p.name == "symbi_rpc_interval_ns_total"));
+    }
+
+    #[test]
+    fn pool_collector_emits_lane_series() {
+        let pool = symbi_tasking::Pool::with_lanes("telemetry-pool", 4);
+        pool.spawn(|| {});
+        let mut out = Vec::new();
+        collect_pool(&pool.stats(), &mut out);
+        let lanes: Vec<_> = out
+            .iter()
+            .filter(|p| p.name == "symbi_pool_lane_depth_highwatermark")
+            .collect();
+        assert_eq!(lanes.len(), 4);
+        assert!(out.iter().any(|p| p.name == "symbi_pool_lane_steals_total"));
+        assert!(out
+            .iter()
+            .any(|p| p.name == "symbi_pool_runnable_ults" && p.value == MetricValue::Gauge(1.0)));
+        // The undrained task is dropped with the pool.
+    }
+
+    #[test]
+    fn hg_collector_covers_no_object_and_live_handle_pvars() {
+        use symbi_fabric::{Fabric, NetworkModel};
+        let hg = HgClass::init(Fabric::new(NetworkModel::instant()), Default::default());
+        let session = hg.pvar_session();
+        let mut out = Vec::new();
+        collect_hg(&hg, &session, &mut out);
+        assert!(out.iter().any(|p| p.name == "symbi_hg_live_handles"));
+        // One family per NO_OBJECT PVAR.
+        assert!(out
+            .iter()
+            .any(|p| p.name == "symbi_hg_num_rpcs_invoked_total"));
+        assert!(out.iter().any(|p| p.name == "symbi_hg_eager_buffer_size"));
+        // HANDLE-bound PVARs appear as live aggregates even when no
+        // handles are posted.
+        assert!(out
+            .iter()
+            .any(|p| p.name == "symbi_hg_live_input_serialization_time_sum"));
+    }
+
+    #[test]
+    fn os_collector_emits_memory_and_cpu() {
+        let mut out = Vec::new();
+        collect_os(&mut out);
+        assert!(out.iter().any(|p| p.name == "symbi_os_memory_kb"));
+        assert!(out.iter().any(|p| p.name == "symbi_os_cpu_time_ms_total"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Prometheus text-exposition rendering and a zero-dependency scrape
+//! endpoint over `std::net::TcpListener`.
+//!
+//! The renderer follows text format 0.0.4: one `# HELP` / `# TYPE` pair
+//! per family, all series of a family contiguous, label values escaped
+//! (`\\`, `\"`, `\n`), histograms expanded to cumulative `_bucket{le=}`
+//! series plus `_sum` / `_count`.
+
+use super::{MetricSnapshot, MetricValue, TelemetryRegistry};
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+fn escape_label(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn escape_help(out: &mut String, v: &str) {
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_labels(out: &mut String, labels: &[(String, String)], extra: Option<(&str, &str)>) {
+    if labels.is_empty() && extra.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(out, v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        escape_label(out, v);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+fn format_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        v.to_string()
+    }
+}
+
+/// A short human-readable HELP string for a family, derived from its name.
+fn help_for(name: &str) -> String {
+    format!("{} (symbiosys telemetry)", name.replace('_', " "))
+}
+
+/// Render one snapshot in Prometheus text exposition format 0.0.4.
+///
+/// Families are emitted in sorted-name order, each preceded by `# HELP` /
+/// `# TYPE`; all series of a family are contiguous as the format requires.
+pub fn render(snap: &MetricSnapshot) -> String {
+    // Group points by family name, preserving in-family arrival order.
+    let mut families: BTreeMap<&str, Vec<&super::SnapshotPoint>> = BTreeMap::new();
+    for sp in &snap.points {
+        families.entry(&sp.point.name).or_default().push(sp);
+    }
+    let mut out = String::with_capacity(64 * snap.points.len() + 256);
+    for (name, points) in families {
+        let kind = match points[0].point.value {
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Histogram(_) => "histogram",
+        };
+        out.push_str("# HELP ");
+        out.push_str(name);
+        out.push(' ');
+        escape_help(&mut out, &help_for(name));
+        out.push('\n');
+        out.push_str("# TYPE ");
+        out.push_str(name);
+        out.push(' ');
+        out.push_str(kind);
+        out.push('\n');
+        for sp in points {
+            let p = &sp.point;
+            match &p.value {
+                MetricValue::Gauge(v) => {
+                    out.push_str(name);
+                    push_labels(&mut out, &p.labels, None);
+                    out.push(' ');
+                    out.push_str(&format_value(*v));
+                    out.push('\n');
+                }
+                MetricValue::Counter(v) => {
+                    out.push_str(name);
+                    push_labels(&mut out, &p.labels, None);
+                    out.push(' ');
+                    out.push_str(&v.to_string());
+                    out.push('\n');
+                }
+                MetricValue::Histogram(h) => {
+                    // Bucket counts are already cumulative (see
+                    // `HistogramValue::observe`), matching the exposition
+                    // format directly.
+                    for (i, count) in h.counts.iter().enumerate() {
+                        let le = h
+                            .bounds
+                            .get(i)
+                            .map_or_else(|| "+Inf".to_string(), |b| format_value(*b));
+                        out.push_str(name);
+                        out.push_str("_bucket");
+                        push_labels(&mut out, &p.labels, Some(("le", &le)));
+                        out.push(' ');
+                        out.push_str(&count.to_string());
+                        out.push('\n');
+                    }
+                    out.push_str(name);
+                    out.push_str("_sum");
+                    push_labels(&mut out, &p.labels, None);
+                    out.push(' ');
+                    out.push_str(&format_value(h.sum));
+                    out.push('\n');
+                    out.push_str(name);
+                    out.push_str("_count");
+                    push_labels(&mut out, &p.labels, None);
+                    out.push(' ');
+                    out.push_str(&h.count.to_string());
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Serves the registry's metrics over HTTP for Prometheus scrapes.
+///
+/// Each scrape triggers a fresh [`TelemetryRegistry::sample`], so scraped
+/// values are current even when no background monitor is running. The
+/// listener runs on a dedicated OS thread (it blocks in `accept`, which
+/// must not occupy a ULT pool).
+pub struct PrometheusExporter {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for PrometheusExporter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PrometheusExporter")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PrometheusExporter {
+    /// Bind `127.0.0.1:port` (use port 0 for an ephemeral port) and serve
+    /// scrapes until [`shutdown`](Self::shutdown) or drop.
+    pub fn serve(registry: Arc<TelemetryRegistry>, port: u16) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("symbi-prom".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        // One scrape at a time: Prometheus scrapes are
+                        // infrequent and the response is small.
+                        let _ = handle_scrape(stream, &registry);
+                    }
+                })?
+        };
+        Ok(PrometheusExporter {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the listener thread and wait for it to exit.
+    pub fn shutdown(&mut self) {
+        if self
+            .shutdown
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for PrometheusExporter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_scrape(mut stream: TcpStream, registry: &TelemetryRegistry) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(2)))?;
+    // Read until the end of the request headers (or timeout). The request
+    // itself is ignored: every path serves the metrics page.
+    let mut buf = [0u8; 1024];
+    let mut seen = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let body = render(&registry.sample());
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{HistogramValue, MetricPoint, SnapshotPoint};
+    use super::*;
+
+    fn snap(points: Vec<SnapshotPoint>) -> MetricSnapshot {
+        MetricSnapshot {
+            seq: 1,
+            wall_ns: 0,
+            entity: None,
+            points,
+        }
+    }
+
+    fn plain(p: MetricPoint) -> SnapshotPoint {
+        SnapshotPoint {
+            point: p,
+            delta: None,
+        }
+    }
+
+    #[test]
+    fn renders_gauge_and_counter_families() {
+        let text = render(&snap(vec![
+            plain(MetricPoint::gauge("symbi_depth", 3.0).with_label("pool", "p0")),
+            plain(MetricPoint::counter("symbi_rpcs_total", 12)),
+            plain(MetricPoint::gauge("symbi_depth", 1.5).with_label("pool", "p1")),
+        ]));
+        assert!(text.contains("# TYPE symbi_depth gauge\n"));
+        assert!(text.contains("# TYPE symbi_rpcs_total counter\n"));
+        assert!(text.contains("symbi_depth{pool=\"p0\"} 3\n"));
+        assert!(text.contains("symbi_depth{pool=\"p1\"} 1.5\n"));
+        assert!(text.contains("symbi_rpcs_total 12\n"));
+        // Family series must be contiguous: both symbi_depth lines appear
+        // before the symbi_rpcs_total TYPE header.
+        let p1 = text.find("symbi_depth{pool=\"p1\"}").unwrap();
+        let rpcs_header = text.find("# HELP symbi_rpcs_total").unwrap();
+        assert!(p1 < rpcs_header, "family series interleaved");
+    }
+
+    #[test]
+    fn renders_histogram_with_cumulative_buckets() {
+        let mut h = HistogramValue::new(&[1.0, 5.0]);
+        h.observe(0.5);
+        h.observe(0.7);
+        h.observe(3.0);
+        h.observe(100.0);
+        let text = render(&snap(vec![plain(MetricPoint::histogram("symbi_lat", h))]));
+        assert!(text.contains("# TYPE symbi_lat histogram\n"));
+        assert!(text.contains("symbi_lat_bucket{le=\"1\"} 2\n"));
+        assert!(text.contains("symbi_lat_bucket{le=\"5\"} 3\n"));
+        assert!(text.contains("symbi_lat_bucket{le=\"+Inf\"} 4\n"));
+        assert!(text.contains("symbi_lat_sum 104.2\n"));
+        assert!(text.contains("symbi_lat_count 4\n"));
+    }
+
+    #[test]
+    fn escapes_label_values() {
+        let text = render(&snap(vec![plain(
+            MetricPoint::gauge("symbi_g", 1.0).with_label("svc", "a\\b\"c\nd"),
+        )]));
+        assert!(text.contains(r#"svc="a\\b\"c\nd""#), "got: {text}");
+    }
+
+    #[test]
+    fn exporter_serves_scrapes_and_shuts_down() {
+        let registry = Arc::new(TelemetryRegistry::new());
+        registry.register_source("demo", |out| {
+            out.push(MetricPoint::gauge("symbi_demo_value", 7.0));
+        });
+        let mut exporter = PrometheusExporter::serve(registry, 0).unwrap();
+        let addr = exporter.local_addr();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK\r\n"), "{response}");
+        assert!(response.contains("text/plain; version=0.0.4"));
+        assert!(response.contains("symbi_demo_value 7\n"));
+        // Scrape-on-demand also produced the registry self-telemetry.
+        assert!(response.contains("symbi_telemetry_snapshots_total"));
+
+        exporter.shutdown();
+        // Second shutdown is a no-op.
+        exporter.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || TcpStream::connect(addr)
+                    .map(|mut s| {
+                        let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+                        let mut buf = String::new();
+                        s.read_to_string(&mut buf).unwrap_or(0) == 0
+                    })
+                    .unwrap_or(true),
+            "listener still serving after shutdown"
+        );
+    }
+}

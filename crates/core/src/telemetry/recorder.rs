@@ -1,0 +1,314 @@
+//! On-disk flight recorder: a bounded ring of JSONL files holding the
+//! most recent metric snapshots.
+//!
+//! Post-mortem analysis of a data service needs the minutes *before* the
+//! incident, not an unbounded log. The recorder appends one JSON line per
+//! snapshot to `flight-<index>.jsonl`, rotates to a new file once the
+//! current one exceeds `max_file_bytes`, and deletes the oldest file when
+//! more than `max_files` exist — so disk usage is bounded by roughly
+//! `max_files * max_file_bytes` regardless of how long the service runs.
+
+use super::jsonl::{snapshot_from_json, snapshot_to_json};
+use super::MetricSnapshot;
+use parking_lot::Mutex;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Sizing policy for a [`FlightRecorder`].
+#[derive(Debug, Clone)]
+pub struct FlightRecorderConfig {
+    /// Directory holding the `flight-<index>.jsonl` ring (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Rotate to a new file once the current one reaches this many bytes.
+    pub max_file_bytes: u64,
+    /// Keep at most this many files; the oldest is deleted first.
+    pub max_files: usize,
+}
+
+impl FlightRecorderConfig {
+    /// Config with default sizing (4 files x 4 MiB).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        FlightRecorderConfig {
+            dir: dir.into(),
+            max_file_bytes: 4 << 20,
+            max_files: 4,
+        }
+    }
+
+    /// Override the per-file rotation threshold.
+    pub fn with_max_file_bytes(mut self, bytes: u64) -> Self {
+        self.max_file_bytes = bytes.max(1);
+        self
+    }
+
+    /// Override the file-count bound (minimum 2, so rotation always has
+    /// somewhere to go).
+    pub fn with_max_files(mut self, files: usize) -> Self {
+        self.max_files = files.max(2);
+        self
+    }
+}
+
+struct RecorderState {
+    writer: BufWriter<File>,
+    current_index: u64,
+    current_bytes: u64,
+    /// Indices of live files, oldest first (current file is last).
+    live: Vec<u64>,
+}
+
+/// Appends snapshots to a bounded on-disk ring of JSONL files.
+pub struct FlightRecorder {
+    config: FlightRecorderConfig,
+    state: Mutex<RecorderState>,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("dir", &self.config.dir)
+            .finish_non_exhaustive()
+    }
+}
+
+fn file_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("flight-{index}.jsonl"))
+}
+
+/// Indices of existing `flight-<index>.jsonl` files in `dir`, ascending.
+fn scan_indices(dir: &Path) -> std::io::Result<Vec<u64>> {
+    let mut indices = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let name = entry?.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(idx) = name
+            .strip_prefix("flight-")
+            .and_then(|rest| rest.strip_suffix(".jsonl"))
+        {
+            if let Ok(idx) = idx.parse::<u64>() {
+                indices.push(idx);
+            }
+        }
+    }
+    indices.sort_unstable();
+    Ok(indices)
+}
+
+impl FlightRecorder {
+    /// Open (or resume) a recorder in `config.dir`. An existing ring from
+    /// a previous run is continued: writing resumes after the highest
+    /// existing index, and old files count against `max_files`.
+    pub fn open(config: FlightRecorderConfig) -> std::io::Result<FlightRecorder> {
+        std::fs::create_dir_all(&config.dir)?;
+        let live = scan_indices(&config.dir)?;
+        let next_index = live.last().map_or(0, |last| last + 1);
+        let mut state = RecorderState {
+            writer: open_file(&config.dir, next_index)?,
+            current_index: next_index,
+            current_bytes: 0,
+            live,
+        };
+        state.live.push(next_index);
+        let recorder = FlightRecorder {
+            config,
+            state: Mutex::new(state),
+        };
+        recorder.enforce_bound(&mut recorder.state.lock());
+        Ok(recorder)
+    }
+
+    /// Append one snapshot as a JSON line, rotating/reclaiming as needed.
+    pub fn append(&self, snap: &MetricSnapshot) -> std::io::Result<()> {
+        let line = snapshot_to_json(snap);
+        let mut state = self.state.lock();
+        state.writer.write_all(line.as_bytes())?;
+        state.writer.write_all(b"\n")?;
+        state.current_bytes += line.len() as u64 + 1;
+        if state.current_bytes >= self.config.max_file_bytes {
+            state.writer.flush()?;
+            let next = state.current_index + 1;
+            state.writer = open_file(&self.config.dir, next)?;
+            state.current_index = next;
+            state.current_bytes = 0;
+            state.live.push(next);
+            self.enforce_bound(&mut state);
+        }
+        Ok(())
+    }
+
+    /// Flush buffered lines to disk.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.state.lock().writer.flush()
+    }
+
+    /// The directory holding the ring.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// Paths of the live ring files, oldest first.
+    pub fn files(&self) -> Vec<PathBuf> {
+        self.state
+            .lock()
+            .live
+            .iter()
+            .map(|&idx| file_path(&self.config.dir, idx))
+            .collect()
+    }
+
+    fn enforce_bound(&self, state: &mut RecorderState) {
+        while state.live.len() > self.config.max_files {
+            let oldest = state.live.remove(0);
+            // Best effort: a missing file (e.g. removed by an operator)
+            // must not kill the monitor loop.
+            let _ = std::fs::remove_file(file_path(&self.config.dir, oldest));
+        }
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        let _ = self.state.lock().writer.flush();
+    }
+}
+
+fn open_file(dir: &Path, index: u64) -> std::io::Result<BufWriter<File>> {
+    let file = OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(file_path(dir, index))?;
+    Ok(BufWriter::new(file))
+}
+
+/// Read every snapshot still on disk in `dir`, oldest first. Unparseable
+/// lines (e.g. a torn final line from a crash) are skipped.
+pub fn replay(dir: &Path) -> std::io::Result<Vec<MetricSnapshot>> {
+    let mut snaps = Vec::new();
+    for idx in scan_indices(dir)? {
+        let content = match std::fs::read_to_string(file_path(dir, idx)) {
+            Ok(c) => c,
+            // Deleted between scan and read (concurrent rotation).
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for line in content.lines() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Ok(snap) = snapshot_from_json(line) {
+                snaps.push(snap);
+            }
+        }
+    }
+    Ok(snaps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{MetricPoint, SnapshotPoint};
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("symbi-recorder-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn snap(seq: u64) -> MetricSnapshot {
+        MetricSnapshot {
+            seq,
+            wall_ns: seq * 1_000,
+            entity: Some("test".into()),
+            points: vec![SnapshotPoint {
+                point: MetricPoint::counter("symbi_events_total", seq * 10),
+                delta: if seq == 0 { None } else { Some(10) },
+            }],
+        }
+    }
+
+    #[test]
+    fn appended_snapshots_replay_in_order() {
+        let dir = temp_dir("replay");
+        let rec = FlightRecorder::open(FlightRecorderConfig::new(&dir)).unwrap();
+        for seq in 0..5 {
+            rec.append(&snap(seq)).unwrap();
+        }
+        rec.flush().unwrap();
+        let back = replay(&dir).unwrap();
+        assert_eq!(back.len(), 5);
+        for (i, s) in back.iter().enumerate() {
+            assert_eq!(*s, snap(i as u64));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ring_rotates_and_reclaims_oldest_file() {
+        let dir = temp_dir("ring");
+        // Tiny files: every append rotates, so the ring is exercised fast.
+        let cfg = FlightRecorderConfig::new(&dir)
+            .with_max_file_bytes(64)
+            .with_max_files(3);
+        let rec = FlightRecorder::open(cfg).unwrap();
+        for seq in 0..20 {
+            rec.append(&snap(seq)).unwrap();
+        }
+        rec.flush().unwrap();
+        let files = scan_indices(&dir).unwrap();
+        assert!(
+            files.len() <= 3,
+            "ring exceeded max_files: {} files",
+            files.len()
+        );
+        // Only recent snapshots survive; the earliest are gone.
+        let back = replay(&dir).unwrap();
+        assert!(!back.is_empty());
+        assert!(back.first().unwrap().seq > 0, "oldest file not reclaimed");
+        assert_eq!(back.last().unwrap().seq, 19);
+        // Replayed sequence is still contiguous and ordered.
+        for pair in back.windows(2) {
+            assert_eq!(pair[1].seq, pair[0].seq + 1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopen_resumes_after_existing_files() {
+        let dir = temp_dir("resume");
+        {
+            let rec = FlightRecorder::open(FlightRecorderConfig::new(&dir)).unwrap();
+            rec.append(&snap(0)).unwrap();
+            rec.flush().unwrap();
+        }
+        {
+            let rec = FlightRecorder::open(FlightRecorderConfig::new(&dir)).unwrap();
+            rec.append(&snap(1)).unwrap();
+            rec.flush().unwrap();
+            assert!(rec.files().len() >= 2, "second run must use a new index");
+        }
+        let back = replay(&dir).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].seq, 0);
+        assert_eq!(back[1].seq, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_final_line_is_skipped() {
+        let dir = temp_dir("torn");
+        let rec = FlightRecorder::open(FlightRecorderConfig::new(&dir)).unwrap();
+        rec.append(&snap(0)).unwrap();
+        rec.flush().unwrap();
+        // Simulate a crash mid-write: append half a JSON line.
+        let current = rec.files().pop().unwrap();
+        let mut f = OpenOptions::new().append(true).open(current).unwrap();
+        f.write_all(b"{\"seq\":99,\"wall_ns\":").unwrap();
+        drop(f);
+        let back = replay(&dir).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].seq, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

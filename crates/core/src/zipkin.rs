@@ -406,4 +406,74 @@ mod tests {
         let spans = stitch(&events);
         assert_eq!(spans[0].duration_us, 1);
     }
+
+    #[test]
+    fn orphan_t1_among_complete_pairs_does_not_corrupt_stitching() {
+        // A client that timed out (t1 recorded, t14 never happens) while
+        // other requests on the same callpath completed normally: the
+        // orphan must be dropped without pairing someone else's t14 and
+        // without producing zero-duration spans.
+        let client = register_entity("orphan-mix");
+        let cp = Callpath::root("mixed_rpc");
+        let events = vec![
+            // Completed request 10.
+            ev(10, 0, 1_000, TraceEventKind::OriginForward, client, cp),
+            ev(10, 1, 8_000, TraceEventKind::OriginComplete, client, cp),
+            // Request 11: t1 only, no t14 (e.g. timeout).
+            ev(11, 0, 2_000, TraceEventKind::OriginForward, client, cp),
+            // Completed request 12.
+            ev(12, 0, 3_000, TraceEventKind::OriginForward, client, cp),
+            ev(12, 1, 4_000, TraceEventKind::OriginComplete, client, cp),
+        ];
+        let spans = stitch(&events);
+        assert_eq!(spans.len(), 2, "orphan t1 must not become a span");
+        assert!(spans.iter().all(|s| s.trace_id != 11));
+        assert!(spans.iter().all(|s| s.duration_us > 0));
+        // The surviving spans kept their own start times (the orphan did
+        // not steal a completion).
+        let d10 = spans.iter().find(|s| s.trace_id == 10).unwrap();
+        let d12 = spans.iter().find(|s| s.trace_id == 12).unwrap();
+        assert_eq!(d10.duration_us, 7);
+        assert_eq!(d12.duration_us, 1);
+    }
+
+    #[test]
+    fn zipkin_json_escapes_round_trip_through_a_parser() {
+        // Control characters and non-ASCII service names must survive a
+        // serialize → parse round trip (consumers are real JSON parsers).
+        let svc = register_entity("svc-ßå\t\u{3}中");
+        let cp = Callpath::root("esc_rpc");
+        let events = vec![
+            ev(6, 0, 1_000, TraceEventKind::OriginForward, svc, cp),
+            ev(6, 1, 2_000, TraceEventKind::OriginComplete, svc, cp),
+        ];
+        let json = to_zipkin_json(&stitch(&events));
+        let parsed = crate::telemetry::jsonl::parse_json(&json).expect("valid JSON");
+        let arr = parsed.as_arr().expect("top-level array");
+        assert_eq!(arr.len(), 1);
+        let name = arr[0]
+            .get("localEndpoint")
+            .and_then(|e| e.get("serviceName"))
+            .and_then(|n| n.as_str())
+            .expect("serviceName");
+        assert_eq!(name, "svc-ßå\t\u{3}中");
+    }
+
+    #[test]
+    fn escape_round_trips_for_arbitrary_strings() {
+        for s in [
+            "plain",
+            "quotes \" and \\ backslashes",
+            "control \u{0}\u{1}\u{1f} chars",
+            "newline\nreturn\rtab\t",
+            "non-ascii é中😀",
+            "",
+        ] {
+            let mut escaped = String::new();
+            escape_into(&mut escaped, s);
+            let parsed = crate::telemetry::jsonl::parse_json(&format!("\"{escaped}\""))
+                .unwrap_or_else(|e| panic!("escaping {s:?} produced invalid JSON: {e}"));
+            assert_eq!(parsed.as_str(), Some(s), "round trip failed for {s:?}");
+        }
+    }
 }

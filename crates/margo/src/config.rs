@@ -6,6 +6,7 @@
 //! Progress Thread?* column.
 
 use std::time::Duration;
+use symbi_core::telemetry::recorder::FlightRecorderConfig;
 use symbi_core::Stage;
 use symbi_mercury::HgConfig;
 
@@ -17,6 +18,33 @@ pub enum Mode {
     /// Server: accepts RPCs on handler streams (may also issue RPCs,
     /// as e.g. the Mobject sequencer provider does).
     Server,
+}
+
+/// Live-telemetry settings for one instance. Everything defaults to
+/// *off*: an unconfigured instance pays no monitoring cost at all.
+#[derive(Debug, Clone, Default)]
+pub struct TelemetryOptions {
+    /// Period of the background monitoring ULT that samples the unified
+    /// metric registry. `None` (default) runs no monitor; the Prometheus
+    /// endpoint still works, sampling on scrape.
+    pub sample_period: Option<Duration>,
+    /// Serve Prometheus text-exposition scrapes on `127.0.0.1:<port>`
+    /// (0 picks an ephemeral port; see
+    /// [`crate::MargoInstance::prometheus_addr`]).
+    pub prometheus_port: Option<u16>,
+    /// Persist each monitor sample to an on-disk flight-recorder ring.
+    /// Requires `sample_period` to produce data continuously (a final
+    /// snapshot is also written at `finalize`).
+    pub flight_recorder: Option<FlightRecorderConfig>,
+}
+
+impl TelemetryOptions {
+    /// Whether any telemetry feature is switched on.
+    pub fn enabled(&self) -> bool {
+        self.sample_period.is_some()
+            || self.prometheus_port.is_some()
+            || self.flight_recorder.is_some()
+    }
 }
 
 /// Configuration for one [`crate::MargoInstance`].
@@ -46,6 +74,8 @@ pub struct MargoConfig {
     pub progress_timeout: Duration,
     /// Upper bound a blocking forward waits for its response.
     pub rpc_timeout: Duration,
+    /// Live-telemetry plane settings (default: everything off).
+    pub telemetry: TelemetryOptions,
 }
 
 impl MargoConfig {
@@ -62,6 +92,7 @@ impl MargoConfig {
             stage: Stage::Full,
             progress_timeout: Duration::from_micros(200),
             rpc_timeout: Duration::from_secs(60),
+            telemetry: TelemetryOptions::default(),
         }
     }
 
@@ -77,6 +108,7 @@ impl MargoConfig {
             stage: Stage::Full,
             progress_timeout: Duration::from_micros(200),
             rpc_timeout: Duration::from_secs(60),
+            telemetry: TelemetryOptions::default(),
         }
     }
 
@@ -101,6 +133,24 @@ impl MargoConfig {
     /// Set the eager buffer size.
     pub fn with_eager_size(mut self, bytes: usize) -> Self {
         self.eager_size = bytes;
+        self
+    }
+
+    /// Run a background monitoring ULT sampling telemetry every `period`.
+    pub fn with_telemetry_period(mut self, period: Duration) -> Self {
+        self.telemetry.sample_period = Some(period);
+        self
+    }
+
+    /// Serve Prometheus scrapes on `127.0.0.1:<port>` (0 = ephemeral).
+    pub fn with_prometheus_port(mut self, port: u16) -> Self {
+        self.telemetry.prometheus_port = Some(port);
+        self
+    }
+
+    /// Record monitor samples to an on-disk flight-recorder ring.
+    pub fn with_flight_recorder(mut self, recorder: FlightRecorderConfig) -> Self {
+        self.telemetry.flight_recorder = Some(recorder);
         self
     }
 

@@ -5,6 +5,7 @@
 use crate::bridge::PvarBridge;
 use crate::config::{MargoConfig, Mode};
 use crate::keys;
+use crate::telemetry::TelemetryPlane;
 use crate::MargoError;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -103,6 +104,7 @@ pub(crate) struct Inner {
     bridge: Arc<PvarBridge>,
     shutdown: Arc<AtomicBool>,
     streams: Mutex<Vec<ExecutionStream>>,
+    telemetry: Arc<TelemetryPlane>,
 }
 
 /// A Margo instance. Cloning shares the instance.
@@ -171,6 +173,48 @@ impl MargoInstance {
             }
         };
 
+        // Pools the telemetry plane reports on. In (Client, true) mode
+        // `progress_pool` *is* `primary_pool`, so only servers add it.
+        let mut monitored = vec![primary_pool.clone()];
+        if let (Mode::Server, Some(p)) = (config.mode, &progress_pool) {
+            monitored.push(p.clone());
+        }
+        let telemetry = Arc::new(TelemetryPlane::build(
+            &config.telemetry,
+            &sym,
+            &hg,
+            monitored,
+        ));
+
+        if let Some(period) = config.telemetry.sample_period {
+            // The monitor runs on its own pool + ES so its periodic sleep
+            // never occupies a handler or progress stream.
+            let monitor_pool = Pool::new(format!("{}-monitor", config.name));
+            streams.push(ExecutionStream::spawn(
+                format!("{}-monitor", config.name),
+                std::slice::from_ref(&monitor_pool),
+            ));
+            let plane = telemetry.clone();
+            let stop = shutdown.clone();
+            monitor_pool.spawn(move || loop {
+                if stop.load(Ordering::Acquire) {
+                    return;
+                }
+                plane.sample_and_record();
+                // Sleep in short slices so finalize never waits more than
+                // a few ms for the monitor to notice the shutdown flag.
+                let mut remaining = period;
+                while remaining > std::time::Duration::ZERO {
+                    if stop.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let slice = remaining.min(std::time::Duration::from_millis(5));
+                    std::thread::sleep(slice);
+                    remaining -= slice;
+                }
+            });
+        }
+
         let inner = Arc::new(Inner {
             config,
             hg,
@@ -180,6 +224,7 @@ impl MargoInstance {
             bridge,
             shutdown,
             streams: Mutex::new(streams),
+            telemetry,
         });
 
         Self::spawn_progress(&inner);
@@ -239,6 +284,19 @@ impl MargoInstance {
         &self.inner.primary_pool
     }
 
+    /// The unified telemetry registry of this instance. Always available:
+    /// call [`symbi_core::TelemetryRegistry::sample`] for an on-demand
+    /// snapshot even when no background monitor or exporter is configured.
+    pub fn telemetry(&self) -> &Arc<symbi_core::TelemetryRegistry> {
+        &self.inner.telemetry.registry
+    }
+
+    /// The address the Prometheus exporter is bound to, if one was
+    /// configured (useful with port 0).
+    pub fn prometheus_addr(&self) -> Option<std::net::SocketAddr> {
+        self.inner.telemetry.prometheus_addr()
+    }
+
     // ------------------------------------------------------------------
     // Server side
     // ------------------------------------------------------------------
@@ -285,6 +343,7 @@ impl MargoInstance {
                 std::slice::from_ref(&pool),
             ));
         }
+        self.inner.telemetry.pools.lock().push(pool.clone());
         pool
     }
 
@@ -430,6 +489,9 @@ impl MargoInstance {
         for s in streams {
             s.join();
         }
+        // Flush telemetry (final snapshot, recorder, exporter) while the
+        // Mercury instance is still alive for the last PVAR sample.
+        self.inner.telemetry.shutdown();
         self.inner.hg.finalize();
         self.inner.bridge.finalize();
     }
@@ -742,6 +804,7 @@ impl Drop for Inner {
         // ExecutionStream::drop joins each worker; progress loops exit on
         // the failed Weak upgrade or the shutdown flag.
         self.streams.lock().clear();
+        self.telemetry.shutdown();
         self.hg.finalize();
     }
 }

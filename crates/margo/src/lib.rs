@@ -36,9 +36,10 @@ mod bridge;
 mod config;
 mod instance;
 pub mod keys;
+mod telemetry;
 
 pub use bridge::{OriginHandleSamples, PvarBridge, TargetHandleSamples};
-pub use config::{MargoConfig, Mode};
+pub use config::{MargoConfig, Mode, TelemetryOptions};
 pub use instance::{entity_for_addr, AsyncRpc, MargoInstance, RpcHandler, RpcOutcome};
 
 /// Errors surfaced by Margo operations.
@@ -398,6 +399,96 @@ mod tests {
             outcome.origin_execution_ns
         );
         client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn telemetry_registry_sees_every_layer() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("tel-server", 2));
+        server.register_fn("tel_echo", |_m, x: u64| Ok::<u64, String>(x));
+        let client = MargoInstance::new(f, MargoConfig::client("tel-client"));
+        for i in 0..5u64 {
+            let _: u64 = client.forward(server.addr(), "tel_echo", &i).unwrap();
+        }
+
+        let snap = server.telemetry().sample();
+        assert_eq!(snap.entity.as_deref(), Some("tel-server"));
+        let has = |name: &str| snap.points.iter().any(|p| p.point.name == name);
+        // One family from each layer source.
+        assert!(has("symbi_rpc_count_total"), "profiler layer missing");
+        assert!(has("symbi_trace_events_buffered"), "tracer layer missing");
+        assert!(has("symbi_pool_runnable_ults"), "tasking layer missing");
+        assert!(has("symbi_os_memory_kb"), "os layer missing");
+        assert!(
+            has("symbi_hg_num_rpcs_serviced_total"),
+            "mercury layer missing"
+        );
+        assert!(
+            has("symbi_fabric_messages_sent_total"),
+            "fabric layer missing"
+        );
+        // Both server pools are reported.
+        let pools: std::collections::HashSet<&str> = snap
+            .points
+            .iter()
+            .filter(|p| p.point.name == "symbi_pool_runnable_ults")
+            .filter_map(|p| p.point.labels.iter().find(|(k, _)| k == "pool"))
+            .map(|(_, v)| v.as_str())
+            .collect();
+        assert!(pools.contains("tel-server-handlers"), "pools: {pools:?}");
+        assert!(pools.contains("tel-server-progress"), "pools: {pools:?}");
+
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn monitor_ult_records_snapshots_to_flight_ring() {
+        use symbi_core::telemetry::recorder::{replay, FlightRecorderConfig};
+        let dir = std::env::temp_dir().join(format!("symbi-margo-fr-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = fabric();
+        let config = MargoConfig::server("fr-server", 1)
+            .with_telemetry_period(std::time::Duration::from_millis(10))
+            .with_flight_recorder(FlightRecorderConfig::new(&dir));
+        let server = MargoInstance::new(f.clone(), config);
+        server.register_fn("fr_echo", |_m, x: u64| Ok::<u64, String>(x));
+        let client = MargoInstance::new(f, MargoConfig::client("fr-client"));
+        let _: u64 = client.forward(server.addr(), "fr_echo", &1u64).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        client.finalize();
+        server.finalize();
+
+        let snaps = replay(&dir).expect("replay flight ring");
+        // At least the first periodic sample plus the finalize flush.
+        assert!(snaps.len() >= 2, "only {} snapshots recorded", snaps.len());
+        assert!(snaps
+            .iter()
+            .all(|s| s.entity.as_deref() == Some("fr-server")));
+        // Sequence numbers strictly increase across the recorded series.
+        for pair in snaps.windows(2) {
+            assert!(pair[1].seq > pair[0].seq);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn add_handler_pool_is_monitored() {
+        let f = fabric();
+        let server = MargoInstance::new(f, MargoConfig::server("pool-tel", 1));
+        let _extra = server.add_handler_pool("bulk", 1);
+        let snap = server.telemetry().sample();
+        assert!(
+            snap.points.iter().any(|p| {
+                p.point.name == "symbi_pool_runnable_ults"
+                    && p.point
+                        .labels
+                        .iter()
+                        .any(|(k, v)| k == "pool" && v == "pool-tel-bulk")
+            }),
+            "extra handler pool not in telemetry"
+        );
         server.finalize();
     }
 }

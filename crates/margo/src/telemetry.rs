@@ -1,0 +1,180 @@
+//! The per-instance telemetry plane: wires every measurement layer into
+//! one [`TelemetryRegistry`] and owns the optional exporters.
+//!
+//! The Margo layer is the only place that sees *all* the layers at once
+//! (paper §IV-A: Margo hosts the measurement system), so this is where
+//! the unified registry is assembled:
+//!
+//! * `profiler` — per-callpath RPC counts and cumulative interval times,
+//! * `tracer` — buffered trace-event and segment gauges,
+//! * `tasking` — per-pool scheduler statistics, including the per-lane
+//!   queue-depth highwatermarks and steal counters,
+//! * `os` — resident memory and cumulative CPU time,
+//! * `mercury` — the PVAR export table sampled through a tool session,
+//!   including live HANDLE-bound PVARs of in-flight RPCs (§IV-B),
+//! * `fabric` — cumulative transfer statistics of the network substrate.
+//!
+//! The source closures capture only the component handles (`Symbiosys`,
+//! `HgClass`, `Fabric`, the pool list) — never the Margo `Inner` — so the
+//! registry introduces no reference cycle with the instance that owns it.
+
+use crate::config::TelemetryOptions;
+use parking_lot::Mutex;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use symbi_core::telemetry::prometheus::PrometheusExporter;
+use symbi_core::telemetry::recorder::FlightRecorder;
+use symbi_core::telemetry::{self, MetricPoint, TelemetryRegistry};
+use symbi_core::{entity_name, Symbiosys};
+use symbi_mercury::{HgClass, PvarSession};
+use symbi_tasking::Pool;
+
+/// The assembled telemetry plane of one Margo instance.
+pub(crate) struct TelemetryPlane {
+    pub(crate) registry: Arc<TelemetryRegistry>,
+    /// Pools the `tasking` source reports on; `add_handler_pool` extends
+    /// this at runtime.
+    pub(crate) pools: Arc<Mutex<Vec<Pool>>>,
+    pub(crate) recorder: Option<Arc<FlightRecorder>>,
+    /// The PVAR tool session the `mercury` source samples through; kept
+    /// here so finalize can close it explicitly (§IV-B2 step 5).
+    session: Arc<PvarSession>,
+    exporter: Mutex<Option<PrometheusExporter>>,
+}
+
+impl TelemetryPlane {
+    /// Build the registry, register the layer sources, and start the
+    /// configured exporters. Exporter failures (port in use, unwritable
+    /// recorder directory) disable that exporter with a warning rather
+    /// than failing instance creation: a data service must not refuse to
+    /// start because its monitoring cannot.
+    pub(crate) fn build(
+        options: &TelemetryOptions,
+        sym: &Arc<Symbiosys>,
+        hg: &HgClass,
+        initial_pools: Vec<Pool>,
+    ) -> TelemetryPlane {
+        let registry = Arc::new(TelemetryRegistry::new());
+        registry.set_entity(entity_name(sym.entity()));
+        let pools = Arc::new(Mutex::new(initial_pools));
+        let session = Arc::new(hg.pvar_session());
+
+        {
+            let sym = sym.clone();
+            registry.register_source("profiler", move |out| {
+                telemetry::collect_profiler(sym.profiler(), out);
+            });
+        }
+        {
+            let sym = sym.clone();
+            registry.register_source("tracer", move |out| {
+                telemetry::collect_tracer(sym.tracer(), out);
+            });
+        }
+        {
+            let pools = pools.clone();
+            registry.register_source("tasking", move |out| {
+                for pool in pools.lock().iter() {
+                    telemetry::collect_pool(&pool.stats(), out);
+                }
+            });
+        }
+        registry.register_source("os", telemetry::collect_os);
+        {
+            let hg = hg.clone();
+            let session = session.clone();
+            registry.register_source("mercury", move |out| {
+                telemetry::collect_hg(&hg, &session, out);
+            });
+        }
+        {
+            let fabric = hg.fabric().clone();
+            registry.register_source("fabric", move |out| {
+                let s = fabric.stats();
+                out.push(MetricPoint::counter(
+                    "symbi_fabric_messages_sent_total",
+                    s.messages_sent,
+                ));
+                out.push(MetricPoint::counter(
+                    "symbi_fabric_message_bytes_total",
+                    s.message_bytes,
+                ));
+                out.push(MetricPoint::counter(
+                    "symbi_fabric_rdma_gets_total",
+                    s.rdma_gets,
+                ));
+                out.push(MetricPoint::counter(
+                    "symbi_fabric_rdma_puts_total",
+                    s.rdma_puts,
+                ));
+                out.push(MetricPoint::counter(
+                    "symbi_fabric_rdma_bytes_total",
+                    s.rdma_bytes,
+                ));
+            });
+        }
+
+        let recorder = options
+            .flight_recorder
+            .as_ref()
+            .and_then(|cfg| match FlightRecorder::open(cfg.clone()) {
+                Ok(rec) => Some(Arc::new(rec)),
+                Err(e) => {
+                    eprintln!(
+                        "[symbi-margo] flight recorder disabled ({}: {e})",
+                        cfg.dir.display()
+                    );
+                    None
+                }
+            });
+        let exporter = options.prometheus_port.and_then(|port| {
+            match PrometheusExporter::serve(registry.clone(), port) {
+                Ok(exp) => Some(exp),
+                Err(e) => {
+                    eprintln!("[symbi-margo] prometheus exporter disabled (port {port}: {e})");
+                    None
+                }
+            }
+        });
+
+        TelemetryPlane {
+            registry,
+            pools,
+            recorder,
+            session,
+            exporter: Mutex::new(exporter),
+        }
+    }
+
+    /// Take one snapshot and persist it if a recorder is configured.
+    /// Called by the monitor ULT every period and once at finalize.
+    pub(crate) fn sample_and_record(&self) {
+        let snap = self.registry.sample();
+        if let Some(rec) = &self.recorder {
+            if let Err(e) = rec.append(&snap) {
+                eprintln!("[symbi-margo] flight recorder append failed: {e}");
+            }
+        }
+    }
+
+    /// The bound Prometheus scrape address, if the exporter is running.
+    pub(crate) fn prometheus_addr(&self) -> Option<SocketAddr> {
+        self.exporter.lock().as_ref().map(|e| e.local_addr())
+    }
+
+    /// Final flush: last snapshot, recorder flush, exporter stop, PVAR
+    /// session close. Idempotent (exporter is taken once; the recorder
+    /// append/flush and session finalize are safe to repeat).
+    pub(crate) fn shutdown(&self) {
+        self.sample_and_record();
+        if let Some(rec) = &self.recorder {
+            if let Err(e) = rec.flush() {
+                eprintln!("[symbi-margo] flight recorder flush failed: {e}");
+            }
+        }
+        if let Some(mut exporter) = self.exporter.lock().take() {
+            exporter.shutdown();
+        }
+        self.session.finalize();
+    }
+}

@@ -241,6 +241,21 @@ impl HgClass {
         self.inner.posted.lock().len()
     }
 
+    /// PVAR blocks of all currently posted (in-flight) origin handles.
+    ///
+    /// HANDLE-bound PVARs go out of scope when their RPC completes (§IV-B1:
+    /// "their values are lost forever"), so a live monitor must enumerate
+    /// the blocks while the handles are posted. The returned `Arc`s keep
+    /// each block readable even if its handle completes mid-sample.
+    pub fn posted_handle_pvars(&self) -> Vec<Arc<HandlePvars>> {
+        self.inner
+            .posted
+            .lock()
+            .values()
+            .map(|p| p.pvars.clone())
+            .collect()
+    }
+
     /// Number of completion callbacks waiting to be triggered.
     pub fn completion_queue_len(&self) -> usize {
         self.inner.completion.lock().len()

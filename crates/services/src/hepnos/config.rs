@@ -3,6 +3,7 @@
 
 use crate::kv::StorageCost;
 use symbi_core::Stage;
+use symbi_margo::TelemetryOptions;
 
 /// One HEPnOS service configuration. The first eight fields reproduce
 /// Table IV column-for-column; the remaining fields parameterize the
@@ -52,6 +53,11 @@ pub struct HepnosConfig {
     pub net_latency: std::time::Duration,
     /// SYMBIOSYS measurement stage for all instances.
     pub stage: Stage,
+    /// Live-telemetry settings applied to every *server* instance
+    /// (default: off). Explicit Prometheus ports are offset by the server
+    /// index and flight-recorder rings get per-server subdirectories, so
+    /// one option block serves the whole deployment.
+    pub telemetry: TelemetryOptions,
 }
 
 impl HepnosConfig {
@@ -81,6 +87,7 @@ impl HepnosConfig {
             async_window: 64,
             net_latency: std::time::Duration::from_micros(20),
             stage: Stage::Full,
+            telemetry: TelemetryOptions::default(),
         }
     }
 
@@ -189,6 +196,7 @@ impl HepnosConfig {
             async_window: 64,
             net_latency: std::time::Duration::from_micros(20),
             stage,
+            telemetry: TelemetryOptions::default(),
         }
     }
 

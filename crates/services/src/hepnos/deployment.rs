@@ -29,12 +29,23 @@ impl HepnosDeployment {
     pub fn launch(fabric: &Fabric, config: &HepnosConfig) -> Self {
         let servers = (0..config.total_servers)
             .map(|s| {
-                let margo = MargoInstance::new(
-                    fabric.clone(),
+                let mut margo_config =
                     MargoConfig::server(format!("hepnos-server-{s}"), config.threads)
                         .with_stage(config.stage)
-                        .with_ofi_max_events(config.ofi_max_events),
-                );
+                        .with_ofi_max_events(config.ofi_max_events);
+                margo_config.telemetry = config.telemetry.clone();
+                // Per-server disambiguation: offset explicit scrape ports
+                // by the server index (ephemeral port 0 needs none) and
+                // give each server its own flight-recorder subdirectory.
+                if let Some(port) = margo_config.telemetry.prometheus_port {
+                    if port != 0 {
+                        margo_config.telemetry.prometheus_port = Some(port + s as u16);
+                    }
+                }
+                if let Some(fr) = &mut margo_config.telemetry.flight_recorder {
+                    fr.dir = fr.dir.join(format!("server-{s}"));
+                }
+                let margo = MargoInstance::new(fabric.clone(), margo_config);
                 let sdskv = SdskvProvider::attach(
                     &margo,
                     SdskvSpec {
@@ -82,6 +93,14 @@ impl HepnosDeployment {
     /// Server Margo instances (for sampling pools and instrumentation).
     pub fn margo_instances(&self) -> Vec<&MargoInstance> {
         self.servers.iter().map(|s| &s.margo).collect()
+    }
+
+    /// Bound Prometheus scrape addresses of all servers exposing one.
+    pub fn prometheus_addrs(&self) -> Vec<std::net::SocketAddr> {
+        self.servers
+            .iter()
+            .filter_map(|s| s.margo.prometheus_addr())
+            .collect()
     }
 
     /// Harvest all server-side profile rows.

@@ -45,7 +45,7 @@ mod sync;
 pub use eventual::Eventual;
 pub use local::{current_snapshot, scope_with, LocalKey, LocalMap};
 pub use pool::{Pool, PoolId, UltJoin};
-pub use stats::{PoolStats, TaskingStats};
+pub use stats::{LaneStats, PoolStats, TaskingStats};
 pub use stream::ExecutionStream;
 pub use sync::{AbtBarrier, AbtMutex, AbtMutexGuard};
 

@@ -31,7 +31,7 @@
 
 use crate::eventual::Eventual;
 use crate::local::LocalMap;
-use crate::stats::{PoolCounters, PoolStats};
+use crate::stats::{LaneStats, PoolCounters, PoolStats};
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -87,10 +87,21 @@ pub(crate) struct Task {
     pub(crate) enqueued_at: Instant,
 }
 
+/// Per-lane observability counters (the lane-level PVARs surfaced through
+/// the telemetry plane): the deepest the lane's queue has ever been, and
+/// how many tasks were drained from it by threads whose preferred lane is
+/// a different one (front-steals).
+#[derive(Default)]
+struct LaneCounters {
+    depth_highwatermark: AtomicUsize,
+    steals: AtomicU64,
+}
+
 pub(crate) struct PoolInner {
     pub(crate) name: String,
     pub(crate) id: PoolId,
     lanes: Box<[Mutex<VecDeque<Task>>]>,
+    lane_counters: Box<[LaneCounters]>,
     lane_mask: usize,
     /// Threads currently inside the sleep protocol of [`Pool::pop`].
     sleepers: AtomicUsize,
@@ -135,6 +146,7 @@ impl Pool {
                 name: name.into(),
                 id: PoolId(NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed)),
                 lanes: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+                lane_counters: (0..n).map(|_| LaneCounters::default()).collect(),
                 lane_mask: n - 1,
                 sleepers: AtomicUsize::new(0),
                 sleep_lock: Mutex::new(()),
@@ -209,7 +221,14 @@ impl Pool {
         inner.counters.spawned.fetch_add(1, Ordering::Relaxed);
         inner.counters.runnable.fetch_add(1, Ordering::Relaxed);
         let lane = my_token() & inner.lane_mask;
-        inner.lanes[lane].lock().push_back(task);
+        let depth = {
+            let mut q = inner.lanes[lane].lock();
+            q.push_back(task);
+            q.len()
+        };
+        inner.lane_counters[lane]
+            .depth_highwatermark
+            .fetch_max(depth, Ordering::Relaxed);
         // Dekker pairing with pop(): enqueue first, then read `sleepers`.
         if inner.sleepers.load(Ordering::SeqCst) > 0 {
             // Touch the sleep lock so the notify cannot slip between a
@@ -241,10 +260,16 @@ impl Pool {
     fn scan_lanes(&self) -> Option<Task> {
         let inner = &self.inner;
         let start = pop_cursor();
+        let preferred = my_token() & inner.lane_mask;
         for i in 0..inner.lanes.len() {
             let lane = (start + i) & inner.lane_mask;
             if let Some(task) = inner.lanes[lane].lock().pop_front() {
                 POP_CURSOR.with(|c| c.set(lane.wrapping_add(1)));
+                if lane != preferred {
+                    inner.lane_counters[lane]
+                        .steals
+                        .fetch_add(1, Ordering::Relaxed);
+                }
                 return Some(self.account(task));
             }
         }
@@ -320,9 +345,26 @@ impl Pool {
     /// Snapshot of the pool's scheduler counters. This is the sampling
     /// entry point used by Margo when generating trace events (paper §IV-C).
     pub fn stats(&self) -> PoolStats {
-        self.inner
+        let mut stats = self
+            .inner
             .counters
-            .snapshot(&self.inner.name, self.inner.id)
+            .snapshot(&self.inner.name, self.inner.id);
+        stats.lanes = self.lane_stats();
+        stats
+    }
+
+    /// Per-lane observability counters in lane order: the queue-depth
+    /// highwatermark and the number of tasks front-stolen from each lane
+    /// by a thread preferring a different lane.
+    pub fn lane_stats(&self) -> Vec<LaneStats> {
+        self.inner
+            .lane_counters
+            .iter()
+            .map(|c| LaneStats {
+                depth_highwatermark: c.depth_highwatermark.load(Ordering::Relaxed) as u64,
+                steals: c.steals.load(Ordering::Relaxed),
+            })
+            .collect()
     }
 
     pub(crate) fn counters(&self) -> &PoolCounters {
@@ -525,6 +567,60 @@ mod tests {
         let s = p.stats();
         assert_eq!(s.spawned, 3);
         assert_eq!(s.runnable, 3);
+    }
+
+    #[test]
+    fn lane_depth_highwatermark_tracks_deepest_queue() {
+        let p = Pool::with_lanes("hwm", 4);
+        for _ in 0..6 {
+            p.spawn(|| {});
+        }
+        // All pushes from this thread land on its one preferred lane.
+        let lanes = p.lane_stats();
+        assert_eq!(lanes.len(), 4);
+        let max = lanes.iter().map(|l| l.depth_highwatermark).max().unwrap();
+        assert_eq!(max, 6);
+        while let Some(t) = p.try_pop() {
+            (t.f)();
+        }
+        // The highwatermark is sticky: draining must not lower it.
+        let after = p.stats();
+        let max = after.lanes.iter().map(|l| l.depth_highwatermark).max();
+        assert_eq!(max, Some(6));
+    }
+
+    #[test]
+    fn cross_lane_drains_count_as_steals() {
+        let p = Pool::with_lanes("steals-obs", 4);
+        // Spawn single-push producer threads until at least two distinct
+        // lanes hold work (tokens are handed out process-wide, so a fixed
+        // producer count can't be assumed to spread). Once two lanes are
+        // occupied, a single-thread drain must steal from at least one of
+        // them — whichever isn't the draining thread's preferred lane.
+        let mut producers = 0;
+        loop {
+            producers += 1;
+            let p2 = p.clone();
+            std::thread::spawn(move || {
+                p2.spawn(|| {});
+            })
+            .join()
+            .unwrap();
+            let occupied = p
+                .lane_stats()
+                .iter()
+                .filter(|l| l.depth_highwatermark > 0)
+                .count();
+            if occupied >= 2 {
+                break;
+            }
+            assert!(producers < 64, "producer tokens kept mapping to one lane");
+        }
+        while let Some(t) = p.try_pop() {
+            (t.f)();
+        }
+        let steals: u64 = p.lane_stats().iter().map(|l| l.steals).sum();
+        assert!(steals >= 1, "single-thread drain of 2+ lanes must steal");
     }
 
     #[test]

@@ -37,8 +37,20 @@ impl PoolCounters {
             completed: self.completed.load(Ordering::Relaxed),
             cumulative_queue_wait_ns: self.cumulative_queue_wait_ns.load(Ordering::Relaxed),
             spawned_after_close: self.spawned_after_close.load(Ordering::Relaxed),
+            lanes: Vec::new(),
         }
     }
+}
+
+/// Observability counters for one queue lane of a striped pool — the
+/// lane-level PVARs exported through the telemetry plane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LaneStats {
+    /// Deepest this lane's queue has ever been (tasks).
+    pub depth_highwatermark: u64,
+    /// Tasks drained from this lane by threads whose preferred lane
+    /// differs (front-steals).
+    pub steals: u64,
 }
 
 /// A point-in-time snapshot of one pool's scheduler state.
@@ -62,6 +74,9 @@ pub struct PoolStats {
     pub cumulative_queue_wait_ns: u64,
     /// Spawns rejected because they arrived after [`crate::Pool::close`].
     pub spawned_after_close: u64,
+    /// Per-lane counters in lane order (empty when snapshotted directly
+    /// from [`PoolCounters`], which has no lane visibility).
+    pub lanes: Vec<LaneStats>,
 }
 
 impl PoolStats {
@@ -144,6 +159,7 @@ mod tests {
             completed: 0,
             cumulative_queue_wait_ns: 0,
             spawned_after_close: 0,
+            lanes: Vec::new(),
         };
         assert_eq!(s.mean_queue_wait_ns(), 0);
     }

@@ -106,11 +106,17 @@ fn main() {
     recommend(&bad, &p_bad, &tr_bad);
 
     // The tuned configuration the paper's analysis leads to: more ESs,
-    // fewer databases.
+    // fewer databases. This run also records live telemetry to an on-disk
+    // flight ring so the tuning session can be replayed afterwards.
+    let flight_dir = std::env::temp_dir().join("symbi-hepnos-flight");
+    let _ = std::fs::remove_dir_all(&flight_dir);
     let mut good = HepnosConfig::c3();
     good.label = "tuned".into();
     good.total_clients = 8;
     good.events_per_client = 1024;
+    good.telemetry.sample_period = Some(std::time::Duration::from_millis(50));
+    good.telemetry.flight_recorder =
+        Some(symbiosys::core::telemetry::recorder::FlightRecorderConfig::new(&flight_dir));
     let (t_good, p_good, tr_good) = run(&good);
     diagnose(
         "tuned (20 ESs, 8 dbs)",
@@ -126,5 +132,20 @@ fn main() {
         t_bad,
         t_good,
         (t_good / t_bad - 1.0) * 100.0
+    );
+
+    // Replay the tuned run's telemetry from the flight ring: each server
+    // wrote periodic snapshots into its own subdirectory.
+    let mut snapshots = 0usize;
+    if let Ok(entries) = std::fs::read_dir(&flight_dir) {
+        for entry in entries.flatten() {
+            if let Ok(snaps) = symbiosys::core::telemetry::recorder::replay(&entry.path()) {
+                snapshots += snaps.len();
+            }
+        }
+    }
+    println!(
+        "flight recorder: {snapshots} telemetry snapshots from the tuned run in {}",
+        flight_dir.display()
     );
 }

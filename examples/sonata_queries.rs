@@ -12,7 +12,21 @@ use symbiosys::services::json::Value;
 
 fn main() {
     let fabric = Fabric::new(NetworkModel::instant());
-    let server = MargoInstance::new(fabric.clone(), MargoConfig::server("sonata-node", 2));
+    // Telemetry plane on: background sampling plus a scrape endpoint on an
+    // ephemeral port (set SYMBI_PROM_PORT to pin it, e.g. for curl).
+    let prom_port: u16 = std::env::var("SYMBI_PROM_PORT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server("sonata-node", 2)
+            .with_telemetry_period(std::time::Duration::from_millis(100))
+            .with_prometheus_port(prom_port),
+    );
+    if let Some(addr) = server.prometheus_addr() {
+        println!("Prometheus metrics on http://{addr}/metrics");
+    }
     SonataProvider::attach(&server);
     let margo = MargoInstance::new(fabric, MargoConfig::client("analysis-app"));
     let client = SonataClient::new(margo.clone(), server.addr());
@@ -73,6 +87,17 @@ fn main() {
         );
     }
     print!("\n{}", summary.render_dominant(3));
+
+    // The same data, as the live-telemetry plane sees it.
+    let snap = server.telemetry().sample();
+    let families: std::collections::HashSet<&str> =
+        snap.points.iter().map(|p| p.point.name.as_str()).collect();
+    println!(
+        "\nlive telemetry: snapshot #{} carries {} points in {} metric families",
+        snap.seq,
+        snap.points.len(),
+        families.len()
+    );
 
     margo.finalize();
     server.finalize();

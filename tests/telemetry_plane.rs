@@ -1,0 +1,251 @@
+//! End-to-end test of the live telemetry plane: a real server with the
+//! monitor ULT, Prometheus exporter, and flight recorder all on, scraped
+//! over TCP and validated with a strict text-exposition parser, then the
+//! on-disk ring replayed and round-tripped through the JSONL codec.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use symbiosys::core::telemetry::jsonl::{snapshot_from_json, snapshot_to_json};
+use symbiosys::core::telemetry::recorder::{replay, FlightRecorderConfig};
+use symbiosys::core::telemetry::MetricValue;
+use symbiosys::prelude::*;
+
+/// A parsed metric family from Prometheus text-exposition format.
+#[derive(Debug, Default)]
+struct Family {
+    kind: String,
+    samples: Vec<(String, f64)>, // (full sample name incl. suffix, value)
+}
+
+/// Strict-enough parser for text format 0.0.4: families must be declared
+/// with `# TYPE` before their samples, all samples of a family must be
+/// contiguous, and every value must parse.
+fn parse_exposition(body: &str) -> Result<HashMap<String, Family>, String> {
+    let mut families: HashMap<String, Family> = HashMap::new();
+    let mut current: Option<String> = None;
+    for (lineno, line) in body.lines().enumerate() {
+        let err = |msg: &str| format!("line {}: {msg}: {line}", lineno + 1);
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().ok_or_else(|| err("TYPE missing name"))?;
+            let kind = parts.next().ok_or_else(|| err("TYPE missing kind"))?;
+            if !matches!(
+                kind,
+                "counter" | "gauge" | "histogram" | "summary" | "untyped"
+            ) {
+                return Err(err("unknown TYPE kind"));
+            }
+            if families.contains_key(name) {
+                return Err(err("family declared twice (series not contiguous)"));
+            }
+            families.insert(
+                name.to_string(),
+                Family {
+                    kind: kind.to_string(),
+                    samples: Vec::new(),
+                },
+            );
+            current = Some(name.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| err("sample without value"))?;
+        let sample_name = &line[..name_end];
+        let value_str = match line[name_end..].strip_prefix('{') {
+            Some(rest) => {
+                // Labels may contain escaped quotes; find the closing
+                // brace outside a quoted string.
+                let mut in_str = false;
+                let mut esc = false;
+                let mut close = None;
+                for (i, c) in rest.char_indices() {
+                    match c {
+                        _ if esc => esc = false,
+                        '\\' if in_str => esc = true,
+                        '"' => in_str = !in_str,
+                        '}' if !in_str => {
+                            close = Some(i);
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                let close = close.ok_or_else(|| err("unterminated label set"))?;
+                rest[close + 1..].trim()
+            }
+            None => line[name_end..].trim(),
+        };
+        let value: f64 = match value_str {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            v => v.parse().map_err(|_| err("unparseable value"))?,
+        };
+        // The sample must belong to the most recently declared family
+        // (possibly via a histogram suffix) — that's the contiguity rule.
+        let family = current
+            .as_deref()
+            .ok_or_else(|| err("sample before TYPE"))?;
+        let belongs = sample_name == family
+            || (families[family].kind == "histogram"
+                && [
+                    format!("{family}_bucket"),
+                    format!("{family}_sum"),
+                    format!("{family}_count"),
+                ]
+                .iter()
+                .any(|s| s == sample_name));
+        if !belongs {
+            return Err(err(&format!(
+                "sample outside its family block (current family {family})"
+            )));
+        }
+        families
+            .get_mut(family)
+            .unwrap()
+            .samples
+            .push((sample_name.to_string(), value));
+    }
+    Ok(families)
+}
+
+fn scrape(addr: std::net::SocketAddr) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect to exporter");
+    stream
+        .write_all(b"GET /metrics HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    response
+}
+
+#[test]
+fn telemetry_plane_scrape_and_flight_ring_round_trip() {
+    let dir = std::env::temp_dir().join(format!("symbi-teleplane-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server("teleplane-server", 2)
+            .with_telemetry_period(Duration::from_millis(20))
+            .with_prometheus_port(0)
+            .with_flight_recorder(FlightRecorderConfig::new(&dir)),
+    );
+    SdskvProvider::attach(&server, SdskvSpec::default());
+    let margo = MargoInstance::new(fabric, MargoConfig::client("teleplane-client"));
+    let client = SdskvClient::new(margo.clone(), server.addr());
+    for i in 0..200u32 {
+        let key = format!("k{i}").into_bytes();
+        client.put(0, key.clone(), vec![7u8; 32]).expect("put");
+        if i % 3 == 0 {
+            client.get(0, &key).expect("get");
+        }
+    }
+    // Let the monitor take a few periodic samples.
+    std::thread::sleep(Duration::from_millis(80));
+
+    // --- Prometheus endpoint ---
+    let addr = server.prometheus_addr().expect("exporter running");
+    let response = scrape(addr);
+    let (headers, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP header/body split");
+    assert!(headers.starts_with("HTTP/1.1 200 OK"), "{headers}");
+    assert!(
+        headers.contains("text/plain; version=0.0.4"),
+        "wrong content type: {headers}"
+    );
+
+    let families = parse_exposition(body).expect("valid exposition format");
+    let symbi: Vec<&String> = families
+        .keys()
+        .filter(|name| name.starts_with("symbi_"))
+        .collect();
+    assert!(
+        symbi.len() >= 20,
+        "only {} symbi_* families exposed: {symbi:?}",
+        symbi.len()
+    );
+    // Spot-check one family per layer.
+    for required in [
+        "symbi_rpc_count_total",
+        "symbi_trace_events_buffered",
+        "symbi_pool_runnable_ults",
+        "symbi_pool_lane_steals_total",
+        "symbi_os_cpu_time_ms_total",
+        "symbi_hg_num_rpcs_serviced_total",
+        "symbi_fabric_messages_sent_total",
+        "symbi_telemetry_snapshots_total",
+    ] {
+        assert!(families.contains_key(required), "{required} not exposed");
+    }
+    // The self-timing histogram expands to bucket/sum/count samples.
+    let hist = &families["symbi_telemetry_sample_duration_ns"];
+    assert_eq!(hist.kind, "histogram");
+    assert!(hist
+        .samples
+        .iter()
+        .any(|(n, _)| n == "symbi_telemetry_sample_duration_ns_bucket"));
+    assert!(hist
+        .samples
+        .iter()
+        .any(|(n, v)| n == "symbi_telemetry_sample_duration_ns_count" && *v >= 1.0));
+    // The traffic we generated is visible.
+    let rpcs = &families["symbi_hg_num_rpcs_serviced_total"];
+    assert!(
+        rpcs.samples.iter().any(|(_, v)| *v >= 200.0),
+        "serviced-RPC counter too low: {:?}",
+        rpcs.samples
+    );
+
+    // A second scrape advances the snapshot counter (sample-on-scrape).
+    let second = scrape(addr);
+    let first_seq = families["symbi_telemetry_snapshots_total"].samples[0].1;
+    let second_families =
+        parse_exposition(second.split_once("\r\n\r\n").unwrap().1).expect("second scrape parses");
+    let second_seq = second_families["symbi_telemetry_snapshots_total"].samples[0].1;
+    assert!(second_seq > first_seq);
+
+    margo.finalize();
+    server.finalize();
+
+    // --- Flight recorder ring ---
+    let snaps = replay(&dir).expect("replay ring");
+    assert!(
+        snaps.len() >= 3,
+        "expected several periodic snapshots, got {}",
+        snaps.len()
+    );
+    for pair in snaps.windows(2) {
+        assert!(pair[1].seq > pair[0].seq, "snapshots out of order");
+    }
+    assert!(snaps
+        .iter()
+        .all(|s| s.entity.as_deref() == Some("teleplane-server")));
+    // Every recorded snapshot survives an exact JSONL round trip.
+    for snap in &snaps {
+        let line = snapshot_to_json(snap);
+        assert_eq!(&snapshot_from_json(&line).expect("parse"), snap);
+    }
+    // Counter deltas were computed between consecutive monitor samples.
+    let last = snaps.last().unwrap();
+    assert!(
+        last.points
+            .iter()
+            .any(|p| { matches!(p.point.value, MetricValue::Counter(_)) && p.delta.is_some() }),
+        "no counter deltas in final snapshot"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
