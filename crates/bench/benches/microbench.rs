@@ -8,7 +8,7 @@ use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 use symbi_core::{Callpath, EventSamples, Stage, Symbiosys, TraceEvent, TraceEventKind};
 use symbi_fabric::{Fabric, NetworkModel};
-use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_margo::{MargoConfig, MargoInstance, RpcOptions};
 use symbi_mercury::pvar::ids;
 use symbi_mercury::{Encoder, HgClass, HgConfig, Wire};
 use symbi_tasking::{Eventual, ExecutionStream, Pool};
@@ -106,7 +106,9 @@ fn bench_rpc_roundtrip(c: &mut Criterion) {
             b.iter_batched(
                 || (),
                 |_| {
-                    let y: u64 = client.forward(addr, "bench_echo", &7u64).unwrap();
+                    let y: u64 = client
+                        .forward_with(addr, "bench_echo", &7u64, RpcOptions::default())
+                        .unwrap();
                     black_box(y)
                 },
                 BatchSize::SmallInput,

@@ -8,7 +8,7 @@ use symbi_core::analysis::report::{fmt_ns, Table};
 use symbi_core::analysis::summarize_profiles;
 use symbi_core::{Callpath, Interval};
 use symbi_fabric::{Fabric, NetworkModel};
-use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_margo::{MargoConfig, MargoInstance, RpcOptions};
 
 fn main() {
     banner("Table III: Combining Instrumentation Strategies");
@@ -34,7 +34,7 @@ fn main() {
     let payload = vec![7u8; 64 * 1024];
     for _ in 0..50 {
         let _: u64 = client
-            .forward(server.addr(), "t3_rpc", &payload)
+            .forward_with(server.addr(), "t3_rpc", &payload, RpcOptions::default())
             .expect("t3 rpc");
     }
     std::thread::sleep(Duration::from_millis(100));

@@ -2,6 +2,7 @@
 //! registered-memory table backing one-sided transfers.
 
 use crate::endpoint::{Delivery, Endpoint};
+use crate::fault::{FaultCountersSnapshot, FaultPlan, FaultRuntime, SendVerdict};
 use crate::memory::{MemKey, Region, RemoteRegion};
 use crate::model::NetworkModel;
 use crate::{Addr, FabricError};
@@ -10,7 +11,7 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::RwLock;
 use std::cell::RefCell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 static NEXT_FABRIC_ID: AtomicU64 = AtomicU64::new(1);
@@ -74,6 +75,10 @@ struct FabricInner {
     next_key: AtomicU64,
     model: NetworkModel,
     stats: FabricStats,
+    /// Armed fault plan, if any. Guarded by `faults_armed` so the
+    /// no-fault hot path costs one relaxed atomic load, not a lock.
+    faults: RwLock<Option<Arc<FaultRuntime>>>,
+    faults_armed: AtomicBool,
 }
 
 /// Handle to the shared in-process fabric. Cloning is cheap.
@@ -106,8 +111,37 @@ impl Fabric {
                 next_key: AtomicU64::new(1),
                 model,
                 stats: FabricStats::default(),
+                faults: RwLock::new(None),
+                faults_armed: AtomicBool::new(false),
             }),
         }
+    }
+
+    /// Arm a deterministic [`FaultPlan`] on this fabric. Blackout windows
+    /// are anchored at the moment of installation; installing a new plan
+    /// replaces the old one and resets the injected-fault counters.
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        *self.inner.faults.write() = Some(Arc::new(FaultRuntime::install(plan)));
+        self.inner.faults_armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm fault injection. Counters from the removed plan are lost.
+    pub fn clear_fault_plan(&self) {
+        self.inner.faults_armed.store(false, Ordering::Release);
+        *self.inner.faults.write() = None;
+    }
+
+    /// The armed fault runtime, if any.
+    fn fault_runtime(&self) -> Option<Arc<FaultRuntime>> {
+        if !self.inner.faults_armed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.inner.faults.read().clone()
+    }
+
+    /// Snapshot the injected-fault counters of the armed plan, if any.
+    pub fn fault_counters(&self) -> Option<FaultCountersSnapshot> {
+        self.fault_runtime().map(|rt| rt.counters())
     }
 
     /// The cost model in effect.
@@ -169,7 +203,7 @@ impl Fabric {
     /// [`Fabric::rdma_get`]/[`Fabric::rdma_put`]).
     pub fn send(&self, src: Addr, dst: Addr, tag: u64, payload: Bytes) -> Result<(), FabricError> {
         let tx = self.sender_for(dst)?;
-        self.post(&tx, src, tag, payload)
+        self.post(&tx, src, dst, tag, payload)
     }
 
     /// Like [`Fabric::send`] but resolving the route from the routing
@@ -189,13 +223,14 @@ impl Fabric {
                 .cloned()
                 .ok_or(FabricError::UnknownAddr(dst))?
         };
-        self.post(&tx, src, tag, payload)
+        self.post(&tx, src, dst, tag, payload)
     }
 
     fn post(
         &self,
         tx: &Sender<Delivery>,
         src: Addr,
+        dst: Addr,
         tag: u64,
         payload: Bytes,
     ) -> Result<(), FabricError> {
@@ -207,8 +242,29 @@ impl Fabric {
             .stats
             .message_bytes
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        tx.send(Delivery { src, tag, payload })
-            .map_err(|_| FabricError::Closed)
+        let mut copies = 1;
+        if let Some(rt) = self.fault_runtime() {
+            match rt.judge_send(src, dst) {
+                // Silent loss: the post was accepted, the message never
+                // arrives. The poster finds out via its own deadline.
+                SendVerdict::Drop => return Ok(()),
+                SendVerdict::Deliver { copies: c, delay } => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    copies = c;
+                }
+            }
+        }
+        for _ in 0..copies {
+            tx.send(Delivery {
+                src,
+                tag,
+                payload: payload.clone(),
+            })
+            .map_err(|_| FabricError::Closed)?;
+        }
+        Ok(())
     }
 
     /// Expose an immutable buffer for remote read. Returns the descriptor
@@ -241,6 +297,11 @@ impl Fabric {
     /// One-sided read of `[offset, offset+len)` from a registered region.
     /// Charges the transfer cost on the caller (the initiator).
     pub fn rdma_get(&self, key: MemKey, offset: usize, len: usize) -> Result<Bytes, FabricError> {
+        if let Some(rt) = self.fault_runtime() {
+            if rt.judge_rdma("rdma_get") {
+                return Err(FabricError::InjectedFault { op: "rdma_get" });
+            }
+        }
         let data = {
             let mem = self.inner.memory.read();
             let region = mem.get(&key).ok_or(FabricError::UnknownMemory(key))?;
@@ -273,6 +334,11 @@ impl Fabric {
     /// One-sided write of `data` into a registered writable region at
     /// `offset`. Charges the transfer cost on the caller.
     pub fn rdma_put(&self, key: MemKey, offset: usize, data: &[u8]) -> Result<(), FabricError> {
+        if let Some(rt) = self.fault_runtime() {
+            if rt.judge_rdma("rdma_put") {
+                return Err(FabricError::InjectedFault { op: "rdma_put" });
+            }
+        }
         {
             let mem = self.inner.memory.read();
             let region = mem.get(&key).ok_or(FabricError::UnknownMemory(key))?;
@@ -500,6 +566,85 @@ mod tests {
         let start = std::time::Instant::now();
         f.rdma_get(r.key, 0, 8).unwrap();
         assert!(start.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn fault_plan_drops_messages_silently() {
+        use crate::fault::FaultPlan;
+        let f = fabric();
+        let a = f.open_endpoint();
+        let b = f.open_endpoint();
+        f.install_fault_plan(FaultPlan::seeded(1).with_drop_probability(1.0));
+        // Drops are silent: the post succeeds, nothing arrives.
+        f.send(a.addr(), b.addr(), 0, Bytes::from_static(b"gone"))
+            .unwrap();
+        assert!(b.poll(16).is_empty());
+        assert_eq!(f.fault_counters().unwrap().messages_dropped, 1);
+        // Sends are still counted as posted.
+        assert_eq!(f.stats().messages_sent, 1);
+        // Clearing the plan restores delivery.
+        f.clear_fault_plan();
+        assert!(f.fault_counters().is_none());
+        f.send(a.addr(), b.addr(), 1, Bytes::from_static(b"back"))
+            .unwrap();
+        assert_eq!(b.poll(16).len(), 1);
+    }
+
+    #[test]
+    fn fault_plan_duplicates_messages() {
+        use crate::fault::FaultPlan;
+        let f = fabric();
+        let a = f.open_endpoint();
+        let b = f.open_endpoint();
+        f.install_fault_plan(FaultPlan::seeded(2).with_duplicate_probability(1.0));
+        f.send(a.addr(), b.addr(), 0, Bytes::from_static(b"twice"))
+            .unwrap();
+        let got = b.poll(16);
+        assert_eq!(got.len(), 2);
+        assert_eq!(&got[0].payload[..], b"twice");
+        assert_eq!(&got[1].payload[..], b"twice");
+        assert_eq!(f.fault_counters().unwrap().messages_duplicated, 1);
+    }
+
+    #[test]
+    fn fault_plan_fails_rdma() {
+        use crate::fault::FaultPlan;
+        let f = fabric();
+        let r = f.expose_read(Arc::new(vec![1, 2, 3]));
+        let (w, _buf) = f.expose_write(4);
+        f.install_fault_plan(FaultPlan::seeded(3).with_rdma_failure_rate(1.0));
+        let err = f.rdma_get(r.key, 0, 3).unwrap_err();
+        assert_eq!(err, FabricError::InjectedFault { op: "rdma_get" });
+        assert!(err.retryable());
+        assert_eq!(
+            f.rdma_put(w.key, 0, &[7]).unwrap_err(),
+            FabricError::InjectedFault { op: "rdma_put" }
+        );
+        assert_eq!(f.fault_counters().unwrap().rdma_failures, 2);
+        // Injected failures are not charged as completed transfers.
+        assert_eq!(f.stats().rdma_gets, 0);
+        assert_eq!(f.stats().rdma_puts, 0);
+    }
+
+    #[test]
+    fn blackout_drops_messages_to_target_only() {
+        use crate::fault::FaultPlan;
+        let f = fabric();
+        let a = f.open_endpoint();
+        let b = f.open_endpoint();
+        let c = f.open_endpoint();
+        f.install_fault_plan(FaultPlan::seeded(4).with_blackout(
+            b.addr(),
+            Duration::ZERO,
+            Duration::from_secs(60),
+        ));
+        f.send(a.addr(), b.addr(), 0, Bytes::from_static(b"lost"))
+            .unwrap();
+        f.send(a.addr(), c.addr(), 0, Bytes::from_static(b"kept"))
+            .unwrap();
+        assert!(b.poll(16).is_empty());
+        assert_eq!(c.poll(16).len(), 1);
+        assert_eq!(f.fault_counters().unwrap().blackout_drops, 1);
     }
 
     #[test]

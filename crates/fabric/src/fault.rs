@@ -1,0 +1,427 @@
+//! Deterministic fault injection for the fabric.
+//!
+//! A [`FaultPlan`] describes *what* can go wrong — per-message drop and
+//! duplicate probabilities, extra delivery latency, endpoint blackout
+//! windows, and RDMA failure rates — and a seed that makes every decision
+//! reproducible. Installing a plan on a [`crate::Fabric`] turns it into a
+//! [`FaultRuntime`]: each two-sided message is rolled against the plan
+//! using a counter-based PRNG keyed on `(seed, src, dst, per-link message
+//! index)`, so the same seed over the same traffic yields the same faults,
+//! regardless of thread interleaving on unrelated links.
+//!
+//! Faults are *silent* in the OFI spirit: a dropped or blacked-out eager
+//! send still returns `Ok(())` to the poster (the NIC accepted it), the
+//! message simply never arrives. Recovery is the upper layers' job —
+//! Mercury deadlines expire the posted handle and Margo's retry policy
+//! re-issues it. Only RDMA failures surface as an error
+//! ([`crate::FabricError::InjectedFault`]) because one-sided transfers are
+//! synchronous at the initiator.
+
+use crate::Addr;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Mix a 64-bit value through the splitmix64 finalizer — the same
+/// counter-based construction the services use for synthetic data, which
+/// keeps the whole repro free of external RNG dependencies.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform value in `[0, 1)` derived from `(seed, a, b, n)`.
+fn unit_roll(seed: u64, a: u64, b: u64, n: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(a ^ splitmix64(b ^ splitmix64(n))));
+    // 53 high bits → exactly representable double in [0, 1).
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A window during which every message *to* `addr` is dropped, emulating
+/// a hung or partitioned server. Times are relative to the instant the
+/// plan was installed on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blackout {
+    /// Destination address the blackout applies to.
+    pub addr: Addr,
+    /// Offset from plan installation at which the blackout begins.
+    pub start: Duration,
+    /// How long the blackout lasts.
+    pub duration: Duration,
+}
+
+/// A seeded, deterministic description of the faults to inject.
+///
+/// Build one with the `with_*` methods and install it with
+/// [`crate::Fabric::install_fault_plan`]:
+///
+/// ```
+/// use symbi_fabric::{Addr, FaultPlan};
+/// use std::time::Duration;
+///
+/// let plan = FaultPlan::seeded(42)
+///     .with_drop_probability(0.05)
+///     .with_duplicate_probability(0.01)
+///     .with_extra_latency(Duration::from_micros(200), 0.10)
+///     .with_rdma_failure_rate(0.02)
+///     .with_blackout(Addr(3), Duration::from_millis(50), Duration::from_millis(200));
+/// assert_eq!(plan.seed(), 42);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_probability: f64,
+    duplicate_probability: f64,
+    extra_latency: Duration,
+    extra_latency_probability: f64,
+    rdma_failure_rate: f64,
+    blackouts: Vec<Blackout>,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and no faults enabled.
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            extra_latency: Duration::ZERO,
+            extra_latency_probability: 0.0,
+            rdma_failure_rate: 0.0,
+            blackouts: Vec::new(),
+        }
+    }
+
+    /// The seed every fault decision derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Drop each two-sided message with probability `p` (clamped to
+    /// `[0, 1]`).
+    #[must_use]
+    pub fn with_drop_probability(mut self, p: f64) -> Self {
+        self.drop_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Deliver each two-sided message twice with probability `p`.
+    #[must_use]
+    pub fn with_duplicate_probability(mut self, p: f64) -> Self {
+        self.duplicate_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Stall each two-sided message by `extra` with probability `p`,
+    /// modelling a transiently congested link.
+    #[must_use]
+    pub fn with_extra_latency(mut self, extra: Duration, p: f64) -> Self {
+        self.extra_latency = extra;
+        self.extra_latency_probability = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Fail each one-sided RDMA operation with probability `p`.
+    #[must_use]
+    pub fn with_rdma_failure_rate(mut self, p: f64) -> Self {
+        self.rdma_failure_rate = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Add a blackout window: every message to `addr` in
+    /// `[start, start + duration)` after plan installation is dropped.
+    #[must_use]
+    pub fn with_blackout(mut self, addr: Addr, start: Duration, duration: Duration) -> Self {
+        self.blackouts.push(Blackout {
+            addr,
+            start,
+            duration,
+        });
+        self
+    }
+
+    /// The configured blackout windows.
+    pub fn blackouts(&self) -> &[Blackout] {
+        &self.blackouts
+    }
+}
+
+/// Cumulative counts of the faults actually injected.
+#[derive(Debug, Default)]
+pub struct FaultCounters {
+    /// Messages dropped by the random per-link roll.
+    pub messages_dropped: AtomicU64,
+    /// Messages dropped because the destination was in a blackout window.
+    pub blackout_drops: AtomicU64,
+    /// Messages delivered twice.
+    pub messages_duplicated: AtomicU64,
+    /// Messages stalled by injected extra latency.
+    pub messages_delayed: AtomicU64,
+    /// One-sided RDMA operations failed.
+    pub rdma_failures: AtomicU64,
+}
+
+/// A point-in-time copy of [`FaultCounters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultCountersSnapshot {
+    /// Messages dropped by the random per-link roll.
+    pub messages_dropped: u64,
+    /// Messages dropped because the destination was in a blackout window.
+    pub blackout_drops: u64,
+    /// Messages delivered twice.
+    pub messages_duplicated: u64,
+    /// Messages stalled by injected extra latency.
+    pub messages_delayed: u64,
+    /// One-sided RDMA operations failed.
+    pub rdma_failures: u64,
+}
+
+impl FaultCountersSnapshot {
+    /// Total faults injected across all categories.
+    pub fn total(&self) -> u64 {
+        self.messages_dropped
+            + self.blackout_drops
+            + self.messages_duplicated
+            + self.messages_delayed
+            + self.rdma_failures
+    }
+}
+
+/// What the fault plane decided for one two-sided message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendVerdict {
+    /// Deliver `copies` times, after stalling for `delay` (both usually
+    /// 1 copy / zero delay).
+    Deliver {
+        /// Number of copies to deliver (1 normally, 2 when duplicated).
+        copies: u32,
+        /// Injected stall before delivery.
+        delay: Duration,
+    },
+    /// Silently discard the message.
+    Drop,
+}
+
+/// A [`FaultPlan`] armed on a fabric: the plan plus the installation
+/// epoch (blackout reference point), per-link message counters, and the
+/// injected-fault counters.
+#[derive(Debug)]
+pub struct FaultRuntime {
+    plan: FaultPlan,
+    epoch: Instant,
+    link_seq: Mutex<HashMap<(u64, u64), u64>>,
+    rdma_seq: AtomicU64,
+    counters: FaultCounters,
+}
+
+impl FaultRuntime {
+    /// Arm `plan`, anchoring blackout windows at the current instant.
+    pub fn install(plan: FaultPlan) -> Self {
+        FaultRuntime {
+            plan,
+            epoch: Instant::now(),
+            link_seq: Mutex::new(HashMap::new()),
+            rdma_seq: AtomicU64::new(0),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The plan this runtime was armed with.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Is `dst` inside one of its blackout windows right now?
+    fn blacked_out(&self, dst: Addr, now: Instant) -> bool {
+        let elapsed = now.saturating_duration_since(self.epoch);
+        self.plan
+            .blackouts
+            .iter()
+            .any(|b| b.addr == dst && elapsed >= b.start && elapsed < b.start + b.duration)
+    }
+
+    /// Roll the plan for one two-sided message from `src` to `dst`.
+    /// Updates the injected-fault counters as a side effect.
+    pub fn judge_send(&self, src: Addr, dst: Addr) -> SendVerdict {
+        if self.blacked_out(dst, Instant::now()) {
+            self.counters.blackout_drops.fetch_add(1, Ordering::Relaxed);
+            return SendVerdict::Drop;
+        }
+        let n = {
+            let mut seq = self.link_seq.lock().unwrap();
+            let slot = seq.entry((src.0, dst.0)).or_insert(0);
+            let n = *slot;
+            *slot += 1;
+            n
+        };
+        let seed = self.plan.seed;
+        // Independent rolls per fault class, all derived from the same
+        // per-link message index so the decision sequence is a pure
+        // function of (seed, src, dst, n).
+        if self.plan.drop_probability > 0.0
+            && unit_roll(seed, src.0, dst.0, n.wrapping_mul(3)) < self.plan.drop_probability
+        {
+            self.counters
+                .messages_dropped
+                .fetch_add(1, Ordering::Relaxed);
+            return SendVerdict::Drop;
+        }
+        let mut copies = 1;
+        if self.plan.duplicate_probability > 0.0
+            && unit_roll(seed, src.0, dst.0, n.wrapping_mul(3).wrapping_add(1))
+                < self.plan.duplicate_probability
+        {
+            self.counters
+                .messages_duplicated
+                .fetch_add(1, Ordering::Relaxed);
+            copies = 2;
+        }
+        let mut delay = Duration::ZERO;
+        if self.plan.extra_latency_probability > 0.0
+            && unit_roll(seed, src.0, dst.0, n.wrapping_mul(3).wrapping_add(2))
+                < self.plan.extra_latency_probability
+        {
+            self.counters
+                .messages_delayed
+                .fetch_add(1, Ordering::Relaxed);
+            delay = self.plan.extra_latency;
+        }
+        SendVerdict::Deliver { copies, delay }
+    }
+
+    /// Roll the plan for one one-sided RDMA operation; `true` means the
+    /// operation must fail with [`crate::FabricError::InjectedFault`].
+    pub fn judge_rdma(&self, op: &'static str) -> bool {
+        if self.plan.rdma_failure_rate == 0.0 {
+            return false;
+        }
+        let n = self.rdma_seq.fetch_add(1, Ordering::Relaxed);
+        let tag = op.len() as u64;
+        if unit_roll(self.plan.seed, u64::MAX, tag, n) < self.plan.rdma_failure_rate {
+            self.counters.rdma_failures.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Snapshot the injected-fault counters.
+    pub fn counters(&self) -> FaultCountersSnapshot {
+        let c = &self.counters;
+        FaultCountersSnapshot {
+            messages_dropped: c.messages_dropped.load(Ordering::Relaxed),
+            blackout_drops: c.blackout_drops.load(Ordering::Relaxed),
+            messages_duplicated: c.messages_duplicated.load(Ordering::Relaxed),
+            messages_delayed: c.messages_delayed.load(Ordering::Relaxed),
+            rdma_failures: c.rdma_failures.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verdict_trace(seed: u64, src: Addr, dst: Addr, n: usize) -> Vec<SendVerdict> {
+        let rt = FaultRuntime::install(
+            FaultPlan::seeded(seed)
+                .with_drop_probability(0.2)
+                .with_duplicate_probability(0.1)
+                .with_extra_latency(Duration::ZERO, 0.1),
+        );
+        (0..n).map(|_| rt.judge_send(src, dst)).collect()
+    }
+
+    #[test]
+    fn same_seed_same_verdicts() {
+        let a = verdict_trace(7, Addr(1), Addr(2), 200);
+        let b = verdict_trace(7, Addr(1), Addr(2), 200);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seed_different_verdicts() {
+        let a = verdict_trace(7, Addr(1), Addr(2), 200);
+        let b = verdict_trace(8, Addr(1), Addr(2), 200);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn verdicts_are_per_link() {
+        // Traffic on an unrelated link must not perturb this link's
+        // decision sequence: interleave sends on (1→3) and check (1→2)
+        // still sees its own sequence.
+        let rt = FaultRuntime::install(FaultPlan::seeded(9).with_drop_probability(0.3));
+        let mut interleaved = Vec::new();
+        for _ in 0..100 {
+            interleaved.push(rt.judge_send(Addr(1), Addr(2)));
+            let _ = rt.judge_send(Addr(1), Addr(3));
+        }
+        let rt2 = FaultRuntime::install(FaultPlan::seeded(9).with_drop_probability(0.3));
+        let clean: Vec<_> = (0..100).map(|_| rt2.judge_send(Addr(1), Addr(2))).collect();
+        assert_eq!(interleaved, clean);
+    }
+
+    #[test]
+    fn drop_rate_is_plausible() {
+        let rt = FaultRuntime::install(FaultPlan::seeded(1).with_drop_probability(0.5));
+        let drops = (0..1000)
+            .filter(|_| rt.judge_send(Addr(1), Addr(2)) == SendVerdict::Drop)
+            .count();
+        assert!((300..700).contains(&drops), "drops = {drops}");
+        assert_eq!(rt.counters().messages_dropped, drops as u64);
+    }
+
+    #[test]
+    fn zero_probabilities_inject_nothing() {
+        let rt = FaultRuntime::install(FaultPlan::seeded(3));
+        for _ in 0..100 {
+            assert_eq!(
+                rt.judge_send(Addr(1), Addr(2)),
+                SendVerdict::Deliver {
+                    copies: 1,
+                    delay: Duration::ZERO
+                }
+            );
+        }
+        assert!(!rt.judge_rdma("rdma_get"));
+        assert_eq!(rt.counters().total(), 0);
+    }
+
+    #[test]
+    fn blackout_window_drops_only_target() {
+        let rt = FaultRuntime::install(FaultPlan::seeded(5).with_blackout(
+            Addr(2),
+            Duration::ZERO,
+            Duration::from_secs(60),
+        ));
+        assert_eq!(rt.judge_send(Addr(1), Addr(2)), SendVerdict::Drop);
+        assert_ne!(rt.judge_send(Addr(1), Addr(3)), SendVerdict::Drop);
+        let c = rt.counters();
+        assert_eq!(c.blackout_drops, 1);
+        assert_eq!(c.messages_dropped, 0);
+    }
+
+    #[test]
+    fn blackout_window_expires() {
+        let rt = FaultRuntime::install(FaultPlan::seeded(5).with_blackout(
+            Addr(2),
+            Duration::ZERO,
+            Duration::from_millis(20),
+        ));
+        assert_eq!(rt.judge_send(Addr(1), Addr(2)), SendVerdict::Drop);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_ne!(rt.judge_send(Addr(1), Addr(2)), SendVerdict::Drop);
+    }
+
+    #[test]
+    fn rdma_failures_count() {
+        let rt = FaultRuntime::install(FaultPlan::seeded(11).with_rdma_failure_rate(1.0));
+        assert!(rt.judge_rdma("rdma_get"));
+        assert!(rt.judge_rdma("rdma_put"));
+        assert_eq!(rt.counters().rdma_failures, 2);
+    }
+}

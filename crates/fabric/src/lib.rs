@@ -26,11 +26,13 @@
 
 mod endpoint;
 mod fabric;
+mod fault;
 mod memory;
 mod model;
 
 pub use endpoint::{Delivery, Endpoint};
-pub use fabric::{Fabric, FabricStats};
+pub use fabric::{Fabric, FabricStats, FabricStatsSnapshot};
+pub use fault::{Blackout, FaultCounters, FaultCountersSnapshot, FaultPlan, FaultRuntime};
 pub use memory::{MemKey, RemoteRegion};
 pub use model::NetworkModel;
 
@@ -64,6 +66,21 @@ pub enum FabricError {
     },
     /// The endpoint was shut down.
     Closed,
+    /// The operation was deliberately failed by the armed [`FaultPlan`].
+    InjectedFault {
+        /// Which operation was failed (e.g. `"rdma_get"`).
+        op: &'static str,
+    },
+}
+
+impl FabricError {
+    /// Is retrying the operation reasonable? Injected faults are
+    /// transient by construction; routing and registration errors are
+    /// not — the peer or region is gone and a retry would only see the
+    /// same state.
+    pub fn retryable(&self) -> bool {
+        matches!(self, FabricError::InjectedFault { .. })
+    }
 }
 
 impl std::fmt::Display for FabricError {
@@ -83,6 +100,9 @@ impl std::fmt::Display for FabricError {
                 "rdma access out of bounds on {key:?}: end {requested_end} > len {len}"
             ),
             FabricError::Closed => write!(f, "endpoint closed"),
+            FabricError::InjectedFault { op } => {
+                write!(f, "fault plan injected a {op} failure")
+            }
         }
     }
 }

@@ -113,44 +113,66 @@ impl MargoConfig {
     }
 
     /// Set the measurement stage.
+    #[must_use]
     pub fn with_stage(mut self, stage: Stage) -> Self {
         self.stage = stage;
         self
     }
 
     /// Set `OFI_max_events`.
+    #[must_use]
     pub fn with_ofi_max_events(mut self, n: usize) -> Self {
         self.ofi_max_events = n.max(1);
         self
     }
 
     /// Toggle the dedicated progress stream.
+    #[must_use]
     pub fn with_dedicated_progress(mut self, dedicated: bool) -> Self {
         self.dedicated_progress_stream = dedicated;
         self
     }
 
     /// Set the eager buffer size.
+    #[must_use]
     pub fn with_eager_size(mut self, bytes: usize) -> Self {
         self.eager_size = bytes;
         self
     }
 
     /// Run a background monitoring ULT sampling telemetry every `period`.
+    #[must_use]
     pub fn with_telemetry_period(mut self, period: Duration) -> Self {
         self.telemetry.sample_period = Some(period);
         self
     }
 
     /// Serve Prometheus scrapes on `127.0.0.1:<port>` (0 = ephemeral).
+    #[must_use]
     pub fn with_prometheus_port(mut self, port: u16) -> Self {
         self.telemetry.prometheus_port = Some(port);
         self
     }
 
     /// Record monitor samples to an on-disk flight-recorder ring.
+    #[must_use]
     pub fn with_flight_recorder(mut self, recorder: FlightRecorderConfig) -> Self {
         self.telemetry.flight_recorder = Some(recorder);
+        self
+    }
+
+    /// Cap how long a blocking `forward_with` waits overall when the
+    /// call carries no per-attempt deadline.
+    #[must_use]
+    pub fn with_rpc_timeout(mut self, timeout: Duration) -> Self {
+        self.rpc_timeout = timeout;
+        self
+    }
+
+    /// Bound how long one progress call may block waiting for events.
+    #[must_use]
+    pub fn with_progress_timeout(mut self, timeout: Duration) -> Self {
+        self.progress_timeout = timeout;
         self
     }
 
@@ -193,6 +215,15 @@ mod tests {
         assert_eq!(c.ofi_max_events, 64);
         assert!(c.dedicated_progress_stream);
         assert_eq!(c.hg_config().eager_size, 1024);
+    }
+
+    #[test]
+    fn timeout_builders_apply() {
+        let c = MargoConfig::client("c")
+            .with_rpc_timeout(Duration::from_millis(750))
+            .with_progress_timeout(Duration::from_micros(50));
+        assert_eq!(c.rpc_timeout, Duration::from_millis(750));
+        assert_eq!(c.progress_timeout, Duration::from_micros(50));
     }
 
     #[test]

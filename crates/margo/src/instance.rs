@@ -5,7 +5,9 @@
 use crate::bridge::PvarBridge;
 use crate::config::{MargoConfig, Mode};
 use crate::keys;
+use crate::options::RpcOptions;
 use crate::telemetry::TelemetryPlane;
+use crate::timer;
 use crate::MargoError;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
@@ -43,7 +45,7 @@ pub struct RpcOutcome {
 }
 
 /// An in-flight asynchronous RPC issued with
-/// [`MargoInstance::forward_async`].
+/// [`MargoInstance::forward_with_async`].
 pub struct AsyncRpc {
     ev: Eventual<Result<RpcOutcome, MargoError>>,
     timeout: std::time::Duration,
@@ -56,6 +58,16 @@ impl AsyncRpc {
             Some(res) => res,
             None => Err(MargoError::Timeout),
         }
+    }
+
+    /// Block at most `timeout` for the RPC to complete. Returns `None` on
+    /// expiry, leaving the RPC in flight — the caller can keep polling or
+    /// give up without ever hanging on a dead server.
+    pub fn wait_timeout(
+        &self,
+        timeout: std::time::Duration,
+    ) -> Option<Result<RpcOutcome, MargoError>> {
+        self.ev.wait_timeout(timeout)
     }
 
     /// Block and deserialize the output.
@@ -387,30 +399,39 @@ impl MargoInstance {
     // Client side
     // ------------------------------------------------------------------
 
-    /// Issue an RPC asynchronously; returns a handle to wait on.
+    /// Issue an RPC asynchronously under per-call [`RpcOptions`]; returns
+    /// a handle to wait on. This is the single entry point the whole
+    /// legacy `forward`/`forward_raw`/`forward_async`/`forward_async_raw`
+    /// matrix now funnels through.
     ///
     /// Instrumentation (paper Figure 2 / Table III): t1 is stamped when
     /// the issue ULT runs; input serialization is timed into the handle
     /// PVAR; the callpath ancestry is extended from the caller's
     /// ULT-local key and propagated in the request metadata; the
     /// completion callback at t14 records the origin profile row and
-    /// trace event.
-    pub fn forward_async<I: Wire>(&self, dest: Addr, rpc_name: &str, input: &I) -> AsyncRpc {
-        let encoded_input = {
-            // Serialize lazily inside the issue path so the timing lands
-            // in the handle PVAR; here we only clone the value's bytes
-            // representation closure-side. To avoid borrowing `input`
-            // beyond this call, encode through a boxed closure capturing
-            // an owned copy of the wire form is not possible generically —
-            // so we serialize to an intermediate buffer now and re-time
-            // the copy at issue time.
-            input.to_bytes()
-        };
-        self.forward_async_raw(dest, rpc_name, encoded_input)
+    /// trace event. Retried attempts additionally record an origin
+    /// profile row under the `retry` callpath frame and stamp the
+    /// attempt number into their trace events.
+    pub fn forward_with_async<I: Wire>(
+        &self,
+        dest: Addr,
+        rpc_name: &str,
+        input: &I,
+        options: RpcOptions,
+    ) -> AsyncRpc {
+        // Serialize now (the issue path re-times the copy into the handle
+        // PVAR) so retries can re-send the identical wire form.
+        self.forward_with_async_raw(dest, rpc_name, input.to_bytes(), options)
     }
 
-    /// Issue an RPC whose input is already serialized.
-    pub fn forward_async_raw(&self, dest: Addr, rpc_name: &str, input: Bytes) -> AsyncRpc {
+    /// [`MargoInstance::forward_with_async`] for pre-serialized input.
+    pub fn forward_with_async_raw(
+        &self,
+        dest: Addr,
+        rpc_name: &str,
+        input: Bytes,
+        options: RpcOptions,
+    ) -> AsyncRpc {
         let inner = self.inner.clone();
         let stage = inner.config.stage;
 
@@ -428,17 +449,22 @@ impl MargoInstance {
         };
 
         let ev: Eventual<Result<RpcOutcome, MargoError>> = Eventual::new();
-        let timeout = inner.config.rpc_timeout;
         let rpc_id = hash_rpc_name(rpc_name);
         symbi_core::callpath::register_name(rpc_name);
+        let timeout = total_wait_budget(&inner.config, &options, rpc_id);
 
-        let issue = {
-            let ev = ev.clone();
-            let inner = inner.clone();
-            move || {
-                Inner::issue_rpc(&inner, dest, rpc_id, callpath, request_id, order, input, ev);
-            }
-        };
+        let driver = Arc::new(RetryDriver {
+            inner: Arc::downgrade(&inner),
+            dest,
+            rpc_id,
+            callpath,
+            request_id,
+            order,
+            input,
+            options,
+            ev: ev.clone(),
+        });
+        let issue = move || RetryDriver::attempt(driver, 0);
 
         // The paper's default client runs request-issuing work as ULTs on
         // the shared main ES; with a dedicated progress stream the caller
@@ -453,28 +479,81 @@ impl MargoInstance {
         AsyncRpc { ev, timeout }
     }
 
-    /// Issue an RPC and block for the typed response.
+    /// Issue an RPC under `options` and block for the typed response.
+    pub fn forward_with<I: Wire, O: Wire>(
+        &self,
+        dest: Addr,
+        rpc_name: &str,
+        input: &I,
+        options: RpcOptions,
+    ) -> Result<O, MargoError> {
+        self.forward_with_async(dest, rpc_name, input, options)
+            .wait_decode()
+    }
+
+    /// Issue an RPC under `options` and block for the raw outcome.
+    pub fn forward_with_raw(
+        &self,
+        dest: Addr,
+        rpc_name: &str,
+        input: Bytes,
+        options: RpcOptions,
+    ) -> Result<RpcOutcome, MargoError> {
+        let outcome = self
+            .forward_with_async_raw(dest, rpc_name, input, options)
+            .wait()?;
+        match outcome.status {
+            RpcStatus::Ok => Ok(outcome),
+            s => Err(MargoError::Remote(s)),
+        }
+    }
+
+    /// Issue an RPC asynchronously with default options.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use forward_with_async(dest, rpc, input, RpcOptions::default())"
+    )]
+    pub fn forward_async<I: Wire>(&self, dest: Addr, rpc_name: &str, input: &I) -> AsyncRpc {
+        self.forward_with_async(dest, rpc_name, input, RpcOptions::default())
+    }
+
+    /// Issue an RPC whose input is already serialized, with default
+    /// options.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use forward_with_async_raw(dest, rpc, input, RpcOptions::default())"
+    )]
+    pub fn forward_async_raw(&self, dest: Addr, rpc_name: &str, input: Bytes) -> AsyncRpc {
+        self.forward_with_async_raw(dest, rpc_name, input, RpcOptions::default())
+    }
+
+    /// Issue an RPC and block for the typed response, with default
+    /// options.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use forward_with(dest, rpc, input, RpcOptions::default())"
+    )]
     pub fn forward<I: Wire, O: Wire>(
         &self,
         dest: Addr,
         rpc_name: &str,
         input: &I,
     ) -> Result<O, MargoError> {
-        self.forward_async(dest, rpc_name, input).wait_decode()
+        self.forward_with(dest, rpc_name, input, RpcOptions::default())
     }
 
-    /// Issue an RPC and block for the raw outcome.
+    /// Issue an RPC and block for the raw outcome, with default options.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use forward_with_raw(dest, rpc, input, RpcOptions::default())"
+    )]
     pub fn forward_raw(
         &self,
         dest: Addr,
         rpc_name: &str,
         input: Bytes,
     ) -> Result<RpcOutcome, MargoError> {
-        let outcome = self.forward_async_raw(dest, rpc_name, input).wait()?;
-        match outcome.status {
-            RpcStatus::Ok => Ok(outcome),
-            s => Err(MargoError::Remote(s)),
-        }
+        self.forward_with_raw(dest, rpc_name, input, RpcOptions::default())
     }
 
     // ------------------------------------------------------------------
@@ -644,86 +723,11 @@ impl Inner {
         });
     }
 
-    /// Origin-side issue path (t1→t3) plus the t14 completion callback.
-    #[allow(clippy::too_many_arguments)]
-    fn issue_rpc(
-        inner: &Arc<Inner>,
-        dest: Addr,
-        rpc_id: u64,
-        callpath: Callpath,
-        request_id: u64,
-        order: u32,
-        input: Bytes,
-        ev: Eventual<Result<RpcOutcome, MargoError>>,
-    ) {
-        let stage = inner.config.stage;
-        let t1 = Instant::now();
-        let t1_wall = now_ns();
-
-        if stage.measure_enabled() {
-            inner.sym.tracer().record(TraceEvent {
-                request_id,
-                order,
-                lamport: inner.sym.lamport().tick(),
-                wall_ns: t1_wall,
-                kind: TraceEventKind::OriginForward,
-                entity: inner.sym.entity(),
-                callpath,
-                samples: inner.samples_for_pool(&inner.primary_pool),
-            });
-        }
-
-        let handle = inner.hg.create_handle(dest, rpc_id);
-        // Re-time the serialization copy into the handle PVAR (t2→t3).
-        let start = Instant::now();
-        let input = {
-            let copied = Bytes::copy_from_slice(&input);
-            handle
-                .pvars()
-                .input_serialization_ns
-                .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
-            handle
-                .pvars()
-                .input_size
-                .store(copied.len() as u64, Ordering::Relaxed);
-            copied
-        };
-
-        let lamport = if stage.ids_enabled() {
-            inner.sym.lamport().tick()
-        } else {
-            0
-        };
-        let meta = RpcMeta {
-            callpath: callpath.0,
-            request_id,
-            order,
-            lamport,
-        };
-
-        let inner2 = inner.clone();
-        let ev2 = ev.clone();
-        let res = inner
-            .hg
-            .forward(handle, meta, input, move |resp: Response| {
-                // t14 on the progress ES.
-                let origin_execution_ns = t1.elapsed().as_nanos() as u64;
-                inner2.on_origin_complete(&resp, origin_execution_ns, callpath, dest, request_id);
-                ev2.set(Ok(RpcOutcome {
-                    status: resp.status,
-                    output: resp.output.clone(),
-                    pvars: resp.pvars.clone(),
-                    origin_execution_ns,
-                }));
-            });
-        if let Err(e) = res {
-            ev.set(Err(MargoError::Hg(e.to_string())));
-        }
-    }
-
     /// Record the t14 origin-side measurements: the origin profile row
     /// and the OriginComplete trace event, with PVAR data fused in when
-    /// the stage allows (paper §IV-C).
+    /// the stage allows (paper §IV-C). `retry_attempt`/`timed_out`
+    /// annotate completions of retried and terminally-expired requests.
+    #[allow(clippy::too_many_arguments)]
     fn on_origin_complete(
         &self,
         resp: &Response,
@@ -731,6 +735,8 @@ impl Inner {
         callpath: Callpath,
         dest: Addr,
         request_id: u64,
+        retry_attempt: Option<u64>,
+        timed_out: bool,
     ) {
         let stage = self.config.stage;
         if !stage.measure_enabled() {
@@ -740,6 +746,8 @@ impl Inner {
         let mut measurements = vec![(Interval::OriginExecution, origin_execution_ns)];
         let mut samples = EventSamples {
             origin_execution_ns: Some(origin_execution_ns),
+            retry_attempt,
+            timed_out: if timed_out { Some(1) } else { None },
             ..Default::default()
         };
         if stage.pvars_enabled() {
@@ -795,6 +803,272 @@ impl Inner {
             s.completion_queue_size = self.bridge.completion_queue_size();
         }
         s
+    }
+}
+
+/// Overall wait budget for an [`AsyncRpc`]: every attempt's deadline (or
+/// the instance-wide `rpc_timeout` when no per-attempt deadline is set)
+/// plus the deterministic backoff schedule, with a small grace for
+/// completion delivery. Without a retry policy this reduces to the legacy
+/// single-attempt budget.
+fn total_wait_budget(
+    config: &MargoConfig,
+    options: &RpcOptions,
+    rpc_id: u64,
+) -> std::time::Duration {
+    let per_attempt = options.deadline().unwrap_or(config.rpc_timeout);
+    match options.retry() {
+        None => per_attempt,
+        Some(policy) => {
+            let backoffs: std::time::Duration = policy.schedule(rpc_id).iter().sum();
+            per_attempt * policy.max_attempts().max(1)
+                + backoffs
+                + std::time::Duration::from_millis(250)
+        }
+    }
+}
+
+/// Driver for one logical RPC across its (possibly retried) attempts.
+///
+/// The driver is callback-driven: no ULT ever blocks waiting out a
+/// backoff (a blocked ULT pins its execution stream, which on a
+/// shared-progress client would stall the progress loop that has to
+/// deliver the response). Each attempt's completion decides inline — on
+/// the progress ES — whether to finish the eventual or hand the next
+/// attempt to the global retry timer. It holds only a `Weak<Inner>` so
+/// in-flight retries never keep a finalized instance alive.
+struct RetryDriver {
+    inner: Weak<Inner>,
+    dest: Addr,
+    rpc_id: u64,
+    callpath: Callpath,
+    request_id: u64,
+    order: u32,
+    input: Bytes,
+    options: RpcOptions,
+    ev: Eventual<Result<RpcOutcome, MargoError>>,
+}
+
+impl RetryDriver {
+    /// Issue attempt number `attempt` (0-based: 0 is the first issue).
+    /// Runs the origin-side t1→t3 path and arms the per-attempt deadline.
+    fn attempt(driver: Arc<RetryDriver>, attempt: u32) {
+        let Some(inner) = driver.inner.upgrade() else {
+            driver
+                .ev
+                .set(Err(MargoError::Hg("instance finalized".into())));
+            return;
+        };
+        if inner.shutdown.load(Ordering::Acquire) {
+            driver
+                .ev
+                .set(Err(MargoError::Hg("instance shut down".into())));
+            return;
+        }
+        let stage = inner.config.stage;
+        let t1 = Instant::now();
+
+        if stage.measure_enabled() {
+            let mut samples = inner.samples_for_pool(&inner.primary_pool);
+            if attempt > 0 {
+                samples.retry_attempt = Some(u64::from(attempt));
+            }
+            inner.sym.tracer().record(TraceEvent {
+                request_id: driver.request_id,
+                order: driver.order,
+                lamport: inner.sym.lamport().tick(),
+                wall_ns: now_ns(),
+                kind: TraceEventKind::OriginForward,
+                entity: inner.sym.entity(),
+                callpath: driver.callpath,
+                samples,
+            });
+        }
+
+        let handle = inner.hg.create_handle(driver.dest, driver.rpc_id);
+        // Re-time the serialization copy into the handle PVAR (t2→t3).
+        let start = Instant::now();
+        let input = {
+            let copied = Bytes::copy_from_slice(&driver.input);
+            handle
+                .pvars()
+                .input_serialization_ns
+                .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            handle
+                .pvars()
+                .input_size
+                .store(copied.len() as u64, Ordering::Relaxed);
+            copied
+        };
+
+        let lamport = if stage.ids_enabled() {
+            inner.sym.lamport().tick()
+        } else {
+            0
+        };
+        let meta = RpcMeta {
+            callpath: driver.callpath.0,
+            request_id: driver.request_id,
+            order: driver.order,
+            lamport,
+        };
+        let deadline = driver.options.deadline().map(|d| Instant::now() + d);
+
+        let d2 = driver.clone();
+        let inner2 = inner.clone();
+        let res =
+            inner
+                .hg
+                .forward_with_deadline(handle, meta, input, deadline, move |resp: Response| {
+                    // t14 (or local expiry) on the progress ES.
+                    RetryDriver::on_attempt_complete(d2, inner2, resp, attempt, t1);
+                });
+        if let Err(e) = res {
+            // The handle never posted — an immediate, definite failure.
+            RetryDriver::fail_or_retry(driver, &inner, MargoError::from(e), attempt, t1, None);
+        }
+    }
+
+    /// Completion callback of one attempt.
+    fn on_attempt_complete(
+        driver: Arc<RetryDriver>,
+        inner: Arc<Inner>,
+        resp: Response,
+        attempt: u32,
+        t1: Instant,
+    ) {
+        let origin_execution_ns = t1.elapsed().as_nanos() as u64;
+        match resp.status {
+            RpcStatus::Ok => {
+                inner.on_origin_complete(
+                    &resp,
+                    origin_execution_ns,
+                    driver.callpath,
+                    driver.dest,
+                    driver.request_id,
+                    (attempt > 0).then_some(u64::from(attempt)),
+                    false,
+                );
+                driver.ev.set(Ok(RpcOutcome {
+                    status: resp.status,
+                    output: resp.output.clone(),
+                    pvars: resp.pvars.clone(),
+                    origin_execution_ns,
+                }));
+            }
+            RpcStatus::Timeout => {
+                Self::fail_or_retry(driver, &inner, MargoError::Timeout, attempt, t1, Some(resp));
+            }
+            RpcStatus::Canceled => {
+                inner.on_origin_complete(
+                    &resp,
+                    origin_execution_ns,
+                    driver.callpath,
+                    driver.dest,
+                    driver.request_id,
+                    (attempt > 0).then_some(u64::from(attempt)),
+                    false,
+                );
+                driver.ev.set(Err(MargoError::Canceled));
+            }
+            s => {
+                Self::fail_or_retry(
+                    driver,
+                    &inner,
+                    MargoError::Remote(s),
+                    attempt,
+                    t1,
+                    Some(resp),
+                );
+            }
+        }
+    }
+
+    /// Decide a failed attempt's fate: schedule the next attempt through
+    /// the retry timer, or complete terminally (recording the timeout in
+    /// the profiler and trace so the measurement plane reflects it).
+    fn fail_or_retry(
+        driver: Arc<RetryDriver>,
+        inner: &Arc<Inner>,
+        err: MargoError,
+        attempt: u32,
+        t1: Instant,
+        resp: Option<Response>,
+    ) {
+        let stage = inner.config.stage;
+        let budget = driver
+            .options
+            .retry()
+            .map(|p| p.max_attempts())
+            .unwrap_or(1);
+        let next = attempt + 1;
+        if next < budget
+            && driver.options.wants_retry(&err)
+            && !inner.shutdown.load(Ordering::Acquire)
+        {
+            // Record the abandoned attempt as an origin profile row under
+            // the `retry` frame so retry storms show up per callpath.
+            if stage.measure_enabled() {
+                symbi_core::callpath::register_name("retry");
+                inner.sym.profiler().record(
+                    inner.sym.entity(),
+                    entity_for_addr(driver.dest),
+                    Side::Origin,
+                    driver.callpath.push("retry"),
+                    &[(Interval::OriginExecution, t1.elapsed().as_nanos() as u64)],
+                );
+            }
+            let backoff = driver
+                .options
+                .retry()
+                .expect("retry budget implies a policy")
+                .backoff_for(driver.rpc_id, next);
+            let d2 = driver.clone();
+            timer::schedule_after(backoff, move || RetryDriver::attempt(d2, next));
+            return;
+        }
+
+        let origin_execution_ns = t1.elapsed().as_nanos() as u64;
+        let timed_out = matches!(err, MargoError::Timeout);
+        if timed_out && stage.measure_enabled() {
+            symbi_core::callpath::register_name("timeout");
+            inner.sym.profiler().record(
+                inner.sym.entity(),
+                entity_for_addr(driver.dest),
+                Side::Origin,
+                driver.callpath.push("timeout"),
+                &[(Interval::OriginExecution, origin_execution_ns)],
+            );
+        }
+        if let Some(resp) = &resp {
+            inner.on_origin_complete(
+                resp,
+                origin_execution_ns,
+                driver.callpath,
+                driver.dest,
+                driver.request_id,
+                (attempt > 0).then_some(u64::from(attempt)),
+                timed_out,
+            );
+        }
+        match err {
+            MargoError::Timeout => driver.ev.set(Err(MargoError::Timeout)),
+            MargoError::Canceled => driver.ev.set(Err(MargoError::Canceled)),
+            MargoError::Remote(_) => {
+                // Preserve the legacy contract: remote failures surface as
+                // a completed outcome carrying the non-OK status.
+                match resp {
+                    Some(resp) => driver.ev.set(Ok(RpcOutcome {
+                        status: resp.status,
+                        output: resp.output.clone(),
+                        pvars: resp.pvars.clone(),
+                        origin_execution_ns,
+                    })),
+                    None => driver.ev.set(Err(err)),
+                }
+            }
+            other => driver.ev.set(Err(other)),
+        }
     }
 }
 

@@ -18,7 +18,7 @@
 //! ## Example
 //!
 //! ```
-//! use symbi_margo::{MargoInstance, MargoConfig};
+//! use symbi_margo::{MargoInstance, MargoConfig, RpcOptions};
 //! use symbi_fabric::{Fabric, NetworkModel};
 //!
 //! let fabric = Fabric::new(NetworkModel::instant());
@@ -26,7 +26,9 @@
 //! server.register_fn("add_one", |_margo, x: u64| Ok::<u64, String>(x + 1));
 //!
 //! let client = MargoInstance::new(fabric, MargoConfig::client("demo-client"));
-//! let y: u64 = client.forward(server.addr(), "add_one", &41u64).unwrap();
+//! let y: u64 = client
+//!     .forward_with(server.addr(), "add_one", &41u64, RpcOptions::default())
+//!     .unwrap();
 //! assert_eq!(y, 42);
 //! client.finalize();
 //! server.finalize();
@@ -36,31 +38,75 @@ mod bridge;
 mod config;
 mod instance;
 pub mod keys;
+mod options;
 mod telemetry;
+mod timer;
 
 pub use bridge::{OriginHandleSamples, PvarBridge, TargetHandleSamples};
 pub use config::{MargoConfig, Mode, TelemetryOptions};
 pub use instance::{entity_for_addr, AsyncRpc, MargoInstance, RpcHandler, RpcOutcome};
+pub use options::{RetryPolicy, RetryPredicate, RpcOptions};
 
 /// Errors surfaced by Margo operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MargoError {
     /// The Mercury layer failed (encode/transport).
     Hg(String),
+    /// The fabric reported a definite transport failure.
+    Fabric(symbi_fabric::FabricError),
     /// The RPC completed with a non-OK status on the target.
     Remote(symbi_mercury::RpcStatus),
     /// The response did not arrive within the configured timeout.
     Timeout,
+    /// The RPC was canceled before a response arrived.
+    Canceled,
     /// The response payload failed to decode.
     Codec(String),
+}
+
+impl MargoError {
+    /// Is the failure transient enough that re-issuing the RPC could
+    /// succeed? Timeouts count as transient here; whether a timed-out
+    /// attempt is actually retried additionally depends on the call's
+    /// idempotency declaration (see [`RpcOptions::idempotent`]).
+    pub fn retryable(&self) -> bool {
+        match self {
+            MargoError::Fabric(e) => e.retryable(),
+            MargoError::Timeout => true,
+            MargoError::Remote(s) => *s == symbi_mercury::RpcStatus::Timeout,
+            MargoError::Hg(_) | MargoError::Canceled | MargoError::Codec(_) => false,
+        }
+    }
+}
+
+impl From<symbi_mercury::HgError> for MargoError {
+    fn from(e: symbi_mercury::HgError) -> Self {
+        use symbi_mercury::HgError;
+        match e {
+            HgError::Fabric(f) => MargoError::Fabric(f),
+            HgError::Timeout => MargoError::Timeout,
+            HgError::Canceled => MargoError::Canceled,
+            HgError::Codec(c) => MargoError::Codec(c.to_string()),
+            HgError::Status(s) => MargoError::Remote(s),
+            other => MargoError::Hg(other.to_string()),
+        }
+    }
+}
+
+impl From<symbi_fabric::FabricError> for MargoError {
+    fn from(e: symbi_fabric::FabricError) -> Self {
+        MargoError::Fabric(e)
+    }
 }
 
 impl std::fmt::Display for MargoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MargoError::Hg(e) => write!(f, "mercury error: {e}"),
+            MargoError::Fabric(e) => write!(f, "fabric error: {e}"),
             MargoError::Remote(s) => write!(f, "remote failure: {s:?}"),
             MargoError::Timeout => write!(f, "rpc timed out"),
+            MargoError::Canceled => write!(f, "rpc canceled"),
             MargoError::Codec(e) => write!(f, "response decode error: {e}"),
         }
     }
@@ -88,7 +134,9 @@ mod tests {
         server.register_fn("double", |_m, x: u64| Ok::<u64, String>(x * 2));
         let client = MargoInstance::new(f, MargoConfig::client("rt-client"));
         for i in 0..10u64 {
-            let y: u64 = client.forward(server.addr(), "double", &i).unwrap();
+            let y: u64 = client
+                .forward_with(server.addr(), "double", &i, RpcOptions::default())
+                .unwrap();
             assert_eq!(y, i * 2);
         }
         client.finalize();
@@ -104,7 +152,9 @@ mod tests {
             f,
             MargoConfig::client("dp-client").with_dedicated_progress(true),
         );
-        let y: u64 = client.forward(server.addr(), "inc", &1u64).unwrap();
+        let y: u64 = client
+            .forward_with(server.addr(), "inc", &1u64, RpcOptions::default())
+            .unwrap();
         assert_eq!(y, 2);
         client.finalize();
         server.finalize();
@@ -119,8 +169,9 @@ mod tests {
             Ok::<u64, String>(ms)
         });
         let client = MargoInstance::new(f, MargoConfig::client("async-client"));
-        let slow = client.forward_async(server.addr(), "sleepy", &30u64);
-        let fast = client.forward_async(server.addr(), "sleepy", &1u64);
+        let slow =
+            client.forward_with_async(server.addr(), "sleepy", &30u64, RpcOptions::default());
+        let fast = client.forward_with_async(server.addr(), "sleepy", &1u64, RpcOptions::default());
         assert_eq!(fast.wait_decode::<u64>().unwrap(), 1);
         assert_eq!(slow.wait_decode::<u64>().unwrap(), 30);
         client.finalize();
@@ -133,7 +184,8 @@ mod tests {
         let server = MargoInstance::new(f.clone(), MargoConfig::server("err-server", 1));
         server.register_fn("fail", |_m, _x: u64| Err::<u64, String>("nope".into()));
         let client = MargoInstance::new(f, MargoConfig::client("err-client"));
-        let res: Result<u64, MargoError> = client.forward(server.addr(), "fail", &0u64);
+        let res: Result<u64, MargoError> =
+            client.forward_with(server.addr(), "fail", &0u64, RpcOptions::default());
         assert!(matches!(res, Err(MargoError::Remote(_))));
         client.finalize();
         server.finalize();
@@ -144,7 +196,8 @@ mod tests {
         let f = fabric();
         let server = MargoInstance::new(f.clone(), MargoConfig::server("empty-server", 1));
         let client = MargoInstance::new(f, MargoConfig::client("lost-client"));
-        let res: Result<u64, MargoError> = client.forward(server.addr(), "ghost", &0u64);
+        let res: Result<u64, MargoError> =
+            client.forward_with(server.addr(), "ghost", &0u64, RpcOptions::default());
         assert!(matches!(res, Err(MargoError::Remote(_))));
         client.finalize();
         server.finalize();
@@ -157,7 +210,9 @@ mod tests {
         server.register_fn("prof_rpc", |_m, x: u64| Ok::<u64, String>(x));
         let client = MargoInstance::new(f, MargoConfig::client("prof-client"));
         for _ in 0..5 {
-            let _: u64 = client.forward(server.addr(), "prof_rpc", &1u64).unwrap();
+            let _: u64 = client
+                .forward_with(server.addr(), "prof_rpc", &1u64, RpcOptions::default())
+                .unwrap();
         }
         // Give the t13 callback (which records the target row) a moment.
         std::thread::sleep(std::time::Duration::from_millis(50));
@@ -191,11 +246,13 @@ mod tests {
         let backend_addr = backend.addr();
         let middle = MargoInstance::new(f.clone(), MargoConfig::server("nest-middle", 2));
         middle.register_fn("mid_rpc", move |m: &MargoInstance, x: u64| {
-            m.forward::<u64, u64>(backend_addr, "leaf_rpc", &x)
+            m.forward_with::<u64, u64>(backend_addr, "leaf_rpc", &x, RpcOptions::default())
                 .map_err(|e| e.to_string())
         });
         let client = MargoInstance::new(f, MargoConfig::client("nest-client"));
-        let y: u64 = client.forward(middle.addr(), "mid_rpc", &1u64).unwrap();
+        let y: u64 = client
+            .forward_with(middle.addr(), "mid_rpc", &1u64, RpcOptions::default())
+            .unwrap();
         assert_eq!(y, 101);
         std::thread::sleep(std::time::Duration::from_millis(50));
 
@@ -225,7 +282,9 @@ mod tests {
         let server = MargoInstance::new(f.clone(), MargoConfig::server("tr-server", 1));
         server.register_fn("traced", |_m, x: u64| Ok::<u64, String>(x));
         let client = MargoInstance::new(f, MargoConfig::client("tr-client"));
-        let _: u64 = client.forward(server.addr(), "traced", &9u64).unwrap();
+        let _: u64 = client
+            .forward_with(server.addr(), "traced", &9u64, RpcOptions::default())
+            .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(50));
 
         let mut events = client.symbiosys().tracer().snapshot();
@@ -271,7 +330,9 @@ mod tests {
             f,
             MargoConfig::client("off-client").with_stage(Stage::Disabled),
         );
-        let _: u64 = client.forward(server.addr(), "off_rpc", &5u64).unwrap();
+        let _: u64 = client
+            .forward_with(server.addr(), "off_rpc", &5u64, RpcOptions::default())
+            .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(30));
         assert_eq!(
             seen_meta.load(Ordering::SeqCst),
@@ -304,7 +365,9 @@ mod tests {
         );
         let client =
             MargoInstance::new(f, MargoConfig::client("ids-client").with_stage(Stage::Ids));
-        let _: u64 = client.forward(server.addr(), "ids_rpc", &5u64).unwrap();
+        let _: u64 = client
+            .forward_with(server.addr(), "ids_rpc", &5u64, RpcOptions::default())
+            .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(30));
         assert_eq!(
             seen.load(Ordering::SeqCst),
@@ -329,7 +392,9 @@ mod tests {
             f,
             MargoConfig::client("m-client").with_stage(Stage::Measure),
         );
-        let _: u64 = client.forward(server.addr(), "m_rpc", &5u64).unwrap();
+        let _: u64 = client
+            .forward_with(server.addr(), "m_rpc", &5u64, RpcOptions::default())
+            .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(50));
         let rows = client.symbiosys().profiler().snapshot();
         assert_eq!(rows.len(), 1);
@@ -353,7 +418,9 @@ mod tests {
                     let client =
                         MargoInstance::new(f, MargoConfig::client(format!("mc-client-{c}")));
                     for i in 0..20u64 {
-                        let y: u64 = client.forward(addr, "mc_rpc", &i).unwrap();
+                        let y: u64 = client
+                            .forward_with(addr, "mc_rpc", &i, RpcOptions::default())
+                            .unwrap();
                         assert_eq!(y, i * 3);
                     }
                     client.finalize();
@@ -376,7 +443,8 @@ mod tests {
         let mut cfg = MargoConfig::client("late-client");
         cfg.rpc_timeout = std::time::Duration::from_millis(200);
         let client = MargoInstance::new(f, cfg);
-        let res: Result<u64, MargoError> = client.forward(addr, "dead_rpc", &1u64);
+        let res: Result<u64, MargoError> =
+            client.forward_with(addr, "dead_rpc", &1u64, RpcOptions::default());
         assert!(res.is_err());
         client.finalize();
     }
@@ -391,7 +459,12 @@ mod tests {
         });
         let client = MargoInstance::new(f, MargoConfig::client("lat-client"));
         let outcome = client
-            .forward_raw(server.addr(), "lat_rpc", 7u64.to_bytes())
+            .forward_with_raw(
+                server.addr(),
+                "lat_rpc",
+                7u64.to_bytes(),
+                RpcOptions::default(),
+            )
             .unwrap();
         assert!(
             outcome.origin_execution_ns >= 5_000_000,
@@ -409,7 +482,9 @@ mod tests {
         server.register_fn("tel_echo", |_m, x: u64| Ok::<u64, String>(x));
         let client = MargoInstance::new(f, MargoConfig::client("tel-client"));
         for i in 0..5u64 {
-            let _: u64 = client.forward(server.addr(), "tel_echo", &i).unwrap();
+            let _: u64 = client
+                .forward_with(server.addr(), "tel_echo", &i, RpcOptions::default())
+                .unwrap();
         }
 
         let snap = server.telemetry().sample();
@@ -455,7 +530,9 @@ mod tests {
         let server = MargoInstance::new(f.clone(), config);
         server.register_fn("fr_echo", |_m, x: u64| Ok::<u64, String>(x));
         let client = MargoInstance::new(f, MargoConfig::client("fr-client"));
-        let _: u64 = client.forward(server.addr(), "fr_echo", &1u64).unwrap();
+        let _: u64 = client
+            .forward_with(server.addr(), "fr_echo", &1u64, RpcOptions::default())
+            .unwrap();
         std::thread::sleep(std::time::Duration::from_millis(40));
         client.finalize();
         server.finalize();
@@ -471,6 +548,150 @@ mod tests {
             assert!(pair[1].seq > pair[0].seq);
         }
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_forward_wrappers_still_work() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("compat-server", 1));
+        server.register_fn("compat", |_m, x: u64| Ok::<u64, String>(x + 7));
+        let client = MargoInstance::new(f, MargoConfig::client("compat-client"));
+        let y: u64 = client.forward(server.addr(), "compat", &1u64).unwrap();
+        assert_eq!(y, 8);
+        let a = client.forward_async(server.addr(), "compat", &2u64);
+        assert_eq!(a.wait_decode::<u64>().unwrap(), 9);
+        let raw = client
+            .forward_raw(server.addr(), "compat", 3u64.to_bytes())
+            .unwrap();
+        assert_eq!(u64::from_bytes(raw.output).unwrap(), 10);
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn retries_recover_from_injected_drops() {
+        let f = fabric();
+        // Drop a third of all sends (requests *and* responses roll
+        // independently); retries must still get every RPC through.
+        f.install_fault_plan(symbi_fabric::FaultPlan::seeded(7).with_drop_probability(0.3));
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("drop-server", 2));
+        server.register_fn("flaky", |_m, x: u64| Ok::<u64, String>(x * 2));
+        let client = MargoInstance::new(f.clone(), MargoConfig::client("drop-client"));
+        let options = RpcOptions::new()
+            .with_deadline(std::time::Duration::from_millis(50))
+            .with_retry(
+                RetryPolicy::new(12)
+                    .with_seed(7)
+                    .with_base_backoff(std::time::Duration::from_millis(1))
+                    .with_max_backoff(std::time::Duration::from_millis(10)),
+            )
+            .idempotent(true);
+        for i in 0..5u64 {
+            let y: u64 = client
+                .forward_with(server.addr(), "flaky", &i, options.clone())
+                .unwrap();
+            assert_eq!(y, i * 2);
+        }
+        let counters = f.fault_counters().expect("plan installed");
+        assert!(
+            counters.messages_dropped > 0,
+            "the plan must actually have injected drops"
+        );
+        // Retried attempts leave origin profile rows under the retry frame
+        // and stamp their attempt number into the trace.
+        let rows = client.symbiosys().profiler().snapshot();
+        assert!(
+            rows.iter()
+                .any(|r| r.callpath == Callpath::root("flaky").push("retry")),
+            "no retry profile row; rows: {rows:?}"
+        );
+        let events = client.symbiosys().tracer().snapshot();
+        assert!(
+            events.iter().any(|e| e.samples.retry_attempt.is_some()),
+            "no trace event carries a retry_attempt annotation"
+        );
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn non_idempotent_rpcs_are_not_retried_after_timeout() {
+        let f = fabric();
+        // Drop everything: each attempt must expire at its deadline.
+        f.install_fault_plan(symbi_fabric::FaultPlan::seeded(1).with_drop_probability(1.0));
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("mute-server", 1));
+        server.register_fn("once", |_m, x: u64| Ok::<u64, String>(x));
+        let client = MargoInstance::new(f.clone(), MargoConfig::client("mute-client"));
+        let options = RpcOptions::new()
+            .with_deadline(std::time::Duration::from_millis(30))
+            .with_retry(RetryPolicy::new(4).with_base_backoff(std::time::Duration::from_millis(1)));
+        let res: Result<u64, MargoError> =
+            client.forward_with(server.addr(), "once", &1u64, options);
+        assert_eq!(res, Err(MargoError::Timeout));
+        // Exactly one attempt was sent (the non-idempotent call must not
+        // be re-issued after an ambiguous timeout).
+        let rows = client.symbiosys().profiler().snapshot();
+        assert!(
+            !rows
+                .iter()
+                .any(|r| r.callpath == Callpath::root("once").push("retry")),
+            "non-idempotent RPC must not record retries; rows: {rows:?}"
+        );
+        assert!(
+            rows.iter()
+                .any(|r| r.callpath == Callpath::root("once").push("timeout")),
+            "terminal timeout must be recorded under the timeout frame"
+        );
+        // The terminal completion is annotated in the trace.
+        let events = client.symbiosys().tracer().snapshot();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.kind == TraceEventKind::OriginComplete
+                    && e.samples.timed_out == Some(1)),
+            "no timed_out annotation on the origin completion"
+        );
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn retry_schedule_is_deterministic_under_a_fixed_seed() {
+        let policy = RetryPolicy::new(6)
+            .with_seed(0xFEED)
+            .with_base_backoff(std::time::Duration::from_millis(2))
+            .with_max_backoff(std::time::Duration::from_millis(100));
+        let rpc_id = symbi_mercury::hash_rpc_name("bake_put");
+        let a = policy.schedule(rpc_id);
+        let b = RetryPolicy::new(6)
+            .with_seed(0xFEED)
+            .with_base_backoff(std::time::Duration::from_millis(2))
+            .with_max_backoff(std::time::Duration::from_millis(100))
+            .schedule(rpc_id);
+        assert_eq!(a, b, "same seed must give a byte-identical schedule");
+        assert_eq!(a.len(), 5);
+        let c = policy.with_seed(0xBEEF).schedule(rpc_id);
+        assert_ne!(a, c, "different seeds must de-correlate");
+    }
+
+    #[test]
+    fn async_wait_timeout_returns_none_while_pending() {
+        let f = fabric();
+        // Blackhole fabric: nothing is ever delivered.
+        f.install_fault_plan(symbi_fabric::FaultPlan::seeded(3).with_drop_probability(1.0));
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("bh-server", 1));
+        server.register_fn("void", |_m, x: u64| Ok::<u64, String>(x));
+        let client = MargoInstance::new(f, MargoConfig::client("bh-client"));
+        let rpc = client.forward_with_async(server.addr(), "void", &1u64, RpcOptions::default());
+        assert!(
+            rpc.wait_timeout(std::time::Duration::from_millis(50))
+                .is_none(),
+            "a dropped RPC with no deadline must still be pending"
+        );
+        assert!(!rpc.is_done());
+        client.finalize();
+        server.finalize();
     }
 
     #[test]

@@ -1,0 +1,286 @@
+//! Per-call RPC options: deadline, retry policy, and idempotency.
+//!
+//! This module is the forward-API redesign's control surface. Instead of
+//! a matrix of `forward` variants, every origin-side call goes through
+//! [`crate::MargoInstance::forward_with`] carrying an [`RpcOptions`]
+//! value. The default options reproduce the old behavior exactly: no
+//! per-call deadline (the instance-wide `rpc_timeout` still bounds the
+//! blocking wait) and no retries.
+//!
+//! Retry backoff is **deterministic**: the schedule is a pure function of
+//! the policy's seed, the RPC id, and the attempt number, so a fault
+//! experiment replayed with the same seed produces a byte-identical
+//! retry schedule (the same property the fabric's
+//! [`symbi_fabric::FaultPlan`] provides on the injection side).
+
+use crate::MargoError;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// splitmix64 — the same tiny deterministic mixer the fabric fault plane
+/// uses, re-derived here so the policy layer stays dependency-free.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in `[0, 1)` keyed by `(seed, rpc_id, attempt)`.
+fn unit(seed: u64, rpc_id: u64, attempt: u32) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(rpc_id) ^ splitmix64(u64::from(attempt) << 17));
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Deterministic exponential-backoff retry policy.
+///
+/// Attempt `n` (1-based, counting re-issues) sleeps
+/// `min(base * 2^(n-1), max) * (0.5 + 0.5 * jitter)` before re-forwarding,
+/// where `jitter` is a seeded uniform draw — so half the nominal delay is
+/// guaranteed and the rest is deterministic jitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    max_attempts: u32,
+    base_backoff: Duration,
+    max_backoff: Duration,
+    seed: u64,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `max_attempts` total attempts (the first issue
+    /// counts; `max_attempts = 3` means up to two retries).
+    pub fn new(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            seed: 0,
+        }
+    }
+
+    /// Set the first-retry backoff (doubled each further retry).
+    #[must_use]
+    pub fn with_base_backoff(mut self, base: Duration) -> Self {
+        self.base_backoff = base;
+        self
+    }
+
+    /// Cap the exponential backoff growth.
+    #[must_use]
+    pub fn with_max_backoff(mut self, max: Duration) -> Self {
+        self.max_backoff = max;
+        self
+    }
+
+    /// Seed the deterministic jitter. Two policies with equal parameters
+    /// and equal seeds produce identical schedules.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total attempts allowed (first issue included).
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The jitter seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Backoff before re-issue number `attempt` (1-based) of the RPC with
+    /// registered id `rpc_id`. Pure: depends only on the policy fields
+    /// and the arguments.
+    pub fn backoff_for(&self, rpc_id: u64, attempt: u32) -> Duration {
+        let attempt = attempt.max(1);
+        let exp = attempt.saturating_sub(1).min(32);
+        let nominal = self
+            .base_backoff
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.max_backoff);
+        let jitter = 0.5 + 0.5 * unit(self.seed, rpc_id, attempt);
+        Duration::from_nanos((nominal.as_nanos() as f64 * jitter) as u64)
+    }
+
+    /// The full backoff schedule for one RPC id: the delays before each
+    /// possible re-issue, in order. Useful for asserting determinism and
+    /// for budgeting an overall wait.
+    pub fn schedule(&self, rpc_id: u64) -> Vec<Duration> {
+        (1..self.max_attempts)
+            .map(|a| self.backoff_for(rpc_id, a))
+            .collect()
+    }
+}
+
+/// Predicate deciding whether a failed attempt should be retried,
+/// overriding the default idempotency/retryability rules.
+pub type RetryPredicate = Arc<dyn Fn(&MargoError) -> bool + Send + Sync>;
+
+/// Per-call options for the [`crate::MargoInstance::forward_with`] family.
+///
+/// The default value reproduces the legacy `forward` behavior: no
+/// per-attempt deadline, no retries, non-idempotent.
+#[derive(Clone, Default)]
+pub struct RpcOptions {
+    deadline: Option<Duration>,
+    retry: Option<RetryPolicy>,
+    idempotent: bool,
+    retryable: Option<RetryPredicate>,
+}
+
+impl std::fmt::Debug for RpcOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RpcOptions")
+            .field("deadline", &self.deadline)
+            .field("retry", &self.retry)
+            .field("idempotent", &self.idempotent)
+            .field("retryable", &self.retryable.as_ref().map(|_| "<predicate>"))
+            .finish()
+    }
+}
+
+impl RpcOptions {
+    /// Options matching the legacy `forward` behavior.
+    pub fn new() -> Self {
+        RpcOptions::default()
+    }
+
+    /// Bound each individual attempt: if no response arrives within
+    /// `deadline`, the handle completes locally with a timeout (and is
+    /// retried if the policy allows).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attach a retry policy. Without one, no attempt is ever retried.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = Some(policy);
+        self
+    }
+
+    /// Declare the RPC idempotent. Only idempotent RPCs are retried
+    /// after a *timeout*, because an expired attempt may still have
+    /// executed on the target; definite-failure errors (e.g. injected
+    /// fabric faults reported at send time) are retried either way.
+    #[must_use]
+    pub fn idempotent(mut self, yes: bool) -> Self {
+        self.idempotent = yes;
+        self
+    }
+
+    /// Override the retry decision per error. When set, the predicate
+    /// fully replaces the default idempotency/retryability rules (the
+    /// retry policy's attempt budget still applies).
+    #[must_use]
+    pub fn with_retryable(
+        mut self,
+        pred: impl Fn(&MargoError) -> bool + Send + Sync + 'static,
+    ) -> Self {
+        self.retryable = Some(Arc::new(pred));
+        self
+    }
+
+    /// The per-attempt deadline, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        self.deadline
+    }
+
+    /// The retry policy, if any.
+    pub fn retry(&self) -> Option<&RetryPolicy> {
+        self.retry.as_ref()
+    }
+
+    /// Whether the call was declared idempotent.
+    pub fn is_idempotent(&self) -> bool {
+        self.idempotent
+    }
+
+    /// Whether `err` qualifies for a retry under these options (attempt
+    /// budget not considered — the driver tracks that separately).
+    pub(crate) fn wants_retry(&self, err: &MargoError) -> bool {
+        if self.retry.is_none() {
+            return false;
+        }
+        if let Some(pred) = &self.retryable {
+            return pred(err);
+        }
+        match err {
+            MargoError::Timeout => self.idempotent,
+            other => other.retryable(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_deterministic_per_seed() {
+        let a = RetryPolicy::new(5).with_seed(42);
+        let b = RetryPolicy::new(5).with_seed(42);
+        assert_eq!(a.schedule(0xBEEF), b.schedule(0xBEEF));
+        let c = RetryPolicy::new(5).with_seed(43);
+        assert_ne!(a.schedule(0xBEEF), c.schedule(0xBEEF));
+        // Different RPCs de-correlate even under one seed.
+        assert_ne!(a.schedule(0xBEEF), a.schedule(0xCAFE));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let p = RetryPolicy::new(16)
+            .with_base_backoff(Duration::from_millis(2))
+            .with_max_backoff(Duration::from_millis(64));
+        for attempt in 1..16 {
+            let d = p.backoff_for(7, attempt);
+            // Jitter keeps every delay within [nominal/2, nominal].
+            assert!(d >= Duration::from_millis(1), "attempt {attempt}: {d:?}");
+            assert!(d <= Duration::from_millis(64), "attempt {attempt}: {d:?}");
+        }
+        // Late attempts sit at the cap's jitter band.
+        assert!(p.backoff_for(7, 15) >= Duration::from_millis(32));
+    }
+
+    #[test]
+    fn schedule_length_matches_attempt_budget() {
+        assert_eq!(RetryPolicy::new(1).schedule(1).len(), 0);
+        assert_eq!(RetryPolicy::new(4).schedule(1).len(), 3);
+    }
+
+    #[test]
+    fn default_options_never_retry() {
+        let opts = RpcOptions::default();
+        assert!(!opts.wants_retry(&MargoError::Timeout));
+        assert!(!opts.wants_retry(&MargoError::Fabric(
+            symbi_fabric::FabricError::InjectedFault { op: "send" }
+        )));
+    }
+
+    #[test]
+    fn timeout_retries_require_idempotency() {
+        let with_policy = RpcOptions::new().with_retry(RetryPolicy::new(3));
+        assert!(!with_policy.wants_retry(&MargoError::Timeout));
+        let idem = with_policy.clone().idempotent(true);
+        assert!(idem.wants_retry(&MargoError::Timeout));
+        // Injected faults are definite failures: retried either way.
+        let fault = MargoError::Fabric(symbi_fabric::FabricError::InjectedFault { op: "get" });
+        assert!(with_policy.wants_retry(&fault));
+    }
+
+    #[test]
+    fn predicate_overrides_defaults() {
+        let opts = RpcOptions::new()
+            .with_retry(RetryPolicy::new(3))
+            .with_retryable(|e| matches!(e, MargoError::Timeout));
+        assert!(opts.wants_retry(&MargoError::Timeout));
+        assert!(!opts.wants_retry(&MargoError::Fabric(
+            symbi_fabric::FabricError::InjectedFault { op: "send" }
+        )));
+    }
+}

@@ -111,6 +111,31 @@ impl TelemetryPlane {
                     "symbi_fabric_rdma_bytes_total",
                     s.rdma_bytes,
                 ));
+                // Injected-fault counters appear once a fault plan is
+                // installed, so fault experiments can correlate observed
+                // anomalies with the faults that caused them.
+                if let Some(fc) = fabric.fault_counters() {
+                    out.push(MetricPoint::counter(
+                        "symbi_fault_messages_dropped_total",
+                        fc.messages_dropped,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_fault_blackout_drops_total",
+                        fc.blackout_drops,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_fault_messages_duplicated_total",
+                        fc.messages_duplicated,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_fault_messages_delayed_total",
+                        fc.messages_delayed,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_fault_rdma_failures_total",
+                        fc.rdma_failures,
+                    ));
+                }
             });
         }
 

@@ -1,0 +1,142 @@
+//! A process-global one-shot timer used to schedule retry back-offs.
+//!
+//! Retries must **not** block a ULT while waiting out their backoff: a
+//! blocked ULT pins its execution stream, and on a shared-progress client
+//! the issuing ULTs and the progress ULT share one stream — parking a
+//! retry there would stall the very progress loop that has to deliver the
+//! response. Instead, completions hand the follow-up closure to this
+//! dedicated timer thread, which fires it at its due time; the closure
+//! re-issues the attempt without ever occupying a pool stream.
+
+use parking_lot::{Condvar, Mutex};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct Entry {
+    due: Instant,
+    seq: u64,
+    job: Job,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    // Reversed so the max-heap pops the *earliest* due entry, ties broken
+    // by submission order.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .due
+            .cmp(&self.due)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Timer {
+    heap: Mutex<(BinaryHeap<Entry>, u64)>,
+    cv: Condvar,
+}
+
+impl Timer {
+    fn run(&self) {
+        loop {
+            let mut guard = self.heap.lock();
+            let now = Instant::now();
+            let due_job = match guard.0.peek() {
+                None => {
+                    self.cv.wait(&mut guard);
+                    continue;
+                }
+                Some(e) if e.due <= now => guard.0.pop().map(|e| e.job),
+                Some(e) => {
+                    let due = e.due;
+                    self.cv.wait_until(&mut guard, due);
+                    continue;
+                }
+            };
+            drop(guard);
+            if let Some(job) = due_job {
+                job();
+            }
+        }
+    }
+}
+
+fn global() -> &'static Timer {
+    static TIMER: OnceLock<&'static Timer> = OnceLock::new();
+    TIMER.get_or_init(|| {
+        let timer: &'static Timer = Box::leak(Box::new(Timer {
+            heap: Mutex::new((BinaryHeap::new(), 0)),
+            cv: Condvar::new(),
+        }));
+        std::thread::Builder::new()
+            .name("symbi-margo-timer".into())
+            .spawn(move || timer.run())
+            .expect("spawn retry timer thread");
+        timer
+    })
+}
+
+/// Run `job` on the timer thread once `delay` has elapsed. A zero delay
+/// fires as soon as the timer thread gets the CPU.
+pub(crate) fn schedule_after(delay: Duration, job: impl FnOnce() + Send + 'static) {
+    let timer = global();
+    let mut guard = timer.heap.lock();
+    let seq = guard.1;
+    guard.1 += 1;
+    guard.0.push(Entry {
+        due: Instant::now() + delay,
+        seq,
+        job: Box::new(job),
+    });
+    drop(guard);
+    timer.cv.notify_one();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn jobs_fire_after_their_delay() {
+        let fired = Arc::new(AtomicU64::new(0));
+        let f = fired.clone();
+        let start = Instant::now();
+        schedule_after(Duration::from_millis(20), move || {
+            f.store(start.elapsed().as_millis() as u64 + 1, Ordering::SeqCst);
+        });
+        for _ in 0..200 {
+            if fired.load(Ordering::SeqCst) != 0 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let at = fired.load(Ordering::SeqCst);
+        assert!(at != 0, "job never fired");
+        assert!(at >= 20, "fired after {}ms, before the 20ms delay", at - 1);
+    }
+
+    #[test]
+    fn earlier_jobs_preempt_later_ones() {
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let (o1, o2) = (order.clone(), order.clone());
+        schedule_after(Duration::from_millis(60), move || o1.lock().push("late"));
+        schedule_after(Duration::from_millis(10), move || o2.lock().push("early"));
+        std::thread::sleep(Duration::from_millis(150));
+        assert_eq!(*order.lock(), vec!["early", "late"]);
+    }
+}

@@ -36,6 +36,23 @@ impl Default for HgConfig {
     }
 }
 
+impl HgConfig {
+    /// Set the eager buffer size in bytes.
+    #[must_use]
+    pub fn with_eager_size(mut self, bytes: usize) -> Self {
+        self.eager_size = bytes;
+        self
+    }
+
+    /// Set the bound on completion events read per `progress` call
+    /// (floor 1 — a zero bound would stall the progress loop).
+    #[must_use]
+    pub fn with_ofi_max_events(mut self, n: usize) -> Self {
+        self.ofi_max_events = n.max(1);
+        self
+    }
+}
+
 /// Callback invoked (at trigger time) for each arriving RPC request.
 pub type RpcCallback = Arc<dyn Fn(ServerHandle) + Send + Sync>;
 
@@ -52,6 +69,9 @@ struct Counters {
     progress_calls: AtomicU64,
     triggers: AtomicU64,
     last_ofi_events_read: AtomicU64,
+    rpcs_timed_out: AtomicU64,
+    rpcs_canceled: AtomicU64,
+    late_responses: AtomicU64,
 }
 
 pub(crate) struct HgInner {
@@ -62,6 +82,9 @@ pub(crate) struct HgInner {
     handlers: RwLock<HashMap<u64, RpcCallback>>,
     posted: Mutex<HashMap<u64, Posted>>,
     completion: Mutex<VecDeque<Completion>>,
+    /// Posted handles carrying a deadline; lets `progress` skip the
+    /// expiry sweep entirely on deadline-free workloads.
+    deadlines_pending: AtomicU64,
     counters: Counters,
     next_handle_id: AtomicU64,
     pub(crate) active_sessions: AtomicU64,
@@ -111,6 +134,7 @@ impl HgClass {
                 handlers: RwLock::new(HashMap::new()),
                 posted: Mutex::new(HashMap::new()),
                 completion: Mutex::new(VecDeque::new()),
+                deadlines_pending: AtomicU64::new(0),
                 counters: Counters::default(),
                 next_handle_id: AtomicU64::new(1),
                 active_sessions: AtomicU64::new(0),
@@ -176,6 +200,22 @@ impl HgClass {
         input: Bytes,
         cb: impl FnOnce(Response) + Send + 'static,
     ) -> Result<HandleId, HgError> {
+        self.forward_with_deadline(handle, meta, input, None, cb)
+    }
+
+    /// Like [`HgClass::forward`] but with an optional deadline: if no
+    /// response has arrived by `deadline`, the progress loop expires the
+    /// handle and completes it through the normal completion queue with
+    /// [`RpcStatus::Timeout`], keeping the HANDLE PVARs and
+    /// completion-queue counters consistent with real completions.
+    pub fn forward_with_deadline(
+        &self,
+        handle: Handle,
+        meta: RpcMeta,
+        input: Bytes,
+        deadline: Option<Instant>,
+        cb: impl FnOnce(Response) + Send + 'static,
+    ) -> Result<HandleId, HgError> {
         let inner = &self.inner;
         inner.counters.rpcs_invoked.fetch_add(1, Ordering::Relaxed);
 
@@ -216,8 +256,12 @@ impl HgClass {
                 cb: Box::new(cb),
                 pvars: handle.pvars.clone(),
                 rdma_key,
+                deadline,
             },
         );
+        if deadline.is_some() {
+            inner.deadlines_pending.fetch_add(1, Ordering::Relaxed);
+        }
 
         match inner
             .fabric
@@ -230,9 +274,86 @@ impl HgClass {
                     if let Some(k) = p.rdma_key {
                         inner.fabric.unregister(k);
                     }
+                    if p.deadline.is_some() {
+                        inner.deadlines_pending.fetch_sub(1, Ordering::Relaxed);
+                    }
                 }
-                Err(HgError::Fabric(e))
+                Err(HgError::from(e))
             }
+        }
+    }
+
+    /// Complete a removed posted handle locally with a synthesized
+    /// status, through the normal completion queue so `trigger`
+    /// dispatches it exactly like a real response.
+    fn complete_locally(&self, posted: Posted, status: RpcStatus) {
+        if let Some(k) = posted.rdma_key {
+            self.inner.fabric.unregister(k);
+        }
+        if posted.deadline.is_some() {
+            self.inner.deadlines_pending.fetch_sub(1, Ordering::Relaxed);
+        }
+        let added_to_cq_at = Instant::now();
+        let pvars = posted.pvars;
+        let cb = posted.cb;
+        self.push_completion(Box::new(move || {
+            pvars.origin_completion_callback_ns.store(
+                added_to_cq_at.elapsed().as_nanos() as u64,
+                Ordering::Relaxed,
+            );
+            cb(Response {
+                status,
+                output: Bytes::new(),
+                lamport: 0,
+                pvars: pvars.clone(),
+            });
+        }));
+    }
+
+    /// Cancel a posted handle. Returns `true` if the handle was still
+    /// in flight; its callback then completes through the completion
+    /// queue with [`RpcStatus::Canceled`]. A response arriving later for
+    /// the canceled handle is dropped like any unknown-handle response.
+    pub fn cancel(&self, id: HandleId) -> bool {
+        let posted = self.inner.posted.lock().remove(&id.0);
+        match posted {
+            Some(p) => {
+                self.inner
+                    .counters
+                    .rpcs_canceled
+                    .fetch_add(1, Ordering::Relaxed);
+                self.complete_locally(p, RpcStatus::Canceled);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Expire posted handles whose deadline has passed, completing each
+    /// with [`RpcStatus::Timeout`]. Called from `progress`; costs one
+    /// relaxed atomic load when no handle carries a deadline.
+    fn expire_deadlines(&self) {
+        if self.inner.deadlines_pending.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let now = Instant::now();
+        let expired: Vec<Posted> = {
+            let mut posted = self.inner.posted.lock();
+            let ids: Vec<u64> = posted
+                .iter()
+                .filter(|(_, p)| p.deadline.is_some_and(|d| d <= now))
+                .map(|(id, _)| *id)
+                .collect();
+            ids.into_iter()
+                .filter_map(|id| posted.remove(&id))
+                .collect()
+        };
+        for p in expired {
+            self.inner
+                .counters
+                .rpcs_timed_out
+                .fetch_add(1, Ordering::Relaxed);
+            self.complete_locally(p, RpcStatus::Timeout);
         }
     }
 
@@ -298,8 +419,7 @@ impl HgClass {
         };
         inner
             .fabric
-            .send(self.addr(), origin, tags::RESPONSE, header.to_bytes())
-            .map_err(HgError::Fabric)?;
+            .send(self.addr(), origin, tags::RESPONSE, header.to_bytes())?;
         // The send completed; queue the target-side completion callback
         // (t13) for the progress loop to trigger.
         self.push_completion(on_sent);
@@ -348,6 +468,7 @@ impl HgClass {
                 }
             }
         }
+        self.expire_deadlines();
         events.len()
     }
 
@@ -397,15 +518,21 @@ impl HgClass {
         };
         let posted = self.inner.posted.lock().remove(&header.origin_handle_id);
         let Some(posted) = posted else {
-            eprintln!(
-                "[symbi-mercury] response for unknown handle {} dropped",
-                header.origin_handle_id
-            );
+            // Normal under deadlines and duplicate delivery: the handle
+            // already completed (timed out, was canceled, or a duplicate
+            // response landed). Count it and move on.
+            self.inner
+                .counters
+                .late_responses
+                .fetch_add(1, Ordering::Relaxed);
             return;
         };
         // The request's overflow region (if any) is no longer needed.
         if let Some(k) = posted.rdma_key {
             self.inner.fabric.unregister(k);
+        }
+        if posted.deadline.is_some() {
+            self.inner.deadlines_pending.fetch_sub(1, Ordering::Relaxed);
         }
         let added_to_cq_at = Instant::now(); // t12
         let hg = self.clone();
@@ -499,11 +626,7 @@ impl HgClass {
     /// Pull `[offset, offset+len)` from a remote bulk region (the target
     /// side of Mercury's `HG_Bulk_transfer` with `HG_BULK_PULL`).
     pub fn bulk_pull(&self, r: RdmaRef, offset: usize, len: usize) -> Result<Bytes, HgError> {
-        let data = self
-            .inner
-            .fabric
-            .rdma_get(MemKey(r.key), offset, len)
-            .map_err(HgError::Fabric)?;
+        let data = self.inner.fabric.rdma_get(MemKey(r.key), offset, len)?;
         self.inner
             .counters
             .bulk_pulled
@@ -513,10 +636,7 @@ impl HgClass {
 
     /// Push bytes into a remote bulk region (`HG_BULK_PUSH`).
     pub fn bulk_push(&self, r: RdmaRef, offset: usize, data: &[u8]) -> Result<(), HgError> {
-        self.inner
-            .fabric
-            .rdma_put(MemKey(r.key), offset, data)
-            .map_err(HgError::Fabric)?;
+        self.inner.fabric.rdma_put(MemKey(r.key), offset, data)?;
         self.inner
             .counters
             .bulk_pushed
@@ -547,6 +667,9 @@ impl HgClass {
             ids::EAGER_BUFFER_SIZE => self.inner.config.eager_size as u64,
             ids::NUM_PROGRESS_CALLS => c.progress_calls.load(Ordering::Relaxed),
             ids::NUM_TRIGGERS => c.triggers.load(Ordering::Relaxed),
+            ids::NUM_RPCS_TIMED_OUT => c.rpcs_timed_out.load(Ordering::Relaxed),
+            ids::NUM_RPCS_CANCELED => c.rpcs_canceled.load(Ordering::Relaxed),
+            ids::NUM_LATE_RESPONSES => c.late_responses.load(Ordering::Relaxed),
             _ => return None,
         };
         Some(v)

@@ -123,6 +123,9 @@ pub(crate) struct Posted {
     pub(crate) pvars: Arc<HandlePvars>,
     /// Key of the request's overflow region, unregistered on completion.
     pub(crate) rdma_key: Option<symbi_fabric::MemKey>,
+    /// When set, `progress` expires the handle at this instant and
+    /// completes it with [`RpcStatus::Timeout`].
+    pub(crate) deadline: Option<Instant>,
 }
 
 /// Target-side handle for one received RPC. Moved into the handler ULT by
@@ -189,11 +192,10 @@ impl ServerHandle {
             None => Ok(self.inline.clone()),
             Some(r) => {
                 let start = Instant::now();
-                let rest = self
-                    .hg
-                    .fabric()
-                    .rdma_get(symbi_fabric::MemKey(r.key), 0, r.len as usize)
-                    .map_err(HgError::Fabric)?;
+                let rest =
+                    self.hg
+                        .fabric()
+                        .rdma_get(symbi_fabric::MemKey(r.key), 0, r.len as usize)?;
                 self.pvars
                     .internal_rdma_transfer_ns
                     .store(start.elapsed().as_nanos() as u64, Ordering::Relaxed);

@@ -131,6 +131,13 @@ pub enum RpcStatus {
     NoHandler,
     /// The handler failed (panicked or reported an error).
     HandlerError,
+    /// The origin's deadline expired before a response arrived. This
+    /// status is synthesized locally when a posted handle expires; it is
+    /// still assigned a wire byte so responses forwarded by proxies can
+    /// carry it.
+    Timeout,
+    /// The origin canceled the handle before a response arrived.
+    Canceled,
 }
 
 impl RpcStatus {
@@ -140,6 +147,8 @@ impl RpcStatus {
             RpcStatus::Ok => 0,
             RpcStatus::NoHandler => 1,
             RpcStatus::HandlerError => 2,
+            RpcStatus::Timeout => 3,
+            RpcStatus::Canceled => 4,
         }
     }
 
@@ -149,6 +158,8 @@ impl RpcStatus {
             0 => RpcStatus::Ok,
             1 => RpcStatus::NoHandler,
             2 => RpcStatus::HandlerError,
+            3 => RpcStatus::Timeout,
+            4 => RpcStatus::Canceled,
             _ => return Err(CodecError::Invalid("rpc status")),
         })
     }
@@ -256,7 +267,13 @@ mod tests {
 
     #[test]
     fn response_header_roundtrip_all_statuses() {
-        for status in [RpcStatus::Ok, RpcStatus::NoHandler, RpcStatus::HandlerError] {
+        for status in [
+            RpcStatus::Ok,
+            RpcStatus::NoHandler,
+            RpcStatus::HandlerError,
+            RpcStatus::Timeout,
+            RpcStatus::Canceled,
+        ] {
             let h = ResponseHeader {
                 origin_handle_id: 7,
                 status,

@@ -77,6 +77,41 @@ pub enum HgError {
     AlreadyResponded,
     /// The RPC completed with a non-OK status.
     Status(RpcStatus),
+    /// The handle's deadline expired before a response arrived.
+    Timeout,
+    /// The handle was canceled before a response arrived.
+    Canceled,
+}
+
+impl HgError {
+    /// Is retrying the operation reasonable? Deadline expiry is ambiguous
+    /// (the request may or may not have executed) but transient; injected
+    /// fabric faults are transient by construction. Protocol misuse
+    /// (double responses, codec failures) and explicit cancellation are
+    /// not retryable.
+    pub fn retryable(&self) -> bool {
+        match self {
+            HgError::Fabric(e) => e.retryable(),
+            HgError::Timeout => true,
+            HgError::Status(RpcStatus::Timeout) => true,
+            HgError::Codec(_)
+            | HgError::AlreadyResponded
+            | HgError::Status(_)
+            | HgError::Canceled => false,
+        }
+    }
+}
+
+impl From<symbi_fabric::FabricError> for HgError {
+    fn from(e: symbi_fabric::FabricError) -> Self {
+        HgError::Fabric(e)
+    }
+}
+
+impl From<CodecError> for HgError {
+    fn from(e: CodecError) -> Self {
+        HgError::Codec(e)
+    }
 }
 
 impl std::fmt::Display for HgError {
@@ -86,6 +121,8 @@ impl std::fmt::Display for HgError {
             HgError::Codec(e) => write!(f, "codec error: {e}"),
             HgError::AlreadyResponded => write!(f, "handle already responded"),
             HgError::Status(s) => write!(f, "rpc failed with status {s:?}"),
+            HgError::Timeout => write!(f, "rpc deadline expired"),
+            HgError::Canceled => write!(f, "rpc canceled"),
         }
     }
 }
@@ -448,6 +485,143 @@ mod tests {
         let c = hash_rpc_name("bake_persist_rpc");
         assert_eq!(a, b);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn deadline_expires_through_completion_queue() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let client = HgClass::init(fabric.clone(), HgConfig::default());
+        // No server progress loop: the request lands in a queue nobody
+        // drains, so only the deadline can complete the handle.
+        let server = HgClass::init(fabric, HgConfig::default());
+        let rpc = client.register("slowpoke");
+        let _ = server; // keeps the endpoint open so the send succeeds
+        let status = Arc::new(parking_lot::Mutex::new(None));
+        let s2 = status.clone();
+        let handle = client.create_handle(server.addr(), rpc);
+        let input = handle.serialize_input(&1u64);
+        client
+            .forward_with_deadline(
+                handle,
+                RpcMeta::default(),
+                input,
+                Some(std::time::Instant::now() + Duration::from_millis(20)),
+                move |resp| {
+                    *s2.lock() = Some(resp.status);
+                },
+            )
+            .unwrap();
+        assert_eq!(client.posted_handles(), 1);
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while status.lock().is_none() {
+            assert!(std::time::Instant::now() < deadline);
+            client.progress(16, Duration::ZERO);
+            client.trigger(16);
+        }
+        assert_eq!(status.lock().unwrap(), RpcStatus::Timeout);
+        // PVAR consistency after the expiry: no posted handle leaks, the
+        // completion queue drained, and the timeout counter advanced.
+        let s = client.pvar_session();
+        let posted = s.alloc_handle(pvar::ids::NUM_POSTED_HANDLES).unwrap();
+        assert_eq!(s.sample(&posted, None).unwrap(), 0);
+        let cq = s.alloc_handle(pvar::ids::COMPLETION_QUEUE_SIZE).unwrap();
+        assert_eq!(s.sample(&cq, None).unwrap(), 0);
+        let timed_out = s.alloc_handle(pvar::ids::NUM_RPCS_TIMED_OUT).unwrap();
+        assert_eq!(s.sample(&timed_out, None).unwrap(), 1);
+        let invoked = s.alloc_handle(pvar::ids::NUM_RPCS_INVOKED).unwrap();
+        assert_eq!(s.sample(&invoked, None).unwrap(), 1);
+    }
+
+    #[test]
+    fn late_response_after_timeout_is_dropped_quietly() {
+        let (client, server) = pair();
+        let rpc = server.register("tardy");
+        server.set_handler(rpc, echo_handler());
+        let status = Arc::new(parking_lot::Mutex::new(None));
+        let s2 = status.clone();
+        let handle = client.create_handle(server.addr(), rpc);
+        let input = handle.serialize_input(&1u64);
+        client
+            .forward_with_deadline(
+                handle,
+                RpcMeta::default(),
+                input,
+                // Already expired: the first client progress call times
+                // it out before the server's response can arrive.
+                Some(std::time::Instant::now()),
+                move |resp| {
+                    *s2.lock() = Some(resp.status);
+                },
+            )
+            .unwrap();
+        client.progress(16, Duration::ZERO);
+        client.trigger(16);
+        assert_eq!(status.lock().unwrap(), RpcStatus::Timeout);
+        // Now let the server respond; the stale response must be counted
+        // and dropped, not delivered.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let late = client.pvar_session();
+        let h = late.alloc_handle(pvar::ids::NUM_LATE_RESPONSES).unwrap();
+        while late.sample(&h, None).unwrap() == 0 {
+            assert!(std::time::Instant::now() < deadline);
+            server.progress(16, Duration::ZERO);
+            server.trigger(16);
+            client.progress(16, Duration::ZERO);
+            client.trigger(16);
+        }
+        assert_eq!(status.lock().unwrap(), RpcStatus::Timeout);
+        assert_eq!(client.posted_handles(), 0);
+    }
+
+    #[test]
+    fn cancel_completes_with_canceled_status() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let client = HgClass::init(fabric.clone(), HgConfig::default());
+        let server = HgClass::init(fabric, HgConfig::default());
+        let rpc = client.register("dropme");
+        let status = Arc::new(parking_lot::Mutex::new(None));
+        let s2 = status.clone();
+        let id = forward_value(
+            &client,
+            server.addr(),
+            rpc,
+            RpcMeta::default(),
+            &1u64,
+            move |resp| {
+                *s2.lock() = Some(resp.status);
+            },
+        )
+        .unwrap();
+        assert!(client.cancel(id));
+        // Canceling twice is a no-op.
+        assert!(!client.cancel(id));
+        client.trigger(16);
+        assert_eq!(status.lock().unwrap(), RpcStatus::Canceled);
+        assert_eq!(client.posted_handles(), 0);
+        let s = client.pvar_session();
+        let canceled = s.alloc_handle(pvar::ids::NUM_RPCS_CANCELED).unwrap();
+        assert_eq!(s.sample(&canceled, None).unwrap(), 1);
+    }
+
+    #[test]
+    fn hg_config_builders_apply() {
+        let cfg = HgConfig::default()
+            .with_eager_size(1 << 16)
+            .with_ofi_max_events(0);
+        assert_eq!(cfg.eager_size, 1 << 16);
+        assert_eq!(cfg.ofi_max_events, 1, "floor of one event per progress");
+    }
+
+    #[test]
+    fn error_conversions_and_retryability() {
+        let fe = symbi_fabric::FabricError::InjectedFault { op: "rdma_get" };
+        let he: HgError = fe.into();
+        assert!(he.retryable());
+        assert!(HgError::Timeout.retryable());
+        assert!(!HgError::Canceled.retryable());
+        assert!(!HgError::AlreadyResponded.retryable());
+        let dead: HgError = symbi_fabric::FabricError::UnknownAddr(symbi_fabric::Addr(1)).into();
+        assert!(!dead.retryable());
     }
 
     #[test]

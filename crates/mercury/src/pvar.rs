@@ -118,6 +118,13 @@ pub mod ids {
     pub const NUM_PROGRESS_CALLS: PvarId = PvarId(10);
     /// Number of completion callbacks triggered.
     pub const NUM_TRIGGERS: PvarId = PvarId(11);
+    /// Number of posted handles expired by their deadline.
+    pub const NUM_RPCS_TIMED_OUT: PvarId = PvarId(12);
+    /// Number of posted handles canceled by the origin.
+    pub const NUM_RPCS_CANCELED: PvarId = PvarId(13);
+    /// Responses that arrived after their handle had already completed
+    /// (timed out, canceled, or duplicated) and were dropped.
+    pub const NUM_LATE_RESPONSES: PvarId = PvarId(14);
 
     // --- HANDLE-bound (values live and die with one RPC) ---
 
@@ -222,6 +229,27 @@ pub static PVAR_TABLE: &[PvarInfo] = &[
         id: ids::NUM_TRIGGERS,
         name: "num_triggers",
         description: "Number of completion callbacks triggered",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_RPCS_TIMED_OUT,
+        name: "num_rpcs_timed_out",
+        description: "Posted handles expired by their deadline",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_RPCS_CANCELED,
+        name: "num_rpcs_canceled",
+        description: "Posted handles canceled by the origin",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_LATE_RESPONSES,
+        name: "num_late_responses",
+        description: "Responses dropped because their handle already completed",
         class: PvarClass::Counter,
         bind: PvarBind::NoObject,
     },

@@ -9,7 +9,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use symbi_fabric::Addr;
-use symbi_margo::{MargoError, MargoInstance};
+use symbi_margo::{MargoError, MargoInstance, RpcOptions};
 use symbi_mercury::{CodecError, Decoder, Encoder, RdmaRef, Wire};
 
 /// Configuration of a BAKE provider.
@@ -245,17 +245,31 @@ impl BakeProvider {
 pub struct BakeClient {
     margo: MargoInstance,
     addr: Addr,
+    options: RpcOptions,
 }
 
 impl BakeClient {
     /// Connect a client handle to a provider address.
     pub fn new(margo: MargoInstance, addr: Addr) -> Self {
-        BakeClient { margo, addr }
+        BakeClient {
+            margo,
+            addr,
+            options: RpcOptions::default(),
+        }
+    }
+
+    /// Apply an [`RpcOptions`] (deadline / retry policy) to every RPC
+    /// this client issues.
+    #[must_use]
+    pub fn with_options(mut self, options: RpcOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Create a region of `size` bytes.
     pub fn create(&self, size: u64) -> Result<RegionId, MargoError> {
-        self.margo.forward(self.addr, "bake_create_rpc", &size)
+        self.margo
+            .forward_with(self.addr, "bake_create_rpc", &size, self.options.clone())
     }
 
     /// Write `data` into a region at `offset`; the provider pulls it via
@@ -263,10 +277,11 @@ impl BakeClient {
     pub fn write(&self, rid: RegionId, offset: u64, data: &[u8]) -> Result<u64, MargoError> {
         let staged = Arc::new(data.to_vec());
         let bulk = self.margo.hg().bulk_expose_read(staged.clone());
-        let res = self.margo.forward(
+        let res = self.margo.forward_with(
             self.addr,
             "bake_write_rpc",
             &WriteArgs { rid, offset, bulk },
+            self.options.clone(),
         );
         self.margo.hg().bulk_free(bulk);
         res
@@ -274,24 +289,33 @@ impl BakeClient {
 
     /// Persist a region.
     pub fn persist(&self, rid: RegionId) -> Result<(), MargoError> {
-        let _: u32 = self.margo.forward(self.addr, "bake_persist_rpc", &rid)?;
+        let _: u32 =
+            self.margo
+                .forward_with(self.addr, "bake_persist_rpc", &rid, self.options.clone())?;
         Ok(())
     }
 
     /// Read `[offset, offset+len)` of a region.
     pub fn get(&self, rid: RegionId, offset: u64, len: u64) -> Result<Vec<u8>, MargoError> {
-        self.margo
-            .forward(self.addr, "bake_get_rpc", &GetArgs { rid, offset, len })
+        self.margo.forward_with(
+            self.addr,
+            "bake_get_rpc",
+            &GetArgs { rid, offset, len },
+            self.options.clone(),
+        )
     }
 
     /// Probe a region's existence and size.
     pub fn probe(&self, rid: RegionId) -> Result<ProbeResp, MargoError> {
-        self.margo.forward(self.addr, "bake_probe_rpc", &rid)
+        self.margo
+            .forward_with(self.addr, "bake_probe_rpc", &rid, self.options.clone())
     }
 
     /// Remove a region; returns whether it existed.
     pub fn remove(&self, rid: RegionId) -> Result<bool, MargoError> {
-        let n: u32 = self.margo.forward(self.addr, "bake_remove_rpc", &rid)?;
+        let n: u32 =
+            self.margo
+                .forward_with(self.addr, "bake_remove_rpc", &rid, self.options.clone())?;
         Ok(n == 1)
     }
 }

@@ -47,22 +47,49 @@ impl EventKey {
     }
 }
 
+/// One in-flight packed put, remembered with enough context to attribute
+/// its outcome to a server when it settles.
+struct InflightPut {
+    server: usize,
+    pairs: u64,
+    pending: PendingPutPacked,
+}
+
 /// A HEPnOS client process: owns its Margo client instance and the
 /// per-database write batches.
+///
+/// When the configuration enables fault tolerance
+/// ([`HepnosConfig::with_fault_tolerance`]), every RPC carries the
+/// config's deadline/retry [`symbi_margo::RpcOptions`], and a server that
+/// keeps failing after retries is declared dead: its batches are skipped
+/// (counted in [`HepnosClient::skipped_events`]) instead of failing the
+/// whole load, and already-issued batches it never acknowledged are
+/// counted in [`HepnosClient::lost_events`].
 pub struct HepnosClient {
     margo: MargoInstance,
     sdskv: Vec<SdskvClient>,
     databases_per_server: usize,
     batch_size: usize,
     async_window: usize,
+    /// Consecutive put failures after which a server is declared dead
+    /// (0 = legacy fail-fast behavior).
+    dead_server_threshold: usize,
     /// Pending pairs grouped by global database index.
     batches: HashMap<usize, KvPairs>,
     /// Pairs accumulated since the last flush (across databases).
     pending_pairs: usize,
     /// In-flight async puts, oldest first.
-    inflight: VecDeque<PendingPutPacked>,
-    /// Events successfully stored.
+    inflight: VecDeque<InflightPut>,
+    /// Events issued to the service (not necessarily acknowledged).
     stored: u64,
+    /// Events acknowledged by a server.
+    acked: u64,
+    /// Events issued but never acknowledged (put failed after retries).
+    lost: u64,
+    /// Events never issued because their server was already dead.
+    skipped: u64,
+    /// Per-server consecutive put failures.
+    consecutive_failures: Vec<usize>,
 }
 
 impl HepnosClient {
@@ -80,20 +107,27 @@ impl HepnosClient {
                 .with_ofi_max_events(config.ofi_max_events)
                 .with_dedicated_progress(config.client_progress_thread),
         );
-        let sdskv = server_addrs
+        let options = config.rpc_options();
+        let sdskv: Vec<SdskvClient> = server_addrs
             .iter()
-            .map(|a| SdskvClient::new(margo.clone(), *a))
+            .map(|a| SdskvClient::new(margo.clone(), *a).with_options(options.clone()))
             .collect();
+        let num_servers = sdskv.len();
         HepnosClient {
             margo,
             sdskv,
             databases_per_server: config.databases,
             batch_size: config.batch_size.max(1),
             async_window: config.async_window.max(1),
+            dead_server_threshold: config.dead_server_threshold,
             batches: HashMap::new(),
             pending_pairs: 0,
             inflight: VecDeque::new(),
             stored: 0,
+            acked: 0,
+            lost: 0,
+            skipped: 0,
+            consecutive_failures: vec![0; num_servers],
         }
     }
 
@@ -121,8 +155,37 @@ impl HepnosClient {
         Ok(())
     }
 
+    /// Whether a server has exhausted its failure budget and is skipped.
+    fn server_is_dead(&self, server: usize) -> bool {
+        self.dead_server_threshold > 0
+            && self.consecutive_failures[server] >= self.dead_server_threshold
+    }
+
+    /// Account for one settled put. In legacy mode (threshold 0) a
+    /// failure propagates; with dead-server detection it is recorded and
+    /// the load keeps going.
+    fn settle(&mut self, put: InflightPut) -> Result<(), MargoError> {
+        match put.pending.wait() {
+            Ok(_) => {
+                self.acked += put.pairs;
+                self.consecutive_failures[put.server] = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.lost += put.pairs;
+                self.consecutive_failures[put.server] += 1;
+                if self.dead_server_threshold == 0 {
+                    Err(e)
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     /// Issue `sdskv_put_packed` for every non-empty batch, asynchronously
-    /// with the configured in-flight window.
+    /// with the configured in-flight window. Batches bound for a dead
+    /// server are dropped and counted as skipped.
     pub fn flush(&mut self) -> Result<(), MargoError> {
         let batches = std::mem::take(&mut self.batches);
         self.pending_pairs = 0;
@@ -132,24 +195,34 @@ impl HepnosClient {
             let server = global_db / self.databases_per_server;
             let local_db = (global_db % self.databases_per_server) as u32;
             let n = pairs.len() as u64;
+            if self.server_is_dead(server) {
+                self.skipped += n;
+                continue;
+            }
             let pending = self.sdskv[server].put_packed_async(local_db, &pairs);
-            self.inflight.push_back(pending);
+            self.inflight.push_back(InflightPut {
+                server,
+                pairs: n,
+                pending,
+            });
             self.stored += n;
             while self.inflight.len() >= self.async_window {
                 let oldest = self.inflight.pop_front().expect("non-empty");
-                oldest.wait()?;
+                self.settle(oldest)?;
             }
         }
         Ok(())
     }
 
-    /// Flush remaining batches and wait for every in-flight put.
+    /// Flush remaining batches and wait for every in-flight put. Returns
+    /// the number of *acknowledged* events (equal to the issued count when
+    /// nothing failed).
     pub fn drain(&mut self) -> Result<u64, MargoError> {
         self.flush()?;
         while let Some(p) = self.inflight.pop_front() {
-            p.wait()?;
+            self.settle(p)?;
         }
-        Ok(self.stored)
+        Ok(self.acked)
     }
 
     /// Read one event back (post-load verification).
@@ -164,6 +237,28 @@ impl HepnosClient {
     /// call [`HepnosClient::drain`] first for an exact count).
     pub fn stored(&self) -> u64 {
         self.stored
+    }
+
+    /// Events acknowledged by a server.
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// Events issued whose put failed even after retries.
+    pub fn lost_events(&self) -> u64 {
+        self.lost
+    }
+
+    /// Events never issued because their server was declared dead.
+    pub fn skipped_events(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Indices of servers currently considered dead.
+    pub fn dead_servers(&self) -> Vec<usize> {
+        (0..self.sdskv.len())
+            .filter(|&s| self.server_is_dead(s))
+            .collect()
     }
 
     /// Tear down the client's Margo instance.

@@ -2,8 +2,9 @@
 //! workload knobs the reproduction scales for a single-machine harness.
 
 use crate::kv::StorageCost;
+use std::time::Duration;
 use symbi_core::Stage;
-use symbi_margo::TelemetryOptions;
+use symbi_margo::{RetryPolicy, RpcOptions, TelemetryOptions};
 
 /// One HEPnOS service configuration. The first eight fields reproduce
 /// Table IV column-for-column; the remaining fields parameterize the
@@ -58,6 +59,22 @@ pub struct HepnosConfig {
     /// index and flight-recorder rings get per-server subdirectories, so
     /// one option block serves the whole deployment.
     pub telemetry: TelemetryOptions,
+
+    // --- fault-tolerance knobs (default: legacy behavior, no retries) ---
+    /// Per-attempt deadline applied to every client RPC (`None` falls
+    /// back to the Margo instance's blocking `rpc_timeout`).
+    pub rpc_deadline: Option<Duration>,
+    /// Attempt budget per RPC; `0` disables retries entirely.
+    pub retry_attempts: usize,
+    /// Base back-off of the exponential retry schedule.
+    pub retry_backoff: Duration,
+    /// Seed of the deterministic retry-jitter RNG, so a fixed seed yields
+    /// a byte-identical retry schedule across runs.
+    pub fault_seed: u64,
+    /// Consecutive put failures after which a client declares a server
+    /// dead and stops sending to it (`0` keeps the legacy
+    /// fail-the-whole-load behavior).
+    pub dead_server_threshold: usize,
 }
 
 impl HepnosConfig {
@@ -88,6 +105,11 @@ impl HepnosConfig {
             net_latency: std::time::Duration::from_micros(20),
             stage: Stage::Full,
             telemetry: TelemetryOptions::default(),
+            rpc_deadline: None,
+            retry_attempts: 0,
+            retry_backoff: Duration::from_millis(5),
+            fault_seed: 0,
+            dead_server_threshold: 0,
         }
     }
 
@@ -197,7 +219,52 @@ impl HepnosConfig {
             net_latency: std::time::Duration::from_micros(20),
             stage,
             telemetry: TelemetryOptions::default(),
+            rpc_deadline: None,
+            retry_attempts: 0,
+            retry_backoff: Duration::from_millis(5),
+            fault_seed: 0,
+            dead_server_threshold: 0,
         }
+    }
+
+    /// Turn on fault tolerance: per-attempt deadline `deadline`, up to
+    /// `attempts` attempts per RPC, and dead-server detection after 3
+    /// consecutive failures. The retry schedule derives from
+    /// [`HepnosConfig::fault_seed`].
+    #[must_use]
+    pub fn with_fault_tolerance(mut self, deadline: Duration, attempts: usize) -> Self {
+        self.rpc_deadline = Some(deadline);
+        self.retry_attempts = attempts;
+        self.dead_server_threshold = 3;
+        self
+    }
+
+    /// Set the deterministic seed driving retry jitter (and, by
+    /// convention, the experiment's fabric [`symbi_fabric::FaultPlan`]).
+    #[must_use]
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = seed;
+        self
+    }
+
+    /// The [`RpcOptions`] the configuration prescribes for client RPCs.
+    /// `sdskv_put_packed` overwrites the same keys on replay, so retried
+    /// puts are marked idempotent and may be re-issued after a timeout.
+    pub fn rpc_options(&self) -> RpcOptions {
+        let mut options = RpcOptions::new();
+        if let Some(deadline) = self.rpc_deadline {
+            options = options.with_deadline(deadline);
+        }
+        if self.retry_attempts > 0 {
+            options = options
+                .with_retry(
+                    RetryPolicy::new(self.retry_attempts as u32)
+                        .with_base_backoff(self.retry_backoff)
+                        .with_seed(self.fault_seed),
+                )
+                .idempotent(true);
+        }
+        options
     }
 
     /// Total databases across the deployment (`servers × databases`).
@@ -294,5 +361,27 @@ mod tests {
     #[test]
     fn table_row_has_eight_columns() {
         assert_eq!(HepnosConfig::c7().table_row().len(), 8);
+    }
+
+    #[test]
+    fn default_rpc_options_are_legacy() {
+        let opts = HepnosConfig::c1().rpc_options();
+        assert_eq!(opts.deadline(), None);
+        assert!(opts.retry().is_none());
+        assert!(!opts.is_idempotent());
+    }
+
+    #[test]
+    fn fault_tolerance_builders_apply() {
+        let cfg = HepnosConfig::c3()
+            .with_fault_tolerance(Duration::from_millis(50), 4)
+            .with_fault_seed(42);
+        let opts = cfg.rpc_options();
+        assert_eq!(opts.deadline(), Some(Duration::from_millis(50)));
+        assert!(opts.is_idempotent());
+        let policy = opts.retry().expect("retry policy");
+        assert_eq!(policy.max_attempts(), 4);
+        assert_eq!(policy.seed(), 42);
+        assert_eq!(cfg.dead_server_threshold, 3);
     }
 }

@@ -17,8 +17,13 @@ use symbi_tasking::AbtBarrier;
 pub struct DataLoaderReport {
     /// Wall time of the load (seconds, slowest client).
     pub elapsed_seconds: f64,
-    /// Total events stored.
+    /// Total events acknowledged by the service.
     pub events: u64,
+    /// Events issued but never acknowledged (puts that failed even after
+    /// any configured retries).
+    pub lost_events: u64,
+    /// Events never issued because their server had been declared dead.
+    pub skipped_events: u64,
     /// Client-side profile rows from all clients.
     pub client_profiles: Vec<ProfileRow>,
     /// Client-side trace events from all clients.
@@ -33,6 +38,11 @@ impl DataLoaderReport {
         } else {
             0.0
         }
+    }
+
+    /// Whether every generated event was acknowledged.
+    pub fn is_complete(&self) -> bool {
+        self.lost_events == 0 && self.skipped_events == 0
     }
 }
 
@@ -75,6 +85,10 @@ pub fn run_data_loader(
                     HepnosClient::connect(&fabric, &format!("dataloader-{c}"), &addrs, &config);
                 barrier.wait();
                 let start = Instant::now();
+                // A store/drain error (possible only without dead-server
+                // detection) abandons this client's remaining events and
+                // reports a partial write instead of panicking the run.
+                let mut store_error = false;
                 for e in 0..config.events_per_client as u32 {
                     let key = EventKey {
                         dataset: "nova".into(),
@@ -82,34 +96,62 @@ pub fn run_data_loader(
                         subrun: e / 1024,
                         event: e,
                     };
-                    client
-                        .store_event(&key, synthesize_value(c, e, config.value_size))
-                        .expect("store_event failed");
+                    if let Err(err) =
+                        client.store_event(&key, synthesize_value(c, e, config.value_size))
+                    {
+                        eprintln!("[hepnos-dataloader] client {c}: store_event failed: {err}");
+                        store_error = true;
+                        break;
+                    }
                 }
-                let stored = client.drain().expect("drain failed");
+                let acked = match client.drain() {
+                    Ok(n) => n,
+                    Err(err) => {
+                        eprintln!("[hepnos-dataloader] client {c}: drain failed: {err}");
+                        store_error = true;
+                        client.acked()
+                    }
+                };
                 let elapsed = start.elapsed().as_secs_f64();
+                let generated = config.events_per_client as u64;
+                let accounted = acked + client.lost_events() + client.skipped_events();
+                // Events neither issued nor skipped (abandoned by an
+                // early error exit) still count as lost.
+                let lost = client.lost_events()
+                    + if store_error {
+                        generated.saturating_sub(accounted)
+                    } else {
+                        0
+                    };
+                let skipped = client.skipped_events();
                 let profiles = client.margo().symbiosys().profiler().snapshot();
                 let traces = client.margo().symbiosys().tracer().snapshot();
                 client.finalize();
-                (elapsed, stored, profiles, traces)
+                (elapsed, acked, lost, skipped, profiles, traces)
             })
         })
         .collect();
     barrier.wait();
     let mut elapsed_seconds: f64 = 0.0;
     let mut events = 0u64;
+    let mut lost_events = 0u64;
+    let mut skipped_events = 0u64;
     let mut client_profiles = Vec::new();
     let mut client_traces = Vec::new();
     for h in handles {
-        let (e, n, p, t) = h.join().expect("data-loader client panicked");
+        let (e, n, lost, skipped, p, t) = h.join().expect("data-loader client panicked");
         elapsed_seconds = elapsed_seconds.max(e);
         events += n;
+        lost_events += lost;
+        skipped_events += skipped;
         client_profiles.extend(p);
         client_traces.extend(t);
     }
     DataLoaderReport {
         elapsed_seconds,
         events,
+        lost_events,
+        skipped_events,
         client_profiles,
         client_traces,
     }
@@ -142,6 +184,7 @@ mod tests {
         let dep = HepnosDeployment::launch(&fabric, &cfg);
         let report = run_data_loader(&fabric, &dep, &cfg);
         assert_eq!(report.events, 128);
+        assert!(report.is_complete());
         assert_eq!(dep.total_events_stored(), 128);
         assert!(report.elapsed_seconds > 0.0);
         assert!(report.throughput() > 0.0);

@@ -14,6 +14,15 @@
 //!   Table IV service configurations (C1..C7) and the data-loader client
 //!   used throughout §V-C and §VI.
 //! * [`ior`] — an ior-like client driver for Mobject (§V-A).
+//!
+//! All clients issue their RPCs through Margo's `forward_with` API and
+//! accept an [`symbi_margo::RpcOptions`] (deadline / retry policy) via
+//! their `with_options` builder, so fault-injection experiments can make
+//! any service call fault-tolerant without new client code.
+
+// This crate is the reference consumer of the redesigned forward API:
+// the legacy forward/forward_async methods must not creep back in.
+#![deny(deprecated)]
 
 pub mod bake;
 pub mod hepnos;

@@ -12,7 +12,7 @@ use crate::bake::BakeClient;
 use crate::sdskv::SdskvClient;
 use std::sync::Arc;
 use symbi_fabric::Addr;
-use symbi_margo::{MargoError, MargoInstance};
+use symbi_margo::{MargoError, MargoInstance, RpcOptions};
 use symbi_mercury::{CodecError, Decoder, Encoder, RdmaRef, Wire};
 
 /// SDSKV database indices used by the Mobject provider's metadata layout.
@@ -176,25 +176,40 @@ pub const READ_OP_SUBCALLS: usize = 4;
 pub struct MobjectClient {
     margo: MargoInstance,
     addr: Addr,
+    options: RpcOptions,
 }
 
 impl MobjectClient {
     /// Connect a client handle to a Mobject provider address.
     pub fn new(margo: MargoInstance, addr: Addr) -> Self {
-        MobjectClient { margo, addr }
+        MobjectClient {
+            margo,
+            addr,
+            options: RpcOptions::default(),
+        }
+    }
+
+    /// Apply an [`RpcOptions`] (deadline / retry policy) to every RPC
+    /// this client issues. Note `write_op` advances the sequencer, so a
+    /// retrying policy should leave the idempotency flag off for writes.
+    #[must_use]
+    pub fn with_options(mut self, options: RpcOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Write an object; returns the sequencer stamp.
     pub fn write_op(&self, object: &str, data: &[u8]) -> Result<u64, MargoError> {
         let staged = Arc::new(data.to_vec());
         let bulk = self.margo.hg().bulk_expose_read(staged.clone());
-        let res = self.margo.forward(
+        let res = self.margo.forward_with(
             self.addr,
             "mobject_write_op",
             &WriteOpArgs {
                 object: object.to_string(),
                 bulk,
             },
+            self.options.clone(),
         );
         self.margo.hg().bulk_free(bulk);
         res
@@ -202,8 +217,12 @@ impl MobjectClient {
 
     /// Read an object's full contents.
     pub fn read_op(&self, object: &str) -> Result<Vec<u8>, MargoError> {
-        self.margo
-            .forward(self.addr, "mobject_read_op", &object.to_string())
+        self.margo.forward_with(
+            self.addr,
+            "mobject_read_op",
+            &object.to_string(),
+            self.options.clone(),
+        )
     }
 }
 

@@ -12,7 +12,7 @@ use crate::kv::{BackendKind, KvBackend, StorageCost};
 use bytes::Bytes;
 use std::sync::Arc;
 use symbi_fabric::Addr;
-use symbi_margo::{AsyncRpc, MargoError, MargoInstance};
+use symbi_margo::{AsyncRpc, MargoError, MargoInstance, RpcOptions};
 use symbi_mercury::{CodecError, Decoder, Encoder, RdmaRef, Wire};
 
 /// Key/value pairs as moved by packed puts and range listings.
@@ -327,12 +327,25 @@ impl PendingPutPacked {
 pub struct SdskvClient {
     margo: MargoInstance,
     addr: Addr,
+    options: RpcOptions,
 }
 
 impl SdskvClient {
     /// Connect a client handle to a provider address.
     pub fn new(margo: MargoInstance, addr: Addr) -> Self {
-        SdskvClient { margo, addr }
+        SdskvClient {
+            margo,
+            addr,
+            options: RpcOptions::default(),
+        }
+    }
+
+    /// Apply an [`RpcOptions`] (deadline / retry policy) to every RPC
+    /// this client issues.
+    #[must_use]
+    pub fn with_options(mut self, options: RpcOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// The provider address this client talks to.
@@ -342,46 +355,52 @@ impl SdskvClient {
 
     /// Store one pair.
     pub fn put(&self, db: u32, key: Vec<u8>, value: Vec<u8>) -> Result<(), MargoError> {
-        let _: u32 = self
-            .margo
-            .forward(self.addr, "sdskv_put_rpc", &PutArgs { db, key, value })?;
+        let _: u32 = self.margo.forward_with(
+            self.addr,
+            "sdskv_put_rpc",
+            &PutArgs { db, key, value },
+            self.options.clone(),
+        )?;
         Ok(())
     }
 
     /// Fetch one value.
     pub fn get(&self, db: u32, key: &[u8]) -> Result<Option<Vec<u8>>, MargoError> {
-        let resp: GetResp = self.margo.forward(
+        let resp: GetResp = self.margo.forward_with(
             self.addr,
             "sdskv_get_rpc",
             &KeyArgs {
                 db,
                 key: key.to_vec(),
             },
+            self.options.clone(),
         )?;
         Ok(resp.value)
     }
 
     /// Remove one key; returns whether it existed.
     pub fn erase(&self, db: u32, key: &[u8]) -> Result<bool, MargoError> {
-        let n: u32 = self.margo.forward(
+        let n: u32 = self.margo.forward_with(
             self.addr,
             "sdskv_erase_rpc",
             &KeyArgs {
                 db,
                 key: key.to_vec(),
             },
+            self.options.clone(),
         )?;
         Ok(n == 1)
     }
 
     /// Number of pairs in a database.
     pub fn length(&self, db: u32) -> Result<u64, MargoError> {
-        self.margo.forward(self.addr, "sdskv_length_rpc", &db)
+        self.margo
+            .forward_with(self.addr, "sdskv_length_rpc", &db, self.options.clone())
     }
 
     /// List up to `max` pairs with keys ≥ `start`.
     pub fn list_keyvals(&self, db: u32, start: &[u8], max: u32) -> Result<KvPairs, MargoError> {
-        self.margo.forward(
+        self.margo.forward_with(
             self.addr,
             "sdskv_list_keyvals_rpc",
             &ListArgs {
@@ -389,6 +408,7 @@ impl SdskvClient {
                 start: start.to_vec(),
                 max,
             },
+            self.options.clone(),
         )
     }
 
@@ -409,9 +429,12 @@ impl SdskvClient {
             count: pairs.len() as u32,
             bulk,
         };
-        let rpc = self
-            .margo
-            .forward_async(self.addr, "sdskv_put_packed", &args);
+        let rpc = self.margo.forward_with_async(
+            self.addr,
+            "sdskv_put_packed",
+            &args,
+            self.options.clone(),
+        );
         PendingPutPacked {
             rpc,
             margo: self.margo.clone(),

@@ -15,7 +15,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 use symbi_fabric::Addr;
-use symbi_margo::{MargoError, MargoInstance};
+use symbi_margo::{MargoError, MargoInstance, RpcOptions};
 use symbi_mercury::{CodecError, Decoder, Encoder, Wire};
 
 // ---------------------------------------------------------------------
@@ -492,31 +492,48 @@ impl SonataProvider {
 pub struct SonataClient {
     margo: MargoInstance,
     addr: Addr,
+    options: RpcOptions,
 }
 
 impl SonataClient {
     /// Connect a client handle to a provider address.
     pub fn new(margo: MargoInstance, addr: Addr) -> Self {
-        SonataClient { margo, addr }
+        SonataClient {
+            margo,
+            addr,
+            options: RpcOptions::default(),
+        }
+    }
+
+    /// Apply an [`RpcOptions`] (deadline / retry policy) to every RPC
+    /// this client issues.
+    #[must_use]
+    pub fn with_options(mut self, options: RpcOptions) -> Self {
+        self.options = options;
+        self
     }
 
     /// Create a collection (idempotent).
     pub fn create_db(&self, name: &str) -> Result<(), MargoError> {
-        let _: u32 = self
-            .margo
-            .forward(self.addr, "sonata_create_db_rpc", &name.to_string())?;
+        let _: u32 = self.margo.forward_with(
+            self.addr,
+            "sonata_create_db_rpc",
+            &name.to_string(),
+            self.options.clone(),
+        )?;
         Ok(())
     }
 
     /// Store one document; returns its record id.
     pub fn store(&self, db: &str, doc: &Value) -> Result<u64, MargoError> {
-        self.margo.forward(
+        self.margo.forward_with(
             self.addr,
             "sonata_store_rpc",
             &StoreArgs {
                 db: db.to_string(),
                 json: doc.to_json(),
             },
+            self.options.clone(),
         )
     }
 
@@ -524,44 +541,51 @@ impl SonataClient {
     /// the JSON text (the paper's `sonata_store_multi_json`).
     /// Returns `(first_id, count)`.
     pub fn store_multi_json(&self, db: &str, docs: &[String]) -> Result<(u64, u64), MargoError> {
-        self.margo.forward(
+        self.margo.forward_with(
             self.addr,
             "sonata_store_multi_json",
             &StoreMultiArgs {
                 db: db.to_string(),
                 docs: docs.to_vec(),
             },
+            self.options.clone(),
         )
     }
 
     /// Fetch one document as JSON text.
     pub fn fetch(&self, db: &str, id: u64) -> Result<String, MargoError> {
-        self.margo.forward(
+        self.margo.forward_with(
             self.addr,
             "sonata_fetch_rpc",
             &FetchArgs {
                 db: db.to_string(),
                 id,
             },
+            self.options.clone(),
         )
     }
 
     /// Run a filter query remotely; returns matching documents as JSON.
     pub fn exec_query(&self, db: &str, filter: &str) -> Result<Vec<String>, MargoError> {
-        self.margo.forward(
+        self.margo.forward_with(
             self.addr,
             "sonata_exec_query_rpc",
             &StoreArgs {
                 db: db.to_string(),
                 json: filter.to_string(),
             },
+            self.options.clone(),
         )
     }
 
     /// Count documents in a collection.
     pub fn count(&self, db: &str) -> Result<u64, MargoError> {
-        self.margo
-            .forward(self.addr, "sonata_count_rpc", &db.to_string())
+        self.margo.forward_with(
+            self.addr,
+            "sonata_count_rpc",
+            &db.to_string(),
+            self.options.clone(),
+        )
     }
 }
 

@@ -19,6 +19,12 @@ fn run(cfg: &HepnosConfig) -> (f64, Vec<symbiosys::core::ProfileRow>, Vec<TraceE
     let fabric = Fabric::new(NetworkModel::instant());
     let deployment = HepnosDeployment::launch(&fabric, cfg);
     let report = run_data_loader(&fabric, &deployment, cfg);
+    if !report.is_complete() {
+        eprintln!(
+            "partial write: {} events lost, {} skipped",
+            report.lost_events, report.skipped_events
+        );
+    }
     std::thread::sleep(std::time::Duration::from_millis(100));
     let mut profiles = report.client_profiles;
     profiles.extend(deployment.server_profiles());
@@ -91,7 +97,11 @@ fn recommend(cfg: &HepnosConfig, profiles: &[symbiosys::core::ProfileRow], trace
 
 fn main() {
     // A deliberately bad configuration: few ESs, many map databases.
-    let mut bad = HepnosConfig::c1();
+    // Deadline/retry guard rails (per-attempt deadline, 2 attempts, dead-
+    // server detection) make a wedged deployment fail the run with a
+    // timeout instead of hanging the tuning session forever.
+    let guard = std::time::Duration::from_secs(10);
+    let mut bad = HepnosConfig::c1().with_fault_tolerance(guard, 2);
     bad.label = "starved".into();
     bad.total_clients = 8;
     bad.events_per_client = 1024;
@@ -110,7 +120,7 @@ fn main() {
     // flight ring so the tuning session can be replayed afterwards.
     let flight_dir = std::env::temp_dir().join("symbi-hepnos-flight");
     let _ = std::fs::remove_dir_all(&flight_dir);
-    let mut good = HepnosConfig::c3();
+    let mut good = HepnosConfig::c3().with_fault_tolerance(guard, 2);
     good.label = "tuned".into();
     good.total_clients = 8;
     good.events_per_client = 1024;

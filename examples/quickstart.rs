@@ -37,15 +37,21 @@ fn main() {
     let client = MargoInstance::new(fabric, MargoConfig::client("app"));
     for i in 0..100 {
         let _: u32 = client
-            .forward(
+            .forward_with(
                 server.addr(),
                 "kv_put",
                 &(format!("key-{i}"), format!("value-{i}")),
+                RpcOptions::default(),
             )
             .expect("put failed");
     }
     let v: String = client
-        .forward(server.addr(), "kv_get", &"key-42".to_string())
+        .forward_with(
+            server.addr(),
+            "kv_get",
+            &"key-42".to_string(),
+            RpcOptions::default(),
+        )
         .expect("get failed");
     assert_eq!(v, "value-42");
     println!("stored 100 pairs, read one back: key-42 = {v}\n");

@@ -51,19 +51,53 @@ fn main() {
     println!("flight recorder ring in {}", flight_dir.display());
 
     let margo = MargoInstance::new(fabric, MargoConfig::client("telemetry-client"));
-    let client = SdskvClient::new(margo.clone(), server.addr());
+    // Guard-railed RPCs: a 2 s per-attempt deadline with one retry, so a
+    // wedged server surfaces as an error instead of hanging the demo.
+    let options = RpcOptions::new()
+        .with_deadline(Duration::from_secs(2))
+        .with_retry(RetryPolicy::new(2))
+        .idempotent(true);
+    let client = SdskvClient::new(margo.clone(), server.addr()).with_options(options);
     let db = 0u32;
+
+    // Liveness probe through the async API: bounded wait instead of a
+    // potentially-unbounded block on a dead server.
+    let probe = margo.forward_with_async(
+        server.addr(),
+        "sdskv_length_rpc",
+        &db,
+        RpcOptions::new().with_deadline(Duration::from_secs(2)),
+    );
+    match probe.wait_timeout(Duration::from_secs(3)) {
+        Some(Ok(_)) => println!("server answered the liveness probe; starting traffic"),
+        Some(Err(e)) => {
+            eprintln!("server failed the liveness probe ({e}); aborting");
+            margo.finalize();
+            server.finalize();
+            return;
+        }
+        None => {
+            eprintln!("server did not answer the liveness probe in time; aborting");
+            margo.finalize();
+            server.finalize();
+            return;
+        }
+    }
 
     // Drive steady traffic so every scrape shows moving counters.
     let deadline = Instant::now() + Duration::from_secs(run_secs);
     let mut ops = 0u64;
     while Instant::now() < deadline {
         let key = format!("key-{}", ops % 512);
-        client
-            .put(db, key.clone().into_bytes(), vec![0u8; 64])
-            .expect("put");
+        if let Err(e) = client.put(db, key.clone().into_bytes(), vec![0u8; 64]) {
+            eprintln!("put failed ({e}); stopping traffic");
+            break;
+        }
         if ops % 4 == 3 {
-            let _ = client.get(db, key.as_bytes()).expect("get");
+            if let Err(e) = client.get(db, key.as_bytes()) {
+                eprintln!("get failed ({e}); stopping traffic");
+                break;
+            }
         }
         ops += 1;
         if ops.is_multiple_of(1000) {

@@ -25,7 +25,9 @@
 //! server.register_fn("hello", |_m, name: String| Ok::<String, String>(format!("hi {name}")));
 //!
 //! let client = MargoInstance::new(fabric, MargoConfig::client("app"));
-//! let reply: String = client.forward(server.addr(), "hello", &"mochi".to_string()).unwrap();
+//! let reply: String = client
+//!     .forward_with(server.addr(), "hello", &"mochi".to_string(), RpcOptions::default())
+//!     .unwrap();
 //! assert_eq!(reply, "hi mochi");
 //!
 //! // Every RPC was profiled: merge and summarize like the paper's scripts.
@@ -52,8 +54,8 @@ pub mod prelude {
     pub use symbi_core::{
         Callpath, EntityId, Interval, Side, Stage, Symbiosys, TraceEvent, TraceEventKind,
     };
-    pub use symbi_fabric::{Addr, Fabric, NetworkModel};
-    pub use symbi_margo::{MargoConfig, MargoError, MargoInstance};
+    pub use symbi_fabric::{Addr, Fabric, FaultPlan, NetworkModel};
+    pub use symbi_margo::{MargoConfig, MargoError, MargoInstance, RetryPolicy, RpcOptions};
     pub use symbi_mercury::{HgClass, HgConfig, RpcMeta, Wire};
     pub use symbi_services::bake::{BakeClient, BakeProvider, BakeSpec};
     pub use symbi_services::hepnos::{

@@ -1,0 +1,153 @@
+//! Fault-injection integration tests: drive a multi-server HEPnOS
+//! deployment through a seeded drop + blackout [`FaultPlan`] and assert
+//! that the deadline/retry `RpcOptions` plumbing recovers every event,
+//! that telemetry and traces reflect the injected faults, and that a
+//! fixed seed yields a byte-identical retry schedule.
+//!
+//! The seed comes from `SYMBI_FAULT_SEED` (default 42) so CI can run the
+//! same scenarios across a small seed matrix.
+
+use std::time::Duration;
+use symbiosys::core::telemetry::MetricValue;
+use symbiosys::prelude::*;
+
+fn fault_seed() -> u64 {
+    std::env::var("SYMBI_FAULT_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
+}
+
+/// A small two-server deployment with fault-tolerant clients: 50 ms
+/// per-attempt deadlines and a 10-attempt retry budget, enough to ride
+/// out a 200 ms blackout.
+fn faulty_config(seed: u64) -> HepnosConfig {
+    let mut cfg = HepnosConfig::c3();
+    cfg.total_clients = 2;
+    cfg.total_servers = 2;
+    cfg.threads = 2;
+    cfg.databases = 4;
+    cfg.batch_size = 8;
+    cfg.events_per_client = 128;
+    cfg.value_size = 32;
+    cfg.cost = StorageCost::free();
+    cfg.handler_cost = Duration::from_micros(200);
+    cfg.handler_cost_per_key = Duration::ZERO;
+    cfg.with_fault_tolerance(Duration::from_millis(50), 10)
+        .with_fault_seed(seed)
+}
+
+#[test]
+fn hepnos_recovers_all_events_under_drop_and_blackout() {
+    let seed = fault_seed();
+    let fabric = Fabric::new(NetworkModel::instant());
+    let cfg = faulty_config(seed);
+    let dep = HepnosDeployment::launch(&fabric, &cfg);
+    let addrs = dep.addrs();
+    // 5% message drop everywhere plus a 200 ms blackout of server 0
+    // starting the moment the load begins.
+    fabric.install_fault_plan(
+        FaultPlan::seeded(seed)
+            .with_drop_probability(0.05)
+            .with_blackout(addrs[0], Duration::ZERO, Duration::from_millis(200)),
+    );
+
+    let report = run_data_loader(&fabric, &dep, &cfg);
+    let expected = (cfg.total_clients * cfg.events_per_client) as u64;
+
+    // Every event must land despite the faults — recovered via retries.
+    assert!(
+        report.is_complete(),
+        "lost={} skipped={}",
+        report.lost_events,
+        report.skipped_events
+    );
+    assert_eq!(report.events, expected);
+    assert_eq!(dep.total_events_stored() as u64, expected);
+
+    // The fabric must actually have injected faults.
+    let counters = fabric.fault_counters().expect("fault plan installed");
+    assert!(
+        counters.blackout_drops > 0,
+        "blackout window saw no traffic: {counters:?}"
+    );
+
+    // Telemetry surfaces the injected-fault counters on every instance
+    // sharing the fabric, so anomalies can be correlated with causes.
+    let snap = dep.margo_instances()[0].telemetry().sample();
+    let dropped = snap
+        .find("symbi_fault_messages_dropped_total", &[])
+        .expect("fault counter exported");
+    match dropped.point.value {
+        MetricValue::Counter(n) => assert!(n > 0, "no drops recorded"),
+        ref v => panic!("expected counter, got {v:?}"),
+    }
+    assert!(snap.find("symbi_fault_blackout_drops_total", &[]).is_some());
+
+    // Client traces carry per-retry annotations for the re-issued puts.
+    let retried = report
+        .client_traces
+        .iter()
+        .filter(|e| e.samples.retry_attempt.is_some())
+        .count();
+    assert!(retried > 0, "no retry annotations in client traces");
+
+    dep.finalize();
+}
+
+#[test]
+fn dead_server_is_skipped_and_reported_as_partial() {
+    let seed = fault_seed();
+    let fabric = Fabric::new(NetworkModel::instant());
+    let mut cfg = faulty_config(seed);
+    // A blackout outlasting the whole load, and a retry budget too small
+    // to ride it out: server 0 must be declared dead after 3 consecutive
+    // put failures, and the loader must degrade, not fail.
+    cfg.rpc_deadline = Some(Duration::from_millis(25));
+    cfg.retry_attempts = 2;
+    cfg.async_window = 1;
+    let dep = HepnosDeployment::launch(&fabric, &cfg);
+    let addrs = dep.addrs();
+    fabric.install_fault_plan(FaultPlan::seeded(seed).with_blackout(
+        addrs[0],
+        Duration::ZERO,
+        Duration::from_secs(120),
+    ));
+
+    let report = run_data_loader(&fabric, &dep, &cfg);
+    let expected = (cfg.total_clients * cfg.events_per_client) as u64;
+
+    // Partial completion: server 1's events land, server 0's are lost
+    // (issued before death) or skipped (after), and all are accounted.
+    assert!(report.events > 0, "no events stored at all");
+    assert!(report.lost_events > 0, "expected lost events");
+    assert!(report.skipped_events > 0, "expected skipped batches");
+    assert_eq!(
+        report.events + report.lost_events + report.skipped_events,
+        expected
+    );
+
+    // Terminal timeouts are visible in the trace.
+    let timed_out = report
+        .client_traces
+        .iter()
+        .filter(|e| e.samples.timed_out.is_some())
+        .count();
+    assert!(timed_out > 0, "no timeout annotations in client traces");
+
+    dep.finalize();
+}
+
+#[test]
+fn retry_schedule_is_byte_identical_for_a_fixed_seed() {
+    let seed = fault_seed();
+    let a = faulty_config(seed).rpc_options();
+    let b = faulty_config(seed).rpc_options();
+    let (pa, pb) = (a.retry().unwrap(), b.retry().unwrap());
+    for rpc_id in [1u64, 7, 0xDEAD_BEEF] {
+        assert_eq!(pa.schedule(rpc_id), pb.schedule(rpc_id));
+    }
+    // A different seed must produce a different jitter sequence.
+    let c = faulty_config(seed ^ 0x5555).rpc_options();
+    assert_ne!(pa.schedule(7), c.retry().unwrap().schedule(7));
+}

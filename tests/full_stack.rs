@@ -16,19 +16,23 @@ fn three_tier_composition_profiles_and_traces() {
 
     let frontend = MargoInstance::new(fabric.clone(), MargoConfig::server("tier-frontend", 2));
     frontend.register_fn("b_rpc", move |m: &MargoInstance, x: u64| {
-        m.forward::<u64, u64>(backend_addr, "c_rpc", &x)
+        m.forward_with::<u64, u64>(backend_addr, "c_rpc", &x, RpcOptions::default())
             .map_err(|e| e.to_string())
     });
 
     let client = MargoInstance::new(fabric, MargoConfig::client("tier-client"));
     // A → B → C path:
     for i in 0..10u64 {
-        let y: u64 = client.forward(frontend.addr(), "b_rpc", &i).unwrap();
+        let y: u64 = client
+            .forward_with(frontend.addr(), "b_rpc", &i, RpcOptions::default())
+            .unwrap();
         assert_eq!(y, i + 1);
     }
     // A → C path:
     for i in 0..5u64 {
-        let y: u64 = client.forward(backend.addr(), "c_rpc", &i).unwrap();
+        let y: u64 = client
+            .forward_with(backend.addr(), "c_rpc", &i, RpcOptions::default())
+            .unwrap();
         assert_eq!(y, i + 1);
     }
     std::thread::sleep(std::time::Duration::from_millis(80));
@@ -62,11 +66,13 @@ fn trace_stitches_into_parented_zipkin_spans() {
     let backend_addr = backend.addr();
     let frontend = MargoInstance::new(fabric.clone(), MargoConfig::server("z-frontend", 2));
     frontend.register_fn("top", move |m: &MargoInstance, x: u64| {
-        m.forward::<u64, u64>(backend_addr, "leaf", &x)
+        m.forward_with::<u64, u64>(backend_addr, "leaf", &x, RpcOptions::default())
             .map_err(|e| e.to_string())
     });
     let client = MargoInstance::new(fabric, MargoConfig::client("z-client"));
-    let _: u64 = client.forward(frontend.addr(), "top", &7u64).unwrap();
+    let _: u64 = client
+        .forward_with(frontend.addr(), "top", &7u64, RpcOptions::default())
+        .unwrap();
     std::thread::sleep(std::time::Duration::from_millis(80));
 
     let mut events = client.symbiosys().tracer().snapshot();
@@ -110,7 +116,9 @@ fn system_summary_covers_all_entities() {
     server.register_fn("noop", |_m, x: u64| Ok::<u64, String>(x));
     let client = MargoInstance::new(fabric, MargoConfig::client("sys-client"));
     for _ in 0..5 {
-        let _: u64 = client.forward(server.addr(), "noop", &0u64).unwrap();
+        let _: u64 = client
+            .forward_with(server.addr(), "noop", &0u64, RpcOptions::default())
+            .unwrap();
     }
     std::thread::sleep(std::time::Duration::from_millis(50));
     let mut events = client.symbiosys().tracer().snapshot();
@@ -136,7 +144,7 @@ fn concurrent_composed_services_under_load() {
     let frontend = MargoInstance::new(fabric.clone(), MargoConfig::server("load-frontend", 4));
     frontend.register_fn("square_plus_one", move |m: &MargoInstance, x: u64| {
         let sq: u64 = m
-            .forward(backend_addr, "square", &x)
+            .forward_with(backend_addr, "square", &x, RpcOptions::default())
             .map_err(|e| e.to_string())?;
         Ok::<u64, String>(sq + 1)
     });
@@ -150,7 +158,7 @@ fn concurrent_composed_services_under_load() {
                     MargoInstance::new(fabric, MargoConfig::client(format!("load-client-{c}")));
                 for i in 0..25u64 {
                     let y: u64 = client
-                        .forward(frontend_addr, "square_plus_one", &i)
+                        .forward_with(frontend_addr, "square_plus_one", &i, RpcOptions::default())
                         .unwrap();
                     assert_eq!(y, i * i + 1);
                 }

@@ -15,7 +15,9 @@ fn one_rpc_at(stage: Stage) -> (MargoInstance, MargoInstance) {
         MargoConfig::client(format!("st-client-{stage}")).with_stage(stage),
     );
     for _ in 0..3 {
-        let _: u64 = client.forward(server.addr(), "st_rpc", &1u64).unwrap();
+        let _: u64 = client
+            .forward_with(server.addr(), "st_rpc", &1u64, RpcOptions::default())
+            .unwrap();
     }
     std::thread::sleep(std::time::Duration::from_millis(50));
     (client, server)
@@ -100,11 +102,15 @@ fn per_event_overhead_is_bounded() {
         );
         // Warm up.
         for _ in 0..20 {
-            let _: u64 = client.forward(addr, "oh_rpc", &0u64).unwrap();
+            let _: u64 = client
+                .forward_with(addr, "oh_rpc", &0u64, RpcOptions::default())
+                .unwrap();
         }
         let start = std::time::Instant::now();
         for _ in 0..200 {
-            let _: u64 = client.forward(addr, "oh_rpc", &0u64).unwrap();
+            let _: u64 = client
+                .forward_with(addr, "oh_rpc", &0u64, RpcOptions::default())
+                .unwrap();
         }
         let t = start.elapsed();
         client.finalize();
@@ -133,7 +139,9 @@ fn mixed_stages_interoperate() {
         fabric,
         MargoConfig::client("mx-client").with_stage(Stage::Full),
     );
-    let y: u64 = client.forward(server.addr(), "mx_rpc", &21u64).unwrap();
+    let y: u64 = client
+        .forward_with(server.addr(), "mx_rpc", &21u64, RpcOptions::default())
+        .unwrap();
     assert_eq!(y, 42);
     std::thread::sleep(std::time::Duration::from_millis(30));
     // Client profiled its side; server recorded nothing.
