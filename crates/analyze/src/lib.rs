@@ -1,0 +1,351 @@
+//! The `symbi-analyze` offline analyzer: ingest flight-recorder rings,
+//! reconstruct causal span graphs, and attribute cross-service latency.
+//!
+//! A composed deployment leaves one flight-recorder directory per service
+//! process (each a ring of `flight-<n>.jsonl` files mixing metric
+//! snapshots and `"kind":"trace"` records). This crate's binary walks any
+//! number of such directories — including parents whose *sub*directories
+//! hold the rings, the layout `HepnosDeployment` produces — decodes every
+//! trace record through one shared [`TraceEventDecoder`] (so entity names
+//! map to consistent ids across processes), rebuilds per-request span
+//! trees, and emits:
+//!
+//! * a critical-path report — top cross-service edges by attributed time
+//!   (the Figure 7 "where does the time go" question, answered offline),
+//! * Chrome `trace_event` JSON for `chrome://tracing` / Perfetto,
+//! * Zipkin v2 JSON for Gantt-chart visualization (Figure 5).
+//!
+//! The library half exists so integration tests and examples can drive
+//! the exact code the binary runs.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use symbi_core::analysis::critical_path::render;
+use symbi_core::analysis::{aggregate_critical_paths, build_span_graph, to_chrome_json, SpanGraph};
+use symbi_core::telemetry::jsonl::TraceEventDecoder;
+use symbi_core::telemetry::recorder::replay_events_with;
+use symbi_core::trace::TraceEvent;
+use symbi_core::zipkin::{stitch, to_zipkin_json};
+
+/// Parsed command line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Options {
+    /// Directories to scan for flight rings (recursively).
+    pub dirs: Vec<PathBuf>,
+    /// Write Chrome `trace_event` JSON here.
+    pub chrome_out: Option<PathBuf>,
+    /// Write Zipkin v2 JSON here.
+    pub zipkin_out: Option<PathBuf>,
+    /// Also write the plain-text report here (it always goes to stdout).
+    pub report_out: Option<PathBuf>,
+    /// Restrict the exports and report to one request id.
+    pub request: Option<u64>,
+    /// Keep only the top N edges in the report.
+    pub top: Option<usize>,
+}
+
+/// What the command line asked for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run the analysis.
+    Run(Options),
+    /// Print usage and exit successfully.
+    Help,
+}
+
+/// Usage text for `--help` and argument errors.
+pub const USAGE: &str = "\
+symbi-analyze — offline span-graph and critical-path analysis
+
+USAGE:
+  symbi-analyze [OPTIONS] <FLIGHT_DIR>...
+
+Each FLIGHT_DIR is scanned recursively for flight-recorder rings
+(directories containing flight-<n>.jsonl files), so passing the parent
+directory of a deployment's per-server subdirectories just works.
+
+OPTIONS:
+  --chrome <PATH>   write Chrome trace_event JSON (chrome://tracing)
+  --zipkin <PATH>   write Zipkin v2 JSON
+  --report <PATH>   also write the plain-text report to PATH
+  --request <ID>    restrict analysis to one request id
+  --top <N>         keep only the N heaviest edges in the report
+  -h, --help        print this help
+";
+
+/// Parse CLI arguments (everything after argv[0]). Hand-rolled: the
+/// container forbids new dependencies, and the grammar is tiny.
+pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, String> {
+    let mut opts = Options::default();
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut path_value = |flag: &str| {
+            args.next()
+                .map(PathBuf::from)
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "-h" | "--help" => return Ok(Command::Help),
+            "--chrome" => opts.chrome_out = Some(path_value("--chrome")?),
+            "--zipkin" => opts.zipkin_out = Some(path_value("--zipkin")?),
+            "--report" => opts.report_out = Some(path_value("--report")?),
+            "--request" => {
+                let v = args.next().ok_or("--request requires a value")?;
+                opts.request = Some(v.parse().map_err(|_| format!("bad request id '{v}'"))?);
+            }
+            "--top" => {
+                let v = args.next().ok_or("--top requires a value")?;
+                opts.top = Some(v.parse().map_err(|_| format!("bad count '{v}'"))?);
+            }
+            s if s.starts_with('-') => return Err(format!("unknown option '{s}'")),
+            _ => opts.dirs.push(PathBuf::from(arg)),
+        }
+    }
+    if opts.dirs.is_empty() {
+        return Err("at least one flight-recorder directory is required".into());
+    }
+    Ok(Command::Run(opts))
+}
+
+/// Directories at or under `root` that contain a flight ring
+/// (`flight-<n>.jsonl` files), sorted for deterministic ingest order.
+pub fn collect_ring_dirs(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut has_ring = false;
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+                if name.starts_with("flight-") && name.ends_with(".jsonl") {
+                    has_ring = true;
+                }
+            }
+        }
+        if has_ring {
+            out.push(dir);
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Replay every trace event from every ring under `dirs`, through one
+/// shared decoder so entity ids are consistent across service processes.
+pub fn load_events(dirs: &[PathBuf]) -> Result<(Vec<TraceEvent>, usize), String> {
+    let mut ring_dirs = Vec::new();
+    for d in dirs {
+        ring_dirs
+            .extend(collect_ring_dirs(d).map_err(|e| format!("scanning {}: {e}", d.display()))?);
+    }
+    if ring_dirs.is_empty() {
+        return Err("no flight-<n>.jsonl rings found under the given directories".into());
+    }
+    let mut decoder = TraceEventDecoder::new();
+    let mut events = Vec::new();
+    for d in &ring_dirs {
+        events.extend(
+            replay_events_with(d, &mut decoder)
+                .map_err(|e| format!("replaying {}: {e}", d.display()))?,
+        );
+    }
+    Ok((events, ring_dirs.len()))
+}
+
+/// Run the analysis; returns the text to print on stdout.
+pub fn run(opts: &Options) -> Result<String, String> {
+    let (mut events, ring_count) = load_events(&opts.dirs)?;
+    if let Some(rid) = opts.request {
+        events.retain(|e| e.request_id == rid);
+    }
+    let graph = build_span_graph(&events);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "ingested {} trace events from {} ring dir(s): {} requests, {} spans, \
+         {} duplicates dropped, {} unlinked legacy events",
+        events.len(),
+        ring_count,
+        graph.trees.len(),
+        graph.span_count(),
+        graph.duplicates_dropped,
+        graph.unlinked_events,
+    );
+    out.push_str(&render_report(&graph, opts.top));
+
+    if let Some(path) = &opts.chrome_out {
+        std::fs::write(path, to_chrome_json(&graph))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "chrome trace written to {}", path.display());
+    }
+    if let Some(path) = &opts.zipkin_out {
+        std::fs::write(path, to_zipkin_json(&stitch(&events)))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "zipkin trace written to {}", path.display());
+    }
+    if let Some(path) = &opts.report_out {
+        std::fs::write(path, render_report(&graph, opts.top))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    Ok(out)
+}
+
+fn render_report(graph: &SpanGraph, top: Option<usize>) -> String {
+    let mut report = aggregate_critical_paths(graph);
+    if let Some(top) = top {
+        report.edges.truncate(top);
+    }
+    render(&report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_core::entity::register_entity;
+    use symbi_core::telemetry::recorder::{FlightRecorder, FlightRecorderConfig};
+    use symbi_core::trace::{EventSamples, TraceEventKind};
+    use symbi_core::Callpath;
+
+    fn args(list: &[&str]) -> Result<Command, String> {
+        parse_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn parse_args_grammar() {
+        assert_eq!(args(&["--help"]), Ok(Command::Help));
+        assert!(args(&[]).is_err(), "a directory is required");
+        assert!(args(&["--chrome"]).is_err(), "missing value");
+        assert!(args(&["--bogus", "d"]).is_err());
+        assert!(args(&["--request", "xyz", "d"]).is_err());
+        let Ok(Command::Run(opts)) = args(&[
+            "--chrome",
+            "c.json",
+            "--zipkin",
+            "z.json",
+            "--request",
+            "7",
+            "--top",
+            "3",
+            "a",
+            "b",
+        ]) else {
+            panic!("expected Run");
+        };
+        assert_eq!(opts.dirs, vec![PathBuf::from("a"), PathBuf::from("b")]);
+        assert_eq!(opts.chrome_out, Some(PathBuf::from("c.json")));
+        assert_eq!(opts.zipkin_out, Some(PathBuf::from("z.json")));
+        assert_eq!(opts.request, Some(7));
+        assert_eq!(opts.top, Some(3));
+    }
+
+    /// Build two flight rings (client + server subdirs) holding one
+    /// two-hop request, the layout a composed deployment writes.
+    fn write_rings(tag: &str) -> PathBuf {
+        let root = std::env::temp_dir().join(format!("symbi-analyze-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let client = register_entity("an-client");
+        let server = register_entity("an-server");
+        let cp = Callpath::root("an_rpc");
+        let mk = |span, order, lamport, wall_ns, kind, entity| TraceEvent {
+            request_id: 1,
+            order,
+            span,
+            parent_span: 0,
+            hop: 1,
+            lamport,
+            wall_ns,
+            kind,
+            entity,
+            callpath: cp,
+            samples: EventSamples::default(),
+        };
+        let client_rec =
+            FlightRecorder::open(FlightRecorderConfig::new(root.join("client"))).unwrap();
+        client_rec
+            .append_events(&[
+                mk(1, 0, 1, 1_000, TraceEventKind::OriginForward, client),
+                mk(1, 3, 4, 9_000, TraceEventKind::OriginComplete, client),
+            ])
+            .unwrap();
+        client_rec.flush().unwrap();
+        let server_rec =
+            FlightRecorder::open(FlightRecorderConfig::new(root.join("server-0"))).unwrap();
+        server_rec
+            .append_events(&[
+                mk(1, 1, 2, 2_000, TraceEventKind::TargetUltStart, server),
+                mk(1, 2, 3, 6_000, TraceEventKind::TargetRespond, server),
+            ])
+            .unwrap();
+        server_rec.flush().unwrap();
+        root
+    }
+
+    #[test]
+    fn collect_ring_dirs_finds_subdirectories() {
+        let root = write_rings("collect");
+        let dirs = collect_ring_dirs(&root).unwrap();
+        assert_eq!(dirs.len(), 2);
+        assert!(dirs[0].ends_with("client"));
+        assert!(dirs[1].ends_with("server-0"));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn run_produces_report_and_exports_from_rings_alone() {
+        let root = write_rings("run");
+        let chrome = root.join("chrome.json");
+        let zipkin = root.join("zipkin.json");
+        let opts = Options {
+            dirs: vec![root.clone()],
+            chrome_out: Some(chrome.clone()),
+            zipkin_out: Some(zipkin.clone()),
+            ..Default::default()
+        };
+        let out = run(&opts).expect("analysis");
+        assert!(out.contains("1 requests"), "{out}");
+        assert!(out.contains("critical-path report"), "{out}");
+        assert!(out.contains("an_rpc"), "{out}");
+        // Both export files parse as JSON and carry the span.
+        let chrome_json = std::fs::read_to_string(&chrome).unwrap();
+        let parsed = symbi_core::telemetry::jsonl::parse_json(&chrome_json).unwrap();
+        let evs = parsed.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        assert!(
+            evs.iter()
+                .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+                .count()
+                >= 2,
+            "origin and target windows expected"
+        );
+        let zipkin_json = std::fs::read_to_string(&zipkin).unwrap();
+        assert!(zipkin_json.contains("\"an_rpc\""));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn request_filter_drops_other_requests() {
+        let root = write_rings("filter");
+        let opts = Options {
+            dirs: vec![root.clone()],
+            request: Some(999),
+            ..Default::default()
+        };
+        let out = run(&opts).expect("analysis");
+        assert!(out.contains("0 requests"), "{out}");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_rings_is_an_error() {
+        let root = std::env::temp_dir().join(format!("symbi-analyze-empty-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let opts = Options {
+            dirs: vec![root.clone()],
+            ..Default::default()
+        };
+        assert!(run(&opts).is_err());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,27 @@
+//! `symbi-analyze` — see the crate docs in `lib.rs`.
+
+use std::process::ExitCode;
+use symbi_analyze::{parse_args, run, Command, USAGE};
+
+fn main() -> ExitCode {
+    match parse_args(std::env::args().skip(1)) {
+        Ok(Command::Help) => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Command::Run(opts)) => match run(&opts) {
+            Ok(out) => {
+                print!("{out}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("symbi-analyze: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("symbi-analyze: {e}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

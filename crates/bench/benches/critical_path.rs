@@ -1,0 +1,310 @@
+//! Critical-path tooling costs: span-graph reconstruction throughput,
+//! flight-ring trace-codec throughput, and the per-RPC cost of carrying
+//! the span/parent-span/hop header on the wire.
+//!
+//! Three questions, matching how the causal-analysis pipeline is paid
+//! for:
+//!
+//! 1. **Offline reconstruction** — how many trace events per second can
+//!    `build_span_graph` + `aggregate_critical_paths` digest? This bounds
+//!    how much flight-ring history `symbi-analyze` can chew through.
+//! 2. **Codec** — how fast do trace events round-trip through the JSONL
+//!    flight-ring encoding (`trace_event_to_json` / `TraceEventDecoder`)?
+//! 3. **Header cost** — what does span propagation (Stage 1, metadata
+//!    only) add per RPC over the uninstrumented baseline on a closed
+//!    SDSKV put loop? This is the *online* price of causal tracing.
+//!
+//! Results go to `BENCH_critical_path.json` at the workspace root.
+
+use std::time::Instant;
+
+use symbi_bench::{banner, bench_scale};
+use symbi_core::analysis::{aggregate_critical_paths, build_span_graph};
+use symbi_core::telemetry::jsonl::{trace_event_to_json, TraceEventDecoder};
+use symbi_core::{register_entity, Callpath, EventSamples, Stage, TraceEvent, TraceEventKind};
+use symbi_fabric::{Fabric, NetworkModel};
+use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
+
+const REPS: usize = 3;
+/// Sub-RPCs fanned out per synthetic request (the Mobject write shape).
+const FANOUT: u64 = 12;
+
+/// Synthesize `requests` multi-hop traces shaped like a composed Mobject
+/// write: one root span plus `FANOUT` child spans, four events each,
+/// from three entities with deliberately skewed clocks.
+fn synthesize(requests: u64) -> Vec<TraceEvent> {
+    let client = register_entity("cpbench-client");
+    let frontend = register_entity("cpbench-frontend");
+    let backend = register_entity("cpbench-backend");
+    let root_cp = Callpath::root("cpbench_write_op");
+    let sub_cp = root_cp.push("cpbench_sub");
+    let ev = |request_id: u64,
+              span: u64,
+              parent_span: u64,
+              hop: u32,
+              order: u32,
+              lamport: u64,
+              wall_ns: u64,
+              kind: TraceEventKind,
+              entity,
+              callpath| TraceEvent {
+        request_id,
+        order,
+        span,
+        parent_span,
+        hop,
+        lamport,
+        wall_ns,
+        kind,
+        entity,
+        callpath,
+        samples: EventSamples::default(),
+    };
+    let mut events = Vec::with_capacity((requests * (FANOUT + 1) * 4) as usize);
+    for r in 0..requests {
+        let rid = r + 1;
+        let base = r * 1_000_000;
+        let root_span = rid << 8;
+        let mut lamport = 1;
+        events.push(ev(
+            rid,
+            root_span,
+            0,
+            1,
+            0,
+            lamport,
+            base,
+            TraceEventKind::OriginForward,
+            client,
+            root_cp,
+        ));
+        lamport += 1;
+        // Frontend clock runs 7 ms ahead of the client's.
+        let skew = 7_000_000;
+        events.push(ev(
+            rid,
+            root_span,
+            0,
+            1,
+            1,
+            lamport,
+            base + skew + 1_000,
+            TraceEventKind::TargetUltStart,
+            frontend,
+            root_cp,
+        ));
+        for c in 0..FANOUT {
+            let span = root_span | (c + 1);
+            let t = base + skew + 2_000 + c * 4_000;
+            lamport += 1;
+            events.push(ev(
+                rid,
+                span,
+                root_span,
+                2,
+                (2 + 4 * c) as u32,
+                lamport,
+                t,
+                TraceEventKind::OriginForward,
+                frontend,
+                sub_cp,
+            ));
+            lamport += 1;
+            events.push(ev(
+                rid,
+                span,
+                root_span,
+                2,
+                (3 + 4 * c) as u32,
+                lamport,
+                t + 500,
+                TraceEventKind::TargetUltStart,
+                backend,
+                sub_cp,
+            ));
+            lamport += 1;
+            events.push(ev(
+                rid,
+                span,
+                root_span,
+                2,
+                (4 + 4 * c) as u32,
+                lamport,
+                t + 2_500,
+                TraceEventKind::TargetRespond,
+                backend,
+                sub_cp,
+            ));
+            lamport += 1;
+            events.push(ev(
+                rid,
+                span,
+                root_span,
+                2,
+                (5 + 4 * c) as u32,
+                lamport,
+                t + 3_500,
+                TraceEventKind::OriginComplete,
+                frontend,
+                sub_cp,
+            ));
+        }
+        lamport += 1;
+        let done = base + skew + 2_000 + FANOUT * 4_000;
+        events.push(ev(
+            rid,
+            root_span,
+            0,
+            1,
+            60,
+            lamport,
+            done,
+            TraceEventKind::TargetRespond,
+            frontend,
+            root_cp,
+        ));
+        lamport += 1;
+        events.push(ev(
+            rid,
+            root_span,
+            0,
+            1,
+            61,
+            lamport,
+            done + 2_000 - skew,
+            TraceEventKind::OriginComplete,
+            client,
+            root_cp,
+        ));
+    }
+    events
+}
+
+/// Closed-loop SDSKV put workload at one measurement stage; returns mean
+/// nanoseconds per RPC.
+fn ns_per_rpc(stage: Stage, ops: u64) -> f64 {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server("cpbench-server", 2).with_stage(stage),
+    );
+    SdskvProvider::attach(&server, SdskvSpec::default());
+    let margo = MargoInstance::new(
+        fabric,
+        MargoConfig::client("cpbench-rpc-client").with_stage(stage),
+    );
+    let client = SdskvClient::new(margo.clone(), server.addr());
+    let start = Instant::now();
+    for i in 0..ops {
+        let key = format!("key-{}", i % 512).into_bytes();
+        client.put(0, key, vec![0u8; 64]).expect("put");
+    }
+    let ns = start.elapsed().as_nanos() as f64 / ops as f64;
+    margo.finalize();
+    server.finalize();
+    ns
+}
+
+fn main() {
+    banner("Critical-path tooling: reconstruction, codec, and header costs");
+
+    let scale = bench_scale();
+    let requests = ((2_000.0 * scale) as u64).max(200);
+    let events = synthesize(requests);
+    let n_events = events.len() as f64;
+
+    // 1. Span-graph reconstruction + aggregation throughput.
+    let mut best_recon = 0.0f64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let graph = build_span_graph(&events);
+        let report = aggregate_critical_paths(&graph);
+        let rate = n_events / start.elapsed().as_secs_f64();
+        assert_eq!(report.requests as u64, requests);
+        assert_eq!(
+            report.connected as u64, requests,
+            "bench graph must reconstruct fully"
+        );
+        best_recon = best_recon.max(rate);
+    }
+    println!(
+        "  reconstruction      {:>12.0} events/s  ({} requests x {} spans)",
+        best_recon,
+        requests,
+        FANOUT + 1
+    );
+
+    // 2. Flight-ring JSONL codec round-trip throughput.
+    let lines: Vec<String> = events.iter().map(trace_event_to_json).collect();
+    let mut best_encode = 0.0f64;
+    let mut best_decode = 0.0f64;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let encoded: Vec<String> = events.iter().map(trace_event_to_json).collect();
+        best_encode = best_encode.max(encoded.len() as f64 / start.elapsed().as_secs_f64());
+
+        let mut decoder = TraceEventDecoder::new();
+        let start = Instant::now();
+        let mut decoded = 0usize;
+        for line in &lines {
+            decoder.decode(line).expect("bench line decodes");
+            decoded += 1;
+        }
+        best_decode = best_decode.max(decoded as f64 / start.elapsed().as_secs_f64());
+    }
+    println!("  codec encode        {best_encode:>12.0} events/s");
+    println!("  codec decode        {best_decode:>12.0} events/s");
+
+    // 3. Per-RPC cost of the span header (Stage 1 vs baseline).
+    let ops = ((5_000.0 * scale) as u64).max(500);
+    let mut base_ns = f64::INFINITY;
+    let mut ids_ns = f64::INFINITY;
+    for _ in 0..REPS {
+        // Minimum over reps: outlier runs absorb scheduler interference.
+        base_ns = base_ns.min(ns_per_rpc(Stage::Disabled, ops));
+        ids_ns = ids_ns.min(ns_per_rpc(Stage::Ids, ops));
+    }
+    let header_ns = ids_ns - base_ns;
+    println!(
+        "  header cost         {header_ns:>12.1} ns/RPC  (baseline {base_ns:.0} ns, ids {ids_ns:.0} ns)"
+    );
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    json.push_str(&format!("  \"requests\": {requests},\n"));
+    json.push_str(&format!("  \"events\": {},\n", events.len()));
+    json.push_str(&format!("  \"rpc_ops\": {ops},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(
+        "  \"note\": \"reconstruction = build_span_graph + aggregate_critical_paths over synthetic Mobject-shaped traces (best of reps); codec = JSONL flight-ring round trip; header_cost_ns_per_rpc = Stage-1 (ids only) minus baseline on a closed SDSKV put loop (min of reps; negative = below run-to-run noise).\",\n",
+    );
+    json.push_str(&format!(
+        "  \"reconstruction_events_per_sec\": {best_recon:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"codec_encode_events_per_sec\": {best_encode:.0},\n"
+    ));
+    json.push_str(&format!(
+        "  \"codec_decode_events_per_sec\": {best_decode:.0},\n"
+    ));
+    json.push_str(&format!("  \"baseline_ns_per_rpc\": {base_ns:.1},\n"));
+    json.push_str(&format!("  \"ids_ns_per_rpc\": {ids_ns:.1},\n"));
+    json.push_str(&format!("  \"header_cost_ns_per_rpc\": {header_ns:.1}\n"));
+    json.push_str("}\n");
+
+    let out = std::env::var("SYMBI_BENCH_OUT").unwrap_or_else(|_| {
+        format!(
+            "{}/../../BENCH_critical_path.json",
+            env!("CARGO_MANIFEST_DIR")
+        )
+    });
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => println!("could not write {out}: {e}"),
+    }
+}

@@ -86,6 +86,9 @@ fn event(request_id: u64, entity: EntityId, callpath: Callpath) -> TraceEvent {
     TraceEvent {
         request_id,
         order: 0,
+        span: 0,
+        parent_span: 0,
+        hop: 0,
         lamport: 0,
         wall_ns: symbi_core::now_ns(),
         kind: TraceEventKind::TargetUltStart,

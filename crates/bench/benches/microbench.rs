@@ -63,6 +63,9 @@ fn bench_trace_record(c: &mut Criterion) {
     let event = TraceEvent {
         request_id: 1,
         order: 0,
+        span: 0,
+        parent_span: 0,
+        hop: 0,
         lamport: 0,
         wall_ns: 0,
         kind: TraceEventKind::OriginForward,

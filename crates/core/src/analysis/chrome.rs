@@ -1,0 +1,216 @@
+//! Chrome `trace_event` JSON export of span trees.
+//!
+//! Emits the JSON Object Format (`{"traceEvents": [...]}`) loadable in
+//! `chrome://tracing` and Perfetto. Every span contributes up to two
+//! complete ("ph":"X") events: the origin window (t1→t14) on the issuing
+//! entity's track and the target window (t5→t8) on the serving entity's
+//! track. Tracks map entities to pids and hop depth to tids, so a
+//! composed request renders as nested bars across service rows. The
+//! writer is hand-rolled (no external JSON dependency) and validated by
+//! round-tripping through `telemetry::jsonl::parse_json`.
+
+use crate::analysis::span_graph::{SpanGraph, SpanNode};
+use crate::entity::{entity_name, EntityId};
+use crate::zipkin::escape_into;
+use std::fmt::Write as _;
+
+fn leaf_name(cp: crate::Callpath) -> String {
+    crate::callpath::resolve_name(cp.leaf()).unwrap_or_else(|| format!("#{:04x}", cp.leaf()))
+}
+
+/// One "X" bar: which entity's track it renders on and its time window.
+struct Window<'a> {
+    entity: EntityId,
+    start_ns: u64,
+    dur_ns: u64,
+    side: &'a str,
+}
+
+fn push_complete_event(out: &mut String, first: &mut bool, name: &str, node: &SpanNode, w: Window) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n  {\"name\":\"");
+    escape_into(out, name);
+    out.push_str("\",\"cat\":\"rpc\",\"ph\":\"X\"");
+    // trace_event timestamps are microseconds; keep sub-µs resolution.
+    let _ = write!(
+        out,
+        ",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{}",
+        w.start_ns as f64 / 1_000.0,
+        (w.dur_ns.max(1)) as f64 / 1_000.0,
+        w.entity.0,
+        node.hop
+    );
+    out.push_str(",\"args\":{\"request_id\":");
+    let _ = write!(out, "{}", node.request_id);
+    let _ = write!(out, ",\"span\":{}", node.span);
+    let _ = write!(out, ",\"parent_span\":{}", node.parent_span);
+    let _ = write!(out, ",\"hop\":{}", node.hop);
+    out.push_str(",\"side\":\"");
+    out.push_str(w.side);
+    out.push_str("\"}}");
+}
+
+/// Render a span graph as Chrome trace JSON. `process_name` metadata
+/// events label each entity's track with its registered name.
+pub fn to_chrome_json(graph: &SpanGraph) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+
+    // Track labels: one process_name metadata record per entity seen.
+    let mut entities: Vec<EntityId> = graph
+        .trees
+        .iter()
+        .flat_map(|t| t.nodes.iter())
+        .flat_map(|n| [n.origin, n.target])
+        .flatten()
+        .collect();
+    entities.sort_unstable_by_key(|e| e.0);
+    entities.dedup();
+    for e in entities {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str("\n  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+        let _ = write!(out, "{}", e.0);
+        out.push_str(",\"args\":{\"name\":\"");
+        escape_into(&mut out, &entity_name(e));
+        out.push_str("\"}}");
+    }
+
+    for tree in &graph.trees {
+        for node in &tree.nodes {
+            let name = leaf_name(node.callpath);
+            if let (Some(t1), Some(t14), Some(origin)) = (&node.t1, &node.t14, node.origin) {
+                push_complete_event(
+                    &mut out,
+                    &mut first,
+                    &name,
+                    node,
+                    Window {
+                        entity: origin,
+                        start_ns: t1.wall_ns,
+                        dur_ns: t14.wall_ns.saturating_sub(t1.wall_ns),
+                        side: "origin",
+                    },
+                );
+            }
+            if let (Some(t5), Some(t8), Some(target)) = (&node.t5, &node.t8, node.target) {
+                push_complete_event(
+                    &mut out,
+                    &mut first,
+                    &name,
+                    node,
+                    Window {
+                        entity: target,
+                        start_ns: t5.wall_ns,
+                        dur_ns: t8.wall_ns.saturating_sub(t5.wall_ns),
+                        side: "target",
+                    },
+                );
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::span_graph::build_span_graph;
+    use crate::entity::register_entity;
+    use crate::telemetry::jsonl::parse_json;
+    use crate::trace::{EventSamples, TraceEvent, TraceEventKind};
+    use crate::Callpath;
+
+    fn events() -> Vec<TraceEvent> {
+        let client = register_entity("ch-client");
+        let server = register_entity("ch-server");
+        let cp = Callpath::root("ch_rpc");
+        let mk = |span, order, lamport, wall_ns, kind, entity| TraceEvent {
+            request_id: 4,
+            order,
+            span,
+            parent_span: 0,
+            hop: 1,
+            lamport,
+            wall_ns,
+            kind,
+            entity,
+            callpath: cp,
+            samples: EventSamples::default(),
+        };
+        vec![
+            mk(1, 0, 1, 1_000, TraceEventKind::OriginForward, client),
+            mk(1, 1, 2, 2_000, TraceEventKind::TargetUltStart, server),
+            mk(1, 2, 3, 5_000, TraceEventKind::TargetRespond, server),
+            mk(1, 3, 4, 7_000, TraceEventKind::OriginComplete, client),
+        ]
+    }
+
+    #[test]
+    fn chrome_json_parses_and_carries_both_sides() {
+        let graph = build_span_graph(&events());
+        let json = to_chrome_json(&graph);
+        let parsed = parse_json(&json).expect("valid JSON");
+        let evs = parsed
+            .get("traceEvents")
+            .and_then(|v| v.as_arr())
+            .expect("traceEvents array");
+        // 2 metadata records + origin + target.
+        assert_eq!(evs.len(), 4);
+        let complete: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"))
+            .collect();
+        assert_eq!(complete.len(), 2);
+        for e in &complete {
+            assert_eq!(e.get("name").and_then(|n| n.as_str()), Some("ch_rpc"));
+            assert!(e.get("ts").is_some());
+            assert!(e.get("dur").is_some());
+            assert_eq!(
+                e.get("args")
+                    .and_then(|a| a.get("request_id"))
+                    .and_then(|v| v.as_u64()),
+                Some(4)
+            );
+        }
+    }
+
+    #[test]
+    fn metadata_labels_each_entity_track() {
+        let graph = build_span_graph(&events());
+        let json = to_chrome_json(&graph);
+        let parsed = parse_json(&json).expect("valid JSON");
+        let evs = parsed.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        let labels: Vec<String> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("M"))
+            .filter_map(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("name"))
+                    .and_then(|n| n.as_str())
+                    .map(str::to_string)
+            })
+            .collect();
+        assert!(labels.iter().any(|l| l.contains("ch-client")));
+        assert!(labels.iter().any(|l| l.contains("ch-server")));
+    }
+
+    #[test]
+    fn empty_graph_is_valid_json() {
+        let json = to_chrome_json(&SpanGraph::default());
+        let parsed = parse_json(&json).expect("valid JSON");
+        assert_eq!(
+            parsed
+                .get("traceEvents")
+                .and_then(|v| v.as_arr())
+                .map(|a| a.len()),
+            Some(0)
+        );
+    }
+}

@@ -1,0 +1,593 @@
+//! Cross-service critical-path analysis over reconstructed span trees.
+//!
+//! Answers the paper's Figure-7-style question — *where did the time go
+//! across the composition?* — by walking each [`SpanTree`] and
+//! attributing every hop's end-to-end latency to Table III intervals,
+//! handler-pool queue wait, network time, sub-RPC time, and the
+//! unaccounted remainder; then aggregating the heaviest critical-path
+//! edges across many requests.
+//!
+//! All durations are differences of same-entity timestamps (see
+//! `span_graph`'s clock model), so the attribution is skew-free.
+
+use crate::analysis::span_graph::{SpanGraph, SpanNode, SpanTree};
+use crate::entity::{entity_name, EntityId};
+use crate::intervals::Interval;
+use std::collections::HashMap;
+
+/// Latency attribution for one hop (one span) of a request.
+#[derive(Debug, Clone)]
+pub struct HopBreakdown {
+    /// Span id of the hop.
+    pub span: u64,
+    /// Callpath at the hop.
+    pub callpath: crate::Callpath,
+    /// Hop depth (1 = end client's direct RPC).
+    pub hop: u32,
+    /// Issuing entity, if its events were collected.
+    pub origin: Option<EntityId>,
+    /// Serving entity, if its events were collected.
+    pub target: Option<EntityId>,
+    /// Full hop latency: t1→t14 on the origin clock (falls back to the
+    /// target's t5→t8 when the origin view is missing).
+    pub total_ns: u64,
+    /// t4→t5 handler-pool queue wait on the target.
+    pub queue_wait_ns: u64,
+    /// t5→t8 busy time on the target.
+    pub target_busy_ns: u64,
+    /// Network + completion delivery: total − queue wait − target busy.
+    pub network_ns: u64,
+    /// Portion of target busy time covered by this hop's sub-RPCs
+    /// (children's origin windows, overlap-merged on the target's clock).
+    pub children_ns: u64,
+    /// Target busy time not covered by sub-RPCs: the handler's own work.
+    pub self_ns: u64,
+    /// Table III interval samples fused into this hop's trace events.
+    pub intervals: [u64; Interval::COUNT],
+    /// total − the accounted Table III intervals (the Figure 11
+    /// remainder for this hop).
+    pub unaccounted_ns: u64,
+}
+
+impl HopBreakdown {
+    /// Interval value by Table III interval.
+    pub fn interval(&self, i: Interval) -> u64 {
+        self.intervals[i.index()]
+    }
+}
+
+/// Attribute one span's latency.
+pub fn breakdown(tree: &SpanTree, node: &SpanNode) -> HopBreakdown {
+    let target_busy = node.target_busy_ns().unwrap_or(0);
+    let total = node.origin_latency_ns().unwrap_or(target_busy);
+
+    let mut intervals = [0u64; Interval::COUNT];
+    fn put(intervals: &mut [u64; Interval::COUNT], i: Interval, v: Option<u64>) {
+        if let Some(v) = v {
+            intervals[i.index()] = v;
+        }
+    }
+    if let Some(t14) = &node.t14 {
+        put(
+            &mut intervals,
+            Interval::OriginExecution,
+            t14.samples.origin_execution_ns.or(Some(total)),
+        );
+        put(
+            &mut intervals,
+            Interval::InputSerialization,
+            t14.samples.input_serialization_ns,
+        );
+        put(
+            &mut intervals,
+            Interval::OriginCompletionCallback,
+            t14.samples.origin_cct_ns,
+        );
+        put(
+            &mut intervals,
+            Interval::TargetInternalRdma,
+            t14.samples.internal_rdma_ns,
+        );
+    }
+    if let Some(t8) = &node.t8 {
+        put(
+            &mut intervals,
+            Interval::TargetUltExecution,
+            t8.samples.target_execution_ns,
+        );
+        put(
+            &mut intervals,
+            Interval::TargetUltHandler,
+            t8.samples.target_handler_ns,
+        );
+        put(
+            &mut intervals,
+            Interval::InputDeserialization,
+            t8.samples.input_deserialization_ns,
+        );
+        put(
+            &mut intervals,
+            Interval::OutputSerialization,
+            t8.samples.output_serialization_ns,
+        );
+        if intervals[Interval::TargetInternalRdma.index()] == 0 {
+            put(
+                &mut intervals,
+                Interval::TargetInternalRdma,
+                t8.samples.internal_rdma_ns,
+            );
+        }
+    }
+    // The queue wait is stamped on both t5 and t8; fall back to t5 when
+    // the response-side event was lost.
+    if intervals[Interval::TargetUltHandler.index()] == 0 {
+        if let Some(t5) = &node.t5 {
+            put(
+                &mut intervals,
+                Interval::TargetUltHandler,
+                t5.samples.target_handler_ns,
+            );
+        }
+    }
+    if intervals[Interval::TargetUltExecution.index()] == 0 {
+        intervals[Interval::TargetUltExecution.index()] = target_busy;
+    }
+
+    let queue_wait = intervals[Interval::TargetUltHandler.index()];
+    let network = total.saturating_sub(queue_wait + target_busy);
+
+    // Sub-RPC coverage: the children's origin windows are timestamped by
+    // this hop's target entity, so they share one clock and can be
+    // overlap-merged directly.
+    let mut windows: Vec<(u64, u64)> = node
+        .children
+        .iter()
+        .filter_map(|&c| {
+            let ch = &tree.nodes[c];
+            match (&ch.t1, &ch.t14) {
+                (Some(a), Some(b)) if b.wall_ns >= a.wall_ns => Some((a.wall_ns, b.wall_ns)),
+                _ => None,
+            }
+        })
+        .collect();
+    windows.sort_unstable();
+    let mut children_ns = 0u64;
+    let mut cursor = 0u64;
+    for (s, e) in windows {
+        let s = s.max(cursor);
+        if e > s {
+            children_ns += e - s;
+            cursor = e;
+        }
+    }
+    children_ns = children_ns.min(target_busy.max(total));
+    let self_ns = target_busy.saturating_sub(children_ns);
+
+    let accounted: u64 = Interval::accounted().map(|i| intervals[i.index()]).sum();
+    let unaccounted = total.saturating_sub(accounted + network);
+
+    HopBreakdown {
+        span: node.span,
+        callpath: node.callpath,
+        hop: node.hop,
+        origin: node.origin,
+        target: node.target,
+        total_ns: total,
+        queue_wait_ns: queue_wait,
+        target_busy_ns: target_busy,
+        network_ns: network,
+        children_ns,
+        self_ns,
+        intervals,
+        unaccounted_ns: unaccounted,
+    }
+}
+
+/// The critical path of one tree: the chain from the root span following,
+/// at each hop, the child contributing the most latency (by its origin
+/// window). Returns one [`HopBreakdown`] per hop, root first. Empty when
+/// the tree has no single root.
+pub fn critical_path(tree: &SpanTree) -> Vec<HopBreakdown> {
+    let mut path = Vec::new();
+    if tree.roots.len() != 1 {
+        return path;
+    }
+    let mut idx = tree.roots[0];
+    loop {
+        let node = &tree.nodes[idx];
+        path.push(breakdown(tree, node));
+        let next = node
+            .children
+            .iter()
+            .copied()
+            .max_by_key(|&c| tree.nodes[c].origin_latency_ns().unwrap_or(0));
+        match next {
+            Some(c) if tree.nodes[c].origin_latency_ns().unwrap_or(0) > 0 => idx = c,
+            _ => return path,
+        }
+    }
+}
+
+/// Aggregate statistics for one critical-path edge — a `(callpath,
+/// origin, target)` triple — across many requests.
+#[derive(Debug, Clone)]
+pub struct EdgeStats {
+    /// Callpath of the hop.
+    pub callpath: crate::Callpath,
+    /// Issuing entity.
+    pub origin: Option<EntityId>,
+    /// Serving entity.
+    pub target: Option<EntityId>,
+    /// Times this edge appeared on a critical path.
+    pub count: usize,
+    /// Summed hop latency over those appearances (ns).
+    pub total_ns: u64,
+    /// Summed network + delivery time (ns).
+    pub network_ns: u64,
+    /// Summed handler-pool queue wait (ns).
+    pub queue_wait_ns: u64,
+    /// Summed handler self time (busy minus sub-RPCs, ns).
+    pub self_ns: u64,
+}
+
+/// The aggregate "top critical-path edges" report of a span graph.
+#[derive(Debug, Clone, Default)]
+pub struct CriticalPathReport {
+    /// Requests (trees) analyzed.
+    pub requests: usize,
+    /// Requests that reconstructed into a single connected tree.
+    pub connected: usize,
+    /// Mean end-to-end latency over connected requests (ns).
+    pub mean_end_to_end_ns: f64,
+    /// Edges ordered by total critical-path time, heaviest first.
+    pub edges: Vec<EdgeStats>,
+}
+
+/// Build the aggregate report: run [`critical_path`] over every tree and
+/// fold the hops into per-edge totals.
+pub fn aggregate(graph: &SpanGraph) -> CriticalPathReport {
+    let mut edges: HashMap<(u64, u64, u64), EdgeStats> = HashMap::new();
+    let mut connected = 0usize;
+    let mut e2e_sum = 0u128;
+    for tree in &graph.trees {
+        if tree.is_connected() {
+            connected += 1;
+            e2e_sum += tree.end_to_end_ns().unwrap_or(0) as u128;
+        }
+        for hop in critical_path(tree) {
+            let key = (
+                hop.callpath.0,
+                hop.origin.map(|e| e.0).unwrap_or(0),
+                hop.target.map(|e| e.0).unwrap_or(0),
+            );
+            let entry = edges.entry(key).or_insert_with(|| EdgeStats {
+                callpath: hop.callpath,
+                origin: hop.origin,
+                target: hop.target,
+                count: 0,
+                total_ns: 0,
+                network_ns: 0,
+                queue_wait_ns: 0,
+                self_ns: 0,
+            });
+            entry.count += 1;
+            entry.total_ns += hop.total_ns;
+            entry.network_ns += hop.network_ns;
+            entry.queue_wait_ns += hop.queue_wait_ns;
+            entry.self_ns += hop.self_ns;
+        }
+    }
+    let mut edges: Vec<EdgeStats> = edges.into_values().collect();
+    edges.sort_by(|a, b| {
+        b.total_ns
+            .cmp(&a.total_ns)
+            .then(a.callpath.0.cmp(&b.callpath.0))
+    });
+    CriticalPathReport {
+        requests: graph.trees.len(),
+        connected,
+        mean_end_to_end_ns: if connected == 0 {
+            0.0
+        } else {
+            e2e_sum as f64 / connected as f64
+        },
+        edges,
+    }
+}
+
+fn name_of(e: Option<EntityId>) -> String {
+    e.map(entity_name).unwrap_or_else(|| "?".into())
+}
+
+/// Render the aggregate report as a plain-text table.
+pub fn render(report: &CriticalPathReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical-path report: {} requests, {} connected ({:.1}%), mean end-to-end {:.3} ms",
+        report.requests,
+        report.connected,
+        if report.requests == 0 {
+            100.0
+        } else {
+            report.connected as f64 * 100.0 / report.requests as f64
+        },
+        report.mean_end_to_end_ns / 1e6
+    );
+    let _ = writeln!(
+        out,
+        "{:<44} {:>6} {:>10} {:>10} {:>10} {:>10}",
+        "edge (callpath: origin->target)", "count", "total ms", "net ms", "queue ms", "self ms"
+    );
+    for e in &report.edges {
+        let label = format!(
+            "{}: {}->{}",
+            e.callpath.display(),
+            name_of(e.origin),
+            name_of(e.target)
+        );
+        let _ = writeln!(
+            out,
+            "{:<44} {:>6} {:>10.3} {:>10.3} {:>10.3} {:>10.3}",
+            label,
+            e.count,
+            e.total_ns as f64 / 1e6,
+            e.network_ns as f64 / 1e6,
+            e.queue_wait_ns as f64 / 1e6,
+            e.self_ns as f64 / 1e6
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::span_graph::build_span_graph;
+    use crate::entity::register_entity;
+    use crate::trace::{EventSamples, TraceEvent, TraceEventKind};
+    use crate::Callpath;
+
+    #[allow(clippy::too_many_arguments)]
+    fn ev(
+        rid: u64,
+        span: u64,
+        parent: u64,
+        hop: u32,
+        order: u32,
+        lamport: u64,
+        wall_ns: u64,
+        kind: TraceEventKind,
+        entity: EntityId,
+        cp: Callpath,
+        samples: EventSamples,
+    ) -> TraceEvent {
+        TraceEvent {
+            request_id: rid,
+            order,
+            span,
+            parent_span: parent,
+            hop,
+            lamport,
+            wall_ns,
+            kind,
+            entity,
+            callpath: cp,
+            samples,
+        }
+    }
+
+    /// client --top--> svcA --sub--> svcB; svcA spends 1µs of its 4µs
+    /// busy window inside the sub-RPC.
+    fn sample_graph() -> SpanGraph {
+        let client = register_entity("cp-client");
+        let a = register_entity("cp-a");
+        let b = register_entity("cp-b");
+        let top = Callpath::root("cp_top");
+        let sub = top.push("cp_sub");
+        let wait = EventSamples {
+            target_handler_ns: Some(500),
+            ..Default::default()
+        };
+        let events = vec![
+            ev(
+                1,
+                1,
+                0,
+                1,
+                0,
+                1,
+                1_000,
+                TraceEventKind::OriginForward,
+                client,
+                top,
+                EventSamples::default(),
+            ),
+            ev(
+                1,
+                1,
+                0,
+                1,
+                1,
+                2,
+                2_000,
+                TraceEventKind::TargetUltStart,
+                a,
+                top,
+                wait,
+            ),
+            ev(
+                1,
+                2,
+                1,
+                2,
+                2,
+                3,
+                2_500,
+                TraceEventKind::OriginForward,
+                a,
+                sub,
+                EventSamples::default(),
+            ),
+            ev(
+                1,
+                2,
+                1,
+                2,
+                3,
+                4,
+                2_800,
+                TraceEventKind::TargetUltStart,
+                b,
+                sub,
+                EventSamples::default(),
+            ),
+            ev(
+                1,
+                2,
+                1,
+                2,
+                4,
+                5,
+                3_200,
+                TraceEventKind::TargetRespond,
+                b,
+                sub,
+                EventSamples::default(),
+            ),
+            ev(
+                1,
+                2,
+                1,
+                2,
+                5,
+                6,
+                3_500,
+                TraceEventKind::OriginComplete,
+                a,
+                sub,
+                EventSamples::default(),
+            ),
+            ev(
+                1,
+                1,
+                0,
+                1,
+                6,
+                7,
+                6_000,
+                TraceEventKind::TargetRespond,
+                a,
+                top,
+                EventSamples::default(),
+            ),
+            ev(
+                1,
+                1,
+                0,
+                1,
+                7,
+                8,
+                7_000,
+                TraceEventKind::OriginComplete,
+                client,
+                top,
+                EventSamples::default(),
+            ),
+        ];
+        build_span_graph(&events)
+    }
+
+    #[test]
+    fn root_breakdown_attributes_network_children_self() {
+        let graph = sample_graph();
+        let tree = &graph.trees[0];
+        let root = &tree.nodes[tree.roots[0]];
+        let bd = breakdown(tree, root);
+        assert_eq!(bd.total_ns, 6_000);
+        assert_eq!(bd.target_busy_ns, 4_000);
+        assert_eq!(bd.queue_wait_ns, 500);
+        // network = 6000 − 500 − 4000
+        assert_eq!(bd.network_ns, 1_500);
+        // child origin window on svcA's clock: 2500→3500
+        assert_eq!(bd.children_ns, 1_000);
+        assert_eq!(bd.self_ns, 3_000);
+    }
+
+    #[test]
+    fn critical_path_follows_heaviest_child() {
+        let graph = sample_graph();
+        let path = critical_path(&graph.trees[0]);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].hop, 1);
+        assert_eq!(path[1].hop, 2);
+        assert_eq!(path[1].total_ns, 1_000);
+    }
+
+    #[test]
+    fn aggregate_counts_and_orders_edges() {
+        let graph = sample_graph();
+        let report = aggregate(&graph);
+        assert_eq!(report.requests, 1);
+        assert_eq!(report.connected, 1);
+        assert_eq!(report.edges.len(), 2);
+        // Heaviest first: the top edge carries 6µs.
+        assert_eq!(report.edges[0].total_ns, 6_000);
+        assert!((report.mean_end_to_end_ns - 6_000.0).abs() < 1e-9);
+        let text = render(&report);
+        assert!(text.contains("critical-path report"));
+        assert!(text.contains("cp_top"));
+    }
+
+    #[test]
+    fn unconnected_tree_yields_no_path() {
+        let client = register_entity("cp-frag");
+        let cp = Callpath::root("frag");
+        // Two spans with unobserved distinct parents → two roots.
+        let events = vec![
+            ev(
+                9,
+                5,
+                3,
+                2,
+                0,
+                1,
+                100,
+                TraceEventKind::OriginForward,
+                client,
+                cp,
+                EventSamples::default(),
+            ),
+            ev(
+                9,
+                6,
+                4,
+                2,
+                1,
+                2,
+                200,
+                TraceEventKind::OriginForward,
+                client,
+                cp,
+                EventSamples::default(),
+            ),
+        ];
+        let graph = build_span_graph(&events);
+        assert!(!graph.trees[0].is_connected());
+        assert!(critical_path(&graph.trees[0]).is_empty());
+        let report = aggregate(&graph);
+        assert_eq!(report.connected, 0);
+    }
+
+    #[test]
+    fn breakdown_unaccounted_reflects_missing_samples() {
+        let graph = sample_graph();
+        let tree = &graph.trees[0];
+        let root = &tree.nodes[tree.roots[0]];
+        let bd = breakdown(tree, root);
+        // accounted: queue 500 + exec 4000; network 1500 ⇒ unaccounted 0.
+        assert_eq!(bd.unaccounted_ns, 0);
+        assert_eq!(bd.interval(Interval::TargetUltExecution), 4_000);
+    }
+}

@@ -12,15 +12,30 @@
 //!   completion-queue backlog (Figure 12).
 //! * [`system_summary`] — per-entity OS/tasking resource summaries.
 //! * [`report`] — plain-text table rendering shared by the harnesses.
+//! * [`span_graph`] — causal span-tree reconstruction across composed
+//!   services from the wire-propagated span ids (Dapper-style).
+//! * [`critical_path`] — per-hop latency attribution over span trees and
+//!   the aggregate "top critical-path edges" report (Figure 7 analysis).
+//! * [`chrome`] — Chrome `trace_event` JSON export of span trees for
+//!   `chrome://tracing` / Perfetto.
 
 pub mod advisor;
+pub mod chrome;
+pub mod critical_path;
 pub mod profile_summary;
 pub mod report;
+pub mod span_graph;
 pub mod system_summary;
 pub mod trace_summary;
 
 pub use advisor::{advise, Action, DeploymentFacts, Policy, Recommendation};
+pub use chrome::to_chrome_json;
+pub use critical_path::{
+    aggregate as aggregate_critical_paths, critical_path, CriticalPathReport, EdgeStats,
+    HopBreakdown,
+};
 pub use profile_summary::{summarize_profiles, CallpathAggregate, ProfileSummary};
+pub use span_graph::{build_span_graph, dedup_events, SpanGraph, SpanNode, SpanTree};
 pub use system_summary::{summarize_system, SystemSummary};
 pub use trace_summary::{
     detect_ofi_backlog, detect_write_serialization, latency_stats, timeseries, LatencyStats,

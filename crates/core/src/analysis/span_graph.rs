@@ -1,0 +1,677 @@
+//! Causal span-graph reconstruction.
+//!
+//! Merges trace events drained (or flight-recorded) from every entity of
+//! a composed deployment into per-root **span trees**: one node per RPC
+//! attempt, linked through the span/parent-span ids the wire header
+//! propagates (Dapper-style), so a Mobject write fanning into BAKE and
+//! SDSKV sub-RPCs reconstructs as one connected multi-hop tree.
+//!
+//! ## Clock model
+//!
+//! Wall timestamps from different entities may be skewed, so the builder
+//! never orders events from *different* entities by wall clock. Structure
+//! comes from span ids alone; sibling order within a parent comes from
+//! Lamport clocks (which only ever move forward along the causal chain);
+//! and every duration exposed here is a difference between two events
+//! recorded by the *same* entity (t14−t1 at the origin, t8−t5 at the
+//! target), which skew cannot perturb.
+//!
+//! ## Fault tolerance
+//!
+//! The fault plane can duplicate messages (double-running a handler) and
+//! drop them (losing t5/t8 pairs). Events are first deduplicated by
+//! `(request id, order, entity, kind, span)` so duplication never
+//! double-counts latency, and nodes with missing events are kept but
+//! report [`SpanNode::is_complete`] = false rather than poisoning the
+//! tree.
+
+use crate::callpath::Callpath;
+use crate::entity::EntityId;
+use crate::trace::{TraceEvent, TraceEventKind};
+use std::collections::{HashMap, HashSet};
+
+/// Drop events that are exact causal duplicates: same request id, order,
+/// entity, kind, and span. FaultPlan message duplication re-runs a
+/// handler with an identical seeded order counter, so both copies of the
+/// resulting t5/t8 events collide on this key; distinct retry attempts
+/// survive because each attempt carries its own span id. The first
+/// occurrence wins; the input order is otherwise preserved.
+pub fn dedup_events(events: &[TraceEvent]) -> Vec<TraceEvent> {
+    let mut seen: HashSet<(u64, u32, u64, u8, u64)> = HashSet::with_capacity(events.len());
+    let kind_tag = |k: TraceEventKind| match k {
+        TraceEventKind::OriginForward => 0u8,
+        TraceEventKind::OriginComplete => 1,
+        TraceEventKind::TargetUltStart => 2,
+        TraceEventKind::TargetRespond => 3,
+    };
+    events
+        .iter()
+        .filter(|e| seen.insert((e.request_id, e.order, e.entity.0, kind_tag(e.kind), e.span)))
+        .copied()
+        .collect()
+}
+
+/// One span: a single RPC attempt, seen from both ends when both ends'
+/// events were collected.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span id of this attempt.
+    pub span: u64,
+    /// Parent span id (0 at the composition root).
+    pub parent_span: u64,
+    /// Root request id of the trace this span belongs to.
+    pub request_id: u64,
+    /// Callpath ancestry at this hop.
+    pub callpath: Callpath,
+    /// Hop depth (1 = end client's direct RPC).
+    pub hop: u32,
+    /// Entity that issued the call (from t1/t14), if those events exist.
+    pub origin: Option<EntityId>,
+    /// Entity that served the call (from t5/t8), if those events exist.
+    pub target: Option<EntityId>,
+    /// t1 — origin forward.
+    pub t1: Option<TraceEvent>,
+    /// t5 — target handler ULT start.
+    pub t5: Option<TraceEvent>,
+    /// t8 — target respond.
+    pub t8: Option<TraceEvent>,
+    /// t14 — origin completion.
+    pub t14: Option<TraceEvent>,
+    /// Smallest Lamport value observed on this span's events; used to
+    /// order siblings without trusting wall clocks across entities.
+    pub min_lamport: u64,
+    /// Child spans (indices into [`SpanTree::nodes`]), in Lamport order.
+    pub children: Vec<usize>,
+}
+
+impl SpanNode {
+    fn empty(span: u64, request_id: u64) -> SpanNode {
+        SpanNode {
+            span,
+            parent_span: 0,
+            request_id,
+            callpath: Callpath::EMPTY,
+            hop: 0,
+            origin: None,
+            target: None,
+            t1: None,
+            t5: None,
+            t8: None,
+            t14: None,
+            min_lamport: u64::MAX,
+            children: Vec::new(),
+        }
+    }
+
+    /// Whether all four instrumentation points were collected.
+    pub fn is_complete(&self) -> bool {
+        self.t1.is_some() && self.t5.is_some() && self.t8.is_some() && self.t14.is_some()
+    }
+
+    /// t1→t14 latency on the origin's clock (skew-free), if both ends of
+    /// the origin view exist.
+    pub fn origin_latency_ns(&self) -> Option<u64> {
+        match (&self.t1, &self.t14) {
+            (Some(a), Some(b)) => Some(b.wall_ns.saturating_sub(a.wall_ns)),
+            _ => None,
+        }
+    }
+
+    /// t5→t8 busy time on the target's clock (skew-free), if the target
+    /// view exists.
+    pub fn target_busy_ns(&self) -> Option<u64> {
+        match (&self.t5, &self.t8) {
+            (Some(a), Some(b)) => Some(b.wall_ns.saturating_sub(a.wall_ns)),
+            _ => None,
+        }
+    }
+
+    /// Time outside the target handler: network transfer both ways plus
+    /// handler-pool wait plus completion delivery. Computed as the
+    /// difference of two single-clock durations, so it is immune to
+    /// origin/target clock skew.
+    pub fn network_and_wait_ns(&self) -> Option<u64> {
+        match (self.origin_latency_ns(), self.target_busy_ns()) {
+            (Some(o), Some(t)) => Some(o.saturating_sub(t)),
+            _ => None,
+        }
+    }
+
+    /// The retry-attempt annotation stamped on this span's t1/t14 (None
+    /// for a first attempt).
+    pub fn retry_attempt(&self) -> Option<u64> {
+        self.t1
+            .as_ref()
+            .and_then(|e| e.samples.retry_attempt)
+            .or_else(|| self.t14.as_ref().and_then(|e| e.samples.retry_attempt))
+    }
+
+    /// Whether the span's completion was a terminal timeout.
+    pub fn timed_out(&self) -> bool {
+        self.t14
+            .as_ref()
+            .and_then(|e| e.samples.timed_out)
+            .unwrap_or(0)
+            != 0
+    }
+}
+
+/// All spans reconstructed for one root request id.
+#[derive(Debug, Clone)]
+pub struct SpanTree {
+    /// The root request (trace) id.
+    pub request_id: u64,
+    /// All nodes of the tree; `children` holds indices into this vec.
+    pub nodes: Vec<SpanNode>,
+    /// Root nodes: spans whose parent span is 0 or was never observed.
+    /// A fully reconstructed trace has exactly one root.
+    pub roots: Vec<usize>,
+}
+
+impl SpanTree {
+    /// Whether every span links into a single connected tree.
+    pub fn is_connected(&self) -> bool {
+        self.roots.len() == 1
+    }
+
+    /// Deepest hop observed.
+    pub fn max_hop(&self) -> u32 {
+        self.nodes.iter().map(|n| n.hop).max().unwrap_or(0)
+    }
+
+    /// End-to-end latency from the (single) root span's origin view.
+    pub fn end_to_end_ns(&self) -> Option<u64> {
+        if self.roots.len() != 1 {
+            return None;
+        }
+        self.nodes[self.roots[0]].origin_latency_ns()
+    }
+
+    /// Walk the tree depth-first from each root, calling `f(depth, node)`.
+    pub fn walk(&self, mut f: impl FnMut(usize, &SpanNode)) {
+        fn rec(tree: &SpanTree, idx: usize, depth: usize, f: &mut impl FnMut(usize, &SpanNode)) {
+            let node = &tree.nodes[idx];
+            f(depth, node);
+            for &c in &node.children {
+                rec(tree, c, depth + 1, f);
+            }
+        }
+        for &r in &self.roots {
+            rec(self, r, 0, &mut f);
+        }
+    }
+}
+
+/// The full reconstruction over a set of trace events.
+#[derive(Debug, Clone, Default)]
+pub struct SpanGraph {
+    /// One tree per root request id, ordered by request id.
+    pub trees: Vec<SpanTree>,
+    /// Events carrying no span id (recorded before span propagation or
+    /// with ids disabled); they cannot be linked and are skipped.
+    pub unlinked_events: usize,
+    /// Exact duplicates removed before reconstruction.
+    pub duplicates_dropped: usize,
+}
+
+impl SpanGraph {
+    /// Number of trees that reconstructed into a single connected tree.
+    pub fn connected_trees(&self) -> usize {
+        self.trees.iter().filter(|t| t.is_connected()).count()
+    }
+
+    /// Fraction of trees that are connected (1.0 when there are none).
+    pub fn connected_fraction(&self) -> f64 {
+        if self.trees.is_empty() {
+            1.0
+        } else {
+            self.connected_trees() as f64 / self.trees.len() as f64
+        }
+    }
+
+    /// Total span count across all trees.
+    pub fn span_count(&self) -> usize {
+        self.trees.iter().map(|t| t.nodes.len()).sum()
+    }
+}
+
+/// Build the span graph from trace events merged across all entities.
+/// The input needs no particular order; events are deduplicated, grouped
+/// by request id, folded into spans by span id, and linked through parent
+/// span ids. Siblings are ordered by Lamport clock, never by cross-entity
+/// wall time.
+pub fn build_span_graph(events: &[TraceEvent]) -> SpanGraph {
+    let deduped = dedup_events(events);
+    let duplicates_dropped = events.len() - deduped.len();
+
+    let mut unlinked = 0usize;
+    // request_id -> span -> node
+    let mut requests: HashMap<u64, HashMap<u64, SpanNode>> = HashMap::new();
+    for e in &deduped {
+        if e.span == 0 {
+            unlinked += 1;
+            continue;
+        }
+        let node = requests
+            .entry(e.request_id)
+            .or_default()
+            .entry(e.span)
+            .or_insert_with(|| SpanNode::empty(e.span, e.request_id));
+        if e.parent_span != 0 {
+            node.parent_span = e.parent_span;
+        }
+        if !e.callpath.is_empty() {
+            node.callpath = e.callpath;
+        }
+        node.hop = node.hop.max(e.hop);
+        node.min_lamport = node.min_lamport.min(e.lamport);
+        // Keep the first event of each kind (dedup already removed exact
+        // duplicates; a same-kind collision here means conflicting data,
+        // where first-wins keeps reconstruction deterministic).
+        match e.kind {
+            TraceEventKind::OriginForward => {
+                node.origin.get_or_insert(e.entity);
+                if node.t1.is_none() {
+                    node.t1 = Some(*e);
+                }
+            }
+            TraceEventKind::OriginComplete => {
+                node.origin.get_or_insert(e.entity);
+                if node.t14.is_none() {
+                    node.t14 = Some(*e);
+                }
+            }
+            TraceEventKind::TargetUltStart => {
+                node.target.get_or_insert(e.entity);
+                if node.t5.is_none() {
+                    node.t5 = Some(*e);
+                }
+            }
+            TraceEventKind::TargetRespond => {
+                node.target.get_or_insert(e.entity);
+                if node.t8.is_none() {
+                    node.t8 = Some(*e);
+                }
+            }
+        }
+    }
+
+    let mut trees: Vec<SpanTree> = requests
+        .into_iter()
+        .map(|(request_id, spans)| {
+            let mut nodes: Vec<SpanNode> = spans.into_values().collect();
+            // Deterministic node order: by Lamport, then span id.
+            nodes.sort_by_key(|n| (n.min_lamport, n.span));
+            let index: HashMap<u64, usize> =
+                nodes.iter().enumerate().map(|(i, n)| (n.span, i)).collect();
+            let mut roots = Vec::new();
+            let mut links: Vec<(usize, usize)> = Vec::new();
+            for (i, n) in nodes.iter().enumerate() {
+                match index.get(&n.parent_span) {
+                    Some(&p) if p != i => links.push((p, i)),
+                    // parent_span == 0, unobserved parent, or (corrupt)
+                    // self-reference: treat as a root.
+                    _ => roots.push(i),
+                }
+            }
+            // Appending in ascending node index keeps every child list in
+            // (min_lamport, span) order — the Lamport sibling order.
+            for (p, c) in links {
+                nodes[p].children.push(c);
+            }
+            SpanTree {
+                request_id,
+                nodes,
+                roots,
+            }
+        })
+        .collect();
+    trees.sort_by_key(|t| t.request_id);
+    SpanGraph {
+        trees,
+        unlinked_events: unlinked,
+        duplicates_dropped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::register_entity;
+    use crate::trace::EventSamples;
+
+    fn ev(
+        request_id: u64,
+        span: u64,
+        parent_span: u64,
+        hop: u32,
+        order: u32,
+        lamport: u64,
+        wall_ns: u64,
+        kind: TraceEventKind,
+        entity: EntityId,
+        callpath: Callpath,
+    ) -> TraceEvent {
+        TraceEvent {
+            request_id,
+            order,
+            span,
+            parent_span,
+            hop,
+            lamport,
+            wall_ns,
+            kind,
+            entity,
+            callpath,
+            samples: EventSamples::default(),
+        }
+    }
+
+    /// One two-hop request: client -> svcA -> svcB, with `skew_b` added
+    /// to every timestamp svcB records (simulating clock offset).
+    fn two_hop_events(rid: u64, skew_b: i64) -> Vec<TraceEvent> {
+        let client = register_entity("sg-client");
+        let a = register_entity("sg-a");
+        let b = register_entity("sg-b");
+        let top = Callpath::root("top");
+        let sub = top.push("sub");
+        let w = |t: u64, skew: i64| (t as i64 + skew) as u64;
+        vec![
+            ev(
+                rid,
+                1,
+                0,
+                1,
+                0,
+                1,
+                1_000,
+                TraceEventKind::OriginForward,
+                client,
+                top,
+            ),
+            ev(
+                rid,
+                1,
+                0,
+                1,
+                1,
+                2,
+                2_000,
+                TraceEventKind::TargetUltStart,
+                a,
+                top,
+            ),
+            ev(
+                rid,
+                2,
+                1,
+                2,
+                2,
+                3,
+                2_500,
+                TraceEventKind::OriginForward,
+                a,
+                sub,
+            ),
+            ev(
+                rid,
+                2,
+                1,
+                2,
+                3,
+                4,
+                w(3_000, skew_b),
+                TraceEventKind::TargetUltStart,
+                b,
+                sub,
+            ),
+            ev(
+                rid,
+                2,
+                1,
+                2,
+                4,
+                5,
+                w(4_000, skew_b),
+                TraceEventKind::TargetRespond,
+                b,
+                sub,
+            ),
+            ev(
+                rid,
+                2,
+                1,
+                2,
+                5,
+                6,
+                5_500,
+                TraceEventKind::OriginComplete,
+                a,
+                sub,
+            ),
+            ev(
+                rid,
+                1,
+                0,
+                1,
+                6,
+                7,
+                6_000,
+                TraceEventKind::TargetRespond,
+                a,
+                top,
+            ),
+            ev(
+                rid,
+                1,
+                0,
+                1,
+                7,
+                8,
+                7_000,
+                TraceEventKind::OriginComplete,
+                client,
+                top,
+            ),
+        ]
+    }
+
+    #[test]
+    fn two_hop_trace_builds_one_connected_tree() {
+        let graph = build_span_graph(&two_hop_events(42, 0));
+        assert_eq!(graph.trees.len(), 1);
+        let tree = &graph.trees[0];
+        assert!(tree.is_connected());
+        assert_eq!(tree.nodes.len(), 2);
+        assert_eq!(tree.max_hop(), 2);
+        let root = &tree.nodes[tree.roots[0]];
+        assert_eq!(root.span, 1);
+        assert_eq!(root.children.len(), 1);
+        assert!(root.is_complete());
+        assert_eq!(root.origin_latency_ns(), Some(6_000));
+        assert_eq!(root.target_busy_ns(), Some(4_000));
+        assert_eq!(root.network_and_wait_ns(), Some(2_000));
+        let child = &tree.nodes[root.children[0]];
+        assert_eq!(child.span, 2);
+        assert_eq!(child.hop, 2);
+        assert_eq!(child.origin_latency_ns(), Some(3_000));
+        assert_eq!(child.target_busy_ns(), Some(1_000));
+    }
+
+    #[test]
+    fn clock_skew_does_not_break_structure_or_durations() {
+        // Offset svcB's clock by +50ms and -1ms: structure, completeness,
+        // and every single-clock duration must be identical.
+        for skew in [50_000_000i64, -1_000_000] {
+            let graph = build_span_graph(&two_hop_events(7, skew));
+            let tree = &graph.trees[0];
+            assert!(tree.is_connected(), "skew {skew} broke connectivity");
+            let root = &tree.nodes[tree.roots[0]];
+            assert!(root.is_complete());
+            assert_eq!(root.origin_latency_ns(), Some(6_000));
+            let child = &tree.nodes[root.children[0]];
+            assert_eq!(child.origin_latency_ns(), Some(3_000));
+            // The skewed entity's own busy time is also unaffected.
+            assert_eq!(child.target_busy_ns(), Some(1_000));
+        }
+    }
+
+    #[test]
+    fn duplicate_events_are_dropped_once() {
+        let mut events = two_hop_events(9, 0);
+        // Duplicate the whole sub-RPC target view (FaultPlan duplicate
+        // delivery re-runs the handler with the same seeded order).
+        let dups: Vec<TraceEvent> = events
+            .iter()
+            .filter(|e| {
+                e.span == 2
+                    && matches!(
+                        e.kind,
+                        TraceEventKind::TargetUltStart | TraceEventKind::TargetRespond
+                    )
+            })
+            .copied()
+            .collect();
+        events.extend(dups);
+        let graph = build_span_graph(&events);
+        assert_eq!(graph.duplicates_dropped, 2);
+        let tree = &graph.trees[0];
+        assert_eq!(tree.nodes.len(), 2);
+        let child = tree.nodes.iter().find(|n| n.span == 2).unwrap();
+        assert_eq!(child.target_busy_ns(), Some(1_000));
+    }
+
+    #[test]
+    fn missing_parent_span_becomes_extra_root() {
+        // Drop every span-1 event: span 2 has an unobserved parent and
+        // must surface as a root rather than disappearing.
+        let events: Vec<TraceEvent> = two_hop_events(11, 0)
+            .into_iter()
+            .filter(|e| e.span != 1)
+            .collect();
+        let graph = build_span_graph(&events);
+        let tree = &graph.trees[0];
+        assert_eq!(tree.nodes.len(), 1);
+        assert_eq!(tree.roots.len(), 1);
+        assert!(tree.is_connected());
+        assert_eq!(tree.nodes[0].span, 2);
+    }
+
+    #[test]
+    fn span_zero_events_are_counted_not_linked() {
+        let client = register_entity("sg-legacy");
+        let cp = Callpath::root("legacy");
+        let events = vec![ev(
+            1,
+            0,
+            0,
+            0,
+            0,
+            1,
+            100,
+            TraceEventKind::OriginForward,
+            client,
+            cp,
+        )];
+        let graph = build_span_graph(&events);
+        assert_eq!(graph.unlinked_events, 1);
+        assert!(graph.trees.is_empty());
+    }
+
+    #[test]
+    fn retry_attempts_are_sibling_spans_under_logical_call() {
+        let client = register_entity("sg-retry");
+        let cp = Callpath::root("flaky");
+        // Logical span 10 (attempt 0, timed out) and retry span 11
+        // parented under 10.
+        let mut e1 = ev(
+            5,
+            10,
+            0,
+            1,
+            0,
+            1,
+            1_000,
+            TraceEventKind::OriginForward,
+            client,
+            cp,
+        );
+        e1.samples = EventSamples::default();
+        let mut retry_t1 = ev(
+            5,
+            11,
+            10,
+            1,
+            0,
+            3,
+            9_000,
+            TraceEventKind::OriginForward,
+            client,
+            cp,
+        );
+        retry_t1.samples.retry_attempt = Some(1);
+        let mut retry_t14 = ev(
+            5,
+            11,
+            10,
+            1,
+            0,
+            4,
+            12_000,
+            TraceEventKind::OriginComplete,
+            client,
+            cp,
+        );
+        retry_t14.samples.retry_attempt = Some(1);
+        let graph = build_span_graph(&[e1, retry_t1, retry_t14]);
+        let tree = &graph.trees[0];
+        assert!(tree.is_connected());
+        let root = &tree.nodes[tree.roots[0]];
+        assert_eq!(root.span, 10);
+        assert_eq!(root.children.len(), 1);
+        let retry = &tree.nodes[root.children[0]];
+        assert_eq!(retry.retry_attempt(), Some(1));
+        assert_eq!(retry.origin_latency_ns(), Some(3_000));
+    }
+
+    #[test]
+    fn dedup_keeps_distinct_retry_attempts() {
+        let client = register_entity("sg-dd");
+        let cp = Callpath::root("dd");
+        // Two attempts share (request, order, entity, kind) but differ in
+        // span — both must survive.
+        let a = ev(
+            3,
+            20,
+            0,
+            1,
+            0,
+            1,
+            100,
+            TraceEventKind::OriginForward,
+            client,
+            cp,
+        );
+        let b = ev(
+            3,
+            21,
+            20,
+            1,
+            0,
+            2,
+            200,
+            TraceEventKind::OriginForward,
+            client,
+            cp,
+        );
+        assert_eq!(dedup_events(&[a, b, a]).len(), 2);
+    }
+
+    #[test]
+    fn walk_visits_depth_first_with_depths() {
+        let graph = build_span_graph(&two_hop_events(13, 0));
+        let mut seen = Vec::new();
+        graph.trees[0].walk(|depth, node| seen.push((depth, node.span)));
+        assert_eq!(seen, vec![(0, 1), (1, 2)]);
+    }
+}

@@ -1,6 +1,7 @@
 //! Trace analysis: time-series extraction, latency distributions, and the
 //! two resource-saturation detectors used in the paper's case studies.
 
+use crate::analysis::span_graph::dedup_events;
 use crate::callpath::Callpath;
 use crate::trace::{TraceEvent, TraceEventKind};
 use std::collections::HashMap;
@@ -121,8 +122,12 @@ pub fn detect_write_serialization(
     callpath: Callpath,
     bucket_ns: u64,
 ) -> SerializationReport {
+    // FaultPlan message duplication re-runs handlers, producing exact
+    // duplicate target events; dedup first so they can't double-count
+    // bursts or waiting-ULT samples.
+    let events = dedup_events(events);
     let mut completions: HashMap<u64, u64> = HashMap::new();
-    for e in events {
+    for e in &events {
         if e.kind == TraceEventKind::TargetRespond && e.callpath == callpath {
             completions.insert(e.request_id, e.wall_ns);
         }
@@ -133,7 +138,7 @@ pub fn detect_write_serialization(
     let mut peak_waiting = 0u64;
     let mut waiting_sum = 0u128;
     let mut waiting_count = 0u64;
-    for e in events {
+    for e in &events {
         if e.kind != TraceEventKind::TargetUltStart || e.callpath != callpath {
             continue;
         }
@@ -221,6 +226,7 @@ impl OfiBacklogReport {
 /// Build the Figure 12 analysis from trace events: every event carrying a
 /// `num_ofi_events_read` sample contributes one point.
 pub fn detect_ofi_backlog(events: &[TraceEvent], threshold: u64) -> OfiBacklogReport {
+    let events = dedup_events(events);
     let mut samples: Vec<(u64, u64)> = events
         .iter()
         .filter_map(|e| e.samples.num_ofi_events_read.map(|v| (e.wall_ns, v)))
@@ -250,6 +256,9 @@ mod tests {
         TraceEvent {
             request_id,
             order: 0,
+            span: 0,
+            parent_span: 0,
+            hop: 0,
             lamport: 0,
             wall_ns,
             kind,
@@ -419,6 +428,47 @@ mod tests {
         let report = detect_ofi_backlog(&events, 16);
         assert_eq!(report.breaches, 0);
         assert!(!report.is_backed_up());
+    }
+
+    #[test]
+    fn duplicated_events_do_not_double_count() {
+        // FaultPlan duplicate delivery: the exact same target events show
+        // up twice in the merged stream. Bursts and OFI samples must
+        // count each underlying event once.
+        let cp = Callpath::root("dup_rpc");
+        let mut events = Vec::new();
+        for i in 0..4u64 {
+            events.push(event(
+                i,
+                1_000 + i,
+                TraceEventKind::TargetUltStart,
+                cp,
+                EventSamples {
+                    blocked_ults: Some(3),
+                    num_ofi_events_read: Some(16),
+                    ..Default::default()
+                },
+            ));
+            events.push(event(
+                i,
+                2_000 + i,
+                TraceEventKind::TargetRespond,
+                cp,
+                EventSamples::default(),
+            ));
+        }
+        let doubled: Vec<TraceEvent> = events.iter().chain(events.iter()).copied().collect();
+        let clean = detect_write_serialization(&events, cp, 1_000);
+        let duped = detect_write_serialization(&doubled, cp, 1_000);
+        assert_eq!(clean.bursts.len(), duped.bursts.len());
+        assert_eq!(
+            clean.bursts[0].n_requests, duped.bursts[0].n_requests,
+            "duplicates must not inflate burst sizes"
+        );
+        let ofi_clean = detect_ofi_backlog(&events, 16);
+        let ofi_duped = detect_ofi_backlog(&doubled, 16);
+        assert_eq!(ofi_clean.samples.len(), ofi_duped.samples.len());
+        assert_eq!(ofi_clean.breaches, ofi_duped.breaches);
     }
 
     #[test]

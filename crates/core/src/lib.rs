@@ -63,6 +63,7 @@ pub struct Symbiosys {
     tracer: Tracer,
     lamport: LamportClock,
     req_seq: AtomicU64,
+    span_seq: AtomicU64,
 }
 
 impl std::fmt::Debug for Symbiosys {
@@ -88,6 +89,7 @@ impl Symbiosys {
             tracer: Tracer::new(),
             lamport: LamportClock::new(),
             req_seq: AtomicU64::new(1),
+            span_seq: AtomicU64::new(1),
         })
     }
 
@@ -121,6 +123,13 @@ impl Symbiosys {
     /// end-client generates a globally unique request ID").
     pub fn next_request_id(&self) -> u64 {
         (self.entity.0 << 40) | self.req_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Generate a globally unique span id for one RPC attempt. Uses the
+    /// same entity-prefixed layout as request ids but a separate sequence,
+    /// so span ids are unique across every entity that issues sub-RPCs.
+    pub fn next_span_id(&self) -> u64 {
+        (self.entity.0 << 40) | self.span_seq.fetch_add(1, Ordering::Relaxed)
     }
 }
 

@@ -6,7 +6,13 @@
 //! histogram floats use Rust's shortest-roundtrip `Display`.
 
 use super::{HistogramValue, MetricPoint, MetricSnapshot, MetricValue, SnapshotPoint};
+use crate::callpath::{register_name, resolve_name};
+use crate::entity::{entity_name, register_entity, EntityId};
+use crate::trace::{EventSamples, TraceEvent, TraceEventKind};
 use crate::zipkin::escape_into;
+use crate::Callpath;
+use std::collections::HashMap;
+use std::fmt::Write as _;
 
 // ----------------------------------------------------------------------
 // Serializer
@@ -101,6 +107,150 @@ pub fn snapshot_to_json(snap: &MetricSnapshot) -> String {
     }
     out.push_str("]}");
     out
+}
+
+// ----------------------------------------------------------------------
+// Trace-event records
+// ----------------------------------------------------------------------
+
+fn push_samples(out: &mut String, s: &EventSamples) {
+    out.push_str(",\"samples\":{");
+    let mut first = true;
+    s.for_each_set(|name, v| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\"{name}\":{v}");
+    });
+    out.push('}');
+}
+
+fn samples_from_json(v: Option<&JsonValue>) -> Result<EventSamples, String> {
+    let mut s = EventSamples::default();
+    let Some(JsonValue::Obj(members)) = v else {
+        return Ok(s);
+    };
+    for (k, x) in members {
+        let v = x.as_u64().ok_or_else(|| format!("bad sample {k}"))?;
+        // Unknown names are skipped: a newer writer may know more fields.
+        s.set_field(k, v);
+    }
+    Ok(s)
+}
+
+/// Encode one trace event as a single JSON line tagged `"kind":"trace"`,
+/// so trace records and metric snapshots can share one flight-recorder
+/// ring. The entity is serialized by *name* (ids are process-local); the
+/// callpath is serialized as its exact packed `u64` plus the frame names,
+/// so the decoding process can resolve frames it never registered itself.
+/// Only populated sample fields are emitted, and every numeric field is
+/// an integer token — the record round-trips `u64`-exactly.
+pub fn trace_event_to_json(e: &TraceEvent) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"kind\":\"trace\",\"point\":\"");
+    out.push_str(e.kind.timeline_point());
+    let _ = write!(
+        out,
+        "\",\"request_id\":{},\"order\":{},\"span\":{},\"parent_span\":{},\"hop\":{},\"lamport\":{},\"wall_ns\":{}",
+        e.request_id, e.order, e.span, e.parent_span, e.hop, e.lamport, e.wall_ns
+    );
+    out.push_str(",\"entity\":");
+    push_str(&mut out, &entity_name(e.entity));
+    let _ = write!(out, ",\"callpath\":{}", e.callpath.0);
+    out.push_str(",\"frames\":[");
+    for (i, f) in e.callpath.frames().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        match resolve_name(*f) {
+            Some(name) => push_str(&mut out, &name),
+            None => out.push_str("null"),
+        }
+    }
+    out.push(']');
+    push_samples(&mut out, &e.samples);
+    out.push('}');
+    out
+}
+
+/// Streaming decoder for `"kind":"trace"` JSON lines.
+///
+/// Entities travel by name, and [`register_entity`] mints a *fresh* id on
+/// every call — so the decoder keeps its own name → id memo, giving every
+/// event of one replay session a consistent entity mapping even across
+/// multiple flight-recorder directories (one decoder per analysis run,
+/// fed all of them). Frame names are re-registered on decode so
+/// `Callpath::display` resolves them in the analyzing process.
+#[derive(Debug, Default)]
+pub struct TraceEventDecoder {
+    entities: HashMap<String, EntityId>,
+}
+
+impl TraceEventDecoder {
+    /// New decoder with an empty entity memo.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cheap pre-filter: whether a JSON line is a trace record rather
+    /// than a metric snapshot. [`TraceEventDecoder::decode`] still
+    /// validates fully.
+    pub fn is_trace_line(line: &str) -> bool {
+        line.contains("\"kind\":\"trace\"")
+    }
+
+    /// Decode one trace record line.
+    pub fn decode(&mut self, line: &str) -> Result<TraceEvent, String> {
+        let v = parse_json(line)?;
+        if v.get("kind").and_then(JsonValue::as_str) != Some("trace") {
+            return Err("not a trace record".into());
+        }
+        let point = v
+            .get("point")
+            .and_then(JsonValue::as_str)
+            .ok_or("trace missing point")?;
+        let kind = match point {
+            "t1" => TraceEventKind::OriginForward,
+            "t5" => TraceEventKind::TargetUltStart,
+            "t8" => TraceEventKind::TargetRespond,
+            "t14" => TraceEventKind::OriginComplete,
+            other => return Err(format!("unknown timeline point '{other}'")),
+        };
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("trace missing {key}"))
+        };
+        let name = v
+            .get("entity")
+            .and_then(JsonValue::as_str)
+            .ok_or("trace missing entity")?;
+        let entity = *self
+            .entities
+            .entry(name.to_string())
+            .or_insert_with(|| register_entity(name));
+        if let Some(frames) = v.get("frames").and_then(JsonValue::as_arr) {
+            for f in frames {
+                if let Some(n) = f.as_str() {
+                    register_name(n);
+                }
+            }
+        }
+        Ok(TraceEvent {
+            request_id: u("request_id")?,
+            order: u("order")? as u32,
+            span: u("span")?,
+            parent_span: u("parent_span")?,
+            hop: u("hop")? as u32,
+            lamport: u("lamport")?,
+            wall_ns: u("wall_ns")?,
+            kind,
+            entity,
+            callpath: Callpath(u("callpath")?),
+            samples: samples_from_json(v.get("samples"))?,
+        })
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -607,5 +757,114 @@ mod tests {
         let arr = v.as_arr().unwrap();
         assert_eq!(arr[0], JsonValue::Float(-3.0));
         assert_eq!(arr[1], JsonValue::Float(-2.5));
+    }
+
+    fn full_trace_event() -> TraceEvent {
+        let samples = EventSamples {
+            blocked_ults: Some(1),
+            runnable_ults: Some(2),
+            memory_kb: Some(3),
+            cpu_time_ms: Some(4),
+            num_ofi_events_read: Some(5),
+            completion_queue_size: Some(6),
+            input_serialization_ns: Some(7),
+            input_deserialization_ns: Some(8),
+            output_serialization_ns: Some(9),
+            internal_rdma_ns: Some(10),
+            origin_cct_ns: Some(11),
+            origin_execution_ns: Some(12),
+            target_handler_ns: Some(13),
+            target_execution_ns: Some(14),
+            target_cct_ns: Some(15),
+            retry_attempt: Some(2),
+            timed_out: Some(1),
+        };
+        TraceEvent {
+            request_id: u64::MAX,
+            order: 7,
+            span: u64::MAX - 1,
+            parent_span: 0x1234_5678_9ABC_DEF0,
+            hop: 3,
+            lamport: u64::MAX - 2,
+            wall_ns: u64::MAX - 3,
+            kind: TraceEventKind::TargetRespond,
+            entity: register_entity("jsonl-svc \"q\""),
+            callpath: Callpath::root("jl_top").push("jl_sub"),
+            samples,
+        }
+    }
+
+    #[test]
+    fn trace_event_roundtrips_exactly() {
+        let e = full_trace_event();
+        let line = trace_event_to_json(&e);
+        assert!(!line.contains('\n'), "one event must be one line");
+        let mut dec = TraceEventDecoder::new();
+        let back = dec.decode(&line).expect("decode");
+        // Entity ids are process-local: the decoder re-registers by name,
+        // so everything except the numeric id must round-trip exactly.
+        assert_eq!(entity_name(back.entity), entity_name(e.entity));
+        let expect = TraceEvent {
+            entity: back.entity,
+            ..e
+        };
+        assert_eq!(back, expect, "u64-exact round trip");
+    }
+
+    #[test]
+    fn decoder_memo_keeps_entity_ids_consistent() {
+        let e = full_trace_event();
+        let line = trace_event_to_json(&e);
+        let mut dec = TraceEventDecoder::new();
+        let a = dec.decode(&line).unwrap();
+        let b = dec.decode(&line).unwrap();
+        assert_eq!(
+            a.entity, b.entity,
+            "same name must map to the same id within one decoder"
+        );
+        // A fresh decoder mints a different id (register_entity is not
+        // idempotent) but the same name.
+        let c = TraceEventDecoder::new().decode(&line).unwrap();
+        assert_ne!(a.entity, c.entity);
+        assert_eq!(entity_name(a.entity), entity_name(c.entity));
+    }
+
+    #[test]
+    fn decoded_callpath_frames_resolve_by_name() {
+        let e = full_trace_event();
+        let line = trace_event_to_json(&e);
+        let back = TraceEventDecoder::new().decode(&line).unwrap();
+        assert_eq!(back.callpath, e.callpath);
+        assert_eq!(back.callpath.display(), "jl_top \u{2192} jl_sub");
+    }
+
+    #[test]
+    fn unset_samples_are_omitted_and_decode_to_none() {
+        let e = TraceEvent {
+            samples: EventSamples {
+                target_handler_ns: Some(42),
+                ..Default::default()
+            },
+            ..full_trace_event()
+        };
+        let line = trace_event_to_json(&e);
+        assert!(line.contains("\"samples\":{\"target_handler_ns\":42}"));
+        let back = TraceEventDecoder::new().decode(&line).unwrap();
+        assert_eq!(back.samples, e.samples);
+    }
+
+    #[test]
+    fn decoder_rejects_non_trace_lines() {
+        let mut dec = TraceEventDecoder::new();
+        assert!(dec
+            .decode("{\"seq\":1,\"wall_ns\":2,\"points\":[]}")
+            .is_err());
+        assert!(dec.decode("{\"kind\":\"trace\"}").is_err());
+        assert!(dec.decode("not json").is_err());
+        let snap_line = snapshot_to_json(&sample_snapshot());
+        assert!(!TraceEventDecoder::is_trace_line(&snap_line));
+        assert!(TraceEventDecoder::is_trace_line(&trace_event_to_json(
+            &full_trace_event()
+        )));
     }
 }

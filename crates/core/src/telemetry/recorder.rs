@@ -8,8 +8,9 @@
 //! more than `max_files` exist — so disk usage is bounded by roughly
 //! `max_files * max_file_bytes` regardless of how long the service runs.
 
-use super::jsonl::{snapshot_from_json, snapshot_to_json};
+use super::jsonl::{snapshot_from_json, snapshot_to_json, trace_event_to_json, TraceEventDecoder};
 use super::MetricSnapshot;
+use crate::trace::TraceEvent;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Write};
@@ -123,9 +124,34 @@ impl FlightRecorder {
     pub fn append(&self, snap: &MetricSnapshot) -> std::io::Result<()> {
         let line = snapshot_to_json(snap);
         let mut state = self.state.lock();
+        self.write_line(&mut state, &line)?;
+        self.rotate_if_needed(&mut state)
+    }
+
+    /// Append trace events as `"kind":"trace"` JSON lines. Trace bytes
+    /// count toward the rotation threshold exactly like snapshots, so a
+    /// trace-heavy service still respects the ring's disk bound.
+    /// [`replay`] skips trace lines; [`replay_events`] reads them back.
+    pub fn append_events(&self, events: &[TraceEvent]) -> std::io::Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock();
+        for e in events {
+            let line = trace_event_to_json(e);
+            self.write_line(&mut state, &line)?;
+        }
+        self.rotate_if_needed(&mut state)
+    }
+
+    fn write_line(&self, state: &mut RecorderState, line: &str) -> std::io::Result<()> {
         state.writer.write_all(line.as_bytes())?;
         state.writer.write_all(b"\n")?;
         state.current_bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    fn rotate_if_needed(&self, state: &mut RecorderState) -> std::io::Result<()> {
         if state.current_bytes >= self.config.max_file_bytes {
             state.writer.flush()?;
             let next = state.current_index + 1;
@@ -133,7 +159,7 @@ impl FlightRecorder {
             state.current_index = next;
             state.current_bytes = 0;
             state.live.push(next);
-            self.enforce_bound(&mut state);
+            self.enforce_bound(state);
         }
         Ok(())
     }
@@ -182,8 +208,9 @@ fn open_file(dir: &Path, index: u64) -> std::io::Result<BufWriter<File>> {
     Ok(BufWriter::new(file))
 }
 
-/// Read every snapshot still on disk in `dir`, oldest first. Unparseable
-/// lines (e.g. a torn final line from a crash) are skipped.
+/// Read every snapshot still on disk in `dir`, oldest first. Trace
+/// records and unparseable lines (e.g. a torn final line from a crash)
+/// are skipped.
 pub fn replay(dir: &Path) -> std::io::Result<Vec<MetricSnapshot>> {
     let mut snaps = Vec::new();
     for idx in scan_indices(dir)? {
@@ -194,7 +221,7 @@ pub fn replay(dir: &Path) -> std::io::Result<Vec<MetricSnapshot>> {
             Err(e) => return Err(e),
         };
         for line in content.lines() {
-            if line.trim().is_empty() {
+            if line.trim().is_empty() || TraceEventDecoder::is_trace_line(line) {
                 continue;
             }
             if let Ok(snap) = snapshot_from_json(line) {
@@ -203,6 +230,39 @@ pub fn replay(dir: &Path) -> std::io::Result<Vec<MetricSnapshot>> {
         }
     }
     Ok(snaps)
+}
+
+/// Read every trace event still on disk in `dir`, oldest file first,
+/// decoding through `decoder` so multiple directories (one per service
+/// process) share one entity memo. Snapshot lines and torn lines are
+/// skipped.
+pub fn replay_events_with(
+    dir: &Path,
+    decoder: &mut TraceEventDecoder,
+) -> std::io::Result<Vec<TraceEvent>> {
+    let mut events = Vec::new();
+    for idx in scan_indices(dir)? {
+        let content = match std::fs::read_to_string(file_path(dir, idx)) {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for line in content.lines() {
+            if !TraceEventDecoder::is_trace_line(line) {
+                continue;
+            }
+            if let Ok(e) = decoder.decode(line) {
+                events.push(e);
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// [`replay_events_with`] over a fresh decoder — the single-directory
+/// convenience form.
+pub fn replay_events(dir: &Path) -> std::io::Result<Vec<TraceEvent>> {
+    replay_events_with(dir, &mut TraceEventDecoder::new())
 }
 
 #[cfg(test)]
@@ -292,6 +352,93 @@ mod tests {
         assert_eq!(back.len(), 2);
         assert_eq!(back[0].seq, 0);
         assert_eq!(back[1].seq, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_records_share_the_ring_with_snapshots() {
+        use crate::entity::{entity_name, register_entity};
+        use crate::trace::{EventSamples, TraceEvent, TraceEventKind};
+        use crate::Callpath;
+
+        let dir = temp_dir("trace");
+        let rec = FlightRecorder::open(FlightRecorderConfig::new(&dir)).unwrap();
+        let entity = register_entity("rec-svc");
+        let ev = |order: u32, kind| TraceEvent {
+            request_id: 9,
+            order,
+            span: 5,
+            parent_span: 0,
+            hop: 1,
+            lamport: order as u64,
+            wall_ns: 1_000 + order as u64,
+            kind,
+            entity,
+            callpath: Callpath::root("rec_rpc"),
+            samples: EventSamples::default(),
+        };
+        rec.append(&snap(0)).unwrap();
+        rec.append_events(&[
+            ev(0, TraceEventKind::OriginForward),
+            ev(3, TraceEventKind::OriginComplete),
+        ])
+        .unwrap();
+        rec.append(&snap(1)).unwrap();
+        rec.flush().unwrap();
+
+        // Metric replay skips trace lines; trace replay skips snapshots.
+        let snaps = replay(&dir).unwrap();
+        assert_eq!(snaps.len(), 2);
+        let events = replay_events(&dir).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, TraceEventKind::OriginForward);
+        assert_eq!(events[1].kind, TraceEventKind::OriginComplete);
+        assert_eq!(events[0].span, 5);
+        assert_eq!(entity_name(events[0].entity), "rec-svc");
+        assert_eq!(
+            events[0].entity, events[1].entity,
+            "one replay, one entity id"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_bytes_count_toward_rotation() {
+        use crate::entity::register_entity;
+        use crate::trace::{EventSamples, TraceEvent, TraceEventKind};
+        use crate::Callpath;
+
+        let dir = temp_dir("trace-ring");
+        let cfg = FlightRecorderConfig::new(&dir)
+            .with_max_file_bytes(256)
+            .with_max_files(3);
+        let rec = FlightRecorder::open(cfg).unwrap();
+        let entity = register_entity("ring-svc");
+        for i in 0..200u64 {
+            rec.append_events(&[TraceEvent {
+                request_id: i,
+                order: 0,
+                span: i + 1,
+                parent_span: 0,
+                hop: 1,
+                lamport: i,
+                wall_ns: i,
+                kind: TraceEventKind::OriginForward,
+                entity,
+                callpath: Callpath::root("ring_rpc"),
+                samples: EventSamples::default(),
+            }])
+            .unwrap();
+        }
+        rec.flush().unwrap();
+        assert!(
+            scan_indices(&dir).unwrap().len() <= 3,
+            "trace-only traffic must still rotate and reclaim"
+        );
+        let events = replay_events(&dir).unwrap();
+        assert!(!events.is_empty());
+        assert_eq!(events.last().unwrap().request_id, 199);
+        assert!(events[0].request_id > 0, "oldest file reclaimed");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

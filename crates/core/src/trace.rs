@@ -94,6 +94,63 @@ pub struct EventSamples {
     pub timed_out: Option<u64>,
 }
 
+/// The [`EventSamples`] fields listed once, so every consumer that walks
+/// the set (JSONL codec, Zipkin tags) stays in sync with the struct.
+macro_rules! with_event_sample_fields {
+    ($self_:ident, $mac:ident) => {
+        $mac!(
+            $self_,
+            blocked_ults,
+            runnable_ults,
+            memory_kb,
+            cpu_time_ms,
+            num_ofi_events_read,
+            completion_queue_size,
+            input_serialization_ns,
+            input_deserialization_ns,
+            output_serialization_ns,
+            internal_rdma_ns,
+            origin_cct_ns,
+            origin_execution_ns,
+            target_handler_ns,
+            target_execution_ns,
+            target_cct_ns,
+            retry_attempt,
+            timed_out
+        )
+    };
+}
+
+impl EventSamples {
+    /// Visit every populated field as `(field_name, value)`, in struct
+    /// declaration order.
+    pub fn for_each_set(&self, mut f: impl FnMut(&'static str, u64)) {
+        macro_rules! visit {
+            ($s:ident, $($field:ident),*) => { $(
+                if let Some(v) = $s.$field {
+                    f(stringify!($field), v);
+                }
+            )* };
+        }
+        with_event_sample_fields!(self, visit);
+    }
+
+    /// Set a field by its name. Returns `false` for unknown names, so a
+    /// decoder can skip fields from a newer writer without failing.
+    pub fn set_field(&mut self, name: &str, v: u64) -> bool {
+        macro_rules! assign {
+            ($s:ident, $($field:ident),*) => {
+                match name {
+                    $(stringify!($field) => $s.$field = Some(v),)*
+                    _ => return false,
+                }
+            };
+        }
+        with_event_sample_fields!(self, assign);
+        true
+    }
+}
+
 /// One trace event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -101,6 +158,16 @@ pub struct TraceEvent {
     pub request_id: u64,
     /// Order of this event within its trace.
     pub order: u32,
+    /// Span id of the RPC attempt this event belongs to (Dapper-style
+    /// causal context, propagated in the wire header). 0 when the event
+    /// predates span propagation or tracing ids are disabled.
+    pub span: u64,
+    /// Span id of the causally enclosing call; 0 at the composition root.
+    pub parent_span: u64,
+    /// Hop depth of the hop this event observes: 1 for the end client's
+    /// direct RPC, 2 for a sub-RPC issued from that handler, and so on.
+    /// 0 when unset.
+    pub hop: u32,
     /// Lamport clock value.
     pub lamport: u64,
     /// Wall time in nanoseconds since the process trace epoch.
@@ -276,6 +343,9 @@ mod tests {
         TraceEvent {
             request_id,
             order,
+            span: 0,
+            parent_span: 0,
+            hop: 0,
             lamport: 0,
             wall_ns: now_ns(),
             kind,

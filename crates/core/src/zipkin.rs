@@ -35,6 +35,17 @@ pub struct Span {
     pub duration_us: u64,
     /// Which side of the RPC this span shows.
     pub side: SpanSide,
+    /// Wire-propagated span id of the RPC attempt (0 when the events
+    /// predate span propagation — parenting then falls back to the
+    /// callpath heuristic).
+    pub wire_span: u64,
+    /// Wire-propagated parent span id (0 at the composition root).
+    pub wire_parent: u64,
+    /// Annotations carried into Zipkin `tags`: the populated
+    /// [`crate::trace::EventSamples`] fields of the paired events (so
+    /// `retry_attempt` and `timed_out` mark retried/expired calls) plus
+    /// the hop depth.
+    pub tags: Vec<(String, String)>,
 }
 
 /// Which end of the RPC produced the span.
@@ -83,6 +94,19 @@ pub fn stitch(events: &[TraceEvent]) -> Vec<Span> {
         };
         let ts = start.wall_ns / 1_000;
         let dur = ev.wall_ns.saturating_sub(start.wall_ns) / 1_000;
+        let mut tags = Vec::new();
+        let hop = start.hop.max(ev.hop);
+        if hop != 0 {
+            tags.push(("hop".to_string(), hop.to_string()));
+        }
+        // Start-event samples first, end-event samples override: the end
+        // event carries the authoritative completion-time measurements.
+        for samples in [&start.samples, &ev.samples] {
+            samples.for_each_set(|name, v| match tags.iter_mut().find(|(k, _)| k == name) {
+                Some(tag) => tag.1 = v.to_string(),
+                None => tags.push((name.to_string(), v.to_string())),
+            });
+        }
         spans.push(Span {
             trace_id: ev.request_id,
             span_id: next_span_id,
@@ -93,6 +117,13 @@ pub fn stitch(events: &[TraceEvent]) -> Vec<Span> {
             timestamp_us: ts,
             duration_us: dur.max(1),
             side: end_side,
+            wire_span: if start.span != 0 { start.span } else { ev.span },
+            wire_parent: if start.parent_span != 0 {
+                start.parent_span
+            } else {
+                ev.parent_span
+            },
+            tags,
         });
         next_span_id += 1;
     }
@@ -106,16 +137,40 @@ fn leaf_name(cp: Callpath) -> String {
     crate::callpath::resolve_name(cp.leaf()).unwrap_or_else(|| format!("#{:04x}", cp.leaf()))
 }
 
-/// Link spans into a parent/child hierarchy:
+/// Link spans into a parent/child hierarchy.
+///
+/// Spans whose events carried a wire-propagated span id are linked by the
+/// *real* causal context:
+/// * a target span's parent is the origin span sharing its wire span id
+///   (the forward that reached it), falling back to the origin span of
+///   its wire *parent* id when the attempt's own origin span was never
+///   stitched (a retry attempt whose t1 paired into the logical span);
+/// * an origin span's parent is the target span of its wire parent id
+///   (the handler ULT that issued the sub-RPC), falling back to that
+///   wire parent's origin span (a retry attempt under the logical call);
+///   a zero wire parent marks the composition root.
+///
+/// Spans without wire ids (`wire_span == 0`, events recorded before span
+/// propagation or with ids disabled) use the callpath heuristic:
 /// * a target span's parent is the origin span of the same callpath,
 /// * an origin span's parent is the target span of the parent callpath
 ///   (the handler that issued the downstream RPC), if present.
 ///
 /// When a callpath occurs several times within one trace (repeated
-/// downstream calls), the parent chosen is the latest candidate that
-/// started at or before the child — correct for the sequential
-/// invocation pattern these traces have.
+/// downstream calls), the heuristic parent chosen is the latest candidate
+/// that started at or before the child — correct for the sequential
+/// invocation pattern these traces have, and exactly the ambiguity the
+/// wire ids were introduced to remove.
 fn link_parents(spans: &mut [Span]) {
+    // Wire span id → zipkin span id, per (trace, wire span, side).
+    let mut by_wire: HashMap<(u64, u64, bool), u64> = HashMap::new();
+    for s in spans.iter() {
+        if s.wire_span != 0 {
+            by_wire
+                .entry((s.trace_id, s.wire_span, s.side == SpanSide::Origin))
+                .or_insert(s.span_id);
+        }
+    }
     // (trace, callpath, is_origin) -> [(timestamp, span_id)] sorted.
     let mut index: HashMap<(u64, u64, bool), Vec<(u64, u64)>> = HashMap::new();
     for s in spans.iter() {
@@ -139,6 +194,27 @@ fn link_parents(spans: &mut [Span]) {
         }
     };
     for s in spans.iter_mut() {
+        if s.wire_span != 0 {
+            s.parent_id = match s.side {
+                SpanSide::Target => by_wire
+                    .get(&(s.trace_id, s.wire_span, true))
+                    .or_else(|| by_wire.get(&(s.trace_id, s.wire_parent, true)))
+                    .copied()
+                    .filter(|&p| p != s.span_id),
+                SpanSide::Origin => {
+                    if s.wire_parent == 0 {
+                        None
+                    } else {
+                        by_wire
+                            .get(&(s.trace_id, s.wire_parent, false))
+                            .or_else(|| by_wire.get(&(s.trace_id, s.wire_parent, true)))
+                            .copied()
+                            .filter(|&p| p != s.span_id)
+                    }
+                }
+            };
+            continue;
+        }
         match s.side {
             SpanSide::Target => {
                 s.parent_id = latest_at_or_before(
@@ -193,6 +269,10 @@ pub fn to_zipkin_json(spans: &[Span]) -> String {
         out.push_str("},");
         out.push_str("\"tags\":{");
         field(&mut out, "callpath", &s.callpath.display(), true);
+        for (k, v) in &s.tags {
+            out.push(',');
+            field(&mut out, k, v, true);
+        }
         out.push('}');
         out.push('}');
     }
@@ -247,6 +327,9 @@ mod tests {
         TraceEvent {
             request_id,
             order,
+            span: 0,
+            parent_span: 0,
+            hop: 0,
             lamport: order as u64,
             wall_ns,
             kind,
@@ -457,6 +540,208 @@ mod tests {
             .and_then(|n| n.as_str())
             .expect("serviceName");
         assert_eq!(name, "svc-ßå\t\u{3}中");
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn sev(
+        request_id: u64,
+        order: u32,
+        wall_ns: u64,
+        kind: TraceEventKind,
+        entity: crate::EntityId,
+        callpath: Callpath,
+        span: u64,
+        parent_span: u64,
+        hop: u32,
+    ) -> TraceEvent {
+        TraceEvent {
+            span,
+            parent_span,
+            hop,
+            ..ev(request_id, order, wall_ns, kind, entity, callpath)
+        }
+    }
+
+    #[test]
+    fn wire_span_ids_link_sub_rpc_to_issuing_handler() {
+        let client = register_entity("wp-client");
+        let svc_a = register_entity("wp-a");
+        let svc_b = register_entity("wp-b");
+        let top = Callpath::root("wp_top");
+        let nested = top.push("wp_sub");
+        let t = TraceEventKind::OriginForward;
+        let s = TraceEventKind::TargetUltStart;
+        let r = TraceEventKind::TargetRespond;
+        let c = TraceEventKind::OriginComplete;
+        let events = vec![
+            sev(9, 0, 0, t, client, top, 10, 0, 1),
+            sev(9, 1, 100, s, svc_a, top, 10, 0, 1),
+            sev(9, 2, 200, t, svc_a, nested, 11, 10, 2),
+            sev(9, 3, 300, s, svc_b, nested, 11, 10, 2),
+            sev(9, 4, 400, r, svc_b, nested, 11, 10, 2),
+            sev(9, 5, 500, c, svc_a, nested, 11, 10, 2),
+            sev(9, 6, 600, r, svc_a, top, 10, 0, 1),
+            sev(9, 7, 700, c, client, top, 10, 0, 1),
+        ];
+        let spans = stitch(&events);
+        assert_eq!(spans.len(), 4);
+        let find = |cp: Callpath, side| spans.iter().find(|s| s.callpath == cp && s.side == side);
+        let top_origin = find(top, SpanSide::Origin).unwrap();
+        let top_target = find(top, SpanSide::Target).unwrap();
+        let sub_origin = find(nested, SpanSide::Origin).unwrap();
+        let sub_target = find(nested, SpanSide::Target).unwrap();
+        assert_eq!(top_origin.parent_id, None, "wire parent 0 is the root");
+        assert_eq!(top_target.parent_id, Some(top_origin.span_id));
+        assert_eq!(
+            sub_origin.parent_id,
+            Some(top_target.span_id),
+            "sub-RPC origin must parent to the handler ULT's target span"
+        );
+        assert_eq!(sub_target.parent_id, Some(sub_origin.span_id));
+        assert_eq!(sub_origin.wire_span, 11);
+        assert_eq!(sub_origin.wire_parent, 10);
+    }
+
+    #[test]
+    fn retry_attempt_target_span_falls_back_to_logical_origin() {
+        // Attempt 0 (wire span 20) never reached the target; the retry
+        // (wire span 21, parent 20) did. The origin stitches one span
+        // t1(20)→t14 and the retry's target span must still find it via
+        // its wire *parent*.
+        let client = register_entity("rt-client");
+        let server = register_entity("rt-server");
+        let cp = Callpath::root("rt_rpc");
+        let retry_end = TraceEvent {
+            samples: EventSamples {
+                retry_attempt: Some(1),
+                ..Default::default()
+            },
+            ..sev(
+                7,
+                5,
+                900,
+                TraceEventKind::OriginComplete,
+                client,
+                cp,
+                21,
+                20,
+                1,
+            )
+        };
+        let events = vec![
+            sev(7, 0, 0, TraceEventKind::OriginForward, client, cp, 20, 0, 1),
+            sev(
+                7,
+                1,
+                300,
+                TraceEventKind::OriginForward,
+                client,
+                cp,
+                21,
+                20,
+                1,
+            ),
+            sev(
+                7,
+                2,
+                400,
+                TraceEventKind::TargetUltStart,
+                server,
+                cp,
+                21,
+                20,
+                1,
+            ),
+            sev(
+                7,
+                3,
+                600,
+                TraceEventKind::TargetRespond,
+                server,
+                cp,
+                21,
+                20,
+                1,
+            ),
+            retry_end,
+        ];
+        let spans = stitch(&events);
+        assert_eq!(spans.len(), 2, "orphan retry t1 must not become a span");
+        let origin = spans.iter().find(|s| s.side == SpanSide::Origin).unwrap();
+        let target = spans.iter().find(|s| s.side == SpanSide::Target).unwrap();
+        assert_eq!(origin.wire_span, 20);
+        assert_eq!(target.wire_span, 21);
+        assert_eq!(
+            target.parent_id,
+            Some(origin.span_id),
+            "retry target must fall back to the logical call's origin span"
+        );
+        assert!(origin
+            .tags
+            .iter()
+            .any(|(k, v)| k == "retry_attempt" && v == "1"));
+    }
+
+    #[test]
+    fn tags_carry_hop_and_event_samples() {
+        let client = register_entity("tag-client");
+        let cp = Callpath::root("tag_rpc");
+        let start = sev(8, 0, 0, TraceEventKind::OriginForward, client, cp, 30, 0, 2);
+        let end = TraceEvent {
+            samples: EventSamples {
+                origin_execution_ns: Some(123),
+                timed_out: Some(1),
+                ..Default::default()
+            },
+            ..sev(
+                8,
+                1,
+                500,
+                TraceEventKind::OriginComplete,
+                client,
+                cp,
+                30,
+                0,
+                2,
+            )
+        };
+        let spans = stitch(&[start, end]);
+        assert_eq!(spans.len(), 1);
+        let tags = &spans[0].tags;
+        let get = |k: &str| tags.iter().find(|(n, _)| n == k).map(|(_, v)| v.as_str());
+        assert_eq!(get("hop"), Some("2"));
+        assert_eq!(get("origin_execution_ns"), Some("123"));
+        assert_eq!(get("timed_out"), Some("1"));
+        let json = to_zipkin_json(&spans);
+        assert!(json.contains("\"timed_out\":\"1\""));
+        assert!(json.contains("\"hop\":\"2\""));
+        let parsed = crate::telemetry::jsonl::parse_json(&json).expect("valid JSON");
+        assert_eq!(
+            parsed.as_arr().unwrap()[0]
+                .get("tags")
+                .and_then(|t| t.get("origin_execution_ns"))
+                .and_then(|v| v.as_str()),
+            Some("123")
+        );
+    }
+
+    #[test]
+    fn span_zero_events_still_use_the_callpath_heuristic() {
+        // Legacy events (no wire ids) must keep linking exactly as before.
+        let client = register_entity("lg-client");
+        let server = register_entity("lg-server");
+        let cp = Callpath::root("lg_rpc");
+        let events = vec![
+            ev(5, 0, 1_000, TraceEventKind::OriginForward, client, cp),
+            ev(5, 1, 2_000, TraceEventKind::TargetUltStart, server, cp),
+            ev(5, 2, 5_000, TraceEventKind::TargetRespond, server, cp),
+            ev(5, 3, 7_000, TraceEventKind::OriginComplete, client, cp),
+        ];
+        let spans = stitch(&events);
+        let origin = spans.iter().find(|s| s.side == SpanSide::Origin).unwrap();
+        let target = spans.iter().find(|s| s.side == SpanSide::Target).unwrap();
+        assert_eq!(origin.wire_span, 0);
+        assert_eq!(target.parent_id, Some(origin.span_id));
     }
 
     #[test]

@@ -84,6 +84,9 @@ fn concurrent_record_matches_serial_replay_exactly() {
                     tracer.record(TraceEvent {
                         request_id: t * OPS_PER_THREAD + i,
                         order: 0,
+                        span: 0,
+                        parent_span: 0,
+                        hop: 0,
                         lamport: ns,
                         wall_ns: symbi_core::now_ns(),
                         kind: TraceEventKind::TargetUltStart,

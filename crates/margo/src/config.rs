@@ -36,6 +36,13 @@ pub struct TelemetryOptions {
     /// Requires `sample_period` to produce data continuously (a final
     /// snapshot is also written at `finalize`).
     pub flight_recorder: Option<FlightRecorderConfig>,
+    /// Also drain the tracer into the flight recorder on every monitor
+    /// sample, persisting trace events as `"kind":"trace"` JSONL lines
+    /// for offline span-graph reconstruction (`symbi-analyze`). Draining
+    /// moves the events out of the in-memory buffer, so in-process
+    /// post-mortem stitching sees only events recorded after the last
+    /// sample. No effect without `flight_recorder`.
+    pub record_traces: bool,
 }
 
 impl TelemetryOptions {
@@ -158,6 +165,14 @@ impl MargoConfig {
     #[must_use]
     pub fn with_flight_recorder(mut self, recorder: FlightRecorderConfig) -> Self {
         self.telemetry.flight_recorder = Some(recorder);
+        self
+    }
+
+    /// Persist trace events alongside metric snapshots in the flight
+    /// recorder (see [`TelemetryOptions::record_traces`]).
+    #[must_use]
+    pub fn with_trace_recording(mut self) -> Self {
+        self.telemetry.record_traces = true;
         self
     }
 

@@ -104,6 +104,19 @@ pub fn entity_for_addr(addr: Addr) -> EntityId {
         .unwrap_or(UNKNOWN_ENTITY)
 }
 
+/// Causal span context of one RPC attempt (the Dapper-style trace
+/// context carried in the wire header). All four trace events of the hop
+/// (t1/t14 at the origin, t5/t8 at the target) share these values.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct SpanCtx {
+    /// Span id of this attempt.
+    pub span: u64,
+    /// Span id of the causally enclosing call (0 at the root).
+    pub parent_span: u64,
+    /// Hop depth of the call's target (1 = end client's direct RPC).
+    pub hop: u32,
+}
+
 pub(crate) struct Inner {
     config: MargoConfig,
     hg: HgClass,
@@ -438,14 +451,21 @@ impl MargoInstance {
         // Capture request context from the *caller's* ULT-local keys
         // (§IV-A1: the servicing ULT passes its ancestry downstream).
         let parent = keys::current_callpath();
-        let (callpath, request_id, order) = if stage.ids_enabled() {
+        let (callpath, request_id, order, span) = if stage.ids_enabled() {
             let callpath = parent.push(rpc_name);
             let request_id =
                 keys::current_request_id().unwrap_or_else(|| inner.sym.next_request_id());
             let order = keys::next_order();
-            (callpath, request_id, order)
+            // One logical span per call; inside a handler ULT the parent
+            // span is the handler's own span, linking sub-RPCs under it.
+            let span = SpanCtx {
+                span: inner.sym.next_span_id(),
+                parent_span: keys::current_span(),
+                hop: keys::current_hop() + 1,
+            };
+            (callpath, request_id, order, span)
         } else {
-            (Callpath::EMPTY, 0, 0)
+            (Callpath::EMPTY, 0, 0, SpanCtx::default())
         };
 
         let ev: Eventual<Result<RpcOutcome, MargoError>> = Eventual::new();
@@ -460,6 +480,7 @@ impl MargoInstance {
             callpath,
             request_id,
             order,
+            span,
             input,
             options,
             ev: ev.clone(),
@@ -612,7 +633,8 @@ impl Inner {
     fn dispatch_request(inner: &Arc<Inner>, sh: ServerHandle, handler: RpcHandler, pool: &Pool) {
         let meta = sh.meta();
         let callpath = Callpath(meta.callpath);
-        let seed = keys::seed_for_request(callpath, meta.request_id, meta.order);
+        let seed =
+            keys::seed_for_request(callpath, meta.request_id, meta.order, meta.span, meta.hop);
         let t4 = Instant::now();
         let stage = inner.config.stage;
         if stage.ids_enabled() {
@@ -631,6 +653,9 @@ impl Inner {
                 inner2.sym.tracer().record(TraceEvent {
                     request_id: meta.request_id,
                     order: keys::next_order(),
+                    span: meta.span,
+                    parent_span: meta.parent_span,
+                    hop: meta.hop,
                     lamport: inner2.sym.lamport().tick(),
                     wall_ns: t5_wall,
                     kind: TraceEventKind::TargetUltStart,
@@ -712,6 +737,9 @@ impl Inner {
                 inner2.sym.tracer().record(TraceEvent {
                     request_id: meta.request_id,
                     order: keys::next_order(),
+                    span: meta.span,
+                    parent_span: meta.parent_span,
+                    hop: meta.hop,
                     lamport: inner2.sym.lamport().tick(),
                     wall_ns: t8_wall,
                     kind: TraceEventKind::TargetRespond,
@@ -735,6 +763,7 @@ impl Inner {
         callpath: Callpath,
         dest: Addr,
         request_id: u64,
+        span: SpanCtx,
         retry_attempt: Option<u64>,
         timed_out: bool,
     ) {
@@ -774,6 +803,9 @@ impl Inner {
         self.sym.tracer().record(TraceEvent {
             request_id,
             order: keys::next_order(),
+            span: span.span,
+            parent_span: span.parent_span,
+            hop: span.hop,
             lamport: self.sym.lamport().tick(),
             wall_ns: now_ns(),
             kind: TraceEventKind::OriginComplete,
@@ -844,6 +876,9 @@ struct RetryDriver {
     callpath: Callpath,
     request_id: u64,
     order: u32,
+    /// Span context of the *logical* call (attempt 0). Retried attempts
+    /// derive fresh spans parented under this one.
+    span: SpanCtx,
     input: Bytes,
     options: RpcOptions,
     ev: Eventual<Result<RpcOutcome, MargoError>>,
@@ -868,6 +903,19 @@ impl RetryDriver {
         let stage = inner.config.stage;
         let t1 = Instant::now();
 
+        // Attempt 0 carries the logical call's span; each retried attempt
+        // gets a fresh span id parented under the logical span, so retry
+        // storms are visible as sibling spans in the reconstructed tree.
+        let span = if attempt == 0 || !stage.ids_enabled() {
+            driver.span
+        } else {
+            SpanCtx {
+                span: inner.sym.next_span_id(),
+                parent_span: driver.span.span,
+                hop: driver.span.hop,
+            }
+        };
+
         if stage.measure_enabled() {
             let mut samples = inner.samples_for_pool(&inner.primary_pool);
             if attempt > 0 {
@@ -876,6 +924,9 @@ impl RetryDriver {
             inner.sym.tracer().record(TraceEvent {
                 request_id: driver.request_id,
                 order: driver.order,
+                span: span.span,
+                parent_span: span.parent_span,
+                hop: span.hop,
                 lamport: inner.sym.lamport().tick(),
                 wall_ns: now_ns(),
                 kind: TraceEventKind::OriginForward,
@@ -911,6 +962,9 @@ impl RetryDriver {
             request_id: driver.request_id,
             order: driver.order,
             lamport,
+            span: span.span,
+            parent_span: span.parent_span,
+            hop: span.hop,
         };
         let deadline = driver.options.deadline().map(|d| Instant::now() + d);
 
@@ -921,11 +975,19 @@ impl RetryDriver {
                 .hg
                 .forward_with_deadline(handle, meta, input, deadline, move |resp: Response| {
                     // t14 (or local expiry) on the progress ES.
-                    RetryDriver::on_attempt_complete(d2, inner2, resp, attempt, t1);
+                    RetryDriver::on_attempt_complete(d2, inner2, resp, attempt, span, t1);
                 });
         if let Err(e) = res {
             // The handle never posted — an immediate, definite failure.
-            RetryDriver::fail_or_retry(driver, &inner, MargoError::from(e), attempt, t1, None);
+            RetryDriver::fail_or_retry(
+                driver,
+                &inner,
+                MargoError::from(e),
+                attempt,
+                span,
+                t1,
+                None,
+            );
         }
     }
 
@@ -935,6 +997,7 @@ impl RetryDriver {
         inner: Arc<Inner>,
         resp: Response,
         attempt: u32,
+        span: SpanCtx,
         t1: Instant,
     ) {
         let origin_execution_ns = t1.elapsed().as_nanos() as u64;
@@ -946,6 +1009,7 @@ impl RetryDriver {
                     driver.callpath,
                     driver.dest,
                     driver.request_id,
+                    span,
                     (attempt > 0).then_some(u64::from(attempt)),
                     false,
                 );
@@ -957,7 +1021,15 @@ impl RetryDriver {
                 }));
             }
             RpcStatus::Timeout => {
-                Self::fail_or_retry(driver, &inner, MargoError::Timeout, attempt, t1, Some(resp));
+                Self::fail_or_retry(
+                    driver,
+                    &inner,
+                    MargoError::Timeout,
+                    attempt,
+                    span,
+                    t1,
+                    Some(resp),
+                );
             }
             RpcStatus::Canceled => {
                 inner.on_origin_complete(
@@ -966,6 +1038,7 @@ impl RetryDriver {
                     driver.callpath,
                     driver.dest,
                     driver.request_id,
+                    span,
                     (attempt > 0).then_some(u64::from(attempt)),
                     false,
                 );
@@ -977,6 +1050,7 @@ impl RetryDriver {
                     &inner,
                     MargoError::Remote(s),
                     attempt,
+                    span,
                     t1,
                     Some(resp),
                 );
@@ -987,11 +1061,13 @@ impl RetryDriver {
     /// Decide a failed attempt's fate: schedule the next attempt through
     /// the retry timer, or complete terminally (recording the timeout in
     /// the profiler and trace so the measurement plane reflects it).
+    #[allow(clippy::too_many_arguments)]
     fn fail_or_retry(
         driver: Arc<RetryDriver>,
         inner: &Arc<Inner>,
         err: MargoError,
         attempt: u32,
+        span: SpanCtx,
         t1: Instant,
         resp: Option<Response>,
     ) {
@@ -1047,6 +1123,7 @@ impl RetryDriver {
                 driver.callpath,
                 driver.dest,
                 driver.request_id,
+                span,
                 (attempt > 0).then_some(u64::from(attempt)),
                 timed_out,
             );

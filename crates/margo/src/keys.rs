@@ -24,6 +24,15 @@ pub static KEY_REQUEST_ID: LazyLock<LocalKey<u64>> = LazyLock::new(LocalKey::new
 /// request by this entity.
 pub static KEY_ORDER: LazyLock<LocalKey<AtomicU32>> = LazyLock::new(LocalKey::new);
 
+/// Span id of the RPC attempt the current ULT is servicing. Downstream
+/// RPCs issued from this ULT use it as their parent span, linking
+/// sub-RPC spans under the handler's span (Dapper-style causal context).
+pub static KEY_SPAN: LazyLock<LocalKey<u64>> = LazyLock::new(LocalKey::new);
+
+/// Hop depth of the request the current ULT is servicing: 1 for an end
+/// client's direct RPC, 2 for a sub-RPC issued from that handler, etc.
+pub static KEY_HOP: LazyLock<LocalKey<u32>> = LazyLock::new(LocalKey::new);
+
 /// Read the current callpath ancestry (empty if the caller is an
 /// end-client not yet inside any RPC).
 pub fn current_callpath() -> Callpath {
@@ -44,14 +53,34 @@ pub fn next_order() -> u32 {
         .unwrap_or(0)
 }
 
+/// Span id of the RPC attempt the current ULT is servicing (0 outside
+/// any span-carrying request).
+pub fn current_span() -> u64 {
+    KEY_SPAN.get().map(|v| *v).unwrap_or(0)
+}
+
+/// Hop depth of the current service context (0 for an end client outside
+/// any handler ULT).
+pub fn current_hop() -> u32 {
+    KEY_HOP.get().map(|v| *v).unwrap_or(0)
+}
+
 /// Build the local-map seed for a handler ULT servicing a request with
 /// the given metadata. The order counter starts just past the order the
 /// origin stamped on the request.
-pub fn seed_for_request(callpath: Callpath, request_id: u64, order: u32) -> LocalMap {
+pub fn seed_for_request(
+    callpath: Callpath,
+    request_id: u64,
+    order: u32,
+    span: u64,
+    hop: u32,
+) -> LocalMap {
     let mut map = LocalMap::new();
     map.insert(&KEY_CALLPATH, callpath);
     map.insert(&KEY_REQUEST_ID, request_id);
     map.insert(&KEY_ORDER, AtomicU32::new(order.saturating_add(1)));
+    map.insert(&KEY_SPAN, span);
+    map.insert(&KEY_HOP, hop);
     map
 }
 
@@ -66,24 +95,28 @@ mod tests {
             assert_eq!(current_callpath(), Callpath::EMPTY);
             assert_eq!(current_request_id(), None);
             assert_eq!(next_order(), 0);
+            assert_eq!(current_span(), 0);
+            assert_eq!(current_hop(), 0);
         });
     }
 
     #[test]
     fn seeded_scope_provides_context() {
         let cp = Callpath::root("seeded_rpc");
-        let seed = seed_for_request(cp, 42, 3);
+        let seed = seed_for_request(cp, 42, 3, 77, 2);
         scope_with(seed, || {
             assert_eq!(current_callpath(), cp);
             assert_eq!(current_request_id(), Some(42));
             assert_eq!(next_order(), 4);
             assert_eq!(next_order(), 5);
+            assert_eq!(current_span(), 77);
+            assert_eq!(current_hop(), 2);
         });
     }
 
     #[test]
     fn order_counter_is_shared_across_snapshots() {
-        let seed = seed_for_request(Callpath::root("shared"), 1, 0);
+        let seed = seed_for_request(Callpath::root("shared"), 1, 0, 0, 1);
         scope_with(seed, || {
             assert_eq!(next_order(), 1);
             let snap = symbi_tasking::current_snapshot();

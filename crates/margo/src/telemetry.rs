@@ -36,6 +36,10 @@ pub(crate) struct TelemetryPlane {
     /// this at runtime.
     pub(crate) pools: Arc<Mutex<Vec<Pool>>>,
     pub(crate) recorder: Option<Arc<FlightRecorder>>,
+    /// Drain the tracer into the recorder on every sample (the
+    /// `record_traces` option); holding `Symbiosys` here creates no cycle
+    /// because `Symbiosys` never owns the instance.
+    trace_sink: Option<Arc<Symbiosys>>,
     /// The PVAR tool session the `mercury` source samples through; kept
     /// here so finalize can close it explicitly (§IV-B2 step 5).
     session: Arc<PvarSession>,
@@ -162,22 +166,32 @@ impl TelemetryPlane {
             }
         });
 
+        let trace_sink = (options.record_traces && recorder.is_some()).then(|| sym.clone());
         TelemetryPlane {
             registry,
             pools,
             recorder,
+            trace_sink,
             session,
             exporter: Mutex::new(exporter),
         }
     }
 
     /// Take one snapshot and persist it if a recorder is configured.
-    /// Called by the monitor ULT every period and once at finalize.
+    /// Called by the monitor ULT every period and once at finalize. With
+    /// trace recording on, the tracer is drained into the same ring so
+    /// the trace buffer stays bounded between samples.
     pub(crate) fn sample_and_record(&self) {
         let snap = self.registry.sample();
         if let Some(rec) = &self.recorder {
             if let Err(e) = rec.append(&snap) {
                 eprintln!("[symbi-margo] flight recorder append failed: {e}");
+            }
+            if let Some(sym) = &self.trace_sink {
+                let events = sym.tracer().drain();
+                if let Err(e) = rec.append_events(&events) {
+                    eprintln!("[symbi-margo] flight recorder trace append failed: {e}");
+                }
             }
         }
     }

@@ -12,7 +12,10 @@ use crate::codec::{CodecError, Decoder, Encoder, Wire};
 use bytes::Bytes;
 
 /// Wire protocol version, bumped on incompatible header changes.
-pub const WIRE_VERSION: u8 = 1;
+///
+/// v2 added the causal span context (`span`, `parent_span`, `hop`) so
+/// composed services produce linked multi-hop traces.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Fabric message tags distinguishing request and response traffic.
 pub mod tags {
@@ -55,6 +58,14 @@ pub struct RpcMeta {
     pub order: u32,
     /// Lamport logical clock value at send time.
     pub lamport: u64,
+    /// Span id of this RPC attempt (Dapper-style); 0 when unset.
+    pub span: u64,
+    /// Span id of the causally enclosing call at the origin; 0 at the
+    /// composition root.
+    pub parent_span: u64,
+    /// Hop depth of the *target* of this RPC: 1 for a client's direct
+    /// call, 2 for a sub-RPC issued from that handler, and so on.
+    pub hop: u32,
 }
 
 /// Full request header + payload framing.
@@ -81,6 +92,9 @@ impl Wire for RequestHeader {
         enc.put_u64(self.meta.request_id);
         enc.put_u32(self.meta.order);
         enc.put_u64(self.meta.lamport);
+        enc.put_u64(self.meta.span);
+        enc.put_u64(self.meta.parent_span);
+        enc.put_u32(self.meta.hop);
         match self.rdma {
             Some(r) => {
                 enc.put_u8(1);
@@ -105,6 +119,9 @@ impl Wire for RequestHeader {
             request_id: dec.get_u64()?,
             order: dec.get_u32()?,
             lamport: dec.get_u64()?,
+            span: dec.get_u64()?,
+            parent_span: dec.get_u64()?,
+            hop: dec.get_u32()?,
         };
         let rdma = match dec.get_u8()? {
             0 => None,
@@ -236,6 +253,9 @@ mod tests {
                 request_id: 99,
                 order: 3,
                 lamport: 17,
+                span: 0xDEAD_BEEF,
+                parent_span: 0xFEED_FACE,
+                hop: 2,
             },
             rdma: Some(RdmaRef {
                 key: 5,

@@ -389,6 +389,9 @@ mod tests {
             request_id: 777,
             order: 5,
             lamport: 99,
+            span: 1,
+            parent_span: 0,
+            hop: 1,
         };
         let done = Arc::new(AtomicUsize::new(0));
         let d2 = done.clone();

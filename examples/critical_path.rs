@@ -1,0 +1,124 @@
+//! Critical-path analysis of a composed Mobject write (tentpole demo).
+//!
+//! Runs an ior-like workload against a Mobject provider node, rebuilds
+//! the causal span graph from the wire-propagated span ids, walks one
+//! request's span tree, and prints the aggregate critical-path report —
+//! which cross-service edge the end-to-end latency actually lives on.
+//! Also writes the whole graph as Chrome `trace_event` JSON for
+//! `chrome://tracing` / Perfetto.
+//!
+//! ```sh
+//! cargo run --release --example critical_path
+//! ```
+
+use symbiosys::core::analysis::critical_path::render;
+use symbiosys::core::analysis::{
+    aggregate_critical_paths, build_span_graph, critical_path, to_chrome_json,
+};
+use symbiosys::core::entity_name;
+use symbiosys::prelude::*;
+use symbiosys::services::mobject::REQUIRED_SDSKV_DBS;
+
+fn main() {
+    let fabric = Fabric::new(NetworkModel::instant());
+
+    // One provider node hosting BAKE + SDSKV + Mobject (paper Figure 4).
+    let node = MargoInstance::new(fabric.clone(), MargoConfig::server("provider-node", 8));
+    let backend_pool = node.add_handler_pool("backend", 8);
+    BakeProvider::attach_in_pool(&node, BakeSpec::default(), &backend_pool);
+    SdskvProvider::attach_in_pool(
+        &node,
+        SdskvSpec {
+            num_databases: REQUIRED_SDSKV_DBS,
+            backend: BackendKind::Map,
+            cost: StorageCost::free(),
+            handler_cost: std::time::Duration::ZERO,
+            handler_cost_per_key: std::time::Duration::ZERO,
+        },
+        &backend_pool,
+    );
+    MobjectProvider::attach(&node, node.addr(), node.addr());
+
+    let run = run_ior(
+        &fabric,
+        node.addr(),
+        &IorConfig {
+            clients: 10,
+            objects_per_client: 3,
+            object_size: 32 * 1024,
+            do_read: true,
+            stage: Stage::Full,
+        },
+    );
+    println!(
+        "ior: {} objects ({} KiB) written in {:.3}s, read in {:.3}s\n",
+        run.objects,
+        run.bytes / 1024,
+        run.write_seconds,
+        run.read_seconds
+    );
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    // Merge client and provider trace events and rebuild the span graph.
+    let mut events = run.client_traces.clone();
+    events.extend(node.symbiosys().tracer().snapshot());
+    let graph = build_span_graph(&events);
+    println!(
+        "span graph: {} requests, {} spans, {:.1}% connected multi-hop trees",
+        graph.trees.len(),
+        graph.span_count(),
+        graph.connected_fraction() * 100.0
+    );
+
+    // Walk one mobject_write_op tree: the composition becomes visible as
+    // nested spans, one per sub-RPC the handler ULT issued.
+    let write_root = Callpath::root("mobject_write_op");
+    if let Some(tree) = graph
+        .trees
+        .iter()
+        .find(|t| t.is_connected() && t.nodes[t.roots[0]].callpath == write_root)
+    {
+        println!(
+            "\none mobject_write_op span tree (request {}):",
+            tree.request_id
+        );
+        tree.walk(|depth, node| {
+            let latency = node
+                .origin_latency_ns()
+                .or_else(|| node.target_busy_ns())
+                .unwrap_or(0);
+            println!(
+                "  {}{} [hop {}] {:.3} ms",
+                "  ".repeat(depth),
+                node.callpath.display(),
+                node.hop,
+                latency as f64 / 1e6
+            );
+        });
+        let path = critical_path(tree);
+        println!("  critical path:");
+        for hop in &path {
+            println!(
+                "    hop {} {} — total {:.3} ms (network {:.3}, queue {:.3}, self {:.3})",
+                hop.hop,
+                hop.callpath.display(),
+                hop.total_ns as f64 / 1e6,
+                hop.network_ns as f64 / 1e6,
+                hop.queue_wait_ns as f64 / 1e6,
+                hop.self_ns as f64 / 1e6
+            );
+        }
+        if let Some(target) = path.last().and_then(|h| h.target) {
+            println!("  latency bottom: {}", entity_name(target));
+        }
+    }
+
+    // The aggregate view over every request: top critical-path edges.
+    println!("\n{}", render(&aggregate_critical_paths(&graph)));
+
+    std::fs::write("critical_path_chrome.json", to_chrome_json(&graph))
+        .expect("write chrome trace");
+    println!("Chrome trace written to critical_path_chrome.json (open in chrome://tracing)");
+
+    node.finalize();
+}

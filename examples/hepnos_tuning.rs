@@ -117,7 +117,8 @@ fn main() {
 
     // The tuned configuration the paper's analysis leads to: more ESs,
     // fewer databases. This run also records live telemetry to an on-disk
-    // flight ring so the tuning session can be replayed afterwards.
+    // flight ring — metric snapshots *and* trace events (`record_traces`)
+    // — so the tuning session can be replayed and span-analyzed offline.
     let flight_dir = std::env::temp_dir().join("symbi-hepnos-flight");
     let _ = std::fs::remove_dir_all(&flight_dir);
     let mut good = HepnosConfig::c3().with_fault_tolerance(guard, 2);
@@ -127,7 +128,37 @@ fn main() {
     good.telemetry.sample_period = Some(std::time::Duration::from_millis(50));
     good.telemetry.flight_recorder =
         Some(symbiosys::core::telemetry::recorder::FlightRecorderConfig::new(&flight_dir));
-    let (t_good, p_good, tr_good) = run(&good);
+    good.telemetry.record_traces = true;
+    let (t_good, p_good, mut tr_good) = run(&good);
+
+    // The servers drained their tracers into the flight ring, so the
+    // in-process diagnosis reads them back from disk; the clients kept
+    // theirs in memory, so persist them next to the server rings —
+    // giving the offline analyzer the complete multi-process picture.
+    // (Exact duplicates from the drain/snapshot overlap are deduplicated
+    // by every analysis entry point.)
+    {
+        use symbiosys::core::telemetry::jsonl::TraceEventDecoder;
+        use symbiosys::core::telemetry::recorder::{
+            replay_events_with, FlightRecorder, FlightRecorderConfig,
+        };
+        let clients = FlightRecorder::open(FlightRecorderConfig::new(flight_dir.join("clients")))
+            .expect("open client ring");
+        clients
+            .append_events(&tr_good)
+            .expect("persist client traces");
+        clients.flush().expect("flush client traces");
+        let mut decoder = TraceEventDecoder::new();
+        if let Ok(entries) = std::fs::read_dir(&flight_dir) {
+            for entry in entries.flatten() {
+                if entry.path().is_dir() && entry.file_name() != "clients" {
+                    if let Ok(events) = replay_events_with(&entry.path(), &mut decoder) {
+                        tr_good.extend(events);
+                    }
+                }
+            }
+        }
+    }
     diagnose(
         "tuned (20 ESs, 8 dbs)",
         t_good,
@@ -158,4 +189,21 @@ fn main() {
         "flight recorder: {snapshots} telemetry snapshots from the tuned run in {}",
         flight_dir.display()
     );
+
+    // Offline critical-path analysis from the flight rings alone — the
+    // exact pipeline `symbi-analyze <flight_dir>` runs as a CLI.
+    let chrome_path = flight_dir.join("hepnos_chrome.json");
+    let analysis = symbi_analyze::run(&symbi_analyze::Options {
+        dirs: vec![flight_dir.clone()],
+        chrome_out: Some(chrome_path),
+        top: Some(8),
+        ..Default::default()
+    });
+    match analysis {
+        Ok(out) => {
+            println!("\n--- symbi-analyze over the tuned run's flight rings ---");
+            print!("{out}");
+        }
+        Err(e) => eprintln!("offline analysis failed: {e}"),
+    }
 }
