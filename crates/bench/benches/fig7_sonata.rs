@@ -27,7 +27,10 @@ fn record(i: usize) -> String {
         ("detector", Value::Str(format!("det-{:02}", i % 16))),
         (
             "flags",
-            Value::Arr(vec![Value::Bool(i % 2 == 0), Value::Num((i % 7) as f64)]),
+            Value::Arr(vec![
+                Value::Bool(i.is_multiple_of(2)),
+                Value::Num((i % 7) as f64),
+            ]),
         ),
     ])
     .to_json()

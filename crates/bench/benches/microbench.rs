@@ -80,7 +80,7 @@ fn bench_trace_record(c: &mut Criterion) {
 
 fn bench_tasking(c: &mut Criterion) {
     let pool = Pool::new("bench-pool");
-    let _es = ExecutionStream::spawn("bench-es", &[pool.clone()]);
+    let _es = ExecutionStream::spawn("bench-es", std::slice::from_ref(&pool));
     c.bench_function("tasking/spawn_join", |b| {
         b.iter(|| {
             let ev: Eventual<()> = Eventual::new();

@@ -171,4 +171,40 @@ fn main() {
         Ok(()) => println!("wrote {out}"),
         Err(e) => println!("could not write {out}: {e}"),
     }
+
+    idle_cpu_burn_audit();
+}
+
+/// Busy-wait audit: an *idle* server over the socket transport — progress
+/// loop parked in `Endpoint::poll_timeout`, reader threads blocked on
+/// their sockets, sampler ticking — must burn almost no CPU. A spin loop
+/// anywhere in that stack shows up here as ~100% of one core.
+fn idle_cpu_burn_audit() {
+    use symbi_core::SysStats;
+    use symbi_net::{fabric_over, NetConfig};
+
+    let fabric = fabric_over(NetConfig::listen("tcp://127.0.0.1:0")).expect("socket transport");
+    let server = MargoInstance::new(
+        fabric,
+        MargoConfig::server("idle-audit", 2).with_telemetry_period(Duration::from_millis(50)),
+    );
+
+    let wall = Duration::from_secs(1);
+    let before = SysStats::sample().cpu_time_ms;
+    std::thread::sleep(wall);
+    let burned = SysStats::sample().cpu_time_ms.saturating_sub(before);
+    server.finalize();
+
+    let fraction = burned as f64 / wall.as_millis() as f64;
+    println!(
+        "\nidle CPU-burn audit: {burned} ms CPU over {} ms wall ({:.1}% of one core)",
+        wall.as_millis(),
+        fraction * 100.0
+    );
+    assert!(
+        fraction < 0.5,
+        "an idle socket-backed server burned {:.0}% of a core — something is \
+         busy-waiting instead of blocking on readiness",
+        fraction * 100.0
+    );
 }

@@ -1,0 +1,167 @@
+//! Transport-plane throughput: what does crossing a real socket cost,
+//! relative to the in-process fabric?
+//!
+//! Three transports — the in-process `LocalTransport`, Unix-domain
+//! sockets, and loopback TCP — each driven by the same closed-loop Margo
+//! echo workload at two payload sizes: 1 KiB (under the 4 KiB eager
+//! threshold, so the payload rides inside the MSG frame) and 64 KiB
+//! (above it, so the data path goes through the transport's emulated-RDMA
+//! pull/push frames). Reported as round-trip msgs/s and payload MB/s;
+//! results go to `BENCH_net.json` at the workspace root.
+
+use std::time::Instant;
+
+use symbi_bench::{banner, bench_scale};
+use symbi_core::analysis::report::Table;
+use symbi_fabric::{Fabric, NetworkModel};
+use symbi_margo::{MargoConfig, MargoInstance, RpcOptions};
+use symbi_net::{fabric_over, NetConfig};
+
+const PAYLOADS: [(usize, &str); 2] = [(1024, "eager"), (64 * 1024, "rdma")];
+
+struct Cell {
+    transport: &'static str,
+    path: &'static str,
+    payload: usize,
+    msgs_per_sec: f64,
+    mb_per_sec: f64,
+}
+
+/// Server + client fabrics for one transport. Local shares one fabric;
+/// the socket transports run two `NetTransport`s joined by a real wire.
+fn fabric_pair(transport: &str, sock_dir: &std::path::Path) -> (Fabric, Fabric, Option<String>) {
+    match transport {
+        "local" => {
+            let fabric = Fabric::new(NetworkModel::instant());
+            (fabric.clone(), fabric, None)
+        }
+        "unix" => {
+            let path = sock_dir.join(format!("bench-{}.sock", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            let server =
+                fabric_over(NetConfig::listen(format!("unix://{}", path.display()))).unwrap();
+            let url = server.listen_url().unwrap();
+            (server, fabric_over(NetConfig::client()).unwrap(), Some(url))
+        }
+        "tcp" => {
+            let server = fabric_over(NetConfig::listen("tcp://127.0.0.1:0")).unwrap();
+            let url = server.listen_url().unwrap();
+            (server, fabric_over(NetConfig::client()).unwrap(), Some(url))
+        }
+        other => panic!("unknown transport {other}"),
+    }
+}
+
+/// One closed-loop echo run; returns round trips per second.
+fn run(transport: &'static str, payload: usize, msgs: u64, sock_dir: &std::path::Path) -> f64 {
+    let (server_fabric, client_fabric, url) = fabric_pair(transport, sock_dir);
+    let server = MargoInstance::new(server_fabric, MargoConfig::server("netbench-server", 2));
+    server.register_fn("echo", |_m, payload: Vec<u8>| {
+        Ok::<Vec<u8>, String>(payload)
+    });
+    let client = MargoInstance::new(
+        client_fabric.clone(),
+        MargoConfig::client("netbench-client"),
+    );
+    let addr = match &url {
+        Some(u) => client_fabric.lookup(u).expect("bench server resolves"),
+        None => server.addr(),
+    };
+
+    let body = vec![0xC3_u8; payload];
+    // Warm the route (connection setup, lazy endpoint wiring).
+    let _: Vec<u8> = client
+        .forward_with(addr, "echo", &body, RpcOptions::default())
+        .expect("warmup echo");
+
+    let start = Instant::now();
+    for _ in 0..msgs {
+        let back: Vec<u8> = client
+            .forward_with(addr, "echo", &body, RpcOptions::default())
+            .expect("echo");
+        debug_assert_eq!(back.len(), payload);
+    }
+    let rate = msgs as f64 / start.elapsed().as_secs_f64();
+    client.finalize();
+    server.finalize();
+    rate
+}
+
+fn main() {
+    banner("Transport throughput: local vs unix vs tcp");
+
+    let scale = bench_scale();
+    let sock_dir = std::env::temp_dir();
+    let mut cells = Vec::new();
+    for transport in ["local", "unix", "tcp"] {
+        for (payload, path) in PAYLOADS {
+            // Fewer round trips for the bulk path; each carries 64x the data.
+            let msgs = if path == "eager" {
+                ((2_000.0 * scale) as u64).max(200)
+            } else {
+                ((400.0 * scale) as u64).max(50)
+            };
+            let msgs_per_sec = run(transport, payload, msgs, &sock_dir);
+            let mb_per_sec = msgs_per_sec * payload as f64 / (1024.0 * 1024.0);
+            println!(
+                "  {transport:<6} {path:<6} {payload:>6} B  {msgs_per_sec:>9.0} msg/s  {mb_per_sec:>8.1} MB/s"
+            );
+            cells.push(Cell {
+                transport,
+                path,
+                payload,
+                msgs_per_sec,
+                mb_per_sec,
+            });
+        }
+    }
+
+    let mut table = Table::new(["transport", "path", "payload", "msgs/sec", "MB/sec"]);
+    for c in &cells {
+        table.row([
+            c.transport.to_string(),
+            c.path.to_string(),
+            format!("{} B", c.payload),
+            format!("{:.0}", c.msgs_per_sec),
+            format!("{:.1}", c.mb_per_sec),
+        ]);
+    }
+    println!("\n{}", table.render());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"note\": \"closed-loop Margo echo round trips; eager = payload inside the MSG frame, rdma = payload through pull/push request frames; local = in-process fabric, unix/tcp = symbi-net over a real socket.\",\n",
+    );
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"transport\": \"{}\", \"path\": \"{}\", \"payload_bytes\": {}, \"msgs_per_sec\": {:.0}, \"mb_per_sec\": {:.2}}}{}\n",
+            c.transport,
+            c.path,
+            c.payload,
+            c.msgs_per_sec,
+            c.mb_per_sec,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("SYMBI_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_net.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => println!("could not write {out}: {e}"),
+    }
+
+    // A socket transport must never make the local fast path slower than
+    // sockets themselves: sanity-order the eager results.
+    let local_eager = cells
+        .iter()
+        .find(|c| c.transport == "local" && c.path == "eager")
+        .unwrap();
+    assert!(
+        local_eager.msgs_per_sec > 0.0,
+        "local eager throughput must be measurable"
+    );
+}

@@ -340,6 +340,7 @@ mod tests {
     use crate::entity::register_entity;
     use crate::trace::EventSamples;
 
+    #[allow(clippy::too_many_arguments)]
     fn ev(
         request_id: u64,
         span: u64,

@@ -118,19 +118,59 @@ impl Symbiosys {
         &self.lamport
     }
 
-    /// Generate a globally unique request (trace) id: entity id in the
-    /// high bits, a local sequence number in the low bits (§IV-A2: "the
-    /// end-client generates a globally unique request ID").
+    /// Generate a globally unique request (trace) id: entity id in bits
+    /// 40.., the [`process_nonce`] in bits 32..40, and a local sequence
+    /// number in the low 32 bits (§IV-A2: "the end-client generates a
+    /// globally unique request ID"). The nonce keeps ids distinct across
+    /// the OS processes of a multi-process deployment, where entity
+    /// registration order — and therefore entity ids — can repeat.
     pub fn next_request_id(&self) -> u64 {
-        (self.entity.0 << 40) | self.req_seq.fetch_add(1, Ordering::Relaxed)
+        (self.entity.0 << 40)
+            | (process_nonce() << 32)
+            | (self.req_seq.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff)
     }
 
     /// Generate a globally unique span id for one RPC attempt. Uses the
-    /// same entity-prefixed layout as request ids but a separate sequence,
-    /// so span ids are unique across every entity that issues sub-RPCs.
+    /// same entity/nonce-prefixed layout as request ids but a separate
+    /// sequence, so span ids are unique across every entity that issues
+    /// sub-RPCs — in every process of the deployment.
     pub fn next_span_id(&self) -> u64 {
-        (self.entity.0 << 40) | self.span_seq.fetch_add(1, Ordering::Relaxed)
+        (self.entity.0 << 40)
+            | (process_nonce() << 32)
+            | (self.span_seq.fetch_add(1, Ordering::Relaxed) & 0xffff_ffff)
     }
+}
+
+/// The per-process id nonce occupying bits 32..40 of request and span
+/// ids.
+///
+/// Entity ids are assigned by per-process registration order, so two OS
+/// processes of one deployment can hold the same entity id for different
+/// entities; without a process discriminator their request/span ids would
+/// collide and `symbi-analyze` would stitch unrelated spans together when
+/// merging per-process flight rings. Reads `SYMBI_NET_NODE_ID` when set
+/// (so the nonce is stable and log-correlatable under `symbi-deploy`),
+/// otherwise derives 8 bits from the pid and clock. Computed once per
+/// process.
+pub fn process_nonce() -> u64 {
+    use std::sync::OnceLock;
+    static NONCE: OnceLock<u64> = OnceLock::new();
+    *NONCE.get_or_init(|| {
+        if let Ok(v) = std::env::var("SYMBI_NET_NODE_ID") {
+            if let Ok(n) = v.trim().parse::<u64>() {
+                return n & 0xff;
+            }
+        }
+        let pid = std::process::id() as u64;
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut z = pid.rotate_left(32) ^ nanos;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        (z ^ (z >> 31)) & 0xff
+    })
 }
 
 #[cfg(test)]
@@ -159,6 +199,19 @@ mod tests {
         let s1 = Symbiosys::new("rid-a", Stage::Full);
         let s2 = Symbiosys::new("rid-b", Stage::Full);
         assert_ne!(s1.next_request_id(), s2.next_request_id());
+    }
+
+    #[test]
+    fn ids_carry_the_process_nonce() {
+        let sym = Symbiosys::new("nonce-bits", Stage::Full);
+        let rid = sym.next_request_id();
+        let sid = sym.next_span_id();
+        let nonce = process_nonce();
+        assert!(nonce <= 0xff);
+        assert_eq!((rid >> 32) & 0xff, nonce);
+        assert_eq!((sid >> 32) & 0xff, nonce);
+        // The nonce is stable within one process.
+        assert_eq!((sym.next_request_id() >> 32) & 0xff, nonce);
     }
 
     #[test]

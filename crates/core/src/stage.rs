@@ -70,7 +70,7 @@ mod tests {
         for w in Stage::ALL.windows(2) {
             let (lo, hi) = (caps(w[0]), caps(w[1]));
             for (a, b) in lo.iter().zip(hi.iter()) {
-                assert!(!(*a && !*b), "{:?} lost a capability at {:?}", w[0], w[1]);
+                assert!(!*a || *b, "{:?} lost a capability at {:?}", w[0], w[1]);
             }
         }
     }

@@ -19,7 +19,7 @@ const OPS_PER_THREAD: u64 = 2000;
 fn op(t: u64, i: u64, paths: &[Callpath], peers: &[EntityId]) -> (Callpath, EntityId, Side, u64) {
     let cp = paths[((t + i) % paths.len() as u64) as usize];
     let peer = peers[((t * 3 + i) % peers.len() as u64) as usize];
-    let side = if (t + i) % 2 == 0 {
+    let side = if (t + i).is_multiple_of(2) {
         Side::Origin
     } else {
         Side::Target

@@ -1,34 +1,19 @@
-//! The fabric itself: the address registry, message routing, and the
-//! registered-memory table backing one-sided transfers.
+//! The [`Fabric`] handle: the API the whole upper stack (Mercury, Margo,
+//! the services) talks to, now a thin wrapper over an `Arc<dyn
+//! Transport>` so the same code runs over the in-process
+//! [`crate::LocalTransport`] or `symbi-net`'s socket transport.
 
-use crate::endpoint::{Delivery, Endpoint};
-use crate::fault::{FaultCountersSnapshot, FaultPlan, FaultRuntime, SendVerdict};
-use crate::memory::{MemKey, Region, RemoteRegion};
+use crate::endpoint::Endpoint;
+use crate::fault::{FaultCountersSnapshot, FaultPlan};
+use crate::local::LocalTransport;
+use crate::memory::{MemKey, RemoteRegion};
 use crate::model::NetworkModel;
+use crate::transport::{LinkStatsSnapshot, Transport};
 use crate::{Addr, FabricError};
 use bytes::Bytes;
-use crossbeam::channel::{unbounded, Sender};
 use parking_lot::RwLock;
-use std::cell::RefCell;
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-
-static NEXT_FABRIC_ID: AtomicU64 = AtomicU64::new(1);
-
-/// Bound on the per-thread sender cache; crossing it flushes the whole map
-/// (entries are one clone away from recovery, so eviction is harmless).
-const SENDER_CACHE_CAP: usize = 1024;
-
-/// Cache slot: (fabric id, destination) → (routing generation, sender).
-type SenderCacheMap = HashMap<(u64, Addr), (u64, Sender<Delivery>)>;
-
-thread_local! {
-    /// `Fabric::send` resolves repeat destinations from here without
-    /// touching the routing-table `RwLock`; entries whose generation lags
-    /// the fabric's [`FabricInner::route_gen`] are refreshed on use.
-    static SENDER_CACHE: RefCell<SenderCacheMap> = RefCell::new(HashMap::new());
-}
 
 /// Cumulative transfer statistics, sampled by benchmarks and by the
 /// SYMBIOSYS system-statistics summary.
@@ -46,6 +31,19 @@ pub struct FabricStats {
     pub rdma_bytes: AtomicU64,
 }
 
+impl FabricStats {
+    /// Point-in-time copy of the counters.
+    pub fn snapshot(&self) -> FabricStatsSnapshot {
+        FabricStatsSnapshot {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            message_bytes: self.message_bytes.load(Ordering::Relaxed),
+            rdma_gets: self.rdma_gets.load(Ordering::Relaxed),
+            rdma_puts: self.rdma_puts.load(Ordering::Relaxed),
+            rdma_bytes: self.rdma_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// A point-in-time copy of [`FabricStats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FabricStatsSnapshot {
@@ -61,99 +59,64 @@ pub struct FabricStatsSnapshot {
     pub rdma_bytes: u64,
 }
 
-struct FabricInner {
-    /// Process-unique id, namespacing this fabric's [`SENDER_CACHE`] slots.
-    id: u64,
-    endpoints: RwLock<HashMap<Addr, Sender<Delivery>>>,
-    /// Routing-table generation: bumped by [`Fabric::close_endpoint`] so
-    /// thread-local sender caches notice the route went away. Opening an
-    /// endpoint never bumps it — addresses are never reused, so a fresh
-    /// address can't be shadowed by a stale cache entry.
-    route_gen: AtomicU64,
-    memory: RwLock<HashMap<MemKey, Region>>,
-    next_addr: AtomicU64,
-    next_key: AtomicU64,
-    model: NetworkModel,
-    stats: FabricStats,
-    /// Armed fault plan, if any. Guarded by `faults_armed` so the
-    /// no-fault hot path costs one relaxed atomic load, not a lock.
-    faults: RwLock<Option<Arc<FaultRuntime>>>,
-    faults_armed: AtomicBool,
-}
-
-/// Handle to the shared in-process fabric. Cloning is cheap.
+/// Handle to a message/RDMA fabric. Cloning is cheap (an `Arc` bump), and
+/// all clones talk to the same transport.
 #[derive(Clone)]
 pub struct Fabric {
-    inner: Arc<FabricInner>,
+    transport: Arc<dyn Transport>,
 }
 
 impl std::fmt::Debug for Fabric {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Fabric(endpoints={}, regions={})",
-            self.inner.endpoints.read().len(),
-            self.inner.memory.read().len()
-        )
+        write!(f, "Fabric(kind={})", self.transport.kind())
     }
 }
 
 impl Fabric {
-    /// Create a fabric with the given network model.
+    /// Create an in-process fabric ([`LocalTransport`]) with the given
+    /// network model.
     pub fn new(model: NetworkModel) -> Self {
         Fabric {
-            inner: Arc::new(FabricInner {
-                id: NEXT_FABRIC_ID.fetch_add(1, Ordering::Relaxed),
-                endpoints: RwLock::new(HashMap::new()),
-                route_gen: AtomicU64::new(0),
-                memory: RwLock::new(HashMap::new()),
-                next_addr: AtomicU64::new(1),
-                next_key: AtomicU64::new(1),
-                model,
-                stats: FabricStats::default(),
-                faults: RwLock::new(None),
-                faults_armed: AtomicBool::new(false),
-            }),
+            transport: Arc::new(LocalTransport::new(model)),
         }
+    }
+
+    /// Wrap an already-built transport (e.g. `symbi-net`'s socket
+    /// transport) in the standard fabric handle.
+    pub fn from_transport(transport: Arc<dyn Transport>) -> Self {
+        Fabric { transport }
+    }
+
+    /// Short transport name: `"local"`, `"tcp"`, `"unix"`.
+    pub fn kind(&self) -> &'static str {
+        self.transport.kind()
     }
 
     /// Arm a deterministic [`FaultPlan`] on this fabric. Blackout windows
     /// are anchored at the moment of installation; installing a new plan
     /// replaces the old one and resets the injected-fault counters.
     pub fn install_fault_plan(&self, plan: FaultPlan) {
-        *self.inner.faults.write() = Some(Arc::new(FaultRuntime::install(plan)));
-        self.inner.faults_armed.store(true, Ordering::Release);
+        self.transport.install_fault_plan(plan);
     }
 
     /// Disarm fault injection. Counters from the removed plan are lost.
     pub fn clear_fault_plan(&self) {
-        self.inner.faults_armed.store(false, Ordering::Release);
-        *self.inner.faults.write() = None;
-    }
-
-    /// The armed fault runtime, if any.
-    fn fault_runtime(&self) -> Option<Arc<FaultRuntime>> {
-        if !self.inner.faults_armed.load(Ordering::Acquire) {
-            return None;
-        }
-        self.inner.faults.read().clone()
+        self.transport.clear_fault_plan();
     }
 
     /// Snapshot the injected-fault counters of the armed plan, if any.
     pub fn fault_counters(&self) -> Option<FaultCountersSnapshot> {
-        self.fault_runtime().map(|rt| rt.counters())
+        self.transport.fault_counters()
     }
 
     /// The cost model in effect.
     pub fn model(&self) -> NetworkModel {
-        self.inner.model
+        self.transport.model()
     }
 
     /// Open a new endpoint with a fresh fabric address.
     pub fn open_endpoint(&self) -> Endpoint {
-        let addr = Addr(self.inner.next_addr.fetch_add(1, Ordering::Relaxed));
-        let (tx, rx) = unbounded();
-        self.inner.endpoints.write().insert(addr, tx);
+        let (addr, rx) = self.transport.open_endpoint();
         Endpoint { addr, rx }
     }
 
@@ -161,40 +124,7 @@ impl Fabric {
     /// address fail with [`FabricError::UnknownAddr`] afterwards; cached
     /// senders for the address are invalidated via the routing generation.
     pub fn close_endpoint(&self, addr: Addr) {
-        self.inner.endpoints.write().remove(&addr);
-        self.inner.route_gen.fetch_add(1, Ordering::Release);
-    }
-
-    /// Look up the delivery channel for `dst`, consulting the calling
-    /// thread's sender cache first so steady-state sends skip the
-    /// routing-table lock entirely.
-    fn sender_for(&self, dst: Addr) -> Result<Sender<Delivery>, FabricError> {
-        let inner = &self.inner;
-        let gen = inner.route_gen.load(Ordering::Acquire);
-        let slot = (inner.id, dst);
-        let cached = SENDER_CACHE.with(|c| match c.borrow().get(&slot) {
-            Some((g, tx)) if *g == gen => Some(tx.clone()),
-            _ => None,
-        });
-        if let Some(tx) = cached {
-            return Ok(tx);
-        }
-        let fresh = inner.endpoints.read().get(&dst).cloned();
-        SENDER_CACHE.with(|c| {
-            let mut c = c.borrow_mut();
-            match &fresh {
-                Some(tx) => {
-                    if c.len() >= SENDER_CACHE_CAP {
-                        c.clear();
-                    }
-                    c.insert(slot, (gen, tx.clone()));
-                }
-                None => {
-                    c.remove(&slot);
-                }
-            }
-        });
-        fresh.ok_or(FabricError::UnknownAddr(dst))
+        self.transport.close_endpoint(addr);
     }
 
     /// Send a two-sided (eager) message: posted asynchronously, like an
@@ -202,14 +132,11 @@ impl Fabric {
     /// network cost (only synchronous one-sided transfers are, see
     /// [`Fabric::rdma_get`]/[`Fabric::rdma_put`]).
     pub fn send(&self, src: Addr, dst: Addr, tag: u64, payload: Bytes) -> Result<(), FabricError> {
-        let tx = self.sender_for(dst)?;
-        self.post(&tx, src, dst, tag, payload)
+        self.transport.send(src, dst, tag, payload)
     }
 
-    /// Like [`Fabric::send`] but resolving the route from the routing
-    /// table on every message — the pre-cache behaviour. Kept as the
-    /// baseline side of the hot-path scaling benchmark so the cached and
-    /// uncached lookups are compared on otherwise identical code.
+    /// Like [`Fabric::send`] but bypassing any route cache the transport
+    /// keeps — the baseline side of the hot-path scaling benchmark.
     pub fn send_uncached(
         &self,
         src: Addr,
@@ -217,169 +144,62 @@ impl Fabric {
         tag: u64,
         payload: Bytes,
     ) -> Result<(), FabricError> {
-        let tx = {
-            let eps = self.inner.endpoints.read();
-            eps.get(&dst)
-                .cloned()
-                .ok_or(FabricError::UnknownAddr(dst))?
-        };
-        self.post(&tx, src, dst, tag, payload)
-    }
-
-    fn post(
-        &self,
-        tx: &Sender<Delivery>,
-        src: Addr,
-        dst: Addr,
-        tag: u64,
-        payload: Bytes,
-    ) -> Result<(), FabricError> {
-        self.inner
-            .stats
-            .messages_sent
-            .fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .message_bytes
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        let mut copies = 1;
-        if let Some(rt) = self.fault_runtime() {
-            match rt.judge_send(src, dst) {
-                // Silent loss: the post was accepted, the message never
-                // arrives. The poster finds out via its own deadline.
-                SendVerdict::Drop => return Ok(()),
-                SendVerdict::Deliver { copies: c, delay } => {
-                    if !delay.is_zero() {
-                        std::thread::sleep(delay);
-                    }
-                    copies = c;
-                }
-            }
-        }
-        for _ in 0..copies {
-            tx.send(Delivery {
-                src,
-                tag,
-                payload: payload.clone(),
-            })
-            .map_err(|_| FabricError::Closed)?;
-        }
-        Ok(())
+        self.transport.send_uncached(src, dst, tag, payload)
     }
 
     /// Expose an immutable buffer for remote read. Returns the descriptor
     /// to ship to the peer; call [`Fabric::unregister`] when done.
     pub fn expose_read(&self, data: Arc<Vec<u8>>) -> RemoteRegion {
-        let key = MemKey(self.inner.next_key.fetch_add(1, Ordering::Relaxed));
-        let len = data.len();
-        self.inner.memory.write().insert(key, Region::Read(data));
-        RemoteRegion { key, len }
+        self.transport.expose_read(data)
     }
 
     /// Expose a writable buffer of `len` zero bytes for remote write.
     /// Returns the descriptor plus a handle the exposer keeps to harvest
     /// the written data.
     pub fn expose_write(&self, len: usize) -> (RemoteRegion, Arc<RwLock<Vec<u8>>>) {
-        let key = MemKey(self.inner.next_key.fetch_add(1, Ordering::Relaxed));
-        let buf = Arc::new(RwLock::new(vec![0u8; len]));
-        self.inner
-            .memory
-            .write()
-            .insert(key, Region::Write(buf.clone()));
-        (RemoteRegion { key, len }, buf)
+        self.transport.expose_write(len)
     }
 
     /// Tear down a registration. Idempotent.
     pub fn unregister(&self, key: MemKey) {
-        self.inner.memory.write().remove(&key);
+        self.transport.unregister(key);
     }
 
     /// One-sided read of `[offset, offset+len)` from a registered region.
     /// Charges the transfer cost on the caller (the initiator).
     pub fn rdma_get(&self, key: MemKey, offset: usize, len: usize) -> Result<Bytes, FabricError> {
-        if let Some(rt) = self.fault_runtime() {
-            if rt.judge_rdma("rdma_get") {
-                return Err(FabricError::InjectedFault { op: "rdma_get" });
-            }
-        }
-        let data = {
-            let mem = self.inner.memory.read();
-            let region = mem.get(&key).ok_or(FabricError::UnknownMemory(key))?;
-            let end = offset.checked_add(len).ok_or(FabricError::OutOfBounds {
-                key,
-                requested_end: usize::MAX,
-                len: region.len(),
-            })?;
-            if end > region.len() {
-                return Err(FabricError::OutOfBounds {
-                    key,
-                    requested_end: end,
-                    len: region.len(),
-                });
-            }
-            match region {
-                Region::Read(buf) => Bytes::copy_from_slice(&buf[offset..end]),
-                Region::Write(buf) => Bytes::copy_from_slice(&buf.read()[offset..end]),
-            }
-        };
-        self.inner.model.charge(len);
-        self.inner.stats.rdma_gets.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .rdma_bytes
-            .fetch_add(len as u64, Ordering::Relaxed);
-        Ok(data)
+        self.transport.rdma_get(key, offset, len)
     }
 
     /// One-sided write of `data` into a registered writable region at
     /// `offset`. Charges the transfer cost on the caller.
     pub fn rdma_put(&self, key: MemKey, offset: usize, data: &[u8]) -> Result<(), FabricError> {
-        if let Some(rt) = self.fault_runtime() {
-            if rt.judge_rdma("rdma_put") {
-                return Err(FabricError::InjectedFault { op: "rdma_put" });
-            }
-        }
-        {
-            let mem = self.inner.memory.read();
-            let region = mem.get(&key).ok_or(FabricError::UnknownMemory(key))?;
-            let end = offset
-                .checked_add(data.len())
-                .ok_or(FabricError::OutOfBounds {
-                    key,
-                    requested_end: usize::MAX,
-                    len: region.len(),
-                })?;
-            if end > region.len() {
-                return Err(FabricError::OutOfBounds {
-                    key,
-                    requested_end: end,
-                    len: region.len(),
-                });
-            }
-            match region {
-                Region::Write(buf) => buf.write()[offset..end].copy_from_slice(data),
-                Region::Read(_) => return Err(FabricError::ReadOnlyRegion(key)),
-            }
-        }
-        self.inner.model.charge(data.len());
-        self.inner.stats.rdma_puts.fetch_add(1, Ordering::Relaxed);
-        self.inner
-            .stats
-            .rdma_bytes
-            .fetch_add(data.len() as u64, Ordering::Relaxed);
-        Ok(())
+        self.transport.rdma_put(key, offset, data)
+    }
+
+    /// Resolve a string address (`tcp://host:port`, `unix://path`) to the
+    /// fabric address of the peer's primary endpoint, connecting if
+    /// needed. Fails with [`FabricError::Unsupported`] on transports
+    /// without URL addressing (the local one).
+    pub fn lookup(&self, url: &str) -> Result<Addr, FabricError> {
+        self.transport.lookup(url)
+    }
+
+    /// The URL peers can [`Fabric::lookup`] to reach this fabric's
+    /// endpoints, if its transport listens on one.
+    pub fn listen_url(&self) -> Option<String> {
+        self.transport.listen_url()
     }
 
     /// Snapshot the cumulative transfer statistics.
     pub fn stats(&self) -> FabricStatsSnapshot {
-        let s = &self.inner.stats;
-        FabricStatsSnapshot {
-            messages_sent: s.messages_sent.load(Ordering::Relaxed),
-            message_bytes: s.message_bytes.load(Ordering::Relaxed),
-            rdma_gets: s.rdma_gets.load(Ordering::Relaxed),
-            rdma_puts: s.rdma_puts.load(Ordering::Relaxed),
-            rdma_bytes: s.rdma_bytes.load(Ordering::Relaxed),
-        }
+        self.transport.stats()
+    }
+
+    /// Wire-level byte/frame/connection counters, for transports that
+    /// have a wire (`None` on the local transport).
+    pub fn link_stats(&self) -> Option<LinkStatsSnapshot> {
+        self.transport.link_stats()
     }
 }
 
@@ -419,6 +239,16 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), addrs.len());
+    }
+
+    #[test]
+    fn local_fabric_has_no_url_addressing() {
+        let f = fabric();
+        assert_eq!(f.kind(), "local");
+        assert_eq!(f.listen_url(), None);
+        let err = f.lookup("tcp://127.0.0.1:1").unwrap_err();
+        assert!(matches!(err, FabricError::Unsupported { op: "lookup", .. }));
+        assert!(!err.retryable());
     }
 
     #[test]

@@ -206,6 +206,49 @@ pub enum SendVerdict {
     Drop,
 }
 
+/// The armable fault-plan slot every [`crate::Transport`] carries: an
+/// atomic armed flag in front of the runtime so the no-fault hot path
+/// costs one relaxed load, not a lock. Shared by the local and socket
+/// transports so seeded fault schedules behave identically over a real
+/// wire.
+#[derive(Debug, Default)]
+pub struct FaultSlot {
+    armed: std::sync::atomic::AtomicBool,
+    slot: std::sync::RwLock<Option<std::sync::Arc<FaultRuntime>>>,
+}
+
+impl FaultSlot {
+    /// An empty (disarmed) slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm `plan`, replacing any armed plan and resetting its counters.
+    pub fn install(&self, plan: FaultPlan) {
+        *self.slot.write().unwrap() = Some(std::sync::Arc::new(FaultRuntime::install(plan)));
+        self.armed.store(true, Ordering::Release);
+    }
+
+    /// Disarm. Counters from the removed plan are lost.
+    pub fn clear(&self) {
+        self.armed.store(false, Ordering::Release);
+        *self.slot.write().unwrap() = None;
+    }
+
+    /// The armed runtime, if any (the hot-path accessor).
+    pub fn runtime(&self) -> Option<std::sync::Arc<FaultRuntime>> {
+        if !self.armed.load(Ordering::Acquire) {
+            return None;
+        }
+        self.slot.read().unwrap().clone()
+    }
+
+    /// Snapshot the armed plan's injected-fault counters, if any.
+    pub fn counters(&self) -> Option<FaultCountersSnapshot> {
+        self.runtime().map(|rt| rt.counters())
+    }
+}
+
 /// A [`FaultPlan`] armed on a fabric: the plan plus the installation
 /// epoch (blackout reference point), per-link message counters, and the
 /// injected-fault counters.

@@ -27,14 +27,20 @@
 mod endpoint;
 mod fabric;
 mod fault;
+mod local;
 mod memory;
 mod model;
+mod transport;
 
 pub use endpoint::{Delivery, Endpoint};
 pub use fabric::{Fabric, FabricStats, FabricStatsSnapshot};
-pub use fault::{Blackout, FaultCounters, FaultCountersSnapshot, FaultPlan, FaultRuntime};
-pub use memory::{MemKey, RemoteRegion};
+pub use fault::{
+    Blackout, FaultCounters, FaultCountersSnapshot, FaultPlan, FaultRuntime, FaultSlot, SendVerdict,
+};
+pub use local::LocalTransport;
+pub use memory::{MemKey, Region, RemoteRegion};
 pub use model::NetworkModel;
+pub use transport::{LinkRow, LinkStatsSnapshot, Transport};
 
 /// A fabric address (analogous to an `fi_addr_t`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -71,15 +77,36 @@ pub enum FabricError {
         /// Which operation was failed (e.g. `"rdma_get"`).
         op: &'static str,
     },
+    /// The transport does not implement the requested operation (e.g.
+    /// `lookup` on the local transport, which has no URL addressing).
+    Unsupported {
+        /// The unimplemented operation.
+        op: &'static str,
+        /// The transport kind that rejected it.
+        kind: &'static str,
+        /// Operation-specific detail (e.g. the URL that was looked up).
+        detail: String,
+    },
+    /// A wire-level failure: connect refused, socket reset, peer closed
+    /// mid-exchange. Retryable — the peer may come back.
+    Transport {
+        /// The operation that hit the wire failure.
+        op: &'static str,
+        /// Human-readable failure detail (underlying `io::Error` text).
+        detail: String,
+    },
 }
 
 impl FabricError {
-    /// Is retrying the operation reasonable? Injected faults are
-    /// transient by construction; routing and registration errors are
-    /// not — the peer or region is gone and a retry would only see the
-    /// same state.
+    /// Is retrying the operation reasonable? Injected faults and wire
+    /// failures are transient by construction; routing and registration
+    /// errors are not — the peer or region is gone and a retry would only
+    /// see the same state.
     pub fn retryable(&self) -> bool {
-        matches!(self, FabricError::InjectedFault { .. })
+        matches!(
+            self,
+            FabricError::InjectedFault { .. } | FabricError::Transport { .. }
+        )
     }
 }
 
@@ -102,6 +129,12 @@ impl std::fmt::Display for FabricError {
             FabricError::Closed => write!(f, "endpoint closed"),
             FabricError::InjectedFault { op } => {
                 write!(f, "fault plan injected a {op} failure")
+            }
+            FabricError::Unsupported { op, kind, detail } => {
+                write!(f, "{op} not supported by the {kind} transport ({detail})")
+            }
+            FabricError::Transport { op, detail } => {
+                write!(f, "transport failure during {op}: {detail}")
             }
         }
     }

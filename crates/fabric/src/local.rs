@@ -1,0 +1,278 @@
+//! The `local` transport: the original in-process fabric, now one
+//! implementation of [`Transport`] behind the same [`crate::Fabric`]
+//! handle the whole stack always used.
+//!
+//! "Processes" and "nodes" on this transport are thread groups inside a
+//! single OS process; routing is a shared address table, delivery is a
+//! crossbeam channel push, and the [`NetworkModel`] supplies the transfer
+//! costs a real wire would.
+
+use crate::endpoint::Delivery;
+use crate::fabric::{FabricStats, FabricStatsSnapshot};
+use crate::fault::{FaultCountersSnapshot, FaultPlan, FaultSlot, SendVerdict};
+use crate::memory::{MemKey, Region, RemoteRegion};
+use crate::model::NetworkModel;
+use crate::transport::Transport;
+use crate::{Addr, FabricError};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static NEXT_FABRIC_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Bound on the per-thread sender cache; crossing it flushes the whole map
+/// (entries are one clone away from recovery, so eviction is harmless).
+const SENDER_CACHE_CAP: usize = 1024;
+
+/// Cache slot: (fabric id, destination) → (routing generation, sender).
+type SenderCacheMap = HashMap<(u64, Addr), (u64, Sender<Delivery>)>;
+
+thread_local! {
+    /// [`LocalTransport::send`] resolves repeat destinations from here
+    /// without touching the routing-table `RwLock`; entries whose
+    /// generation lags the transport's [`LocalTransport::route_gen`] are
+    /// refreshed on use.
+    static SENDER_CACHE: RefCell<SenderCacheMap> = RefCell::new(HashMap::new());
+}
+
+/// The in-process message fabric (see the module docs).
+pub struct LocalTransport {
+    /// Process-unique id, namespacing this transport's [`SENDER_CACHE`]
+    /// slots.
+    id: u64,
+    endpoints: RwLock<HashMap<Addr, Sender<Delivery>>>,
+    /// Routing-table generation: bumped by
+    /// [`LocalTransport::close_endpoint`] so thread-local sender caches
+    /// notice the route went away. Opening an endpoint never bumps it —
+    /// addresses are never reused, so a fresh address can't be shadowed by
+    /// a stale cache entry.
+    route_gen: AtomicU64,
+    memory: RwLock<HashMap<MemKey, Region>>,
+    next_addr: AtomicU64,
+    next_key: AtomicU64,
+    model: NetworkModel,
+    stats: FabricStats,
+    faults: FaultSlot,
+}
+
+impl std::fmt::Debug for LocalTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "LocalTransport(endpoints={}, regions={})",
+            self.endpoints.read().len(),
+            self.memory.read().len()
+        )
+    }
+}
+
+impl LocalTransport {
+    /// Create an in-process fabric with the given network model.
+    pub fn new(model: NetworkModel) -> Self {
+        LocalTransport {
+            id: NEXT_FABRIC_ID.fetch_add(1, Ordering::Relaxed),
+            endpoints: RwLock::new(HashMap::new()),
+            route_gen: AtomicU64::new(0),
+            memory: RwLock::new(HashMap::new()),
+            next_addr: AtomicU64::new(1),
+            next_key: AtomicU64::new(1),
+            model,
+            stats: FabricStats::default(),
+            faults: FaultSlot::new(),
+        }
+    }
+
+    /// Look up the delivery channel for `dst`, consulting the calling
+    /// thread's sender cache first so steady-state sends skip the
+    /// routing-table lock entirely.
+    fn sender_for(&self, dst: Addr) -> Result<Sender<Delivery>, FabricError> {
+        let gen = self.route_gen.load(Ordering::Acquire);
+        let slot = (self.id, dst);
+        let cached = SENDER_CACHE.with(|c| match c.borrow().get(&slot) {
+            Some((g, tx)) if *g == gen => Some(tx.clone()),
+            _ => None,
+        });
+        if let Some(tx) = cached {
+            return Ok(tx);
+        }
+        let fresh = self.endpoints.read().get(&dst).cloned();
+        SENDER_CACHE.with(|c| {
+            let mut c = c.borrow_mut();
+            match &fresh {
+                Some(tx) => {
+                    if c.len() >= SENDER_CACHE_CAP {
+                        c.clear();
+                    }
+                    c.insert(slot, (gen, tx.clone()));
+                }
+                None => {
+                    c.remove(&slot);
+                }
+            }
+        });
+        fresh.ok_or(FabricError::UnknownAddr(dst))
+    }
+
+    fn post(
+        &self,
+        tx: &Sender<Delivery>,
+        src: Addr,
+        dst: Addr,
+        tag: u64,
+        payload: Bytes,
+    ) -> Result<(), FabricError> {
+        self.stats.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .message_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let mut copies = 1;
+        if let Some(rt) = self.faults.runtime() {
+            match rt.judge_send(src, dst) {
+                // Silent loss: the post was accepted, the message never
+                // arrives. The poster finds out via its own deadline.
+                SendVerdict::Drop => return Ok(()),
+                SendVerdict::Deliver { copies: c, delay } => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    copies = c;
+                }
+            }
+        }
+        for _ in 0..copies {
+            tx.send(Delivery {
+                src,
+                tag,
+                payload: payload.clone(),
+            })
+            .map_err(|_| FabricError::Closed)?;
+        }
+        Ok(())
+    }
+}
+
+impl Transport for LocalTransport {
+    fn kind(&self) -> &'static str {
+        "local"
+    }
+
+    fn open_endpoint(&self) -> (Addr, Receiver<Delivery>) {
+        let addr = Addr(self.next_addr.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = unbounded();
+        self.endpoints.write().insert(addr, tx);
+        (addr, rx)
+    }
+
+    fn close_endpoint(&self, addr: Addr) {
+        self.endpoints.write().remove(&addr);
+        self.route_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Send a two-sided (eager) message: posted asynchronously, like an
+    /// `fi_send` handed to the NIC — the sender is *not* charged the
+    /// network cost (only synchronous one-sided transfers are).
+    fn send(&self, src: Addr, dst: Addr, tag: u64, payload: Bytes) -> Result<(), FabricError> {
+        let tx = self.sender_for(dst)?;
+        self.post(&tx, src, dst, tag, payload)
+    }
+
+    /// Like `send` but resolving the route from the routing table on every
+    /// message — the pre-cache behaviour. Kept as the baseline side of the
+    /// hot-path scaling benchmark so the cached and uncached lookups are
+    /// compared on otherwise identical code.
+    fn send_uncached(
+        &self,
+        src: Addr,
+        dst: Addr,
+        tag: u64,
+        payload: Bytes,
+    ) -> Result<(), FabricError> {
+        let tx = {
+            let eps = self.endpoints.read();
+            eps.get(&dst)
+                .cloned()
+                .ok_or(FabricError::UnknownAddr(dst))?
+        };
+        self.post(&tx, src, dst, tag, payload)
+    }
+
+    fn expose_read(&self, data: Arc<Vec<u8>>) -> RemoteRegion {
+        let key = MemKey(self.next_key.fetch_add(1, Ordering::Relaxed));
+        let len = data.len();
+        self.memory.write().insert(key, Region::Read(data));
+        RemoteRegion { key, len }
+    }
+
+    fn expose_write(&self, len: usize) -> (RemoteRegion, Arc<RwLock<Vec<u8>>>) {
+        let key = MemKey(self.next_key.fetch_add(1, Ordering::Relaxed));
+        let buf = Arc::new(RwLock::new(vec![0u8; len]));
+        self.memory.write().insert(key, Region::Write(buf.clone()));
+        (RemoteRegion { key, len }, buf)
+    }
+
+    fn unregister(&self, key: MemKey) {
+        self.memory.write().remove(&key);
+    }
+
+    fn rdma_get(&self, key: MemKey, offset: usize, len: usize) -> Result<Bytes, FabricError> {
+        if let Some(rt) = self.faults.runtime() {
+            if rt.judge_rdma("rdma_get") {
+                return Err(FabricError::InjectedFault { op: "rdma_get" });
+            }
+        }
+        let data = {
+            let mem = self.memory.read();
+            let region = mem.get(&key).ok_or(FabricError::UnknownMemory(key))?;
+            region.read_range(key, offset, len)?
+        };
+        self.model.charge(len);
+        self.stats.rdma_gets.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .rdma_bytes
+            .fetch_add(len as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    fn rdma_put(&self, key: MemKey, offset: usize, data: &[u8]) -> Result<(), FabricError> {
+        if let Some(rt) = self.faults.runtime() {
+            if rt.judge_rdma("rdma_put") {
+                return Err(FabricError::InjectedFault { op: "rdma_put" });
+            }
+        }
+        {
+            let mem = self.memory.read();
+            let region = mem.get(&key).ok_or(FabricError::UnknownMemory(key))?;
+            region.write_range(key, offset, data)?;
+        }
+        self.model.charge(data.len());
+        self.stats.rdma_puts.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .rdma_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn model(&self) -> NetworkModel {
+        self.model
+    }
+
+    fn stats(&self) -> FabricStatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    fn install_fault_plan(&self, plan: FaultPlan) {
+        self.faults.install(plan);
+    }
+
+    fn clear_fault_plan(&self) {
+        self.faults.clear();
+    }
+
+    fn fault_counters(&self) -> Option<FaultCountersSnapshot> {
+        self.faults.counters()
+    }
+}

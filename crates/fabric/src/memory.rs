@@ -1,5 +1,7 @@
 //! Registered memory regions for one-sided (RDMA) transfers.
 
+use crate::FabricError;
+use bytes::Bytes;
 use parking_lot::RwLock;
 use std::sync::Arc;
 
@@ -19,7 +21,12 @@ pub struct RemoteRegion {
 
 /// The registered buffer itself. Readable regions are immutable snapshots;
 /// writable regions are shared so the exposer can harvest written data.
-pub(crate) enum Region {
+///
+/// Public so alternative [`crate::Transport`] implementations (the socket
+/// transport serves its peers' pull/push request frames from the same
+/// region table shape) share the bounds-checking logic instead of
+/// re-deriving it.
+pub enum Region {
     /// Exposed for remote read (`rdma_get`).
     Read(Arc<Vec<u8>>),
     /// Exposed for remote write (`rdma_put`).
@@ -27,10 +34,58 @@ pub(crate) enum Region {
 }
 
 impl Region {
-    pub(crate) fn len(&self) -> usize {
+    /// Length of the registered buffer in bytes.
+    pub fn len(&self) -> usize {
         match self {
             Region::Read(buf) => buf.len(),
             Region::Write(buf) => buf.read().len(),
+        }
+    }
+
+    /// Whether the registered buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bounds-check `[offset, offset+len)` against this region, returning
+    /// the exclusive end offset. `key` only labels the error.
+    fn check_bounds(&self, key: MemKey, offset: usize, len: usize) -> Result<usize, FabricError> {
+        let region_len = self.len();
+        let end = offset.checked_add(len).ok_or(FabricError::OutOfBounds {
+            key,
+            requested_end: usize::MAX,
+            len: region_len,
+        })?;
+        if end > region_len {
+            return Err(FabricError::OutOfBounds {
+                key,
+                requested_end: end,
+                len: region_len,
+            });
+        }
+        Ok(end)
+    }
+
+    /// Copy `[offset, offset+len)` out of the region (the serving side of
+    /// an `rdma_get`).
+    pub fn read_range(&self, key: MemKey, offset: usize, len: usize) -> Result<Bytes, FabricError> {
+        let end = self.check_bounds(key, offset, len)?;
+        Ok(match self {
+            Region::Read(buf) => Bytes::copy_from_slice(&buf[offset..end]),
+            Region::Write(buf) => Bytes::copy_from_slice(&buf.read()[offset..end]),
+        })
+    }
+
+    /// Copy `data` into `[offset, offset+data.len())` of a writable region
+    /// (the serving side of an `rdma_put`).
+    pub fn write_range(&self, key: MemKey, offset: usize, data: &[u8]) -> Result<(), FabricError> {
+        let end = self.check_bounds(key, offset, data.len())?;
+        match self {
+            Region::Write(buf) => {
+                buf.write()[offset..end].copy_from_slice(data);
+                Ok(())
+            }
+            Region::Read(_) => Err(FabricError::ReadOnlyRegion(key)),
         }
     }
 }
@@ -55,5 +110,29 @@ mod tests {
         };
         let b = a;
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn read_range_checks_bounds() {
+        let r = Region::Read(Arc::new(vec![1, 2, 3, 4]));
+        assert_eq!(&r.read_range(MemKey(1), 1, 2).unwrap()[..], &[2, 3]);
+        assert!(matches!(
+            r.read_range(MemKey(1), 2, 3),
+            Err(FabricError::OutOfBounds { .. })
+        ));
+        // Offset overflow is out-of-bounds, not a panic.
+        assert!(matches!(
+            r.read_range(MemKey(1), usize::MAX, 2),
+            Err(FabricError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn write_range_rejects_read_only() {
+        let r = Region::Read(Arc::new(vec![0u8; 4]));
+        assert_eq!(
+            r.write_range(MemKey(9), 0, &[1]),
+            Err(FabricError::ReadOnlyRegion(MemKey(9)))
+        );
     }
 }

@@ -1,0 +1,178 @@
+//! The transport abstraction behind [`crate::Fabric`].
+//!
+//! The original reproduction hard-wired an in-process message fabric;
+//! this trait is what was extracted from it so the same Mercury / Margo /
+//! services stack can run over a real wire. Implementations:
+//!
+//! * [`crate::LocalTransport`] — the in-process fabric (thread groups
+//!   standing in for processes), with the thread-local sender cache and
+//!   the [`crate::NetworkModel`] cost model. This is the `local`
+//!   transport and the default behind [`crate::Fabric::new`].
+//! * `symbi-net`'s `NetTransport` — TCP and Unix-domain sockets with a
+//!   length-prefixed framed wire protocol, for genuinely multi-process
+//!   deployments.
+//!
+//! The contract mirrors what the upper layers already depended on:
+//!
+//! * **Endpoints** own a completion queue (a `crossbeam` receiver) that
+//!   [`crate::Endpoint::poll`] drains with a bounded read. A transport
+//!   delivers two-sided messages into that queue from wherever its events
+//!   originate (a routing table, a socket reader thread).
+//! * **Two-sided sends are asynchronous posts**: `send` returning `Ok`
+//!   means the transport accepted the message, not that it arrived.
+//!   Silent loss (fault injection, a dead peer) is surfaced by the upper
+//!   layers' deadlines, never by `send`.
+//! * **One-sided transfers are synchronous at the initiator** and operate
+//!   on registered regions named by [`MemKey`]. A transport that crosses
+//!   a process boundary must map `rdma_get`/`rdma_put` onto explicit
+//!   pull/push request frames while preserving these semantics.
+
+use crate::endpoint::Delivery;
+use crate::fabric::FabricStatsSnapshot;
+use crate::fault::{FaultCountersSnapshot, FaultPlan};
+use crate::memory::{MemKey, RemoteRegion};
+use crate::model::NetworkModel;
+use crate::{Addr, FabricError};
+use bytes::Bytes;
+use crossbeam::channel::Receiver;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// Byte/frame/connection counters of a wire-backed transport, aggregated
+/// and per peer link. The local transport reports `None` from
+/// [`Transport::link_stats`] — it has no wire.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LinkStatsSnapshot {
+    /// Frames written to sockets (messages, RDMA requests and responses).
+    pub frames_sent: u64,
+    /// Frames read from sockets.
+    pub frames_received: u64,
+    /// Payload bytes written (frame bodies, excluding length prefixes).
+    pub bytes_sent: u64,
+    /// Payload bytes read.
+    pub bytes_received: u64,
+    /// Outbound connections successfully established.
+    pub connects: u64,
+    /// Inbound connections accepted.
+    pub accepts: u64,
+    /// Outbound connections re-established after a failure.
+    pub reconnects: u64,
+    /// Sends that failed at the socket layer (before any reconnect).
+    pub send_failures: u64,
+    /// Per-peer `(node id, frames sent, frames received, bytes sent,
+    /// bytes received)` rows for the links currently or previously open.
+    pub per_link: Vec<LinkRow>,
+}
+
+/// One peer link's cumulative counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkRow {
+    /// Peer node id (the high 32 bits of its addresses).
+    pub node: u32,
+    /// Frames written to this peer.
+    pub frames_sent: u64,
+    /// Frames read from this peer.
+    pub frames_received: u64,
+    /// Payload bytes written to this peer.
+    pub bytes_sent: u64,
+    /// Payload bytes read from this peer.
+    pub bytes_received: u64,
+}
+
+impl LinkStatsSnapshot {
+    /// Number of peer links with any traffic.
+    pub fn active_links(&self) -> usize {
+        self.per_link.len()
+    }
+}
+
+/// The message/RDMA substrate behind a [`crate::Fabric`] handle.
+///
+/// Object-safe by design: `Fabric` holds an `Arc<dyn Transport>` so the
+/// whole upper stack (Mercury, Margo, the services) is transport-agnostic
+/// and the in-process examples, benches, and fault matrix run unchanged
+/// over the extracted trait.
+pub trait Transport: Send + Sync + 'static {
+    /// Short implementation name: `"local"`, `"tcp"`, `"unix"`.
+    fn kind(&self) -> &'static str;
+
+    /// Open a new endpoint, returning its address and the receive side of
+    /// its completion queue.
+    fn open_endpoint(&self) -> (Addr, Receiver<Delivery>);
+
+    /// Remove an endpoint. Subsequent local sends to the address fail
+    /// with [`FabricError::UnknownAddr`]; remote senders observe silence
+    /// (their deadlines expire), as on a real network.
+    fn close_endpoint(&self, addr: Addr);
+
+    /// Post a two-sided message (see the module docs for the asynchronous
+    /// contract).
+    fn send(&self, src: Addr, dst: Addr, tag: u64, payload: Bytes) -> Result<(), FabricError>;
+
+    /// [`Transport::send`] bypassing any route cache the implementation
+    /// keeps — the baseline side of the hot-path scaling benchmark.
+    /// Implementations without a cache just forward to `send`.
+    fn send_uncached(
+        &self,
+        src: Addr,
+        dst: Addr,
+        tag: u64,
+        payload: Bytes,
+    ) -> Result<(), FabricError> {
+        self.send(src, dst, tag, payload)
+    }
+
+    /// Expose an immutable buffer for remote read.
+    fn expose_read(&self, data: Arc<Vec<u8>>) -> RemoteRegion;
+
+    /// Expose a writable buffer of `len` zero bytes for remote write.
+    fn expose_write(&self, len: usize) -> (RemoteRegion, Arc<RwLock<Vec<u8>>>);
+
+    /// Tear down a registration. Idempotent.
+    fn unregister(&self, key: MemKey);
+
+    /// One-sided read from a registered region (synchronous; the
+    /// initiator pays the transfer cost).
+    fn rdma_get(&self, key: MemKey, offset: usize, len: usize) -> Result<Bytes, FabricError>;
+
+    /// One-sided write into a registered writable region (synchronous).
+    fn rdma_put(&self, key: MemKey, offset: usize, data: &[u8]) -> Result<(), FabricError>;
+
+    /// Resolve a string address (`tcp://host:port`, `unix://path`) to the
+    /// fabric address of the peer's primary endpoint, connecting if
+    /// needed. The local transport cannot resolve URLs.
+    fn lookup(&self, url: &str) -> Result<Addr, FabricError> {
+        Err(FabricError::Unsupported {
+            op: "lookup",
+            kind: self.kind(),
+            detail: url.to_string(),
+        })
+    }
+
+    /// The URL peers can [`Transport::lookup`] to reach this transport's
+    /// endpoints, if it listens on one.
+    fn listen_url(&self) -> Option<String> {
+        None
+    }
+
+    /// The cost model in effect (instant for wire-backed transports: the
+    /// wire itself provides the latency).
+    fn model(&self) -> NetworkModel;
+
+    /// Snapshot the cumulative transfer statistics.
+    fn stats(&self) -> FabricStatsSnapshot;
+
+    /// Wire-level counters, for transports that have a wire.
+    fn link_stats(&self) -> Option<LinkStatsSnapshot> {
+        None
+    }
+
+    /// Arm a deterministic fault plan (replacing any armed plan).
+    fn install_fault_plan(&self, plan: FaultPlan);
+
+    /// Disarm fault injection.
+    fn clear_fault_plan(&self);
+
+    /// Snapshot the injected-fault counters of the armed plan, if any.
+    fn fault_counters(&self) -> Option<FaultCountersSnapshot>;
+}

@@ -292,6 +292,20 @@ impl MargoInstance {
         self.inner.hg.addr()
     }
 
+    /// Resolve a transport URL to a fabric address
+    /// (`margo_addr_lookup`). Fails on transports without URL addressing
+    /// (the in-process fabric).
+    pub fn lookup(&self, url: &str) -> Result<Addr, MargoError> {
+        self.inner.hg.lookup(url).map_err(MargoError::from)
+    }
+
+    /// The URL peers can pass to [`MargoInstance::lookup`] to reach this
+    /// instance, when the transport listens on one
+    /// (`margo_addr_self_to_string`).
+    pub fn self_url(&self) -> Option<String> {
+        self.inner.hg.listen_url()
+    }
+
     /// The SYMBIOSYS context attached to this instance.
     pub fn symbiosys(&self) -> &Arc<Symbiosys> {
         &self.inner.sym

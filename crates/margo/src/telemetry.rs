@@ -115,6 +115,44 @@ impl TelemetryPlane {
                     "symbi_fabric_rdma_bytes_total",
                     s.rdma_bytes,
                 ));
+                // Per-link wire counters appear only on socket-backed
+                // transports (symbi-net); the in-process fabric has no
+                // links to report.
+                if let Some(ls) = fabric.link_stats() {
+                    out.push(MetricPoint::counter(
+                        "symbi_net_frames_sent_total",
+                        ls.frames_sent,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_frames_received_total",
+                        ls.frames_received,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_bytes_sent_total",
+                        ls.bytes_sent,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_bytes_received_total",
+                        ls.bytes_received,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_connects_total",
+                        ls.connects,
+                    ));
+                    out.push(MetricPoint::counter("symbi_net_accepts_total", ls.accepts));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_reconnects_total",
+                        ls.reconnects,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_send_failures_total",
+                        ls.send_failures,
+                    ));
+                    out.push(MetricPoint::gauge(
+                        "symbi_net_active_links",
+                        ls.active_links() as f64,
+                    ));
+                }
                 // Injected-fault counters appear once a fault plan is
                 // installed, so fault experiments can correlate observed
                 // anomalies with the faults that caused them.

@@ -148,6 +148,21 @@ impl HgClass {
         self.inner.endpoint.addr()
     }
 
+    /// Resolve a transport URL (`tcp://host:port`, `unix:///path`) to a
+    /// fabric address — Mercury's `HG_Addr_lookup`. Only meaningful on
+    /// URL-addressed transports; the in-process transport returns
+    /// [`HgError::Fabric`] with `FabricError::Unsupported`.
+    pub fn lookup(&self, url: &str) -> Result<Addr, HgError> {
+        self.inner.fabric.lookup(url).map_err(HgError::from)
+    }
+
+    /// The URL peers can `lookup` to reach this process, when the
+    /// underlying transport listens on one (Mercury's
+    /// `HG_Addr_self` + `HG_Addr_to_string`).
+    pub fn listen_url(&self) -> Option<String> {
+        self.inner.fabric.listen_url()
+    }
+
     /// The underlying fabric (used by the bulk interface and internal
     /// RDMA pulls).
     pub fn fabric(&self) -> &Fabric {

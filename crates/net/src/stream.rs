@@ -1,0 +1,207 @@
+//! Socket abstraction: one stream/listener type over TCP and Unix-domain
+//! sockets, addressed by URL (`tcp://host:port`, `unix:///path`).
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// A connected byte stream over either socket family.
+#[derive(Debug)]
+pub enum NetStream {
+    /// A TCP connection (`tcp://`).
+    Tcp(TcpStream),
+    /// A Unix-domain connection (`unix://`).
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl NetStream {
+    /// Connect to a `tcp://host:port` or `unix:///path` URL.
+    pub fn connect(url: &str) -> io::Result<NetStream> {
+        if let Some(hostport) = url.strip_prefix("tcp://") {
+            let s = TcpStream::connect(hostport)?;
+            s.set_nodelay(true)?;
+            return Ok(NetStream::Tcp(s));
+        }
+        #[cfg(unix)]
+        if let Some(path) = url.strip_prefix("unix://") {
+            return Ok(NetStream::Unix(UnixStream::connect(path)?));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unsupported transport url: {url}"),
+        ))
+    }
+
+    /// An independently readable/writable handle to the same socket.
+    pub fn try_clone(&self) -> io::Result<NetStream> {
+        Ok(match self {
+            NetStream::Tcp(s) => NetStream::Tcp(s.try_clone()?),
+            #[cfg(unix)]
+            NetStream::Unix(s) => NetStream::Unix(s.try_clone()?),
+        })
+    }
+
+    /// Shut down both directions, unblocking any reader thread.
+    pub fn shutdown(&self) {
+        match self {
+            NetStream::Tcp(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+            #[cfg(unix)]
+            NetStream::Unix(s) => {
+                let _ = s.shutdown(Shutdown::Both);
+            }
+        }
+    }
+
+    /// Bound or unbind the read timeout (used around the handshake so a
+    /// silent peer cannot wedge connect).
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_read_timeout(timeout),
+            #[cfg(unix)]
+            NetStream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+}
+
+impl Read for NetStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            NetStream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for NetStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            NetStream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            NetStream::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            NetStream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+/// A listening socket over either family.
+#[derive(Debug)]
+pub enum NetListener {
+    /// Listening TCP socket.
+    Tcp(TcpListener),
+    /// Listening Unix-domain socket plus its filesystem path (removed on
+    /// [`NetListener::cleanup`]).
+    #[cfg(unix)]
+    Unix(UnixListener, PathBuf),
+}
+
+impl NetListener {
+    /// Bind a `tcp://host:port` (port 0 picks a free one) or
+    /// `unix:///path` URL. Returns the listener and the canonical URL
+    /// (with the actual bound port) peers should connect to.
+    pub fn bind(url: &str) -> io::Result<(NetListener, String)> {
+        if let Some(hostport) = url.strip_prefix("tcp://") {
+            let l = TcpListener::bind(hostport)?;
+            let actual = l.local_addr()?;
+            return Ok((NetListener::Tcp(l), format!("tcp://{actual}")));
+        }
+        #[cfg(unix)]
+        if let Some(path) = url.strip_prefix("unix://") {
+            // A leftover socket file from a dead process blocks bind;
+            // remove it the way real services do.
+            let _ = std::fs::remove_file(path);
+            let l = UnixListener::bind(path)?;
+            return Ok((
+                NetListener::Unix(l, PathBuf::from(path)),
+                format!("unix://{path}"),
+            ));
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("unsupported transport url: {url}"),
+        ))
+    }
+
+    /// Accept one inbound connection (blocking).
+    pub fn accept(&self) -> io::Result<NetStream> {
+        match self {
+            NetListener::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                s.set_nodelay(true)?;
+                Ok(NetStream::Tcp(s))
+            }
+            #[cfg(unix)]
+            NetListener::Unix(l, _) => {
+                let (s, _) = l.accept()?;
+                Ok(NetStream::Unix(s))
+            }
+        }
+    }
+
+    /// Remove filesystem residue (the Unix socket path). TCP listeners
+    /// need no cleanup.
+    pub fn cleanup(&self) {
+        #[cfg(unix)]
+        if let NetListener::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_bind_reports_actual_port() {
+        let (listener, url) = NetListener::bind("tcp://127.0.0.1:0").unwrap();
+        assert!(url.starts_with("tcp://127.0.0.1:"));
+        assert!(!url.ends_with(":0"));
+        let h = std::thread::spawn(move || listener.accept().unwrap());
+        let mut client = NetStream::connect(&url).unwrap();
+        let mut server = h.join().unwrap();
+        client.write_all(b"ping").unwrap();
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_bind_connect_and_cleanup() {
+        let path = std::env::temp_dir().join(format!("symbi-net-test-{}.sock", std::process::id()));
+        let url = format!("unix://{}", path.display());
+        let (listener, bound) = NetListener::bind(&url).unwrap();
+        assert_eq!(bound, url);
+        let h = std::thread::spawn(move || {
+            let mut s = listener.accept().unwrap();
+            let mut buf = [0u8; 2];
+            s.read_exact(&mut buf).unwrap();
+            listener.cleanup();
+            buf
+        });
+        let mut client = NetStream::connect(&url).unwrap();
+        client.write_all(b"hi").unwrap();
+        assert_eq!(&h.join().unwrap(), b"hi");
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn bad_scheme_rejected() {
+        assert!(NetStream::connect("carrier-pigeon://x").is_err());
+        assert!(NetListener::bind("carrier-pigeon://x").is_err());
+    }
+}

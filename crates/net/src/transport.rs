@@ -1,0 +1,1059 @@
+//! The socket-backed [`Transport`] implementation.
+//!
+//! ## Address scheme
+//!
+//! Every process picks a 32-bit **node id** (from `SYMBI_NET_NODE_ID` or
+//! derived from the pid and clock). Fabric addresses and memory keys pack
+//! it into their high 32 bits: `Addr = node << 32 | endpoint`,
+//! `MemKey = node << 32 | registration`. Routing a send or an RDMA
+//! operation is then a single shift: the high bits name the owning
+//! process, the low bits the object inside it. A restarted peer draws a
+//! fresh node id, so addresses of a dead incarnation can never alias into
+//! the new one — the socket-transport equivalent of the local transport's
+//! route-generation stamp.
+//!
+//! ## Connections
+//!
+//! One socket per peer pair, established by [`NetTransport`]'s `lookup`
+//! (client side) or the accept loop (server side), with a `HELLO`
+//! exchange identifying node ids. Responses travel back over the same
+//! socket, so only servers need to listen. A reader thread per connection
+//! demultiplexes frames: `MSG` into the destination endpoint's completion
+//! queue, `GET_REQ`/`PUT_REQ` served from the registered-region table,
+//! `*_RESP` completing the initiator's pending one-sided operation.
+//!
+//! On a write failure to a dialed peer the transport re-dials the URL
+//! once: same node id → transparent reconnect (counted in the link
+//! stats); different node id → the peer restarted, the old address is
+//! permanently dead and the send fails so the caller re-`lookup`s.
+
+use crate::stream::{NetListener, NetStream};
+use crate::wire::{self, read_frame, write_frame, Frame};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use symbi_fabric::{
+    Addr, Delivery, FabricError, FabricStats, FabricStatsSnapshot, FaultCountersSnapshot,
+    FaultPlan, FaultSlot, LinkRow, LinkStatsSnapshot, MemKey, NetworkModel, Region, RemoteRegion,
+    SendVerdict, Transport,
+};
+
+/// Configuration for a [`NetTransport`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// URL to listen on (`tcp://host:port`, port 0 picks a free one, or
+    /// `unix:///path`). `None` for pure clients — they reach servers via
+    /// `lookup` and receive responses over the dialed socket.
+    pub listen: Option<String>,
+    /// Node id override; defaults to `SYMBI_NET_NODE_ID` or a value
+    /// derived from the pid and clock.
+    pub node_id: Option<u32>,
+    /// How long a cross-process `rdma_get`/`rdma_put` waits for its
+    /// response frame before failing as a (retryable) transport error.
+    pub rdma_timeout: Duration,
+    /// How long connect/accept waits for the peer's `HELLO`.
+    pub handshake_timeout: Duration,
+}
+
+impl NetConfig {
+    /// Listen on the given URL with default timeouts.
+    pub fn listen(url: impl Into<String>) -> Self {
+        NetConfig {
+            listen: Some(url.into()),
+            ..NetConfig::client()
+        }
+    }
+
+    /// A non-listening (client) configuration with default timeouts.
+    pub fn client() -> Self {
+        NetConfig {
+            listen: None,
+            node_id: None,
+            rdma_timeout: Duration::from_secs(10),
+            handshake_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Override the node id (mainly for tests; colliding node ids between
+    /// communicating processes are rejected at handshake).
+    #[must_use]
+    pub fn with_node_id(mut self, node: u32) -> Self {
+        self.node_id = Some(node);
+        self
+    }
+
+    /// Override the cross-process RDMA response timeout.
+    #[must_use]
+    pub fn with_rdma_timeout(mut self, timeout: Duration) -> Self {
+        self.rdma_timeout = timeout;
+        self
+    }
+}
+
+fn pack(node: u32, low: u32) -> u64 {
+    ((node as u64) << 32) | low as u64
+}
+
+fn node_of(bits: u64) -> u32 {
+    (bits >> 32) as u32
+}
+
+fn low_of(bits: u64) -> u32 {
+    bits as u32
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn derive_node_id() -> u32 {
+    if let Ok(v) = std::env::var("SYMBI_NET_NODE_ID") {
+        if let Ok(n) = v.trim().parse::<u32>() {
+            if n != 0 {
+                return n;
+            }
+        }
+    }
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64 ^ (d.as_secs() << 32))
+        .unwrap_or(0);
+    let mixed = splitmix64((std::process::id() as u64) << 32 ^ nanos) as u32;
+    mixed.max(1)
+}
+
+fn transport_err(op: &'static str, detail: impl std::fmt::Display) -> FabricError {
+    FabricError::Transport {
+        op,
+        detail: detail.to_string(),
+    }
+}
+
+/// One live peer connection: the write half (readers own a clone).
+struct Conn {
+    peer_node: u32,
+    peer_primary: u32,
+    writer: Mutex<NetStream>,
+    alive: AtomicBool,
+}
+
+/// A parked cross-process RDMA operation awaiting its response frame.
+struct PendingRdma {
+    node: u32,
+    key: u64,
+    tx: Sender<Result<Bytes, FabricError>>,
+}
+
+#[derive(Default)]
+struct PerLink {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+}
+
+#[derive(Default)]
+struct LinkCounters {
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    connects: AtomicU64,
+    accepts: AtomicU64,
+    reconnects: AtomicU64,
+    send_failures: AtomicU64,
+    per_link: RwLock<HashMap<u32, Arc<PerLink>>>,
+}
+
+impl LinkCounters {
+    fn link(&self, node: u32) -> Arc<PerLink> {
+        if let Some(l) = self.per_link.read().get(&node) {
+            return l.clone();
+        }
+        self.per_link
+            .write()
+            .entry(node)
+            .or_insert_with(|| Arc::new(PerLink::default()))
+            .clone()
+    }
+
+    fn count_sent(&self, node: u32, body_bytes: usize) {
+        self.frames_sent.fetch_add(1, Ordering::Relaxed);
+        self.bytes_sent
+            .fetch_add(body_bytes as u64, Ordering::Relaxed);
+        let l = self.link(node);
+        l.frames_sent.fetch_add(1, Ordering::Relaxed);
+        l.bytes_sent.fetch_add(body_bytes as u64, Ordering::Relaxed);
+    }
+
+    fn count_received(&self, node: u32, body_bytes: usize) {
+        self.frames_received.fetch_add(1, Ordering::Relaxed);
+        self.bytes_received
+            .fetch_add(body_bytes as u64, Ordering::Relaxed);
+        let l = self.link(node);
+        l.frames_received.fetch_add(1, Ordering::Relaxed);
+        l.bytes_received
+            .fetch_add(body_bytes as u64, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> LinkStatsSnapshot {
+        let mut per_link: Vec<LinkRow> = self
+            .per_link
+            .read()
+            .iter()
+            .map(|(node, l)| LinkRow {
+                node: *node,
+                frames_sent: l.frames_sent.load(Ordering::Relaxed),
+                frames_received: l.frames_received.load(Ordering::Relaxed),
+                bytes_sent: l.bytes_sent.load(Ordering::Relaxed),
+                bytes_received: l.bytes_received.load(Ordering::Relaxed),
+            })
+            .collect();
+        per_link.sort_by_key(|r| r.node);
+        LinkStatsSnapshot {
+            frames_sent: self.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.frames_received.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.bytes_received.load(Ordering::Relaxed),
+            connects: self.connects.load(Ordering::Relaxed),
+            accepts: self.accepts.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            send_failures: self.send_failures.load(Ordering::Relaxed),
+            per_link,
+        }
+    }
+}
+
+struct NetInner {
+    node_id: u32,
+    kind: &'static str,
+    listen_url: Option<String>,
+    rdma_timeout: Duration,
+    handshake_timeout: Duration,
+    endpoints: RwLock<HashMap<u32, Sender<Delivery>>>,
+    /// First opened endpoint id — what peers' `lookup` resolves to.
+    primary_ep: AtomicU32,
+    next_ep: AtomicU32,
+    next_key: AtomicU32,
+    memory: RwLock<HashMap<u32, Region>>,
+    conns: RwLock<HashMap<u32, Arc<Conn>>>,
+    urls: RwLock<HashMap<String, u32>>,
+    /// Reverse map for dialed peers (node → URL), consulted to re-dial
+    /// when a connection died between sends.
+    node_urls: RwLock<HashMap<u32, String>>,
+    pending: Mutex<HashMap<u64, PendingRdma>>,
+    next_req: AtomicU64,
+    stats: FabricStats,
+    link: LinkCounters,
+    faults: FaultSlot,
+    shutdown: AtomicBool,
+}
+
+/// The TCP/Unix-socket transport (see the module docs).
+pub struct NetTransport {
+    inner: Arc<NetInner>,
+    accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for NetTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "NetTransport(node={}, listen={:?}, conns={})",
+            self.inner.node_id,
+            self.inner.listen_url,
+            self.inner.conns.read().len()
+        )
+    }
+}
+
+impl NetTransport {
+    /// Start a transport: bind the listener (if configured) and spawn the
+    /// accept loop.
+    pub fn start(config: NetConfig) -> io::Result<NetTransport> {
+        let node_id = config.node_id.unwrap_or_else(derive_node_id);
+        let (listener, listen_url) = match &config.listen {
+            Some(url) => {
+                let (l, actual) = NetListener::bind(url)?;
+                (Some(l), Some(actual))
+            }
+            None => (None, None),
+        };
+        let inner = Arc::new(NetInner {
+            node_id,
+            kind: match listen_url.as_deref().or(config.listen.as_deref()) {
+                Some(url) if url.starts_with("unix://") => "unix",
+                Some(_) => "tcp",
+                // A pure client's kind follows whatever it dials; label
+                // it by family on first lookup is overkill — "tcp" covers
+                // the common case and kind() is informational.
+                None => "tcp",
+            },
+            listen_url,
+            rdma_timeout: config.rdma_timeout,
+            handshake_timeout: config.handshake_timeout,
+            endpoints: RwLock::new(HashMap::new()),
+            primary_ep: AtomicU32::new(0),
+            next_ep: AtomicU32::new(1),
+            next_key: AtomicU32::new(1),
+            memory: RwLock::new(HashMap::new()),
+            conns: RwLock::new(HashMap::new()),
+            urls: RwLock::new(HashMap::new()),
+            node_urls: RwLock::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            next_req: AtomicU64::new(1),
+            stats: FabricStats::default(),
+            link: LinkCounters::default(),
+            faults: FaultSlot::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let accept_thread = listener.map(|listener| {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name(format!("symbi-net-accept-{node_id}"))
+                .spawn(move || accept_loop(inner, listener))
+                .expect("spawn accept thread")
+        });
+        Ok(NetTransport {
+            inner,
+            accept_thread: Mutex::new(accept_thread),
+        })
+    }
+
+    /// This process's node id (the high 32 bits of its addresses).
+    pub fn node_id(&self) -> u32 {
+        self.inner.node_id
+    }
+
+    /// Drop every live connection: sockets are shut down and reader
+    /// threads exit. Dialed peers are re-dialed transparently on the next
+    /// send; inbound peers must reconnect themselves. Emulates a link
+    /// bounce — used by tests and fault drills.
+    pub fn close_all_connections(&self) {
+        for (_, conn) in self.inner.conns.write().drain() {
+            conn.alive.store(false, Ordering::Release);
+            conn.writer.lock().shutdown();
+        }
+    }
+
+    /// Stop the accept loop, shut every connection down, and fail all
+    /// pending one-sided operations. Idempotent; also run by `Drop`.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection; the loop
+        // re-checks the shutdown flag after every accept.
+        if let Some(url) = &self.inner.listen_url {
+            let _ = NetStream::connect(url);
+        }
+        if let Some(h) = self.accept_thread.lock().take() {
+            let _ = h.join();
+        }
+        for conn in self.inner.conns.write().drain().map(|(_, c)| c) {
+            conn.alive.store(false, Ordering::Release);
+            conn.writer.lock().shutdown();
+        }
+        let pending: Vec<PendingRdma> = {
+            let mut p = self.inner.pending.lock();
+            p.drain().map(|(_, slot)| slot).collect()
+        };
+        for slot in pending {
+            let _ = slot
+                .tx
+                .send(Err(transport_err("rdma", "transport shut down")));
+        }
+    }
+}
+
+impl Drop for NetTransport {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(inner: Arc<NetInner>, listener: NetListener) {
+    loop {
+        match listener.accept() {
+            Ok(stream) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                inner.link.accepts.fetch_add(1, Ordering::Relaxed);
+                let inner = inner.clone();
+                // Handshake on a helper thread so one slow client cannot
+                // stall the accept queue.
+                let _ = std::thread::Builder::new()
+                    .name("symbi-net-handshake".into())
+                    .spawn(move || {
+                        if let Err(e) = handle_inbound(&inner, stream) {
+                            if !inner.shutdown.load(Ordering::SeqCst) {
+                                eprintln!("[symbi-net] inbound handshake failed: {e}");
+                            }
+                        }
+                    });
+            }
+            Err(_) => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+    listener.cleanup();
+}
+
+fn handle_inbound(inner: &Arc<NetInner>, stream: NetStream) -> io::Result<()> {
+    stream.set_read_timeout(Some(inner.handshake_timeout))?;
+    let mut reader = stream.try_clone()?;
+    let (frame, _) = read_frame(&mut reader)?;
+    let Frame::Hello { node, primary_ep } = frame else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected HELLO as first frame",
+        ));
+    };
+    if node == inner.node_id {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("node id collision: peer also claims {node}"),
+        ));
+    }
+    stream.set_read_timeout(None)?;
+    let hello = Frame::Hello {
+        node: inner.node_id,
+        primary_ep: inner.primary_ep.load(Ordering::Acquire),
+    };
+    // Write the reply directly: the conn is registered only afterwards,
+    // so no other thread can be writing to this socket yet.
+    let mut writer = stream;
+    write_frame(&mut writer, &hello)?;
+    register_conn(inner, writer, reader, node, primary_ep, None);
+    Ok(())
+}
+
+/// Dial `url`, exchange `HELLO`s, and return the write stream, a read
+/// clone, and the peer's identity.
+fn dial(inner: &Arc<NetInner>, url: &str) -> io::Result<(NetStream, NetStream, u32, u32)> {
+    let stream = NetStream::connect(url)?;
+    let mut writer = stream.try_clone()?;
+    write_frame(
+        &mut writer,
+        &Frame::Hello {
+            node: inner.node_id,
+            primary_ep: inner.primary_ep.load(Ordering::Acquire),
+        },
+    )?;
+    stream.set_read_timeout(Some(inner.handshake_timeout))?;
+    let mut reader = stream.try_clone()?;
+    let (frame, _) = read_frame(&mut reader)?;
+    stream.set_read_timeout(None)?;
+    let Frame::Hello { node, primary_ep } = frame else {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "expected HELLO reply",
+        ));
+    };
+    if node == inner.node_id {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("node id collision with peer at {url}"),
+        ));
+    }
+    Ok((stream, reader, node, primary_ep))
+}
+
+/// Install a connection in the routing maps and spawn its reader thread.
+fn register_conn(
+    inner: &Arc<NetInner>,
+    writer: NetStream,
+    reader: NetStream,
+    peer_node: u32,
+    peer_primary: u32,
+    peer_url: Option<String>,
+) -> Arc<Conn> {
+    let conn = Arc::new(Conn {
+        peer_node,
+        peer_primary,
+        writer: Mutex::new(writer),
+        alive: AtomicBool::new(true),
+    });
+    if let Some(url) = peer_url {
+        inner.urls.write().insert(url.clone(), peer_node);
+        inner.node_urls.write().insert(peer_node, url);
+    }
+    if let Some(old) = inner.conns.write().insert(peer_node, conn.clone()) {
+        // A fresh socket to a node we already knew (reconnect from the
+        // peer's side): retire the old one.
+        old.alive.store(false, Ordering::Release);
+        old.writer.lock().shutdown();
+    }
+    let inner2 = inner.clone();
+    let conn2 = conn.clone();
+    let _ = std::thread::Builder::new()
+        .name(format!("symbi-net-read-{peer_node}"))
+        .spawn(move || reader_loop(inner2, conn2, reader));
+    conn
+}
+
+/// Per-connection demultiplexer (see the module docs).
+fn reader_loop(inner: Arc<NetInner>, conn: Arc<Conn>, mut reader: NetStream) {
+    let peer = conn.peer_node;
+    while let Ok((frame, body_len)) = read_frame(&mut reader) {
+        inner.link.count_received(peer, body_len);
+        match frame {
+            Frame::Msg {
+                src,
+                dst,
+                payload,
+                tag,
+            } => {
+                // Silence for a closed/unknown endpoint, like a NIC
+                // writing to a freed queue: the sender's deadline is the
+                // error path.
+                if node_of(dst) == inner.node_id {
+                    if let Some(tx) = inner.endpoints.read().get(&low_of(dst)) {
+                        let _ = tx.send(Delivery {
+                            src: Addr(src),
+                            tag,
+                            payload,
+                        });
+                    }
+                }
+            }
+            Frame::GetReq {
+                req,
+                key,
+                offset,
+                len,
+            } => {
+                let resp = serve_get(&inner, key, offset, len);
+                let _ = write_reply(
+                    &inner,
+                    &conn,
+                    Frame::GetResp {
+                        req,
+                        status: resp.0,
+                        body: resp.1,
+                    },
+                );
+            }
+            Frame::PutReq {
+                req,
+                key,
+                offset,
+                payload,
+            } => {
+                let resp = serve_put(&inner, key, offset, &payload);
+                let _ = write_reply(
+                    &inner,
+                    &conn,
+                    Frame::PutResp {
+                        req,
+                        status: resp.0,
+                        body: resp.1,
+                    },
+                );
+            }
+            Frame::GetResp { req, status, body } | Frame::PutResp { req, status, body } => {
+                if let Some(slot) = inner.pending.lock().remove(&req) {
+                    let _ = slot.tx.send(decode_rdma_status(slot.key, status, body));
+                }
+            }
+            Frame::Hello { .. } => {
+                // HELLO after the handshake is a protocol violation;
+                // poison the connection.
+                break;
+            }
+        }
+    }
+    conn.alive.store(false, Ordering::Release);
+    conn.writer.lock().shutdown();
+    {
+        let mut conns = inner.conns.write();
+        if conns
+            .get(&peer)
+            .map(|c| Arc::ptr_eq(c, &conn))
+            .unwrap_or(false)
+        {
+            conns.remove(&peer);
+        }
+    }
+    // Strand no waiter: every pending RDMA aimed at this node fails now
+    // rather than waiting out its timeout.
+    let stranded: Vec<PendingRdma> = {
+        let mut p = inner.pending.lock();
+        let ids: Vec<u64> = p
+            .iter()
+            .filter(|(_, slot)| slot.node == peer)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.into_iter().filter_map(|id| p.remove(&id)).collect()
+    };
+    for slot in stranded {
+        let _ = slot.tx.send(Err(transport_err(
+            "rdma",
+            format!("connection to node {peer} lost"),
+        )));
+    }
+}
+
+fn serve_get(inner: &NetInner, key: u64, offset: u64, len: u64) -> (u8, Bytes) {
+    if node_of(key) != inner.node_id {
+        return (wire::STATUS_UNKNOWN_MEMORY, Bytes::new());
+    }
+    let mem = inner.memory.read();
+    let Some(region) = mem.get(&low_of(key)) else {
+        return (wire::STATUS_UNKNOWN_MEMORY, Bytes::new());
+    };
+    match region.read_range(MemKey(key), offset as usize, len as usize) {
+        Ok(data) => (wire::STATUS_OK, data),
+        Err(e) => encode_rdma_error(&e),
+    }
+}
+
+fn serve_put(inner: &NetInner, key: u64, offset: u64, data: &[u8]) -> (u8, Bytes) {
+    if node_of(key) != inner.node_id {
+        return (wire::STATUS_UNKNOWN_MEMORY, Bytes::new());
+    }
+    let mem = inner.memory.read();
+    let Some(region) = mem.get(&low_of(key)) else {
+        return (wire::STATUS_UNKNOWN_MEMORY, Bytes::new());
+    };
+    match region.write_range(MemKey(key), offset as usize, data) {
+        Ok(()) => (wire::STATUS_OK, Bytes::new()),
+        Err(e) => encode_rdma_error(&e),
+    }
+}
+
+fn encode_rdma_error(e: &FabricError) -> (u8, Bytes) {
+    match e {
+        FabricError::UnknownMemory(_) => (wire::STATUS_UNKNOWN_MEMORY, Bytes::new()),
+        FabricError::ReadOnlyRegion(_) => (wire::STATUS_READ_ONLY, Bytes::new()),
+        FabricError::OutOfBounds {
+            requested_end, len, ..
+        } => {
+            let mut body = Vec::with_capacity(16);
+            body.extend_from_slice(&(*requested_end as u64).to_le_bytes());
+            body.extend_from_slice(&(*len as u64).to_le_bytes());
+            (wire::STATUS_OUT_OF_BOUNDS, Bytes::from(body))
+        }
+        // No other error can come out of Region::read_range/write_range;
+        // map anything unexpected to unknown-memory rather than panic a
+        // reader thread.
+        _ => (wire::STATUS_UNKNOWN_MEMORY, Bytes::new()),
+    }
+}
+
+fn decode_rdma_status(key: u64, status: u8, body: Bytes) -> Result<Bytes, FabricError> {
+    match status {
+        wire::STATUS_OK => Ok(body),
+        wire::STATUS_UNKNOWN_MEMORY => Err(FabricError::UnknownMemory(MemKey(key))),
+        wire::STATUS_READ_ONLY => Err(FabricError::ReadOnlyRegion(MemKey(key))),
+        wire::STATUS_OUT_OF_BOUNDS if body.len() >= 16 => {
+            let requested_end = u64::from_le_bytes(body[0..8].try_into().unwrap()) as usize;
+            let len = u64::from_le_bytes(body[8..16].try_into().unwrap()) as usize;
+            Err(FabricError::OutOfBounds {
+                key: MemKey(key),
+                requested_end,
+                len,
+            })
+        }
+        other => Err(transport_err(
+            "rdma",
+            format!("bad response status {other}"),
+        )),
+    }
+}
+
+/// Write a response frame from a reader thread (no reconnect: if the
+/// socket died the requester's pending slot fails through the reader
+/// teardown path anyway).
+fn write_reply(inner: &NetInner, conn: &Conn, frame: Frame) -> Result<(), FabricError> {
+    let mut w = conn.writer.lock();
+    match write_frame(&mut *w, &frame) {
+        Ok(n) => {
+            inner.link.count_sent(conn.peer_node, n);
+            Ok(())
+        }
+        Err(e) => {
+            inner.link.send_failures.fetch_add(1, Ordering::Relaxed);
+            conn.alive.store(false, Ordering::Release);
+            Err(transport_err("reply", e))
+        }
+    }
+}
+
+impl NetInner {
+    fn conn_to(&self, node: u32) -> Option<Arc<Conn>> {
+        self.conns.read().get(&node).cloned()
+    }
+
+    /// Dial + handshake + register; shared by `lookup` and reconnect.
+    fn dial_and_register(self: &Arc<Self>, url: &str) -> io::Result<(u32, u32)> {
+        let (writer, reader, node, primary) = dial(self, url)?;
+        self.link.connects.fetch_add(1, Ordering::Relaxed);
+        register_conn(self, writer, reader, node, primary, Some(url.to_string()));
+        Ok((node, primary))
+    }
+
+    /// A live connection to `node`, re-dialing a previously dialed URL if
+    /// the old connection died. The re-dial only satisfies the caller if
+    /// the peer kept its node id — a restarted peer (new id) fails
+    /// permanently, which is the wire analogue of the local transport's
+    /// stale-generation check: addresses of a dead incarnation never
+    /// deliver into the new one.
+    fn conn_or_redial(
+        self: &Arc<Self>,
+        node: u32,
+        op: &'static str,
+    ) -> Result<Arc<Conn>, FabricError> {
+        if let Some(conn) = self.conn_to(node) {
+            if conn.alive.load(Ordering::Acquire) {
+                return Ok(conn);
+            }
+        }
+        let Some(url) = self.node_urls.read().get(&node).cloned() else {
+            return Err(transport_err(
+                op,
+                format!("no connection to node {node} (inbound peer must re-dial)"),
+            ));
+        };
+        match self.dial_and_register(&url) {
+            Ok((fresh_node, _)) if fresh_node == node => {
+                self.link.reconnects.fetch_add(1, Ordering::Relaxed);
+                self.conn_to(node)
+                    .ok_or_else(|| transport_err(op, "reconnect raced with shutdown"))
+            }
+            Ok((fresh_node, _)) => {
+                // The peer restarted under a new identity; drop the
+                // stale reverse mapping so we stop re-dialing on behalf
+                // of the dead incarnation.
+                self.node_urls.write().remove(&node);
+                Err(transport_err(
+                    op,
+                    format!(
+                        "peer at {url} restarted: node {node} is now node {fresh_node}; \
+                         old addresses are dead, re-lookup the URL"
+                    ),
+                ))
+            }
+            Err(e) => Err(transport_err(op, format!("reconnect to {url}: {e}"))),
+        }
+    }
+
+    /// Write a frame to `conn`, falling back to one re-dial + retry if
+    /// the write fails (see [`NetInner::conn_or_redial`]).
+    fn write_conn(
+        self: &Arc<Self>,
+        conn: &Arc<Conn>,
+        frame: &Frame,
+        op: &'static str,
+    ) -> Result<(), FabricError> {
+        {
+            let mut w = conn.writer.lock();
+            if let Ok(n) = write_frame(&mut *w, frame) {
+                self.link.count_sent(conn.peer_node, n);
+                return Ok(());
+            }
+        }
+        self.link.send_failures.fetch_add(1, Ordering::Relaxed);
+        conn.alive.store(false, Ordering::Release);
+        conn.writer.lock().shutdown();
+        {
+            let mut conns = self.conns.write();
+            if conns
+                .get(&conn.peer_node)
+                .map(|c| Arc::ptr_eq(c, conn))
+                .unwrap_or(false)
+            {
+                conns.remove(&conn.peer_node);
+            }
+        }
+        let fresh = self.conn_or_redial(conn.peer_node, op)?;
+        let mut w = fresh.writer.lock();
+        match write_frame(&mut *w, frame) {
+            Ok(n) => {
+                self.link.count_sent(conn.peer_node, n);
+                Ok(())
+            }
+            Err(e) => Err(transport_err(op, format!("send after reconnect: {e}"))),
+        }
+    }
+}
+
+impl Transport for NetTransport {
+    fn kind(&self) -> &'static str {
+        self.inner.kind
+    }
+
+    fn open_endpoint(&self) -> (Addr, Receiver<Delivery>) {
+        let ep = self.inner.next_ep.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = crossbeam::channel::unbounded();
+        self.inner.endpoints.write().insert(ep, tx);
+        let _ = self
+            .inner
+            .primary_ep
+            .compare_exchange(0, ep, Ordering::AcqRel, Ordering::Relaxed);
+        (Addr(pack(self.inner.node_id, ep)), rx)
+    }
+
+    fn close_endpoint(&self, addr: Addr) {
+        if node_of(addr.0) == self.inner.node_id {
+            self.inner.endpoints.write().remove(&low_of(addr.0));
+        }
+    }
+
+    fn send(&self, src: Addr, dst: Addr, tag: u64, payload: Bytes) -> Result<(), FabricError> {
+        self.inner
+            .stats
+            .messages_sent
+            .fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .message_bytes
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        // Faults are judged before the frame ever reaches a socket, so a
+        // seeded plan produces the same schedule over the wire as it does
+        // in-process.
+        let mut copies = 1;
+        if let Some(rt) = self.inner.faults.runtime() {
+            match rt.judge_send(src, dst) {
+                SendVerdict::Drop => return Ok(()),
+                SendVerdict::Deliver { copies: c, delay } => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    copies = c;
+                }
+            }
+        }
+        let dst_node = node_of(dst.0);
+        if dst_node == self.inner.node_id {
+            let tx = self
+                .inner
+                .endpoints
+                .read()
+                .get(&low_of(dst.0))
+                .cloned()
+                .ok_or(FabricError::UnknownAddr(dst))?;
+            for _ in 0..copies {
+                tx.send(Delivery {
+                    src,
+                    tag,
+                    payload: payload.clone(),
+                })
+                .map_err(|_| FabricError::Closed)?;
+            }
+            return Ok(());
+        }
+        let conn = self.inner.conn_or_redial(dst_node, "send")?;
+        let frame = Frame::Msg {
+            src: src.0,
+            dst: dst.0,
+            tag,
+            payload,
+        };
+        for _ in 0..copies {
+            self.inner.write_conn(&conn, &frame, "send")?;
+        }
+        Ok(())
+    }
+
+    fn expose_read(&self, data: Arc<Vec<u8>>) -> RemoteRegion {
+        let low = self.inner.next_key.fetch_add(1, Ordering::Relaxed);
+        let key = MemKey(pack(self.inner.node_id, low));
+        let len = data.len();
+        self.inner.memory.write().insert(low, Region::Read(data));
+        RemoteRegion { key, len }
+    }
+
+    fn expose_write(&self, len: usize) -> (RemoteRegion, Arc<RwLock<Vec<u8>>>) {
+        let low = self.inner.next_key.fetch_add(1, Ordering::Relaxed);
+        let key = MemKey(pack(self.inner.node_id, low));
+        let buf = Arc::new(RwLock::new(vec![0u8; len]));
+        self.inner
+            .memory
+            .write()
+            .insert(low, Region::Write(buf.clone()));
+        (RemoteRegion { key, len }, buf)
+    }
+
+    fn unregister(&self, key: MemKey) {
+        if node_of(key.0) == self.inner.node_id {
+            self.inner.memory.write().remove(&low_of(key.0));
+        }
+    }
+
+    fn rdma_get(&self, key: MemKey, offset: usize, len: usize) -> Result<Bytes, FabricError> {
+        if let Some(rt) = self.inner.faults.runtime() {
+            if rt.judge_rdma("rdma_get") {
+                return Err(FabricError::InjectedFault { op: "rdma_get" });
+            }
+        }
+        let node = node_of(key.0);
+        let data = if node == self.inner.node_id {
+            let mem = self.inner.memory.read();
+            let region = mem
+                .get(&low_of(key.0))
+                .ok_or(FabricError::UnknownMemory(key))?;
+            region.read_range(key, offset, len)?
+        } else {
+            let conn = self.inner.conn_or_redial(node, "rdma_get")?;
+            let req = self.inner.next_req.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = bounded(1);
+            self.inner.pending.lock().insert(
+                req,
+                PendingRdma {
+                    node,
+                    key: key.0,
+                    tx,
+                },
+            );
+            let frame = Frame::GetReq {
+                req,
+                key: key.0,
+                offset: offset as u64,
+                len: len as u64,
+            };
+            if let Err(e) = self.inner.write_conn(&conn, &frame, "rdma_get") {
+                self.inner.pending.lock().remove(&req);
+                return Err(e);
+            }
+            match rx.recv_timeout(self.inner.rdma_timeout) {
+                Ok(result) => result?,
+                Err(_) => {
+                    self.inner.pending.lock().remove(&req);
+                    return Err(transport_err(
+                        "rdma_get",
+                        format!("no response within {:?}", self.inner.rdma_timeout),
+                    ));
+                }
+            }
+        };
+        self.inner.stats.rdma_gets.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .rdma_bytes
+            .fetch_add(len as u64, Ordering::Relaxed);
+        Ok(data)
+    }
+
+    fn rdma_put(&self, key: MemKey, offset: usize, data: &[u8]) -> Result<(), FabricError> {
+        if let Some(rt) = self.inner.faults.runtime() {
+            if rt.judge_rdma("rdma_put") {
+                return Err(FabricError::InjectedFault { op: "rdma_put" });
+            }
+        }
+        let node = node_of(key.0);
+        if node == self.inner.node_id {
+            let mem = self.inner.memory.read();
+            let region = mem
+                .get(&low_of(key.0))
+                .ok_or(FabricError::UnknownMemory(key))?;
+            region.write_range(key, offset, data)?;
+        } else {
+            let conn = self.inner.conn_or_redial(node, "rdma_put")?;
+            let req = self.inner.next_req.fetch_add(1, Ordering::Relaxed);
+            let (tx, rx) = bounded(1);
+            self.inner.pending.lock().insert(
+                req,
+                PendingRdma {
+                    node,
+                    key: key.0,
+                    tx,
+                },
+            );
+            let frame = Frame::PutReq {
+                req,
+                key: key.0,
+                offset: offset as u64,
+                payload: Bytes::copy_from_slice(data),
+            };
+            if let Err(e) = self.inner.write_conn(&conn, &frame, "rdma_put") {
+                self.inner.pending.lock().remove(&req);
+                return Err(e);
+            }
+            match rx.recv_timeout(self.inner.rdma_timeout) {
+                Ok(result) => {
+                    result?;
+                }
+                Err(_) => {
+                    self.inner.pending.lock().remove(&req);
+                    return Err(transport_err(
+                        "rdma_put",
+                        format!("no response within {:?}", self.inner.rdma_timeout),
+                    ));
+                }
+            }
+        }
+        self.inner.stats.rdma_puts.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .stats
+            .rdma_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn lookup(&self, url: &str) -> Result<Addr, FabricError> {
+        if let Some(node) = self.inner.urls.read().get(url).copied() {
+            if let Some(conn) = self.inner.conn_to(node) {
+                if conn.alive.load(Ordering::Acquire) {
+                    return Ok(Addr(pack(node, conn.peer_primary)));
+                }
+            }
+        }
+        match self.inner.dial_and_register(url) {
+            Ok((node, primary)) => {
+                if primary == 0 {
+                    return Err(transport_err(
+                        "lookup",
+                        format!("peer at {url} has no endpoint open yet"),
+                    ));
+                }
+                Ok(Addr(pack(node, primary)))
+            }
+            Err(e) => Err(transport_err("lookup", format!("{url}: {e}"))),
+        }
+    }
+
+    fn listen_url(&self) -> Option<String> {
+        self.inner.listen_url.clone()
+    }
+
+    fn model(&self) -> NetworkModel {
+        // The wire provides real latency; charging a model on top would
+        // double-count.
+        NetworkModel::instant()
+    }
+
+    fn stats(&self) -> FabricStatsSnapshot {
+        self.inner.stats.snapshot()
+    }
+
+    fn link_stats(&self) -> Option<LinkStatsSnapshot> {
+        Some(self.inner.link.snapshot())
+    }
+
+    fn install_fault_plan(&self, plan: FaultPlan) {
+        self.inner.faults.install(plan);
+    }
+
+    fn clear_fault_plan(&self) {
+        self.inner.faults.clear();
+    }
+
+    fn fault_counters(&self) -> Option<FaultCountersSnapshot> {
+        self.inner.faults.counters()
+    }
+}

@@ -1,0 +1,403 @@
+//! The framed wire protocol.
+//!
+//! Every frame is a 4-byte little-endian body length, a 1-byte frame
+//! type, then the body. Bodies are fixed-layout little-endian scalars
+//! followed by a variable payload tail — no self-describing serialization
+//! on the wire, matching Mercury's fixed-header style (the RPC header with
+//! its span/Lamport trace context travels *inside* the MSG payload,
+//! byte-identical to what the local transport delivers).
+//!
+//! Frame inventory:
+//!
+//! | type | name       | body |
+//! |------|------------|------|
+//! | 1    | `HELLO`    | node `u32`, primary endpoint `u32` |
+//! | 2    | `MSG`      | src `u64`, dst `u64`, tag `u64`, payload |
+//! | 3    | `GET_REQ`  | req `u64`, key `u64`, offset `u64`, len `u64` |
+//! | 4    | `GET_RESP` | req `u64`, status `u8`, payload / error detail |
+//! | 5    | `PUT_REQ`  | req `u64`, key `u64`, offset `u64`, payload |
+//! | 6    | `PUT_RESP` | req `u64`, status `u8`, error detail |
+//!
+//! `GET_REQ`/`PUT_REQ` are how one-sided `rdma_get`/`rdma_put` cross the
+//! process boundary: explicit pull/push requests served by the peer's
+//! reader thread from its registered-region table, so registered-buffer
+//! semantics (bounds checks, read-only protection) survive the wire.
+
+use bytes::Bytes;
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame body; larger frames indicate a corrupt or
+/// hostile stream and poison the connection.
+pub const MAX_FRAME: usize = 64 * 1024 * 1024;
+
+/// Handshake: first frame in each direction on a new connection.
+pub const TYPE_HELLO: u8 = 1;
+/// A two-sided message delivery.
+pub const TYPE_MSG: u8 = 2;
+/// One-sided read request (the wire form of `rdma_get`).
+pub const TYPE_GET_REQ: u8 = 3;
+/// Response to [`TYPE_GET_REQ`].
+pub const TYPE_GET_RESP: u8 = 4;
+/// One-sided write request (the wire form of `rdma_put`).
+pub const TYPE_PUT_REQ: u8 = 5;
+/// Response to [`TYPE_PUT_REQ`].
+pub const TYPE_PUT_RESP: u8 = 6;
+
+/// RDMA response status: success.
+pub const STATUS_OK: u8 = 0;
+/// RDMA response status: key not registered at the serving node.
+pub const STATUS_UNKNOWN_MEMORY: u8 = 1;
+/// RDMA response status: write to a read-only region.
+pub const STATUS_READ_ONLY: u8 = 2;
+/// RDMA response status: access outside the region bounds; the body
+/// carries `requested_end u64, len u64`.
+pub const STATUS_OUT_OF_BOUNDS: u8 = 3;
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Peer identification, exchanged once per direction at connect time.
+    Hello {
+        /// The peer's node id (high 32 bits of all its addresses).
+        node: u32,
+        /// The peer's primary endpoint id (what `lookup` resolves to).
+        primary_ep: u32,
+    },
+    /// A two-sided message.
+    Msg {
+        /// Full source address bits.
+        src: u64,
+        /// Full destination address bits.
+        dst: u64,
+        /// Application tag.
+        tag: u64,
+        /// Message payload.
+        payload: Bytes,
+    },
+    /// Pull request against a registered region on the receiving node.
+    GetReq {
+        /// Request id, echoed in the response.
+        req: u64,
+        /// Full memory-key bits.
+        key: u64,
+        /// Byte offset into the region.
+        offset: u64,
+        /// Bytes requested.
+        len: u64,
+    },
+    /// Pull response.
+    GetResp {
+        /// Echoed request id.
+        req: u64,
+        /// One of the `STATUS_*` codes.
+        status: u8,
+        /// Pulled bytes on success; status-specific detail on failure.
+        body: Bytes,
+    },
+    /// Push request against a registered region on the receiving node.
+    PutReq {
+        /// Request id, echoed in the response.
+        req: u64,
+        /// Full memory-key bits.
+        key: u64,
+        /// Byte offset into the region.
+        offset: u64,
+        /// Bytes to write.
+        payload: Bytes,
+    },
+    /// Push response.
+    PutResp {
+        /// Echoed request id.
+        req: u64,
+        /// One of the `STATUS_*` codes.
+        status: u8,
+        /// Status-specific detail on failure, empty on success.
+        body: Bytes,
+    },
+}
+
+impl Frame {
+    /// The frame's wire type byte.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Frame::Hello { .. } => TYPE_HELLO,
+            Frame::Msg { .. } => TYPE_MSG,
+            Frame::GetReq { .. } => TYPE_GET_REQ,
+            Frame::GetResp { .. } => TYPE_GET_RESP,
+            Frame::PutReq { .. } => TYPE_PUT_REQ,
+            Frame::PutResp { .. } => TYPE_PUT_RESP,
+        }
+    }
+
+    /// Encode into `[len u32][type u8][body]` wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body: Vec<u8> = Vec::new();
+        match self {
+            Frame::Hello { node, primary_ep } => {
+                body.extend_from_slice(&node.to_le_bytes());
+                body.extend_from_slice(&primary_ep.to_le_bytes());
+            }
+            Frame::Msg {
+                src,
+                dst,
+                tag,
+                payload,
+            } => {
+                body.extend_from_slice(&src.to_le_bytes());
+                body.extend_from_slice(&dst.to_le_bytes());
+                body.extend_from_slice(&tag.to_le_bytes());
+                body.extend_from_slice(payload);
+            }
+            Frame::GetReq {
+                req,
+                key,
+                offset,
+                len,
+            } => {
+                body.extend_from_slice(&req.to_le_bytes());
+                body.extend_from_slice(&key.to_le_bytes());
+                body.extend_from_slice(&offset.to_le_bytes());
+                body.extend_from_slice(&len.to_le_bytes());
+            }
+            Frame::GetResp {
+                req,
+                status,
+                body: b,
+            } => {
+                body.extend_from_slice(&req.to_le_bytes());
+                body.push(*status);
+                body.extend_from_slice(b);
+            }
+            Frame::PutReq {
+                req,
+                key,
+                offset,
+                payload,
+            } => {
+                body.extend_from_slice(&req.to_le_bytes());
+                body.extend_from_slice(&key.to_le_bytes());
+                body.extend_from_slice(&offset.to_le_bytes());
+                body.extend_from_slice(payload);
+            }
+            Frame::PutResp {
+                req,
+                status,
+                body: b,
+            } => {
+                body.extend_from_slice(&req.to_le_bytes());
+                body.push(*status);
+                body.extend_from_slice(b);
+            }
+        }
+        let mut out = Vec::with_capacity(5 + body.len());
+        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        out.push(self.type_byte());
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decode a frame from its type byte and body.
+    pub fn decode(ty: u8, body: Bytes) -> io::Result<Frame> {
+        fn need(body: &Bytes, n: usize, what: &str) -> io::Result<()> {
+            if body.len() < n {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{what} frame too short: {} < {n}", body.len()),
+                ));
+            }
+            Ok(())
+        }
+        fn u32_at(body: &[u8], at: usize) -> u32 {
+            u32::from_le_bytes(body[at..at + 4].try_into().unwrap())
+        }
+        fn u64_at(body: &[u8], at: usize) -> u64 {
+            u64::from_le_bytes(body[at..at + 8].try_into().unwrap())
+        }
+        Ok(match ty {
+            TYPE_HELLO => {
+                need(&body, 8, "HELLO")?;
+                Frame::Hello {
+                    node: u32_at(&body, 0),
+                    primary_ep: u32_at(&body, 4),
+                }
+            }
+            TYPE_MSG => {
+                need(&body, 24, "MSG")?;
+                Frame::Msg {
+                    src: u64_at(&body, 0),
+                    dst: u64_at(&body, 8),
+                    tag: u64_at(&body, 16),
+                    payload: body.slice(24..),
+                }
+            }
+            TYPE_GET_REQ => {
+                need(&body, 32, "GET_REQ")?;
+                Frame::GetReq {
+                    req: u64_at(&body, 0),
+                    key: u64_at(&body, 8),
+                    offset: u64_at(&body, 16),
+                    len: u64_at(&body, 24),
+                }
+            }
+            TYPE_GET_RESP => {
+                need(&body, 9, "GET_RESP")?;
+                Frame::GetResp {
+                    req: u64_at(&body, 0),
+                    status: body[8],
+                    body: body.slice(9..),
+                }
+            }
+            TYPE_PUT_REQ => {
+                need(&body, 24, "PUT_REQ")?;
+                Frame::PutReq {
+                    req: u64_at(&body, 0),
+                    key: u64_at(&body, 8),
+                    offset: u64_at(&body, 16),
+                    payload: body.slice(24..),
+                }
+            }
+            TYPE_PUT_RESP => {
+                need(&body, 9, "PUT_RESP")?;
+                Frame::PutResp {
+                    req: u64_at(&body, 0),
+                    status: body[8],
+                    body: body.slice(9..),
+                }
+            }
+            other => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unknown frame type {other}"),
+                ))
+            }
+        })
+    }
+}
+
+/// Write one frame; returns the number of body bytes written (for the
+/// link counters).
+pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<usize> {
+    let encoded = frame.encode();
+    w.write_all(&encoded)?;
+    w.flush()?;
+    Ok(encoded.len() - 5)
+}
+
+/// Read one frame; returns the frame and its body length. Blocks until a
+/// full frame arrives or the stream fails.
+pub fn read_frame<R: Read>(r: &mut R) -> io::Result<(Frame, usize)> {
+    let mut header = [0u8; 5];
+    r.read_exact(&mut header)?;
+    let len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame body {len} exceeds MAX_FRAME {MAX_FRAME}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    Ok((Frame::decode(header[4], Bytes::from(body))?, len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let encoded = frame.encode();
+        let mut cursor = std::io::Cursor::new(encoded.clone());
+        let (decoded, len) = read_frame(&mut cursor).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(len, encoded.len() - 5);
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(Frame::Hello {
+            node: 7,
+            primary_ep: 3,
+        });
+        roundtrip(Frame::Msg {
+            src: (7u64 << 32) | 1,
+            dst: (9u64 << 32) | 2,
+            tag: 0xDEAD_BEEF,
+            payload: Bytes::from_static(b"hello wire"),
+        });
+        roundtrip(Frame::GetReq {
+            req: 42,
+            key: (7u64 << 32) | 5,
+            offset: 128,
+            len: 4096,
+        });
+        roundtrip(Frame::GetResp {
+            req: 42,
+            status: STATUS_OK,
+            body: Bytes::from_static(b"pulled"),
+        });
+        roundtrip(Frame::PutReq {
+            req: 43,
+            key: (7u64 << 32) | 6,
+            offset: 0,
+            payload: Bytes::from_static(b"pushed"),
+        });
+        roundtrip(Frame::PutResp {
+            req: 43,
+            status: STATUS_READ_ONLY,
+            body: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn empty_payload_roundtrips() {
+        roundtrip(Frame::Msg {
+            src: 1,
+            dst: 2,
+            tag: 0,
+            payload: Bytes::new(),
+        });
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut encoded = Frame::Hello {
+            node: 1,
+            primary_ep: 1,
+        }
+        .encode();
+        encoded[0..4].copy_from_slice(&((MAX_FRAME as u32) + 1).to_le_bytes());
+        let mut cursor = std::io::Cursor::new(encoded);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert!(Frame::decode(99, Bytes::new()).is_err());
+    }
+
+    #[test]
+    fn truncated_body_rejected() {
+        assert!(Frame::decode(TYPE_MSG, Bytes::from_static(b"short")).is_err());
+    }
+
+    #[test]
+    fn back_to_back_frames_parse_in_order() {
+        let a = Frame::Msg {
+            src: 1,
+            dst: 2,
+            tag: 3,
+            payload: Bytes::from_static(b"first"),
+        };
+        let b = Frame::GetReq {
+            req: 9,
+            key: 8,
+            offset: 7,
+            len: 6,
+        };
+        let mut stream = a.encode();
+        stream.extend_from_slice(&b.encode());
+        let mut cursor = std::io::Cursor::new(stream);
+        assert_eq!(read_frame(&mut cursor).unwrap().0, a);
+        assert_eq!(read_frame(&mut cursor).unwrap().0, b);
+    }
+}

@@ -1,0 +1,555 @@
+//! symbi-deploy: a multi-process deployment launcher.
+//!
+//! Spawns N server and M client OS processes from a [`DeployManifest`],
+//! assigns each server a transport address (`tcp://host:port` or
+//! `unix://path`), wires per-process telemetry (monitor period,
+//! Prometheus scrape port, flight-recorder directory), waits for the
+//! servers to come up, and tears the deployment down cleanly. With the
+//! `symbi-net` transport this turns the in-process examples into genuine
+//! multi-process runs whose per-process flight rings `symbi-analyze`
+//! merges into one span graph.
+//!
+//! ## The process protocol
+//!
+//! The launcher communicates with its children purely through the
+//! environment and small files, so any binary (the `symbi-netd` roles, a
+//! shell script in tests) can participate:
+//!
+//! | Variable | Meaning |
+//! |---|---|
+//! | `SYMBI_NET_ROLE` | Role string from the manifest (e.g. `hepnos`). |
+//! | `SYMBI_RANK` | Index of this process within its role. |
+//! | `SYMBI_NET_NODE_ID` | Assigned fabric node id (also the id nonce). |
+//! | `SYMBI_NET_LISTEN` | Servers: URL to listen on (`tcp://…:0` ok). |
+//! | `SYMBI_READY_FILE` | Write the *actual* listen URL (servers) or any content (clients) here once up. |
+//! | `SYMBI_STOP_FILE` | Servers exit soon after this file appears. |
+//! | `SYMBI_SERVERS` | Clients: comma-separated server URLs. |
+//! | `SYMBI_TELEMETRY_PERIOD_MS` | Monitor sampling period, if set. |
+//! | `SYMBI_PROMETHEUS_PORT` | Prometheus scrape port, if set. |
+//! | `SYMBI_FLIGHT_DIR` | Flight-recorder ring directory, if set. |
+//! | `SYMBI_FAULT_SEED` | Seed for the process's fault plan, if set. |
+//!
+//! Servers report their bound URL through the ready file (not the
+//! launcher-chosen one) so ephemeral TCP ports work: the launcher asks
+//! for `tcp://127.0.0.1:0` and reads back the real port.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitStatus, Stdio};
+use std::time::{Duration, Instant};
+
+/// Which socket family servers listen on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportScheme {
+    /// `tcp://127.0.0.1:<ephemeral>` per server.
+    Tcp,
+    /// `unix://<workdir>/server-<i>.sock` per server.
+    Unix,
+}
+
+/// Description of a multi-process deployment.
+#[derive(Debug, Clone)]
+pub struct DeployManifest {
+    /// Binary to spawn for every process (e.g. the `symbi-netd` bin).
+    pub program: PathBuf,
+    /// Arguments passed to every process.
+    pub args: Vec<String>,
+    /// `SYMBI_NET_ROLE` for server processes.
+    pub server_role: String,
+    /// `SYMBI_NET_ROLE` for client processes.
+    pub client_role: String,
+    /// Number of server processes.
+    pub servers: usize,
+    /// Number of client processes.
+    pub clients: usize,
+    /// Socket family for server listen addresses.
+    pub scheme: TransportScheme,
+    /// Scratch directory for ready/stop files, Unix sockets, and
+    /// per-process logs (created if missing).
+    pub workdir: PathBuf,
+    /// Background telemetry sampling period for every process.
+    pub telemetry_period: Option<Duration>,
+    /// Prometheus ports: server `i` scrapes on `base + i`, client `j` on
+    /// `base + servers + j`. `Some(0)` gives every process an ephemeral
+    /// port (scrapable only from inside that process).
+    pub prometheus_base_port: Option<u16>,
+    /// Flight-recorder root: each process records under
+    /// `<dir>/<role>-<rank>/`.
+    pub flight_dir: Option<PathBuf>,
+    /// Deterministic fault seed handed to every process.
+    pub fault_seed: Option<u64>,
+    /// How long to wait for all server ready files.
+    pub ready_timeout: Duration,
+    /// Extra environment variables for every process.
+    pub extra_env: Vec<(String, String)>,
+}
+
+impl DeployManifest {
+    /// A manifest with `servers` + `clients` processes of `program`,
+    /// TCP transport, and defaults for everything else.
+    pub fn new(
+        program: impl Into<PathBuf>,
+        workdir: impl Into<PathBuf>,
+        servers: usize,
+        clients: usize,
+    ) -> Self {
+        DeployManifest {
+            program: program.into(),
+            args: Vec::new(),
+            server_role: "server".into(),
+            client_role: "client".into(),
+            servers,
+            clients,
+            scheme: TransportScheme::Tcp,
+            workdir: workdir.into(),
+            telemetry_period: None,
+            prometheus_base_port: None,
+            flight_dir: None,
+            fault_seed: None,
+            ready_timeout: Duration::from_secs(30),
+            extra_env: Vec::new(),
+        }
+    }
+
+    /// Set the server/client role strings.
+    #[must_use]
+    pub fn with_roles(mut self, server: impl Into<String>, client: impl Into<String>) -> Self {
+        self.server_role = server.into();
+        self.client_role = client.into();
+        self
+    }
+
+    /// Use Unix-domain sockets under the workdir instead of TCP.
+    #[must_use]
+    pub fn with_unix_sockets(mut self) -> Self {
+        self.scheme = TransportScheme::Unix;
+        self
+    }
+
+    /// Enable per-process telemetry: monitor period, Prometheus base
+    /// port, and flight-ring root directory.
+    #[must_use]
+    pub fn with_telemetry(
+        mut self,
+        period: Duration,
+        prometheus_base_port: u16,
+        flight_dir: impl Into<PathBuf>,
+    ) -> Self {
+        self.telemetry_period = Some(period);
+        self.prometheus_base_port = Some(prometheus_base_port);
+        self.flight_dir = Some(flight_dir.into());
+        self
+    }
+
+    /// Hand every process this fault seed.
+    #[must_use]
+    pub fn with_fault_seed(mut self, seed: u64) -> Self {
+        self.fault_seed = Some(seed);
+        self
+    }
+
+    /// The listen URL assigned to server `i` (port 0 for TCP — the
+    /// server reports the real one through its ready file).
+    fn listen_url(&self, i: usize) -> String {
+        match self.scheme {
+            TransportScheme::Tcp => "tcp://127.0.0.1:0".to_string(),
+            TransportScheme::Unix => {
+                format!(
+                    "unix://{}",
+                    self.workdir.join(format!("server-{i}.sock")).display()
+                )
+            }
+        }
+    }
+
+    /// The Prometheus port for process `index` (servers first, then
+    /// clients), if telemetry is configured.
+    fn prometheus_port(&self, index: usize) -> Option<u16> {
+        self.prometheus_base_port
+            .map(|base| if base == 0 { 0 } else { base + index as u16 })
+    }
+
+    /// Launch the deployment: spawn servers, wait for their ready files,
+    /// then spawn clients pointed at the reported server URLs.
+    pub fn launch(&self) -> io::Result<Deployment> {
+        fs::create_dir_all(&self.workdir)?;
+        let stop_file = self.workdir.join("stop");
+        let _ = fs::remove_file(&stop_file);
+
+        let mut servers = Vec::with_capacity(self.servers);
+        for i in 0..self.servers {
+            servers.push(self.spawn_one(&self.server_role, i, i, &stop_file, None)?);
+        }
+
+        let server_urls = match self.wait_for_ready(&servers) {
+            Ok(urls) => urls,
+            Err(e) => {
+                for p in &mut servers {
+                    let _ = p.child.kill();
+                }
+                return Err(e);
+            }
+        };
+
+        let joined = server_urls.join(",");
+        let mut clients = Vec::with_capacity(self.clients);
+        for j in 0..self.clients {
+            clients.push(self.spawn_one(
+                &self.client_role,
+                j,
+                self.servers + j,
+                &stop_file,
+                Some(&joined),
+            )?);
+        }
+
+        Ok(Deployment {
+            servers,
+            clients,
+            server_urls,
+            stop_file,
+            workdir: self.workdir.clone(),
+        })
+    }
+
+    fn spawn_one(
+        &self,
+        role: &str,
+        rank: usize,
+        index: usize,
+        stop_file: &Path,
+        server_urls: Option<&str>,
+    ) -> io::Result<ManagedProcess> {
+        let name = format!("{role}-{rank}");
+        let ready_file = self.workdir.join(format!("{name}.ready"));
+        let _ = fs::remove_file(&ready_file);
+        let log = fs::File::create(self.workdir.join(format!("{name}.log")))?;
+
+        let mut cmd = Command::new(&self.program);
+        cmd.args(&self.args)
+            .stdin(Stdio::null())
+            .stdout(Stdio::from(log.try_clone()?))
+            .stderr(Stdio::from(log))
+            .env("SYMBI_NET_ROLE", role)
+            .env("SYMBI_RANK", rank.to_string())
+            // Node ids: servers from 1000, clients from 2000. Also the
+            // per-process id nonce (symbi_core::process_nonce), keeping
+            // request/span ids distinct across the deployment.
+            .env(
+                "SYMBI_NET_NODE_ID",
+                (if server_urls.is_none() {
+                    1000 + index
+                } else {
+                    2000 + index
+                })
+                .to_string(),
+            )
+            .env("SYMBI_READY_FILE", &ready_file)
+            .env("SYMBI_STOP_FILE", stop_file);
+        if server_urls.is_none() {
+            cmd.env("SYMBI_NET_LISTEN", self.listen_url(rank));
+        }
+        if let Some(urls) = server_urls {
+            cmd.env("SYMBI_SERVERS", urls);
+        }
+        if let Some(p) = self.telemetry_period {
+            cmd.env("SYMBI_TELEMETRY_PERIOD_MS", p.as_millis().to_string());
+        }
+        if let Some(port) = self.prometheus_port(index) {
+            cmd.env("SYMBI_PROMETHEUS_PORT", port.to_string());
+        }
+        if let Some(dir) = &self.flight_dir {
+            cmd.env("SYMBI_FLIGHT_DIR", dir.join(&name));
+        }
+        if let Some(seed) = self.fault_seed {
+            cmd.env("SYMBI_FAULT_SEED", seed.to_string());
+        }
+        for (k, v) in &self.extra_env {
+            cmd.env(k, v);
+        }
+        let child = cmd.spawn()?;
+        Ok(ManagedProcess {
+            name,
+            ready_file,
+            child,
+        })
+    }
+
+    /// Poll until every process's ready file exists with content,
+    /// returning the reported URLs in process order.
+    fn wait_for_ready(&self, procs: &[ManagedProcess]) -> io::Result<Vec<String>> {
+        let deadline = Instant::now() + self.ready_timeout;
+        let mut urls = vec![None; procs.len()];
+        loop {
+            for (i, p) in procs.iter().enumerate() {
+                if urls[i].is_none() {
+                    if let Ok(contents) = fs::read_to_string(&p.ready_file) {
+                        let trimmed = contents.trim().to_string();
+                        if !trimmed.is_empty() {
+                            urls[i] = Some(trimmed);
+                        }
+                    }
+                }
+            }
+            if urls.iter().all(|u| u.is_some()) {
+                return Ok(urls.into_iter().map(|u| u.unwrap()).collect());
+            }
+            if Instant::now() >= deadline {
+                let missing: Vec<&str> = procs
+                    .iter()
+                    .zip(&urls)
+                    .filter(|(_, u)| u.is_none())
+                    .map(|(p, _)| p.name.as_str())
+                    .collect();
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "deployment not ready within {:?}: waiting on {}",
+                        self.ready_timeout,
+                        missing.join(", ")
+                    ),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+}
+
+struct ManagedProcess {
+    name: String,
+    ready_file: PathBuf,
+    child: Child,
+}
+
+/// A running multi-process deployment (see [`DeployManifest::launch`]).
+pub struct Deployment {
+    servers: Vec<ManagedProcess>,
+    clients: Vec<ManagedProcess>,
+    server_urls: Vec<String>,
+    stop_file: PathBuf,
+    workdir: PathBuf,
+}
+
+impl Deployment {
+    /// The URLs the servers actually bound (readable by any
+    /// URL-addressed transport's `lookup`).
+    pub fn server_urls(&self) -> &[String] {
+        &self.server_urls
+    }
+
+    /// The deployment scratch directory (logs, ready/stop files).
+    pub fn workdir(&self) -> &Path {
+        &self.workdir
+    }
+
+    /// OS pid of server `i` (e.g. to kill it for a fault drill).
+    pub fn server_pid(&self, i: usize) -> u32 {
+        self.servers[i].child.id()
+    }
+
+    /// Kill server `i` immediately (SIGKILL) — the "server dies
+    /// mid-load" fault drill. Idempotent once the process is gone.
+    pub fn kill_server(&mut self, i: usize) -> io::Result<()> {
+        self.servers[i].child.kill()
+    }
+
+    /// Wait for every client process to exit, up to `timeout`. Returns
+    /// the exit statuses in client order; times out with the names of
+    /// the stragglers (which keep running).
+    pub fn wait_clients(&mut self, timeout: Duration) -> io::Result<Vec<ExitStatus>> {
+        let deadline = Instant::now() + timeout;
+        let mut statuses: Vec<Option<ExitStatus>> = vec![None; self.clients.len()];
+        loop {
+            for (i, c) in self.clients.iter_mut().enumerate() {
+                if statuses[i].is_none() {
+                    statuses[i] = c.child.try_wait()?;
+                }
+            }
+            if statuses.iter().all(|s| s.is_some()) {
+                return Ok(statuses.into_iter().map(|s| s.unwrap()).collect());
+            }
+            if Instant::now() >= deadline {
+                let stuck: Vec<&str> = self
+                    .clients
+                    .iter()
+                    .zip(&statuses)
+                    .filter(|(_, s)| s.is_none())
+                    .map(|(c, _)| c.name.as_str())
+                    .collect();
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!(
+                        "clients still running after {timeout:?}: {}",
+                        stuck.join(", ")
+                    ),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// Tear down: signal the stop file, give servers `grace` to exit,
+    /// then kill anything still running (including clients). Returns the
+    /// number of processes that had to be killed.
+    pub fn shutdown(mut self, grace: Duration) -> io::Result<usize> {
+        fs::write(&self.stop_file, b"stop")?;
+        let deadline = Instant::now() + grace;
+        let mut killed = 0;
+        loop {
+            let mut alive = 0;
+            for p in self.servers.iter_mut().chain(self.clients.iter_mut()) {
+                if p.child.try_wait()?.is_none() {
+                    alive += 1;
+                }
+            }
+            if alive == 0 {
+                break;
+            }
+            if Instant::now() >= deadline {
+                for p in self.servers.iter_mut().chain(self.clients.iter_mut()) {
+                    if p.child.try_wait()?.is_none() {
+                        let _ = p.child.kill();
+                        let _ = p.child.wait();
+                        killed += 1;
+                    }
+                }
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // Reap any zombies that exited within the grace period.
+        for p in self.servers.iter_mut().chain(self.clients.iter_mut()) {
+            let _ = p.child.wait();
+        }
+        Ok(killed)
+    }
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("servers", &self.servers.len())
+            .field("clients", &self.clients.len())
+            .field("server_urls", &self.server_urls)
+            .field("workdir", &self.workdir)
+            .finish()
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        // Last-resort cleanup so a panicking test never leaks processes.
+        for p in self.servers.iter_mut().chain(self.clients.iter_mut()) {
+            if let Ok(None) = p.child.try_wait() {
+                let _ = p.child.kill();
+                let _ = p.child.wait();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+#[cfg(unix)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("symbi-deploy-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// A shell stand-in for a server: reports a fake URL, waits for stop.
+    const FAKE_SERVER: &str = r#"echo "tcp://127.0.0.1:$((4000 + SYMBI_RANK))" > "$SYMBI_READY_FILE"
+while [ ! -e "$SYMBI_STOP_FILE" ]; do sleep 0.02; done"#;
+
+    /// A shell stand-in for a client: echoes its server list and exits.
+    const FAKE_CLIENT: &str = r#"echo "servers=$SYMBI_SERVERS node=$SYMBI_NET_NODE_ID"
+echo ok > "$SYMBI_READY_FILE""#;
+
+    fn manifest(tag: &str, server_script: &str, client_script: &str) -> DeployManifest {
+        let mut m = DeployManifest::new("/bin/sh", scratch(tag), 2, 1);
+        m.args = vec![
+            "-c".into(),
+            format!(
+                r#"case "$SYMBI_NET_ROLE" in server) {server_script} ;; *) {client_script} ;; esac"#
+            ),
+        ];
+        m.ready_timeout = Duration::from_secs(10);
+        m
+    }
+
+    #[test]
+    fn launch_collects_reported_urls_and_tears_down() {
+        let m = manifest("roundtrip", FAKE_SERVER, FAKE_CLIENT);
+        let mut dep = m.launch().unwrap();
+        assert_eq!(
+            dep.server_urls(),
+            &[
+                "tcp://127.0.0.1:4000".to_string(),
+                "tcp://127.0.0.1:4001".to_string()
+            ]
+        );
+        let statuses = dep.wait_clients(Duration::from_secs(10)).unwrap();
+        assert!(statuses.iter().all(|s| s.success()));
+        // The client saw the comma-joined server list.
+        let log = fs::read_to_string(m.workdir.join("client-0.log")).unwrap();
+        assert!(log.contains("servers=tcp://127.0.0.1:4000,tcp://127.0.0.1:4001"));
+        assert!(log.contains("node=2002"));
+        let killed = dep.shutdown(Duration::from_secs(5)).unwrap();
+        assert_eq!(killed, 0, "servers should honor the stop file");
+        let _ = fs::remove_dir_all(&m.workdir);
+    }
+
+    #[test]
+    fn ready_timeout_reports_the_straggler() {
+        let mut m = manifest("timeout", "sleep 30", FAKE_CLIENT);
+        m.clients = 0;
+        m.ready_timeout = Duration::from_millis(300);
+        let err = m.launch().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(err.to_string().contains("server-0"));
+        let _ = fs::remove_dir_all(&m.workdir);
+    }
+
+    #[test]
+    fn telemetry_env_is_wired_per_process() {
+        let mut m = manifest(
+            "telemetry",
+            r#"echo "url" > "$SYMBI_READY_FILE"; while [ ! -e "$SYMBI_STOP_FILE" ]; do sleep 0.02; done"#,
+            r#"echo "period=$SYMBI_TELEMETRY_PERIOD_MS prom=$SYMBI_PROMETHEUS_PORT flight=$SYMBI_FLIGHT_DIR seed=$SYMBI_FAULT_SEED""#,
+        );
+        m.servers = 1;
+        let rings = m.workdir.join("rings");
+        m = m
+            .with_telemetry(Duration::from_millis(250), 9310, rings)
+            .with_fault_seed(1337);
+        let mut dep = m.launch().unwrap();
+        dep.wait_clients(Duration::from_secs(10)).unwrap();
+        let log = fs::read_to_string(m.workdir.join("client-0.log")).unwrap();
+        assert!(log.contains("period=250"));
+        assert!(
+            log.contains("prom=9311"),
+            "client port offset past servers: {log}"
+        );
+        assert!(log.contains("client-0"), "flight dir is per-process: {log}");
+        assert!(log.contains("seed=1337"));
+        dep.shutdown(Duration::from_secs(5)).unwrap();
+        let _ = fs::remove_dir_all(&m.workdir);
+    }
+
+    #[test]
+    fn kill_server_is_available_for_fault_drills() {
+        let mut m = manifest("kill", FAKE_SERVER, FAKE_CLIENT);
+        m.clients = 0;
+        m.servers = 1;
+        let mut dep = m.launch().unwrap();
+        let pid = dep.server_pid(0);
+        assert!(pid > 0);
+        dep.kill_server(0).unwrap();
+        let killed = dep.shutdown(Duration::from_secs(5)).unwrap();
+        assert_eq!(killed, 0, "killed server must not be re-killed");
+        let _ = fs::remove_dir_all(&m.workdir);
+    }
+}

@@ -100,13 +100,33 @@ impl HepnosClient {
         server_addrs: &[Addr],
         config: &HepnosConfig,
     ) -> Self {
-        let margo = MargoInstance::new(
-            fabric.clone(),
-            MargoConfig::client(name)
-                .with_stage(config.stage)
-                .with_ofi_max_events(config.ofi_max_events)
-                .with_dedicated_progress(config.client_progress_thread),
-        );
+        Self::connect_with_telemetry(
+            fabric,
+            name,
+            server_addrs,
+            config,
+            symbi_margo::TelemetryOptions::default(),
+        )
+    }
+
+    /// [`HepnosClient::connect`] with live telemetry on the client's own
+    /// Margo instance — a multi-process deployment gives each client
+    /// process its own monitor period, scrape port, and flight ring, so
+    /// the client-origin halves of every span land in a ring that
+    /// `symbi-analyze` can merge with the servers'.
+    pub fn connect_with_telemetry(
+        fabric: &symbi_fabric::Fabric,
+        name: &str,
+        server_addrs: &[Addr],
+        config: &HepnosConfig,
+        telemetry: symbi_margo::TelemetryOptions,
+    ) -> Self {
+        let mut margo_config = MargoConfig::client(name)
+            .with_stage(config.stage)
+            .with_ofi_max_events(config.ofi_max_events)
+            .with_dedicated_progress(config.client_progress_thread);
+        margo_config.telemetry = telemetry;
+        let margo = MargoInstance::new(fabric.clone(), margo_config);
         let options = config.rpc_options();
         let sdskv: Vec<SdskvClient> = server_addrs
             .iter()

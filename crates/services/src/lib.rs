@@ -14,6 +14,8 @@
 //!   Table IV service configurations (C1..C7) and the data-loader client
 //!   used throughout §V-C and §VI.
 //! * [`ior`] — an ior-like client driver for Mobject (§V-A).
+//! * [`deploy`] — symbi-deploy, the multi-process launcher that runs
+//!   these services as separate OS processes over a socket transport.
 //!
 //! All clients issue their RPCs through Margo's `forward_with` API and
 //! accept an [`symbi_margo::RpcOptions`] (deadline / retry policy) via
@@ -25,6 +27,7 @@
 #![deny(deprecated)]
 
 pub mod bake;
+pub mod deploy;
 pub mod hepnos;
 pub mod ior;
 pub mod json;

@@ -27,7 +27,7 @@
 //! use symbi_tasking::{Pool, ExecutionStream, Eventual};
 //!
 //! let pool = Pool::new("handlers");
-//! let es = ExecutionStream::spawn("es-0", &[pool.clone()]);
+//! let es = ExecutionStream::spawn("es-0", std::slice::from_ref(&pool));
 //! let ev: Eventual<u32> = Eventual::new();
 //! let ev2 = ev.clone();
 //! pool.spawn(move || ev2.set(41 + 1));
@@ -67,7 +67,7 @@ mod integration_tests {
     #[test]
     fn end_to_end_pool_stream_eventual() {
         let pool = Pool::new("p");
-        let _es = ExecutionStream::spawn("es", &[pool.clone()]);
+        let _es = ExecutionStream::spawn("es", std::slice::from_ref(&pool));
         let counter = Arc::new(AtomicUsize::new(0));
         let joins: Vec<_> = (0..64)
             .map(|_| {
@@ -87,7 +87,7 @@ mod integration_tests {
     fn multiple_streams_share_one_pool() {
         let pool = Pool::new("shared");
         let _es: Vec<_> = (0..4)
-            .map(|i| ExecutionStream::spawn(format!("es-{i}"), &[pool.clone()]))
+            .map(|i| ExecutionStream::spawn(format!("es-{i}"), std::slice::from_ref(&pool)))
             .collect();
         let total = Arc::new(AtomicUsize::new(0));
         let joins: Vec<_> = (0..200)
@@ -107,7 +107,7 @@ mod integration_tests {
     #[test]
     fn blocked_accounting_visible_during_wait() {
         let pool = Pool::new("b");
-        let _es = ExecutionStream::spawn("es", &[pool.clone()]);
+        let _es = ExecutionStream::spawn("es", std::slice::from_ref(&pool));
         let gate: Eventual<()> = Eventual::new();
         let entered: Eventual<()> = Eventual::new();
         {

@@ -180,7 +180,7 @@ mod tests {
                 c.fetch_add(1, Ordering::Relaxed);
             });
         }
-        let es = ExecutionStream::spawn("es", &[pool.clone()]);
+        let es = ExecutionStream::spawn("es", std::slice::from_ref(&pool));
         es.join();
         assert_eq!(count.load(Ordering::Relaxed), 50);
     }
@@ -188,7 +188,7 @@ mod tests {
     #[test]
     fn panicking_ult_does_not_kill_stream() {
         let pool = Pool::new("panic");
-        let _es = ExecutionStream::spawn("es", &[pool.clone()]);
+        let _es = ExecutionStream::spawn("es", std::slice::from_ref(&pool));
         pool.spawn(|| panic!("intentional test panic"));
         let ev: Eventual<u8> = Eventual::new();
         let ev2 = ev.clone();
@@ -210,7 +210,7 @@ mod tests {
     #[test]
     fn current_pool_is_set_inside_ult() {
         let pool = Pool::new("ctx");
-        let _es = ExecutionStream::spawn("es", &[pool.clone()]);
+        let _es = ExecutionStream::spawn("es", std::slice::from_ref(&pool));
         let ev: Eventual<Option<crate::PoolId>> = Eventual::new();
         let ev2 = ev.clone();
         pool.spawn(move || {
@@ -223,7 +223,7 @@ mod tests {
     #[test]
     fn running_counter_tracks_execution() {
         let pool = Pool::new("run");
-        let _es = ExecutionStream::spawn("es", &[pool.clone()]);
+        let _es = ExecutionStream::spawn("es", std::slice::from_ref(&pool));
         let gate: Eventual<()> = Eventual::new();
         let started: Eventual<()> = Eventual::new();
         let g2 = gate.clone();

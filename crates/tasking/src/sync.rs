@@ -127,8 +127,8 @@ mod tests {
     fn contended_mutex_counts_blocked_ults() {
         let pool = Pool::new("mx");
         // Two streams so two ULTs can contend.
-        let _es1 = ExecutionStream::spawn("es1", &[pool.clone()]);
-        let _es2 = ExecutionStream::spawn("es2", &[pool.clone()]);
+        let _es1 = ExecutionStream::spawn("es1", std::slice::from_ref(&pool));
+        let _es2 = ExecutionStream::spawn("es2", std::slice::from_ref(&pool));
         let m = Arc::new(AbtMutex::new(()));
         let hold: Eventual<()> = Eventual::new();
         let held: Eventual<()> = Eventual::new();

@@ -1,0 +1,257 @@
+//! symbi-netd — the multi-process worker binary driven by symbi-deploy.
+//!
+//! One process per invocation; the role comes from `SYMBI_NET_ROLE`:
+//!
+//! * `echo` — a Margo server over the socket transport registering an
+//!   `echo` RPC, for transport smoke tests.
+//! * `hepnos` — one HEPnOS provider process: an SDSKV provider (map
+//!   backend) plus a BAKE provider on a Margo server instance, with
+//!   telemetry (monitor period, Prometheus port, flight ring) wired from
+//!   the environment.
+//! * `hepnos-client` — one data-loader client process: looks up the
+//!   servers in `SYMBI_SERVERS`, stores `SYMBI_EVENTS` events through the
+//!   batched `sdskv_put_packed` path, drains, and exits 0 on success.
+//!
+//! The full environment protocol is documented on
+//! [`symbi_services::deploy`]. Servers write their *actual* listen URL to
+//! `SYMBI_READY_FILE` and exit shortly after `SYMBI_STOP_FILE` appears.
+
+use std::time::Duration;
+use symbi_core::telemetry::recorder::FlightRecorderConfig;
+use symbi_fabric::{Fabric, FaultPlan};
+use symbi_margo::{MargoConfig, MargoInstance, TelemetryOptions};
+use symbi_net::{fabric_over, NetConfig};
+use symbi_services::bake::{BakeProvider, BakeSpec};
+use symbi_services::hepnos::{EventKey, HepnosClient, HepnosConfig};
+use symbi_services::kv::{BackendKind, StorageCost};
+use symbi_services::sdskv::{SdskvProvider, SdskvSpec};
+
+fn env_var(name: &str) -> Option<String> {
+    std::env::var(name).ok().filter(|v| !v.is_empty())
+}
+
+fn env_parse<T: std::str::FromStr>(name: &str, default: T) -> T {
+    env_var(name)
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(default)
+}
+
+/// Build the socket fabric for this process: servers listen on
+/// `SYMBI_NET_LISTEN`, clients just dial out.
+fn build_fabric(listening: bool) -> Fabric {
+    let mut config = if listening {
+        let url = env_var("SYMBI_NET_LISTEN").unwrap_or_else(|| "tcp://127.0.0.1:0".into());
+        NetConfig::listen(url)
+    } else {
+        NetConfig::client()
+    };
+    if let Some(id) = env_var("SYMBI_NET_NODE_ID").and_then(|v| v.trim().parse().ok()) {
+        config = config.with_node_id(id);
+    }
+    match fabric_over(config) {
+        Ok(fabric) => fabric,
+        Err(e) => {
+            eprintln!("[symbi-netd] transport start failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Announce readiness by writing this process's bound URL (or a marker
+/// for clients) into `SYMBI_READY_FILE`.
+fn announce_ready(content: &str) {
+    if let Some(path) = env_var("SYMBI_READY_FILE") {
+        // Write-then-rename so the launcher never reads a partial URL.
+        let tmp = format!("{path}.tmp");
+        if std::fs::write(&tmp, content).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+/// Block until the launcher signals shutdown through `SYMBI_STOP_FILE`.
+fn wait_for_stop() {
+    let stop = match env_var("SYMBI_STOP_FILE") {
+        Some(p) => p,
+        None => return,
+    };
+    while !std::path::Path::new(&stop).exists() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+/// The workload/shape knobs shared by the hepnos roles, from the
+/// environment. Both sides must agree on `databases` (the client hashes
+/// events over `servers × databases`).
+fn hepnos_config(total_servers: usize) -> HepnosConfig {
+    let mut cfg = HepnosConfig::c3();
+    cfg.total_servers = total_servers.max(1);
+    cfg.threads = env_parse("SYMBI_THREADS", 2usize);
+    cfg.databases = env_parse("SYMBI_DATABASES", 4usize);
+    cfg.batch_size = env_parse("SYMBI_BATCH", 64usize);
+    cfg.events_per_client = env_parse("SYMBI_EVENTS", 512usize);
+    cfg.value_size = env_parse("SYMBI_VALUE_SIZE", 64usize);
+    // Light service costs: the smoke deployment exercises the wire, not
+    // the Table IV service-time regimes.
+    cfg.handler_cost = Duration::from_micros(50);
+    cfg.handler_cost_per_key = Duration::from_micros(2);
+    cfg.cost = StorageCost {
+        per_op: Duration::from_micros(5),
+        per_key: Duration::from_nanos(200),
+    };
+    if let Some(seed) = env_var("SYMBI_FAULT_SEED").and_then(|v| v.trim().parse().ok()) {
+        cfg = cfg
+            .with_fault_tolerance(Duration::from_millis(500), 4)
+            .with_fault_seed(seed);
+    }
+    cfg
+}
+
+/// The telemetry settings from the environment (period / Prometheus port
+/// / flight ring with trace recording).
+fn telemetry_from_env() -> TelemetryOptions {
+    let mut t = TelemetryOptions::default();
+    if let Some(ms) = env_var("SYMBI_TELEMETRY_PERIOD_MS").and_then(|v| v.trim().parse().ok()) {
+        t.sample_period = Some(Duration::from_millis(ms));
+    }
+    if let Some(port) = env_var("SYMBI_PROMETHEUS_PORT").and_then(|v| v.trim().parse().ok()) {
+        t.prometheus_port = Some(port);
+    }
+    if let Some(dir) = env_var("SYMBI_FLIGHT_DIR") {
+        t.flight_recorder = Some(FlightRecorderConfig::new(dir));
+        t.record_traces = true;
+    }
+    t
+}
+
+/// Apply the telemetry environment to a Margo config.
+fn apply_telemetry(mut config: MargoConfig) -> MargoConfig {
+    config.telemetry = telemetry_from_env();
+    config
+}
+
+fn run_echo_server(rank: usize) {
+    let fabric = build_fabric(true);
+    let threads = env_parse("SYMBI_THREADS", 2usize);
+    let margo = MargoInstance::new(
+        fabric.clone(),
+        apply_telemetry(MargoConfig::server(format!("echo-server-{rank}"), threads)),
+    );
+    margo.register_fn("echo", |_m, payload: Vec<u8>| {
+        Ok::<Vec<u8>, String>(payload)
+    });
+    let url = fabric.listen_url().expect("listening fabric has a URL");
+    announce_ready(&url);
+    wait_for_stop();
+    margo.finalize();
+}
+
+fn run_hepnos_server(rank: usize) {
+    let fabric = build_fabric(true);
+    let cfg = hepnos_config(1);
+    let margo = MargoInstance::new(
+        fabric.clone(),
+        apply_telemetry(
+            MargoConfig::server(format!("hepnos-server-{rank}"), cfg.threads)
+                .with_stage(cfg.stage)
+                .with_ofi_max_events(cfg.ofi_max_events),
+        ),
+    );
+    let _sdskv = SdskvProvider::attach(
+        &margo,
+        SdskvSpec {
+            num_databases: cfg.databases,
+            backend: BackendKind::Map,
+            cost: cfg.cost,
+            handler_cost: cfg.handler_cost,
+            handler_cost_per_key: cfg.handler_cost_per_key,
+        },
+    );
+    let _bake = BakeProvider::attach(&margo, BakeSpec::default());
+    let url = fabric.listen_url().expect("listening fabric has a URL");
+    announce_ready(&url);
+    wait_for_stop();
+    margo.finalize();
+}
+
+fn run_hepnos_client(rank: usize) {
+    let fabric = build_fabric(false);
+    let servers = env_var("SYMBI_SERVERS").unwrap_or_default();
+    let urls: Vec<&str> = servers.split(',').filter(|u| !u.is_empty()).collect();
+    if urls.is_empty() {
+        eprintln!("[symbi-netd] hepnos-client needs SYMBI_SERVERS");
+        std::process::exit(2);
+    }
+    let mut addrs = Vec::with_capacity(urls.len());
+    for url in &urls {
+        match fabric.lookup(url) {
+            Ok(addr) => addrs.push(addr),
+            Err(e) => {
+                eprintln!("[symbi-netd] lookup of {url} failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let cfg = hepnos_config(addrs.len());
+    // A seeded run injects a short startup blackout of server 0 at this
+    // client, so the CI fault matrix exercises RetryPolicy recovery over
+    // the real socket with a deterministic schedule.
+    if cfg.fault_seed != 0 {
+        fabric.install_fault_plan(FaultPlan::seeded(cfg.fault_seed).with_blackout(
+            addrs[0],
+            Duration::ZERO,
+            Duration::from_millis(100),
+        ));
+    }
+
+    let mut client = HepnosClient::connect_with_telemetry(
+        &fabric,
+        &format!("loader-{rank}"),
+        &addrs,
+        &cfg,
+        telemetry_from_env(),
+    );
+    let mut stored = 0u64;
+    for e in 0..cfg.events_per_client as u32 {
+        let key = EventKey {
+            dataset: format!("deploy-{rank}"),
+            run: 1,
+            subrun: e / 1000,
+            event: e,
+        };
+        if let Err(err) = client.store_event(&key, vec![0xAB; cfg.value_size]) {
+            eprintln!("[symbi-netd] store_event failed: {err}");
+            std::process::exit(1);
+        }
+        stored += 1;
+    }
+    match client.drain() {
+        Ok(_) => {}
+        Err(err) => {
+            eprintln!("[symbi-netd] drain failed: {err}");
+            std::process::exit(1);
+        }
+    }
+    let acked = client.acked();
+    let lost = client.lost_events();
+    println!("[symbi-netd] client {rank}: stored={stored} acked={acked} lost={lost}");
+    announce_ready(&format!("done stored={stored} acked={acked}"));
+    client.finalize();
+    if acked + lost < stored {
+        std::process::exit(1);
+    }
+}
+
+fn main() {
+    let role = env_var("SYMBI_NET_ROLE").unwrap_or_else(|| "echo".into());
+    let rank = env_parse("SYMBI_RANK", 0usize);
+    match role.as_str() {
+        "echo" => run_echo_server(rank),
+        "hepnos" => run_hepnos_server(rank),
+        "hepnos-client" => run_hepnos_client(rank),
+        other => {
+            eprintln!("[symbi-netd] unknown SYMBI_NET_ROLE {other:?} (echo|hepnos|hepnos-client)");
+            std::process::exit(2);
+        }
+    }
+}

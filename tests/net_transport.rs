@@ -1,0 +1,241 @@
+//! Multi-process transport integration: `symbi-netd` worker processes
+//! launched by `symbi_services::deploy` talking to in-test clients over
+//! real TCP and Unix-domain sockets (the symbi-net transport plane).
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use symbi_fabric::{Fabric, FaultPlan};
+use symbi_margo::{MargoConfig, MargoError, MargoInstance, RetryPolicy, RpcOptions};
+use symbi_net::{fabric_over, NetConfig};
+use symbi_services::deploy::{DeployManifest, Deployment, TransportScheme};
+
+const NETD: &str = env!("CARGO_BIN_EXE_symbi-netd");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symbi-nettest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Launch `servers` echo-role netd processes.
+fn echo_deployment(
+    tag: &str,
+    scheme: TransportScheme,
+    servers: usize,
+) -> (DeployManifest, Deployment) {
+    let mut m = DeployManifest::new(NETD, scratch(tag), servers, 0);
+    m = m.with_roles("echo", "unused-client");
+    m.scheme = scheme;
+    let dep = m.launch().expect("echo deployment starts");
+    (m, dep)
+}
+
+/// A Margo client over its own socket transport, plus the echo server's
+/// address resolved from its reported URL.
+fn echo_client(dep: &Deployment, server: usize) -> (Fabric, MargoInstance, symbi_fabric::Addr) {
+    let fabric = fabric_over(NetConfig::client()).expect("client transport");
+    let margo = MargoInstance::new(fabric.clone(), MargoConfig::client("net-test-client"));
+    let addr = fabric
+        .lookup(&dep.server_urls()[server])
+        .expect("server URL resolves");
+    (fabric, margo, addr)
+}
+
+#[test]
+fn echo_is_byte_identical_over_tcp_and_unix() {
+    for (scheme, tag) in [
+        (TransportScheme::Tcp, "echo-tcp"),
+        (TransportScheme::Unix, "echo-unix"),
+    ] {
+        let (m, dep) = echo_deployment(tag, scheme, 1);
+        let (_fabric, margo, addr) = echo_client(&dep, 0);
+
+        // Eager path: payload well under the 4 KiB eager threshold.
+        let eager: Vec<u8> = (0..512u32).map(|i| (i % 251) as u8).collect();
+        let back: Vec<u8> = margo
+            .forward_with(addr, "echo", &eager, RpcOptions::default())
+            .expect("eager echo");
+        assert_eq!(back, eager, "eager payload must round-trip byte-identical");
+
+        // RDMA path: payload far above the eager threshold crosses the
+        // process boundary through the pull/push request frames.
+        let bulk: Vec<u8> = (0..128 * 1024u32).map(|i| (i % 239) as u8).collect();
+        let back: Vec<u8> = margo
+            .forward_with(addr, "echo", &bulk, RpcOptions::default())
+            .expect("rdma echo");
+        assert_eq!(back, bulk, "rdma payload must round-trip byte-identical");
+
+        margo.finalize();
+        dep.shutdown(Duration::from_secs(10))
+            .expect("clean shutdown");
+        let _ = std::fs::remove_dir_all(&m.workdir);
+    }
+}
+
+#[test]
+fn blackout_over_the_socket_recovers_with_retries() {
+    let (m, dep) = echo_deployment("blackout", TransportScheme::Tcp, 1);
+    let (fabric, margo, addr) = echo_client(&dep, 0);
+
+    // 300 ms blackout of the server at this client, starting immediately.
+    fabric.install_fault_plan(FaultPlan::seeded(7).with_blackout(
+        addr,
+        Duration::ZERO,
+        Duration::from_millis(300),
+    ));
+    let options = RpcOptions::new()
+        .with_deadline(Duration::from_millis(100))
+        .with_retry(
+            RetryPolicy::new(8)
+                .with_base_backoff(Duration::from_millis(50))
+                .with_seed(7),
+        )
+        .idempotent(true);
+    let payload = vec![0x5A_u8; 256];
+    let back: Vec<u8> = margo
+        .forward_with(addr, "echo", &payload, options)
+        .expect("retries must outlive the blackout");
+    assert_eq!(back, payload);
+
+    let counters = fabric.fault_counters().expect("plan installed");
+    assert!(
+        counters.blackout_drops >= 1,
+        "the blackout must have eaten at least one attempt: {counters:?}"
+    );
+
+    margo.finalize();
+    dep.shutdown(Duration::from_secs(10)).unwrap();
+    let _ = std::fs::remove_dir_all(&m.workdir);
+}
+
+#[test]
+fn killed_server_surfaces_through_the_completion_path() {
+    let (m, mut dep) = echo_deployment("kill9", TransportScheme::Tcp, 1);
+    let (_fabric, margo, addr) = echo_client(&dep, 0);
+
+    let payload = vec![1_u8; 64];
+    let back: Vec<u8> = margo
+        .forward_with(addr, "echo", &payload, RpcOptions::default())
+        .expect("echo works before the kill");
+    assert_eq!(back, payload);
+
+    dep.kill_server(0).expect("SIGKILL the server");
+    std::thread::sleep(Duration::from_millis(200));
+
+    let options = RpcOptions::new().with_deadline(Duration::from_millis(300));
+    let started = Instant::now();
+    let err = margo
+        .forward_with::<_, Vec<u8>>(addr, "echo", &payload, options)
+        .expect_err("a kill -9'd server cannot answer");
+    // The failure surfaces through the normal completion path — as an
+    // attempt timeout or a definite transport error — never as a hang.
+    match &err {
+        MargoError::Timeout | MargoError::Fabric(_) => {}
+        other => panic!("expected Timeout or Fabric error, got {other:?}"),
+    }
+    assert!(
+        err.retryable(),
+        "a dead server must look transient: {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "the failure must be prompt, not a hang"
+    );
+
+    margo.finalize();
+    dep.shutdown(Duration::from_secs(10)).unwrap();
+    let _ = std::fs::remove_dir_all(&m.workdir);
+}
+
+/// The acceptance drill: a HEPnOS data-loader run with servers and
+/// clients in separate OS processes over `tcp://`, per-process flight
+/// rings, and a ≥99%-connected merged span graph.
+#[test]
+fn hepnos_loader_runs_multi_process_with_connected_span_trees() {
+    let workdir = scratch("hepnos");
+    let rings = workdir.join("rings");
+    let mut m = DeployManifest::new(NETD, &workdir, 2, 2)
+        .with_roles("hepnos", "hepnos-client")
+        .with_telemetry(Duration::from_millis(50), 0, &rings);
+    m.ready_timeout = Duration::from_secs(60);
+    m.extra_env = vec![
+        ("SYMBI_EVENTS".into(), "256".into()),
+        ("SYMBI_BATCH".into(), "32".into()),
+        ("SYMBI_DATABASES".into(), "4".into()),
+        ("SYMBI_THREADS".into(), "2".into()),
+    ];
+
+    let mut dep = m.launch().expect("hepnos deployment starts");
+    for url in dep.server_urls() {
+        assert!(
+            url.starts_with("tcp://"),
+            "server must report tcp URL, got {url}"
+        );
+    }
+    let statuses = dep
+        .wait_clients(Duration::from_secs(120))
+        .expect("loaders finish");
+    assert!(
+        statuses.iter().all(|s| s.success()),
+        "every loader must exit 0: {statuses:?} (logs in {})",
+        workdir.display()
+    );
+    dep.shutdown(Duration::from_secs(15))
+        .expect("servers stop on request");
+
+    // Merge the per-process rings exactly as the symbi-analyze CLI does.
+    let (events, ring_count) =
+        symbi_analyze::load_events(std::slice::from_ref(&rings)).expect("rings were written");
+    assert!(
+        ring_count >= 4,
+        "2 servers + 2 clients must each leave a ring, found {ring_count}"
+    );
+    let graph = symbi_core::analysis::build_span_graph(&events);
+    assert!(
+        !graph.trees.is_empty(),
+        "the loader's RPCs must appear as request trees"
+    );
+    let connected = graph.connected_fraction();
+    assert!(
+        connected >= 0.99,
+        "span trees from merged rings must be ≥99% connected, got {connected:.4} \
+         ({} trees, {} spans, {} unlinked events)",
+        graph.trees.len(),
+        graph.span_count(),
+        graph.unlinked_events
+    );
+    let _ = std::fs::remove_dir_all(&workdir);
+}
+
+/// The CI fault matrix over sockets: a seeded deployment injects a
+/// client-side blackout of server 0 (see `symbi-netd`), and the loader
+/// must still complete through its RetryPolicy.
+#[test]
+fn seeded_fault_deployment_completes() {
+    let seed: u64 = std::env::var("SYMBI_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42);
+    let workdir = scratch("faultseed");
+    let mut m = DeployManifest::new(NETD, &workdir, 1, 1)
+        .with_roles("hepnos", "hepnos-client")
+        .with_fault_seed(seed);
+    m.ready_timeout = Duration::from_secs(60);
+    m.extra_env = vec![
+        ("SYMBI_EVENTS".into(), "128".into()),
+        ("SYMBI_BATCH".into(), "32".into()),
+    ];
+    let mut dep = m.launch().expect("seeded deployment starts");
+    let statuses = dep
+        .wait_clients(Duration::from_secs(120))
+        .expect("loader finishes despite the blackout");
+    assert!(
+        statuses.iter().all(|s| s.success()),
+        "seed {seed}: loader must recover via retries: {statuses:?} (logs in {})",
+        workdir.display()
+    );
+    dep.shutdown(Duration::from_secs(15)).unwrap();
+    let _ = std::fs::remove_dir_all(&workdir);
+}
