@@ -1,28 +1,36 @@
 //! Transport-plane throughput: what does crossing a real socket cost,
-//! relative to the in-process fabric?
+//! relative to the in-process fabric — and what does a deep in-flight
+//! pipeline buy back?
 //!
 //! Three transports — the in-process `LocalTransport`, Unix-domain
-//! sockets, and loopback TCP — each driven by the same closed-loop Margo
-//! echo workload at two payload sizes: 1 KiB (under the 4 KiB eager
+//! sockets, and loopback TCP — each driven by the same Margo echo
+//! workload at two payload sizes: 1 KiB (under the 4 KiB eager
 //! threshold, so the payload rides inside the MSG frame) and 64 KiB
 //! (above it, so the data path goes through the transport's emulated-RDMA
-//! pull/push frames). Reported as round-trip msgs/s and payload MB/s;
-//! results go to `BENCH_net.json` at the workspace root.
+//! pull/push frames), swept over pipeline depths 1, 8, and 64. Depth 1
+//! is the legacy closed loop (one blocking round trip at a time); deeper
+//! windows issue through `forward_many`, keeping up to `depth` RPCs in
+//! flight so the reactor's coalescing flush can batch frames per syscall.
+//! Reported as round-trip msgs/s and payload MB/s; results go to
+//! `BENCH_net.json` at the workspace root.
 
 use std::time::Instant;
 
 use symbi_bench::{banner, bench_scale};
 use symbi_core::analysis::report::Table;
+use symbi_core::Stage;
 use symbi_fabric::{Fabric, NetworkModel};
 use symbi_margo::{MargoConfig, MargoInstance, RpcOptions};
 use symbi_net::{fabric_over, NetConfig};
 
 const PAYLOADS: [(usize, &str); 2] = [(1024, "eager"), (64 * 1024, "rdma")];
+const DEPTHS: [usize; 3] = [1, 8, 64];
 
 struct Cell {
     transport: &'static str,
     path: &'static str,
     payload: usize,
+    depth: usize,
     msgs_per_sec: f64,
     mb_per_sec: f64,
 }
@@ -52,16 +60,40 @@ fn fabric_pair(transport: &str, sock_dir: &std::path::Path) -> (Fabric, Fabric, 
     }
 }
 
-/// One closed-loop echo run; returns round trips per second.
-fn run(transport: &'static str, payload: usize, msgs: u64, sock_dir: &std::path::Path) -> f64 {
+/// One echo run at the given pipeline depth; returns round trips per
+/// second. Depth 1 is the legacy closed loop (identical to the
+/// pre-pipeline benchmark); deeper windows batch through `forward_many`.
+fn run(
+    transport: &'static str,
+    payload: usize,
+    msgs: u64,
+    depth: usize,
+    sock_dir: &std::path::Path,
+) -> f64 {
     let (server_fabric, client_fabric, url) = fabric_pair(transport, sock_dir);
-    let server = MargoInstance::new(server_fabric, MargoConfig::server("netbench-server", 2));
+    // Enough handler streams to serve the deepest window, and an event
+    // batch per progress cycle at least as deep as the window (the
+    // paper's `OFI_max_events` knob, C5→C6): a 16-event default caps how
+    // fast either side can drain a 64-deep pipeline.
+    let ofi_events = depth.max(16);
+    // This benchmark measures the transport, not the profiler: run at the
+    // Baseline stage (the §VI overhead study covers instrumentation cost
+    // separately), so per-RPC measurement doesn't cap the CPU-bound deep
+    // windows.
+    let server = MargoInstance::new(
+        server_fabric,
+        MargoConfig::server("netbench-server", 8)
+            .with_ofi_max_events(ofi_events)
+            .with_stage(Stage::Disabled),
+    );
     server.register_fn("echo", |_m, payload: Vec<u8>| {
         Ok::<Vec<u8>, String>(payload)
     });
     let client = MargoInstance::new(
         client_fabric.clone(),
-        MargoConfig::client("netbench-client"),
+        MargoConfig::client("netbench-client")
+            .with_ofi_max_events(ofi_events)
+            .with_stage(Stage::Disabled),
     );
     let addr = match &url {
         Some(u) => client_fabric.lookup(u).expect("bench server resolves"),
@@ -74,54 +106,95 @@ fn run(transport: &'static str, payload: usize, msgs: u64, sock_dir: &std::path:
         .forward_with(addr, "echo", &body, RpcOptions::default())
         .expect("warmup echo");
 
-    let start = Instant::now();
-    for _ in 0..msgs {
-        let back: Vec<u8> = client
-            .forward_with(addr, "echo", &body, RpcOptions::default())
-            .expect("echo");
-        debug_assert_eq!(back.len(), payload);
+    let rate;
+    if depth == 1 {
+        let start = Instant::now();
+        for _ in 0..msgs {
+            let back: Vec<u8> = client
+                .forward_with(addr, "echo", &body, RpcOptions::default())
+                .expect("echo");
+            debug_assert_eq!(back.len(), payload);
+        }
+        rate = msgs as f64 / start.elapsed().as_secs_f64();
+    } else {
+        let inputs: Vec<Vec<u8>> = (0..msgs).map(|_| body.clone()).collect();
+        let start = Instant::now();
+        let results = client
+            .forward_many(
+                addr,
+                "echo",
+                &inputs,
+                RpcOptions::new().with_pipeline(depth),
+            )
+            .wait()
+            .expect("pipelined echo batch");
+        // Every round trip has completed once `wait` returns; verify the
+        // echoes outside the timed region.
+        rate = msgs as f64 / start.elapsed().as_secs_f64();
+        for res in results {
+            let outcome = res.expect("echo element");
+            let back: Vec<u8> =
+                symbi_mercury::Wire::from_bytes(outcome.output).expect("echo decode");
+            debug_assert_eq!(back.len(), payload);
+        }
     }
-    let rate = msgs as f64 / start.elapsed().as_secs_f64();
     client.finalize();
     server.finalize();
     rate
 }
 
 fn main() {
-    banner("Transport throughput: local vs unix vs tcp");
+    banner("Transport throughput: local vs unix vs tcp, depth 1/8/64");
 
     let scale = bench_scale();
     let sock_dir = std::env::temp_dir();
     let mut cells = Vec::new();
     for transport in ["local", "unix", "tcp"] {
         for (payload, path) in PAYLOADS {
-            // Fewer round trips for the bulk path; each carries 64x the data.
-            let msgs = if path == "eager" {
-                ((2_000.0 * scale) as u64).max(200)
-            } else {
-                ((400.0 * scale) as u64).max(50)
-            };
-            let msgs_per_sec = run(transport, payload, msgs, &sock_dir);
-            let mb_per_sec = msgs_per_sec * payload as f64 / (1024.0 * 1024.0);
-            println!(
-                "  {transport:<6} {path:<6} {payload:>6} B  {msgs_per_sec:>9.0} msg/s  {mb_per_sec:>8.1} MB/s"
-            );
-            cells.push(Cell {
-                transport,
-                path,
-                payload,
-                msgs_per_sec,
-                mb_per_sec,
-            });
+            for depth in DEPTHS {
+                // Fewer round trips for the bulk path; each carries 64x
+                // the data. Deep windows complete far more rounds per
+                // second, so scale the message count with depth to keep
+                // every cell in steady state for a comparable wall-clock
+                // interval (a 2k-message run drains in ~40 ms at depth
+                // 64 — mostly window ramp-up).
+                let depth_scale = (depth as f64).min(16.0);
+                let msgs = if path == "eager" {
+                    ((2_000.0 * scale * depth_scale) as u64).max(200)
+                } else {
+                    ((400.0 * scale * depth_scale.min(4.0)) as u64).max(50)
+                };
+                let msgs_per_sec = run(transport, payload, msgs, depth, &sock_dir);
+                let mb_per_sec = msgs_per_sec * payload as f64 / (1024.0 * 1024.0);
+                println!(
+                    "  {transport:<6} {path:<6} {payload:>6} B  d{depth:<3} {msgs_per_sec:>9.0} msg/s  {mb_per_sec:>8.1} MB/s"
+                );
+                cells.push(Cell {
+                    transport,
+                    path,
+                    payload,
+                    depth,
+                    msgs_per_sec,
+                    mb_per_sec,
+                });
+            }
         }
     }
 
-    let mut table = Table::new(["transport", "path", "payload", "msgs/sec", "MB/sec"]);
+    let mut table = Table::new([
+        "transport",
+        "path",
+        "payload",
+        "depth",
+        "msgs/sec",
+        "MB/sec",
+    ]);
     for c in &cells {
         table.row([
             c.transport.to_string(),
             c.path.to_string(),
             format!("{} B", c.payload),
+            c.depth.to_string(),
             format!("{:.0}", c.msgs_per_sec),
             format!("{:.1}", c.mb_per_sec),
         ]);
@@ -131,15 +204,16 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     json.push_str(
-        "  \"note\": \"closed-loop Margo echo round trips; eager = payload inside the MSG frame, rdma = payload through pull/push request frames; local = in-process fabric, unix/tcp = symbi-net over a real socket.\",\n",
+        "  \"note\": \"Margo echo round trips; eager = payload inside the MSG frame, rdma = payload through pull/push request frames; local = in-process fabric, unix/tcp = symbi-net over a real socket; depth = pipeline window (1 = legacy blocking closed loop, >1 = forward_many through the in-flight window).\",\n",
     );
     json.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"transport\": \"{}\", \"path\": \"{}\", \"payload_bytes\": {}, \"msgs_per_sec\": {:.0}, \"mb_per_sec\": {:.2}}}{}\n",
+            "    {{\"transport\": \"{}\", \"path\": \"{}\", \"payload_bytes\": {}, \"depth\": {}, \"msgs_per_sec\": {:.0}, \"mb_per_sec\": {:.2}}}{}\n",
             c.transport,
             c.path,
             c.payload,
+            c.depth,
             c.msgs_per_sec,
             c.mb_per_sec,
             if i + 1 == cells.len() { "" } else { "," }
@@ -163,5 +237,19 @@ fn main() {
     assert!(
         local_eager.msgs_per_sec > 0.0,
         "local eager throughput must be measurable"
+    );
+    // The whole point of the pipeline: depth 64 must beat depth 1 over
+    // tcp/eager by a wide margin.
+    let d1 = cells
+        .iter()
+        .find(|c| c.transport == "tcp" && c.path == "eager" && c.depth == 1)
+        .unwrap();
+    let d64 = cells
+        .iter()
+        .find(|c| c.transport == "tcp" && c.path == "eager" && c.depth == 64)
+        .unwrap();
+    println!(
+        "tcp/eager speedup at depth 64: {:.1}x",
+        d64.msgs_per_sec / d1.msgs_per_sec
     );
 }

@@ -46,11 +46,34 @@ pub use transport::{LinkRow, LinkStatsSnapshot, Transport};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Addr(pub u64);
 
+impl Addr {
+    /// The node id of this address. Wire-backed transports pack addresses
+    /// as `node_id << 32 | endpoint`, so the high 32 bits identify the
+    /// process. The local transport allocates flat ids, for which this is
+    /// always 0 — a single "node".
+    pub fn node(&self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
+
 impl std::fmt::Display for Addr {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "fab://{}", self.0)
     }
 }
+
+/// Control tag a transport uses to synthesize a link-down notification
+/// into endpoint completion queues when a connection dies.
+///
+/// The delivery carries the dead peer's node id in `src` (endpoint bits
+/// zero) and an empty payload. Ordinary traffic can never use this tag:
+/// Mercury reserves it, and its progress loop intercepts deliveries tagged
+/// with it to fail every posted handle destined for that node instead of
+/// dispatching to an RPC handler. Waiting for per-RPC deadlines would
+/// leave a 64-deep pipeline stalled for the full timeout after a peer
+/// crash; the link-down event drains the whole window through the normal
+/// completion path immediately.
+pub const LINK_DOWN_TAG: u64 = u64::MAX;
 
 /// Errors surfaced by fabric operations.
 #[derive(Debug, Clone, PartialEq, Eq)]

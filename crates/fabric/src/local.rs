@@ -6,6 +6,13 @@
 //! single OS process; routing is a shared address table, delivery is a
 //! crossbeam channel push, and the [`NetworkModel`] supplies the transfer
 //! costs a real wire would.
+//!
+//! Multi-in-flight semantics: completion queues are unbounded channels and
+//! `send` never blocks on queue capacity, so arbitrarily deep RPC
+//! pipelines (`RpcOptions::with_pipeline`, `forward_many`) work here
+//! exactly as over symbi-net — ordering per (src, dst) pair is FIFO and
+//! independent requests interleave freely. The pipeline window above is
+//! the only backpressure, matching the wire transports.
 
 use crate::endpoint::Delivery;
 use crate::fabric::{FabricStats, FabricStatsSnapshot};

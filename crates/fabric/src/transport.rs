@@ -59,6 +59,37 @@ pub struct LinkStatsSnapshot {
     pub reconnects: u64,
     /// Sends that failed at the socket layer (before any reconnect).
     pub send_failures: u64,
+    /// Two-sided `MSG` frames written (excludes RDMA request/response
+    /// traffic). `msg_frames_sent - msg_frames_received` is the engine's
+    /// in-flight RPC estimate — requests posted whose responses have not
+    /// come back — exported as the `symbi_net_inflight` gauge.
+    pub msg_frames_sent: u64,
+    /// Two-sided `MSG` frames read.
+    pub msg_frames_received: u64,
+    /// Socket write calls issued by the coalescing flush path. Each flush
+    /// writes every frame queued at that moment in one syscall.
+    pub flushes: u64,
+    /// Frames written through the coalescing flush path (equals
+    /// `frames_sent` when all traffic is coalesced).
+    /// `coalesced_frames / flushes` is the mean batch size per flush.
+    pub coalesced_frames: u64,
+    /// Largest number of frames any single flush wrote (highwatermark).
+    pub max_frames_per_flush: u64,
+    /// Frames currently queued in per-connection output buffers, not yet
+    /// flushed to a socket (gauge at snapshot time).
+    pub send_queue_depth: u64,
+    /// Cross-process one-sided operations currently parked awaiting their
+    /// response frame (gauge at snapshot time). Must return to zero after
+    /// connection teardown — a nonzero steady-state value is a leak.
+    pub parked_rdma_ops: u64,
+    /// Times the reactor thread woke up to service socket readiness.
+    pub reactor_wakeups: u64,
+    /// Total nanoseconds the reactor spent inside wakeup processing
+    /// (dispatching frames, not blocked in `poll`). Divide by
+    /// `reactor_wakeups` for the mean loop latency.
+    pub reactor_loop_ns_total: u64,
+    /// Longest single reactor wakeup in nanoseconds (highwatermark).
+    pub reactor_loop_ns_max: u64,
     /// Per-peer `(node id, frames sent, frames received, bytes sent,
     /// bytes received)` rows for the links currently or previously open.
     pub per_link: Vec<LinkRow>,
@@ -83,6 +114,14 @@ impl LinkStatsSnapshot {
     /// Number of peer links with any traffic.
     pub fn active_links(&self) -> usize {
         self.per_link.len()
+    }
+
+    /// The engine's in-flight RPC estimate: `MSG` frames posted whose
+    /// responses have not come back. On a responder (receives ≥ sends)
+    /// this saturates to 0.
+    pub fn inflight(&self) -> u64 {
+        self.msg_frames_sent
+            .saturating_sub(self.msg_frames_received)
     }
 }
 

@@ -11,10 +11,10 @@ use crate::timer;
 use crate::MargoError;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use symbi_core::{
     now_ns, Callpath, EntityId, EventSamples, Interval, Side, Symbiosys, SysStats, TraceEvent,
     TraceEventKind, UNKNOWN_ENTITY,
@@ -51,6 +51,99 @@ pub struct AsyncRpc {
     timeout: std::time::Duration,
 }
 
+/// Bounded in-flight window toward one destination: the engine-level
+/// pipeline behind [`RpcOptions::with_pipeline`].
+///
+/// The gate is strictly non-blocking. A call below the window depth
+/// acquires a slot and issues immediately; a call beyond it parks its
+/// issue job in a FIFO. Completions call [`PipelineGate::release`], which
+/// hands the freed slot to the oldest queued job and runs it *from the
+/// completer's context* (the progress ES) — so the window refills the
+/// moment a response is triggered, without any ULT sleeping on a slot.
+pub(crate) struct PipelineGate {
+    depth: usize,
+    state: Mutex<GateState>,
+}
+
+/// A parked issue job; receives the time it spent waiting for a slot.
+type GateJob = Box<dyn FnOnce(Duration) + Send>;
+
+struct GateState {
+    inflight: usize,
+    /// Parked issue jobs with their park time, so the dequeue can report
+    /// how long each call waited for a window slot.
+    queued: VecDeque<(Instant, GateJob)>,
+    /// Release credits not yet applied; drained by the one thread holding
+    /// `draining` so a chain of synchronously-completing queued jobs
+    /// unwinds as a loop, not recursion.
+    pending_releases: usize,
+    draining: bool,
+}
+
+impl PipelineGate {
+    fn new(depth: usize) -> Self {
+        PipelineGate {
+            depth: depth.max(1),
+            state: Mutex::new(GateState {
+                inflight: 0,
+                queued: VecDeque::new(),
+                pending_releases: 0,
+                draining: false,
+            }),
+        }
+    }
+
+    /// Run `job` now if a window slot is free, else park it. The job
+    /// receives the time it spent parked (zero when it ran immediately).
+    fn acquire_or_queue(&self, job: Box<dyn FnOnce(Duration) + Send>) {
+        let mut s = self.state.lock();
+        if s.inflight < self.depth {
+            s.inflight += 1;
+            drop(s);
+            job(Duration::ZERO);
+        } else {
+            s.queued.push_back((Instant::now(), job));
+        }
+    }
+
+    /// Give up a slot: the oldest parked job (if any) inherits it and
+    /// runs from this call's context; otherwise the in-flight count
+    /// drops. Re-entrant releases (a dequeued job completing
+    /// synchronously) deposit a credit and return — the outermost call
+    /// drains them in a loop, so no chain of failures can overflow the
+    /// stack.
+    fn release(&self) {
+        {
+            let mut s = self.state.lock();
+            s.pending_releases += 1;
+            if s.draining {
+                return;
+            }
+            s.draining = true;
+        }
+        loop {
+            let next = {
+                let mut s = self.state.lock();
+                if s.pending_releases == 0 {
+                    s.draining = false;
+                    return;
+                }
+                s.pending_releases -= 1;
+                match s.queued.pop_front() {
+                    Some((parked_at, job)) => Some((parked_at.elapsed(), job)),
+                    None => {
+                        s.inflight = s.inflight.saturating_sub(1);
+                        None
+                    }
+                }
+            };
+            if let Some((waited, job)) = next {
+                job(waited);
+            }
+        }
+    }
+}
+
 impl AsyncRpc {
     /// Block until the RPC completes.
     pub fn wait(&self) -> Result<RpcOutcome, MargoError> {
@@ -84,6 +177,76 @@ impl AsyncRpc {
     /// Whether the RPC already completed.
     pub fn is_done(&self) -> bool {
         self.ev.is_set()
+    }
+}
+
+/// Shared completion state of one [`MargoInstance::forward_many`] batch:
+/// a slot per element plus a single batch-wide eventual, so a 10k-element
+/// batch costs one condvar instead of 10k.
+struct BatchShared {
+    results: Mutex<Vec<Option<Result<RpcOutcome, MargoError>>>>,
+    remaining: AtomicUsize,
+    done: Eventual<()>,
+}
+
+/// An in-flight batch of RPCs issued with [`MargoInstance::forward_many`],
+/// windowed by the options' pipeline depth.
+pub struct BatchRpc {
+    shared: Arc<BatchShared>,
+    timeout: std::time::Duration,
+}
+
+impl BatchRpc {
+    /// Block until every element completes; returns per-element outcomes
+    /// in input order. Errs with [`MargoError::Timeout`] only if the
+    /// whole batch overruns its budget (per-element failures are returned
+    /// in their slots, not raised here).
+    pub fn wait(self) -> Result<Vec<Result<RpcOutcome, MargoError>>, MargoError> {
+        match self.shared.done.wait_timeout(self.timeout) {
+            Some(()) => Ok(self
+                .shared
+                .results
+                .lock()
+                .iter_mut()
+                .map(|slot| slot.take().expect("batch complete implies every slot set"))
+                .collect()),
+            None => Err(MargoError::Timeout),
+        }
+    }
+
+    /// Whether every element has completed.
+    pub fn is_done(&self) -> bool {
+        self.shared.done.is_set()
+    }
+
+    /// Number of elements still in flight or parked awaiting a window
+    /// slot.
+    pub fn remaining(&self) -> usize {
+        self.shared.remaining.load(Ordering::Acquire)
+    }
+}
+
+/// Where a [`RetryDriver`] delivers its terminal result: the single-call
+/// eventual, or one slot of a batch.
+enum CompletionSink {
+    Single(Eventual<Result<RpcOutcome, MargoError>>),
+    Batch {
+        shared: Arc<BatchShared>,
+        index: usize,
+    },
+}
+
+impl CompletionSink {
+    fn finish(&self, res: Result<RpcOutcome, MargoError>) {
+        match self {
+            CompletionSink::Single(ev) => ev.set(res),
+            CompletionSink::Batch { shared, index } => {
+                shared.results.lock()[*index] = Some(res);
+                if shared.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    shared.done.set(());
+                }
+            }
+        }
     }
 }
 
@@ -130,6 +293,10 @@ pub(crate) struct Inner {
     shutdown: Arc<AtomicBool>,
     streams: Mutex<Vec<ExecutionStream>>,
     telemetry: Arc<TelemetryPlane>,
+    /// One pipeline gate per (destination, depth) pair, shared by every
+    /// call that names that window — concurrent batches toward the same
+    /// destination share one in-flight budget.
+    gates: Mutex<HashMap<(u64, usize), Arc<PipelineGate>>>,
 }
 
 /// A Margo instance. Cloning shares the instance.
@@ -250,6 +417,7 @@ impl MargoInstance {
             shutdown,
             streams: Mutex::new(streams),
             telemetry,
+            gates: Mutex::new(HashMap::new()),
         });
 
         Self::spawn_progress(&inner);
@@ -460,10 +628,118 @@ impl MargoInstance {
         options: RpcOptions,
     ) -> AsyncRpc {
         let inner = self.inner.clone();
+        let ev: Eventual<Result<RpcOutcome, MargoError>> = Eventual::new();
+        let rpc_id = hash_rpc_name(rpc_name);
+        symbi_core::callpath::register_name(rpc_name);
+        let timeout = total_wait_budget(&inner.config, &options, rpc_id);
+        // A single call only passes through a window when one was asked
+        // for; batches always window (depth 1 by default).
+        let gate = options.pipeline().map(|d| inner.gate_for(dest, d));
+        Self::launch_call(
+            &inner,
+            dest,
+            rpc_name,
+            rpc_id,
+            input,
+            options,
+            CompletionSink::Single(ev.clone()),
+            gate,
+        );
+        AsyncRpc { ev, timeout }
+    }
+
+    /// Issue one RPC per element of `inputs`, windowed through the
+    /// per-destination pipeline gate at the options' depth (1 when unset:
+    /// strictly serialized). Elements beyond the window are parked and
+    /// issued from the completion path as earlier ones finish, so a
+    /// 10k-element batch at depth 64 never holds more than 64 handles.
+    ///
+    /// Each element is a full logical RPC: its own callpath extension,
+    /// issue order, span, deadline, and retry schedule. Results come back
+    /// in input order regardless of completion order.
+    pub fn forward_many<I: Wire>(
+        &self,
+        dest: Addr,
+        rpc_name: &str,
+        inputs: &[I],
+        options: RpcOptions,
+    ) -> BatchRpc {
+        self.forward_many_raw(
+            dest,
+            rpc_name,
+            inputs.iter().map(Wire::to_bytes).collect(),
+            options,
+        )
+    }
+
+    /// [`MargoInstance::forward_many`] for pre-serialized inputs.
+    pub fn forward_many_raw(
+        &self,
+        dest: Addr,
+        rpc_name: &str,
+        inputs: Vec<Bytes>,
+        options: RpcOptions,
+    ) -> BatchRpc {
+        let inner = self.inner.clone();
+        let n = inputs.len();
+        let rpc_id = hash_rpc_name(rpc_name);
+        symbi_core::callpath::register_name(rpc_name);
+        let depth = options.pipeline().unwrap_or(1);
+
+        // The batch drains in at most ceil(n / depth) serial windows;
+        // budget one call's full wait per window plus scheduling slack.
+        let per_call = total_wait_budget(&inner.config, &options, rpc_id);
+        let windows = n.div_ceil(depth).max(1) as u32;
+        let timeout = per_call.saturating_mul(windows) + std::time::Duration::from_millis(250);
+
+        let shared = Arc::new(BatchShared {
+            results: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: AtomicUsize::new(n),
+            done: Eventual::new(),
+        });
+        if n == 0 {
+            shared.done.set(());
+            return BatchRpc { shared, timeout };
+        }
+        let gate = inner.gate_for(dest, depth);
+        for (index, input) in inputs.into_iter().enumerate() {
+            Self::launch_call(
+                &inner,
+                dest,
+                rpc_name,
+                rpc_id,
+                input,
+                options.clone(),
+                CompletionSink::Batch {
+                    shared: shared.clone(),
+                    index,
+                },
+                Some(gate.clone()),
+            );
+        }
+        BatchRpc { shared, timeout }
+    }
+
+    /// Capture the caller-ULT request context, build the retry driver,
+    /// and launch attempt 0 — through `gate` when the call is windowed.
+    #[allow(clippy::too_many_arguments)]
+    fn launch_call(
+        inner: &Arc<Inner>,
+        dest: Addr,
+        rpc_name: &str,
+        rpc_id: u64,
+        input: Bytes,
+        options: RpcOptions,
+        sink: CompletionSink,
+        gate: Option<Arc<PipelineGate>>,
+    ) {
         let stage = inner.config.stage;
 
         // Capture request context from the *caller's* ULT-local keys
         // (§IV-A1: the servicing ULT passes its ancestry downstream).
+        // This must happen here, in the caller's ULT — a parked batch
+        // element is later issued from the progress ES, whose ULT-local
+        // keys belong to someone else.
         let parent = keys::current_callpath();
         let (callpath, request_id, order, span) = if stage.ids_enabled() {
             let callpath = parent.push(rpc_name);
@@ -482,13 +758,8 @@ impl MargoInstance {
             (Callpath::EMPTY, 0, 0, SpanCtx::default())
         };
 
-        let ev: Eventual<Result<RpcOutcome, MargoError>> = Eventual::new();
-        let rpc_id = hash_rpc_name(rpc_name);
-        symbi_core::callpath::register_name(rpc_name);
-        let timeout = total_wait_budget(&inner.config, &options, rpc_id);
-
         let driver = Arc::new(RetryDriver {
-            inner: Arc::downgrade(&inner),
+            inner: Arc::downgrade(inner),
             dest,
             rpc_id,
             callpath,
@@ -497,9 +768,33 @@ impl MargoInstance {
             span,
             input,
             options,
-            ev: ev.clone(),
+            sink,
+            gate: gate.clone(),
         });
-        let issue = move || RetryDriver::attempt(driver, 0);
+        let issue = move || match gate {
+            None => RetryDriver::attempt(driver, 0),
+            Some(g) => g.acquire_or_queue(Box::new(move |waited| {
+                // A call that waited for a window slot records the wait
+                // as an origin profile row under the `pipeline_wait`
+                // frame, so symbi-analyze attributes queue-wait to the
+                // pipeline rather than to service time.
+                if waited > Duration::ZERO {
+                    if let Some(inner) = driver.inner.upgrade() {
+                        if inner.config.stage.measure_enabled() {
+                            symbi_core::callpath::register_name("pipeline_wait");
+                            inner.sym.profiler().record(
+                                inner.sym.entity(),
+                                entity_for_addr(driver.dest),
+                                Side::Origin,
+                                driver.callpath.push("pipeline_wait"),
+                                &[(Interval::OriginExecution, waited.as_nanos() as u64)],
+                            );
+                        }
+                    }
+                }
+                RetryDriver::attempt(driver, 0);
+            })),
+        };
 
         // The paper's default client runs request-issuing work as ULTs on
         // the shared main ES; with a dedicated progress stream the caller
@@ -511,7 +806,6 @@ impl MargoInstance {
         } else {
             issue();
         }
-        AsyncRpc { ev, timeout }
     }
 
     /// Issue an RPC under `options` and block for the typed response.
@@ -641,6 +935,17 @@ fn shared_progress_step(weak: Weak<Inner>, pool: Pool) {
 }
 
 impl Inner {
+    /// The shared pipeline gate for `(dest, depth)`, created on first
+    /// use. Distinct depths toward one destination get distinct windows
+    /// (a depth-1 control call never queues behind a depth-64 bulk load).
+    fn gate_for(&self, dest: Addr, depth: usize) -> Arc<PipelineGate> {
+        self.gates
+            .lock()
+            .entry((dest.0, depth))
+            .or_insert_with(|| Arc::new(PipelineGate::new(depth)))
+            .clone()
+    }
+
     /// Target-side dispatch: runs on the progress ES at t4, spawns the
     /// handler ULT into `pool`, seeded with the request's ULT-local
     /// context.
@@ -895,23 +1200,30 @@ struct RetryDriver {
     span: SpanCtx,
     input: Bytes,
     options: RpcOptions,
-    ev: Eventual<Result<RpcOutcome, MargoError>>,
+    sink: CompletionSink,
+    /// The pipeline window this call occupies a slot of, released at
+    /// terminal completion (never between retries of one logical call —
+    /// a retrying call still holds its slot).
+    gate: Option<Arc<PipelineGate>>,
 }
 
 impl RetryDriver {
+    /// Deliver the terminal result and release the pipeline-window slot.
+    fn finish(&self, res: Result<RpcOutcome, MargoError>) {
+        self.sink.finish(res);
+        if let Some(gate) = &self.gate {
+            gate.release();
+        }
+    }
     /// Issue attempt number `attempt` (0-based: 0 is the first issue).
     /// Runs the origin-side t1→t3 path and arms the per-attempt deadline.
     fn attempt(driver: Arc<RetryDriver>, attempt: u32) {
         let Some(inner) = driver.inner.upgrade() else {
-            driver
-                .ev
-                .set(Err(MargoError::Hg("instance finalized".into())));
+            driver.finish(Err(MargoError::Hg("instance finalized".into())));
             return;
         };
         if inner.shutdown.load(Ordering::Acquire) {
-            driver
-                .ev
-                .set(Err(MargoError::Hg("instance shut down".into())));
+            driver.finish(Err(MargoError::Hg("instance shut down".into())));
             return;
         }
         let stage = inner.config.stage;
@@ -1027,7 +1339,7 @@ impl RetryDriver {
                     (attempt > 0).then_some(u64::from(attempt)),
                     false,
                 );
-                driver.ev.set(Ok(RpcOutcome {
+                driver.finish(Ok(RpcOutcome {
                     status: resp.status,
                     output: resp.output.clone(),
                     pvars: resp.pvars.clone(),
@@ -1056,7 +1368,7 @@ impl RetryDriver {
                     (attempt > 0).then_some(u64::from(attempt)),
                     false,
                 );
-                driver.ev.set(Err(MargoError::Canceled));
+                driver.finish(Err(MargoError::Canceled));
             }
             s => {
                 Self::fail_or_retry(
@@ -1143,22 +1455,22 @@ impl RetryDriver {
             );
         }
         match err {
-            MargoError::Timeout => driver.ev.set(Err(MargoError::Timeout)),
-            MargoError::Canceled => driver.ev.set(Err(MargoError::Canceled)),
+            MargoError::Timeout => driver.finish(Err(MargoError::Timeout)),
+            MargoError::Canceled => driver.finish(Err(MargoError::Canceled)),
             MargoError::Remote(_) => {
                 // Preserve the legacy contract: remote failures surface as
                 // a completed outcome carrying the non-OK status.
                 match resp {
-                    Some(resp) => driver.ev.set(Ok(RpcOutcome {
+                    Some(resp) => driver.finish(Ok(RpcOutcome {
                         status: resp.status,
                         output: resp.output.clone(),
                         pvars: resp.pvars.clone(),
                         origin_execution_ns,
                     })),
-                    None => driver.ev.set(Err(err)),
+                    None => driver.finish(Err(err)),
                 }
             }
-            other => driver.ev.set(Err(other)),
+            other => driver.finish(Err(other)),
         }
     }
 }

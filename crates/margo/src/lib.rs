@@ -44,7 +44,7 @@ mod timer;
 
 pub use bridge::{OriginHandleSamples, PvarBridge, TargetHandleSamples};
 pub use config::{MargoConfig, Mode, TelemetryOptions};
-pub use instance::{entity_for_addr, AsyncRpc, MargoInstance, RpcHandler, RpcOutcome};
+pub use instance::{entity_for_addr, AsyncRpc, BatchRpc, MargoInstance, RpcHandler, RpcOutcome};
 pub use options::{RetryPolicy, RetryPredicate, RpcOptions};
 
 /// Errors surfaced by Margo operations.
@@ -73,7 +73,16 @@ impl MargoError {
         match self {
             MargoError::Fabric(e) => e.retryable(),
             MargoError::Timeout => true,
-            MargoError::Remote(s) => *s == symbi_mercury::RpcStatus::Timeout,
+            // Unreachable (link down mid-flight) is retryable like a
+            // timeout: the request may or may not have executed, so the
+            // idempotency gate in `RpcOptions::wants_retry` still applies
+            // through the `other.retryable()` arm.
+            MargoError::Remote(s) => {
+                matches!(
+                    s,
+                    symbi_mercury::RpcStatus::Timeout | symbi_mercury::RpcStatus::Unreachable
+                )
+            }
             MargoError::Hg(_) | MargoError::Canceled | MargoError::Codec(_) => false,
         }
     }
@@ -710,6 +719,222 @@ mod tests {
             }),
             "extra handler pool not in telemetry"
         );
+        server.finalize();
+    }
+
+    /// Handler-side concurrency tracker: returns a handler that sleeps
+    /// `ms` and records the high-watermark of simultaneously running
+    /// handler ULTs into `max`.
+    fn tracking_handler(
+        cur: Arc<AtomicU64>,
+        max: Arc<AtomicU64>,
+    ) -> impl Fn(&MargoInstance, u64) -> Result<u64, String> + Send + Sync + 'static {
+        move |_m, ms: u64| {
+            let now = cur.fetch_add(1, Ordering::SeqCst) + 1;
+            max.fetch_max(now, Ordering::SeqCst);
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            cur.fetch_sub(1, Ordering::SeqCst);
+            Ok::<u64, String>(ms)
+        }
+    }
+
+    #[test]
+    fn forward_many_returns_results_in_input_order() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("many-server", 4));
+        server.register_fn("double", |_m, x: u64| Ok::<u64, String>(x * 2));
+        let client = MargoInstance::new(f, MargoConfig::client("many-client"));
+        let inputs: Vec<u64> = (0..32).collect();
+        let batch = client.forward_many(
+            server.addr(),
+            "double",
+            &inputs,
+            RpcOptions::new().with_pipeline(8),
+        );
+        let results = batch.wait().unwrap();
+        assert_eq!(results.len(), 32);
+        for (i, res) in results.into_iter().enumerate() {
+            let outcome = res.unwrap();
+            assert_eq!(outcome.status, symbi_mercury::RpcStatus::Ok);
+            let y = u64::from_bytes(outcome.output).unwrap();
+            assert_eq!(y, (i as u64) * 2, "slot {i} out of order");
+        }
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn forward_many_empty_batch_completes_immediately() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("mt-server", 1));
+        let client = MargoInstance::new(f, MargoConfig::client("mt-client"));
+        let batch =
+            client.forward_many::<u64>(server.addr(), "nothing", &[], RpcOptions::default());
+        assert!(batch.is_done());
+        assert_eq!(batch.remaining(), 0);
+        assert!(batch.wait().unwrap().is_empty());
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn pipeline_depth_one_serializes_the_window() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("d1-server", 4));
+        let (cur, max) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+        server.register_fn("track", tracking_handler(cur, max.clone()));
+        let client = MargoInstance::new(f, MargoConfig::client("d1-client"));
+        // Depth 1 is the forward_many default: strictly one in flight.
+        let inputs: Vec<u64> = vec![5; 8];
+        let results = client
+            .forward_many(server.addr(), "track", &inputs, RpcOptions::default())
+            .wait()
+            .unwrap();
+        assert!(results.into_iter().all(|r| r.is_ok()));
+        assert_eq!(
+            max.load(Ordering::SeqCst),
+            1,
+            "depth-1 window must never overlap handlers"
+        );
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn pipeline_depth_bounds_and_fills_the_window() {
+        let f = fabric();
+        // More handler streams than the window, so the bound observed is
+        // the gate's, not the server's.
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("d4-server", 8));
+        let (cur, max) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+        server.register_fn("track", tracking_handler(cur, max.clone()));
+        let client = MargoInstance::new(f, MargoConfig::client("d4-client"));
+        let inputs: Vec<u64> = vec![20; 16];
+        let results = client
+            .forward_many(
+                server.addr(),
+                "track",
+                &inputs,
+                RpcOptions::new().with_pipeline(4),
+            )
+            .wait()
+            .unwrap();
+        assert!(results.into_iter().all(|r| r.is_ok()));
+        let peak = max.load(Ordering::SeqCst);
+        assert!(peak <= 4, "window of 4 exceeded: peak {peak}");
+        assert!(peak >= 2, "depth-4 window never pipelined: peak {peak}");
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn forward_many_isolates_per_element_failures() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("mix-server", 4));
+        server.register_fn("odd_fails", |_m, x: u64| {
+            if x % 2 == 1 {
+                Err("odd".into())
+            } else {
+                Ok::<u64, String>(x)
+            }
+        });
+        let client = MargoInstance::new(f, MargoConfig::client("mix-client"));
+        let inputs: Vec<u64> = (0..10).collect();
+        let results = client
+            .forward_many(
+                server.addr(),
+                "odd_fails",
+                &inputs,
+                RpcOptions::new().with_pipeline(4),
+            )
+            .wait()
+            .unwrap();
+        for (i, res) in results.into_iter().enumerate() {
+            // Remote failures keep the legacy contract: a completed
+            // outcome carrying the non-OK status in its own slot.
+            let outcome = res.unwrap();
+            if i % 2 == 1 {
+                assert_ne!(
+                    outcome.status,
+                    symbi_mercury::RpcStatus::Ok,
+                    "odd slot {i} should carry the remote failure"
+                );
+            } else {
+                assert_eq!(outcome.status, symbi_mercury::RpcStatus::Ok);
+                assert_eq!(
+                    u64::from_bytes(outcome.output).unwrap(),
+                    i as u64,
+                    "even slot {i} corrupted"
+                );
+            }
+        }
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn single_calls_share_the_gate_with_batches_at_equal_depth() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("share-server", 8));
+        let (cur, max) = (Arc::new(AtomicU64::new(0)), Arc::new(AtomicU64::new(0)));
+        server.register_fn("track", tracking_handler(cur, max.clone()));
+        let client = MargoInstance::new(f, MargoConfig::client("share-client"));
+        // Eight singles through the same (dest, depth=2) window: the
+        // shared gate must bound them collectively, not per call.
+        let rpcs: Vec<AsyncRpc> = (0..8)
+            .map(|_| {
+                client.forward_with_async(
+                    server.addr(),
+                    "track",
+                    &10u64,
+                    RpcOptions::new().with_pipeline(2),
+                )
+            })
+            .collect();
+        for rpc in rpcs {
+            rpc.wait_decode::<u64>().unwrap();
+        }
+        let peak = max.load(Ordering::SeqCst);
+        assert!(peak <= 2, "shared depth-2 window exceeded: peak {peak}");
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn pipeline_wait_records_an_origin_profile_frame() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("pw-server", 4));
+        server.register_fn("slow", |_m, ms: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok::<u64, String>(ms)
+        });
+        let client = MargoInstance::new(f, MargoConfig::client("pw-client"));
+        // Depth 1 with several elements: every element after the first
+        // waits for the window and must charge that wait to the
+        // `pipeline_wait` frame, not to service time.
+        let inputs: Vec<u64> = vec![5; 4];
+        client
+            .forward_many(
+                server.addr(),
+                "slow",
+                &inputs,
+                RpcOptions::new().with_pipeline(1),
+            )
+            .wait()
+            .unwrap();
+        let rows = client.symbiosys().profiler().snapshot();
+        let expected = Callpath::root("slow").push("pipeline_wait");
+        let wait_rows: Vec<_> = rows.iter().filter(|r| r.callpath == expected).collect();
+        assert!(
+            !wait_rows.is_empty(),
+            "no pipeline_wait profile rows recorded"
+        );
+        let waited: u64 = wait_rows
+            .iter()
+            .map(|r| r.interval_ns(Interval::OriginExecution))
+            .sum();
+        assert!(waited > 0, "pipeline_wait rows carry no wait time");
+        client.finalize();
         server.finalize();
     }
 }

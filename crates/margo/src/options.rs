@@ -129,6 +129,7 @@ pub struct RpcOptions {
     retry: Option<RetryPolicy>,
     idempotent: bool,
     retryable: Option<RetryPredicate>,
+    pipeline: Option<usize>,
 }
 
 impl std::fmt::Debug for RpcOptions {
@@ -138,6 +139,7 @@ impl std::fmt::Debug for RpcOptions {
             .field("retry", &self.retry)
             .field("idempotent", &self.idempotent)
             .field("retryable", &self.retryable.as_ref().map(|_| "<predicate>"))
+            .field("pipeline", &self.pipeline)
             .finish()
     }
 }
@@ -186,6 +188,24 @@ impl RpcOptions {
         self
     }
 
+    /// Bound the number of concurrently in-flight RPCs this call (and
+    /// every other call carrying the same depth) may keep open toward one
+    /// destination. Calls beyond the window are queued and issued from
+    /// the completion path as earlier ones finish — no ULT ever blocks
+    /// holding a window slot. A depth of 1 serializes; deep windows
+    /// (e.g. 64) keep the wire busy and let the transport's coalescing
+    /// flush batch many frames per syscall. Zero is clamped to 1.
+    #[must_use]
+    pub fn with_pipeline(mut self, depth: usize) -> Self {
+        self.pipeline = Some(depth.max(1));
+        self
+    }
+
+    /// The pipeline window depth, if one was set.
+    pub fn pipeline(&self) -> Option<usize> {
+        self.pipeline
+    }
+
     /// The per-attempt deadline, if any.
     pub fn deadline(&self) -> Option<Duration> {
         self.deadline
@@ -211,7 +231,10 @@ impl RpcOptions {
             return pred(err);
         }
         match err {
+            // A timed-out or link-severed attempt may still have executed
+            // on the target, so only idempotent calls re-issue it.
             MargoError::Timeout => self.idempotent,
+            MargoError::Remote(symbi_mercury::RpcStatus::Unreachable) => self.idempotent,
             other => other.retryable(),
         }
     }

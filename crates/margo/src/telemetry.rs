@@ -152,6 +152,49 @@ impl TelemetryPlane {
                         "symbi_net_active_links",
                         ls.active_links() as f64,
                     ));
+                    // Pipelined-engine metrics: the in-flight window, the
+                    // coalescing write path, and the reactor loop.
+                    out.push(MetricPoint::counter(
+                        "symbi_net_msg_frames_sent_total",
+                        ls.msg_frames_sent,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_msg_frames_received_total",
+                        ls.msg_frames_received,
+                    ));
+                    out.push(MetricPoint::gauge(
+                        "symbi_net_inflight",
+                        ls.inflight() as f64,
+                    ));
+                    out.push(MetricPoint::gauge(
+                        "symbi_net_send_queue_depth",
+                        ls.send_queue_depth as f64,
+                    ));
+                    out.push(MetricPoint::counter("symbi_net_flushes_total", ls.flushes));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_coalesced_frames_total",
+                        ls.coalesced_frames,
+                    ));
+                    out.push(MetricPoint::gauge(
+                        "symbi_net_max_frames_per_flush",
+                        ls.max_frames_per_flush as f64,
+                    ));
+                    out.push(MetricPoint::gauge(
+                        "symbi_net_parked_rdma_ops",
+                        ls.parked_rdma_ops as f64,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_reactor_wakeups_total",
+                        ls.reactor_wakeups,
+                    ));
+                    out.push(MetricPoint::counter(
+                        "symbi_net_reactor_loop_ns_total",
+                        ls.reactor_loop_ns_total,
+                    ));
+                    out.push(MetricPoint::gauge(
+                        "symbi_net_reactor_loop_ns_max",
+                        ls.reactor_loop_ns_max as f64,
+                    ));
                 }
                 // Injected-fault counters appear once a fault plan is
                 // installed, so fault experiments can correlate observed

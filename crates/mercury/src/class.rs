@@ -72,6 +72,33 @@ struct Counters {
     rpcs_timed_out: AtomicU64,
     rpcs_canceled: AtomicU64,
     late_responses: AtomicU64,
+    rpcs_unreachable: AtomicU64,
+    handle_pool_reuses: AtomicU64,
+    trigger_batch_highwatermark: AtomicU64,
+}
+
+/// Retention cap on the reusable-handle free list. Slots released while
+/// the list is full are abandoned (their ids are simply never reissued);
+/// the cap bounds pool memory, not concurrency — any number of handles
+/// may be in flight.
+const HANDLE_POOL_CAP: usize = 4096;
+
+/// A recycled origin-handle identity: a slot number reissued under a new
+/// generation, with the slot's PVAR block reused in place.
+struct PooledHandle {
+    slot: u32,
+    gen: u32,
+    pvars: Arc<HandlePvars>,
+}
+
+/// Free list behind [`HgClass::create_handle`]. Handle ids are
+/// `generation << 32 | slot`: the slot is recycled when an RPC completes,
+/// the generation is bumped on each reuse so a late (duplicate or
+/// post-teardown) response carrying an old id can never alias a newer
+/// in-flight handle on the same slot.
+struct HandlePool {
+    free: Vec<PooledHandle>,
+    next_slot: u32,
 }
 
 pub(crate) struct HgInner {
@@ -86,7 +113,7 @@ pub(crate) struct HgInner {
     /// expiry sweep entirely on deadline-free workloads.
     deadlines_pending: AtomicU64,
     counters: Counters,
-    next_handle_id: AtomicU64,
+    handle_pool: Mutex<HandlePool>,
     pub(crate) active_sessions: AtomicU64,
     finalized: AtomicBool,
 }
@@ -136,7 +163,11 @@ impl HgClass {
                 completion: Mutex::new(VecDeque::new()),
                 deadlines_pending: AtomicU64::new(0),
                 counters: Counters::default(),
-                next_handle_id: AtomicU64::new(1),
+                handle_pool: Mutex::new(HandlePool {
+                    free: Vec::new(),
+                    // Slot 0 is never issued so no handle id is ever 0.
+                    next_slot: 1,
+                }),
                 active_sessions: AtomicU64::new(0),
                 finalized: AtomicBool::new(false),
             }),
@@ -195,13 +226,59 @@ impl HgClass {
     }
 
     /// Create an origin-side handle for one RPC invocation.
+    ///
+    /// Handles are served from a reusable pool: when an RPC completes its
+    /// slot returns to a free list, and the next `create_handle` reissues
+    /// the slot under a bumped generation (`id = generation << 32 | slot`)
+    /// with the slot's PVAR block zeroed and reused in place. Deep
+    /// pipelines therefore allocate nothing per RPC on the hot path once
+    /// warm, and a stale response for a completed handle can never alias
+    /// a newer one sharing its slot.
     pub fn create_handle(&self, dest: Addr, rpc_id: u64) -> Handle {
+        let (id, pvars) = {
+            let mut pool = self.inner.handle_pool.lock();
+            match pool.free.pop() {
+                Some(mut p) => {
+                    p.gen = p.gen.wrapping_add(1);
+                    drop(pool);
+                    self.inner
+                        .counters
+                        .handle_pool_reuses
+                        .fetch_add(1, Ordering::Relaxed);
+                    p.pvars.reset();
+                    (((p.gen as u64) << 32) | p.slot as u64, p.pvars)
+                }
+                None => {
+                    let slot = pool.next_slot;
+                    pool.next_slot = pool.next_slot.wrapping_add(1).max(1);
+                    drop(pool);
+                    (slot as u64, Arc::new(HandlePvars::default()))
+                }
+            }
+        };
         Handle {
-            id: HandleId(self.inner.next_handle_id.fetch_add(1, Ordering::Relaxed)),
+            id: HandleId(id),
             dest,
             rpc_id,
-            pvars: Arc::new(HandlePvars::default()),
+            pvars,
         }
+    }
+
+    /// Return a completed handle's slot (and its PVAR block) to the pool.
+    fn release_handle(&self, id: HandleId, pvars: Arc<HandlePvars>) {
+        let mut pool = self.inner.handle_pool.lock();
+        if pool.free.len() < HANDLE_POOL_CAP {
+            pool.free.push(PooledHandle {
+                slot: id.0 as u32,
+                gen: (id.0 >> 32) as u32,
+                pvars,
+            });
+        }
+    }
+
+    /// Number of handle identities currently parked on the free list.
+    pub fn handle_pool_free(&self) -> usize {
+        self.inner.handle_pool.lock().free.len()
     }
 
     /// Forward a request (t1→t3 of Figure 2). `input` must already be
@@ -270,6 +347,7 @@ impl HgClass {
             Posted {
                 cb: Box::new(cb),
                 pvars: handle.pvars.clone(),
+                dest: handle.dest,
                 rdma_key,
                 deadline,
             },
@@ -284,7 +362,8 @@ impl HgClass {
         {
             Ok(()) => Ok(handle.id),
             Err(e) => {
-                // Roll back the post so the handle doesn't leak.
+                // Roll back the post so the handle doesn't leak; its slot
+                // goes straight back to the pool (no callback will run).
                 if let Some(p) = inner.posted.lock().remove(&handle.id.0) {
                     if let Some(k) = p.rdma_key {
                         inner.fabric.unregister(k);
@@ -292,6 +371,7 @@ impl HgClass {
                     if p.deadline.is_some() {
                         inner.deadlines_pending.fetch_sub(1, Ordering::Relaxed);
                     }
+                    self.release_handle(handle.id, p.pvars);
                 }
                 Err(HgError::from(e))
             }
@@ -300,8 +380,9 @@ impl HgClass {
 
     /// Complete a removed posted handle locally with a synthesized
     /// status, through the normal completion queue so `trigger`
-    /// dispatches it exactly like a real response.
-    fn complete_locally(&self, posted: Posted, status: RpcStatus) {
+    /// dispatches it exactly like a real response. The handle's slot
+    /// returns to the pool after its callback runs.
+    fn complete_locally(&self, id: HandleId, posted: Posted, status: RpcStatus) {
         if let Some(k) = posted.rdma_key {
             self.inner.fabric.unregister(k);
         }
@@ -309,6 +390,7 @@ impl HgClass {
             self.inner.deadlines_pending.fetch_sub(1, Ordering::Relaxed);
         }
         let added_to_cq_at = Instant::now();
+        let hg = self.clone();
         let pvars = posted.pvars;
         let cb = posted.cb;
         self.push_completion(Box::new(move || {
@@ -322,6 +404,7 @@ impl HgClass {
                 lamport: 0,
                 pvars: pvars.clone(),
             });
+            hg.release_handle(id, pvars);
         }));
     }
 
@@ -337,7 +420,7 @@ impl HgClass {
                     .counters
                     .rpcs_canceled
                     .fetch_add(1, Ordering::Relaxed);
-                self.complete_locally(p, RpcStatus::Canceled);
+                self.complete_locally(id, p, RpcStatus::Canceled);
                 true
             }
             None => false,
@@ -352,7 +435,7 @@ impl HgClass {
             return;
         }
         let now = Instant::now();
-        let expired: Vec<Posted> = {
+        let expired: Vec<(u64, Posted)> = {
             let mut posted = self.inner.posted.lock();
             let ids: Vec<u64> = posted
                 .iter()
@@ -360,15 +443,41 @@ impl HgClass {
                 .map(|(id, _)| *id)
                 .collect();
             ids.into_iter()
-                .filter_map(|id| posted.remove(&id))
+                .filter_map(|id| posted.remove(&id).map(|p| (id, p)))
                 .collect()
         };
-        for p in expired {
+        for (id, p) in expired {
             self.inner
                 .counters
                 .rpcs_timed_out
                 .fetch_add(1, Ordering::Relaxed);
-            self.complete_locally(p, RpcStatus::Timeout);
+            self.complete_locally(HandleId(id), p, RpcStatus::Timeout);
+        }
+    }
+
+    /// Fail every posted handle destined for `peer` with
+    /// [`RpcStatus::Unreachable`]. Invoked when the transport delivers a
+    /// link-down event for that peer, so a torn-down connection drains a
+    /// full pipeline window through the normal completion path at once
+    /// instead of one deadline expiry at a time.
+    fn fail_unreachable(&self, peer: u32) {
+        let dead: Vec<(u64, Posted)> = {
+            let mut posted = self.inner.posted.lock();
+            let ids: Vec<u64> = posted
+                .iter()
+                .filter(|(_, p)| p.dest.node() == peer)
+                .map(|(id, _)| *id)
+                .collect();
+            ids.into_iter()
+                .filter_map(|id| posted.remove(&id).map(|p| (id, p)))
+                .collect()
+        };
+        for (id, p) in dead {
+            self.inner
+                .counters
+                .rpcs_unreachable
+                .fetch_add(1, Ordering::Relaxed);
+            self.complete_locally(HandleId(id), p, RpcStatus::Unreachable);
         }
     }
 
@@ -478,6 +587,7 @@ impl HgClass {
             match ev.tag {
                 tags::REQUEST => self.on_request(ev.src, ev.payload.clone()),
                 tags::RESPONSE => self.on_response(ev.payload.clone()),
+                symbi_fabric::LINK_DOWN_TAG => self.fail_unreachable(ev.src.node()),
                 other => {
                     eprintln!("[symbi-mercury] dropping message with unknown tag {other}");
                 }
@@ -592,24 +702,39 @@ impl HgClass {
                 lamport: header.lamport,
                 pvars: pvars.clone(),
             });
+            hg.release_handle(HandleId(header.origin_handle_id), pvars);
         }));
     }
 
     /// Execute up to `max` queued completion callbacks. Returns how many
     /// ran. Mercury's trigger: origin t14 callbacks, target request
     /// dispatch, and target t13 send-completions all run here.
+    ///
+    /// Completions are drained in one batch under a single lock
+    /// acquisition and the callbacks run outside the lock, so a deep
+    /// pipeline delivering a window of responses costs one lock round
+    /// trip per wakeup instead of one per RPC. Entries pushed *by* the
+    /// batch's callbacks are left for the next call (callers already
+    /// loop until quiescent).
     pub fn trigger(&self, max: usize) -> usize {
-        let mut ran = 0;
-        while ran < max {
-            let entry = self.inner.completion.lock().pop_front();
-            match entry {
-                Some(f) => {
-                    self.inner.counters.triggers.fetch_add(1, Ordering::Relaxed);
-                    f();
-                    ran += 1;
-                }
-                None => break,
-            }
+        let batch: Vec<Completion> = {
+            let mut q = self.inner.completion.lock();
+            let n = q.len().min(max);
+            q.drain(..n).collect()
+        };
+        let ran = batch.len();
+        if ran > 0 {
+            self.inner
+                .counters
+                .triggers
+                .fetch_add(ran as u64, Ordering::Relaxed);
+            self.inner
+                .counters
+                .trigger_batch_highwatermark
+                .fetch_max(ran as u64, Ordering::Relaxed);
+        }
+        for f in batch {
+            f();
         }
         ran
     }
@@ -685,6 +810,11 @@ impl HgClass {
             ids::NUM_RPCS_TIMED_OUT => c.rpcs_timed_out.load(Ordering::Relaxed),
             ids::NUM_RPCS_CANCELED => c.rpcs_canceled.load(Ordering::Relaxed),
             ids::NUM_LATE_RESPONSES => c.late_responses.load(Ordering::Relaxed),
+            ids::NUM_RPCS_UNREACHABLE => c.rpcs_unreachable.load(Ordering::Relaxed),
+            ids::NUM_HANDLE_POOL_REUSES => c.handle_pool_reuses.load(Ordering::Relaxed),
+            ids::TRIGGER_BATCH_HIGHWATERMARK => {
+                c.trigger_batch_highwatermark.load(Ordering::Relaxed)
+            }
             _ => return None,
         };
         Some(v)

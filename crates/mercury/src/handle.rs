@@ -121,6 +121,9 @@ impl std::fmt::Debug for Response {
 pub(crate) struct Posted {
     pub(crate) cb: Box<dyn FnOnce(Response) + Send>,
     pub(crate) pvars: Arc<HandlePvars>,
+    /// Destination the request was forwarded to; lets the progress loop
+    /// fail every handle aimed at a peer whose link just went down.
+    pub(crate) dest: symbi_fabric::Addr,
     /// Key of the request's overflow region, unregistered on completion.
     pub(crate) rdma_key: Option<symbi_fabric::MemKey>,
     /// When set, `progress` expires the handle at this instant and

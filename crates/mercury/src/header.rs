@@ -155,6 +155,13 @@ pub enum RpcStatus {
     Timeout,
     /// The origin canceled the handle before a response arrived.
     Canceled,
+    /// The link to the target went down while the handle was posted. The
+    /// progress loop synthesizes this for every in-flight handle destined
+    /// for the dead peer the moment the transport reports the link lost —
+    /// faster than waiting for each handle's deadline. Like
+    /// [`RpcStatus::Timeout`] it is retryable: the request may or may not
+    /// have executed.
+    Unreachable,
 }
 
 impl RpcStatus {
@@ -166,6 +173,7 @@ impl RpcStatus {
             RpcStatus::HandlerError => 2,
             RpcStatus::Timeout => 3,
             RpcStatus::Canceled => 4,
+            RpcStatus::Unreachable => 5,
         }
     }
 
@@ -177,6 +185,7 @@ impl RpcStatus {
             2 => RpcStatus::HandlerError,
             3 => RpcStatus::Timeout,
             4 => RpcStatus::Canceled,
+            5 => RpcStatus::Unreachable,
             _ => return Err(CodecError::Invalid("rpc status")),
         })
     }
@@ -293,6 +302,7 @@ mod tests {
             RpcStatus::HandlerError,
             RpcStatus::Timeout,
             RpcStatus::Canceled,
+            RpcStatus::Unreachable,
         ] {
             let h = ResponseHeader {
                 origin_handle_id: 7,

@@ -85,15 +85,16 @@ pub enum HgError {
 
 impl HgError {
     /// Is retrying the operation reasonable? Deadline expiry is ambiguous
-    /// (the request may or may not have executed) but transient; injected
-    /// fabric faults are transient by construction. Protocol misuse
-    /// (double responses, codec failures) and explicit cancellation are
-    /// not retryable.
+    /// (the request may or may not have executed) but transient; the same
+    /// holds for a link reported down mid-flight; injected fabric faults
+    /// are transient by construction. Protocol misuse (double responses,
+    /// codec failures) and explicit cancellation are not retryable.
     pub fn retryable(&self) -> bool {
         match self {
             HgError::Fabric(e) => e.retryable(),
             HgError::Timeout => true,
             HgError::Status(RpcStatus::Timeout) => true,
+            HgError::Status(RpcStatus::Unreachable) => true,
             HgError::Codec(_)
             | HgError::AlreadyResponded
             | HgError::Status(_)
@@ -647,6 +648,112 @@ mod tests {
         assert_eq!(server.trigger(3), 3);
         assert!(server.completion_queue_len() >= 7);
         // Drain.
+        pump_until(&client, &server, || client.posted_handles() == 0);
+    }
+
+    #[test]
+    fn handle_pool_recycles_slot_under_new_generation() {
+        let (client, server) = pair();
+        let rpc = server.register("recycle");
+        server.set_handler(rpc, echo_handler());
+        let first = forward_value(
+            &client,
+            server.addr(),
+            rpc,
+            RpcMeta::default(),
+            &vec![1u8],
+            |_| {},
+        )
+        .unwrap();
+        pump_until(&client, &server, || client.posted_handles() == 0);
+        assert_eq!(client.handle_pool_free(), 1, "completed slot parked");
+
+        // The next handle reuses the slot (low 32 bits) under a bumped
+        // generation (high 32 bits), so the ids differ and a stale
+        // response for `first` could never alias the new handle.
+        let h = client.create_handle(server.addr(), rpc);
+        assert_eq!(h.id().0 as u32, first.0 as u32, "slot recycled");
+        assert_ne!(h.id(), first, "generation bumped");
+        assert_eq!(client.handle_pool_free(), 0);
+        // The recycled PVAR block starts zeroed.
+        assert_eq!(
+            h.pvars().input_size.load(Ordering::Relaxed),
+            0,
+            "recycled pvars reset"
+        );
+        let s = client.pvar_session();
+        let reuses = s.alloc_handle(pvar::ids::NUM_HANDLE_POOL_REUSES).unwrap();
+        assert_eq!(s.sample(&reuses, None).unwrap(), 1);
+    }
+
+    #[test]
+    fn link_down_fails_all_posted_handles_as_unreachable() {
+        let (client, server) = pair();
+        let rpc = client.register("doomed");
+        let statuses: Arc<parking_lot::Mutex<Vec<RpcStatus>>> =
+            Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for _ in 0..4 {
+            let s2 = statuses.clone();
+            forward_value(
+                &client,
+                server.addr(),
+                rpc,
+                RpcMeta::default(),
+                &0u64,
+                move |resp| s2.lock().push(resp.status),
+            )
+            .unwrap();
+        }
+        assert_eq!(client.posted_handles(), 4);
+        // Deliver the transport's link-down event for the server's node:
+        // the whole in-flight window must drain through the completion
+        // path at once, not one deadline expiry at a time.
+        client
+            .fabric()
+            .send(
+                server.addr(),
+                client.addr(),
+                symbi_fabric::LINK_DOWN_TAG,
+                bytes::Bytes::new(),
+            )
+            .unwrap();
+        client.progress(16, Duration::ZERO);
+        client.trigger(16);
+        assert_eq!(client.posted_handles(), 0);
+        let got = statuses.lock().clone();
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|s| *s == RpcStatus::Unreachable));
+        assert!(HgError::Status(RpcStatus::Unreachable).retryable());
+        let s = client.pvar_session();
+        let unreachable = s.alloc_handle(pvar::ids::NUM_RPCS_UNREACHABLE).unwrap();
+        assert_eq!(s.sample(&unreachable, None).unwrap(), 4);
+    }
+
+    #[test]
+    fn trigger_drains_batch_under_one_lock_and_records_highwatermark() {
+        let (client, server) = pair();
+        let rpc = server.register("batch");
+        server.set_handler(rpc, echo_handler());
+        for _ in 0..10 {
+            forward_value(
+                &client,
+                server.addr(),
+                rpc,
+                RpcMeta::default(),
+                &0u64,
+                |_| {},
+            )
+            .unwrap();
+        }
+        server.progress(64, Duration::ZERO);
+        assert_eq!(server.completion_queue_len(), 10);
+        // One call drains the whole batch.
+        assert_eq!(server.trigger(64), 10);
+        let s = server.pvar_session();
+        let hw = s
+            .alloc_handle(pvar::ids::TRIGGER_BATCH_HIGHWATERMARK)
+            .unwrap();
+        assert!(s.sample(&hw, None).unwrap() >= 10);
         pump_until(&client, &server, || client.posted_handles() == 0);
     }
 }

@@ -125,6 +125,14 @@ pub mod ids {
     /// Responses that arrived after their handle had already completed
     /// (timed out, canceled, or duplicated) and were dropped.
     pub const NUM_LATE_RESPONSES: PvarId = PvarId(14);
+    /// Posted handles failed with `Unreachable` because the transport
+    /// reported their destination's link down.
+    pub const NUM_RPCS_UNREACHABLE: PvarId = PvarId(15);
+    /// Origin handles served from the reusable-handle pool (no fresh
+    /// allocation on the forward hot path).
+    pub const NUM_HANDLE_POOL_REUSES: PvarId = PvarId(16);
+    /// Largest number of completions drained by a single `trigger` call.
+    pub const TRIGGER_BATCH_HIGHWATERMARK: PvarId = PvarId(17);
 
     // --- HANDLE-bound (values live and die with one RPC) ---
 
@@ -254,6 +262,27 @@ pub static PVAR_TABLE: &[PvarInfo] = &[
         bind: PvarBind::NoObject,
     },
     PvarInfo {
+        id: ids::NUM_RPCS_UNREACHABLE,
+        name: "num_rpcs_unreachable",
+        description: "Posted handles failed because the destination link went down",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::NUM_HANDLE_POOL_REUSES,
+        name: "num_handle_pool_reuses",
+        description: "Origin handles served from the reusable-handle pool",
+        class: PvarClass::Counter,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
+        id: ids::TRIGGER_BATCH_HIGHWATERMARK,
+        name: "trigger_batch_highwatermark",
+        description: "Largest number of completions drained by one trigger call",
+        class: PvarClass::Highwatermark,
+        bind: PvarBind::NoObject,
+    },
+    PvarInfo {
         id: ids::INTERNAL_RDMA_TRANSFER_TIME,
         name: "internal_rdma_transfer_time",
         description: "Time taken to transfer additional RPC metadata through RDMA",
@@ -346,6 +375,22 @@ pub struct HandlePvars {
 }
 
 impl HandlePvars {
+    /// Zero every field, preparing the block for reuse by a recycled
+    /// handle. Consistent with the paper's scoping rule — a completed
+    /// handle's PVAR values "are lost forever" — so a tool must sample
+    /// them before the completion callback returns.
+    pub fn reset(&self) {
+        self.internal_rdma_transfer_ns.store(0, Ordering::Relaxed);
+        self.input_serialization_ns.store(0, Ordering::Relaxed);
+        self.input_deserialization_ns.store(0, Ordering::Relaxed);
+        self.output_serialization_ns.store(0, Ordering::Relaxed);
+        self.output_deserialization_ns.store(0, Ordering::Relaxed);
+        self.origin_completion_callback_ns
+            .store(0, Ordering::Relaxed);
+        self.input_size.store(0, Ordering::Relaxed);
+        self.output_size.store(0, Ordering::Relaxed);
+    }
+
     /// Read a handle-bound PVAR value, if `id` names one.
     pub fn read(&self, id: PvarId) -> Option<u64> {
         let v = match id {

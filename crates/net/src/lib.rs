@@ -35,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+mod poll;
 mod stream;
 mod transport;
 pub mod wire;
@@ -330,6 +331,108 @@ mod tests {
         let err = client.send(ep.addr(), bogus, 0, Bytes::new()).unwrap_err();
         assert!(err.retryable());
         assert!(client.lookup("tcp://127.0.0.1:1").is_err());
+    }
+
+    #[test]
+    fn coalescing_counters_account_every_frame() {
+        let (server, client, url) = pair("tcp://127.0.0.1:0");
+        let srv_ep = server.open_endpoint();
+        let srv_addr = client.lookup(&url).unwrap();
+        // Many sender threads race on one connection: every frame must
+        // travel through the coalescing flush path and be accounted.
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let client = client.clone();
+                std::thread::spawn(move || {
+                    let ep = client.open_endpoint();
+                    for i in 0..50u64 {
+                        client
+                            .send(ep.addr(), srv_addr, (t << 16) | i, Bytes::from_static(b"x"))
+                            .unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let mut seen = 0;
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while seen < 400 && std::time::Instant::now() < deadline {
+            seen += srv_ep.poll_timeout(64, Duration::from_millis(100)).len();
+        }
+        assert_eq!(seen, 400);
+        let s = client.link_stats().unwrap();
+        assert_eq!(s.msg_frames_sent, 400);
+        assert_eq!(s.frames_sent, 400);
+        assert_eq!(
+            s.coalesced_frames, 400,
+            "every frame crosses through the flush path"
+        );
+        assert!(s.flushes >= 1 && s.flushes <= 400);
+        assert!(s.max_frames_per_flush >= 1);
+        assert_eq!(s.send_queue_depth, 0, "all queues drained");
+        // The server's receive side saw every MSG too.
+        let r = server.link_stats().unwrap();
+        assert_eq!(r.msg_frames_received, 400);
+        assert!(r.reactor_wakeups >= 1);
+        assert!(r.reactor_loop_ns_max >= 1);
+    }
+
+    #[test]
+    fn peer_shutdown_synthesizes_link_down_to_endpoints() {
+        use symbi_fabric::LINK_DOWN_TAG;
+        let server_t =
+            Arc::new(NetTransport::start(NetConfig::listen("tcp://127.0.0.1:0")).unwrap());
+        let server = Fabric::from_transport(server_t.clone() as Arc<dyn Transport>);
+        let url = server.listen_url().unwrap();
+        let _srv_ep = server.open_endpoint();
+        let client = fabric_over(NetConfig::client()).unwrap();
+        let cli_ep = client.open_endpoint();
+        let srv_addr = client.lookup(&url).unwrap();
+        let srv_node = (srv_addr.0 >> 32) as u32;
+
+        // Kill the server: the client's reactor must notice EOF and
+        // synthesize exactly one link-down delivery per local endpoint,
+        // tagged with the reserved control tag and carrying the dead
+        // peer's node id.
+        server_t.shutdown();
+        let got = cli_ep.poll_timeout(16, Duration::from_secs(2));
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].tag, LINK_DOWN_TAG);
+        assert_eq!(got[0].src.node(), srv_node);
+        assert!(got[0].payload.is_empty());
+    }
+
+    #[test]
+    fn reconnect_does_not_leak_parked_rdma_ops() {
+        let server_t =
+            Arc::new(NetTransport::start(NetConfig::listen("tcp://127.0.0.1:0")).unwrap());
+        let server = Fabric::from_transport(server_t.clone() as Arc<dyn Transport>);
+        let url = server.listen_url().unwrap();
+        let _srv_ep = server.open_endpoint();
+        let client =
+            fabric_over(NetConfig::client().with_rdma_timeout(Duration::from_secs(2))).unwrap();
+        let _ = client.lookup(&url).unwrap();
+
+        let data: Vec<u8> = (0..10_000).map(|i| (i % 13) as u8).collect();
+        let region = server.expose_read(Arc::new(data.clone()));
+        assert_eq!(
+            &client.rdma_get(region.key, 0, 64).unwrap()[..],
+            &data[..64]
+        );
+
+        // Bounce the link and go again: the re-dialed connection must
+        // serve one-sided ops, and no pending slot may survive either the
+        // bounce or the successful second op.
+        server_t.close_all_connections();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(
+            &client.rdma_get(region.key, 64, 64).unwrap()[..],
+            &data[64..128]
+        );
+        assert_eq!(client.link_stats().unwrap().parked_rdma_ops, 0);
+        assert_eq!(server.link_stats().unwrap().parked_rdma_ops, 0);
     }
 
     #[test]

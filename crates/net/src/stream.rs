@@ -20,6 +20,16 @@ pub enum NetStream {
 
 impl NetStream {
     /// Connect to a `tcp://host:port` or `unix:///path` URL.
+    ///
+    /// TCP sockets get `TCP_NODELAY` set unconditionally. Nagle's
+    /// algorithm and the transport's own coalescing flush solve the same
+    /// problem (amortizing small writes) but at different layers with very
+    /// different latency costs: Nagle delays the *first* small frame up to
+    /// an RTT waiting for more, while the combining buffer batches only
+    /// frames that are *already pending* and flushes immediately. With
+    /// application-level coalescing in place, Nagle adds latency and no
+    /// throughput — so it is disabled on every symbi-net TCP socket (here
+    /// and in [`NetListener::accept`]).
     pub fn connect(url: &str) -> io::Result<NetStream> {
         if let Some(hostport) = url.strip_prefix("tcp://") {
             let s = TcpStream::connect(hostport)?;
@@ -65,6 +75,27 @@ impl NetStream {
             NetStream::Tcp(s) => s.set_read_timeout(timeout),
             #[cfg(unix)]
             NetStream::Unix(s) => s.set_read_timeout(timeout),
+        }
+    }
+
+    /// Switch the socket between blocking and non-blocking mode. The
+    /// reactor runs every registered connection non-blocking; the
+    /// handshake runs blocking (with a read timeout) before registration.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            NetStream::Tcp(s) => s.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            NetStream::Unix(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+#[cfg(unix)]
+impl std::os::unix::io::AsRawFd for NetStream {
+    fn as_raw_fd(&self) -> std::os::unix::io::RawFd {
+        match self {
+            NetStream::Tcp(s) => s.as_raw_fd(),
+            NetStream::Unix(s) => s.as_raw_fd(),
         }
     }
 }

@@ -17,15 +17,38 @@
 //! One socket per peer pair, established by [`NetTransport`]'s `lookup`
 //! (client side) or the accept loop (server side), with a `HELLO`
 //! exchange identifying node ids. Responses travel back over the same
-//! socket, so only servers need to listen. A reader thread per connection
-//! demultiplexes frames: `MSG` into the destination endpoint's completion
-//! queue, `GET_REQ`/`PUT_REQ` served from the registered-region table,
-//! `*_RESP` completing the initiator's pending one-sided operation.
+//! socket, so only servers need to listen.
 //!
-//! On a write failure to a dialed peer the transport re-dials the URL
-//! once: same node id → transparent reconnect (counted in the link
-//! stats); different node id → the peer restarted, the old address is
-//! permanently dead and the send fails so the caller re-`lookup`s.
+//! ## The reactor
+//!
+//! A single **reactor thread** per transport multiplexes every live
+//! connection with `poll(2)` over non-blocking sockets (plus a self-pipe
+//! for wakeups), replacing the old reader-thread-per-connection design.
+//! Readable sockets are drained into per-connection [`wire::FrameDecoder`]
+//! buffers and complete frames demultiplexed: `MSG` into the destination
+//! endpoint's completion queue, `GET_REQ`/`PUT_REQ` served from the
+//! registered-region table, `*_RESP` completing the initiator's pending
+//! one-sided operation. When a connection dies the reactor synthesizes a
+//! link-down delivery ([`symbi_fabric::LINK_DOWN_TAG`]) into every local
+//! endpoint so upper layers can fail their whole in-flight window at once
+//! instead of waiting out per-RPC deadlines.
+//!
+//! ## The coalescing write path
+//!
+//! Senders never write sockets directly: they encode frames into a
+//! per-connection **combining buffer** and the first sender to find no
+//! flush in progress becomes the flusher, writing everything queued at
+//! that moment with one socket write. Under a deep RPC pipeline this
+//! turns N small `write`+`flush` syscall pairs into one large write —
+//! the transport-level analogue of Mercury's handle pipelining. See
+//! `NetStream::connect` for why `TCP_NODELAY` stays on despite (because
+//! of) this batching.
+//!
+//! On a write failure to a dialed peer the flusher re-dials the URL once
+//! and replays the unsent batch: same node id → transparent reconnect
+//! (counted in the link stats); different node id → the peer restarted,
+//! the old address is permanently dead and subsequent sends fail so the
+//! caller re-`lookup`s.
 
 use crate::stream::{NetListener, NetStream};
 use crate::wire::{self, read_frame, write_frame, Frame};
@@ -40,8 +63,22 @@ use std::time::Duration;
 use symbi_fabric::{
     Addr, Delivery, FabricError, FabricStats, FabricStatsSnapshot, FaultCountersSnapshot,
     FaultPlan, FaultSlot, LinkRow, LinkStatsSnapshot, MemKey, NetworkModel, Region, RemoteRegion,
-    SendVerdict, Transport,
+    SendVerdict, Transport, LINK_DOWN_TAG,
 };
+
+#[cfg(unix)]
+use crate::poll;
+
+/// Upper bound a coalescing flush will wait for socket drain room before
+/// declaring the connection wedged and tearing it down. Generous: hitting
+/// it means the peer stopped reading for this long.
+const FLUSH_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Max `read` calls the reactor issues per connection per wakeup, for
+/// fairness under a flooding peer; `poll` is level-triggered so leftover
+/// bytes re-report immediately.
+#[cfg(unix)]
+const MAX_READS_PER_WAKEUP: usize = 8;
 
 /// Configuration for a [`NetTransport`].
 #[derive(Debug, Clone)]
@@ -138,12 +175,47 @@ fn transport_err(op: &'static str, detail: impl std::fmt::Display) -> FabricErro
     }
 }
 
-/// One live peer connection: the write half (readers own a clone).
+/// Per-connection combining buffer: frames encoded by senders, flushed to
+/// the socket in batches by whichever sender finds no flush in progress.
+#[derive(Default)]
+struct OutBuf {
+    /// Encoded-but-unflushed frames, back to back.
+    buf: Vec<u8>,
+    /// How many frames `buf` currently holds.
+    frames: u64,
+    /// A flusher is active; enqueuers must not start a second one.
+    flushing: bool,
+}
+
+/// One live peer connection. The reactor owns the read half; writes go
+/// through the combining buffer (`out`) and the flusher takes `writer`.
 struct Conn {
     peer_node: u32,
     peer_primary: u32,
     writer: Mutex<NetStream>,
+    /// Combining buffer for the coalescing write path.
+    out: Mutex<OutBuf>,
+    /// A socket handle outside the `writer` lock, so teardown can
+    /// `shutdown(2)` a connection whose flusher is mid-write without
+    /// blocking on (or deadlocking with) the writer lock.
+    closer: Option<NetStream>,
     alive: AtomicBool,
+}
+
+impl Conn {
+    /// Mark dead and shut the socket down, unblocking any reader or
+    /// flusher currently parked on it.
+    fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+        match &self.closer {
+            Some(s) => s.shutdown(),
+            None => {
+                if let Some(w) = self.writer.try_lock() {
+                    w.shutdown();
+                }
+            }
+        }
+    }
 }
 
 /// A parked cross-process RDMA operation awaiting its response frame.
@@ -171,6 +243,14 @@ struct LinkCounters {
     accepts: AtomicU64,
     reconnects: AtomicU64,
     send_failures: AtomicU64,
+    msg_frames_sent: AtomicU64,
+    msg_frames_received: AtomicU64,
+    flushes: AtomicU64,
+    coalesced_frames: AtomicU64,
+    max_frames_per_flush: AtomicU64,
+    reactor_wakeups: AtomicU64,
+    reactor_loop_ns_total: AtomicU64,
+    reactor_loop_ns_max: AtomicU64,
     per_link: RwLock<HashMap<u32, Arc<PerLink>>>,
 }
 
@@ -186,13 +266,22 @@ impl LinkCounters {
             .clone()
     }
 
-    fn count_sent(&self, node: u32, body_bytes: usize) {
-        self.frames_sent.fetch_add(1, Ordering::Relaxed);
-        self.bytes_sent
-            .fetch_add(body_bytes as u64, Ordering::Relaxed);
+    /// Count a coalesced flush of `frames` frames totalling `body_bytes`
+    /// payload bytes to one peer (all frames in a batch share a socket,
+    /// hence a peer).
+    fn count_sent_batch(&self, node: u32, frames: u64, body_bytes: u64) {
+        self.frames_sent.fetch_add(frames, Ordering::Relaxed);
+        self.bytes_sent.fetch_add(body_bytes, Ordering::Relaxed);
         let l = self.link(node);
-        l.frames_sent.fetch_add(1, Ordering::Relaxed);
-        l.bytes_sent.fetch_add(body_bytes as u64, Ordering::Relaxed);
+        l.frames_sent.fetch_add(frames, Ordering::Relaxed);
+        l.bytes_sent.fetch_add(body_bytes, Ordering::Relaxed);
+    }
+
+    fn count_flush(&self, frames: u64) {
+        self.flushes.fetch_add(1, Ordering::Relaxed);
+        self.coalesced_frames.fetch_add(frames, Ordering::Relaxed);
+        self.max_frames_per_flush
+            .fetch_max(frames, Ordering::Relaxed);
     }
 
     fn count_received(&self, node: u32, body_bytes: usize) {
@@ -228,6 +317,17 @@ impl LinkCounters {
             accepts: self.accepts.load(Ordering::Relaxed),
             reconnects: self.reconnects.load(Ordering::Relaxed),
             send_failures: self.send_failures.load(Ordering::Relaxed),
+            msg_frames_sent: self.msg_frames_sent.load(Ordering::Relaxed),
+            msg_frames_received: self.msg_frames_received.load(Ordering::Relaxed),
+            flushes: self.flushes.load(Ordering::Relaxed),
+            coalesced_frames: self.coalesced_frames.load(Ordering::Relaxed),
+            max_frames_per_flush: self.max_frames_per_flush.load(Ordering::Relaxed),
+            // Gauges filled from live transport state by `link_stats`.
+            send_queue_depth: 0,
+            parked_rdma_ops: 0,
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reactor_loop_ns_total: self.reactor_loop_ns_total.load(Ordering::Relaxed),
+            reactor_loop_ns_max: self.reactor_loop_ns_max.load(Ordering::Relaxed),
             per_link,
         }
     }
@@ -256,12 +356,42 @@ struct NetInner {
     link: LinkCounters,
     faults: FaultSlot,
     shutdown: AtomicBool,
+    #[cfg(unix)]
+    reactor: ReactorHandle,
+}
+
+/// The sender-side handle to the reactor thread: new connections are
+/// parked in `adds` and the thread woken through the self-pipe to adopt
+/// them into its poll set.
+#[cfg(unix)]
+struct ReactorHandle {
+    /// Write half of the self-pipe (`UnixStream::pair`); the reactor
+    /// polls the read half alongside every connection.
+    wake: Mutex<std::os::unix::net::UnixStream>,
+    /// Connections registered but not yet adopted by the reactor.
+    adds: Mutex<Vec<ReactorAdd>>,
+}
+
+#[cfg(unix)]
+struct ReactorAdd {
+    conn: Arc<Conn>,
+    stream: NetStream,
+}
+
+#[cfg(unix)]
+impl ReactorHandle {
+    fn wake(&self) {
+        use std::io::Write;
+        let _ = self.wake.lock().write(&[1u8]);
+    }
 }
 
 /// The TCP/Unix-socket transport (see the module docs).
 pub struct NetTransport {
     inner: Arc<NetInner>,
     accept_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
+    #[cfg(unix)]
+    reactor_thread: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for NetTransport {
@@ -288,6 +418,8 @@ impl NetTransport {
             }
             None => (None, None),
         };
+        #[cfg(unix)]
+        let (wake_tx, wake_rx) = std::os::unix::net::UnixStream::pair()?;
         let inner = Arc::new(NetInner {
             node_id,
             kind: match listen_url.as_deref().or(config.listen.as_deref()) {
@@ -315,6 +447,11 @@ impl NetTransport {
             link: LinkCounters::default(),
             faults: FaultSlot::new(),
             shutdown: AtomicBool::new(false),
+            #[cfg(unix)]
+            reactor: ReactorHandle {
+                wake: Mutex::new(wake_tx),
+                adds: Mutex::new(Vec::new()),
+            },
         });
         let accept_thread = listener.map(|listener| {
             let inner = inner.clone();
@@ -323,9 +460,19 @@ impl NetTransport {
                 .spawn(move || accept_loop(inner, listener))
                 .expect("spawn accept thread")
         });
+        #[cfg(unix)]
+        let reactor_thread = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name(format!("symbi-net-reactor-{node_id}"))
+                .spawn(move || reactor_loop(inner, wake_rx))
+                .expect("spawn reactor thread")
+        };
         Ok(NetTransport {
             inner,
             accept_thread: Mutex::new(accept_thread),
+            #[cfg(unix)]
+            reactor_thread: Mutex::new(Some(reactor_thread)),
         })
     }
 
@@ -334,19 +481,20 @@ impl NetTransport {
         self.inner.node_id
     }
 
-    /// Drop every live connection: sockets are shut down and reader
-    /// threads exit. Dialed peers are re-dialed transparently on the next
-    /// send; inbound peers must reconnect themselves. Emulates a link
-    /// bounce — used by tests and fault drills.
+    /// Drop every live connection: sockets are shut down and the reactor
+    /// retires them on its next wakeup. Dialed peers are re-dialed
+    /// transparently on the next send; inbound peers must reconnect
+    /// themselves. Emulates a link bounce — used by tests and fault
+    /// drills.
     pub fn close_all_connections(&self) {
         for (_, conn) in self.inner.conns.write().drain() {
-            conn.alive.store(false, Ordering::Release);
-            conn.writer.lock().shutdown();
+            conn.kill();
         }
     }
 
-    /// Stop the accept loop, shut every connection down, and fail all
-    /// pending one-sided operations. Idempotent; also run by `Drop`.
+    /// Stop the accept loop and the reactor, shut every connection down,
+    /// and fail all pending one-sided operations. Idempotent; also run by
+    /// `Drop`.
     pub fn shutdown(&self) {
         if self.inner.shutdown.swap(true, Ordering::SeqCst) {
             return;
@@ -360,8 +508,14 @@ impl NetTransport {
             let _ = h.join();
         }
         for conn in self.inner.conns.write().drain().map(|(_, c)| c) {
-            conn.alive.store(false, Ordering::Release);
-            conn.writer.lock().shutdown();
+            conn.kill();
+        }
+        #[cfg(unix)]
+        {
+            self.inner.reactor.wake();
+            if let Some(h) = self.reactor_thread.lock().take() {
+                let _ = h.join();
+            }
         }
         let pending: Vec<PendingRdma> = {
             let mut p = self.inner.pending.lock();
@@ -473,7 +627,8 @@ fn dial(inner: &Arc<NetInner>, url: &str) -> io::Result<(NetStream, NetStream, u
     Ok((stream, reader, node, primary_ep))
 }
 
-/// Install a connection in the routing maps and spawn its reader thread.
+/// Install a connection in the routing maps and hand its read half to the
+/// reactor (or, off-unix, a fallback reader thread).
 fn register_conn(
     inner: &Arc<NetInner>,
     writer: NetStream,
@@ -482,10 +637,13 @@ fn register_conn(
     peer_primary: u32,
     peer_url: Option<String>,
 ) -> Arc<Conn> {
+    let closer = writer.try_clone().ok();
     let conn = Arc::new(Conn {
         peer_node,
         peer_primary,
         writer: Mutex::new(writer),
+        out: Mutex::new(OutBuf::default()),
+        closer,
         alive: AtomicBool::new(true),
     });
     if let Some(url) = peer_url {
@@ -495,117 +653,275 @@ fn register_conn(
     if let Some(old) = inner.conns.write().insert(peer_node, conn.clone()) {
         // A fresh socket to a node we already knew (reconnect from the
         // peer's side): retire the old one.
-        old.alive.store(false, Ordering::Release);
-        old.writer.lock().shutdown();
+        old.kill();
     }
-    let inner2 = inner.clone();
-    let conn2 = conn.clone();
-    let _ = std::thread::Builder::new()
-        .name(format!("symbi-net-read-{peer_node}"))
-        .spawn(move || reader_loop(inner2, conn2, reader));
+    #[cfg(unix)]
+    {
+        // Nonblocking from here on (shared file-description flag: the
+        // write half goes nonblocking too, which is why the flusher uses
+        // `write_all_nb`). The handshake above ran blocking.
+        let _ = reader.set_nonblocking(true);
+        inner.reactor.adds.lock().push(ReactorAdd {
+            conn: conn.clone(),
+            stream: reader,
+        });
+        inner.reactor.wake();
+    }
+    #[cfg(not(unix))]
+    {
+        let inner2 = inner.clone();
+        let conn2 = conn.clone();
+        let _ = std::thread::Builder::new()
+            .name(format!("symbi-net-read-{peer_node}"))
+            .spawn(move || blocking_reader_loop(inner2, conn2, reader));
+    }
     conn
 }
 
-/// Per-connection demultiplexer (see the module docs).
-fn reader_loop(inner: Arc<NetInner>, conn: Arc<Conn>, mut reader: NetStream) {
-    let peer = conn.peer_node;
-    while let Ok((frame, body_len)) = read_frame(&mut reader) {
-        inner.link.count_received(peer, body_len);
-        match frame {
-            Frame::Msg {
-                src,
-                dst,
-                payload,
-                tag,
-            } => {
-                // Silence for a closed/unknown endpoint, like a NIC
-                // writing to a freed queue: the sender's deadline is the
-                // error path.
-                if node_of(dst) == inner.node_id {
-                    if let Some(tx) = inner.endpoints.read().get(&low_of(dst)) {
-                        let _ = tx.send(Delivery {
-                            src: Addr(src),
-                            tag,
-                            payload,
-                        });
-                    }
+/// Demultiplex one decoded frame (shared by the reactor and the off-unix
+/// fallback reader).
+fn dispatch_frame(inner: &Arc<NetInner>, conn: &Arc<Conn>, frame: Frame, body_len: usize) -> bool {
+    inner.link.count_received(conn.peer_node, body_len);
+    match frame {
+        Frame::Msg {
+            src,
+            dst,
+            payload,
+            tag,
+        } => {
+            inner
+                .link
+                .msg_frames_received
+                .fetch_add(1, Ordering::Relaxed);
+            // Silence for a closed/unknown endpoint, like a NIC writing
+            // to a freed queue: the sender's deadline is the error path.
+            if node_of(dst) == inner.node_id {
+                if let Some(tx) = inner.endpoints.read().get(&low_of(dst)) {
+                    let _ = tx.send(Delivery {
+                        src: Addr(src),
+                        tag,
+                        payload,
+                    });
                 }
-            }
-            Frame::GetReq {
-                req,
-                key,
-                offset,
-                len,
-            } => {
-                let resp = serve_get(&inner, key, offset, len);
-                let _ = write_reply(
-                    &inner,
-                    &conn,
-                    Frame::GetResp {
-                        req,
-                        status: resp.0,
-                        body: resp.1,
-                    },
-                );
-            }
-            Frame::PutReq {
-                req,
-                key,
-                offset,
-                payload,
-            } => {
-                let resp = serve_put(&inner, key, offset, &payload);
-                let _ = write_reply(
-                    &inner,
-                    &conn,
-                    Frame::PutResp {
-                        req,
-                        status: resp.0,
-                        body: resp.1,
-                    },
-                );
-            }
-            Frame::GetResp { req, status, body } | Frame::PutResp { req, status, body } => {
-                if let Some(slot) = inner.pending.lock().remove(&req) {
-                    let _ = slot.tx.send(decode_rdma_status(slot.key, status, body));
-                }
-            }
-            Frame::Hello { .. } => {
-                // HELLO after the handshake is a protocol violation;
-                // poison the connection.
-                break;
             }
         }
+        Frame::GetReq {
+            req,
+            key,
+            offset,
+            len,
+        } => {
+            let resp = serve_get(inner, key, offset, len);
+            write_reply(
+                inner,
+                conn,
+                &Frame::GetResp {
+                    req,
+                    status: resp.0,
+                    body: resp.1,
+                },
+            );
+        }
+        Frame::PutReq {
+            req,
+            key,
+            offset,
+            payload,
+        } => {
+            let resp = serve_put(inner, key, offset, &payload);
+            write_reply(
+                inner,
+                conn,
+                &Frame::PutResp {
+                    req,
+                    status: resp.0,
+                    body: resp.1,
+                },
+            );
+        }
+        Frame::GetResp { req, status, body } | Frame::PutResp { req, status, body } => {
+            if let Some(slot) = inner.pending.lock().remove(&req) {
+                let _ = slot.tx.send(decode_rdma_status(slot.key, status, body));
+            }
+        }
+        Frame::Hello { .. } => {
+            // HELLO after the handshake is a protocol violation; poison
+            // the connection.
+            return false;
+        }
     }
-    conn.alive.store(false, Ordering::Release);
-    conn.writer.lock().shutdown();
-    {
+    true
+}
+
+/// Retire a dead connection: unroute it, fail every pending one-sided
+/// operation aimed at its peer, and — if it was the routed connection and
+/// the transport is not shutting down — synthesize a link-down delivery
+/// into every local endpoint so upper layers fail their whole in-flight
+/// window through the normal completion path instead of waiting out
+/// per-RPC deadlines.
+fn teardown_conn(inner: &Arc<NetInner>, conn: &Arc<Conn>) {
+    let peer = conn.peer_node;
+    conn.kill();
+    let was_routed = {
         let mut conns = inner.conns.write();
         if conns
             .get(&peer)
-            .map(|c| Arc::ptr_eq(c, &conn))
+            .map(|c| Arc::ptr_eq(c, conn))
             .unwrap_or(false)
         {
             conns.remove(&peer);
+            true
+        } else {
+            false
+        }
+    };
+    inner.fail_pending_for(peer, "connection lost");
+    if was_routed && !inner.shutdown.load(Ordering::SeqCst) {
+        let link_down = Delivery {
+            src: Addr(pack(peer, 0)),
+            tag: LINK_DOWN_TAG,
+            payload: Bytes::new(),
+        };
+        for tx in inner.endpoints.read().values() {
+            let _ = tx.send(link_down.clone());
         }
     }
-    // Strand no waiter: every pending RDMA aimed at this node fails now
-    // rather than waiting out its timeout.
-    let stranded: Vec<PendingRdma> = {
-        let mut p = inner.pending.lock();
-        let ids: Vec<u64> = p
-            .iter()
-            .filter(|(_, slot)| slot.node == peer)
-            .map(|(id, _)| *id)
-            .collect();
-        ids.into_iter().filter_map(|id| p.remove(&id)).collect()
-    };
-    for slot in stranded {
-        let _ = slot.tx.send(Err(transport_err(
-            "rdma",
-            format!("connection to node {peer} lost"),
-        )));
+}
+
+/// One connection as the reactor sees it: the nonblocking read half plus
+/// the incremental frame decoder buffering partial frames between
+/// readable events.
+#[cfg(unix)]
+struct ConnEntry {
+    conn: Arc<Conn>,
+    stream: NetStream,
+    dec: wire::FrameDecoder,
+}
+
+/// Drain whatever the kernel has buffered for one readable connection and
+/// dispatch every complete frame. `Err(())` means the connection is dead
+/// (EOF, socket error, or corrupt stream) and must be torn down.
+#[cfg(unix)]
+fn service_readable(inner: &Arc<NetInner>, e: &mut ConnEntry, buf: &mut [u8]) -> Result<(), ()> {
+    use std::io::Read;
+    for _ in 0..MAX_READS_PER_WAKEUP {
+        match e.stream.read(buf) {
+            Ok(0) => return Err(()),
+            Ok(n) => {
+                e.dec.push(&buf[..n]);
+                loop {
+                    match e.dec.next_frame() {
+                        Ok(Some((frame, body_len))) => {
+                            if !dispatch_frame(inner, &e.conn, frame, body_len) {
+                                return Err(());
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(_) => return Err(()),
+                    }
+                }
+            }
+            Err(err) if err.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(err) if err.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return Err(()),
+        }
     }
+    // Read budget exhausted; poll is level-triggered, the leftover bytes
+    // re-report on the next wakeup.
+    Ok(())
+}
+
+/// The reactor: one thread multiplexing every connection's read side (see
+/// the module docs).
+#[cfg(unix)]
+fn reactor_loop(inner: Arc<NetInner>, wake_rx: std::os::unix::net::UnixStream) {
+    use std::io::Read;
+    use std::os::unix::io::AsRawFd;
+    let _ = wake_rx.set_nonblocking(true);
+    let mut entries: Vec<ConnEntry> = Vec::new();
+    let mut buf = vec![0u8; 256 * 1024];
+    let mut wake_buf = [0u8; 64];
+    loop {
+        let mut fds = Vec::with_capacity(entries.len() + 1);
+        fds.push(poll::PollFd::new(wake_rx.as_raw_fd(), poll::POLL_IN));
+        for e in &entries {
+            fds.push(poll::PollFd::new(e.stream.as_raw_fd(), poll::POLL_IN));
+        }
+        match poll::poll_fds(&mut fds, -1) {
+            Ok(0) => continue,
+            Ok(_) => {}
+            Err(_) => {
+                // A torn-down fd raced the poll set; rebuild after a
+                // breather rather than spinning.
+                std::thread::sleep(Duration::from_millis(1));
+                continue;
+            }
+        }
+        let started = std::time::Instant::now();
+        if fds[0].readable() {
+            loop {
+                match (&wake_rx).read(&mut wake_buf) {
+                    Ok(0) => break,
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+            if inner.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for add in inner.reactor.adds.lock().drain(..) {
+                entries.push(ConnEntry {
+                    conn: add.conn,
+                    stream: add.stream,
+                    dec: wire::FrameDecoder::new(),
+                });
+            }
+        }
+        // Entries adopted above were not in this poll set; only the first
+        // `fds.len() - 1` entries have revents.
+        let polled = fds.len() - 1;
+        let mut dead: Vec<usize> = Vec::new();
+        for i in 0..polled {
+            if !fds[i + 1].readable() {
+                continue;
+            }
+            if service_readable(&inner, &mut entries[i], &mut buf).is_err() {
+                dead.push(i);
+            }
+        }
+        for i in dead.into_iter().rev() {
+            let e = entries.swap_remove(i);
+            teardown_conn(&inner, &e.conn);
+        }
+        let ns = started.elapsed().as_nanos() as u64;
+        inner.link.reactor_wakeups.fetch_add(1, Ordering::Relaxed);
+        inner
+            .link
+            .reactor_loop_ns_total
+            .fetch_add(ns, Ordering::Relaxed);
+        inner
+            .link
+            .reactor_loop_ns_max
+            .fetch_max(ns, Ordering::Relaxed);
+    }
+}
+
+/// Off-unix fallback: blocking per-connection reader thread (the pre-
+/// reactor design), sharing the same dispatch and teardown paths.
+#[cfg(not(unix))]
+fn blocking_reader_loop(inner: Arc<NetInner>, conn: Arc<Conn>, mut reader: NetStream) {
+    while conn.alive.load(Ordering::Acquire) {
+        match read_frame(&mut reader) {
+            Ok((frame, body_len)) => {
+                if !dispatch_frame(&inner, &conn, frame, body_len) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    teardown_conn(&inner, &conn);
 }
 
 fn serve_get(inner: &NetInner, key: u64, offset: u64, len: u64) -> (u8, Bytes) {
@@ -676,22 +992,49 @@ fn decode_rdma_status(key: u64, status: u8, body: Bytes) -> Result<Bytes, Fabric
     }
 }
 
-/// Write a response frame from a reader thread (no reconnect: if the
-/// socket died the requester's pending slot fails through the reader
-/// teardown path anyway).
-fn write_reply(inner: &NetInner, conn: &Conn, frame: Frame) -> Result<(), FabricError> {
-    let mut w = conn.writer.lock();
-    match write_frame(&mut *w, &frame) {
-        Ok(n) => {
-            inner.link.count_sent(conn.peer_node, n);
-            Ok(())
-        }
-        Err(e) => {
-            inner.link.send_failures.fetch_add(1, Ordering::Relaxed);
-            conn.alive.store(false, Ordering::Release);
-            Err(transport_err("reply", e))
+/// Queue a response frame from the reactor (no reconnect: if the socket
+/// died the requester's pending slot fails through teardown anyway).
+fn write_reply(inner: &Arc<NetInner>, conn: &Arc<Conn>, frame: &Frame) {
+    inner.enqueue_and_flush(conn, frame, "reply", false);
+}
+
+/// Write `buf` fully to a (possibly nonblocking) stream. On `WouldBlock`
+/// the flusher parks in `poll` until the socket drains, bounded by
+/// [`FLUSH_TIMEOUT`].
+#[cfg(unix)]
+fn write_all_stream(stream: &mut NetStream, mut buf: &[u8]) -> io::Result<()> {
+    use std::io::Write;
+    use std::os::unix::io::AsRawFd;
+    let deadline = std::time::Instant::now() + FLUSH_TIMEOUT;
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "socket closed")),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                let remain = deadline.saturating_duration_since(std::time::Instant::now());
+                if remain.is_zero() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "peer stopped reading; flush timed out",
+                    ));
+                }
+                // Wait in slices so a concurrent `kill` (shutdown(2) on
+                // the fd) surfaces within a second.
+                let ms = (remain.as_millis() as i64).clamp(1, 1_000) as i32;
+                poll::wait_writable(stream.as_raw_fd(), ms)?;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
         }
     }
+    Ok(())
+}
+
+#[cfg(not(unix))]
+fn write_all_stream(stream: &mut NetStream, buf: &[u8]) -> io::Result<()> {
+    use std::io::Write;
+    stream.write_all(buf)?;
+    stream.flush()
 }
 
 impl NetInner {
@@ -752,42 +1095,134 @@ impl NetInner {
         }
     }
 
-    /// Write a frame to `conn`, falling back to one re-dial + retry if
-    /// the write fails (see [`NetInner::conn_or_redial`]).
-    fn write_conn(
+    /// Fail every parked one-sided operation aimed at `peer` now, rather
+    /// than letting each wait out its timeout.
+    fn fail_pending_for(&self, peer: u32, why: &str) {
+        let stranded: Vec<PendingRdma> = {
+            let mut p = self.pending.lock();
+            let ids: Vec<u64> = p
+                .iter()
+                .filter(|(_, slot)| slot.node == peer)
+                .map(|(id, _)| *id)
+                .collect();
+            ids.into_iter().filter_map(|id| p.remove(&id)).collect()
+        };
+        for slot in stranded {
+            let _ = slot.tx.send(Err(transport_err(
+                "rdma",
+                format!("{why}: node {peer} unreachable"),
+            )));
+        }
+    }
+
+    /// The coalescing send path: encode `frame` into `conn`'s combining
+    /// buffer; if no flush is in progress, become the flusher and write
+    /// everything queued (this frame plus whatever other senders appended
+    /// since the last flush) with one socket write. Otherwise the active
+    /// flusher picks this frame up — enqueue is wait-free past the buffer
+    /// lock, which is what lets a deep pipeline post frames faster than
+    /// the socket accepts them.
+    ///
+    /// `allow_redial`: on a flush failure, re-dial the peer once and
+    /// replay the unsent batch (sends); replies never redial — the
+    /// requester's pending slot fails through teardown.
+    fn enqueue_and_flush(
         self: &Arc<Self>,
         conn: &Arc<Conn>,
         frame: &Frame,
         op: &'static str,
-    ) -> Result<(), FabricError> {
-        {
-            let mut w = conn.writer.lock();
-            if let Ok(n) = write_frame(&mut *w, frame) {
-                self.link.count_sent(conn.peer_node, n);
-                return Ok(());
+        allow_redial: bool,
+    ) {
+        let is_msg = matches!(frame, Frame::Msg { .. });
+        let become_flusher = {
+            let mut out = conn.out.lock();
+            frame.encode_into(&mut out.buf);
+            out.frames += 1;
+            if out.flushing {
+                false
+            } else {
+                out.flushing = true;
+                true
             }
+        };
+        if is_msg {
+            self.link.msg_frames_sent.fetch_add(1, Ordering::Relaxed);
         }
-        self.link.send_failures.fetch_add(1, Ordering::Relaxed);
-        conn.alive.store(false, Ordering::Release);
-        conn.writer.lock().shutdown();
-        {
-            let mut conns = self.conns.write();
-            if conns
-                .get(&conn.peer_node)
-                .map(|c| Arc::ptr_eq(c, conn))
-                .unwrap_or(false)
-            {
-                conns.remove(&conn.peer_node);
-            }
+        if become_flusher {
+            self.flush_conn(conn, op, !allow_redial);
         }
-        let fresh = self.conn_or_redial(conn.peer_node, op)?;
-        let mut w = fresh.writer.lock();
-        match write_frame(&mut *w, frame) {
-            Ok(n) => {
-                self.link.count_sent(conn.peer_node, n);
-                Ok(())
+    }
+
+    /// Drain `conn`'s combining buffer to the socket, batch by batch,
+    /// until it is empty; then hand the flusher role back. On a write
+    /// failure: tear the connection down and (unless `retried`) re-dial
+    /// once, replaying the failed batch on the fresh connection. A frame
+    /// fully delivered before the failure point may be replayed as a
+    /// duplicate — upper layers dedup by handle id, the same contract as
+    /// retry-at-depth.
+    fn flush_conn(self: &Arc<Self>, conn: &Arc<Conn>, op: &'static str, retried: bool) {
+        loop {
+            let (batch, frames) = {
+                let mut out = conn.out.lock();
+                if out.buf.is_empty() {
+                    out.flushing = false;
+                    return;
+                }
+                (
+                    std::mem::take(&mut out.buf),
+                    std::mem::replace(&mut out.frames, 0),
+                )
+            };
+            let result = {
+                let mut w = conn.writer.lock();
+                write_all_stream(&mut w, &batch)
+            };
+            match result {
+                Ok(()) => {
+                    let body_bytes = batch.len() as u64 - 5 * frames;
+                    self.link
+                        .count_sent_batch(conn.peer_node, frames, body_bytes);
+                    self.link.count_flush(frames);
+                }
+                Err(_) => {
+                    self.link.send_failures.fetch_add(1, Ordering::Relaxed);
+                    // Carry everything unsent — this batch plus frames
+                    // enqueued behind it — to the retry, and release the
+                    // flusher role on the dead connection.
+                    let (mut bytes, mut lost_frames) = (batch, frames);
+                    {
+                        let mut out = conn.out.lock();
+                        bytes.extend_from_slice(&out.buf);
+                        lost_frames += out.frames;
+                        out.buf = Vec::new();
+                        out.frames = 0;
+                        out.flushing = false;
+                    }
+                    teardown_conn(self, conn);
+                    if !retried {
+                        if let Ok(fresh) = self.conn_or_redial(conn.peer_node, op) {
+                            let flush_now = {
+                                let mut out = fresh.out.lock();
+                                out.buf.extend_from_slice(&bytes);
+                                out.frames += lost_frames;
+                                if out.flushing {
+                                    false
+                                } else {
+                                    out.flushing = true;
+                                    true
+                                }
+                            };
+                            if flush_now {
+                                self.flush_conn(&fresh, op, true);
+                            }
+                            return;
+                        }
+                    }
+                    // Batch dropped: send is an asynchronous post; upper-
+                    // layer deadlines and retries are the recovery path.
+                    return;
+                }
             }
-            Err(e) => Err(transport_err(op, format!("send after reconnect: {e}"))),
         }
     }
 }
@@ -865,7 +1300,7 @@ impl Transport for NetTransport {
             payload,
         };
         for _ in 0..copies {
-            self.inner.write_conn(&conn, &frame, "send")?;
+            self.inner.enqueue_and_flush(&conn, &frame, "send", true);
         }
         Ok(())
     }
@@ -926,10 +1361,8 @@ impl Transport for NetTransport {
                 offset: offset as u64,
                 len: len as u64,
             };
-            if let Err(e) = self.inner.write_conn(&conn, &frame, "rdma_get") {
-                self.inner.pending.lock().remove(&req);
-                return Err(e);
-            }
+            self.inner
+                .enqueue_and_flush(&conn, &frame, "rdma_get", true);
             match rx.recv_timeout(self.inner.rdma_timeout) {
                 Ok(result) => result?,
                 Err(_) => {
@@ -980,10 +1413,8 @@ impl Transport for NetTransport {
                 offset: offset as u64,
                 payload: Bytes::copy_from_slice(data),
             };
-            if let Err(e) = self.inner.write_conn(&conn, &frame, "rdma_put") {
-                self.inner.pending.lock().remove(&req);
-                return Err(e);
-            }
+            self.inner
+                .enqueue_and_flush(&conn, &frame, "rdma_put", true);
             match rx.recv_timeout(self.inner.rdma_timeout) {
                 Ok(result) => {
                     result?;
@@ -1042,7 +1473,16 @@ impl Transport for NetTransport {
     }
 
     fn link_stats(&self) -> Option<LinkStatsSnapshot> {
-        Some(self.inner.link.snapshot())
+        let mut s = self.inner.link.snapshot();
+        s.send_queue_depth = self
+            .inner
+            .conns
+            .read()
+            .values()
+            .map(|c| c.out.lock().frames)
+            .sum();
+        s.parked_rdma_ops = self.inner.pending.lock().len() as u64;
+        Some(s)
     }
 
     fn install_fault_plan(&self, plan: FaultPlan) {

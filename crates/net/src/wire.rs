@@ -131,7 +131,30 @@ impl Frame {
 
     /// Encode into `[len u32][type u8][body]` wire bytes.
     pub fn encode(&self) -> Vec<u8> {
-        let mut body: Vec<u8> = Vec::new();
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Append the encoded frame to `out` and return the body length (the
+    /// per-frame byte count the link counters track).
+    ///
+    /// This is the combining-buffer entry point: senders encode directly
+    /// into the per-connection output buffer under its lock, and the
+    /// flusher writes the whole buffer — every frame queued since the last
+    /// flush — with one socket write.
+    pub fn encode_into(&self, out: &mut Vec<u8>) -> usize {
+        let header_at = out.len();
+        out.extend_from_slice(&[0u8; 4]);
+        out.push(self.type_byte());
+        let body_at = out.len();
+        self.encode_body(out);
+        let body_len = out.len() - body_at;
+        out[header_at..header_at + 4].copy_from_slice(&(body_len as u32).to_le_bytes());
+        body_len
+    }
+
+    fn encode_body(&self, body: &mut Vec<u8>) {
         match self {
             Frame::Hello { node, primary_ep } => {
                 body.extend_from_slice(&node.to_le_bytes());
@@ -189,11 +212,6 @@ impl Frame {
                 body.extend_from_slice(b);
             }
         }
-        let mut out = Vec::with_capacity(5 + body.len());
-        out.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        out.push(self.type_byte());
-        out.extend_from_slice(&body);
-        out
     }
 
     /// Decode a frame from its type byte and body.
@@ -281,6 +299,67 @@ pub fn write_frame<W: Write>(w: &mut W, frame: &Frame) -> io::Result<usize> {
     w.write_all(&encoded)?;
     w.flush()?;
     Ok(encoded.len() - 5)
+}
+
+/// Incremental frame parser over a nonblocking byte stream.
+///
+/// The reactor reads whatever the kernel has buffered for a connection in
+/// one `read` call and feeds it here; `next_frame` then yields every
+/// complete frame accumulated so far. Partial frames (a header split
+/// across reads, a body still in flight) stay buffered until the next
+/// readable event — no thread ever blocks waiting for the rest of a
+/// frame, which is what lets a single thread service every connection.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    // Consumed prefix of `buf`; compacted when it grows past half the
+    // buffer to keep amortized cost linear without memmove per frame.
+    pos: usize,
+}
+
+impl FrameDecoder {
+    /// A decoder with an empty buffer.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Append freshly read bytes.
+    pub fn push(&mut self, data: &[u8]) {
+        if self.pos > 0 && self.pos >= self.buf.len() / 2 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(data);
+    }
+
+    /// Bytes buffered but not yet consumed as complete frames.
+    pub fn pending_bytes(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Pop the next complete frame, or `None` if more bytes are needed.
+    /// Returns `Err` on a corrupt stream (oversized or malformed frame);
+    /// the connection must then be poisoned.
+    pub fn next_frame(&mut self) -> io::Result<Option<(Frame, usize)>> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < 5 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[0..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame body {len} exceeds MAX_FRAME {MAX_FRAME}"),
+            ));
+        }
+        if avail.len() < 5 + len {
+            return Ok(None);
+        }
+        let ty = avail[4];
+        let body = Bytes::copy_from_slice(&avail[5..5 + len]);
+        self.pos += 5 + len;
+        Ok(Some((Frame::decode(ty, body)?, len)))
+    }
 }
 
 /// Read one frame; returns the frame and its body length. Blocks until a
@@ -378,6 +457,85 @@ mod tests {
     #[test]
     fn truncated_body_rejected() {
         assert!(Frame::decode(TYPE_MSG, Bytes::from_static(b"short")).is_err());
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_coalesces() {
+        let a = Frame::Msg {
+            src: 1,
+            dst: 2,
+            tag: 3,
+            payload: Bytes::from_static(b"first"),
+        };
+        let b = Frame::Hello {
+            node: 4,
+            primary_ep: 5,
+        };
+        let mut combined = Vec::new();
+        let a_body = a.encode_into(&mut combined);
+        let b_body = b.encode_into(&mut combined);
+        let mut expect = a.encode();
+        expect.extend_from_slice(&b.encode());
+        assert_eq!(combined, expect);
+        assert_eq!(a_body, a.encode().len() - 5);
+        assert_eq!(b_body, 8);
+    }
+
+    #[test]
+    fn decoder_handles_split_and_batched_frames() {
+        let frames = [
+            Frame::Msg {
+                src: 1,
+                dst: 2,
+                tag: 3,
+                payload: Bytes::from_static(b"payload-one"),
+            },
+            Frame::GetReq {
+                req: 9,
+                key: 8,
+                offset: 7,
+                len: 6,
+            },
+            Frame::PutResp {
+                req: 10,
+                status: STATUS_OK,
+                body: Bytes::new(),
+            },
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut stream);
+        }
+        // Feed the byte stream one byte at a time: every frame must still
+        // come out whole and in order.
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for byte in &stream {
+            dec.push(std::slice::from_ref(byte));
+            while let Some((f, _)) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.pending_bytes(), 0);
+
+        // And in one big push (a coalesced flush arriving at once).
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        let mut got = Vec::new();
+        while let Some((f, _)) = dec.next_frame().unwrap() {
+            got.push(f);
+        }
+        assert_eq!(got, frames);
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_frame() {
+        let mut dec = FrameDecoder::new();
+        let mut bytes = ((MAX_FRAME as u32) + 1).to_le_bytes().to_vec();
+        bytes.push(TYPE_MSG);
+        dec.push(&bytes);
+        assert!(dec.next_frame().is_err());
     }
 
     #[test]

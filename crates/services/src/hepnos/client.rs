@@ -362,6 +362,36 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_load_stores_every_event() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        // Deep engine pipeline under a small put batch: many windowed
+        // RPCs in flight toward each server, same end state as legacy.
+        let mut cfg = tiny_config().with_pipeline_depth(16);
+        cfg.batch_size = 4;
+        cfg.async_window = 32;
+        let dep = HepnosDeployment::launch(&fabric, &cfg);
+        let mut client = HepnosClient::connect(&fabric, "hc-pipe", &dep.addrs(), &cfg);
+        let keys: Vec<EventKey> = (0..100u32)
+            .map(|e| EventKey {
+                dataset: "nova".into(),
+                run: 2,
+                subrun: e / 10,
+                event: e,
+            })
+            .collect();
+        for (i, k) in keys.iter().enumerate() {
+            client.store_event(k, vec![i as u8; 32]).unwrap();
+        }
+        assert_eq!(client.drain().unwrap(), 100);
+        assert_eq!(dep.total_events_stored(), 100);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(client.load_event(k).unwrap(), Some(vec![i as u8; 32]));
+        }
+        client.finalize();
+        dep.finalize();
+    }
+
+    #[test]
     fn batch_size_one_flushes_every_event() {
         let fabric = Fabric::new(NetworkModel::instant());
         let mut cfg = tiny_config();

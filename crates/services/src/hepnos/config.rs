@@ -48,6 +48,12 @@ pub struct HepnosConfig {
     pub handler_cost_per_key: std::time::Duration,
     /// Maximum in-flight async `put_packed` RPCs per client.
     pub async_window: usize,
+    /// Margo-level pipeline window per destination
+    /// ([`RpcOptions::with_pipeline`]): how many RPC handles the engine
+    /// keeps open toward one server, letting the transport's coalescing
+    /// flush batch frames. `0` disables the window (legacy, unbounded by
+    /// the engine; the client's `async_window` still bounds puts).
+    pub pipeline_depth: usize,
     /// Per-message fabric latency for the deployment (a zero-latency
     /// fabric delivers response bursts atomically, which no real network
     /// does; a small latency staggers arrivals as on the paper's testbed).
@@ -102,6 +108,7 @@ impl HepnosConfig {
             handler_cost: std::time::Duration::from_millis(2),
             handler_cost_per_key: std::time::Duration::from_micros(100),
             async_window: 64,
+            pipeline_depth: 0,
             net_latency: std::time::Duration::from_micros(20),
             stage: Stage::Full,
             telemetry: TelemetryOptions::default(),
@@ -216,6 +223,7 @@ impl HepnosConfig {
             handler_cost: std::time::Duration::from_micros(200),
             handler_cost_per_key: std::time::Duration::from_micros(10),
             async_window: 64,
+            pipeline_depth: 0,
             net_latency: std::time::Duration::from_micros(20),
             stage,
             telemetry: TelemetryOptions::default(),
@@ -247,6 +255,14 @@ impl HepnosConfig {
         self
     }
 
+    /// Window client RPCs through a Margo pipeline gate of `depth`
+    /// in-flight handles per server (`0` disables the window).
+    #[must_use]
+    pub fn with_pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
     /// The [`RpcOptions`] the configuration prescribes for client RPCs.
     /// `sdskv_put_packed` overwrites the same keys on replay, so retried
     /// puts are marked idempotent and may be re-issued after a timeout.
@@ -263,6 +279,9 @@ impl HepnosConfig {
                         .with_seed(self.fault_seed),
                 )
                 .idempotent(true);
+        }
+        if self.pipeline_depth > 0 {
+            options = options.with_pipeline(self.pipeline_depth);
         }
         options
     }
@@ -369,6 +388,14 @@ mod tests {
         assert_eq!(opts.deadline(), None);
         assert!(opts.retry().is_none());
         assert!(!opts.is_idempotent());
+    }
+
+    #[test]
+    fn pipeline_depth_flows_into_rpc_options() {
+        let legacy = HepnosConfig::c3();
+        assert_eq!(legacy.rpc_options().pipeline(), None);
+        let piped = HepnosConfig::c3().with_pipeline_depth(64);
+        assert_eq!(piped.rpc_options().pipeline(), Some(64));
     }
 
     #[test]
