@@ -1,0 +1,24 @@
+#!/bin/sh
+# Local-only typecheck/test harness: routes external deps to offline stubs.
+# Usage: check.sh [check|test|clippy] [extra cargo args...]
+CMD="${1:-check}"
+shift 2>/dev/null
+set -- \
+  --config 'patch.crates-io.bytes.path="/root/repo/.devstubs/bytes"' \
+  --config 'patch.crates-io.crossbeam.path="/root/repo/.devstubs/crossbeam"' \
+  --config 'patch.crates-io.parking_lot.path="/root/repo/.devstubs/parking_lot"' \
+  --config 'patch.crates-io.rand.path="/root/repo/.devstubs/rand"' \
+  --config 'patch.crates-io.proptest.path="/root/repo/.devstubs/proptest"' \
+  --config 'patch.crates-io.criterion.path="/root/repo/.devstubs/criterion"' \
+  "$@"
+case "$CMD" in
+  all)
+    # Everything except the proptest-based root test target.
+    exec cargo check --offline "$@" --workspace --lib --bins --benches --examples \
+      --tests --exclude symbiosys \
+      && true
+    ;;
+  *)
+    exec cargo "$CMD" --offline "$@"
+    ;;
+esac

@@ -1,0 +1,1 @@
+//! Empty offline stub for local cargo check.
