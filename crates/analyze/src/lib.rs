@@ -21,9 +21,12 @@
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use symbi_core::analysis::critical_path::render;
-use symbi_core::analysis::{aggregate_critical_paths, build_span_graph, to_chrome_json, SpanGraph};
+use symbi_core::analysis::{
+    aggregate_critical_paths, build_span_graph, to_chrome_json_with_actions, ActionRecord,
+    SpanGraph,
+};
 use symbi_core::telemetry::jsonl::TraceEventDecoder;
-use symbi_core::telemetry::recorder::replay_events_with;
+use symbi_core::telemetry::recorder::{replay_actions_with, replay_events_with};
 use symbi_core::trace::TraceEvent;
 use symbi_core::zipkin::{stitch, to_zipkin_json};
 
@@ -73,7 +76,7 @@ OPTIONS:
   -h, --help        print this help
 ";
 
-/// Parse CLI arguments (everything after argv[0]). Hand-rolled: the
+/// Parse CLI arguments (everything after argv\[0\]). Hand-rolled: the
 /// container forbids new dependencies, and the grammar is tiny.
 pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, String> {
     let mut opts = Options::default();
@@ -154,29 +157,68 @@ pub fn load_events(dirs: &[PathBuf]) -> Result<(Vec<TraceEvent>, usize), String>
     Ok((events, ring_dirs.len()))
 }
 
+/// Replay every `"kind":"action"` control record from every ring under
+/// `dirs`, merged and ordered by wall time (then sequence) so a
+/// multi-process deployment's reactions read as one timeline. Rings
+/// without actions are fine — static runs just return an empty list.
+pub fn load_actions(dirs: &[PathBuf]) -> Result<Vec<ActionRecord>, String> {
+    let mut ring_dirs = Vec::new();
+    for d in dirs {
+        ring_dirs
+            .extend(collect_ring_dirs(d).map_err(|e| format!("scanning {}: {e}", d.display()))?);
+    }
+    let mut actions = Vec::new();
+    for d in &ring_dirs {
+        replay_actions_with(d, &mut actions)
+            .map_err(|e| format!("replaying actions in {}: {e}", d.display()))?;
+    }
+    actions.sort_by_key(|a| (a.wall_ns, a.seq));
+    Ok(actions)
+}
+
 /// Run the analysis; returns the text to print on stdout.
 pub fn run(opts: &Options) -> Result<String, String> {
     let (mut events, ring_count) = load_events(&opts.dirs)?;
     if let Some(rid) = opts.request {
         events.retain(|e| e.request_id == rid);
     }
+    let actions = load_actions(&opts.dirs)?;
     let graph = build_span_graph(&events);
     let mut out = String::new();
     let _ = writeln!(
         out,
         "ingested {} trace events from {} ring dir(s): {} requests, {} spans, \
-         {} duplicates dropped, {} unlinked legacy events",
+         {} duplicates dropped, {} unlinked legacy events, {} control actions",
         events.len(),
         ring_count,
         graph.trees.len(),
         graph.span_count(),
         graph.duplicates_dropped,
         graph.unlinked_events,
+        actions.len(),
     );
+    if !actions.is_empty() {
+        out.push_str("control actions (anomaly → reaction):\n");
+        for a in &actions {
+            let _ = writeln!(
+                out,
+                "  {:>14}ns  {}  {} [{}] {} -> {}  ({}={} over {})",
+                a.wall_ns,
+                a.entity,
+                a.action,
+                a.subject,
+                a.from,
+                a.to,
+                a.detector,
+                a.value,
+                a.threshold,
+            );
+        }
+    }
     out.push_str(&render_report(&graph, opts.top));
 
     if let Some(path) = &opts.chrome_out {
-        std::fs::write(path, to_chrome_json(&graph))
+        std::fs::write(path, to_chrome_json_with_actions(&graph, &actions))
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         let _ = writeln!(out, "chrome trace written to {}", path.display());
     }
@@ -320,6 +362,53 @@ mod tests {
         );
         let zipkin_json = std::fs::read_to_string(&zipkin).unwrap();
         assert!(zipkin_json.contains("\"an_rpc\""));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn control_actions_reach_report_and_chrome_export() {
+        let root = write_rings("actions");
+        // The server's control loop left one reaction in its ring.
+        let server_rec =
+            FlightRecorder::open(FlightRecorderConfig::new(root.join("server-0"))).unwrap();
+        server_rec
+            .append_actions(&[ActionRecord {
+                seq: 1,
+                wall_ns: 5_000,
+                entity: "an-server".into(),
+                detector: "pool_backlog".into(),
+                subject: "an-server-handlers".into(),
+                action: "resize_lanes".into(),
+                from: 4,
+                to: 8,
+                value: 40,
+                threshold: 16,
+            }])
+            .unwrap();
+        server_rec.flush().unwrap();
+
+        let chrome = root.join("chrome.json");
+        let opts = Options {
+            dirs: vec![root.clone()],
+            chrome_out: Some(chrome.clone()),
+            ..Default::default()
+        };
+        let out = run(&opts).expect("analysis");
+        assert!(out.contains("1 control actions"), "{out}");
+        assert!(out.contains("resize_lanes"), "{out}");
+
+        let chrome_json = std::fs::read_to_string(&chrome).unwrap();
+        let parsed = symbi_core::telemetry::jsonl::parse_json(&chrome_json).unwrap();
+        let evs = parsed.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        let instant = evs
+            .iter()
+            .find(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .expect("control instant event in chrome export");
+        assert_eq!(instant.get("cat").and_then(|c| c.as_str()), Some("control"));
+        assert_eq!(
+            instant.get("name").and_then(|n| n.as_str()),
+            Some("resize_lanes")
+        );
         let _ = std::fs::remove_dir_all(&root);
     }
 

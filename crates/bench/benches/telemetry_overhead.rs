@@ -201,10 +201,14 @@ fn idle_cpu_burn_audit() {
         wall.as_millis(),
         fraction * 100.0
     );
+    // With wakeup coarsening in the monitor ULT (idle samples back the
+    // period off up to 8×) the whole idle stack stays well under a fifth
+    // of a core; the old 0.5 bound predates coarsening.
     assert!(
-        fraction < 0.5,
+        fraction < 0.2,
         "an idle socket-backed server burned {:.0}% of a core — something is \
-         busy-waiting instead of blocking on readiness",
+         busy-waiting instead of blocking on readiness (or the monitor ULT \
+         stopped coarsening its idle wakeups)",
         fraction * 100.0
     );
 }

@@ -9,8 +9,9 @@
 //! writer is hand-rolled (no external JSON dependency) and validated by
 //! round-tripping through `telemetry::jsonl::parse_json`.
 
+use crate::analysis::online::ActionRecord;
 use crate::analysis::span_graph::{SpanGraph, SpanNode};
-use crate::entity::{entity_name, EntityId};
+use crate::entity::{entity_name, register_entity, EntityId};
 use crate::zipkin::escape_into;
 use std::fmt::Write as _;
 
@@ -56,6 +57,39 @@ fn push_complete_event(out: &mut String, first: &mut bool, name: &str, node: &Sp
 /// Render a span graph as Chrome trace JSON. `process_name` metadata
 /// events label each entity's track with its registered name.
 pub fn to_chrome_json(graph: &SpanGraph) -> String {
+    to_chrome_json_with_actions(graph, &[])
+}
+
+/// One global instant ("ph":"i", scope "g") event per control action, on
+/// the acting entity's track: the reaction half of detection→reaction,
+/// rendered as a vertical marker across the request bars it affected.
+fn push_action_event(out: &mut String, first: &mut bool, a: &ActionRecord, pid: u64) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str("\n  {\"name\":\"");
+    escape_into(out, &a.action);
+    out.push_str("\",\"cat\":\"control\",\"ph\":\"i\",\"s\":\"g\"");
+    let _ = write!(
+        out,
+        ",\"ts\":{:.3},\"pid\":{pid},\"tid\":0",
+        a.wall_ns as f64 / 1_000.0
+    );
+    out.push_str(",\"args\":{\"detector\":\"");
+    escape_into(out, &a.detector);
+    out.push_str("\",\"subject\":\"");
+    escape_into(out, &a.subject);
+    let _ = write!(
+        out,
+        "\",\"from\":{},\"to\":{},\"value\":{},\"threshold\":{}}}}}",
+        a.from, a.to, a.value, a.threshold
+    );
+}
+
+/// [`to_chrome_json`] plus control-action instant events, so the adaptive
+/// loop's reactions land on the same timeline as the spans.
+pub fn to_chrome_json_with_actions(graph: &SpanGraph, actions: &[ActionRecord]) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
 
@@ -67,6 +101,23 @@ pub fn to_chrome_json(graph: &SpanGraph) -> String {
         .flat_map(|n| [n.origin, n.target])
         .flatten()
         .collect();
+    entities.sort_unstable_by_key(|e| e.0);
+    entities.dedup();
+
+    // Actions carry their entity by *name*; resolve against the span
+    // entities so an action shares its pid (track) with the requests it
+    // affected, minting a fresh id only for entities with no spans.
+    let mut by_name: std::collections::HashMap<String, EntityId> =
+        entities.iter().map(|&e| (entity_name(e), e)).collect();
+    let action_pids: Vec<EntityId> = actions
+        .iter()
+        .map(|a| {
+            *by_name
+                .entry(a.entity.clone())
+                .or_insert_with(|| register_entity(&a.entity))
+        })
+        .collect();
+    entities.extend(action_pids.iter().copied());
     entities.sort_unstable_by_key(|e| e.0);
     entities.dedup();
     for e in entities {
@@ -114,6 +165,11 @@ pub fn to_chrome_json(graph: &SpanGraph) -> String {
             }
         }
     }
+
+    for (a, pid) in actions.iter().zip(&action_pids) {
+        push_action_event(&mut out, &mut first, a, pid.0);
+    }
+
     out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
     out
 }
@@ -199,6 +255,54 @@ mod tests {
             .collect();
         assert!(labels.iter().any(|l| l.contains("ch-client")));
         assert!(labels.iter().any(|l| l.contains("ch-server")));
+    }
+
+    #[test]
+    fn action_events_render_as_global_instants() {
+        let graph = build_span_graph(&events());
+        let action = ActionRecord {
+            seq: 1,
+            wall_ns: 4_000,
+            entity: "ch-server".into(),
+            detector: "pool_backlog".into(),
+            subject: "rpc".into(),
+            action: "resize_lanes".into(),
+            from: 1,
+            to: 2,
+            value: 40,
+            threshold: 16,
+        };
+        let json = to_chrome_json_with_actions(&graph, &[action]);
+        let parsed = parse_json(&json).expect("valid JSON");
+        let evs = parsed.get("traceEvents").and_then(|v| v.as_arr()).unwrap();
+        let instants: Vec<_> = evs
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("i"))
+            .collect();
+        assert_eq!(instants.len(), 1);
+        let i = instants[0];
+        assert_eq!(i.get("name").and_then(|n| n.as_str()), Some("resize_lanes"));
+        assert_eq!(i.get("cat").and_then(|c| c.as_str()), Some("control"));
+        assert_eq!(i.get("s").and_then(|s| s.as_str()), Some("g"));
+        // The action shares a pid with the server's (target-side) track.
+        let server_pid = evs
+            .iter()
+            .find(|e| {
+                e.get("args")
+                    .and_then(|a| a.get("side"))
+                    .and_then(|s| s.as_str())
+                    == Some("target")
+            })
+            .and_then(|e| e.get("pid"))
+            .and_then(|p| p.as_u64())
+            .expect("target-side span event");
+        assert_eq!(i.get("pid").and_then(|p| p.as_u64()), Some(server_pid));
+        let args = i.get("args").expect("args");
+        assert_eq!(
+            args.get("detector").and_then(|d| d.as_str()),
+            Some("pool_backlog")
+        );
+        assert_eq!(args.get("to").and_then(|v| v.as_u64()), Some(2));
     }
 
     #[test]

@@ -14,14 +14,18 @@
 //! * [`report`] — plain-text table rendering shared by the harnesses.
 //! * [`span_graph`] — causal span-tree reconstruction across composed
 //!   services from the wire-propagated span ids (Dapper-style).
-//! * [`critical_path`] — per-hop latency attribution over span trees and
+//! * [`critical_path`](mod@critical_path) — per-hop latency attribution over span trees and
 //!   the aggregate "top critical-path edges" report (Figure 7 analysis).
 //! * [`chrome`] — Chrome `trace_event` JSON export of span trees for
 //!   `chrome://tracing` / Perfetto.
+//! * [`online`] — bounded-memory *streaming* reduction of the same
+//!   questions (per-hop attribution, top-K callpaths, latency quantiles)
+//!   plus live anomaly detectors, run in-situ by the margo monitor ULT.
 
 pub mod advisor;
 pub mod chrome;
 pub mod critical_path;
+pub mod online;
 pub mod profile_summary;
 pub mod report;
 pub mod span_graph;
@@ -29,11 +33,12 @@ pub mod system_summary;
 pub mod trace_summary;
 
 pub use advisor::{advise, Action, DeploymentFacts, Policy, Recommendation};
-pub use chrome::to_chrome_json;
+pub use chrome::{to_chrome_json, to_chrome_json_with_actions};
 pub use critical_path::{
     aggregate as aggregate_critical_paths, critical_path, CriticalPathReport, EdgeStats,
     HopBreakdown,
 };
+pub use online::{ActionRecord, Anomaly, DetectorConfig, OnlineAnalyzer, OnlineConfig};
 pub use profile_summary::{summarize_profiles, CallpathAggregate, ProfileSummary};
 pub use span_graph::{build_span_graph, dedup_events, SpanGraph, SpanNode, SpanTree};
 pub use system_summary::{summarize_system, SystemSummary};

@@ -1,0 +1,36 @@
+//! Control-action records: the reaction half of detection→reaction.
+//!
+//! When the adaptive control loop acts on an anomaly (resizes pool lanes,
+//! changes a pipeline window, toggles load shedding), it emits one
+//! [`ActionRecord`]. Records are persisted to the flight ring as
+//! `"kind":"action"` JSONL lines (codec in `telemetry::jsonl`, exact
+//! round-trip like the trace records) and rendered by `symbi-analyze`
+//! into the Chrome export as instant events, so the causal chain
+//! *detected at t, reacted at t+ε* is visible on the same timeline as the
+//! requests it affected.
+
+/// One applied control action.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ActionRecord {
+    /// Per-entity action sequence number (1-based).
+    pub seq: u64,
+    /// Wall time (ns since the process trace epoch) the action applied.
+    pub wall_ns: u64,
+    /// Entity whose control loop acted.
+    pub entity: String,
+    /// Detector that triggered the action (e.g. `pool_backlog`).
+    pub detector: String,
+    /// What the detector fired on (pool name, link, …).
+    pub subject: String,
+    /// The action taken: `resize_lanes`, `set_pipeline_depth`, `shed_on`,
+    /// `shed_off`.
+    pub action: String,
+    /// The setting before the action (lanes, depth, 0/1 for shed).
+    pub from: u64,
+    /// The setting after the action.
+    pub to: u64,
+    /// The observed value that crossed the threshold.
+    pub value: u64,
+    /// The threshold it crossed.
+    pub threshold: u64,
+}

@@ -1,0 +1,333 @@
+//! Incremental per-hop critical-path attribution over the trace stream.
+//!
+//! The offline pipeline (analysis::span_graph + analysis::critical_path)
+//! reconstructs full Lamport-ordered span trees; at millions of requests
+//! that cannot run in-situ. This module applies the same Table III
+//! interval arithmetic *incrementally*: spans accumulate their four
+//! timeline points (t1/t5/t8/t14) in a bounded open-span table keyed by
+//! span id, and the moment a span has all four points it is folded into
+//! per-hop-class aggregates and dropped. The per-span numbers mirror
+//! [`crate::analysis::critical_path::breakdown`] exactly:
+//!
+//! * `total`   = t14 − t1 (target busy when the origin view is missing),
+//! * `busy`    = t8 − t5,
+//! * `queue`   = the `target_handler_ns` sample (t8 preferred, t5 fallback),
+//! * `network` = total − queue − busy (saturating),
+//!
+//! so the online per-hop sums agree with the offline analyzer on the same
+//! event stream (the PR's parity test pins this within 5%).
+//!
+//! ## Memory bound
+//!
+//! The open-span table holds at most `capacity` spans; when full, the
+//! oldest open span is force-flushed with whatever points it has
+//! (counted in `evicted`). Everything else — the per-hop aggregate map
+//! (hop depth ≤ 4 by the callpath encoding) — is constant-size, so the
+//! ingest path is O(ring) regardless of request count.
+
+use crate::trace::{TraceEvent, TraceEventKind};
+use crate::Callpath;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Accumulated attribution for one hop class (hop depth).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HopClassStats {
+    /// Spans folded in with all four timeline points.
+    pub requests: u64,
+    /// Summed t4→t5 handler-pool queue wait (ns).
+    pub queue_ns: u64,
+    /// Summed t5→t8 target busy time (ns).
+    pub busy_ns: u64,
+    /// Summed network + delivery time (ns).
+    pub network_ns: u64,
+    /// Summed full hop latency (ns).
+    pub total_ns: u64,
+}
+
+/// One span's partially-observed timeline.
+#[derive(Debug, Clone, Copy, Default)]
+struct OpenSpan {
+    t1: Option<u64>,
+    t5: Option<u64>,
+    t8: Option<u64>,
+    t14: Option<u64>,
+    /// `target_handler_ns` sample; t8's value wins over t5's.
+    handler_ns: Option<u64>,
+    handler_from_t8: bool,
+    callpath: Callpath,
+    hop: u32,
+}
+
+impl OpenSpan {
+    fn is_complete(&self) -> bool {
+        self.t1.is_some() && self.t5.is_some() && self.t8.is_some() && self.t14.is_some()
+    }
+}
+
+/// One finalized span, as delivered to the caller's sinks.
+#[derive(Debug, Clone, Copy)]
+pub struct CompletedSpan {
+    /// Callpath at the hop.
+    pub callpath: Callpath,
+    /// Hop depth (1 = the end client's direct RPC).
+    pub hop: u32,
+    /// Full hop latency (ns).
+    pub total_ns: u64,
+    /// Whether all four timeline points were observed.
+    pub complete: bool,
+}
+
+/// The bounded incremental attribution engine.
+#[derive(Debug)]
+pub struct OnlineAttribution {
+    open: HashMap<u64, OpenSpan>,
+    /// Insertion order for eviction (span ids; stale ids are skipped).
+    fifo: VecDeque<u64>,
+    capacity: usize,
+    hops: BTreeMap<u32, HopClassStats>,
+    completed: u64,
+    evicted: u64,
+    unlinked: u64,
+}
+
+impl OnlineAttribution {
+    /// New engine holding at most `capacity` open spans (min 16).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(16);
+        OnlineAttribution {
+            open: HashMap::with_capacity(capacity),
+            fifo: VecDeque::with_capacity(capacity),
+            capacity,
+            hops: BTreeMap::new(),
+            completed: 0,
+            evicted: 0,
+            unlinked: 0,
+        }
+    }
+
+    /// Ingest one trace event; returns the finalized span if this event
+    /// completed one.
+    pub fn ingest(&mut self, ev: &TraceEvent) -> Option<CompletedSpan> {
+        if ev.span == 0 {
+            // Pre-span-propagation legacy events cannot be correlated.
+            self.unlinked += 1;
+            return None;
+        }
+        if !self.open.contains_key(&ev.span) {
+            if self.open.len() >= self.capacity {
+                self.evict_oldest();
+            }
+            self.fifo.push_back(ev.span);
+        }
+        let slot = self.open.entry(ev.span).or_default();
+        if slot.callpath == Callpath::EMPTY {
+            slot.callpath = ev.callpath;
+        }
+        if slot.hop == 0 {
+            slot.hop = ev.hop;
+        }
+        match ev.kind {
+            TraceEventKind::OriginForward => slot.t1 = slot.t1.or(Some(ev.wall_ns)),
+            TraceEventKind::OriginComplete => slot.t14 = slot.t14.or(Some(ev.wall_ns)),
+            TraceEventKind::TargetUltStart => {
+                slot.t5 = slot.t5.or(Some(ev.wall_ns));
+                if !slot.handler_from_t8 && slot.handler_ns.is_none() {
+                    slot.handler_ns = ev.samples.target_handler_ns;
+                }
+            }
+            TraceEventKind::TargetRespond => {
+                slot.t8 = slot.t8.or(Some(ev.wall_ns));
+                if let Some(h) = ev.samples.target_handler_ns {
+                    slot.handler_ns = Some(h);
+                    slot.handler_from_t8 = true;
+                }
+            }
+        }
+        if slot.is_complete() {
+            let span = *slot;
+            self.open.remove(&ev.span);
+            Some(self.finalize(span, true))
+        } else {
+            None
+        }
+    }
+
+    fn evict_oldest(&mut self) {
+        while let Some(id) = self.fifo.pop_front() {
+            if let Some(span) = self.open.remove(&id) {
+                self.evicted += 1;
+                self.finalize(span, false);
+                return;
+            }
+        }
+    }
+
+    /// Fold one span into the per-hop aggregates, mirroring
+    /// `critical_path::breakdown`.
+    fn finalize(&mut self, span: OpenSpan, complete: bool) -> CompletedSpan {
+        let busy = match (span.t5, span.t8) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => 0,
+        };
+        let total = match (span.t1, span.t14) {
+            (Some(a), Some(b)) => b.saturating_sub(a),
+            _ => busy,
+        };
+        let queue = span.handler_ns.unwrap_or(0);
+        let network = total.saturating_sub(queue + busy);
+        if complete {
+            self.completed += 1;
+            let agg = self.hops.entry(span.hop).or_default();
+            agg.requests += 1;
+            agg.queue_ns += queue;
+            agg.busy_ns += busy;
+            agg.network_ns += network;
+            agg.total_ns += total;
+        }
+        CompletedSpan {
+            callpath: span.callpath,
+            hop: span.hop,
+            total_ns: total,
+            complete,
+        }
+    }
+
+    /// Force-flush every open span (end of run / end of window). Partial
+    /// spans are dropped from the aggregates but counted as evicted.
+    pub fn flush(&mut self) {
+        let spans: Vec<OpenSpan> = self.open.drain().map(|(_, s)| s).collect();
+        self.fifo.clear();
+        for span in spans {
+            self.evicted += 1;
+            self.finalize(span, false);
+        }
+    }
+
+    /// Per-hop-class aggregates, keyed by hop depth.
+    pub fn hop_stats(&self) -> &BTreeMap<u32, HopClassStats> {
+        &self.hops
+    }
+
+    /// Spans currently open (≤ capacity — the memory bound).
+    pub fn open_spans(&self) -> usize {
+        self.open.len()
+    }
+
+    /// The configured open-span capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans finalized with all four timeline points.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// Spans force-flushed before completing (window slid past them).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Events with span id 0 that could not be correlated.
+    pub fn unlinked(&self) -> u64 {
+        self.unlinked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::register_entity;
+    use crate::trace::EventSamples;
+
+    fn ev(span: u64, kind: TraceEventKind, wall_ns: u64, handler: Option<u64>) -> TraceEvent {
+        TraceEvent {
+            request_id: span,
+            order: 0,
+            span,
+            parent_span: 0,
+            hop: 1,
+            lamport: 0,
+            wall_ns,
+            kind,
+            entity: register_entity("online-attr"),
+            callpath: Callpath::root("attr_rpc"),
+            samples: EventSamples {
+                target_handler_ns: handler,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn completes_span_and_mirrors_breakdown_arithmetic() {
+        let mut a = OnlineAttribution::new(64);
+        assert!(a
+            .ingest(&ev(1, TraceEventKind::OriginForward, 1_000, None))
+            .is_none());
+        assert!(a
+            .ingest(&ev(1, TraceEventKind::TargetUltStart, 3_000, Some(500)))
+            .is_none());
+        assert!(a
+            .ingest(&ev(1, TraceEventKind::TargetRespond, 8_000, Some(700)))
+            .is_none());
+        let done = a
+            .ingest(&ev(1, TraceEventKind::OriginComplete, 11_000, None))
+            .expect("span complete");
+        assert!(done.complete);
+        assert_eq!(done.total_ns, 10_000);
+        let hop = a.hop_stats()[&1];
+        assert_eq!(hop.requests, 1);
+        assert_eq!(hop.busy_ns, 5_000); // t8 - t5
+        assert_eq!(hop.queue_ns, 700); // t8's handler sample wins
+        assert_eq!(hop.network_ns, 10_000 - 700 - 5_000);
+        assert_eq!(hop.total_ns, 10_000);
+        assert_eq!(a.open_spans(), 0);
+    }
+
+    #[test]
+    fn out_of_order_cross_ring_arrival_still_completes() {
+        // A multi-ring replay can deliver the origin's t14 before the
+        // target's t5/t8; completion must be order-independent.
+        let mut a = OnlineAttribution::new(64);
+        a.ingest(&ev(2, TraceEventKind::OriginForward, 1_000, None));
+        a.ingest(&ev(2, TraceEventKind::OriginComplete, 9_000, None));
+        a.ingest(&ev(2, TraceEventKind::TargetUltStart, 2_000, Some(400)));
+        let done = a
+            .ingest(&ev(2, TraceEventKind::TargetRespond, 6_000, None))
+            .expect("complete on last point");
+        assert!(done.complete);
+        let hop = a.hop_stats()[&1];
+        assert_eq!(hop.queue_ns, 400, "t5 fallback used");
+        assert_eq!(hop.busy_ns, 4_000);
+    }
+
+    #[test]
+    fn memory_stays_bounded_under_never_completing_spans() {
+        let mut a = OnlineAttribution::new(16);
+        for i in 0..10_000u64 {
+            a.ingest(&ev(i + 1, TraceEventKind::OriginForward, i, None));
+            assert!(a.open_spans() <= 16, "open spans exceeded capacity");
+        }
+        assert!(a.evicted() > 0);
+        assert_eq!(a.completed(), 0);
+    }
+
+    #[test]
+    fn span_zero_is_counted_unlinked() {
+        let mut a = OnlineAttribution::new(16);
+        a.ingest(&ev(0, TraceEventKind::OriginForward, 1, None));
+        assert_eq!(a.unlinked(), 1);
+        assert_eq!(a.open_spans(), 0);
+    }
+
+    #[test]
+    fn flush_drops_partials_without_polluting_aggregates() {
+        let mut a = OnlineAttribution::new(16);
+        a.ingest(&ev(5, TraceEventKind::OriginForward, 1_000, None));
+        a.flush();
+        assert_eq!(a.open_spans(), 0);
+        assert_eq!(a.evicted(), 1);
+        assert!(a.hop_stats().is_empty());
+    }
+}

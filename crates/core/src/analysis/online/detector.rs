@@ -1,0 +1,383 @@
+//! Threshold / EWMA anomaly detectors over live metric snapshots.
+//!
+//! Three detectors cover the §V anomaly families the adaptive loop
+//! reacts to:
+//!
+//! * **`progress_starvation`** — a pool's runnable backlog stays above
+//!   threshold (EWMA-smoothed) while its per-completion queue wait grows:
+//!   the C5/C6 signature of a progress loop competing with handler ULTs.
+//! * **`pool_backlog`** — a pool's runnable depth alone stays above the
+//!   backlog threshold: handlers arriving faster than they drain.
+//! * **`pipeline_saturation`** — the send-side in-flight window is full
+//!   and parked work accumulates, read from the PR 6 pipeline PVARs
+//!   (`symbi_net_send_queue_depth`, `symbi_net_inflight`) and the margo
+//!   gate gauges (`symbi_margo_pipeline_queued`).
+//!
+//! Every detector smooths with an EWMA and requires `consecutive`
+//! over-threshold samples before firing, so one noisy snapshot cannot
+//! trigger a reaction; a fired detector re-arms only after dropping below
+//! threshold (level-triggered with hysteresis-by-streak).
+
+use crate::telemetry::{MetricSnapshot, MetricValue};
+use std::collections::HashMap;
+
+/// Exponentially weighted moving average.
+#[derive(Debug, Clone, Copy)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// New EWMA with smoothing factor `alpha` in (0, 1].
+    pub fn new(alpha: f64) -> Self {
+        Ewma {
+            alpha: alpha.clamp(1e-6, 1.0),
+            value: None,
+        }
+    }
+
+    /// Fold one observation; returns the smoothed value.
+    pub fn update(&mut self, v: f64) -> f64 {
+        let next = match self.value {
+            None => v,
+            Some(prev) => prev + self.alpha * (v - prev),
+        };
+        self.value = Some(next);
+        next
+    }
+
+    /// The current smoothed value, if any observation arrived.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+/// Detector thresholds and smoothing.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// EWMA smoothing factor for all detectors.
+    pub ewma_alpha: f64,
+    /// Consecutive over-threshold samples before an anomaly fires.
+    pub consecutive: u32,
+    /// Runnable-ULT backlog that signals starvation (EWMA).
+    pub starvation_runnable: f64,
+    /// Mean queue wait per completion (ns, over the sample window) that
+    /// corroborates starvation.
+    pub starvation_queue_wait_ns: u64,
+    /// Runnable-ULT backlog that signals a plain pool backlog (EWMA).
+    pub backlog_runnable: f64,
+    /// Parked/queued send-side work that signals pipeline saturation.
+    pub pipeline_queued: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            ewma_alpha: 0.3,
+            consecutive: 2,
+            starvation_runnable: 8.0,
+            starvation_queue_wait_ns: 1_000_000,
+            backlog_runnable: 16.0,
+            pipeline_queued: 8.0,
+        }
+    }
+}
+
+/// One detected anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Detector name (`progress_starvation`, `pool_backlog`,
+    /// `pipeline_saturation`).
+    pub detector: &'static str,
+    /// What the detector fired on (a pool name, a link, …).
+    pub subject: String,
+    /// The observed (smoothed) value, rounded.
+    pub value: u64,
+    /// The threshold it crossed.
+    pub threshold: u64,
+}
+
+#[derive(Debug, Default)]
+struct Streak {
+    ewma: Option<Ewma>,
+    over: u32,
+    fired: bool,
+}
+
+impl Streak {
+    /// Track one observation against a threshold; true when the streak
+    /// just crossed `consecutive` (fires once per excursion).
+    fn track(&mut self, alpha: f64, v: f64, threshold: f64, consecutive: u32) -> Option<f64> {
+        let ewma = self.ewma.get_or_insert_with(|| Ewma::new(alpha));
+        let smoothed = ewma.update(v);
+        if smoothed > threshold {
+            self.over += 1;
+            if self.over >= consecutive && !self.fired {
+                self.fired = true;
+                return Some(smoothed);
+            }
+        } else {
+            self.over = 0;
+            self.fired = false;
+        }
+        None
+    }
+}
+
+/// The detector bank; feed it every telemetry snapshot.
+#[derive(Debug)]
+pub struct Detectors {
+    config: DetectorConfig,
+    /// Per-(detector, subject) streak state. Subjects are pool names and
+    /// link families — a handful per instance, so the map stays tiny.
+    streaks: HashMap<(&'static str, String), Streak>,
+    /// Previous queue-wait / completion counters per pool, for window
+    /// deltas.
+    prev_pool: HashMap<String, (u64, u64)>,
+    fired_total: HashMap<&'static str, u64>,
+}
+
+impl Detectors {
+    /// New detector bank.
+    pub fn new(config: DetectorConfig) -> Self {
+        Detectors {
+            config,
+            streaks: HashMap::new(),
+            prev_pool: HashMap::new(),
+            fired_total: HashMap::new(),
+        }
+    }
+
+    /// Evaluate one snapshot; returns the anomalies that fired on it.
+    pub fn observe(&mut self, snap: &MetricSnapshot) -> Vec<Anomaly> {
+        let mut out = Vec::new();
+        self.observe_pools(snap, &mut out);
+        self.observe_pipeline(snap, &mut out);
+        for a in &out {
+            *self.fired_total.entry(a.detector).or_insert(0) += 1;
+        }
+        out
+    }
+
+    /// Cumulative fire counts per detector (for `symbi_online_anomalies_total`).
+    pub fn fired_total(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.fired_total.iter().map(|(k, v)| (*k, *v))
+    }
+
+    fn observe_pools(&mut self, snap: &MetricSnapshot, out: &mut Vec<Anomaly>) {
+        let cfg = self.config;
+        // Gather per-pool runnable gauges and queue-wait/completion
+        // counters in one pass.
+        let mut pools: HashMap<String, (f64, u64, u64)> = HashMap::new();
+        for sp in &snap.points {
+            let Some(pool) = sp
+                .point
+                .labels
+                .iter()
+                .find(|(k, _)| k == "pool")
+                .map(|(_, v)| v.clone())
+            else {
+                continue;
+            };
+            let entry = pools.entry(pool).or_insert((0.0, 0, 0));
+            match (sp.point.name.as_str(), &sp.point.value) {
+                ("symbi_pool_runnable_ults", MetricValue::Gauge(v)) => entry.0 = *v,
+                ("symbi_pool_queue_wait_ns_total", MetricValue::Counter(v)) => entry.1 = *v,
+                ("symbi_pool_completed_total", MetricValue::Counter(v)) => entry.2 = *v,
+                _ => {}
+            }
+        }
+        for (pool, (runnable, wait_total, completed_total)) in pools {
+            let (prev_wait, prev_completed) = self
+                .prev_pool
+                .get(&pool)
+                .copied()
+                .unwrap_or((wait_total, completed_total));
+            let wait_delta = wait_total.saturating_sub(prev_wait);
+            let completed_delta = completed_total.saturating_sub(prev_completed);
+            let mean_wait_ns = wait_delta.checked_div(completed_delta).unwrap_or(0);
+            self.prev_pool
+                .insert(pool.clone(), (wait_total, completed_total));
+
+            // Starvation: backlog AND growing per-completion queue wait.
+            if mean_wait_ns >= cfg.starvation_queue_wait_ns {
+                let streak = self
+                    .streaks
+                    .entry(("progress_starvation", pool.clone()))
+                    .or_default();
+                if let Some(v) = streak.track(
+                    cfg.ewma_alpha,
+                    runnable,
+                    cfg.starvation_runnable,
+                    cfg.consecutive,
+                ) {
+                    out.push(Anomaly {
+                        detector: "progress_starvation",
+                        subject: pool.clone(),
+                        value: v.round() as u64,
+                        threshold: cfg.starvation_runnable as u64,
+                    });
+                }
+            } else if let Some(streak) =
+                self.streaks.get_mut(&("progress_starvation", pool.clone()))
+            {
+                streak.over = 0;
+                streak.fired = false;
+            }
+
+            // Plain backlog: runnable depth alone.
+            let streak = self
+                .streaks
+                .entry(("pool_backlog", pool.clone()))
+                .or_default();
+            if let Some(v) = streak.track(
+                cfg.ewma_alpha,
+                runnable,
+                cfg.backlog_runnable,
+                cfg.consecutive,
+            ) {
+                out.push(Anomaly {
+                    detector: "pool_backlog",
+                    subject: pool,
+                    value: v.round() as u64,
+                    threshold: cfg.backlog_runnable as u64,
+                });
+            }
+        }
+    }
+
+    fn observe_pipeline(&mut self, snap: &MetricSnapshot, out: &mut Vec<Anomaly>) {
+        let cfg = self.config;
+        // Parked send-side work: the socket transport's queue depth plus
+        // margo's gate-parked jobs (whichever sources are present).
+        let mut queued = 0.0;
+        let mut subject = "pipeline";
+        for sp in &snap.points {
+            match (sp.point.name.as_str(), &sp.point.value) {
+                ("symbi_net_send_queue_depth", MetricValue::Gauge(v)) => {
+                    queued += v;
+                    subject = "symbi_net_send_queue_depth";
+                }
+                ("symbi_margo_pipeline_queued", MetricValue::Gauge(v)) => {
+                    queued += v;
+                    subject = "symbi_margo_pipeline_queued";
+                }
+                _ => {}
+            }
+        }
+        let streak = self
+            .streaks
+            .entry(("pipeline_saturation", "send".to_string()))
+            .or_default();
+        if let Some(v) = streak.track(cfg.ewma_alpha, queued, cfg.pipeline_queued, cfg.consecutive)
+        {
+            out.push(Anomaly {
+                detector: "pipeline_saturation",
+                subject: subject.to_string(),
+                value: v.round() as u64,
+                threshold: cfg.pipeline_queued as u64,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::telemetry::{MetricPoint, SnapshotPoint};
+
+    fn snap(points: Vec<MetricPoint>) -> MetricSnapshot {
+        MetricSnapshot {
+            seq: 0,
+            wall_ns: 0,
+            entity: None,
+            points: points
+                .into_iter()
+                .map(|point| SnapshotPoint { point, delta: None })
+                .collect(),
+        }
+    }
+
+    fn pool_points(runnable: f64, wait_total: u64, completed: u64) -> Vec<MetricPoint> {
+        vec![
+            MetricPoint::gauge("symbi_pool_runnable_ults", runnable).with_label("pool", "p"),
+            MetricPoint::counter("symbi_pool_queue_wait_ns_total", wait_total)
+                .with_label("pool", "p"),
+            MetricPoint::counter("symbi_pool_completed_total", completed).with_label("pool", "p"),
+        ]
+    }
+
+    #[test]
+    fn ewma_smooths_toward_observations() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.update(10.0), 10.0);
+        assert_eq!(e.update(0.0), 5.0);
+        assert!(e.value().unwrap() < 10.0);
+    }
+
+    #[test]
+    fn backlog_fires_after_consecutive_samples_then_rearms() {
+        let mut d = Detectors::new(DetectorConfig {
+            consecutive: 2,
+            backlog_runnable: 4.0,
+            ewma_alpha: 1.0,
+            ..Default::default()
+        });
+        assert!(d.observe(&snap(pool_points(50.0, 0, 0))).is_empty());
+        let fired = d.observe(&snap(pool_points(50.0, 0, 0)));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].detector, "pool_backlog");
+        assert_eq!(fired[0].subject, "p");
+        // Stays quiet while the excursion persists (fires once).
+        assert!(d.observe(&snap(pool_points(50.0, 0, 0))).is_empty());
+        // Drops below, then re-fires on a fresh excursion.
+        assert!(d.observe(&snap(pool_points(0.0, 0, 0))).is_empty());
+        d.observe(&snap(pool_points(50.0, 0, 0)));
+        assert_eq!(d.observe(&snap(pool_points(50.0, 0, 0))).len(), 1);
+        let total: u64 = d
+            .fired_total()
+            .filter(|(n, _)| *n == "pool_backlog")
+            .map(|(_, c)| c)
+            .sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn starvation_needs_backlog_and_queue_wait_growth() {
+        let mut d = Detectors::new(DetectorConfig {
+            consecutive: 1,
+            starvation_runnable: 4.0,
+            starvation_queue_wait_ns: 1_000_000,
+            ewma_alpha: 1.0,
+            ..Default::default()
+        });
+        // Backlog but cheap queue waits: no starvation.
+        d.observe(&snap(pool_points(50.0, 0, 0)));
+        let quiet = d.observe(&snap(pool_points(50.0, 1_000, 100)));
+        assert!(!quiet.iter().any(|a| a.detector == "progress_starvation"));
+        // Backlog and ≥1 ms mean wait per completion: fires.
+        let fired = d.observe(&snap(pool_points(50.0, 301_000_000, 200)));
+        assert!(
+            fired.iter().any(|a| a.detector == "progress_starvation"),
+            "{fired:?}"
+        );
+    }
+
+    #[test]
+    fn pipeline_saturation_reads_net_and_margo_gauges() {
+        let mut d = Detectors::new(DetectorConfig {
+            consecutive: 1,
+            pipeline_queued: 4.0,
+            ewma_alpha: 1.0,
+            ..Default::default()
+        });
+        let fired = d.observe(&snap(vec![
+            MetricPoint::gauge("symbi_net_send_queue_depth", 3.0),
+            MetricPoint::gauge("symbi_margo_pipeline_queued", 9.0).with_label("dest", "1"),
+        ]));
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].detector, "pipeline_saturation");
+        assert_eq!(fired[0].value, 12);
+    }
+}

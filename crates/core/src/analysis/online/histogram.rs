@@ -1,0 +1,185 @@
+//! Log-bucketed streaming latency histograms (constant memory).
+//!
+//! The online analyzer cannot keep raw latencies — at millions of
+//! requests per window that would defeat the bounded-memory goal — so it
+//! folds every observation into a fixed array of power-of-two buckets
+//! spanning 2^10 ns (≈1 µs) to 2^36 ns (≈69 s). Quantile queries return
+//! the upper bound of the bucket containing the target rank, an estimate
+//! whose relative error is bounded by the bucket ratio (2×) — good enough
+//! to rank p50/p99/p999 shifts, which is what the detectors consume.
+
+use crate::telemetry::HistogramValue;
+
+/// log2 of the first bucket's upper bound (2^10 ns ≈ 1 µs).
+const SHIFT_MIN: u32 = 10;
+/// log2 of the last finite bucket's upper bound (2^36 ns ≈ 68.7 s).
+const SHIFT_MAX: u32 = 36;
+/// Number of finite buckets; one overflow bucket rides behind them.
+const FINITE: usize = (SHIFT_MAX - SHIFT_MIN + 1) as usize;
+
+/// A fixed-size log2 histogram of nanosecond durations.
+#[derive(Debug, Clone)]
+pub struct StreamingHistogram {
+    /// Per-bucket (non-cumulative) counts; `counts[FINITE]` is overflow.
+    counts: [u64; FINITE + 1],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for StreamingHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingHistogram {
+    /// New empty histogram.
+    pub fn new() -> Self {
+        StreamingHistogram {
+            counts: [0; FINITE + 1],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+
+    fn bucket_index(v: u64) -> usize {
+        if v <= 1 << SHIFT_MIN {
+            return 0;
+        }
+        // ceil(log2(v)) for v > 2^SHIFT_MIN.
+        let log2 = 64 - (v - 1).leading_zeros();
+        if log2 > SHIFT_MAX {
+            FINITE
+        } else {
+            (log2 - SHIFT_MIN) as usize
+        }
+    }
+
+    /// Fold one duration into the histogram.
+    pub fn observe(&mut self, ns: u64) {
+        self.counts[Self::bucket_index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observed durations (ns).
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Largest observed duration (ns).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Estimated `q`-quantile in ns (`0.0 < q <= 1.0`), or `None` when
+    /// empty. Returns the upper bound of the bucket holding the target
+    /// rank; the overflow bucket reports the exact observed maximum.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(if i >= FINITE {
+                    self.max_ns
+                } else {
+                    1u64 << (SHIFT_MIN + i as u32)
+                });
+            }
+        }
+        Some(self.max_ns)
+    }
+
+    /// Render as a telemetry [`HistogramValue`] (cumulative counts, the
+    /// layout the Prometheus exposition expects).
+    pub fn to_metric(&self) -> HistogramValue {
+        let mut bounds = Vec::with_capacity(FINITE);
+        for shift in SHIFT_MIN..=SHIFT_MAX {
+            bounds.push((1u64 << shift) as f64);
+        }
+        let mut counts = Vec::with_capacity(FINITE + 1);
+        let mut cum = 0u64;
+        for c in &self.counts {
+            cum += c;
+            counts.push(cum);
+        }
+        HistogramValue {
+            bounds,
+            counts,
+            sum: self.sum_ns as f64,
+            count: self.count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_the_range() {
+        assert_eq!(StreamingHistogram::bucket_index(0), 0);
+        assert_eq!(StreamingHistogram::bucket_index(1024), 0);
+        assert_eq!(StreamingHistogram::bucket_index(1025), 1);
+        assert_eq!(StreamingHistogram::bucket_index(2048), 1);
+        assert_eq!(StreamingHistogram::bucket_index(u64::MAX), FINITE);
+    }
+
+    #[test]
+    fn quantiles_track_the_distribution() {
+        let mut h = StreamingHistogram::new();
+        // 99 fast (≈2 µs) + 1 slow (≈1 ms): p50 small, p99+ large.
+        for _ in 0..99 {
+            h.observe(2_000);
+        }
+        h.observe(1_000_000);
+        let p50 = h.quantile(0.5).unwrap();
+        let p999 = h.quantile(0.999).unwrap();
+        assert!(p50 <= 4_096, "p50 {p50}");
+        assert!(p999 >= 1_000_000 / 2, "p999 {p999}");
+        assert_eq!(h.count(), 100);
+    }
+
+    #[test]
+    fn quantile_relative_error_is_bounded_by_bucket_ratio() {
+        let mut h = StreamingHistogram::new();
+        for v in [10_000u64, 50_000, 250_000, 1_250_000] {
+            for _ in 0..25 {
+                h.observe(v);
+            }
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((25_000..=100_000).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn metric_rendering_is_cumulative() {
+        let mut h = StreamingHistogram::new();
+        h.observe(500);
+        h.observe(3_000);
+        h.observe(u64::MAX); // overflow bucket
+        let m = h.to_metric();
+        assert_eq!(m.bounds.len(), FINITE);
+        assert_eq!(m.counts.len(), FINITE + 1);
+        assert_eq!(*m.counts.last().unwrap(), 3, "cumulative total");
+        assert_eq!(m.count, 3);
+        assert!(m.counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(StreamingHistogram::new().quantile(0.99), None);
+    }
+}

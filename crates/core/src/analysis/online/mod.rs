@@ -1,0 +1,350 @@
+//! Online streaming analysis: bounded-memory in-situ reduction of the
+//! trace stream plus live anomaly detection (ROADMAP item 5).
+//!
+//! The offline pipeline of §13 ships every span to `symbi-analyze` after
+//! the run; at the scales the exascale-monitoring literature targets that
+//! is not viable. This module runs *inside the margo monitor ULT* and
+//! reduces the trace ring as it is drained:
+//!
+//! * [`attribution`] — sliding-window per-hop critical-path attribution
+//!   (the Table III split, incrementally, in a bounded open-span table),
+//! * [`topk`] — Space-Saving top-K slow callpaths (weight = latency),
+//! * [`histogram`] — log-bucketed streaming latency histograms with
+//!   p50/p99/p999 estimates,
+//! * [`detector`] — threshold/EWMA detectors for progress-ULT starvation,
+//!   pool backlog, and pipeline-window saturation,
+//! * [`action`] — the control-action records the adaptive loop emits when
+//!   it reacts.
+//!
+//! Everything the analyzer holds is **bounded**: the open-span table is
+//! capacity-capped with FIFO eviction, the top-K summary holds K entries,
+//! the histograms are fixed arrays, and the hop/detector maps are keyed
+//! by hop depth (≤ 4) and pool name. Memory is therefore O(ring), never
+//! O(requests). All aggregates export through the Prometheus plane under
+//! `symbi_online_*`.
+
+pub mod action;
+pub mod attribution;
+pub mod detector;
+pub mod histogram;
+pub mod topk;
+
+pub use action::ActionRecord;
+pub use attribution::{CompletedSpan, HopClassStats, OnlineAttribution};
+pub use detector::{Anomaly, DetectorConfig, Detectors, Ewma};
+pub use histogram::StreamingHistogram;
+pub use topk::{SpaceSaving, TopEntry};
+
+use crate::telemetry::{MetricPoint, MetricSnapshot};
+use crate::trace::TraceEvent;
+use crate::Callpath;
+use std::collections::BTreeMap;
+
+/// Configuration of one online analyzer.
+#[derive(Debug, Clone, Copy)]
+pub struct OnlineConfig {
+    /// Open-span table capacity (the sliding attribution window).
+    pub max_open_spans: usize,
+    /// Tracked slow-callpath count (Space-Saving K).
+    pub topk: usize,
+    /// Detector thresholds.
+    pub detectors: DetectorConfig,
+}
+
+impl Default for OnlineConfig {
+    fn default() -> Self {
+        OnlineConfig {
+            max_open_spans: 4096,
+            topk: 16,
+            detectors: DetectorConfig::default(),
+        }
+    }
+}
+
+/// The in-situ streaming analyzer: feed it drained trace events and
+/// telemetry snapshots; read back aggregates, quantiles, and anomalies.
+#[derive(Debug)]
+pub struct OnlineAnalyzer {
+    config: OnlineConfig,
+    attribution: OnlineAttribution,
+    /// Per-hop-class latency histograms (hop depth ≤ 4).
+    latency: BTreeMap<u32, StreamingHistogram>,
+    topk: SpaceSaving,
+    detectors: Detectors,
+    events_ingested: u64,
+}
+
+impl OnlineAnalyzer {
+    /// New analyzer.
+    pub fn new(config: OnlineConfig) -> Self {
+        OnlineAnalyzer {
+            config,
+            attribution: OnlineAttribution::new(config.max_open_spans),
+            latency: BTreeMap::new(),
+            topk: SpaceSaving::new(config.topk),
+            detectors: Detectors::new(config.detectors),
+            events_ingested: 0,
+        }
+    }
+
+    /// Reduce one batch of drained trace events into the aggregates.
+    pub fn ingest(&mut self, events: &[TraceEvent]) {
+        self.events_ingested += events.len() as u64;
+        for ev in events {
+            if let Some(done) = self.attribution.ingest(ev) {
+                if done.complete {
+                    self.latency
+                        .entry(done.hop)
+                        .or_default()
+                        .observe(done.total_ns);
+                    self.topk.offer(done.callpath.0, done.total_ns);
+                }
+            }
+        }
+    }
+
+    /// Evaluate the detector bank against one telemetry snapshot.
+    pub fn observe_snapshot(&mut self, snap: &MetricSnapshot) -> Vec<Anomaly> {
+        self.detectors.observe(snap)
+    }
+
+    /// Per-hop-class attribution aggregates.
+    pub fn hop_stats(&self) -> &BTreeMap<u32, HopClassStats> {
+        self.attribution.hop_stats()
+    }
+
+    /// Estimated latency quantile for one hop class (ns).
+    pub fn quantile(&self, hop: u32, q: f64) -> Option<u64> {
+        self.latency.get(&hop)?.quantile(q)
+    }
+
+    /// Top-K slow callpaths, heaviest first, with display names.
+    pub fn top_callpaths(&self) -> Vec<(String, TopEntry)> {
+        self.topk
+            .top()
+            .into_iter()
+            .map(|e| (Callpath(e.key).display(), e))
+            .collect()
+    }
+
+    /// Force-flush the open-span window (end of run).
+    pub fn flush(&mut self) {
+        self.attribution.flush();
+    }
+
+    /// Spans currently held in the attribution window (the memory bound).
+    pub fn open_spans(&self) -> usize {
+        self.attribution.open_spans()
+    }
+
+    /// Total trace events reduced so far.
+    pub fn events_ingested(&self) -> u64 {
+        self.events_ingested
+    }
+
+    /// The configuration this analyzer was built with.
+    pub fn config(&self) -> &OnlineConfig {
+        &self.config
+    }
+
+    /// Contribute the `symbi_online_*` metric families. Registered as a
+    /// telemetry source by the margo plane, so every aggregate is
+    /// scrapeable live.
+    pub fn collect(&self, out: &mut Vec<MetricPoint>) {
+        out.push(MetricPoint::counter(
+            "symbi_online_events_ingested_total",
+            self.events_ingested,
+        ));
+        out.push(MetricPoint::gauge(
+            "symbi_online_open_spans",
+            self.attribution.open_spans() as f64,
+        ));
+        out.push(MetricPoint::gauge(
+            "symbi_online_open_span_capacity",
+            self.attribution.capacity() as f64,
+        ));
+        out.push(MetricPoint::counter(
+            "symbi_online_spans_completed_total",
+            self.attribution.completed(),
+        ));
+        out.push(MetricPoint::counter(
+            "symbi_online_spans_evicted_total",
+            self.attribution.evicted(),
+        ));
+        out.push(MetricPoint::counter(
+            "symbi_online_spans_unlinked_total",
+            self.attribution.unlinked(),
+        ));
+        for (hop, stats) in self.attribution.hop_stats() {
+            let hop_label = hop.to_string();
+            let counter = |name: &str, v: u64| {
+                MetricPoint::counter(name, v).with_label("hop", hop_label.clone())
+            };
+            out.push(counter("symbi_online_hop_requests_total", stats.requests));
+            out.push(counter("symbi_online_hop_queue_ns_total", stats.queue_ns));
+            out.push(counter("symbi_online_hop_busy_ns_total", stats.busy_ns));
+            out.push(counter(
+                "symbi_online_hop_network_ns_total",
+                stats.network_ns,
+            ));
+            out.push(counter("symbi_online_hop_total_ns_total", stats.total_ns));
+        }
+        for (hop, hist) in &self.latency {
+            out.push(
+                MetricPoint::histogram("symbi_online_latency_ns", hist.to_metric())
+                    .with_label("hop", hop.to_string()),
+            );
+            for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
+                if let Some(v) = hist.quantile(q) {
+                    out.push(
+                        MetricPoint::gauge("symbi_online_latency_quantile_ns", v as f64)
+                            .with_label("hop", hop.to_string())
+                            .with_label("quantile", label.to_string()),
+                    );
+                }
+            }
+        }
+        for (rank, (name, entry)) in self.top_callpaths().into_iter().enumerate() {
+            out.push(
+                MetricPoint::gauge("symbi_online_topk_weight_ns", entry.weight as f64)
+                    .with_label("callpath", name)
+                    .with_label("rank", rank.to_string()),
+            );
+        }
+        for (detector, count) in self.detectors.fired_total() {
+            out.push(
+                MetricPoint::counter("symbi_online_anomalies_total", count)
+                    .with_label("detector", detector.to_string()),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::register_entity;
+    use crate::telemetry::MetricValue;
+    use crate::trace::{EventSamples, TraceEventKind};
+
+    fn span_events(span: u64, base_ns: u64, total_ns: u64, cp: Callpath) -> Vec<TraceEvent> {
+        let entity = register_entity("online-mod");
+        let mk = |kind, wall_ns, handler| TraceEvent {
+            request_id: span,
+            order: 0,
+            span,
+            parent_span: 0,
+            hop: 1,
+            lamport: 0,
+            wall_ns,
+            kind,
+            entity,
+            callpath: cp,
+            samples: EventSamples {
+                target_handler_ns: handler,
+                ..Default::default()
+            },
+        };
+        vec![
+            mk(TraceEventKind::OriginForward, base_ns, None),
+            mk(TraceEventKind::TargetUltStart, base_ns + 100, Some(50)),
+            mk(
+                TraceEventKind::TargetRespond,
+                base_ns + total_ns - 100,
+                Some(50),
+            ),
+            mk(TraceEventKind::OriginComplete, base_ns + total_ns, None),
+        ]
+    }
+
+    #[test]
+    fn end_to_end_reduction_exports_metrics() {
+        let slow = Callpath::root("online_slow_rpc");
+        let fast = Callpath::root("online_fast_rpc");
+        let mut a = OnlineAnalyzer::new(OnlineConfig::default());
+        for i in 0..50u64 {
+            a.ingest(&span_events(1_000 + i, i * 10_000, 20_000, fast));
+        }
+        a.ingest(&span_events(5_000, 600_000, 5_000_000, slow));
+
+        assert_eq!(a.hop_stats()[&1].requests, 51);
+        assert!(a.quantile(1, 0.5).unwrap() <= 32_768);
+        assert!(a.quantile(1, 0.999).unwrap() >= 2_000_000);
+        let top = a.top_callpaths();
+        assert_eq!(top[0].1.key, slow.0, "slow callpath dominates by weight");
+        assert!(top[0].0.contains("online_slow_rpc"));
+
+        let mut points = Vec::new();
+        a.collect(&mut points);
+        let names: Vec<&str> = points.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"symbi_online_events_ingested_total"));
+        assert!(names.contains(&"symbi_online_hop_total_ns_total"));
+        assert!(names.contains(&"symbi_online_latency_ns"));
+        assert!(names.contains(&"symbi_online_topk_weight_ns"));
+        let hist = points
+            .iter()
+            .find(|p| p.name == "symbi_online_latency_ns")
+            .unwrap();
+        assert!(matches!(&hist.value, MetricValue::Histogram(h) if h.count == 51));
+    }
+
+    #[test]
+    fn analyzer_memory_is_ring_bounded() {
+        let mut a = OnlineAnalyzer::new(OnlineConfig {
+            max_open_spans: 64,
+            topk: 4,
+            ..Default::default()
+        });
+        // 100k half-open spans (no completions): the window must not grow.
+        let entity = register_entity("online-bound");
+        let cp = Callpath::root("bound_rpc");
+        for i in 0..100_000u64 {
+            a.ingest(&[TraceEvent {
+                request_id: i,
+                order: 0,
+                span: i + 1,
+                parent_span: 0,
+                hop: 1,
+                lamport: 0,
+                wall_ns: i,
+                kind: TraceEventKind::OriginForward,
+                entity,
+                callpath: cp,
+                samples: EventSamples::default(),
+            }]);
+        }
+        assert!(a.open_spans() <= 64);
+        assert_eq!(a.events_ingested(), 100_000);
+    }
+
+    #[test]
+    fn snapshot_observation_counts_anomalies() {
+        use crate::telemetry::SnapshotPoint;
+        let mut a = OnlineAnalyzer::new(OnlineConfig {
+            detectors: DetectorConfig {
+                consecutive: 1,
+                backlog_runnable: 2.0,
+                ewma_alpha: 1.0,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let snap = MetricSnapshot {
+            seq: 0,
+            wall_ns: 0,
+            entity: None,
+            points: vec![SnapshotPoint {
+                point: MetricPoint::gauge("symbi_pool_runnable_ults", 50.0)
+                    .with_label("pool", "primary"),
+                delta: None,
+            }],
+        };
+        let fired = a.observe_snapshot(&snap);
+        assert_eq!(fired.len(), 1);
+        let mut points = Vec::new();
+        a.collect(&mut points);
+        assert!(points
+            .iter()
+            .any(|p| p.name == "symbi_online_anomalies_total"));
+    }
+}

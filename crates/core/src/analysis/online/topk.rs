@@ -1,0 +1,145 @@
+//! Space-Saving top-K heavy hitters (Metwally et al.), keyed by callpath.
+//!
+//! Tracks the K heaviest keys by cumulative weight in O(K) memory. When a
+//! new key arrives at capacity it replaces the current minimum and
+//! inherits its weight as the entry's error bound, so `weight - error` is
+//! a guaranteed lower bound on the key's true weight — the classic
+//! Space-Saving guarantee. The online analyzer uses it with
+//! weight = request latency, so "heavy" means "slow in aggregate", the
+//! Figure 6 dominant-callpath question answered online.
+
+use std::collections::HashMap;
+
+/// One tracked heavy hitter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TopEntry {
+    /// The tracked key (a callpath ancestry hash).
+    pub key: u64,
+    /// Cumulative weight attributed to the key (may overcount by `error`).
+    pub weight: u64,
+    /// Maximum possible overcount inherited at replacement time.
+    pub error: u64,
+}
+
+/// A Space-Saving summary over `u64` keys.
+#[derive(Debug)]
+pub struct SpaceSaving {
+    capacity: usize,
+    entries: Vec<TopEntry>,
+    index: HashMap<u64, usize>,
+}
+
+impl SpaceSaving {
+    /// New summary tracking at most `capacity` keys (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpaceSaving {
+            capacity,
+            entries: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Attribute `weight` to `key`, evicting the minimum entry if the
+    /// summary is full and the key is new.
+    pub fn offer(&mut self, key: u64, weight: u64) {
+        if let Some(&i) = self.index.get(&key) {
+            self.entries[i].weight = self.entries[i].weight.saturating_add(weight);
+            return;
+        }
+        if self.entries.len() < self.capacity {
+            self.index.insert(key, self.entries.len());
+            self.entries.push(TopEntry {
+                key,
+                weight,
+                error: 0,
+            });
+            return;
+        }
+        // Replace the minimum-weight entry; its weight becomes the error
+        // bound of the newcomer (capacity is small, a scan is fine).
+        let (min_i, _) = self
+            .entries
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.weight)
+            .expect("capacity >= 1");
+        let evicted = self.entries[min_i];
+        self.index.remove(&evicted.key);
+        self.index.insert(key, min_i);
+        self.entries[min_i] = TopEntry {
+            key,
+            weight: evicted.weight.saturating_add(weight),
+            error: evicted.weight,
+        };
+    }
+
+    /// Tracked entries, heaviest first.
+    pub fn top(&self) -> Vec<TopEntry> {
+        let mut out = self.entries.clone();
+        out.sort_by(|a, b| b.weight.cmp(&a.weight).then(a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Number of tracked keys (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the summary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configured capacity (the memory bound).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_heavy_hitters_exactly_under_capacity() {
+        let mut s = SpaceSaving::new(4);
+        s.offer(1, 10);
+        s.offer(2, 5);
+        s.offer(1, 10);
+        let top = s.top();
+        assert_eq!(top[0], {
+            TopEntry {
+                key: 1,
+                weight: 20,
+                error: 0,
+            }
+        });
+        assert_eq!(top[1].key, 2);
+    }
+
+    #[test]
+    fn eviction_keeps_true_heavy_hitters() {
+        let mut s = SpaceSaving::new(2);
+        // Key 100 is genuinely heavy; keys 1..=20 are one-shot noise.
+        for round in 0..50 {
+            s.offer(100, 1_000);
+            s.offer(1 + (round % 20), 1);
+        }
+        let top = s.top();
+        assert_eq!(top[0].key, 100);
+        assert!(top[0].weight - top[0].error >= 50 * 1_000);
+        assert_eq!(s.len(), 2, "memory stays at capacity");
+    }
+
+    #[test]
+    fn error_bound_is_previous_minimum() {
+        let mut s = SpaceSaving::new(1);
+        s.offer(7, 5);
+        s.offer(8, 3);
+        let top = s.top();
+        assert_eq!(top[0].key, 8);
+        assert_eq!(top[0].weight, 8);
+        assert_eq!(top[0].error, 5);
+    }
+}

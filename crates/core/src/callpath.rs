@@ -33,7 +33,7 @@ fn fold16(h: u64) -> u16 {
     }
 }
 
-/// Hash an RPC name into a 16-bit frame value (see [`fold16`] for the
+/// Hash an RPC name into a 16-bit frame value (see `fold16` for the
 /// zero-reservation rule).
 pub fn hash16(name: &str) -> u16 {
     fold16(symbi_mercury::hash_rpc_name(name))

@@ -6,6 +6,7 @@
 //! histogram floats use Rust's shortest-roundtrip `Display`.
 
 use super::{HistogramValue, MetricPoint, MetricSnapshot, MetricValue, SnapshotPoint};
+use crate::analysis::online::ActionRecord;
 use crate::callpath::{register_name, resolve_name};
 use crate::entity::{entity_name, register_entity, EntityId};
 use crate::trace::{EventSamples, TraceEvent, TraceEventKind};
@@ -251,6 +252,75 @@ impl TraceEventDecoder {
             samples: samples_from_json(v.get("samples"))?,
         })
     }
+}
+
+// ----------------------------------------------------------------------
+// Control-action records
+// ----------------------------------------------------------------------
+
+/// Encode one control action as a single JSON line tagged
+/// `"kind":"action"`, sharing the flight ring with snapshots and trace
+/// records. Member order is fixed and every numeric field is a `u64`
+/// integer token, so encode→decode→encode is byte-identical (the same
+/// contract the trace codec keeps).
+pub fn action_to_json(a: &ActionRecord) -> String {
+    let mut out = String::with_capacity(192);
+    let _ = write!(
+        out,
+        "{{\"kind\":\"action\",\"seq\":{},\"wall_ns\":{}",
+        a.seq, a.wall_ns
+    );
+    out.push_str(",\"entity\":");
+    push_str(&mut out, &a.entity);
+    out.push_str(",\"detector\":");
+    push_str(&mut out, &a.detector);
+    out.push_str(",\"subject\":");
+    push_str(&mut out, &a.subject);
+    out.push_str(",\"action\":");
+    push_str(&mut out, &a.action);
+    let _ = write!(
+        out,
+        ",\"from\":{},\"to\":{},\"value\":{},\"threshold\":{}}}",
+        a.from, a.to, a.value, a.threshold
+    );
+    out
+}
+
+/// Cheap pre-filter: whether a JSON line is a control-action record.
+/// [`action_from_json`] still validates fully.
+pub fn is_action_line(line: &str) -> bool {
+    line.contains("\"kind\":\"action\"")
+}
+
+/// Decode one `"kind":"action"` record line.
+pub fn action_from_json(line: &str) -> Result<ActionRecord, String> {
+    let v = parse_json(line)?;
+    if v.get("kind").and_then(JsonValue::as_str) != Some("action") {
+        return Err("not an action record".into());
+    }
+    let u = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("action missing {key}"))
+    };
+    let s = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("action missing {key}"))
+    };
+    Ok(ActionRecord {
+        seq: u("seq")?,
+        wall_ns: u("wall_ns")?,
+        entity: s("entity")?,
+        detector: s("detector")?,
+        subject: s("subject")?,
+        action: s("action")?,
+        from: u("from")?,
+        to: u("to")?,
+        value: u("value")?,
+        threshold: u("threshold")?,
+    })
 }
 
 // ----------------------------------------------------------------------
@@ -866,5 +936,47 @@ mod tests {
         assert!(TraceEventDecoder::is_trace_line(&trace_event_to_json(
             &full_trace_event()
         )));
+    }
+
+    fn full_action_record() -> ActionRecord {
+        ActionRecord {
+            seq: 7,
+            wall_ns: u64::MAX,
+            entity: "svc-\"quoted\"\\name".to_string(),
+            detector: "pool_backlog".to_string(),
+            subject: "primary".to_string(),
+            action: "resize_lanes".to_string(),
+            from: 2,
+            to: 8,
+            value: 37,
+            threshold: 16,
+        }
+    }
+
+    #[test]
+    fn action_record_round_trips_byte_identically() {
+        let a = full_action_record();
+        let line = action_to_json(&a);
+        assert!(is_action_line(&line));
+        let back = action_from_json(&line).expect("decodes");
+        assert_eq!(back, a);
+        // encode → decode → encode must be byte-identical.
+        assert_eq!(action_to_json(&back), line);
+    }
+
+    #[test]
+    fn action_lines_are_distinct_from_other_record_kinds() {
+        let line = action_to_json(&full_action_record());
+        assert!(!TraceEventDecoder::is_trace_line(&line));
+        assert!(snapshot_from_json(&line).is_err(), "not a snapshot");
+        assert!(!is_action_line(&snapshot_to_json(&sample_snapshot())));
+        assert!(!is_action_line(&trace_event_to_json(&full_trace_event())));
+    }
+
+    #[test]
+    fn action_decode_rejects_malformed_lines() {
+        assert!(action_from_json("not json").is_err());
+        assert!(action_from_json("{\"kind\":\"trace\"}").is_err());
+        assert!(action_from_json("{\"kind\":\"action\",\"seq\":1}").is_err());
     }
 }

@@ -74,9 +74,78 @@ fn format_value(v: f64) -> String {
     }
 }
 
-/// A short human-readable HELP string for a family, derived from its name.
+/// Curated HELP strings for the families whose meaning a scrape cannot
+/// guess from the name alone — the online streaming analyzer and the
+/// adaptive control loop. Everything else falls back to a name-derived
+/// string, so new families are never silently HELP-less.
+fn curated_help(name: &str) -> Option<&'static str> {
+    Some(match name {
+        // In-situ streaming analysis (symbi_core::analysis::online).
+        "symbi_online_events_ingested_total" => {
+            "Trace events reduced in-situ by the online streaming analyzer."
+        }
+        "symbi_online_open_spans" => "Spans currently held open in the bounded attribution window.",
+        "symbi_online_open_span_capacity" => {
+            "Configured open-span window capacity (the online memory bound)."
+        }
+        "symbi_online_spans_completed_total" => {
+            "Spans folded into per-hop aggregates with all four timeline points."
+        }
+        "symbi_online_spans_evicted_total" => {
+            "Spans force-flushed from the window before completing."
+        }
+        "symbi_online_spans_unlinked_total" => {
+            "Trace events without a span id that could not be correlated."
+        }
+        "symbi_online_hop_requests_total" => "Completed spans per hop class.",
+        "symbi_online_hop_queue_ns_total" => {
+            "Summed handler-pool queue wait per hop class (t4->t5), ns."
+        }
+        "symbi_online_hop_busy_ns_total" => "Summed target busy time per hop class (t5->t8), ns.",
+        "symbi_online_hop_network_ns_total" => {
+            "Summed network and delivery time per hop class, ns."
+        }
+        "symbi_online_hop_total_ns_total" => "Summed full hop latency per hop class (t1->t14), ns.",
+        "symbi_online_latency_ns" => {
+            "Per-hop-class hop latency, log-bucketed streaming histogram (ns)."
+        }
+        "symbi_online_latency_quantile_ns" => {
+            "Estimated per-hop-class latency quantile from the streaming histogram, ns."
+        }
+        "symbi_online_topk_weight_ns" => {
+            "Space-Saving top-K slow callpaths: cumulative attributed latency, ns."
+        }
+        "symbi_online_anomalies_total" => "Anomaly detector firings, per detector.",
+        // The adaptive control loop (symbi_margo::control).
+        "symbi_margo_control_actions_total" => {
+            "Control-loop reactions applied at runtime, per action kind."
+        }
+        "symbi_margo_shed_active" => {
+            "1 while the admission gate is shedding load (rejecting with Overloaded)."
+        }
+        "symbi_margo_shed_rejected_total" => {
+            "Requests rejected at admission while the shed gate was closed."
+        }
+        "symbi_margo_execution_streams" => {
+            "Execution streams currently owned by the instance (baseline + grown)."
+        }
+        "symbi_margo_pipeline_windows" => "Per-destination pipeline gates currently open.",
+        "symbi_margo_pipeline_depth" => "Summed in-flight window depth across pipeline gates.",
+        "symbi_margo_pipeline_inflight" => "RPCs currently in flight across pipeline gates.",
+        "symbi_margo_pipeline_queued" => {
+            "RPCs parked behind full pipeline windows, awaiting a slot."
+        }
+        _ => return None,
+    })
+}
+
+/// A short human-readable HELP string for a family: curated where we
+/// have one, derived from the name otherwise.
 fn help_for(name: &str) -> String {
-    format!("{} (symbiosys telemetry)", name.replace('_', " "))
+    match curated_help(name) {
+        Some(help) => help.to_string(),
+        None => format!("{} (symbiosys telemetry)", name.replace('_', " ")),
+    }
 }
 
 /// Render one snapshot in Prometheus text exposition format 0.0.4.
@@ -319,6 +388,40 @@ mod tests {
         assert!(text.contains("symbi_lat_bucket{le=\"+Inf\"} 4\n"));
         assert!(text.contains("symbi_lat_sum 104.2\n"));
         assert!(text.contains("symbi_lat_count 4\n"));
+    }
+
+    #[test]
+    fn curated_help_covers_online_and_control_families() {
+        // Online streaming families get a real explanation, including the
+        // histogram family whose buckets the 0.0.4 renderer expands.
+        let mut h = HistogramValue::new(&[1000.0, 1_000_000.0]);
+        h.observe(500.0);
+        let text = render(&snap(vec![
+            plain(MetricPoint::histogram("symbi_online_latency_ns", h).with_label("hop", "1")),
+            plain(
+                MetricPoint::counter("symbi_margo_control_actions_total", 2)
+                    .with_label("action", "resize_lanes"),
+            ),
+            plain(MetricPoint::gauge("symbi_unheard_of", 1.0)),
+        ]));
+        assert!(
+            text.contains(
+                "# HELP symbi_online_latency_ns Per-hop-class hop latency, \
+                 log-bucketed streaming histogram (ns).\n"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE symbi_online_latency_ns histogram\n"));
+        assert!(text.contains("symbi_online_latency_ns_bucket{hop=\"1\",le=\"1000\"} 1\n"));
+        assert!(text.contains(
+            "# HELP symbi_margo_control_actions_total Control-loop reactions \
+             applied at runtime, per action kind.\n"
+        ));
+        // Unknown families keep the derived fallback.
+        assert!(text.contains("# HELP symbi_unheard_of symbi unheard of (symbiosys telemetry)\n"));
+        // Every curated name stays in sync with what the code emits: the
+        // table is keyed by exact family names, so a rename that misses
+        // the table falls back to the derived string (caught above).
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //! more than `max_files` exist — so disk usage is bounded by roughly
 //! `max_files * max_file_bytes` regardless of how long the service runs.
 
-use super::jsonl::{snapshot_from_json, snapshot_to_json, trace_event_to_json, TraceEventDecoder};
+use super::jsonl::{
+    action_from_json, action_to_json, is_action_line, snapshot_from_json, snapshot_to_json,
+    trace_event_to_json, TraceEventDecoder,
+};
 use super::MetricSnapshot;
+use crate::analysis::online::ActionRecord;
 use crate::trace::TraceEvent;
 use parking_lot::Mutex;
 use std::fs::{File, OpenOptions};
@@ -144,6 +148,21 @@ impl FlightRecorder {
         self.rotate_if_needed(&mut state)
     }
 
+    /// Append control-action records as `"kind":"action"` JSON lines.
+    /// Like trace lines they count toward rotation and are skipped by
+    /// [`replay`]; [`replay_actions`] reads them back.
+    pub fn append_actions(&self, actions: &[ActionRecord]) -> std::io::Result<()> {
+        if actions.is_empty() {
+            return Ok(());
+        }
+        let mut state = self.state.lock();
+        for a in actions {
+            let line = action_to_json(a);
+            self.write_line(&mut state, &line)?;
+        }
+        self.rotate_if_needed(&mut state)
+    }
+
     fn write_line(&self, state: &mut RecorderState, line: &str) -> std::io::Result<()> {
         state.writer.write_all(line.as_bytes())?;
         state.writer.write_all(b"\n")?;
@@ -221,7 +240,10 @@ pub fn replay(dir: &Path) -> std::io::Result<Vec<MetricSnapshot>> {
             Err(e) => return Err(e),
         };
         for line in content.lines() {
-            if line.trim().is_empty() || TraceEventDecoder::is_trace_line(line) {
+            if line.trim().is_empty()
+                || TraceEventDecoder::is_trace_line(line)
+                || is_action_line(line)
+            {
                 continue;
             }
             if let Ok(snap) = snapshot_from_json(line) {
@@ -263,6 +285,36 @@ pub fn replay_events_with(
 /// convenience form.
 pub fn replay_events(dir: &Path) -> std::io::Result<Vec<TraceEvent>> {
     replay_events_with(dir, &mut TraceEventDecoder::new())
+}
+
+/// Read every control-action record still on disk in `dir`, oldest file
+/// first, appending into `out` so multiple ring directories merge into
+/// one list. Snapshot/trace lines and torn lines are skipped.
+pub fn replay_actions_with(dir: &Path, out: &mut Vec<ActionRecord>) -> std::io::Result<()> {
+    for idx in scan_indices(dir)? {
+        let content = match std::fs::read_to_string(file_path(dir, idx)) {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for line in content.lines() {
+            if !is_action_line(line) {
+                continue;
+            }
+            if let Ok(a) = action_from_json(line) {
+                out.push(a);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// [`replay_actions_with`] into a fresh vector — the single-directory
+/// convenience form.
+pub fn replay_actions(dir: &Path) -> std::io::Result<Vec<ActionRecord>> {
+    let mut out = Vec::new();
+    replay_actions_with(dir, &mut out)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -439,6 +491,37 @@ mod tests {
         assert!(!events.is_empty());
         assert_eq!(events.last().unwrap().request_id, 199);
         assert!(events[0].request_id > 0, "oldest file reclaimed");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn action_records_share_the_ring_and_replay() {
+        let dir = temp_dir("actions");
+        let rec = FlightRecorder::open(FlightRecorderConfig::new(&dir)).unwrap();
+        let action = |seq: u64| ActionRecord {
+            seq,
+            wall_ns: 10_000 + seq,
+            entity: "rec-svc".into(),
+            detector: "pool_backlog".into(),
+            subject: "rpc".into(),
+            action: "resize_lanes".into(),
+            from: 1,
+            to: 2,
+            value: 40,
+            threshold: 16,
+        };
+        rec.append(&snap(0)).unwrap();
+        rec.append_actions(&[action(1), action(2)]).unwrap();
+        rec.append(&snap(1)).unwrap();
+        rec.flush().unwrap();
+
+        // Each replay mode sees only its own record kind.
+        assert_eq!(replay(&dir).unwrap().len(), 2);
+        assert!(replay_events(&dir).unwrap().is_empty());
+        let actions = replay_actions(&dir).unwrap();
+        assert_eq!(actions.len(), 2);
+        assert_eq!(actions[0], action(1));
+        assert_eq!(actions[1], action(2));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -5,6 +5,7 @@
 //! *OFI_max_events* column, and `dedicated_progress_stream` the *Client
 //! Progress Thread?* column.
 
+use crate::control::ControlPolicy;
 use std::time::Duration;
 use symbi_core::telemetry::recorder::FlightRecorderConfig;
 use symbi_core::Stage;
@@ -22,7 +23,9 @@ pub enum Mode {
 
 /// Live-telemetry settings for one instance. Everything defaults to
 /// *off*: an unconfigured instance pays no monitoring cost at all.
-#[derive(Debug, Clone, Default)]
+/// (`online` defaults to *on* but only takes effect once a monitor
+/// period is configured, so the default stays zero-cost.)
+#[derive(Debug, Clone)]
 pub struct TelemetryOptions {
     /// Period of the background monitoring ULT that samples the unified
     /// metric registry. `None` (default) runs no monitor; the Prometheus
@@ -43,6 +46,26 @@ pub struct TelemetryOptions {
     /// post-mortem stitching sees only events recorded after the last
     /// sample. No effect without `flight_recorder`.
     pub record_traces: bool,
+    /// Run the in-situ streaming analyzer
+    /// ([`symbi_core::analysis::OnlineAnalyzer`]) inside the monitor ULT:
+    /// trace events drained on each sample are reduced into sliding-window
+    /// critical-path attribution, top-K slow callpaths, and streaming
+    /// latency quantiles, all exported as `symbi_online_*` metrics, and
+    /// each snapshot passes through the anomaly detector bank. Defaults
+    /// to `true`, but only runs once `sample_period` is set.
+    pub online: bool,
+}
+
+impl Default for TelemetryOptions {
+    fn default() -> Self {
+        TelemetryOptions {
+            sample_period: None,
+            prometheus_port: None,
+            flight_recorder: None,
+            record_traces: false,
+            online: true,
+        }
+    }
 }
 
 impl TelemetryOptions {
@@ -83,6 +106,10 @@ pub struct MargoConfig {
     pub rpc_timeout: Duration,
     /// Live-telemetry plane settings (default: everything off).
     pub telemetry: TelemetryOptions,
+    /// Adaptive control loop driven by the online analyzer's anomalies
+    /// (default: off). Requires `telemetry.sample_period` — decisions are
+    /// made by the monitor ULT right after each sample.
+    pub control: Option<ControlPolicy>,
 }
 
 impl MargoConfig {
@@ -100,6 +127,7 @@ impl MargoConfig {
             progress_timeout: Duration::from_micros(200),
             rpc_timeout: Duration::from_secs(60),
             telemetry: TelemetryOptions::default(),
+            control: None,
         }
     }
 
@@ -116,6 +144,7 @@ impl MargoConfig {
             progress_timeout: Duration::from_micros(200),
             rpc_timeout: Duration::from_secs(60),
             telemetry: TelemetryOptions::default(),
+            control: None,
         }
     }
 
@@ -191,6 +220,24 @@ impl MargoConfig {
         self
     }
 
+    /// Enable/disable the in-situ streaming analyzer (on by default; only
+    /// runs once a telemetry sample period is configured).
+    #[must_use]
+    pub fn with_online_analysis(mut self, on: bool) -> Self {
+        self.telemetry.online = on;
+        self
+    }
+
+    /// Attach the adaptive control loop: anomalies detected by the online
+    /// analyzer trigger pool-lane resizing, pipeline-window shrinking, and
+    /// admission-gate load shedding per `policy`. Implies online analysis.
+    #[must_use]
+    pub fn with_control_policy(mut self, policy: ControlPolicy) -> Self {
+        self.telemetry.online = true;
+        self.control = Some(policy);
+        self
+    }
+
     pub(crate) fn hg_config(&self) -> HgConfig {
         HgConfig {
             eager_size: self.eager_size,
@@ -245,5 +292,19 @@ mod tests {
     fn ofi_max_events_floor_is_one() {
         let c = MargoConfig::client("c").with_ofi_max_events(0);
         assert_eq!(c.ofi_max_events, 1);
+    }
+
+    #[test]
+    fn online_defaults_on_but_control_off() {
+        let c = MargoConfig::server("s", 2);
+        assert!(c.telemetry.online);
+        assert!(c.control.is_none());
+        let c = c.with_online_analysis(false);
+        assert!(!c.telemetry.online);
+        // Attaching a control policy re-enables online analysis: the loop
+        // cannot act without its detector input.
+        let c = c.with_control_policy(ControlPolicy::default());
+        assert!(c.telemetry.online);
+        assert!(c.control.is_some());
     }
 }

@@ -1,0 +1,251 @@
+//! The adaptive control loop: anomaly → reaction.
+//!
+//! The online analyzer (`symbi_core::analysis::online`) detects progress
+//! starvation, pool backlog, and pipeline-window saturation from the live
+//! telemetry stream; this module closes the loop by *acting* on those
+//! anomalies inside the monitor ULT:
+//!
+//! * `pool_backlog` → double the backlogged pool's stripe count (up to a
+//!   cap) and add a handler execution stream (up to a cap) — the runtime
+//!   analogue of the Table IV *Threads (ESs)* tuning the paper applies by
+//!   hand,
+//! * `pipeline_saturation` → halve every active pipeline window (down to
+//!   a floor), easing pressure on the send queue,
+//! * persistent starvation → switch on the admission gate, rejecting new
+//!   requests with [`symbi_mercury::RpcStatus::Overloaded`] before any
+//!   handler runs,
+//! * a calm streak (samples with no anomalies) reverses the reversible
+//!   reactions: the shed gate reopens and pipeline windows restore.
+//!
+//! Every applied reaction is emitted as an
+//! [`symbi_core::analysis::ActionRecord`]: persisted to the flight ring
+//! as a `"kind":"action"` line and rendered by `symbi-analyze` into the
+//! Chrome export, so detection→reaction is visible on the request
+//! timeline itself.
+
+use std::collections::HashMap;
+use std::time::Duration;
+use symbi_core::analysis::online::Anomaly;
+use symbi_core::analysis::ActionRecord;
+
+/// Tuning of the adaptive control loop. Attach with
+/// [`crate::MargoConfig::with_control_policy`]; requires a telemetry
+/// sample period (the loop runs from the monitor ULT).
+#[derive(Debug, Clone)]
+pub struct ControlPolicy {
+    /// Minimum time between two applications of the same action on the
+    /// same subject, so one sustained excursion produces one reaction,
+    /// not one per sample.
+    pub cooldown: Duration,
+    /// Upper bound for lane doubling.
+    pub max_lanes: usize,
+    /// Upper bound on handler execution streams the `grow_streams`
+    /// reaction may reach (counting the configured baseline). The runtime
+    /// analogue of the Table IV *Threads (ESs)* knob.
+    pub max_streams: usize,
+    /// Lower bound for pipeline-window halving.
+    pub min_pipeline_depth: usize,
+    /// React to pool anomalies by widening the pool's lane stripes.
+    pub resize_lanes: bool,
+    /// React to pipeline saturation by shrinking in-flight windows.
+    pub adjust_pipeline: bool,
+    /// React to progress starvation by shedding load at admission.
+    pub shed: bool,
+    /// Consecutive anomaly-free samples before reversible actions
+    /// (shedding, window shrink) are undone.
+    pub calm_samples: u32,
+}
+
+impl Default for ControlPolicy {
+    fn default() -> Self {
+        ControlPolicy {
+            cooldown: Duration::from_millis(100),
+            max_lanes: 64,
+            max_streams: 8,
+            min_pipeline_depth: 2,
+            resize_lanes: true,
+            adjust_pipeline: true,
+            shed: true,
+            calm_samples: 3,
+        }
+    }
+}
+
+impl ControlPolicy {
+    /// Override the per-(action, subject) cooldown.
+    #[must_use]
+    pub fn with_cooldown(mut self, cooldown: Duration) -> Self {
+        self.cooldown = cooldown;
+        self
+    }
+
+    /// Cap lane growth.
+    #[must_use]
+    pub fn with_max_lanes(mut self, max: usize) -> Self {
+        self.max_lanes = max.max(1);
+        self
+    }
+
+    /// Floor for pipeline-window shrinking.
+    #[must_use]
+    pub fn with_min_pipeline_depth(mut self, min: usize) -> Self {
+        self.min_pipeline_depth = min.max(1);
+        self
+    }
+
+    /// Cap execution-stream growth (counting the configured baseline).
+    #[must_use]
+    pub fn with_max_streams(mut self, max: usize) -> Self {
+        self.max_streams = max.max(1);
+        self
+    }
+
+    /// Enable/disable the load-shedding reaction.
+    #[must_use]
+    pub fn with_shedding(mut self, on: bool) -> Self {
+        self.shed = on;
+        self
+    }
+
+    /// Samples without anomalies before reversible reactions undo.
+    #[must_use]
+    pub fn with_calm_samples(mut self, n: u32) -> Self {
+        self.calm_samples = n.max(1);
+        self
+    }
+}
+
+/// Cooldown/sequence bookkeeping of one instance's control loop. The
+/// *application* of decisions (resizing actual pools, setting gate
+/// depths) lives in the instance; this struct owns everything that is
+/// pure state so it can be tested without a runtime.
+pub(crate) struct ControlEngine {
+    pub(crate) policy: ControlPolicy,
+    seq: u64,
+    /// wall_ns of the last application, keyed by (action, subject).
+    last_applied: HashMap<(String, String), u64>,
+    /// Consecutive anomaly-free observations.
+    pub(crate) calm_streak: u32,
+    /// Per-action-kind applied counts, exported as
+    /// `symbi_margo_control_actions_total{action}`.
+    pub(crate) actions_total: HashMap<&'static str, u64>,
+}
+
+impl ControlEngine {
+    pub(crate) fn new(policy: ControlPolicy) -> Self {
+        ControlEngine {
+            policy,
+            seq: 0,
+            last_applied: HashMap::new(),
+            calm_streak: 0,
+            actions_total: HashMap::new(),
+        }
+    }
+
+    /// Track the calm streak: returns `true` once `calm_samples`
+    /// consecutive anomaly-free observations have accumulated (and resets
+    /// the streak so the reversal fires once per calm period).
+    pub(crate) fn observe_calm(&mut self, anomalies_empty: bool) -> bool {
+        if anomalies_empty {
+            self.calm_streak += 1;
+            if self.calm_streak >= self.policy.calm_samples {
+                self.calm_streak = 0;
+                return true;
+            }
+        } else {
+            self.calm_streak = 0;
+        }
+        false
+    }
+
+    /// Whether `(action, subject)` is still cooling down at `wall_ns`.
+    pub(crate) fn cooling_down(&self, action: &str, subject: &str, wall_ns: u64) -> bool {
+        self.last_applied
+            .get(&(action.to_string(), subject.to_string()))
+            .is_some_and(|&last| {
+                wall_ns.saturating_sub(last) < self.policy.cooldown.as_nanos() as u64
+            })
+    }
+
+    /// Stamp one applied action: advances the sequence, records the
+    /// cooldown, bumps the per-kind counter, and builds the record.
+    pub(crate) fn applied(
+        &mut self,
+        wall_ns: u64,
+        entity: &str,
+        anomaly: &Anomaly,
+        action: &'static str,
+        from: u64,
+        to: u64,
+    ) -> ActionRecord {
+        self.seq += 1;
+        self.last_applied
+            .insert((action.to_string(), anomaly.subject.clone()), wall_ns);
+        *self.actions_total.entry(action).or_insert(0) += 1;
+        ActionRecord {
+            seq: self.seq,
+            wall_ns,
+            entity: entity.to_string(),
+            detector: anomaly.detector.to_string(),
+            subject: anomaly.subject.clone(),
+            action: action.to_string(),
+            from,
+            to,
+            value: anomaly.value,
+            threshold: anomaly.threshold,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn anomaly() -> Anomaly {
+        Anomaly {
+            detector: "pool_backlog",
+            subject: "svc-handlers".into(),
+            value: 40,
+            threshold: 16,
+        }
+    }
+
+    #[test]
+    fn cooldown_suppresses_repeat_actions() {
+        let mut e =
+            ControlEngine::new(ControlPolicy::default().with_cooldown(Duration::from_millis(100)));
+        let a = anomaly();
+        assert!(!e.cooling_down("resize_lanes", &a.subject, 1_000));
+        let rec = e.applied(1_000, "svc", &a, "resize_lanes", 4, 8);
+        assert_eq!(rec.seq, 1);
+        assert_eq!(rec.action, "resize_lanes");
+        assert!(e.cooling_down("resize_lanes", &a.subject, 50_000_000));
+        assert!(!e.cooling_down("resize_lanes", &a.subject, 200_000_000));
+        // A different subject is never blocked by this one's cooldown.
+        assert!(!e.cooling_down("resize_lanes", "other-pool", 50_000_000));
+        assert_eq!(e.actions_total["resize_lanes"], 1);
+    }
+
+    #[test]
+    fn calm_streak_fires_once_per_quiet_period() {
+        let mut e = ControlEngine::new(ControlPolicy::default().with_calm_samples(2));
+        assert!(!e.observe_calm(true));
+        assert!(e.observe_calm(true), "second calm sample crosses");
+        assert!(!e.observe_calm(true), "streak reset after firing");
+        assert!(!e.observe_calm(false), "anomaly resets");
+        assert!(!e.observe_calm(true));
+        assert!(e.observe_calm(true));
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotonic() {
+        let mut e = ControlEngine::new(ControlPolicy::default());
+        let a = anomaly();
+        let r1 = e.applied(10, "svc", &a, "shed_on", 0, 1);
+        let r2 = e.applied(20, "svc", &a, "shed_off", 1, 0);
+        assert_eq!(r1.seq, 1);
+        assert_eq!(r2.seq, 2);
+        assert_eq!(e.actions_total["shed_on"], 1);
+        assert_eq!(e.actions_total["shed_off"], 1);
+    }
+}

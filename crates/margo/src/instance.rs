@@ -4,17 +4,20 @@
 
 use crate::bridge::PvarBridge;
 use crate::config::{MargoConfig, Mode};
+use crate::control::ControlEngine;
 use crate::keys;
 use crate::options::RpcOptions;
-use crate::telemetry::TelemetryPlane;
+use crate::telemetry::{SampleOutcome, TelemetryPlane};
 use crate::timer;
 use crate::MargoError;
 use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
+use symbi_core::analysis::online::Anomaly;
+use symbi_core::telemetry::MetricPoint;
 use symbi_core::{
     now_ns, Callpath, EntityId, EventSamples, Interval, Side, Symbiosys, SysStats, TraceEvent,
     TraceEventKind, UNKNOWN_ENTITY,
@@ -61,7 +64,12 @@ pub struct AsyncRpc {
 /// completer's context* (the progress ES) — so the window refills the
 /// moment a response is triggered, without any ULT sleeping on a slot.
 pub(crate) struct PipelineGate {
-    depth: usize,
+    /// The *current* window depth. The adaptive control loop shrinks it
+    /// under pipeline saturation and restores it when the excursion
+    /// clears; `configured` remembers the depth the caller asked for.
+    depth: AtomicUsize,
+    /// The depth the call site requested (the gate-map key).
+    configured: usize,
     state: Mutex<GateState>,
 }
 
@@ -82,8 +90,10 @@ struct GateState {
 
 impl PipelineGate {
     fn new(depth: usize) -> Self {
+        let depth = depth.max(1);
         PipelineGate {
-            depth: depth.max(1),
+            depth: AtomicUsize::new(depth),
+            configured: depth,
             state: Mutex::new(GateState {
                 inflight: 0,
                 queued: VecDeque::new(),
@@ -93,11 +103,56 @@ impl PipelineGate {
         }
     }
 
+    /// The current (possibly control-adjusted) window depth.
+    fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// The depth the call site originally requested.
+    fn configured(&self) -> usize {
+        self.configured
+    }
+
+    /// In-flight slots currently held.
+    fn inflight(&self) -> usize {
+        self.state.lock().inflight
+    }
+
+    /// Issue jobs parked waiting for a slot.
+    fn queued(&self) -> usize {
+        self.state.lock().queued.len()
+    }
+
+    /// Adjust the window depth at runtime. Growing dispatches parked jobs
+    /// into the new headroom immediately; shrinking takes effect lazily —
+    /// in-flight calls are never interrupted, the window just refuses to
+    /// refill until completions bring it under the new depth.
+    fn set_depth(&self, depth: usize) {
+        let depth = depth.max(1);
+        self.depth.store(depth, Ordering::Relaxed);
+        loop {
+            let next = {
+                let mut s = self.state.lock();
+                if s.inflight >= depth {
+                    return;
+                }
+                match s.queued.pop_front() {
+                    Some((parked_at, job)) => {
+                        s.inflight += 1;
+                        (parked_at.elapsed(), job)
+                    }
+                    None => return,
+                }
+            };
+            next.1(next.0);
+        }
+    }
+
     /// Run `job` now if a window slot is free, else park it. The job
     /// receives the time it spent parked (zero when it ran immediately).
     fn acquire_or_queue(&self, job: Box<dyn FnOnce(Duration) + Send>) {
         let mut s = self.state.lock();
-        if s.inflight < self.depth {
+        if s.inflight < self.depth.load(Ordering::Relaxed) {
             s.inflight += 1;
             drop(s);
             job(Duration::ZERO);
@@ -129,11 +184,18 @@ impl PipelineGate {
                     return;
                 }
                 s.pending_releases -= 1;
-                match s.queued.pop_front() {
-                    Some((parked_at, job)) => Some((parked_at.elapsed(), job)),
-                    None => {
-                        s.inflight = s.inflight.saturating_sub(1);
-                        None
+                // A shrunken window gives the slot back instead of handing
+                // it on, until in-flight fits under the new depth.
+                if s.inflight > self.depth.load(Ordering::Relaxed) {
+                    s.inflight -= 1;
+                    None
+                } else {
+                    match s.queued.pop_front() {
+                        Some((parked_at, job)) => Some((parked_at.elapsed(), job)),
+                        None => {
+                            s.inflight = s.inflight.saturating_sub(1);
+                            None
+                        }
                     }
                 }
             };
@@ -297,6 +359,14 @@ pub(crate) struct Inner {
     /// call that names that window — concurrent batches toward the same
     /// destination share one in-flight budget.
     gates: Mutex<HashMap<(u64, usize), Arc<PipelineGate>>>,
+    /// Admission gate of the adaptive control loop: while set, incoming
+    /// requests are rejected with [`RpcStatus::Overloaded`] on the
+    /// progress ES, before any handler ULT is spawned.
+    shed: AtomicBool,
+    /// Requests rejected by the admission gate.
+    shed_rejected: AtomicU64,
+    /// The adaptive control engine (`None` without a policy).
+    control: Option<Mutex<ControlEngine>>,
 }
 
 /// A Margo instance. Cloning shares the instance.
@@ -378,34 +448,10 @@ impl MargoInstance {
             monitored,
         ));
 
-        if let Some(period) = config.telemetry.sample_period {
-            // The monitor runs on its own pool + ES so its periodic sleep
-            // never occupies a handler or progress stream.
-            let monitor_pool = Pool::new(format!("{}-monitor", config.name));
-            streams.push(ExecutionStream::spawn(
-                format!("{}-monitor", config.name),
-                std::slice::from_ref(&monitor_pool),
-            ));
-            let plane = telemetry.clone();
-            let stop = shutdown.clone();
-            monitor_pool.spawn(move || loop {
-                if stop.load(Ordering::Acquire) {
-                    return;
-                }
-                plane.sample_and_record();
-                // Sleep in short slices so finalize never waits more than
-                // a few ms for the monitor to notice the shutdown flag.
-                let mut remaining = period;
-                while remaining > std::time::Duration::ZERO {
-                    if stop.load(Ordering::Acquire) {
-                        return;
-                    }
-                    let slice = remaining.min(std::time::Duration::from_millis(5));
-                    std::thread::sleep(slice);
-                    remaining -= slice;
-                }
-            });
-        }
+        let control = config
+            .control
+            .clone()
+            .map(|policy| Mutex::new(ControlEngine::new(policy)));
 
         let inner = Arc::new(Inner {
             config,
@@ -418,7 +464,72 @@ impl MargoInstance {
             streams: Mutex::new(streams),
             telemetry,
             gates: Mutex::new(HashMap::new()),
+            shed: AtomicBool::new(false),
+            shed_rejected: AtomicU64::new(0),
+            control,
         });
+
+        // Instance-level telemetry (pipeline windows, admission gate,
+        // control-loop counters) needs the assembled `Inner`, so its
+        // source registers after construction — through a `Weak`, keeping
+        // the registry free of reference cycles.
+        {
+            let weak = Arc::downgrade(&inner);
+            inner
+                .telemetry
+                .registry
+                .register_source("margo", move |out| {
+                    if let Some(inner) = weak.upgrade() {
+                        inner.collect_margo_metrics(out);
+                    }
+                });
+        }
+
+        if let Some(period) = inner.config.telemetry.sample_period {
+            // The monitor runs on its own pool + ES so its periodic sleep
+            // never occupies a handler or progress stream.
+            let monitor_pool = Pool::new(format!("{}-monitor", inner.config.name));
+            inner.streams.lock().push(ExecutionStream::spawn(
+                format!("{}-monitor", inner.config.name),
+                std::slice::from_ref(&monitor_pool),
+            ));
+            let weak = Arc::downgrade(&inner);
+            monitor_pool.spawn(move || {
+                // Idle coarsening: every sample that sees no activity
+                // doubles the effective period (up to ×8), so a monitored
+                // but idle instance burns far less of a core; the first
+                // sign of life snaps back to the configured rate.
+                let mut idle_streak = 0u32;
+                loop {
+                    let wait = {
+                        let Some(inner) = weak.upgrade() else { return };
+                        if inner.shutdown.load(Ordering::Acquire) {
+                            return;
+                        }
+                        let outcome = inner.telemetry.sample_and_record();
+                        idle_streak = if outcome.activity {
+                            0
+                        } else {
+                            (idle_streak + 1).min(3)
+                        };
+                        inner.apply_control(&outcome);
+                        period * (1u32 << idle_streak)
+                    };
+                    // Sleep in short slices so finalize never waits more
+                    // than a few ms for the monitor to notice shutdown.
+                    let mut remaining = wait;
+                    while remaining > std::time::Duration::ZERO {
+                        match weak.upgrade() {
+                            Some(inner) if !inner.shutdown.load(Ordering::Acquire) => {}
+                            _ => return,
+                        }
+                        let slice = remaining.min(std::time::Duration::from_millis(5));
+                        std::thread::sleep(slice);
+                        remaining -= slice;
+                    }
+                }
+            });
+        }
 
         Self::spawn_progress(&inner);
         MargoInstance { inner }
@@ -502,6 +613,13 @@ impl MargoInstance {
     /// configured (useful with port 0).
     pub fn prometheus_addr(&self) -> Option<std::net::SocketAddr> {
         self.inner.telemetry.prometheus_addr()
+    }
+
+    /// Test hook: force the admission gate open/closed, bypassing the
+    /// control loop.
+    #[cfg(test)]
+    pub(crate) fn force_shed(&self, on: bool) {
+        self.inner.shed.store(on, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------
@@ -950,6 +1068,16 @@ impl Inner {
     /// handler ULT into `pool`, seeded with the request's ULT-local
     /// context.
     fn dispatch_request(inner: &Arc<Inner>, sh: ServerHandle, handler: RpcHandler, pool: &Pool) {
+        // Adaptive load shedding: while the admission gate is closed the
+        // request is refused right here on the progress ES — a definite
+        // pre-execution failure the origin may safely retry.
+        if inner.shed.load(Ordering::Relaxed) {
+            inner.shed_rejected.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = sh.respond_bytes(RpcStatus::Overloaded, Bytes::new(), || {}) {
+                eprintln!("[symbi-margo] overload respond failed: {e}");
+            }
+            return;
+        }
         let meta = sh.meta();
         let callpath = Callpath(meta.callpath);
         let seed =
@@ -1132,6 +1260,200 @@ impl Inner {
             callpath,
             samples,
         });
+    }
+
+    /// Instance-level metrics: the pipeline windows, the admission gate,
+    /// and the control loop's applied-action counters. Registered as the
+    /// `margo` telemetry source.
+    fn collect_margo_metrics(&self, out: &mut Vec<MetricPoint>) {
+        out.push(MetricPoint::gauge(
+            "symbi_margo_shed_active",
+            if self.shed.load(Ordering::Relaxed) {
+                1.0
+            } else {
+                0.0
+            },
+        ));
+        out.push(MetricPoint::counter(
+            "symbi_margo_shed_rejected_total",
+            self.shed_rejected.load(Ordering::Relaxed),
+        ));
+        let gates: Vec<Arc<PipelineGate>> = self.gates.lock().values().cloned().collect();
+        let (mut inflight, mut queued, mut depth) = (0usize, 0usize, 0usize);
+        for g in &gates {
+            inflight += g.inflight();
+            queued += g.queued();
+            depth += g.depth();
+        }
+        out.push(MetricPoint::gauge(
+            "symbi_margo_pipeline_windows",
+            gates.len() as f64,
+        ));
+        out.push(MetricPoint::gauge(
+            "symbi_margo_pipeline_inflight",
+            inflight as f64,
+        ));
+        out.push(MetricPoint::gauge(
+            "symbi_margo_pipeline_queued",
+            queued as f64,
+        ));
+        out.push(MetricPoint::gauge(
+            "symbi_margo_pipeline_depth",
+            depth as f64,
+        ));
+        out.push(MetricPoint::gauge(
+            "symbi_margo_execution_streams",
+            self.streams.lock().len() as f64,
+        ));
+        if let Some(engine) = &self.control {
+            for (action, count) in engine.lock().actions_total.iter() {
+                out.push(
+                    MetricPoint::counter("symbi_margo_control_actions_total", *count)
+                        .with_label("action", (*action).to_string()),
+                );
+            }
+        }
+    }
+
+    /// The adaptive control loop, run by the monitor ULT right after each
+    /// sample: translate the sample's anomalies into reactions (lane
+    /// resizing, stream growth, pipeline shrinking, load shedding),
+    /// reverse the reversible ones once the system is calm again, and
+    /// persist every applied action to the flight ring as a
+    /// `"kind":"action"` record for symbi-analyze and the Chrome export.
+    fn apply_control(self: &Arc<Inner>, outcome: &SampleOutcome) {
+        let Some(engine) = &self.control else { return };
+        let mut engine = engine.lock();
+        let now = now_ns();
+        let entity = self.config.name.clone();
+        let mut applied = Vec::new();
+
+        // Calm streak: reopen the admission gate and restore shrunken
+        // pipeline windows to their configured depths.
+        if engine.observe_calm(outcome.anomalies.is_empty()) {
+            let calm = Anomaly {
+                detector: "calm",
+                subject: entity.clone(),
+                value: 0,
+                threshold: 0,
+            };
+            if self.shed.swap(false, Ordering::Relaxed) {
+                applied.push(engine.applied(now, &entity, &calm, "shed_off", 1, 0));
+            }
+            let gates: Vec<Arc<PipelineGate>> = self.gates.lock().values().cloned().collect();
+            for gate in gates {
+                let (cur, cfgd) = (gate.depth(), gate.configured());
+                if cur < cfgd {
+                    gate.set_depth(cfgd);
+                    applied.push(engine.applied(
+                        now,
+                        &entity,
+                        &calm,
+                        "grow_pipeline",
+                        cur as u64,
+                        cfgd as u64,
+                    ));
+                }
+            }
+        }
+
+        for anomaly in &outcome.anomalies {
+            match anomaly.detector {
+                "pool_backlog" => {
+                    let pool = self
+                        .telemetry
+                        .pools
+                        .lock()
+                        .iter()
+                        .find(|p| p.name() == anomaly.subject)
+                        .cloned();
+                    let Some(pool) = pool else { continue };
+                    if engine.policy.resize_lanes
+                        && !engine.cooling_down("resize_lanes", &anomaly.subject, now)
+                    {
+                        let cur = pool.lanes();
+                        if cur < engine.policy.max_lanes {
+                            let to = (cur * 2).min(engine.policy.max_lanes);
+                            pool.resize_lanes(to);
+                            applied.push(engine.applied(
+                                now,
+                                &entity,
+                                anomaly,
+                                "resize_lanes",
+                                cur as u64,
+                                to as u64,
+                            ));
+                        }
+                    }
+                    // Backlog also grows the drain side: one more handler
+                    // ES (the Table IV *Threads* knob, applied live).
+                    let grown = engine
+                        .actions_total
+                        .get("grow_streams")
+                        .copied()
+                        .unwrap_or(0) as usize;
+                    let cur_streams = self.config.handler_streams + grown;
+                    if self.config.mode == Mode::Server
+                        && pool.name() == self.primary_pool.name()
+                        && cur_streams < engine.policy.max_streams
+                        && !engine.cooling_down("grow_streams", &anomaly.subject, now)
+                    {
+                        self.streams.lock().push(ExecutionStream::spawn(
+                            format!("{}-es-adaptive{}", self.config.name, grown),
+                            std::slice::from_ref(&self.primary_pool),
+                        ));
+                        applied.push(engine.applied(
+                            now,
+                            &entity,
+                            anomaly,
+                            "grow_streams",
+                            cur_streams as u64,
+                            cur_streams as u64 + 1,
+                        ));
+                    }
+                }
+                "progress_starvation"
+                    if engine.policy.shed
+                        && !self.shed.load(Ordering::Relaxed)
+                        && !engine.cooling_down("shed_on", &anomaly.subject, now) =>
+                {
+                    self.shed.store(true, Ordering::Relaxed);
+                    applied.push(engine.applied(now, &entity, anomaly, "shed_on", 0, 1));
+                }
+                "pipeline_saturation"
+                    if engine.policy.adjust_pipeline
+                        && !engine.cooling_down("shrink_pipeline", &anomaly.subject, now) =>
+                {
+                    let gates: Vec<Arc<PipelineGate>> =
+                        self.gates.lock().values().cloned().collect();
+                    for gate in gates {
+                        let cur = gate.depth();
+                        if cur > engine.policy.min_pipeline_depth {
+                            let to = (cur / 2).max(engine.policy.min_pipeline_depth);
+                            gate.set_depth(to);
+                            applied.push(engine.applied(
+                                now,
+                                &entity,
+                                anomaly,
+                                "shrink_pipeline",
+                                cur as u64,
+                                to as u64,
+                            ));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        if applied.is_empty() {
+            return;
+        }
+        if let Some(rec) = &self.telemetry.recorder {
+            if let Err(e) = rec.append_actions(&applied) {
+                eprintln!("[symbi-margo] flight recorder action append failed: {e}");
+            }
+        }
     }
 
     /// Samples common to all trace events: tasking-layer counts (of the

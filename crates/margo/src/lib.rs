@@ -36,6 +36,7 @@
 
 mod bridge;
 mod config;
+mod control;
 mod instance;
 pub mod keys;
 mod options;
@@ -44,6 +45,7 @@ mod timer;
 
 pub use bridge::{OriginHandleSamples, PvarBridge, TargetHandleSamples};
 pub use config::{MargoConfig, Mode, TelemetryOptions};
+pub use control::ControlPolicy;
 pub use instance::{entity_for_addr, AsyncRpc, BatchRpc, MargoInstance, RpcHandler, RpcOutcome};
 pub use options::{RetryPolicy, RetryPredicate, RpcOptions};
 
@@ -76,11 +78,15 @@ impl MargoError {
             // Unreachable (link down mid-flight) is retryable like a
             // timeout: the request may or may not have executed, so the
             // idempotency gate in `RpcOptions::wants_retry` still applies
-            // through the `other.retryable()` arm.
+            // through the `other.retryable()` arm. Overloaded is a
+            // *definite* pre-execution rejection by the target's admission
+            // gate, so it is retryable even for non-idempotent calls.
             MargoError::Remote(s) => {
                 matches!(
                     s,
-                    symbi_mercury::RpcStatus::Timeout | symbi_mercury::RpcStatus::Unreachable
+                    symbi_mercury::RpcStatus::Timeout
+                        | symbi_mercury::RpcStatus::Unreachable
+                        | symbi_mercury::RpcStatus::Overloaded
                 )
             }
             MargoError::Hg(_) | MargoError::Canceled | MargoError::Codec(_) => false,
@@ -936,5 +942,121 @@ mod tests {
         assert!(waited > 0, "pipeline_wait rows carry no wait time");
         client.finalize();
         server.finalize();
+    }
+
+    #[test]
+    fn shed_gate_rejects_with_overloaded_and_recovers() {
+        let f = fabric();
+        let server = MargoInstance::new(f.clone(), MargoConfig::server("shed-server", 1));
+        server.register_fn("shed_echo", |_m, x: u64| Ok::<u64, String>(x));
+        let client = MargoInstance::new(f.clone(), MargoConfig::client("shed-client"));
+
+        // Gate open: the call goes through.
+        let ok: u64 = client
+            .forward_with(server.addr(), "shed_echo", &1u64, RpcOptions::default())
+            .unwrap();
+        assert_eq!(ok, 1);
+
+        // Gate closed: a definite, retryable pre-execution rejection.
+        server.force_shed(true);
+        let err = client
+            .forward_with::<u64, u64>(server.addr(), "shed_echo", &2u64, RpcOptions::default())
+            .unwrap_err();
+        assert_eq!(
+            err,
+            MargoError::Remote(symbi_mercury::RpcStatus::Overloaded)
+        );
+        assert!(err.retryable(), "shed rejections must be retryable");
+
+        // A retrying call — even a non-idempotent one — rides out the
+        // shed window: the rejection happened before any execution.
+        let waiter = {
+            let client = client.clone();
+            let addr = server.addr();
+            std::thread::spawn(move || {
+                client.forward_with::<u64, u64>(
+                    addr,
+                    "shed_echo",
+                    &3u64,
+                    RpcOptions::new().with_retry(
+                        RetryPolicy::new(60)
+                            .with_base_backoff(std::time::Duration::from_millis(2))
+                            .with_max_backoff(std::time::Duration::from_millis(10)),
+                    ),
+                )
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(25));
+        server.force_shed(false);
+        assert_eq!(waiter.join().unwrap().unwrap(), 3);
+        client.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn control_loop_reacts_to_pool_backlog() {
+        use symbi_core::telemetry::recorder::{replay_actions, FlightRecorderConfig};
+        let dir = std::env::temp_dir().join(format!("symbi-margo-ctl-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let f = fabric();
+        let server = MargoInstance::new(
+            f.clone(),
+            MargoConfig::server("ctl-server", 1)
+                .with_telemetry_period(std::time::Duration::from_millis(3))
+                .with_flight_recorder(FlightRecorderConfig::new(&dir))
+                .with_control_policy(
+                    ControlPolicy::default()
+                        .with_cooldown(std::time::Duration::from_millis(20))
+                        .with_max_lanes(1024)
+                        .with_max_streams(4),
+                ),
+        );
+        let lanes_before = server.primary_pool().lanes();
+        server.register_fn("ctl_slow", |_m, ms: u64| {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            Ok::<u64, String>(ms)
+        });
+        let client = MargoInstance::new(f, MargoConfig::client("ctl-client"));
+        // 1 ES × 3ms handlers with 120 queued: runnable depth sits far
+        // over the backlog threshold (16) for many monitor periods.
+        let inputs: Vec<u64> = vec![3; 120];
+        let results = client
+            .forward_many(
+                server.addr(),
+                "ctl_slow",
+                &inputs,
+                RpcOptions::new().with_pipeline(128),
+            )
+            .wait()
+            .unwrap();
+        assert!(results.iter().all(|r| r.is_ok()));
+        let lanes_after = server.primary_pool().lanes();
+        client.finalize();
+        server.finalize();
+
+        let actions = replay_actions(&dir).expect("replay actions from flight ring");
+        assert!(
+            actions.iter().any(|a| a.action == "resize_lanes"),
+            "no resize_lanes action recorded: {actions:?}"
+        );
+        assert!(
+            actions.iter().any(|a| a.action == "grow_streams"),
+            "no grow_streams action recorded: {actions:?}"
+        );
+        let resize = actions.iter().find(|a| a.action == "resize_lanes").unwrap();
+        assert_eq!(resize.detector, "pool_backlog");
+        assert_eq!(resize.subject, "ctl-server-handlers");
+        assert_eq!(resize.entity, "ctl-server");
+        assert!(resize.to > resize.from);
+        assert!(
+            lanes_after > lanes_before,
+            "handler pool lanes never grew (still {lanes_after})"
+        );
+        // Sequence numbers are unique and monotonic across the run.
+        let mut seqs: Vec<u64> = actions.iter().map(|a| a.seq).collect();
+        let len = seqs.len();
+        seqs.dedup();
+        assert_eq!(seqs.len(), len);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -22,12 +22,25 @@ use crate::config::TelemetryOptions;
 use parking_lot::Mutex;
 use std::net::SocketAddr;
 use std::sync::Arc;
+use symbi_core::analysis::online::Anomaly;
+use symbi_core::analysis::{OnlineAnalyzer, OnlineConfig};
 use symbi_core::telemetry::prometheus::PrometheusExporter;
 use symbi_core::telemetry::recorder::FlightRecorder;
 use symbi_core::telemetry::{self, MetricPoint, TelemetryRegistry};
 use symbi_core::{entity_name, Symbiosys};
 use symbi_mercury::{HgClass, PvarSession};
 use symbi_tasking::Pool;
+
+/// What one monitor sample observed, returned to the monitor ULT so it
+/// can coarsen its wakeups when nothing is happening and hand anomalies
+/// to the control loop when something is.
+pub(crate) struct SampleOutcome {
+    /// Whether this sample saw any sign of life: drained trace events or
+    /// a non-zero counter delta outside the self-accounting families.
+    pub(crate) activity: bool,
+    /// Anomalies the online detector bank raised on this snapshot.
+    pub(crate) anomalies: Vec<Anomaly>,
+}
 
 /// The assembled telemetry plane of one Margo instance.
 pub(crate) struct TelemetryPlane {
@@ -36,10 +49,16 @@ pub(crate) struct TelemetryPlane {
     /// this at runtime.
     pub(crate) pools: Arc<Mutex<Vec<Pool>>>,
     pub(crate) recorder: Option<Arc<FlightRecorder>>,
-    /// Drain the tracer into the recorder on every sample (the
-    /// `record_traces` option); holding `Symbiosys` here creates no cycle
-    /// because `Symbiosys` never owns the instance.
-    trace_sink: Option<Arc<Symbiosys>>,
+    /// Drain the tracer on every sample — into the recorder
+    /// (`record_traces`), the online analyzer, or both; holding
+    /// `Symbiosys` here creates no cycle because `Symbiosys` never owns
+    /// the instance.
+    trace_drain: Option<Arc<Symbiosys>>,
+    /// Persist drained trace events to the flight ring (`record_traces`).
+    persist_traces: bool,
+    /// The in-situ streaming analyzer, shared with the instance so the
+    /// control loop and user-facing accessors can read its aggregates.
+    pub(crate) online: Option<Arc<Mutex<OnlineAnalyzer>>>,
     /// The PVAR tool session the `mercury` source samples through; kept
     /// here so finalize can close it explicitly (§IV-B2 step 5).
     session: Arc<PvarSession>,
@@ -62,6 +81,17 @@ impl TelemetryPlane {
         registry.set_entity(entity_name(sym.entity()));
         let pools = Arc::new(Mutex::new(initial_pools));
         let session = Arc::new(hg.pvar_session());
+
+        // The streaming analyzer only earns its keep under a periodic
+        // monitor: it reduces the trace ring as the monitor drains it.
+        let online = (options.online && options.sample_period.is_some())
+            .then(|| Arc::new(Mutex::new(OnlineAnalyzer::new(OnlineConfig::default()))));
+        if let Some(online) = &online {
+            let online = online.clone();
+            registry.register_source("online", move |out| {
+                online.lock().collect(out);
+            });
+        }
 
         {
             let sym = sym.clone();
@@ -247,12 +277,15 @@ impl TelemetryPlane {
             }
         });
 
-        let trace_sink = (options.record_traces && recorder.is_some()).then(|| sym.clone());
+        let persist_traces = options.record_traces && recorder.is_some();
+        let trace_drain = (persist_traces || online.is_some()).then(|| sym.clone());
         TelemetryPlane {
             registry,
             pools,
             recorder,
-            trace_sink,
+            trace_drain,
+            persist_traces,
+            online,
             session,
             exporter: Mutex::new(exporter),
         }
@@ -260,20 +293,47 @@ impl TelemetryPlane {
 
     /// Take one snapshot and persist it if a recorder is configured.
     /// Called by the monitor ULT every period and once at finalize. With
-    /// trace recording on, the tracer is drained into the same ring so
+    /// trace recording or online analysis on, the tracer is drained on
+    /// every sample — persisted to the ring and/or reduced in place — so
     /// the trace buffer stays bounded between samples.
-    pub(crate) fn sample_and_record(&self) {
+    pub(crate) fn sample_and_record(&self) -> SampleOutcome {
+        let mut activity = false;
+        if let Some(sym) = &self.trace_drain {
+            let events = sym.tracer().drain();
+            activity |= !events.is_empty();
+            if let Some(online) = &self.online {
+                online.lock().ingest(&events);
+            }
+            if self.persist_traces {
+                if let Some(rec) = &self.recorder {
+                    if let Err(e) = rec.append_events(&events) {
+                        eprintln!("[symbi-margo] flight recorder trace append failed: {e}");
+                    }
+                }
+            }
+        }
         let snap = self.registry.sample();
         if let Some(rec) = &self.recorder {
             if let Err(e) = rec.append(&snap) {
                 eprintln!("[symbi-margo] flight recorder append failed: {e}");
             }
-            if let Some(sym) = &self.trace_sink {
-                let events = sym.tracer().drain();
-                if let Err(e) = rec.append_events(&events) {
-                    eprintln!("[symbi-margo] flight recorder trace append failed: {e}");
-                }
-            }
+        }
+        let anomalies = match &self.online {
+            Some(online) => online.lock().observe_snapshot(&snap),
+            None => Vec::new(),
+        };
+        activity |= !anomalies.is_empty();
+        // A monitored-but-idle instance still ticks its self-accounting
+        // and OS counters every sample; only movement outside those
+        // families counts as activity worth sampling at full rate.
+        activity |= snap.points.iter().any(|p| {
+            matches!(p.delta, Some(d) if d > 0)
+                && !p.point.name.starts_with("symbi_telemetry_")
+                && !p.point.name.starts_with("symbi_os_")
+        });
+        SampleOutcome {
+            activity,
+            anomalies,
         }
     }
 
@@ -286,6 +346,11 @@ impl TelemetryPlane {
     /// session close. Idempotent (exporter is taken once; the recorder
     /// append/flush and session finalize are safe to repeat).
     pub(crate) fn shutdown(&self) {
+        // Close the analyzer's open-span window so the final snapshot
+        // carries the end-of-run aggregates.
+        if let Some(online) = &self.online {
+            online.lock().flush();
+        }
         self.sample_and_record();
         if let Some(rec) = &self.recorder {
             if let Err(e) = rec.flush() {

@@ -162,6 +162,11 @@ pub enum RpcStatus {
     /// [`RpcStatus::Timeout`] it is retryable: the request may or may not
     /// have executed.
     Unreachable,
+    /// The target's admission gate rejected the request before any
+    /// handler ran (adaptive load shedding). A *definite* failure — the
+    /// request never executed — so it is safely retryable even for
+    /// non-idempotent RPCs.
+    Overloaded,
 }
 
 impl RpcStatus {
@@ -174,6 +179,7 @@ impl RpcStatus {
             RpcStatus::Timeout => 3,
             RpcStatus::Canceled => 4,
             RpcStatus::Unreachable => 5,
+            RpcStatus::Overloaded => 6,
         }
     }
 
@@ -186,6 +192,7 @@ impl RpcStatus {
             3 => RpcStatus::Timeout,
             4 => RpcStatus::Canceled,
             5 => RpcStatus::Unreachable,
+            6 => RpcStatus::Overloaded,
             _ => return Err(CodecError::Invalid("rpc status")),
         })
     }
@@ -303,6 +310,7 @@ mod tests {
             RpcStatus::Timeout,
             RpcStatus::Canceled,
             RpcStatus::Unreachable,
+            RpcStatus::Overloaded,
         ] {
             let h = ResponseHeader {
                 origin_handle_id: 7,

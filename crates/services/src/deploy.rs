@@ -28,6 +28,7 @@
 //! | `SYMBI_PROMETHEUS_PORT` | Prometheus scrape port, if set. |
 //! | `SYMBI_FLIGHT_DIR` | Flight-recorder ring directory, if set. |
 //! | `SYMBI_FAULT_SEED` | Seed for the process's fault plan, if set. |
+//! | `SYMBI_ADAPTIVE` | `1`: servers attach the online control loop. |
 //!
 //! Servers report their bound URL through the ready file (not the
 //! launcher-chosen one) so ephemeral TCP ports work: the launcher asks
@@ -79,6 +80,10 @@ pub struct DeployManifest {
     pub flight_dir: Option<PathBuf>,
     /// Deterministic fault seed handed to every process.
     pub fault_seed: Option<u64>,
+    /// Hand `SYMBI_ADAPTIVE=1` to every process: server roles attach the
+    /// online control loop (anomaly → lane/stream/pipeline/shed
+    /// reactions); clients ignore it.
+    pub adaptive: bool,
     /// How long to wait for all server ready files.
     pub ready_timeout: Duration,
     /// Extra environment variables for every process.
@@ -107,6 +112,7 @@ impl DeployManifest {
             prometheus_base_port: None,
             flight_dir: None,
             fault_seed: None,
+            adaptive: false,
             ready_timeout: Duration::from_secs(30),
             extra_env: Vec::new(),
         }
@@ -146,6 +152,13 @@ impl DeployManifest {
     #[must_use]
     pub fn with_fault_seed(mut self, seed: u64) -> Self {
         self.fault_seed = Some(seed);
+        self
+    }
+
+    /// Attach the adaptive control loop to every server process.
+    #[must_use]
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = true;
         self
     }
 
@@ -264,6 +277,9 @@ impl DeployManifest {
         }
         if let Some(seed) = self.fault_seed {
             cmd.env("SYMBI_FAULT_SEED", seed.to_string());
+        }
+        if self.adaptive {
+            cmd.env("SYMBI_ADAPTIVE", "1");
         }
         for (k, v) in &self.extra_env {
             cmd.env(k, v);
@@ -518,13 +534,14 @@ echo ok > "$SYMBI_READY_FILE""#;
         let mut m = manifest(
             "telemetry",
             r#"echo "url" > "$SYMBI_READY_FILE"; while [ ! -e "$SYMBI_STOP_FILE" ]; do sleep 0.02; done"#,
-            r#"echo "period=$SYMBI_TELEMETRY_PERIOD_MS prom=$SYMBI_PROMETHEUS_PORT flight=$SYMBI_FLIGHT_DIR seed=$SYMBI_FAULT_SEED""#,
+            r#"echo "period=$SYMBI_TELEMETRY_PERIOD_MS prom=$SYMBI_PROMETHEUS_PORT flight=$SYMBI_FLIGHT_DIR seed=$SYMBI_FAULT_SEED adaptive=$SYMBI_ADAPTIVE""#,
         );
         m.servers = 1;
         let rings = m.workdir.join("rings");
         m = m
             .with_telemetry(Duration::from_millis(250), 9310, rings)
-            .with_fault_seed(1337);
+            .with_fault_seed(1337)
+            .with_adaptive();
         let mut dep = m.launch().unwrap();
         dep.wait_clients(Duration::from_secs(10)).unwrap();
         let log = fs::read_to_string(m.workdir.join("client-0.log")).unwrap();
@@ -535,6 +552,7 @@ echo ok > "$SYMBI_READY_FILE""#;
         );
         assert!(log.contains("client-0"), "flight dir is per-process: {log}");
         assert!(log.contains("seed=1337"));
+        assert!(log.contains("adaptive=1"), "{log}");
         dep.shutdown(Duration::from_secs(5)).unwrap();
         let _ = fs::remove_dir_all(&m.workdir);
     }

@@ -1,6 +1,6 @@
 //! Sonata — the Mochi JSON document microservice (paper §V-B):
 //! "a microservice for remotely accessing and storing JSON objects ...
-//! based on an UnQLite database [with] the ability to remotely run
+//! based on an UnQLite database \[with\] the ability to remotely run
 //! analysis on the stored JSON objects through Jx9 scripts."
 //!
 //! The reproduction stores parsed [`crate::json::Value`] documents and

@@ -32,7 +32,7 @@
 use crate::eventual::Eventual;
 use crate::local::LocalMap;
 use crate::stats::{LaneStats, PoolCounters, PoolStats};
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, RwLock};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -97,12 +97,31 @@ struct LaneCounters {
     steals: AtomicU64,
 }
 
+/// The striped queue itself: swapped wholesale by [`Pool::resize_lanes`],
+/// so the lane count can change at runtime (the adaptive control loop
+/// widens a backlogged pool). Pushes and pops take the read side — they
+/// never contend with each other on this lock — and only a resize takes
+/// the write side.
+struct LaneSet {
+    lanes: Box<[Mutex<VecDeque<Task>>]>,
+    counters: Box<[LaneCounters]>,
+    mask: usize,
+}
+
+impl LaneSet {
+    fn new(n: usize) -> LaneSet {
+        LaneSet {
+            lanes: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
+            counters: (0..n).map(|_| LaneCounters::default()).collect(),
+            mask: n - 1,
+        }
+    }
+}
+
 pub(crate) struct PoolInner {
     pub(crate) name: String,
     pub(crate) id: PoolId,
-    lanes: Box<[Mutex<VecDeque<Task>>]>,
-    lane_counters: Box<[LaneCounters]>,
-    lane_mask: usize,
+    lane_set: RwLock<LaneSet>,
     /// Threads currently inside the sleep protocol of [`Pool::pop`].
     sleepers: AtomicUsize,
     /// Lock the condvar waits on; deliberately separate from the lanes so
@@ -145,9 +164,7 @@ impl Pool {
             inner: Arc::new(PoolInner {
                 name: name.into(),
                 id: PoolId(NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed)),
-                lanes: (0..n).map(|_| Mutex::new(VecDeque::new())).collect(),
-                lane_counters: (0..n).map(|_| LaneCounters::default()).collect(),
-                lane_mask: n - 1,
+                lane_set: RwLock::new(LaneSet::new(n)),
                 sleepers: AtomicUsize::new(0),
                 sleep_lock: Mutex::new(()),
                 cond: Condvar::new(),
@@ -169,7 +186,54 @@ impl Pool {
 
     /// The number of queue lanes (power of two).
     pub fn lanes(&self) -> usize {
-        self.inner.lanes.len()
+        self.inner.lane_set.read().lanes.len()
+    }
+
+    /// Resize the stripe count at runtime (rounded up to a power of two),
+    /// returning the new count. Queued tasks migrate in per-lane FIFO
+    /// order (old lane `i` drains into new lane `i & new_mask`, so no
+    /// producer's tasks reorder), lane observability counters carry over
+    /// (highwatermarks merge by max, steal counts by sum — the
+    /// highwatermark stays sticky across a resize), and sleeping poppers
+    /// are woken so they rescan the new stripes. A no-op if the count is
+    /// unchanged. This is the adaptive control loop's reaction to pool
+    /// backlog: widening the stripes cuts producer-side lane contention.
+    pub fn resize_lanes(&self, lanes: usize) -> usize {
+        let n = lanes.max(1).next_power_of_two();
+        let inner = &self.inner;
+        {
+            let mut set = inner.lane_set.write();
+            if set.lanes.len() == n {
+                return n;
+            }
+            let new_set = LaneSet::new(n);
+            for (i, (lane, counters)) in set.lanes.iter().zip(set.counters.iter()).enumerate() {
+                let target = i & new_set.mask;
+                let mut src = lane.lock();
+                if !src.is_empty() {
+                    let mut dst = new_set.lanes[target].lock();
+                    dst.extend(src.drain(..));
+                    new_set.counters[target]
+                        .depth_highwatermark
+                        .fetch_max(dst.len(), Ordering::Relaxed);
+                }
+                new_set.counters[target].depth_highwatermark.fetch_max(
+                    counters.depth_highwatermark.load(Ordering::Relaxed),
+                    Ordering::Relaxed,
+                );
+                new_set.counters[target]
+                    .steals
+                    .fetch_add(counters.steals.load(Ordering::Relaxed), Ordering::Relaxed);
+            }
+            *set = new_set;
+        }
+        // Wake sleepers: queued work may now live on stripes their last
+        // scan missed.
+        if inner.sleepers.load(Ordering::SeqCst) > 0 {
+            drop(inner.sleep_lock.lock());
+            inner.cond.notify_all();
+        }
+        n
     }
 
     /// Spawn a ULT into this pool. The ULT inherits an **empty** local map;
@@ -220,15 +284,18 @@ impl Pool {
         }
         inner.counters.spawned.fetch_add(1, Ordering::Relaxed);
         inner.counters.runnable.fetch_add(1, Ordering::Relaxed);
-        let lane = my_token() & inner.lane_mask;
-        let depth = {
-            let mut q = inner.lanes[lane].lock();
-            q.push_back(task);
-            q.len()
-        };
-        inner.lane_counters[lane]
-            .depth_highwatermark
-            .fetch_max(depth, Ordering::Relaxed);
+        {
+            let set = inner.lane_set.read();
+            let lane = my_token() & set.mask;
+            let depth = {
+                let mut q = set.lanes[lane].lock();
+                q.push_back(task);
+                q.len()
+            };
+            set.counters[lane]
+                .depth_highwatermark
+                .fetch_max(depth, Ordering::Relaxed);
+        }
         // Dekker pairing with pop(): enqueue first, then read `sleepers`.
         if inner.sleepers.load(Ordering::SeqCst) > 0 {
             // Touch the sleep lock so the notify cannot slip between a
@@ -258,18 +325,18 @@ impl Pool {
     /// fairness the seed's single FIFO provided, which self-re-enqueueing
     /// ULTs (Margo's shared progress loop) rely on to not starve peers.
     fn scan_lanes(&self) -> Option<Task> {
-        let inner = &self.inner;
+        let set = self.inner.lane_set.read();
         let start = pop_cursor();
-        let preferred = my_token() & inner.lane_mask;
-        for i in 0..inner.lanes.len() {
-            let lane = (start + i) & inner.lane_mask;
-            if let Some(task) = inner.lanes[lane].lock().pop_front() {
+        let preferred = my_token() & set.mask;
+        for i in 0..set.lanes.len() {
+            let lane = (start + i) & set.mask;
+            let popped = set.lanes[lane].lock().pop_front();
+            if let Some(task) = popped {
                 POP_CURSOR.with(|c| c.set(lane.wrapping_add(1)));
                 if lane != preferred {
-                    inner.lane_counters[lane]
-                        .steals
-                        .fetch_add(1, Ordering::Relaxed);
+                    set.counters[lane].steals.fetch_add(1, Ordering::Relaxed);
                 }
+                drop(set);
                 return Some(self.account(task));
             }
         }
@@ -358,7 +425,9 @@ impl Pool {
     /// by a thread preferring a different lane.
     pub fn lane_stats(&self) -> Vec<LaneStats> {
         self.inner
-            .lane_counters
+            .lane_set
+            .read()
+            .counters
             .iter()
             .map(|c| LaneStats {
                 depth_highwatermark: c.depth_highwatermark.load(Ordering::Relaxed) as u64,
@@ -621,6 +690,87 @@ mod tests {
         }
         let steals: u64 = p.lane_stats().iter().map(|l| l.steals).sum();
         assert!(steals >= 1, "single-thread drain of 2+ lanes must steal");
+    }
+
+    #[test]
+    fn resize_preserves_queued_tasks_and_fifo_order() {
+        let p = Pool::with_lanes("resize", 2);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        for i in 0..8 {
+            let order = order.clone();
+            p.spawn(move || order.lock().push(i));
+        }
+        assert_eq!(p.resize_lanes(8), 8);
+        assert_eq!(p.lanes(), 8);
+        assert_eq!(p.runnable(), 8, "queued tasks must survive the resize");
+        while let Some(t) = p.try_pop() {
+            (t.f)();
+        }
+        // All pushes came from one thread (one lane), so migration must
+        // keep their relative order.
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4, 5, 6, 7]);
+
+        // Shrinking also keeps everything.
+        for i in 0..4 {
+            let order = order.clone();
+            p.spawn(move || order.lock().push(100 + i));
+        }
+        assert_eq!(p.resize_lanes(1), 1);
+        assert_eq!(p.lanes(), 1);
+        assert_eq!(p.runnable(), 4);
+        while let Some(t) = p.try_pop() {
+            (t.f)();
+        }
+        assert_eq!(order.lock().len(), 12);
+    }
+
+    #[test]
+    fn resize_carries_lane_counters_forward() {
+        let p = Pool::with_lanes("resize-hwm", 4);
+        for _ in 0..6 {
+            p.spawn(|| {});
+        }
+        let before: u64 = p
+            .lane_stats()
+            .iter()
+            .map(|l| l.depth_highwatermark)
+            .max()
+            .unwrap();
+        assert_eq!(before, 6);
+        p.resize_lanes(2);
+        // The highwatermark is sticky across the resize (merged by max).
+        let after = p
+            .lane_stats()
+            .iter()
+            .map(|l| l.depth_highwatermark)
+            .max()
+            .unwrap();
+        assert!(after >= before, "resize lost the depth highwatermark");
+        while let Some(t) = p.try_pop() {
+            (t.f)();
+        }
+        assert_eq!(p.runnable(), 0);
+    }
+
+    #[test]
+    fn resize_wakes_sleeping_popper() {
+        let p = Pool::with_lanes("resize-wake", 2);
+        let p2 = p.clone();
+        let h = std::thread::spawn(move || p2.pop(Duration::from_secs(30)).is_some());
+        std::thread::sleep(Duration::from_millis(20));
+        p.spawn(|| {});
+        p.resize_lanes(4);
+        assert!(h.join().unwrap(), "popper must see work after a resize");
+    }
+
+    #[test]
+    fn resize_to_same_count_is_noop() {
+        let p = Pool::with_lanes("resize-noop", 4);
+        p.spawn(|| {});
+        assert_eq!(p.resize_lanes(3), 4, "3 rounds up to the current 4");
+        assert_eq!(p.runnable(), 1);
+        let t = p.try_pop().unwrap();
+        (t.f)();
     }
 
     #[test]

@@ -75,7 +75,7 @@ pub struct PoolStats {
     /// Spawns rejected because they arrived after [`crate::Pool::close`].
     pub spawned_after_close: u64,
     /// Per-lane counters in lane order (empty when snapshotted directly
-    /// from [`PoolCounters`], which has no lane visibility).
+    /// from `PoolCounters`, which has no lane visibility).
     pub lanes: Vec<LaneStats>,
 }
 

@@ -1,0 +1,249 @@
+//! Static vs adaptive under progress starvation: the §V-C4 scenario with
+//! the control loop closed.
+//!
+//! Two identical runs of the same starvation workload — many concurrent
+//! clients hammering a deliberately under-provisioned server (one handler
+//! execution stream, a slow handler) — differing only in whether the
+//! adaptive control loop is attached:
+//!
+//! 1. **static** — the server keeps whatever it was configured with, the
+//!    way the paper tunes Table IV knobs by hand between runs,
+//! 2. **adaptive** — the online analyzer detects the pool backlog inside
+//!    the monitor ULT and the control loop widens the handler pool's lane
+//!    stripes and adds execution streams at runtime.
+//!
+//! The example prints per-phase p50/p99 client latency, the anomalies and
+//! actions the adaptive run produced, scrapes its own Prometheus endpoint
+//! for the `symbi_online_*` families, and validates that the Chrome
+//! export carries the detection→reaction instant events. It exits
+//! non-zero if the adaptive run failed to react or to beat the static
+//! p99, so CI can run it as a smoke test.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_run
+//! ```
+
+use std::io::{Read as _, Write as _};
+use std::path::Path;
+use std::time::{Duration, Instant};
+use symbiosys::core::telemetry::recorder::FlightRecorderConfig;
+use symbiosys::prelude::*;
+
+/// Concurrent client threads; well above the backlog detector's runnable
+/// threshold so the anomaly is unambiguous.
+const CLIENTS: usize = 24;
+/// Sequential RPCs per client thread.
+const RPCS_PER_CLIENT: usize = 30;
+/// Leading RPCs per thread excluded from the percentiles, in both
+/// phases alike: connection setup, first-touch allocation, and (in the
+/// adaptive phase) the pre-reaction ramp all land here, so the numbers
+/// compare steady states.
+const WARMUP: usize = 6;
+/// Handler service time: long enough that one execution stream starves.
+const HANDLER_MS: u64 = 1;
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run one phase of the starvation workload and return the sorted
+/// per-RPC client latencies in nanoseconds.
+fn run_phase(name: &str, control: Option<ControlPolicy>, flight_dir: &Path) -> Vec<u64> {
+    let _ = std::fs::remove_dir_all(flight_dir);
+    let fabric = Fabric::new(NetworkModel::instant());
+    let mut config = MargoConfig::server(format!("{name}-server"), 1)
+        .with_telemetry_period(Duration::from_millis(3))
+        .with_flight_recorder(FlightRecorderConfig::new(flight_dir))
+        .with_trace_recording()
+        .with_prometheus_port(0);
+    if let Some(policy) = control {
+        config = config.with_control_policy(policy);
+    }
+    let server = MargoInstance::new(fabric.clone(), config);
+    server.register_fn("starve", |_m, ms: u64| {
+        std::thread::sleep(Duration::from_millis(ms));
+        Ok::<u64, String>(ms)
+    });
+
+    let client = MargoInstance::new(fabric, MargoConfig::client(format!("{name}-client")));
+    let addr = server.addr();
+    let lanes_before = server.primary_pool().lanes();
+
+    let mut handles = Vec::new();
+    for _ in 0..CLIENTS {
+        let client = client.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut lat = Vec::with_capacity(RPCS_PER_CLIENT);
+            for _ in 0..RPCS_PER_CLIENT {
+                let t0 = Instant::now();
+                let r: Result<u64, MargoError> =
+                    client.forward_with(addr, "starve", &HANDLER_MS, RpcOptions::new());
+                r.expect("starve rpc");
+                lat.push(t0.elapsed().as_nanos() as u64);
+            }
+            lat.split_off(WARMUP)
+        }));
+    }
+    let mut latencies: Vec<u64> = Vec::with_capacity(CLIENTS * RPCS_PER_CLIENT);
+    for h in handles {
+        latencies.extend(h.join().expect("client thread"));
+    }
+    let lanes_after = server.primary_pool().lanes();
+
+    // Scrape our own Prometheus endpoint while the plane is still up so
+    // the run demonstrates the online families end to end.
+    if let Some(addr) = server.prometheus_addr() {
+        match scrape(&addr.to_string()) {
+            Ok(body) => {
+                let online = body
+                    .lines()
+                    .filter(|l| l.starts_with("symbi_online_") && !l.starts_with('#'))
+                    .count();
+                let help = body
+                    .lines()
+                    .filter(|l| l.starts_with("# HELP symbi_online_"))
+                    .count();
+                println!(
+                    "[{name}] prometheus scrape: {online} symbi_online_* samples, \
+                     {help} HELP'd online families"
+                );
+            }
+            Err(e) => println!("[{name}] prometheus scrape failed: {e}"),
+        }
+    }
+
+    client.finalize();
+    server.finalize();
+    println!("[{name}] handler pool lanes {lanes_before} -> {lanes_after}");
+    latencies.sort_unstable();
+    latencies
+}
+
+/// Minimal HTTP GET of `/metrics`, std-only.
+fn scrape(addr: &str) -> std::io::Result<String> {
+    let mut stream = std::net::TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    stream.write_all(format!("GET /metrics HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())?;
+    let mut body = String::new();
+    stream.read_to_string(&mut body)?;
+    Ok(body)
+}
+
+fn main() {
+    let base = std::env::temp_dir().join(format!("symbi-adaptive-{}", std::process::id()));
+    let static_dir = base.join("static");
+    let adaptive_dir = base.join("adaptive");
+
+    println!(
+        "starvation workload: {CLIENTS} clients x {RPCS_PER_CLIENT} RPCs, \
+         {HANDLER_MS}ms handler, 1 execution stream"
+    );
+
+    let static_lat = run_phase("static", None, &static_dir);
+
+    // Shedding is left off: this is a fixed-work comparison, and the
+    // rejection path is exercised by the margo integration tests. The
+    // capacity reactions (lane widening, stream growth) are the ones
+    // that move p99 here.
+    let policy = ControlPolicy::default()
+        .with_cooldown(Duration::from_millis(15))
+        .with_max_lanes(1024)
+        .with_max_streams(4)
+        .with_shedding(false);
+    let adaptive_lat = run_phase("adaptive", Some(policy), &adaptive_dir);
+
+    let static_p50 = percentile(&static_lat, 0.50);
+    let static_p99 = percentile(&static_lat, 0.99);
+    let adaptive_p50 = percentile(&adaptive_lat, 0.50);
+    let adaptive_p99 = percentile(&adaptive_lat, 0.99);
+    println!(
+        "static_p50={:.3}ms static_p99={:.3}ms adaptive_p50={:.3}ms adaptive_p99={:.3}ms",
+        static_p50 as f64 / 1e6,
+        static_p99 as f64 / 1e6,
+        adaptive_p50 as f64 / 1e6,
+        adaptive_p99 as f64 / 1e6,
+    );
+
+    // Offline analysis of the adaptive run's rings: the same pipeline as
+    // `symbi-analyze --chrome`, so detection→reaction is on the timeline.
+    let chrome_out = base.join("adaptive-chrome.json");
+    let opts = symbi_analyze::Options {
+        dirs: vec![adaptive_dir.clone()],
+        chrome_out: Some(chrome_out.clone()),
+        ..Default::default()
+    };
+    let report = symbi_analyze::run(&opts).expect("offline analysis of adaptive rings");
+    println!("{report}");
+
+    let actions =
+        symbi_analyze::load_actions(std::slice::from_ref(&adaptive_dir)).expect("load actions");
+    let anomalies: std::collections::BTreeSet<&str> =
+        actions.iter().map(|a| a.detector.as_str()).collect();
+    println!(
+        "anomalies={} actions={} kinds={:?}",
+        anomalies.len(),
+        actions.len(),
+        actions
+            .iter()
+            .map(|a| a.action.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+    );
+    println!(
+        "chrome trace with action instants: {}",
+        chrome_out.display()
+    );
+
+    let mut failures = Vec::new();
+    if actions.is_empty() {
+        failures.push("adaptive run recorded no control actions".to_string());
+    }
+    if anomalies.is_empty() {
+        failures.push("adaptive run detected no anomalies".to_string());
+    }
+    let chrome_json = std::fs::read_to_string(&chrome_out).expect("read chrome export");
+    let parsed =
+        symbiosys::core::telemetry::jsonl::parse_json(&chrome_json).expect("chrome export parses");
+    let instants = parsed
+        .get("traceEvents")
+        .and_then(|v| v.as_arr())
+        .map(|evs| {
+            evs.iter()
+                .filter(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("i")
+                        && e.get("cat").and_then(|c| c.as_str()) == Some("control")
+                })
+                .count()
+        })
+        .unwrap_or(0);
+    if instants == 0 {
+        failures.push("chrome export carries no control instant events".to_string());
+    }
+    if adaptive_p99 >= static_p99 {
+        failures.push(format!(
+            "adaptive p99 ({adaptive_p99}ns) did not beat static p99 ({static_p99}ns)"
+        ));
+    }
+
+    if failures.is_empty() {
+        println!(
+            "OK: {} control actions, {} detectors fired, {instants} chrome instants, \
+             adaptive p99 beat static",
+            actions.len(),
+            anomalies.len()
+        );
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+    // SYMBI_ADAPTIVE_KEEP leaves the rings and the Chrome export on disk
+    // so CI (or a human) can validate the artifacts after the fact.
+    if std::env::var("SYMBI_ADAPTIVE_KEEP").is_err() {
+        let _ = std::fs::remove_dir_all(&base);
+    }
+}

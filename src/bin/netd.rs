@@ -19,7 +19,7 @@
 use std::time::Duration;
 use symbi_core::telemetry::recorder::FlightRecorderConfig;
 use symbi_fabric::{Fabric, FaultPlan};
-use symbi_margo::{MargoConfig, MargoInstance, TelemetryOptions};
+use symbi_margo::{ControlPolicy, MargoConfig, MargoInstance, TelemetryOptions};
 use symbi_net::{fabric_over, NetConfig};
 use symbi_services::bake::{BakeProvider, BakeSpec};
 use symbi_services::hepnos::{EventKey, HepnosClient, HepnosConfig};
@@ -124,9 +124,25 @@ fn telemetry_from_env() -> TelemetryOptions {
     t
 }
 
-/// Apply the telemetry environment to a Margo config.
+/// Apply the telemetry environment to a Margo config. Server roles also
+/// honor `SYMBI_ADAPTIVE=1`: attach the online control loop (anomaly →
+/// lane/stream/pipeline/shed reactions) with an optional
+/// `SYMBI_ADAPTIVE_COOLDOWN_MS` override. The control loop needs the
+/// monitor ULT, so a default sample period is filled in if the
+/// environment did not set one.
 fn apply_telemetry(mut config: MargoConfig) -> MargoConfig {
     config.telemetry = telemetry_from_env();
+    if env_var("SYMBI_ADAPTIVE").is_some_and(|v| v == "1" || v.eq_ignore_ascii_case("true")) {
+        let mut policy = ControlPolicy::default();
+        if let Some(ms) = env_var("SYMBI_ADAPTIVE_COOLDOWN_MS").and_then(|v| v.trim().parse().ok())
+        {
+            policy = policy.with_cooldown(Duration::from_millis(ms));
+        }
+        if config.telemetry.sample_period.is_none() {
+            config.telemetry.sample_period = Some(Duration::from_millis(100));
+        }
+        config = config.with_control_policy(policy);
+    }
     config
 }
 

@@ -55,7 +55,9 @@ pub mod prelude {
         Callpath, EntityId, Interval, Side, Stage, Symbiosys, TraceEvent, TraceEventKind,
     };
     pub use symbi_fabric::{Addr, Fabric, FaultPlan, NetworkModel};
-    pub use symbi_margo::{MargoConfig, MargoError, MargoInstance, RetryPolicy, RpcOptions};
+    pub use symbi_margo::{
+        ControlPolicy, MargoConfig, MargoError, MargoInstance, RetryPolicy, RpcOptions,
+    };
     pub use symbi_mercury::{HgClass, HgConfig, RpcMeta, Wire};
     pub use symbi_services::bake::{BakeClient, BakeProvider, BakeSpec};
     pub use symbi_services::hepnos::{

@@ -1,0 +1,150 @@
+//! Online/offline parity: the in-situ streaming attribution
+//! (`symbi_core::analysis::online`) must agree with the offline
+//! span-graph analyzer when both reduce the *same* trace events.
+//!
+//! The offline pipeline reconstructs full Lamport-ordered trees; the
+//! online engine folds spans incrementally in bounded memory. Same
+//! Table III arithmetic, two implementations — this test drives a
+//! composed Mobject deployment (client → Mobject → BAKE/SDSKV) and pins:
+//!
+//! * per-hop-class span counts exactly,
+//! * per-hop-class total/busy sums within 5%,
+//! * the Space-Saving top-K callpath set against the offline per-callpath
+//!   totals, weights within 5%,
+//! * the online window's memory bound.
+
+use std::collections::BTreeMap;
+use symbiosys::core::analysis::build_span_graph;
+use symbiosys::core::analysis::online::{OnlineAnalyzer, OnlineConfig};
+use symbiosys::prelude::*;
+use symbiosys::services::mobject::REQUIRED_SDSKV_DBS;
+use symbiosys::services::sdskv::SdskvSpec;
+
+fn within_5pct(a: u64, b: u64, what: &str) {
+    let diff = a.abs_diff(b);
+    assert!(
+        diff as f64 <= 0.05 * b.max(1) as f64,
+        "{what}: online {a} vs offline {b} ({:.2}% off)",
+        diff as f64 * 100.0 / b.max(1) as f64
+    );
+}
+
+#[test]
+fn online_attribution_matches_offline_within_5_percent() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let node = MargoInstance::new(fabric.clone(), MargoConfig::server("parity-node", 6));
+    let backend_pool = node.add_handler_pool("backend", 6);
+    BakeProvider::attach_in_pool(&node, BakeSpec::default(), &backend_pool);
+    SdskvProvider::attach_in_pool(
+        &node,
+        SdskvSpec {
+            num_databases: REQUIRED_SDSKV_DBS,
+            backend: BackendKind::Map,
+            cost: StorageCost::free(),
+            // Real backend work so hop latencies dominate stamp offsets.
+            handler_cost: std::time::Duration::from_micros(300),
+            handler_cost_per_key: std::time::Duration::ZERO,
+        },
+        &backend_pool,
+    );
+    MobjectProvider::attach(&node, node.addr(), node.addr());
+
+    let run = run_ior(
+        &fabric,
+        node.addr(),
+        &IorConfig {
+            clients: 6,
+            objects_per_client: 4,
+            object_size: 4096,
+            do_read: false,
+            stage: Stage::Full,
+        },
+    );
+    assert_eq!(run.objects, 24);
+    std::thread::sleep(std::time::Duration::from_millis(100));
+
+    let mut events = run.client_traces.clone();
+    events.extend(node.symbiosys().tracer().snapshot());
+    node.finalize();
+
+    // Offline: full span-tree reconstruction.
+    let graph = build_span_graph(&events);
+    assert!(graph.connected_fraction() >= 0.99);
+    let mut offline_hops: BTreeMap<u32, (u64, u64, u64)> = BTreeMap::new();
+    let mut offline_paths: BTreeMap<String, u64> = BTreeMap::new();
+    for tree in &graph.trees {
+        for n in &tree.nodes {
+            let (Some(total), Some(busy)) = (n.origin_latency_ns(), n.target_busy_ns()) else {
+                continue;
+            };
+            let e = offline_hops.entry(n.hop).or_default();
+            e.0 += 1;
+            e.1 += total;
+            e.2 += busy;
+            *offline_paths.entry(n.callpath.display()).or_default() += total;
+        }
+    }
+
+    // Online: one streaming pass over the identical events, bounded
+    // memory, no tree ever materialized.
+    let mut online = OnlineAnalyzer::new(OnlineConfig::default());
+    online.ingest(&events);
+    assert!(
+        online.open_spans() <= online.config().max_open_spans,
+        "window exceeded its bound"
+    );
+    assert_eq!(online.open_spans(), 0, "all spans should have completed");
+
+    let hops = online.hop_stats();
+    assert_eq!(
+        hops.len(),
+        offline_hops.len(),
+        "hop classes differ: online {:?} vs offline {:?}",
+        hops.keys().collect::<Vec<_>>(),
+        offline_hops.keys().collect::<Vec<_>>()
+    );
+    for (hop, (requests, total_ns, busy_ns)) in &offline_hops {
+        let stats = hops.get(hop).unwrap_or_else(|| panic!("no hop {hop}"));
+        assert_eq!(stats.requests, *requests, "hop {hop} span count");
+        within_5pct(stats.total_ns, *total_ns, &format!("hop {hop} total_ns"));
+        within_5pct(stats.busy_ns, *busy_ns, &format!("hop {hop} busy_ns"));
+        // The decomposition must account for the whole hop: queue +
+        // busy + network = total by construction, none negative.
+        assert_eq!(
+            stats.queue_ns + stats.busy_ns + stats.network_ns,
+            stats.total_ns,
+            "hop {hop} decomposition leaks"
+        );
+        // Per-hop latency quantiles exist once the hop saw traffic.
+        let p50 = online.quantile(*hop, 0.50).expect("p50");
+        let p99 = online.quantile(*hop, 0.99).expect("p99");
+        assert!(p50 <= p99, "hop {hop} quantiles inverted");
+    }
+
+    // Top-K: fewer distinct callpaths than K, so Space-Saving holds the
+    // exact set and exact weights (no replacement error).
+    let top = online.top_callpaths();
+    assert!(!top.is_empty());
+    let online_names: std::collections::BTreeSet<&str> =
+        top.iter().map(|(n, _)| n.as_str()).collect();
+    let offline_names: std::collections::BTreeSet<&str> =
+        offline_paths.keys().map(|s| s.as_str()).collect();
+    assert_eq!(
+        online_names, offline_names,
+        "top-K callpath set diverged from offline totals"
+    );
+    for (name, entry) in &top {
+        within_5pct(entry.weight, offline_paths[name], &format!("topk {name}"));
+    }
+    // Heaviest-first, and the heaviest callpath agrees with offline.
+    let offline_heaviest = offline_paths
+        .iter()
+        .max_by_key(|(_, w)| **w)
+        .map(|(n, _)| n.clone())
+        .unwrap();
+    assert_eq!(top[0].0, offline_heaviest, "heaviest callpath disagrees");
+    assert!(
+        top.windows(2).all(|w| w[0].1.weight >= w[1].1.weight),
+        "top-K not sorted by weight"
+    );
+}
