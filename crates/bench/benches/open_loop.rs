@@ -1,0 +1,157 @@
+//! Coordinated omission, measured: the same offered rate against the
+//! same server, once *closed-loop* (each worker waits for its previous
+//! reply, latency from actual send) and once *open-loop* through
+//! `symbi-load` (seeded schedule, latency from intended send).
+//!
+//! Below saturation the two agree. Past saturation the closed loop's
+//! offered rate silently collapses to the service capacity and its
+//! latency stays flat — the blind spot — while the open loop keeps the
+//! schedule and charges the growing backlog to p99.
+
+use std::time::{Duration, Instant};
+use symbi_bench::banner;
+use symbi_core::analysis::report::Table;
+use symbi_fabric::{Fabric, NetworkModel};
+use symbi_load::{run_open_loop, ScenarioSpec, SdskvTarget, WorkloadTarget};
+use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_services::kv::{BackendKind, StorageCost};
+use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
+
+/// Handler service time; with 2 execution streams the server saturates
+/// at ~1000 ops/s.
+const HANDLER: Duration = Duration::from_millis(2);
+const DATABASES: usize = 4;
+const HORIZON: Duration = Duration::from_millis(1200);
+const WORKERS: u32 = 16;
+
+fn launch(fabric: &Fabric) -> (MargoInstance, MargoInstance, SdskvTarget) {
+    let server = MargoInstance::new(fabric.clone(), MargoConfig::server("ol-server", 2));
+    let _p = SdskvProvider::attach(
+        &server,
+        SdskvSpec {
+            num_databases: DATABASES,
+            backend: BackendKind::Map,
+            cost: StorageCost::free(),
+            handler_cost: HANDLER,
+            handler_cost_per_key: Duration::ZERO,
+        },
+    );
+    let client = MargoInstance::new(fabric.clone(), MargoConfig::client("ol-client"));
+    let target = SdskvTarget::new(
+        SdskvClient::new(client.clone(), server.addr()),
+        DATABASES as u32,
+    );
+    (server, client, target)
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Closed loop at a *target* rate: `WORKERS` threads, each pacing its
+/// own next send relative to its previous completion, latency measured
+/// from the actual send — the conventional benchmark shape.
+fn run_closed(target: &SdskvTarget, rate_hz: f64) -> (f64, u64, u64) {
+    let per_worker_gap = Duration::from_secs_f64(WORKERS as f64 / rate_hz);
+    let start = Instant::now();
+    let mut latencies: Vec<u64> = Vec::new();
+    std::thread::scope(|s| {
+        let joins: Vec<_> = (0..WORKERS)
+            .map(|w| {
+                let target = &target;
+                s.spawn(move || {
+                    let mut lat = Vec::new();
+                    let mut i = w as u64;
+                    while start.elapsed() < HORIZON {
+                        let key = format!("k-{:012x}", i % 4096);
+                        let t0 = Instant::now();
+                        target.put(key.as_bytes(), &[0xA5; 256]).expect("put");
+                        lat.push(t0.elapsed().as_nanos() as u64);
+                        i += WORKERS as u64;
+                        // Pace to the per-worker share of the offered
+                        // rate — *after* the reply, the closed-loop sin.
+                        std::thread::sleep(per_worker_gap.saturating_sub(t0.elapsed()));
+                    }
+                    lat
+                })
+            })
+            .collect();
+        for j in joins {
+            latencies.extend(j.join().expect("closed worker"));
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    latencies.sort_unstable();
+    (
+        latencies.len() as f64 / wall,
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.99),
+    )
+}
+
+fn main() {
+    banner("Open vs closed loop: coordinated omission at the saturation knee");
+    println!(
+        "server: 2 execution streams x {}ms handler (~1000 ops/s capacity), \
+         {}s per point\n",
+        HANDLER.as_millis(),
+        HORIZON.as_secs_f64()
+    );
+
+    let mut t = Table::new([
+        "offered",
+        "closed achieved",
+        "closed p99",
+        "open achieved",
+        "open p99",
+        "p99 ratio (open/closed)",
+    ]);
+
+    let mut ratios = Vec::new();
+    for rate in [500.0, 2000.0] {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let (server, client, target) = launch(&fabric);
+        let (closed_hz, _closed_p50, closed_p99) = run_closed(&target, rate);
+        client.finalize();
+        server.finalize();
+
+        let fabric = Fabric::new(NetworkModel::instant());
+        let (server, client, target) = launch(&fabric);
+        let spec = ScenarioSpec::named("bench-open-loop")
+            .with_rate_hz(rate)
+            .with_mix(100, 0, 0)
+            .with_duration(HORIZON)
+            .with_virtual_clients(WORKERS);
+        let open = run_open_loop(&target, &spec);
+        client.finalize();
+        server.finalize();
+
+        let ratio = open.p99_ns as f64 / closed_p99.max(1) as f64;
+        ratios.push((rate, ratio));
+        t.row([
+            format!("{rate:.0}/s"),
+            format!("{closed_hz:.0}/s"),
+            format!("{:.2} ms", closed_p99 as f64 / 1e6),
+            format!("{:.0}/s", open.achieved_hz),
+            format!("{:.2} ms", open.p99_ns as f64 / 1e6),
+            format!("{ratio:.1}x"),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let below = ratios[0].1;
+    let above = ratios[1].1;
+    println!(
+        "below saturation the loops agree (open/closed p99 {below:.1}x); \
+         past it the closed loop hides {above:.0}x of tail latency"
+    );
+    assert!(
+        above > below.max(2.0),
+        "the open loop must expose latency the closed loop omits \
+         (below={below:.2}x above={above:.2}x)"
+    );
+}

@@ -102,6 +102,31 @@ impl StreamingHistogram {
         Some(self.max_ns)
     }
 
+    /// Upper bound (ns) of the finite bucket `ns` falls into, or
+    /// `u64::MAX` for the overflow bucket. This is the value
+    /// [`StreamingHistogram::quantile`] would report for a rank landing
+    /// on `ns`, so accuracy tests can compare an estimate against the
+    /// bucket of the exact percentile.
+    pub fn bucket_upper_bound(ns: u64) -> u64 {
+        let i = Self::bucket_index(ns);
+        if i >= FINITE {
+            u64::MAX
+        } else {
+            1u64 << (SHIFT_MIN + i as u32)
+        }
+    }
+
+    /// Fold another histogram into this one — per-worker histograms in a
+    /// load generator merge into one distribution without re-observing.
+    pub fn merge(&mut self, other: &StreamingHistogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+
     /// Render as a telemetry [`HistogramValue`] (cumulative counts, the
     /// layout the Prometheus exposition expects).
     pub fn to_metric(&self) -> HistogramValue {
@@ -181,5 +206,41 @@ mod tests {
     #[test]
     fn empty_histogram_has_no_quantiles() {
         assert_eq!(StreamingHistogram::new().quantile(0.99), None);
+    }
+
+    #[test]
+    fn merge_is_equivalent_to_observing_everything() {
+        let mut a = StreamingHistogram::new();
+        let mut b = StreamingHistogram::new();
+        let mut all = StreamingHistogram::new();
+        for v in [700u64, 5_000, 90_000, u64::MAX] {
+            a.observe(v);
+            all.observe(v);
+        }
+        for v in [2_500u64, 40_000_000] {
+            b.observe(v);
+            all.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert_eq!(a.sum_ns(), all.sum_ns());
+        assert_eq!(a.max_ns(), all.max_ns());
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), all.quantile(q));
+        }
+    }
+
+    #[test]
+    fn bucket_upper_bound_matches_quantile_reporting() {
+        assert_eq!(StreamingHistogram::bucket_upper_bound(900), 1 << 10);
+        assert_eq!(StreamingHistogram::bucket_upper_bound(1 << 10), 1 << 10);
+        assert_eq!(StreamingHistogram::bucket_upper_bound(1025), 1 << 11);
+        assert_eq!(StreamingHistogram::bucket_upper_bound(u64::MAX), u64::MAX);
+        let mut h = StreamingHistogram::new();
+        h.observe(3_000);
+        assert_eq!(
+            h.quantile(0.5).unwrap(),
+            StreamingHistogram::bucket_upper_bound(3_000)
+        );
     }
 }

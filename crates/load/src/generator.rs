@@ -1,0 +1,315 @@
+//! The open-loop generator: a fixed virtual-client pool replaying an
+//! arrival schedule against a [`WorkloadTarget`].
+//!
+//! ## Why intended-send-time stamping
+//!
+//! Each arrival `i` has an intended send time `start + offsets[i]` fixed
+//! by the schedule. A virtual client that picks up arrival `i` sleeps
+//! until that instant, issues the operation, and records
+//!
+//! ```text
+//! latency(i) = completion(i) − intended(i)
+//! ```
+//!
+//! — *not* `completion − actual_send`. When the pool falls behind (every
+//! virtual client stuck waiting on a slow server), the schedule keeps
+//! advancing and the slip is charged to the measurement. This is the
+//! wrk2 discipline: a closed-loop measurement at the same offered rate
+//! would pause the schedule instead and report a flattering p99
+//! (coordinated omission). Past saturation the open-loop p99 grows with
+//! the backlog — the knee this crate exists to expose.
+
+use crate::rng::mix;
+use crate::schedule::arrival_offsets_ns;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+use symbi_core::analysis::online::StreamingHistogram;
+use symbi_margo::MargoError;
+use symbi_mercury::RpcStatus;
+use symbi_services::scenario::ScenarioSpec;
+use symbi_services::workload::WorkloadTarget;
+
+/// Salt for the op-kind decision stream.
+const OP_SALT: u64 = 0x6F70;
+/// Salt for the key-choice decision stream.
+const KEY_SALT: u64 = 0x6B_6579;
+
+/// Percentiles of one schedule phase (before/after the payload switch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseStats {
+    /// Successful operations in the phase.
+    pub ops: u64,
+    /// Median latency from intended send time, ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+}
+
+/// Everything one open-loop run measured. Latency percentiles cover
+/// *successful* operations only; `shed` and `errors` are counted but do
+/// not dilute the distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadSummary {
+    /// Scenario name.
+    pub scenario: String,
+    /// Target description ([`WorkloadTarget::describe`]).
+    pub target: String,
+    /// Offered rate of the schedule, Hz.
+    pub offered_hz: f64,
+    /// Successful completions per second of wall time.
+    pub achieved_hz: f64,
+    /// Wall time from generator start to the last completion, seconds.
+    pub duration_s: f64,
+    /// Arrivals issued (= the schedule length).
+    pub ops: u64,
+    /// Operations that completed successfully.
+    pub ok: u64,
+    /// Operations the server rejected with `Overloaded` — deliberate
+    /// backpressure, its own bucket.
+    pub shed: u64,
+    /// Operations that failed for any other reason.
+    pub errors: u64,
+    /// Put arrivals.
+    pub puts: u64,
+    /// Get arrivals.
+    pub gets: u64,
+    /// Scan arrivals.
+    pub scans: u64,
+    /// Median latency from intended send, ns.
+    pub p50_ns: u64,
+    /// 99th percentile, ns.
+    pub p99_ns: u64,
+    /// 99.9th percentile, ns.
+    pub p999_ns: u64,
+    /// Mean, ns.
+    pub mean_ns: u64,
+    /// Maximum, ns.
+    pub max_ns: u64,
+    /// Stats of the pre-switch phase (the whole run when the scenario
+    /// has no payload switch).
+    pub early: PhaseStats,
+    /// Stats after `large_after_ms`, when the scenario scripts the
+    /// eager→RDMA payload crossing.
+    pub late: Option<PhaseStats>,
+}
+
+impl LoadSummary {
+    /// One human-readable report line.
+    pub fn render(&self) -> String {
+        let mut line = format!(
+            "{}: offered {:.0}/s achieved {:.0}/s ops {} (ok {} shed {} err {}) \
+             p50 {:.3}ms p99 {:.3}ms p999 {:.3}ms",
+            self.scenario,
+            self.offered_hz,
+            self.achieved_hz,
+            self.ops,
+            self.ok,
+            self.shed,
+            self.errors,
+            self.p50_ns as f64 / 1e6,
+            self.p99_ns as f64 / 1e6,
+            self.p999_ns as f64 / 1e6,
+        );
+        if let Some(late) = &self.late {
+            line.push_str(&format!(
+                " | early p99 {:.3}ms -> late p99 {:.3}ms",
+                self.early.p99_ns as f64 / 1e6,
+                late.p99_ns as f64 / 1e6
+            ));
+        }
+        line
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum OpKind {
+    Put,
+    Get,
+    Scan,
+}
+
+/// The deterministic decision for arrival `i`: op kind and key index.
+fn decide(spec: &ScenarioSpec, i: u64) -> (OpKind, u64) {
+    let mix_total = spec.mix.total() as u64;
+    let r = mix(spec.seed ^ OP_SALT, i) % mix_total;
+    let kind = if r < spec.mix.put as u64 {
+        OpKind::Put
+    } else if r < (spec.mix.put + spec.mix.get) as u64 {
+        OpKind::Get
+    } else {
+        OpKind::Scan
+    };
+    let key = mix(spec.seed ^ KEY_SALT, i) % spec.key_space.max(1);
+    (kind, key)
+}
+
+#[derive(Default)]
+struct WorkerStats {
+    hist: StreamingHistogram,
+    early: StreamingHistogram,
+    late: StreamingHistogram,
+    ok: u64,
+    shed: u64,
+    errors: u64,
+    puts: u64,
+    gets: u64,
+    scans: u64,
+    last_completion_ns: u64,
+}
+
+/// Replay `spec`'s schedule against `target` from a pool of
+/// `spec.virtual_clients` threads and aggregate the measurement. The
+/// target is flushed once after the schedule drains (batched targets
+/// issue their tail writes there).
+pub fn run_open_loop(target: &dyn WorkloadTarget, spec: &ScenarioSpec) -> LoadSummary {
+    let offsets = arrival_offsets_ns(spec);
+    let next = AtomicUsize::new(0);
+    let workers = spec.virtual_clients.max(1) as usize;
+    let large_after_ns = spec.large_after_ms.saturating_mul(1_000_000);
+    let start = Instant::now();
+
+    let mut all = Vec::with_capacity(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut w = WorkerStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= offsets.len() {
+                            break;
+                        }
+                        let intended_ns = offsets[i];
+                        let now_ns = start.elapsed().as_nanos() as u64;
+                        if intended_ns > now_ns {
+                            std::thread::sleep(Duration::from_nanos(intended_ns - now_ns));
+                        }
+                        let (kind, key_idx) = decide(spec, i as u64);
+                        let key = format!("k-{key_idx:012x}");
+                        let is_late = large_after_ns > 0 && intended_ns >= large_after_ns;
+                        let result = match kind {
+                            OpKind::Put => {
+                                w.puts += 1;
+                                let size = if is_late && spec.large_value_size > 0 {
+                                    spec.large_value_size
+                                } else {
+                                    spec.value_size
+                                } as usize;
+                                let fill = mix(spec.seed, i as u64) as u8;
+                                target.put(key.as_bytes(), &vec![fill; size]).map(|_| ())
+                            }
+                            OpKind::Get => {
+                                w.gets += 1;
+                                target.get(key.as_bytes()).map(|_| ())
+                            }
+                            OpKind::Scan => {
+                                w.scans += 1;
+                                target
+                                    .scan(key.as_bytes(), spec.scan_span.max(1) as usize)
+                                    .map(|_| ())
+                            }
+                        };
+                        let done_ns = start.elapsed().as_nanos() as u64;
+                        w.last_completion_ns = w.last_completion_ns.max(done_ns);
+                        match result {
+                            Ok(()) => {
+                                let latency = done_ns.saturating_sub(intended_ns);
+                                w.hist.observe(latency);
+                                if is_late {
+                                    w.late.observe(latency);
+                                } else {
+                                    w.early.observe(latency);
+                                }
+                                w.ok += 1;
+                            }
+                            Err(MargoError::Remote(RpcStatus::Overloaded)) => w.shed += 1,
+                            Err(_) => w.errors += 1,
+                        }
+                    }
+                    w
+                })
+            })
+            .collect();
+        for h in handles {
+            all.push(h.join().expect("virtual client panicked"));
+        }
+    });
+
+    let mut merged = WorkerStats::default();
+    for w in &all {
+        merged.hist.merge(&w.hist);
+        merged.early.merge(&w.early);
+        merged.late.merge(&w.late);
+        merged.ok += w.ok;
+        merged.shed += w.shed;
+        merged.errors += w.errors;
+        merged.puts += w.puts;
+        merged.gets += w.gets;
+        merged.scans += w.scans;
+        merged.last_completion_ns = merged.last_completion_ns.max(w.last_completion_ns);
+    }
+    if target.flush().is_err() {
+        merged.errors += 1;
+    }
+
+    let duration_s = (merged.last_completion_ns.max(1)) as f64 / 1e9;
+    let q = |h: &StreamingHistogram, p: f64| h.quantile(p).unwrap_or(0);
+    let phase = |h: &StreamingHistogram| PhaseStats {
+        ops: h.count(),
+        p50_ns: q(h, 0.50),
+        p99_ns: q(h, 0.99),
+    };
+    LoadSummary {
+        scenario: spec.name.clone(),
+        target: target.describe(),
+        offered_hz: spec.rate_hz(),
+        achieved_hz: merged.ok as f64 / duration_s,
+        duration_s,
+        ops: offsets.len() as u64,
+        ok: merged.ok,
+        shed: merged.shed,
+        errors: merged.errors,
+        puts: merged.puts,
+        gets: merged.gets,
+        scans: merged.scans,
+        p50_ns: q(&merged.hist, 0.50),
+        p99_ns: q(&merged.hist, 0.99),
+        p999_ns: q(&merged.hist, 0.999),
+        mean_ns: if merged.hist.count() > 0 {
+            merged.hist.sum_ns() / merged.hist.count()
+        } else {
+            0
+        },
+        max_ns: merged.hist.max_ns(),
+        early: phase(&merged.early),
+        late: if large_after_ns > 0 {
+            Some(phase(&merged.late))
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_decisions_are_deterministic_and_respect_the_mix() {
+        let spec = ScenarioSpec::named("mix-test").with_mix(50, 50, 0);
+        let mut puts = 0u64;
+        for i in 0..10_000 {
+            let (a, ka) = decide(&spec, i);
+            let (b, kb) = decide(&spec, i);
+            assert!(a == b && ka == kb, "decisions are pure");
+            if a == OpKind::Put {
+                puts += 1;
+            }
+            assert!(ka < spec.key_space);
+        }
+        let frac = puts as f64 / 10_000.0;
+        assert!((0.45..0.55).contains(&frac), "put fraction {frac}");
+        // No scans when the scan weight is zero.
+        assert!((0..10_000).all(|i| decide(&spec, i).0 != OpKind::Scan));
+    }
+}

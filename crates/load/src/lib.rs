@@ -1,0 +1,48 @@
+//! # symbi-load — the open-loop load plane
+//!
+//! Every bench the repo had before this crate was *closed-loop*: a fixed
+//! set of workers, each issuing its next request only after the previous
+//! one completed. Closed loops cannot show queueing collapse — when the
+//! server slows down, the offered load politely slows down with it, and
+//! the latency a stalled request *would have caused* to the requests
+//! queued behind it is never measured. That blind spot is coordinated
+//! omission, and it hides exactly the regime where the paper's §V
+//! anomalies (progress-ULT starvation, pool backlog) live.
+//!
+//! This crate drives the composed services **open-loop**:
+//!
+//! * [`schedule`] turns a [`ScenarioSpec`] into a seeded, deterministic
+//!   arrival schedule — Poisson or heavy-tail Pareto inter-arrivals at
+//!   an offered rate the *server does not control*;
+//! * [`generator`] replays the schedule from a fixed pool of virtual
+//!   clients, stamping every request with its **intended** send time.
+//!   Latency is measured from the intended time, not the actual send,
+//!   so schedule slip (a busy client pool falling behind the arrival
+//!   process) is *charged to the server* instead of silently dropped;
+//! * results land in log-bucketed
+//!   [`symbi_core::analysis::online::StreamingHistogram`]s and are
+//!   reported as p50/p99/p999 vs offered rate ([`report`],
+//!   `BENCH_load.json`);
+//! * [`scenarios`] scripts the paper's anomaly reproductions — progress
+//!   starvation, the eager→RDMA payload-threshold crossing, blackout
+//!   storms over the existing fault plan — as ready-made specs.
+//!
+//! Requests the server sheds with `RpcStatus::Overloaded` are counted in
+//! their own `shed` bucket, separate from hard `errors`: backpressure is
+//! a control decision, not a failure.
+
+pub mod generator;
+pub mod report;
+pub mod rng;
+pub mod scenarios;
+pub mod schedule;
+
+pub use generator::{run_open_loop, LoadSummary, PhaseStats};
+pub use report::{summary_from_json, summary_to_json, sweep_json};
+pub use schedule::arrival_offsets_ns;
+pub use symbi_services::scenario::{
+    AdaptiveSpec, ArrivalProcess, FaultScript, ScenarioSpec, WorkloadMix, SCENARIO_ENV,
+};
+pub use symbi_services::workload::{
+    BakeTarget, HepnosTarget, RoutedTarget, SdskvTarget, WorkloadTarget,
+};

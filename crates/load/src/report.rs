@@ -1,0 +1,230 @@
+//! Serialization of [`LoadSummary`] and the `BENCH_load.json` sweep
+//! schema, in the repo's hand-rolled JSON dialect
+//! ([`symbi_core::telemetry::jsonl`]).
+//!
+//! Two uses: the `load` role of `symbi-netd` writes a summary JSON for
+//! the deploying parent to parse back, and the rate-sweep example folds
+//! per-rate summaries into `BENCH_load.json`.
+
+use crate::generator::{LoadSummary, PhaseStats};
+use std::fmt::Write as _;
+use symbi_core::telemetry::jsonl::{parse_json, JsonValue};
+
+/// Serialize one open-loop summary as a flat JSON object
+/// (`"kind":"load_summary"`).
+pub fn summary_to_json(s: &LoadSummary) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("{\"kind\":\"load_summary\",\"scenario\":");
+    push_json_str(&mut out, &s.scenario);
+    out.push_str(",\"target\":");
+    push_json_str(&mut out, &s.target);
+    let _ = write!(
+        out,
+        ",\"offered_hz\":{},\"achieved_hz\":{},\"duration_s\":{}",
+        s.offered_hz, s.achieved_hz, s.duration_s
+    );
+    let _ = write!(
+        out,
+        ",\"ops\":{},\"ok\":{},\"shed\":{},\"errors\":{}",
+        s.ops, s.ok, s.shed, s.errors
+    );
+    let _ = write!(
+        out,
+        ",\"puts\":{},\"gets\":{},\"scans\":{}",
+        s.puts, s.gets, s.scans
+    );
+    let _ = write!(
+        out,
+        ",\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"mean_ns\":{},\"max_ns\":{}",
+        s.p50_ns, s.p99_ns, s.p999_ns, s.mean_ns, s.max_ns
+    );
+    let _ = write!(
+        out,
+        ",\"early_ops\":{},\"early_p50_ns\":{},\"early_p99_ns\":{}",
+        s.early.ops, s.early.p50_ns, s.early.p99_ns
+    );
+    if let Some(late) = &s.late {
+        let _ = write!(
+            out,
+            ",\"late_ops\":{},\"late_p50_ns\":{},\"late_p99_ns\":{}",
+            late.ops, late.p50_ns, late.p99_ns
+        );
+    }
+    out.push('}');
+    out
+}
+
+/// Parse a summary produced by [`summary_to_json`].
+pub fn summary_from_json(input: &str) -> Result<LoadSummary, String> {
+    let v = parse_json(input)?;
+    summary_from_value(&v)
+}
+
+fn summary_from_value(v: &JsonValue) -> Result<LoadSummary, String> {
+    if v.get("kind").and_then(JsonValue::as_str) != Some("load_summary") {
+        return Err("not a load summary".into());
+    }
+    let u = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("load summary missing {key}"))
+    };
+    let f = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("load summary missing {key}"))
+    };
+    let s = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("load summary missing {key}"))
+    };
+    let late = match v.get("late_ops").and_then(JsonValue::as_u64) {
+        Some(ops) => Some(PhaseStats {
+            ops,
+            p50_ns: u("late_p50_ns")?,
+            p99_ns: u("late_p99_ns")?,
+        }),
+        None => None,
+    };
+    Ok(LoadSummary {
+        scenario: s("scenario")?,
+        target: s("target")?,
+        offered_hz: f("offered_hz")?,
+        achieved_hz: f("achieved_hz")?,
+        duration_s: f("duration_s")?,
+        ops: u("ops")?,
+        ok: u("ok")?,
+        shed: u("shed")?,
+        errors: u("errors")?,
+        puts: u("puts")?,
+        gets: u("gets")?,
+        scans: u("scans")?,
+        p50_ns: u("p50_ns")?,
+        p99_ns: u("p99_ns")?,
+        p999_ns: u("p999_ns")?,
+        mean_ns: u("mean_ns")?,
+        max_ns: u("max_ns")?,
+        early: PhaseStats {
+            ops: u("early_ops")?,
+            p50_ns: u("early_p50_ns")?,
+            p99_ns: u("early_p99_ns")?,
+        },
+        late,
+    })
+}
+
+/// Fold a rate sweep into the `BENCH_load.json` document: run metadata
+/// plus one `results` entry per offered rate, ordered as given.
+pub fn sweep_json(transport: &str, scenario: &str, servers: u32, points: &[LoadSummary]) -> String {
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"kind\":\"bench_load\",\"transport\":");
+    push_json_str(&mut out, transport);
+    out.push_str(",\"scenario\":");
+    push_json_str(&mut out, scenario);
+    let _ = write!(out, ",\"servers\":{servers},\"results\":[");
+    for (i, p) in points.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&summary_to_json(p));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Parse the `results` entries of a `BENCH_load.json` document.
+pub fn sweep_from_json(input: &str) -> Result<Vec<LoadSummary>, String> {
+    let v = parse_json(input)?;
+    if v.get("kind").and_then(JsonValue::as_str) != Some("bench_load") {
+        return Err("not a bench_load document".into());
+    }
+    v.get("results")
+        .and_then(JsonValue::as_arr)
+        .ok_or("bench_load missing results")?
+        .iter()
+        .map(summary_from_value)
+        .collect()
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(late: bool) -> LoadSummary {
+        LoadSummary {
+            scenario: "sweep \"q\"".into(),
+            target: "sdskv@2xfab".into(),
+            offered_hz: 1250.0,
+            achieved_hz: 1187.5,
+            duration_s: 2.5,
+            ops: 3125,
+            ok: 2969,
+            shed: 120,
+            errors: 36,
+            puts: 1875,
+            gets: 1094,
+            scans: 156,
+            p50_ns: 410_000,
+            p99_ns: 9_300_000,
+            p999_ns: 22_000_000,
+            mean_ns: 910_000,
+            max_ns: 41_000_000,
+            early: PhaseStats {
+                ops: 1500,
+                p50_ns: 400_000,
+                p99_ns: 4_000_000,
+            },
+            late: late.then_some(PhaseStats {
+                ops: 1469,
+                p50_ns: 900_000,
+                p99_ns: 18_000_000,
+            }),
+        }
+    }
+
+    #[test]
+    fn summary_round_trips_with_and_without_a_late_phase() {
+        for late in [false, true] {
+            let s = sample(late);
+            let back = summary_from_json(&summary_to_json(&s)).unwrap();
+            assert_eq!(s, back);
+        }
+    }
+
+    #[test]
+    fn sweep_document_round_trips_every_point_in_order() {
+        let points = vec![sample(false), sample(true)];
+        let doc = sweep_json("tcp", "rate-sweep", 2, &points);
+        let back = sweep_from_json(&doc).unwrap();
+        assert_eq!(points, back);
+        let v = parse_json(&doc).unwrap();
+        assert_eq!(v.get("transport").and_then(JsonValue::as_str), Some("tcp"));
+        assert_eq!(v.get("servers").and_then(JsonValue::as_u64), Some(2));
+    }
+
+    #[test]
+    fn foreign_documents_are_rejected() {
+        assert!(summary_from_json("{\"kind\":\"scenario\"}").is_err());
+        assert!(sweep_from_json("{\"kind\":\"load_summary\"}").is_err());
+    }
+}

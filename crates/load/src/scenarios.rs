@@ -1,0 +1,143 @@
+//! Scripted anomaly scenarios — the paper's §V case studies as
+//! ready-made [`ScenarioSpec`]s for open-loop replay.
+//!
+//! Each preset fixes the *shape* of an anomaly (server provisioning,
+//! payload schedule, fault script); callers still pick the offered rate
+//! and horizon for their hardware with the spec builders.
+
+use std::time::Duration;
+use symbi_services::scenario::{AdaptiveSpec, FaultScript, ScenarioSpec};
+
+/// The plain rate-sweep point: default mixed read/write/scan workload at
+/// `rate_hz`, no anomaly. Sweeping this across rates traces the
+/// open-loop throughput/latency curve and its p99 knee.
+pub fn rate_sweep(rate_hz: f64) -> ScenarioSpec {
+    ScenarioSpec::named("rate-sweep").with_rate_hz(rate_hz)
+}
+
+/// Progress-ULT starvation (paper Fig. 7): handler work long enough to
+/// monopolise the execution streams, offered rate near the service
+/// capacity, so request processing starves the progress loop and p99
+/// climbs far above the handler cost.
+pub fn starvation(rate_hz: f64) -> ScenarioSpec {
+    ScenarioSpec::named("starvation")
+        .with_rate_hz(rate_hz)
+        .with_mix(70, 30, 0)
+        .with_server_shape(2, 4, Duration::from_millis(2))
+}
+
+/// The eager→RDMA payload-threshold crossing (paper Fig. 8): halfway
+/// through the horizon, put payloads jump from comfortably-eager to
+/// firmly in RDMA territory. The early/late phase split in the summary
+/// shows the latency regime change.
+pub fn rdma_crossing(rate_hz: f64, horizon: Duration) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named("rdma-crossing")
+        .with_rate_hz(rate_hz)
+        .with_mix(100, 0, 0)
+        .with_duration(horizon);
+    spec.value_size = 1024;
+    spec.large_value_size = 32 * 1024;
+    spec.large_after_ms = spec.duration_ms / 2;
+    spec
+}
+
+/// Blackout storm over the existing fault plan (paper Figs. 9–10):
+/// `blackouts` scripted link blackouts of `blackout_ms` each, rotating
+/// across the server set, starting after a clean warm-up quarter of the
+/// horizon. Deterministic under `spec.seed` like every fault plan.
+pub fn blackout_storm(rate_hz: f64, horizon: Duration, blackouts: u32) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named("blackout-storm")
+        .with_rate_hz(rate_hz)
+        .with_duration(horizon);
+    let horizon_ms = spec.duration_ms.max(4);
+    let first_ms = horizon_ms / 4;
+    let n = blackouts.max(1);
+    let seed = spec.seed;
+    spec = spec.with_fault(FaultScript {
+        seed,
+        blackouts: n,
+        first_ms,
+        // Spread the storm over the middle half of the horizon.
+        period_ms: (horizon_ms / 2 / n as u64).max(1),
+        blackout_ms: 100,
+    });
+    spec
+}
+
+/// Enable the PR 7 adaptive control loop on any scenario, with shedding
+/// allowed — the "adaptive" arm of a static-vs-adaptive comparison. The
+/// returned spec keeps the same seed, so both arms replay an identical
+/// arrival schedule.
+pub fn adaptive_arm(spec: ScenarioSpec) -> ScenarioSpec {
+    let name = format!("{}+adaptive", spec.name);
+    let mut spec = spec.with_adaptive(AdaptiveSpec {
+        enabled: true,
+        cooldown_ms: 50,
+        max_lanes: 1024,
+        max_streams: 4,
+        shedding: true,
+    });
+    spec.name = name;
+    spec
+}
+
+/// A scan-heavy mix useful for multi-key handler-cost scenarios.
+pub fn scan_heavy(rate_hz: f64) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named("scan-heavy")
+        .with_rate_hz(rate_hz)
+        .with_mix(20, 30, 50);
+    spec.handler_cost_per_key_us = 50;
+    spec
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_services::scenario::ArrivalProcess;
+
+    #[test]
+    fn presets_are_well_formed_and_deterministic() {
+        for spec in [
+            rate_sweep(1000.0),
+            starvation(900.0),
+            rdma_crossing(500.0, Duration::from_secs(2)),
+            blackout_storm(800.0, Duration::from_secs(2), 3),
+            scan_heavy(400.0),
+        ] {
+            assert!(spec.mix.total() > 0, "{}: degenerate mix", spec.name);
+            assert!(spec.total_ops() > 0, "{}: empty schedule", spec.name);
+            // Round-trip through the wire format preserves the preset.
+            let back = ScenarioSpec::from_json(&spec.to_json()).unwrap();
+            assert_eq!(spec, back, "{}: json round trip", spec.name);
+        }
+    }
+
+    #[test]
+    fn rdma_crossing_switches_payload_mid_horizon() {
+        let spec = rdma_crossing(500.0, Duration::from_secs(4));
+        assert_eq!(spec.large_after_ms, 2000);
+        assert!(spec.large_value_size > spec.value_size);
+        assert!(matches!(spec.arrivals, ArrivalProcess::Poisson { .. }));
+    }
+
+    #[test]
+    fn blackout_storm_schedules_every_blackout_inside_the_horizon() {
+        let spec = blackout_storm(800.0, Duration::from_secs(2), 4);
+        let fault = spec.fault.as_ref().unwrap();
+        assert_eq!(fault.blackouts, 4);
+        let last_start = fault.first_ms + (fault.blackouts as u64 - 1) * fault.period_ms;
+        assert!(last_start + fault.blackout_ms <= spec.duration_ms);
+    }
+
+    #[test]
+    fn adaptive_arm_keeps_the_schedule_but_enables_control() {
+        let base = starvation(900.0);
+        let adaptive = adaptive_arm(base.clone());
+        assert_eq!(adaptive.seed, base.seed);
+        assert_eq!(adaptive.rate_hz(), base.rate_hz());
+        assert!(adaptive.adaptive.enabled && adaptive.adaptive.shedding);
+        assert!(adaptive.control_policy().is_some());
+        assert!(base.control_policy().is_none());
+        assert_eq!(adaptive.name, "starvation+adaptive");
+    }
+}

@@ -1,0 +1,107 @@
+//! Seeded open-loop arrival schedules.
+//!
+//! A schedule is the list of *intended* send times (ns offsets from
+//! generator start), one per arrival, fixed before the run begins. The
+//! server never sees the schedule and cannot slow it down — that is the
+//! definition of open-loop. Two runs of the same [`ScenarioSpec`]
+//! produce byte-identical schedules (the reproducibility contract the
+//! fault plane already keeps).
+
+use crate::rng::SplitMix64;
+use symbi_services::scenario::{ArrivalProcess, ScenarioSpec};
+
+/// Generate the arrival schedule of `spec`: `spec.total_ops()`
+/// non-decreasing nanosecond offsets from the generator start.
+///
+/// * Poisson — exponential gaps `-ln(U)/rate`, the memoryless arrival
+///   stream of independent users.
+/// * Pareto — gaps `x_m · U^(-1/α)` with `x_m = (α-1)/(α·rate)`, mean
+///   matched to `1/rate` but heavy-tailed: long quiet gaps and dense
+///   bursts at the *same* offered rate, the burstier traffic shape
+///   production services see.
+pub fn arrival_offsets_ns(spec: &ScenarioSpec) -> Vec<u64> {
+    let n = spec.total_ops() as usize;
+    let rate = spec.rate_hz().max(1e-9);
+    let mean_gap_ns = 1e9 / rate;
+    let mut rng = SplitMix64::new(spec.seed ^ 0x5CED_41E5_0FF5_E75A);
+    let mut t_ns = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let u = rng.next_unit();
+        let gap = match &spec.arrivals {
+            ArrivalProcess::Poisson { .. } => -mean_gap_ns * u.ln(),
+            ArrivalProcess::Pareto { alpha, .. } => {
+                // alpha must exceed 1 for the mean to exist; clamp so a
+                // mis-specified spec degrades instead of diverging.
+                let a = alpha.max(1.05);
+                let xm = mean_gap_ns * (a - 1.0) / a;
+                xm * u.powf(-1.0 / a)
+            }
+        };
+        t_ns += gap;
+        out.push(t_ns as u64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn poisson_spec(seed: u64) -> ScenarioSpec {
+        ScenarioSpec::named("sched-test")
+            .with_rate_hz(10_000.0)
+            .with_duration(Duration::from_secs(5))
+            .with_seed(seed)
+    }
+
+    #[test]
+    fn schedules_are_deterministic_per_seed() {
+        let a = arrival_offsets_ns(&poisson_spec(42));
+        let b = arrival_offsets_ns(&poisson_spec(42));
+        let c = arrival_offsets_ns(&poisson_spec(43));
+        assert_eq!(a, b, "same spec, same schedule");
+        assert_ne!(a, c, "seed changes the schedule");
+        assert_eq!(a.len(), 50_000);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "non-decreasing");
+    }
+
+    #[test]
+    fn poisson_mean_gap_matches_the_offered_rate() {
+        let offs = arrival_offsets_ns(&poisson_spec(7));
+        let horizon = *offs.last().unwrap() as f64 / 1e9;
+        let achieved = offs.len() as f64 / horizon;
+        assert!(
+            (achieved - 10_000.0).abs() / 10_000.0 < 0.05,
+            "offered ~10k Hz, schedule carries {achieved:.0} Hz"
+        );
+    }
+
+    #[test]
+    fn pareto_matches_rate_but_is_heavier_tailed() {
+        let pareto = ScenarioSpec::named("pareto-test")
+            .with_arrivals(ArrivalProcess::Pareto {
+                rate_hz: 10_000.0,
+                alpha: 1.5,
+            })
+            .with_duration(Duration::from_secs(5))
+            .with_seed(7);
+        let p_offs = arrival_offsets_ns(&pareto);
+        let horizon = *p_offs.last().unwrap() as f64 / 1e9;
+        let achieved = p_offs.len() as f64 / horizon;
+        assert!(
+            (achieved - 10_000.0).abs() / 10_000.0 < 0.35,
+            "pareto mean rate within sampling error of 10k Hz, got {achieved:.0}"
+        );
+        // Tail check: the largest Pareto gap dwarfs the largest Poisson
+        // gap at the same rate and sample count.
+        let max_gap = |offs: &[u64]| offs.windows(2).map(|w| w[1] - w[0]).max().unwrap_or(0);
+        let poisson_max = max_gap(&arrival_offsets_ns(&poisson_spec(7)));
+        let pareto_max = max_gap(&p_offs);
+        assert!(
+            pareto_max > poisson_max * 2,
+            "heavy tail: pareto max gap {pareto_max}ns vs poisson {poisson_max}ns"
+        );
+    }
+}

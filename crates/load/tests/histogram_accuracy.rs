@@ -1,0 +1,84 @@
+//! Accuracy contract for the log-bucketed latency histogram the load
+//! plane reports through: across qualitatively different latency
+//! shapes, every quantile estimate must land within one bucket of the
+//! exact sorted percentile.
+
+use symbi_core::analysis::online::StreamingHistogram;
+use symbi_load::rng::SplitMix64;
+
+/// Exact percentile of a sorted sample using the ceil-rank convention.
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// Assert the histogram estimate is within one log bucket of the exact
+/// value: the estimate is a bucket upper bound, and it must be the
+/// bound of the exact value's bucket or an immediately adjacent one.
+fn assert_within_one_bucket(label: &str, q: f64, estimate: u64, exact: u64) {
+    let ub = StreamingHistogram::bucket_upper_bound(exact);
+    let neighbors = [ub / 2, ub, ub.saturating_mul(2)];
+    assert!(
+        neighbors.contains(&estimate),
+        "{label} q={q}: estimate {estimate}ns not within one bucket of \
+         exact {exact}ns (bucket upper bound {ub}ns)"
+    );
+    assert!(
+        estimate >= exact / 2,
+        "{label} q={q}: estimate {estimate}ns underestimates exact {exact}ns \
+         by more than a bucket"
+    );
+}
+
+fn check_distribution(label: &str, samples: Vec<u64>) {
+    let mut hist = StreamingHistogram::default();
+    for &s in &samples {
+        hist.observe(s);
+    }
+    let mut sorted = samples;
+    sorted.sort_unstable();
+    for q in [0.50, 0.90, 0.99, 0.999] {
+        let estimate = hist.quantile(q).expect("non-empty histogram");
+        let exact = exact_percentile(&sorted, q);
+        assert_within_one_bucket(label, q, estimate, exact);
+    }
+}
+
+#[test]
+fn uniform_latencies_estimate_within_one_bucket() {
+    let mut rng = SplitMix64::new(11);
+    // Uniform over [50µs, 950µs].
+    let samples: Vec<u64> = (0..20_000)
+        .map(|_| 50_000 + (rng.next_unit() * 900_000.0) as u64)
+        .collect();
+    check_distribution("uniform", samples);
+}
+
+#[test]
+fn exponential_latencies_estimate_within_one_bucket() {
+    let mut rng = SplitMix64::new(12);
+    // Exponential with a 200µs mean — the long right tail stresses the
+    // coarse upper buckets.
+    let samples: Vec<u64> = (0..20_000)
+        .map(|_| (-200_000.0 * rng.next_unit().ln()) as u64)
+        .collect();
+    check_distribution("exponential", samples);
+}
+
+#[test]
+fn bimodal_latencies_estimate_within_one_bucket() {
+    let mut rng = SplitMix64::new(13);
+    // 90% fast (~80µs) / 10% slow (~12ms) — the fast-path/slow-path
+    // split services actually produce; p99 sits in the slow mode.
+    let samples: Vec<u64> = (0..20_000)
+        .map(|_| {
+            if rng.next_unit() < 0.9 {
+                60_000 + (rng.next_unit() * 40_000.0) as u64
+            } else {
+                8_000_000 + (rng.next_unit() * 8_000_000.0) as u64
+            }
+        })
+        .collect();
+    check_distribution("bimodal", samples);
+}

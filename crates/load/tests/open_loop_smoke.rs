@@ -1,0 +1,124 @@
+//! End-to-end smoke of the open-loop generator over a real (in-process)
+//! fabric: schedule replay, result classification, the shed bucket, and
+//! the early/late phase split.
+
+use std::time::Duration;
+use symbi_fabric::{Fabric, NetworkModel};
+use symbi_load::{run_open_loop, scenarios, summary_from_json, summary_to_json, ScenarioSpec};
+use symbi_load::{RoutedTarget, SdskvTarget, WorkloadTarget};
+use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_services::kv::{BackendKind, StorageCost};
+use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
+
+fn quick_spec() -> SdskvSpec {
+    SdskvSpec {
+        num_databases: 4,
+        backend: BackendKind::Map,
+        cost: StorageCost::free(),
+        handler_cost: Duration::ZERO,
+        handler_cost_per_key: Duration::ZERO,
+    }
+}
+
+struct Deployment {
+    servers: Vec<MargoInstance>,
+    client: MargoInstance,
+}
+
+impl Deployment {
+    fn launch(fabric: &Fabric, n: usize) -> (Deployment, RoutedTarget) {
+        let client = MargoInstance::new(fabric.clone(), MargoConfig::client("load-smoke"));
+        let mut servers = Vec::new();
+        let mut targets: Vec<Box<dyn WorkloadTarget>> = Vec::new();
+        for i in 0..n {
+            let server = MargoInstance::new(
+                fabric.clone(),
+                MargoConfig::server(format!("load-srv-{i}"), 2),
+            );
+            let _provider = SdskvProvider::attach(&server, quick_spec());
+            targets.push(Box::new(SdskvTarget::new(
+                SdskvClient::new(client.clone(), server.addr()),
+                4,
+            )));
+            servers.push(server);
+        }
+        (Deployment { servers, client }, RoutedTarget::new(targets))
+    }
+
+    fn finalize(self) {
+        self.client.finalize();
+        for s in self.servers {
+            s.finalize();
+        }
+    }
+}
+
+#[test]
+fn open_loop_run_accounts_for_every_arrival() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let (dep, target) = Deployment::launch(&fabric, 2);
+    let spec = ScenarioSpec::named("smoke")
+        .with_rate_hz(4000.0)
+        .with_duration(Duration::from_millis(250))
+        .with_virtual_clients(8);
+
+    let summary = run_open_loop(&target, &spec);
+    assert_eq!(summary.ops, spec.total_ops());
+    assert_eq!(summary.ok + summary.shed + summary.errors, summary.ops);
+    assert_eq!(summary.errors, 0, "healthy run: {}", summary.render());
+    assert_eq!(summary.shed, 0);
+    assert_eq!(summary.puts + summary.gets + summary.scans, summary.ops);
+    assert!(summary.puts > 0 && summary.gets > 0 && summary.scans > 0);
+    assert!(summary.p50_ns > 0 && summary.p99_ns >= summary.p50_ns);
+    assert!(summary.p999_ns >= summary.p99_ns);
+    assert!(summary.achieved_hz > 0.0);
+    assert!(summary.late.is_none(), "no payload switch scripted");
+    assert_eq!(summary.early.ops, summary.ok);
+
+    // The wire format carries the whole measurement.
+    let back = summary_from_json(&summary_to_json(&summary)).unwrap();
+    assert_eq!(summary, back);
+    dep.finalize();
+}
+
+#[test]
+fn overloaded_rejections_land_in_the_shed_bucket_not_errors() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let (dep, target) = Deployment::launch(&fabric, 1);
+    // Close the admission gate: every RPC now comes back Overloaded.
+    dep.servers[0].force_shed(true);
+
+    let spec = ScenarioSpec::named("shed-all")
+        .with_rate_hz(2000.0)
+        .with_duration(Duration::from_millis(100))
+        .with_virtual_clients(4);
+    let summary = run_open_loop(&target, &spec);
+    assert_eq!(summary.ok, 0, "{}", summary.render());
+    assert_eq!(
+        summary.errors,
+        0,
+        "shed is not an error: {}",
+        summary.render()
+    );
+    assert_eq!(summary.shed, summary.ops);
+    assert!(
+        dep.servers[0].shed_rejected_total() >= summary.shed,
+        "server counted its rejections"
+    );
+    dep.finalize();
+}
+
+#[test]
+fn rdma_crossing_scenario_splits_early_and_late_phases() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let (dep, target) = Deployment::launch(&fabric, 2);
+    let spec = scenarios::rdma_crossing(2000.0, Duration::from_millis(400)).with_virtual_clients(8);
+
+    let summary = run_open_loop(&target, &spec);
+    let late = summary.late.as_ref().expect("payload switch scripted");
+    assert_eq!(summary.errors, 0, "{}", summary.render());
+    assert_eq!(summary.early.ops + late.ops, summary.ok);
+    assert!(summary.early.ops > 0, "ops before the switch");
+    assert!(late.ops > 0, "ops after the switch");
+    dep.finalize();
+}

@@ -615,11 +615,26 @@ impl MargoInstance {
         self.inner.telemetry.prometheus_addr()
     }
 
-    /// Test hook: force the admission gate open/closed, bypassing the
-    /// control loop.
-    #[cfg(test)]
-    pub(crate) fn force_shed(&self, on: bool) {
+    /// Force the admission gate open/closed, bypassing the control loop.
+    /// New requests are rejected before any handler runs with
+    /// [`symbi_mercury::RpcStatus::Overloaded`] while the gate is closed.
+    /// An operational drill / test hook: load generators use it to
+    /// exercise their shed accounting against a live server.
+    pub fn force_shed(&self, on: bool) {
         self.inner.shed.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether the admission gate is currently shedding load.
+    pub fn shedding(&self) -> bool {
+        self.inner.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected at admission with `Overloaded` since startup —
+    /// the server-side count a load generator's `shed` bucket should
+    /// reconcile against (also exported as
+    /// `symbi_margo_shed_rejected_total`).
+    pub fn shed_rejected_total(&self) -> u64 {
+        self.inner.shed_rejected.load(Ordering::Relaxed)
     }
 
     // ------------------------------------------------------------------

@@ -29,6 +29,12 @@
 //! | `SYMBI_FLIGHT_DIR` | Flight-recorder ring directory, if set. |
 //! | `SYMBI_FAULT_SEED` | Seed for the process's fault plan, if set. |
 //! | `SYMBI_ADAPTIVE` | `1`: servers attach the online control loop. |
+//! | `SYMBI_SCENARIO` | JSON [`crate::scenario::ScenarioSpec`], if set. |
+//!
+//! `SYMBI_SCENARIO` (set by [`DeployManifest::with_scenario`]) is the
+//! typed replacement for the ad-hoc `SYMBI_ADAPTIVE`/`SYMBI_FAULT_SEED`
+//! knobs: a process that finds it should build its configuration from
+//! the spec and ignore the legacy variables.
 //!
 //! Servers report their bound URL through the ready file (not the
 //! launcher-chosen one) so ephemeral TCP ports work: the launcher asks
@@ -84,6 +90,10 @@ pub struct DeployManifest {
     /// online control loop (anomaly → lane/stream/pipeline/shed
     /// reactions); clients ignore it.
     pub adaptive: bool,
+    /// JSON-encoded [`crate::scenario::ScenarioSpec`] handed to every
+    /// process as `SYMBI_SCENARIO` (the typed successor of the
+    /// `adaptive`/`fault_seed` knobs).
+    pub scenario_json: Option<String>,
     /// How long to wait for all server ready files.
     pub ready_timeout: Duration,
     /// Extra environment variables for every process.
@@ -113,6 +123,7 @@ impl DeployManifest {
             flight_dir: None,
             fault_seed: None,
             adaptive: false,
+            scenario_json: None,
             ready_timeout: Duration::from_secs(30),
             extra_env: Vec::new(),
         }
@@ -159,6 +170,15 @@ impl DeployManifest {
     #[must_use]
     pub fn with_adaptive(mut self) -> Self {
         self.adaptive = true;
+        self
+    }
+
+    /// Ship this scenario to every process as `SYMBI_SCENARIO` JSON.
+    /// Scenario-aware roles (`scenario`, `load`) build their entire
+    /// configuration from it.
+    #[must_use]
+    pub fn with_scenario(mut self, spec: &crate::scenario::ScenarioSpec) -> Self {
+        self.scenario_json = Some(spec.to_json());
         self
     }
 
@@ -280,6 +300,9 @@ impl DeployManifest {
         }
         if self.adaptive {
             cmd.env("SYMBI_ADAPTIVE", "1");
+        }
+        if let Some(json) = &self.scenario_json {
+            cmd.env(crate::scenario::SCENARIO_ENV, json);
         }
         for (k, v) in &self.extra_env {
             cmd.env(k, v);
@@ -553,6 +576,29 @@ echo ok > "$SYMBI_READY_FILE""#;
         assert!(log.contains("client-0"), "flight dir is per-process: {log}");
         assert!(log.contains("seed=1337"));
         assert!(log.contains("adaptive=1"), "{log}");
+        dep.shutdown(Duration::from_secs(5)).unwrap();
+        let _ = fs::remove_dir_all(&m.workdir);
+    }
+
+    #[test]
+    fn scenario_json_is_wired_into_every_process() {
+        let spec = crate::scenario::ScenarioSpec::named("wiring-test").with_rate_hz(123.0);
+        let mut m = manifest(
+            "scenario",
+            r#"echo "url" > "$SYMBI_READY_FILE"; while [ ! -e "$SYMBI_STOP_FILE" ]; do sleep 0.02; done"#,
+            r#"echo "scenario=$SYMBI_SCENARIO""#,
+        );
+        m.servers = 1;
+        m = m.with_scenario(&spec);
+        let mut dep = m.launch().unwrap();
+        dep.wait_clients(Duration::from_secs(10)).unwrap();
+        let log = fs::read_to_string(m.workdir.join("client-0.log")).unwrap();
+        let json = log
+            .trim()
+            .strip_prefix("scenario=")
+            .expect("client saw SYMBI_SCENARIO");
+        let back = crate::scenario::ScenarioSpec::from_json(json).expect("spec round-trips");
+        assert_eq!(back, spec);
         dep.shutdown(Duration::from_secs(5)).unwrap();
         let _ = fs::remove_dir_all(&m.workdir);
     }

@@ -8,6 +8,7 @@ use std::collections::HashMap;
 use std::collections::VecDeque;
 use symbi_fabric::Addr;
 use symbi_margo::{MargoConfig, MargoError, MargoInstance};
+use symbi_mercury::RpcStatus;
 
 /// The hierarchical key of one event (paper §V-C1: "Data in HEPnOS is
 /// arranged in a hierarchy of datasets, runs, subruns, and events").
@@ -86,6 +87,10 @@ pub struct HepnosClient {
     acked: u64,
     /// Events issued but never acknowledged (put failed after retries).
     lost: u64,
+    /// Events rejected at admission with [`RpcStatus::Overloaded`] (the
+    /// server's shed gate) — deliberate backpressure, counted apart from
+    /// `lost` so loader accounting can tell collapse from control.
+    shed: u64,
     /// Events never issued because their server was already dead.
     skipped: u64,
     /// Per-server consecutive put failures.
@@ -146,6 +151,7 @@ impl HepnosClient {
             stored: 0,
             acked: 0,
             lost: 0,
+            shed: 0,
             skipped: 0,
             consecutive_failures: vec![0; num_servers],
         }
@@ -183,13 +189,25 @@ impl HepnosClient {
 
     /// Account for one settled put. In legacy mode (threshold 0) a
     /// failure propagates; with dead-server detection it is recorded and
-    /// the load keeps going.
+    /// the load keeps going. A terminal `Overloaded` rejection is the
+    /// server *shedding on purpose*: it lands in the `shed` bucket, not
+    /// `lost`, and does not count toward declaring the server dead (the
+    /// admission gate answering is proof of life).
     fn settle(&mut self, put: InflightPut) -> Result<(), MargoError> {
         match put.pending.wait() {
             Ok(_) => {
                 self.acked += put.pairs;
                 self.consecutive_failures[put.server] = 0;
                 Ok(())
+            }
+            Err(MargoError::Remote(RpcStatus::Overloaded)) => {
+                self.shed += put.pairs;
+                self.consecutive_failures[put.server] = 0;
+                if self.dead_server_threshold == 0 {
+                    Err(MargoError::Remote(RpcStatus::Overloaded))
+                } else {
+                    Ok(())
+                }
             }
             Err(e) => {
                 self.lost += put.pairs;
@@ -267,6 +285,13 @@ impl HepnosClient {
     /// Events issued whose put failed even after retries.
     pub fn lost_events(&self) -> u64 {
         self.lost
+    }
+
+    /// Events rejected by a server's admission gate with
+    /// [`RpcStatus::Overloaded`] after any retries — shed load, reported
+    /// separately from [`HepnosClient::lost_events`].
+    pub fn shed_events(&self) -> u64 {
+        self.shed
     }
 
     /// Events never issued because their server was declared dead.

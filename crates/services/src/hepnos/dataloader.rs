@@ -22,6 +22,10 @@ pub struct DataLoaderReport {
     /// Events issued but never acknowledged (puts that failed even after
     /// any configured retries).
     pub lost_events: u64,
+    /// Events rejected at admission with `Overloaded` — the server shed
+    /// them on purpose. Reported apart from `lost_events` so a run under
+    /// the adaptive shed gate reads as backpressure, not data loss.
+    pub shed_events: u64,
     /// Events never issued because their server had been declared dead.
     pub skipped_events: u64,
     /// Client-side profile rows from all clients.
@@ -40,9 +44,10 @@ impl DataLoaderReport {
         }
     }
 
-    /// Whether every generated event was acknowledged.
+    /// Whether every generated event was acknowledged (shed events were
+    /// not, so a shedding run is by definition incomplete).
     pub fn is_complete(&self) -> bool {
-        self.lost_events == 0 && self.skipped_events == 0
+        self.lost_events == 0 && self.shed_events == 0 && self.skipped_events == 0
     }
 }
 
@@ -114,7 +119,8 @@ pub fn run_data_loader(
                 };
                 let elapsed = start.elapsed().as_secs_f64();
                 let generated = config.events_per_client as u64;
-                let accounted = acked + client.lost_events() + client.skipped_events();
+                let accounted =
+                    acked + client.lost_events() + client.shed_events() + client.skipped_events();
                 // Events neither issued nor skipped (abandoned by an
                 // early error exit) still count as lost.
                 let lost = client.lost_events()
@@ -123,11 +129,12 @@ pub fn run_data_loader(
                     } else {
                         0
                     };
+                let shed = client.shed_events();
                 let skipped = client.skipped_events();
                 let profiles = client.margo().symbiosys().profiler().snapshot();
                 let traces = client.margo().symbiosys().tracer().snapshot();
                 client.finalize();
-                (elapsed, acked, lost, skipped, profiles, traces)
+                (elapsed, acked, lost, shed, skipped, profiles, traces)
             })
         })
         .collect();
@@ -135,14 +142,16 @@ pub fn run_data_loader(
     let mut elapsed_seconds: f64 = 0.0;
     let mut events = 0u64;
     let mut lost_events = 0u64;
+    let mut shed_events = 0u64;
     let mut skipped_events = 0u64;
     let mut client_profiles = Vec::new();
     let mut client_traces = Vec::new();
     for h in handles {
-        let (e, n, lost, skipped, p, t) = h.join().expect("data-loader client panicked");
+        let (e, n, lost, shed, skipped, p, t) = h.join().expect("data-loader client panicked");
         elapsed_seconds = elapsed_seconds.max(e);
         events += n;
         lost_events += lost;
+        shed_events += shed;
         skipped_events += skipped;
         client_profiles.extend(p);
         client_traces.extend(t);
@@ -151,6 +160,7 @@ pub fn run_data_loader(
         elapsed_seconds,
         events,
         lost_events,
+        shed_events,
         skipped_events,
         client_profiles,
         client_traces,

@@ -16,6 +16,12 @@
 //! * [`ior`] — an ior-like client driver for Mobject (§V-A).
 //! * [`deploy`] — symbi-deploy, the multi-process launcher that runs
 //!   these services as separate OS processes over a socket transport.
+//! * [`scenario`] — typed [`scenario::ScenarioSpec`] load-experiment
+//!   descriptions shared by `symbi-load`, `symbi-netd`, and the deploy
+//!   manifest.
+//! * [`workload`] — the [`workload::WorkloadTarget`] opaque-key face
+//!   (put/get/scan/flush) every service client implements, so one load
+//!   generator drives any composed service.
 //!
 //! All clients issue their RPCs through Margo's `forward_with` API and
 //! accept an [`symbi_margo::RpcOptions`] (deadline / retry policy) via
@@ -33,5 +39,7 @@ pub mod ior;
 pub mod json;
 pub mod kv;
 pub mod mobject;
+pub mod scenario;
 pub mod sdskv;
 pub mod sonata;
+pub mod workload;

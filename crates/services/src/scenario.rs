@@ -1,0 +1,638 @@
+//! Typed scenario specifications for the open-loop load plane.
+//!
+//! A [`ScenarioSpec`] is the single source of truth for one load
+//! experiment: the workload mix, the arrival process and target rate, the
+//! run duration, the server shape (execution streams, databases, handler
+//! service time), an optional fault script (blackout storms over the
+//! existing [`symbi_fabric::FaultPlan`]), and the adaptive control
+//! policy. The same spec is consumed by three parties:
+//!
+//! * `symbi-load` generates the seeded arrival schedule and drives the
+//!   workload graph from it,
+//! * `symbi-netd` builds its `scenario`-role server providers and its
+//!   `load`-role generator from it,
+//! * [`crate::deploy::DeployManifest::with_scenario`] ships it to every
+//!   spawned process as one JSON value in `SYMBI_SCENARIO`.
+//!
+//! The codec is the flight-recorder JSON dialect
+//! ([`symbi_core::telemetry::jsonl`]): fixed member order, integer
+//! tokens kept exact, so `spec → json → spec` round-trips by value.
+//!
+//! The pre-PR-8 ad-hoc environment knobs (`SYMBI_ADAPTIVE`,
+//! `SYMBI_ADAPTIVE_COOLDOWN_MS`, `SYMBI_FAULT_SEED`, `SYMBI_THREADS`,
+//! `SYMBI_DATABASES`) survive only as a deprecated fallback that parses
+//! into a `ScenarioSpec` when `SYMBI_SCENARIO` is absent
+//! ([`ScenarioSpec::from_legacy_env`]).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+use symbi_core::telemetry::jsonl::{parse_json, JsonValue};
+use symbi_fabric::{Addr, FaultPlan};
+use symbi_margo::ControlPolicy;
+
+/// Environment variable carrying a JSON-encoded [`ScenarioSpec`].
+pub const SCENARIO_ENV: &str = "SYMBI_SCENARIO";
+
+/// Relative weights of the three workload operations. The generator maps
+/// each arrival to an operation deterministically from the spec seed, so
+/// two runs of the same spec issue the same op sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadMix {
+    /// Weight of `put` (write) operations.
+    pub put: u32,
+    /// Weight of `get` (point read) operations.
+    pub get: u32,
+    /// Weight of `scan` (range read) operations.
+    pub scan: u32,
+}
+
+impl WorkloadMix {
+    /// Sum of the weights (at least 1 so a zero mix degenerates to puts).
+    pub fn total(&self) -> u32 {
+        (self.put + self.get + self.scan).max(1)
+    }
+}
+
+/// The inter-arrival process of the open-loop schedule. Both carry the
+/// *offered* rate; the heavy-tail variant adds the Pareto shape.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArrivalProcess {
+    /// Exponential inter-arrivals (memoryless): `gap = -ln(U)/rate`.
+    Poisson {
+        /// Offered arrival rate in operations per second.
+        rate_hz: f64,
+    },
+    /// Pareto inter-arrivals with shape `alpha > 1`, scaled so the mean
+    /// gap matches `1/rate` — same offered rate, bursty heavy tail.
+    Pareto {
+        /// Offered arrival rate in operations per second.
+        rate_hz: f64,
+        /// Tail index; smaller is heavier (must be > 1 for a finite mean).
+        alpha: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// The offered rate in operations per second.
+    pub fn rate_hz(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_hz } | ArrivalProcess::Pareto { rate_hz, .. } => {
+                *rate_hz
+            }
+        }
+    }
+}
+
+/// The adaptive control-loop policy of a scenario, mirrored onto
+/// [`symbi_margo::ControlPolicy`] by server roles when `enabled`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdaptiveSpec {
+    /// Attach the online control loop to scenario servers.
+    pub enabled: bool,
+    /// Per-(action, subject) cooldown in milliseconds.
+    pub cooldown_ms: u64,
+    /// Cap for the lane-widening reaction.
+    pub max_lanes: u32,
+    /// Cap for execution-stream growth.
+    pub max_streams: u32,
+    /// Allow the admission-gate shedding reaction.
+    pub shedding: bool,
+}
+
+/// A scripted storm of transport blackouts, built on the deterministic
+/// [`symbi_fabric::FaultPlan`]: `blackouts` windows of `blackout_ms`
+/// each, the k-th starting at `first_ms + k·period_ms`, rotating over
+/// the server list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultScript {
+    /// Seed of the fault plan (also drives drop/latency jitter if added).
+    pub seed: u64,
+    /// Number of blackout windows in the storm.
+    pub blackouts: u32,
+    /// Offset of the first blackout from generator start, in ms.
+    pub first_ms: u64,
+    /// Spacing between blackout starts, in ms.
+    pub period_ms: u64,
+    /// Length of each blackout window, in ms.
+    pub blackout_ms: u64,
+}
+
+/// One open-loop load experiment, end to end. See the module docs for
+/// who consumes which fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (labels reports and flight rings).
+    pub name: String,
+    /// Arrival process and offered rate.
+    pub arrivals: ArrivalProcess,
+    /// Read/write/scan weights.
+    pub mix: WorkloadMix,
+    /// Offered-schedule horizon in milliseconds.
+    pub duration_ms: u64,
+    /// Size of the fixed virtual-client pool issuing the schedule.
+    pub virtual_clients: u32,
+    /// Master seed: arrival schedule, op choice, key choice, values.
+    pub seed: u64,
+    /// Number of distinct keys the generator cycles over.
+    pub key_space: u64,
+    /// Value bytes per put.
+    pub value_size: u32,
+    /// Value bytes per put once `large_after_ms` is reached (0 = never):
+    /// the eager→RDMA threshold-crossing script flips payloads past the
+    /// eager limit mid-run.
+    pub large_value_size: u32,
+    /// Intended-send-time offset (ms) after which puts switch to
+    /// `large_value_size`.
+    pub large_after_ms: u64,
+    /// Keys returned per scan operation.
+    pub scan_span: u32,
+    /// Handler execution streams per scenario server.
+    pub server_threads: u32,
+    /// SDSKV databases per scenario server.
+    pub databases: u32,
+    /// Simulated per-RPC handler service time, µs (ES-limited).
+    pub handler_cost_us: u64,
+    /// Additional handler time per key in packed/list operations, µs.
+    pub handler_cost_per_key_us: u64,
+    /// Adaptive control-loop policy for scenario servers.
+    pub adaptive: AdaptiveSpec,
+    /// Optional scripted fault storm, installed by the generator.
+    pub fault: Option<FaultScript>,
+}
+
+impl Default for AdaptiveSpec {
+    fn default() -> Self {
+        AdaptiveSpec {
+            enabled: false,
+            cooldown_ms: 50,
+            max_lanes: 1024,
+            max_streams: 4,
+            shedding: false,
+        }
+    }
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec {
+            name: "base".into(),
+            arrivals: ArrivalProcess::Poisson { rate_hz: 1000.0 },
+            mix: WorkloadMix {
+                put: 60,
+                get: 35,
+                scan: 5,
+            },
+            duration_ms: 2000,
+            virtual_clients: 64,
+            seed: 42,
+            key_space: 4096,
+            value_size: 256,
+            large_value_size: 0,
+            large_after_ms: 0,
+            scan_span: 16,
+            server_threads: 2,
+            databases: 4,
+            handler_cost_us: 400,
+            handler_cost_per_key_us: 0,
+            adaptive: AdaptiveSpec::default(),
+            fault: None,
+        }
+    }
+}
+
+impl ScenarioSpec {
+    /// A default spec with the given name.
+    pub fn named(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// The offered rate in operations per second.
+    pub fn rate_hz(&self) -> f64 {
+        self.arrivals.rate_hz()
+    }
+
+    /// Replace the offered rate, keeping the arrival process shape.
+    #[must_use]
+    pub fn with_rate_hz(mut self, rate_hz: f64) -> Self {
+        self.arrivals = match self.arrivals {
+            ArrivalProcess::Poisson { .. } => ArrivalProcess::Poisson { rate_hz },
+            ArrivalProcess::Pareto { alpha, .. } => ArrivalProcess::Pareto { rate_hz, alpha },
+        };
+        self
+    }
+
+    /// Replace the arrival process.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Self {
+        self.arrivals = arrivals;
+        self
+    }
+
+    /// Replace the workload mix.
+    #[must_use]
+    pub fn with_mix(mut self, put: u32, get: u32, scan: u32) -> Self {
+        self.mix = WorkloadMix { put, get, scan };
+        self
+    }
+
+    /// Replace the schedule horizon.
+    #[must_use]
+    pub fn with_duration(mut self, duration: Duration) -> Self {
+        self.duration_ms = duration.as_millis() as u64;
+        self
+    }
+
+    /// Replace the virtual-client pool size.
+    #[must_use]
+    pub fn with_virtual_clients(mut self, n: u32) -> Self {
+        self.virtual_clients = n.max(1);
+        self
+    }
+
+    /// Replace the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replace the server shape (execution streams, databases, fixed
+    /// per-RPC handler cost).
+    #[must_use]
+    pub fn with_server_shape(
+        mut self,
+        threads: u32,
+        databases: u32,
+        handler_cost: Duration,
+    ) -> Self {
+        self.server_threads = threads.max(1);
+        self.databases = databases.max(1);
+        self.handler_cost_us = handler_cost.as_micros() as u64;
+        self
+    }
+
+    /// Enable the adaptive control loop with the given policy knobs.
+    #[must_use]
+    pub fn with_adaptive(mut self, adaptive: AdaptiveSpec) -> Self {
+        self.adaptive = adaptive;
+        self
+    }
+
+    /// Attach a scripted fault storm.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultScript) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Number of arrivals in the offered schedule (rate × horizon,
+    /// at least 1).
+    pub fn total_ops(&self) -> u64 {
+        ((self.rate_hz() * self.duration_ms as f64 / 1000.0).round() as u64).max(1)
+    }
+
+    /// The margo control policy this scenario asks servers to attach, if
+    /// the adaptive loop is enabled.
+    pub fn control_policy(&self) -> Option<ControlPolicy> {
+        if !self.adaptive.enabled {
+            return None;
+        }
+        Some(
+            ControlPolicy::default()
+                .with_cooldown(Duration::from_millis(self.adaptive.cooldown_ms))
+                .with_max_lanes(self.adaptive.max_lanes as usize)
+                .with_max_streams(self.adaptive.max_streams as usize)
+                .with_shedding(self.adaptive.shedding),
+        )
+    }
+
+    /// Build the blackout-storm fault plan against `servers`, if the
+    /// scenario scripts one. Blackout `k` hits `servers[k % len]` at
+    /// `first_ms + k·period_ms` for `blackout_ms`.
+    pub fn fault_plan(&self, servers: &[Addr]) -> Option<FaultPlan> {
+        let script = self.fault.as_ref()?;
+        if servers.is_empty() {
+            return None;
+        }
+        let mut plan = FaultPlan::seeded(script.seed);
+        for k in 0..script.blackouts {
+            plan = plan.with_blackout(
+                servers[k as usize % servers.len()],
+                Duration::from_millis(script.first_ms + k as u64 * script.period_ms),
+                Duration::from_millis(script.blackout_ms),
+            );
+        }
+        Some(plan)
+    }
+
+    /// Encode as one JSON object (fixed member order; the codec dialect
+    /// of the flight ring).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str("{\"kind\":\"scenario\",\"name\":");
+        push_json_str(&mut out, &self.name);
+        match &self.arrivals {
+            ArrivalProcess::Poisson { rate_hz } => {
+                let _ = write!(out, ",\"arrival\":\"poisson\",\"rate_hz\":{rate_hz}");
+            }
+            ArrivalProcess::Pareto { rate_hz, alpha } => {
+                let _ = write!(
+                    out,
+                    ",\"arrival\":\"pareto\",\"rate_hz\":{rate_hz},\"alpha\":{alpha}"
+                );
+            }
+        }
+        let _ = write!(
+            out,
+            ",\"mix_put\":{},\"mix_get\":{},\"mix_scan\":{}",
+            self.mix.put, self.mix.get, self.mix.scan
+        );
+        let _ = write!(
+            out,
+            ",\"duration_ms\":{},\"virtual_clients\":{},\"seed\":{},\"key_space\":{}",
+            self.duration_ms, self.virtual_clients, self.seed, self.key_space
+        );
+        let _ = write!(
+            out,
+            ",\"value_size\":{},\"large_value_size\":{},\"large_after_ms\":{},\"scan_span\":{}",
+            self.value_size, self.large_value_size, self.large_after_ms, self.scan_span
+        );
+        let _ = write!(
+            out,
+            ",\"server_threads\":{},\"databases\":{},\"handler_cost_us\":{},\"handler_cost_per_key_us\":{}",
+            self.server_threads, self.databases, self.handler_cost_us, self.handler_cost_per_key_us
+        );
+        let _ = write!(
+            out,
+            ",\"adaptive\":{},\"adaptive_cooldown_ms\":{},\"adaptive_max_lanes\":{},\"adaptive_max_streams\":{},\"adaptive_shedding\":{}",
+            self.adaptive.enabled,
+            self.adaptive.cooldown_ms,
+            self.adaptive.max_lanes,
+            self.adaptive.max_streams,
+            self.adaptive.shedding
+        );
+        if let Some(f) = &self.fault {
+            let _ = write!(
+                out,
+                ",\"fault_seed\":{},\"fault_blackouts\":{},\"fault_first_ms\":{},\"fault_period_ms\":{},\"fault_blackout_ms\":{}",
+                f.seed, f.blackouts, f.first_ms, f.period_ms, f.blackout_ms
+            );
+        }
+        out.push('}');
+        out
+    }
+
+    /// Decode a spec encoded by [`ScenarioSpec::to_json`].
+    pub fn from_json(input: &str) -> Result<ScenarioSpec, String> {
+        let v = parse_json(input)?;
+        if v.get("kind").and_then(JsonValue::as_str) != Some("scenario") {
+            return Err("not a scenario spec".into());
+        }
+        let u = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("scenario missing {key}"))
+        };
+        let f = |key: &str| {
+            v.get(key)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("scenario missing {key}"))
+        };
+        let b = |key: &str| match v.get(key) {
+            Some(JsonValue::Bool(x)) => Ok(*x),
+            _ => Err(format!("scenario missing {key}")),
+        };
+        let name = v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or("scenario missing name")?
+            .to_string();
+        let rate_hz = f("rate_hz")?;
+        let arrivals = match v.get("arrival").and_then(JsonValue::as_str) {
+            Some("poisson") => ArrivalProcess::Poisson { rate_hz },
+            Some("pareto") => ArrivalProcess::Pareto {
+                rate_hz,
+                alpha: f("alpha")?,
+            },
+            other => return Err(format!("unknown arrival process {other:?}")),
+        };
+        let fault = if v.get("fault_seed").is_some() {
+            Some(FaultScript {
+                seed: u("fault_seed")?,
+                blackouts: u("fault_blackouts")? as u32,
+                first_ms: u("fault_first_ms")?,
+                period_ms: u("fault_period_ms")?,
+                blackout_ms: u("fault_blackout_ms")?,
+            })
+        } else {
+            None
+        };
+        Ok(ScenarioSpec {
+            name,
+            arrivals,
+            mix: WorkloadMix {
+                put: u("mix_put")? as u32,
+                get: u("mix_get")? as u32,
+                scan: u("mix_scan")? as u32,
+            },
+            duration_ms: u("duration_ms")?,
+            virtual_clients: u("virtual_clients")? as u32,
+            seed: u("seed")?,
+            key_space: u("key_space")?,
+            value_size: u("value_size")? as u32,
+            large_value_size: u("large_value_size")? as u32,
+            large_after_ms: u("large_after_ms")?,
+            scan_span: u("scan_span")? as u32,
+            server_threads: u("server_threads")? as u32,
+            databases: u("databases")? as u32,
+            handler_cost_us: u("handler_cost_us")?,
+            handler_cost_per_key_us: u("handler_cost_per_key_us")?,
+            adaptive: AdaptiveSpec {
+                enabled: b("adaptive")?,
+                cooldown_ms: u("adaptive_cooldown_ms")?,
+                max_lanes: u("adaptive_max_lanes")? as u32,
+                max_streams: u("adaptive_max_streams")? as u32,
+                shedding: b("adaptive_shedding")?,
+            },
+            fault,
+        })
+    }
+
+    /// The scenario for this process, from the environment:
+    /// `SYMBI_SCENARIO` (JSON, [`SCENARIO_ENV`]) when present, otherwise
+    /// the deprecated ad-hoc knobs via
+    /// [`ScenarioSpec::from_legacy_env`]. A present-but-unparsable
+    /// `SYMBI_SCENARIO` is an error, never a silent fallback.
+    pub fn from_env() -> Result<ScenarioSpec, String> {
+        match std::env::var(SCENARIO_ENV) {
+            Ok(json) if !json.trim().is_empty() => Self::from_json(&json),
+            _ => {
+                #[allow(deprecated)] // the one sanctioned caller of the fallback
+                Ok(Self::from_legacy_env())
+            }
+        }
+    }
+
+    /// Parse the pre-`ScenarioSpec` environment knobs into a spec:
+    /// `SYMBI_ADAPTIVE`, `SYMBI_ADAPTIVE_COOLDOWN_MS`, `SYMBI_FAULT_SEED`,
+    /// `SYMBI_THREADS`, `SYMBI_DATABASES` over [`ScenarioSpec::default`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "set a full JSON ScenarioSpec in SYMBI_SCENARIO (DeployManifest::with_scenario) instead of ad-hoc env knobs"
+    )]
+    pub fn from_legacy_env() -> ScenarioSpec {
+        let env_u64 = |name: &str| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        };
+        let mut spec = ScenarioSpec::named("legacy-env");
+        if let Ok(v) = std::env::var("SYMBI_ADAPTIVE") {
+            spec.adaptive.enabled = v == "1" || v.eq_ignore_ascii_case("true");
+        }
+        if let Some(ms) = env_u64("SYMBI_ADAPTIVE_COOLDOWN_MS") {
+            spec.adaptive.cooldown_ms = ms;
+        }
+        if let Some(seed) = env_u64("SYMBI_FAULT_SEED") {
+            if seed != 0 {
+                spec.seed = seed;
+                spec.fault = Some(FaultScript {
+                    seed,
+                    blackouts: 1,
+                    first_ms: 0,
+                    period_ms: 0,
+                    blackout_ms: 100,
+                });
+            }
+        }
+        if let Some(t) = env_u64("SYMBI_THREADS") {
+            spec.server_threads = (t as u32).max(1);
+        }
+        if let Some(d) = env_u64("SYMBI_DATABASES") {
+            spec.databases = (d as u32).max(1);
+        }
+        spec
+    }
+}
+
+/// Minimal JSON string escaping (quote, backslash, control chars) — the
+/// same subset the flight-ring codec emits.
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let spec = ScenarioSpec::named("storm \"quoted\"")
+            .with_arrivals(ArrivalProcess::Pareto {
+                rate_hz: 1250.5,
+                alpha: 1.5,
+            })
+            .with_mix(1, 2, 3)
+            .with_duration(Duration::from_millis(750))
+            .with_virtual_clients(17)
+            .with_seed(0xDEADBEEF)
+            .with_server_shape(3, 9, Duration::from_micros(123))
+            .with_adaptive(AdaptiveSpec {
+                enabled: true,
+                cooldown_ms: 33,
+                max_lanes: 256,
+                max_streams: 6,
+                shedding: true,
+            })
+            .with_fault(FaultScript {
+                seed: 7,
+                blackouts: 4,
+                first_ms: 100,
+                period_ms: 250,
+                blackout_ms: 40,
+            });
+        let json = spec.to_json();
+        let back = ScenarioSpec::from_json(&json).expect("round trip");
+        assert_eq!(back, spec);
+        // And a faultless Poisson spec too.
+        let plain = ScenarioSpec::default();
+        assert_eq!(ScenarioSpec::from_json(&plain.to_json()).unwrap(), plain);
+    }
+
+    #[test]
+    fn total_ops_follows_rate_and_horizon() {
+        let spec = ScenarioSpec::default()
+            .with_rate_hz(500.0)
+            .with_duration(Duration::from_secs(2));
+        assert_eq!(spec.total_ops(), 1000);
+    }
+
+    #[test]
+    fn control_policy_mirrors_the_adaptive_spec() {
+        let off = ScenarioSpec::default();
+        assert!(off.control_policy().is_none());
+        let on = off.with_adaptive(AdaptiveSpec {
+            enabled: true,
+            cooldown_ms: 25,
+            max_lanes: 128,
+            max_streams: 3,
+            shedding: false,
+        });
+        let policy = on.control_policy().expect("enabled");
+        assert_eq!(policy.cooldown, Duration::from_millis(25));
+        assert_eq!(policy.max_lanes, 128);
+        assert_eq!(policy.max_streams, 3);
+        assert!(!policy.shed);
+    }
+
+    #[test]
+    fn fault_plan_rotates_blackouts_over_servers() {
+        let spec = ScenarioSpec::default().with_fault(FaultScript {
+            seed: 11,
+            blackouts: 3,
+            first_ms: 10,
+            period_ms: 100,
+            blackout_ms: 20,
+        });
+        let servers = [Addr(1), Addr(2)];
+        let plan = spec.fault_plan(&servers).expect("scripted");
+        assert_eq!(plan.seed(), 11);
+        let b = plan.blackouts();
+        assert_eq!(b.len(), 3);
+        // No fault script → no plan; no servers → no plan.
+        assert!(ScenarioSpec::default().fault_plan(&servers).is_none());
+        assert!(spec.fault_plan(&[]).is_none());
+    }
+
+    #[test]
+    fn legacy_env_knobs_parse_into_a_spec() {
+        std::env::set_var("SYMBI_ADAPTIVE", "1");
+        std::env::set_var("SYMBI_ADAPTIVE_COOLDOWN_MS", "75");
+        std::env::set_var("SYMBI_FAULT_SEED", "1337");
+        let spec = ScenarioSpec::from_env().expect("legacy fallback");
+        std::env::remove_var("SYMBI_ADAPTIVE");
+        std::env::remove_var("SYMBI_ADAPTIVE_COOLDOWN_MS");
+        std::env::remove_var("SYMBI_FAULT_SEED");
+        assert!(spec.adaptive.enabled);
+        assert_eq!(spec.adaptive.cooldown_ms, 75);
+        assert_eq!(spec.fault.as_ref().map(|f| f.seed), Some(1337));
+        assert_eq!(spec.seed, 1337);
+    }
+}

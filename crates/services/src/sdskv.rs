@@ -184,6 +184,19 @@ pub struct SdskvProvider {
     databases: Vec<Arc<dyn KvBackend>>,
 }
 
+/// Simulated per-RPC handler work, charged outside any backend lock on
+/// the handler's execution stream, with a deterministic ±50% jitter
+/// keyed off the request (identical costs would complete requests in
+/// artificial lockstep waves).
+fn charge_handler_cost(work: std::time::Duration, salt: &[u8]) {
+    if work.is_zero() {
+        return;
+    }
+    let h = crate::workload::fnv64(salt).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let factor = 0.5 + (h % 1024) as f64 / 1024.0;
+    std::thread::sleep(work.mul_f64(factor));
+}
+
 impl SdskvProvider {
     /// Build the provider and register its RPCs on a Margo server, with
     /// handlers running in the server's primary pool.
@@ -207,14 +220,18 @@ impl SdskvProvider {
         });
 
         let p = provider.clone();
+        let cost = spec.handler_cost;
         margo.register_fn_in_pool("sdskv_put_rpc", pool, move |_m, args: PutArgs| {
+            charge_handler_cost(cost, &args.key);
             let db = p.database(args.db)?;
             db.put(args.key, args.value);
             Ok::<u32, String>(1)
         });
 
         let p = provider.clone();
+        let cost = spec.handler_cost;
         margo.register_fn_in_pool("sdskv_get_rpc", pool, move |_m, args: KeyArgs| {
+            charge_handler_cost(cost, &args.key);
             let db = p.database(args.db)?;
             Ok::<GetResp, String>(GetResp {
                 value: db.get(&args.key),
@@ -222,7 +239,9 @@ impl SdskvProvider {
         });
 
         let p = provider.clone();
+        let cost = spec.handler_cost;
         margo.register_fn_in_pool("sdskv_erase_rpc", pool, move |_m, args: KeyArgs| {
+            charge_handler_cost(cost, &args.key);
             let db = p.database(args.db)?;
             Ok::<u32, String>(db.erase(&args.key) as u32)
         });
@@ -234,7 +253,10 @@ impl SdskvProvider {
         });
 
         let p = provider.clone();
+        let cost = spec.handler_cost;
+        let cost_per_key = spec.handler_cost_per_key;
         margo.register_fn_in_pool("sdskv_list_keyvals_rpc", pool, move |_m, args: ListArgs| {
+            charge_handler_cost(cost + cost_per_key * args.max, &args.start);
             let db = p.database(args.db)?;
             Ok::<Vec<(Vec<u8>, Vec<u8>)>, String>(db.list_keyvals(&args.start, args.max as usize))
         });

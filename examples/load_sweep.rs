@@ -1,0 +1,159 @@
+//! Open-loop rate sweep over real processes: `symbi-netd` scenario
+//! servers plus a `load`-role generator per offered rate, all over
+//! `tcp://`, folded into `BENCH_load.json`.
+//!
+//! The sweep crosses the deployment's saturation point on purpose. Below
+//! saturation the achieved rate tracks the offered rate and p99 stays
+//! near the service time; past it the open-loop schedule keeps arriving
+//! while completions cannot keep up, so intended-send-time latency grows
+//! with the backlog — the p99 knee a closed-loop harness cannot show.
+//!
+//! ```sh
+//! cargo build --bin symbi-netd
+//! cargo run --release --example load_sweep
+//! ```
+//!
+//! Environment: `SYMBI_NETD_BIN` overrides the worker binary path,
+//! `SYMBI_LOAD_RATES` the swept rates (default `400,1200,4000`),
+//! `SYMBI_LOAD_SECS` the per-point horizon (default 2).
+
+use std::path::PathBuf;
+use std::time::Duration;
+use symbi_load::{summary_from_json, sweep_json, LoadSummary, ScenarioSpec};
+use symbi_services::deploy::DeployManifest;
+
+const SERVERS: usize = 2;
+
+/// The symbi-netd binary: next to this example under `target/<profile>/`.
+fn netd_bin() -> PathBuf {
+    if let Ok(p) = std::env::var("SYMBI_NETD_BIN") {
+        return PathBuf::from(p);
+    }
+    let mut p = std::env::current_exe().expect("current exe");
+    p.pop(); // load_sweep
+    if p.ends_with("examples") {
+        p.pop();
+    }
+    p.join("symbi-netd")
+}
+
+/// Deploy servers + generator for one offered rate and collect the
+/// generator's summary.
+fn run_point(netd: &PathBuf, spec: &ScenarioSpec) -> Result<LoadSummary, String> {
+    let workdir = std::env::temp_dir().join(format!(
+        "symbi-load-sweep-{}-{}",
+        std::process::id(),
+        spec.rate_hz() as u64
+    ));
+    let _ = std::fs::remove_dir_all(&workdir);
+    let out = workdir.join("load-summary.json");
+    let mut m = DeployManifest::new(netd, &workdir, SERVERS, 1)
+        .with_roles("scenario", "load")
+        .with_scenario(spec);
+    m.ready_timeout = Duration::from_secs(60);
+    m.extra_env = vec![("SYMBI_LOAD_OUT".into(), out.display().to_string())];
+
+    let mut dep = m.launch().map_err(|e| format!("launch: {e}"))?;
+    let statuses = dep
+        .wait_clients(Duration::from_secs(300))
+        .map_err(|e| format!("wait: {e}"))?;
+    if !statuses.iter().all(|s| s.success()) {
+        return Err(format!(
+            "generator failed: {statuses:?} (logs in {})",
+            workdir.display()
+        ));
+    }
+    dep.shutdown(Duration::from_secs(15))
+        .map_err(|e| format!("shutdown: {e}"))?;
+    let json = std::fs::read_to_string(&out).map_err(|e| format!("read summary: {e}"))?;
+    let summary = summary_from_json(&json)?;
+    let _ = std::fs::remove_dir_all(&workdir);
+    Ok(summary)
+}
+
+fn main() {
+    let netd = netd_bin();
+    if !netd.exists() {
+        eprintln!(
+            "worker binary not found at {} — run `cargo build --bin symbi-netd` first",
+            netd.display()
+        );
+        std::process::exit(2);
+    }
+    let rates: Vec<f64> = std::env::var("SYMBI_LOAD_RATES")
+        .unwrap_or_else(|_| "400,1200,4000".into())
+        .split(',')
+        .filter_map(|r| r.trim().parse().ok())
+        .collect();
+    let secs: u64 = std::env::var("SYMBI_LOAD_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+
+    // 2 servers × 2 execution streams with a 2ms handler saturate near
+    // 2000 ops/s — the middle of the default sweep.
+    let base = ScenarioSpec::named("rate-sweep")
+        .with_duration(Duration::from_secs(secs))
+        .with_server_shape(2, 4, Duration::from_millis(2));
+    let capacity_hz = SERVERS as f64 * 2.0 / 2.0e-3;
+    println!(
+        "open-loop sweep over tcp://: {SERVERS} servers, ~{capacity_hz:.0} ops/s capacity, \
+         rates {rates:?}, {secs}s per point"
+    );
+
+    let mut points = Vec::new();
+    for &rate in &rates {
+        let spec = base.clone().with_rate_hz(rate);
+        match run_point(&netd, &spec) {
+            Ok(summary) => {
+                println!("  {}", summary.render());
+                points.push(summary);
+            }
+            Err(e) => {
+                eprintln!("FAIL: rate {rate}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let doc = sweep_json("tcp", "rate-sweep", SERVERS as u32, &points);
+    std::fs::write("BENCH_load.json", &doc).expect("write BENCH_load.json");
+    println!("wrote BENCH_load.json ({} rate points)", points.len());
+
+    let mut failures = Vec::new();
+    for p in &points {
+        if p.errors > 0 {
+            failures.push(format!("{:.0}/s: {} hard errors", p.offered_hz, p.errors));
+        }
+        // Below saturation the measured throughput must track the
+        // offered rate (loose bound: CI machines stall).
+        if p.offered_hz < 0.8 * capacity_hz && p.achieved_hz < 0.6 * p.offered_hz {
+            failures.push(format!(
+                "{:.0}/s: achieved {:.0}/s does not track the offered rate",
+                p.offered_hz, p.achieved_hz
+            ));
+        }
+    }
+    // The knee: the point past saturation must report a p99 far above
+    // the sub-saturation point's.
+    if let (Some(first), Some(last)) = (points.first(), points.last()) {
+        if last.offered_hz > capacity_hz && last.p99_ns < 2 * first.p99_ns {
+            failures.push(format!(
+                "no open-loop knee: p99 {:.3}ms at {:.0}/s vs {:.3}ms at {:.0}/s",
+                last.p99_ns as f64 / 1e6,
+                last.offered_hz,
+                first.p99_ns as f64 / 1e6,
+                first.offered_hz
+            ));
+        }
+    }
+
+    if failures.is_empty() {
+        println!("OK: throughput tracks offered rate below saturation; p99 knee visible");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

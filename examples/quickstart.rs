@@ -1,60 +1,59 @@
-//! Quickstart: build a tiny composed service, call it, and read the
-//! SYMBIOSYS profile it produced.
+//! Quickstart: build a tiny composed service, drive it through the
+//! unified [`WorkloadTarget`] API, and read the SYMBIOSYS profile it
+//! produced.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
+use symbi_services::workload::{SdskvTarget, WorkloadTarget};
 use symbiosys::prelude::*;
 
 fn main() {
     // 1. A fabric is the in-process stand-in for the HPC interconnect.
     let fabric = Fabric::new(NetworkModel::instant());
 
-    // 2. A Margo server with 2 handler execution streams, exposing one
-    //    RPC. Every instance carries a SYMBIOSYS context.
+    // 2. A Margo server with 2 handler execution streams hosting an
+    //    SDSKV provider (4 databases, map backend). Every instance
+    //    carries a SYMBIOSYS context.
     let server = MargoInstance::new(fabric.clone(), MargoConfig::server("kv-service", 2));
-    let store = std::sync::Arc::new(std::sync::Mutex::new(std::collections::HashMap::<
-        String,
-        String,
-    >::new()));
-    {
-        let store = store.clone();
-        server.register_fn("kv_put", move |_m, kv: (String, String)| {
-            store.lock().unwrap().insert(kv.0, kv.1);
-            Ok::<u32, String>(1)
-        });
-    }
-    {
-        let store = store.clone();
-        server.register_fn("kv_get", move |_m, key: String| {
-            Ok::<String, String>(store.lock().unwrap().get(&key).cloned().unwrap_or_default())
-        });
-    }
+    let _provider = SdskvProvider::attach(
+        &server,
+        SdskvSpec {
+            num_databases: 4,
+            backend: BackendKind::Map,
+            cost: StorageCost::free(),
+            handler_cost: std::time::Duration::ZERO,
+            handler_cost_per_key: std::time::Duration::ZERO,
+        },
+    );
 
-    // 3. A client. `forward` blocks until the RPC completes; callpath
-    //    ancestry, request ids and interval timers ride along invisibly.
+    // 3. A client behind the service-agnostic WorkloadTarget trait —
+    //    the same put/get/scan surface the open-loop load generator
+    //    (`symbi-load`) drives, over SDSKV, BAKE, or HEPnOS alike.
+    //    Callpath ancestry, request ids and interval timers ride along
+    //    invisibly.
     let client = MargoInstance::new(fabric, MargoConfig::client("app"));
+    let target = SdskvTarget::new(SdskvClient::new(client.clone(), server.addr()), 4);
     for i in 0..100 {
-        let _: u32 = client
-            .forward_with(
-                server.addr(),
-                "kv_put",
-                &(format!("key-{i}"), format!("value-{i}")),
-                RpcOptions::default(),
+        target
+            .put(
+                format!("key-{i}").as_bytes(),
+                format!("value-{i}").as_bytes(),
             )
             .expect("put failed");
     }
-    let v: String = client
-        .forward_with(
-            server.addr(),
-            "kv_get",
-            &"key-42".to_string(),
-            RpcOptions::default(),
-        )
-        .expect("get failed");
-    assert_eq!(v, "value-42");
-    println!("stored 100 pairs, read one back: key-42 = {v}\n");
+    let v = target
+        .get(b"key-42")
+        .expect("get failed")
+        .expect("key-42 was stored");
+    assert_eq!(v, b"value-42");
+    let scanned = target.scan(b"key-40", 8).expect("scan failed");
+    println!(
+        "stored 100 pairs into {}, read one back: key-42 = {}, scanned {scanned} from key-40\n",
+        target.describe(),
+        String::from_utf8_lossy(&v)
+    );
 
     // 4. Post-mortem analysis, exactly like the paper's profile summary
     //    script: merge per-entity profiles, rank callpaths by cumulative

@@ -11,6 +11,13 @@
 //! * `hepnos-client` — one data-loader client process: looks up the
 //!   servers in `SYMBI_SERVERS`, stores `SYMBI_EVENTS` events through the
 //!   batched `sdskv_put_packed` path, drains, and exits 0 on success.
+//! * `scenario` — an SDSKV server shaped by the [`ScenarioSpec`] in
+//!   `SYMBI_SCENARIO` (execution streams, databases, handler costs,
+//!   optional adaptive control policy).
+//! * `load` — the open-loop generator: replays the scenario's seeded
+//!   arrival schedule against the `SYMBI_SERVERS` set through
+//!   `symbi-load`, writes the `LoadSummary` JSON to `SYMBI_LOAD_OUT`,
+//!   and exits 0 when the run completed.
 //!
 //! The full environment protocol is documented on
 //! [`symbi_services::deploy`]. Servers write their *actual* listen URL to
@@ -19,12 +26,14 @@
 use std::time::Duration;
 use symbi_core::telemetry::recorder::FlightRecorderConfig;
 use symbi_fabric::{Fabric, FaultPlan};
-use symbi_margo::{ControlPolicy, MargoConfig, MargoInstance, TelemetryOptions};
+use symbi_load::{run_open_loop, summary_to_json, RoutedTarget, SdskvTarget, WorkloadTarget};
+use symbi_margo::{MargoConfig, MargoInstance, RetryPolicy, RpcOptions, TelemetryOptions};
 use symbi_net::{fabric_over, NetConfig};
 use symbi_services::bake::{BakeProvider, BakeSpec};
 use symbi_services::hepnos::{EventKey, HepnosClient, HepnosConfig};
 use symbi_services::kv::{BackendKind, StorageCost};
-use symbi_services::sdskv::{SdskvProvider, SdskvSpec};
+use symbi_services::scenario::ScenarioSpec;
+use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
 
 fn env_var(name: &str) -> Option<String> {
     std::env::var(name).ok().filter(|v| !v.is_empty())
@@ -124,20 +133,29 @@ fn telemetry_from_env() -> TelemetryOptions {
     t
 }
 
+/// Read the scenario from the environment, exiting with a diagnostic on
+/// a malformed `SYMBI_SCENARIO` — a bad spec must fail loudly, not fall
+/// back to defaults mid-experiment.
+fn scenario_from_env() -> ScenarioSpec {
+    match ScenarioSpec::from_env() {
+        Ok(spec) => spec,
+        Err(e) => {
+            eprintln!("[symbi-netd] bad SYMBI_SCENARIO: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Apply the telemetry environment to a Margo config. Server roles also
-/// honor `SYMBI_ADAPTIVE=1`: attach the online control loop (anomaly →
-/// lane/stream/pipeline/shed reactions) with an optional
-/// `SYMBI_ADAPTIVE_COOLDOWN_MS` override. The control loop needs the
-/// monitor ULT, so a default sample period is filled in if the
-/// environment did not set one.
+/// attach the online control loop when the scenario asks for it —
+/// `SYMBI_SCENARIO` with `adaptive:true`, or the deprecated
+/// `SYMBI_ADAPTIVE`/`SYMBI_ADAPTIVE_COOLDOWN_MS` knobs, which
+/// [`ScenarioSpec::from_env`] still parses as a fallback. The control
+/// loop needs the monitor ULT, so a default sample period is filled in
+/// if the environment did not set one.
 fn apply_telemetry(mut config: MargoConfig) -> MargoConfig {
     config.telemetry = telemetry_from_env();
-    if env_var("SYMBI_ADAPTIVE").is_some_and(|v| v == "1" || v.eq_ignore_ascii_case("true")) {
-        let mut policy = ControlPolicy::default();
-        if let Some(ms) = env_var("SYMBI_ADAPTIVE_COOLDOWN_MS").and_then(|v| v.trim().parse().ok())
-        {
-            policy = policy.with_cooldown(Duration::from_millis(ms));
-        }
+    if let Some(policy) = scenario_from_env().control_policy() {
         if config.telemetry.sample_period.is_none() {
             config.telemetry.sample_period = Some(Duration::from_millis(100));
         }
@@ -188,6 +206,111 @@ fn run_hepnos_server(rank: usize) {
     announce_ready(&url);
     wait_for_stop();
     margo.finalize();
+}
+
+/// One scenario-shaped SDSKV server: execution streams, databases, and
+/// handler costs all come from the `SYMBI_SCENARIO` spec, so the load
+/// generator and the servers it drives agree on the experiment by
+/// construction.
+fn run_scenario_server(rank: usize) {
+    let fabric = build_fabric(true);
+    let spec = scenario_from_env();
+    let margo = MargoInstance::new(
+        fabric.clone(),
+        apply_telemetry(MargoConfig::server(
+            format!("scenario-server-{rank}"),
+            spec.server_threads.max(1) as usize,
+        )),
+    );
+    let _sdskv = SdskvProvider::attach(
+        &margo,
+        SdskvSpec {
+            num_databases: spec.databases.max(1) as usize,
+            backend: BackendKind::Map,
+            cost: StorageCost::free(),
+            handler_cost: Duration::from_micros(spec.handler_cost_us),
+            handler_cost_per_key: Duration::from_micros(spec.handler_cost_per_key_us),
+        },
+    );
+    let url = fabric.listen_url().expect("listening fabric has a URL");
+    announce_ready(&url);
+    wait_for_stop();
+    margo.finalize();
+}
+
+/// The open-loop generator process: replay the scenario's arrival
+/// schedule against every server in `SYMBI_SERVERS` (keys routed across
+/// them), install the scenario's blackout storm if one is scripted, and
+/// leave the measurement as JSON in `SYMBI_LOAD_OUT`.
+fn run_load_generator(rank: usize) {
+    let fabric = build_fabric(false);
+    let spec = scenario_from_env();
+    let servers = env_var("SYMBI_SERVERS").unwrap_or_default();
+    let urls: Vec<&str> = servers.split(',').filter(|u| !u.is_empty()).collect();
+    if urls.is_empty() {
+        eprintln!("[symbi-netd] load generator needs SYMBI_SERVERS");
+        std::process::exit(2);
+    }
+    let mut addrs = Vec::with_capacity(urls.len());
+    for url in &urls {
+        match fabric.lookup(url) {
+            Ok(addr) => addrs.push(addr),
+            Err(e) => {
+                eprintln!("[symbi-netd] lookup of {url} failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let faulted = spec.fault_plan(&addrs).map(|plan| {
+        fabric.install_fault_plan(plan);
+    });
+
+    let margo = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::client(format!("load-gen-{rank}")),
+    );
+    // Under a scripted blackout storm the generator must not hang on a
+    // dropped request: bound each attempt and retry past the outage.
+    // Fault-free runs keep the bare options so the measurement carries
+    // no retry machinery.
+    let options = faulted.map(|()| {
+        RpcOptions::new()
+            .with_deadline(Duration::from_millis(100))
+            .with_retry(
+                RetryPolicy::new(8)
+                    .with_base_backoff(Duration::from_millis(25))
+                    .with_seed(spec.seed),
+            )
+            .idempotent(true)
+    });
+    let targets: Vec<Box<dyn WorkloadTarget>> = addrs
+        .iter()
+        .map(|addr| {
+            let mut client = SdskvClient::new(margo.clone(), *addr);
+            if let Some(options) = &options {
+                client = client.with_options(options.clone());
+            }
+            Box::new(SdskvTarget::new(client, spec.databases.max(1))) as Box<dyn WorkloadTarget>
+        })
+        .collect();
+    let target = RoutedTarget::new(targets);
+
+    let summary = run_open_loop(&target, &spec);
+    println!("[symbi-netd] {}", summary.render());
+    if let Some(path) = env_var("SYMBI_LOAD_OUT") {
+        if let Err(e) = std::fs::write(&path, summary_to_json(&summary)) {
+            eprintln!("[symbi-netd] writing {path} failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    announce_ready(&format!(
+        "done ok={} shed={} errors={}",
+        summary.ok, summary.shed, summary.errors
+    ));
+    margo.finalize();
+    if summary.ok == 0 {
+        std::process::exit(1);
+    }
 }
 
 fn run_hepnos_client(rank: usize) {
@@ -265,8 +388,13 @@ fn main() {
         "echo" => run_echo_server(rank),
         "hepnos" => run_hepnos_server(rank),
         "hepnos-client" => run_hepnos_client(rank),
+        "scenario" => run_scenario_server(rank),
+        "load" => run_load_generator(rank),
         other => {
-            eprintln!("[symbi-netd] unknown SYMBI_NET_ROLE {other:?} (echo|hepnos|hepnos-client)");
+            eprintln!(
+                "[symbi-netd] unknown SYMBI_NET_ROLE {other:?} \
+                 (echo|hepnos|hepnos-client|scenario|load)"
+            );
             std::process::exit(2);
         }
     }

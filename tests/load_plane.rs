@@ -1,0 +1,107 @@
+//! Multi-process open-loop load plane: `symbi-netd` `scenario` servers
+//! driven by a `load`-role generator process over real TCP sockets, the
+//! whole experiment described by one `ScenarioSpec` shipped through
+//! `SYMBI_SCENARIO`.
+
+#![cfg(unix)]
+
+use std::path::PathBuf;
+use std::time::Duration;
+use symbi_load::{summary_from_json, ScenarioSpec};
+use symbi_services::deploy::DeployManifest;
+
+const NETD: &str = env!("CARGO_BIN_EXE_symbi-netd");
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symbi-loadtest-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Launch `servers` scenario-role servers plus one load-role generator,
+/// wait for the generator to finish, and parse the summary it wrote.
+fn run_scenario(tag: &str, spec: &ScenarioSpec, servers: usize) -> symbi_load::LoadSummary {
+    let workdir = scratch(tag);
+    let out = workdir.join("load-summary.json");
+    let mut m = DeployManifest::new(NETD, &workdir, servers, 1)
+        .with_roles("scenario", "load")
+        .with_scenario(spec);
+    m.ready_timeout = Duration::from_secs(60);
+    m.extra_env = vec![("SYMBI_LOAD_OUT".into(), out.display().to_string())];
+
+    let mut dep = m.launch().expect("scenario deployment starts");
+    let statuses = dep
+        .wait_clients(Duration::from_secs(120))
+        .expect("generator finishes");
+    assert!(
+        statuses.iter().all(|s| s.success()),
+        "{tag}: generator must exit 0: {statuses:?} (logs in {})",
+        workdir.display()
+    );
+    dep.shutdown(Duration::from_secs(15))
+        .expect("servers stop on request");
+
+    let json = std::fs::read_to_string(&out).expect("generator wrote SYMBI_LOAD_OUT");
+    let summary = summary_from_json(&json).expect("summary parses");
+    let _ = std::fs::remove_dir_all(&workdir);
+    summary
+}
+
+#[test]
+fn open_loop_generator_drives_real_processes_over_tcp() {
+    // Comfortably below saturation: 2 servers × 2 streams with a 200µs
+    // handler take ~20k ops/s; we offer 800.
+    let spec = ScenarioSpec::named("load-plane-smoke")
+        .with_rate_hz(800.0)
+        .with_duration(Duration::from_millis(600))
+        .with_virtual_clients(16)
+        .with_server_shape(2, 4, Duration::from_micros(200));
+
+    let summary = run_scenario("smoke", &spec, 2);
+    assert_eq!(summary.scenario, "load-plane-smoke");
+    assert_eq!(summary.ops, spec.total_ops());
+    assert_eq!(summary.ok + summary.shed + summary.errors, summary.ops);
+    assert_eq!(summary.errors, 0, "healthy run: {}", summary.render());
+    assert_eq!(summary.shed, 0, "no shedding configured");
+    assert!(summary.p50_ns > 0 && summary.p99_ns >= summary.p50_ns);
+    // Below saturation the achieved rate must track the offered rate.
+    // The bound is loose (CI machines stall), but a closed-loop-style
+    // collapse to a fraction of the offered rate must fail.
+    assert!(
+        summary.achieved_hz >= 0.5 * summary.offered_hz,
+        "achieved {:.0}/s must track offered {:.0}/s below saturation",
+        summary.achieved_hz,
+        summary.offered_hz
+    );
+}
+
+#[test]
+fn scenario_blackout_storm_completes_with_retries() {
+    // A scripted single-server blackout mid-run; the generator's fault
+    // plan installs it client-side, and its retrying RPC options ride it
+    // out. The run must complete and stay fully accounted.
+    let mut spec = ScenarioSpec::named("load-plane-storm")
+        .with_rate_hz(400.0)
+        .with_duration(Duration::from_millis(800))
+        .with_virtual_clients(8)
+        .with_server_shape(2, 4, Duration::from_micros(100));
+    let seed = spec.seed;
+    spec = spec.with_fault(symbi_load::FaultScript {
+        seed,
+        blackouts: 1,
+        first_ms: 200,
+        period_ms: 0,
+        blackout_ms: 150,
+    });
+
+    let summary = run_scenario("storm", &spec, 1);
+    assert_eq!(summary.ok + summary.shed + summary.errors, summary.ops);
+    assert!(summary.ok > 0, "{}", summary.render());
+    // The blackout shows up as schedule slip: p99 must sit above the
+    // blackout length — requests arriving during the outage wait it out.
+    assert!(
+        summary.p99_ns >= 100_000_000,
+        "p99 {:.3}ms must carry the 150ms blackout",
+        summary.p99_ns as f64 / 1e6
+    );
+}
