@@ -15,6 +15,12 @@
 //! * Chrome `trace_event` JSON for `chrome://tracing` / Perfetto,
 //! * Zipkin v2 JSON for Gantt-chart visualization (Figure 5).
 //!
+//! With `--live <host:port>` the binary instead scrapes a *running*
+//! deployment's `symbi-obs` collector: the federated `/metrics` endpoint
+//! (cluster aggregates summarized on stdout, full text via `--report`)
+//! and the tail-sampled `/trace.json` (via `--chrome`) — the same
+//! questions answered mid-run instead of post-mortem.
+//!
 //! The library half exists so integration tests and examples can drive
 //! the exact code the binary runs.
 
@@ -45,6 +51,9 @@ pub struct Options {
     pub request: Option<u64>,
     /// Keep only the top N edges in the report.
     pub top: Option<usize>,
+    /// Scrape a live collector (`host:port` of its federated endpoint)
+    /// instead of reading flight rings.
+    pub live: Option<String>,
 }
 
 /// What the command line asked for.
@@ -62,12 +71,19 @@ symbi-analyze — offline span-graph and critical-path analysis
 
 USAGE:
   symbi-analyze [OPTIONS] <FLIGHT_DIR>...
+  symbi-analyze --live <HOST:PORT> [--chrome <PATH>] [--report <PATH>]
 
 Each FLIGHT_DIR is scanned recursively for flight-recorder rings
 (directories containing flight-<n>.jsonl files), so passing the parent
 directory of a deployment's per-server subdirectories just works.
 
+With --live, the running deployment's symbi-obs collector is scraped
+instead: its federated /metrics (symbi_cluster_* aggregates summarized
+on stdout; full text to --report) and the tail-sampled /trace.json
+(to --chrome).
+
 OPTIONS:
+  --live <HOST:PORT> scrape a live collector's federated endpoint
   --chrome <PATH>   write Chrome trace_event JSON (chrome://tracing)
   --zipkin <PATH>   write Zipkin v2 JSON
   --report <PATH>   also write the plain-text report to PATH
@@ -100,14 +116,90 @@ pub fn parse_args(args: impl IntoIterator<Item = String>) -> Result<Command, Str
                 let v = args.next().ok_or("--top requires a value")?;
                 opts.top = Some(v.parse().map_err(|_| format!("bad count '{v}'"))?);
             }
+            "--live" => {
+                opts.live = Some(args.next().ok_or("--live requires a HOST:PORT value")?);
+            }
             s if s.starts_with('-') => return Err(format!("unknown option '{s}'")),
             _ => opts.dirs.push(PathBuf::from(arg)),
         }
     }
-    if opts.dirs.is_empty() {
+    if opts.live.is_some() {
+        if !opts.dirs.is_empty() {
+            return Err(
+                "--live replaces flight-recorder directories; pass one or the other".into(),
+            );
+        }
+        if opts.zipkin_out.is_some() || opts.request.is_some() {
+            return Err("--zipkin/--request are offline-only (not supported with --live)".into());
+        }
+    } else if opts.dirs.is_empty() {
         return Err("at least one flight-recorder directory is required".into());
     }
     Ok(Command::Run(opts))
+}
+
+/// A one-shot `HTTP/1.0`-style GET over a plain [`std::net::TcpStream`]
+/// — the container forbids HTTP client dependencies and the collector's
+/// responses are tiny. Returns the response body.
+pub fn http_get(addr: &str, path: &str) -> Result<String, String> {
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr)
+        .map_err(|e| format!("connecting to collector at {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(5)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| format!("sending GET {path}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("reading GET {path} response: {e}"))?;
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| format!("malformed HTTP response for {path}"))?;
+    let status = head.lines().next().unwrap_or_default();
+    if !status.contains(" 200 ") {
+        return Err(format!("GET {path} failed: {status}"));
+    }
+    Ok(body.to_string())
+}
+
+/// Scrape a live collector's federated endpoint: summarize the
+/// `symbi_cluster_*` aggregates on stdout, write the full scrape to
+/// `--report`, and the tail-sampled Chrome trace to `--chrome`.
+fn run_live(addr: &str, opts: &Options) -> Result<String, String> {
+    let metrics = http_get(addr, "/metrics")?;
+    let mut out = String::new();
+    let _ = writeln!(out, "live scrape of collector at {addr}:");
+    let mut cluster_lines = 0usize;
+    for line in metrics.lines() {
+        if line.starts_with("symbi_cluster_") {
+            cluster_lines += 1;
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+    let per_process = metrics
+        .lines()
+        .filter(|l| l.contains("process=\"") && !l.starts_with('#'))
+        .count();
+    let _ = writeln!(
+        out,
+        "{} cluster series, {} process-tagged series in one scrape",
+        cluster_lines, per_process
+    );
+    if let Some(path) = &opts.report_out {
+        std::fs::write(path, &metrics).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "full federated scrape written to {}", path.display());
+    }
+    if let Some(path) = &opts.chrome_out {
+        let trace = http_get(addr, "/trace.json")?;
+        std::fs::write(path, &trace).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let _ = writeln!(out, "live chrome trace written to {}", path.display());
+    }
+    Ok(out)
 }
 
 /// Directories at or under `root` that contain a flight ring
@@ -178,6 +270,9 @@ pub fn load_actions(dirs: &[PathBuf]) -> Result<Vec<ActionRecord>, String> {
 
 /// Run the analysis; returns the text to print on stdout.
 pub fn run(opts: &Options) -> Result<String, String> {
+    if let Some(addr) = &opts.live {
+        return run_live(addr, opts);
+    }
     let (mut events, ring_count) = load_events(&opts.dirs)?;
     if let Some(rid) = opts.request {
         events.retain(|e| e.request_id == rid);
@@ -261,6 +356,18 @@ mod tests {
         assert!(args(&["--chrome"]).is_err(), "missing value");
         assert!(args(&["--bogus", "d"]).is_err());
         assert!(args(&["--request", "xyz", "d"]).is_err());
+        assert!(
+            args(&["--live", "127.0.0.1:9", "somedir"]).is_err(),
+            "--live and flight dirs are mutually exclusive"
+        );
+        assert!(
+            args(&["--live", "127.0.0.1:9", "--zipkin", "z.json"]).is_err(),
+            "--zipkin is offline-only"
+        );
+        let Ok(Command::Run(opts)) = args(&["--live", "127.0.0.1:9"]) else {
+            panic!("expected Run");
+        };
+        assert_eq!(opts.live.as_deref(), Some("127.0.0.1:9"));
         let Ok(Command::Run(opts)) = args(&[
             "--chrome",
             "c.json",
@@ -423,6 +530,51 @@ mod tests {
         let out = run(&opts).expect("analysis");
         assert!(out.contains("0 requests"), "{out}");
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// `--live` against a real (empty) collector: the federated scrape
+    /// summarizes cluster series, and `--chrome` pulls `/trace.json`.
+    #[test]
+    fn live_mode_scrapes_a_running_collector() {
+        use symbi_fabric::{Fabric, NetworkModel};
+        use symbi_obs::{CollectorConfig, CollectorService};
+
+        let fabric = Fabric::new(NetworkModel::instant());
+        let mut collector = CollectorService::start(&fabric, CollectorConfig::default());
+        let addr = collector.serve_http(0).unwrap();
+
+        let root = std::env::temp_dir().join(format!("symbi-analyze-live-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let chrome = root.join("live-chrome.json");
+        let report = root.join("live-metrics.prom");
+        let opts = Options {
+            live: Some(addr.to_string()),
+            chrome_out: Some(chrome.clone()),
+            report_out: Some(report.clone()),
+            ..Default::default()
+        };
+        let out = run(&opts).expect("live scrape");
+        assert!(out.contains("symbi_cluster_processes 0"), "{out}");
+        assert!(out.contains("cluster series"), "{out}");
+        let metrics = std::fs::read_to_string(&report).unwrap();
+        assert!(metrics.contains("# TYPE symbi_cluster_processes gauge"));
+        let trace = std::fs::read_to_string(&chrome).unwrap();
+        assert!(trace.contains("\"traceEvents\""));
+
+        collector.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// A dead address is a clean error, not a hang or a panic.
+    #[test]
+    fn live_mode_reports_connection_failure() {
+        let opts = Options {
+            live: Some("127.0.0.1:1".into()),
+            ..Default::default()
+        };
+        let err = run(&opts).expect_err("nothing listens on port 1");
+        assert!(err.contains("connecting to collector"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Observability-plane overhead: what does *streaming* telemetry to a
+//! live cluster collector cost the hot path, on top of sampling it?
+//!
+//! The obs pusher rides the monitor ULT: every sample period it drains
+//! completed trace events, frames them with the telemetry delta, and
+//! fires them at the collector as one-way datagrams. This bench drives
+//! the same closed-loop SDSKV put/get workload as `telemetry_overhead`
+//! with an aggressive 10 ms sampler and compares throughput with the
+//! collector stream off and on (collector live on the same fabric). It
+//! also reports the tail-sampling volume reduction the collector
+//! achieved on the streamed spans. Results go to `BENCH_obs.json` at
+//! the workspace root.
+
+use std::time::{Duration, Instant};
+
+use symbi_bench::{banner, bench_scale};
+use symbi_core::analysis::report::Table;
+use symbi_fabric::{Fabric, NetworkModel};
+use symbi_margo::{MargoConfig, MargoInstance};
+use symbi_obs::{CollectorConfig, CollectorService};
+use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
+
+/// Repetitions per configuration; the best run is kept (on a shared
+/// single-core box the maximum is the noise-robust statistic — slow
+/// runs absorb scheduler interference, not implementation cost).
+const REPS: usize = 3;
+
+const PERIOD: Duration = Duration::from_millis(10);
+
+struct Cell {
+    label: &'static str,
+    ops_per_sec: f64,
+    /// Tail-sampling volume numbers from the collector (streaming runs).
+    spans_completed: u64,
+    trees_retained: u64,
+}
+
+impl Cell {
+    fn overhead_pct(&self, baseline: f64) -> f64 {
+        (1.0 - self.ops_per_sec / baseline) * 100.0
+    }
+}
+
+/// Concurrent closed-loop workers: enough blocking callers to keep the
+/// host saturated, so throughput reflects CPU cost rather than
+/// progress-loop wakeup latency (extra obs traffic wakes the reactor
+/// sooner, which on an idle closed loop reads as a bogus *speedup*).
+const WORKERS: u64 = 8;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    /// 10 ms sampler only — no tracing, no streaming.
+    Off,
+    /// 10 ms sampler + per-RPC trace recording, kept local.
+    Tracing,
+    /// Full client-side streaming pipeline (record, drain, frame, send)
+    /// into a no-op sink: the data-plane cost of the obs plane with the
+    /// collector's ingestion CPU factored out — in a real deployment
+    /// that CPU belongs to a separate collector process, but on the
+    /// in-process fabric sinks run inline on the sender's core.
+    NullSink,
+    /// 10 ms sampler + tracing + live collector on the same fabric,
+    /// ingestion and all.
+    Streaming,
+}
+
+/// One run: fresh server + client (both on a 10 ms sampler), `ops` puts
+/// spread over `WORKERS` threads (every fourth put followed by a get).
+/// In `Streaming` mode a collector lives on the same fabric and both
+/// processes push to it.
+fn run(mode: Mode, ops: u64) -> (f64, u64, u64) {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let collector = (mode == Mode::Streaming)
+        .then(|| CollectorService::start(&fabric, CollectorConfig::default()));
+    let url = match (&collector, mode) {
+        (Some(c), _) => format!("fab://{}", c.addr().0),
+        (None, Mode::NullSink) => {
+            let sink_addr = symbi_fabric::Addr(0xB0B0);
+            fabric.set_obs_sink(sink_addr, std::sync::Arc::new(|_| {}));
+            format!("fab://{}", sink_addr.0)
+        }
+        _ => String::new(),
+    };
+
+    let mut server_cfg = MargoConfig::server("obsbench-server", 2).with_telemetry_period(PERIOD);
+    let mut client_cfg = MargoConfig::client("obsbench-client").with_telemetry_period(PERIOD);
+    if mode == Mode::Tracing {
+        server_cfg = server_cfg.with_trace_recording();
+        client_cfg = client_cfg.with_trace_recording();
+    }
+    if mode == Mode::NullSink || mode == Mode::Streaming {
+        server_cfg = server_cfg.with_obs_collector(&url);
+        client_cfg = client_cfg.with_obs_collector(&url);
+    }
+    let server = MargoInstance::new(fabric.clone(), server_cfg);
+    SdskvProvider::attach(&server, SdskvSpec::default());
+    let margo = MargoInstance::new(fabric, client_cfg);
+    let client = SdskvClient::new(margo.clone(), server.addr());
+
+    let per_worker = ops / WORKERS;
+    let start = Instant::now();
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let client = &client;
+            s.spawn(move || {
+                for i in 0..per_worker {
+                    let n = w * per_worker + i;
+                    let key = format!("key-{}", n % 512).into_bytes();
+                    client.put(0, key.clone(), vec![0u8; 64]).expect("put");
+                    if i % 4 == 3 {
+                        client.get(0, &key).expect("get");
+                    }
+                }
+            });
+        }
+    });
+    let rate = (per_worker * WORKERS) as f64 / start.elapsed().as_secs_f64();
+
+    margo.finalize();
+    server.finalize();
+    let (spans, retained) = collector
+        .map(|mut c| {
+            let stats = c.stats();
+            c.shutdown();
+            (stats.spans_completed, stats.tail.trees_retained)
+        })
+        .unwrap_or((0, 0));
+    (rate, spans, retained)
+}
+
+fn main() {
+    banner("Collector streaming overhead on the RPC hot path");
+
+    let scale = bench_scale();
+    let ops = ((5_000.0 * scale) as u64).max(500);
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for (label, mode) in [
+        ("streaming off", Mode::Off),
+        ("local tracing", Mode::Tracing),
+        ("streaming, null sink", Mode::NullSink),
+        ("streaming + collector", Mode::Streaming),
+    ] {
+        let mut best = Cell {
+            label,
+            ops_per_sec: 0.0,
+            spans_completed: 0,
+            trees_retained: 0,
+        };
+        for _ in 0..REPS {
+            let (rate, spans, retained) = run(mode, ops);
+            if rate > best.ops_per_sec {
+                best.ops_per_sec = rate;
+                best.spans_completed = spans;
+                best.trees_retained = retained;
+            }
+        }
+        println!(
+            "  {:<16} {:>9.0} ops/s  ({} spans seen, {} trees retained)",
+            best.label, best.ops_per_sec, best.spans_completed, best.trees_retained
+        );
+        cells.push(best);
+    }
+
+    let baseline = cells[0].ops_per_sec;
+    let client_side = &cells[2];
+    let streamed = &cells[3];
+    let retained_pct = if streamed.spans_completed > 0 {
+        streamed.trees_retained as f64 / streamed.spans_completed as f64 * 100.0
+    } else {
+        0.0
+    };
+
+    let mut table = Table::new(["configuration", "ops/sec", "overhead", "retained"]);
+    for c in &cells {
+        table.row([
+            c.label.to_string(),
+            format!("{:.0}", c.ops_per_sec),
+            format!("{:+.2}%", c.overhead_pct(baseline)),
+            if c.spans_completed > 0 {
+                format!("{}/{} trees", c.trees_retained, c.spans_completed)
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "tail sampling kept {:.1}% of completed span trees",
+        retained_pct
+    );
+
+    let data_plane_overhead = client_side.overhead_pct(baseline);
+    let all_in_overhead = streamed.overhead_pct(baseline);
+    println!(
+        "data-plane streaming overhead {data_plane_overhead:+.2}% \
+         (all-in with same-core collector ingestion {all_in_overhead:+.2}%)"
+    );
+    assert!(
+        data_plane_overhead < 5.0,
+        "the client-side streaming pipeline cost {data_plane_overhead:.2}% \
+         throughput — the data plane must pay under 5% for the obs plane"
+    );
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"host_cpus\": {cpus},\n"));
+    json.push_str(&format!("  \"ops_per_run\": {ops},\n"));
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(
+        "  \"note\": \"saturating closed-loop SDSKV put/get (8 workers) with a 10ms sampler on server and client; best of reps. 'streaming, null sink' runs the full client-side pipeline (record, drain, frame, send) into a no-op sink — the data-plane cost the <5% bound applies to; 'streaming + collector' adds live ingestion, which on this in-process single-core fabric runs inline on the sender and in deployment belongs to a separate collector process. retained_fraction_pct is the tail sampler's kept share of completed span trees.\",\n",
+    );
+    json.push_str(&format!(
+        "  \"retained_fraction_pct\": {retained_pct:.2},\n"
+    ));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"ops_per_sec\": {:.0}, \"overhead_pct\": {:.3}, \"spans_completed\": {}, \"trees_retained\": {}}}{}\n",
+            c.label,
+            c.ops_per_sec,
+            c.overhead_pct(baseline),
+            c.spans_completed,
+            c.trees_retained,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let out = std::env::var("SYMBI_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_obs.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => println!("could not write {out}: {e}"),
+    }
+}

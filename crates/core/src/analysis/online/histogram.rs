@@ -1,12 +1,16 @@
-//! Log-bucketed streaming latency histograms (constant memory).
+//! Log-linear streaming latency histograms (constant memory).
 //!
 //! The online analyzer cannot keep raw latencies — at millions of
 //! requests per window that would defeat the bounded-memory goal — so it
-//! folds every observation into a fixed array of power-of-two buckets
-//! spanning 2^10 ns (≈1 µs) to 2^36 ns (≈69 s). Quantile queries return
-//! the upper bound of the bucket containing the target rank, an estimate
-//! whose relative error is bounded by the bucket ratio (2×) — good enough
-//! to rank p50/p99/p999 shifts, which is what the detectors consume.
+//! folds every observation into a fixed array of buckets spanning
+//! 2^10 ns (≈1 µs) to 2^36 ns (≈69 s). Buckets are **log-linear**: each
+//! power-of-two octave is split into 2^SUB_BITS equal-width sub-buckets,
+//! so quantile queries (which return the upper bound of the bucket
+//! containing the target rank) carry a relative error bounded by the
+//! sub-bucket width — 2^-SUB_BITS (25%) of the octave base instead of
+//! the full 2× of pure power-of-two buckets. That keeps reported
+//! p50/p99/p999 from snapping to exact powers of two while the whole
+//! histogram still fits in ~0.9 KiB.
 
 use crate::telemetry::HistogramValue;
 
@@ -14,10 +18,17 @@ use crate::telemetry::HistogramValue;
 const SHIFT_MIN: u32 = 10;
 /// log2 of the last finite bucket's upper bound (2^36 ns ≈ 68.7 s).
 const SHIFT_MAX: u32 = 36;
-/// Number of finite buckets; one overflow bucket rides behind them.
-const FINITE: usize = (SHIFT_MAX - SHIFT_MIN + 1) as usize;
+/// log2 of the sub-buckets per octave (4 linear steps per power of two).
+const SUB_BITS: u32 = 2;
+/// Sub-buckets per octave.
+const SUBS: usize = 1 << SUB_BITS;
+/// Octaves between the first bucket and the last finite bound.
+const OCTAVES: usize = (SHIFT_MAX - SHIFT_MIN) as usize;
+/// Number of finite buckets (one base bucket + the sub-bucketed
+/// octaves); one overflow bucket rides behind them.
+const FINITE: usize = 1 + OCTAVES * SUBS;
 
-/// A fixed-size log2 histogram of nanosecond durations.
+/// A fixed-size log-linear histogram of nanosecond durations.
 #[derive(Debug, Clone)]
 pub struct StreamingHistogram {
     /// Per-bucket (non-cumulative) counts; `counts[FINITE]` is overflow.
@@ -48,13 +59,25 @@ impl StreamingHistogram {
         if v <= 1 << SHIFT_MIN {
             return 0;
         }
-        // ceil(log2(v)) for v > 2^SHIFT_MIN.
-        let log2 = 64 - (v - 1).leading_zeros();
-        if log2 > SHIFT_MAX {
-            FINITE
-        } else {
-            (log2 - SHIFT_MIN) as usize
+        if v > 1 << SHIFT_MAX {
+            return FINITE;
         }
+        // v lies in octave (2^s, 2^(s+1)]; split it into SUBS equal
+        // linear steps of 2^(s - SUB_BITS) ns each.
+        let s = 63 - (v - 1).leading_zeros();
+        let k = ((v - 1 - (1u64 << s)) >> (s - SUB_BITS)) as usize;
+        1 + (s - SHIFT_MIN) as usize * SUBS + k
+    }
+
+    /// Inclusive upper bound (ns) of finite bucket `i`.
+    fn index_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            return 1 << SHIFT_MIN;
+        }
+        let i = i - 1;
+        let s = SHIFT_MIN + (i / SUBS) as u32;
+        let k = (i % SUBS) as u64;
+        (1u64 << s) + (k + 1) * (1u64 << (s - SUB_BITS))
     }
 
     /// Fold one duration into the histogram.
@@ -95,7 +118,7 @@ impl StreamingHistogram {
                 return Some(if i >= FINITE {
                     self.max_ns
                 } else {
-                    1u64 << (SHIFT_MIN + i as u32)
+                    Self::index_upper_bound(i)
                 });
             }
         }
@@ -112,8 +135,37 @@ impl StreamingHistogram {
         if i >= FINITE {
             u64::MAX
         } else {
-            1u64 << (SHIFT_MIN + i as u32)
+            Self::index_upper_bound(i)
         }
+    }
+
+    /// `(exclusive lower, inclusive upper)` bounds (ns) of the bucket
+    /// `ns` falls into; the overflow bucket reports `u64::MAX` as its
+    /// upper bound. Accuracy tests use this to reason about adjacent
+    /// buckets without hard-coding the bucket geometry.
+    pub fn bucket_bounds(ns: u64) -> (u64, u64) {
+        let i = Self::bucket_index(ns);
+        let lower = if i == 0 {
+            0
+        } else if i >= FINITE {
+            1 << SHIFT_MAX
+        } else {
+            Self::index_upper_bound(i - 1)
+        };
+        let upper = if i >= FINITE {
+            u64::MAX
+        } else {
+            Self::index_upper_bound(i)
+        };
+        (lower, upper)
+    }
+
+    /// Observations in the bucket that `ns` falls into. Lets a consumer
+    /// judge whether a bucket is genuine tail mass or the bulk of the
+    /// distribution (e.g. the tail sampler widens its slow threshold by
+    /// one sub-bucket only when the quantile's own bucket is sparse).
+    pub fn bucket_count(&self, ns: u64) -> u64 {
+        self.counts[Self::bucket_index(ns)]
     }
 
     /// Fold another histogram into this one — per-worker histograms in a
@@ -131,8 +183,8 @@ impl StreamingHistogram {
     /// layout the Prometheus exposition expects).
     pub fn to_metric(&self) -> HistogramValue {
         let mut bounds = Vec::with_capacity(FINITE);
-        for shift in SHIFT_MIN..=SHIFT_MAX {
-            bounds.push((1u64 << shift) as f64);
+        for i in 0..FINITE {
+            bounds.push(Self::index_upper_bound(i) as f64);
         }
         let mut counts = Vec::with_capacity(FINITE + 1);
         let mut cum = 0u64;
@@ -158,8 +210,28 @@ mod tests {
         assert_eq!(StreamingHistogram::bucket_index(0), 0);
         assert_eq!(StreamingHistogram::bucket_index(1024), 0);
         assert_eq!(StreamingHistogram::bucket_index(1025), 1);
-        assert_eq!(StreamingHistogram::bucket_index(2048), 1);
+        // 2048 is the top of the first octave: its last sub-bucket.
+        assert_eq!(StreamingHistogram::bucket_index(2048), SUBS);
+        assert_eq!(StreamingHistogram::bucket_index(1 << SHIFT_MAX), FINITE - 1);
+        assert_eq!(
+            StreamingHistogram::bucket_index((1 << SHIFT_MAX) + 1),
+            FINITE
+        );
         assert_eq!(StreamingHistogram::bucket_index(u64::MAX), FINITE);
+    }
+
+    #[test]
+    fn sub_bucket_bounds_are_contiguous_and_monotone() {
+        let mut prev = 0u64;
+        for i in 0..FINITE {
+            let ub = StreamingHistogram::index_upper_bound(i);
+            assert!(ub > prev, "bucket {i}: {ub} <= {prev}");
+            // Every value in (prev, ub] must map back to bucket i.
+            assert_eq!(StreamingHistogram::bucket_index(prev + 1), i);
+            assert_eq!(StreamingHistogram::bucket_index(ub), i);
+            prev = ub;
+        }
+        assert_eq!(prev, 1 << SHIFT_MAX);
     }
 
     #[test]
@@ -172,13 +244,16 @@ mod tests {
         h.observe(1_000_000);
         let p50 = h.quantile(0.5).unwrap();
         let p999 = h.quantile(0.999).unwrap();
-        assert!(p50 <= 4_096, "p50 {p50}");
-        assert!(p999 >= 1_000_000 / 2, "p999 {p999}");
+        assert!(p50 <= 2_048, "p50 {p50}");
+        assert!(p999 >= 1_000_000, "p999 {p999}");
         assert_eq!(h.count(), 100);
     }
 
     #[test]
-    fn quantile_relative_error_is_bounded_by_bucket_ratio() {
+    fn quantile_relative_error_is_bounded_by_sub_bucket_width() {
+        // Pure power-of-two buckets would report p50 here as 65536 (2x
+        // off from the exact 50_000); log-linear sub-buckets must land
+        // within 25% of the octave base.
         let mut h = StreamingHistogram::new();
         for v in [10_000u64, 50_000, 250_000, 1_250_000] {
             for _ in 0..25 {
@@ -186,7 +261,27 @@ mod tests {
             }
         }
         let p50 = h.quantile(0.5).unwrap();
-        assert!((25_000..=100_000).contains(&p50), "p50 {p50}");
+        assert!(p50 >= 50_000, "p50 {p50} underestimates");
+        assert!(p50 - 50_000 <= 50_000 / 4 + 1, "p50 {p50} off by >25%");
+    }
+
+    #[test]
+    fn quantiles_do_not_snap_to_powers_of_two() {
+        let mut h = StreamingHistogram::new();
+        for _ in 0..1_000 {
+            h.observe(3_000_000);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        // Old power-of-two buckets reported 4194304 (= 2^22, 40% high).
+        assert!((3_000_000..4_194_304).contains(&p50), "p50 {p50}");
+        assert!(p50 - 3_000_000 <= 3_000_000 / 4, "p50 {p50} off by >25%");
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        // The sharper resolution must not blow the constant-memory
+        // budget: the whole histogram stays under 1 KiB.
+        assert!(std::mem::size_of::<StreamingHistogram>() <= 1024);
     }
 
     #[test]
@@ -201,11 +296,29 @@ mod tests {
         assert_eq!(*m.counts.last().unwrap(), 3, "cumulative total");
         assert_eq!(m.count, 3);
         assert!(m.counts.windows(2).all(|w| w[0] <= w[1]));
+        assert!(m.bounds.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
     fn empty_histogram_has_no_quantiles() {
         assert_eq!(StreamingHistogram::new().quantile(0.99), None);
+    }
+
+    #[test]
+    fn bucket_count_reports_the_value_bucket_only() {
+        let mut h = StreamingHistogram::new();
+        for _ in 0..3 {
+            h.observe(50_000);
+        }
+        h.observe(5_000_000);
+        h.observe(u64::MAX);
+        // Any value inside the 50 µs bucket sees all three observations.
+        let (lo, hi) = StreamingHistogram::bucket_bounds(50_000);
+        assert_eq!(h.bucket_count(lo + 1), 3);
+        assert_eq!(h.bucket_count(hi), 3);
+        assert_eq!(h.bucket_count(5_000_000), 1);
+        assert_eq!(h.bucket_count(u64::MAX), 1);
+        assert_eq!(h.bucket_count(100), 0);
     }
 
     #[test]
@@ -234,7 +347,8 @@ mod tests {
     fn bucket_upper_bound_matches_quantile_reporting() {
         assert_eq!(StreamingHistogram::bucket_upper_bound(900), 1 << 10);
         assert_eq!(StreamingHistogram::bucket_upper_bound(1 << 10), 1 << 10);
-        assert_eq!(StreamingHistogram::bucket_upper_bound(1025), 1 << 11);
+        // First sub-bucket of the first octave: 1024 + 256.
+        assert_eq!(StreamingHistogram::bucket_upper_bound(1025), 1280);
         assert_eq!(StreamingHistogram::bucket_upper_bound(u64::MAX), u64::MAX);
         let mut h = StreamingHistogram::new();
         h.observe(3_000);
@@ -242,5 +356,15 @@ mod tests {
             h.quantile(0.5).unwrap(),
             StreamingHistogram::bucket_upper_bound(3_000)
         );
+    }
+
+    #[test]
+    fn bucket_bounds_bracket_the_value() {
+        for v in [0u64, 512, 1024, 1025, 3_000, 50_000, 3_000_000, u64::MAX] {
+            let (lo, hi) = StreamingHistogram::bucket_bounds(v);
+            assert!(v > lo || v == 0, "{v} <= lower {lo}");
+            assert!(v <= hi, "{v} > upper {hi}");
+            assert_eq!(StreamingHistogram::bucket_upper_bound(v), hi);
+        }
     }
 }

@@ -189,20 +189,16 @@ impl OnlineAnalyzer {
             ));
             out.push(counter("symbi_online_hop_total_ns_total", stats.total_ns));
         }
+        // Exported as a *native* Prometheus histogram only — no
+        // precomputed quantile gauges. Quantile gauges cannot be
+        // aggregated across processes; `_bucket{le=...}` series sum
+        // exactly, which is what the federated collector endpoint does
+        // to produce the `symbi_cluster_*` view.
         for (hop, hist) in &self.latency {
             out.push(
                 MetricPoint::histogram("symbi_online_latency_ns", hist.to_metric())
                     .with_label("hop", hop.to_string()),
             );
-            for (q, label) in [(0.5, "0.5"), (0.99, "0.99"), (0.999, "0.999")] {
-                if let Some(v) = hist.quantile(q) {
-                    out.push(
-                        MetricPoint::gauge("symbi_online_latency_quantile_ns", v as f64)
-                            .with_label("hop", hop.to_string())
-                            .with_label("quantile", label.to_string()),
-                    );
-                }
-            }
         }
         for (rank, (name, entry)) in self.top_callpaths().into_iter().enumerate() {
             out.push(

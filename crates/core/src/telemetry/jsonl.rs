@@ -201,6 +201,17 @@ impl TraceEventDecoder {
         line.contains("\"kind\":\"trace\"")
     }
 
+    /// The session-consistent [`EntityId`] for an entity name, registered
+    /// on first sight — the memo the line decoder uses, exposed for
+    /// codecs (like the binary obs push form) that carry names out of
+    /// band.
+    pub fn entity_id(&mut self, name: &str) -> EntityId {
+        *self
+            .entities
+            .entry(name.to_string())
+            .or_insert_with(|| register_entity(name))
+    }
+
     /// Decode one trace record line.
     pub fn decode(&mut self, line: &str) -> Result<TraceEvent, String> {
         let v = parse_json(line)?;
@@ -227,10 +238,7 @@ impl TraceEventDecoder {
             .get("entity")
             .and_then(JsonValue::as_str)
             .ok_or("trace missing entity")?;
-        let entity = *self
-            .entities
-            .entry(name.to_string())
-            .or_insert_with(|| register_entity(name));
+        let entity = self.entity_id(name);
         if let Some(frames) = v.get("frames").and_then(JsonValue::as_arr) {
             for f in frames {
                 if let Some(n) = f.as_str() {

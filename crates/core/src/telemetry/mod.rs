@@ -21,6 +21,7 @@
 //! monitoring ULT.
 
 pub mod jsonl;
+pub mod obs;
 pub mod prometheus;
 pub mod recorder;
 
@@ -73,6 +74,48 @@ impl HistogramValue {
         *self.counts.last_mut().expect("+Inf bucket") += 1;
         self.sum += v;
         self.count += 1;
+    }
+
+    /// Fold another histogram into this one bucket-by-bucket. This is
+    /// what makes native histogram exposition federable: the cluster
+    /// collector sums each process's `_bucket{le=...}` series into one
+    /// deployment-wide distribution, which precomputed quantile gauges
+    /// cannot do. Returns `false` (leaving `self` untouched) when the
+    /// bucket layouts differ — merging mismatched bounds would silently
+    /// corrupt the distribution.
+    pub fn merge(&mut self, other: &HistogramValue) -> bool {
+        if self.bounds != other.bounds || self.counts.len() != other.counts.len() {
+            return false;
+        }
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        true
+    }
+
+    /// Estimated `q`-quantile (`0.0 < q <= 1.0`) from the cumulative
+    /// bucket counts, or `None` when empty. Returns the upper bound of
+    /// the bucket containing the target rank (the `+Inf` bucket reports
+    /// the last finite bound), mirroring
+    /// [`crate::analysis::online::StreamingHistogram::quantile`] so
+    /// cluster-level quantiles computed from merged exposition data rank
+    /// the same way per-process ones do.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        for (i, c) in self.counts.iter().enumerate() {
+            if *c >= target {
+                return Some(match self.bounds.get(i) {
+                    Some(b) => *b,
+                    None => self.bounds.last().copied().unwrap_or(f64::INFINITY),
+                });
+            }
+        }
+        self.bounds.last().copied()
     }
 }
 

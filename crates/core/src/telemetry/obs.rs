@@ -1,0 +1,560 @@
+//! The observability-push wire protocol shared by monitor ULTs (the
+//! pushers) and the cluster collector (the sink).
+//!
+//! One push is one obs datagram:
+//!
+//! ```text
+//! {"obs":"push","entity":"kv-server",...}     <- header (always line 1)
+//! {"seq":12,"wall_ns":...,"points":[...]}     <- metric snapshot (optional)
+//! #evb1                                       <- binary event section marker
+//! <count><string table><records...>           <- 0..=PUSH_EVENT_CAP events
+//! ```
+//!
+//! The header and snapshot lines reuse the flight-recorder JSONL codec
+//! ([`super::jsonl`]) — low-volume, debuggable, and identical to what
+//! the local ring records. The trace-event batch is the *hot* part of
+//! the payload (up to [`PUSH_EVENT_CAP`] events per monitor period on
+//! every process), so it travels in a compact little-endian binary form
+//! instead: names (entities, callpath frames) are interned once per
+//! push in a string table, each record is fixed-width fields plus a
+//! presence-bitmask-packed [`EventSamples`]. Encoding one event this
+//! way costs ~10× less CPU than the JSONL line it replaces, and the
+//! collector's decode side saves more — both sides matter, because the
+//! data plane hosts the pusher and (on the in-process fabric) sinks run
+//! inline on the sender. Advisories travel the other way (collector →
+//! process) as a one-line JSON document.
+//!
+//! Pushes are fire-and-forget datagrams over [`Transport::send_obs`]
+//! (silent loss tolerated); nothing here retries or acknowledges.
+//!
+//! [`Transport::send_obs`]: ../../../symbi_fabric/trait.Transport.html#method.send_obs
+
+use super::jsonl::{
+    parse_json, snapshot_from_json, snapshot_to_json, JsonValue, TraceEventDecoder,
+};
+use super::MetricSnapshot;
+use crate::callpath::{register_name, resolve_name};
+use crate::entity::entity_name;
+use crate::trace::{EventSamples, TraceEvent, TraceEventKind};
+use crate::zipkin::escape_into;
+use crate::Callpath;
+use std::collections::HashMap;
+
+/// Obs datagram kind: a telemetry push (process → collector).
+pub const OBS_KIND_PUSH: u8 = 1;
+/// Obs datagram kind: a control advisory (collector → process).
+pub const OBS_KIND_ADVISORY: u8 = 2;
+
+/// Most trace events one push carries. A monitor sample that drained more
+/// sends the newest `PUSH_EVENT_CAP` and counts the rest in
+/// [`PushHeader::dropped`] — the push path must stay bounded per sample
+/// no matter how hot the tracer ran.
+pub const PUSH_EVENT_CAP: usize = 1024;
+
+/// Line 1 of every push payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PushHeader {
+    /// The pushing process's entity name (its telemetry identity).
+    pub entity: String,
+    /// Push sequence number, monotonically increasing per pusher; the
+    /// collector detects lost pushes from gaps.
+    pub seq: u64,
+    /// Wall-clock nanoseconds at push time.
+    pub wall_ns: u64,
+    /// Anomalies the pusher's local detector bank raised on this sample
+    /// (a nonzero count tail-flags the spans in this batch).
+    pub anomalies: u64,
+    /// Trace events drained this sample but not included (over
+    /// [`PUSH_EVENT_CAP`]).
+    pub dropped: u64,
+    /// Whether the pusher's admission gate is currently shedding.
+    pub shedding: bool,
+}
+
+fn header_to_json(h: &PushHeader) -> String {
+    let mut out = String::with_capacity(128);
+    out.push_str("{\"obs\":\"push\",\"entity\":\"");
+    escape_into(&mut out, &h.entity);
+    out.push_str(&format!(
+        "\",\"seq\":{},\"wall_ns\":{},\"anomalies\":{},\"dropped\":{},\"shedding\":{}}}",
+        h.seq, h.wall_ns, h.anomalies, h.dropped, h.shedding
+    ));
+    out
+}
+
+fn header_from_json(line: &str) -> Result<PushHeader, String> {
+    let v = parse_json(line)?;
+    if v.get("obs").and_then(JsonValue::as_str) != Some("push") {
+        return Err("not a push header".into());
+    }
+    let u = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("push header missing {key}"))
+    };
+    Ok(PushHeader {
+        entity: v
+            .get("entity")
+            .and_then(JsonValue::as_str)
+            .ok_or("push header missing entity")?
+            .to_string(),
+        seq: u("seq")?,
+        wall_ns: u("wall_ns")?,
+        anomalies: u("anomalies")?,
+        dropped: u("dropped")?,
+        shedding: matches!(v.get("shedding"), Some(JsonValue::Bool(true))),
+    })
+}
+
+/// Marker line introducing the binary event section of a push payload.
+const EVENT_SECTION_MARKER: &[u8] = b"#evb1";
+
+/// Timeline-point byte for the binary record form.
+fn kind_to_byte(k: TraceEventKind) -> u8 {
+    match k {
+        TraceEventKind::OriginForward => 1,
+        TraceEventKind::TargetUltStart => 5,
+        TraceEventKind::TargetRespond => 8,
+        TraceEventKind::OriginComplete => 14,
+    }
+}
+
+fn kind_from_byte(b: u8) -> Result<TraceEventKind, String> {
+    Ok(match b {
+        1 => TraceEventKind::OriginForward,
+        5 => TraceEventKind::TargetUltStart,
+        8 => TraceEventKind::TargetRespond,
+        14 => TraceEventKind::OriginComplete,
+        other => return Err(format!("unknown timeline-point byte {other}")),
+    })
+}
+
+/// Per-push name interner backing the string table. Index `0xFFFF` is
+/// reserved as "no name" (an unresolvable callpath frame).
+#[derive(Default)]
+struct StringTable {
+    names: Vec<String>,
+    index: HashMap<String, u16>,
+}
+
+const NO_NAME: u16 = u16::MAX;
+
+impl StringTable {
+    fn intern(&mut self, name: &str) -> u16 {
+        if let Some(i) = self.index.get(name) {
+            return *i;
+        }
+        let i = self.names.len();
+        if i >= NO_NAME as usize {
+            return NO_NAME;
+        }
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), i as u16);
+        i as u16
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encode one push payload. `events` must already be capped to
+/// [`PUSH_EVENT_CAP`] (the overflow counted in `header.dropped`).
+pub fn encode_push(
+    header: &PushHeader,
+    snapshot: Option<&MetricSnapshot>,
+    events: &[TraceEvent],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(512 + events.len() * 80);
+    out.extend_from_slice(header_to_json(header).as_bytes());
+    if let Some(snap) = snapshot {
+        out.push(b'\n');
+        out.extend_from_slice(snapshot_to_json(snap).as_bytes());
+    }
+    if events.is_empty() {
+        return out;
+    }
+    out.push(b'\n');
+    out.extend_from_slice(EVENT_SECTION_MARKER);
+    out.push(b'\n');
+
+    // Records are laid down into a side buffer while the string table
+    // grows, then both are emitted (table first, so decode is one pass).
+    // Name resolution goes through per-push id caches: `entity_name` /
+    // `resolve_name` hit the global registries and allocate, so they
+    // must run once per distinct id, not once per event.
+    let mut table = StringTable::default();
+    let mut entity_cache: HashMap<crate::entity::EntityId, u16> = HashMap::new();
+    let mut frame_cache: HashMap<u16, u16> = HashMap::new();
+    let mut records = Vec::with_capacity(events.len() * 80);
+    for e in events {
+        put_u64(&mut records, e.request_id);
+        put_u64(&mut records, e.span);
+        put_u64(&mut records, e.parent_span);
+        put_u64(&mut records, e.lamport);
+        put_u64(&mut records, e.wall_ns);
+        put_u64(&mut records, e.callpath.0);
+        put_u32(&mut records, e.order);
+        put_u32(&mut records, e.hop);
+        records.push(kind_to_byte(e.kind));
+        records.push(0); // reserved
+        let entity_idx = *entity_cache
+            .entry(e.entity)
+            .or_insert_with(|| table.intern(&entity_name(e.entity)));
+        put_u16(&mut records, entity_idx);
+        let nframes_at = records.len();
+        records.push(0);
+        let mut nframes = 0u8;
+        for f in e.callpath.frames() {
+            let idx = *frame_cache
+                .entry(f)
+                .or_insert_with(|| match resolve_name(f) {
+                    Some(name) => table.intern(&name),
+                    None => NO_NAME,
+                });
+            put_u16(&mut records, idx);
+            nframes += 1;
+        }
+        records[nframes_at] = nframes;
+        let mask_at = records.len();
+        put_u32(&mut records, 0);
+        let mask = e.samples.pack(|v| put_u64(&mut records, v));
+        records[mask_at..mask_at + 4].copy_from_slice(&mask.to_le_bytes());
+    }
+
+    put_u32(&mut out, events.len() as u32);
+    put_u16(&mut out, table.names.len() as u16);
+    for name in &table.names {
+        let bytes = name.as_bytes();
+        put_u16(&mut out, bytes.len().min(u16::MAX as usize) as u16);
+        out.extend_from_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+    }
+    out.extend_from_slice(&records);
+    out
+}
+
+/// Byte cursor over the binary event section.
+struct Cursor<'a> {
+    b: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self
+            .off
+            .checked_add(n)
+            .filter(|e| *e <= self.b.len())
+            .ok_or("truncated event section")?;
+        let s = &self.b[self.off..end];
+        self.off = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, String> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn decode_event_section(
+    bytes: &[u8],
+    dec: &mut TraceEventDecoder,
+) -> Result<Vec<TraceEvent>, String> {
+    let mut cur = Cursor { b: bytes, off: 0 };
+    let count = cur.u32()? as usize;
+    if count > PUSH_EVENT_CAP {
+        return Err(format!("event count {count} exceeds push cap"));
+    }
+    let nstrings = cur.u16()? as usize;
+    let mut names = Vec::with_capacity(nstrings);
+    for _ in 0..nstrings {
+        let len = cur.u16()? as usize;
+        let s = std::str::from_utf8(cur.take(len)?).map_err(|_| "non-utf8 table entry")?;
+        names.push(s);
+    }
+    let name_at = |idx: u16| -> Result<&str, String> {
+        names
+            .get(idx as usize)
+            .copied()
+            .ok_or_else(|| format!("string index {idx} out of table"))
+    };
+
+    let mut events = Vec::with_capacity(count);
+    for _ in 0..count {
+        let request_id = cur.u64()?;
+        let span = cur.u64()?;
+        let parent_span = cur.u64()?;
+        let lamport = cur.u64()?;
+        let wall_ns = cur.u64()?;
+        let callpath = Callpath(cur.u64()?);
+        let order = cur.u32()?;
+        let hop = cur.u32()?;
+        let kind = kind_from_byte(cur.u8()?)?;
+        let _reserved = cur.u8()?;
+        let entity = dec.entity_id(name_at(cur.u16()?)?);
+        let nframes = cur.u8()? as usize;
+        for _ in 0..nframes {
+            let idx = cur.u16()?;
+            if idx != NO_NAME {
+                // Side effect only: make `Callpath::display` resolve in
+                // this process (the packed path travels in `callpath`).
+                register_name(name_at(idx)?);
+            }
+        }
+        let mask = cur.u32()?;
+        let samples = EventSamples::unpack(mask, || cur.u64().ok())
+            .ok_or("sample values truncated against their presence mask")?;
+        events.push(TraceEvent {
+            request_id,
+            order,
+            span,
+            parent_span,
+            hop,
+            lamport,
+            wall_ns,
+            kind,
+            entity,
+            callpath,
+            samples,
+        });
+    }
+    Ok(events)
+}
+
+/// One decoded push.
+#[derive(Debug)]
+pub struct DecodedPush {
+    /// The header line.
+    pub header: PushHeader,
+    /// The metric snapshot, if the push carried one.
+    pub snapshot: Option<MetricSnapshot>,
+    /// The trace-event batch (possibly empty).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Split the next `\n`-terminated line off `rest`, returning
+/// `(line, after)`; the final unterminated chunk counts as a line.
+fn next_line(rest: &[u8]) -> (&[u8], &[u8]) {
+    match rest.iter().position(|b| *b == b'\n') {
+        Some(i) => (&rest[..i], &rest[i + 1..]),
+        None => (rest, &[]),
+    }
+}
+
+/// Decode one push payload. The caller owns the [`TraceEventDecoder`] —
+/// one per pushing process — so entity ids stay consistent across that
+/// process's pushes (the decoder memoizes name → id).
+pub fn decode_push(payload: &[u8], dec: &mut TraceEventDecoder) -> Result<DecodedPush, String> {
+    let (first, mut rest) = next_line(payload);
+    if first.is_empty() {
+        return Err("empty push payload".into());
+    }
+    let header = header_from_json(std::str::from_utf8(first).map_err(|_| "non-utf8 push header")?)?;
+    let mut snapshot = None;
+    let mut events = Vec::new();
+    while !rest.is_empty() {
+        let (line, after) = next_line(rest);
+        if line == EVENT_SECTION_MARKER {
+            events = decode_event_section(after, dec)?;
+            break;
+        }
+        rest = after;
+        if line.is_empty() {
+            continue;
+        }
+        let line = std::str::from_utf8(line).map_err(|_| "non-utf8 push line")?;
+        if snapshot.is_none() {
+            snapshot = Some(snapshot_from_json(line)?);
+        } else {
+            return Err("push payload has more than one snapshot line".into());
+        }
+    }
+    Ok(DecodedPush {
+        header,
+        snapshot,
+        events,
+    })
+}
+
+/// Encode a collector → process advisory. `shed = true` asks the process
+/// to close its admission gate (the collector saw cluster-wide backlog
+/// the process itself cannot see); `false` releases it.
+pub fn advisory_to_json(shed: bool) -> String {
+    format!("{{\"obs\":\"advisory\",\"shed\":{shed}}}")
+}
+
+/// Decode an advisory payload to its shed flag.
+pub fn advisory_from_json(payload: &str) -> Result<bool, String> {
+    let v = parse_json(payload.trim())?;
+    if v.get("obs").and_then(JsonValue::as_str) != Some("advisory") {
+        return Err("not an advisory".into());
+    }
+    match v.get("shed") {
+        Some(JsonValue::Bool(b)) => Ok(*b),
+        _ => Err("advisory missing shed flag".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::register_entity;
+    use crate::telemetry::{MetricPoint, SnapshotPoint};
+    use crate::trace::{EventSamples, TraceEventKind};
+    use crate::Callpath;
+
+    fn header() -> PushHeader {
+        PushHeader {
+            entity: "kv \"quoted\"".to_string(),
+            seq: 42,
+            wall_ns: 123_456,
+            anomalies: 2,
+            dropped: 7,
+            shedding: true,
+        }
+    }
+
+    fn event(span: u64) -> TraceEvent {
+        TraceEvent {
+            request_id: span,
+            order: 0,
+            span,
+            parent_span: 0,
+            hop: 1,
+            lamport: 3,
+            wall_ns: 9_000,
+            kind: TraceEventKind::OriginForward,
+            entity: register_entity("obs-push-test"),
+            callpath: Callpath::root("obs_rpc"),
+            samples: EventSamples {
+                retry_attempt: Some(1),
+                ..Default::default()
+            },
+        }
+    }
+
+    fn snapshot() -> MetricSnapshot {
+        MetricSnapshot {
+            seq: 5,
+            wall_ns: 100,
+            entity: Some("kv".to_string()),
+            points: vec![SnapshotPoint {
+                point: MetricPoint::counter("symbi_rpc_total", 9),
+                delta: Some(3),
+            }],
+        }
+    }
+
+    #[test]
+    fn push_roundtrips_header_snapshot_and_events() {
+        let payload = encode_push(&header(), Some(&snapshot()), &[event(1), event(2)]);
+        let mut dec = TraceEventDecoder::new();
+        let back = decode_push(&payload, &mut dec).expect("decode");
+        assert_eq!(back.header, header());
+        let snap = back.snapshot.expect("snapshot present");
+        assert_eq!(snap.seq, 5);
+        assert_eq!(snap.points.len(), 1);
+        assert_eq!(back.events.len(), 2);
+        assert_eq!(back.events[0].span, 1);
+        assert_eq!(back.events[1].samples.retry_attempt, Some(1));
+    }
+
+    #[test]
+    fn push_without_snapshot_or_events_is_valid() {
+        let h = PushHeader {
+            shedding: false,
+            ..header()
+        };
+        let payload = encode_push(&h, None, &[]);
+        let back = decode_push(&payload, &mut TraceEventDecoder::new()).unwrap();
+        assert_eq!(back.header, h);
+        assert!(back.snapshot.is_none());
+        assert!(back.events.is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_garbage_and_double_snapshots() {
+        let mut dec = TraceEventDecoder::new();
+        assert!(decode_push(b"", &mut dec).is_err());
+        assert!(decode_push(b"not json", &mut dec).is_err());
+        assert!(decode_push(b"{\"obs\":\"advisory\",\"shed\":true}", &mut dec).is_err());
+        let two_snaps = format!(
+            "{}\n{}\n{}",
+            super::header_to_json(&header()),
+            crate::telemetry::jsonl::snapshot_to_json(&snapshot()),
+            crate::telemetry::jsonl::snapshot_to_json(&snapshot()),
+        );
+        assert!(decode_push(two_snaps.as_bytes(), &mut dec).is_err());
+    }
+
+    #[test]
+    fn binary_event_section_roundtrips_every_field() {
+        let mut e = event(7);
+        e.order = 3;
+        e.parent_span = 99;
+        e.hop = 2;
+        e.kind = TraceEventKind::TargetRespond;
+        e.samples = EventSamples {
+            blocked_ults: Some(4),
+            target_handler_ns: Some(1_234_567),
+            timed_out: Some(1),
+            ..Default::default()
+        };
+        let payload = encode_push(&header(), None, &[e, event(8)]);
+        let mut dec = TraceEventDecoder::new();
+        let back = decode_push(&payload, &mut dec).expect("decode");
+        assert_eq!(back.events.len(), 2);
+        let d = &back.events[0];
+        assert_eq!(
+            (d.request_id, d.order, d.span, d.parent_span, d.hop),
+            (e.request_id, e.order, e.span, e.parent_span, e.hop)
+        );
+        assert_eq!((d.lamport, d.wall_ns), (e.lamport, e.wall_ns));
+        assert_eq!(d.kind, TraceEventKind::TargetRespond);
+        assert_eq!(d.callpath, e.callpath);
+        assert_eq!(d.samples, e.samples);
+        assert_eq!(crate::entity::entity_name(d.entity), "obs-push-test");
+        // One decoder session keeps the entity id stable across pushes.
+        let again = decode_push(&payload, &mut dec).expect("second decode");
+        assert_eq!(again.events[0].entity, d.entity);
+    }
+
+    #[test]
+    fn truncated_event_sections_error_instead_of_panicking() {
+        let payload = encode_push(&header(), None, &[event(1), event(2)]);
+        let mut dec = TraceEventDecoder::new();
+        for cut in 1..payload.len() {
+            // Any truncation either decodes fewer bytes cleanly (cuts
+            // inside the JSON lines) or errors — never panics.
+            let _ = decode_push(&payload[..cut], &mut dec);
+        }
+    }
+
+    #[test]
+    fn advisory_roundtrips() {
+        assert_eq!(advisory_from_json(&advisory_to_json(true)), Ok(true));
+        assert_eq!(advisory_from_json(&advisory_to_json(false)), Ok(false));
+        assert!(advisory_from_json("{}").is_err());
+        assert!(advisory_from_json("{\"obs\":\"push\"}").is_err());
+    }
+}

@@ -107,15 +107,68 @@ fn curated_help(name: &str) -> Option<&'static str> {
         }
         "symbi_online_hop_total_ns_total" => "Summed full hop latency per hop class (t1->t14), ns.",
         "symbi_online_latency_ns" => {
-            "Per-hop-class hop latency, log-bucketed streaming histogram (ns)."
-        }
-        "symbi_online_latency_quantile_ns" => {
-            "Estimated per-hop-class latency quantile from the streaming histogram, ns."
+            "Per-hop-class hop latency, log-linear streaming histogram (ns)."
         }
         "symbi_online_topk_weight_ns" => {
             "Space-Saving top-K slow callpaths: cumulative attributed latency, ns."
         }
         "symbi_online_anomalies_total" => "Anomaly detector firings, per detector.",
+        // The cluster collector (symbi_obs) — federated aggregates.
+        "symbi_cluster_processes" => {
+            "Processes currently streaming telemetry to the cluster collector."
+        }
+        "symbi_cluster_events_ingested_total" => {
+            "Trace events ingested by the collector across all processes."
+        }
+        "symbi_cluster_spans_completed_total" => {
+            "Spans completed in the collector's cross-PID reconstruction."
+        }
+        "symbi_cluster_latency_ns" => {
+            "Deployment-wide hop latency histogram, merged across all processes (ns)."
+        }
+        "symbi_cluster_latency_quantile_ns" => {
+            "Deployment-wide latency quantile from the merged histogram, ns."
+        }
+        "symbi_cluster_hop_queue_ns_total" => {
+            "Cluster-merged handler-pool queue wait per hop class (t4->t5), ns."
+        }
+        "symbi_cluster_hop_busy_ns_total" => {
+            "Cluster-merged target busy time per hop class (t5->t8), ns."
+        }
+        "symbi_cluster_hop_network_ns_total" => {
+            "Cluster-merged network and delivery time per hop class, ns."
+        }
+        "symbi_cluster_hop_total_ns_total" => {
+            "Cluster-merged full hop latency per hop class (t1->t14), ns."
+        }
+        "symbi_cluster_topk_weight_ns" => {
+            "Cluster-wide top-K slow callpaths: cumulative attributed latency, ns."
+        }
+        "symbi_cluster_anomalies_total" => {
+            "Anomalies reported to the collector, per reporting process."
+        }
+        "symbi_cluster_spans_retained_total" => {
+            "Span trees retained by the tail sampler (slow, errored, or head-sampled)."
+        }
+        "symbi_cluster_spans_discarded_total" => {
+            "Fast-path span trees the tail sampler dropped to stay within budget."
+        }
+        "symbi_cluster_shed_advisories_total" => {
+            "Cluster shed advisories pushed back to monitored processes."
+        }
+        // The monitor-ULT push path (symbi_margo::telemetry).
+        "symbi_obs_pushes_total" => "Telemetry/span batches pushed to the cluster collector.",
+        "symbi_obs_push_failures_total" => {
+            "Push attempts dropped (collector unreachable or blacked out)."
+        }
+        "symbi_obs_events_pushed_total" => "Completed-span trace events streamed to the collector.",
+        "symbi_obs_events_dropped_total" => {
+            "Trace events withheld from a push by the per-batch bound (still in flight rings)."
+        }
+        "symbi_obs_advisories_total" => "Cluster shed advisories received from the collector.",
+        "symbi_obs_cluster_shed" => {
+            "1 while the most recent collector advisory asks this process to shed."
+        }
         // The adaptive control loop (symbi_margo::control).
         "symbi_margo_control_actions_total" => {
             "Control-loop reactions applied at runtime, per action kind."
@@ -407,7 +460,7 @@ mod tests {
         assert!(
             text.contains(
                 "# HELP symbi_online_latency_ns Per-hop-class hop latency, \
-                 log-bucketed streaming histogram (ns).\n"
+                 log-linear streaming histogram (ns).\n"
             ),
             "{text}"
         );

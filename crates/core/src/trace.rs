@@ -135,6 +135,48 @@ impl EventSamples {
         with_event_sample_fields!(self, visit);
     }
 
+    /// Pack the populated fields into a presence bitmask (bit *i* = field
+    /// *i* in declaration order), emitting the values in ascending bit
+    /// order — the compact binary wire form ([`Self::unpack`] inverts).
+    pub fn pack(&self, mut emit: impl FnMut(u64)) -> u32 {
+        let mut mask = 0u32;
+        let mut bit = 0u32;
+        macro_rules! visit {
+            ($s:ident, $($field:ident),*) => { $(
+                if let Some(v) = $s.$field {
+                    mask |= 1 << bit;
+                    emit(v);
+                }
+                bit += 1;
+            )* };
+        }
+        with_event_sample_fields!(self, visit);
+        let _ = bit;
+        mask
+    }
+
+    /// Rebuild from a presence bitmask, pulling one value per set bit in
+    /// ascending bit order. Returns `None` if `next` runs dry early.
+    /// Bits beyond the known fields are ignored — a newer writer may know
+    /// more fields, but it also emits their values, so this decoder can
+    /// only skip them when they sort *after* every known field (the
+    /// append-only evolution rule for the sample set).
+    pub fn unpack(mask: u32, mut next: impl FnMut() -> Option<u64>) -> Option<EventSamples> {
+        let mut s = EventSamples::default();
+        let mut bit = 0u32;
+        macro_rules! visit {
+            ($s:ident, $($field:ident),*) => { $(
+                if mask & (1 << bit) != 0 {
+                    $s.$field = Some(next()?);
+                }
+                bit += 1;
+            )* };
+        }
+        with_event_sample_fields!(s, visit);
+        let _ = bit;
+        Some(s)
+    }
+
     /// Set a field by its name. Returns `false` for unknown names, so a
     /// decoder can skip fields from a newer writer without failing.
     pub fn set_field(&mut self, name: &str, v: u64) -> bool {

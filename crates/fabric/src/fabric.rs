@@ -8,7 +8,7 @@ use crate::fault::{FaultCountersSnapshot, FaultPlan};
 use crate::local::LocalTransport;
 use crate::memory::{MemKey, RemoteRegion};
 use crate::model::NetworkModel;
-use crate::transport::{LinkStatsSnapshot, Transport};
+use crate::transport::{LinkStatsSnapshot, ObsSink, Transport};
 use crate::{Addr, FabricError};
 use bytes::Bytes;
 use parking_lot::RwLock;
@@ -200,6 +200,33 @@ impl Fabric {
     /// have a wire (`None` on the local transport).
     pub fn link_stats(&self) -> Option<LinkStatsSnapshot> {
         self.transport.link_stats()
+    }
+
+    /// Post one fire-and-forget observability datagram to `dst` (see
+    /// [`crate::ObsDelivery`]). Bypasses the seeded fault RNG entirely —
+    /// only blackout windows apply, without counting — so streaming
+    /// collection never perturbs a deterministic fault schedule. Silent
+    /// loss is expected; the pusher's flight rings remain the fallback.
+    pub fn send_obs(
+        &self,
+        src: Addr,
+        dst: Addr,
+        kind: u8,
+        seq: u64,
+        payload: Bytes,
+    ) -> Result<(), FabricError> {
+        self.transport.send_obs(src, dst, kind, seq, payload)
+    }
+
+    /// Register an observability sink for datagrams addressed to `dst`
+    /// (an endpoint of this fabric), replacing any previous sink for it.
+    pub fn set_obs_sink(&self, dst: Addr, sink: ObsSink) {
+        self.transport.set_obs_sink(dst, sink);
+    }
+
+    /// Remove the observability sink for `dst`, if any.
+    pub fn clear_obs_sink(&self, dst: Addr) {
+        self.transport.clear_obs_sink(dst);
     }
 }
 

@@ -287,6 +287,16 @@ impl FaultRuntime {
             .any(|b| b.addr == dst && elapsed >= b.start && elapsed < b.start + b.duration)
     }
 
+    /// Non-counting blackout probe for out-of-band traffic (the
+    /// observability push path). Reports whether `dst` is currently
+    /// inside a blackout window *without* consuming per-link RNG state
+    /// or touching the fault counters: obs pushes honor blackout drills,
+    /// but a seeded data-plane fault schedule stays byte-identical
+    /// whether or not streaming collection is enabled.
+    pub fn blacked_out_now(&self, dst: Addr) -> bool {
+        self.blacked_out(dst, Instant::now())
+    }
+
     /// Roll the plan for one two-sided message from `src` to `dst`.
     /// Updates the injected-fault counters as a side effect.
     pub fn judge_send(&self, src: Addr, dst: Addr) -> SendVerdict {

@@ -40,7 +40,7 @@ pub use fault::{
 pub use local::LocalTransport;
 pub use memory::{MemKey, Region, RemoteRegion};
 pub use model::NetworkModel;
-pub use transport::{LinkRow, LinkStatsSnapshot, Transport};
+pub use transport::{LinkRow, LinkStatsSnapshot, ObsDelivery, ObsSink, Transport};
 
 /// A fabric address (analogous to an `fi_addr_t`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]

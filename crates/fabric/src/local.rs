@@ -19,7 +19,7 @@ use crate::fabric::{FabricStats, FabricStatsSnapshot};
 use crate::fault::{FaultCountersSnapshot, FaultPlan, FaultSlot, SendVerdict};
 use crate::memory::{MemKey, Region, RemoteRegion};
 use crate::model::NetworkModel;
-use crate::transport::Transport;
+use crate::transport::{ObsDelivery, ObsSink, Transport};
 use crate::{Addr, FabricError};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
@@ -64,6 +64,10 @@ pub struct LocalTransport {
     model: NetworkModel,
     stats: FabricStats,
     faults: FaultSlot,
+    /// Observability sinks keyed by destination endpoint, so one shared
+    /// in-process fabric can host a collector next to the processes it
+    /// monitors (each registers a sink for its own address).
+    obs_sinks: RwLock<HashMap<Addr, ObsSink>>,
 }
 
 impl std::fmt::Debug for LocalTransport {
@@ -90,6 +94,7 @@ impl LocalTransport {
             model,
             stats: FabricStats::default(),
             faults: FaultSlot::new(),
+            obs_sinks: RwLock::new(HashMap::new()),
         }
     }
 
@@ -269,6 +274,42 @@ impl Transport for LocalTransport {
 
     fn stats(&self) -> FabricStatsSnapshot {
         self.stats.snapshot()
+    }
+
+    fn send_obs(
+        &self,
+        src: Addr,
+        dst: Addr,
+        kind: u8,
+        seq: u64,
+        payload: Bytes,
+    ) -> Result<(), FabricError> {
+        // Obs traffic deliberately skips judge_send: consuming per-link
+        // RNG here would shift seeded data-plane fault schedules. Only
+        // the (deterministic, non-counting) blackout probe applies.
+        if let Some(rt) = self.faults.runtime() {
+            if rt.blacked_out_now(dst) {
+                return Ok(());
+            }
+        }
+        let sink = self.obs_sinks.read().get(&dst).cloned();
+        if let Some(sink) = sink {
+            sink(ObsDelivery {
+                src,
+                kind,
+                seq,
+                payload,
+            });
+        }
+        Ok(())
+    }
+
+    fn set_obs_sink(&self, dst: Addr, sink: ObsSink) {
+        self.obs_sinks.write().insert(dst, sink);
+    }
+
+    fn clear_obs_sink(&self, dst: Addr) {
+        self.obs_sinks.write().remove(&dst);
     }
 
     fn install_fault_plan(&self, plan: FaultPlan) {

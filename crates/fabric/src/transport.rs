@@ -125,6 +125,31 @@ impl LinkStatsSnapshot {
     }
 }
 
+/// One observability datagram handed to a registered [`ObsSink`].
+///
+/// Obs traffic is the *out-of-band* telemetry plane: monitor ULTs stream
+/// bounded snapshot/span batches to a cluster collector beside the data
+/// plane. Deliveries are fire-and-forget datagrams — no response, no
+/// retry, no deadline — and they deliberately bypass the seeded fault
+/// RNG (only blackout windows apply, without counting), so enabling
+/// streaming collection never perturbs a deterministic fault schedule.
+#[derive(Debug, Clone)]
+pub struct ObsDelivery {
+    /// Source endpoint address of the pushing process.
+    pub src: Addr,
+    /// Application-defined datagram kind (push, advisory, ...).
+    pub kind: u8,
+    /// Sender-assigned sequence number (gap detection at the sink).
+    pub seq: u64,
+    /// Opaque payload bytes.
+    pub payload: Bytes,
+}
+
+/// A registered observability sink: called inline on the delivering
+/// thread for every obs datagram addressed to the sink's endpoint. Keep
+/// it cheap — hand off to a queue if processing is heavy.
+pub type ObsSink = Arc<dyn Fn(ObsDelivery) + Send + Sync>;
+
 /// The message/RDMA substrate behind a [`crate::Fabric`] handle.
 ///
 /// Object-safe by design: `Fabric` holds an `Arc<dyn Transport>` so the
@@ -204,6 +229,40 @@ pub trait Transport: Send + Sync + 'static {
     /// Wire-level counters, for transports that have a wire.
     fn link_stats(&self) -> Option<LinkStatsSnapshot> {
         None
+    }
+
+    /// Post one fire-and-forget observability datagram to `dst` (see
+    /// [`ObsDelivery`] for the contract). `Ok` means the transport
+    /// accepted it; silent loss is expected and tolerated — the pusher
+    /// keeps its local flight rings as the fallback record. Transports
+    /// without an obs plane report [`FabricError::Unsupported`].
+    fn send_obs(
+        &self,
+        src: Addr,
+        dst: Addr,
+        kind: u8,
+        seq: u64,
+        payload: Bytes,
+    ) -> Result<(), FabricError> {
+        let _ = (src, dst, kind, seq, payload);
+        Err(FabricError::Unsupported {
+            op: "send_obs",
+            kind: self.kind(),
+            detail: String::new(),
+        })
+    }
+
+    /// Register `sink` for obs datagrams addressed to `dst` (an endpoint
+    /// this transport owns), replacing any previous sink for it.
+    /// Transports without an obs plane ignore the registration.
+    fn set_obs_sink(&self, dst: Addr, sink: ObsSink) {
+        let _ = (dst, sink);
+    }
+
+    /// Remove the obs sink for `dst`, if any. Datagrams to an address
+    /// without a sink are silently dropped.
+    fn clear_obs_sink(&self, dst: Addr) {
+        let _ = dst;
     }
 
     /// Arm a deterministic fault plan (replacing any armed plan).

@@ -54,6 +54,14 @@ pub struct TelemetryOptions {
     /// each snapshot passes through the anomaly detector bank. Defaults
     /// to `true`, but only runs once `sample_period` is set.
     pub online: bool,
+    /// Stream every monitor sample (metric snapshot + drained trace
+    /// events, bounded per push) to a cluster collector as fire-and-forget
+    /// obs datagrams. The value is the collector's endpoint: a transport
+    /// URL (`tcp://…`, resolved by `lookup`) or a literal fabric address
+    /// (`fab://<bits>`, for in-process fabrics). Requires `sample_period`;
+    /// an unreachable collector degrades to local-only telemetry (flight
+    /// rings keep the full record) without perturbing the data plane.
+    pub obs_collector: Option<String>,
 }
 
 impl Default for TelemetryOptions {
@@ -64,6 +72,7 @@ impl Default for TelemetryOptions {
             flight_recorder: None,
             record_traces: false,
             online: true,
+            obs_collector: None,
         }
     }
 }
@@ -225,6 +234,14 @@ impl MargoConfig {
     #[must_use]
     pub fn with_online_analysis(mut self, on: bool) -> Self {
         self.telemetry.online = on;
+        self
+    }
+
+    /// Stream monitor samples to a cluster collector (see
+    /// [`TelemetryOptions::obs_collector`]).
+    #[must_use]
+    pub fn with_obs_collector(mut self, url: impl Into<String>) -> Self {
+        self.telemetry.obs_collector = Some(url.into());
         self
     }
 

@@ -17,6 +17,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock, Weak};
 use std::time::{Duration, Instant};
 use symbi_core::analysis::online::Anomaly;
+use symbi_core::analysis::ActionRecord;
 use symbi_core::telemetry::MetricPoint;
 use symbi_core::{
     now_ns, Callpath, EntityId, EventSamples, Interval, Side, Symbiosys, SysStats, TraceEvent,
@@ -485,6 +486,17 @@ impl MargoInstance {
                 });
         }
 
+        // Push headers report the live admission-gate state, which only
+        // exists once `Inner` does.
+        if let Some(pusher) = &inner.telemetry.pusher {
+            let weak = Arc::downgrade(&inner);
+            pusher.install_shed_probe(move || {
+                weak.upgrade()
+                    .map(|i| i.shed.load(Ordering::Relaxed))
+                    .unwrap_or(false)
+            });
+        }
+
         if let Some(period) = inner.config.telemetry.sample_period {
             // The monitor runs on its own pool + ES so its periodic sleep
             // never occupies a handler or progress stream.
@@ -513,6 +525,7 @@ impl MargoInstance {
                             (idle_streak + 1).min(3)
                         };
                         inner.apply_control(&outcome);
+                        inner.apply_cluster_advisory();
                         period * (1u32 << idle_streak)
                     };
                     // Sleep in short slices so finalize never waits more
@@ -1466,6 +1479,50 @@ impl Inner {
         }
         if let Some(rec) = &self.telemetry.recorder {
             if let Err(e) = rec.append_actions(&applied) {
+                eprintln!("[symbi-margo] flight recorder action append failed: {e}");
+            }
+        }
+    }
+
+    /// Apply the cluster collector's shed advisory, run right after the
+    /// local control loop each monitor sample. The advisory closes (or
+    /// releases) the same admission gate local shedding uses, but only on
+    /// *transitions* of the advisory itself — latched in the pusher — so
+    /// it layers over local decisions instead of fighting them: a
+    /// locally-decided shed is never released by a merely-absent cluster
+    /// advisory. Applied transitions are persisted to the flight ring as
+    /// `cluster_shed_on` / `cluster_shed_off` action records.
+    fn apply_cluster_advisory(self: &Arc<Inner>) {
+        let Some(pusher) = &self.telemetry.pusher else {
+            return;
+        };
+        let want = pusher.cluster_shed();
+        if pusher.swap_advisory_applied(want) == want {
+            return;
+        }
+        let prev = self.shed.swap(want, Ordering::Relaxed);
+        if prev == want {
+            return;
+        }
+        let record = ActionRecord {
+            seq: 0,
+            wall_ns: now_ns(),
+            entity: self.config.name.clone(),
+            detector: "cluster_backlog".to_string(),
+            subject: "cluster".to_string(),
+            action: if want {
+                "cluster_shed_on"
+            } else {
+                "cluster_shed_off"
+            }
+            .to_string(),
+            from: prev as u64,
+            to: want as u64,
+            value: 0,
+            threshold: 0,
+        };
+        if let Some(rec) = &self.telemetry.recorder {
+            if let Err(e) = rec.append_actions(&[record]) {
                 eprintln!("[symbi-margo] flight recorder action append failed: {e}");
             }
         }

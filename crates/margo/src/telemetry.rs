@@ -19,15 +19,22 @@
 //! registry introduces no reference cycle with the instance that owns it.
 
 use crate::config::TelemetryOptions;
+use bytes::Bytes;
 use parking_lot::Mutex;
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use symbi_core::analysis::online::Anomaly;
 use symbi_core::analysis::{OnlineAnalyzer, OnlineConfig};
+use symbi_core::telemetry::obs::{
+    advisory_from_json, encode_push, PushHeader, OBS_KIND_PUSH, PUSH_EVENT_CAP,
+};
 use symbi_core::telemetry::prometheus::PrometheusExporter;
 use symbi_core::telemetry::recorder::FlightRecorder;
 use symbi_core::telemetry::{self, MetricPoint, TelemetryRegistry};
+use symbi_core::trace::{now_ns, TraceEvent};
 use symbi_core::{entity_name, Symbiosys};
+use symbi_fabric::{Addr, Fabric, ObsDelivery};
 use symbi_mercury::{HgClass, PvarSession};
 use symbi_tasking::Pool;
 
@@ -40,6 +47,158 @@ pub(crate) struct SampleOutcome {
     pub(crate) activity: bool,
     /// Anomalies the online detector bank raised on this snapshot.
     pub(crate) anomalies: Vec<Anomaly>,
+}
+
+/// Streams monitor samples to the cluster collector as fire-and-forget
+/// obs datagrams, and receives its advisories.
+///
+/// The pusher reuses the instance's primary endpoint address as its obs
+/// identity — it never opens an endpoint of its own, so enabling
+/// streaming collection does not shift the address sequence (and with it
+/// the seeded per-link fault schedules) of the data plane.
+pub(crate) struct ObsPusher {
+    fabric: Fabric,
+    /// Our obs identity: the instance's primary endpoint address.
+    src: Addr,
+    /// Collector endpoint as configured (`tcp://…` or `fab://<bits>`).
+    url: String,
+    /// Resolved collector address, cached after the first success;
+    /// cleared again is never needed — addresses of a restarted collector
+    /// incarnation simply stop delivering (silent loss, tolerated).
+    dst: Mutex<Option<Addr>>,
+    seq: AtomicU64,
+    pushes: AtomicU64,
+    push_failures: AtomicU64,
+    events_pushed: AtomicU64,
+    events_dropped: AtomicU64,
+    advisories: AtomicU64,
+    /// Latest collector advisory: shed (close the admission gate) or not.
+    cluster_shed: AtomicBool,
+    /// Whether the monitor loop has acted on `cluster_shed` — tracked so
+    /// the advisory only toggles the gate on *transitions* and never
+    /// fights the local control loop's own shed decisions.
+    advisory_applied: AtomicBool,
+    /// Probe for the instance's admission-gate state, reported in push
+    /// headers; installed after the instance is assembled.
+    shed_probe: Mutex<Option<Box<dyn Fn() -> bool + Send + Sync>>>,
+}
+
+impl ObsPusher {
+    fn new(fabric: Fabric, src: Addr, url: String) -> Self {
+        ObsPusher {
+            fabric,
+            src,
+            url,
+            dst: Mutex::new(None),
+            seq: AtomicU64::new(0),
+            pushes: AtomicU64::new(0),
+            push_failures: AtomicU64::new(0),
+            events_pushed: AtomicU64::new(0),
+            events_dropped: AtomicU64::new(0),
+            advisories: AtomicU64::new(0),
+            cluster_shed: AtomicBool::new(false),
+            advisory_applied: AtomicBool::new(false),
+            shed_probe: Mutex::new(None),
+        }
+    }
+
+    /// Resolve the collector address: a `fab://<bits>` literal parses
+    /// directly (in-process fabrics have no URL lookup); anything else
+    /// goes through the transport's `lookup`. Failure is soft — the next
+    /// push retries, and until then telemetry stays local-only.
+    fn resolve(&self) -> Option<Addr> {
+        if let Some(dst) = *self.dst.lock() {
+            return Some(dst);
+        }
+        let resolved = match self.url.strip_prefix("fab://") {
+            Some(bits) => bits.trim().parse::<u64>().ok().map(Addr),
+            None => self.fabric.lookup(&self.url).ok(),
+        }?;
+        *self.dst.lock() = Some(resolved);
+        Some(resolved)
+    }
+
+    /// Encode and post one push. Loss (no route, blackout, dead
+    /// collector) is silent by contract; only a transport-level refusal
+    /// counts as a failure.
+    fn push(
+        &self,
+        snap: &symbi_core::telemetry::MetricSnapshot,
+        events: &[TraceEvent],
+        anomalies: u64,
+    ) {
+        let Some(dst) = self.resolve() else {
+            self.push_failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let (batch, dropped) = if events.len() > PUSH_EVENT_CAP {
+            // Keep the newest events: they complete the spans the
+            // collector already holds open.
+            let cut = events.len() - PUSH_EVENT_CAP;
+            (&events[cut..], cut as u64)
+        } else {
+            (events, 0)
+        };
+        let shedding = self
+            .shed_probe
+            .lock()
+            .as_ref()
+            .map(|probe| probe())
+            .unwrap_or(false);
+        let header = PushHeader {
+            entity: snap.entity.clone().unwrap_or_default(),
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            wall_ns: now_ns(),
+            anomalies,
+            dropped,
+            shedding,
+        };
+        let payload = encode_push(&header, Some(snap), batch);
+        match self.fabric.send_obs(
+            self.src,
+            dst,
+            OBS_KIND_PUSH,
+            header.seq,
+            Bytes::from(payload),
+        ) {
+            Ok(()) => {
+                self.pushes.fetch_add(1, Ordering::Relaxed);
+                self.events_pushed
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                self.events_dropped.fetch_add(dropped, Ordering::Relaxed);
+            }
+            Err(_) => {
+                self.push_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Obs-sink handler for collector → process datagrams.
+    fn on_delivery(&self, d: ObsDelivery) {
+        let Ok(text) = std::str::from_utf8(&d.payload) else {
+            return;
+        };
+        if let Ok(shed) = advisory_from_json(text) {
+            self.advisories.fetch_add(1, Ordering::Relaxed);
+            self.cluster_shed.store(shed, Ordering::Relaxed);
+        }
+    }
+
+    /// The collector's current shed advisory.
+    pub(crate) fn cluster_shed(&self) -> bool {
+        self.cluster_shed.load(Ordering::Relaxed)
+    }
+
+    /// Swap the applied-state latch, returning the previous value (the
+    /// monitor loop acts only on transitions).
+    pub(crate) fn swap_advisory_applied(&self, now: bool) -> bool {
+        self.advisory_applied.swap(now, Ordering::Relaxed)
+    }
+
+    /// Install the admission-gate probe reported in push headers.
+    pub(crate) fn install_shed_probe(&self, probe: impl Fn() -> bool + Send + Sync + 'static) {
+        *self.shed_probe.lock() = Some(Box::new(probe));
+    }
 }
 
 /// The assembled telemetry plane of one Margo instance.
@@ -63,6 +222,8 @@ pub(crate) struct TelemetryPlane {
     /// here so finalize can close it explicitly (§IV-B2 step 5).
     session: Arc<PvarSession>,
     exporter: Mutex<Option<PrometheusExporter>>,
+    /// Streams each sample to the cluster collector, if configured.
+    pub(crate) pusher: Option<Arc<ObsPusher>>,
 }
 
 impl TelemetryPlane {
@@ -277,8 +438,55 @@ impl TelemetryPlane {
             }
         });
 
+        // The push plane, like the online analyzer, only runs under a
+        // periodic monitor: each push is one monitor sample.
+        let pusher = options
+            .obs_collector
+            .as_ref()
+            .filter(|_| options.sample_period.is_some())
+            .map(|url| {
+                let fabric = hg.fabric().clone();
+                let pusher = Arc::new(ObsPusher::new(fabric.clone(), hg.addr(), url.clone()));
+                // Advisories come back addressed to our own endpoint; the
+                // sink map is separate from the data-plane completion
+                // queues, so this never intercepts RPC traffic.
+                let sink = pusher.clone();
+                fabric.set_obs_sink(hg.addr(), Arc::new(move |d| sink.on_delivery(d)));
+                pusher
+            });
+        if let Some(pusher) = &pusher {
+            let p = pusher.clone();
+            registry.register_source("obs", move |out| {
+                out.push(MetricPoint::counter(
+                    "symbi_obs_pushes_total",
+                    p.pushes.load(Ordering::Relaxed),
+                ));
+                out.push(MetricPoint::counter(
+                    "symbi_obs_push_failures_total",
+                    p.push_failures.load(Ordering::Relaxed),
+                ));
+                out.push(MetricPoint::counter(
+                    "symbi_obs_events_pushed_total",
+                    p.events_pushed.load(Ordering::Relaxed),
+                ));
+                out.push(MetricPoint::counter(
+                    "symbi_obs_events_dropped_total",
+                    p.events_dropped.load(Ordering::Relaxed),
+                ));
+                out.push(MetricPoint::counter(
+                    "symbi_obs_advisories_total",
+                    p.advisories.load(Ordering::Relaxed),
+                ));
+                out.push(MetricPoint::gauge(
+                    "symbi_obs_cluster_shed",
+                    p.cluster_shed() as u64 as f64,
+                ));
+            });
+        }
+
         let persist_traces = options.record_traces && recorder.is_some();
-        let trace_drain = (persist_traces || online.is_some()).then(|| sym.clone());
+        let trace_drain =
+            (persist_traces || online.is_some() || pusher.is_some()).then(|| sym.clone());
         TelemetryPlane {
             registry,
             pools,
@@ -288,6 +496,7 @@ impl TelemetryPlane {
             online,
             session,
             exporter: Mutex::new(exporter),
+            pusher,
         }
     }
 
@@ -298,6 +507,7 @@ impl TelemetryPlane {
     /// the trace buffer stays bounded between samples.
     pub(crate) fn sample_and_record(&self) -> SampleOutcome {
         let mut activity = false;
+        let mut drained: Vec<TraceEvent> = Vec::new();
         if let Some(sym) = &self.trace_drain {
             let events = sym.tracer().drain();
             activity |= !events.is_empty();
@@ -311,6 +521,9 @@ impl TelemetryPlane {
                     }
                 }
             }
+            if self.pusher.is_some() {
+                drained = events;
+            }
         }
         let snap = self.registry.sample();
         if let Some(rec) = &self.recorder {
@@ -323,6 +536,9 @@ impl TelemetryPlane {
             None => Vec::new(),
         };
         activity |= !anomalies.is_empty();
+        if let Some(pusher) = &self.pusher {
+            pusher.push(&snap, &drained, anomalies.len() as u64);
+        }
         // A monitored-but-idle instance still ticks its self-accounting
         // and OS counters every sample; only movement outside those
         // families counts as activity worth sampling at full rate.
@@ -359,6 +575,9 @@ impl TelemetryPlane {
         }
         if let Some(mut exporter) = self.exporter.lock().take() {
             exporter.shutdown();
+        }
+        if let Some(pusher) = &self.pusher {
+            pusher.fabric.clear_obs_sink(pusher.src);
         }
         self.session.finalize();
     }

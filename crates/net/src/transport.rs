@@ -62,8 +62,8 @@ use std::sync::Arc;
 use std::time::Duration;
 use symbi_fabric::{
     Addr, Delivery, FabricError, FabricStats, FabricStatsSnapshot, FaultCountersSnapshot,
-    FaultPlan, FaultSlot, LinkRow, LinkStatsSnapshot, MemKey, NetworkModel, Region, RemoteRegion,
-    SendVerdict, Transport, LINK_DOWN_TAG,
+    FaultPlan, FaultSlot, LinkRow, LinkStatsSnapshot, MemKey, NetworkModel, ObsDelivery, ObsSink,
+    Region, RemoteRegion, SendVerdict, Transport, LINK_DOWN_TAG,
 };
 
 #[cfg(unix)]
@@ -352,6 +352,11 @@ struct NetInner {
     node_urls: RwLock<HashMap<u32, String>>,
     pending: Mutex<HashMap<u64, PendingRdma>>,
     next_req: AtomicU64,
+    /// Observability sinks keyed by destination endpoint address: the
+    /// reactor delivers inbound `OBS` frames addressed to a local
+    /// endpoint here (see [`ObsDelivery`] for the fire-and-forget
+    /// contract). Frames to an address without a sink vanish silently.
+    obs_sinks: RwLock<HashMap<Addr, ObsSink>>,
     stats: FabricStats,
     link: LinkCounters,
     faults: FaultSlot,
@@ -443,6 +448,7 @@ impl NetTransport {
             node_urls: RwLock::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
             next_req: AtomicU64::new(1),
+            obs_sinks: RwLock::new(HashMap::new()),
             stats: FabricStats::default(),
             link: LinkCounters::default(),
             faults: FaultSlot::new(),
@@ -742,6 +748,27 @@ fn dispatch_frame(inner: &Arc<NetInner>, conn: &Arc<Conn>, frame: Frame, body_le
         Frame::GetResp { req, status, body } | Frame::PutResp { req, status, body } => {
             if let Some(slot) = inner.pending.lock().remove(&req) {
                 let _ = slot.tx.send(decode_rdma_status(slot.key, status, body));
+            }
+        }
+        Frame::Obs {
+            src,
+            dst,
+            seq,
+            kind,
+            payload,
+        } => {
+            // Fire-and-forget: deliver to the registered sink if one
+            // exists, otherwise drop silently — never an error path.
+            if node_of(dst) == inner.node_id {
+                let sink = inner.obs_sinks.read().get(&Addr(dst)).cloned();
+                if let Some(sink) = sink {
+                    sink(ObsDelivery {
+                        src: Addr(src),
+                        kind,
+                        seq,
+                        payload,
+                    });
+                }
             }
         }
         Frame::Hello { .. } => {
@@ -1483,6 +1510,61 @@ impl Transport for NetTransport {
             .sum();
         s.parked_rdma_ops = self.inner.pending.lock().len() as u64;
         Some(s)
+    }
+
+    fn send_obs(
+        &self,
+        src: Addr,
+        dst: Addr,
+        kind: u8,
+        seq: u64,
+        payload: Bytes,
+    ) -> Result<(), FabricError> {
+        // Obs traffic deliberately skips judge_send: consuming per-link
+        // RNG here would shift seeded data-plane fault schedules. Only
+        // the (deterministic, non-counting) blackout probe applies.
+        if let Some(rt) = self.inner.faults.runtime() {
+            if rt.blacked_out_now(dst) {
+                return Ok(());
+            }
+        }
+        let dst_node = node_of(dst.0);
+        if dst_node == self.inner.node_id {
+            let sink = self.inner.obs_sinks.read().get(&dst).cloned();
+            if let Some(sink) = sink {
+                sink(ObsDelivery {
+                    src,
+                    kind,
+                    seq,
+                    payload,
+                });
+            }
+            return Ok(());
+        }
+        // Unreachable collector == silent loss: the pusher's flight rings
+        // remain the local record, and the next push re-attempts the
+        // (re)dial. Never surface an error into the monitoring loop.
+        let Ok(conn) = self.inner.conn_or_redial(dst_node, "send_obs") else {
+            return Ok(());
+        };
+        let frame = Frame::Obs {
+            src: src.0,
+            dst: dst.0,
+            seq,
+            kind,
+            payload,
+        };
+        self.inner
+            .enqueue_and_flush(&conn, &frame, "send_obs", true);
+        Ok(())
+    }
+
+    fn set_obs_sink(&self, dst: Addr, sink: ObsSink) {
+        self.inner.obs_sinks.write().insert(dst, sink);
+    }
+
+    fn clear_obs_sink(&self, dst: Addr) {
+        self.inner.obs_sinks.write().remove(&dst);
     }
 
     fn install_fault_plan(&self, plan: FaultPlan) {

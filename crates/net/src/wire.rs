@@ -17,6 +17,7 @@
 //! | 4    | `GET_RESP` | req `u64`, status `u8`, payload / error detail |
 //! | 5    | `PUT_REQ`  | req `u64`, key `u64`, offset `u64`, payload |
 //! | 6    | `PUT_RESP` | req `u64`, status `u8`, error detail |
+//! | 7    | `OBS`      | src `u64`, dst `u64`, seq `u64`, kind `u8`, payload |
 //!
 //! `GET_REQ`/`PUT_REQ` are how one-sided `rdma_get`/`rdma_put` cross the
 //! process boundary: explicit pull/push requests served by the peer's
@@ -42,6 +43,11 @@ pub const TYPE_GET_RESP: u8 = 4;
 pub const TYPE_PUT_REQ: u8 = 5;
 /// Response to [`TYPE_PUT_REQ`].
 pub const TYPE_PUT_RESP: u8 = 6;
+/// A fire-and-forget observability datagram (telemetry/span push or a
+/// collector advisory). Never answered, never retried; carried on the
+/// same coalesced connections as data-plane traffic but judged only by
+/// blackout windows, never by the seeded fault RNG.
+pub const TYPE_OBS: u8 = 7;
 
 /// RDMA response status: success.
 pub const STATUS_OK: u8 = 0;
@@ -114,6 +120,19 @@ pub enum Frame {
         /// Status-specific detail on failure, empty on success.
         body: Bytes,
     },
+    /// An observability datagram (see [`TYPE_OBS`]).
+    Obs {
+        /// Full source address bits of the pushing endpoint.
+        src: u64,
+        /// Full destination address bits (the sink's endpoint).
+        dst: u64,
+        /// Sender-assigned sequence number.
+        seq: u64,
+        /// Application-defined datagram kind (push, advisory, ...).
+        kind: u8,
+        /// Opaque payload.
+        payload: Bytes,
+    },
 }
 
 impl Frame {
@@ -126,6 +145,7 @@ impl Frame {
             Frame::GetResp { .. } => TYPE_GET_RESP,
             Frame::PutReq { .. } => TYPE_PUT_REQ,
             Frame::PutResp { .. } => TYPE_PUT_RESP,
+            Frame::Obs { .. } => TYPE_OBS,
         }
     }
 
@@ -211,6 +231,19 @@ impl Frame {
                 body.push(*status);
                 body.extend_from_slice(b);
             }
+            Frame::Obs {
+                src,
+                dst,
+                seq,
+                kind,
+                payload,
+            } => {
+                body.extend_from_slice(&src.to_le_bytes());
+                body.extend_from_slice(&dst.to_le_bytes());
+                body.extend_from_slice(&seq.to_le_bytes());
+                body.push(*kind);
+                body.extend_from_slice(payload);
+            }
         }
     }
 
@@ -280,6 +313,16 @@ impl Frame {
                     req: u64_at(&body, 0),
                     status: body[8],
                     body: body.slice(9..),
+                }
+            }
+            TYPE_OBS => {
+                need(&body, 25, "OBS")?;
+                Frame::Obs {
+                    src: u64_at(&body, 0),
+                    dst: u64_at(&body, 8),
+                    seq: u64_at(&body, 16),
+                    kind: body[24],
+                    payload: body.slice(25..),
                 }
             }
             other => {
@@ -425,6 +468,27 @@ mod tests {
             status: STATUS_READ_ONLY,
             body: Bytes::new(),
         });
+        roundtrip(Frame::Obs {
+            src: (7u64 << 32) | 1,
+            dst: (3u64 << 32) | 1,
+            seq: 99,
+            kind: 1,
+            payload: Bytes::from_static(b"{\"obs\":\"push\"}"),
+        });
+    }
+
+    #[test]
+    fn truncated_obs_rejected() {
+        assert!(Frame::decode(TYPE_OBS, Bytes::from_static(b"tooshort")).is_err());
+        // 25 bytes is the minimum (empty payload).
+        let min = Frame::Obs {
+            src: 0,
+            dst: 0,
+            seq: 0,
+            kind: 0,
+            payload: Bytes::new(),
+        };
+        roundtrip(min);
     }
 
     #[test]

@@ -1,0 +1,742 @@
+//! The cluster collector: the receiving end of the observability plane.
+//!
+//! Every monitored process streams its monitor samples (metric snapshot +
+//! completed-span trace events) to one collector endpoint as
+//! fire-and-forget obs datagrams. The collector folds each push into:
+//!
+//! * **per-process state** — the latest metric snapshot (re-exported with
+//!   a `process` label by the federated endpoint), push-sequence gap
+//!   tracking, anomaly and shed flags;
+//! * **cluster aggregates** — cross-PID incremental span reconstruction
+//!   ([`OnlineAttribution`]), per-hop merged latency histograms, and a
+//!   Space-Saving top-K of slow callpaths, all exported as
+//!   `symbi_cluster_*` families;
+//! * **the tail sampler** ([`crate::TailSampler`]) — whole span trees
+//!   retained only when slow, flagged, or head-sampled, exported as Chrome
+//!   JSON from `/trace.json`.
+//!
+//! The collector also closes the control loop: when any process's latest
+//! push reports anomalies or an active shed gate, it sends a shed
+//! advisory to *every* known process, so clients start shedding on
+//! server-side backlog they cannot observe locally. Advisories travel the
+//! same lossy obs plane — a lost advisory only delays the reaction.
+//!
+//! Losing the collector never perturbs the data plane: pushes are
+//! datagrams that skip the seeded fault RNG, and every process keeps its
+//! full local flight-ring record.
+
+use crate::tail::{TailConfig, TailSampler, TailStats};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use symbi_core::analysis::online::{OnlineAttribution, SpaceSaving, StreamingHistogram};
+use symbi_core::analysis::{build_span_graph, to_chrome_json};
+use symbi_core::telemetry::jsonl::TraceEventDecoder;
+use symbi_core::telemetry::obs::{advisory_to_json, decode_push, OBS_KIND_ADVISORY, OBS_KIND_PUSH};
+use symbi_core::telemetry::prometheus::render;
+use symbi_core::telemetry::{MetricPoint, MetricSnapshot, SnapshotPoint};
+use symbi_core::Callpath;
+use symbi_fabric::{Addr, Endpoint, Fabric, ObsDelivery};
+
+/// Collector knobs.
+#[derive(Debug, Clone)]
+pub struct CollectorConfig {
+    /// Tail-sampling knobs.
+    pub tail: TailConfig,
+    /// Open-span window of the cluster-wide attribution (memory bound).
+    pub open_span_capacity: usize,
+    /// Tracked slots in the cluster top-K callpath summary.
+    pub topk: usize,
+    /// Push shed advisories back to processes on cluster-visible backlog.
+    pub advise_shed: bool,
+}
+
+impl Default for CollectorConfig {
+    fn default() -> Self {
+        CollectorConfig {
+            tail: TailConfig::default(),
+            open_span_capacity: 65536,
+            topk: 16,
+            advise_shed: true,
+        }
+    }
+}
+
+/// Latest known state of one pushing process, keyed by its obs source
+/// address.
+#[derive(Debug)]
+struct ProcState {
+    entity: String,
+    /// One decoder per process: it memoizes the entity-name → id mapping
+    /// across that process's pushes.
+    decoder: TraceEventDecoder,
+    last_seq: u64,
+    pushes: u64,
+    snapshot: Option<MetricSnapshot>,
+    anomalies_total: u64,
+    last_anomalies: u64,
+    dropped_total: u64,
+    shedding: bool,
+    last_wall_ns: u64,
+}
+
+#[derive(Debug)]
+struct CollectorState {
+    procs: HashMap<Addr, ProcState>,
+    attribution: OnlineAttribution,
+    latency: BTreeMap<u32, StreamingHistogram>,
+    topk: SpaceSaving,
+    tail: TailSampler,
+    events_ingested: u64,
+    pushes: u64,
+    seq_gaps: u64,
+    decode_failures: u64,
+    advisory_active: bool,
+    shed_advisories: u64,
+}
+
+pub(crate) struct CollectorInner {
+    fabric: Fabric,
+    addr: Addr,
+    config: CollectorConfig,
+    state: Mutex<CollectorState>,
+}
+
+/// Point-in-time collector counters, for tests and reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CollectorStats {
+    /// Processes that have pushed at least once.
+    pub processes: usize,
+    /// Pushes decoded.
+    pub pushes: u64,
+    /// Trace events folded into the cluster aggregates.
+    pub events_ingested: u64,
+    /// Spans completed by the cross-PID reconstruction.
+    pub spans_completed: u64,
+    /// Push-sequence gaps observed (lost pushes).
+    pub seq_gaps: u64,
+    /// Payloads that failed to decode.
+    pub decode_failures: u64,
+    /// Shed advisories sent to processes.
+    pub shed_advisories: u64,
+    /// Whether the cluster shed advisory is currently active.
+    pub advisory_active: bool,
+    /// Tail-sampler counters.
+    pub tail: TailStats,
+}
+
+impl CollectorInner {
+    fn on_delivery(self: &Arc<Self>, d: ObsDelivery) {
+        if d.kind != OBS_KIND_PUSH {
+            return;
+        }
+        let payload = &d.payload[..];
+        let mut advise: Option<(bool, Vec<Addr>)> = None;
+        {
+            let mut guard = self.state.lock();
+            let st = &mut *guard;
+            let proc = st.procs.entry(d.src).or_insert_with(|| ProcState {
+                entity: String::new(),
+                decoder: TraceEventDecoder::new(),
+                last_seq: 0,
+                pushes: 0,
+                snapshot: None,
+                anomalies_total: 0,
+                last_anomalies: 0,
+                dropped_total: 0,
+                shedding: false,
+                last_wall_ns: 0,
+            });
+            let push = match decode_push(payload, &mut proc.decoder) {
+                Ok(push) => push,
+                Err(_) => {
+                    st.decode_failures += 1;
+                    return;
+                }
+            };
+            if proc.last_seq != 0 && push.header.seq > proc.last_seq + 1 {
+                st.seq_gaps += push.header.seq - proc.last_seq - 1;
+            }
+            proc.last_seq = push.header.seq;
+            proc.entity = push.header.entity.clone();
+            proc.apply_header(&push.header);
+            if let Some(snap) = push.snapshot {
+                proc.snapshot = Some(snap);
+            }
+            let flagged = push.header.anomalies > 0;
+            st.pushes += 1;
+            for ev in &push.events {
+                st.events_ingested += 1;
+                if let Some(done) = st.attribution.ingest(ev) {
+                    if done.complete {
+                        st.latency
+                            .entry(done.hop)
+                            .or_default()
+                            .observe(done.total_ns);
+                        st.topk.offer(done.callpath.0, done.total_ns);
+                    }
+                }
+                st.tail.ingest(ev, flagged);
+            }
+            if self.config.advise_shed {
+                let want = st
+                    .procs
+                    .values()
+                    .any(|p| p.last_anomalies > 0 || p.shedding);
+                if want != st.advisory_active {
+                    st.advisory_active = want;
+                    let dsts: Vec<Addr> = st.procs.keys().copied().collect();
+                    st.shed_advisories += dsts.len() as u64;
+                    advise = Some((want, dsts));
+                }
+            }
+        }
+        // Send advisories outside the state lock: on an in-process fabric
+        // the destination sink runs inline in this call.
+        if let Some((shed, dsts)) = advise {
+            let body = Bytes::from(advisory_to_json(shed));
+            for dst in dsts {
+                let _ = self
+                    .fabric
+                    .send_obs(self.addr, dst, OBS_KIND_ADVISORY, 0, body.clone());
+            }
+        }
+    }
+
+    pub(crate) fn federated_snapshot(&self) -> MetricSnapshot {
+        let st = self.state.lock();
+        let mut points: Vec<SnapshotPoint> = Vec::new();
+        let plain = |p: MetricPoint| SnapshotPoint {
+            point: p,
+            delta: None,
+        };
+        points.push(plain(MetricPoint::gauge(
+            "symbi_cluster_processes",
+            st.procs.len() as f64,
+        )));
+        points.push(plain(MetricPoint::counter(
+            "symbi_cluster_events_ingested_total",
+            st.events_ingested,
+        )));
+        points.push(plain(MetricPoint::counter(
+            "symbi_cluster_spans_completed_total",
+            st.attribution.completed(),
+        )));
+        for (hop, stats) in st.attribution.hop_stats() {
+            let hop_label = hop.to_string();
+            let counter = |name: &str, v: u64| {
+                plain(MetricPoint::counter(name, v).with_label("hop", hop_label.clone()))
+            };
+            points.push(counter("symbi_cluster_hop_queue_ns_total", stats.queue_ns));
+            points.push(counter("symbi_cluster_hop_busy_ns_total", stats.busy_ns));
+            points.push(counter(
+                "symbi_cluster_hop_network_ns_total",
+                stats.network_ns,
+            ));
+            points.push(counter("symbi_cluster_hop_total_ns_total", stats.total_ns));
+        }
+        for (hop, hist) in &st.latency {
+            points.push(plain(
+                MetricPoint::histogram("symbi_cluster_latency_ns", hist.to_metric())
+                    .with_label("hop", hop.to_string()),
+            ));
+            for q in [0.5, 0.99, 0.999] {
+                if let Some(v) = hist.quantile(q) {
+                    points.push(plain(
+                        MetricPoint::gauge("symbi_cluster_latency_quantile_ns", v as f64)
+                            .with_label("hop", hop.to_string())
+                            .with_label("q", q.to_string()),
+                    ));
+                }
+            }
+        }
+        for (rank, entry) in st.topk.top().into_iter().enumerate() {
+            points.push(plain(
+                MetricPoint::gauge("symbi_cluster_topk_weight_ns", entry.weight as f64)
+                    .with_label("callpath", Callpath(entry.key).display())
+                    .with_label("rank", rank.to_string()),
+            ));
+        }
+        let tail = st.tail.stats();
+        points.push(plain(MetricPoint::counter(
+            "symbi_cluster_spans_retained_total",
+            tail.trees_retained,
+        )));
+        points.push(plain(MetricPoint::counter(
+            "symbi_cluster_spans_discarded_total",
+            tail.trees_discarded,
+        )));
+        points.push(plain(MetricPoint::gauge(
+            "symbi_cluster_spans_undecided",
+            tail.trees_undecided as f64,
+        )));
+        points.push(plain(MetricPoint::counter(
+            "symbi_cluster_shed_advisories_total",
+            st.shed_advisories,
+        )));
+        // Known loss: pushes are fire-and-forget, so holes in the
+        // per-process sequence space are the collector's only evidence
+        // of datagrams that never arrived. Export them so dashboards
+        // can qualify every other cluster series.
+        points.push(plain(MetricPoint::counter(
+            "symbi_cluster_seq_gaps_total",
+            st.seq_gaps,
+        )));
+        points.push(plain(MetricPoint::counter(
+            "symbi_cluster_decode_failures_total",
+            st.decode_failures,
+        )));
+        // Deterministic process order: by entity name, then address.
+        let mut procs: Vec<(&Addr, &ProcState)> = st.procs.iter().collect();
+        procs.sort_by(|a, b| (&a.1.entity, a.0 .0).cmp(&(&b.1.entity, b.0 .0)));
+        let mut wall_ns = 0u64;
+        for (_, proc) in &procs {
+            wall_ns = wall_ns.max(proc.last_wall_ns);
+            points.push(plain(
+                MetricPoint::counter("symbi_cluster_anomalies_total", proc.anomalies_total)
+                    .with_label("process", proc.entity.clone()),
+            ));
+        }
+        // Federation: every process's latest pushed snapshot re-exported
+        // verbatim, each series tagged with its process of origin.
+        for (_, proc) in &procs {
+            let Some(snap) = &proc.snapshot else { continue };
+            for sp in &snap.points {
+                let mut point = sp.point.clone();
+                point
+                    .labels
+                    .push(("process".to_string(), proc.entity.clone()));
+                points.push(SnapshotPoint {
+                    point,
+                    delta: sp.delta,
+                });
+            }
+        }
+        MetricSnapshot {
+            seq: st.pushes,
+            wall_ns,
+            entity: Some("collector".to_string()),
+            points,
+        }
+    }
+
+    pub(crate) fn render_metrics(&self) -> String {
+        render(&self.federated_snapshot())
+    }
+
+    pub(crate) fn trace_json(&self) -> String {
+        let events = self.state.lock().tail.retained_events();
+        to_chrome_json(&build_span_graph(&events))
+    }
+}
+
+impl ProcState {
+    fn apply_header(&mut self, h: &symbi_core::telemetry::obs::PushHeader) {
+        self.pushes += 1;
+        self.anomalies_total += h.anomalies;
+        self.last_anomalies = h.anomalies;
+        self.dropped_total += h.dropped;
+        self.shedding = h.shedding;
+        self.last_wall_ns = self.last_wall_ns.max(h.wall_ns);
+    }
+}
+
+/// A running collector: an obs endpoint on a fabric plus the folded
+/// cluster state. Dropping it (or calling [`CollectorService::shutdown`])
+/// unregisters the sink and closes the endpoint; pushers degrade to
+/// local-only telemetry.
+pub struct CollectorService {
+    inner: Arc<CollectorInner>,
+    /// Keeps the endpoint (and with it the collector's address) alive.
+    _endpoint: Endpoint,
+    http: Option<crate::http::CollectorHttp>,
+    down: bool,
+}
+
+impl std::fmt::Debug for CollectorService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CollectorService")
+            .field("addr", &self.inner.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl CollectorService {
+    /// Open a collector endpoint on `fabric` and start folding pushes.
+    ///
+    /// On a `symbi-net` fabric whose process opens no earlier endpoint,
+    /// the collector endpoint becomes the primary one, so peers reach it
+    /// with `lookup(<listen url>)`; on an in-process fabric peers use the
+    /// literal `fab://<addr>` form of [`CollectorService::addr`].
+    pub fn start(fabric: &Fabric, config: CollectorConfig) -> CollectorService {
+        let endpoint = fabric.open_endpoint();
+        let inner = Arc::new(CollectorInner {
+            fabric: fabric.clone(),
+            addr: endpoint.addr(),
+            state: Mutex::new(CollectorState {
+                procs: HashMap::new(),
+                attribution: OnlineAttribution::new(config.open_span_capacity),
+                latency: BTreeMap::new(),
+                topk: SpaceSaving::new(config.topk),
+                tail: TailSampler::new(config.tail.clone()),
+                events_ingested: 0,
+                pushes: 0,
+                seq_gaps: 0,
+                decode_failures: 0,
+                advisory_active: false,
+                shed_advisories: 0,
+            }),
+            config,
+        });
+        let sink = inner.clone();
+        fabric.set_obs_sink(endpoint.addr(), Arc::new(move |d| sink.on_delivery(d)));
+        CollectorService {
+            inner,
+            _endpoint: endpoint,
+            http: None,
+            down: false,
+        }
+    }
+
+    /// The obs address processes push to (`fab://<this>` on an in-process
+    /// fabric).
+    pub fn addr(&self) -> Addr {
+        self.inner.addr
+    }
+
+    /// Start the federated HTTP endpoint on `127.0.0.1:port` (0 picks an
+    /// ephemeral port): `/metrics` serves every process's families plus
+    /// the `symbi_cluster_*` aggregates; `/trace.json` serves the
+    /// tail-retained span trees as Chrome trace JSON.
+    pub fn serve_http(&mut self, port: u16) -> std::io::Result<std::net::SocketAddr> {
+        let http = crate::http::CollectorHttp::serve(self.inner.clone(), port)?;
+        let addr = http.local_addr();
+        self.http = Some(http);
+        Ok(addr)
+    }
+
+    /// The federated endpoint's address, if serving.
+    pub fn http_addr(&self) -> Option<std::net::SocketAddr> {
+        self.http.as_ref().map(|h| h.local_addr())
+    }
+
+    /// One federated snapshot: cluster aggregates plus every process's
+    /// latest pushed families (each tagged `process=<entity>`).
+    pub fn federated_snapshot(&self) -> MetricSnapshot {
+        self.inner.federated_snapshot()
+    }
+
+    /// The federated `/metrics` page (Prometheus text format).
+    pub fn render_metrics(&self) -> String {
+        self.inner.render_metrics()
+    }
+
+    /// The `/trace.json` page: tail-retained trees as Chrome trace JSON.
+    pub fn trace_json(&self) -> String {
+        self.inner.trace_json()
+    }
+
+    /// Request ids the tail sampler currently retains.
+    pub fn retained_roots(&self) -> Vec<u64> {
+        self.inner.state.lock().tail.retained_roots()
+    }
+
+    /// Streaming quantile of completed root latencies (ns).
+    pub fn root_quantile(&self, q: f64) -> Option<u64> {
+        self.inner.state.lock().tail.root_quantile(q)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CollectorStats {
+        let st = self.inner.state.lock();
+        CollectorStats {
+            processes: st.procs.len(),
+            pushes: st.pushes,
+            events_ingested: st.events_ingested,
+            spans_completed: st.attribution.completed(),
+            seq_gaps: st.seq_gaps,
+            decode_failures: st.decode_failures,
+            shed_advisories: st.shed_advisories,
+            advisory_active: st.advisory_active,
+            tail: st.tail.stats(),
+        }
+    }
+
+    /// Stop serving: unregister the obs sink, stop the HTTP thread, close
+    /// the endpoint. Pushes already in flight vanish silently, exactly as
+    /// a crashed collector's would.
+    pub fn shutdown(&mut self) {
+        if self.down {
+            return;
+        }
+        self.down = true;
+        self.inner.fabric.clear_obs_sink(self.inner.addr);
+        if let Some(mut http) = self.http.take() {
+            http.shutdown();
+        }
+        self.inner.fabric.close_endpoint(self.inner.addr);
+    }
+}
+
+impl Drop for CollectorService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_core::entity::register_entity;
+    use symbi_core::telemetry::obs::{encode_push, PushHeader};
+    use symbi_core::telemetry::MetricValue;
+    use symbi_core::trace::{EventSamples, TraceEvent, TraceEventKind};
+    use symbi_fabric::NetworkModel;
+
+    fn push_to(
+        fabric: &Fabric,
+        src: Addr,
+        dst: Addr,
+        header: PushHeader,
+        snap: Option<&MetricSnapshot>,
+        events: &[TraceEvent],
+    ) {
+        let payload = encode_push(&header, snap, events);
+        fabric
+            .send_obs(src, dst, OBS_KIND_PUSH, header.seq, Bytes::from(payload))
+            .unwrap();
+    }
+
+    fn header(entity: &str, seq: u64) -> PushHeader {
+        PushHeader {
+            entity: entity.to_string(),
+            seq,
+            wall_ns: seq * 1000,
+            anomalies: 0,
+            dropped: 0,
+            shedding: false,
+        }
+    }
+
+    fn span_events(rid: u64, base_ns: u64, total_ns: u64) -> Vec<TraceEvent> {
+        let mk = |kind, wall_ns| TraceEvent {
+            request_id: rid,
+            order: 0,
+            span: rid,
+            parent_span: 0,
+            hop: 1,
+            lamport: wall_ns,
+            wall_ns,
+            kind,
+            entity: register_entity("collector-test"),
+            callpath: Callpath::root("coll_rpc"),
+            samples: EventSamples::default(),
+        };
+        vec![
+            mk(TraceEventKind::OriginForward, base_ns),
+            mk(TraceEventKind::TargetUltStart, base_ns + total_ns / 4),
+            mk(TraceEventKind::TargetRespond, base_ns + total_ns / 2),
+            mk(TraceEventKind::OriginComplete, base_ns + total_ns),
+        ]
+    }
+
+    fn snapshot(entity: &str) -> MetricSnapshot {
+        MetricSnapshot {
+            seq: 1,
+            wall_ns: 50,
+            entity: Some(entity.to_string()),
+            points: vec![SnapshotPoint {
+                point: MetricPoint::counter("symbi_rpc_total", 7),
+                delta: None,
+            }],
+        }
+    }
+
+    #[test]
+    fn collector_folds_pushes_into_cluster_aggregates() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let collector = CollectorService::start(&fabric, CollectorConfig::default());
+        let a = fabric.open_endpoint();
+        let b = fabric.open_endpoint();
+        push_to(
+            &fabric,
+            a.addr(),
+            collector.addr(),
+            header("proc-a", 1),
+            Some(&snapshot("proc-a")),
+            &span_events(1, 1_000, 80_000),
+        );
+        push_to(
+            &fabric,
+            b.addr(),
+            collector.addr(),
+            header("proc-b", 1),
+            Some(&snapshot("proc-b")),
+            &span_events(2, 2_000, 120_000),
+        );
+        let stats = collector.stats();
+        assert_eq!(stats.processes, 2);
+        assert_eq!(stats.pushes, 2);
+        assert_eq!(stats.events_ingested, 8);
+        assert_eq!(stats.spans_completed, 2);
+        assert_eq!(stats.tail.trees_retained, 2, "warmup retains all");
+
+        let text = collector.render_metrics();
+        assert!(text.contains("symbi_cluster_processes 2\n"), "{text}");
+        assert!(text.contains("symbi_cluster_events_ingested_total 8\n"));
+        assert!(text.contains("symbi_cluster_spans_completed_total 2\n"));
+        assert!(text.contains("symbi_cluster_latency_ns_bucket{hop=\"1\""));
+        // Federated per-process series carry the process label.
+        assert!(text.contains("symbi_rpc_total{process=\"proc-a\"} 7\n"));
+        assert!(text.contains("symbi_rpc_total{process=\"proc-b\"} 7\n"));
+    }
+
+    #[test]
+    fn seq_gaps_and_decode_failures_are_counted() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let collector = CollectorService::start(&fabric, CollectorConfig::default());
+        let a = fabric.open_endpoint();
+        push_to(
+            &fabric,
+            a.addr(),
+            collector.addr(),
+            header("p", 1),
+            None,
+            &[],
+        );
+        // Seq jumps 1 -> 4: two pushes lost.
+        push_to(
+            &fabric,
+            a.addr(),
+            collector.addr(),
+            header("p", 4),
+            None,
+            &[],
+        );
+        fabric
+            .send_obs(
+                a.addr(),
+                collector.addr(),
+                OBS_KIND_PUSH,
+                5,
+                Bytes::from_static(b"not json"),
+            )
+            .unwrap();
+        let stats = collector.stats();
+        assert_eq!(stats.seq_gaps, 2);
+        assert_eq!(stats.decode_failures, 1);
+        assert_eq!(stats.pushes, 2);
+    }
+
+    #[test]
+    fn anomalies_trigger_and_clear_shed_advisories() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let collector = CollectorService::start(&fabric, CollectorConfig::default());
+        let a = fabric.open_endpoint();
+        let b = fabric.open_endpoint();
+        // Processes register their advisory sinks, as the margo plane does.
+        let a_shed = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let a_sink = a_shed.clone();
+        fabric.set_obs_sink(
+            a.addr(),
+            Arc::new(move |d: ObsDelivery| {
+                if d.kind == OBS_KIND_ADVISORY {
+                    let shed = symbi_core::telemetry::obs::advisory_from_json(
+                        std::str::from_utf8(&d.payload).unwrap(),
+                    )
+                    .unwrap();
+                    a_sink.store(shed, std::sync::atomic::Ordering::SeqCst);
+                }
+            }),
+        );
+        push_to(
+            &fabric,
+            a.addr(),
+            collector.addr(),
+            header("a", 1),
+            None,
+            &[],
+        );
+        // b reports anomalies: advisory goes out to every known process.
+        let mut h = header("b", 1);
+        h.anomalies = 3;
+        push_to(&fabric, b.addr(), collector.addr(), h, None, &[]);
+        assert!(collector.stats().advisory_active);
+        assert!(a_shed.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(collector.stats().shed_advisories, 2);
+        // b clears: the advisory lifts.
+        push_to(
+            &fabric,
+            b.addr(),
+            collector.addr(),
+            header("b", 2),
+            None,
+            &[],
+        );
+        assert!(!collector.stats().advisory_active);
+        assert!(!a_shed.load(std::sync::atomic::Ordering::SeqCst));
+        assert_eq!(collector.stats().shed_advisories, 4);
+    }
+
+    #[test]
+    fn trace_json_exports_retained_trees() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let collector = CollectorService::start(&fabric, CollectorConfig::default());
+        let a = fabric.open_endpoint();
+        push_to(
+            &fabric,
+            a.addr(),
+            collector.addr(),
+            header("p", 1),
+            None,
+            &span_events(9, 1_000, 64_000),
+        );
+        let json = collector.trace_json();
+        assert!(json.contains("\"traceEvents\""), "{json}");
+        assert!(json.contains("coll_rpc"), "{json}");
+    }
+
+    #[test]
+    fn shutdown_makes_pushes_vanish_silently() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let mut collector = CollectorService::start(&fabric, CollectorConfig::default());
+        let dst = collector.addr();
+        let a = fabric.open_endpoint();
+        collector.shutdown();
+        // Push after shutdown: silent loss, never an error.
+        let payload = encode_push(&header("p", 1), None, &[]);
+        fabric
+            .send_obs(a.addr(), dst, OBS_KIND_PUSH, 1, Bytes::from(payload))
+            .unwrap();
+        assert_eq!(collector.stats().pushes, 0);
+    }
+
+    #[test]
+    fn federated_snapshot_merges_histogram_families() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let collector = CollectorService::start(&fabric, CollectorConfig::default());
+        let a = fabric.open_endpoint();
+        push_to(
+            &fabric,
+            a.addr(),
+            collector.addr(),
+            header("p", 1),
+            None,
+            &span_events(1, 1_000, 90_000),
+        );
+        let snap = collector.federated_snapshot();
+        let hist = snap
+            .points
+            .iter()
+            .find(|sp| sp.point.name == "symbi_cluster_latency_ns")
+            .expect("cluster histogram present");
+        assert!(matches!(hist.point.value, MetricValue::Histogram(_)));
+        let q = snap
+            .points
+            .iter()
+            .filter(|sp| sp.point.name == "symbi_cluster_latency_quantile_ns")
+            .count();
+        assert_eq!(q, 3, "p50/p99/p999 gauges");
+    }
+}

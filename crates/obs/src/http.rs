@@ -1,0 +1,166 @@
+//! The collector's federated HTTP endpoint (zero dependencies, modeled on
+//! [`symbi_core::telemetry::prometheus::PrometheusExporter`]).
+//!
+//! Two routes on one port:
+//!
+//! * `/metrics` — Prometheus text format: every monitored process's
+//!   families (each series tagged `process=<entity>`) plus the
+//!   `symbi_cluster_*` aggregates. One scrape covers the deployment.
+//! * `/trace.json` — the tail-retained span trees as Chrome trace JSON
+//!   (open in `chrome://tracing` or Perfetto).
+
+use crate::collector::CollectorInner;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+pub(crate) struct CollectorHttp {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl CollectorHttp {
+    pub(crate) fn serve(inner: Arc<CollectorInner>, port: u16) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name("symbi-obs-http".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        // One request at a time: scrapes are infrequent and
+                        // the render is cheap relative to a scrape interval.
+                        let _ = handle_request(stream, &inner);
+                    }
+                })?
+        };
+        Ok(CollectorHttp {
+            addr,
+            shutdown,
+            thread: Some(thread),
+        })
+    }
+
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub(crate) fn shutdown(&mut self) {
+        if self
+            .shutdown
+            .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        // Unblock accept() with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for CollectorHttp {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_request(mut stream: TcpStream, inner: &Arc<CollectorInner>) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(std::time::Duration::from_secs(2)))?;
+    let mut buf = [0u8; 1024];
+    let mut seen = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                seen.extend_from_slice(&buf[..n]);
+                if seen.windows(4).any(|w| w == b"\r\n\r\n") || seen.len() > 16 * 1024 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    // "GET <path> HTTP/1.1" — only the path matters for routing.
+    let request = String::from_utf8_lossy(&seen);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/metrics");
+    let (body, content_type) = if path.starts_with("/trace") {
+        (inner.trace_json(), "application/json; charset=utf-8")
+    } else {
+        (
+            inner.render_metrics(),
+            "text/plain; version=0.0.4; charset=utf-8",
+        )
+    };
+    let header = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        content_type,
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{CollectorConfig, CollectorService};
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
+    use symbi_fabric::{Fabric, NetworkModel};
+
+    fn get(addr: std::net::SocketAddr, path: &str) -> String {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        response
+    }
+
+    #[test]
+    fn serves_metrics_and_trace_routes() {
+        let fabric = Fabric::new(NetworkModel::instant());
+        let mut collector = CollectorService::start(&fabric, CollectorConfig::default());
+        let addr = collector.serve_http(0).unwrap();
+        assert_eq!(collector.http_addr(), Some(addr));
+
+        let metrics = get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK\r\n"), "{metrics}");
+        assert!(metrics.contains("text/plain; version=0.0.4"));
+        assert!(metrics.contains("symbi_cluster_processes 0\n"));
+
+        let trace = get(addr, "/trace.json");
+        assert!(trace.contains("application/json"), "{trace}");
+        assert!(trace.contains("\"traceEvents\""), "{trace}");
+
+        collector.shutdown();
+        assert!(
+            TcpStream::connect(addr).is_err()
+                || TcpStream::connect(addr)
+                    .map(|mut s| {
+                        let _ = s.write_all(b"GET / HTTP/1.1\r\n\r\n");
+                        let mut buf = String::new();
+                        s.read_to_string(&mut buf).unwrap_or(0) == 0
+                    })
+                    .unwrap_or(true),
+            "listener still serving after shutdown"
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! # symbi-obs — the cluster-wide live observability plane
+//!
+//! SYMBIOSYS's per-process planes (callpath profiling, distributed
+//! tracing, the unified metric registry, flight rings, the online
+//! analyzer) all end at the process boundary: understanding a *deployed
+//! composition* mid-run meant scraping N Prometheus ports and merging N
+//! flight rings after the fact. This crate adds the missing cluster
+//! layer:
+//!
+//! * **Streaming collection** — every monitored process pushes each
+//!   monitor sample (metric snapshot + completed-span trace events) to a
+//!   [`CollectorService`] as fire-and-forget obs datagrams over the same
+//!   fabric the data plane uses. The obs path skips the seeded fault RNG
+//!   and tolerates silent loss, so it can never perturb a deterministic
+//!   experiment; flight rings remain the complete local record.
+//! * **Federated view** — one `/metrics` port re-exports every process's
+//!   families (tagged `process=<entity>`) plus `symbi_cluster_*`
+//!   aggregates: cross-PID span reconstruction, merged per-hop critical
+//!   path attribution, deployment-wide latency histograms and quantiles,
+//!   and cluster top-K slow callpaths.
+//! * **Tail-based sampling** — complete span trees are retained for
+//!   Chrome export only when slow (above a streaming quantile), flagged
+//!   (retries, timeouts, anomaly-marked pushes), or head-sampled for a
+//!   fast-path baseline; everything else survives only as aggregates
+//!   ([`TailSampler`]).
+//! * **Cluster backpressure** — when any process reports anomalies or an
+//!   active shed gate, the collector advises *all* processes to shed,
+//!   closing the loop on backlog a client cannot observe locally.
+
+pub mod collector;
+mod http;
+pub mod tail;
+
+pub use collector::{CollectorConfig, CollectorService, CollectorStats};
+pub use tail::{TailConfig, TailSampler, TailStats};

@@ -1,0 +1,665 @@
+//! Tail-based sampling over streamed trace events.
+//!
+//! The collector sees every completed-span event each process pushes, but
+//! exporting every span tree would recreate the volume problem the flight
+//! rings already solve locally. The tail sampler buffers events per root
+//! request until the root span completes (its `OriginComplete` arrives),
+//! then decides the *whole tree's* fate at once:
+//!
+//! * **slow** — end-to-end latency at or above the streaming
+//!   [`TailConfig::slow_quantile`] of root latencies seen so far;
+//! * **flagged** — any event carried a retry or timeout annotation, or
+//!   arrived in a push whose header reported anomalies;
+//! * **head-sampled** — a deterministic 1-in-[`TailConfig::head_sample_every`]
+//!   hash of the request id keeps a trickle of the fast path for baselines;
+//! * everything else is discarded (only aggregates remain — the flight
+//!   rings on each process keep the full record).
+//!
+//! During warm-up (first [`TailConfig::warmup_roots`] roots) every tree is
+//! retained: the quantile estimate is meaningless until the histogram has
+//! mass, and dropping an early outlier would violate the plane's "no
+//! p99-tail loss" contract.
+//!
+//! ## Deferred decisions
+//!
+//! The streaming quantile is a *prefix* estimate: early in a run (cold
+//! start, a transient stall) it can sit a bucket or two above where the
+//! final distribution settles, and a tree discarded against that inflated
+//! threshold may turn out to be above the final p99 — exactly the loss the
+//! plane promises not to have. So a tree that is not obviously retained at
+//! completion is not discarded either: it parks in a bounded **decision
+//! buffer** ([`TailConfig::decision_lag`] trees). Only when the buffer
+//! evicts it — after `decision_lag` further roots have matured the
+//! histogram — is the discard final. Export accessors *peek*: they report
+//! the retained trees plus whichever parked trees the current threshold
+//! calls slow, without finalizing anything, so a mid-run scrape never
+//! forces an immature decision.
+//!
+//! "Slow" means *strictly above* the streaming quantile value (a bucket
+//! upper bound). When the quantile's own bucket is sparse — genuine tail
+//! mass rather than the bulk of a low-variance distribution — the
+//! threshold widens one sub-bucket down (the bucket's lower bound), which
+//! absorbs single-bucket threshold drift between decision time and the
+//! final distribution. A low-variance fast path whose mass all lands in
+//! the quantile's own bucket keeps the strict rule and still discards
+//! cleanly.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use symbi_core::analysis::online::StreamingHistogram;
+use symbi_core::trace::{TraceEvent, TraceEventKind};
+
+/// Tail-sampling knobs.
+#[derive(Debug, Clone)]
+pub struct TailConfig {
+    /// Keep 1 in N fast-path trees (deterministic hash of the request
+    /// id). 0 disables head sampling entirely.
+    pub head_sample_every: u64,
+    /// Streaming quantile of root latency above which a tree counts as
+    /// slow (e.g. 0.99).
+    pub slow_quantile: f64,
+    /// Retain every tree until this many roots have completed.
+    pub warmup_roots: u64,
+    /// Most retained trees kept for export; the oldest spill first.
+    pub max_retained_trees: usize,
+    /// Most incomplete trees buffered; the oldest are discarded when the
+    /// bound is hit (a root whose completion never arrives must not leak).
+    pub max_pending_trees: usize,
+    /// Completed trees the threshold did not retain park in a decision
+    /// buffer this deep before the discard becomes final, so the verdict
+    /// uses a threshold matured by this many further roots.
+    pub decision_lag: usize,
+}
+
+impl Default for TailConfig {
+    fn default() -> Self {
+        TailConfig {
+            head_sample_every: 32,
+            slow_quantile: 0.99,
+            warmup_roots: 128,
+            max_retained_trees: 4096,
+            max_pending_trees: 65536,
+            decision_lag: 2048,
+        }
+    }
+}
+
+/// Point-in-time tail-sampler counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailStats {
+    /// Trees retained for export (all reasons combined).
+    pub trees_retained: u64,
+    /// Trees discarded at root completion.
+    pub trees_discarded: u64,
+    /// Events inside retained trees (including late arrivals).
+    pub events_retained: u64,
+    /// Events inside discarded trees (including stragglers).
+    pub events_discarded: u64,
+    /// Incomplete trees evicted by the pending bound.
+    pub pending_evicted: u64,
+    /// Retained trees spilled by the export-ring bound.
+    pub retained_spilled: u64,
+    /// Events with no span id (cannot be linked to any tree).
+    pub unlinked_events: u64,
+    /// Roots whose latency entered the streaming histogram.
+    pub roots_observed: u64,
+    /// Completed trees currently parked in the decision buffer (a
+    /// point-in-time gauge, not a counter).
+    pub trees_undecided: u64,
+}
+
+#[derive(Debug, Default)]
+struct PendingTree {
+    events: Vec<TraceEvent>,
+    flagged: bool,
+    root_t1_ns: Option<u64>,
+}
+
+/// A completed tree awaiting its final slow-or-discard verdict.
+#[derive(Debug)]
+struct ParkedTree {
+    events: Vec<TraceEvent>,
+    total_ns: u64,
+}
+
+/// See the module docs. One sampler per collector; not thread-safe (the
+/// collector serializes ingest under its state lock).
+#[derive(Debug)]
+pub struct TailSampler {
+    config: TailConfig,
+    pending: HashMap<u64, PendingTree>,
+    pending_order: VecDeque<u64>,
+    /// Streaming distribution of completed root latencies — the slow
+    /// threshold source.
+    root_hist: StreamingHistogram,
+    retained: HashMap<u64, Vec<TraceEvent>>,
+    retained_order: VecDeque<u64>,
+    /// Completed-but-undecided trees (see module docs); FIFO by
+    /// completion order, evicted into a final verdict at
+    /// [`TailConfig::decision_lag`] depth.
+    parked: HashMap<u64, ParkedTree>,
+    parked_order: VecDeque<u64>,
+    /// Recently discarded request ids, so stragglers for a discarded tree
+    /// do not resurrect it as a fresh pending tree.
+    discarded_memo: HashSet<u64>,
+    discarded_memo_order: VecDeque<u64>,
+    stats: TailStats,
+}
+
+/// SplitMix64 finalizer: turns sequential request ids into uniformly
+/// distributed head-sampling hashes without any RNG state.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl TailSampler {
+    /// New sampler with the given knobs.
+    pub fn new(config: TailConfig) -> Self {
+        TailSampler {
+            config,
+            pending: HashMap::new(),
+            pending_order: VecDeque::new(),
+            root_hist: StreamingHistogram::new(),
+            retained: HashMap::new(),
+            retained_order: VecDeque::new(),
+            parked: HashMap::new(),
+            parked_order: VecDeque::new(),
+            discarded_memo: HashSet::new(),
+            discarded_memo_order: VecDeque::new(),
+            stats: TailStats::default(),
+        }
+    }
+
+    /// Feed one streamed event. `flagged` marks events that arrived in a
+    /// push whose header reported local anomalies — the whole tree is then
+    /// retained regardless of latency.
+    pub fn ingest(&mut self, ev: &TraceEvent, flagged: bool) {
+        if ev.span == 0 {
+            self.stats.unlinked_events += 1;
+            return;
+        }
+        let rid = ev.request_id;
+        // Late event for an already-decided tree.
+        if let Some(events) = self.retained.get_mut(&rid) {
+            events.push(*ev);
+            self.stats.events_retained += 1;
+            return;
+        }
+        if self.discarded_memo.contains(&rid) {
+            self.stats.events_discarded += 1;
+            return;
+        }
+        // Straggler for a tree awaiting its verdict: ride along.
+        if let Some(parked) = self.parked.get_mut(&rid) {
+            parked.events.push(*ev);
+            return;
+        }
+        let tree = match self.pending.entry(rid) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                self.pending_order.push_back(rid);
+                e.insert(PendingTree::default())
+            }
+        };
+        tree.events.push(*ev);
+        tree.flagged |=
+            flagged || ev.samples.retry_attempt.is_some() || ev.samples.timed_out.unwrap_or(0) != 0;
+        let mut completed = None;
+        if ev.parent_span == 0 {
+            match ev.kind {
+                TraceEventKind::OriginForward => tree.root_t1_ns = Some(ev.wall_ns),
+                TraceEventKind::OriginComplete => completed = Some(ev.wall_ns),
+                _ => {}
+            }
+        }
+        if let Some(t14_ns) = completed {
+            self.finish(rid, t14_ns);
+        }
+        self.enforce_pending_bound();
+    }
+
+    /// The current slow threshold (exclusive): root latencies strictly
+    /// above it are retained as slow. `None` until the histogram has mass.
+    pub fn slow_threshold_ns(&self) -> Option<u64> {
+        self.root_hist.quantile(self.config.slow_quantile)
+    }
+
+    /// Whether `total_ns` counts as slow under the *current* threshold.
+    /// The quantile's own bucket is included when it is sparse (genuine
+    /// tail mass, ≤5% of observations): that one-sub-bucket margin
+    /// absorbs single-bucket threshold drift between a deferred verdict
+    /// and the final distribution. A crowded quantile bucket (the bulk of
+    /// a low-variance distribution) keeps the strict rule.
+    fn is_slow(&self, total_ns: u64) -> bool {
+        let Some(thr) = self.slow_threshold_ns() else {
+            return true;
+        };
+        if total_ns > thr {
+            return true;
+        }
+        let (lower, _) = StreamingHistogram::bucket_bounds(thr);
+        total_ns > lower
+            && self.root_hist.bucket_count(thr).saturating_mul(20) <= self.root_hist.count()
+    }
+
+    fn finish(&mut self, rid: u64, t14_ns: u64) {
+        let Some(tree) = self.pending.remove(&rid) else {
+            return;
+        };
+        let total_ns = tree.root_t1_ns.map(|t1| t14_ns.saturating_sub(t1));
+        // Retain-for-sure classes are decided immediately; `slow` here is
+        // only the fast path *into* retention — a "not slow yet" tree is
+        // parked, not discarded (see module docs).
+        let slow = match total_ns {
+            Some(total) => self.is_slow(total),
+            // Root forward never observed: latency unknowable, treat as
+            // suspicious and keep the tree.
+            None => true,
+        };
+        let warmup = self.root_hist.count() < self.config.warmup_roots;
+        let head = self.config.head_sample_every != 0
+            && splitmix64(rid).is_multiple_of(self.config.head_sample_every);
+        if let Some(total) = total_ns {
+            self.root_hist.observe(total);
+            self.stats.roots_observed += 1;
+        }
+        if tree.flagged || slow || warmup || head {
+            self.retain(rid, tree.events);
+        } else {
+            self.parked.insert(
+                rid,
+                ParkedTree {
+                    events: tree.events,
+                    total_ns: total_ns.unwrap_or(0),
+                },
+            );
+            self.parked_order.push_back(rid);
+            while self.parked.len() > self.config.decision_lag.max(1) {
+                let Some(old) = self.parked_order.pop_front() else {
+                    break;
+                };
+                self.decide(old);
+            }
+        }
+    }
+
+    fn retain(&mut self, rid: u64, events: Vec<TraceEvent>) {
+        self.stats.trees_retained += 1;
+        self.stats.events_retained += events.len() as u64;
+        self.retained.insert(rid, events);
+        self.retained_order.push_back(rid);
+        while self.retained.len() > self.config.max_retained_trees {
+            if let Some(old) = self.retained_order.pop_front() {
+                if self.retained.remove(&old).is_some() {
+                    self.stats.retained_spilled += 1;
+                    self.memo_discard(old);
+                }
+            }
+        }
+    }
+
+    /// Final verdict for a parked tree, against the threshold as it
+    /// stands now.
+    fn decide(&mut self, rid: u64) {
+        let Some(parked) = self.parked.remove(&rid) else {
+            return;
+        };
+        if self.is_slow(parked.total_ns) {
+            self.retain(rid, parked.events);
+        } else {
+            self.stats.trees_discarded += 1;
+            self.stats.events_discarded += parked.events.len() as u64;
+            self.memo_discard(rid);
+        }
+    }
+
+    /// Force a verdict on every parked tree against the current
+    /// threshold. Call when the stream has ended (or the sampler is being
+    /// torn down) and the threshold is as mature as it will get; mid-run
+    /// exports should *not* settle — the peeking accessors already
+    /// include parked trees that currently look slow.
+    pub fn settle(&mut self) {
+        while let Some(rid) = self.parked_order.pop_front() {
+            self.decide(rid);
+        }
+    }
+
+    fn enforce_pending_bound(&mut self) {
+        while self.pending.len() > self.config.max_pending_trees {
+            let Some(old) = self.pending_order.pop_front() else {
+                break;
+            };
+            if let Some(tree) = self.pending.remove(&old) {
+                self.stats.pending_evicted += 1;
+                self.stats.events_discarded += tree.events.len() as u64;
+                self.memo_discard(old);
+            }
+        }
+    }
+
+    fn memo_discard(&mut self, rid: u64) {
+        if self.discarded_memo.insert(rid) {
+            self.discarded_memo_order.push_back(rid);
+        }
+        // Bound the memo at a multiple of the retention ring: old enough
+        // entries no longer have stragglers in flight.
+        let cap = self.config.max_retained_trees.saturating_mul(4).max(1024);
+        while self.discarded_memo.len() > cap {
+            if let Some(old) = self.discarded_memo_order.pop_front() {
+                self.discarded_memo.remove(&old);
+            }
+        }
+    }
+
+    /// All events of all retained trees, oldest tree first, followed by
+    /// parked trees that pass the slow test under the *current*
+    /// threshold — the input to span-graph reconstruction and Chrome
+    /// export. Peeking at the decision buffer does not finalize any
+    /// verdict: a mid-run export never forces an immature discard.
+    pub fn retained_events(&self) -> Vec<TraceEvent> {
+        let mut out = Vec::new();
+        for rid in &self.retained_order {
+            if let Some(events) = self.retained.get(rid) {
+                out.extend_from_slice(events);
+            }
+        }
+        for rid in &self.parked_order {
+            if let Some(parked) = self.parked.get(rid) {
+                if self.is_slow(parked.total_ns) {
+                    out.extend_from_slice(&parked.events);
+                }
+            }
+        }
+        out
+    }
+
+    /// Request ids currently exported (retained, then currently-slow
+    /// parked trees), oldest first within each group.
+    pub fn retained_roots(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .retained_order
+            .iter()
+            .filter(|rid| self.retained.contains_key(rid))
+            .copied()
+            .collect();
+        for rid in &self.parked_order {
+            if let Some(parked) = self.parked.get(rid) {
+                if self.is_slow(parked.total_ns) {
+                    out.push(*rid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Incomplete trees currently buffered.
+    pub fn pending_trees(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Streaming quantile of completed root latencies (ns).
+    pub fn root_quantile(&self, q: f64) -> Option<u64> {
+        self.root_hist.quantile(q)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TailStats {
+        let mut st = self.stats;
+        st.trees_undecided = self.parked.len() as u64;
+        st
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &TailConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_core::entity::register_entity;
+    use symbi_core::trace::EventSamples;
+    use symbi_core::Callpath;
+
+    fn ev(rid: u64, span: u64, parent: u64, kind: TraceEventKind, wall_ns: u64) -> TraceEvent {
+        TraceEvent {
+            request_id: rid,
+            order: 0,
+            span,
+            parent_span: parent,
+            hop: if parent == 0 { 1 } else { 2 },
+            lamport: wall_ns,
+            wall_ns,
+            kind,
+            entity: register_entity("tail-test"),
+            callpath: Callpath::root("tail_rpc"),
+            samples: EventSamples::default(),
+        }
+    }
+
+    /// Root span `rid*10+1` issuing one nested span, completing after
+    /// `total_ns`.
+    fn tree(rid: u64, base_ns: u64, total_ns: u64) -> Vec<TraceEvent> {
+        let root = rid * 10 + 1;
+        let child = rid * 10 + 2;
+        vec![
+            ev(rid, root, 0, TraceEventKind::OriginForward, base_ns),
+            ev(
+                rid,
+                child,
+                root,
+                TraceEventKind::OriginForward,
+                base_ns + 10,
+            ),
+            ev(
+                rid,
+                child,
+                root,
+                TraceEventKind::OriginComplete,
+                base_ns + total_ns / 2,
+            ),
+            ev(
+                rid,
+                root,
+                0,
+                TraceEventKind::OriginComplete,
+                base_ns + total_ns,
+            ),
+        ]
+    }
+
+    fn config() -> TailConfig {
+        TailConfig {
+            head_sample_every: 0,
+            warmup_roots: 4,
+            ..TailConfig::default()
+        }
+    }
+
+    #[test]
+    fn warmup_retains_everything() {
+        let mut s = TailSampler::new(config());
+        for rid in 1..=4 {
+            for e in tree(rid, rid * 1_000_000, 50_000) {
+                s.ingest(&e, false);
+            }
+        }
+        assert_eq!(s.stats().trees_retained, 4);
+        assert_eq!(s.stats().trees_discarded, 0);
+        assert_eq!(s.retained_events().len(), 16);
+    }
+
+    #[test]
+    fn fast_path_is_discarded_and_tail_is_kept_after_warmup() {
+        let mut s = TailSampler::new(config());
+        // Warm up with uniform 50 µs roots, then a fast and a slow tree.
+        for rid in 1..=100 {
+            for e in tree(rid, rid * 1_000_000, 50_000) {
+                s.ingest(&e, false);
+            }
+        }
+        let before = s.stats();
+        for e in tree(200, 500_000_000, 50_000) {
+            s.ingest(&e, false);
+        }
+        // The fast tree parks in the decision buffer — no verdict yet,
+        // and the peeking export does not show it (it is not slow).
+        assert_eq!(s.stats().trees_discarded, before.trees_discarded);
+        assert_eq!(s.stats().trees_undecided, before.trees_undecided + 1);
+        assert!(!s.retained_roots().contains(&200));
+        for e in tree(201, 600_000_000, 5_000_000) {
+            s.ingest(&e, false);
+        }
+        assert_eq!(s.stats().trees_retained, before.trees_retained + 1);
+        s.settle();
+        assert_eq!(
+            s.stats().trees_discarded,
+            before.trees_discarded + before.trees_undecided + 1
+        );
+        assert_eq!(s.stats().trees_undecided, 0);
+        assert!(s.retained_roots().contains(&201));
+        assert!(!s.retained_roots().contains(&200));
+    }
+
+    #[test]
+    fn deferred_verdicts_recover_tail_requests_hidden_by_cold_start() {
+        let mut s = TailSampler::new(config());
+        // Cold start: the first roots are pathologically slow (10 ms), so
+        // the prefix threshold starts out wildly inflated.
+        for rid in 1..=4 {
+            for e in tree(rid, rid * 1_000_000_000, 10_000_000) {
+                s.ingest(&e, false);
+            }
+        }
+        // A genuine tail request (1 ms): under an immediate verdict it
+        // would be discarded against the inflated 10 ms threshold.
+        for e in tree(10, 20_000_000_000, 1_000_000) {
+            s.ingest(&e, false);
+        }
+        // The bulk of the run (50 µs) matures the threshold downwards.
+        for rid in 100u64..495 {
+            for e in tree(rid, rid * 1_000_000_000, 50_000) {
+                s.ingest(&e, false);
+            }
+        }
+        // The parked 1 ms tree now looks slow again: mid-run peeks export
+        // it, and settling promotes it for good while the fast bulk is
+        // finally discarded.
+        assert!(s.retained_roots().contains(&10));
+        s.settle();
+        assert_eq!(s.stats().trees_undecided, 0);
+        assert!(s.retained_roots().contains(&10));
+        assert!(s.stats().trees_discarded > 300);
+    }
+
+    #[test]
+    fn flagged_trees_survive_even_when_fast() {
+        let mut s = TailSampler::new(config());
+        for rid in 1..=100 {
+            for e in tree(rid, rid * 1_000_000, 50_000) {
+                s.ingest(&e, false);
+            }
+        }
+        // Fast tree, but one event carries a retry annotation.
+        let mut events = tree(300, 700_000_000, 40_000);
+        events[1].samples.retry_attempt = Some(2);
+        for e in &events {
+            s.ingest(e, false);
+        }
+        assert!(s.retained_roots().contains(&300));
+        // Fast tree arriving in an anomaly-flagged push.
+        for e in tree(301, 800_000_000, 40_000) {
+            s.ingest(&e, true);
+        }
+        assert!(s.retained_roots().contains(&301));
+    }
+
+    #[test]
+    fn head_sampling_keeps_a_deterministic_trickle() {
+        let mut cfg = config();
+        cfg.head_sample_every = 8;
+        cfg.warmup_roots = 0;
+        let mut s = TailSampler::new(cfg);
+        // Seed the histogram so nothing is retained as slow/warmup.
+        for rid in 1..=64 {
+            for e in tree(rid, rid * 1_000_000, 50_000) {
+                s.ingest(&e, false);
+            }
+        }
+        let st = s.stats();
+        let kept = st.trees_retained;
+        assert!(kept > 0, "head sampling retained nothing");
+        assert!(kept < 64, "head sampling retained everything");
+        // Replaying the same ids retains the same set (pure hash).
+        let mut s2 = TailSampler::new(s.config().clone());
+        for rid in 1..=64 {
+            for e in tree(rid, rid * 1_000_000, 50_000) {
+                s2.ingest(&e, false);
+            }
+        }
+        assert_eq!(s2.retained_roots(), s.retained_roots());
+    }
+
+    #[test]
+    fn stragglers_for_discarded_trees_stay_dead() {
+        let mut s = TailSampler::new(config());
+        for rid in 1..=100 {
+            for e in tree(rid, rid * 1_000_000, 50_000) {
+                s.ingest(&e, false);
+            }
+        }
+        for e in tree(400, 900_000_000, 50_000) {
+            s.ingest(&e, false);
+        }
+        s.settle();
+        assert!(!s.retained_roots().contains(&400));
+        let discarded = s.stats().events_discarded;
+        // A late child event for the discarded root is dropped, not
+        // resurrected as a new pending tree.
+        let late = ev(400, 4003, 4001, TraceEventKind::OriginForward, 901_000_000);
+        s.ingest(&late, false);
+        assert_eq!(s.pending_trees(), 0);
+        assert_eq!(s.stats().events_discarded, discarded + 1);
+    }
+
+    #[test]
+    fn pending_and_retained_bounds_hold() {
+        let mut cfg = config();
+        cfg.max_pending_trees = 8;
+        cfg.max_retained_trees = 4;
+        let mut s = TailSampler::new(cfg);
+        // Open many trees that never complete.
+        for rid in 1..=50 {
+            let e = ev(rid, rid * 10 + 1, 0, TraceEventKind::OriginForward, rid);
+            s.ingest(&e, false);
+        }
+        assert!(s.pending_trees() <= 8);
+        assert!(s.stats().pending_evicted >= 42);
+        // Complete many retained (warmup) trees; ring spills to 4.
+        let mut s = TailSampler::new(TailConfig {
+            max_retained_trees: 4,
+            warmup_roots: u64::MAX,
+            ..config()
+        });
+        for rid in 1..=10 {
+            for e in tree(rid, rid * 1_000_000, 50_000) {
+                s.ingest(&e, false);
+            }
+        }
+        assert_eq!(s.retained_roots().len(), 4);
+        assert_eq!(s.stats().retained_spilled, 6);
+    }
+
+    #[test]
+    fn unlinked_events_are_counted_not_buffered() {
+        let mut s = TailSampler::new(config());
+        let mut e = ev(1, 0, 0, TraceEventKind::OriginForward, 1);
+        e.span = 0;
+        s.ingest(&e, false);
+        assert_eq!(s.stats().unlinked_events, 1);
+        assert_eq!(s.pending_trees(), 0);
+    }
+}

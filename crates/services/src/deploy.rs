@@ -30,6 +30,14 @@
 //! | `SYMBI_FAULT_SEED` | Seed for the process's fault plan, if set. |
 //! | `SYMBI_ADAPTIVE` | `1`: servers attach the online control loop. |
 //! | `SYMBI_SCENARIO` | JSON [`crate::scenario::ScenarioSpec`], if set. |
+//! | `SYMBI_OBS_COLLECTOR` | Cluster collector URL to stream telemetry to. |
+//!
+//! With [`DeployManifest::with_collector`] the launcher spawns one extra
+//! `collector` process *before* the servers, reads its ready file (line
+//! format: `<obs url> <federated http addr>`), and hands the obs URL to
+//! every server and client as `SYMBI_OBS_COLLECTOR`. The whole
+//! deployment is then scrapeable from the collector's single federated
+//! `/metrics` port while it runs.
 //!
 //! `SYMBI_SCENARIO` (set by [`DeployManifest::with_scenario`]) is the
 //! typed replacement for the ad-hoc `SYMBI_ADAPTIVE`/`SYMBI_FAULT_SEED`
@@ -94,6 +102,10 @@ pub struct DeployManifest {
     /// process as `SYMBI_SCENARIO` (the typed successor of the
     /// `adaptive`/`fault_seed` knobs).
     pub scenario_json: Option<String>,
+    /// Spawn one cluster-collector process (role `collector`) ahead of
+    /// the servers and point every process at it via
+    /// `SYMBI_OBS_COLLECTOR`.
+    pub collector: bool,
     /// How long to wait for all server ready files.
     pub ready_timeout: Duration,
     /// Extra environment variables for every process.
@@ -124,6 +136,7 @@ impl DeployManifest {
             fault_seed: None,
             adaptive: false,
             scenario_json: None,
+            collector: false,
             ready_timeout: Duration::from_secs(30),
             extra_env: Vec::new(),
         }
@@ -182,15 +195,24 @@ impl DeployManifest {
         self
     }
 
-    /// The listen URL assigned to server `i` (port 0 for TCP — the
-    /// server reports the real one through its ready file).
-    fn listen_url(&self, i: usize) -> String {
+    /// Add a cluster-collector process: every server and client streams
+    /// its telemetry there, and one federated `/metrics` port covers the
+    /// whole deployment (see [`Deployment::collector_http_addr`]).
+    #[must_use]
+    pub fn with_collector(mut self) -> Self {
+        self.collector = true;
+        self
+    }
+
+    /// The listen URL assigned to a listening process (port 0 for TCP —
+    /// the process reports the real one through its ready file).
+    fn listen_url(&self, name: &str) -> String {
         match self.scheme {
             TransportScheme::Tcp => "tcp://127.0.0.1:0".to_string(),
             TransportScheme::Unix => {
                 format!(
                     "unix://{}",
-                    self.workdir.join(format!("server-{i}.sock")).display()
+                    self.workdir.join(format!("{name}.sock")).display()
                 )
             }
         }
@@ -203,22 +225,64 @@ impl DeployManifest {
             .map(|base| if base == 0 { 0 } else { base + index as u16 })
     }
 
-    /// Launch the deployment: spawn servers, wait for their ready files,
-    /// then spawn clients pointed at the reported server URLs.
+    /// Launch the deployment: spawn the collector (if configured) and
+    /// wait for it, then servers, wait for their ready files, then
+    /// clients pointed at the reported server URLs.
     pub fn launch(&self) -> io::Result<Deployment> {
         fs::create_dir_all(&self.workdir)?;
         let stop_file = self.workdir.join("stop");
         let _ = fs::remove_file(&stop_file);
 
+        let mut collector = None;
+        let mut collector_url = None;
+        let mut collector_http = None;
+        if self.collector {
+            let mut proc = self.spawn_one(
+                SpawnSpec {
+                    role: "collector",
+                    rank: 0,
+                    node_id: 3000,
+                    prom_index: self.servers + self.clients,
+                    listen: true,
+                    server_urls: None,
+                    obs_url: None,
+                },
+                &stop_file,
+            )?;
+            // Ready line: `<obs url> <federated http addr>`.
+            let ready = match self.wait_for_ready(std::slice::from_ref(&proc)) {
+                Ok(mut urls) => urls.remove(0),
+                Err(e) => {
+                    let _ = proc.child.kill();
+                    return Err(e);
+                }
+            };
+            let mut parts = ready.split_whitespace();
+            collector_url = parts.next().map(str::to_string);
+            collector_http = parts.next().map(str::to_string);
+            collector = Some(proc);
+        }
+
         let mut servers = Vec::with_capacity(self.servers);
         for i in 0..self.servers {
-            servers.push(self.spawn_one(&self.server_role, i, i, &stop_file, None)?);
+            servers.push(self.spawn_one(
+                SpawnSpec {
+                    role: &self.server_role,
+                    rank: i,
+                    node_id: 1000 + i,
+                    prom_index: i,
+                    listen: true,
+                    server_urls: None,
+                    obs_url: collector_url.as_deref(),
+                },
+                &stop_file,
+            )?);
         }
 
         let server_urls = match self.wait_for_ready(&servers) {
             Ok(urls) => urls,
             Err(e) => {
-                for p in &mut servers {
+                for p in servers.iter_mut().chain(collector.iter_mut()) {
                     let _ = p.child.kill();
                 }
                 return Err(e);
@@ -229,32 +293,33 @@ impl DeployManifest {
         let mut clients = Vec::with_capacity(self.clients);
         for j in 0..self.clients {
             clients.push(self.spawn_one(
-                &self.client_role,
-                j,
-                self.servers + j,
+                SpawnSpec {
+                    role: &self.client_role,
+                    rank: j,
+                    node_id: 2000 + self.servers + j,
+                    prom_index: self.servers + j,
+                    listen: false,
+                    server_urls: Some(&joined),
+                    obs_url: collector_url.as_deref(),
+                },
                 &stop_file,
-                Some(&joined),
             )?);
         }
 
         Ok(Deployment {
             servers,
             clients,
+            collector,
             server_urls,
+            collector_url,
+            collector_http,
             stop_file,
             workdir: self.workdir.clone(),
         })
     }
 
-    fn spawn_one(
-        &self,
-        role: &str,
-        rank: usize,
-        index: usize,
-        stop_file: &Path,
-        server_urls: Option<&str>,
-    ) -> io::Result<ManagedProcess> {
-        let name = format!("{role}-{rank}");
+    fn spawn_one(&self, spec: SpawnSpec<'_>, stop_file: &Path) -> io::Result<ManagedProcess> {
+        let name = format!("{}-{}", spec.role, spec.rank);
         let ready_file = self.workdir.join(format!("{name}.ready"));
         let _ = fs::remove_file(&ready_file);
         let log = fs::File::create(self.workdir.join(format!("{name}.log")))?;
@@ -264,32 +329,28 @@ impl DeployManifest {
             .stdin(Stdio::null())
             .stdout(Stdio::from(log.try_clone()?))
             .stderr(Stdio::from(log))
-            .env("SYMBI_NET_ROLE", role)
-            .env("SYMBI_RANK", rank.to_string())
-            // Node ids: servers from 1000, clients from 2000. Also the
-            // per-process id nonce (symbi_core::process_nonce), keeping
-            // request/span ids distinct across the deployment.
-            .env(
-                "SYMBI_NET_NODE_ID",
-                (if server_urls.is_none() {
-                    1000 + index
-                } else {
-                    2000 + index
-                })
-                .to_string(),
-            )
+            .env("SYMBI_NET_ROLE", spec.role)
+            .env("SYMBI_RANK", spec.rank.to_string())
+            // Node ids: servers from 1000, clients from 2000, the
+            // collector at 3000. Also the per-process id nonce
+            // (symbi_core::process_nonce), keeping request/span ids
+            // distinct across the deployment.
+            .env("SYMBI_NET_NODE_ID", spec.node_id.to_string())
             .env("SYMBI_READY_FILE", &ready_file)
             .env("SYMBI_STOP_FILE", stop_file);
-        if server_urls.is_none() {
-            cmd.env("SYMBI_NET_LISTEN", self.listen_url(rank));
+        if spec.listen {
+            cmd.env("SYMBI_NET_LISTEN", self.listen_url(&name));
         }
-        if let Some(urls) = server_urls {
+        if let Some(urls) = spec.server_urls {
             cmd.env("SYMBI_SERVERS", urls);
+        }
+        if let Some(url) = spec.obs_url {
+            cmd.env("SYMBI_OBS_COLLECTOR", url);
         }
         if let Some(p) = self.telemetry_period {
             cmd.env("SYMBI_TELEMETRY_PERIOD_MS", p.as_millis().to_string());
         }
-        if let Some(port) = self.prometheus_port(index) {
+        if let Some(port) = self.prometheus_port(spec.prom_index) {
             cmd.env("SYMBI_PROMETHEUS_PORT", port.to_string());
         }
         if let Some(dir) = &self.flight_dir {
@@ -355,6 +416,19 @@ impl DeployManifest {
     }
 }
 
+/// Everything that varies between one spawned process and the next.
+struct SpawnSpec<'a> {
+    role: &'a str,
+    rank: usize,
+    node_id: usize,
+    /// Index into the Prometheus port sequence.
+    prom_index: usize,
+    /// Whether the process gets a `SYMBI_NET_LISTEN` URL.
+    listen: bool,
+    server_urls: Option<&'a str>,
+    obs_url: Option<&'a str>,
+}
+
 struct ManagedProcess {
     name: String,
     ready_file: PathBuf,
@@ -365,7 +439,10 @@ struct ManagedProcess {
 pub struct Deployment {
     servers: Vec<ManagedProcess>,
     clients: Vec<ManagedProcess>,
+    collector: Option<ManagedProcess>,
     server_urls: Vec<String>,
+    collector_url: Option<String>,
+    collector_http: Option<String>,
     stop_file: PathBuf,
     workdir: PathBuf,
 }
@@ -375,6 +452,27 @@ impl Deployment {
     /// URL-addressed transport's `lookup`).
     pub fn server_urls(&self) -> &[String] {
         &self.server_urls
+    }
+
+    /// The collector's obs URL (what `SYMBI_OBS_COLLECTOR` was set to),
+    /// if a collector was deployed.
+    pub fn collector_url(&self) -> Option<&str> {
+        self.collector_url.as_deref()
+    }
+
+    /// The collector's federated HTTP address (`host:port` serving
+    /// `/metrics` and `/trace.json`), if a collector was deployed.
+    pub fn collector_http_addr(&self) -> Option<&str> {
+        self.collector_http.as_deref()
+    }
+
+    /// Kill the collector immediately (SIGKILL) — the "observability
+    /// plane dies mid-run" fault drill. The data plane must not notice.
+    pub fn kill_collector(&mut self) -> io::Result<()> {
+        match &mut self.collector {
+            Some(p) => p.child.kill(),
+            None => Ok(()),
+        }
     }
 
     /// The deployment scratch directory (logs, ready/stop files).
@@ -437,7 +535,12 @@ impl Deployment {
         let mut killed = 0;
         loop {
             let mut alive = 0;
-            for p in self.servers.iter_mut().chain(self.clients.iter_mut()) {
+            for p in self
+                .servers
+                .iter_mut()
+                .chain(self.clients.iter_mut())
+                .chain(self.collector.iter_mut())
+            {
                 if p.child.try_wait()?.is_none() {
                     alive += 1;
                 }
@@ -446,7 +549,12 @@ impl Deployment {
                 break;
             }
             if Instant::now() >= deadline {
-                for p in self.servers.iter_mut().chain(self.clients.iter_mut()) {
+                for p in self
+                    .servers
+                    .iter_mut()
+                    .chain(self.clients.iter_mut())
+                    .chain(self.collector.iter_mut())
+                {
                     if p.child.try_wait()?.is_none() {
                         let _ = p.child.kill();
                         let _ = p.child.wait();
@@ -458,7 +566,12 @@ impl Deployment {
             std::thread::sleep(Duration::from_millis(20));
         }
         // Reap any zombies that exited within the grace period.
-        for p in self.servers.iter_mut().chain(self.clients.iter_mut()) {
+        for p in self
+            .servers
+            .iter_mut()
+            .chain(self.clients.iter_mut())
+            .chain(self.collector.iter_mut())
+        {
             let _ = p.child.wait();
         }
         Ok(killed)
@@ -470,6 +583,7 @@ impl std::fmt::Debug for Deployment {
         f.debug_struct("Deployment")
             .field("servers", &self.servers.len())
             .field("clients", &self.clients.len())
+            .field("collector", &self.collector.is_some())
             .field("server_urls", &self.server_urls)
             .field("workdir", &self.workdir)
             .finish()
@@ -479,7 +593,12 @@ impl std::fmt::Debug for Deployment {
 impl Drop for Deployment {
     fn drop(&mut self) {
         // Last-resort cleanup so a panicking test never leaks processes.
-        for p in self.servers.iter_mut().chain(self.clients.iter_mut()) {
+        for p in self
+            .servers
+            .iter_mut()
+            .chain(self.clients.iter_mut())
+            .chain(self.collector.iter_mut())
+        {
             if let Ok(None) = p.child.try_wait() {
                 let _ = p.child.kill();
                 let _ = p.child.wait();
@@ -600,6 +719,39 @@ echo ok > "$SYMBI_READY_FILE""#;
         let back = crate::scenario::ScenarioSpec::from_json(json).expect("spec round-trips");
         assert_eq!(back, spec);
         dep.shutdown(Duration::from_secs(5)).unwrap();
+        let _ = fs::remove_dir_all(&m.workdir);
+    }
+
+    #[test]
+    fn collector_spawns_first_and_every_process_gets_its_url() {
+        let mut m = DeployManifest::new("/bin/sh", scratch("collector"), 1, 1);
+        m.args = vec![
+            "-c".into(),
+            format!(
+                r#"case "$SYMBI_NET_ROLE" in
+collector) echo "tcp://127.0.0.1:7000 127.0.0.1:7100" > "$SYMBI_READY_FILE"
+  while [ ! -e "$SYMBI_STOP_FILE" ]; do sleep 0.02; done ;;
+server) echo "obs=$SYMBI_OBS_COLLECTOR"; {FAKE_SERVER} ;;
+*) echo "obs=$SYMBI_OBS_COLLECTOR"; {FAKE_CLIENT} ;;
+esac"#
+            ),
+        ];
+        m.ready_timeout = Duration::from_secs(10);
+        m = m.with_collector();
+        let mut dep = m.launch().unwrap();
+        assert_eq!(dep.collector_url(), Some("tcp://127.0.0.1:7000"));
+        assert_eq!(dep.collector_http_addr(), Some("127.0.0.1:7100"));
+        dep.wait_clients(Duration::from_secs(10)).unwrap();
+        for name in ["server-0", "client-0"] {
+            let log = fs::read_to_string(m.workdir.join(format!("{name}.log"))).unwrap();
+            assert!(
+                log.contains("obs=tcp://127.0.0.1:7000"),
+                "{name} missed SYMBI_OBS_COLLECTOR: {log}"
+            );
+        }
+        dep.kill_collector().unwrap();
+        let killed = dep.shutdown(Duration::from_secs(5)).unwrap();
+        assert_eq!(killed, 0, "killed collector must not be re-killed");
         let _ = fs::remove_dir_all(&m.workdir);
     }
 

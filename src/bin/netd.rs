@@ -18,6 +18,11 @@
 //!   arrival schedule against the `SYMBI_SERVERS` set through
 //!   `symbi-load`, writes the `LoadSummary` JSON to `SYMBI_LOAD_OUT`,
 //!   and exits 0 when the run completed.
+//! * `collector` — the cluster observability collector: listens on
+//!   `SYMBI_NET_LISTEN`, ingests obs pushes from every process that got
+//!   `SYMBI_OBS_COLLECTOR`, and serves the federated `/metrics` +
+//!   `/trace.json` endpoint on `SYMBI_PROMETHEUS_PORT`. Its ready file
+//!   carries two fields: `<obs url> <federated http addr>`.
 //!
 //! The full environment protocol is documented on
 //! [`symbi_services::deploy`]. Servers write their *actual* listen URL to
@@ -29,6 +34,7 @@ use symbi_fabric::{Fabric, FaultPlan};
 use symbi_load::{run_open_loop, summary_to_json, RoutedTarget, SdskvTarget, WorkloadTarget};
 use symbi_margo::{MargoConfig, MargoInstance, RetryPolicy, RpcOptions, TelemetryOptions};
 use symbi_net::{fabric_over, NetConfig};
+use symbi_obs::{CollectorConfig, CollectorService};
 use symbi_services::bake::{BakeProvider, BakeSpec};
 use symbi_services::hepnos::{EventKey, HepnosClient, HepnosConfig};
 use symbi_services::kv::{BackendKind, StorageCost};
@@ -129,6 +135,15 @@ fn telemetry_from_env() -> TelemetryOptions {
     if let Some(dir) = env_var("SYMBI_FLIGHT_DIR") {
         t.flight_recorder = Some(FlightRecorderConfig::new(dir));
         t.record_traces = true;
+    }
+    if let Some(url) = env_var("SYMBI_OBS_COLLECTOR") {
+        // Streaming to the collector needs the monitor ULT and completed
+        // spans; fill in defaults if the environment left them off.
+        if t.sample_period.is_none() {
+            t.sample_period = Some(Duration::from_millis(100));
+        }
+        t.record_traces = true;
+        t.obs_collector = Some(url);
     }
     t
 }
@@ -265,10 +280,12 @@ fn run_load_generator(rank: usize) {
         fabric.install_fault_plan(plan);
     });
 
-    let margo = MargoInstance::new(
-        fabric.clone(),
-        MargoConfig::client(format!("load-gen-{rank}")),
-    );
+    // The generator gets the telemetry environment (flight ring, obs
+    // streaming) but never the scenario's control policy — shedding is a
+    // server-side decision; the generator only *observes*.
+    let mut gen_config = MargoConfig::client(format!("load-gen-{rank}"));
+    gen_config.telemetry = telemetry_from_env();
+    let margo = MargoInstance::new(fabric.clone(), gen_config);
     // Under a scripted blackout storm the generator must not hang on a
     // dropped request: bound each attempt and retry past the outage.
     // Fault-free runs keep the bare options so the measurement carries
@@ -311,6 +328,40 @@ fn run_load_generator(rank: usize) {
     if summary.ok == 0 {
         std::process::exit(1);
     }
+}
+
+/// The cluster observability collector: one per deployment, spawned
+/// before the servers so every other process can be handed its URL. The
+/// collector opens the *first* endpoint on its listening transport, so a
+/// peer's `lookup(<obs url>)` resolves to the collector's obs sink.
+fn run_collector() {
+    let fabric = build_fabric(true);
+    let mut collector = CollectorService::start(&fabric, CollectorConfig::default());
+    let port = env_parse("SYMBI_PROMETHEUS_PORT", 0u16);
+    let http = match collector.serve_http(port) {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("[symbi-netd] collector HTTP bind failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let url = fabric.listen_url().expect("listening fabric has a URL");
+    announce_ready(&format!("{url} {http}"));
+    wait_for_stop();
+    let stats = collector.stats();
+    println!(
+        "[symbi-netd] collector: processes={} pushes={} events={} spans={} \
+         retained_trees={} discarded_trees={} seq_gaps={} shed_advisories={}",
+        stats.processes,
+        stats.pushes,
+        stats.events_ingested,
+        stats.spans_completed,
+        stats.tail.trees_retained,
+        stats.tail.trees_discarded,
+        stats.seq_gaps,
+        stats.shed_advisories,
+    );
+    collector.shutdown();
 }
 
 fn run_hepnos_client(rank: usize) {
@@ -390,10 +441,11 @@ fn main() {
         "hepnos-client" => run_hepnos_client(rank),
         "scenario" => run_scenario_server(rank),
         "load" => run_load_generator(rank),
+        "collector" => run_collector(),
         other => {
             eprintln!(
                 "[symbi-netd] unknown SYMBI_NET_ROLE {other:?} \
-                 (echo|hepnos|hepnos-client|scenario|load)"
+                 (echo|hepnos|hepnos-client|scenario|load|collector)"
             );
             std::process::exit(2);
         }

@@ -43,6 +43,7 @@ pub use symbi_core as core;
 pub use symbi_fabric as fabric;
 pub use symbi_margo as margo;
 pub use symbi_mercury as mercury;
+pub use symbi_obs as obs;
 pub use symbi_services as services;
 pub use symbi_tasking as tasking;
 

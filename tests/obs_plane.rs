@@ -1,0 +1,459 @@
+//! Cluster observability plane integration: Margo instances streaming
+//! monitor samples to a [`CollectorService`] — over the in-process
+//! fabric and over real TCP processes — and the properties the plane
+//! promises:
+//!
+//! * one federated scrape covers every process plus `symbi_cluster_*`
+//!   aggregates built from cross-PID span reconstruction,
+//! * tail-based sampling keeps the retained span volume bounded while
+//!   losing nothing above the cluster p99 (checked against the full
+//!   flight-ring merge),
+//! * the obs path is invisible to the data plane: a blacked-out or dead
+//!   collector perturbs nothing, and seeded fault schedules are
+//!   byte-identical with streaming on or off.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+use symbiosys::core::analysis::online::StreamingHistogram;
+use symbiosys::core::telemetry::jsonl::TraceEventDecoder;
+use symbiosys::core::telemetry::recorder::{replay_events_with, FlightRecorderConfig};
+use symbiosys::obs::{CollectorConfig, CollectorService};
+use symbiosys::prelude::*;
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("symbi-obsplane-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// `fab://` literal for an in-process collector (the local fabric has no
+/// URL lookup).
+fn fab_url(collector: &CollectorService) -> String {
+    format!("fab://{}", collector.addr().0)
+}
+
+/// Wait until `cond` holds or the deadline passes; the obs plane is
+/// asynchronous (monitor-period batching), never lossy on the local
+/// fabric, so polling beats a fixed sleep.
+fn wait_until(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = std::time::Instant::now() + timeout;
+    while std::time::Instant::now() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    cond()
+}
+
+#[test]
+fn streaming_collection_builds_the_federated_view() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let mut collector = CollectorService::start(&fabric, CollectorConfig::default());
+    let url = fab_url(&collector);
+
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server("obsfed-server", 2)
+            .with_telemetry_period(Duration::from_millis(5))
+            .with_obs_collector(&url),
+    );
+    SdskvProvider::attach(&server, SdskvSpec::default());
+    let margo = MargoInstance::new(
+        fabric,
+        MargoConfig::client("obsfed-client")
+            .with_telemetry_period(Duration::from_millis(5))
+            .with_obs_collector(&url),
+    );
+    let client = SdskvClient::new(margo.clone(), server.addr());
+    for i in 0..400u32 {
+        let key = format!("k{i}").into_bytes();
+        client.put(0, key.clone(), vec![7u8; 32]).expect("put");
+        if i % 4 == 0 {
+            client.get(0, &key).expect("get");
+        }
+    }
+
+    // Both processes must report in and complete spans must flow.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            let s = collector.stats();
+            s.processes >= 2 && s.spans_completed > 0 && s.events_ingested > 0
+        }),
+        "collector never saw both processes: {:?}",
+        collector.stats()
+    );
+
+    let metrics = collector.render_metrics();
+    // Cluster aggregates from cross-process span reconstruction.
+    assert!(metrics.contains("symbi_cluster_processes 2"), "{metrics}");
+    assert!(metrics.contains("symbi_cluster_spans_completed_total"));
+    assert!(metrics.contains("symbi_cluster_latency_ns_bucket"));
+    assert!(metrics.contains("symbi_cluster_latency_quantile_ns"));
+    assert!(metrics.contains("symbi_cluster_topk_weight_ns"));
+    // Every process's own families re-exported under one port, tagged.
+    assert!(metrics.contains("process=\"obsfed-server\""), "{metrics}");
+    assert!(metrics.contains("process=\"obsfed-client\""), "{metrics}");
+    // The per-process families include the pusher's self-accounting.
+    assert!(metrics.contains("symbi_obs_pushes_total"));
+
+    // The tail-retained trees export as Chrome JSON mid-run.
+    let trace = collector.trace_json();
+    assert!(trace.contains("\"traceEvents\""));
+    assert!(trace.contains("\"X\""), "no complete spans in {trace}");
+
+    margo.finalize();
+    server.finalize();
+    collector.shutdown();
+}
+
+/// The acceptance bar for tail sampling: against the *full* flight-ring
+/// merge (ground truth), the collector retains at most 15% of the span
+/// trees while keeping 100% of the requests above the cluster p99.
+#[test]
+fn tail_sampling_keeps_the_tail_and_drops_the_volume() {
+    let dir = scratch("tail");
+    let fabric = Fabric::new(NetworkModel::instant());
+    let mut collector = CollectorService::start(&fabric, CollectorConfig::default());
+    let url = fab_url(&collector);
+
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server("obstail-server", 2)
+            .with_telemetry_period(Duration::from_millis(5))
+            .with_obs_collector(&url),
+    );
+    SdskvProvider::attach(&server, SdskvSpec::default());
+    // The client also flight-records its traces: the ring is the
+    // complete local record the sampler's retention is judged against.
+    let margo = MargoInstance::new(
+        fabric,
+        MargoConfig::client("obstail-client")
+            .with_telemetry_period(Duration::from_millis(5))
+            .with_obs_collector(&url)
+            .with_flight_recorder(FlightRecorderConfig::new(&dir))
+            .with_trace_recording(),
+    );
+    let client = SdskvClient::new(margo.clone(), server.addr());
+
+    const OPS: usize = 2500;
+    for i in 0..OPS {
+        let key = format!("k{}", i % 512).into_bytes();
+        client.put(0, key, vec![0u8; 64]).expect("put");
+    }
+    // Finalize flushes the ring and pushes the final monitor sample, so
+    // both sides of the comparison are complete.
+    margo.finalize();
+    server.finalize();
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            collector.stats().tail.roots_observed >= OPS as u64
+        }),
+        "collector saw {} of {OPS} roots",
+        collector.stats().tail.roots_observed
+    );
+
+    // Ground truth: merge the flight ring and compute per-request root
+    // latencies with the same histogram the collector uses.
+    let mut decoder = TraceEventDecoder::new();
+    let events = replay_events_with(&dir, &mut decoder).expect("replay client ring");
+    let mut t1: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut totals: BTreeMap<u64, u64> = BTreeMap::new();
+    for e in &events {
+        if e.parent_span != 0 {
+            continue;
+        }
+        match e.kind {
+            TraceEventKind::OriginForward => {
+                t1.entry(e.request_id).or_insert(e.wall_ns);
+            }
+            TraceEventKind::OriginComplete => {
+                if let Some(start) = t1.get(&e.request_id) {
+                    totals.insert(e.request_id, e.wall_ns.saturating_sub(*start));
+                }
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(totals.len(), OPS, "ring must hold every request");
+    let mut hist = StreamingHistogram::new();
+    for total in totals.values() {
+        hist.observe(*total);
+    }
+    let p99 = hist.quantile(0.99).expect("populated histogram");
+
+    let retained: std::collections::HashSet<u64> = collector.retained_roots().into_iter().collect();
+    // Volume bound: ≤15% of the trees survive sampling.
+    assert!(
+        retained.len() <= OPS * 15 / 100,
+        "retained {} of {OPS} trees (> 15%)",
+        retained.len()
+    );
+    // Completeness bound: every request above the cluster p99 survives.
+    let above: Vec<u64> = totals
+        .iter()
+        .filter(|(_, total)| **total > p99)
+        .map(|(rid, _)| *rid)
+        .collect();
+    assert!(
+        !above.is_empty(),
+        "degenerate distribution: nothing above p99"
+    );
+    let missed: Vec<u64> = above
+        .iter()
+        .filter(|rid| !retained.contains(rid))
+        .copied()
+        .collect();
+    assert!(
+        missed.is_empty(),
+        "{} of {} requests above p99={p99}ns lost by the sampler: {missed:?}",
+        missed.len(),
+        above.len()
+    );
+    // And the collector's own federated quantile agrees with the ring
+    // merge — same events, same histogram, same bucketing.
+    assert_eq!(collector.root_quantile(0.99), Some(p99));
+
+    collector.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A blacked-out collector is pure silent loss: the data plane keeps
+/// running, no fault counters tick, pushes simply stop arriving.
+#[test]
+fn collector_blackout_is_invisible_to_the_data_plane() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let mut collector = CollectorService::start(&fabric, CollectorConfig::default());
+    let url = fab_url(&collector);
+    // Black out the collector for the entire run.
+    fabric.install_fault_plan(FaultPlan::seeded(7).with_blackout(
+        collector.addr(),
+        Duration::ZERO,
+        Duration::from_secs(600),
+    ));
+
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server("obsdark-server", 2)
+            .with_telemetry_period(Duration::from_millis(5))
+            .with_obs_collector(&url),
+    );
+    SdskvProvider::attach(&server, SdskvSpec::default());
+    let margo = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::client("obsdark-client")
+            .with_telemetry_period(Duration::from_millis(5))
+            .with_obs_collector(&url),
+    );
+    let client = SdskvClient::new(margo.clone(), server.addr());
+    for i in 0..300u32 {
+        client
+            .put(0, format!("k{i}").into_bytes(), vec![1u8; 32])
+            .expect("data plane must be unaffected by the obs blackout");
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    // Nothing reached the collector...
+    let stats = collector.stats();
+    assert_eq!(
+        stats.pushes, 0,
+        "blacked-out collector got pushes: {stats:?}"
+    );
+    assert_eq!(stats.processes, 0);
+    // ...and the loss was *non-counting*: obs drops must never pollute
+    // the fault counters an experiment asserts on.
+    let counters = fabric.fault_counters().expect("plan installed");
+    assert_eq!(counters.blackout_drops, 0, "{counters:?}");
+    assert_eq!(counters.messages_dropped, 0, "{counters:?}");
+
+    margo.finalize();
+    server.finalize();
+    collector.shutdown();
+}
+
+/// Killing the collector mid-run must not disturb in-flight load: the
+/// remaining pushes vanish silently and every RPC still completes.
+#[test]
+fn collector_death_mid_run_loses_only_telemetry() {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let mut collector = CollectorService::start(&fabric, CollectorConfig::default());
+    let url = fab_url(&collector);
+
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server("obskill-server", 2)
+            .with_telemetry_period(Duration::from_millis(5))
+            .with_obs_collector(&url),
+    );
+    SdskvProvider::attach(&server, SdskvSpec::default());
+    let margo = MargoInstance::new(
+        fabric,
+        MargoConfig::client("obskill-client")
+            .with_telemetry_period(Duration::from_millis(5))
+            .with_obs_collector(&url),
+    );
+    let client = SdskvClient::new(margo.clone(), server.addr());
+
+    for i in 0..200u32 {
+        client
+            .put(0, format!("a{i}").into_bytes(), vec![2u8; 32])
+            .expect("put before collector death");
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || collector.stats().pushes > 0),
+        "no pushes before the kill"
+    );
+    collector.shutdown();
+
+    // The data plane must not notice: same fabric, collector gone.
+    for i in 0..200u32 {
+        client
+            .put(0, format!("b{i}").into_bytes(), vec![2u8; 32])
+            .expect("put after collector death");
+    }
+
+    margo.finalize();
+    server.finalize();
+}
+
+/// The fault matrix must be unperturbed by streaming: the same seeded
+/// drop plan over the same workload yields byte-identical fault counters
+/// whether telemetry streams to a collector or not. (The collector holds
+/// an endpoint in both runs so the address sequence is identical — in a
+/// real deployment it is a separate process anyway; what this pins down
+/// is that the *push traffic* draws nothing from the seeded RNG.)
+#[test]
+fn seeded_fault_schedule_is_byte_identical_with_streaming_on_or_off() {
+    fn faulted_run(streaming: bool) -> (symbiosys::fabric::FaultCountersSnapshot, u64) {
+        let seed = 42;
+        let fabric = Fabric::new(NetworkModel::instant());
+        let collector = CollectorService::start(&fabric, CollectorConfig::default());
+        let url = fab_url(&collector);
+
+        let mut server_cfg =
+            MargoConfig::server("obsdet-server", 2).with_telemetry_period(Duration::from_millis(5));
+        let mut client_cfg =
+            MargoConfig::client("obsdet-client").with_telemetry_period(Duration::from_millis(5));
+        if streaming {
+            server_cfg = server_cfg.with_obs_collector(&url);
+            client_cfg = client_cfg.with_obs_collector(&url);
+        }
+        let server = MargoInstance::new(fabric.clone(), server_cfg);
+        SdskvProvider::attach(&server, SdskvSpec::default());
+        let margo = MargoInstance::new(fabric.clone(), client_cfg);
+
+        fabric.install_fault_plan(FaultPlan::seeded(seed).with_drop_probability(0.1));
+        let options = RpcOptions::new()
+            .with_deadline(Duration::from_millis(250))
+            .with_retry(RetryPolicy::new(10).with_seed(seed))
+            .idempotent(true);
+        let client = SdskvClient::new(margo.clone(), server.addr()).with_options(options);
+        for i in 0..150u32 {
+            client
+                .put(0, format!("k{i}").into_bytes(), vec![3u8; 32])
+                .expect("retries ride out the seeded drops");
+        }
+        let counters = fabric.fault_counters().expect("plan installed");
+        let pushes = collector.stats().pushes;
+        margo.finalize();
+        server.finalize();
+        (counters, pushes)
+    }
+
+    let (off, pushes_off) = faulted_run(false);
+    let (on, pushes_on) = faulted_run(true);
+    assert_eq!(pushes_off, 0, "streaming-off run must not push");
+    assert!(pushes_on > 0, "streaming-on run must actually stream");
+    assert!(off.messages_dropped > 0, "no faults fired: {off:?}");
+    assert_eq!(off, on, "streaming perturbed the seeded fault schedule");
+}
+
+/// One `symbi-netd` deployment over real TCP — two scenario servers, an
+/// open-loop generator, and a collector process — must serve the whole
+/// cluster from the collector's single federated HTTP port while the
+/// run is still in flight.
+#[test]
+#[cfg(unix)]
+fn tcp_deployment_serves_one_federated_scrape() {
+    use symbi_load::ScenarioSpec;
+    use symbi_services::deploy::DeployManifest;
+
+    const NETD: &str = env!("CARGO_BIN_EXE_symbi-netd");
+
+    fn metric_value(body: &str, name: &str) -> Option<f64> {
+        body.lines()
+            .find(|l| l.starts_with(name) && l.as_bytes().get(name.len()) == Some(&b' '))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+    }
+
+    let workdir = scratch("tcp");
+    let flight = workdir.join("flight");
+    let spec = ScenarioSpec::named("obs-tcp-smoke")
+        .with_rate_hz(400.0)
+        .with_duration(Duration::from_millis(1500))
+        .with_virtual_clients(8)
+        .with_server_shape(2, 4, Duration::from_micros(100));
+    let mut m = DeployManifest::new(NETD, &workdir, 2, 1)
+        .with_roles("scenario", "load")
+        .with_scenario(&spec)
+        .with_telemetry(Duration::from_millis(20), 0, &flight)
+        .with_collector();
+    m.ready_timeout = Duration::from_secs(60);
+    let mut dep = m.launch().expect("deployment starts");
+    let http = dep
+        .collector_http_addr()
+        .expect("collector reports its federated HTTP address")
+        .to_string();
+
+    // The federated endpoint answers while the load is still running.
+    let saw_ingest = wait_until(Duration::from_secs(30), || {
+        symbi_analyze::http_get(&http, "/metrics")
+            .map(|b| metric_value(&b, "symbi_cluster_events_ingested_total").unwrap_or(0.0) > 0.0)
+            .unwrap_or(false)
+    });
+    assert!(saw_ingest, "collector never ingested a push over TCP");
+
+    let statuses = dep
+        .wait_clients(Duration::from_secs(120))
+        .expect("generator finishes");
+    assert!(
+        statuses.iter().all(|s| s.success()),
+        "generator must exit 0: {statuses:?} (logs in {})",
+        workdir.display()
+    );
+
+    // Span trees cross three processes (generator origin + server); give
+    // the final monitor flushes a moment to land.
+    let settled = wait_until(Duration::from_secs(30), || {
+        symbi_analyze::http_get(&http, "/metrics")
+            .map(|b| {
+                metric_value(&b, "symbi_cluster_spans_completed_total").unwrap_or(0.0) > 0.0
+                    && metric_value(&b, "symbi_cluster_processes").unwrap_or(0.0) >= 3.0
+            })
+            .unwrap_or(false)
+    });
+    assert!(
+        settled,
+        "federated view never saw completed cross-process spans"
+    );
+
+    let body = symbi_analyze::http_get(&http, "/metrics").expect("final scrape");
+    assert!(
+        body.contains("process=\""),
+        "federation must re-export process-tagged series"
+    );
+    assert!(
+        body.contains("symbi_cluster_latency_quantile_ns"),
+        "cluster quantiles missing from the federated scrape"
+    );
+    let trace = symbi_analyze::http_get(&http, "/trace.json").expect("live trace export");
+    assert!(trace.contains("traceEvents"));
+    assert!(
+        trace.contains("\"X\""),
+        "no retained spans in the live trace"
+    );
+
+    dep.shutdown(Duration::from_secs(15)).expect("clean stop");
+    let _ = std::fs::remove_dir_all(&workdir);
+}
