@@ -101,7 +101,9 @@ fn main() {
             match kind {
                 BackendKind::Map => "map",
                 BackendKind::Bdb => "bdb",
-                BackendKind::Ldb => "ldb",
+                // The durable ldb-disk backend has its own bench
+                // (group_commit); this ablation covers the simulated trio.
+                _ => "ldb",
             },
             times[3].as_secs_f64(),
         );

@@ -1,0 +1,157 @@
+//! Group commit vs fsync-per-op: what does amortizing the fsync buy?
+//!
+//! Eight concurrent writers hammer one `symbi-store` WAL in two
+//! configurations: **group commit** (writers park on a commit batch; the
+//! leader performs one `write` + one `sync_data` for the whole group)
+//! and **fsync-per-op** (every record is written and synced
+//! individually, the naive durable baseline). Same key/value shapes,
+//! same writer count, fresh store per configuration. Reported as
+//! acknowledged-durable puts/s, total fsyncs, and the measured mean
+//! commit-group size; results go to `BENCH_store.json` at the workspace
+//! root (override with `SYMBI_BENCH_OUT`, scale with
+//! `SYMBI_BENCH_SCALE`).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use symbi_bench::{banner, bench_scale};
+use symbi_core::analysis::report::Table;
+use symbi_store::{LogStore, StoreConfig};
+
+const WRITERS: usize = 8;
+
+struct Cell {
+    config: &'static str,
+    ops_per_sec: f64,
+    fsyncs: u64,
+    mean_group: f64,
+}
+
+/// Run `WRITERS` threads of `ops_per_writer` puts each against a fresh
+/// store and return the throughput cell.
+fn run_config(
+    dir: &std::path::Path,
+    group_commit: bool,
+    ops_per_writer: usize,
+    value: &[u8],
+) -> Cell {
+    let _ = std::fs::remove_dir_all(dir);
+    let config = StoreConfig::new(dir)
+        .with_group_commit(group_commit)
+        // Keep maintenance out of the measurement: the memtable stays
+        // far below the freeze threshold at bench sizes.
+        .with_memtable_flush_bytes(1 << 30);
+    let store = Arc::new(LogStore::open(config).expect("open bench store"));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let store = store.clone();
+            let value = value.to_vec();
+            std::thread::spawn(move || {
+                for i in 0..ops_per_writer {
+                    let key = format!("w{w}-k{i:08}");
+                    store.put(key.as_bytes(), &value).expect("durable put");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let wall = start.elapsed().as_secs_f64();
+    let stats = store.stats();
+    let total_ops = (WRITERS * ops_per_writer) as f64;
+    drop(store);
+    let _ = std::fs::remove_dir_all(dir);
+    Cell {
+        config: if group_commit {
+            "group_commit"
+        } else {
+            "fsync_per_op"
+        },
+        ops_per_sec: total_ops / wall,
+        fsyncs: stats.fsyncs,
+        mean_group: stats.mean_group_size(),
+    }
+}
+
+fn main() {
+    banner("group commit vs fsync-per-op (symbi-store WAL)");
+    let ops_per_writer = ((400.0 * bench_scale()) as usize).max(8);
+    let value = vec![0xA5u8; 256];
+    println!("{WRITERS} writers x {ops_per_writer} durable puts each, 256 B values\n");
+
+    let root = std::env::temp_dir().join(format!("symbi-bench-store-{}", std::process::id()));
+    let cells = [
+        run_config(&root.join("serial"), false, ops_per_writer, &value),
+        run_config(&root.join("group"), true, ops_per_writer, &value),
+    ];
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut t = Table::new(["config", "puts/s", "fsyncs", "mean group"]);
+    for c in &cells {
+        t.row(vec![
+            c.config.to_string(),
+            format!("{:.0}", c.ops_per_sec),
+            c.fsyncs.to_string(),
+            format!("{:.1}", c.mean_group),
+        ]);
+    }
+    println!("{}", t.render());
+
+    let serial = &cells[0];
+    let group = &cells[1];
+    let speedup = group.ops_per_sec / serial.ops_per_sec;
+    println!(
+        "group commit: {speedup:.1}x the fsync-per-op throughput at {WRITERS} writers \
+         ({:.0} vs {:.0} puts/s, {} vs {} fsyncs)",
+        group.ops_per_sec, serial.ops_per_sec, group.fsyncs, serial.fsyncs
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"kind\": \"bench_store\",\n");
+    json.push_str(&format!("  \"writers\": {WRITERS},\n"));
+    json.push_str(&format!("  \"ops_per_writer\": {ops_per_writer},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"config\": \"{}\", \"ops_per_sec\": {:.1}, \"fsyncs\": {}, \"mean_group\": {:.2}}}{}\n",
+            c.config,
+            c.ops_per_sec,
+            c.fsyncs,
+            c.mean_group,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"speedup\": {speedup:.2}\n"));
+    json.push_str("}\n");
+    let out = std::env::var("SYMBI_BENCH_OUT")
+        .unwrap_or_else(|_| format!("{}/../../BENCH_store.json", env!("CARGO_MANIFEST_DIR")));
+    match std::fs::write(&out, &json) {
+        Ok(()) => println!("wrote {out}"),
+        Err(e) => println!("could not write {out}: {e}"),
+    }
+
+    // The entire point of group commit: fewer fsyncs than records at
+    // concurrent writers, and strictly more throughput than the serial
+    // baseline. (The ISSUE-level >=5x bar is asserted on the committed
+    // full-scale BENCH_store.json by CI's schema check at >=2x smoke
+    // scale; filesystems with free fsyncs would make a hard 5x here
+    // flaky.)
+    assert!(
+        group.fsyncs < serial.fsyncs,
+        "group commit must amortize fsyncs ({} vs {})",
+        group.fsyncs,
+        serial.fsyncs
+    );
+    assert!(
+        group.mean_group > 1.0,
+        "concurrent writers must actually share commit groups (mean {:.2})",
+        group.mean_group
+    );
+    assert!(
+        speedup > 1.0,
+        "group commit must outrun fsync-per-op (got {speedup:.2}x)"
+    );
+}

@@ -14,7 +14,7 @@ use symbi_core::analysis::report::Table;
 use symbi_fabric::{Fabric, NetworkModel};
 use symbi_load::{run_open_loop, ScenarioSpec, SdskvTarget, WorkloadTarget};
 use symbi_margo::{MargoConfig, MargoInstance};
-use symbi_services::kv::{BackendKind, StorageCost};
+use symbi_services::kv::{BackendKind, BackendMode};
 use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
 
 /// Handler service time; with 2 execution streams the server saturates
@@ -31,7 +31,7 @@ fn launch(fabric: &Fabric) -> (MargoInstance, MargoInstance, SdskvTarget) {
         SdskvSpec {
             num_databases: DATABASES,
             backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            mode: BackendMode::simulated_free(),
             handler_cost: HANDLER,
             handler_cost_per_key: Duration::ZERO,
         },

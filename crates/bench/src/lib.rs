@@ -13,7 +13,7 @@ use symbi_fabric::{Fabric, NetworkModel};
 use symbi_margo::{MargoConfig, MargoInstance};
 use symbi_services::bake::{BakeProvider, BakeSpec};
 use symbi_services::hepnos::{run_data_loader, HepnosConfig, HepnosDeployment};
-use symbi_services::kv::{BackendKind, StorageCost};
+use symbi_services::kv::{BackendKind, BackendMode, StorageCost};
 use symbi_services::mobject::{MobjectProvider, REQUIRED_SDSKV_DBS};
 use symbi_services::sdskv::{SdskvProvider, SdskvSpec};
 
@@ -99,10 +99,10 @@ pub fn mobject_node(fabric: &Fabric, streams: usize) -> MargoInstance {
         SdskvSpec {
             num_databases: REQUIRED_SDSKV_DBS,
             backend: BackendKind::Map,
-            cost: StorageCost {
+            mode: BackendMode::Simulated(StorageCost {
                 per_op: std::time::Duration::from_micros(50),
                 per_key: std::time::Duration::from_micros(1),
-            },
+            }),
             handler_cost: std::time::Duration::ZERO,
             handler_cost_per_key: std::time::Duration::ZERO,
         },

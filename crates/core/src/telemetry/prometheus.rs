@@ -188,6 +188,37 @@ fn curated_help(name: &str) -> Option<&'static str> {
         "symbi_margo_pipeline_queued" => {
             "RPCs parked behind full pipeline windows, awaiting a slot."
         }
+        // The durable log-structured KV engine (symbi-store), aggregated
+        // over an SDSKV provider's databases.
+        "symbi_store_wal_records_total" => "Records appended to the write-ahead log.",
+        "symbi_store_wal_bytes_total" => "Framed bytes appended to the write-ahead log.",
+        "symbi_store_fsyncs_total" => "fsync calls issued by the WAL (commits and barriers).",
+        "symbi_store_group_commits_total" => {
+            "Commit groups flushed: one leader-performed write+fsync per group."
+        }
+        "symbi_store_group_committed_records_total" => {
+            "WAL records made durable through group commit."
+        }
+        "symbi_store_group_commit_mean" => {
+            "Mean records per commit group (the fsync amortization factor)."
+        }
+        "symbi_store_flush_barriers_total" => {
+            "Explicit durability barriers (WorkloadTarget::flush / sdskv_flush_rpc)."
+        }
+        "symbi_store_memtable_flushes_total" => {
+            "Memtable freezes into immutable sorted segment files."
+        }
+        "symbi_store_compactions_total" => "Segment compaction passes completed.",
+        "symbi_store_compaction_ms_total" => "Wall time spent compacting segments, ms.",
+        "symbi_store_recoveries_total" => "Crash recoveries run at store open.",
+        "symbi_store_recovery_ms" => "Wall time of the most expensive recovery replay, ms.",
+        "symbi_store_replayed_records_total" => "WAL records replayed during crash recovery.",
+        "symbi_store_torn_tail_truncations_total" => {
+            "Torn WAL tails truncated during replay (expected after SIGKILL, never fatal)."
+        }
+        "symbi_store_memtable_keys" => "Keys currently buffered in the memtable.",
+        "symbi_store_memtable_bytes" => "Approximate memtable payload bytes (freeze trigger).",
+        "symbi_store_segments" => "Immutable sorted segment files on disk (compaction trigger).",
         _ => return None,
     })
 }
@@ -455,6 +486,8 @@ mod tests {
                 MetricPoint::counter("symbi_margo_control_actions_total", 2)
                     .with_label("action", "resize_lanes"),
             ),
+            plain(MetricPoint::counter("symbi_store_fsyncs_total", 7)),
+            plain(MetricPoint::gauge("symbi_store_group_commit_mean", 5.5)),
             plain(MetricPoint::gauge("symbi_unheard_of", 1.0)),
         ]));
         assert!(
@@ -469,6 +502,16 @@ mod tests {
         assert!(text.contains(
             "# HELP symbi_margo_control_actions_total Control-loop reactions \
              applied at runtime, per action kind.\n"
+        ));
+        // Durable-store families are curated too.
+        assert!(text.contains(
+            "# HELP symbi_store_fsyncs_total fsync calls issued by the WAL \
+             (commits and barriers).\n"
+        ));
+        assert!(text.contains("# TYPE symbi_store_fsyncs_total counter\n"));
+        assert!(text.contains(
+            "# HELP symbi_store_group_commit_mean Mean records per commit group \
+             (the fsync amortization factor).\n"
         ));
         // Unknown families keep the derived fallback.
         assert!(text.contains("# HELP symbi_unheard_of symbi unheard of (symbiosys telemetry)\n"));

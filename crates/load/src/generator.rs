@@ -248,8 +248,13 @@ pub fn run_open_loop(target: &dyn WorkloadTarget, spec: &ScenarioSpec) -> LoadSu
         merged.scans += w.scans;
         merged.last_completion_ns = merged.last_completion_ns.max(w.last_completion_ns);
     }
-    if target.flush().is_err() {
-        merged.errors += 1;
+    // Final durability barrier: batched targets drain, durable targets
+    // prove everything acked is fsynced. A shedding admission gate
+    // refuses the barrier exactly like it refused the ops it would have
+    // covered — that is load shedding, not a durability failure.
+    match target.flush() {
+        Ok(()) | Err(MargoError::Remote(RpcStatus::Overloaded)) => {}
+        Err(_) => merged.errors += 1,
     }
 
     let duration_s = (merged.last_completion_ns.max(1)) as f64 / 1e9;

@@ -81,6 +81,31 @@ pub fn adaptive_arm(spec: ScenarioSpec) -> ScenarioSpec {
     spec
 }
 
+/// The durability drill: a write-heavy mix against the real `ldb-disk`
+/// engine (WAL + group commit; no simulated handler cost — the service
+/// time is genuine fsync work), with a blackout storm over the middle of
+/// the horizon so recovery and retry behaviour both get exercised. Pair
+/// with `Deployment::kill_server` for the full kill-and-replay recipe in
+/// EXPERIMENTS.md.
+pub fn durability(rate_hz: f64, horizon: Duration) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::named("durability")
+        .with_rate_hz(rate_hz)
+        .with_duration(horizon)
+        .with_mix(80, 15, 5)
+        .with_backend("ldb-disk");
+    spec.handler_cost_us = 0;
+    spec.handler_cost_per_key_us = 0;
+    let horizon_ms = spec.duration_ms.max(4);
+    let seed = spec.seed;
+    spec.with_fault(FaultScript {
+        seed,
+        blackouts: 2,
+        first_ms: horizon_ms / 4,
+        period_ms: (horizon_ms / 4).max(1),
+        blackout_ms: 100,
+    })
+}
+
 /// A scan-heavy mix useful for multi-key handler-cost scenarios.
 pub fn scan_heavy(rate_hz: f64) -> ScenarioSpec {
     let mut spec = ScenarioSpec::named("scan-heavy")
@@ -102,6 +127,7 @@ mod tests {
             starvation(900.0),
             rdma_crossing(500.0, Duration::from_secs(2)),
             blackout_storm(800.0, Duration::from_secs(2), 3),
+            durability(600.0, Duration::from_secs(2)),
             scan_heavy(400.0),
         ] {
             assert!(spec.mix.total() > 0, "{}: degenerate mix", spec.name);
@@ -127,6 +153,15 @@ mod tests {
         assert_eq!(fault.blackouts, 4);
         let last_start = fault.first_ms + (fault.blackouts as u64 - 1) * fault.period_ms;
         assert!(last_start + fault.blackout_ms <= spec.duration_ms);
+    }
+
+    #[test]
+    fn durability_preset_targets_the_real_engine() {
+        let spec = durability(600.0, Duration::from_secs(2));
+        assert_eq!(spec.backend, "ldb-disk");
+        assert!(spec.mix.put > spec.mix.get, "write-heavy by design");
+        assert_eq!(spec.handler_cost_us, 0, "service time is real fsync work");
+        assert!(spec.fault.is_some());
     }
 
     #[test]

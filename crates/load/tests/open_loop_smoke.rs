@@ -7,14 +7,14 @@ use symbi_fabric::{Fabric, NetworkModel};
 use symbi_load::{run_open_loop, scenarios, summary_from_json, summary_to_json, ScenarioSpec};
 use symbi_load::{RoutedTarget, SdskvTarget, WorkloadTarget};
 use symbi_margo::{MargoConfig, MargoInstance};
-use symbi_services::kv::{BackendKind, StorageCost};
+use symbi_services::kv::{BackendKind, BackendMode};
 use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
 
 fn quick_spec() -> SdskvSpec {
     SdskvSpec {
         num_databases: 4,
         backend: BackendKind::Map,
-        cost: StorageCost::free(),
+        mode: BackendMode::simulated_free(),
         handler_cost: Duration::ZERO,
         handler_cost_per_key: Duration::ZERO,
     }

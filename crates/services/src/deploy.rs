@@ -31,6 +31,7 @@
 //! | `SYMBI_ADAPTIVE` | `1`: servers attach the online control loop. |
 //! | `SYMBI_SCENARIO` | JSON [`crate::scenario::ScenarioSpec`], if set. |
 //! | `SYMBI_OBS_COLLECTOR` | Cluster collector URL to stream telemetry to. |
+//! | `SYMBI_STORE_DIR` | Root directory for durable `ldb-disk` stores; scenario server *i* uses `$SYMBI_STORE_DIR/server-i`. Pass via [`DeployManifest::extra_env`]; survives restarts, so relaunching against the same directory runs crash recovery. |
 //!
 //! With [`DeployManifest::with_collector`] the launcher spawns one extra
 //! `collector` process *before* the servers, reads its ready file (line

@@ -5,7 +5,7 @@
 
 use super::HepnosConfig;
 use crate::bake::{BakeProvider, BakeSpec};
-use crate::kv::BackendKind;
+use crate::kv::{BackendKind, BackendMode};
 use crate::sdskv::{SdskvProvider, SdskvSpec};
 use std::sync::Arc;
 use symbi_core::{ProfileRow, TraceEvent};
@@ -51,7 +51,7 @@ impl HepnosDeployment {
                     SdskvSpec {
                         num_databases: config.databases,
                         backend: BackendKind::Map,
-                        cost: config.cost,
+                        mode: BackendMode::Simulated(config.cost),
                         handler_cost: config.handler_cost,
                         handler_cost_per_key: config.handler_cost_per_key,
                     },

@@ -128,7 +128,7 @@ pub fn run_ior(fabric: &Fabric, mobject_addr: Addr, cfg: &IorConfig) -> IorRun {
 mod tests {
     use super::*;
     use crate::bake::{BakeProvider, BakeSpec};
-    use crate::kv::{BackendKind, StorageCost};
+    use crate::kv::{BackendKind, BackendMode};
     use crate::mobject::{MobjectProvider, REQUIRED_SDSKV_DBS, WRITE_OP_SUBCALLS};
     use crate::sdskv::{SdskvProvider, SdskvSpec};
     use symbi_fabric::NetworkModel;
@@ -142,7 +142,7 @@ mod tests {
             SdskvSpec {
                 num_databases: REQUIRED_SDSKV_DBS,
                 backend: BackendKind::Map,
-                cost: StorageCost::free(),
+                mode: BackendMode::simulated_free(),
                 handler_cost: std::time::Duration::ZERO,
                 handler_cost_per_key: std::time::Duration::ZERO,
             },

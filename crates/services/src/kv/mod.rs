@@ -7,19 +7,26 @@
 //! and `bdb` (BerkeleyDB-like) stand-ins are provided for completeness
 //! and for ablation benchmarks.
 //!
-//! All backends charge a configurable **storage cost** per operation
-//! (base + per-key), slept while holding whatever lock the backend
-//! actually holds. On a single-core harness this is what makes backend
-//! parallelism (or its absence) observable.
+//! The simulated backends charge a configurable **storage cost** per
+//! operation (base + per-key), slept while holding whatever lock the
+//! backend actually holds. On a single-core harness this is what makes
+//! backend parallelism (or its absence) observable. The `ldb-disk`
+//! backend ([`StoreBackend`]) replaces the nap with a real durable
+//! engine (`symbi-store`: WAL + group commit + compaction + recovery);
+//! choose between the two worlds with [`BackendMode`].
 
 mod btree_backend;
 mod lsm_backend;
 mod map_backend;
+mod store_backend;
 
 pub use btree_backend::BTreeBackend;
 pub use lsm_backend::LsmBackend;
 pub use map_backend::MapBackend;
+pub use store_backend::StoreBackend;
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -57,10 +64,58 @@ impl StorageCost {
         self.per_op + self.per_key * keys as u32
     }
 
+    /// Sleep-simulate the storage work for `keys` keys.
+    ///
+    /// This is the legacy simulation path: new scenarios should run real
+    /// I/O through [`BackendMode::Durable`] and the `ldb-disk` backend,
+    /// keeping the nap as an explicit opt-in via
+    /// [`BackendMode::Simulated`]. Only the simulated backends may call
+    /// this (each call site carries an `#[allow(deprecated)]`).
+    #[deprecated(
+        note = "sleep-simulated storage; prefer BackendMode::Durable with the ldb-disk backend"
+    )]
     pub(crate) fn charge(&self, keys: usize) {
         let d = self.of(keys);
         if !d.is_zero() {
             std::thread::sleep(d);
+        }
+    }
+}
+
+/// Whether a database runs against simulated storage latency or the real
+/// durable engine — the explicit opt-in demanded by the migration away
+/// from sleep-simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendMode {
+    /// Sleep-simulated storage cost (the legacy world; the backend
+    /// charges `StorageCost::charge` per op). Ignored by `ldb-disk`.
+    Simulated(StorageCost),
+    /// Real durable storage rooted at this directory (only meaningful for
+    /// [`BackendKind::LdbDisk`]; the simulated kinds fall back to a free
+    /// cost model since they have nothing to persist).
+    Durable(PathBuf),
+}
+
+impl BackendMode {
+    /// Simulated mode with a zero cost model — the default for tests.
+    pub fn simulated_free() -> Self {
+        BackendMode::Simulated(StorageCost::free())
+    }
+
+    /// The cost model a *simulated* backend should charge under this mode.
+    pub fn cost(&self) -> StorageCost {
+        match self {
+            BackendMode::Simulated(cost) => *cost,
+            BackendMode::Durable(_) => StorageCost::free(),
+        }
+    }
+
+    /// Per-database mode: durable databases get their own subdirectory so
+    /// one provider's databases never share a WAL.
+    pub fn for_database(&self, idx: usize) -> BackendMode {
+        match self {
+            BackendMode::Durable(dir) => BackendMode::Durable(dir.join(format!("db-{idx}"))),
+            sim => sim.clone(),
         }
     }
 }
@@ -74,15 +129,54 @@ pub enum BackendKind {
     Ldb,
     /// BerkeleyDB-like B-tree behind a readers-writer lock.
     Bdb,
+    /// symbi-store: real durable log-structured engine on disk (WAL with
+    /// group commit, memtable + segments, compaction, crash recovery).
+    LdbDisk,
 }
 
+static EPHEMERAL_STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
 impl BackendKind {
-    /// Instantiate the backend with the given storage cost.
+    /// Instantiate the backend with the given *simulated* storage cost.
+    ///
+    /// Legacy entry point for the sleep-simulated world: equivalent to
+    /// `build_with(&BackendMode::Simulated(cost), None)`. An `LdbDisk`
+    /// backend built this way lands in a throwaway temp directory (it has
+    /// no configured home), so prefer [`BackendKind::build_with`] with
+    /// [`BackendMode::Durable`] anywhere durability matters.
     pub fn build(self, cost: StorageCost) -> Arc<dyn KvBackend> {
+        self.build_with(&BackendMode::Simulated(cost), None)
+    }
+
+    /// Instantiate the backend under an explicit [`BackendMode`], with an
+    /// optional span sink for durability-interval attribution (only the
+    /// `ldb-disk` backend reports spans).
+    ///
+    /// Panics if the durable engine cannot open its directory — a server
+    /// that cannot recover its own store must fail loudly, not serve an
+    /// empty database.
+    pub fn build_with(
+        self,
+        mode: &BackendMode,
+        sink: Option<symbi_store::SpanSink>,
+    ) -> Arc<dyn KvBackend> {
         match self {
-            BackendKind::Map => Arc::new(MapBackend::new(cost)),
-            BackendKind::Ldb => Arc::new(LsmBackend::new(cost, 8)),
-            BackendKind::Bdb => Arc::new(BTreeBackend::new(cost)),
+            BackendKind::Map => Arc::new(MapBackend::new(mode.cost())),
+            BackendKind::Ldb => Arc::new(LsmBackend::new(mode.cost(), 8)),
+            BackendKind::Bdb => Arc::new(BTreeBackend::new(mode.cost())),
+            BackendKind::LdbDisk => {
+                let dir = match mode {
+                    BackendMode::Durable(dir) => dir.clone(),
+                    BackendMode::Simulated(_) => std::env::temp_dir().join(format!(
+                        "symbi-store-ephemeral-{}-{}",
+                        std::process::id(),
+                        EPHEMERAL_STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+                    )),
+                };
+                let backend = StoreBackend::open(&dir, sink)
+                    .unwrap_or_else(|e| panic!("symbi-store open {}: {e}", dir.display()));
+                Arc::new(backend)
+            }
         }
     }
 
@@ -92,6 +186,7 @@ impl BackendKind {
             "map" => Some(BackendKind::Map),
             "ldb" | "leveldb" => Some(BackendKind::Ldb),
             "bdb" | "berkeleydb" => Some(BackendKind::Bdb),
+            "ldb-disk" | "store" => Some(BackendKind::LdbDisk),
             _ => None,
         }
     }
@@ -119,6 +214,16 @@ pub trait KvBackend: Send + Sync {
     fn list_keyvals(&self, start: &[u8], max: usize) -> Vec<(Vec<u8>, Vec<u8>)>;
     /// Whether concurrent `put` operations can proceed in parallel.
     fn supports_concurrent_writes(&self) -> bool;
+    /// Durability barrier: make every acknowledged write durable (a group
+    /// commit fsync on the `ldb-disk` backend). No-op for the in-memory
+    /// simulated backends, which have nothing to make durable.
+    fn flush(&self) {}
+    /// Engine counters, if this backend is a durable symbi-store; the
+    /// provider aggregates these into the `symbi_store_*` telemetry
+    /// families.
+    fn store_stats(&self) -> Option<symbi_store::StatsSnapshot> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +308,7 @@ mod tests {
         assert_eq!(BackendKind::parse("map"), Some(BackendKind::Map));
         assert_eq!(BackendKind::parse("leveldb"), Some(BackendKind::Ldb));
         assert_eq!(BackendKind::parse("bdb"), Some(BackendKind::Bdb));
+        assert_eq!(BackendKind::parse("ldb-disk"), Some(BackendKind::LdbDisk));
         assert_eq!(BackendKind::parse("rocksdb"), None);
     }
 
@@ -211,6 +317,12 @@ mod tests {
         assert_eq!(BackendKind::Map.build(StorageCost::free()).kind(), "map");
         assert_eq!(BackendKind::Ldb.build(StorageCost::free()).kind(), "ldb");
         assert_eq!(BackendKind::Bdb.build(StorageCost::free()).kind(), "bdb");
+        // LdbDisk under Simulated mode lands in a throwaway temp dir —
+        // lenient by design so ablation benches can instantiate all kinds.
+        assert_eq!(
+            BackendKind::LdbDisk.build(StorageCost::free()).kind(),
+            "ldb-disk"
+        );
     }
 
     #[test]
@@ -221,5 +333,29 @@ mod tests {
         assert!(BackendKind::Ldb
             .build(StorageCost::free())
             .supports_concurrent_writes());
+        assert!(BackendKind::LdbDisk
+            .build(StorageCost::free())
+            .supports_concurrent_writes());
+    }
+
+    #[test]
+    fn backend_mode_cost_and_per_database_split() {
+        let sim = BackendMode::Simulated(StorageCost::default_experiment());
+        assert_eq!(sim.cost(), StorageCost::default_experiment());
+        assert_eq!(sim.for_database(3), sim);
+        let durable = BackendMode::Durable(PathBuf::from("/data/store"));
+        assert_eq!(durable.cost(), StorageCost::free());
+        assert_eq!(
+            durable.for_database(2),
+            BackendMode::Durable(PathBuf::from("/data/store/db-2"))
+        );
+    }
+
+    #[test]
+    fn simulated_backends_ignore_flush_and_report_no_store_stats() {
+        let b = BackendKind::Map.build(StorageCost::free());
+        b.put(b"k".to_vec(), b"v".to_vec());
+        b.flush(); // must be a harmless no-op
+        assert!(b.store_stats().is_none());
     }
 }

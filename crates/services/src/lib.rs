@@ -42,4 +42,5 @@ pub mod mobject;
 pub mod scenario;
 pub mod sdskv;
 pub mod sonata;
+mod store_spans;
 pub mod workload;

@@ -230,7 +230,7 @@ impl MobjectClient {
 mod tests {
     use super::*;
     use crate::bake::{BakeProvider, BakeSpec};
-    use crate::kv::{BackendKind, StorageCost};
+    use crate::kv::{BackendKind, BackendMode};
     use crate::sdskv::{SdskvProvider, SdskvSpec};
     use symbi_core::{Side, TraceEventKind};
     use symbi_fabric::{Fabric, NetworkModel};
@@ -250,7 +250,7 @@ mod tests {
             SdskvSpec {
                 num_databases: REQUIRED_SDSKV_DBS,
                 backend: BackendKind::Map,
-                cost: StorageCost::free(),
+                mode: BackendMode::simulated_free(),
                 handler_cost: std::time::Duration::ZERO,
                 handler_cost_per_key: std::time::Duration::ZERO,
             },

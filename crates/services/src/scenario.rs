@@ -150,6 +150,11 @@ pub struct ScenarioSpec {
     pub server_threads: u32,
     /// SDSKV databases per scenario server.
     pub databases: u32,
+    /// SDSKV backend name for scenario servers (`map`, `ldb`, `bdb`, or
+    /// `ldb-disk` — see [`crate::kv::BackendKind::parse`]). The `ldb-disk`
+    /// backend runs each server against a real durable store rooted at
+    /// `SYMBI_STORE_DIR`.
+    pub backend: String,
     /// Simulated per-RPC handler service time, µs (ES-limited).
     pub handler_cost_us: u64,
     /// Additional handler time per key in packed/list operations, µs.
@@ -192,6 +197,7 @@ impl Default for ScenarioSpec {
             scan_span: 16,
             server_threads: 2,
             databases: 4,
+            backend: "map".into(),
             handler_cost_us: 400,
             handler_cost_per_key_us: 0,
             adaptive: AdaptiveSpec::default(),
@@ -288,6 +294,14 @@ impl ScenarioSpec {
         self
     }
 
+    /// Replace the SDSKV backend scenario servers build their databases
+    /// on (`map` / `ldb` / `bdb` / `ldb-disk`).
+    #[must_use]
+    pub fn with_backend(mut self, backend: impl Into<String>) -> Self {
+        self.backend = backend.into();
+        self
+    }
+
     /// Number of arrivals in the offered schedule (rate × horizon,
     /// at least 1).
     pub fn total_ops(&self) -> u64 {
@@ -362,8 +376,14 @@ impl ScenarioSpec {
         );
         let _ = write!(
             out,
-            ",\"server_threads\":{},\"databases\":{},\"handler_cost_us\":{},\"handler_cost_per_key_us\":{}",
-            self.server_threads, self.databases, self.handler_cost_us, self.handler_cost_per_key_us
+            ",\"server_threads\":{},\"databases\":{},\"backend\":",
+            self.server_threads, self.databases
+        );
+        push_json_str(&mut out, &self.backend);
+        let _ = write!(
+            out,
+            ",\"handler_cost_us\":{},\"handler_cost_per_key_us\":{}",
+            self.handler_cost_us, self.handler_cost_per_key_us
         );
         let _ = write!(
             out,
@@ -448,6 +468,13 @@ impl ScenarioSpec {
             scan_span: u("scan_span")? as u32,
             server_threads: u("server_threads")? as u32,
             databases: u("databases")? as u32,
+            // Optional with a default so specs emitted before the durable
+            // backend existed still parse (the fault_seed precedent).
+            backend: v
+                .get("backend")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("map")
+                .to_string(),
             handler_cost_us: u("handler_cost_us")?,
             handler_cost_per_key_us: u("handler_cost_per_key_us")?,
             adaptive: AdaptiveSpec {
@@ -554,6 +581,7 @@ mod tests {
             .with_virtual_clients(17)
             .with_seed(0xDEADBEEF)
             .with_server_shape(3, 9, Duration::from_micros(123))
+            .with_backend("ldb-disk")
             .with_adaptive(AdaptiveSpec {
                 enabled: true,
                 cooldown_ms: 33,
@@ -574,6 +602,17 @@ mod tests {
         // And a faultless Poisson spec too.
         let plain = ScenarioSpec::default();
         assert_eq!(ScenarioSpec::from_json(&plain.to_json()).unwrap(), plain);
+    }
+
+    #[test]
+    fn backend_is_optional_with_map_default() {
+        // A spec emitted before the backend field existed still parses.
+        let json = ScenarioSpec::default().to_json();
+        let stripped = json.replace(",\"backend\":\"map\"", "");
+        assert_ne!(stripped, json, "test must actually strip the field");
+        let back = ScenarioSpec::from_json(&stripped).expect("legacy spec parses");
+        assert_eq!(back.backend, "map");
+        assert_eq!(back, ScenarioSpec::default());
     }
 
     #[test]

@@ -8,26 +8,30 @@
 //! content through Mercury's bulk interface, exactly as described in
 //! §V-C1.
 
-use crate::kv::{BackendKind, KvBackend, StorageCost};
+use crate::kv::{BackendKind, BackendMode, KvBackend};
 use bytes::Bytes;
 use std::sync::Arc;
+use symbi_core::telemetry::MetricPoint;
 use symbi_fabric::Addr;
 use symbi_margo::{AsyncRpc, MargoError, MargoInstance, RpcOptions};
 use symbi_mercury::{CodecError, Decoder, Encoder, RdmaRef, Wire};
+use symbi_store::StatsSnapshot;
 
 /// Key/value pairs as moved by packed puts and range listings.
 pub type KvPairs = Vec<(Vec<u8>, Vec<u8>)>;
 
 /// Configuration of an SDSKV provider.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct SdskvSpec {
     /// Number of databases hosted by the provider.
     pub num_databases: usize,
     /// Backend implementation for every database.
     pub backend: BackendKind,
-    /// Simulated storage cost, charged while holding the backend lock
-    /// (the map backend's serial insertion).
-    pub cost: StorageCost,
+    /// Storage mode for every database: sleep-simulated cost (charged
+    /// while holding the backend lock — the map backend's serial
+    /// insertion) or a real durable store directory. Durable databases
+    /// get per-database subdirectories via [`BackendMode::for_database`].
+    pub mode: BackendMode,
     /// Simulated per-RPC handler work charged *outside* any lock
     /// (request validation, buffer handling, allocation) — this part
     /// scales with the number of execution streams, which is what makes
@@ -42,7 +46,7 @@ impl Default for SdskvSpec {
         SdskvSpec {
             num_databases: 1,
             backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            mode: BackendMode::simulated_free(),
             handler_cost: std::time::Duration::ZERO,
             handler_cost_per_key: std::time::Duration::ZERO,
         }
@@ -197,6 +201,77 @@ fn charge_handler_cost(work: std::time::Duration, salt: &[u8]) {
     std::thread::sleep(work.mul_f64(factor));
 }
 
+/// Emit the `symbi_store_*` PVAR families from an aggregated snapshot.
+/// One place defines the family set; the Prometheus curated help and the
+/// docs in DESIGN.md §19 list the same names.
+fn emit_store_metrics(s: &StatsSnapshot, out: &mut Vec<MetricPoint>) {
+    out.push(MetricPoint::counter(
+        "symbi_store_wal_records_total",
+        s.wal_records,
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_store_wal_bytes_total",
+        s.wal_bytes,
+    ));
+    out.push(MetricPoint::counter("symbi_store_fsyncs_total", s.fsyncs));
+    out.push(MetricPoint::counter(
+        "symbi_store_group_commits_total",
+        s.group_commits,
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_store_group_committed_records_total",
+        s.group_committed_records,
+    ));
+    out.push(MetricPoint::gauge(
+        "symbi_store_group_commit_mean",
+        s.mean_group_size(),
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_store_flush_barriers_total",
+        s.flush_barriers,
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_store_memtable_flushes_total",
+        s.memtable_flushes,
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_store_compactions_total",
+        s.compactions,
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_store_compaction_ms_total",
+        s.compaction_ms,
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_store_recoveries_total",
+        s.recoveries,
+    ));
+    out.push(MetricPoint::gauge(
+        "symbi_store_recovery_ms",
+        s.recovery_ms as f64,
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_store_replayed_records_total",
+        s.replayed_records,
+    ));
+    out.push(MetricPoint::counter(
+        "symbi_store_torn_tail_truncations_total",
+        s.torn_tail_truncations,
+    ));
+    out.push(MetricPoint::gauge(
+        "symbi_store_memtable_keys",
+        s.memtable_keys as f64,
+    ));
+    out.push(MetricPoint::gauge(
+        "symbi_store_memtable_bytes",
+        s.memtable_bytes as f64,
+    ));
+    out.push(MetricPoint::gauge(
+        "symbi_store_segments",
+        s.segments as f64,
+    ));
+}
+
 impl SdskvProvider {
     /// Build the provider and register its RPCs on a Margo server, with
     /// handlers running in the server's primary pool.
@@ -213,11 +288,30 @@ impl SdskvProvider {
         spec: SdskvSpec,
         pool: &symbi_tasking::Pool,
     ) -> Arc<SdskvProvider> {
+        // Durable databases attribute their WAL/fsync/compaction/recovery
+        // intervals as spans on this server's tracer.
+        let sink = crate::store_spans::store_span_sink(margo);
         let provider = Arc::new(SdskvProvider {
             databases: (0..spec.num_databases.max(1))
-                .map(|_| spec.backend.build(spec.cost))
+                .map(|i| {
+                    spec.backend
+                        .build_with(&spec.mode.for_database(i), Some(sink.clone()))
+                })
                 .collect(),
         });
+
+        if provider.databases.iter().any(|d| d.store_stats().is_some()) {
+            let p = provider.clone();
+            margo.telemetry().register_source("store", move |out| {
+                let mut agg = StatsSnapshot::default();
+                for db in &p.databases {
+                    if let Some(s) = db.store_stats() {
+                        agg.merge(&s);
+                    }
+                }
+                emit_store_metrics(&agg, out);
+            });
+        }
 
         let p = provider.clone();
         let cost = spec.handler_cost;
@@ -250,6 +344,13 @@ impl SdskvProvider {
         margo.register_fn_in_pool("sdskv_length_rpc", pool, move |_m, db: u32| {
             let db = p.database(db)?;
             Ok::<u64, String>(db.len() as u64)
+        });
+
+        let p = provider.clone();
+        margo.register_fn_in_pool("sdskv_flush_rpc", pool, move |_m, db: u32| {
+            let db = p.database(db)?;
+            db.flush();
+            Ok::<u32, String>(1)
         });
 
         let p = provider.clone();
@@ -420,6 +521,17 @@ impl SdskvClient {
             .forward_with(self.addr, "sdskv_length_rpc", &db, self.options.clone())
     }
 
+    /// Durability barrier on one database: on the `ldb-disk` backend this
+    /// joins a group commit and returns only after everything previously
+    /// acknowledged is fsync-durable. Simulated backends treat it as a
+    /// no-op (they have nothing to persist).
+    pub fn flush(&self, db: u32) -> Result<(), MargoError> {
+        let _: u32 =
+            self.margo
+                .forward_with(self.addr, "sdskv_flush_rpc", &db, self.options.clone())?;
+        Ok(())
+    }
+
     /// List up to `max` pairs with keys ≥ `start`.
     pub fn list_keyvals(&self, db: u32, start: &[u8], max: u32) -> Result<KvPairs, MargoError> {
         self.margo.forward_with(
@@ -569,6 +681,75 @@ mod tests {
             assert_eq!(p.wait().unwrap(), 50);
         }
         assert_eq!(provider.total_len(), 200);
+        cm.finalize();
+        server.finalize();
+    }
+
+    #[test]
+    fn durable_backend_flush_rpc_and_store_telemetry() {
+        let dir = std::env::temp_dir().join(format!(
+            "symbi-sdskv-durable-{}-{}",
+            std::process::id(),
+            symbi_core::now_ns()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (server, cm, provider, client) = setup(SdskvSpec {
+            num_databases: 2,
+            backend: BackendKind::LdbDisk,
+            mode: BackendMode::Durable(dir.clone()),
+            ..SdskvSpec::default()
+        });
+        client.put(0, b"k".to_vec(), b"v".to_vec()).unwrap();
+        client.flush(0).unwrap();
+        let stats = provider.db(0).unwrap().store_stats().unwrap();
+        assert!(stats.flush_barriers >= 1, "flush RPC must reach the WAL");
+        assert!(stats.fsyncs >= 1);
+        // The databases live in per-index subdirectories of the store dir.
+        assert!(dir.join("db-0").is_dir());
+        assert!(dir.join("db-1").is_dir());
+        // The provider registered a "store" telemetry source aggregating
+        // the symbi_store_* families across its databases.
+        assert!(server
+            .telemetry()
+            .source_names()
+            .iter()
+            .any(|n| n == "store"));
+        let snap = server.telemetry().sample();
+        for family in [
+            "symbi_store_wal_records_total",
+            "symbi_store_fsyncs_total",
+            "symbi_store_flush_barriers_total",
+            "symbi_store_group_commit_mean",
+            "symbi_store_segments",
+        ] {
+            assert!(snap.find(family, &[]).is_some(), "missing family {family}");
+        }
+        match snap
+            .find("symbi_store_wal_records_total", &[])
+            .unwrap()
+            .point
+            .value
+        {
+            symbi_core::telemetry::MetricValue::Counter(n) => assert!(n >= 1),
+            ref v => panic!("wal_records should be a counter, got {v:?}"),
+        }
+        cm.finalize();
+        server.finalize();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn simulated_backend_flush_is_accepted_and_harmless() {
+        let (server, cm, _p, client) = setup(SdskvSpec::default());
+        client.put(0, b"k".to_vec(), b"v".to_vec()).unwrap();
+        client.flush(0).unwrap();
+        assert_eq!(client.get(0, b"k").unwrap(), Some(b"v".to_vec()));
+        // No durable database -> no "store" telemetry source.
+        assert!(!server
+            .telemetry()
+            .source_names()
+            .iter()
+            .any(|n| n == "store"));
         cm.finalize();
         server.finalize();
     }

@@ -1,0 +1,115 @@
+//! Span attribution for symbi-store durability intervals.
+//!
+//! `symbi-store` sits below the measurement stack (it knows nothing about
+//! tracers), so it reports `(op, duration)` pairs through a [`SpanSink`].
+//! This module turns each report into a `TargetUltStart` / `TargetRespond`
+//! event pair on the embedding process's tracer — the same shape a nested
+//! RPC hop produces — so `symbi-analyze` builds the interval into the
+//! merged span graph and critical paths show where durability costs land.
+//!
+//! Two situations arise:
+//!
+//! * **In-handler intervals** (WAL append, fsync of a group commit): the
+//!   sink fires on the handler ULT, where the request's ULT-local context
+//!   is live. The store span becomes a *child* of the handler's span
+//!   (`parent_span = current_span()`), in the request's trace tree.
+//! * **Background intervals** (compaction on the maintenance thread,
+//!   recovery at startup): there is no request context, so the span has
+//!   `parent_span = 0` and `request_id = 0` and surfaces as its own root
+//!   tree whose callpath leaf names the operation (`store_recovery`,
+//!   `store_compaction`).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use symbi_core::{now_ns, Callpath, EventSamples, TraceEvent, TraceEventKind};
+use symbi_margo::{keys, MargoInstance};
+use symbi_store::{SpanSink, StoreOp};
+
+/// Build the sink an SDSKV provider installs into its durable databases.
+pub(crate) fn store_span_sink(margo: &MargoInstance) -> SpanSink {
+    let sys = margo.symbiosys().clone();
+    Arc::new(move |op: StoreOp, dur: Duration| {
+        let end_ns = now_ns();
+        let start_ns = end_ns.saturating_sub(dur.as_nanos() as u64);
+        let span = sys.next_span_id();
+        let parent_span = keys::current_span();
+        let request_id = keys::current_request_id().unwrap_or(0);
+        let hop = keys::current_hop().saturating_add(1);
+        let base = keys::current_callpath();
+        let callpath = if base.is_empty() {
+            Callpath::root(op.label())
+        } else {
+            base.push(op.label())
+        };
+        let entity = sys.entity();
+
+        sys.tracer().record(TraceEvent {
+            request_id,
+            order: keys::next_order(),
+            span,
+            parent_span,
+            hop,
+            lamport: sys.lamport().tick(),
+            wall_ns: start_ns,
+            kind: TraceEventKind::TargetUltStart,
+            entity,
+            callpath,
+            samples: EventSamples::default(),
+        });
+        let samples = EventSamples {
+            target_execution_ns: Some(dur.as_nanos() as u64),
+            ..EventSamples::default()
+        };
+        sys.tracer().record(TraceEvent {
+            request_id,
+            order: keys::next_order(),
+            span,
+            parent_span,
+            hop,
+            lamport: sys.lamport().tick(),
+            wall_ns: end_ns,
+            kind: TraceEventKind::TargetRespond,
+            entity,
+            callpath,
+            samples,
+        });
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symbi_fabric::{Fabric, NetworkModel};
+    use symbi_margo::MargoConfig;
+
+    #[test]
+    fn sink_records_a_paired_target_span_per_interval() {
+        let f = Fabric::new(NetworkModel::instant());
+        let server = MargoInstance::new(f, MargoConfig::server("store-span", 1));
+        let sink = store_span_sink(&server);
+        sink(StoreOp::Recovery, Duration::from_millis(3));
+        let events = server.symbiosys().tracer().drain();
+        let starts: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::TargetUltStart)
+            .collect();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == TraceEventKind::TargetRespond)
+            .collect();
+        assert_eq!(starts.len(), 1);
+        assert_eq!(ends.len(), 1);
+        let (s, e) = (starts[0], ends[0]);
+        assert_eq!(s.span, e.span);
+        assert_ne!(s.span, 0);
+        assert_eq!(s.parent_span, 0, "background interval is a root span");
+        assert_eq!(
+            s.callpath.leaf(),
+            symbi_core::callpath::hash16("store_recovery")
+        );
+        assert!(e.wall_ns >= s.wall_ns + 2_000_000);
+        assert_eq!(e.samples.target_execution_ns, Some(3_000_000));
+        server.finalize();
+    }
+}

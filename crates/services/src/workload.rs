@@ -104,6 +104,18 @@ impl WorkloadTarget for SdskvTarget {
             .list_keyvals(self.db_of(start), start, max as u32)?;
         Ok(pairs.len())
     }
+
+    /// Durability barrier on every database this target spreads keys
+    /// over. Against the `ldb-disk` backend each call joins a group
+    /// commit and returns only once previously acked writes are
+    /// fsync-durable; simulated backends accept it as a no-op. (This
+    /// used to silently do nothing even on durable backends.)
+    fn flush(&self) -> Result<(), MargoError> {
+        for db in 0..self.databases {
+            self.client.flush(db)?;
+        }
+        Ok(())
+    }
 }
 
 /// BAKE as a workload target. BAKE addresses regions, not keys, so the
@@ -314,7 +326,7 @@ mod tests {
     use super::*;
     use crate::bake::{BakeProvider, BakeSpec};
     use crate::hepnos::HepnosConfig;
-    use crate::kv::{BackendKind, StorageCost};
+    use crate::kv::{BackendKind, BackendMode, StorageCost};
     use crate::sdskv::{SdskvProvider, SdskvSpec};
     use std::time::Duration;
     use symbi_fabric::{Fabric, NetworkModel};
@@ -324,7 +336,7 @@ mod tests {
         SdskvSpec {
             num_databases: 4,
             backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            mode: BackendMode::simulated_free(),
             handler_cost: Duration::ZERO,
             handler_cost_per_key: Duration::ZERO,
         }
@@ -356,6 +368,41 @@ mod tests {
         assert!(target.describe().starts_with("sdskv@"));
         client.finalize();
         server.finalize();
+    }
+
+    #[test]
+    fn sdskv_target_flush_barriers_every_durable_database() {
+        let dir = std::env::temp_dir().join(format!(
+            "symbi-wl-flush-{}-{}",
+            std::process::id(),
+            symbi_core::now_ns()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fabric = Fabric::new(NetworkModel::instant());
+        let server = MargoInstance::new(fabric.clone(), MargoConfig::server("sdskv-wl-d", 2));
+        let provider = SdskvProvider::attach(
+            &server,
+            SdskvSpec {
+                backend: BackendKind::LdbDisk,
+                mode: BackendMode::Durable(dir.clone()),
+                ..quick_spec()
+            },
+        );
+        let client = MargoInstance::new(fabric, MargoConfig::client("wl-client-d"));
+        let target = SdskvTarget::new(SdskvClient::new(client.clone(), server.addr()), 4);
+        for i in 0..16u32 {
+            target.put(format!("dk-{i:04}").as_bytes(), b"v").unwrap();
+        }
+        target.flush().unwrap();
+        // The barrier must have reached every database's WAL, not been
+        // swallowed client-side.
+        for db in 0..4 {
+            let stats = provider.db(db).unwrap().store_stats().unwrap();
+            assert!(stats.flush_barriers >= 1, "db {db} saw no flush barrier");
+        }
+        client.finalize();
+        server.finalize();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

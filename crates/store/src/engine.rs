@@ -1,0 +1,540 @@
+//! The `LogStore` engine: memtable + WAL on the write path, immutable
+//! segments behind it, a background maintenance thread for freezes and
+//! compaction, and recovery on open.
+//!
+//! ## Write path and the zero-acked-loss invariant
+//!
+//! A mutation is (1) applied to the memtable, then (2) committed to the WAL;
+//! the call returns only after the commit's fsync. Acknowledgement therefore
+//! implies durability. Applying *before* enqueueing is also what makes WAL
+//! rotation safe: any record queued for the old log is already in the
+//! memtable, so the freeze that follows a rotation captures it in the
+//! segment before the old log is deleted.
+//!
+//! ## Recovery
+//!
+//! `open` loads segment files in ascending file-id order, then replays the
+//! surviving WALs in ascending id order on top. File ids come from a single
+//! monotonic counter shared by WALs and segments, so "ascending id" is also
+//! "ascending creation time": a compacted segment always sorts after its
+//! inputs, which makes the crash window between renaming the merged segment
+//! and deleting its inputs harmless. Live WALs are always newer than the
+//! last freeze; the only overlap is records written to a fresh WAL while the
+//! previous memtable froze, and replaying those is an idempotent re-apply.
+//!
+//! `Drop` deliberately does **not** flush the memtable: a clean shutdown and
+//! a SIGKILL leave the same on-disk state, so every reopen exercises the
+//! recovery path rather than a snapshot fast path.
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex, RwLock};
+
+use crate::segment::{self, SegMap, Segment};
+use crate::stats::{StatsSnapshot, StoreStats};
+use crate::wal::{self, Op, RecordBuilder, Wal};
+use crate::{SpanSink, StoreOp};
+
+/// Configuration for [`LogStore::open`].
+#[derive(Clone)]
+pub struct StoreConfig {
+    /// Directory holding WAL and segment files; created if missing.
+    pub dir: PathBuf,
+    /// Freeze the memtable into a segment once its payload exceeds this.
+    pub memtable_flush_bytes: usize,
+    /// Merge segments once more than this many accumulate.
+    pub compact_segments: usize,
+    /// `true` (default): group commit — one fsync amortizes a batch of
+    /// concurrent writers. `false`: fsync per record (bench baseline).
+    pub group_commit: bool,
+    /// Straggler-pickup window for the group-commit leader: after a
+    /// contended batch, wait up to this long for the followers it just
+    /// woke to re-enqueue before the next fsync, converging group size
+    /// toward the live writer count. The uncontended path never waits.
+    /// Zero disables the window.
+    pub group_window: Duration,
+    /// Poll period of the background maintenance thread.
+    pub maintenance_period: Duration,
+    /// Optional span sink for durability-interval attribution.
+    pub sink: Option<SpanSink>,
+}
+
+impl std::fmt::Debug for StoreConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreConfig")
+            .field("dir", &self.dir)
+            .field("memtable_flush_bytes", &self.memtable_flush_bytes)
+            .field("compact_segments", &self.compact_segments)
+            .field("group_commit", &self.group_commit)
+            .field("group_window", &self.group_window)
+            .field("maintenance_period", &self.maintenance_period)
+            .field("sink", &self.sink.is_some())
+            .finish()
+    }
+}
+
+impl StoreConfig {
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        StoreConfig {
+            dir: dir.into(),
+            memtable_flush_bytes: 4 << 20,
+            compact_segments: 4,
+            group_commit: true,
+            group_window: Duration::from_micros(200),
+            maintenance_period: Duration::from_millis(20),
+            sink: None,
+        }
+    }
+
+    pub fn with_memtable_flush_bytes(mut self, bytes: usize) -> Self {
+        self.memtable_flush_bytes = bytes;
+        self
+    }
+
+    pub fn with_compact_segments(mut self, n: usize) -> Self {
+        self.compact_segments = n;
+        self
+    }
+
+    pub fn with_group_commit(mut self, on: bool) -> Self {
+        self.group_commit = on;
+        self
+    }
+
+    pub fn with_group_window(mut self, window: Duration) -> Self {
+        self.group_window = window;
+        self
+    }
+
+    pub fn with_maintenance_period(mut self, period: Duration) -> Self {
+        self.maintenance_period = period;
+        self
+    }
+
+    pub fn with_sink(mut self, sink: SpanSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+}
+
+struct Memtable {
+    map: SegMap,
+    bytes: usize,
+}
+
+impl Memtable {
+    fn insert(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        let klen = key.len();
+        let vlen = value.as_ref().map_or(0, |v| v.len());
+        match self.map.insert(key, value) {
+            Some(old) => {
+                // Key bytes were already accounted; swap the value bytes.
+                let old_vlen = old.as_ref().map_or(0, |v| v.len());
+                self.bytes = self.bytes.saturating_sub(old_vlen) + vlen;
+            }
+            None => self.bytes += klen + vlen,
+        }
+    }
+}
+
+struct Inner {
+    dir: PathBuf,
+    memtable_flush_bytes: usize,
+    compact_segments: usize,
+    wal: Wal,
+    /// Lock-order rule: when holding both, take `mem` before `segments`.
+    mem: Mutex<Memtable>,
+    segments: RwLock<Vec<Arc<Segment>>>,
+    /// Single id counter shared by WAL and segment files (see module docs).
+    next_file_id: AtomicU64,
+    /// Serializes freeze and compaction. Without it a freeze can publish a
+    /// fresh segment while a compaction (which allocates its output id at
+    /// the end of the merge) is running, leaving the stale merged output
+    /// with a *larger* id than the fresh segment — and ascending-id
+    /// newest-wins replay would then resurrect old values on reopen.
+    maintenance_mutex: Mutex<()>,
+    stats: Arc<StoreStats>,
+    sink: Option<SpanSink>,
+    stop: Mutex<bool>,
+    stop_cv: Condvar,
+}
+
+/// A durable log-structured KV store rooted at one directory.
+///
+/// Concurrent-writer safe: the memtable is mutex-protected and the WAL
+/// group-commits. Reads see their own un-fsynced writes (read-uncommitted
+/// against the memtable), which matches the embedding RPC handlers — a
+/// handler only *acknowledges* after `put` returns, i.e. after the fsync.
+pub struct LogStore {
+    inner: Arc<Inner>,
+    maintenance: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl LogStore {
+    /// Open (or create) the store at `config.dir`, running recovery:
+    /// load segments in id order, replay surviving WALs on top, truncate
+    /// torn tails, and report the whole interval to the span sink.
+    pub fn open(config: StoreConfig) -> std::io::Result<LogStore> {
+        fs::create_dir_all(&config.dir)?;
+        let stats = Arc::new(StoreStats::default());
+        let t0 = Instant::now();
+
+        let mut seg_ids = Vec::new();
+        let mut wal_ids = Vec::new();
+        for entry in fs::read_dir(&config.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if let Some(id) = segment::parse_seg_id(name) {
+                seg_ids.push(id);
+            } else if let Some(id) = wal::parse_wal_id(name) {
+                wal_ids.push(id);
+            } else if name.ends_with(".tmp") {
+                // Crash artifact from an interrupted segment write.
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        seg_ids.sort_unstable();
+        wal_ids.sort_unstable();
+
+        let mut segments = Vec::with_capacity(seg_ids.len());
+        for id in &seg_ids {
+            segments.push(Arc::new(segment::load(
+                &segment::seg_path(&config.dir, *id),
+                *id,
+            )?));
+        }
+
+        let mut mem = Memtable {
+            map: SegMap::new(),
+            bytes: 0,
+        };
+        let mut replayed = 0u64;
+        for id in &wal_ids {
+            replayed += wal::replay(&wal::wal_path(&config.dir, *id), &stats, |op| match op {
+                Op::Put(k, v) => mem.insert(k, Some(v)),
+                Op::Erase(k) => mem.insert(k, None),
+            })?;
+        }
+
+        let max_id = seg_ids
+            .iter()
+            .chain(wal_ids.iter())
+            .copied()
+            .max()
+            .map_or(0, |m| m + 1);
+        let next_file_id = AtomicU64::new(max_id);
+        let active_wal = next_file_id.fetch_add(1, Ordering::SeqCst);
+        let wal = Wal::open(
+            &config.dir,
+            active_wal,
+            config.group_commit,
+            config.group_window,
+            stats.clone(),
+            config.sink.clone(),
+        )?;
+
+        stats.recoveries.fetch_add(1, Ordering::Relaxed);
+        stats
+            .recovery_ms
+            .store(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+        stats
+            .replayed_records
+            .fetch_add(replayed, Ordering::Relaxed);
+        if let Some(sink) = &config.sink {
+            sink(StoreOp::Recovery, t0.elapsed());
+        }
+
+        let inner = Arc::new(Inner {
+            dir: config.dir.clone(),
+            memtable_flush_bytes: config.memtable_flush_bytes,
+            compact_segments: config.compact_segments,
+            wal,
+            mem: Mutex::new(mem),
+            segments: RwLock::new(segments),
+            next_file_id,
+            maintenance_mutex: Mutex::new(()),
+            stats,
+            sink: config.sink.clone(),
+            stop: Mutex::new(false),
+            stop_cv: Condvar::new(),
+        });
+
+        let worker = {
+            let inner = inner.clone();
+            let period = config.maintenance_period;
+            std::thread::Builder::new()
+                .name("symbi-store-maint".into())
+                .spawn(move || loop {
+                    {
+                        let mut stop = inner.stop.lock();
+                        if !*stop {
+                            inner.stop_cv.wait_for(&mut stop, period);
+                        }
+                        if *stop {
+                            return;
+                        }
+                    }
+                    inner.tick();
+                })
+                .expect("spawn symbi-store maintenance thread")
+        };
+
+        Ok(LogStore {
+            inner,
+            maintenance: Mutex::new(Some(worker)),
+        })
+    }
+
+    /// Insert or overwrite one key; durable when this returns.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> std::io::Result<()> {
+        let mut rb = RecordBuilder::new();
+        rb.put(key, value);
+        let payload = rb.finish();
+        self.inner
+            .mem
+            .lock()
+            .insert(key.to_vec(), Some(value.to_vec()));
+        self.inner.wal.commit(payload)
+    }
+
+    /// Atomic multi-key batch: one WAL record, so replay applies all of it
+    /// or none of it. This is what SDSKV `put_packed` maps to.
+    pub fn put_batch(&self, pairs: &[(Vec<u8>, Vec<u8>)]) -> std::io::Result<()> {
+        if pairs.is_empty() {
+            return Ok(());
+        }
+        let mut rb = RecordBuilder::new();
+        for (k, v) in pairs {
+            rb.put(k, v);
+        }
+        let payload = rb.finish();
+        {
+            let mut mem = self.inner.mem.lock();
+            for (k, v) in pairs {
+                mem.insert(k.clone(), Some(v.clone()));
+            }
+        }
+        self.inner.wal.commit(payload)
+    }
+
+    /// Delete a key (tombstone). Returns whether the key was present.
+    pub fn erase(&self, key: &[u8]) -> std::io::Result<bool> {
+        let existed = self.get(key).is_some();
+        let mut rb = RecordBuilder::new();
+        rb.erase(key);
+        let payload = rb.finish();
+        self.inner.mem.lock().insert(key.to_vec(), None);
+        self.inner.wal.commit(payload)?;
+        Ok(existed)
+    }
+
+    /// Point lookup: memtable first, then segments newest-first.
+    pub fn get(&self, key: &[u8]) -> Option<Vec<u8>> {
+        {
+            let mem = self.inner.mem.lock();
+            if let Some(entry) = mem.map.get(key) {
+                return entry.clone();
+            }
+        }
+        let segs = self.inner.segments.read();
+        for seg in segs.iter().rev() {
+            if let Some(entry) = seg.map.get(key) {
+                return entry.clone();
+            }
+        }
+        None
+    }
+
+    /// Number of live keys (full merge; O(total entries) — fine at the
+    /// scenario scales this repo drives, revisit if key spaces grow).
+    pub fn len(&self) -> usize {
+        self.merged_from(&[])
+            .into_iter()
+            .filter(|(_, v)| v.is_some())
+            .count()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Up to `max` live `(key, value)` pairs at or after `start`, in key
+    /// order, newest version wins, tombstones skipped.
+    pub fn list_keyvals(&self, start: &[u8], max: usize) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.merged_from(start)
+            .into_iter()
+            .filter_map(|(k, v)| v.map(|v| (k, v)))
+            .take(max)
+            .collect()
+    }
+
+    /// Newest-wins merge of all sources for keys `>= start`.
+    fn merged_from(&self, start: &[u8]) -> SegMap {
+        let mut merged = SegMap::new();
+        // Lock order: mem before segments (matches the freeze path).
+        let mem = self.inner.mem.lock();
+        let segs = self.inner.segments.read();
+        for seg in segs.iter() {
+            for (k, v) in seg.map.range(start.to_vec()..) {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        for (k, v) in mem.map.range(start.to_vec()..) {
+            merged.insert(k.clone(), v.clone());
+        }
+        merged
+    }
+
+    /// Group-commit barrier: one fsync covering everything acknowledged.
+    pub fn flush(&self) -> std::io::Result<()> {
+        self.inner.wal.barrier()
+    }
+
+    /// Freeze the memtable into a segment now (tests and benches; the
+    /// maintenance thread does this automatically past the size threshold).
+    pub fn checkpoint(&self) -> std::io::Result<()> {
+        self.inner.freeze_memtable()
+    }
+
+    /// Merge all segments now, regardless of the count threshold.
+    pub fn compact_now(&self) -> std::io::Result<()> {
+        self.inner.compact()
+    }
+
+    /// Run one maintenance pass synchronously (deterministic tests).
+    pub fn maintenance_tick(&self) {
+        self.inner.tick();
+    }
+
+    /// Counters plus instantaneous memtable/segment gauges.
+    pub fn stats(&self) -> StatsSnapshot {
+        let s = &self.inner.stats;
+        let (memtable_keys, memtable_bytes) = {
+            let mem = self.inner.mem.lock();
+            (mem.map.len() as u64, mem.bytes as u64)
+        };
+        StatsSnapshot {
+            wal_records: StoreStats::load(&s.wal_records),
+            wal_bytes: StoreStats::load(&s.wal_bytes),
+            fsyncs: StoreStats::load(&s.fsyncs),
+            group_commits: StoreStats::load(&s.group_commits),
+            group_committed_records: StoreStats::load(&s.group_committed_records),
+            flush_barriers: StoreStats::load(&s.flush_barriers),
+            memtable_flushes: StoreStats::load(&s.memtable_flushes),
+            compactions: StoreStats::load(&s.compactions),
+            compaction_ms: StoreStats::load(&s.compaction_ms),
+            recoveries: StoreStats::load(&s.recoveries),
+            recovery_ms: StoreStats::load(&s.recovery_ms),
+            replayed_records: StoreStats::load(&s.replayed_records),
+            torn_tail_truncations: StoreStats::load(&s.torn_tail_truncations),
+            memtable_keys,
+            memtable_bytes,
+            segments: self.inner.segments.read().len() as u64,
+        }
+    }
+}
+
+impl Drop for LogStore {
+    fn drop(&mut self) {
+        *self.inner.stop.lock() = true;
+        self.inner.stop_cv.notify_all();
+        if let Some(h) = self.maintenance.lock().take() {
+            let _ = h.join();
+        }
+        // Deliberately no memtable flush: crash == drop, so recovery runs
+        // on every reopen (see module docs).
+    }
+}
+
+impl Inner {
+    fn tick(&self) {
+        let bytes = self.mem.lock().bytes;
+        if bytes >= self.memtable_flush_bytes {
+            if let Err(e) = self.freeze_memtable() {
+                eprintln!("symbi-store: memtable freeze failed: {e}");
+            }
+        }
+        if self.segments.read().len() > self.compact_segments {
+            if let Err(e) = self.compact() {
+                eprintln!("symbi-store: compaction failed: {e}");
+            }
+        }
+    }
+
+    /// Rotate the WAL, freeze the memtable into an in-memory segment, write
+    /// it to disk, then prune WALs older than the active one. See the
+    /// module docs for why this ordering is crash-safe.
+    fn freeze_memtable(&self) -> std::io::Result<()> {
+        let _maint = self.maintenance_mutex.lock();
+        if self.mem.lock().map.is_empty() {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let new_wal_id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
+        self.wal.rotate(new_wal_id)?;
+        let seg_id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
+        let frozen = {
+            let mut mem = self.mem.lock();
+            let mut segs = self.segments.write();
+            let map = std::mem::take(&mut mem.map);
+            mem.bytes = 0;
+            let seg = Arc::new(Segment { id: seg_id, map });
+            segs.push(seg.clone());
+            seg
+        };
+        segment::write(&self.dir, seg_id, &frozen.map)?;
+        wal::delete_logs_below(&self.dir, new_wal_id)?;
+        self.stats.memtable_flushes.fetch_add(1, Ordering::Relaxed);
+        if let Some(sink) = &self.sink {
+            sink(StoreOp::Compaction, t0.elapsed());
+        }
+        Ok(())
+    }
+
+    /// Full newest-wins merge of all segments into one, tombstones retained.
+    fn compact(&self) -> std::io::Result<()> {
+        let _maint = self.maintenance_mutex.lock();
+        let inputs: Vec<Arc<Segment>> = self.segments.read().clone();
+        if inputs.len() < 2 {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        let mut merged = SegMap::new();
+        for seg in &inputs {
+            // Ascending id = oldest first, so later inserts win.
+            for (k, v) in &seg.map {
+                merged.insert(k.clone(), v.clone());
+            }
+        }
+        let new_id = self.next_file_id.fetch_add(1, Ordering::SeqCst);
+        segment::write(&self.dir, new_id, &merged)?;
+        {
+            let mut segs = self.segments.write();
+            let input_ids: HashSet<u64> = inputs.iter().map(|s| s.id).collect();
+            segs.retain(|s| !input_ids.contains(&s.id));
+            segs.push(Arc::new(Segment {
+                id: new_id,
+                map: merged,
+            }));
+            segs.sort_by_key(|s| s.id);
+        }
+        for seg in &inputs {
+            let _ = fs::remove_file(segment::seg_path(&self.dir, seg.id));
+        }
+        self.stats.compactions.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .compaction_ms
+            .fetch_add(t0.elapsed().as_millis() as u64, Ordering::Relaxed);
+        if let Some(sink) = &self.sink {
+            sink(StoreOp::Compaction, t0.elapsed());
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,76 @@
+//! # symbi-store — durable log-structured KV engine
+//!
+//! The storage engine behind the `ldb-disk` SDSKV backend. Until this crate
+//! existed, every KV backend in the reproduction *simulated* storage latency
+//! with a `StorageCost` nap; kill-mid-write drills therefore measured a
+//! simulation. symbi-store replaces the nap with an engine we own, so the
+//! fault drills become real recovery experiments:
+//!
+//! * **Write-ahead log** (`wal`): checksummed, length-prefixed records.
+//!   Every mutation is applied to the memtable and then committed to the
+//!   WAL; the call does not return until the record is fsynced, so an
+//!   acknowledged write is a durable write by construction.
+//! * **Group commit**: concurrent writers park on a commit batch; a single
+//!   leader drains the queue and one `fdatasync` amortizes the whole group.
+//!   `group_commit: false` degrades to fsync-per-record — kept as the
+//!   baseline arm for the `group_commit` bench.
+//! * **Memtable + immutable sorted segments** (`segment`): reads consult the
+//!   memtable first, then segments newest-first. A background thread freezes
+//!   the memtable into a segment file once it exceeds a size threshold and
+//!   merges segments (newest-wins, tombstones retained) once they pile up.
+//! * **Crash recovery**: reopening a directory loads segments in file-id
+//!   order and replays surviving WALs on top — byte-identical state. A torn
+//!   WAL tail (short header, bad length, checksum mismatch) is truncated,
+//!   not fatal. `Drop` never flushes the memtable, so the recovery path is
+//!   exercised on *every* reopen, not just after a SIGKILL.
+//!
+//! Durability-relevant intervals (WAL append, fsync, compaction, recovery)
+//! are reported through an optional [`SpanSink`] so the embedding service can
+//! attribute them as spans in the SYMBIOSYS trace; counters surface through
+//! [`StatsSnapshot`] for the `symbi_store_*` telemetry families.
+
+mod engine;
+mod segment;
+mod stats;
+mod wal;
+
+pub use engine::{LogStore, StoreConfig};
+pub use stats::StatsSnapshot;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The durability-relevant interval kinds a store reports to its [`SpanSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StoreOp {
+    /// Writing a group-commit batch of WAL records to the log file.
+    WalAppend,
+    /// The `fdatasync` that makes a batch (or a flush barrier) durable.
+    Fsync,
+    /// Merging segment files (includes the memtable freeze that feeds them).
+    Compaction,
+    /// Segment load + WAL replay on open.
+    Recovery,
+}
+
+impl StoreOp {
+    /// Stable callpath frame name for this interval; the embedding service
+    /// pushes it onto the current callpath when attributing the span, so
+    /// `symbi-analyze` can group durability costs by operation.
+    pub fn label(self) -> &'static str {
+        match self {
+            StoreOp::WalAppend => "store_wal_append",
+            StoreOp::Fsync => "store_fsync",
+            StoreOp::Compaction => "store_compaction",
+            StoreOp::Recovery => "store_recovery",
+        }
+    }
+}
+
+/// Callback invoked at the *end* of a durability interval with its duration.
+///
+/// symbi-store sits below the measurement stack (it knows nothing about
+/// tracers or span ids), so span attribution is delegated: the services layer
+/// installs a sink that turns `(op, duration)` into a `TargetUltStart` /
+/// `TargetRespond` event pair on the embedding process's tracer.
+pub type SpanSink = Arc<dyn Fn(StoreOp, Duration) + Send + Sync>;

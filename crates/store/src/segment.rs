@@ -1,0 +1,169 @@
+//! Immutable sorted segment files — the on-disk product of a memtable freeze
+//! or a compaction merge.
+//!
+//! ```text
+//! [u32 magic "SSEG"][u32 count] count ops (same codec as WAL) [u32 crc]
+//! ```
+//!
+//! The trailing CRC covers everything after the magic. Segments are written
+//! to a `.tmp` sibling, fsynced, renamed into place, and the directory is
+//! fsynced — a crash mid-write leaves only a `.tmp` that recovery deletes.
+//!
+//! Tombstones (`Erase` ops) are *retained* through compaction: if a merge
+//! dropped them and the process crashed after renaming the merged segment
+//! but before deleting its inputs, recovery would load the inputs first and
+//! resurrect deleted keys when the merged segment no longer shadows them.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::wal::{crc32, decode_op, encode_op, Op};
+
+const MAGIC: u32 = 0x5347_4553; // "SEGS" little-endian
+
+/// Tombstone-aware sorted map: `None` means the key was erased.
+pub(crate) type SegMap = BTreeMap<Vec<u8>, Option<Vec<u8>>>;
+
+/// One immutable segment, fully resident in memory and serving reads.
+pub(crate) struct Segment {
+    pub id: u64,
+    pub map: SegMap,
+}
+
+pub(crate) fn seg_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("seg-{id:012}.seg"))
+}
+
+pub(crate) fn parse_seg_id(name: &str) -> Option<u64> {
+    name.strip_prefix("seg-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Write `map` as segment `id`: tmp file + fsync + rename + dir fsync.
+pub(crate) fn write(dir: &Path, id: u64, map: &SegMap) -> io::Result<()> {
+    let mut body = Vec::with_capacity(8 + map.len() * 16);
+    body.extend_from_slice(&(map.len() as u32).to_le_bytes());
+    for (k, v) in map {
+        encode_op(&mut body, k, v.as_deref());
+    }
+    let crc = crc32(&body);
+
+    let tmp = dir.join(format!("seg-{id:012}.tmp"));
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp)?;
+    file.write_all(&MAGIC.to_le_bytes())?;
+    file.write_all(&body)?;
+    file.write_all(&crc.to_le_bytes())?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, seg_path(dir, id))?;
+    fsync_dir(dir)
+}
+
+/// Load a segment file, verifying magic and CRC. Unlike a torn WAL tail,
+/// a corrupt segment is fatal: its contents were acknowledged long ago.
+pub(crate) fn load(path: &Path, id: u64) -> io::Result<Segment> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let corrupt = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("segment {}: {what}", path.display()),
+        )
+    };
+    if bytes.len() < 12 {
+        return Err(corrupt("shorter than header + crc"));
+    }
+    if u32::from_le_bytes(bytes[..4].try_into().unwrap()) != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let body = &bytes[4..bytes.len() - 4];
+    let crc = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().unwrap());
+    if crc32(body) != crc {
+        return Err(corrupt("crc mismatch"));
+    }
+    let mut off = 0usize;
+    let count = u32::from_le_bytes(
+        body.get(..4)
+            .ok_or_else(|| corrupt("missing count"))?
+            .try_into()
+            .unwrap(),
+    );
+    off += 4;
+    let mut map = SegMap::new();
+    for _ in 0..count {
+        match decode_op(body, &mut off) {
+            Some(Op::Put(k, v)) => {
+                map.insert(k, Some(v));
+            }
+            Some(Op::Erase(k)) => {
+                map.insert(k, None);
+            }
+            None => return Err(corrupt("truncated op list")),
+        }
+    }
+    if off != body.len() {
+        return Err(corrupt("trailing bytes after op list"));
+    }
+    Ok(Segment { id, map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("symbi-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn segment_round_trips_including_tombstones() {
+        let dir = scratch("roundtrip");
+        let mut map = SegMap::new();
+        map.insert(b"a".to_vec(), Some(b"1".to_vec()));
+        map.insert(b"dead".to_vec(), None);
+        map.insert(b"z".to_vec(), Some(vec![0u8; 300]));
+        write(&dir, 7, &map).unwrap();
+        let seg = load(&seg_path(&dir, 7), 7).unwrap();
+        assert_eq!(seg.id, 7);
+        assert_eq!(seg.map, map);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_segment_is_fatal() {
+        let dir = scratch("corrupt");
+        let mut map = SegMap::new();
+        map.insert(b"k".to_vec(), Some(b"v".to_vec()));
+        write(&dir, 1, &map).unwrap();
+        let path = seg_path(&dir, 1);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(load(&path, 1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn seg_file_names_round_trip() {
+        let p = seg_path(Path::new("/x"), 9);
+        let name = p.file_name().unwrap().to_str().unwrap();
+        assert_eq!(parse_seg_id(name), Some(9));
+        assert_eq!(parse_seg_id("wal-000000000009.log"), None);
+    }
+}

@@ -1,0 +1,140 @@
+//! Engine counters, exported as the `symbi_store_*` telemetry families.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters shared between the write path, the maintenance thread,
+/// and recovery. All relaxed: these feed telemetry, not control flow.
+#[derive(Debug, Default)]
+pub(crate) struct StoreStats {
+    pub wal_records: AtomicU64,
+    pub wal_bytes: AtomicU64,
+    pub fsyncs: AtomicU64,
+    pub group_commits: AtomicU64,
+    pub group_committed_records: AtomicU64,
+    pub flush_barriers: AtomicU64,
+    pub memtable_flushes: AtomicU64,
+    pub compactions: AtomicU64,
+    pub compaction_ms: AtomicU64,
+    pub recoveries: AtomicU64,
+    pub recovery_ms: AtomicU64,
+    pub replayed_records: AtomicU64,
+    pub torn_tail_truncations: AtomicU64,
+}
+
+impl StoreStats {
+    pub(crate) fn load(field: &AtomicU64) -> u64 {
+        field.load(Ordering::Relaxed)
+    }
+}
+
+/// Point-in-time view of a [`crate::LogStore`]'s counters and gauges.
+///
+/// Counter fields are monotonic since `open`; `memtable_*` and `segments` are
+/// instantaneous gauges sampled at snapshot time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// WAL records committed (a multi-key batch is one record).
+    pub wal_records: u64,
+    /// Bytes appended to WAL files, framing included.
+    pub wal_bytes: u64,
+    /// `fdatasync` calls issued (group commits + flush barriers).
+    pub fsyncs: u64,
+    /// Leader rounds: each wrote one batch and issued one fsync.
+    pub group_commits: u64,
+    /// Records acknowledged across all leader rounds; divide by
+    /// `group_commits` for the mean group size.
+    pub group_committed_records: u64,
+    /// Explicit `flush()` barriers requested by callers.
+    pub flush_barriers: u64,
+    /// Memtable freezes (each produced one segment file and pruned WALs).
+    pub memtable_flushes: u64,
+    /// Segment merge passes.
+    pub compactions: u64,
+    /// Total wall time spent merging segments, in milliseconds.
+    pub compaction_ms: u64,
+    /// Recovery passes (1 after a normal open; counts reopens).
+    pub recoveries: u64,
+    /// Wall time of the last recovery (segment load + WAL replay), in ms.
+    pub recovery_ms: u64,
+    /// WAL records replayed into the memtable during recovery.
+    pub replayed_records: u64,
+    /// Torn WAL tails truncated during recovery (crash artifacts, not data
+    /// loss: a torn record was never acknowledged).
+    pub torn_tail_truncations: u64,
+    /// Live keys (including tombstones) in the memtable right now.
+    pub memtable_keys: u64,
+    /// Approximate memtable payload bytes right now.
+    pub memtable_bytes: u64,
+    /// Immutable segments currently serving reads.
+    pub segments: u64,
+}
+
+impl StatsSnapshot {
+    /// Mean records per group commit; 0.0 before the first commit.
+    pub fn mean_group_size(&self) -> f64 {
+        if self.group_commits == 0 {
+            0.0
+        } else {
+            self.group_committed_records as f64 / self.group_commits as f64
+        }
+    }
+
+    /// Fold another snapshot into this one (telemetry aggregates across the
+    /// databases of one provider). Counters add; gauges add; `recovery_ms`
+    /// takes the max since recoveries of sibling databases overlap.
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        self.wal_records += other.wal_records;
+        self.wal_bytes += other.wal_bytes;
+        self.fsyncs += other.fsyncs;
+        self.group_commits += other.group_commits;
+        self.group_committed_records += other.group_committed_records;
+        self.flush_barriers += other.flush_barriers;
+        self.memtable_flushes += other.memtable_flushes;
+        self.compactions += other.compactions;
+        self.compaction_ms += other.compaction_ms;
+        self.recoveries += other.recoveries;
+        self.recovery_ms = self.recovery_ms.max(other.recovery_ms);
+        self.replayed_records += other.replayed_records;
+        self.torn_tail_truncations += other.torn_tail_truncations;
+        self.memtable_keys += other.memtable_keys;
+        self.memtable_bytes += other.memtable_bytes;
+        self.segments += other.segments;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_group_size_handles_zero() {
+        let s = StatsSnapshot::default();
+        assert_eq!(s.mean_group_size(), 0.0);
+        let s = StatsSnapshot {
+            group_commits: 4,
+            group_committed_records: 10,
+            ..Default::default()
+        };
+        assert!((s.mean_group_size() - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_adds_counters_and_maxes_recovery() {
+        let mut a = StatsSnapshot {
+            wal_records: 3,
+            recovery_ms: 5,
+            segments: 1,
+            ..Default::default()
+        };
+        let b = StatsSnapshot {
+            wal_records: 4,
+            recovery_ms: 2,
+            segments: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.wal_records, 7);
+        assert_eq!(a.recovery_ms, 5);
+        assert_eq!(a.segments, 3);
+    }
+}

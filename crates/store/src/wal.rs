@@ -1,0 +1,609 @@
+//! Checksummed, length-prefixed write-ahead log with group commit.
+//!
+//! ## Record format
+//!
+//! ```text
+//! [u32 len][u32 crc32][payload: len bytes]      (all little-endian)
+//! payload = [u32 count] then `count` ops:
+//!   put:   [u8 = 1][u32 klen][key][u32 vlen][value]
+//!   erase: [u8 = 2][u32 klen][key]
+//! ```
+//!
+//! `crc32` (IEEE) covers the payload only. A multi-key batch is one record,
+//! which is what makes `put_packed` atomic: replay decodes a record entirely
+//! or not at all, so a torn batch never applies partially.
+//!
+//! ## Group commit
+//!
+//! Writers append their framed record to a pending queue under the state
+//! lock. The first writer to find no leader becomes the leader: it drains the
+//! queue in batches, writes each batch with one `write_all` + one
+//! `fdatasync`, then publishes the batch's last sequence number and wakes the
+//! parked followers. Writers return only once their sequence is durable —
+//! an acknowledged write is a durable write by construction. With
+//! `group_commit = false` every record is written and fsynced individually
+//! under the lock (the bench baseline).
+//!
+//! ## Torn tails
+//!
+//! Replay walks records until the bytes run out. A short header, a length
+//! past EOF, a checksum mismatch, or an undecodable payload ends the walk;
+//! the file is truncated at the last good record. A torn record was never
+//! fsync-acknowledged, so truncation loses no acked write.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::StoreStats;
+use crate::{SpanSink, StoreOp};
+
+const TAG_PUT: u8 = 1;
+const TAG_ERASE: u8 = 2;
+
+/// A decoded WAL (or segment) operation.
+pub(crate) enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Erase(Vec<u8>),
+}
+
+// ---------------------------------------------------------------- crc32
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32, table-driven; no external dependency.
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------- op codec
+
+/// Builds one record payload out of one or more operations.
+pub(crate) struct RecordBuilder {
+    buf: Vec<u8>,
+    count: u32,
+}
+
+impl RecordBuilder {
+    pub fn new() -> Self {
+        Self {
+            buf: vec![0; 4],
+            count: 0,
+        }
+    }
+
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        self.buf.push(TAG_PUT);
+        self.buf
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(key);
+        self.buf
+            .extend_from_slice(&(value.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(value);
+        self.count += 1;
+    }
+
+    pub fn erase(&mut self, key: &[u8]) {
+        self.buf.push(TAG_ERASE);
+        self.buf
+            .extend_from_slice(&(key.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(key);
+        self.count += 1;
+    }
+
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[..4].copy_from_slice(&self.count.to_le_bytes());
+        self.buf
+    }
+}
+
+fn read_u32(bytes: &[u8], off: &mut usize) -> Option<u32> {
+    let end = off.checked_add(4)?;
+    let v = u32::from_le_bytes(bytes.get(*off..end)?.try_into().ok()?);
+    *off = end;
+    Some(v)
+}
+
+fn read_slice<'a>(bytes: &'a [u8], off: &mut usize) -> Option<&'a [u8]> {
+    let len = read_u32(bytes, off)? as usize;
+    let end = off.checked_add(len)?;
+    let s = bytes.get(*off..end)?;
+    *off = end;
+    Some(s)
+}
+
+/// Decode one op at `*off`; shared with the segment codec.
+pub(crate) fn decode_op(bytes: &[u8], off: &mut usize) -> Option<Op> {
+    let tag = *bytes.get(*off)?;
+    *off += 1;
+    match tag {
+        TAG_PUT => {
+            let k = read_slice(bytes, off)?.to_vec();
+            let v = read_slice(bytes, off)?.to_vec();
+            Some(Op::Put(k, v))
+        }
+        TAG_ERASE => Some(Op::Erase(read_slice(bytes, off)?.to_vec())),
+        _ => None,
+    }
+}
+
+/// Decode a full record payload; `None` means corrupt.
+pub(crate) fn decode_payload(payload: &[u8]) -> Option<Vec<Op>> {
+    let mut off = 0usize;
+    let count = read_u32(payload, &mut off)?;
+    let mut ops = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        ops.push(decode_op(payload, &mut off)?);
+    }
+    if off == payload.len() {
+        Some(ops)
+    } else {
+        None
+    }
+}
+
+/// Encode one op (same wire shape as `RecordBuilder`) for the segment codec.
+pub(crate) fn encode_op(buf: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
+    match value {
+        Some(v) => {
+            buf.push(TAG_PUT);
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(key);
+            buf.extend_from_slice(&(v.len() as u32).to_le_bytes());
+            buf.extend_from_slice(v);
+        }
+        None => {
+            buf.push(TAG_ERASE);
+            buf.extend_from_slice(&(key.len() as u32).to_le_bytes());
+            buf.extend_from_slice(key);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- files
+
+pub(crate) fn wal_path(dir: &Path, id: u64) -> PathBuf {
+    dir.join(format!("wal-{id:012}.log"))
+}
+
+pub(crate) fn parse_wal_id(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+fn fsync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Delete every WAL file with an id strictly below `keep_from` (they are
+/// fully covered by segment files once a freeze completes).
+pub(crate) fn delete_logs_below(dir: &Path, keep_from: u64) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(id) = entry.file_name().to_str().and_then(parse_wal_id) {
+            if id < keep_from {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------- replay
+
+/// Replay every intact record of `path` through `apply`, truncating a torn
+/// tail in place. Returns the number of records replayed.
+pub(crate) fn replay(
+    path: &Path,
+    stats: &StoreStats,
+    mut apply: impl FnMut(Op),
+) -> io::Result<u64> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let mut off = 0usize;
+    let mut records = 0u64;
+    while off < bytes.len() {
+        if bytes.len() - off < 8 {
+            break; // torn header
+        }
+        let len = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        let start = off + 8;
+        let Some(end) = start.checked_add(len) else {
+            break;
+        };
+        if end > bytes.len() {
+            break; // torn body
+        }
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            break; // checksum mismatch: treat as torn
+        }
+        let Some(ops) = decode_payload(payload) else {
+            break;
+        };
+        for op in ops {
+            apply(op);
+        }
+        records += 1;
+        off = end;
+    }
+    if off < bytes.len() {
+        stats.torn_tail_truncations.fetch_add(1, Ordering::Relaxed);
+        OpenOptions::new()
+            .write(true)
+            .open(path)?
+            .set_len(off as u64)?;
+    }
+    Ok(records)
+}
+
+// ---------------------------------------------------------------- group commit
+
+pub(crate) struct Wal {
+    dir: PathBuf,
+    group_commit: bool,
+    /// Straggler-pickup window (the commit-delay technique): after a
+    /// contended batch, how long the leader waits for the followers it
+    /// just woke to re-enqueue before the next write+fsync. Zero disables.
+    group_window: Duration,
+    state: Mutex<WalState>,
+    cv: Condvar,
+    /// Separate condvar for the leader's pickup window. Enqueuers wake
+    /// only the waiting leader through it; signalling `cv` instead would
+    /// thundering-herd every parked follower on each arrival.
+    leader_cv: Condvar,
+    stats: Arc<StoreStats>,
+    sink: Option<SpanSink>,
+}
+
+struct WalState {
+    file: Arc<File>,
+    /// Framed records awaiting the leader, paired with their sequence.
+    pending: Vec<(u64, Vec<u8>)>,
+    next_seq: u64,
+    durable_seq: u64,
+    leader_active: bool,
+    /// True while the leader sits in its pickup window; enqueuers then
+    /// notify the condvar so the leader sees the queue grow immediately.
+    leader_waiting: bool,
+    /// Running estimate of live writer concurrency: the largest recent
+    /// batch size, decaying by one per batch so it tracks writers
+    /// leaving. Shared state (not leader-local) because leadership
+    /// rotates — when a full batch drains the queue the leader retires,
+    /// and whoever re-enqueues first leads the next stint; it must
+    /// inherit the estimate or its first batch degenerates to size one.
+    hwm: usize,
+    /// Set on the first I/O error; all subsequent commits fail fast.
+    broken: Option<io::ErrorKind>,
+}
+
+impl Wal {
+    pub fn open(
+        dir: &Path,
+        id: u64,
+        group_commit: bool,
+        group_window: Duration,
+        stats: Arc<StoreStats>,
+        sink: Option<SpanSink>,
+    ) -> io::Result<Wal> {
+        let file = Self::create_log(dir, id)?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            group_commit,
+            group_window,
+            state: Mutex::new(WalState {
+                file: Arc::new(file),
+                pending: Vec::new(),
+                next_seq: 0,
+                durable_seq: 0,
+                leader_active: false,
+                leader_waiting: false,
+                hwm: 0,
+                broken: None,
+            }),
+            cv: Condvar::new(),
+            leader_cv: Condvar::new(),
+            stats,
+            sink,
+        })
+    }
+
+    fn create_log(dir: &Path, id: u64) -> io::Result<File> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(wal_path(dir, id))?;
+        // Make the directory entry durable: fdatasync on the file alone does
+        // not guarantee a freshly created file survives a crash.
+        fsync_dir(dir)?;
+        Ok(file)
+    }
+
+    fn emit(&self, op: StoreOp, elapsed: std::time::Duration) {
+        if let Some(sink) = &self.sink {
+            sink(op, elapsed);
+        }
+    }
+
+    /// Swap in a fresh log file. Records already queued are written to the
+    /// new file by the leader (it re-reads `state.file` per batch); they are
+    /// also present in the memtable being frozen, so replaying them from the
+    /// new WAL on recovery is an idempotent re-apply.
+    pub fn rotate(&self, new_id: u64) -> io::Result<()> {
+        let file = Self::create_log(&self.dir, new_id)?;
+        let mut s = self.state.lock();
+        s.file = Arc::new(file);
+        Ok(())
+    }
+
+    /// Group-commit barrier: fsync the active log. Any *acknowledged* write
+    /// is already durable, so this only has to cover the current file.
+    pub fn barrier(&self) -> io::Result<()> {
+        self.stats.flush_barriers.fetch_add(1, Ordering::Relaxed);
+        let file = {
+            let s = self.state.lock();
+            if let Some(kind) = s.broken {
+                return Err(kind.into());
+            }
+            s.file.clone()
+        };
+        let t = Instant::now();
+        let res = file.sync_data();
+        self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+        self.emit(StoreOp::Fsync, t.elapsed());
+        res
+    }
+
+    /// Commit one record payload; returns once the record is fsync-durable.
+    pub fn commit(&self, payload: Vec<u8>) -> io::Result<()> {
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+
+        if !self.group_commit {
+            return self.commit_serial(frame);
+        }
+
+        let mut s = self.state.lock();
+        if let Some(kind) = s.broken {
+            return Err(kind.into());
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        s.pending.push((seq, frame));
+        if s.leader_waiting {
+            // The leader is holding its pickup window open for us.
+            self.leader_cv.notify_one();
+        }
+
+        if s.leader_active {
+            // Park until the leader makes our sequence durable (or breaks).
+            while s.durable_seq < seq && s.broken.is_none() {
+                self.cv.wait(&mut s);
+            }
+            return if s.durable_seq >= seq {
+                Ok(())
+            } else {
+                Err(s.broken.unwrap_or(io::ErrorKind::Other).into())
+            };
+        }
+
+        // Become the leader: drain batches until the queue is empty.
+        s.leader_active = true;
+        let mut my_result = Ok(());
+        let mut prev_batch = 0usize;
+        while !s.pending.is_empty() {
+            // Straggler pickup: the notify_all that published the previous
+            // batch has just woken followers who are about to re-enqueue,
+            // but their wakeup latency would otherwise split the writers
+            // into alternating part-size cohorts (those already queued
+            // during the fsync vs those still waking). Collect arrivals —
+            // bounded by the window — until the queue reaches the believed
+            // live concurrency (immediate break, no residual latency), or
+            // until a full quantum passes with no growth (the stragglers
+            // are done). Applies to the first batch of a leadership stint
+            // too: after a full batch retires the leader, the next leader
+            // is just the fastest re-enqueuer and its peers are mid-wakeup.
+            // Skipped entirely when concurrency is believed to be 1, so
+            // the uncontended single-writer path pays zero added latency.
+            if (prev_batch > 1 || s.hwm > 1) && !self.group_window.is_zero() {
+                let target = s.hwm.max(prev_batch).max(2);
+                let deadline = Instant::now() + self.group_window;
+                let quantum = (self.group_window / 4).max(Duration::from_micros(10));
+                s.leader_waiting = true;
+                let mut waited = false;
+                loop {
+                    if s.broken.is_some() {
+                        break;
+                    }
+                    let n = s.pending.len();
+                    if waited && n >= target {
+                        break;
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        break;
+                    }
+                    self.leader_cv.wait_for(&mut s, quantum.min(deadline - now));
+                    waited = true;
+                    if s.pending.len() == n {
+                        break; // a quiet quantum: nobody else is coming
+                    }
+                }
+                s.leader_waiting = false;
+            }
+            let batch = std::mem::take(&mut s.pending);
+            // Re-read the file each batch: a rotation may have swapped it.
+            let file = s.file.clone();
+            drop(s);
+
+            let last_seq = batch.last().map(|(q, _)| *q).unwrap_or(0);
+            prev_batch = batch.len();
+            let nrecs = batch.len() as u64;
+            let nbytes: usize = batch.iter().map(|(_, f)| f.len()).sum();
+            let mut buf = Vec::with_capacity(nbytes);
+            for (_, f) in &batch {
+                buf.extend_from_slice(f);
+            }
+
+            let t_append = Instant::now();
+            let res = (&*file).write_all(&buf).and_then(|()| {
+                self.emit(StoreOp::WalAppend, t_append.elapsed());
+                let t_sync = Instant::now();
+                let r = file.sync_data();
+                self.emit(StoreOp::Fsync, t_sync.elapsed());
+                r
+            });
+
+            s = self.state.lock();
+            s.hwm = prev_batch.max(s.hwm.saturating_sub(1));
+            match res {
+                Ok(()) => {
+                    s.durable_seq = last_seq;
+                    self.stats.wal_records.fetch_add(nrecs, Ordering::Relaxed);
+                    self.stats
+                        .wal_bytes
+                        .fetch_add(nbytes as u64, Ordering::Relaxed);
+                    self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                    self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .group_committed_records
+                        .fetch_add(nrecs, Ordering::Relaxed);
+                }
+                Err(ref e) => {
+                    s.broken = Some(e.kind());
+                    s.pending.clear();
+                    if seq <= last_seq {
+                        my_result = Err(e.kind().into());
+                    }
+                }
+            }
+            self.cv.notify_all();
+            if s.broken.is_some() {
+                break;
+            }
+        }
+        s.leader_active = false;
+        drop(s);
+        my_result
+    }
+
+    /// fsync-per-record mode: one write + one sync per commit, serialized.
+    fn commit_serial(&self, frame: Vec<u8>) -> io::Result<()> {
+        let mut s = self.state.lock();
+        if let Some(kind) = s.broken {
+            return Err(kind.into());
+        }
+        let nbytes = frame.len() as u64;
+        let t_append = Instant::now();
+        let res = (&*s.file).write_all(&frame).and_then(|()| {
+            self.emit(StoreOp::WalAppend, t_append.elapsed());
+            let t_sync = Instant::now();
+            let r = s.file.sync_data();
+            self.emit(StoreOp::Fsync, t_sync.elapsed());
+            r
+        });
+        match res {
+            Ok(()) => {
+                s.next_seq += 1;
+                s.durable_seq = s.next_seq;
+                self.stats.wal_records.fetch_add(1, Ordering::Relaxed);
+                self.stats.wal_bytes.fetch_add(nbytes, Ordering::Relaxed);
+                self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
+                self.stats.group_commits.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .group_committed_records
+                    .fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                s.broken = Some(e.kind());
+                Err(e)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_ieee_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn record_payload_round_trips() {
+        let mut rb = RecordBuilder::new();
+        rb.put(b"alpha", b"1");
+        rb.erase(b"beta");
+        rb.put(b"", b"");
+        let payload = rb.finish();
+        let ops = decode_payload(&payload).expect("decodes");
+        assert_eq!(ops.len(), 3);
+        match &ops[0] {
+            Op::Put(k, v) => {
+                assert_eq!(k, b"alpha");
+                assert_eq!(v, b"1");
+            }
+            _ => panic!("want put"),
+        }
+        match &ops[1] {
+            Op::Erase(k) => assert_eq!(k, b"beta"),
+            _ => panic!("want erase"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_trailing_garbage_and_bad_tags() {
+        let mut rb = RecordBuilder::new();
+        rb.put(b"k", b"v");
+        let mut payload = rb.finish();
+        payload.push(0xFF);
+        assert!(decode_payload(&payload).is_none());
+        let bad = vec![1, 0, 0, 0, /* tag */ 9];
+        assert!(decode_payload(&bad).is_none());
+    }
+
+    #[test]
+    fn wal_file_names_round_trip() {
+        let p = wal_path(Path::new("/x"), 42);
+        let name = p.file_name().unwrap().to_str().unwrap();
+        assert_eq!(parse_wal_id(name), Some(42));
+        assert_eq!(parse_wal_id("seg-000000000001.seg"), None);
+    }
+}

@@ -41,8 +41,9 @@ fn netd_bin() -> PathBuf {
 /// generator's summary.
 fn run_point(netd: &PathBuf, spec: &ScenarioSpec) -> Result<LoadSummary, String> {
     let workdir = std::env::temp_dir().join(format!(
-        "symbi-load-sweep-{}-{}",
+        "symbi-load-sweep-{}-{}-{}",
         std::process::id(),
+        spec.name,
         spec.rate_hz() as u64
     ));
     let _ = std::fs::remove_dir_all(&workdir);
@@ -52,6 +53,12 @@ fn run_point(netd: &PathBuf, spec: &ScenarioSpec) -> Result<LoadSummary, String>
         .with_scenario(spec);
     m.ready_timeout = Duration::from_secs(60);
     m.extra_env = vec![("SYMBI_LOAD_OUT".into(), out.display().to_string())];
+    // Durable backends need a store directory to live in.
+    if spec.backend == "ldb-disk" {
+        let store = workdir.join("store");
+        m.extra_env
+            .push(("SYMBI_STORE_DIR".into(), store.display().to_string()));
+    }
 
     let mut dep = m.launch().map_err(|e| format!("launch: {e}"))?;
     let statuses = dep
@@ -119,6 +126,34 @@ fn main() {
     let doc = sweep_json("tcp", "rate-sweep", SERVERS as u32, &points);
     std::fs::write("BENCH_load.json", &doc).expect("write BENCH_load.json");
     println!("wrote BENCH_load.json ({} rate points)", points.len());
+
+    // Durable arm: the same open-loop generator against the `ldb-disk`
+    // backend, well below the simulated-sweep saturation point (every
+    // put now buys a real WAL append and rides a group commit). Kept out
+    // of the sweep JSON — it measures a different service, not another
+    // rate point on the same curve.
+    let durable_rate = rates.first().copied().unwrap_or(400.0);
+    let durable_spec = ScenarioSpec::named("rate-sweep-durable")
+        .with_duration(Duration::from_secs(secs))
+        .with_server_shape(2, 4, Duration::ZERO)
+        .with_backend("ldb-disk")
+        .with_rate_hz(durable_rate);
+    match run_point(&netd, &durable_spec) {
+        Ok(summary) => {
+            println!("  durable arm (ldb-disk): {}", summary.render());
+            if summary.errors > 0 {
+                eprintln!(
+                    "FAIL: durable arm: {} hard errors at {:.0}/s",
+                    summary.errors, summary.offered_hz
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("FAIL: durable arm at {durable_rate}/s: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let mut failures = Vec::new();
     for p in &points {

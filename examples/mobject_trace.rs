@@ -27,7 +27,7 @@ fn main() {
         SdskvSpec {
             num_databases: REQUIRED_SDSKV_DBS,
             backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            mode: BackendMode::simulated_free(),
             handler_cost: std::time::Duration::ZERO,
             handler_cost_per_key: std::time::Duration::ZERO,
         },

@@ -28,7 +28,7 @@ use std::time::Duration;
 use symbi_load::{run_open_loop, scenarios, LoadSummary, ScenarioSpec, SdskvTarget};
 use symbiosys::core::telemetry::recorder::FlightRecorderConfig;
 use symbiosys::prelude::*;
-use symbiosys::services::kv::{BackendKind, StorageCost};
+use symbiosys::services::kv::{BackendKind, BackendMode};
 use symbiosys::services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
 
 /// Stand up one scenario-shaped SDSKV server on a local fabric, replay
@@ -62,7 +62,7 @@ fn run_arm(
         SdskvSpec {
             num_databases: spec.databases.max(1) as usize,
             backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            mode: BackendMode::simulated_free(),
             handler_cost: Duration::from_micros(spec.handler_cost_us),
             handler_cost_per_key: Duration::from_micros(spec.handler_cost_per_key_us),
         },

@@ -22,7 +22,7 @@ fn main() {
         SdskvSpec {
             num_databases: 4,
             backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            mode: BackendMode::simulated_free(),
             handler_cost: std::time::Duration::ZERO,
             handler_cost_per_key: std::time::Duration::ZERO,
         },

@@ -37,7 +37,7 @@ use symbi_net::{fabric_over, NetConfig};
 use symbi_obs::{CollectorConfig, CollectorService};
 use symbi_services::bake::{BakeProvider, BakeSpec};
 use symbi_services::hepnos::{EventKey, HepnosClient, HepnosConfig};
-use symbi_services::kv::{BackendKind, StorageCost};
+use symbi_services::kv::{BackendKind, BackendMode, StorageCost};
 use symbi_services::scenario::ScenarioSpec;
 use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
 
@@ -211,7 +211,7 @@ fn run_hepnos_server(rank: usize) {
         SdskvSpec {
             num_databases: cfg.databases,
             backend: BackendKind::Map,
-            cost: cfg.cost,
+            mode: BackendMode::Simulated(cfg.cost),
             handler_cost: cfg.handler_cost,
             handler_cost_per_key: cfg.handler_cost_per_key,
         },
@@ -237,12 +237,31 @@ fn run_scenario_server(rank: usize) {
             spec.server_threads.max(1) as usize,
         )),
     );
+    let backend = BackendKind::parse(&spec.backend).unwrap_or_else(|| {
+        eprintln!(
+            "[symbi-netd] unknown scenario backend {:?}, falling back to map",
+            spec.backend
+        );
+        BackendKind::Map
+    });
+    // Durable backends need a home on disk: SYMBI_STORE_DIR (per-process
+    // subdirectory so ranks on one host never share a WAL), or a temp
+    // default when unset. Simulated backends run free of storage cost —
+    // the scenario plane models service time via handler costs.
+    let mode = if backend == BackendKind::LdbDisk {
+        let root = env_var("SYMBI_STORE_DIR")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("symbi-store"));
+        BackendMode::Durable(root.join(format!("server-{rank}")))
+    } else {
+        BackendMode::simulated_free()
+    };
     let _sdskv = SdskvProvider::attach(
         &margo,
         SdskvSpec {
             num_databases: spec.databases.max(1) as usize,
-            backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            backend,
+            mode,
             handler_cost: Duration::from_micros(spec.handler_cost_us),
             handler_cost_per_key: Duration::from_micros(spec.handler_cost_per_key_us),
         },

@@ -45,6 +45,7 @@ pub use symbi_margo as margo;
 pub use symbi_mercury as mercury;
 pub use symbi_obs as obs;
 pub use symbi_services as services;
+pub use symbi_store as store;
 pub use symbi_tasking as tasking;
 
 /// The most commonly used items, in one import.
@@ -65,7 +66,7 @@ pub mod prelude {
         run_data_loader, EventKey, HepnosClient, HepnosConfig, HepnosDeployment,
     };
     pub use symbi_services::ior::{run_ior, IorConfig};
-    pub use symbi_services::kv::{BackendKind, StorageCost};
+    pub use symbi_services::kv::{BackendKind, BackendMode, StorageCost};
     pub use symbi_services::mobject::{MobjectClient, MobjectProvider};
     pub use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
     pub use symbi_services::sonata::{Query, SonataClient, SonataProvider};

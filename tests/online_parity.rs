@@ -40,7 +40,7 @@ fn online_attribution_matches_offline_within_5_percent() {
         SdskvSpec {
             num_databases: REQUIRED_SDSKV_DBS,
             backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            mode: BackendMode::simulated_free(),
             // Real backend work so hop latencies dominate stamp offsets.
             handler_cost: std::time::Duration::from_micros(300),
             handler_cost_per_key: std::time::Duration::ZERO,

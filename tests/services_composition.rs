@@ -15,7 +15,7 @@ fn mobject_node(fabric: &Fabric) -> MargoInstance {
         SdskvSpec {
             num_databases: REQUIRED_SDSKV_DBS,
             backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            mode: BackendMode::simulated_free(),
             handler_cost: std::time::Duration::ZERO,
             handler_cost_per_key: std::time::Duration::ZERO,
         },
@@ -187,7 +187,7 @@ fn backend_choice_changes_concurrency_not_contents() {
             SdskvSpec {
                 num_databases: 1,
                 backend,
-                cost: StorageCost::free(),
+                mode: BackendMode::simulated_free(),
                 handler_cost: std::time::Duration::ZERO,
                 handler_cost_per_key: std::time::Duration::ZERO,
             },

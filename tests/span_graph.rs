@@ -36,7 +36,7 @@ fn provider_node(fabric: &Fabric, handler_cost: std::time::Duration) -> MargoIns
         SdskvSpec {
             num_databases: REQUIRED_SDSKV_DBS,
             backend: BackendKind::Map,
-            cost: StorageCost::free(),
+            mode: BackendMode::simulated_free(),
             handler_cost,
             handler_cost_per_key: std::time::Duration::ZERO,
         },

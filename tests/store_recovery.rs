@@ -1,0 +1,360 @@
+//! Durability drills for the `ldb-disk` backend at the facade level:
+//!
+//! * SIGKILL a scenario-role `symbi-netd` server running the durable
+//!   store mid-load, relaunch against the same `SYMBI_STORE_DIR`, and
+//!   require every *acknowledged* write back byte-identical — plus the
+//!   recovery itself attributed as a `store_recovery` span in the merged
+//!   cross-process flight rings.
+//! * The same seeded operation sequence against the sleep-simulated map
+//!   backend and the durable log-structured backend must converge to the
+//!   same visible key/value state, and the durable state must survive a
+//!   reopen (drop without flush == crash).
+//!
+//! Seeded via `SYMBI_FAULT_SEED` so CI's fault matrix replays distinct
+//! interleavings.
+
+#![cfg(unix)]
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use symbi_load::ScenarioSpec;
+use symbi_net::{fabric_over, NetConfig};
+use symbi_services::deploy::DeployManifest;
+use symbi_services::kv::{BackendKind, BackendMode};
+use symbi_services::sdskv::{SdskvClient, SdskvProvider, SdskvSpec};
+use symbiosys::core::analysis::build_span_graph;
+use symbiosys::core::callpath::hash16;
+use symbiosys::core::TraceEventKind;
+use symbiosys::prelude::*;
+
+const NETD: &str = env!("CARGO_BIN_EXE_symbi-netd");
+const DATABASES: u32 = 4;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("symbi-storerec-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Acknowledged writes: (db, key) -> value, shared with the writer thread.
+type AckedWrites = Arc<Mutex<BTreeMap<(u32, Vec<u8>), Vec<u8>>>>;
+
+fn fault_seed() -> u64 {
+    std::env::var("SYMBI_FAULT_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(42)
+}
+
+/// Deterministic value derived from the write index and seed, so the
+/// post-recovery read can verify byte identity without shipping state.
+fn value_for(seed: u64, i: u64) -> Vec<u8> {
+    (0..48u64)
+        .map(|j| ((i.wrapping_mul(131) ^ j.wrapping_mul(17) ^ seed) % 251) as u8)
+        .collect()
+}
+
+/// A Margo client over its own TCP transport, aimed at `url`.
+fn kv_client(url: &str, name: &str, deadline: Duration) -> (MargoInstance, SdskvClient) {
+    let fabric = fabric_over(NetConfig::client()).expect("client transport");
+    let margo = MargoInstance::new(fabric.clone(), MargoConfig::client(name));
+    let addr = fabric.lookup(url).expect("server URL resolves");
+    let client = SdskvClient::new(margo.clone(), addr)
+        .with_options(RpcOptions::new().with_deadline(deadline));
+    (margo, client)
+}
+
+/// The acceptance drill: kill -9 a durable scenario server while a
+/// writer is streaming puts at it, restart against the same store
+/// directory, and read every acknowledged key back byte-identical.
+/// Recovery must also surface as a span in the merged flight rings.
+#[test]
+fn sigkill_mid_load_loses_no_acked_write() {
+    let seed = fault_seed();
+    let workdir_a = scratch("crash-a");
+    let workdir_b = scratch("crash-b");
+    let store_root = scratch("crash-store");
+    let flight_a = workdir_a.join("flight");
+    let flight_b = workdir_b.join("flight");
+
+    let spec = ScenarioSpec::named("store-crash-drill")
+        .with_backend("ldb-disk")
+        .with_server_shape(2, DATABASES, Duration::ZERO);
+
+    let mut m = DeployManifest::new(NETD, &workdir_a, 1, 0)
+        .with_roles("scenario", "unused")
+        .with_scenario(&spec)
+        .with_telemetry(Duration::from_millis(20), 0, &flight_a);
+    m.ready_timeout = Duration::from_secs(60);
+    m.extra_env.push((
+        "SYMBI_STORE_DIR".to_string(),
+        store_root.display().to_string(),
+    ));
+    let mut dep = m.launch().expect("durable deployment starts");
+
+    // Writer thread: stream durable puts (with periodic atomic packed
+    // batches), recording each acknowledged (db, key) -> value. It stops
+    // at the first error — the kill landing under it.
+    let acked: AckedWrites = Arc::default();
+    let stop = Arc::new(AtomicBool::new(false));
+    let url = dep.server_urls()[0].clone();
+    let writer = {
+        let acked = acked.clone();
+        let stop = stop.clone();
+        std::thread::spawn(move || {
+            let (margo, client) = kv_client(&url, "store-drill-writer", Duration::from_secs(2));
+            let mut i = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let db = (i % DATABASES as u64) as u32;
+                if i % 16 == 5 {
+                    // Atomic multi-key batch: all pairs ack together.
+                    let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..3u64)
+                        .map(|j| {
+                            (
+                                format!("pack-{i:06}-{j}").into_bytes(),
+                                value_for(seed, i.wrapping_mul(7).wrapping_add(j)),
+                            )
+                        })
+                        .collect();
+                    if client.put_packed(db, &pairs).is_err() {
+                        break;
+                    }
+                    let mut a = acked.lock().unwrap();
+                    for (k, v) in pairs {
+                        a.insert((db, k), v);
+                    }
+                } else {
+                    let key = format!("key-{i:06}").into_bytes();
+                    let value = value_for(seed, i);
+                    if client.put(db, key.clone(), value.clone()).is_err() {
+                        break;
+                    }
+                    acked.lock().unwrap().insert((db, key), value);
+                }
+                i += 1;
+            }
+            margo.finalize();
+        })
+    };
+
+    // Let a healthy stream of acknowledgements build up, then yank the
+    // server mid-load with SIGKILL — no flush, no shutdown hook.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while acked.lock().unwrap().len() < 96 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let acked_before_kill = acked.lock().unwrap().len();
+    assert!(
+        acked_before_kill >= 96,
+        "writer only got {acked_before_kill} acks in 60s; durable path is wedged"
+    );
+    dep.kill_server(0).expect("SIGKILL the durable server");
+    stop.store(true, Ordering::Relaxed);
+    writer.join().expect("writer thread exits");
+    dep.shutdown(Duration::from_secs(10)).ok();
+
+    // Relaunch against the SAME store directory: startup replays the
+    // segments + WAL (torn tail and all) before reporting ready.
+    let mut m2 = DeployManifest::new(NETD, &workdir_b, 1, 0)
+        .with_roles("scenario", "unused")
+        .with_scenario(&spec)
+        .with_telemetry(Duration::from_millis(20), 0, &flight_b);
+    m2.ready_timeout = Duration::from_secs(60);
+    m2.extra_env.push((
+        "SYMBI_STORE_DIR".to_string(),
+        store_root.display().to_string(),
+    ));
+    let dep2 = m2.launch().expect("recovered deployment starts");
+
+    let (margo, client) = kv_client(
+        &dep2.server_urls()[0],
+        "store-drill-reader",
+        Duration::from_secs(10),
+    );
+    let acked = std::mem::take(&mut *acked.lock().unwrap());
+    let mut lost = Vec::new();
+    for ((db, key), value) in &acked {
+        match client.get(*db, key).expect("get after recovery") {
+            Some(got) if &got == value => {}
+            other => lost.push((
+                *db,
+                String::from_utf8_lossy(key).into_owned(),
+                other.map(|v| v.len()),
+            )),
+        }
+    }
+    assert!(
+        lost.is_empty(),
+        "{} of {} acked writes lost or corrupted after SIGKILL recovery: {:?}",
+        lost.len(),
+        acked.len(),
+        &lost[..lost.len().min(8)]
+    );
+    margo.finalize();
+    dep2.shutdown(Duration::from_secs(15)).expect("clean stop");
+
+    // The merged cross-PID flight rings must attribute the recovery as a
+    // span: WAL appends come from the killed PID, `store_recovery` from
+    // the relaunched one — both land in one span graph.
+    let (events, _) = symbi_analyze::load_events(&[flight_a.clone(), flight_b.clone()])
+        .expect("flight rings from both incarnations merge");
+    let append_leaf = hash16("store_wal_append");
+    let recovery_leaf = hash16("store_recovery");
+    assert!(
+        events
+            .iter()
+            .any(|e| e.callpath.leaf() == append_leaf && e.kind == TraceEventKind::TargetRespond),
+        "no WAL-append span from the killed server's rings"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| e.callpath.leaf() == recovery_leaf && e.kind == TraceEventKind::TargetRespond),
+        "no store_recovery span from the restarted server's rings"
+    );
+    let graph = build_span_graph(&events);
+    let recovery_in_graph = graph.trees.iter().any(|t| {
+        t.nodes
+            .iter()
+            .any(|n| n.t8.as_ref().map(|e| e.callpath.leaf()) == Some(recovery_leaf))
+    });
+    assert!(
+        recovery_in_graph,
+        "recovery span missing from the merged span graph ({} trees, {} spans)",
+        graph.trees.len(),
+        graph.span_count()
+    );
+
+    let _ = std::fs::remove_dir_all(&workdir_a);
+    let _ = std::fs::remove_dir_all(&workdir_b);
+    let _ = std::fs::remove_dir_all(&store_root);
+}
+
+/// xorshift64: deterministic op-sequence generator, no RNG dependency.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+}
+
+/// In-process SDSKV instance (instant network model) over the given
+/// backend; returns handles that keep it alive plus a client.
+fn spawn_kv(backend: BackendKind, mode: BackendMode, tag: &str) -> (MargoInstance, SdskvClient) {
+    let fabric = Fabric::new(NetworkModel::instant());
+    let server = MargoInstance::new(
+        fabric.clone(),
+        MargoConfig::server(format!("sdskv-{tag}"), 2),
+    );
+    let _provider = SdskvProvider::attach(
+        &server,
+        SdskvSpec {
+            num_databases: 3,
+            backend,
+            mode,
+            ..SdskvSpec::default()
+        },
+    );
+    let client_margo = MargoInstance::new(fabric, MargoConfig::client(format!("kv-{tag}-client")));
+    let client = SdskvClient::new(client_margo, server.addr());
+    (server, client)
+}
+
+/// Drive the same seeded put/erase/packed-put/flush sequence.
+fn drive(client: &SdskvClient, seed: u64) {
+    let mut rng = XorShift(seed | 0x9E37_79B9);
+    for _ in 0..300 {
+        let db = (rng.next() % 3) as u32;
+        let k = rng.next() % 48;
+        let key = format!("k{k:03}").into_bytes();
+        match rng.next() % 8 {
+            0..=4 => {
+                let v = value_for(seed, rng.next() % 4096);
+                client.put(db, key, v).expect("put");
+            }
+            5 => {
+                client.erase(db, &key).expect("erase");
+            }
+            6 => {
+                let base = rng.next();
+                let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..3u64)
+                    .map(|j| {
+                        (
+                            format!("k{:03}", (k + j) % 48).into_bytes(),
+                            value_for(seed, base.wrapping_add(j) % 4096),
+                        )
+                    })
+                    .collect();
+                client.put_packed(db, &pairs).expect("put_packed");
+            }
+            _ => client.flush(db).expect("flush barrier"),
+        }
+    }
+}
+
+/// Snapshot every database's full sorted key/value listing.
+fn state_of(client: &SdskvClient) -> Vec<Vec<(Vec<u8>, Vec<u8>)>> {
+    (0..3u32)
+        .map(|db| client.list_keyvals(db, &[], u32::MAX).expect("list"))
+        .collect()
+}
+
+/// The simulation/durability equivalence bar: the sleep-simulated map
+/// backend and the durable log-structured backend are interchangeable —
+/// the same op sequence converges to byte-identical visible state, and
+/// the durable copy still matches after a crash-style reopen.
+#[test]
+fn durable_backend_matches_simulated_byte_for_byte() {
+    let seed = fault_seed();
+    let dir = scratch("equiv");
+
+    let (sim_server, sim_client) = spawn_kv(BackendKind::Map, BackendMode::simulated_free(), "sim");
+    let (dur_server, dur_client) = spawn_kv(
+        BackendKind::LdbDisk,
+        BackendMode::Durable(dir.clone()),
+        "dur",
+    );
+
+    drive(&sim_client, seed);
+    drive(&dur_client, seed);
+
+    let sim_state = state_of(&sim_client);
+    let dur_state = state_of(&dur_client);
+    assert_eq!(
+        sim_state, dur_state,
+        "simulated and durable backends diverged under seed {seed}"
+    );
+    assert!(
+        sim_state.iter().any(|db| !db.is_empty()),
+        "op sequence for seed {seed} left every database empty; the comparison is vacuous"
+    );
+
+    // Crash-style reopen: drop the durable instance without any flush and
+    // open the directory again — recovery must reproduce the same bytes.
+    sim_server.finalize();
+    dur_server.finalize();
+    drop((sim_client, dur_client));
+
+    let (reopened_server, reopened_client) = spawn_kv(
+        BackendKind::LdbDisk,
+        BackendMode::Durable(dir.clone()),
+        "reopen",
+    );
+    assert_eq!(
+        sim_state,
+        state_of(&reopened_client),
+        "durable state after reopen diverged from the pre-crash state (seed {seed})"
+    );
+    reopened_server.finalize();
+    let _ = std::fs::remove_dir_all(&dir);
+}
